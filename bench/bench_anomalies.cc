@@ -1,0 +1,139 @@
+// Anomaly demonstrations. The paper's §1 motivates CD with the documented
+// misbehaviours of the run-time policies: FIFO's Belady anomaly, PFF's
+// parameter anomalies [FrGG78], and the WS anomalies observed specifically
+// on numerical programs [AbPa81], [ALMY82]. This bench scans the reproduced
+// workloads for the same phenomena.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "src/cdmm/pipeline.h"
+#include "src/support/str.h"
+#include "src/support/table.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/pff.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+// FIFO: faults must *increase* somewhere as frames grow (Belady).
+void FifoAnomalies() {
+  std::cout << "-- FIFO (Belady) anomalies: m -> m+1 with MORE faults\n";
+  cdmm::TextTable table({"Program", "m", "PF(m)", "PF(m+1)", "increase"});
+  int found = 0;
+  for (const cdmm::Workload& w : cdmm::AllWorkloads()) {
+    auto cp = cdmm::CompiledProgram::FromSource(w.source);
+    cdmm::Trace refs = cp.value().trace().ReferencesOnly();
+    uint32_t v = std::min<uint32_t>(refs.virtual_pages(), 96);
+    uint64_t prev = cdmm::SimulateFixed(refs, 1, cdmm::Replacement::kFifo).faults;
+    uint64_t best_gain = 0;
+    uint32_t best_m = 0;
+    uint64_t best_prev = 0;
+    uint64_t best_cur = 0;
+    for (uint32_t m = 2; m <= v; ++m) {
+      uint64_t cur = cdmm::SimulateFixed(refs, m, cdmm::Replacement::kFifo).faults;
+      if (cur > prev && cur - prev > best_gain) {
+        best_gain = cur - prev;
+        best_m = m - 1;
+        best_prev = prev;
+        best_cur = cur;
+      }
+      prev = cur;
+    }
+    if (best_gain > 0) {
+      ++found;
+      table.AddRow({w.name, cdmm::StrCat(best_m), cdmm::StrCat(best_prev),
+                    cdmm::StrCat(best_cur), cdmm::StrCat("+", best_gain)});
+    }
+  }
+  if (found == 0) {
+    std::cout << "   (none on these traces; the textbook witness sequence still shows it —\n"
+                 "    see tests/vm_fixed_test.cc::BeladyAnomalyWitness)\n\n";
+    return;
+  }
+  table.Print(std::cout);
+  std::cout << "LRU, a stack algorithm, cannot do this (property-tested on every trace).\n\n";
+}
+
+// PFF: a larger critical interval T can produce MORE faults [FrGG78].
+void PffAnomalies() {
+  std::cout << "-- PFF parameter anomalies: larger T with MORE faults [FrGG78]\n";
+  cdmm::TextTable table({"Program", "T", "PF(T)", "T'", "PF(T')", "increase"});
+  std::vector<uint64_t> ts = {125, 250, 500, 1000, 2000, 4000, 8000, 16000};
+  int found = 0;
+  for (const cdmm::Workload& w : cdmm::AllWorkloads()) {
+    auto cp = cdmm::CompiledProgram::FromSource(w.source);
+    cdmm::Trace refs = cp.value().trace().ReferencesOnly();
+    uint64_t prev = cdmm::SimulatePff(refs, ts[0]).faults;
+    for (size_t i = 1; i < ts.size(); ++i) {
+      uint64_t cur = cdmm::SimulatePff(refs, ts[i]).faults;
+      if (cur > prev) {
+        ++found;
+        table.AddRow({w.name, cdmm::StrCat(ts[i - 1]), cdmm::StrCat(prev),
+                      cdmm::StrCat(ts[i]), cdmm::StrCat(cur),
+                      cdmm::StrCat("+", cur - prev)});
+        break;  // one witness per program is enough
+      }
+      prev = cur;
+    }
+  }
+  if (found == 0) {
+    std::cout << "   (no witness on these traces at the scanned T grid)\n";
+  } else {
+    table.Print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+// WS on numerical programs: the space-time cost is not monotone in τ and
+// can have interior local minima far from either extreme [AbPa81] — tuning
+// τ is genuinely hard, which is the paper's argument for compile-time
+// knowledge.
+void WsStructure() {
+  std::cout << "-- WS space-time vs window: interior minima on numerical programs\n";
+  cdmm::TextTable table({"Program", "best tau", "ST at best x1e6", "ST at tau/8 x1e6",
+                         "ST at 8*tau x1e6", "interior minimum"});
+  for (const cdmm::Workload& w : cdmm::AllWorkloads()) {
+    auto cp = cdmm::CompiledProgram::FromSource(w.source);
+    cdmm::Trace refs = cp.value().trace().ReferencesOnly();
+    auto taus = cdmm::DefaultTauGrid(refs.reference_count(), 8);
+    auto sweep = cdmm::WsSweep(refs, taus);
+    const cdmm::SweepPoint* best = &sweep.front();
+    for (const cdmm::SweepPoint& p : sweep) {
+      if (p.space_time < best->space_time) {
+        best = &p;
+      }
+    }
+    uint64_t tau = static_cast<uint64_t>(best->parameter);
+    auto at = [&](uint64_t target) {
+      const cdmm::SweepPoint* nearest = &sweep.front();
+      for (const cdmm::SweepPoint& p : sweep) {
+        if (std::abs(p.parameter - static_cast<double>(target)) <
+            std::abs(nearest->parameter - static_cast<double>(target))) {
+          nearest = &p;
+        }
+      }
+      return nearest->space_time;
+    };
+    bool interior = best != &sweep.front() && best != &sweep.back();
+    table.AddRow({w.name, cdmm::StrCat(tau), cdmm::FormatMillions(best->space_time),
+                  cdmm::FormatMillions(at(tau / 8 + 1)), cdmm::FormatMillions(at(tau * 8)),
+                  interior ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+  std::cout << "Both neighbours of the optimum cost substantially more: a mis-tuned window\n"
+               "pays in memory (right) or faults (left), and the optimum moves per program\n"
+               "— information the CD directives carry per loop instead.\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Run-time policy anomalies on the reproduced workloads (paper §1)\n"
+            << "================================================================\n\n";
+  FifoAnomalies();
+  PffAnomalies();
+  WsStructure();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Characteristic-curve bench: draws the era-standard instruments (the
+// Denning–Kahn lifetime function, the LRU fault-rate curve, and the WS
+// characteristic) for three representative workloads, and marks where the
+// CD directive sets place the program relative to the lifetime knee. The
+// paper has no result figures; these are the figures its contemporaries
+// would have drawn from the same data.
+#include <iostream>
+
+#include "src/cdmm/pipeline.h"
+#include "src/support/ascii_plot.h"
+#include "src/support/str.h"
+#include "src/vm/cd_policy.h"
+#include "src/vm/curves.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+void CurvesFor(const std::string& name) {
+  auto compiled = cdmm::CompiledProgram::FromSource(cdmm::FindWorkload(name).source);
+  const cdmm::CompiledProgram& cp = compiled.value();
+  cdmm::Trace refs = cp.trace().ReferencesOnly();
+  uint32_t v = refs.virtual_pages();
+
+  auto lifetime = cdmm::LifetimeCurve(refs, v);
+  uint32_t knee = cdmm::LifetimeKnee(lifetime);
+
+  cdmm::PlotOptions popts;
+  popts.log_y = true;
+  popts.title = cdmm::StrCat("Lifetime function g(m), ", name, " (V=", v,
+                             " pages; knee at m=", knee, ")");
+  popts.x_label = "allocation m (pages)";
+  popts.y_label = "mean refs between faults, log";
+  cdmm::PlotSeries g{"g(m) under LRU", '*', {}};
+  for (const cdmm::CurvePoint& p : lifetime) {
+    g.points.emplace_back(p.x, p.y);
+  }
+
+  // Mark the CD operating points (mean memory, achieved lifetime).
+  cdmm::PlotSeries cd{"CD operating points (outer/cap2/inner)", 'o', {}};
+  for (auto sel : {cdmm::DirectiveSelection::kOutermost, cdmm::DirectiveSelection::kLevelCap,
+                   cdmm::DirectiveSelection::kInnermost}) {
+    cdmm::CdOptions options;
+    options.selection = sel;
+    options.level_cap = 2;
+    cdmm::SimResult r = cdmm::SimulateCd(cp.trace(), options);
+    double life = r.faults == 0 ? static_cast<double>(r.references)
+                                : static_cast<double>(r.references) / r.faults;
+    cd.points.emplace_back(r.mean_memory, life);
+  }
+  std::cout << RenderAsciiPlot({g, cd}, popts) << "\n";
+
+  auto taus = cdmm::DefaultTauGrid(refs.reference_count(), 6);
+  cdmm::PlotOptions wopts;
+  wopts.log_x = true;
+  wopts.title = cdmm::StrCat("WS characteristic, ", name, " (mean WS size vs window)");
+  wopts.x_label = "window tau (references, log)";
+  wopts.y_label = "mean WS size (pages)";
+  cdmm::PlotSeries s{"s(tau)", '+', {}};
+  for (const cdmm::CurvePoint& p : cdmm::WsSizeCurve(refs, taus)) {
+    s.points.emplace_back(p.x, p.y);
+  }
+  std::cout << RenderAsciiPlot({s}, wopts) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Characteristic curves (lifetime / WS) with CD operating points\n"
+            << "==============================================================\n\n";
+  for (const char* name : {"CONDUCT", "HWSCRT", "MAIN"}) {
+    CurvesFor(name);
+  }
+  std::cout << "Reading: CD's outer points sit at the flat top of the lifetime curve\n"
+               "(few faults, many pages); inner points sit left of the knee (small\n"
+               "footprint, fault-tolerant); the level-cap points track the knee itself —\n"
+               "the compile-time directives recover what the lifetime instrumentation\n"
+               "would have to measure at run time.\n";
+  return 0;
+}

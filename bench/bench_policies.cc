@@ -1,0 +1,147 @@
+// Policy cross-section and simulator micro-benchmarks.
+//
+// Part 1 prints a cross-section of every implemented policy (LRU, FIFO, OPT,
+// WS, SWS, VSWS, PFF, CD) on one workload — the baseline menagerie the
+// paper's §1 surveys. Part 2 uses google-benchmark to time the simulators
+// themselves (events/second), documenting the cost of each policy's
+// bookkeeping.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/cdmm/pipeline.h"
+#include "src/support/str.h"
+#include "src/support/table.h"
+#include "src/vm/cd_policy.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/damped_ws.h"
+#include "src/vm/pff.h"
+#include "src/vm/vmin.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+const cdmm::CompiledProgram& Conduct() {
+  static const auto* cp = [] {
+    auto result = cdmm::CompiledProgram::FromSource(cdmm::FindWorkload("CONDUCT").source);
+    return new cdmm::CompiledProgram(std::move(result).value());
+  }();
+  return *cp;
+}
+
+const cdmm::Trace& ConductRefs() {
+  static const auto* trace = new cdmm::Trace(Conduct().trace().ReferencesOnly());
+  return *trace;
+}
+
+void PrintCrossSection() {
+  const cdmm::Trace& refs = ConductRefs();
+  const cdmm::Trace& full = Conduct().trace();
+
+  std::vector<cdmm::SimResult> results;
+  results.push_back(cdmm::SimulateFixed(refs, 32, cdmm::Replacement::kLru));
+  results.push_back(cdmm::SimulateFixed(refs, 32, cdmm::Replacement::kFifo));
+  results.push_back(cdmm::SimulateFixed(refs, 32, cdmm::Replacement::kOpt));
+  results.push_back(cdmm::SimulateWs(refs, 2000));
+  results.push_back(cdmm::SimulateSampledWs(refs, {.sample_interval = 2000, .window_samples = 1}));
+  results.push_back(cdmm::SimulateVsws(
+      refs, {.min_interval = 500, .max_interval = 4000, .fault_threshold = 8}));
+  results.push_back(cdmm::SimulatePff(refs, 2000));
+  results.push_back(cdmm::SimulateDampedWs(refs, {.tau = 2000, .release_interval = 64}));
+  results.push_back(cdmm::SimulateVmin(refs));
+  cdmm::CdOptions cd;
+  cd.selection = cdmm::DirectiveSelection::kLevelCap;
+  cd.level_cap = 2;
+  results.push_back(cdmm::SimulateCd(full, cd));
+
+  std::cout << "Policy cross-section on CONDUCT (V=" << full.virtual_pages() << " pages, R="
+            << refs.reference_count() << " references)\n\n";
+  cdmm::TextTable table({"Policy", "PF", "MEM", "ST x1e6", "max resident"});
+  for (const cdmm::SimResult& r : results) {
+    table.AddRow({r.policy, cdmm::StrCat(r.faults), cdmm::FormatFixed(r.mean_memory, 2),
+                  cdmm::FormatMillions(r.space_time), cdmm::StrCat(r.max_resident)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_SimulateLru(benchmark::State& state) {
+  const cdmm::Trace& refs = ConductRefs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cdmm::SimulateFixed(refs, static_cast<uint32_t>(state.range(0)), cdmm::Replacement::kLru));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(refs.reference_count()));
+}
+BENCHMARK(BM_SimulateLru)->Arg(8)->Arg(64);
+
+void BM_SimulateOpt(benchmark::State& state) {
+  const cdmm::Trace& refs = ConductRefs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdmm::SimulateFixed(refs, 64, cdmm::Replacement::kOpt));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(refs.reference_count()));
+}
+BENCHMARK(BM_SimulateOpt);
+
+void BM_SimulateWs(benchmark::State& state) {
+  const cdmm::Trace& refs = ConductRefs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdmm::SimulateWs(refs, static_cast<uint64_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(refs.reference_count()));
+}
+BENCHMARK(BM_SimulateWs)->Arg(100)->Arg(10000);
+
+void BM_SimulateCd(benchmark::State& state) {
+  const cdmm::Trace& full = Conduct().trace();
+  cdmm::CdOptions cd;
+  cd.selection = cdmm::DirectiveSelection::kLevelCap;
+  cd.level_cap = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdmm::SimulateCd(full, cd));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(full.reference_count()));
+}
+BENCHMARK(BM_SimulateCd);
+
+void BM_LruSweep(benchmark::State& state) {
+  const cdmm::Trace& refs = ConductRefs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdmm::LruSweep(refs, refs.virtual_pages()));
+  }
+}
+BENCHMARK(BM_LruSweep);
+
+void BM_CompilePipeline(benchmark::State& state) {
+  const char* source = cdmm::FindWorkload("CONDUCT").source;
+  for (auto _ : state) {
+    auto cp = cdmm::CompiledProgram::FromSource(source);
+    benchmark::DoNotOptimize(cp.ok());
+  }
+}
+BENCHMARK(BM_CompilePipeline);
+
+void BM_GenerateTrace(benchmark::State& state) {
+  const cdmm::CompiledProgram& cp = Conduct();
+  cdmm::InterpOptions iopt;
+  for (auto _ : state) {
+    cdmm::Trace t = cdmm::GenerateTrace(cp.program(), cp.tree(), &cp.plan(), iopt);
+    benchmark::DoNotOptimize(t.reference_count());
+  }
+}
+BENCHMARK(BM_GenerateTrace);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintCrossSection();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

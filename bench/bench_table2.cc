@@ -1,0 +1,55 @@
+// Reproduces Table 2: "Comparing Minimal Space Time Cost Values of LRU and
+// WS versus CD". For every program the LRU partition m and the WS window τ
+// are swept to their minimum-ST operating points; %ST reports the excess of
+// that minimum over CD's ST at the paper's per-program directive set.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "src/cdmm/experiments.h"
+#include "src/support/str.h"
+#include "src/support/table.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+struct PaperRow {
+  int pct_lru;
+  int pct_ws;
+};
+
+// Table 2 of the paper (%ST, LRU vs CD and WS vs CD).
+const std::map<std::string, PaperRow> kPaper = {
+    {"MAIN3", {47, 17}},  {"FDJAC", {27, 39}},   {"FIELD-I", {23, 6}}, {"INIT-I", {133, 22}},
+    {"APPROX", {36, 58}}, {"HYBRJ", {31, 32}},   {"CONDUCT", {288, 32}}, {"TQL1", {7, 4}},
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Table 2: Comparing Minimal Space Time Cost Values of LRU and WS versus CD\n"
+            << "%ST = (ST_min(other) - ST(CD)) / ST(CD) * 100   (paper values in parentheses)\n\n";
+
+  cdmm::ExperimentRunner runner;
+  cdmm::TextTable table({"Program", "ST CD x1e6", "ST LRU-min x1e6", "ST WS-min x1e6",
+                         "%ST LRU (paper)", "%ST WS (paper)"});
+  double sum_lru = 0.0;
+  double sum_ws = 0.0;
+  for (const cdmm::WorkloadVariant& variant : cdmm::Table2Variants()) {
+    auto row = runner.MinStComparison(variant);
+    const PaperRow& p = kPaper.at(variant.variant_name);
+    table.AddRow({row.variant, cdmm::FormatMillions(row.st_cd),
+                  cdmm::FormatMillions(row.st_lru), cdmm::FormatMillions(row.st_ws),
+                  cdmm::StrCat(cdmm::FormatFixed(row.pct_st_lru, 1), " (", p.pct_lru, ")"),
+                  cdmm::StrCat(cdmm::FormatFixed(row.pct_st_ws, 1), " (", p.pct_ws, ")")});
+    sum_lru += row.pct_st_lru;
+    sum_ws += row.pct_st_ws;
+  }
+  table.Print(std::cout);
+  std::printf("\nMean %%ST over the 8 rows: LRU %+.1f%%, WS %+.1f%% (paper: all-positive rows,\n"
+              "LRU 7..288%%, WS 4..58%%). Where our rows sit near zero the fixed policies'\n"
+              "best operating point matches CD's inner directive set; the decisive CD win\n"
+              "(CONDUCT) comes from phase-adaptive allocation no fixed point can match.\n",
+              sum_lru / 8.0, sum_ws / 8.0);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Estimate-accuracy survey: for every built-in workload, compares the
+// compile-time locality sizes (the ALLOCATE X arguments of §2) with measured
+// per-execution page sets from the generated traces — is X a valid upper
+// bound on the re-referenced locality, and how tight is it?
+//
+// Usage: estimate_accuracy [WORKLOAD]
+#include <iostream>
+
+#include "src/cdmm/pipeline.h"
+#include "src/cdmm/validation.h"
+#include "src/support/str.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+int Survey(const cdmm::Workload& w) {
+  auto cp = cdmm::CompiledProgram::FromSource(w.source);
+  if (!cp.ok()) {
+    std::cerr << w.name << ": " << cp.error().ToString() << "\n";
+    return 1;
+  }
+  auto rows = cdmm::ValidateLocalityEstimates(cp.value());
+  std::cout << cdmm::ValidationReport(w.name, rows);
+  int inadequate = 0;
+  double overshoot_sum = 0.0;
+  int overshoot_count = 0;
+  for (const auto& v : rows) {
+    inadequate += v.adequate() ? 0 : 1;
+    if (v.max_rereferenced > 0) {
+      overshoot_sum +=
+          static_cast<double>(v.estimated_pages) / static_cast<double>(v.max_rereferenced);
+      ++overshoot_count;
+    }
+  }
+  std::cout << "  summary: " << rows.size() - static_cast<size_t>(inadequate) << "/" << rows.size()
+            << " loops adequately covered";
+  if (overshoot_count > 0) {
+    std::cout << ", mean X / measured-locality ratio "
+              << cdmm::FormatFixed(overshoot_sum / overshoot_count, 2);
+  }
+  std::cout << "\n\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    return Survey(cdmm::FindWorkload(argv[1]));
+  }
+  for (const cdmm::Workload& w : cdmm::AllWorkloads()) {
+    if (int rc = Survey(w); rc != 0) {
+      return rc;
+    }
+  }
+  return 0;
+}

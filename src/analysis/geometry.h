@@ -1,0 +1,44 @@
+// Page geometry shared by the locality analysis (AVS/CVS computations) and
+// the interpreter's array-to-page address mapping. The paper's experimental
+// setup is 256-byte pages; REALs are 4 bytes, giving 64 elements per page.
+#ifndef CDMM_SRC_ANALYSIS_GEOMETRY_H_
+#define CDMM_SRC_ANALYSIS_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "src/lang/ast.h"
+#include "src/support/check.h"
+
+namespace cdmm {
+
+struct PageGeometry {
+  uint32_t page_size_bytes = 256;
+  uint32_t element_size_bytes = 4;
+
+  uint32_t ElementsPerPage() const {
+    CDMM_CHECK(element_size_bytes != 0 && page_size_bytes >= element_size_bytes);
+    return page_size_bytes / element_size_bytes;
+  }
+
+  friend bool operator==(const PageGeometry&, const PageGeometry&) = default;
+};
+
+// AVS: virtual size of the whole array in pages (ceil(M*N / elements/page)).
+// Arrays are page-aligned: each array starts on a fresh page.
+inline int64_t ArrayVirtualSize(const ArrayDecl& decl, const PageGeometry& geometry) {
+  int64_t epp = geometry.ElementsPerPage();
+  return (decl.element_count() + epp - 1) / epp;
+}
+
+// CVS: virtual size of one column in pages (ceil(M / elements/page)). For the
+// locality rules a column is treated as the unit of contiguous storage
+// (column-major layout); note columns are not individually page-aligned, so
+// CVS is the paper's estimate, not always the exact page span of a column.
+inline int64_t ColumnVirtualSize(const ArrayDecl& decl, const PageGeometry& geometry) {
+  int64_t epp = geometry.ElementsPerPage();
+  return (decl.rows + epp - 1) / epp;
+}
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_ANALYSIS_GEOMETRY_H_

@@ -1,0 +1,321 @@
+#include "src/analysis/locality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+// A bucket of references to one array that share the same variation pattern
+// relative to the loop being analysed.
+struct PatternGroup {
+  Variation row = Variation::kConstant;
+  Variation col = Variation::kConstant;  // unused for vectors
+  bool is_vector = false;
+  std::set<std::string> row_exprs;  // distinct canonical row subscripts (X_r)
+  std::set<std::string> col_exprs;  // distinct canonical column subscripts (X_c)
+  // Upper bounds on the number of distinct row/column index values the group
+  // can take, from static binder-loop trip counts plus the offset spread of
+  // the subscript expressions; -1 when a binder has a variable bound.
+  int64_t row_span = 0;
+  int64_t col_span = 0;
+  // Offset spreads (max offset - min offset) of the non-constant subscript
+  // expressions: the width of the sliding window a kSelf subscript keeps
+  // live at any instant.
+  int64_t row_spread = 0;
+  int64_t col_spread = 0;
+
+  friend bool operator<(const PatternGroup& a, const PatternGroup& b) {
+    return std::tie(a.row, a.col, a.is_vector) < std::tie(b.row, b.col, b.is_vector);
+  }
+};
+
+// Widens `span` to cover one more reference whose binder loop has trip count
+// `trip` (-1 = unknown) and subscript offset `offset`.
+void WidenSpan(int64_t* span, int64_t trip, int64_t spread) {
+  if (*span < 0) {
+    return;  // already unbounded
+  }
+  if (trip < 0) {
+    *span = -1;
+    return;
+  }
+  *span = std::max(*span, trip + spread);
+}
+
+// Pages spanned by `values` distinct consecutive index positions along a
+// column (rows): the paper's CVS refined by the touched extent, plus the
+// page-straddle allowance.
+int64_t PagesForRows(int64_t values, int64_t rows, int64_t cvs, const PageGeometry& geometry) {
+  if (values < 0 || values >= rows) {
+    return cvs;
+  }
+  int64_t epp = geometry.ElementsPerPage();
+  return std::min(cvs, (values + epp - 1) / epp + 1);
+}
+
+bool FixedDuringLoop(Variation v) {
+  return v == Variation::kConstant || v == Variation::kOuter;
+}
+bool VariesAtOrBelow(Variation v) {
+  return v == Variation::kSelf || v == Variation::kInner;
+}
+
+// The §2 case table. Returns the page contribution of one pattern group and
+// whether the pages are re-referenced across iterations of the loop.
+//
+// Column-major layout throughout. "CVS" = pages of one column, "AVS" = pages
+// of the whole array, "N" = number of columns. X_r / X_c are the distinct
+// subscript-expression counts of the group (paper parameter X).
+// Every partial-array matrix estimate gets one transition page of headroom:
+// unaligned columns straddle page boundaries with both pages live, and even
+// for aligned arrays an exact-fit allocation sits on the LRU cliff where one
+// extra transient page makes the whole locality cycle — the paper's X is an
+// upper bound, so the margin is faithful as well as necessary.
+// Group contributions carry a "wants margin" flag instead of adding the
+// page themselves: the margin is applied once per array (several reference
+// patterns of one array share a single transition allowance).
+struct GroupContribution {
+  int64_t pages = 0;
+  bool rereferenced = false;
+  bool wants_margin = false;
+};
+
+GroupContribution ContributionForGroup(const PatternGroup& g, const ArrayDecl& decl,
+                                       const PageGeometry& geometry) {
+  int64_t avs = ArrayVirtualSize(decl, geometry);
+  int64_t xr = std::min<int64_t>(static_cast<int64_t>(g.row_exprs.size()), decl.rows);
+  if (g.is_vector) {
+    switch (g.row) {
+      case Variation::kInner: {
+        // Entire touched extent spanned inside one iteration and re-spanned
+        // every iteration (Figure 5: vectors C, D, E, F contribute full AVS;
+        // a static trip count below the vector length tightens the bound).
+        if (g.row_span >= 0 && g.row_span < decl.rows) {
+          int64_t epp = geometry.ElementsPerPage();
+          return {std::min((g.row_span + epp - 1) / epp + 1, avs), true, false};
+        }
+        return {avs, true, false};
+      }
+      case Variation::kSelf:
+        // Sliding window: one page per distinct index expression; old pages
+        // are not re-referenced (Figure 5: vectors A, B contribute 1 page).
+        // The window still deserves the shared margin: at a page boundary
+        // several sliding streams cross together and briefly co-reside.
+        return {std::min<int64_t>(xr, avs), false, true};
+      case Variation::kOuter:
+      case Variation::kConstant:
+        // The active page(s) are re-referenced on every iteration.
+        return {std::min<int64_t>(std::max<int64_t>(xr, 1), avs), true, false};
+    }
+    CDMM_UNREACHABLE("bad vector variation");
+  }
+
+  int64_t cvs = ColumnVirtualSize(decl, geometry);
+  int64_t xc = std::min<int64_t>(static_cast<int64_t>(g.col_exprs.size()), decl.cols);
+  xr = std::max<int64_t>(xr, 1);
+  xc = std::max<int64_t>(xc, 1);
+
+  // Both subscripts sweep inside one iteration: whole array per iteration,
+  // re-swept on every iteration (§2 rule 5: "the entire virtual space of a
+  // column-wise referenced array contributes to localities formed at least
+  // two levels higher").
+  if (g.row == Variation::kInner && g.col == Variation::kInner) {
+    int64_t cols = g.col_span < 0 ? decl.cols : std::min(g.col_span, decl.cols);
+    int64_t per_col = PagesForRows(g.row_span, decl.rows, cvs, geometry);
+    return {std::min(cols * per_col, avs), true, true};
+  }
+  // Column traversal re-swept inside one iteration with the column selector
+  // fixed during the loop — Figure 1's loop 30 locality {G_I, H_I}: the
+  // whole touched column extent is the locality.
+  if (g.row == Variation::kInner && FixedDuringLoop(g.col)) {
+    int64_t per_col = PagesForRows(g.row_span, decl.rows, cvs, geometry);
+    return {std::min(xc * per_col, avs), true, true};
+  }
+  // The loop itself walks down the column(s): successive iterations share a
+  // page (elements-per-page of them), so the live set is the sliding window
+  // of the subscript offsets (plus the straddle page), not the full column.
+  // (Figure 1 describes the column as the conceptual locality; for the
+  // ALLOCATE argument the paper's own Figure 5 sizing — "one active page" —
+  // is the allocation-accurate reading, which this follows.)
+  if (g.row == Variation::kSelf && FixedDuringLoop(g.col)) {
+    int64_t epp = geometry.ElementsPerPage();
+    // Page-aligned columns (rows divisible by the page capacity) never
+    // straddle: the live window is exactly the offset spread. Unaligned
+    // columns keep both pages of the straddle live.
+    bool aligned = decl.rows % epp == 0;
+    int64_t window = aligned ? std::max<int64_t>((g.row_spread + epp) / epp, 1)
+                             : (g.row_spread + epp) / epp + 1;
+    return {std::min(xc * std::min(window, cvs + 1), avs), true, true};
+  }
+  // Column traversal with the loop itself advancing the column (Figure 5's
+  // DD): each iteration streams one fresh column whose full page span flows
+  // through the allocation (it sits between other arrays' re-uses in LRU
+  // order), so the footprint is the column span — and with a column-offset
+  // spread (a strided stencil like A(I,J-2)+A(I,J+2)) the live window is
+  // spread+1 columns, which ARE re-used as the loop advances across them.
+  if (g.row == Variation::kInner && g.col == Variation::kSelf) {
+    int64_t cols_live = std::min<int64_t>(g.col_spread + 1, decl.cols);
+    int64_t per_col = PagesForRows(g.row_span, decl.rows, cvs, geometry);
+    return {std::min(cols_live * per_col, avs), g.col_spread > 0, true};
+  }
+  // Row sweep inside one iteration (Figure 5's CC): one iteration touches
+  // X_r × N pages, and successive iterations re-touch the same pages while
+  // the row subscript stays within a page-block — the paper's "row-wise
+  // referenced arrays form localities at higher levels".
+  if (FixedDuringLoop(g.row) || g.row == Variation::kSelf) {
+    if (g.col == Variation::kInner) {
+      int64_t cols = g.col_span < 0 ? decl.cols : std::min(g.col_span, decl.cols);
+      return {std::min(xr * cols, avs), true, true};
+    }
+  }
+  // Row-wise at the loop's own level (Figure 1's loop 20): the loop strides
+  // across columns, pages are abandoned as it goes — no locality here
+  // unless a column-offset spread makes the window re-use its columns.
+  if (FixedDuringLoop(g.row) && g.col == Variation::kSelf) {
+    if (g.col_spread > 0) {
+      int64_t cols_live = std::min<int64_t>(g.col_spread + 1, decl.cols);
+      return {std::min(xr * cols_live, avs), true, true};
+    }
+    return {std::min(xr * xc, avs), false, false};
+  }
+  // Diagonal walk driven by the loop itself.
+  if (g.row == Variation::kSelf && g.col == Variation::kSelf) {
+    return {std::min(xr * xc, avs), false, false};
+  }
+  // Fully invariant element(s): re-referenced every iteration.
+  if (FixedDuringLoop(g.row) && FixedDuringLoop(g.col)) {
+    return {std::min(xr * xc, avs), true, false};
+  }
+  // Remaining combination: row kSelf with col kInner handled above; row
+  // kSelf col kSelf handled; row kInner col kSelf handled. This arm is
+  // row kSelf + col kOuter/kConstant, already handled by the column
+  // traversal case.
+  CDMM_UNREACHABLE(StrCat("unhandled variation pattern row=", VariationName(g.row),
+                          " col=", VariationName(g.col)));
+}
+
+}  // namespace
+
+LocalityAnalysis::LocalityAnalysis(const Program& program, const LoopTree& tree,
+                                   const LocalityOptions& options)
+    : program_(&program), tree_(&tree), options_(options) {
+  for (const ArrayDecl& decl : program.arrays) {
+    total_virtual_pages_ += ArrayVirtualSize(decl, options_.geometry);
+  }
+  for (const LoopNode* node : tree.preorder()) {
+    index_by_loop_id_[node->loop_id] = localities_.size();
+    localities_.push_back(Analyze(*node));
+  }
+  // Enforce the ALLOCATE chain invariant X_parent >= X_child bottom-up
+  // (iterate preorder in reverse: children precede parents that way).
+  for (auto it = tree.preorder().rbegin(); it != tree.preorder().rend(); ++it) {
+    const LoopNode* node = *it;
+    if (node->parent == nullptr) {
+      continue;
+    }
+    LoopLocality& child = localities_[index_by_loop_id_.at(node->loop_id)];
+    LoopLocality& parent = localities_[index_by_loop_id_.at(node->parent->loop_id)];
+    parent.pages = std::max(parent.pages, child.pages);
+  }
+}
+
+LoopLocality LocalityAnalysis::Analyze(const LoopNode& node) const {
+  LoopLocality result;
+  result.loop_id = node.loop_id;
+  result.level = node.level;
+  result.priority_index = node.priority_index;
+
+  // Bucket every reference in the subtree by (array, variation pattern).
+  std::map<std::string, std::map<PatternGroup, PatternGroup>> buckets;
+  for (const RefSite& site : CollectRefSites(node)) {
+    const ArrayDecl* decl = program_->FindArray(site.ref->name);
+    CDMM_CHECK_MSG(decl != nullptr, "undeclared array " << site.ref->name);
+    PatternGroup key;
+    key.is_vector = decl->IsVector();
+    key.row = ClassifySubscript(site.ref->indices[0], site, node);
+    if (!key.is_vector) {
+      key.col = ClassifySubscript(site.ref->indices[1], site, node);
+    }
+    PatternGroup& group = buckets[decl->name].emplace(key, key).first->second;
+    group.row_exprs.insert(site.ref->indices[0].Canonical());
+    if (!key.is_vector) {
+      group.col_exprs.insert(site.ref->indices[1].Canonical());
+    }
+    // Refine the touched-extent bounds from the binder loops' static trip
+    // counts (paper parameters: loop bounds are visible in the source).
+    auto widen = [&](const IndexExpr& ix, int64_t* span, int64_t* spread) {
+      if (ix.IsConstant()) {
+        WidenSpan(span, 1, 0);
+        return;
+      }
+      const LoopNode* binder = SubscriptBinder(ix, site);
+      WidenSpan(span, binder->TripCount(), std::abs(ix.offset));
+      *spread = std::max(*spread, 2 * std::abs(ix.offset));
+    };
+    widen(site.ref->indices[0], &group.row_span, &group.row_spread);
+    if (!key.is_vector) {
+      widen(site.ref->indices[1], &group.col_span, &group.col_spread);
+    }
+  }
+
+  for (const auto& [array_name, groups] : buckets) {
+    const ArrayDecl* decl = program_->FindArray(array_name);
+    int64_t avs = ArrayVirtualSize(*decl, options_.geometry);
+    int64_t pages = 0;
+    bool rereferenced = false;
+    bool wants_margin = false;
+    for (const auto& [key, group] : groups) {
+      GroupContribution c = ContributionForGroup(group, *decl, options_.geometry);
+      pages += c.pages;
+      rereferenced = rereferenced || c.rereferenced;
+      wants_margin = wants_margin || c.wants_margin;
+    }
+    if (wants_margin) {
+      // One transition page per array: a sweeping subscript straddles a page
+      // boundary (or sits exactly on the LRU cliff) while both the old and
+      // the new page are live. The paper's X is an upper bound, so the
+      // allowance is faithful as well as necessary.
+      pages += 1;
+    }
+    pages = std::min(pages, avs);  // union of patterns cannot exceed the array
+    result.contributions.push_back(ArrayContribution{array_name, pages, rereferenced});
+    result.raw_pages += pages;
+    result.forms_locality = result.forms_locality || rereferenced;
+  }
+
+  result.pages = std::max(result.raw_pages, options_.min_default_pages);
+  return result;
+}
+
+const LoopLocality& LocalityAnalysis::loop(uint32_t loop_id) const {
+  auto it = index_by_loop_id_.find(loop_id);
+  CDMM_CHECK_MSG(it != index_by_loop_id_.end(), "no locality info for loop " << loop_id);
+  return localities_[it->second];
+}
+
+std::string LocalityAnalysis::Report() const {
+  std::ostringstream os;
+  os << "Locality structure of " << program_->name << " (page=" << options_.geometry.page_size_bytes
+     << "B, element=" << options_.geometry.element_size_bytes
+     << "B, V=" << total_virtual_pages_ << " pages)\n";
+  for (const LoopLocality& ll : localities_) {
+    const LoopNode& node = tree_->node(ll.loop_id);
+    std::string indent(static_cast<size_t>(ll.level - 1) * 2, ' ');
+    os << indent << "loop " << node.loop->label << " [id " << ll.loop_id << "] Λ=" << ll.level
+       << " PI=" << ll.priority_index << " X=" << ll.pages
+       << (ll.forms_locality ? "" : " (no locality; default minimum)") << "\n";
+    for (const ArrayContribution& c : ll.contributions) {
+      os << indent << "  " << c.array << ": " << c.pages << " page(s)"
+         << (c.rereferenced ? " re-referenced" : " transient") << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cdmm

@@ -1,0 +1,81 @@
+// Per-loop locality-size estimation: computes the X argument of each
+// ALLOCATE directive from the paper's six parameters — page size P, array
+// size Σ, nest depth Δ, distinct index count X, reference order Θ, and
+// reference level Λ (§2). The per-case rules are reconstructed from the
+// paper's worked examples (Figure 1, Figure 5 and the §2 prose); see
+// ContributionForGroup in locality.cc for the case table.
+#ifndef CDMM_SRC_ANALYSIS_LOCALITY_H_
+#define CDMM_SRC_ANALYSIS_LOCALITY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/geometry.h"
+#include "src/analysis/loop_tree.h"
+#include "src/analysis/reference_class.h"
+
+namespace cdmm {
+
+struct LocalityOptions {
+  PageGeometry geometry;
+  // X substituted when a loop forms no locality ("the minimum number of
+  // pages which a program is allocated by system default", Algorithm 1).
+  int64_t min_default_pages = 2;
+};
+
+// One array's contribution to a loop's locality.
+struct ArrayContribution {
+  std::string array;
+  int64_t pages = 0;
+  // True when these pages are genuinely re-referenced across iterations of
+  // the loop (they form a locality); false for pure sliding-window actives.
+  bool rereferenced = false;
+};
+
+// The locality estimate for one loop.
+struct LoopLocality {
+  uint32_t loop_id = 0;
+  int level = 0;           // Λ
+  int priority_index = 0;  // PI (Procedure 1)
+  // X: estimated virtual size of the locality formed by this loop, already
+  // floored at min_default_pages and made monotone (X ≥ every child's X,
+  // the ALLOCATE chain invariant X_1 ≥ X_2 ≥ ...).
+  int64_t pages = 0;
+  // Raw sum of contributions before flooring/monotonising.
+  int64_t raw_pages = 0;
+  bool forms_locality = false;
+  std::vector<ArrayContribution> contributions;
+};
+
+// Runs the full §2 analysis over a program.
+class LocalityAnalysis {
+ public:
+  LocalityAnalysis(const Program& program, const LoopTree& tree, const LocalityOptions& options);
+
+  const LoopLocality& loop(uint32_t loop_id) const;
+  const std::vector<LoopLocality>& all() const { return localities_; }  // preorder
+  const LocalityOptions& options() const { return options_; }
+  const LoopTree& tree() const { return *tree_; }
+
+  // Upper bound on the program's memory requirement: Σ AVS over all arrays.
+  int64_t total_virtual_pages() const { return total_virtual_pages_; }
+
+  // Figure-1-style textual report of the hierarchical locality structure.
+  std::string Report() const;
+
+ private:
+  LoopLocality Analyze(const LoopNode& node) const;
+
+  const Program* program_;
+  const LoopTree* tree_;
+  LocalityOptions options_;
+  std::vector<LoopLocality> localities_;           // preorder
+  std::map<uint32_t, size_t> index_by_loop_id_;
+  int64_t total_virtual_pages_ = 0;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_ANALYSIS_LOCALITY_H_

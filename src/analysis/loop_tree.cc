@@ -1,0 +1,97 @@
+#include "src/analysis/loop_tree.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace cdmm {
+
+int64_t LoopNode::TripCount() const {
+  CDMM_CHECK(loop != nullptr);
+  if (!loop->lower.IsStatic() || !loop->upper.IsStatic()) {
+    return -1;  // triangular loop: trip count depends on outer loop state
+  }
+  int64_t lo = loop->lower.value;
+  int64_t hi = loop->upper.value;
+  int64_t step = loop->step;
+  CDMM_CHECK(step != 0);
+  if (step > 0) {
+    return hi >= lo ? (hi - lo) / step + 1 : 0;
+  }
+  return lo >= hi ? (lo - hi) / (-step) + 1 : 0;
+}
+
+LoopTree::LoopTree(const Program& program) : program_(&program) {
+  by_id_.resize(program.loop_count + 1, nullptr);
+  for (const StmtPtr& s : program.body) {
+    Build(*s, nullptr);
+  }
+  for (LoopNode* root : roots_) {
+    max_depth_ = std::max(max_depth_, AssignPriority(*root));
+  }
+}
+
+void LoopTree::Build(const Stmt& stmt, LoopNode* parent) {
+  if (stmt.kind == Stmt::Kind::kAssign) {
+    if (parent != nullptr) {
+      parent->direct_assigns.push_back(&stmt);
+      if (parent->segments.empty() || parent->segments.back().next_child != nullptr) {
+        parent->segments.emplace_back();
+      }
+      parent->segments.back().assigns.push_back(&stmt);
+    }
+    return;
+  }
+  CDMM_CHECK(stmt.kind == Stmt::Kind::kDoLoop);
+  auto node = std::make_unique<LoopNode>();
+  node->loop = &stmt;
+  node->loop_id = stmt.loop_id;
+  node->parent = parent;
+  node->level = parent == nullptr ? 1 : parent->level + 1;
+  LoopNode* raw = node.get();
+  nodes_.push_back(std::move(node));
+  preorder_.push_back(raw);
+  CDMM_CHECK_MSG(stmt.loop_id < by_id_.size() && by_id_[stmt.loop_id] == nullptr,
+                 "duplicate or out-of-range loop id " << stmt.loop_id);
+  by_id_[stmt.loop_id] = raw;
+  if (parent == nullptr) {
+    roots_.push_back(raw);
+  } else {
+    parent->children.push_back(raw);
+    // Close the parent's current segment at this nested loop: a LOCK for the
+    // preceding assignments would be inserted right before this loop.
+    if (parent->segments.empty() || parent->segments.back().next_child != nullptr) {
+      parent->segments.emplace_back();
+    }
+    parent->segments.back().next_child = raw;
+  }
+  for (const StmtPtr& s : stmt.body) {
+    Build(*s, raw);
+  }
+}
+
+// Procedure 1 of the paper assigns PI = 1 to every innermost loop and, moving
+// outward, PI = max(child PI + 1, previously assigned PI). Evaluated over the
+// whole nest this is exactly the subtree height, computed here bottom-up.
+int LoopTree::AssignPriority(LoopNode& node) {
+  int best = 0;
+  for (LoopNode* child : node.children) {
+    best = std::max(best, AssignPriority(*child));
+  }
+  node.priority_index = best + 1;
+  return node.priority_index;
+}
+
+const LoopNode& LoopTree::node(uint32_t loop_id) const {
+  CDMM_CHECK_MSG(loop_id < by_id_.size() && by_id_[loop_id] != nullptr,
+                 "unknown loop id " << loop_id);
+  return *by_id_[loop_id];
+}
+
+LoopNode& LoopTree::node(uint32_t loop_id) {
+  CDMM_CHECK_MSG(loop_id < by_id_.size() && by_id_[loop_id] != nullptr,
+                 "unknown loop id " << loop_id);
+  return *by_id_[loop_id];
+}
+
+}  // namespace cdmm

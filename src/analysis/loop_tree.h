@@ -1,0 +1,84 @@
+// Loop-nest tree over a parsed program, with the paper's two per-loop
+// parameters: the nest level Λ (1 = outermost) and the priority index PI
+// assigned by Procedure 1 (Figure 2 of the paper).
+#ifndef CDMM_SRC_ANALYSIS_LOOP_TREE_H_
+#define CDMM_SRC_ANALYSIS_LOOP_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace cdmm {
+
+// One DO loop in the nest structure.
+struct LoopNode {
+  const Stmt* loop = nullptr;  // the kDoLoop statement (owned by the Program)
+  LoopNode* parent = nullptr;  // nullptr for top-level loops
+  std::vector<LoopNode*> children;
+
+  uint32_t loop_id = 0;   // == loop->loop_id
+  int level = 0;          // Λ: 1 for outermost, increasing inward
+  int priority_index = 0; // PI from Procedure 1: 1 for innermost loops,
+                          // 1 + max(children PI) otherwise (subtree height)
+
+  // Assignments appearing directly in this loop's body, in source order.
+  std::vector<const Stmt*> direct_assigns;
+
+  // Algorithm 2 (LOCK insertion) needs the body split at nested loops: each
+  // segment holds the assignments between the previous child loop (or the
+  // loop head) and `next_child`. The trailing segment (next_child == nullptr)
+  // is followed by the loop exit, so Algorithm 2 skips its INSERT.
+  struct BodySegment {
+    std::vector<const Stmt*> assigns;
+    LoopNode* next_child = nullptr;
+  };
+  std::vector<BodySegment> segments;
+
+  bool IsInnermost() const { return children.empty(); }
+
+  // Δ of the subtree rooted here: the maximum nest depth, which equals this
+  // node's priority index under Procedure 1.
+  int subtree_depth() const { return priority_index; }
+
+  // Number of iterations (trip count) of this loop; 0 for a zero-trip loop,
+  // -1 when a bound is an enclosing loop's variable (triangular loop).
+  int64_t TripCount() const;
+};
+
+// Owning loop-nest tree. Nodes are stable (unique_ptr storage); traversal
+// helpers visit in preorder (source order).
+class LoopTree {
+ public:
+  // Builds the tree and runs Procedure 1. `program` must outlive the tree
+  // and must have passed CheckProgram.
+  explicit LoopTree(const Program& program);
+
+  const std::vector<LoopNode*>& roots() const { return roots_; }
+  const Program& program() const { return *program_; }
+
+  // All nodes in preorder.
+  const std::vector<LoopNode*>& preorder() const { return preorder_; }
+
+  // Lookup by loop id; CHECK-fails for unknown ids.
+  const LoopNode& node(uint32_t loop_id) const;
+  LoopNode& node(uint32_t loop_id);
+
+  // Maximum nest depth Δ over the whole program (0 if there are no loops).
+  int max_depth() const { return max_depth_; }
+
+ private:
+  void Build(const Stmt& stmt, LoopNode* parent);
+  static int AssignPriority(LoopNode& node);
+
+  const Program* program_;
+  std::vector<std::unique_ptr<LoopNode>> nodes_;
+  std::vector<LoopNode*> roots_;
+  std::vector<LoopNode*> preorder_;
+  std::vector<LoopNode*> by_id_;  // index = loop_id (slot 0 unused)
+  int max_depth_ = 0;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_ANALYSIS_LOOP_TREE_H_

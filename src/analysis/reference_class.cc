@@ -1,0 +1,160 @@
+#include "src/analysis/reference_class.h"
+
+#include "src/support/check.h"
+
+namespace cdmm {
+
+const char* VariationName(Variation v) {
+  switch (v) {
+    case Variation::kConstant:
+      return "constant";
+    case Variation::kOuter:
+      return "outer";
+    case Variation::kSelf:
+      return "self";
+    case Variation::kInner:
+      return "inner";
+  }
+  return "?";
+}
+
+const char* RefOrderName(RefOrder order) {
+  switch (order) {
+    case RefOrder::kVector:
+      return "vector";
+    case RefOrder::kRowWise:
+      return "row-wise";
+    case RefOrder::kColumnWise:
+      return "column-wise";
+    case RefOrder::kDiagonal:
+      return "diagonal";
+    case RefOrder::kInvariant:
+      return "invariant";
+  }
+  return "?";
+}
+
+namespace {
+
+void CollectFromNode(const LoopNode& node, std::vector<RefSite>* out) {
+  for (const LoopNode::BodySegment& segment : node.segments) {
+    for (const Stmt* stmt : segment.assigns) {
+      for (const ArrayRef* ref : stmt->DirectArrayRefs()) {
+        out->push_back(RefSite{ref, &node, stmt});
+      }
+    }
+    if (segment.next_child != nullptr) {
+      CollectFromNode(*segment.next_child, out);
+    }
+  }
+}
+
+// Finds the loop on the site's enclosing chain that binds `var`; nullptr if
+// no enclosing loop binds it (CheckProgram rules this out for valid input).
+const LoopNode* BindingLoop(const std::string& var, const LoopNode* site_loop) {
+  for (const LoopNode* l = site_loop; l != nullptr; l = l->parent) {
+    if (l->loop->loop_var == var) {
+      return l;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<RefSite> CollectRefSites(const LoopNode& root) {
+  std::vector<RefSite> sites;
+  CollectFromNode(root, &sites);
+  return sites;
+}
+
+std::vector<RefSite> CollectRefSites(const LoopTree& tree) {
+  std::vector<RefSite> sites;
+  tree.program().ForEachStmt([&](const Stmt& stmt) {
+    if (stmt.kind != Stmt::Kind::kAssign) {
+      return;
+    }
+    // Determine the directly-enclosing loop by scanning the tree: the
+    // preorder nodes own their direct_assigns, so match by pointer.
+    for (const ArrayRef* ref : stmt.DirectArrayRefs()) {
+      const LoopNode* site = nullptr;
+      for (const LoopNode* node : tree.preorder()) {
+        for (const Stmt* s : node->direct_assigns) {
+          if (s == &stmt) {
+            site = node;
+            break;
+          }
+        }
+        if (site != nullptr) {
+          break;
+        }
+      }
+      sites.push_back(RefSite{ref, site, &stmt});
+    }
+  });
+  return sites;
+}
+
+const LoopNode* SubscriptBinder(const IndexExpr& index, const RefSite& site) {
+  if (index.IsConstant()) {
+    return nullptr;
+  }
+  const LoopNode* binder = BindingLoop(index.var, site.site_loop);
+  CDMM_CHECK_MSG(binder != nullptr, "subscript variable " << index.var << " unbound at its site");
+  return binder;
+}
+
+Variation ClassifySubscript(const IndexExpr& index, const RefSite& site,
+                            const LoopNode& relative_to) {
+  if (index.IsConstant()) {
+    return Variation::kConstant;
+  }
+  const LoopNode* binder = BindingLoop(index.var, site.site_loop);
+  CDMM_CHECK_MSG(binder != nullptr,
+                 "subscript variable " << index.var << " unbound at its site");
+  if (binder == &relative_to) {
+    return Variation::kSelf;
+  }
+  // Walk up from `relative_to`: if we meet `binder`, it encloses ℓ => outer.
+  for (const LoopNode* l = relative_to.parent; l != nullptr; l = l->parent) {
+    if (l == binder) {
+      return Variation::kOuter;
+    }
+  }
+  // Otherwise the binder must lie strictly inside ℓ on the site's chain.
+  for (const LoopNode* l = site.site_loop; l != nullptr && l != &relative_to; l = l->parent) {
+    if (l == binder) {
+      return Variation::kInner;
+    }
+  }
+  CDMM_UNREACHABLE("subscript binder is neither inside nor outside the loop");
+}
+
+RefOrder ClassifyOrder(const RefSite& site) {
+  const ArrayRef& ref = *site.ref;
+  if (ref.indices.size() == 1) {
+    return RefOrder::kVector;
+  }
+  CDMM_CHECK(ref.indices.size() == 2);
+  const LoopNode* row_binder =
+      ref.indices[0].IsConstant() ? nullptr : BindingLoop(ref.indices[0].var, site.site_loop);
+  const LoopNode* col_binder =
+      ref.indices[1].IsConstant() ? nullptr : BindingLoop(ref.indices[1].var, site.site_loop);
+  if (row_binder == nullptr && col_binder == nullptr) {
+    return RefOrder::kInvariant;
+  }
+  if (row_binder == nullptr) {
+    return RefOrder::kRowWise;
+  }
+  if (col_binder == nullptr) {
+    return RefOrder::kColumnWise;
+  }
+  if (row_binder == col_binder) {
+    return RefOrder::kDiagonal;
+  }
+  // Deeper binder varies faster. Column-major storage: fastest-varying row
+  // subscript means we walk down a column.
+  return row_binder->level > col_binder->level ? RefOrder::kColumnWise : RefOrder::kRowWise;
+}
+
+}  // namespace cdmm

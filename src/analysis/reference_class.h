@@ -1,0 +1,71 @@
+// Classification of array references relative to a loop: which subscripts
+// vary where (the paper's Θ "order of reference" and Λ "level of reference"
+// parameters, §2 items 4 and 5).
+#ifndef CDMM_SRC_ANALYSIS_REFERENCE_CLASS_H_
+#define CDMM_SRC_ANALYSIS_REFERENCE_CLASS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/loop_tree.h"
+#include "src/lang/ast.h"
+
+namespace cdmm {
+
+// How one subscript behaves relative to a loop ℓ:
+//   kConstant — literal subscript;
+//   kOuter    — bound by a loop enclosing ℓ (fixed during one execution of ℓ);
+//   kSelf     — bound by ℓ itself (advances once per ℓ iteration);
+//   kInner    — bound by a loop nested inside ℓ (sweeps within one iteration).
+enum class Variation : uint8_t { kConstant, kOuter, kSelf, kInner };
+
+const char* VariationName(Variation v);
+
+// The paper's Θ: traversal order of a reference at its own site (relative to
+// the innermost loop that varies any of its subscripts).
+enum class RefOrder : uint8_t {
+  kVector,      // 1-D array
+  kRowWise,     // column subscript varies fastest (strides across columns)
+  kColumnWise,  // row subscript varies fastest (walks down a column)
+  kDiagonal,    // both subscripts bound by the same (fastest) loop
+  kInvariant,   // no subscript varies (all constant/outer at every level)
+};
+
+const char* RefOrderName(RefOrder order);
+
+// A reference site: an ArrayRef together with the loop whose body directly
+// contains it (nullptr when the statement is outside all loops).
+struct RefSite {
+  const ArrayRef* ref = nullptr;
+  const LoopNode* site_loop = nullptr;
+  const Stmt* stmt = nullptr;  // the assignment containing the reference
+};
+
+// Collects every reference site within `root`'s subtree (including `root`'s
+// own direct assignments), in source order.
+std::vector<RefSite> CollectRefSites(const LoopNode& root);
+
+// Collects reference sites for the whole program (including statements
+// outside any loop, with site_loop == nullptr).
+std::vector<RefSite> CollectRefSites(const LoopTree& tree);
+
+// Classifies subscript `index` of the reference at `site` relative to loop
+// `relative_to`. `relative_to` must be `site.site_loop` or one of its
+// ancestors. A subscript variable bound by a loop that encloses
+// `relative_to` is kOuter; bound by `relative_to` is kSelf; bound by a loop
+// on the chain strictly between `relative_to` and the site is kInner.
+Variation ClassifySubscript(const IndexExpr& index, const RefSite& site,
+                            const LoopNode& relative_to);
+
+// Θ of a 2-D (or 1-D) reference at its own site: which subscript the
+// innermost varying loop drives.
+RefOrder ClassifyOrder(const RefSite& site);
+
+// The loop on the site's enclosing chain binding `index`'s variable, or
+// nullptr for constant subscripts. CHECK-fails if the variable is unbound
+// (CheckProgram rejects such programs).
+const LoopNode* SubscriptBinder(const IndexExpr& index, const RefSite& site);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_ANALYSIS_REFERENCE_CLASS_H_

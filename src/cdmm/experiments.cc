@@ -1,0 +1,182 @@
+#include "src/cdmm/experiments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/support/check.h"
+
+namespace cdmm {
+namespace {
+
+double Pct(double other, double cd) {
+  CDMM_CHECK(cd > 0.0);
+  return (other - cd) / cd * 100.0;
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(SimOptions sim, PipelineOptions pipeline)
+    : sim_(sim), pipeline_(pipeline) {}
+
+const CompiledProgram& ExperimentRunner::compiled(const std::string& workload) {
+  auto it = compiled_.find(workload);
+  if (it == compiled_.end()) {
+    auto cp = CompiledProgram::FromSource(FindWorkload(workload).source, pipeline_);
+    CDMM_CHECK_MSG(cp.ok(), workload << ": " << cp.error().ToString());
+    it = compiled_
+             .emplace(workload, std::make_unique<CompiledProgram>(std::move(cp).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+CdOptions ExperimentRunner::MakeCdOptions(const WorkloadVariant& variant) const {
+  CdOptions options;
+  options.selection = variant.selection;
+  options.level_cap = variant.level_cap;
+  options.honor_locks = variant.honor_locks;
+  options.initial_allocation = 2;
+  options.sim = sim_;
+  return options;
+}
+
+const SimResult& ExperimentRunner::RunCd(const WorkloadVariant& variant) {
+  auto it = cd_results_.find(variant.variant_name);
+  if (it == cd_results_.end()) {
+    const CompiledProgram& cp = compiled(variant.workload);
+    SimResult r = SimulateCd(cp.trace(), MakeCdOptions(variant));
+    r.policy = variant.variant_name + " " + r.policy;
+    it = cd_results_.emplace(variant.variant_name, std::move(r)).first;
+  }
+  return it->second;
+}
+
+const std::vector<SweepPoint>& ExperimentRunner::LruCurve(const std::string& workload) {
+  auto it = lru_curves_.find(workload);
+  if (it == lru_curves_.end()) {
+    const CompiledProgram& cp = compiled(workload);
+    auto view = reference_views_.find(workload);
+    if (view == reference_views_.end()) {
+      view = reference_views_.emplace(workload, cp.trace().ReferencesOnly()).first;
+    }
+    it = lru_curves_
+             .emplace(workload, LruSweep(view->second, cp.virtual_pages(), sim_))
+             .first;
+  }
+  return it->second;
+}
+
+const std::vector<SweepPoint>& ExperimentRunner::WsCurve(const std::string& workload) {
+  auto it = ws_curves_.find(workload);
+  if (it == ws_curves_.end()) {
+    const CompiledProgram& cp = compiled(workload);
+    auto view = reference_views_.find(workload);
+    if (view == reference_views_.end()) {
+      view = reference_views_.emplace(workload, cp.trace().ReferencesOnly()).first;
+    }
+    uint64_t max_tau = std::max<uint64_t>(view->second.reference_count(), 1);
+    it = ws_curves_
+             .emplace(workload, WsSweep(view->second, DefaultTauGrid(max_tau, 12), sim_))
+             .first;
+  }
+  return it->second;
+}
+
+ExperimentRunner::MinStRow ExperimentRunner::MinStComparison(const WorkloadVariant& variant) {
+  MinStRow row;
+  row.variant = variant.variant_name;
+  row.st_cd = RunCd(variant).space_time;
+
+  row.st_lru = std::numeric_limits<double>::infinity();
+  for (const SweepPoint& p : LruCurve(variant.workload)) {
+    row.st_lru = std::min(row.st_lru, p.space_time);
+  }
+  row.st_ws = std::numeric_limits<double>::infinity();
+  for (const SweepPoint& p : WsCurve(variant.workload)) {
+    row.st_ws = std::min(row.st_ws, p.space_time);
+  }
+  row.pct_st_lru = Pct(row.st_lru, row.st_cd);
+  row.pct_st_ws = Pct(row.st_ws, row.st_cd);
+  return row;
+}
+
+ExperimentRunner::EqualMemRow ExperimentRunner::EqualMemoryComparison(
+    const WorkloadVariant& variant) {
+  EqualMemRow row;
+  row.variant = variant.variant_name;
+  const SimResult& cd = RunCd(variant);
+  row.mem_cd = cd.mean_memory;
+  row.pf_cd = cd.faults;
+  row.st_cd = cd.space_time;
+
+  const CompiledProgram& cp = compiled(variant.workload);
+  uint32_t v = cp.virtual_pages();
+  row.lru_frames = static_cast<uint32_t>(
+      std::clamp<int64_t>(std::llround(row.mem_cd), 1, static_cast<int64_t>(v)));
+  const std::vector<SweepPoint>& lru = LruCurve(variant.workload);
+  const SweepPoint& lp = lru[row.lru_frames - 1];
+  CDMM_CHECK(static_cast<uint32_t>(lp.parameter) == row.lru_frames);
+  row.dpf_lru = static_cast<int64_t>(lp.faults) - static_cast<int64_t>(row.pf_cd);
+  row.pct_st_lru = Pct(lp.space_time, row.st_cd);
+
+  // WS: the τ whose mean working-set size is closest to CD's average memory
+  // (the paper: "similar values were obtained ... by adjusting τ").
+  const SweepPoint* best = nullptr;
+  for (const SweepPoint& p : WsCurve(variant.workload)) {
+    if (best == nullptr ||
+        std::abs(p.mean_memory - row.mem_cd) < std::abs(best->mean_memory - row.mem_cd)) {
+      best = &p;
+    }
+  }
+  CDMM_CHECK(best != nullptr);
+  row.ws_tau = static_cast<uint64_t>(best->parameter);
+  row.ws_mem = best->mean_memory;
+  row.dpf_ws = static_cast<int64_t>(best->faults) - static_cast<int64_t>(row.pf_cd);
+  row.pct_st_ws = Pct(best->space_time, row.st_cd);
+  return row;
+}
+
+ExperimentRunner::EqualPfRow ExperimentRunner::EqualFaultComparison(
+    const WorkloadVariant& variant) {
+  EqualPfRow row;
+  row.variant = variant.variant_name;
+  const SimResult& cd = RunCd(variant);
+  row.pf_cd = cd.faults;
+  row.mem_cd = cd.mean_memory;
+  row.st_cd = cd.space_time;
+
+  // LRU: smallest partition generating at most PF_CD faults (the LRU fault
+  // curve is non-increasing in m by the inclusion property, so the first hit
+  // is the smallest). Falls back to V if even full residency misses the mark
+  // (cannot happen: at m = V only cold faults remain, and CD pays those too).
+  const std::vector<SweepPoint>& lru = LruCurve(variant.workload);
+  const SweepPoint* lru_pick = &lru.back();
+  for (const SweepPoint& p : lru) {
+    if (p.faults <= row.pf_cd) {
+      lru_pick = &p;
+      break;
+    }
+  }
+  row.lru_frames = static_cast<uint32_t>(lru_pick->parameter);
+  row.pct_mem_lru = Pct(lru_pick->mean_memory, row.mem_cd);
+  row.pct_st_lru = Pct(lru_pick->space_time, row.st_cd);
+
+  // WS: among windows meeting the fault target, the smallest mean memory.
+  const SweepPoint* ws_pick = nullptr;
+  for (const SweepPoint& p : WsCurve(variant.workload)) {
+    if (p.faults <= row.pf_cd &&
+        (ws_pick == nullptr || p.mean_memory < ws_pick->mean_memory)) {
+      ws_pick = &p;
+    }
+  }
+  CDMM_CHECK_MSG(ws_pick != nullptr,
+                 variant.variant_name << ": no WS window reaches PF <= " << row.pf_cd);
+  row.ws_tau = static_cast<uint64_t>(ws_pick->parameter);
+  row.ws_mem = ws_pick->mean_memory;
+  row.pct_mem_ws = Pct(ws_pick->mean_memory, row.mem_cd);
+  row.pct_st_ws = Pct(ws_pick->space_time, row.st_cd);
+  return row;
+}
+
+}  // namespace cdmm

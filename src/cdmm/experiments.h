@@ -1,0 +1,96 @@
+// Experiment runner reproducing the paper's §5 comparisons. Caches compiled
+// workloads, their traces, and the LRU/WS parameter sweeps so that the four
+// table benches share work. The comparison formulas are the paper's own:
+//   %MEM = (MEM_other - MEM_CD) / MEM_CD * 100
+//   %ST  = (ST_other  - ST_CD)  / ST_CD  * 100
+//   ΔPF  =  PF_other  - PF_CD
+#ifndef CDMM_SRC_CDMM_EXPERIMENTS_H_
+#define CDMM_SRC_CDMM_EXPERIMENTS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+#include "src/vm/cd_policy.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(SimOptions sim = {}, PipelineOptions pipeline = {});
+
+  // Compiled workload (cached by name).
+  const CompiledProgram& compiled(const std::string& workload);
+
+  // CD run for a Table-1-style variant (cached by variant name).
+  const SimResult& RunCd(const WorkloadVariant& variant);
+
+  // LRU curve for m = 1..V and WS curve over the default τ grid (cached).
+  const std::vector<SweepPoint>& LruCurve(const std::string& workload);
+  const std::vector<SweepPoint>& WsCurve(const std::string& workload);
+
+  // ---- Table 2: minimal space-time cost of each policy ----
+  struct MinStRow {
+    std::string variant;
+    double st_cd = 0.0;
+    double st_lru = 0.0;   // min over m
+    double st_ws = 0.0;    // min over τ
+    double pct_st_lru = 0.0;
+    double pct_st_ws = 0.0;
+  };
+  MinStRow MinStComparison(const WorkloadVariant& variant);
+
+  // ---- Table 3: LRU/WS given (approximately) CD's average memory ----
+  struct EqualMemRow {
+    std::string variant;
+    double mem_cd = 0.0;
+    uint64_t pf_cd = 0;
+    double st_cd = 0.0;
+    uint32_t lru_frames = 0;  // = round(mem_cd), clamped to [1, V]
+    int64_t dpf_lru = 0;
+    double pct_st_lru = 0.0;
+    uint64_t ws_tau = 0;      // τ whose mean WS size is closest to mem_cd
+    double ws_mem = 0.0;
+    int64_t dpf_ws = 0;
+    double pct_st_ws = 0.0;
+  };
+  EqualMemRow EqualMemoryComparison(const WorkloadVariant& variant);
+
+  // ---- Table 4: memory/ST needed to match CD's fault count ----
+  struct EqualPfRow {
+    std::string variant;
+    uint64_t pf_cd = 0;
+    double mem_cd = 0.0;
+    double st_cd = 0.0;
+    uint32_t lru_frames = 0;  // smallest m with PF_LRU(m) <= PF_CD
+    double pct_mem_lru = 0.0;
+    double pct_st_lru = 0.0;
+    uint64_t ws_tau = 0;      // smallest-memory τ with PF_WS(τ) <= PF_CD
+    double ws_mem = 0.0;
+    double pct_mem_ws = 0.0;
+    double pct_st_ws = 0.0;
+  };
+  EqualPfRow EqualFaultComparison(const WorkloadVariant& variant);
+
+  const SimOptions& sim_options() const { return sim_; }
+
+ private:
+  CdOptions MakeCdOptions(const WorkloadVariant& variant) const;
+
+  SimOptions sim_;
+  PipelineOptions pipeline_;
+  std::map<std::string, std::unique_ptr<CompiledProgram>> compiled_;
+  std::map<std::string, Trace> reference_views_;  // directive-free traces
+  std::map<std::string, SimResult> cd_results_;
+  std::map<std::string, std::vector<SweepPoint>> lru_curves_;
+  std::map<std::string, std::vector<SweepPoint>> ws_curves_;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_CDMM_EXPERIMENTS_H_

@@ -1,0 +1,36 @@
+#include "src/cdmm/pipeline.h"
+
+#include "src/lang/sema.h"
+
+namespace cdmm {
+
+Result<CompiledProgram> CompiledProgram::FromSource(std::string_view source,
+                                                    const PipelineOptions& options) {
+  auto parsed = ParseAndCheck(source);
+  if (!parsed.ok()) {
+    return parsed.error();
+  }
+  CompiledProgram cp;
+  cp.options_ = options;
+  cp.program_ = std::make_unique<Program>(std::move(parsed).value());
+  cp.tree_ = std::make_unique<LoopTree>(*cp.program_);
+  cp.locality_ = std::make_unique<LocalityAnalysis>(*cp.program_, *cp.tree_, options.locality);
+  cp.plan_ = BuildDirectivePlan(*cp.tree_, *cp.locality_, options.directives);
+  return cp;
+}
+
+const Trace& CompiledProgram::trace() const {
+  if (trace_ == nullptr) {
+    InterpOptions iopt;
+    iopt.geometry = options_.locality.geometry;
+    iopt.emit_loop_markers = options_.emit_loop_markers;
+    trace_ = std::make_unique<Trace>(GenerateTrace(*program_, *tree_, &plan_, iopt));
+  }
+  return *trace_;
+}
+
+std::string CompiledProgram::Listing(bool compact) const {
+  return InstrumentedListing(*tree_, plan_, compact);
+}
+
+}  // namespace cdmm

@@ -1,0 +1,64 @@
+// The end-to-end pipeline: source → parse/check → loop tree → locality
+// analysis → directive plan (Algorithms 1 & 2) → reference trace. This is
+// the library's primary entry point; everything downstream (policy
+// simulators, experiment runner, benches) consumes the CompiledProgram.
+#ifndef CDMM_SRC_CDMM_PIPELINE_H_
+#define CDMM_SRC_CDMM_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/analysis/locality.h"
+#include "src/analysis/loop_tree.h"
+#include "src/directives/plan.h"
+#include "src/interp/interpreter.h"
+#include "src/lang/ast.h"
+#include "src/support/result.h"
+#include "src/trace/trace.h"
+
+namespace cdmm {
+
+struct PipelineOptions {
+  LocalityOptions locality;          // geometry + system default minimum
+  DirectivePlanOptions directives;   // allocate/lock insertion switches
+  bool emit_loop_markers = false;    // annotate the trace with loop events
+};
+
+// Owns every stage product; the analyses reference the owned Program, so a
+// CompiledProgram is movable (unique_ptr members) but not copyable.
+class CompiledProgram {
+ public:
+  // Compiles `source`; returns a diagnostic on parse/check failure.
+  static Result<CompiledProgram> FromSource(std::string_view source,
+                                            const PipelineOptions& options = {});
+
+  const Program& program() const { return *program_; }
+  const LoopTree& tree() const { return *tree_; }
+  const LocalityAnalysis& locality() const { return *locality_; }
+  const DirectivePlan& plan() const { return plan_; }
+  const PipelineOptions& options() const { return options_; }
+
+  // The directive-bearing trace (generated once, lazily, then cached).
+  const Trace& trace() const;
+
+  // Convenience: total virtual pages of the program.
+  uint32_t virtual_pages() const { return trace().virtual_pages(); }
+
+  // Figure-5c-style instrumented listing.
+  std::string Listing(bool compact = true) const;
+
+ private:
+  CompiledProgram() = default;
+
+  PipelineOptions options_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<LoopTree> tree_;
+  std::unique_ptr<LocalityAnalysis> locality_;
+  DirectivePlan plan_;
+  mutable std::unique_ptr<Trace> trace_;  // lazy
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_CDMM_PIPELINE_H_

@@ -1,0 +1,107 @@
+#include "src/cdmm/validation.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+#include "src/vm/stack_distance.h"
+
+namespace cdmm {
+
+std::vector<LoopValidation> ValidateLocalityEstimates(const CompiledProgram& cp) {
+  // Re-run the interpreter with loop markers (the cached trace may lack
+  // them).
+  InterpOptions iopt;
+  iopt.geometry = cp.options().locality.geometry;
+  iopt.emit_loop_markers = true;
+  Trace trace = GenerateTrace(cp.program(), cp.tree(), &cp.plan(), iopt);
+
+  std::map<uint32_t, LoopValidation> rows;
+  for (const LoopNode* node : cp.tree().preorder()) {
+    LoopValidation v;
+    v.loop_id = node->loop_id;
+    v.loop_label = static_cast<int>(node->loop->label);
+    v.priority_index = node->priority_index;
+    v.estimated_pages = cp.locality().loop(node->loop_id).pages;
+    rows[node->loop_id] = v;
+  }
+
+  // An active (dynamic) loop execution. `need` is the largest LRU stack
+  // distance among re-uses whose previous use also falls inside this
+  // execution: the smallest allocation avoiding all non-cold faults while
+  // the loop runs — the measured counterpart of the ALLOCATE argument X.
+  struct Active {
+    uint32_t loop_id;
+    uint64_t start;               // ref position at loop entry
+    uint32_t need = 0;
+    std::unordered_map<PageId, uint32_t> touched;  // page -> touch count
+  };
+  std::vector<Active> stack;
+
+  StackDistanceEngine engine(trace.reference_count(), trace.virtual_pages());
+
+  auto close = [&](Active& a) {
+    LoopValidation& v = rows.at(a.loop_id);
+    ++v.executions;
+    v.max_distinct = std::max(v.max_distinct, static_cast<uint32_t>(a.touched.size()));
+    v.max_rereferenced = std::max(v.max_rereferenced, a.need);
+  };
+
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kLoopEnter:
+        stack.push_back(Active{e.value, engine.position(), 0, {}});
+        break;
+      case TraceEvent::Kind::kLoopExit: {
+        CDMM_CHECK(!stack.empty() && stack.back().loop_id == e.value);
+        close(stack.back());
+        stack.pop_back();
+        break;
+      }
+      case TraceEvent::Kind::kRef: {
+        PageId page = e.value;
+        StackDistanceEngine::Touch touch = engine.Next(page);
+        if (touch.depth != 0) {
+          for (Active& a : stack) {
+            if (touch.previous > a.start) {  // previous use inside this execution
+              a.need = std::max(a.need, touch.depth);
+            }
+          }
+        }
+        for (Active& a : stack) {
+          ++a.touched[page];
+        }
+        break;
+      }
+      case TraceEvent::Kind::kDirective:
+        break;
+    }
+  }
+  CDMM_CHECK_MSG(stack.empty(), "unbalanced loop markers");
+
+  std::vector<LoopValidation> out;
+  out.reserve(rows.size());
+  for (const LoopNode* node : cp.tree().preorder()) {
+    out.push_back(rows.at(node->loop_id));
+  }
+  return out;
+}
+
+std::string ValidationReport(const std::string& program_name,
+                             const std::vector<LoopValidation>& rows) {
+  std::ostringstream os;
+  os << "Locality-estimate validation for " << program_name
+     << " (X vs measured minimal no-thrash allocation per execution)\n";
+  for (const LoopValidation& v : rows) {
+    os << "  loop " << v.loop_label << " [PI " << v.priority_index << "] X=" << v.estimated_pages
+       << "  measured need " << v.max_rereferenced << ", distinct " << v.max_distinct << " over "
+       << v.executions << " execution(s)" << (v.adequate() ? "" : "  [UNDER-ESTIMATE]") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cdmm

@@ -1,0 +1,46 @@
+// Validation of the compile-time locality estimates against measured trace
+// behaviour: replays a loop-marker-annotated trace and records, for every
+// dynamic execution of every loop, the distinct pages touched and the pages
+// re-referenced (touched more than once) — the measured counterpart of the
+// paper's X. The §2 estimator is an upper bound by design; this module
+// quantifies how tight it is (the paper left "a deterministic procedure ...
+// being developed by the authors").
+#ifndef CDMM_SRC_CDMM_VALIDATION_H_
+#define CDMM_SRC_CDMM_VALIDATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+
+namespace cdmm {
+
+struct LoopValidation {
+  uint32_t loop_id = 0;
+  int loop_label = 0;
+  int priority_index = 0;
+  int64_t estimated_pages = 0;     // the ALLOCATE argument X
+  uint64_t executions = 0;         // dynamic entries of this loop
+  uint32_t max_distinct = 0;       // max pages touched in one execution
+  // Max over executions of the minimal LRU allocation avoiding every
+  // non-cold fault while the loop runs (largest intra-execution re-use
+  // stack distance) — the measured counterpart of X.
+  uint32_t max_rereferenced = 0;
+
+  // X should cover the re-referenced set (adequate) without wildly
+  // exceeding the touched set (tight).
+  bool adequate() const { return estimated_pages >= max_rereferenced; }
+};
+
+// Regenerates the program's trace with loop markers and measures per-loop
+// behaviour. The CompiledProgram's own (cached) trace is not modified.
+std::vector<LoopValidation> ValidateLocalityEstimates(const CompiledProgram& cp);
+
+// Formats the validation as a table-like report.
+std::string ValidationReport(const std::string& program_name,
+                             const std::vector<LoopValidation>& rows);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_CDMM_VALIDATION_H_

@@ -1,0 +1,157 @@
+#include "src/directives/plan.h"
+
+#include <set>
+#include <sstream>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+// Algorithm 1: the ALLOCATE before loop ℓ carries the (PI, X) pairs of every
+// enclosing loop outermost-first, ending with ℓ's own pair. (The paper keeps
+// a running argument list while parsing, appending on loop entry and
+// dropping the tail on loop exit; over a tree that is exactly the ancestor
+// chain.)
+AllocatePlan BuildAllocate(const LoopNode& node, const LocalityAnalysis& locality) {
+  AllocatePlan plan;
+  plan.loop_id = node.loop_id;
+  std::vector<const LoopNode*> chain;
+  for (const LoopNode* l = &node; l != nullptr; l = l->parent) {
+    chain.push_back(l);
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const LoopLocality& ll = locality.loop((*it)->loop_id);
+    AllocateRequest req;
+    req.priority = static_cast<uint16_t>(ll.priority_index);
+    req.pages = static_cast<uint32_t>(ll.pages);
+    plan.chain.push_back(req);
+  }
+  // Ancestor PIs strictly decrease toward the innermost loop (Procedure 1
+  // assigns each parent a strictly greater subtree height), and the locality
+  // analysis enforces X_parent >= X_child; both invariants are re-checked by
+  // Trace::AddDirective when the interpreter emits the directive.
+  return plan;
+}
+
+// Algorithm 2: for each body segment of a loop that is followed by a nested
+// loop, lock the arrays referenced by the segment's assignments. Trailing
+// segments (followed by the loop exit) are skipped — "IF Loop Exit Is Found
+// THEN SKIP Next INSERT".
+void BuildLocks(const LoopNode& node, std::vector<LockPlan>* locks,
+                std::set<std::string>* locked_arrays) {
+  for (const LoopNode::BodySegment& segment : node.segments) {
+    if (segment.next_child == nullptr) {
+      continue;
+    }
+    std::set<std::string> arrays;
+    for (const Stmt* stmt : segment.assigns) {
+      for (const ArrayRef* ref : stmt->DirectArrayRefs()) {
+        arrays.insert(ref->name);
+      }
+    }
+    if (!arrays.empty()) {
+      LockPlan lock;
+      lock.host_loop_id = node.loop_id;
+      lock.before_child_loop_id = segment.next_child->loop_id;
+      lock.pj = static_cast<uint16_t>(node.priority_index);
+      lock.arrays.assign(arrays.begin(), arrays.end());
+      locks->push_back(lock);
+      locked_arrays->insert(arrays.begin(), arrays.end());
+    }
+    BuildLocks(*segment.next_child, locks, locked_arrays);
+  }
+}
+
+}  // namespace
+
+std::vector<const LockPlan*> DirectivePlan::LocksBefore(uint32_t host, uint32_t child) const {
+  std::vector<const LockPlan*> out;
+  for (const LockPlan& lock : locks) {
+    if (lock.host_loop_id == host && lock.before_child_loop_id == child) {
+      out.push_back(&lock);
+    }
+  }
+  return out;
+}
+
+DirectivePlan BuildDirectivePlan(const LoopTree& tree, const LocalityAnalysis& locality,
+                                 const DirectivePlanOptions& options) {
+  DirectivePlan plan;
+  if (options.insert_allocate) {
+    for (const LoopNode* node : tree.preorder()) {
+      plan.allocate_before_loop.emplace(node->loop_id, BuildAllocate(*node, locality));
+    }
+  }
+  if (options.insert_locks) {
+    for (const LoopNode* root : tree.roots()) {
+      std::set<std::string> locked;
+      BuildLocks(*root, &plan.locks, &locked);
+      if (!locked.empty()) {
+        UnlockPlan unlock;
+        unlock.after_loop_id = root->loop_id;
+        unlock.arrays.assign(locked.begin(), locked.end());
+        plan.unlock_after_loop.emplace(root->loop_id, unlock);
+      }
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+std::string AllocateToString(const AllocatePlan& plan) {
+  std::vector<std::string> parts;
+  parts.reserve(plan.chain.size());
+  for (const AllocateRequest& req : plan.chain) {
+    parts.push_back(StrCat("(", req.priority, ",", req.pages, ")"));
+  }
+  return StrCat("ALLOCATE ", Join(parts, " else "));
+}
+
+void ListLoop(const LoopNode& node, const DirectivePlan& plan, bool compact, int indent,
+              std::ostringstream& os) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  auto alloc_it = plan.allocate_before_loop.find(node.loop_id);
+  if (alloc_it != plan.allocate_before_loop.end()) {
+    os << pad << AllocateToString(alloc_it->second) << "\n";
+  }
+  os << pad << "Loop " << node.loop->label << ";\n";
+  for (const LoopNode::BodySegment& segment : node.segments) {
+    if (!compact) {
+      for (const Stmt* stmt : segment.assigns) {
+        os << pad << "  ";
+        if (stmt->lhs_array.has_value()) {
+          os << stmt->lhs_array->ToString();
+        } else {
+          os << stmt->lhs_scalar;
+        }
+        os << " = " << stmt->rhs->ToString() << "\n";
+      }
+    }
+    if (segment.next_child != nullptr) {
+      for (const LockPlan* lock : plan.LocksBefore(node.loop_id, segment.next_child->loop_id)) {
+        os << pad << "  LOCK (" << lock->pj << "," << Join(lock->arrays, ",") << ")\n";
+      }
+      ListLoop(*segment.next_child, plan, compact, indent + 1, os);
+    }
+  }
+  os << pad << "End Loop " << node.loop->label << ";\n";
+  auto unlock_it = plan.unlock_after_loop.find(node.loop_id);
+  if (unlock_it != plan.unlock_after_loop.end()) {
+    os << pad << "UNLOCK (" << Join(unlock_it->second.arrays, ",") << ")\n";
+  }
+}
+
+}  // namespace
+
+std::string InstrumentedListing(const LoopTree& tree, const DirectivePlan& plan, bool compact) {
+  std::ostringstream os;
+  for (const LoopNode* root : tree.roots()) {
+    ListLoop(*root, plan, compact, 0, os);
+  }
+  return os.str();
+}
+
+}  // namespace cdmm

@@ -1,0 +1,70 @@
+// Memory-directive plan: the compile-time product of Algorithms 1 and 2
+// (Figures 3 and 4 of the paper). The plan attaches directives to loop ids;
+// the interpreter executes it, resolving symbolic "current page of array A"
+// references to concrete page numbers at run time.
+#ifndef CDMM_SRC_DIRECTIVES_PLAN_H_
+#define CDMM_SRC_DIRECTIVES_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/locality.h"
+#include "src/analysis/loop_tree.h"
+#include "src/trace/trace.h"
+
+namespace cdmm {
+
+// ALLOCATE ((PI_1,X_1) else (PI_2,X_2) else ...): executed every time
+// control reaches the head of loop `loop_id`. The chain lists the enclosing
+// loops outermost-first, ending with this loop (Algorithm 1).
+struct AllocatePlan {
+  uint32_t loop_id = 0;
+  std::vector<AllocateRequest> chain;
+};
+
+// LOCK (PJ, Y_1, Y_2, ...): inserted inside `host_loop_id` immediately before
+// `before_child_loop_id`. Y_i are symbolic here — the pages of `arrays`
+// touched by the current iteration's preceding statements (Algorithm 2).
+struct LockPlan {
+  uint32_t host_loop_id = 0;
+  uint32_t before_child_loop_id = 0;
+  uint16_t pj = 0;  // host loop's priority index
+  std::vector<std::string> arrays;
+};
+
+// UNLOCK (Y_1, ...): inserted after the outermost loop `after_loop_id` ends,
+// releasing whatever pages of `arrays` are still locked.
+struct UnlockPlan {
+  uint32_t after_loop_id = 0;
+  std::vector<std::string> arrays;
+};
+
+struct DirectivePlanOptions {
+  bool insert_allocate = true;
+  bool insert_locks = true;
+};
+
+// The full instrumented-program description.
+struct DirectivePlan {
+  std::map<uint32_t, AllocatePlan> allocate_before_loop;
+  std::vector<LockPlan> locks;
+  std::map<uint32_t, UnlockPlan> unlock_after_loop;
+
+  // Lock plans hosted by `host` that fire immediately before `child`.
+  std::vector<const LockPlan*> LocksBefore(uint32_t host, uint32_t child) const;
+};
+
+// Runs Algorithm 1 (ALLOCATE insertion, using the locality analysis for the
+// X arguments) and Algorithm 2 (LOCK insertion) plus UNLOCK placement.
+DirectivePlan BuildDirectivePlan(const LoopTree& tree, const LocalityAnalysis& locality,
+                                 const DirectivePlanOptions& options = {});
+
+// Figure-5c-style listing: the program's loop skeleton with the directives
+// interleaved. `compact` prints "Loop <label>;" lines instead of loop bodies.
+std::string InstrumentedListing(const LoopTree& tree, const DirectivePlan& plan, bool compact);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_DIRECTIVES_PLAN_H_

@@ -1,0 +1,36 @@
+#include "src/interp/address_map.h"
+
+namespace cdmm {
+
+AddressMap::AddressMap(const Program& program, const PageGeometry& geometry)
+    : geometry_(geometry) {
+  PageId next_page = 0;
+  for (const ArrayDecl& decl : program.arrays) {
+    ArrayInfo info;
+    info.decl = &decl;
+    info.first_page = next_page;
+    info.pages = ArrayVirtualSize(decl, geometry);
+    next_page += static_cast<PageId>(info.pages);
+    arrays_.emplace(decl.name, info);
+  }
+  total_pages_ = next_page;
+}
+
+const AddressMap::ArrayInfo& AddressMap::info(const std::string& array) const {
+  auto it = arrays_.find(array);
+  CDMM_CHECK_MSG(it != arrays_.end(), "unknown array " << array);
+  return it->second;
+}
+
+PageId AddressMap::PageOf(const std::string& array, int64_t i, int64_t j) const {
+  const ArrayInfo& a = info(array);
+  CDMM_CHECK_MSG(i >= 1 && i <= a.decl->rows,
+                 array << " row subscript " << i << " out of 1.." << a.decl->rows);
+  CDMM_CHECK_MSG(j >= 1 && j <= a.decl->cols,
+                 array << " column subscript " << j << " out of 1.." << a.decl->cols);
+  int64_t linear = (j - 1) * a.decl->rows + (i - 1);  // column-major
+  int64_t page = linear / geometry_.ElementsPerPage();
+  return a.first_page + static_cast<PageId>(page);
+}
+
+}  // namespace cdmm

@@ -1,0 +1,45 @@
+// Address map: assigns every declared array a page-aligned region of the
+// process's virtual space (column-major element layout) and translates
+// element coordinates to page numbers.
+#ifndef CDMM_SRC_INTERP_ADDRESS_MAP_H_
+#define CDMM_SRC_INTERP_ADDRESS_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/analysis/geometry.h"
+#include "src/lang/ast.h"
+#include "src/trace/trace.h"
+
+namespace cdmm {
+
+class AddressMap {
+ public:
+  struct ArrayInfo {
+    const ArrayDecl* decl = nullptr;
+    PageId first_page = 0;
+    int64_t pages = 0;  // AVS
+  };
+
+  AddressMap(const Program& program, const PageGeometry& geometry);
+
+  // Total virtual size of the program in pages (sum of page-aligned AVSs).
+  uint32_t total_pages() const { return total_pages_; }
+  const PageGeometry& geometry() const { return geometry_; }
+
+  const ArrayInfo& info(const std::string& array) const;
+
+  // Page containing element (i, j) of `array`, 1-based FORTRAN coordinates
+  // (j must be 1 for vectors). CHECK-fails on out-of-bounds subscripts.
+  PageId PageOf(const std::string& array, int64_t i, int64_t j) const;
+
+ private:
+  PageGeometry geometry_;
+  std::map<std::string, ArrayInfo> arrays_;
+  uint32_t total_pages_ = 0;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_INTERP_ADDRESS_MAP_H_

@@ -1,0 +1,242 @@
+#include "src/interp/interpreter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace cdmm {
+namespace {
+
+class Interpreter {
+ public:
+  Interpreter(const Program& program, const LoopTree& tree, const DirectivePlan* plan,
+              const InterpOptions& options)
+      : program_(program),
+        tree_(tree),
+        plan_(plan),
+        options_(options),
+        address_map_(program, options.geometry),
+        trace_(program.name) {
+    trace_.set_virtual_pages(address_map_.total_pages());
+  }
+
+  Trace Run() {
+    for (const StmtPtr& s : program_.body) {
+      Execute(*s);
+    }
+    return std::move(trace_);
+  }
+
+ private:
+  // Key identifying a LOCK site: (host loop, child loop it precedes).
+  using LockSiteKey = std::pair<uint32_t, uint32_t>;
+
+  int64_t EnvLookup(const std::string& var) const {
+    auto it = env_.find(var);
+    CDMM_CHECK_MSG(it != env_.end(), "unbound loop variable " << var);
+    return it->second;
+  }
+
+  int64_t EvalIndex(const IndexExpr& ix) const {
+    return ix.IsConstant() ? ix.offset : EnvLookup(ix.var) + ix.offset;
+  }
+
+  int64_t EvalBound(const LoopBound& bound) const {
+    return bound.kind == LoopBound::Kind::kVariable ? EnvLookup(bound.spelling) : bound.value;
+  }
+
+  PageId EmitRef(const ArrayRef& ref) {
+    int64_t i = EvalIndex(ref.indices[0]);
+    int64_t j = ref.indices.size() == 2 ? EvalIndex(ref.indices[1]) : 1;
+    PageId page = address_map_.PageOf(ref.name, i, j);
+    CDMM_CHECK_MSG(trace_.reference_count() < options_.max_references,
+                   "reference cap exceeded; runaway workload?");
+    trace_.AddRef(page);
+    if (!segment_touches_.empty()) {
+      segment_touches_.back().emplace(ref.name, page);
+    }
+    return page;
+  }
+
+  void EvalExprRefs(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kNumber:
+      case Expr::Kind::kScalar:
+        return;
+      case Expr::Kind::kArrayElement:
+        EmitRef(expr.array);
+        return;
+      case Expr::Kind::kNegate:
+        EvalExprRefs(*expr.lhs);
+        return;
+      case Expr::Kind::kBinary:
+        EvalExprRefs(*expr.lhs);
+        EvalExprRefs(*expr.rhs);
+        return;
+    }
+  }
+
+  void Execute(const Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::kAssign) {
+      // Reads first (right-hand side, left to right), then the write.
+      EvalExprRefs(*stmt.rhs);
+      if (stmt.lhs_array.has_value()) {
+        EmitRef(*stmt.lhs_array);
+      }
+      return;
+    }
+    ExecuteLoop(stmt);
+  }
+
+  void EmitAllocate(uint32_t loop_id) {
+    if (plan_ == nullptr) {
+      return;
+    }
+    auto it = plan_->allocate_before_loop.find(loop_id);
+    if (it == plan_->allocate_before_loop.end()) {
+      return;
+    }
+    DirectiveRecord rec;
+    rec.kind = DirectiveRecord::Kind::kAllocate;
+    rec.loop_id = loop_id;
+    rec.requests = it->second.chain;
+    trace_.AddDirective(std::move(rec));
+  }
+
+  // Emits the LOCK for one site. `touched` holds the (array, page) pairs the
+  // current iteration's segment produced. Pages locked by this site in a
+  // previous iteration that are not re-locked now are released first.
+  void EmitLock(const LockPlan& lock, const std::set<std::pair<std::string, PageId>>& touched) {
+    std::set<PageId> pages;
+    for (const std::string& array : lock.arrays) {
+      for (const auto& [name, page] : touched) {
+        if (name == array) {
+          pages.insert(page);
+        }
+      }
+    }
+    LockSiteKey key{lock.host_loop_id, lock.before_child_loop_id};
+    std::set<PageId>& held = site_locked_[key];
+
+    std::vector<PageId> to_release;
+    for (PageId p : held) {
+      if (pages.count(p) == 0) {
+        to_release.push_back(p);
+      }
+    }
+    if (!to_release.empty()) {
+      DirectiveRecord rel;
+      rel.kind = DirectiveRecord::Kind::kUnlock;
+      rel.loop_id = lock.host_loop_id;
+      rel.pages = to_release;
+      trace_.AddDirective(std::move(rel));
+      for (PageId p : to_release) {
+        held.erase(p);
+        nest_locked_.erase(p);
+      }
+    }
+
+    std::vector<PageId> to_lock;
+    for (PageId p : pages) {
+      if (held.count(p) == 0) {
+        to_lock.push_back(p);
+      }
+    }
+    // Re-issue the LOCK every iteration as the paper's Algorithm 2 does,
+    // even when the page set is unchanged (the OS treats it as a no-op).
+    DirectiveRecord rec;
+    rec.kind = DirectiveRecord::Kind::kLock;
+    rec.loop_id = lock.host_loop_id;
+    rec.lock_priority = lock.pj;
+    rec.pages.assign(pages.begin(), pages.end());
+    trace_.AddDirective(std::move(rec));
+    for (PageId p : to_lock) {
+      held.insert(p);
+      nest_locked_.insert(p);
+    }
+  }
+
+  void EmitFinalUnlock(uint32_t loop_id) {
+    if (plan_ == nullptr) {
+      return;
+    }
+    auto it = plan_->unlock_after_loop.find(loop_id);
+    if (it == plan_->unlock_after_loop.end()) {
+      return;
+    }
+    DirectiveRecord rec;
+    rec.kind = DirectiveRecord::Kind::kUnlock;
+    rec.loop_id = loop_id;
+    rec.pages.assign(nest_locked_.begin(), nest_locked_.end());
+    trace_.AddDirective(std::move(rec));
+    nest_locked_.clear();
+    site_locked_.clear();
+  }
+
+  void ExecuteLoop(const Stmt& loop) {
+    const LoopNode& node = tree_.node(loop.loop_id);
+    EmitAllocate(loop.loop_id);
+    if (options_.emit_loop_markers) {
+      trace_.AddLoopEnter(loop.loop_id);
+    }
+
+    int64_t lo = EvalBound(loop.lower);
+    int64_t hi = EvalBound(loop.upper);
+    int64_t step = loop.step;
+    auto continues = [&](int64_t v) { return step > 0 ? v <= hi : v >= hi; };
+
+    for (int64_t v = lo; continues(v); v += step) {
+      env_[loop.loop_var] = v;
+      for (const LoopNode::BodySegment& segment : node.segments) {
+        segment_touches_.emplace_back();
+        for (const Stmt* stmt : segment.assigns) {
+          Execute(*stmt);
+        }
+        std::set<std::pair<std::string, PageId>> touched = std::move(segment_touches_.back());
+        segment_touches_.pop_back();
+        if (segment.next_child != nullptr) {
+          if (plan_ != nullptr) {
+            for (const LockPlan* lock :
+                 plan_->LocksBefore(loop.loop_id, segment.next_child->loop_id)) {
+              EmitLock(*lock, touched);
+            }
+          }
+          ExecuteLoop(*segment.next_child->loop);
+        }
+      }
+    }
+    env_.erase(loop.loop_var);
+
+    if (options_.emit_loop_markers) {
+      trace_.AddLoopExit(loop.loop_id);
+    }
+    EmitFinalUnlock(loop.loop_id);
+  }
+
+  const Program& program_;
+  const LoopTree& tree_;
+  const DirectivePlan* plan_;
+  InterpOptions options_;
+  AddressMap address_map_;
+  Trace trace_;
+
+  std::map<std::string, int64_t> env_;
+  // Stack of per-segment (array, page) touch sets; top = current segment.
+  std::vector<std::set<std::pair<std::string, PageId>>> segment_touches_;
+  // Pages currently locked, per lock site and for the whole nest.
+  std::map<LockSiteKey, std::set<PageId>> site_locked_;
+  std::set<PageId> nest_locked_;
+};
+
+}  // namespace
+
+Trace GenerateTrace(const Program& program, const LoopTree& tree, const DirectivePlan* plan,
+                    const InterpOptions& options) {
+  return Interpreter(program, tree, plan, options).Run();
+}
+
+}  // namespace cdmm

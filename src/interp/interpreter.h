@@ -1,0 +1,42 @@
+// Tree-walking interpreter that executes a checked program and emits its
+// array-reference trace, optionally with the memory directives of a
+// DirectivePlan resolved to concrete page numbers. This is the project's
+// stand-in for the paper's trace generator (§5: "Traces of array references
+// were generated for 9 numerical programs written in FORTRAN").
+#ifndef CDMM_SRC_INTERP_INTERPRETER_H_
+#define CDMM_SRC_INTERP_INTERPRETER_H_
+
+#include <cstdint>
+
+#include "src/analysis/loop_tree.h"
+#include "src/directives/plan.h"
+#include "src/interp/address_map.h"
+#include "src/trace/trace.h"
+
+namespace cdmm {
+
+struct InterpOptions {
+  PageGeometry geometry;
+  // Emit kLoopEnter/kLoopExit markers (useful for debugging and tests).
+  bool emit_loop_markers = false;
+  // Hard cap on emitted references; exceeding it is a programming error in
+  // the workload (runaway loop), reported via CDMM_CHECK.
+  uint64_t max_references = 500'000'000;
+};
+
+// Generates the reference trace of `program`. When `plan` is non-null its
+// ALLOCATE/LOCK/UNLOCK directives are emitted inline:
+//  - ALLOCATE fires every time control reaches a loop head;
+//  - LOCK fires per host-loop iteration before the nested loop, listing the
+//    pages the current iteration's preceding statements touched for the
+//    planned arrays; pages locked by the same site in an earlier iteration
+//    and no longer covered are released by an emitted UNLOCK first;
+//  - the trailing UNLOCK releases every page still locked for the nest.
+// Scalars, constants and instruction fetches produce no events (§2: assumed
+// permanently resident).
+Trace GenerateTrace(const Program& program, const LoopTree& tree, const DirectivePlan* plan,
+                    const InterpOptions& options = {});
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_INTERP_INTERPRETER_H_

@@ -1,0 +1,181 @@
+#include "src/lang/ast.h"
+
+#include <sstream>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+
+std::string IndexExpr::Canonical() const {
+  if (IsConstant()) {
+    return StrCat(offset);
+  }
+  if (offset == 0) {
+    return var;
+  }
+  if (offset > 0) {
+    return StrCat(var, "+", offset);
+  }
+  return StrCat(var, "-", -offset);
+}
+
+std::string ArrayRef::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(indices.size());
+  for (const IndexExpr& ix : indices) {
+    parts.push_back(ix.Canonical());
+  }
+  return StrCat(name, "(", Join(parts, ","), ")");
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kNumber: {
+      std::ostringstream os;
+      os << number;
+      return os.str();
+    }
+    case Kind::kScalar:
+      return scalar;
+    case Kind::kArrayElement:
+      return array.ToString();
+    case Kind::kNegate:
+      return StrCat("-", lhs->ToString());
+    case Kind::kBinary:
+      return StrCat("(", lhs->ToString(), " ", std::string(1, op), " ", rhs->ToString(), ")");
+  }
+  CDMM_UNREACHABLE("bad Expr::Kind");
+}
+
+LoopBound LoopBound::Constant(int64_t v) {
+  return LoopBound{LoopBound::Kind::kConstant, v, StrCat(v)};
+}
+
+namespace {
+
+void CollectRefs(const Expr& expr, std::vector<const ArrayRef*>* out) {
+  switch (expr.kind) {
+    case Expr::Kind::kNumber:
+    case Expr::Kind::kScalar:
+      return;
+    case Expr::Kind::kArrayElement:
+      out->push_back(&expr.array);
+      return;
+    case Expr::Kind::kNegate:
+      CollectRefs(*expr.lhs, out);
+      return;
+    case Expr::Kind::kBinary:
+      CollectRefs(*expr.lhs, out);
+      CollectRefs(*expr.rhs, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<const ArrayRef*> Stmt::DirectArrayRefs() const {
+  std::vector<const ArrayRef*> refs;
+  if (kind != Kind::kAssign) {
+    return refs;
+  }
+  if (lhs_array.has_value()) {
+    refs.push_back(&*lhs_array);
+  }
+  if (rhs != nullptr) {
+    CollectRefs(*rhs, &refs);
+  }
+  return refs;
+}
+
+const ArrayDecl* Program::FindArray(const std::string& array_name) const {
+  for (const ArrayDecl& decl : arrays) {
+    if (decl.name == array_name) {
+      return &decl;
+    }
+  }
+  return nullptr;
+}
+
+const Stmt* Program::FindLoop(uint32_t loop_id) const {
+  const Stmt* found = nullptr;
+  ForEachStmt([&](const Stmt& s) {
+    if (s.kind == Stmt::Kind::kDoLoop && s.loop_id == loop_id) {
+      found = &s;
+    }
+  });
+  return found;
+}
+
+namespace {
+
+// `suppress_continue`: when an outer loop shares its terminal label with this
+// loop (FORTRAN's "DO 10 I / DO 10 J / 10 CONTINUE" idiom) only the outermost
+// loop prints the CONTINUE card, so the listing re-parses identically.
+void PrintStmt(const Stmt& stmt, int indent, bool suppress_continue, std::ostringstream& os) {
+  std::string pad(static_cast<size_t>(indent) * 2 + 6, ' ');
+  switch (stmt.kind) {
+    case Stmt::Kind::kAssign: {
+      os << pad;
+      if (stmt.lhs_array.has_value()) {
+        os << stmt.lhs_array->ToString();
+      } else {
+        os << stmt.lhs_scalar;
+      }
+      os << " = " << stmt.rhs->ToString() << "\n";
+      return;
+    }
+    case Stmt::Kind::kDoLoop: {
+      os << pad << "DO " << stmt.label << " " << stmt.loop_var << " = " << stmt.lower.spelling
+         << ", " << stmt.upper.spelling;
+      if (stmt.step != 1) {
+        os << ", " << stmt.step;
+      }
+      os << "\n";
+      for (size_t i = 0; i < stmt.body.size(); ++i) {
+        const Stmt& child = *stmt.body[i];
+        bool shares_label = i + 1 == stmt.body.size() && child.kind == Stmt::Kind::kDoLoop &&
+                            child.label == stmt.label;
+        PrintStmt(child, indent + 1, shares_label, os);
+      }
+      if (!suppress_continue) {
+        // Right-align the label in a 5-column field like classic FORTRAN cards.
+        std::string label = StrCat(stmt.label);
+        std::string label_pad(label.size() < 5 ? 5 - label.size() : 1, ' ');
+        os << label_pad << label << " CONTINUE\n";
+      }
+      return;
+    }
+  }
+  CDMM_UNREACHABLE("bad Stmt::Kind");
+}
+
+}  // namespace
+
+std::string ProgramToString(const Program& program) {
+  std::ostringstream os;
+  os << "      PROGRAM " << program.name << "\n";
+  for (const auto& [name, value] : program.parameters) {
+    os << "      PARAMETER (" << name << " = " << value << ")\n";
+  }
+  if (!program.arrays.empty()) {
+    os << "      DIMENSION ";
+    std::vector<std::string> decls;
+    decls.reserve(program.arrays.size());
+    for (const ArrayDecl& a : program.arrays) {
+      if (a.IsVector()) {
+        decls.push_back(StrCat(a.name, "(", a.rows_spelling, ")"));
+      } else {
+        decls.push_back(StrCat(a.name, "(", a.rows_spelling, ",", a.cols_spelling, ")"));
+      }
+    }
+    os << Join(decls, ", ") << "\n";
+  }
+  for (const StmtPtr& s : program.body) {
+    PrintStmt(*s, 0, /*suppress_continue=*/false, os);
+  }
+  os << "      END\n";
+  return os.str();
+}
+
+}  // namespace cdmm

@@ -1,0 +1,165 @@
+// AST for the mini-FORTRAN dialect. The dialect covers exactly what the
+// paper's locality study needs: PROGRAM/END, PARAMETER integer constants,
+// DIMENSION declarations of one- and two-dimensional arrays, DO loops closed
+// by labelled CONTINUE statements (possibly shared labels), and arithmetic
+// assignments over array elements and scalars.
+#ifndef CDMM_SRC_LANG_AST_H_
+#define CDMM_SRC_LANG_AST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/support/source_location.h"
+
+namespace cdmm {
+
+// One subscript of an array reference: either `var + offset` (offset may be
+// negative or zero) or a plain integer constant. The canonical spelling is
+// what §2's parameter X counts: "the number of distinct indexed variables
+// used to reference array elements".
+struct IndexExpr {
+  std::string var;     // empty => constant subscript
+  int64_t offset = 0;  // added to the variable's value, or the constant value
+  SourceLocation location;
+
+  bool IsConstant() const { return var.empty(); }
+
+  // "I", "I+1", "I-2", or "5"; two IndexExprs denote the same index variable
+  // usage iff their canonical spellings are equal.
+  std::string Canonical() const;
+
+  friend bool operator==(const IndexExpr& a, const IndexExpr& b) {
+    return a.var == b.var && a.offset == b.offset;
+  }
+};
+
+// A reference to an array element, e.g. A(I,J+1) or V(K).
+struct ArrayRef {
+  std::string name;
+  std::vector<IndexExpr> indices;  // size 1 (vector) or 2 (matrix)
+  SourceLocation location;
+
+  std::string ToString() const;
+};
+
+// Arithmetic expression tree. Only the embedded ArrayRefs matter for trace
+// generation; scalars and constants are assumed permanently resident (§2).
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : uint8_t { kNumber, kScalar, kArrayElement, kBinary, kNegate };
+
+  Kind kind = Kind::kNumber;
+  SourceLocation location;
+
+  double number = 0.0;     // kNumber
+  std::string scalar;      // kScalar
+  ArrayRef array;          // kArrayElement
+  char op = '+';           // kBinary: one of + - * /
+  ExprPtr lhs;             // kBinary / kNegate
+  ExprPtr rhs;             // kBinary
+
+  std::string ToString() const;
+};
+
+// A DO-loop bound: integer literal, PARAMETER name (resolved at parse time)
+// or an enclosing loop's variable (triangular loops, e.g. "DO 10 K = L, N").
+struct LoopBound {
+  enum class Kind : uint8_t { kConstant, kParameter, kVariable };
+
+  Kind kind = Kind::kConstant;
+  int64_t value = 0;     // kConstant/kParameter: the resolved value
+  std::string spelling;  // "100", "N", or the variable name
+
+  bool IsStatic() const { return kind != Kind::kVariable; }
+
+  static LoopBound Constant(int64_t v);
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// A statement: assignment or DO loop. (A tagged struct rather than a class
+// hierarchy: the dialect is closed and consumers switch on `kind`.)
+struct Stmt {
+  enum class Kind : uint8_t { kAssign, kDoLoop };
+
+  Kind kind = Kind::kAssign;
+  SourceLocation location;
+
+  // kAssign: exactly one of lhs_array / lhs_scalar is set.
+  std::optional<ArrayRef> lhs_array;
+  std::string lhs_scalar;
+  ExprPtr rhs;
+
+  // kDoLoop.
+  uint32_t loop_id = 0;  // unique, 1-based, preorder over the whole program
+  int64_t label = 0;     // label of the terminating CONTINUE
+  std::string loop_var;
+  LoopBound lower;
+  LoopBound upper;
+  int64_t step = 1;
+  std::vector<StmtPtr> body;
+
+  // Collects every ArrayRef in this statement (LHS first), without recursing
+  // into nested loops for kDoLoop (returns empty for loops).
+  std::vector<const ArrayRef*> DirectArrayRefs() const;
+};
+
+// DIMENSION entry. Column-major storage; vectors have cols == 1.
+struct ArrayDecl {
+  std::string name;
+  int64_t rows = 0;
+  int64_t cols = 1;
+  std::string rows_spelling;  // symbolic form for printing
+  std::string cols_spelling;
+  SourceLocation location;
+
+  bool IsVector() const { return cols == 1 && cols_spelling.empty(); }
+  int64_t element_count() const { return rows * cols; }
+};
+
+// A parsed program.
+struct Program {
+  std::string name;
+  std::map<std::string, int64_t> parameters;  // PARAMETER (NAME = value)
+  std::vector<ArrayDecl> arrays;              // declaration order
+  std::vector<StmtPtr> body;
+  uint32_t loop_count = 0;  // loops are numbered 1..loop_count
+
+  const ArrayDecl* FindArray(const std::string& array_name) const;
+
+  // Walks all statements (pre-order, entering loop bodies) calling `fn`.
+  template <typename Fn>
+  void ForEachStmt(Fn&& fn) const {
+    for (const StmtPtr& s : body) {
+      ForEachStmtImpl(*s, fn);
+    }
+  }
+
+  // Finds the loop statement with the given loop_id; nullptr if absent.
+  const Stmt* FindLoop(uint32_t loop_id) const;
+
+ private:
+  template <typename Fn>
+  static void ForEachStmtImpl(const Stmt& stmt, Fn&& fn) {
+    fn(stmt);
+    if (stmt.kind == Stmt::Kind::kDoLoop) {
+      for (const StmtPtr& s : stmt.body) {
+        ForEachStmtImpl(*s, fn);
+      }
+    }
+  }
+};
+
+// Renders the program as mini-FORTRAN source (round-trip parseable).
+std::string ProgramToString(const Program& program);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_LANG_AST_H_

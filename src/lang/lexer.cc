@@ -1,0 +1,216 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0; }
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+TokenKind KeywordKind(const std::string& upper) {
+  if (upper == "PROGRAM") {
+    return TokenKind::kKwProgram;
+  }
+  if (upper == "DIMENSION") {
+    return TokenKind::kKwDimension;
+  }
+  if (upper == "PARAMETER") {
+    return TokenKind::kKwParameter;
+  }
+  if (upper == "REAL" || upper == "DOUBLEPRECISION") {
+    return TokenKind::kKwReal;
+  }
+  if (upper == "INTEGER") {
+    return TokenKind::kKwInteger;
+  }
+  if (upper == "DO") {
+    return TokenKind::kKwDo;
+  }
+  if (upper == "CONTINUE") {
+    return TokenKind::kKwContinue;
+  }
+  if (upper == "END") {
+    return TokenKind::kKwEnd;
+  }
+  return TokenKind::kIdentifier;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    bool line_has_tokens = false;
+    while (pos_ < source_.size()) {
+      char c = source_[pos_];
+      SourceLocation loc{line_, column_};
+
+      if (c == '\n') {
+        if (line_has_tokens) {
+          tokens.push_back(Token{TokenKind::kNewline, "", 0, loc});
+          line_has_tokens = false;
+        }
+        AdvanceNewline();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r') {
+        Advance();
+        continue;
+      }
+      // Comments: '!' anywhere, or 'C'/'c'/'*' in column 1 followed by
+      // whitespace/EOL (classic FORTRAN comment card).
+      if (c == '!' ||
+          (column_ == 1 && (c == '*' || c == 'C' || c == 'c') && IsCommentCard())) {
+        SkipToEol();
+        continue;
+      }
+
+      if (IsDigit(c)) {
+        Token tok = LexNumber(loc);
+        tokens.push_back(std::move(tok));
+        line_has_tokens = true;
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        std::string word;
+        while (pos_ < source_.size() && IsIdentBody(source_[pos_])) {
+          word.push_back(source_[pos_]);
+          Advance();
+        }
+        std::string upper = ToUpperAscii(word);
+        tokens.push_back(Token{KeywordKind(upper), upper, 0, loc});
+        line_has_tokens = true;
+        continue;
+      }
+
+      TokenKind kind;
+      switch (c) {
+        case '(':
+          kind = TokenKind::kLParen;
+          break;
+        case ')':
+          kind = TokenKind::kRParen;
+          break;
+        case ',':
+          kind = TokenKind::kComma;
+          break;
+        case '=':
+          kind = TokenKind::kAssign;
+          break;
+        case '+':
+          kind = TokenKind::kPlus;
+          break;
+        case '-':
+          kind = TokenKind::kMinus;
+          break;
+        case '*':
+          kind = TokenKind::kStar;
+          break;
+        case '/':
+          kind = TokenKind::kSlash;
+          break;
+        default:
+          return Error{StrCat("unexpected character '", std::string(1, c), "'"), loc};
+      }
+      tokens.push_back(Token{kind, std::string(1, c), 0, loc});
+      line_has_tokens = true;
+      Advance();
+    }
+    if (line_has_tokens) {
+      tokens.push_back(Token{TokenKind::kNewline, "", 0, SourceLocation{line_, column_}});
+    }
+    tokens.push_back(Token{TokenKind::kEof, "", 0, SourceLocation{line_, column_}});
+    return tokens;
+  }
+
+ private:
+  void Advance() {
+    ++pos_;
+    ++column_;
+  }
+  void AdvanceNewline() {
+    ++pos_;
+    ++line_;
+    column_ = 1;
+  }
+  void SkipToEol() {
+    while (pos_ < source_.size() && source_[pos_] != '\n') {
+      Advance();
+    }
+  }
+  // At a potential comment card start (column 1 'C'/'c'/'*'): treat as a
+  // comment only when followed by a space or end of line, so identifiers like
+  // "CC" starting a statement still lex normally... except FORTRAN kernels in
+  // this project never start a statement with a bare identifier in column 1;
+  // assignments are indented. '*' in column 1 is always a comment.
+  bool IsCommentCard() const {
+    char c = source_[pos_];
+    if (c == '*') {
+      return true;
+    }
+    size_t next = pos_ + 1;
+    if (next >= source_.size()) {
+      return true;
+    }
+    char n = source_[next];
+    return n == ' ' || n == '\t' || n == '\n' || n == '\r';
+  }
+
+  Token LexNumber(SourceLocation loc) {
+    std::string text;
+    bool is_real = false;
+    while (pos_ < source_.size() && IsDigit(source_[pos_])) {
+      text.push_back(source_[pos_]);
+      Advance();
+    }
+    if (pos_ < source_.size() && source_[pos_] == '.') {
+      // Accept a real literal; its value is irrelevant for tracing.
+      is_real = true;
+      text.push_back('.');
+      Advance();
+      while (pos_ < source_.size() && IsDigit(source_[pos_])) {
+        text.push_back(source_[pos_]);
+        Advance();
+      }
+      // Optional exponent: E+dd / E-dd / Edd.
+      if (pos_ < source_.size() &&
+          (source_[pos_] == 'E' || source_[pos_] == 'e' || source_[pos_] == 'D' ||
+           source_[pos_] == 'd')) {
+        text.push_back('E');
+        Advance();
+        if (pos_ < source_.size() && (source_[pos_] == '+' || source_[pos_] == '-')) {
+          text.push_back(source_[pos_]);
+          Advance();
+        }
+        while (pos_ < source_.size() && IsDigit(source_[pos_])) {
+          text.push_back(source_[pos_]);
+          Advance();
+        }
+      }
+    }
+    Token tok;
+    tok.kind = is_real ? TokenKind::kReal : TokenKind::kInteger;
+    tok.text = text;
+    tok.int_value = is_real ? 0 : std::stoll(text);
+    tok.location = loc;
+    return tok;
+  }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace cdmm

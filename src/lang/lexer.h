@@ -1,0 +1,23 @@
+// Lexer for the mini-FORTRAN dialect. The dialect is line-oriented like
+// FORTRAN but free-form within a line: statement labels are ordinary leading
+// integers, comments start with 'C ' in column 1 or with '!'. Continuation
+// lines are not supported (the kernels do not need them).
+#ifndef CDMM_SRC_LANG_LEXER_H_
+#define CDMM_SRC_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lang/token.h"
+#include "src/support/result.h"
+
+namespace cdmm {
+
+// Tokenises `source`; newlines become explicit kNewline tokens (consecutive
+// blank lines collapse), the stream always ends with kEof.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_LANG_LEXER_H_

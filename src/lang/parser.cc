@@ -1,0 +1,528 @@
+#include "src/lang/parser.h"
+
+#include <utility>
+
+#include "src/lang/lexer.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Run() {
+    // Header: PROGRAM <name>.
+    if (auto err = Expect(TokenKind::kKwProgram)) {
+      return *err;
+    }
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected program name after PROGRAM");
+    }
+    program_.name = Take().text;
+    if (auto err = ExpectNewline()) {
+      return *err;
+    }
+
+    while (true) {
+      // Skip blank separators.
+      while (Peek().kind == TokenKind::kNewline) {
+        Take();
+      }
+      if (Peek().kind == TokenKind::kEof) {
+        return ErrorHere("missing END statement");
+      }
+      if (Peek().kind == TokenKind::kKwEnd) {
+        Take();
+        if (!open_loops_.empty()) {
+          return Error{StrCat("END reached with unterminated DO loop (label ",
+                              open_loops_.back()->label, ")"),
+                       Peek().location};
+        }
+        return std::move(program_);
+      }
+      if (auto err = ParseStatement()) {
+        return *err;
+      }
+    }
+  }
+
+ private:
+  using MaybeError = std::optional<Error>;
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  Error ErrorHere(std::string message) const { return Error{std::move(message), Peek().location}; }
+
+  MaybeError Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return ErrorHere(StrCat("expected ", TokenKindName(kind), ", found ", Peek().ToString()));
+    }
+    Take();
+    return std::nullopt;
+  }
+
+  MaybeError ExpectNewline() {
+    if (Peek().kind == TokenKind::kEof) {
+      return std::nullopt;
+    }
+    return Expect(TokenKind::kNewline);
+  }
+
+  // Appends a finished statement to the innermost open loop, or the program.
+  void Emit(StmtPtr stmt) {
+    if (open_loops_.empty()) {
+      program_.body.push_back(std::move(stmt));
+    } else {
+      open_loops_.back()->body.push_back(std::move(stmt));
+    }
+  }
+
+  MaybeError ParseStatement() {
+    // Optional statement label.
+    int64_t label = -1;
+    if (Peek().kind == TokenKind::kInteger) {
+      label = Take().int_value;
+    }
+
+    switch (Peek().kind) {
+      case TokenKind::kKwDimension:
+        if (label != -1) {
+          return ErrorHere("DIMENSION statement cannot carry a label");
+        }
+        return ParseDimension(/*allow_scalars=*/false);
+      case TokenKind::kKwReal:
+      case TokenKind::kKwInteger:
+        // Type declarations act as DIMENSION for dimensioned items; bare
+        // scalar names are accepted and ignored (scalars are permanently
+        // resident, §2).
+        if (label != -1) {
+          return ErrorHere("type declaration cannot carry a label");
+        }
+        return ParseDimension(/*allow_scalars=*/true);
+      case TokenKind::kKwParameter:
+        if (label != -1) {
+          return ErrorHere("PARAMETER statement cannot carry a label");
+        }
+        return ParseParameter();
+      case TokenKind::kKwDo:
+        return ParseDo();
+      case TokenKind::kKwContinue:
+        return ParseContinue(label);
+      case TokenKind::kIdentifier:
+        return ParseAssign();
+      default:
+        return ErrorHere(StrCat("unexpected ", Peek().ToString(), " at statement start"));
+    }
+  }
+
+  MaybeError ParseDimension(bool allow_scalars) {
+    Take();  // DIMENSION / REAL / INTEGER
+    while (true) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorHere("expected array name in DIMENSION");
+      }
+      ArrayDecl decl;
+      decl.location = Peek().location;
+      decl.name = Take().text;
+      if (allow_scalars && Peek().kind != TokenKind::kLParen) {
+        // A scalar item in a type declaration: record nothing.
+        if (Peek().kind != TokenKind::kComma) {
+          break;
+        }
+        Take();
+        continue;
+      }
+      if (auto err = Expect(TokenKind::kLParen)) {
+        return err;
+      }
+      if (auto err = ParseDimExtent(&decl.rows, &decl.rows_spelling)) {
+        return err;
+      }
+      if (Peek().kind == TokenKind::kComma) {
+        Take();
+        if (auto err = ParseDimExtent(&decl.cols, &decl.cols_spelling)) {
+          return err;
+        }
+      } else {
+        decl.cols = 1;
+        decl.cols_spelling.clear();
+      }
+      if (auto err = Expect(TokenKind::kRParen)) {
+        return err;
+      }
+      if (decl.rows <= 0 || decl.cols <= 0) {
+        return Error{StrCat("array ", decl.name, " has non-positive extent"), decl.location};
+      }
+      program_.arrays.push_back(std::move(decl));
+      if (Peek().kind != TokenKind::kComma) {
+        break;
+      }
+      Take();
+    }
+    return ExpectNewline();
+  }
+
+  MaybeError ParseDimExtent(int64_t* value, std::string* spelling) {
+    if (Peek().kind == TokenKind::kInteger) {
+      *value = Peek().int_value;
+      *spelling = Peek().text;
+      Take();
+      return std::nullopt;
+    }
+    if (Peek().kind == TokenKind::kIdentifier) {
+      auto it = program_.parameters.find(Peek().text);
+      if (it == program_.parameters.end()) {
+        return ErrorHere(StrCat("unknown PARAMETER '", Peek().text, "' in DIMENSION"));
+      }
+      *value = it->second;
+      *spelling = Peek().text;
+      Take();
+      return std::nullopt;
+    }
+    return ErrorHere("expected integer or PARAMETER name as array extent");
+  }
+
+  MaybeError ParseParameter() {
+    Take();  // PARAMETER
+    if (auto err = Expect(TokenKind::kLParen)) {
+      return err;
+    }
+    while (true) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorHere("expected constant name in PARAMETER");
+      }
+      SourceLocation loc = Peek().location;
+      std::string name = Take().text;
+      if (auto err = Expect(TokenKind::kAssign)) {
+        return err;
+      }
+      bool negative = false;
+      if (Peek().kind == TokenKind::kMinus) {
+        Take();
+        negative = true;
+      }
+      if (Peek().kind != TokenKind::kInteger) {
+        return ErrorHere("expected integer value in PARAMETER");
+      }
+      int64_t value = Take().int_value;
+      if (negative) {
+        value = -value;
+      }
+      if (!program_.parameters.emplace(name, value).second) {
+        return Error{StrCat("duplicate PARAMETER '", name, "'"), loc};
+      }
+      if (Peek().kind != TokenKind::kComma) {
+        break;
+      }
+      Take();
+    }
+    if (auto err = Expect(TokenKind::kRParen)) {
+      return err;
+    }
+    return ExpectNewline();
+  }
+
+  MaybeError ParseLoopBound(LoopBound* bound) {
+    bool negative = false;
+    if (Peek().kind == TokenKind::kMinus) {
+      Take();
+      negative = true;
+    }
+    if (Peek().kind == TokenKind::kInteger) {
+      bound->kind = LoopBound::Kind::kConstant;
+      bound->value = negative ? -Peek().int_value : Peek().int_value;
+      bound->spelling = negative ? StrCat("-", Peek().text) : Peek().text;
+      Take();
+      return std::nullopt;
+    }
+    if (!negative && Peek().kind == TokenKind::kIdentifier) {
+      auto it = program_.parameters.find(Peek().text);
+      if (it != program_.parameters.end()) {
+        bound->kind = LoopBound::Kind::kParameter;
+        bound->value = it->second;
+      } else {
+        // An enclosing loop's variable (triangular loop); validated by sema.
+        bound->kind = LoopBound::Kind::kVariable;
+        bound->value = 0;
+      }
+      bound->spelling = Peek().text;
+      Take();
+      return std::nullopt;
+    }
+    return ErrorHere("expected integer, PARAMETER, or loop variable as loop bound");
+  }
+
+  MaybeError ParseDo() {
+    SourceLocation loc = Peek().location;
+    Take();  // DO
+    if (Peek().kind != TokenKind::kInteger) {
+      return ErrorHere("expected statement label after DO");
+    }
+    int64_t label = Take().int_value;
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected loop variable after DO label");
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kDoLoop;
+    stmt->location = loc;
+    stmt->label = label;
+    stmt->loop_id = ++program_.loop_count;
+    stmt->loop_var = Take().text;
+    if (auto err = Expect(TokenKind::kAssign)) {
+      return err;
+    }
+    if (auto err = ParseLoopBound(&stmt->lower)) {
+      return err;
+    }
+    if (auto err = Expect(TokenKind::kComma)) {
+      return err;
+    }
+    if (auto err = ParseLoopBound(&stmt->upper)) {
+      return err;
+    }
+    stmt->step = 1;
+    if (Peek().kind == TokenKind::kComma) {
+      Take();
+      LoopBound step;
+      if (auto err = ParseLoopBound(&step)) {
+        return err;
+      }
+      if (step.value == 0) {
+        return Error{"loop step cannot be zero", loc};
+      }
+      stmt->step = step.value;
+    }
+    if (auto err = ExpectNewline()) {
+      return err;
+    }
+    Stmt* raw = stmt.get();
+    Emit(std::move(stmt));
+    open_loops_.push_back(raw);
+    return std::nullopt;
+  }
+
+  MaybeError ParseContinue(int64_t label) {
+    SourceLocation loc = Peek().location;
+    Take();  // CONTINUE
+    if (label == -1) {
+      // Unlabelled CONTINUE is a no-op statement; accept and discard.
+      return ExpectNewline();
+    }
+    if (open_loops_.empty()) {
+      return Error{StrCat("CONTINUE with label ", label, " outside any DO loop"), loc};
+    }
+    if (open_loops_.back()->label != label) {
+      return Error{StrCat("CONTINUE label ", label, " does not terminate the innermost DO (label ",
+                          open_loops_.back()->label, ")"),
+                   loc};
+    }
+    // FORTRAN closes every open loop sharing this terminal label.
+    while (!open_loops_.empty() && open_loops_.back()->label == label) {
+      open_loops_.pop_back();
+    }
+    return ExpectNewline();
+  }
+
+  MaybeError ParseAssign() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kAssign;
+    stmt->location = Peek().location;
+    std::string name = Take().text;
+    if (Peek().kind == TokenKind::kLParen) {
+      ArrayRef ref;
+      ref.name = name;
+      ref.location = stmt->location;
+      if (auto err = ParseSubscripts(&ref)) {
+        return err;
+      }
+      stmt->lhs_array = std::move(ref);
+    } else {
+      stmt->lhs_scalar = name;
+    }
+    if (auto err = Expect(TokenKind::kAssign)) {
+      return err;
+    }
+    auto rhs = ParseExpr();
+    if (!rhs.ok()) {
+      return rhs.error();
+    }
+    stmt->rhs = std::move(rhs).value();
+    if (auto err = ExpectNewline()) {
+      return err;
+    }
+    Emit(std::move(stmt));
+    return std::nullopt;
+  }
+
+  MaybeError ParseSubscripts(ArrayRef* ref) {
+    if (auto err = Expect(TokenKind::kLParen)) {
+      return err;
+    }
+    while (true) {
+      auto ix = ParseIndexExpr();
+      if (!ix.ok()) {
+        return ix.error();
+      }
+      ref->indices.push_back(std::move(ix).value());
+      if (Peek().kind != TokenKind::kComma) {
+        break;
+      }
+      Take();
+    }
+    if (ref->indices.size() > 2) {
+      return Error{StrCat("array ", ref->name, " referenced with ", ref->indices.size(),
+                          " subscripts; only 1- and 2-dimensional arrays are supported"),
+                   ref->location};
+    }
+    return Expect(TokenKind::kRParen);
+  }
+
+  // index := IDENT [ (+|-) INT ] | INT
+  Result<IndexExpr> ParseIndexExpr() {
+    IndexExpr ix;
+    ix.location = Peek().location;
+    if (Peek().kind == TokenKind::kInteger) {
+      ix.offset = Take().int_value;
+      return ix;
+    }
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected index variable or constant subscript");
+    }
+    ix.var = Take().text;
+    if (Peek().kind == TokenKind::kPlus || Peek().kind == TokenKind::kMinus) {
+      bool negative = Take().kind == TokenKind::kMinus;
+      if (Peek().kind != TokenKind::kInteger) {
+        return ErrorHere("expected integer offset in subscript");
+      }
+      int64_t off = Take().int_value;
+      ix.offset = negative ? -off : off;
+    }
+    return ix;
+  }
+
+  // expr := term (('+'|'-') term)*
+  Result<ExprPtr> ParseExpr() {
+    auto lhs = ParseTerm();
+    if (!lhs.ok()) {
+      return lhs.error();
+    }
+    ExprPtr node = std::move(lhs).value();
+    while (Peek().kind == TokenKind::kPlus || Peek().kind == TokenKind::kMinus) {
+      char op = Take().kind == TokenKind::kPlus ? '+' : '-';
+      auto rhs = ParseTerm();
+      if (!rhs.ok()) {
+        return rhs.error();
+      }
+      auto bin = std::make_unique<Expr>();
+      bin->kind = Expr::Kind::kBinary;
+      bin->op = op;
+      bin->location = node->location;
+      bin->lhs = std::move(node);
+      bin->rhs = std::move(rhs).value();
+      node = std::move(bin);
+    }
+    return node;
+  }
+
+  // term := factor (('*'|'/') factor)*
+  Result<ExprPtr> ParseTerm() {
+    auto lhs = ParseFactor();
+    if (!lhs.ok()) {
+      return lhs.error();
+    }
+    ExprPtr node = std::move(lhs).value();
+    while (Peek().kind == TokenKind::kStar || Peek().kind == TokenKind::kSlash) {
+      char op = Take().kind == TokenKind::kStar ? '*' : '/';
+      auto rhs = ParseFactor();
+      if (!rhs.ok()) {
+        return rhs.error();
+      }
+      auto bin = std::make_unique<Expr>();
+      bin->kind = Expr::Kind::kBinary;
+      bin->op = op;
+      bin->location = node->location;
+      bin->lhs = std::move(node);
+      bin->rhs = std::move(rhs).value();
+      node = std::move(bin);
+    }
+    return node;
+  }
+
+  // factor := NUMBER | IDENT | IDENT '(' subscripts ')' | '(' expr ')' | '-' factor
+  Result<ExprPtr> ParseFactor() {
+    SourceLocation loc = Peek().location;
+    if (Peek().kind == TokenKind::kMinus) {
+      Take();
+      auto inner = ParseFactor();
+      if (!inner.ok()) {
+        return inner.error();
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNegate;
+      node->location = loc;
+      node->lhs = std::move(inner).value();
+      return node;
+    }
+    if (Peek().kind == TokenKind::kInteger || Peek().kind == TokenKind::kReal) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNumber;
+      node->location = loc;
+      node->number = Peek().kind == TokenKind::kInteger ? static_cast<double>(Peek().int_value)
+                                                        : std::stod(Peek().text);
+      Take();
+      return node;
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      Take();
+      auto inner = ParseExpr();
+      if (!inner.ok()) {
+        return inner.error();
+      }
+      if (auto err = Expect(TokenKind::kRParen)) {
+        return *err;
+      }
+      return std::move(inner).value();
+    }
+    if (Peek().kind == TokenKind::kIdentifier) {
+      std::string name = Take().text;
+      auto node = std::make_unique<Expr>();
+      node->location = loc;
+      if (Peek().kind == TokenKind::kLParen) {
+        node->kind = Expr::Kind::kArrayElement;
+        node->array.name = name;
+        node->array.location = loc;
+        if (auto err = ParseSubscripts(&node->array)) {
+          return *err;
+        }
+      } else {
+        node->kind = Expr::Kind::kScalar;
+        node->scalar = name;
+      }
+      return node;
+    }
+    return ErrorHere(StrCat("expected expression, found ", Peek().ToString()));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Program program_;
+  std::vector<Stmt*> open_loops_;
+};
+
+}  // namespace
+
+Result<Program> Parse(std::string_view source) {
+  auto tokens = Lex(source);
+  if (!tokens.ok()) {
+    return tokens.error();
+  }
+  return Parser(std::move(tokens).value()).Run();
+}
+
+}  // namespace cdmm

@@ -1,0 +1,21 @@
+// Recursive-descent parser for the mini-FORTRAN dialect. Produces a Program
+// whose loops carry unique preorder ids (1-based), with PARAMETER constants
+// resolved into loop bounds and array dimensions.
+#ifndef CDMM_SRC_LANG_PARSER_H_
+#define CDMM_SRC_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "src/lang/ast.h"
+#include "src/support/result.h"
+
+namespace cdmm {
+
+// Lexes and parses `source`. Structural errors (unknown arrays, unbound index
+// variables, dimension mismatches) are reported by CheckProgram in sema.h;
+// Parse only guarantees syntactic well-formedness and loop-label matching.
+Result<Program> Parse(std::string_view source);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_LANG_PARSER_H_

@@ -1,0 +1,175 @@
+#include "src/lang/sema.h"
+
+#include <set>
+#include <vector>
+
+#include "src/lang/parser.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(const Program& program) : program_(program) {}
+
+  std::optional<Error> Run() {
+    std::set<std::string> names;
+    for (const ArrayDecl& a : program_.arrays) {
+      if (!names.insert(a.name).second) {
+        return Error{StrCat("array ", a.name, " declared more than once"), a.location};
+      }
+      if (program_.parameters.count(a.name) != 0) {
+        return Error{StrCat("name ", a.name, " is both an array and a PARAMETER"), a.location};
+      }
+    }
+    for (const StmtPtr& s : program_.body) {
+      if (auto err = CheckStmt(*s)) {
+        return err;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::optional<Error> CheckStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kAssign:
+        return CheckAssign(stmt);
+      case Stmt::Kind::kDoLoop:
+        return CheckLoop(stmt);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Error> CheckLoopBound(const LoopBound& bound, const Stmt& loop) {
+    if (bound.kind != LoopBound::Kind::kVariable) {
+      return std::nullopt;
+    }
+    for (const std::string& v : active_loop_vars_) {
+      if (v == bound.spelling) {
+        return std::nullopt;
+      }
+    }
+    return Error{StrCat("loop bound '", bound.spelling,
+                        "' is neither a PARAMETER nor an enclosing loop variable"),
+                 loop.location};
+  }
+
+  std::optional<Error> CheckLoop(const Stmt& loop) {
+    for (const std::string& v : active_loop_vars_) {
+      if (v == loop.loop_var) {
+        return Error{StrCat("loop variable ", loop.loop_var, " reused by an enclosing DO"),
+                     loop.location};
+      }
+    }
+    if (auto err = CheckLoopBound(loop.lower, loop)) {
+      return err;
+    }
+    if (auto err = CheckLoopBound(loop.upper, loop)) {
+      return err;
+    }
+    if (program_.FindArray(loop.loop_var) != nullptr) {
+      return Error{StrCat("loop variable ", loop.loop_var, " collides with an array name"),
+                   loop.location};
+    }
+    active_loop_vars_.push_back(loop.loop_var);
+    for (const StmtPtr& s : loop.body) {
+      if (auto err = CheckStmt(*s)) {
+        return err;
+      }
+    }
+    active_loop_vars_.pop_back();
+    return std::nullopt;
+  }
+
+  std::optional<Error> CheckAssign(const Stmt& stmt) {
+    if (!stmt.lhs_scalar.empty() && program_.FindArray(stmt.lhs_scalar) != nullptr) {
+      return Error{StrCat("array ", stmt.lhs_scalar, " assigned without subscripts"),
+                   stmt.location};
+    }
+    for (const ArrayRef* ref : stmt.DirectArrayRefs()) {
+      if (auto err = CheckArrayRef(*ref)) {
+        return err;
+      }
+    }
+    if (stmt.rhs != nullptr) {
+      if (auto err = CheckExprScalars(*stmt.rhs)) {
+        return err;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Error> CheckExprScalars(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kScalar:
+        if (program_.FindArray(expr.scalar) != nullptr) {
+          return Error{StrCat("array ", expr.scalar, " used without subscripts"), expr.location};
+        }
+        return std::nullopt;
+      case Expr::Kind::kNumber:
+      case Expr::Kind::kArrayElement:
+        return std::nullopt;
+      case Expr::Kind::kNegate:
+        return CheckExprScalars(*expr.lhs);
+      case Expr::Kind::kBinary:
+        if (auto err = CheckExprScalars(*expr.lhs)) {
+          return err;
+        }
+        return CheckExprScalars(*expr.rhs);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Error> CheckArrayRef(const ArrayRef& ref) {
+    const ArrayDecl* decl = program_.FindArray(ref.name);
+    if (decl == nullptr) {
+      return Error{StrCat("reference to undeclared array ", ref.name), ref.location};
+    }
+    size_t want = decl->IsVector() ? 1 : 2;
+    if (ref.indices.size() != want) {
+      return Error{StrCat("array ", ref.name, " declared with ", want, " dimension(s) but ",
+                          "referenced with ", ref.indices.size(), " subscript(s)"),
+                   ref.location};
+    }
+    for (const IndexExpr& ix : ref.indices) {
+      if (ix.IsConstant()) {
+        continue;
+      }
+      bool bound = false;
+      for (const std::string& v : active_loop_vars_) {
+        if (v == ix.var) {
+          bound = true;
+          break;
+        }
+      }
+      if (!bound) {
+        return Error{StrCat("subscript variable ", ix.var, " of ", ref.name,
+                            " is not bound by an enclosing DO loop"),
+                     ix.location};
+      }
+    }
+    return std::nullopt;
+  }
+
+  const Program& program_;
+  std::vector<std::string> active_loop_vars_;
+};
+
+}  // namespace
+
+std::optional<Error> CheckProgram(const Program& program) { return Checker(program).Run(); }
+
+Result<Program> ParseAndCheck(std::string_view source) {
+  auto program = Parse(source);
+  if (!program.ok()) {
+    return program.error();
+  }
+  if (auto err = CheckProgram(program.value())) {
+    return *err;
+  }
+  return program;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,29 @@
+// Structural/semantic validation of parsed programs. Run this before
+// analysis or interpretation; both CDMM_CHECK on invariants it establishes.
+#ifndef CDMM_SRC_LANG_SEMA_H_
+#define CDMM_SRC_LANG_SEMA_H_
+
+#include <optional>
+
+#include "src/lang/ast.h"
+#include "src/support/result.h"
+
+namespace cdmm {
+
+// Validates:
+//  - array names are unique and do not collide with PARAMETER names;
+//  - every array reference names a declared array with the right number of
+//    subscripts (1 for vectors, 2 for matrices);
+//  - every subscript variable is bound by an enclosing DO loop;
+//  - DO-loop variables are not reused by an enclosing active loop and do not
+//    collide with array names;
+//  - scalar uses do not name declared arrays.
+// Returns nullopt on success, or the first error found.
+std::optional<Error> CheckProgram(const Program& program);
+
+// Convenience: parse + check in one step (used by the workload registry).
+Result<Program> ParseAndCheck(std::string_view source);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_LANG_SEMA_H_

@@ -1,0 +1,62 @@
+#include "src/lang/token.h"
+
+#include "src/support/str.h"
+
+namespace cdmm {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kNewline:
+      return "end of line";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kReal:
+      return "real";
+    case TokenKind::kKwProgram:
+      return "PROGRAM";
+    case TokenKind::kKwDimension:
+      return "DIMENSION";
+    case TokenKind::kKwParameter:
+      return "PARAMETER";
+    case TokenKind::kKwReal:
+      return "REAL";
+    case TokenKind::kKwInteger:
+      return "INTEGER";
+    case TokenKind::kKwDo:
+      return "DO";
+    case TokenKind::kKwContinue:
+      return "CONTINUE";
+    case TokenKind::kKwEnd:
+      return "END";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kAssign:
+      return "'='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+  }
+  return "unknown";
+}
+
+std::string Token::ToString() const {
+  if (kind == TokenKind::kIdentifier || kind == TokenKind::kInteger || kind == TokenKind::kReal) {
+    return StrCat(TokenKindName(kind), " '", text, "'");
+  }
+  return TokenKindName(kind);
+}
+
+}  // namespace cdmm

@@ -1,0 +1,51 @@
+// Tokens of the mini-FORTRAN dialect accepted by cdmm::lang.
+#ifndef CDMM_SRC_LANG_TOKEN_H_
+#define CDMM_SRC_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/source_location.h"
+
+namespace cdmm {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kNewline,     // statement separator (FORTRAN is line-oriented)
+  kIdentifier,  // array/scalar/loop-variable names, canonicalised to upper case
+  kInteger,     // unsigned integer literal
+  kReal,        // real literal (accepted, value irrelevant to tracing)
+  // Keywords.
+  kKwProgram,
+  kKwDimension,
+  kKwParameter,
+  kKwReal,     // REAL / DOUBLEPRECISION type declaration (DIMENSION synonym)
+  kKwInteger,  // INTEGER type declaration
+  kKwDo,
+  kKwContinue,
+  kKwEnd,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kAssign,  // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;        // identifier name (upper-cased) or literal spelling
+  int64_t int_value = 0;   // valid for kInteger
+  SourceLocation location;
+
+  std::string ToString() const;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_LANG_TOKEN_H_

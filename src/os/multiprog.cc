@@ -1,0 +1,528 @@
+#include "src/os/multiprog.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+
+#include "src/support/check.h"
+#include "src/vm/cd_core.h"
+#include "src/vm/cd_policy.h"
+
+namespace cdmm {
+namespace {
+
+enum class ProcState : uint8_t { kReady, kPageWait, kSuspended, kDone };
+
+enum class OsPolicyMode : uint8_t { kCd, kEqualPartitionLru, kWorkingSet };
+
+// Per-process working-set state for the kWorkingSet mode: membership is
+// W(t, τ) over the process's own virtual time.
+struct WsState {
+  uint64_t tau = 2000;
+  uint64_t vtime = 0;
+  std::unordered_map<PageId, uint64_t> last_ref;
+  std::deque<std::pair<uint64_t, PageId>> window;
+  uint32_t size = 0;
+
+  // Expires pages that left the window; returns how many frames freed.
+  uint32_t Expire() {
+    uint32_t freed = 0;
+    while (!window.empty() && window.front().first + tau < vtime + 1) {
+      auto [when, page] = window.front();
+      window.pop_front();
+      auto it = last_ref.find(page);
+      if (it != last_ref.end() && it->second == when) {
+        last_ref.erase(it);
+        --size;
+        ++freed;
+      }
+    }
+    return freed;
+  }
+
+  bool InSet(PageId page) const { return last_ref.find(page) != last_ref.end(); }
+
+  // Records the reference (the page must already be admitted).
+  void Record(PageId page) {
+    ++vtime;
+    auto [it, inserted] = last_ref.try_emplace(page, vtime);
+    if (inserted) {
+      ++size;
+    } else {
+      it->second = vtime;
+    }
+    window.emplace_back(vtime, page);
+  }
+
+  void DropAll() {
+    last_ref.clear();
+    window.clear();
+    size = 0;
+  }
+};
+
+struct Proc {
+  const OsProcessSpec* spec = nullptr;
+  std::unique_ptr<CdCore> core;   // kCd / kEqualPartitionLru
+  std::unique_ptr<WsState> ws;    // kWorkingSet
+  size_t cursor = 0;  // next event in the trace
+  ProcState state = ProcState::kReady;
+  uint64_t wake_at = 0;         // kPageWait: global time to resume
+  bool awaiting_memory = false; // kSuspended at an ALLOCATE (re-process on wake)
+  bool force_grant = false;     // deadlock breaker: clamp the next ALLOCATE
+  bool started = false;
+  uint32_t resume_grant = 0;    // grant to re-reserve when woken after swap-out
+  OsProcessStats stats;
+
+  // Pool-accounting shadow of core->held(): frames currently reserved.
+  uint32_t reserved = 0;
+  // Lazy time-weighted integral of `reserved`.
+  double held_integral = 0.0;
+  uint64_t held_since = 0;
+};
+
+class OsSimulator {
+ public:
+  OsSimulator(const std::vector<OsProcessSpec>& specs, const OsOptions& options,
+              OsPolicyMode mode, uint64_t ws_tau = 0)
+      : options_(options), mode_(mode), pool_free_(options.total_frames) {
+    CDMM_CHECK(!specs.empty());
+    uint32_t partition =
+        std::max<uint32_t>(1, options.total_frames / static_cast<uint32_t>(specs.size()));
+    for (const OsProcessSpec& spec : specs) {
+      CDMM_CHECK(spec.trace != nullptr);
+      auto p = std::make_unique<Proc>();
+      p->spec = &spec;
+      p->stats.name = spec.name;
+      if (mode == OsPolicyMode::kWorkingSet) {
+        p->ws = std::make_unique<WsState>();
+        p->ws->tau = std::max<uint64_t>(ws_tau, 1);
+        p->reserved = 0;
+      } else {
+        bool cd = mode == OsPolicyMode::kCd;
+        uint32_t grant = cd ? std::max<uint32_t>(options.initial_allocation, 1) : partition;
+        p->core = std::make_unique<CdCore>(grant, cd && options.honor_locks);
+        CDMM_CHECK_MSG(grant <= pool_free_, "initial allocations exceed the frame pool");
+        p->reserved = p->core->held();
+        pool_free_ -= p->reserved;
+      }
+      procs_.push_back(std::move(p));
+    }
+  }
+
+  OsRunResult Run() {
+    while (!AllDone()) {
+      Proc* p = NextReady();
+      if (p == nullptr) {
+        AdvanceIdle();
+        continue;
+      }
+      RunSlice(*p);
+    }
+    OsRunResult result;
+    result.total_time = clock_;
+    result.swaps = swaps_;
+    IntegratePool();
+    result.mean_pool_used =
+        clock_ == 0 ? 0.0 : pool_integral_ / static_cast<double>(clock_);
+    result.cpu_utilisation =
+        clock_ == 0 ? 0.0 : static_cast<double>(executed_ticks_) / static_cast<double>(clock_);
+    for (auto& p : procs_) {
+      uint64_t lifetime = p->stats.finished_at - p->stats.started_at;
+      p->stats.mean_held =
+          lifetime == 0 ? 0.0 : p->held_integral / static_cast<double>(lifetime);
+      result.total_faults += p->stats.faults;
+      result.processes.push_back(p->stats);
+    }
+    return result;
+  }
+
+ private:
+  bool AllDone() const {
+    for (const auto& p : procs_) {
+      if (p->state != ProcState::kDone) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Proc* NextReady() {
+    for (size_t i = 0; i < procs_.size(); ++i) {
+      Proc* p = procs_[(rr_next_ + i) % procs_.size()].get();
+      if (p->state == ProcState::kReady) {
+        rr_next_ = (rr_next_ + i + 1) % procs_.size();
+        return p;
+      }
+    }
+    return nullptr;
+  }
+
+  // No process is ready: jump the clock to the earliest page-wait wake-up,
+  // or break a pure memory deadlock by force-waking a suspended process.
+  void AdvanceIdle() {
+    // A slice can end (completion, suspension) without checking the page-wait
+    // queue; expire anything already due before jumping the clock.
+    WakeExpired();
+    for (const auto& p : procs_) {
+      if (p->state == ProcState::kReady) {
+        return;
+      }
+    }
+    uint64_t next = std::numeric_limits<uint64_t>::max();
+    for (const auto& p : procs_) {
+      if (p->state == ProcState::kPageWait) {
+        next = std::min(next, p->wake_at);
+      }
+    }
+    if (next != std::numeric_limits<uint64_t>::max()) {
+      SetClock(std::max(next, clock_));
+      WakeExpired();
+      return;
+    }
+    // Only suspended processes remain: wake the first, clamping its demand
+    // to whatever is free (the workload does not fit; progress beats hang).
+    for (auto& p : procs_) {
+      if (p->state == ProcState::kSuspended) {
+        p->state = ProcState::kReady;
+        if (p->awaiting_memory) {
+          p->force_grant = true;
+        } else if (p->core != nullptr) {
+          Reserve(*p, std::max<uint32_t>(std::min(p->resume_grant, pool_free_), 1));
+        }
+        return;
+      }
+    }
+    CDMM_UNREACHABLE("idle with no waiters");
+  }
+
+  void WakeExpired() {
+    for (auto& p : procs_) {
+      if (p->state == ProcState::kPageWait && p->wake_at <= clock_) {
+        p->state = ProcState::kReady;
+      }
+    }
+  }
+
+  void SetClock(uint64_t t) {
+    CDMM_CHECK(t >= clock_);
+    clock_ = t;
+  }
+
+  void IntegratePool() {
+    pool_integral_ += static_cast<double>(options_.total_frames - pool_free_) *
+                      static_cast<double>(clock_ - pool_since_);
+    pool_since_ = clock_;
+  }
+
+  void IntegrateHeld(Proc& p) {
+    p.held_integral += static_cast<double>(p.reserved) * static_cast<double>(clock_ - p.held_since);
+    p.held_since = clock_;
+  }
+
+  // Adjusts a process's pool reservation to `target` frames.
+  void Reserve(Proc& p, uint32_t target) {
+    IntegratePool();
+    IntegrateHeld(p);
+    if (target > p.reserved) {
+      uint32_t delta = target - p.reserved;
+      CDMM_CHECK_MSG(delta <= pool_free_, "pool overcommit");
+      pool_free_ -= delta;
+    } else {
+      pool_free_ += p.reserved - target;
+    }
+    p.reserved = target;
+  }
+
+  // Reconciles the reservation with the core's actual held() after a core
+  // mutation, clawing frames back from the process itself if the pool is
+  // short (soft-release locks, then shrink the grant).
+  void SyncHeld(Proc& p) {
+    uint32_t want = p.core->held();
+    while (want > p.reserved && want - p.reserved > pool_free_) {
+      if (p.core->SoftReleaseLock()) {
+        ++p.stats.lock_releases;
+        want = p.core->held();
+        continue;
+      }
+      uint32_t deficit = (want - p.reserved) - pool_free_;
+      uint32_t new_grant = p.core->grant() > deficit ? p.core->grant() - deficit : 1;
+      p.core->SetGrant(new_grant);
+      want = p.core->held();
+      break;
+    }
+    Reserve(p, want);
+  }
+
+  // Swap out the best victim with strictly lower job priority than `asker`;
+  // returns false if none exists.
+  bool SwapOutVictim(const Proc& asker) {
+    Proc* victim = nullptr;
+    for (auto& p : procs_) {
+      if (p.get() == &asker || p->state == ProcState::kDone ||
+          p->state == ProcState::kSuspended) {
+        continue;
+      }
+      if (p->spec->job_priority >= asker.spec->job_priority) {
+        continue;
+      }
+      if (victim == nullptr || p->reserved > victim->reserved) {
+        victim = p.get();
+      }
+    }
+    if (victim == nullptr || victim->reserved == 0) {
+      return false;
+    }
+    if (victim->core != nullptr) {
+      victim->core->DropAll();
+      victim->resume_grant = victim->core->grant();
+    } else {
+      victim->resume_grant = std::max<uint32_t>(victim->ws->size, 1);
+      victim->ws->DropAll();
+    }
+    Reserve(*victim, 0);
+    victim->state = ProcState::kSuspended;
+    victim->awaiting_memory = false;
+    ++victim->stats.swapped_out;
+    ++swaps_;
+    return true;
+  }
+
+  // Processes an ALLOCATE directive for `p`. Returns false if the process
+  // suspended (cursor must stay at the directive).
+  bool ProcessAllocate(Proc& p, const DirectiveRecord& d) {
+    CDMM_CHECK(!d.requests.empty());
+    // A minimal (PI=1) request larger than the whole machine can never be
+    // granted: run the process inside whatever fits rather than hang
+    // (equivalent to the deadlock-breaker path).
+    if (d.requests.back().priority == 1 && d.requests.back().pages > options_.total_frames) {
+      p.force_grant = true;
+    }
+    while (true) {
+      // Frames this process could marshal for a new grant: the pool plus its
+      // own returnable grant (its reservation minus unreturnable pins).
+      uint32_t returnable =
+          p.reserved > p.core->locked_resident() ? p.reserved - p.core->locked_resident() : 0;
+      uint32_t budget = pool_free_ + returnable;
+      int idx = SelectCdRequest(d.requests, DirectiveSelection::kAvailability, 0, budget);
+      if (idx >= 0) {
+        p.core->SetGrant(d.requests[static_cast<size_t>(idx)].pages);
+        SyncHeld(p);
+        return true;
+      }
+      // Figure 6: nothing fits. PI > 1 → keep running with the current
+      // allocation; PI = 1 → swap a lower-priority job or suspend.
+      if (d.requests.back().priority != 1) {
+        return true;
+      }
+      if (SwapOutVictim(p)) {
+        continue;  // retry with the freed frames
+      }
+      if (p.force_grant) {
+        // Deadlock breaker: run inside whatever is physically free.
+        p.force_grant = false;
+        p.core->SetGrant(std::max<uint32_t>(std::min<uint32_t>(
+                             d.requests.back().pages, pool_free_ + returnable), 1));
+        SyncHeld(p);
+        return true;
+      }
+      p.core->DropAll();
+      Reserve(p, 0);
+      p.state = ProcState::kSuspended;
+      p.awaiting_memory = true;
+      ++p.stats.suspensions;
+      return false;
+    }
+  }
+
+  void ProcessDirective(Proc& p, const DirectiveRecord& d, bool* suspended) {
+    *suspended = false;
+    if (mode_ != OsPolicyMode::kCd) {
+      return;  // the baselines ignore directives
+    }
+    switch (d.kind) {
+      case DirectiveRecord::Kind::kAllocate:
+        if (!ProcessAllocate(p, d)) {
+          *suspended = true;
+        }
+        break;
+      case DirectiveRecord::Kind::kLock:
+        p.core->Lock(d.pages, d.lock_priority);
+        SyncHeld(p);
+        break;
+      case DirectiveRecord::Kind::kUnlock:
+        p.core->Unlock(d.pages);
+        SyncHeld(p);
+        break;
+    }
+  }
+
+  void Finish(Proc& p) {
+    if (p.core != nullptr) {
+      p.core->DropAll();
+    } else {
+      p.ws->DropAll();
+    }
+    Reserve(p, 0);
+    p.state = ProcState::kDone;
+    p.stats.finished_at = clock_;
+    WakeSuspendedForMemory();
+  }
+
+  // Frames were released: wake suspended processes whose demand now fits.
+  void WakeSuspendedForMemory() {
+    for (auto& p : procs_) {
+      if (p->state != ProcState::kSuspended) {
+        continue;
+      }
+      if (p->awaiting_memory) {
+        // It will re-process its ALLOCATE; wake it if even the minimal
+        // request could fit now.
+        const TraceEvent& e = p->spec->trace->events()[p->cursor];
+        const DirectiveRecord& d = p->spec->trace->directive(e.value);
+        if (d.requests.back().pages <= pool_free_) {
+          p->state = ProcState::kReady;
+        }
+      } else if (p->resume_grant <= pool_free_) {
+        if (p->core != nullptr) {
+          Reserve(*p, std::max<uint32_t>(p->resume_grant, 1));
+        }
+        p->state = ProcState::kReady;
+      }
+    }
+  }
+
+  // One reference under the working-set policy. Returns false when the
+  // process stopped (suspended waiting for a frame, or page-waiting after a
+  // fault); the cursor is only advanced when the reference executed.
+  bool ExecuteWsRef(Proc& p, PageId page, uint64_t* executed) {
+    uint32_t freed = p.ws->Expire();
+    if (freed > 0) {
+      Reserve(p, p.reserved - std::min(freed, p.reserved));
+    }
+    bool fault = !p.ws->InSet(page);
+    if (fault && pool_free_ == 0) {
+      // Load control: free a frame by swapping a lower-priority process;
+      // otherwise deactivate this one until memory frees.
+      if (!SwapOutVictim(p)) {
+        // Deactivate: a swapped-out working set releases all its frames and
+        // rebuilds on reactivation.
+        p.resume_grant = std::max<uint32_t>(p.ws->size / 2, 1);
+        p.ws->DropAll();
+        Reserve(p, 0);
+        p.state = ProcState::kSuspended;
+        p.awaiting_memory = false;
+        ++p.stats.suspensions;
+        return false;
+      }
+    }
+    if (fault) {
+      Reserve(p, p.reserved + 1);
+    }
+    p.ws->Record(page);
+    SetClock(clock_ + 1);
+    ++executed_ticks_;
+    ++(*executed);
+    ++p.cursor;
+    ++p.stats.references;
+    if (fault) {
+      ++p.stats.faults;
+      p.state = ProcState::kPageWait;
+      p.wake_at = clock_ + options_.fault_service_time;
+      WakeExpired();
+      return false;
+    }
+    return true;
+  }
+
+  void RunSlice(Proc& p) {
+    if (!p.started) {
+      p.started = true;
+      p.stats.started_at = clock_;
+      p.held_since = clock_;
+    }
+    const std::vector<TraceEvent>& events = p.spec->trace->events();
+    uint64_t executed = 0;
+    while (executed < options_.quantum) {
+      if (p.cursor >= events.size()) {
+        Finish(p);
+        return;
+      }
+      const TraceEvent& e = events[p.cursor];
+      switch (e.kind) {
+        case TraceEvent::Kind::kDirective: {
+          bool suspended = false;
+          ProcessDirective(p, p.spec->trace->directive(e.value), &suspended);
+          if (suspended) {
+            return;  // cursor stays at the ALLOCATE
+          }
+          ++p.cursor;
+          break;
+        }
+        case TraceEvent::Kind::kLoopEnter:
+        case TraceEvent::Kind::kLoopExit:
+          ++p.cursor;
+          break;
+        case TraceEvent::Kind::kRef: {
+          if (p.ws != nullptr && !ExecuteWsRef(p, e.value, &executed)) {
+            return;  // suspended or page-waiting; cursor handled inside
+          }
+          if (p.ws != nullptr) {
+            if (p.state != ProcState::kReady) {
+              return;
+            }
+            break;
+          }
+          bool fault = p.core->Touch(e.value);
+          SetClock(clock_ + 1);
+          ++executed_ticks_;
+          ++executed;
+          ++p.cursor;
+          ++p.stats.references;
+          if (fault) {
+            ++p.stats.faults;
+            SyncHeld(p);  // a pre-locked page may have faulted in
+            p.state = ProcState::kPageWait;
+            p.wake_at = clock_ + options_.fault_service_time;
+            WakeExpired();
+            return;
+          }
+          break;
+        }
+      }
+    }
+    WakeExpired();
+  }
+
+  OsOptions options_;
+  OsPolicyMode mode_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  uint32_t pool_free_;
+  uint64_t clock_ = 0;
+  uint64_t executed_ticks_ = 0;
+  size_t rr_next_ = 0;
+  uint64_t swaps_ = 0;
+  double pool_integral_ = 0.0;
+  uint64_t pool_since_ = 0;
+};
+
+}  // namespace
+
+OsRunResult RunMultiprogrammedCd(const std::vector<OsProcessSpec>& specs,
+                                 const OsOptions& options) {
+  return OsSimulator(specs, options, OsPolicyMode::kCd).Run();
+}
+
+OsRunResult RunEqualPartitionLru(const std::vector<OsProcessSpec>& specs,
+                                 const OsOptions& options) {
+  return OsSimulator(specs, options, OsPolicyMode::kEqualPartitionLru).Run();
+}
+
+OsRunResult RunMultiprogrammedWs(const std::vector<OsProcessSpec>& specs,
+                                 const OsOptions& options, uint64_t tau) {
+  return OsSimulator(specs, options, OsPolicyMode::kWorkingSet, tau).Run();
+}
+
+}  // namespace cdmm

@@ -1,0 +1,79 @@
+// Multiprogrammed CD memory management (§4 / Figure 6 of the paper): several
+// directive-bearing traces share one CPU and one physical frame pool. The OS
+// processes each ALLOCATE against the live pool (kAvailability semantics),
+// suspends or swaps on ungrantable PI=1 requests, honours soft LOCKs, and
+// overlaps one process's page-fault service with another's execution.
+//
+// Time model: one global clock tick per executed reference; a faulting
+// process enters page-wait for `fault_service_time` ticks while others run;
+// the clock jumps forward when no process is ready.
+#ifndef CDMM_SRC_OS_MULTIPROG_H_
+#define CDMM_SRC_OS_MULTIPROG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace cdmm {
+
+struct OsProcessSpec {
+  std::string name;
+  const Trace* trace = nullptr;  // must outlive the run
+  int job_priority = 0;          // larger = more important (swapper input)
+};
+
+struct OsOptions {
+  uint32_t total_frames = 128;
+  uint64_t fault_service_time = 2000;
+  uint64_t quantum = 5000;  // references per scheduling slice
+  uint32_t initial_allocation = 2;
+  bool honor_locks = true;
+};
+
+struct OsProcessStats {
+  std::string name;
+  uint64_t references = 0;
+  uint64_t faults = 0;
+  uint64_t started_at = 0;    // global time of first instruction
+  uint64_t finished_at = 0;   // global time of completion
+  double mean_held = 0.0;     // time-weighted frames held over its lifetime
+  uint64_t swapped_out = 0;   // times this process was chosen as swap victim
+  uint64_t suspensions = 0;   // times it blocked waiting for memory
+  uint64_t lock_releases = 0; // soft lock releases forced on it
+};
+
+struct OsRunResult {
+  std::vector<OsProcessStats> processes;
+  uint64_t total_time = 0;     // makespan
+  uint64_t total_faults = 0;
+  uint64_t swaps = 0;          // swapper invocations that found a victim
+  double mean_pool_used = 0.0; // time-weighted frames reserved
+  double cpu_utilisation = 0.0;  // fraction of ticks spent executing refs
+};
+
+// Runs the CD-managed multiprogramming simulation to completion of every
+// process. CHECK-fails if a process's minimal (PI=1) request can never fit
+// even in an empty pool — the workload does not fit the machine.
+OsRunResult RunMultiprogrammedCd(const std::vector<OsProcessSpec>& specs,
+                                 const OsOptions& options);
+
+// Baseline: the same processes under a static equal partition with local
+// LRU replacement (directives ignored), same CPU/time model.
+OsRunResult RunEqualPartitionLru(const std::vector<OsProcessSpec>& specs,
+                                 const OsOptions& options);
+
+// Baseline: multiprogrammed Working Set with the classic load control the
+// paper's §4 contrasts CD against — each process holds W(t, τ); when a
+// fault would overcommit the pool the OS swaps out a lower-priority process
+// (or suspends the requester), reactivating it when its last working-set
+// size fits again. Denning's WS dispatcher provides no per-request
+// information, so the victim choice is size-based, exactly the gap the
+// paper's PI mechanism fills.
+OsRunResult RunMultiprogrammedWs(const std::vector<OsProcessSpec>& specs,
+                                 const OsOptions& options, uint64_t tau);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_OS_MULTIPROG_H_

@@ -1,0 +1,127 @@
+#include "src/support/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+double Transform(double v, bool log_scale) { return log_scale ? std::log10(v) : v; }
+
+std::string TickLabel(double v) {
+  char buf[32];
+  if (v == 0) {
+    return "0";
+  }
+  double a = std::abs(v);
+  if (a >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else if (a >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderAsciiPlot(const std::vector<PlotSeries>& series, const PlotOptions& options) {
+  CDMM_CHECK(options.width >= 16 && options.height >= 4);
+
+  // Gather the transformed extent.
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -min_x;
+  double min_y = min_x;
+  double max_y = -min_x;
+  bool any = false;
+  for (const PlotSeries& s : series) {
+    for (auto [x, y] : s.points) {
+      if ((options.log_x && x <= 0) || (options.log_y && y <= 0)) {
+        continue;
+      }
+      any = true;
+      min_x = std::min(min_x, Transform(x, options.log_x));
+      max_x = std::max(max_x, Transform(x, options.log_x));
+      min_y = std::min(min_y, Transform(y, options.log_y));
+      max_y = std::max(max_y, Transform(y, options.log_y));
+    }
+  }
+  std::ostringstream os;
+  if (!options.title.empty()) {
+    os << options.title << "\n";
+  }
+  if (!any) {
+    os << "(no plottable points)\n";
+    return os.str();
+  }
+  if (max_x == min_x) {
+    max_x = min_x + 1;
+  }
+  if (max_y == min_y) {
+    max_y = min_y + 1;
+  }
+
+  std::vector<std::string> grid(static_cast<size_t>(options.height),
+                                std::string(static_cast<size_t>(options.width), ' '));
+  for (const PlotSeries& s : series) {
+    for (auto [x, y] : s.points) {
+      if ((options.log_x && x <= 0) || (options.log_y && y <= 0)) {
+        continue;
+      }
+      double tx = (Transform(x, options.log_x) - min_x) / (max_x - min_x);
+      double ty = (Transform(y, options.log_y) - min_y) / (max_y - min_y);
+      int col = std::min(options.width - 1, static_cast<int>(tx * (options.width - 1) + 0.5));
+      int row = std::min(options.height - 1, static_cast<int>(ty * (options.height - 1) + 0.5));
+      // Row 0 is the top of the chart.
+      char& cell = grid[static_cast<size_t>(options.height - 1 - row)][static_cast<size_t>(col)];
+      cell = cell == ' ' || cell == s.marker ? s.marker : '#';  // '#' marks overlaps
+    }
+  }
+
+  // Y axis labels on the left; 10 characters wide.
+  auto y_value = [&](int row_from_top) {
+    double t = options.height == 1
+                   ? 0.0
+                   : 1.0 - static_cast<double>(row_from_top) / (options.height - 1);
+    double v = min_y + t * (max_y - min_y);
+    return options.log_y ? std::pow(10.0, v) : v;
+  };
+  for (int r = 0; r < options.height; ++r) {
+    std::string label = (r == 0 || r == options.height - 1 || r == options.height / 2)
+                            ? TickLabel(y_value(r))
+                            : "";
+    os << StrCat(std::string(label.size() > 9 ? 0 : 9 - label.size(), ' '), label, " |")
+       << grid[static_cast<size_t>(r)] << "\n";
+  }
+  os << std::string(10, ' ') << "+" << std::string(static_cast<size_t>(options.width), '-')
+     << "\n";
+  double x_lo = options.log_x ? std::pow(10.0, min_x) : min_x;
+  double x_hi = options.log_x ? std::pow(10.0, max_x) : max_x;
+  std::string lo = TickLabel(x_lo);
+  std::string hi = TickLabel(x_hi);
+  os << std::string(11, ' ') << lo
+     << std::string(
+            std::max<int>(1, options.width - static_cast<int>(lo.size() + hi.size())), ' ')
+     << hi << "\n";
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    os << std::string(11, ' ') << options.x_label;
+    if (!options.y_label.empty()) {
+      os << "   (y: " << options.y_label << ")";
+    }
+    os << "\n";
+  }
+  for (const PlotSeries& s : series) {
+    os << "  " << s.marker << " " << s.name << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cdmm

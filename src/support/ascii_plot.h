@@ -1,0 +1,35 @@
+// Minimal ASCII chart renderer for the bench binaries: multi-series scatter
+// and line charts on a character grid, with optional log axes. Used to draw
+// the era-standard memory-policy curves (lifetime function, fault-rate
+// curve, WS characteristic) that complement the paper's tables.
+#ifndef CDMM_SRC_SUPPORT_ASCII_PLOT_H_
+#define CDMM_SRC_SUPPORT_ASCII_PLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace cdmm {
+
+struct PlotSeries {
+  std::string name;
+  char marker = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+struct PlotOptions {
+  int width = 64;   // plot area columns
+  int height = 16;  // plot area rows
+  bool log_x = false;
+  bool log_y = false;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+// Renders the series onto one grid. Points with non-positive coordinates on
+// a log axis are skipped. Returns a multi-line string ending in '\n'.
+std::string RenderAsciiPlot(const std::vector<PlotSeries>& series, const PlotOptions& options);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SUPPORT_ASCII_PLOT_H_

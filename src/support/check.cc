@@ -1,0 +1,18 @@
+#include "src/support/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdmm {
+
+void CheckFailure(const char* expr, const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "CDMM_CHECK failed: %s at %s:%d", expr, file, line);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cdmm

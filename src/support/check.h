@@ -1,0 +1,41 @@
+// CHECK-style invariant assertions. These fire in every build type: the
+// simulators in this project are deterministic, so an invariant violation is
+// always a programming error worth aborting on, never a data-dependent
+// condition to recover from.
+#ifndef CDMM_SRC_SUPPORT_CHECK_H_
+#define CDMM_SRC_SUPPORT_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace cdmm {
+
+// Aborts the process after printing `message` with the failing expression and
+// source position. Used by the CDMM_CHECK macros below; call directly only
+// for unconditional failures (e.g. unreachable switch arms).
+[[noreturn]] void CheckFailure(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace cdmm
+
+#define CDMM_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::cdmm::CheckFailure(#cond, __FILE__, __LINE__, std::string()); \
+    }                                                                 \
+  } while (false)
+
+#define CDMM_CHECK_MSG(cond, msg)                          \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      std::ostringstream cdmm_check_os;                    \
+      cdmm_check_os << msg;                                \
+      ::cdmm::CheckFailure(#cond, __FILE__, __LINE__,      \
+                           cdmm_check_os.str());           \
+    }                                                      \
+  } while (false)
+
+#define CDMM_UNREACHABLE(msg) \
+  ::cdmm::CheckFailure("unreachable", __FILE__, __LINE__, msg)
+
+#endif  // CDMM_SRC_SUPPORT_CHECK_H_

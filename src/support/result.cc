@@ -1,0 +1,16 @@
+#include "src/support/result.h"
+
+#include <sstream>
+
+namespace cdmm {
+
+std::string Error::ToString() const {
+  if (!location.IsValid()) {
+    return message;
+  }
+  std::ostringstream os;
+  os << cdmm::ToString(location) << ": " << message;
+  return os.str();
+}
+
+}  // namespace cdmm

@@ -1,0 +1,62 @@
+// Result<T> / Error: recoverable-error plumbing for user-facing inputs
+// (source programs, trace files). Invariant violations use CDMM_CHECK instead.
+#ifndef CDMM_SRC_SUPPORT_RESULT_H_
+#define CDMM_SRC_SUPPORT_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/support/check.h"
+#include "src/support/source_location.h"
+
+namespace cdmm {
+
+// A diagnostic attached to a source location. `location` may be invalid for
+// errors that are not tied to a position (e.g. I/O failures).
+struct Error {
+  std::string message;
+  SourceLocation location;
+
+  // Renders "line:col: message" or just "message".
+  std::string ToString() const;
+};
+
+// Minimal expected-like carrier: either a value or an Error. The project
+// builds with exceptions enabled but does not throw across module boundaries;
+// parse/validate layers return Result instead.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    CDMM_CHECK_MSG(ok(), "Result::value() on error: " << error().ToString());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    CDMM_CHECK_MSG(ok(), "Result::value() on error: " << error().ToString());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    CDMM_CHECK_MSG(ok(), "Result::value() on error: " << error().ToString());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Error& error() const {
+    CDMM_CHECK(!ok());
+    return std::get<Error>(storage_);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SUPPORT_RESULT_H_

@@ -1,0 +1,40 @@
+// Deterministic PRNG (SplitMix64) for synthetic-trace generators and
+// property tests. std::mt19937 is avoided so that streams are identical
+// across standard-library implementations.
+#ifndef CDMM_SRC_SUPPORT_RNG_H_
+#define CDMM_SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace cdmm {
+
+// SplitMix64: tiny, fast, and good enough for workload shuffling. Sequences
+// are fully determined by the seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound) {
+    // Rejection-free Lemire-style reduction is overkill here; modulo bias is
+    // negligible for the small bounds used by the generators.
+    return Next() % bound;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SUPPORT_RNG_H_

@@ -1,0 +1,16 @@
+#include "src/support/source_location.h"
+
+#include <sstream>
+
+namespace cdmm {
+
+std::string ToString(SourceLocation loc) {
+  if (!loc.IsValid()) {
+    return "?";
+  }
+  std::ostringstream os;
+  os << loc.line << ":" << loc.column;
+  return os.str();
+}
+
+}  // namespace cdmm

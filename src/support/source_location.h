@@ -1,0 +1,26 @@
+// Source positions used by the lexer, parser, and diagnostic messages.
+#ifndef CDMM_SRC_SUPPORT_SOURCE_LOCATION_H_
+#define CDMM_SRC_SUPPORT_SOURCE_LOCATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cdmm {
+
+// A (line, column) position in a mini-FORTRAN source file. Lines and columns
+// are 1-based; a default-constructed location (0, 0) means "unknown".
+struct SourceLocation {
+  uint32_t line = 0;
+  uint32_t column = 0;
+
+  constexpr bool IsValid() const { return line != 0; }
+
+  friend constexpr bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+// Renders "line:column", or "?" for an unknown location.
+std::string ToString(SourceLocation loc);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SUPPORT_SOURCE_LOCATION_H_

@@ -1,0 +1,16 @@
+#include "src/support/stats.h"
+
+namespace cdmm {
+
+void SummaryStats::Add(double sample) {
+  ++count_;
+  sum_ += sample;
+  if (sample < min_) {
+    min_ = sample;
+  }
+  if (sample > max_) {
+    max_ = sample;
+  }
+}
+
+}  // namespace cdmm

@@ -1,0 +1,63 @@
+// Streaming summary statistics and time-weighted accumulators used by the VM
+// simulator's MEM/ST metrics.
+#ifndef CDMM_SRC_SUPPORT_STATS_H_
+#define CDMM_SRC_SUPPORT_STATS_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "src/support/check.h"
+
+namespace cdmm {
+
+// Plain streaming min/max/mean over double samples.
+class SummaryStats {
+ public:
+  void Add(double sample);
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Integrates a piecewise-constant level over virtual time. Used for the
+// space-time product: level = resident-set size (pages), time in references.
+// `Advance(dt)` accumulates level*dt for the current level, then time moves.
+class TimeWeightedLevel {
+ public:
+  // Sets the current level without advancing time.
+  void SetLevel(double level) { level_ = level; }
+  double level() const { return level_; }
+
+  // Advances virtual time by `dt` units at the current level.
+  void Advance(uint64_t dt) {
+    integral_ += level_ * static_cast<double>(dt);
+    elapsed_ += dt;
+  }
+
+  // ∫ level dt so far (the space-time product).
+  double integral() const { return integral_; }
+  // Total time advanced.
+  uint64_t elapsed() const { return elapsed_; }
+  // Time-weighted mean level; 0 if no time has passed.
+  double mean_level() const {
+    return elapsed_ == 0 ? 0.0 : integral_ / static_cast<double>(elapsed_);
+  }
+
+ private:
+  double level_ = 0.0;
+  double integral_ = 0.0;
+  uint64_t elapsed_ = 0;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SUPPORT_STATS_H_

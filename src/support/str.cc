@@ -1,0 +1,47 @@
+#include "src/support/str.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace cdmm {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out.append(sep);
+    }
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string FormatFixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatMillions(double value, int digits) {
+  return FormatFixed(value / 1e6, digits);
+}
+
+bool IsBlank(std::string_view text) {
+  for (char c : text) {
+    if (c != ' ' && c != '\t') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToUpperAscii(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace cdmm

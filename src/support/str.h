@@ -1,0 +1,39 @@
+// String formatting helpers (the toolchain lacks <format>).
+#ifndef CDMM_SRC_SUPPORT_STR_H_
+#define CDMM_SRC_SUPPORT_STR_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdmm {
+
+// Concatenates all arguments via operator<<.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Fixed-point decimal rendering with `digits` fractional digits.
+std::string FormatFixed(double value, int digits);
+
+// Renders a double the way the paper prints costs: mantissa "x 10^e" style is
+// NOT used; instead values are given in units of 1e6 with 2-3 significant
+// decimals ("3.39"). This helper divides by 1e6 and formats.
+std::string FormatMillions(double value, int digits = 2);
+
+// True if `text` consists only of ASCII spaces/tabs.
+bool IsBlank(std::string_view text);
+
+// Uppercases ASCII letters (FORTRAN is case-insensitive; we canonicalise).
+std::string ToUpperAscii(std::string_view text);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SUPPORT_STR_H_

@@ -1,0 +1,96 @@
+#include "src/support/table.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/support/check.h"
+
+namespace cdmm {
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' && c != '+' &&
+        c != '%' && c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  CDMM_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  CDMM_CHECK_MSG(cells.size() == header_.size(),
+                 "row has " << cells.size() << " cells, header has " << header_.size());
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::AddRule() { pending_rule_ = true; }
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const Row& row : rows_) {
+    for (size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto print_rule = [&]() {
+    os << "+";
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) {
+        os << "-";
+      }
+      os << "+";
+    }
+    os << "\n";
+  };
+
+  auto print_cells = [&](const std::vector<std::string>& cells, bool right_align_numeric) {
+    os << "|";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const std::string& cell = cells[i];
+      size_t pad = widths[i] - cell.size();
+      bool right = right_align_numeric && LooksNumeric(cell);
+      os << " ";
+      if (right) {
+        for (size_t p = 0; p < pad; ++p) {
+          os << " ";
+        }
+        os << cell;
+      } else {
+        os << cell;
+        for (size_t p = 0; p < pad; ++p) {
+          os << " ";
+        }
+      }
+      os << " |";
+    }
+    os << "\n";
+  };
+
+  print_rule();
+  print_cells(header_, /*right_align_numeric=*/false);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.rule_before) {
+      print_rule();
+    }
+    print_cells(row.cells, /*right_align_numeric=*/true);
+  }
+  print_rule();
+}
+
+}  // namespace cdmm

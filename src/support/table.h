@@ -1,0 +1,42 @@
+// Plain-text table renderer used by the bench binaries to print paper-style
+// tables (Tables 1-4 of Malkawi & Patel, SOSP'85).
+#ifndef CDMM_SRC_SUPPORT_TABLE_H_
+#define CDMM_SRC_SUPPORT_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cdmm {
+
+// Column-aligned text table. Usage:
+//   TextTable t({"PROGRAM", "MEM", "PF"});
+//   t.AddRow({"MAIN", "1.62", "531"});
+//   t.Print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  // Inserts a horizontal rule before the next row.
+  void AddRule();
+
+  // Renders with a boxed header and right-aligned numeric-looking cells.
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SUPPORT_TABLE_H_

@@ -1,0 +1,55 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+
+namespace cdmm {
+
+uint32_t Trace::AddDirective(DirectiveRecord record) {
+  if (record.kind == DirectiveRecord::Kind::kAllocate) {
+    // Enforce the paper's ordering invariants: PI_1 > PI_2 > ..., X_1 >= X_2.
+    for (size_t i = 1; i < record.requests.size(); ++i) {
+      CDMM_CHECK_MSG(record.requests[i - 1].priority > record.requests[i].priority,
+                     "ALLOCATE priorities must strictly decrease");
+      CDMM_CHECK_MSG(record.requests[i - 1].pages >= record.requests[i].pages,
+                     "ALLOCATE request sizes must be non-increasing");
+    }
+  }
+  directives_.push_back(std::move(record));
+  uint32_t index = static_cast<uint32_t>(directives_.size() - 1);
+  events_.push_back(TraceEvent{TraceEvent::Kind::kDirective, index});
+  return index;
+}
+
+TraceStats Trace::ComputeStats() const {
+  TraceStats stats;
+  for (const TraceEvent& e : events_) {
+    if (e.kind != TraceEvent::Kind::kRef) {
+      continue;
+    }
+    ++stats.references;
+    stats.max_page = std::max(stats.max_page, e.value);
+    if (e.value >= stats.page_counts.size()) {
+      stats.page_counts.resize(e.value + 1, 0);
+    }
+    ++stats.page_counts[e.value];
+  }
+  for (uint64_t c : stats.page_counts) {
+    if (c != 0) {
+      ++stats.distinct_pages;
+    }
+  }
+  return stats;
+}
+
+Trace Trace::ReferencesOnly() const {
+  Trace out(name_);
+  out.set_virtual_pages(virtual_pages_);
+  for (const TraceEvent& e : events_) {
+    if (e.kind == TraceEvent::Kind::kRef) {
+      out.AddRef(e.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,134 @@
+// Reference-trace model. A trace is the interface between the compiler side
+// (interpreter emitting array-element references and memory directives) and
+// the VM-simulator side (policies consuming references and, for CD, the
+// directives). Events are 8 bytes each; directive payloads live in a side
+// table so that multi-million-reference traces stay compact.
+#ifndef CDMM_SRC_TRACE_TRACE_H_
+#define CDMM_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace cdmm {
+
+// A page number within a process's virtual address space (0-based).
+using PageId = uint32_t;
+
+// One memory request of an ALLOCATE directive: "give me `pages` pages"; the
+// priority index PI orders alternatives (paper §3.1: PI_1 > PI_2 > ...,
+// X_1 >= X_2 >= ..., and smaller PI = more urgent when ungranted).
+struct AllocateRequest {
+  uint16_t priority = 0;  // PI
+  uint32_t pages = 0;     // X
+
+  friend bool operator==(const AllocateRequest&, const AllocateRequest&) = default;
+};
+
+// Directive payloads referenced by directive trace events.
+struct DirectiveRecord {
+  enum class Kind : uint8_t { kAllocate, kLock, kUnlock };
+
+  Kind kind = Kind::kAllocate;
+  uint32_t loop_id = 0;  // source loop this directive was inserted for (0 = none)
+
+  // kAllocate: the else-chain (PI_1,X_1) else (PI_2,X_2) else ...
+  std::vector<AllocateRequest> requests;
+
+  // kLock: priority index PJ; kLock/kUnlock: the page list Y_1, Y_2, ...
+  uint16_t lock_priority = 0;
+  std::vector<PageId> pages;
+
+  friend bool operator==(const DirectiveRecord&, const DirectiveRecord&) = default;
+};
+
+// A single trace event.
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    kRef,        // value = PageId referenced
+    kDirective,  // value = index into Trace's directive table
+    kLoopEnter,  // value = loop id (annotation; ignored by policies)
+    kLoopExit,   // value = loop id
+  };
+
+  Kind kind = Kind::kRef;
+  uint32_t value = 0;
+
+  static TraceEvent Ref(PageId page) { return TraceEvent{Kind::kRef, page}; }
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+// Statistics over the reference events of a trace.
+struct TraceStats {
+  uint64_t references = 0;
+  uint32_t distinct_pages = 0;
+  PageId max_page = 0;                  // meaningful only if references > 0
+  std::vector<uint64_t> page_counts;    // indexed by PageId, size = max_page+1
+};
+
+// An immutable-after-build sequence of reference and directive events for one
+// program, plus the program's virtual size in pages.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Virtual size V of the program in pages (upper bound on any PageId + 1).
+  uint32_t virtual_pages() const { return virtual_pages_; }
+  void set_virtual_pages(uint32_t pages) { virtual_pages_ = pages; }
+
+  void AddRef(PageId page) {
+    CDMM_CHECK_MSG(virtual_pages_ == 0 || page < virtual_pages_,
+                   "page " << page << " out of range, V=" << virtual_pages_);
+    events_.push_back(TraceEvent::Ref(page));
+    ++reference_count_;
+  }
+
+  // Appends a directive; returns its index in the directive table.
+  uint32_t AddDirective(DirectiveRecord record);
+
+  void AddLoopEnter(uint32_t loop_id) {
+    events_.push_back(TraceEvent{TraceEvent::Kind::kLoopEnter, loop_id});
+  }
+  void AddLoopExit(uint32_t loop_id) {
+    events_.push_back(TraceEvent{TraceEvent::Kind::kLoopExit, loop_id});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const DirectiveRecord& directive(uint32_t index) const {
+    CDMM_CHECK(index < directives_.size());
+    return directives_[index];
+  }
+  const std::vector<DirectiveRecord>& directives() const { return directives_; }
+
+  // Number of page-reference events (the paper's reference-string length R).
+  uint64_t reference_count() const { return reference_count_; }
+
+  bool empty() const { return events_.empty(); }
+
+  // Full scan computing distinct pages and per-page frequencies.
+  TraceStats ComputeStats() const;
+
+  // Returns a copy containing only kRef events (directive/marker-free view,
+  // what LRU/WS/etc. see).
+  Trace ReferencesOnly() const;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+
+ private:
+  std::string name_;
+  uint32_t virtual_pages_ = 0;
+  std::vector<TraceEvent> events_;
+  std::vector<DirectiveRecord> directives_;
+  uint64_t reference_count_ = 0;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_TRACE_TRACE_H_

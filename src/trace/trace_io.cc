@@ -1,0 +1,410 @@
+#include "src/trace/trace_io.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+constexpr char kMagic[] = "CDMMTRACE";
+constexpr int kVersion = 1;
+
+Error ErrorAt(uint32_t line, std::string message) {
+  return Error{std::move(message), SourceLocation{line, 1}};
+}
+
+}  // namespace
+
+void WriteTrace(const Trace& trace, std::ostream& os) {
+  os << kMagic << " " << kVersion << "\n";
+  os << "NAME " << trace.name() << "\n";
+  os << "PAGES " << trace.virtual_pages() << "\n";
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kRef:
+        os << "R " << e.value << "\n";
+        break;
+      case TraceEvent::Kind::kLoopEnter:
+        os << "E " << e.value << "\n";
+        break;
+      case TraceEvent::Kind::kLoopExit:
+        os << "X " << e.value << "\n";
+        break;
+      case TraceEvent::Kind::kDirective: {
+        const DirectiveRecord& d = trace.directive(e.value);
+        switch (d.kind) {
+          case DirectiveRecord::Kind::kAllocate:
+            os << "D A " << d.loop_id;
+            for (const AllocateRequest& r : d.requests) {
+              os << " " << r.priority << ":" << r.pages;
+            }
+            break;
+          case DirectiveRecord::Kind::kLock:
+            os << "D L " << d.loop_id << " " << d.lock_priority;
+            for (PageId p : d.pages) {
+              os << " " << p;
+            }
+            break;
+          case DirectiveRecord::Kind::kUnlock:
+            os << "D U " << d.loop_id;
+            for (PageId p : d.pages) {
+              os << " " << p;
+            }
+            break;
+        }
+        os << "\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string TraceToString(const Trace& trace) {
+  std::ostringstream os;
+  WriteTrace(trace, os);
+  return os.str();
+}
+
+Result<Trace> ReadTrace(std::istream& is) {
+  std::string line;
+  uint32_t lineno = 0;
+
+  auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (!IsBlank(line)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (!next_line()) {
+    return ErrorAt(1, "empty trace stream");
+  }
+  {
+    std::istringstream hs(line);
+    std::string magic;
+    int version = 0;
+    hs >> magic >> version;
+    if (magic != kMagic) {
+      return ErrorAt(lineno, StrCat("bad magic '", magic, "', expected ", kMagic));
+    }
+    if (version != kVersion) {
+      return ErrorAt(lineno, StrCat("unsupported trace version ", version));
+    }
+  }
+
+  Trace trace;
+  while (next_line()) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "NAME") {
+      std::string name;
+      ls >> name;
+      trace.set_name(name);
+    } else if (tag == "PAGES") {
+      uint32_t pages = 0;
+      if (!(ls >> pages)) {
+        return ErrorAt(lineno, "malformed PAGES line");
+      }
+      trace.set_virtual_pages(pages);
+    } else if (tag == "R") {
+      PageId page = 0;
+      if (!(ls >> page)) {
+        return ErrorAt(lineno, "malformed R line");
+      }
+      if (trace.virtual_pages() != 0 && page >= trace.virtual_pages()) {
+        return ErrorAt(lineno, StrCat("page ", page, " out of range, V=", trace.virtual_pages()));
+      }
+      trace.AddRef(page);
+    } else if (tag == "E" || tag == "X") {
+      uint32_t loop_id = 0;
+      if (!(ls >> loop_id)) {
+        return ErrorAt(lineno, "malformed loop marker line");
+      }
+      if (tag == "E") {
+        trace.AddLoopEnter(loop_id);
+      } else {
+        trace.AddLoopExit(loop_id);
+      }
+    } else if (tag == "D") {
+      std::string sub;
+      ls >> sub;
+      DirectiveRecord d;
+      if (!(ls >> d.loop_id)) {
+        return ErrorAt(lineno, "malformed directive line: missing loop id");
+      }
+      if (sub == "A") {
+        d.kind = DirectiveRecord::Kind::kAllocate;
+        std::string pair;
+        while (ls >> pair) {
+          size_t colon = pair.find(':');
+          if (colon == std::string::npos) {
+            return ErrorAt(lineno, StrCat("malformed ALLOCATE request '", pair, "'"));
+          }
+          AllocateRequest req;
+          try {
+            req.priority = static_cast<uint16_t>(std::stoul(pair.substr(0, colon)));
+            req.pages = static_cast<uint32_t>(std::stoul(pair.substr(colon + 1)));
+          } catch (const std::exception&) {
+            return ErrorAt(lineno, StrCat("malformed ALLOCATE request '", pair, "'"));
+          }
+          d.requests.push_back(req);
+        }
+        if (d.requests.empty()) {
+          return ErrorAt(lineno, "ALLOCATE directive with no requests");
+        }
+      } else if (sub == "L") {
+        d.kind = DirectiveRecord::Kind::kLock;
+        if (!(ls >> d.lock_priority)) {
+          return ErrorAt(lineno, "malformed LOCK line: missing PJ");
+        }
+        PageId p = 0;
+        while (ls >> p) {
+          d.pages.push_back(p);
+        }
+      } else if (sub == "U") {
+        d.kind = DirectiveRecord::Kind::kUnlock;
+        PageId p = 0;
+        while (ls >> p) {
+          d.pages.push_back(p);
+        }
+      } else {
+        return ErrorAt(lineno, StrCat("unknown directive kind '", sub, "'"));
+      }
+      trace.AddDirective(std::move(d));
+    } else {
+      return ErrorAt(lineno, StrCat("unknown event tag '", tag, "'"));
+    }
+  }
+  return trace;
+}
+
+Result<Trace> TraceFromString(const std::string& text) {
+  std::istringstream is(text);
+  return ReadTrace(is);
+}
+
+}  // namespace cdmm
+
+namespace cdmm {
+namespace {
+
+constexpr char kBinaryMagic[4] = {'C', 'D', 'M', 'B'};
+constexpr uint8_t kBinaryVersion = 1;
+
+void PutVarint(std::ostream& os, uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+bool GetVarint(std::istream& is, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    int c = is.get();
+    if (c == EOF || shift > 63) {
+      return false;
+    }
+    v |= static_cast<uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+  }
+  *out = v;
+  return true;
+}
+
+// Event tags. References carry their page inline: tag = (page << 3) | kTagRef.
+enum BinaryTag : uint64_t {
+  kTagRef = 0,
+  kTagLoopEnter = 1,
+  kTagLoopExit = 2,
+  kTagAllocate = 3,
+  kTagLock = 4,
+  kTagUnlock = 5,
+  kTagEnd = 6,
+};
+
+}  // namespace
+
+void WriteTraceBinary(const Trace& trace, std::ostream& os) {
+  os.write(kBinaryMagic, sizeof(kBinaryMagic));
+  os.put(static_cast<char>(kBinaryVersion));
+  PutVarint(os, trace.name().size());
+  os.write(trace.name().data(), static_cast<std::streamsize>(trace.name().size()));
+  PutVarint(os, trace.virtual_pages());
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kRef:
+        PutVarint(os, (static_cast<uint64_t>(e.value) << 3) | kTagRef);
+        break;
+      case TraceEvent::Kind::kLoopEnter:
+        PutVarint(os, (static_cast<uint64_t>(e.value) << 3) | kTagLoopEnter);
+        break;
+      case TraceEvent::Kind::kLoopExit:
+        PutVarint(os, (static_cast<uint64_t>(e.value) << 3) | kTagLoopExit);
+        break;
+      case TraceEvent::Kind::kDirective: {
+        const DirectiveRecord& d = trace.directive(e.value);
+        switch (d.kind) {
+          case DirectiveRecord::Kind::kAllocate:
+            PutVarint(os, (static_cast<uint64_t>(d.loop_id) << 3) | kTagAllocate);
+            PutVarint(os, d.requests.size());
+            for (const AllocateRequest& r : d.requests) {
+              PutVarint(os, r.priority);
+              PutVarint(os, r.pages);
+            }
+            break;
+          case DirectiveRecord::Kind::kLock:
+            PutVarint(os, (static_cast<uint64_t>(d.loop_id) << 3) | kTagLock);
+            PutVarint(os, d.lock_priority);
+            PutVarint(os, d.pages.size());
+            for (PageId p : d.pages) {
+              PutVarint(os, p);
+            }
+            break;
+          case DirectiveRecord::Kind::kUnlock:
+            PutVarint(os, (static_cast<uint64_t>(d.loop_id) << 3) | kTagUnlock);
+            PutVarint(os, d.pages.size());
+            for (PageId p : d.pages) {
+              PutVarint(os, p);
+            }
+            break;
+        }
+        break;
+      }
+    }
+  }
+  PutVarint(os, kTagEnd);  // payload 0, tag kEnd: unambiguous terminator
+}
+
+Result<Trace> ReadTraceBinary(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (is.gcount() != sizeof(magic) || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Error{"bad binary trace magic", {}};
+  }
+  int version = is.get();
+  if (version != kBinaryVersion) {
+    return Error{StrCat("unsupported binary trace version ", version), {}};
+  }
+  uint64_t name_len = 0;
+  if (!GetVarint(is, &name_len) || name_len > (1u << 20)) {
+    return Error{"malformed trace name", {}};
+  }
+  std::string name(name_len, '\0');
+  is.read(name.data(), static_cast<std::streamsize>(name_len));
+  if (is.gcount() != static_cast<std::streamsize>(name_len)) {
+    return Error{"truncated trace name", {}};
+  }
+  Trace trace(name);
+  uint64_t pages = 0;
+  if (!GetVarint(is, &pages)) {
+    return Error{"missing virtual page count", {}};
+  }
+  trace.set_virtual_pages(static_cast<uint32_t>(pages));
+
+  while (true) {
+    uint64_t head = 0;
+    if (!GetVarint(is, &head)) {
+      return Error{"truncated binary trace (missing terminator)", {}};
+    }
+    uint64_t tag = head & 0x7;
+    uint64_t payload = head >> 3;
+    if (tag == kTagEnd && payload == 0 && head == kTagEnd) {
+      break;
+    }
+    switch (tag) {
+      case kTagRef:
+        if (trace.virtual_pages() != 0 && payload >= trace.virtual_pages()) {
+          return Error{StrCat("page ", payload, " out of range"), {}};
+        }
+        trace.AddRef(static_cast<PageId>(payload));
+        break;
+      case kTagLoopEnter:
+        trace.AddLoopEnter(static_cast<uint32_t>(payload));
+        break;
+      case kTagLoopExit:
+        trace.AddLoopExit(static_cast<uint32_t>(payload));
+        break;
+      case kTagAllocate: {
+        DirectiveRecord d;
+        d.kind = DirectiveRecord::Kind::kAllocate;
+        d.loop_id = static_cast<uint32_t>(payload);
+        uint64_t n = 0;
+        if (!GetVarint(is, &n) || n == 0 || n > 64) {
+          return Error{"malformed ALLOCATE request count", {}};
+        }
+        for (uint64_t i = 0; i < n; ++i) {
+          uint64_t pi = 0;
+          uint64_t x = 0;
+          if (!GetVarint(is, &pi) || !GetVarint(is, &x)) {
+            return Error{"truncated ALLOCATE request", {}};
+          }
+          d.requests.push_back(
+              AllocateRequest{static_cast<uint16_t>(pi), static_cast<uint32_t>(x)});
+        }
+        trace.AddDirective(std::move(d));
+        break;
+      }
+      case kTagLock:
+      case kTagUnlock: {
+        DirectiveRecord d;
+        d.kind = tag == kTagLock ? DirectiveRecord::Kind::kLock : DirectiveRecord::Kind::kUnlock;
+        d.loop_id = static_cast<uint32_t>(payload);
+        if (tag == kTagLock) {
+          uint64_t pj = 0;
+          if (!GetVarint(is, &pj)) {
+            return Error{"truncated LOCK priority", {}};
+          }
+          d.lock_priority = static_cast<uint16_t>(pj);
+        }
+        uint64_t n = 0;
+        if (!GetVarint(is, &n) || n > (1u << 24)) {
+          return Error{"malformed lock page count", {}};
+        }
+        for (uint64_t i = 0; i < n; ++i) {
+          uint64_t p = 0;
+          if (!GetVarint(is, &p)) {
+            return Error{"truncated lock page list", {}};
+          }
+          d.pages.push_back(static_cast<PageId>(p));
+        }
+        trace.AddDirective(std::move(d));
+        break;
+      }
+      default:
+        return Error{StrCat("unknown binary event tag ", tag), {}};
+    }
+  }
+  return trace;
+}
+
+Result<Trace> ReadAnyTrace(std::istream& is) {
+  int first = is.peek();
+  if (first == 'C') {
+    // Both formats start with 'C'; sniff the fourth byte ('M' text vs 'B').
+    char head[4];
+    is.read(head, 4);
+    for (int i = 3; i >= 0; --i) {
+      is.putback(head[i]);
+    }
+    if (std::memcmp(head, kBinaryMagic, 4) == 0) {
+      return ReadTraceBinary(is);
+    }
+  }
+  return ReadTrace(is);
+}
+
+}  // namespace cdmm

@@ -1,0 +1,47 @@
+// Text (de)serialisation for traces. Format, one event per line:
+//
+//   CDMMTRACE 1
+//   NAME <program>
+//   PAGES <virtual size>
+//   R <page>
+//   D A <loop> <pi>:<pages> [<pi>:<pages> ...]     (ALLOCATE else-chain)
+//   D L <loop> <pj> <page> [<page> ...]            (LOCK)
+//   D U <loop> <page> [<page> ...]                 (UNLOCK)
+//   E <loop>                                       (loop enter marker)
+//   X <loop>                                       (loop exit marker)
+//
+// The format is deliberately line-oriented and diff-friendly; traces in this
+// project are small enough (a few million lines worst case) that a binary
+// format is unnecessary.
+#ifndef CDMM_SRC_TRACE_TRACE_IO_H_
+#define CDMM_SRC_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/support/result.h"
+#include "src/trace/trace.h"
+
+namespace cdmm {
+
+// Writes `trace` in the text format above.
+void WriteTrace(const Trace& trace, std::ostream& os);
+std::string TraceToString(const Trace& trace);
+
+// Parses a trace; returns a descriptive Error (with 1-based line number in
+// the location) on malformed input.
+Result<Trace> ReadTrace(std::istream& is);
+Result<Trace> TraceFromString(const std::string& text);
+
+// Compact binary format ("CDMB" magic, version byte, varint-encoded events;
+// ~4-8x smaller than the text form and faster to parse). The two formats
+// are interchangeable; ReadAnyTrace sniffs the magic.
+void WriteTraceBinary(const Trace& trace, std::ostream& os);
+Result<Trace> ReadTraceBinary(std::istream& is);
+
+// Reads either format, dispatching on the leading magic bytes.
+Result<Trace> ReadAnyTrace(std::istream& is);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,130 @@
+#include "src/vm/cd_core.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace cdmm {
+
+CdCore::CdCore(uint32_t initial_grant, bool honor_locks)
+    : grant_(std::max<uint32_t>(initial_grant, 1)), honor_locks_(honor_locks) {}
+
+bool CdCore::Touch(PageId page) {
+  auto it = where_.find(page);
+  if (it != where_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return false;
+  }
+  bool incoming_locked = IsLocked(page);
+  if (!incoming_locked && unlocked_resident() >= grant_) {
+    CDMM_CHECK_MSG(EvictUnlockedLru(), "grant underflow");
+  }
+  lru_.push_front(page);
+  where_[page] = lru_.begin();
+  if (incoming_locked) {
+    ++locked_resident_;
+  }
+  return true;
+}
+
+void CdCore::SetGrant(uint32_t grant) {
+  grant_ = std::max<uint32_t>(grant, 1);
+  while (unlocked_resident() > grant_) {
+    CDMM_CHECK_MSG(EvictUnlockedLru(), "shrink with no unlocked page");
+  }
+}
+
+void CdCore::Lock(const std::vector<PageId>& pages, uint16_t pj) {
+  if (!honor_locks_) {
+    return;
+  }
+  for (PageId p : pages) {
+    auto [it, inserted] = locked_.try_emplace(p, pj);
+    if (!inserted) {
+      it->second = pj;
+    } else if (where_.count(p) != 0) {
+      ++locked_resident_;
+    }
+  }
+}
+
+void CdCore::Unlock(const std::vector<PageId>& pages) {
+  if (!honor_locks_) {
+    return;
+  }
+  for (PageId p : pages) {
+    auto it = locked_.find(p);
+    if (it == locked_.end()) {
+      continue;
+    }
+    locked_.erase(it);
+    if (where_.count(p) != 0) {
+      CDMM_CHECK(locked_resident_ > 0);
+      --locked_resident_;
+    }
+  }
+  // Newly unlocked pages now count against the grant; trim immediately so
+  // `held()` stays truthful for pool accounting.
+  while (unlocked_resident() > grant_) {
+    CDMM_CHECK(EvictUnlockedLru());
+  }
+}
+
+uint32_t CdCore::EnforceCap(uint32_t cap) {
+  uint32_t released = 0;
+  while (resident() > cap) {
+    if (EvictUnlockedLru()) {
+      continue;
+    }
+    if (!ReleaseOneLock()) {
+      break;
+    }
+    ++released;
+  }
+  return released;
+}
+
+void CdCore::DropAll() {
+  lru_.clear();
+  where_.clear();
+  locked_resident_ = 0;
+}
+
+bool CdCore::EvictUnlockedLru() {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (!IsLocked(*it)) {
+      Remove(*it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CdCore::ReleaseOneLock() {
+  PageId victim = 0;
+  int best_pj = -1;
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    auto lk = locked_.find(*it);
+    if (lk != locked_.end() && static_cast<int>(lk->second) > best_pj) {
+      best_pj = lk->second;
+      victim = *it;
+    }
+  }
+  if (best_pj < 0) {
+    return false;
+  }
+  locked_.erase(victim);
+  CDMM_CHECK(locked_resident_ > 0);
+  --locked_resident_;
+  Remove(victim);
+  return true;
+}
+
+void CdCore::Remove(PageId page) {
+  auto it = where_.find(page);
+  CDMM_CHECK(it != where_.end());
+  lru_.erase(it->second);
+  where_.erase(it);
+}
+
+}  // namespace cdmm

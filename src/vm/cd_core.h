@@ -1,0 +1,75 @@
+// CdCore: the residency/lock/grant mechanics of the CD policy, shared by the
+// uniprogramming simulator (SimulateCd) and the multiprogrammed OS memory
+// manager (src/os). Pure state machine — no metric accounting, no time.
+//
+// Invariants:
+//  - unlocked resident pages never exceed the grant;
+//  - locked pages sit on top of the grant and are only evicted by
+//    EnforceCap's soft-release path (highest PJ first);
+//  - replacement among unlocked pages is LRU.
+#ifndef CDMM_SRC_VM_CD_CORE_H_
+#define CDMM_SRC_VM_CD_CORE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace cdmm {
+
+class CdCore {
+ public:
+  CdCore(uint32_t initial_grant, bool honor_locks);
+
+  // Processes one page reference; returns true if it faulted.
+  bool Touch(PageId page);
+
+  // Sets the allocation grant (floored at 1) and evicts unlocked LRU pages
+  // down to the new grant.
+  void SetGrant(uint32_t grant);
+
+  void Lock(const std::vector<PageId>& pages, uint16_t pj);
+  void Unlock(const std::vector<PageId>& pages);
+
+  // Forces total residency (locked + unlocked) down to `cap`, evicting
+  // unlocked LRU pages first, then soft-releasing locks highest-PJ-first.
+  // Returns the number of locks released.
+  uint32_t EnforceCap(uint32_t cap);
+
+  // Swap-out: drops the whole resident set (locks survive as metadata so a
+  // re-faulted page is still pinned, matching a swapped process resuming).
+  void DropAll();
+
+  // Soft-releases the lowest-priority (highest PJ) resident lock and evicts
+  // its page; returns false when no resident page is locked. Used by the
+  // multiprogrammed OS under direct pool pressure.
+  bool SoftReleaseLock() { return ReleaseOneLock(); }
+
+  uint32_t grant() const { return grant_; }
+  uint32_t resident() const { return static_cast<uint32_t>(where_.size()); }
+  uint32_t locked_resident() const { return locked_resident_; }
+  uint32_t unlocked_resident() const { return resident() - locked_resident_; }
+  // Frames this process holds against a shared pool.
+  uint32_t held() const { return grant_ + locked_resident_; }
+  bool IsResident(PageId page) const { return where_.find(page) != where_.end(); }
+  bool IsLocked(PageId page) const { return locked_.find(page) != locked_.end(); }
+
+ private:
+  bool EvictUnlockedLru();
+  bool ReleaseOneLock();
+  void Remove(PageId page);
+
+  uint32_t grant_;
+  bool honor_locks_;
+  std::list<PageId> lru_;  // front = most recently used
+  std::unordered_map<PageId, std::list<PageId>::iterator> where_;
+  std::map<PageId, uint16_t> locked_;  // page -> PJ
+  uint32_t locked_resident_ = 0;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_CD_CORE_H_

@@ -1,0 +1,140 @@
+#include "src/vm/cd_policy.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+#include "src/vm/cd_core.h"
+
+namespace cdmm {
+
+const char* DirectiveSelectionName(DirectiveSelection s) {
+  switch (s) {
+    case DirectiveSelection::kOutermost:
+      return "outermost";
+    case DirectiveSelection::kInnermost:
+      return "innermost";
+    case DirectiveSelection::kLevelCap:
+      return "level-cap";
+    case DirectiveSelection::kAvailability:
+      return "availability";
+  }
+  return "?";
+}
+
+int SelectCdRequest(const std::vector<AllocateRequest>& chain, DirectiveSelection selection,
+                    int level_cap, uint32_t available) {
+  CDMM_CHECK(!chain.empty());
+  switch (selection) {
+    case DirectiveSelection::kOutermost:
+      return 0;
+    case DirectiveSelection::kInnermost:
+      return static_cast<int>(chain.size()) - 1;
+    case DirectiveSelection::kLevelCap:
+      for (size_t i = 0; i < chain.size(); ++i) {
+        if (chain[i].priority <= level_cap) {
+          return static_cast<int>(i);
+        }
+      }
+      return static_cast<int>(chain.size()) - 1;
+    case DirectiveSelection::kAvailability:
+      for (size_t i = 0; i < chain.size(); ++i) {
+        if (chain[i].pages <= available) {
+          return static_cast<int>(i);
+        }
+      }
+      return -1;
+  }
+  CDMM_UNREACHABLE("bad DirectiveSelection");
+}
+
+SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* info) {
+  SimResult result;
+  result.policy = StrCat("CD(", DirectiveSelectionName(options.selection),
+                         options.selection == DirectiveSelection::kLevelCap
+                             ? StrCat(" ", options.level_cap)
+                             : "",
+                         ")");
+  CdCore core(options.initial_allocation, options.honor_locks);
+  uint64_t swap_requests = 0;
+  double ref_integral = 0.0;
+
+  auto process = [&](const DirectiveRecord& d) {
+    ++result.directives_processed;
+    switch (d.kind) {
+      case DirectiveRecord::Kind::kAllocate: {
+        uint32_t available = options.selection == DirectiveSelection::kAvailability &&
+                                     options.available_frames != 0
+                                 ? options.available_frames
+                                 : 0;
+        if (options.selection == DirectiveSelection::kAvailability && available == 0) {
+          // Unlimited memory degenerates to the outermost selection.
+          core.SetGrant(d.requests.front().pages);
+          break;
+        }
+        int idx = SelectCdRequest(d.requests, options.selection, options.level_cap, available);
+        if (idx < 0) {
+          // Figure 6: nothing fits. PI = 1 would swap/suspend — emulated in
+          // uniprogramming by recording the request and running inside what
+          // physically fits; PI > 1 continues under the current allocation.
+          if (d.requests.back().priority == 1) {
+            ++swap_requests;
+            core.SetGrant(available);
+          }
+          break;
+        }
+        uint32_t g = d.requests[static_cast<size_t>(idx)].pages;
+        if (g < core.grant() && core.unlocked_resident() > g) {
+          ++result.allocation_shrinks;
+        }
+        core.SetGrant(g);
+        break;
+      }
+      case DirectiveRecord::Kind::kLock:
+        core.Lock(d.pages, d.lock_priority);
+        if (options.available_frames != 0) {
+          result.lock_releases += core.EnforceCap(options.available_frames);
+        }
+        break;
+      case DirectiveRecord::Kind::kUnlock:
+        core.Unlock(d.pages);
+        break;
+    }
+  };
+
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kRef: {
+        bool fault = core.Touch(e.value);
+        if (fault) {
+          ++result.faults;
+          if (options.available_frames != 0) {
+            result.lock_releases += core.EnforceCap(options.available_frames);
+          }
+        }
+        ++result.references;
+        result.max_resident = std::max(result.max_resident, core.resident());
+        result.elapsed += 1 + (fault ? options.sim.fault_service_time : 0);
+        ref_integral += static_cast<double>(core.held());
+        break;
+      }
+      case TraceEvent::Kind::kDirective:
+        process(trace.directive(e.value));
+        break;
+      case TraceEvent::Kind::kLoopEnter:
+      case TraceEvent::Kind::kLoopExit:
+        break;
+    }
+  }
+  result.mean_memory =
+      result.references == 0 ? 0.0 : ref_integral / static_cast<double>(result.references);
+  result.space_time =
+      ref_integral + static_cast<double>(result.faults) *
+                         static_cast<double>(options.sim.fault_service_time);
+  if (info != nullptr) {
+    info->swap_requests = swap_requests;
+  }
+  return result;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,59 @@
+// The Compiler-Directed (CD) memory-management policy (§4 of the paper).
+// Consumes a directive-bearing trace produced by the interpreter:
+//  - ALLOCATE ((PI_1,X_1) else ...) adjusts the program's allocation grant;
+//  - LOCK (PJ, Y...) pins pages against replacement (soft: the policy may
+//    release them under pressure, highest PJ first);
+//  - UNLOCK (Y...) releases pins.
+// Replacement within the grant is local LRU over unlocked pages.
+#ifndef CDMM_SRC_VM_CD_POLICY_H_
+#define CDMM_SRC_VM_CD_POLICY_H_
+
+#include "src/trace/trace.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+// How an ALLOCATE else-chain is resolved. The paper's uniprogramming
+// experiments (§5) fix the honoured set of directives before the run
+// ("we specify prior to program execution the set of directives to be
+// executed"); kAvailability is the multiprogrammed Figure-6 behaviour.
+enum class DirectiveSelection : uint8_t {
+  kOutermost,     // always grant X_1 (the outermost loop's locality)
+  kInnermost,     // always grant the chain's last request (current loop)
+  kLevelCap,      // grant the first request with PI <= level_cap
+  kAvailability,  // grant the largest X_i that fits in available_frames
+};
+
+const char* DirectiveSelectionName(DirectiveSelection s);
+
+struct CdOptions {
+  DirectiveSelection selection = DirectiveSelection::kOutermost;
+  // kLevelCap: the largest priority index the system is willing to honour.
+  int level_cap = 1;
+  // Allocation before the first ALLOCATE is processed.
+  uint32_t initial_allocation = 2;
+  // Ignore LOCK/UNLOCK directives when false (ablation switch).
+  bool honor_locks = true;
+  // kAvailability: physical frames available to this program (0 = unlimited,
+  // which degenerates to kOutermost).
+  uint32_t available_frames = 0;
+  SimOptions sim;
+};
+
+// Counters specific to a CD run, folded into SimResult by SimulateCd.
+struct CdRunInfo {
+  uint64_t swap_requests = 0;  // ungrantable PI=1 requests (Figure 6's swap arm)
+};
+
+SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* info = nullptr);
+
+// Resolves an ALLOCATE else-chain. For kAvailability, `available` is the
+// frame budget; returns -1 when nothing fits (the Figure-6 swap/continue
+// decision is the caller's). Other modes always return a valid index and
+// ignore `available`.
+int SelectCdRequest(const std::vector<AllocateRequest>& chain, DirectiveSelection selection,
+                    int level_cap, uint32_t available);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_CD_POLICY_H_

@@ -1,0 +1,65 @@
+#include "src/vm/curves.h"
+
+#include "src/support/check.h"
+#include "src/vm/working_set.h"
+
+namespace cdmm {
+
+std::vector<CurvePoint> LifetimeCurve(const Trace& trace, uint32_t max_frames,
+                                      const SimOptions& options) {
+  std::vector<CurvePoint> curve;
+  double refs = static_cast<double>(trace.reference_count());
+  for (const SweepPoint& p : LruSweep(trace, max_frames, options)) {
+    double g = p.faults == 0 ? refs : refs / static_cast<double>(p.faults);
+    curve.push_back(CurvePoint{p.parameter, g});
+  }
+  return curve;
+}
+
+std::vector<CurvePoint> FaultRateCurve(const Trace& trace, uint32_t max_frames,
+                                       const SimOptions& options) {
+  std::vector<CurvePoint> curve;
+  double refs = static_cast<double>(trace.reference_count());
+  CDMM_CHECK(refs > 0);
+  for (const SweepPoint& p : LruSweep(trace, max_frames, options)) {
+    curve.push_back(CurvePoint{p.parameter, static_cast<double>(p.faults) / refs});
+  }
+  return curve;
+}
+
+std::vector<CurvePoint> WsSizeCurve(const Trace& trace, const std::vector<uint64_t>& taus,
+                                    const SimOptions& options) {
+  std::vector<CurvePoint> curve;
+  for (const SweepPoint& p : WsSweep(trace, taus, options)) {
+    curve.push_back(CurvePoint{p.parameter, p.mean_memory});
+  }
+  return curve;
+}
+
+std::vector<CurvePoint> WsFaultRateCurve(const Trace& trace, const std::vector<uint64_t>& taus,
+                                         const SimOptions& options) {
+  std::vector<CurvePoint> curve;
+  double refs = static_cast<double>(trace.reference_count());
+  CDMM_CHECK(refs > 0);
+  for (const SweepPoint& p : WsSweep(trace, taus, options)) {
+    curve.push_back(CurvePoint{p.parameter, static_cast<double>(p.faults) / refs});
+  }
+  return curve;
+}
+
+uint32_t LifetimeKnee(const std::vector<CurvePoint>& lifetime) {
+  CDMM_CHECK(!lifetime.empty());
+  uint32_t best_m = static_cast<uint32_t>(lifetime.front().x);
+  double best = -1.0;
+  for (const CurvePoint& p : lifetime) {
+    CDMM_CHECK(p.x > 0);
+    double score = p.y / p.x;
+    if (score > best) {
+      best = score;
+      best_m = static_cast<uint32_t>(p.x);
+    }
+  }
+  return best_m;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,45 @@
+// Classic memory-policy characteristic curves (Denning & Kahn 1975, cited by
+// the paper): the lifetime function g(m) — mean references between faults as
+// a function of allocation — its fault-rate inverse, and the WS
+// characteristic (mean working-set size and fault rate vs the window τ).
+// These are the standard instruments for locating a program's "knee", which
+// is exactly what the CD directives encode at compile time.
+#ifndef CDMM_SRC_VM_CURVES_H_
+#define CDMM_SRC_VM_CURVES_H_
+
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+struct CurvePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// g(m) = R / PF(m) under LRU for m = 1..max_frames.
+std::vector<CurvePoint> LifetimeCurve(const Trace& trace, uint32_t max_frames,
+                                      const SimOptions& options = {});
+
+// f(m) = PF(m) / R under LRU.
+std::vector<CurvePoint> FaultRateCurve(const Trace& trace, uint32_t max_frames,
+                                       const SimOptions& options = {});
+
+// (τ, mean WS size) over the given windows.
+std::vector<CurvePoint> WsSizeCurve(const Trace& trace, const std::vector<uint64_t>& taus,
+                                    const SimOptions& options = {});
+
+// (τ, PF/R) over the given windows.
+std::vector<CurvePoint> WsFaultRateCurve(const Trace& trace, const std::vector<uint64_t>& taus,
+                                         const SimOptions& options = {});
+
+// The lifetime knee: the allocation maximising g(m)/m (the classic
+// knee criterion). Returns the m of the knee point.
+uint32_t LifetimeKnee(const std::vector<CurvePoint>& lifetime);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_CURVES_H_

@@ -1,0 +1,84 @@
+#include "src/vm/damped_ws.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+
+SimResult SimulateDampedWs(const Trace& trace, const DampedWsParams& params,
+                           const SimOptions& options) {
+  CDMM_CHECK(params.tau >= 1 && params.release_interval >= 1);
+  SimResult result;
+  result.policy = StrCat("DWS(tau=", params.tau, ",rho=", params.release_interval, ")");
+
+  std::unordered_map<PageId, uint64_t> last_ref;
+  last_ref.reserve(trace.virtual_pages());
+  std::deque<std::pair<uint64_t, PageId>> window;   // (ref time, page)
+  std::deque<PageId> expired;                       // awaiting damped release
+  std::unordered_map<PageId, bool> resident;
+  resident.reserve(trace.virtual_pages());
+  uint64_t resident_count = 0;
+  uint64_t t = 0;
+  uint64_t next_release = params.release_interval;
+  double ref_integral = 0.0;
+
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceEvent::Kind::kRef) {
+      continue;
+    }
+    ++t;
+    // Move pages that left the working-set window onto the expired queue
+    // instead of dropping them immediately (the damping).
+    while (!window.empty() && window.front().first + params.tau < t) {
+      auto [when, page] = window.front();
+      window.pop_front();
+      auto it = last_ref.find(page);
+      if (it != last_ref.end() && it->second == when && resident[page]) {
+        expired.push_back(page);
+      }
+    }
+    // Damped release: at most one expired page per release interval.
+    if (t >= next_release) {
+      next_release += params.release_interval;
+      while (!expired.empty()) {
+        PageId victim = expired.front();
+        expired.pop_front();
+        // Skip pages revived by a reference since expiring.
+        auto it = last_ref.find(victim);
+        if (it != last_ref.end() && it->second + params.tau >= t) {
+          continue;
+        }
+        if (resident[victim]) {
+          resident[victim] = false;
+          --resident_count;
+        }
+        break;
+      }
+    }
+
+    PageId page = e.value;
+    bool fault = !resident[page];
+    if (fault) {
+      ++result.faults;
+      resident[page] = true;
+      ++resident_count;
+    }
+    last_ref[page] = t;
+    window.emplace_back(t, page);
+    result.max_resident = std::max<uint32_t>(result.max_resident,
+                                             static_cast<uint32_t>(resident_count));
+    result.elapsed += 1 + (fault ? options.fault_service_time : 0);
+    ref_integral += static_cast<double>(resident_count);
+  }
+  result.references = t;
+  result.mean_memory = t == 0 ? 0.0 : ref_integral / static_cast<double>(t);
+  result.space_time = ref_integral + static_cast<double>(result.faults) *
+                                         static_cast<double>(options.fault_service_time);
+  return result;
+}
+
+}  // namespace cdmm

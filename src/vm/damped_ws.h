@@ -1,0 +1,28 @@
+// The Damped Working Set (Smith 1976), surveyed in the paper's §1: "The
+// Damped WS (DWS) was introduced to handle these transitional faults.
+// However, the DWS out performs WS by less than 10%". DWS damps the
+// working-set contraction: pages are expelled not the instant they leave
+// the window but at a bounded rate, which smooths the deallocation spike at
+// inter-locality transitions.
+#ifndef CDMM_SRC_VM_DAMPED_WS_H_
+#define CDMM_SRC_VM_DAMPED_WS_H_
+
+#include "src/trace/trace.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+struct DampedWsParams {
+  uint64_t tau = 2000;
+  // At most one expired page is released every `release_interval`
+  // references; expired pages awaiting release still count as held memory
+  // and still satisfy references without faulting.
+  uint64_t release_interval = 64;
+};
+
+SimResult SimulateDampedWs(const Trace& trace, const DampedWsParams& params,
+                           const SimOptions& options = {});
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_DAMPED_WS_H_

@@ -1,0 +1,219 @@
+#include "src/vm/fixed_alloc.h"
+
+#include "src/vm/stack_distance.h"
+
+#include <algorithm>
+#include <deque>
+#include <list>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+
+const char* ReplacementName(Replacement r) {
+  switch (r) {
+    case Replacement::kLru:
+      return "LRU";
+    case Replacement::kFifo:
+      return "FIFO";
+    case Replacement::kOpt:
+      return "OPT";
+  }
+  return "?";
+}
+
+namespace {
+
+// Shared accounting: every reference costs 1 unit, every fault adds the
+// service time; held memory is the constant partition size.
+SimResult Finish(const Trace& trace, uint32_t frames, Replacement replacement, uint64_t faults,
+                 uint32_t max_resident, const SimOptions& options) {
+  SimResult result;
+  result.policy = StrCat(ReplacementName(replacement), "(m=", frames, ")");
+  result.references = trace.reference_count();
+  result.faults = faults;
+  result.elapsed = result.references + faults * options.fault_service_time;
+  result.mean_memory = frames;
+  // Space-time: memory held over the reference string plus one frame held
+  // for the duration of each fault service (see sim_result.h).
+  result.space_time = static_cast<double>(frames) * static_cast<double>(result.references) +
+                      static_cast<double>(faults) * static_cast<double>(options.fault_service_time);
+  result.max_resident = max_resident;
+  return result;
+}
+
+SimResult SimulateLru(const Trace& trace, uint32_t frames, const SimOptions& options) {
+  // Recency list: front = most recent. map page -> list iterator.
+  std::list<PageId> stack;
+  std::unordered_map<PageId, std::list<PageId>::iterator> where;
+  where.reserve(trace.virtual_pages());
+  uint64_t faults = 0;
+  uint32_t max_resident = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceEvent::Kind::kRef) {
+      continue;
+    }
+    PageId page = e.value;
+    auto it = where.find(page);
+    if (it != where.end()) {
+      stack.splice(stack.begin(), stack, it->second);
+    } else {
+      ++faults;
+      if (where.size() == frames) {
+        PageId victim = stack.back();
+        stack.pop_back();
+        where.erase(victim);
+      }
+      stack.push_front(page);
+      where[page] = stack.begin();
+      max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(where.size()));
+    }
+  }
+  return Finish(trace, frames, Replacement::kLru, faults, max_resident, options);
+}
+
+SimResult SimulateFifo(const Trace& trace, uint32_t frames, const SimOptions& options) {
+  std::deque<PageId> queue;
+  std::set<PageId> resident;
+  uint64_t faults = 0;
+  uint32_t max_resident = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceEvent::Kind::kRef) {
+      continue;
+    }
+    PageId page = e.value;
+    if (resident.count(page) != 0) {
+      continue;
+    }
+    ++faults;
+    if (resident.size() == frames) {
+      PageId victim = queue.front();
+      queue.pop_front();
+      resident.erase(victim);
+    }
+    queue.push_back(page);
+    resident.insert(page);
+    max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(resident.size()));
+  }
+  return Finish(trace, frames, Replacement::kFifo, faults, max_resident, options);
+}
+
+SimResult SimulateOpt(const Trace& trace, uint32_t frames, const SimOptions& options) {
+  // Precompute, for each reference position, the next position at which the
+  // same page is referenced (or "infinity").
+  std::vector<PageId> refs;
+  refs.reserve(trace.reference_count());
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == TraceEvent::Kind::kRef) {
+      refs.push_back(e.value);
+    }
+  }
+  const uint64_t kNever = refs.size() + 1;
+  std::vector<uint64_t> next_use(refs.size());
+  {
+    std::unordered_map<PageId, uint64_t> last_seen;
+    last_seen.reserve(trace.virtual_pages());
+    for (size_t i = refs.size(); i-- > 0;) {
+      auto it = last_seen.find(refs[i]);
+      next_use[i] = it == last_seen.end() ? kNever : it->second;
+      last_seen[refs[i]] = i;
+    }
+  }
+
+  // Resident set ordered by next use (largest = best victim). Ties cannot
+  // happen: next uses are distinct positions (kNever broken by page id).
+  std::set<std::pair<uint64_t, PageId>> by_next_use;
+  std::unordered_map<PageId, uint64_t> resident_next;  // page -> its key
+  resident_next.reserve(frames + 1);
+  uint64_t faults = 0;
+  uint32_t max_resident = 0;
+
+  for (size_t i = 0; i < refs.size(); ++i) {
+    PageId page = refs[i];
+    // kNever entries collide across pages; disambiguate the set key by page.
+    auto key_of = [&](uint64_t nu, PageId p) {
+      return std::pair<uint64_t, PageId>{nu, p};
+    };
+    auto it = resident_next.find(page);
+    if (it != resident_next.end()) {
+      by_next_use.erase(key_of(it->second, page));
+    } else {
+      ++faults;
+      if (resident_next.size() == frames) {
+        auto victim = std::prev(by_next_use.end());
+        resident_next.erase(victim->second);
+        by_next_use.erase(victim);
+      }
+    }
+    resident_next[page] = next_use[i];
+    by_next_use.insert(key_of(next_use[i], page));
+    max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(resident_next.size()));
+  }
+  return Finish(trace, frames, Replacement::kOpt, faults, max_resident, options);
+}
+
+}  // namespace
+
+SimResult SimulateFixed(const Trace& trace, uint32_t frames, Replacement replacement,
+                        const SimOptions& options) {
+  CDMM_CHECK_MSG(frames >= 1, "fixed partition needs at least one frame");
+  switch (replacement) {
+    case Replacement::kLru:
+      return SimulateLru(trace, frames, options);
+    case Replacement::kFifo:
+      return SimulateFifo(trace, frames, options);
+    case Replacement::kOpt:
+      return SimulateOpt(trace, frames, options);
+  }
+  CDMM_UNREACHABLE("bad Replacement");
+}
+
+std::vector<SweepPoint> LruSweep(const Trace& trace, uint32_t max_frames,
+                                 const SimOptions& options) {
+  CDMM_CHECK(max_frames >= 1);
+  // Stack-distance histogram: distance d (1-based) means the page was at
+  // depth d of the LRU stack; a first-touch counts as infinite distance.
+  // faults(m) = #refs with distance > m. Distances come from the O(log R)
+  // Fenwick engine (Bennett-Kruskal).
+  std::vector<uint64_t> distance_hist(max_frames + 2, 0);
+  uint64_t cold_faults = 0;
+  StackDistanceEngine engine(trace.reference_count(), trace.virtual_pages());
+
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceEvent::Kind::kRef) {
+      continue;
+    }
+    StackDistanceEngine::Touch touch = engine.Next(e.value);
+    if (touch.depth == 0) {
+      ++cold_faults;
+      continue;
+    }
+    ++distance_hist[std::min<uint64_t>(touch.depth, max_frames + 1)];
+  }
+
+  // Suffix sums: faults(m) = cold + Σ_{d > m} hist[d].
+  std::vector<SweepPoint> points;
+  points.reserve(max_frames);
+  uint64_t refs = trace.reference_count();
+  for (uint32_t m = 1; m <= max_frames; ++m) {
+    uint64_t faults = cold_faults;
+    for (uint64_t d = m + 1; d < distance_hist.size(); ++d) {
+      faults += distance_hist[d];
+    }
+    SweepPoint p;
+    p.parameter = m;
+    p.faults = faults;
+    p.elapsed = refs + faults * options.fault_service_time;
+    p.mean_memory = m;
+    p.space_time = static_cast<double>(m) * static_cast<double>(refs) +
+                   static_cast<double>(faults) * static_cast<double>(options.fault_service_time);
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace cdmm

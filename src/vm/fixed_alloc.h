@@ -1,0 +1,42 @@
+// Fixed-allocation (static partition) policies: LRU, FIFO, and OPT (Belady's
+// MIN with perfect lookahead, the optimality yardstick). The program owns a
+// constant partition of `frames` pages; MEM == frames by the shared metric
+// convention in sim_result.h.
+#ifndef CDMM_SRC_VM_FIXED_ALLOC_H_
+#define CDMM_SRC_VM_FIXED_ALLOC_H_
+
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+enum class Replacement : uint8_t { kLru, kFifo, kOpt };
+
+const char* ReplacementName(Replacement r);
+
+// Simulates one fixed-size partition. Directive events in the trace are
+// ignored (these policies cannot use them). `frames` must be >= 1.
+SimResult SimulateFixed(const Trace& trace, uint32_t frames, Replacement replacement,
+                        const SimOptions& options = {});
+
+// One point of a parameter sweep (shared by the LRU and WS sweeps).
+struct SweepPoint {
+  double parameter = 0.0;   // frames for LRU, window τ for WS
+  uint64_t faults = 0;
+  uint64_t elapsed = 0;
+  double mean_memory = 0.0;
+  double space_time = 0.0;
+};
+
+// Computes the whole LRU curve faults(m) for m = 1..max_frames in one pass
+// using LRU stack distances (the LRU inclusion property), then derives
+// elapsed/ST per point. Equivalent to calling SimulateFixed for every m,
+// but O(R * V) total instead of O(R * V) per point.
+std::vector<SweepPoint> LruSweep(const Trace& trace, uint32_t max_frames,
+                                 const SimOptions& options = {});
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_FIXED_ALLOC_H_

@@ -1,0 +1,67 @@
+#include "src/vm/pff.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+
+SimResult SimulatePff(const Trace& trace, uint64_t critical_interval, const SimOptions& options) {
+  CDMM_CHECK(critical_interval >= 1);
+  SimResult result;
+  result.policy = StrCat("PFF(T=", critical_interval, ")");
+
+  // page -> last reference time; residency flag folded into presence of an
+  // entry in `resident`.
+  std::unordered_map<PageId, uint64_t> last_ref;
+  std::unordered_map<PageId, bool> resident;
+  last_ref.reserve(trace.virtual_pages());
+  resident.reserve(trace.virtual_pages());
+  uint32_t resident_count = 0;
+  uint64_t t = 0;
+  uint64_t last_fault_time = 0;
+  double ref_integral = 0.0;
+
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceEvent::Kind::kRef) {
+      continue;
+    }
+    ++t;
+    PageId page = e.value;
+    bool fault = !resident[page];
+    if (fault) {
+      ++result.faults;
+      if (t - last_fault_time > critical_interval) {
+        // Long inter-fault gap: shrink to the pages referenced since the
+        // previous fault (plus the new page below).
+        for (auto& [p, is_resident] : resident) {
+          if (is_resident) {
+            auto it = last_ref.find(p);
+            if (it == last_ref.end() || it->second <= last_fault_time) {
+              is_resident = false;
+              --resident_count;
+            }
+          }
+        }
+      }
+      resident[page] = true;
+      ++resident_count;
+      last_fault_time = t;
+    }
+    last_ref[page] = t;
+    result.max_resident = std::max(result.max_resident, resident_count);
+
+    result.elapsed += 1 + (fault ? options.fault_service_time : 0);
+    ref_integral += static_cast<double>(resident_count);
+  }
+  result.references = t;
+  result.mean_memory = t == 0 ? 0.0 : ref_integral / static_cast<double>(t);
+  result.space_time =
+      ref_integral + static_cast<double>(result.faults) *
+                         static_cast<double>(options.fault_service_time);
+  return result;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,18 @@
+// The Page Fault Frequency policy (Chu & Opderbeck 1972). A single parameter
+// T (the critical inter-fault interval): a fault arriving within T references
+// of the previous fault grows the resident set; a fault arriving later first
+// discards every page not referenced since the previous fault.
+#ifndef CDMM_SRC_VM_PFF_H_
+#define CDMM_SRC_VM_PFF_H_
+
+#include "src/trace/trace.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+SimResult SimulatePff(const Trace& trace, uint64_t critical_interval,
+                      const SimOptions& options = {});
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_PFF_H_

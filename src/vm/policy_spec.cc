@@ -1,0 +1,93 @@
+#include "src/vm/policy_spec.h"
+
+#include <cstdlib>
+
+#include "src/vm/cd_policy.h"
+#include "src/vm/damped_ws.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/pff.h"
+#include "src/vm/vmin.h"
+#include "src/vm/working_set.h"
+
+namespace cdmm {
+namespace {
+
+// Parses "name:123" into its numeric suffix; `fallback` when absent.
+uint64_t SpecArg(const std::string& spec, uint64_t fallback) {
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return fallback;
+  }
+  return std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+}
+
+bool HasPrefix(const std::string& s, const char* prefix) { return s.rfind(prefix, 0) == 0; }
+
+}  // namespace
+
+std::optional<SimResult> RunPolicySpec(const std::string& spec, const Trace& full,
+                                       const Trace& refs, const SimOptions& options) {
+  if (HasPrefix(spec, "cd-")) {
+    CdOptions cd;
+    cd.sim = options;
+    std::string rest = spec.substr(3);
+    if (HasPrefix(rest, "nolock-")) {
+      cd.honor_locks = false;
+      rest = rest.substr(7);
+    }
+    if (rest == "outer") {
+      cd.selection = DirectiveSelection::kOutermost;
+    } else if (rest == "inner") {
+      cd.selection = DirectiveSelection::kInnermost;
+    } else if (HasPrefix(rest, "cap")) {
+      cd.selection = DirectiveSelection::kLevelCap;
+      cd.level_cap = static_cast<int>(SpecArg(rest, 2));
+    } else if (HasPrefix(rest, "avail")) {
+      cd.selection = DirectiveSelection::kAvailability;
+      cd.available_frames = static_cast<uint32_t>(SpecArg(rest, 0));
+    } else {
+      return std::nullopt;
+    }
+    return SimulateCd(full, cd);
+  }
+  if (HasPrefix(spec, "lru")) {
+    return SimulateFixed(refs, static_cast<uint32_t>(SpecArg(spec, 16)), Replacement::kLru,
+                         options);
+  }
+  if (HasPrefix(spec, "fifo")) {
+    return SimulateFixed(refs, static_cast<uint32_t>(SpecArg(spec, 16)), Replacement::kFifo,
+                         options);
+  }
+  if (HasPrefix(spec, "opt")) {
+    return SimulateFixed(refs, static_cast<uint32_t>(SpecArg(spec, 16)), Replacement::kOpt,
+                         options);
+  }
+  if (HasPrefix(spec, "sws")) {
+    return SimulateSampledWs(refs, {.sample_interval = SpecArg(spec, 2000), .window_samples = 1},
+                             options);
+  }
+  if (spec == "vsws") {
+    return SimulateVsws(refs, {}, options);
+  }
+  if (HasPrefix(spec, "ws")) {
+    return SimulateWs(refs, SpecArg(spec, 2000), options);
+  }
+  if (HasPrefix(spec, "dws")) {
+    return SimulateDampedWs(refs, {.tau = SpecArg(spec, 2000), .release_interval = 64}, options);
+  }
+  if (HasPrefix(spec, "pff")) {
+    return SimulatePff(refs, SpecArg(spec, 2000), options);
+  }
+  if (HasPrefix(spec, "vmin")) {
+    return SimulateVmin(refs, options, SpecArg(spec, 0));
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> KnownPolicySpecs() {
+  return {"cd-outer", "cd-inner", "cd-cap:2",  "cd-avail:64", "cd-nolock-inner",
+          "lru:16",   "fifo:16",  "opt:16",    "ws:2000",     "sws:2000",
+          "vsws",     "dws:2000", "pff:2000",  "vmin"};
+}
+
+}  // namespace cdmm

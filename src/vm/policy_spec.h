@@ -1,0 +1,32 @@
+// Textual policy specifications: one string names a policy and its
+// parameters, e.g. "lru:32", "ws:2000", "cd-cap:2", "vmin". Used by the
+// cdmmc driver and the examples so every binary accepts the same syntax.
+#ifndef CDMM_SRC_VM_POLICY_SPEC_H_
+#define CDMM_SRC_VM_POLICY_SPEC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+// Runs the policy named by `spec` and returns its result, or nullopt for an
+// unrecognised spec. `full` must carry directives for the cd-* policies;
+// `refs` is the directive-free view used by everything else.
+//
+// Accepted specs:
+//   cd-outer | cd-inner | cd-cap:N | cd-avail:FRAMES | cd-nolock-...
+//   lru:M | fifo:M | opt:M
+//   ws:TAU | sws:SIGMA | vsws | dws:TAU | pff:T | vmin[:U]
+std::optional<SimResult> RunPolicySpec(const std::string& spec, const Trace& full,
+                                       const Trace& refs, const SimOptions& options = {});
+
+// The canonical list of example specs (for --help text and the tests).
+std::vector<std::string> KnownPolicySpecs();
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_POLICY_SPEC_H_

@@ -1,0 +1,49 @@
+// Common result/option types for the virtual-memory policy simulators.
+//
+// Metric conventions (shared by every policy so comparisons are fair):
+//  - Virtual time advances 1 unit per reference, plus `fault_service_time`
+//    units per page fault (the paper's §5 convention: 2000 references).
+//  - MEM is the mean of the memory *held* by the program, averaged over
+//    virtual (reference) time — the classic "average resident set size":
+//    the fixed partition m for LRU/FIFO/OPT, the working-set size for the
+//    WS family, the resident set for PFF, and grant + pinned pages for CD.
+//  - ST (space-time cost) is the integral of held memory over the reference
+//    string plus one frame held for the duration of every fault service:
+//        ST = MEM * R + PF * fault_service_time.
+//    Back-solving the paper's Table 1/3/4 rows (e.g. CONDUCT: MEM 25.8,
+//    PF 577, ST 20.5e6) shows this is the formula the authors used; charging
+//    the full resident set during fault service would make their MEM/PF/ST
+//    triples mutually inconsistent.
+#ifndef CDMM_SRC_VM_SIM_RESULT_H_
+#define CDMM_SRC_VM_SIM_RESULT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cdmm {
+
+struct SimOptions {
+  // Page-fault service time in reference units (paper: 2000).
+  uint64_t fault_service_time = 2000;
+
+  friend bool operator==(const SimOptions&, const SimOptions&) = default;
+};
+
+struct SimResult {
+  std::string policy;       // e.g. "LRU(m=26)", "WS(tau=421)", "CD(outer)"
+  uint64_t references = 0;  // reference-string length R
+  uint64_t faults = 0;      // PF
+  uint64_t elapsed = 0;     // R + PF * fault_service_time
+  double space_time = 0.0;  // ST = MEM * R + PF * fault_service_time
+  double mean_memory = 0.0; // MEM (held memory averaged over references)
+  uint32_t max_resident = 0;
+
+  // CD-only extras (0 for other policies).
+  uint64_t directives_processed = 0;
+  uint64_t lock_releases = 0;   // soft releases forced by memory pressure
+  uint64_t allocation_shrinks = 0;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_SIM_RESULT_H_

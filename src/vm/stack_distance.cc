@@ -1,0 +1,60 @@
+#include "src/vm/stack_distance.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace cdmm {
+
+StackDistanceEngine::StackDistanceEngine(size_t expected_refs, uint32_t expected_pages) {
+  // Fenwick trees cannot grow in place (a fresh node would have to cover
+  // already-counted positions), so the capacity is fixed up front.
+  tree_.assign(expected_refs + 1, 0);
+  if (expected_pages != 0) {
+    last_use_.reserve(expected_pages);
+  }
+}
+
+void StackDistanceEngine::EnsureCapacity(size_t i) {
+  CDMM_CHECK_MSG(i < tree_.size(),
+                 "StackDistanceEngine fed more references than its declared capacity ("
+                     << tree_.size() - 1 << ")");
+}
+
+void StackDistanceEngine::Add(size_t pos, int delta) {
+  EnsureCapacity(pos);
+  for (size_t i = pos; i < tree_.size(); i += i & (~i + 1)) {
+    tree_[i] += delta;
+  }
+}
+
+int64_t StackDistanceEngine::Prefix(size_t pos) const {
+  int64_t s = 0;
+  for (size_t i = std::min(pos, tree_.size() - 1); i > 0; i -= i & (~i + 1)) {
+    s += tree_[i];
+  }
+  return s;
+}
+
+StackDistanceEngine::Touch StackDistanceEngine::Next(PageId page) {
+  ++now_;
+  EnsureCapacity(now_);
+  Touch result;
+  auto it = last_use_.find(page);
+  if (it != last_use_.end()) {
+    uint64_t prev = it->second;
+    // Distinct pages whose most recent use lies strictly after `prev`, plus
+    // the page itself.
+    int64_t between = Prefix(now_ - 1) - Prefix(prev);
+    result.depth = static_cast<uint32_t>(between + 1);
+    result.previous = prev;
+    Add(prev, -1);
+    it->second = now_;
+  } else {
+    last_use_.emplace(page, now_);
+  }
+  Add(now_, +1);
+  return result;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,49 @@
+// LRU stack-distance computation in O(log R) per reference via a Fenwick
+// tree over last-use positions (the classic Bennett–Kruskal technique).
+// Shared by the LRU parameter sweep (fault counts for every allocation in
+// one pass) and the locality-estimate validator.
+#ifndef CDMM_SRC_VM_STACK_DISTANCE_H_
+#define CDMM_SRC_VM_STACK_DISTANCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace cdmm {
+
+// Streaming stack-distance engine. Feed references in order; each Touch
+// returns the page's LRU stack depth (1-based; 0 for a first touch) and the
+// position of its previous use (0 if none).
+class StackDistanceEngine {
+ public:
+  // `expected_refs` is the maximum number of Next() calls (CHECK-enforced;
+  // a Fenwick tree cannot grow in place); `expected_pages` pre-sizes the
+  // page table.
+  explicit StackDistanceEngine(size_t expected_refs, uint32_t expected_pages = 0);
+
+  struct Touch {
+    uint32_t depth = 0;     // LRU stack depth, 1-based; 0 = cold (first touch)
+    uint64_t previous = 0;  // 1-based position of the previous use; 0 = none
+  };
+
+  // Processes the next reference (positions advance by one per call).
+  Touch Next(PageId page);
+
+  // 1-based position of the reference Next() will process next, minus one.
+  uint64_t position() const { return now_; }
+
+ private:
+  void Add(size_t i, int delta);
+  int64_t Prefix(size_t i) const;
+  void EnsureCapacity(size_t i);
+
+  std::vector<int64_t> tree_;  // Fenwick over positions (1-based storage)
+  std::unordered_map<PageId, uint64_t> last_use_;
+  uint64_t now_ = 0;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_STACK_DISTANCE_H_

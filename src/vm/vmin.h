@@ -1,0 +1,25 @@
+// VMIN (Prieve & Fabry 1976): the optimal variable-space policy. With a
+// fault cost of D reference-times, keeping a page between two consecutive
+// uses costs gap·1 space-time units while dropping and re-faulting costs D;
+// VMIN keeps the page exactly when the forward gap is at most D. It
+// minimises ST = Σ resident + PF·D over all demand policies — the
+// variable-allocation analogue of Belady's MIN, and the yardstick the
+// paper's DMIN reference [BDMS81] aims at. CD's directives try to
+// approximate this schedule with compile-time information only.
+#ifndef CDMM_SRC_VM_VMIN_H_
+#define CDMM_SRC_VM_VMIN_H_
+
+#include "src/trace/trace.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+// Simulates VMIN with retention window = options.fault_service_time (the
+// cost-optimal choice); `retention` overrides it when non-zero (e.g. to
+// sweep the memory/fault trade-off).
+SimResult SimulateVmin(const Trace& trace, const SimOptions& options = {},
+                       uint64_t retention = 0);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_VMIN_H_

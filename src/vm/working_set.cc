@@ -1,0 +1,208 @@
+#include "src/vm/working_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+
+SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options) {
+  CDMM_CHECK(tau >= 1);
+  std::unordered_map<PageId, uint64_t> last_ref;
+  last_ref.reserve(trace.virtual_pages());
+  std::deque<std::pair<uint64_t, PageId>> window;  // (ref time, page)
+  uint64_t ws_size = 0;
+
+  SimResult result;
+  result.policy = StrCat("WS(tau=", tau, ")");
+  uint64_t t = 0;
+  double ref_integral = 0.0;
+
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceEvent::Kind::kRef) {
+      continue;
+    }
+    ++t;
+    // Keep window entries with time >= t - tau: W(t-1, τ) covers [t-τ, t-1].
+    while (!window.empty() && window.front().first + tau < t) {
+      auto [when, page] = window.front();
+      window.pop_front();
+      auto it = last_ref.find(page);
+      if (it != last_ref.end() && it->second == when) {
+        --ws_size;  // page expired from the working set
+      }
+    }
+    PageId page = e.value;
+    auto it = last_ref.find(page);
+    bool in_ws = it != last_ref.end() && it->second + tau >= t;
+    bool fault = !in_ws;
+    if (fault) {
+      ++result.faults;
+      ++ws_size;
+    }
+    if (it == last_ref.end()) {
+      last_ref.emplace(page, t);
+    } else {
+      it->second = t;
+    }
+    window.emplace_back(t, page);
+    result.max_resident = std::max<uint32_t>(result.max_resident, static_cast<uint32_t>(ws_size));
+
+    result.elapsed += 1 + (fault ? options.fault_service_time : 0);
+    ref_integral += static_cast<double>(ws_size);
+  }
+  result.references = t;
+  result.mean_memory = t == 0 ? 0.0 : ref_integral / static_cast<double>(t);
+  result.space_time =
+      ref_integral + static_cast<double>(result.faults) *
+                         static_cast<double>(options.fault_service_time);
+  return result;
+}
+
+namespace {
+
+// Shared sampled-WS engine: pages accumulate between samples and are trimmed
+// at sampling instants when their use history over the last
+// `window_samples` intervals is empty.
+class SampledEngine {
+ public:
+  SampledEngine(uint32_t window_samples, const SimOptions& options)
+      : window_samples_(std::max<uint32_t>(window_samples, 1)), options_(options) {}
+
+  void Touch(PageId page, SimResult* result) {
+    ++t_;
+    auto [it, inserted] = pages_.try_emplace(page, UseBits{});
+    bool fault = inserted || !it->second.resident;
+    it->second.bits |= 1;  // referenced in the current interval
+    it->second.resident = true;
+    if (fault) {
+      ++result->faults;
+      ++resident_count_;
+      ++faults_since_sample_;
+    }
+    result->max_resident = std::max(result->max_resident, resident_count_);
+    result->elapsed += 1 + (fault ? options_.fault_service_time : 0);
+    ref_integral_ += static_cast<double>(resident_count_);
+  }
+
+  void Sample() {
+    for (auto& [page, use] : pages_) {
+      use.bits = static_cast<uint64_t>(use.bits << 1);
+      uint64_t mask = window_samples_ >= 64 ? ~0ULL : ((1ULL << window_samples_) - 1) << 1;
+      if (use.resident && (use.bits & mask) == 0) {
+        use.resident = false;
+        --resident_count_;
+      }
+    }
+    faults_since_sample_ = 0;
+  }
+
+  uint64_t now() const { return t_; }
+  uint32_t faults_since_sample() const { return faults_since_sample_; }
+  double ref_integral() const { return ref_integral_; }
+
+ private:
+  struct UseBits {
+    uint64_t bits = 0;  // bit k = referenced during the k-th most recent interval
+    bool resident = false;
+  };
+
+  uint32_t window_samples_;
+  SimOptions options_;
+  std::unordered_map<PageId, UseBits> pages_;
+  uint32_t resident_count_ = 0;
+  uint64_t t_ = 0;
+  uint32_t faults_since_sample_ = 0;
+  double ref_integral_ = 0.0;
+};
+
+void FinishMean(SimResult* result, const SampledEngine& engine, uint64_t fault_service_time) {
+  result->references = engine.now();
+  result->mean_memory =
+      engine.now() == 0 ? 0.0 : engine.ref_integral() / static_cast<double>(engine.now());
+  result->space_time = engine.ref_integral() + static_cast<double>(result->faults) *
+                                                   static_cast<double>(fault_service_time);
+}
+
+}  // namespace
+
+SimResult SimulateSampledWs(const Trace& trace, const SampledWsParams& params,
+                            const SimOptions& options) {
+  CDMM_CHECK(params.sample_interval >= 1);
+  SimResult result;
+  result.policy =
+      StrCat("SWS(sigma=", params.sample_interval, ",k=", params.window_samples, ")");
+  SampledEngine engine(params.window_samples, options);
+  uint64_t next_sample = params.sample_interval;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceEvent::Kind::kRef) {
+      continue;
+    }
+    engine.Touch(e.value, &result);
+    if (engine.now() >= next_sample) {
+      engine.Sample();
+      next_sample += params.sample_interval;
+    }
+  }
+  FinishMean(&result, engine, options.fault_service_time);
+  return result;
+}
+
+SimResult SimulateVsws(const Trace& trace, const VswsParams& params, const SimOptions& options) {
+  CDMM_CHECK(params.min_interval >= 1 && params.max_interval >= params.min_interval);
+  SimResult result;
+  result.policy = StrCat("VSWS(M=", params.min_interval, ",L=", params.max_interval,
+                         ",Q=", params.fault_threshold, ")");
+  SampledEngine engine(/*window_samples=*/1, options);
+  uint64_t last_sample = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceEvent::Kind::kRef) {
+      continue;
+    }
+    engine.Touch(e.value, &result);
+    uint64_t since = engine.now() - last_sample;
+    bool sample = since >= params.max_interval ||
+                  (engine.faults_since_sample() >= params.fault_threshold &&
+                   since >= params.min_interval);
+    if (sample) {
+      engine.Sample();
+      last_sample = engine.now();
+    }
+  }
+  FinishMean(&result, engine, options.fault_service_time);
+  return result;
+}
+
+std::vector<SweepPoint> WsSweep(const Trace& trace, const std::vector<uint64_t>& taus,
+                                const SimOptions& options) {
+  std::vector<SweepPoint> points;
+  points.reserve(taus.size());
+  for (uint64_t tau : taus) {
+    SimResult r = SimulateWs(trace, tau, options);
+    SweepPoint p;
+    p.parameter = static_cast<double>(tau);
+    p.faults = r.faults;
+    p.elapsed = r.elapsed;
+    p.mean_memory = r.mean_memory;
+    p.space_time = r.space_time;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<uint64_t> DefaultTauGrid(uint64_t max_tau, int points_per_decade) {
+  CDMM_CHECK(max_tau >= 1 && points_per_decade >= 1);
+  std::set<uint64_t> taus = {1, max_tau};
+  double factor = std::pow(10.0, 1.0 / points_per_decade);
+  for (double v = 1.0; v < static_cast<double>(max_tau); v *= factor) {
+    taus.insert(static_cast<uint64_t>(std::llround(v)));
+  }
+  return {taus.begin(), taus.end()};
+}
+
+}  // namespace cdmm

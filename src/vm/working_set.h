@@ -1,0 +1,52 @@
+// The working-set policy family: pure WS(τ) (Denning 1968), the Sampled WS
+// (Rodriguez-Rosell & Dupuy 1973) and the Variable-Interval Sampled WS
+// (Ferrari & Yih 1983). Window/interval times are measured in process
+// virtual time (references), so fault service does not age the window.
+#ifndef CDMM_SRC_VM_WORKING_SET_H_
+#define CDMM_SRC_VM_WORKING_SET_H_
+
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+// Pure WS(τ): a page is resident iff referenced within the last `tau`
+// references. Faults occur on references to non-resident pages; pages leave
+// the set silently on expiry.
+SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options = {});
+
+// Sampled WS: residency is only trimmed at sampling instants, every
+// `sample_interval` references; a page survives a sample if it was
+// referenced during any of the last `window_samples` intervals.
+struct SampledWsParams {
+  uint64_t sample_interval = 1000;
+  uint32_t window_samples = 1;
+};
+SimResult SimulateSampledWs(const Trace& trace, const SampledWsParams& params,
+                            const SimOptions& options = {});
+
+// VSWS: samples when `max_interval` references have elapsed, or early when
+// `fault_threshold` faults have accumulated and at least `min_interval`
+// references have elapsed, trimming unreferenced-since-last-sample pages.
+struct VswsParams {
+  uint64_t min_interval = 500;   // M
+  uint64_t max_interval = 4000;  // L
+  uint32_t fault_threshold = 8;  // Q
+};
+SimResult SimulateVsws(const Trace& trace, const VswsParams& params,
+                       const SimOptions& options = {});
+
+// Sweeps WS over the given window values (for the paper's τ = 1..K search).
+std::vector<SweepPoint> WsSweep(const Trace& trace, const std::vector<uint64_t>& taus,
+                                const SimOptions& options = {});
+
+// A geometric-ish grid of windows from 1 to `max_tau` with ~`points_per_decade`
+// values per decade, always including 1 and max_tau.
+std::vector<uint64_t> DefaultTauGrid(uint64_t max_tau, int points_per_decade = 16);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_WORKING_SET_H_

@@ -1,0 +1,462 @@
+#include "src/workloads/workloads.h"
+
+#include "src/lang/sema.h"
+#include "src/support/check.h"
+
+namespace cdmm {
+namespace {
+
+// MAIN: driver of an atmospheric-research code (UIARL style): grid
+// initialisation, a time loop alternating a heavy multi-column relaxation
+// with a repeated-span diagnostic over the whole grid, and a long vector
+// smoothing post-pass. The phases have deliberately contrasting working
+// sets (streaming inits vs. a ~40-page re-spanned grid).
+constexpr char kMainSource[] = R"(
+      PROGRAM MAIN
+      PARAMETER (M = 128, N = 20, NT = 10, L = 640)
+      DIMENSION P(M,N), Q(M,N), W(M), Z(L), R(L)
+      DO 20 J = 1, N
+        DO 10 I = 1, M
+          P(I,J) = 0.0
+          Q(I,J) = 1.0
+   10   CONTINUE
+   20 CONTINUE
+      DO 60 T = 1, NT
+        DO 50 J = 2, 19
+          P(1,J) = W(1) * 2.0
+          Q(1,J) = W(2) * 0.5
+          DO 30 I = 2, 127
+            Q(I,J) = P(I,J) + P(I,J-1) + P(I,J+1) + W(I)
+            P(I,J) = Q(I,J) + Q(I-1,J)
+   30     CONTINUE
+   50   CONTINUE
+        DO 57 S = 1, 2
+          DO 55 J = 1, N
+            DO 53 I = 1, M
+              W(I) = W(I) + P(I,J) * Q(I,J)
+   53       CONTINUE
+   55     CONTINUE
+   57   CONTINUE
+   60 CONTINUE
+      DO 90 K = 1, 30
+        DO 80 I = 2, 639
+          Z(I) = Z(I) + R(I) * 0.25
+          Z(I) = Z(I) - R(I-1) * 0.125
+   80   CONTINUE
+   90 CONTINUE
+      END
+)";
+
+// FDJAC: MINPACK's forward-difference Jacobian inside a Newton iteration.
+// Each column build re-spans the X/DIAG/FVEC data vectors (the function
+// evaluation), then a streaming pass applies the Jacobian column-by-column.
+constexpr char kFdjacSource[] = R"(
+      PROGRAM FDJAC
+      PARAMETER (MR = 384, N = 96, NITER = 2)
+      DIMENSION FJAC(MR,N), X(N), FVEC(MR), WA(MR), DAT(MR), SIG(MR), QTF(N)
+      DO 60 ITER = 1, NITER
+        DO 30 J = 1, N
+          X(J) = X(J) + 0.001
+          DO 10 I = 1, MR
+            WA(I) = X(J) * DAT(I) + FVEC(I) * SIG(I)
+   10     CONTINUE
+          DO 20 I = 1, MR
+            FJAC(I,J) = WA(I) - FVEC(I)
+   20     CONTINUE
+          X(J) = X(J) - 0.001
+   30   CONTINUE
+        DO 50 J = 1, N
+          DO 40 I = 1, MR
+            QTF(J) = QTF(J) + FJAC(I,J) * FVEC(I)
+   40     CONTINUE
+   50   CONTINUE
+   60 CONTINUE
+      END
+)";
+
+// TQL: EISPACK's TQL2 (tridiagonal QL with eigenvectors): per-eigenvalue QL
+// sweeps over the D/E vectors (triangular) and plane rotations streaming
+// through the eigenvector columns while re-referencing the pivot column L.
+constexpr char kTqlSource[] = R"(
+      PROGRAM TQL
+      PARAMETER (N = 64, NQL = 2)
+      DIMENSION Z(N,N), D(N), E(N)
+      DO 100 L = 1, N
+        DO 90 ITER = 1, NQL
+          E(L) = E(L) * 0.99
+          D(L) = D(L) + E(L)
+          DO 20 I = L, N
+            D(I) = D(I) - E(I) * E(I) / (D(I) + 2.0)
+            E(I) = E(I) * 0.5
+   20     CONTINUE
+          DO 40 K = L, N
+            DO 30 I = 1, N
+              Z(I,K) = Z(I,K) * E(K) + Z(I,L) * D(K)
+   30       CONTINUE
+   40     CONTINUE
+   90   CONTINUE
+  100 CONTINUE
+      END
+)";
+
+// FIELD: 5-point relaxation with a wide stencil phase (five active columns
+// plus coefficient vectors) alternating with a streaming copy-back; the
+// classic column-order grid code.
+constexpr char kFieldSource[] = R"(
+      PROGRAM FIELD
+      PARAMETER (M = 128, N = 48, NT = 8)
+      DIMENSION A(M,N), B(M,N), CX(M), CY(M)
+      DO 50 T = 1, NT
+        DO 20 J = 3, 46
+          DO 10 I = 2, 127
+            B(I,J) = A(I,J) + A(I,J-2) + A(I,J+2) + CX(I) * A(I+1,J) + CY(I) * A(I-1,J)
+   10     CONTINUE
+   20   CONTINUE
+        DO 40 J = 1, N
+          DO 30 I = 1, M
+            A(I,J) = B(I,J) * 0.2
+   30     CONTINUE
+   40   CONTINUE
+        DO 65 S = 1, 2
+          DO 60 J = 1, 16
+            DO 55 I = 1, M
+              CX(I) = CX(I) + A(I,J) * 0.001
+   55       CONTINUE
+   60     CONTINUE
+   65   CONTINUE
+   50 CONTINUE
+      END
+)";
+
+// INIT: initialisation-dominated program: long streaming fills and copies of
+// two grids and a large state vector, with a periodic re-spanned lookup
+// table pass. Mostly sequential with a tiny true locality.
+constexpr char kInitSource[] = R"(
+      PROGRAM INIT
+      PARAMETER (M = 128, N = 64, LS = 16384, NP = 10)
+      DIMENSION U(M,N), V(M,N), S(LS), TBL(2048)
+      DO 20 J = 1, N
+        DO 10 I = 1, M
+          U(I,J) = 1.0
+   10   CONTINUE
+   20 CONTINUE
+      DO 40 J = 1, N
+        DO 30 I = 1, M
+          V(I,J) = U(I,J) * 2.0
+   30   CONTINUE
+   40 CONTINUE
+      DO 45 I = 1, LS
+        S(I) = 0.5
+   45 CONTINUE
+      DO 70 K = 1, NP
+        DO 55 R = 1, 3
+          DO 50 I = 1, 2048
+            TBL(I) = TBL(I) + 1.0
+   50     CONTINUE
+   55   CONTINUE
+   70 CONTINUE
+      END
+)";
+
+// APPROX: iterative least-squares fitting: every coefficient update re-scans
+// the full sample vectors X and Y (a ~64-page repeated span), separated by
+// long streaming residual passes over an auxiliary buffer.
+constexpr char kApproxSource[] = R"(
+      PROGRAM APPROX
+      PARAMETER (NS = 2048, NW = 8192, NC = 24)
+      DIMENSION X(NS), Y(NS), C(NC), WK(NW)
+      DO 40 K = 1, NC
+        DO 10 I = 1, NS
+          Y(I) = Y(I) + C(K) * X(I)
+   10   CONTINUE
+        DO 20 I = 1, NS
+          C(K) = C(K) + X(I) * Y(I)
+   20   CONTINUE
+        DO 30 I = 2, NW
+          WK(I) = WK(I) + WK(I-1) * 0.5
+   30   CONTINUE
+   40 CONTINUE
+      END
+)";
+
+// HYBRJ: MINPACK's Powell hybrid method: triangular factor updates against a
+// re-referenced pivot column, alternating with streaming scaling passes over
+// the full factor.
+constexpr char kHybrjSource[] = R"(
+      PROGRAM HYBRJ
+      PARAMETER (N = 64)
+      DIMENSION R(N,N), QTF(N), DIAG(N), WA(N)
+      DO 60 J = 1, N
+        DO 10 I = J, N
+          R(I,J) = R(I,J) + DIAG(I) * DIAG(J)
+          WA(I) = R(I,J) * QTF(I)
+   10   CONTINUE
+        DO 30 K = J, N
+          DO 20 I = 1, J
+            R(I,K) = R(I,K) - WA(I) * R(I,J)
+   20     CONTINUE
+   30   CONTINUE
+        DO 50 K = 1, N
+          DO 40 I = 1, N
+            R(I,K) = R(I,K) * 0.999
+   40     CONTINUE
+   50   CONTINUE
+   60 CONTINUE
+      END
+)";
+
+// CONDUCT: heat-conduction ADI-style solver on a 128x128 plate (the paper
+// quotes 270 virtual pages; this grid plus its coefficient vectors lands at
+// 262). Alternates a column-direction phase (small locality) with a
+// row-direction phase whose working set is one page per column — the
+// pattern where compile-time knowledge pays off most.
+constexpr char kConductSource[] = R"(
+      PROGRAM CONDUCT
+      PARAMETER (M = 128, NT = 4)
+      DIMENSION T(M,M), COND(M), FLUX(M), CAP(M)
+      DO 60 STEP = 1, NT
+        DO 20 J = 1, M
+          CAP(J) = CAP(J) + 1.0
+          DO 10 I = 2, 127
+            T(I,J) = T(I,J) + COND(I) * (T(I+1,J) - T(I-1,J))
+   10     CONTINUE
+   20   CONTINUE
+        DO 40 I = 2, 127
+          DO 30 J = 2, 127
+            T(I,J) = T(I,J) + FLUX(I) * (T(I,J+1) - T(I,J-1))
+   30     CONTINUE
+   40   CONTINUE
+   60 CONTINUE
+      END
+)";
+
+// HWSCRT: FISHPACK's Helmholtz solver on a rectangle (the paper quotes 69
+// virtual pages; a 64x64 grid plus boundary/work vectors lands exactly
+// there). Column scaling, a row-direction sweep, and a column-direction
+// correction per cyclic-reduction step.
+constexpr char kHwscrtSource[] = R"(
+      PROGRAM HWSCRT
+      PARAMETER (M = 64, NSTEP = 6)
+      DIMENSION F(M,M), BDA(M), BDB(M), W(192)
+      DO 70 STEP = 1, NSTEP
+        DO 20 J = 1, M
+          DO 10 I = 1, M
+            F(I,J) = F(I,J) * W(I)
+   10     CONTINUE
+   20   CONTINUE
+        DO 40 I = 1, M
+          DO 30 J = 2, 63
+            F(I,J) = F(I,J) + BDA(I) * (F(I,J+1) - F(I,J-1))
+   30     CONTINUE
+   40   CONTINUE
+        DO 60 J = 2, 63
+          DO 50 I = 1, M
+            F(I,J) = F(I,J) - BDB(I) * W(I+64)
+   50     CONTINUE
+   60   CONTINUE
+   70 CONTINUE
+      END
+)";
+
+// TRED: EISPACK's TRED2 Householder reduction to tridiagonal form:
+// triangular column operations against an accumulating transformation,
+// with the active column re-referenced across the elimination loop.
+constexpr char kTredSource[] = R"(
+      PROGRAM TRED
+      PARAMETER (N = 64)
+      DIMENSION A(N,N), D(N), E(N)
+      DO 60 K = 1, 63
+        DO 10 I = K, N
+          D(I) = A(I,K) * A(I,K) + D(I)
+   10   CONTINUE
+        E(K) = D(K) * 0.5
+        DO 40 J = K, N
+          DO 30 I = K, N
+            A(I,J) = A(I,J) - A(I,K) * E(K) * A(J,K)
+   30     CONTINUE
+   40   CONTINUE
+   60 CONTINUE
+      END
+)";
+
+// POISSN: a FISHPACK-style Poisson SOR solver: repeated 5-point column-order
+// sweeps over the potential grid with a fixed right-hand side.
+constexpr char kPoissnSource[] = R"(
+      PROGRAM POISSN
+      PARAMETER (M = 96, N = 48, NIT = 10)
+      REAL U(M,N), RHS(M,N)
+      DO 30 IT = 1, NIT
+        DO 20 J = 2, 47
+          DO 10 I = 2, 95
+            U(I,J) = (U(I+1,J) + U(I-1,J) + U(I,J+1) + U(I,J-1) - RHS(I,J)) * 0.25
+   10     CONTINUE
+   20   CONTINUE
+   30 CONTINUE
+      END
+)";
+
+// GAUSSJ: Gauss-Jordan elimination: the pivot column is re-referenced while
+// every other column is updated once per pivot step (column-order inner
+// loops, triangular shrinkage).
+constexpr char kGaussjSource[] = R"(
+      PROGRAM GAUSSJ
+      PARAMETER (N = 80)
+      REAL A(N,N), B(N), PIV(N)
+      DO 50 K = 1, N
+        DO 10 I = 1, N
+          PIV(I) = A(I,K)
+   10   CONTINUE
+        DO 40 J = K, N
+          DO 30 I = 1, N
+            A(I,J) = A(I,J) - PIV(I) * A(K,J)
+   30     CONTINUE
+   40   CONTINUE
+        B(K) = B(K) / (PIV(K) + 1.0)
+   50 CONTINUE
+      END
+)";
+
+std::vector<Workload> MakeExtendedWorkloads() {
+  return {
+      {"TRED", "EISPACK TRED2: Householder reduction, triangular column ops", kTredSource},
+      {"POISSN", "FISHPACK-style Poisson SOR: repeated 5-point column sweeps", kPoissnSource},
+      {"GAUSSJ", "Gauss-Jordan elimination: pivot column reuse + column updates",
+       kGaussjSource},
+  };
+}
+
+std::vector<Workload> MakeWorkloads() {
+  return {
+      {"MAIN", "atmospheric-model driver: init, time-stepped column relaxation, smoothing",
+       kMainSource},
+      {"FDJAC", "MINPACK forward-difference Jacobian (column-wise writes)", kFdjacSource},
+      {"TQL", "EISPACK TQL2: triangular QL sweeps + eigenvector rotations", kTqlSource},
+      {"FIELD", "5-point column-order stencil relaxation with copy-back", kFieldSource},
+      {"INIT", "initialisation-dominated sweeps with a small resident table", kInitSource},
+      {"APPROX", "least-squares fitting: full-data re-scans per coefficient", kApproxSource},
+      {"HYBRJ", "MINPACK Powell hybrid: triangular factor updates", kHybrjSource},
+      {"CONDUCT", "ADI heat conduction: alternating column/row phases (262 pages)",
+       kConductSource},
+      {"HWSCRT", "FISHPACK Helmholtz solver on a 64x64 rectangle (69 pages)", kHwscrtSource},
+  };
+}
+
+}  // namespace
+
+const std::vector<Workload>& AllWorkloads() {
+  static const std::vector<Workload>* workloads = new std::vector<Workload>(MakeWorkloads());
+  return *workloads;
+}
+
+const std::vector<Workload>& ExtendedWorkloads() {
+  static const std::vector<Workload>* workloads =
+      new std::vector<Workload>(MakeExtendedWorkloads());
+  return *workloads;
+}
+
+const Workload& FindWorkload(const std::string& name) {
+  for (const auto* list : {&AllWorkloads(), &ExtendedWorkloads()}) {
+    for (const Workload& w : *list) {
+      if (w.name == name) {
+        return w;
+      }
+    }
+  }
+  CDMM_UNREACHABLE(name + ": unknown workload");
+}
+
+Program ParseWorkload(const Workload& workload) {
+  auto program = ParseAndCheck(workload.source);
+  CDMM_CHECK_MSG(program.ok(),
+                 workload.name << " failed to parse: " << program.error().ToString());
+  return std::move(program).value();
+}
+
+namespace {
+
+WorkloadVariant V(const char* variant, const char* workload, DirectiveSelection sel,
+                  int level_cap = 1, bool locks = true) {
+  return WorkloadVariant{variant, workload, sel, level_cap, locks};
+}
+
+std::vector<WorkloadVariant> MakeTable1() {
+  // Table 1 of the paper: the effect of executing different directive sets.
+  // Base names run the inner-level directives with LOCK/UNLOCK honoured;
+  // numbered variants move the honoured set outward (or drop the locks).
+  return {
+      V("MAIN", "MAIN", DirectiveSelection::kLevelCap, 3),
+      V("MAIN1", "MAIN", DirectiveSelection::kOutermost),
+      V("MAIN2", "MAIN", DirectiveSelection::kLevelCap, 2),
+      V("MAIN3", "MAIN", DirectiveSelection::kInnermost, 1, /*locks=*/false),
+      V("FDJAC", "FDJAC", DirectiveSelection::kInnermost),
+      V("FDJAC1", "FDJAC", DirectiveSelection::kLevelCap, 2),
+      V("TQL1", "TQL", DirectiveSelection::kLevelCap, 2),
+      V("TQL2", "TQL", DirectiveSelection::kInnermost, 1, /*locks=*/false),
+  };
+}
+
+std::vector<WorkloadVariant> MakeTable2() {
+  // Table 2 compares minimal-ST points; the paper's rows name the variant
+  // whose ST was lowest per program (MAIN3, FDJAC, ..., TQL1) — the
+  // inner-level directive sets, which trade faults for a small footprint.
+  return {
+      V("MAIN3", "MAIN", DirectiveSelection::kInnermost, 1, /*locks=*/false),
+      V("FDJAC", "FDJAC", DirectiveSelection::kInnermost),
+      V("FIELD-I", "FIELD", DirectiveSelection::kInnermost),
+      V("INIT-I", "INIT", DirectiveSelection::kInnermost),
+      V("APPROX", "APPROX", DirectiveSelection::kInnermost),
+      V("HYBRJ", "HYBRJ", DirectiveSelection::kInnermost),
+      V("CONDUCT", "CONDUCT", DirectiveSelection::kLevelCap, 2),
+      V("TQL1", "TQL", DirectiveSelection::kLevelCap, 2),
+  };
+}
+
+std::vector<WorkloadVariant> MakeTable3() {
+  // Tables 3 and 4: all fourteen program/variant rows.
+  return {
+      V("MAIN", "MAIN", DirectiveSelection::kLevelCap, 3),
+      V("MAIN1", "MAIN", DirectiveSelection::kOutermost),
+      V("MAIN2", "MAIN", DirectiveSelection::kLevelCap, 2),
+      V("MAIN3", "MAIN", DirectiveSelection::kInnermost, 1, /*locks=*/false),
+      V("FDJAC", "FDJAC", DirectiveSelection::kInnermost),
+      V("FDJAC1", "FDJAC", DirectiveSelection::kLevelCap, 2),
+      V("FIELD", "FIELD", DirectiveSelection::kLevelCap, 3),
+      V("INIT", "INIT", DirectiveSelection::kLevelCap, 2),
+      V("APPROX", "APPROX", DirectiveSelection::kInnermost),
+      V("HYBRJ", "HYBRJ", DirectiveSelection::kInnermost),
+      V("CONDUCT", "CONDUCT", DirectiveSelection::kLevelCap, 2),
+      V("TQL1", "TQL", DirectiveSelection::kLevelCap, 2),
+      V("TQL2", "TQL", DirectiveSelection::kInnermost, 1, /*locks=*/false),
+      V("HWSCRT", "HWSCRT", DirectiveSelection::kLevelCap, 2),
+  };
+}
+
+}  // namespace
+
+const std::vector<WorkloadVariant>& Table1Variants() {
+  static const auto* variants = new std::vector<WorkloadVariant>(MakeTable1());
+  return *variants;
+}
+
+const std::vector<WorkloadVariant>& Table2Variants() {
+  static const auto* variants = new std::vector<WorkloadVariant>(MakeTable2());
+  return *variants;
+}
+
+const std::vector<WorkloadVariant>& Table3Variants() {
+  static const auto* variants = new std::vector<WorkloadVariant>(MakeTable3());
+  return *variants;
+}
+
+const WorkloadVariant& FindVariant(const std::string& variant_name) {
+  for (const auto* list : {&Table1Variants(), &Table2Variants(), &Table3Variants()}) {
+    for (const WorkloadVariant& v : *list) {
+      if (v.variant_name == variant_name) {
+        return v;
+      }
+    }
+  }
+  CDMM_UNREACHABLE(variant_name + ": unknown variant");
+}
+
+}  // namespace cdmm

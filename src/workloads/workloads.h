@@ -1,0 +1,66 @@
+// The paper's nine numerical FORTRAN programs (§5), re-created in the
+// mini-FORTRAN dialect with the loop/array idioms of the packages they came
+// from (MINPACK's FDJAC/HYBRJ, EISPACK's TQL, FISHPACK's HWSCRT, and
+// atmospheric-simulation-style grid codes for MAIN/FIELD/INIT/APPROX/
+// CONDUCT). Absolute trace content differs from the 1985 originals — only
+// the structural reference patterns are reproduced; see DESIGN.md §1.
+#ifndef CDMM_SRC_WORKLOADS_WORKLOADS_H_
+#define CDMM_SRC_WORKLOADS_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/vm/cd_policy.h"
+
+namespace cdmm {
+
+struct Workload {
+  std::string name;         // "MAIN", "FDJAC", ...
+  std::string description;  // provenance / structure note
+  const char* source;       // mini-FORTRAN text
+};
+
+// All nine programs, in the paper's order of appearance.
+const std::vector<Workload>& AllWorkloads();
+
+// Additional kernels beyond the paper's nine (same packages' idioms:
+// EISPACK's TRED2, a FISHPACK-style Poisson SOR sweep, and Gauss-Jordan
+// elimination). Not part of the table benches; available to cdmmc, the
+// examples and the multiprogramming mixes.
+const std::vector<Workload>& ExtendedWorkloads();
+
+// Lookup by name across both lists; CHECK-fails for unknown names.
+const Workload& FindWorkload(const std::string& name);
+
+// Parses and checks a workload's source (CHECK-fails on error: embedded
+// sources are compile-time constants of this library).
+Program ParseWorkload(const Workload& workload);
+
+// A named CD configuration of a workload: the paper's Table 1 rows MAIN,
+// MAIN1..MAIN3, FDJAC/FDJAC1, TQL1/TQL2 are the same programs run with
+// different directive sets ("a program has to be rerun with different sets
+// of MD"), which this project expresses as directive-selection choices.
+struct WorkloadVariant {
+  std::string variant_name;  // "MAIN3"
+  std::string workload;      // "MAIN"
+  DirectiveSelection selection = DirectiveSelection::kInnermost;
+  int level_cap = 1;         // used when selection == kLevelCap
+  bool honor_locks = true;
+};
+
+// The 8 rows of Table 1.
+const std::vector<WorkloadVariant>& Table1Variants();
+
+// The variant used for each program in Table 2 (one row per program).
+const std::vector<WorkloadVariant>& Table2Variants();
+
+// The 14 rows of Tables 3 and 4.
+const std::vector<WorkloadVariant>& Table3Variants();
+
+// Finds a variant by name across all lists; CHECK-fails if absent.
+const WorkloadVariant& FindVariant(const std::string& variant_name);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_WORKLOADS_WORKLOADS_H_

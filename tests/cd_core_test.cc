@@ -1,0 +1,185 @@
+#include "src/vm/cd_core.h"
+
+#include <gtest/gtest.h>
+
+namespace cdmm {
+namespace {
+
+TEST(CdCoreTest, TouchFaultsOnceThenHits) {
+  CdCore core(4, true);
+  EXPECT_TRUE(core.Touch(1));
+  EXPECT_FALSE(core.Touch(1));
+  EXPECT_EQ(core.resident(), 1u);
+}
+
+TEST(CdCoreTest, GrantBoundsUnlockedResidency) {
+  CdCore core(2, true);
+  core.Touch(0);
+  core.Touch(1);
+  core.Touch(2);  // evicts LRU (0)
+  EXPECT_EQ(core.resident(), 2u);
+  EXPECT_TRUE(core.Touch(0));  // 0 was evicted
+  EXPECT_FALSE(core.IsResident(1));  // 1 was the LRU at that point
+}
+
+TEST(CdCoreTest, LruOrderRespected) {
+  CdCore core(3, true);
+  core.Touch(0);
+  core.Touch(1);
+  core.Touch(2);
+  core.Touch(0);  // 0 most recent; LRU order now 1,2,0
+  core.Touch(3);  // evicts 1
+  EXPECT_FALSE(core.IsResident(1));
+  EXPECT_TRUE(core.IsResident(0));
+  EXPECT_TRUE(core.IsResident(2));
+}
+
+TEST(CdCoreTest, ShrinkEvictsDownToGrant) {
+  CdCore core(4, true);
+  for (PageId p = 0; p < 4; ++p) {
+    core.Touch(p);
+  }
+  core.SetGrant(2);
+  EXPECT_EQ(core.resident(), 2u);
+  EXPECT_TRUE(core.IsResident(2));
+  EXPECT_TRUE(core.IsResident(3));
+}
+
+TEST(CdCoreTest, GrantFlooredAtOne) {
+  CdCore core(0, true);
+  EXPECT_EQ(core.grant(), 1u);
+  core.SetGrant(0);
+  EXPECT_EQ(core.grant(), 1u);
+}
+
+TEST(CdCoreTest, LockedPagesSurviveShrink) {
+  CdCore core(4, true);
+  for (PageId p = 0; p < 4; ++p) {
+    core.Touch(p);
+  }
+  core.Lock({0, 1}, 2);
+  EXPECT_EQ(core.locked_resident(), 2u);
+  core.SetGrant(1);
+  // Unlocked pages trimmed to 1, locked pages retained on top.
+  EXPECT_EQ(core.resident(), 3u);
+  EXPECT_TRUE(core.IsResident(0));
+  EXPECT_TRUE(core.IsResident(1));
+  EXPECT_EQ(core.held(), 1u + 2u);
+}
+
+TEST(CdCoreTest, LockedPagesNotEvictedByFaults) {
+  CdCore core(1, true);
+  core.Touch(0);
+  core.Lock({0}, 2);
+  core.Touch(1);  // occupies the single unlocked slot
+  core.Touch(2);  // evicts 1, not the locked 0
+  EXPECT_TRUE(core.IsResident(0));
+  EXPECT_TRUE(core.IsResident(2));
+  EXPECT_FALSE(core.IsResident(1));
+}
+
+TEST(CdCoreTest, LockingNonResidentPageTakesEffectOnFaultIn) {
+  CdCore core(1, true);
+  core.Lock({7}, 3);
+  EXPECT_EQ(core.locked_resident(), 0u);
+  core.Touch(7);
+  EXPECT_EQ(core.locked_resident(), 1u);
+  // The locked page rides on top of the grant.
+  core.Touch(1);
+  core.Touch(2);
+  EXPECT_TRUE(core.IsResident(7));
+  EXPECT_EQ(core.resident(), 2u);
+}
+
+TEST(CdCoreTest, UnlockReturnsPagesToGrantAccounting) {
+  CdCore core(1, true);
+  core.Touch(0);
+  core.Lock({0}, 2);
+  core.Touch(1);
+  EXPECT_EQ(core.resident(), 2u);
+  core.Unlock({0});
+  // 0 now counts against the 1-page grant: residency trims immediately.
+  EXPECT_EQ(core.resident(), 1u);
+  EXPECT_EQ(core.locked_resident(), 0u);
+}
+
+TEST(CdCoreTest, UnlockOfUnknownPageIsNoOp) {
+  CdCore core(2, true);
+  core.Touch(0);
+  core.Unlock({9});
+  EXPECT_EQ(core.resident(), 1u);
+}
+
+TEST(CdCoreTest, EnforceCapEvictsUnlockedFirst) {
+  CdCore core(4, true);
+  for (PageId p = 0; p < 4; ++p) {
+    core.Touch(p);
+  }
+  core.Lock({0}, 2);
+  uint32_t released = core.EnforceCap(2);
+  EXPECT_EQ(released, 0u);
+  EXPECT_EQ(core.resident(), 2u);
+  EXPECT_TRUE(core.IsResident(0));  // the locked page survived
+}
+
+TEST(CdCoreTest, EnforceCapSoftReleasesHighestPjFirst) {
+  CdCore core(3, true);
+  core.Touch(0);
+  core.Touch(1);
+  core.Touch(2);
+  core.Lock({0}, 2);  // PJ 2 = higher priority (kept longer)
+  core.Lock({1}, 4);  // PJ 4 = lowest priority, released first
+  core.Lock({2}, 3);
+  uint32_t released = core.EnforceCap(2);
+  EXPECT_EQ(released, 1u);
+  EXPECT_FALSE(core.IsResident(1));
+  EXPECT_TRUE(core.IsResident(0));
+  EXPECT_TRUE(core.IsResident(2));
+}
+
+TEST(CdCoreTest, SoftReleaseLockReportsWhenNothingLocked) {
+  CdCore core(2, true);
+  core.Touch(0);
+  EXPECT_FALSE(core.SoftReleaseLock());
+  core.Lock({0}, 2);
+  EXPECT_TRUE(core.SoftReleaseLock());
+  EXPECT_FALSE(core.IsResident(0));
+}
+
+TEST(CdCoreTest, DropAllClearsResidencyButKeepsLockMetadata) {
+  CdCore core(4, true);
+  core.Touch(0);
+  core.Lock({0}, 2);
+  core.DropAll();
+  EXPECT_EQ(core.resident(), 0u);
+  EXPECT_EQ(core.locked_resident(), 0u);
+  EXPECT_TRUE(core.IsLocked(0));
+  // Re-faulting the page restores its pinned status.
+  core.Touch(0);
+  EXPECT_EQ(core.locked_resident(), 1u);
+}
+
+TEST(CdCoreTest, HonorLocksFalseIgnoresLockCalls) {
+  CdCore core(1, false);
+  core.Touch(0);
+  core.Lock({0}, 2);
+  EXPECT_FALSE(core.IsLocked(0));
+  core.Touch(1);  // evicts 0 freely
+  EXPECT_FALSE(core.IsResident(0));
+}
+
+TEST(CdCoreTest, RelockUpdatesPriority) {
+  CdCore core(3, true);
+  core.Touch(0);
+  core.Touch(1);
+  core.Lock({0}, 4);
+  core.Lock({1}, 3);
+  core.Lock({0}, 2);  // re-lock with higher priority
+  // Now page 1 has the highest PJ and is released first.
+  core.EnforceCap(1);
+  EXPECT_TRUE(core.IsResident(0));
+  EXPECT_FALSE(core.IsResident(1));
+}
+
+}  // namespace
+}  // namespace cdmm

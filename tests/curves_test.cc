@@ -1,0 +1,128 @@
+#include "src/vm/curves.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/ascii_plot.h"
+#include "src/support/rng.h"
+#include "src/vm/working_set.h"
+
+namespace cdmm {
+namespace {
+
+Trace MakeTrace(const std::vector<PageId>& pages) {
+  Trace t("test");
+  uint32_t v = 0;
+  for (PageId p : pages) {
+    v = std::max(v, p + 1);
+  }
+  t.set_virtual_pages(v);
+  for (PageId p : pages) {
+    t.AddRef(p);
+  }
+  return t;
+}
+
+Trace HotColdTrace() {
+  SplitMix64 rng(17);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 8000; ++i) {
+    seq.push_back(rng.NextDouble() < 0.8 ? static_cast<PageId>(rng.NextBelow(4))
+                                         : static_cast<PageId>(rng.NextBelow(40)));
+  }
+  return MakeTrace(seq);
+}
+
+TEST(CurvesTest, LifetimeIsNonDecreasingInAllocation) {
+  Trace t = HotColdTrace();
+  auto curve = LifetimeCurve(t, t.virtual_pages());
+  ASSERT_EQ(curve.size(), t.virtual_pages());
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].y, curve[i - 1].y - 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().x, 1.0);
+}
+
+TEST(CurvesTest, FaultRateComplementsLifetime) {
+  Trace t = HotColdTrace();
+  auto life = LifetimeCurve(t, 20);
+  auto rate = FaultRateCurve(t, 20);
+  ASSERT_EQ(life.size(), rate.size());
+  for (size_t i = 0; i < life.size(); ++i) {
+    if (rate[i].y > 0) {
+      EXPECT_NEAR(life[i].y * rate[i].y, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(CurvesTest, WsSizeCurveGrowsWithTau) {
+  Trace t = HotColdTrace();
+  auto curve = WsSizeCurve(t, {1, 10, 100, 1000, 8000});
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].y, curve[i - 1].y);
+  }
+}
+
+TEST(CurvesTest, WsFaultRateFallsWithTau) {
+  Trace t = HotColdTrace();
+  auto curve = WsFaultRateCurve(t, {1, 10, 100, 1000, 8000});
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].y, curve[i - 1].y + 1e-12);
+  }
+}
+
+TEST(CurvesTest, KneeSitsAtTheHotSetWhenColdMissesAreCompulsory) {
+  // A re-referenced hot set of 5 pages plus a single-touch cold stream:
+  // allocations beyond the hot set cannot avoid the compulsory stream
+  // faults, so max g(m)/m lands at the hot-set size.
+  std::vector<PageId> seq;
+  PageId cold = 5;
+  for (int i = 0; i < 500; ++i) {
+    for (int pass = 0; pass < 10; ++pass) {
+      for (PageId h = 0; h < 5; ++h) {
+        seq.push_back(h);
+      }
+    }
+    seq.push_back(cold++);  // fresh page, never re-referenced
+  }
+  Trace t = MakeTrace(seq);
+  auto life = LifetimeCurve(t, 64);
+  uint32_t knee = LifetimeKnee(life);
+  EXPECT_GE(knee, 5u);
+  EXPECT_LE(knee, 7u);
+}
+
+TEST(AsciiPlotTest, RendersSeriesAndLabels) {
+  PlotSeries s{"demo", '*', {{1, 1}, {2, 4}, {3, 9}}};
+  PlotOptions options;
+  options.title = "squares";
+  options.x_label = "x";
+  std::string out = RenderAsciiPlot({s}, options);
+  EXPECT_NE(out.find("squares"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);  // axis corner
+}
+
+TEST(AsciiPlotTest, EmptySeriesHandled) {
+  std::string out = RenderAsciiPlot({PlotSeries{"empty", '*', {}}}, PlotOptions{});
+  EXPECT_NE(out.find("no plottable points"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, LogAxisSkipsNonPositive) {
+  PlotSeries s{"mixed", '*', {{0, 5}, {10, 5}, {100, 5}}};
+  PlotOptions options;
+  options.log_x = true;
+  std::string out = RenderAsciiPlot({s}, options);
+  // Two plottable points remain; rendering succeeds.
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, OverlapsMarkedWithHash) {
+  PlotSeries a{"a", '*', {{1, 1}, {2, 2}}};
+  PlotSeries b{"b", 'o', {{1, 1}}};
+  std::string out = RenderAsciiPlot({a, b}, PlotOptions{});
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdmm

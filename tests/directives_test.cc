@@ -1,0 +1,214 @@
+#include "src/directives/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/locality.h"
+#include "src/analysis/loop_tree.h"
+#include "src/lang/sema.h"
+
+namespace cdmm {
+namespace {
+
+struct Fixture {
+  Program program;
+  std::unique_ptr<LoopTree> tree;
+  std::unique_ptr<LocalityAnalysis> locality;
+  DirectivePlan plan;
+
+  explicit Fixture(std::string_view source, DirectivePlanOptions options = {}) {
+    auto parsed = ParseAndCheck(source);
+    EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().ToString());
+    program = std::move(parsed).value();
+    tree = std::make_unique<LoopTree>(program);
+    locality = std::make_unique<LocalityAnalysis>(program, *tree, LocalityOptions{});
+    plan = BuildDirectivePlan(*tree, *locality, options);
+  }
+};
+
+constexpr char kFigure5[] = R"(
+      PROGRAM FIG5
+      PARAMETER (N = 100)
+      DIMENSION A(N), B(N), C(N), D(N), E(N), F(N), CC(N,N), DD(N,N)
+      DO 40 I = 1, N
+        A(I) = B(I) + 1.0
+        DO 20 J = 1, N
+          C(J) = D(J) + CC(I,J)
+          DD(J,I) = C(J)
+   20   CONTINUE
+        E(1) = F(1)
+        DO 30 K = 1, N
+          E(K) = F(K) * 2.0
+          DO 10 L = 1, N
+            F(L) = F(L) + E(K)
+   10     CONTINUE
+   30   CONTINUE
+   40 CONTINUE
+      END
+)";
+
+TEST(Algorithm1Test, EveryLoopGetsAnAllocate) {
+  Fixture f(kFigure5);
+  EXPECT_EQ(f.plan.allocate_before_loop.size(), 4u);
+  for (const LoopNode* node : f.tree->preorder()) {
+    EXPECT_EQ(f.plan.allocate_before_loop.count(node->loop_id), 1u);
+  }
+}
+
+TEST(Algorithm1Test, ChainIsAncestorPathOutermostFirst) {
+  Fixture f(kFigure5);
+  // Loop 10 (innermost of the loop-30 nest, preorder id 4): its chain must be
+  // (PI 3, X40) else (PI 2, X30) else (PI 1, X10) — Figure 5c's third
+  // ALLOCATE.
+  const AllocatePlan& inner = f.plan.allocate_before_loop.at(4);
+  ASSERT_EQ(inner.chain.size(), 3u);
+  EXPECT_EQ(inner.chain[0].priority, 3);
+  EXPECT_EQ(inner.chain[1].priority, 2);
+  EXPECT_EQ(inner.chain[2].priority, 1);
+  // Figure 5c: "the argument (3,x1) is the first argument in all ALLOCATE
+  // directives at all levels".
+  for (const auto& [id, alloc] : f.plan.allocate_before_loop) {
+    EXPECT_EQ(alloc.chain.front().priority, 3);
+    EXPECT_EQ(alloc.chain.front().pages,
+              f.plan.allocate_before_loop.at(1).chain.front().pages);
+  }
+}
+
+TEST(Algorithm1Test, ChainSizesNonIncreasing) {
+  Fixture f(kFigure5);
+  for (const auto& [id, alloc] : f.plan.allocate_before_loop) {
+    for (size_t i = 1; i < alloc.chain.size(); ++i) {
+      EXPECT_GT(alloc.chain[i - 1].priority, alloc.chain[i].priority);
+      EXPECT_GE(alloc.chain[i - 1].pages, alloc.chain[i].pages);
+    }
+  }
+}
+
+TEST(Algorithm1Test, SiblingLoopChainsShareOnlyAncestors) {
+  Fixture f(kFigure5);
+  // Loop 20 (id 2) chain: (3, X40) else (1, X20) — the Figure 5c second
+  // ALLOCATE; loop 30 (id 3): (3, X40) else (2, X30).
+  const AllocatePlan& l20 = f.plan.allocate_before_loop.at(2);
+  ASSERT_EQ(l20.chain.size(), 2u);
+  EXPECT_EQ(l20.chain[1].priority, 1);
+  const AllocatePlan& l30 = f.plan.allocate_before_loop.at(3);
+  ASSERT_EQ(l30.chain.size(), 2u);
+  EXPECT_EQ(l30.chain[1].priority, 2);
+}
+
+TEST(Algorithm2Test, LocksInsertedBeforeNestedLoops) {
+  Fixture f(kFigure5);
+  // Figure 5c: LOCK (3, A, B) before loop 20 and LOCK (3, E, F) before
+  // loop 30 (both hosted by loop 40, PJ = PI(loop 40) = 3); LOCK (2, E, F)
+  // before loop 10 hosted by loop 30 (PJ = 2).
+  auto before_20 = f.plan.LocksBefore(1, 2);
+  ASSERT_EQ(before_20.size(), 1u);
+  EXPECT_EQ(before_20[0]->pj, 3);
+  EXPECT_EQ(before_20[0]->arrays, (std::vector<std::string>{"A", "B"}));
+
+  auto before_30 = f.plan.LocksBefore(1, 3);
+  ASSERT_EQ(before_30.size(), 1u);
+  EXPECT_EQ(before_30[0]->pj, 3);
+  EXPECT_EQ(before_30[0]->arrays, (std::vector<std::string>{"E", "F"}));
+
+  auto before_10 = f.plan.LocksBefore(3, 4);
+  ASSERT_EQ(before_10.size(), 1u);
+  EXPECT_EQ(before_10[0]->pj, 2);
+  EXPECT_EQ(before_10[0]->arrays, (std::vector<std::string>{"E", "F"}));
+}
+
+TEST(Algorithm2Test, NoLockWithoutPrecedingAssigns) {
+  Fixture f(R"(
+      PROGRAM P
+      DIMENSION A(8,8)
+      DO 20 I = 1, 8
+        DO 10 J = 1, 8
+          A(J,I) = 0.0
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+  EXPECT_TRUE(f.plan.LocksBefore(1, 2).empty());
+  EXPECT_TRUE(f.plan.unlock_after_loop.empty());
+}
+
+TEST(Algorithm2Test, TrailingSegmentSkipsInsert) {
+  // "IF Loop Exit Is Found THEN SKIP Next INSERT": assignments after the
+  // last nested loop produce no LOCK.
+  Fixture f(R"(
+      PROGRAM P
+      DIMENSION A(8), B(8)
+      DO 20 I = 1, 8
+        DO 10 J = 1, 8
+          A(J) = 0.0
+   10   CONTINUE
+        B(I) = A(I)
+   20 CONTINUE
+      END
+)");
+  EXPECT_TRUE(f.plan.locks.empty());
+}
+
+TEST(Algorithm2Test, UnlockAfterOutermostListsAllLockedArrays) {
+  Fixture f(kFigure5);
+  ASSERT_EQ(f.plan.unlock_after_loop.size(), 1u);
+  const UnlockPlan& unlock = f.plan.unlock_after_loop.at(1);
+  EXPECT_EQ(unlock.arrays, (std::vector<std::string>{"A", "B", "E", "F"}));
+}
+
+TEST(Algorithm2Test, LockHostedByInnerLoopUsesItsPriority) {
+  Fixture f(R"(
+      PROGRAM P
+      DIMENSION A(8), B(8,8)
+      DO 30 I = 1, 8
+        DO 20 J = 1, 8
+          A(J) = A(J) + 1.0
+          DO 10 K = 1, 8
+            B(K,J) = A(J)
+   10     CONTINUE
+   20   CONTINUE
+   30 CONTINUE
+      END
+)");
+  auto locks = f.plan.LocksBefore(2, 3);
+  ASSERT_EQ(locks.size(), 1u);
+  EXPECT_EQ(locks[0]->pj, 2);  // loop 20's PI
+  EXPECT_EQ(locks[0]->arrays, (std::vector<std::string>{"A"}));
+}
+
+TEST(DirectivePlanOptionsTest, AllocateOnly) {
+  Fixture f(kFigure5, DirectivePlanOptions{.insert_allocate = true, .insert_locks = false});
+  EXPECT_EQ(f.plan.allocate_before_loop.size(), 4u);
+  EXPECT_TRUE(f.plan.locks.empty());
+  EXPECT_TRUE(f.plan.unlock_after_loop.empty());
+}
+
+TEST(DirectivePlanOptionsTest, LocksOnly) {
+  Fixture f(kFigure5, DirectivePlanOptions{.insert_allocate = false, .insert_locks = true});
+  EXPECT_TRUE(f.plan.allocate_before_loop.empty());
+  EXPECT_FALSE(f.plan.locks.empty());
+}
+
+TEST(ListingTest, CompactListingMatchesFigure5cShape) {
+  Fixture f(kFigure5);
+  std::string listing = InstrumentedListing(*f.tree, f.plan, /*compact=*/true);
+  // All four ALLOCATEs, three LOCKs and the final UNLOCK.
+  EXPECT_NE(listing.find("ALLOCATE (3,"), std::string::npos);
+  EXPECT_NE(listing.find("else (1,"), std::string::npos);
+  EXPECT_NE(listing.find("else (2,"), std::string::npos);
+  EXPECT_NE(listing.find("LOCK (3,A,B)"), std::string::npos);
+  EXPECT_NE(listing.find("LOCK (3,E,F)"), std::string::npos);
+  EXPECT_NE(listing.find("LOCK (2,E,F)"), std::string::npos);
+  EXPECT_NE(listing.find("UNLOCK (A,B,E,F)"), std::string::npos);
+  // ALLOCATE precedes its loop.
+  EXPECT_LT(listing.find("ALLOCATE"), listing.find("Loop 40;"));
+}
+
+TEST(ListingTest, FullListingIncludesStatements) {
+  Fixture f(kFigure5);
+  std::string listing = InstrumentedListing(*f.tree, f.plan, /*compact=*/false);
+  EXPECT_NE(listing.find("A(I) = "), std::string::npos);
+  EXPECT_NE(listing.find("DD(J,I) = "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,121 @@
+#include "src/cdmm/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cdmm {
+namespace {
+
+// One runner for the whole file: the sweeps are cached and shared.
+ExperimentRunner& Runner() {
+  static auto* runner = new ExperimentRunner();
+  return *runner;
+}
+
+TEST(ExperimentRunnerTest, CompiledWorkloadsAreCached) {
+  const CompiledProgram& a = Runner().compiled("HWSCRT");
+  const CompiledProgram& b = Runner().compiled("HWSCRT");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ExperimentRunnerTest, CdResultsAreCachedByVariant) {
+  const WorkloadVariant& v = FindVariant("HWSCRT");
+  const SimResult& a = Runner().RunCd(v);
+  const SimResult& b = Runner().RunCd(v);
+  EXPECT_EQ(&a, &b);
+  EXPECT_GT(a.faults, 0u);
+}
+
+TEST(ExperimentRunnerTest, LruCurveCoversWholeVirtualSpace) {
+  const auto& curve = Runner().LruCurve("HWSCRT");
+  EXPECT_EQ(curve.size(), Runner().compiled("HWSCRT").virtual_pages());
+  // Non-increasing faults; the last point has cold faults only.
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].faults, curve[i - 1].faults);
+  }
+  TraceStats stats = Runner().compiled("HWSCRT").trace().ComputeStats();
+  EXPECT_EQ(curve.back().faults, stats.distinct_pages);
+}
+
+TEST(ExperimentRunnerTest, WsCurveEndsAtFullRetention) {
+  const auto& curve = Runner().WsCurve("HWSCRT");
+  ASSERT_FALSE(curve.empty());
+  TraceStats stats = Runner().compiled("HWSCRT").trace().ComputeStats();
+  EXPECT_EQ(curve.back().faults, stats.distinct_pages);
+}
+
+TEST(ExperimentRunnerTest, MinStRowIsConsistent) {
+  auto row = Runner().MinStComparison(FindVariant("HWSCRT"));
+  EXPECT_GT(row.st_cd, 0.0);
+  EXPECT_GT(row.st_lru, 0.0);
+  EXPECT_GT(row.st_ws, 0.0);
+  // The reported minima really are minima of the cached curves.
+  for (const SweepPoint& p : Runner().LruCurve("HWSCRT")) {
+    EXPECT_GE(p.space_time, row.st_lru - 1e-6);
+  }
+  for (const SweepPoint& p : Runner().WsCurve("HWSCRT")) {
+    EXPECT_GE(p.space_time, row.st_ws - 1e-6);
+  }
+}
+
+TEST(ExperimentRunnerTest, EqualMemoryRowMatchesCdOperatingPoint) {
+  auto row = Runner().EqualMemoryComparison(FindVariant("HWSCRT"));
+  const SimResult& cd = Runner().RunCd(FindVariant("HWSCRT"));
+  EXPECT_DOUBLE_EQ(row.mem_cd, cd.mean_memory);
+  EXPECT_EQ(row.pf_cd, cd.faults);
+  EXPECT_EQ(row.lru_frames, static_cast<uint32_t>(std::lround(cd.mean_memory)));
+  // The chosen WS point's memory is within the grid's resolution of CD's.
+  EXPECT_NEAR(row.ws_mem, row.mem_cd, row.mem_cd * 0.5 + 2.0);
+}
+
+TEST(ExperimentRunnerTest, EqualFaultRowMeetsTheTarget) {
+  auto row = Runner().EqualFaultComparison(FindVariant("HWSCRT"));
+  // The selected LRU partition really generates at most PF_CD faults.
+  const auto& lru = Runner().LruCurve("HWSCRT");
+  EXPECT_LE(lru[row.lru_frames - 1].faults, row.pf_cd);
+  // And it is the smallest such partition.
+  if (row.lru_frames > 1) {
+    EXPECT_GT(lru[row.lru_frames - 2].faults, row.pf_cd);
+  }
+  // The WS pick also meets the fault target.
+  bool found = false;
+  for (const SweepPoint& p : Runner().WsCurve("HWSCRT")) {
+    if (static_cast<uint64_t>(p.parameter) == row.ws_tau) {
+      EXPECT_LE(p.faults, row.pf_cd);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ExperimentShapeTest, Table1MemoryOrdering) {
+  // Paper shape: outer directive sets hold more memory, inner ones fault
+  // more (Table 1's headline observation).
+  double mem_outer = Runner().RunCd(FindVariant("MAIN1")).mean_memory;
+  double mem_mid = Runner().RunCd(FindVariant("MAIN2")).mean_memory;
+  double mem_inner = Runner().RunCd(FindVariant("MAIN3")).mean_memory;
+  EXPECT_GT(mem_outer, mem_mid);
+  EXPECT_GT(mem_mid, mem_inner);
+  uint64_t pf_outer = Runner().RunCd(FindVariant("MAIN1")).faults;
+  uint64_t pf_inner = Runner().RunCd(FindVariant("MAIN3")).faults;
+  EXPECT_LT(pf_outer, pf_inner);
+}
+
+TEST(ExperimentShapeTest, ConductBeatsFixedPoliciesAtEqualMemory) {
+  // The paper's drastic CONDUCT row: at CD's memory, LRU produces thousands
+  // more faults (3477 in the paper).
+  auto row = Runner().EqualMemoryComparison(FindVariant("CONDUCT"));
+  EXPECT_GT(row.dpf_lru, 1000);
+  EXPECT_GT(row.pct_st_lru, 50.0);
+}
+
+TEST(ExperimentShapeTest, HwscrtLruNeedsFarMoreMemoryForEqualFaults) {
+  // Paper Table 4: LRU needs 442% more memory than CD for HWSCRT; our shape
+  // target is a substantial positive excess.
+  auto row = Runner().EqualFaultComparison(FindVariant("HWSCRT"));
+  EXPECT_GT(row.pct_mem_lru, 50.0);
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,360 @@
+#include "src/interp/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/interp/address_map.h"
+#include "src/lang/sema.h"
+
+namespace cdmm {
+namespace {
+
+struct Compiled {
+  Program program;
+  std::unique_ptr<LoopTree> tree;
+  std::unique_ptr<LocalityAnalysis> locality;
+  DirectivePlan plan;
+
+  explicit Compiled(std::string_view source) {
+    auto parsed = ParseAndCheck(source);
+    EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().ToString());
+    program = std::move(parsed).value();
+    tree = std::make_unique<LoopTree>(program);
+    locality = std::make_unique<LocalityAnalysis>(program, *tree, LocalityOptions{});
+    plan = BuildDirectivePlan(*tree, *locality);
+  }
+
+  Trace Run(const InterpOptions& options = {}) {
+    return GenerateTrace(program, *tree, &plan, options);
+  }
+  Trace RunNoDirectives(const InterpOptions& options = {}) {
+    return GenerateTrace(program, *tree, nullptr, options);
+  }
+};
+
+std::vector<PageId> RefPages(const Trace& trace) {
+  std::vector<PageId> pages;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == TraceEvent::Kind::kRef) {
+      pages.push_back(e.value);
+    }
+  }
+  return pages;
+}
+
+TEST(AddressMapTest, ColumnMajorPageAssignment) {
+  auto parsed = ParseAndCheck(R"(
+      PROGRAM P
+      PARAMETER (M = 128)
+      DIMENSION A(M,4), V(64)
+      END
+)");
+  ASSERT_TRUE(parsed.ok());
+  AddressMap map(parsed.value(), PageGeometry{});
+  // A: 512 elements = 8 pages starting at 0; V: 64 elements = 1 page at 8.
+  EXPECT_EQ(map.total_pages(), 9u);
+  EXPECT_EQ(map.PageOf("A", 1, 1), 0u);
+  EXPECT_EQ(map.PageOf("A", 64, 1), 0u);
+  EXPECT_EQ(map.PageOf("A", 65, 1), 1u);    // second page of column 1
+  EXPECT_EQ(map.PageOf("A", 1, 2), 2u);     // column 2 starts a new page (M=128)
+  EXPECT_EQ(map.PageOf("A", 128, 4), 7u);
+  EXPECT_EQ(map.PageOf("V", 1, 1), 8u);
+  EXPECT_EQ(map.PageOf("V", 64, 1), 8u);
+}
+
+TEST(AddressMapTest, ColumnsShareAPageWhenNotAligned) {
+  auto parsed = ParseAndCheck(R"(
+      PROGRAM P
+      DIMENSION A(100,2)
+      END
+)");
+  ASSERT_TRUE(parsed.ok());
+  AddressMap map(parsed.value(), PageGeometry{});
+  // Element (1,2) has linear index 100 -> page 1, shared with (65..100, 1).
+  EXPECT_EQ(map.PageOf("A", 1, 2), map.PageOf("A", 100, 1));
+}
+
+TEST(AddressMapTest, OutOfBoundsSubscriptDies) {
+  auto parsed = ParseAndCheck(R"(
+      PROGRAM P
+      DIMENSION A(8,8)
+      END
+)");
+  ASSERT_TRUE(parsed.ok());
+  AddressMap map(parsed.value(), PageGeometry{});
+  EXPECT_DEATH(map.PageOf("A", 0, 1), "out of");
+  EXPECT_DEATH(map.PageOf("A", 9, 1), "out of");
+  EXPECT_DEATH(map.PageOf("A", 1, 9), "out of");
+}
+
+TEST(InterpreterTest, SequentialVectorSweep) {
+  Compiled c(R"(
+      PROGRAM P
+      PARAMETER (N = 128)
+      DIMENSION V(N)
+      DO 10 I = 1, N
+        V(I) = 1.0
+   10 CONTINUE
+      END
+)");
+  Trace t = c.RunNoDirectives();
+  auto pages = RefPages(t);
+  ASSERT_EQ(pages.size(), 128u);
+  // First 64 references hit page 0, next 64 hit page 1.
+  EXPECT_EQ(pages.front(), 0u);
+  EXPECT_EQ(pages[63], 0u);
+  EXPECT_EQ(pages[64], 1u);
+  EXPECT_EQ(pages.back(), 1u);
+}
+
+TEST(InterpreterTest, ReadsPrecedeWriteWithinStatement) {
+  Compiled c(R"(
+      PROGRAM P
+      DIMENSION A(64), B(64), D(64)
+      A(1) = B(1) + D(1)
+      END
+)");
+  Trace t = c.RunNoDirectives();
+  auto pages = RefPages(t);
+  // B page (1), D page (2), then the write to A page (0).
+  ASSERT_EQ(pages.size(), 3u);
+  EXPECT_EQ(pages[0], 1u);
+  EXPECT_EQ(pages[1], 2u);
+  EXPECT_EQ(pages[2], 0u);
+}
+
+TEST(InterpreterTest, TriangularLoopBoundsEvaluate) {
+  Compiled c(R"(
+      PROGRAM P
+      PARAMETER (N = 4)
+      DIMENSION A(N,N)
+      DO 20 J = 1, N
+        DO 10 I = J, N
+          A(I,J) = 0.0
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+  Trace t = c.RunNoDirectives();
+  // Triangular count: 4 + 3 + 2 + 1 = 10 references.
+  EXPECT_EQ(t.reference_count(), 10u);
+}
+
+TEST(InterpreterTest, ZeroTripLoopEmitsNothing) {
+  Compiled c(R"(
+      PROGRAM P
+      DIMENSION V(8)
+      DO 10 I = 5, 4
+        V(I) = 0.0
+   10 CONTINUE
+      END
+)");
+  Trace t = c.RunNoDirectives();
+  EXPECT_EQ(t.reference_count(), 0u);
+}
+
+TEST(InterpreterTest, ZeroTripLoopStillEmitsAllocate) {
+  Compiled c(R"(
+      PROGRAM P
+      DIMENSION V(8)
+      DO 10 I = 5, 4
+        V(I) = 0.0
+   10 CONTINUE
+      END
+)");
+  Trace t = c.Run();
+  ASSERT_EQ(t.directives().size(), 1u);
+  EXPECT_EQ(t.directives()[0].kind, DirectiveRecord::Kind::kAllocate);
+}
+
+TEST(InterpreterTest, NegativeStepLoop) {
+  Compiled c(R"(
+      PROGRAM P
+      DIMENSION V(128)
+      DO 10 I = 128, 1, -1
+        V(I) = 0.0
+   10 CONTINUE
+      END
+)");
+  auto pages = RefPages(c.RunNoDirectives());
+  EXPECT_EQ(pages.front(), 1u);
+  EXPECT_EQ(pages.back(), 0u);
+}
+
+TEST(InterpreterTest, AllocateEmittedOnEveryLoopEntry) {
+  Compiled c(R"(
+      PROGRAM P
+      DIMENSION A(8,8)
+      DO 20 I = 1, 5
+        DO 10 J = 1, 3
+          A(J,I) = 0.0
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+  Trace t = c.Run();
+  int allocates = 0;
+  for (const DirectiveRecord& d : t.directives()) {
+    allocates += d.kind == DirectiveRecord::Kind::kAllocate ? 1 : 0;
+  }
+  // One for the outer loop + one per outer iteration for the inner loop.
+  EXPECT_EQ(allocates, 1 + 5);
+}
+
+TEST(InterpreterTest, LoopMarkersWhenRequested) {
+  Compiled c(R"(
+      PROGRAM P
+      DIMENSION V(8)
+      DO 10 I = 1, 2
+        V(I) = 0.0
+   10 CONTINUE
+      END
+)");
+  InterpOptions options;
+  options.emit_loop_markers = true;
+  Trace t = c.Run(options);
+  int enters = 0;
+  int exits = 0;
+  for (const TraceEvent& e : t.events()) {
+    enters += e.kind == TraceEvent::Kind::kLoopEnter ? 1 : 0;
+    exits += e.kind == TraceEvent::Kind::kLoopExit ? 1 : 0;
+  }
+  EXPECT_EQ(enters, 1);
+  EXPECT_EQ(exits, 1);
+}
+
+TEST(InterpreterTest, LockListsPagesTouchedByTheSegment) {
+  Compiled c(R"(
+      PROGRAM P
+      DIMENSION A(64), B(64), C(64)
+      DO 20 I = 1, 4
+        A(I) = B(I) * 2.0
+        DO 10 J = 1, 4
+          C(J) = A(I)
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+  Trace t = c.Run();
+  // The lock site before loop 10 covers arrays A and B; their pages are 0
+  // and 1.
+  bool saw_lock = false;
+  for (const DirectiveRecord& d : t.directives()) {
+    if (d.kind == DirectiveRecord::Kind::kLock) {
+      saw_lock = true;
+      EXPECT_EQ(d.pages, (std::vector<PageId>{0u, 1u}));
+    }
+  }
+  EXPECT_TRUE(saw_lock);
+}
+
+TEST(InterpreterTest, FinalUnlockReleasesEverything) {
+  Compiled c(R"(
+      PROGRAM P
+      PARAMETER (N = 256)
+      DIMENSION A(N), B(N), C(N)
+      DO 20 I = 1, N
+        A(I) = B(I) * 2.0
+        DO 10 J = 1, 4
+          C(J) = A(I)
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+  Trace t = c.Run();
+  // Track lock/unlock balance: after the whole trace nothing stays locked.
+  std::set<PageId> locked;
+  for (const DirectiveRecord& d : t.directives()) {
+    if (d.kind == DirectiveRecord::Kind::kLock) {
+      locked.insert(d.pages.begin(), d.pages.end());
+    } else if (d.kind == DirectiveRecord::Kind::kUnlock) {
+      for (PageId p : d.pages) {
+        locked.erase(p);
+      }
+    }
+  }
+  EXPECT_TRUE(locked.empty());
+  // The last directive is the trailing UNLOCK.
+  ASSERT_FALSE(t.directives().empty());
+  EXPECT_EQ(t.directives().back().kind, DirectiveRecord::Kind::kUnlock);
+}
+
+TEST(InterpreterTest, LockSiteReleasesStalePagesAsItSlides) {
+  // As the outer loop advances, the lock site re-locks the new active pages
+  // and releases the old ones, so the locked set never grows past the site's
+  // active window.
+  Compiled c(R"(
+      PROGRAM P
+      PARAMETER (N = 256)
+      DIMENSION A(N), C(N)
+      DO 20 I = 1, N
+        A(I) = 1.0
+        DO 10 J = 1, 2
+          C(J) = A(I)
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+  Trace t = c.Run();
+  std::set<PageId> locked;
+  size_t max_locked = 0;
+  for (const DirectiveRecord& d : t.directives()) {
+    if (d.kind == DirectiveRecord::Kind::kLock) {
+      locked.insert(d.pages.begin(), d.pages.end());
+    } else if (d.kind == DirectiveRecord::Kind::kUnlock) {
+      for (PageId p : d.pages) {
+        locked.erase(p);
+      }
+    }
+    max_locked = std::max(max_locked, locked.size());
+  }
+  EXPECT_LE(max_locked, 2u);
+}
+
+TEST(InterpreterTest, TraceVirtualPagesMatchesAddressMap) {
+  Compiled c(R"(
+      PROGRAM P
+      DIMENSION A(100,3), V(10)
+      V(1) = A(1,1)
+      END
+)");
+  Trace t = c.RunNoDirectives();
+  // A: 300 elements -> 5 pages; V: 10 elements -> 1 page.
+  EXPECT_EQ(t.virtual_pages(), 6u);
+}
+
+TEST(InterpreterTest, ReferenceCapDies) {
+  Compiled c(R"(
+      PROGRAM P
+      DIMENSION V(8)
+      DO 20 I = 1, 100
+        DO 10 J = 1, 8
+          V(J) = 0.0
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+  InterpOptions options;
+  options.max_references = 10;
+  EXPECT_DEATH(c.Run(options), "reference cap");
+}
+
+TEST(InterpreterTest, CustomGeometryChangesPageNumbers) {
+  Compiled c(R"(
+      PROGRAM P
+      PARAMETER (N = 128)
+      DIMENSION V(N)
+      DO 10 I = 1, N
+        V(I) = 1.0
+   10 CONTINUE
+      END
+)");
+  InterpOptions options;
+  options.geometry.page_size_bytes = 512;  // 128 elements/page
+  Trace t = c.RunNoDirectives(options);
+  EXPECT_EQ(t.virtual_pages(), 1u);
+}
+
+}  // namespace
+}  // namespace cdmm

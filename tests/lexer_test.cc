@@ -1,0 +1,154 @@
+#include "src/lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace cdmm {
+namespace {
+
+std::vector<Token> LexOk(std::string_view source) {
+  auto tokens = Lex(source);
+  EXPECT_TRUE(tokens.ok()) << tokens.error().ToString();
+  return tokens.value();
+}
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> kinds;
+  kinds.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    kinds.push_back(t.kind);
+  }
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = LexOk("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, BlankLinesCollapse) {
+  auto tokens = LexOk("\n\n   \n\t\n");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, KeywordsAreRecognised) {
+  auto tokens = LexOk("PROGRAM DIMENSION PARAMETER DO CONTINUE END");
+  EXPECT_EQ(Kinds(tokens),
+            (std::vector<TokenKind>{TokenKind::kKwProgram, TokenKind::kKwDimension,
+                                    TokenKind::kKwParameter, TokenKind::kKwDo,
+                                    TokenKind::kKwContinue, TokenKind::kKwEnd,
+                                    TokenKind::kNewline, TokenKind::kEof}));
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = LexOk("program Do coNtinue end");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwProgram);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kKwDo);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kKwContinue);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kKwEnd);
+}
+
+TEST(LexerTest, IdentifiersUppercased) {
+  auto tokens = LexOk("foo Bar9 x_1");
+  EXPECT_EQ(tokens[0].text, "FOO");
+  EXPECT_EQ(tokens[1].text, "BAR9");
+  EXPECT_EQ(tokens[2].text, "X_1");
+}
+
+TEST(LexerTest, IntegerLiteral) {
+  auto tokens = LexOk("12345");
+  ASSERT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 12345);
+}
+
+TEST(LexerTest, RealLiteralsWithExponents) {
+  auto tokens = LexOk("1.5 2. 3.25E+2 4.0D-1");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kReal);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kReal);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kReal);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kReal);
+}
+
+TEST(LexerTest, Punctuation) {
+  auto tokens = LexOk("( ) , = + - * /");
+  EXPECT_EQ(Kinds(tokens),
+            (std::vector<TokenKind>{TokenKind::kLParen, TokenKind::kRParen, TokenKind::kComma,
+                                    TokenKind::kAssign, TokenKind::kPlus, TokenKind::kMinus,
+                                    TokenKind::kStar, TokenKind::kSlash, TokenKind::kNewline,
+                                    TokenKind::kEof}));
+}
+
+TEST(LexerTest, BangCommentSkipsRestOfLine) {
+  auto tokens = LexOk("DO 10 I = 1, 5 ! classic loop\nEND");
+  bool saw_comment_word = false;
+  for (const Token& t : tokens) {
+    if (t.text == "CLASSIC" || t.text == "LOOP") {
+      saw_comment_word = true;
+    }
+  }
+  EXPECT_FALSE(saw_comment_word);
+}
+
+TEST(LexerTest, CommentCardInColumnOne) {
+  auto tokens = LexOk("C this is a comment card\n* so is this\nEND");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwEnd);
+}
+
+TEST(LexerTest, StarCardIsCommentButStarOperatorIsNot) {
+  auto tokens = LexOk("  A = B * C");
+  bool saw_star = false;
+  for (const Token& t : tokens) {
+    saw_star = saw_star || t.kind == TokenKind::kStar;
+  }
+  EXPECT_TRUE(saw_star);
+}
+
+TEST(LexerTest, NewlinesSeparateStatements) {
+  auto tokens = LexOk("A = 1\nB = 2");
+  int newlines = 0;
+  for (const Token& t : tokens) {
+    newlines += t.kind == TokenKind::kNewline ? 1 : 0;
+  }
+  EXPECT_EQ(newlines, 2);
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto tokens = LexOk("A = 1\n  B = 2");
+  EXPECT_EQ(tokens[0].location.line, 1u);
+  EXPECT_EQ(tokens[0].location.column, 1u);
+  // "B" is on line 2, column 3.
+  const Token* b = nullptr;
+  for (const Token& t : tokens) {
+    if (t.text == "B") {
+      b = &t;
+    }
+  }
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->location.line, 2u);
+  EXPECT_EQ(b->location.column, 3u);
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  auto tokens = Lex("A = #");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.error().message.find("unexpected character"), std::string::npos);
+}
+
+TEST(LexerTest, LabelledContinueLexesAsIntegerThenKeyword) {
+  auto tokens = LexOk("   10 CONTINUE");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 10);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kKwContinue);
+}
+
+TEST(LexerTest, TokenToStringIncludesSpelling) {
+  auto tokens = LexOk("FOO 42");
+  EXPECT_NE(tokens[0].ToString().find("FOO"), std::string::npos);
+  EXPECT_NE(tokens[1].ToString().find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdmm

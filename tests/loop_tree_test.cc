@@ -1,0 +1,204 @@
+#include "src/analysis/loop_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/sema.h"
+
+namespace cdmm {
+namespace {
+
+Program ParseOk(std::string_view source) {
+  auto program = ParseAndCheck(source);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().ToString());
+  return std::move(program).value();
+}
+
+// The paper's Figure 5a/5b shape: loop 4 is outermost and contains loop 2
+// (no children) followed by loop 3 which contains loop 1. Procedure 1
+// assigns PI=3 to loop 4, PI=1 to loop 2, PI=2 to loop 3, PI=1 to loop 1.
+constexpr char kFigure5Shape[] = R"(
+      PROGRAM FIG5
+      PARAMETER (N = 10)
+      DIMENSION A(N), B(N), C(N), D(N), E(N), F(N)
+      DO 40 I = 1, N
+        A(I) = B(I)
+        DO 20 J = 1, N
+          C(J) = D(J)
+   20   CONTINUE
+        E(1) = F(1)
+        DO 30 K = 1, N
+          E(K) = F(K)
+          DO 10 L = 1, N
+            F(L) = E(K)
+   10     CONTINUE
+   30   CONTINUE
+   40 CONTINUE
+      END
+)";
+
+TEST(LoopTreeTest, BuildsFigure5Structure) {
+  Program p = ParseOk(kFigure5Shape);
+  LoopTree tree(p);
+  ASSERT_EQ(tree.roots().size(), 1u);
+  const LoopNode& root = *tree.roots()[0];
+  EXPECT_EQ(root.loop->label, 40);
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->loop->label, 20);
+  EXPECT_EQ(root.children[1]->loop->label, 30);
+  ASSERT_EQ(root.children[1]->children.size(), 1u);
+  EXPECT_EQ(root.children[1]->children[0]->loop->label, 10);
+}
+
+TEST(LoopTreeTest, Procedure1PriorityIndexes) {
+  Program p = ParseOk(kFigure5Shape);
+  LoopTree tree(p);
+  const LoopNode& root = *tree.roots()[0];
+  EXPECT_EQ(root.priority_index, 3);                           // loop 40
+  EXPECT_EQ(root.children[0]->priority_index, 1);              // loop 20
+  EXPECT_EQ(root.children[1]->priority_index, 2);              // loop 30
+  EXPECT_EQ(root.children[1]->children[0]->priority_index, 1); // loop 10
+}
+
+TEST(LoopTreeTest, NestLevels) {
+  Program p = ParseOk(kFigure5Shape);
+  LoopTree tree(p);
+  const LoopNode& root = *tree.roots()[0];
+  EXPECT_EQ(root.level, 1);
+  EXPECT_EQ(root.children[0]->level, 2);
+  EXPECT_EQ(root.children[1]->children[0]->level, 3);
+  EXPECT_EQ(tree.max_depth(), 3);
+}
+
+TEST(LoopTreeTest, PriorityIsStrictlyDecreasingAlongAncestorChains) {
+  Program p = ParseOk(kFigure5Shape);
+  LoopTree tree(p);
+  for (const LoopNode* node : tree.preorder()) {
+    if (node->parent != nullptr) {
+      EXPECT_GT(node->parent->priority_index, node->priority_index);
+    }
+  }
+}
+
+TEST(LoopTreeTest, DeepUniformNest) {
+  Program p = ParseOk(R"(
+      PROGRAM DEEP
+      DIMENSION A(4,4), B(4,4)
+      DO 40 I = 1, 2
+        DO 30 J = 1, 2
+          DO 20 K = 1, 2
+            DO 10 L = 1, 2
+              A(L,K) = B(J,I)
+   10       CONTINUE
+   20     CONTINUE
+   30   CONTINUE
+   40 CONTINUE
+      END
+)");
+  LoopTree tree(p);
+  EXPECT_EQ(tree.max_depth(), 4);
+  EXPECT_EQ(tree.roots()[0]->priority_index, 4);
+  EXPECT_EQ(tree.preorder().back()->priority_index, 1);
+}
+
+TEST(LoopTreeTest, MultipleTopLevelNests) {
+  Program p = ParseOk(R"(
+      PROGRAM TWO
+      DIMENSION A(4)
+      DO 10 I = 1, 4
+        A(I) = 0.0
+   10 CONTINUE
+      DO 20 J = 1, 4
+        A(J) = 1.0
+   20 CONTINUE
+      END
+)");
+  LoopTree tree(p);
+  EXPECT_EQ(tree.roots().size(), 2u);
+  EXPECT_EQ(tree.max_depth(), 1);
+  EXPECT_EQ(tree.roots()[0]->priority_index, 1);
+  EXPECT_EQ(tree.roots()[1]->priority_index, 1);
+}
+
+TEST(LoopTreeTest, TripCounts) {
+  Program p = ParseOk(R"(
+      PROGRAM TRIPS
+      DIMENSION A(64)
+      DO 10 I = 1, 10
+        A(I) = 0.0
+   10 CONTINUE
+      DO 20 I = 1, 10, 3
+        A(I) = 0.0
+   20 CONTINUE
+      DO 30 I = 10, 1, -2
+        A(I) = 0.0
+   30 CONTINUE
+      DO 40 I = 5, 4
+        A(I) = 0.0
+   40 CONTINUE
+      END
+)");
+  LoopTree tree(p);
+  EXPECT_EQ(tree.node(1).TripCount(), 10);
+  EXPECT_EQ(tree.node(2).TripCount(), 4);  // 1,4,7,10
+  EXPECT_EQ(tree.node(3).TripCount(), 5);  // 10,8,6,4,2
+  EXPECT_EQ(tree.node(4).TripCount(), 0);  // zero-trip
+}
+
+TEST(LoopTreeTest, TriangularTripCountUnknown) {
+  Program p = ParseOk(R"(
+      PROGRAM TRI
+      DIMENSION A(8,8)
+      DO 20 J = 1, 8
+        DO 10 I = J, 8
+          A(I,J) = 0.0
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+  LoopTree tree(p);
+  EXPECT_EQ(tree.node(2).TripCount(), -1);
+}
+
+TEST(LoopTreeTest, BodySegmentsSplitAtChildLoops) {
+  Program p = ParseOk(kFigure5Shape);
+  LoopTree tree(p);
+  const LoopNode& root = *tree.roots()[0];
+  // Segments: [A(I)=B(I)] -> loop 20, [E(1)=F(1)] -> loop 30.
+  ASSERT_EQ(root.segments.size(), 2u);
+  EXPECT_EQ(root.segments[0].assigns.size(), 1u);
+  EXPECT_EQ(root.segments[0].next_child->loop->label, 20);
+  EXPECT_EQ(root.segments[1].assigns.size(), 1u);
+  EXPECT_EQ(root.segments[1].next_child->loop->label, 30);
+}
+
+TEST(LoopTreeTest, TrailingSegmentHasNoChild) {
+  Program p = ParseOk(R"(
+      PROGRAM TRAIL
+      DIMENSION A(4), B(4)
+      DO 20 I = 1, 4
+        DO 10 J = 1, 4
+          A(J) = 0.0
+   10   CONTINUE
+        B(I) = A(I)
+   20 CONTINUE
+      END
+)");
+  LoopTree tree(p);
+  const LoopNode& root = *tree.roots()[0];
+  ASSERT_EQ(root.segments.size(), 2u);
+  EXPECT_EQ(root.segments[0].next_child->loop->label, 10);
+  EXPECT_TRUE(root.segments[0].assigns.empty());
+  EXPECT_EQ(root.segments[1].next_child, nullptr);
+  EXPECT_EQ(root.segments[1].assigns.size(), 1u);
+}
+
+TEST(LoopTreeTest, NodeLookupById) {
+  Program p = ParseOk(kFigure5Shape);
+  LoopTree tree(p);
+  EXPECT_EQ(tree.node(1).loop->label, 40);
+  EXPECT_EQ(tree.node(4).loop->label, 10);
+  EXPECT_EQ(tree.preorder().size(), 4u);
+}
+
+}  // namespace
+}  // namespace cdmm

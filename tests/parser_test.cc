@@ -1,0 +1,411 @@
+#include "src/lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/sema.h"
+
+namespace cdmm {
+namespace {
+
+Program ParseOk(std::string_view source) {
+  auto program = Parse(source);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().ToString());
+  return std::move(program).value();
+}
+
+std::string ParseError(std::string_view source) {
+  auto program = Parse(source);
+  EXPECT_FALSE(program.ok());
+  return program.ok() ? "" : program.error().ToString();
+}
+
+constexpr char kMinimal[] = R"(
+      PROGRAM TINY
+      DIMENSION A(10)
+      DO 10 I = 1, 10
+        A(I) = 1.0
+   10 CONTINUE
+      END
+)";
+
+TEST(ParserTest, MinimalProgram) {
+  Program p = ParseOk(kMinimal);
+  EXPECT_EQ(p.name, "TINY");
+  ASSERT_EQ(p.arrays.size(), 1u);
+  EXPECT_EQ(p.arrays[0].name, "A");
+  EXPECT_EQ(p.arrays[0].rows, 10);
+  EXPECT_TRUE(p.arrays[0].IsVector());
+  EXPECT_EQ(p.loop_count, 1u);
+}
+
+TEST(ParserTest, TwoDimensionalArray) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DIMENSION A(3,7)
+      END
+)");
+  ASSERT_EQ(p.arrays.size(), 1u);
+  EXPECT_EQ(p.arrays[0].rows, 3);
+  EXPECT_EQ(p.arrays[0].cols, 7);
+  EXPECT_FALSE(p.arrays[0].IsVector());
+  EXPECT_EQ(p.arrays[0].element_count(), 21);
+}
+
+TEST(ParserTest, MultipleArraysInOneDimension) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DIMENSION A(3), B(4,5), C(6)
+      END
+)");
+  ASSERT_EQ(p.arrays.size(), 3u);
+  EXPECT_EQ(p.arrays[1].name, "B");
+  EXPECT_EQ(p.arrays[2].rows, 6);
+}
+
+TEST(ParserTest, ParameterResolvedInDimensionAndBounds) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      PARAMETER (N = 8, M = 4)
+      DIMENSION A(N,M)
+      DO 10 I = 1, N
+        A(I,1) = 0.0
+   10 CONTINUE
+      END
+)");
+  EXPECT_EQ(p.parameters.at("N"), 8);
+  EXPECT_EQ(p.arrays[0].rows, 8);
+  EXPECT_EQ(p.arrays[0].cols, 4);
+  const Stmt& loop = *p.body[0];
+  EXPECT_EQ(loop.upper.value, 8);
+  EXPECT_EQ(loop.upper.spelling, "N");
+  EXPECT_EQ(loop.upper.kind, LoopBound::Kind::kParameter);
+}
+
+TEST(ParserTest, NestedLoopsGetPreorderIds) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DIMENSION A(4,4)
+      DO 20 I = 1, 4
+        DO 10 J = 1, 4
+          A(J,I) = 0.0
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+  EXPECT_EQ(p.loop_count, 2u);
+  const Stmt& outer = *p.body[0];
+  EXPECT_EQ(outer.loop_id, 1u);
+  ASSERT_EQ(outer.body.size(), 1u);
+  EXPECT_EQ(outer.body[0]->loop_id, 2u);
+}
+
+TEST(ParserTest, SharedTerminalLabelClosesAllLoops) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DIMENSION A(4,4)
+      DO 10 I = 1, 4
+      DO 10 J = 1, 4
+        A(J,I) = 1.0
+   10 CONTINUE
+      END
+)");
+  EXPECT_EQ(p.loop_count, 2u);
+  const Stmt& outer = *p.body[0];
+  EXPECT_EQ(outer.label, 10);
+  ASSERT_EQ(outer.body.size(), 1u);
+  EXPECT_EQ(outer.body[0]->label, 10);
+}
+
+TEST(ParserTest, LoopWithStep) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DIMENSION A(16)
+      DO 10 I = 1, 16, 3
+        A(I) = 0.0
+   10 CONTINUE
+      END
+)");
+  EXPECT_EQ(p.body[0]->step, 3);
+}
+
+TEST(ParserTest, NegativeStepAndBounds) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DIMENSION A(16)
+      DO 10 I = 16, 1, -1
+        A(I) = 0.0
+   10 CONTINUE
+      END
+)");
+  EXPECT_EQ(p.body[0]->step, -1);
+  EXPECT_EQ(p.body[0]->lower.value, 16);
+}
+
+TEST(ParserTest, TriangularLoopVariableBound) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DIMENSION A(8,8)
+      DO 20 J = 1, 8
+        DO 10 I = J, 8
+          A(I,J) = 0.0
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+  const Stmt& inner = *p.body[0]->body[0];
+  EXPECT_EQ(inner.lower.kind, LoopBound::Kind::kVariable);
+  EXPECT_EQ(inner.lower.spelling, "J");
+}
+
+TEST(ParserTest, SubscriptOffsets) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DIMENSION V(10)
+      DO 10 I = 2, 9
+        V(I) = V(I+1) + V(I-1)
+   10 CONTINUE
+      END
+)");
+  const Stmt& assign = *p.body[0]->body[0];
+  auto refs = assign.DirectArrayRefs();
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0]->indices[0].Canonical(), "I");
+  EXPECT_EQ(refs[1]->indices[0].Canonical(), "I+1");
+  EXPECT_EQ(refs[2]->indices[0].Canonical(), "I-1");
+}
+
+TEST(ParserTest, ConstantSubscript) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DIMENSION V(10)
+      V(3) = 1.0
+      END
+)");
+  const Stmt& assign = *p.body[0];
+  ASSERT_TRUE(assign.lhs_array.has_value());
+  EXPECT_TRUE(assign.lhs_array->indices[0].IsConstant());
+  EXPECT_EQ(assign.lhs_array->indices[0].offset, 3);
+}
+
+TEST(ParserTest, ScalarAssignment) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DIMENSION V(4)
+      ACC = V(1) * 2.0 + V(2) / 3.0 - 1.0
+      END
+)");
+  const Stmt& assign = *p.body[0];
+  EXPECT_FALSE(assign.lhs_array.has_value());
+  EXPECT_EQ(assign.lhs_scalar, "ACC");
+  EXPECT_EQ(assign.DirectArrayRefs().size(), 2u);
+}
+
+TEST(ParserTest, ParenthesisedExpressionsAndUnaryMinus) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DIMENSION V(4)
+      V(1) = -(V(2) + 1.0) * (V(3) - V(4))
+      END
+)");
+  EXPECT_EQ(p.body[0]->DirectArrayRefs().size(), 4u);
+}
+
+TEST(ParserTest, UnlabelledContinueIsNoOp) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DIMENSION V(4)
+      CONTINUE
+      V(1) = 0.0
+      END
+)");
+  EXPECT_EQ(p.body.size(), 1u);
+}
+
+TEST(ParserTest, RealTypeDeclarationActsAsDimension) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      REAL A(8,4), X, B(16)
+      INTEGER I, COUNTS(32)
+      A(1,1) = B(1) + COUNTS(1)
+      END
+)");
+  ASSERT_EQ(p.arrays.size(), 3u);
+  EXPECT_EQ(p.arrays[0].name, "A");
+  EXPECT_EQ(p.arrays[0].cols, 4);
+  EXPECT_EQ(p.arrays[1].name, "B");
+  EXPECT_EQ(p.arrays[2].name, "COUNTS");
+  EXPECT_EQ(p.arrays[2].rows, 32);
+}
+
+TEST(ParserTest, DoublePrecisionDeclaration) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      DOUBLEPRECISION D(64)
+      D(1) = 0.0
+      END
+)");
+  ASSERT_EQ(p.arrays.size(), 1u);
+  EXPECT_EQ(p.arrays[0].name, "D");
+}
+
+TEST(ParserTest, ScalarOnlyTypeDeclarationIsNoOp) {
+  Program p = ParseOk(R"(
+      PROGRAM P
+      REAL X, Y, Z
+      X = 1.0
+      END
+)");
+  EXPECT_TRUE(p.arrays.empty());
+}
+
+TEST(ParserErrorTest, DimensionRequiresDimensions) {
+  std::string err = ParseError(R"(
+      PROGRAM P
+      DIMENSION X
+      END
+)");
+  EXPECT_FALSE(err.empty());
+}
+
+// ---- error cases ----
+
+TEST(ParserErrorTest, MissingProgramKeyword) {
+  EXPECT_NE(ParseError("      DIMENSION A(4)\n      END\n").find("PROGRAM"), std::string::npos);
+}
+
+TEST(ParserErrorTest, MissingEnd) {
+  EXPECT_NE(ParseError("      PROGRAM P\n      DIMENSION A(4)\n").find("END"), std::string::npos);
+}
+
+TEST(ParserErrorTest, UnterminatedLoop) {
+  std::string err = ParseError(R"(
+      PROGRAM P
+      DIMENSION A(4)
+      DO 10 I = 1, 4
+        A(I) = 0.0
+      END
+)");
+  EXPECT_NE(err.find("unterminated"), std::string::npos);
+}
+
+TEST(ParserErrorTest, MismatchedContinueLabel) {
+  std::string err = ParseError(R"(
+      PROGRAM P
+      DIMENSION A(4)
+      DO 10 I = 1, 4
+        A(I) = 0.0
+   20 CONTINUE
+      END
+)");
+  EXPECT_NE(err.find("does not terminate"), std::string::npos);
+}
+
+TEST(ParserErrorTest, ContinueOutsideLoop) {
+  std::string err = ParseError(R"(
+      PROGRAM P
+   10 CONTINUE
+      END
+)");
+  EXPECT_NE(err.find("outside any DO loop"), std::string::npos);
+}
+
+TEST(ParserErrorTest, ZeroStepRejected) {
+  std::string err = ParseError(R"(
+      PROGRAM P
+      DIMENSION A(4)
+      DO 10 I = 1, 4, 0
+        A(I) = 0.0
+   10 CONTINUE
+      END
+)");
+  EXPECT_NE(err.find("step"), std::string::npos);
+}
+
+TEST(ParserErrorTest, NonPositiveArrayExtent) {
+  std::string err = ParseError(R"(
+      PROGRAM P
+      PARAMETER (N = -3)
+      DIMENSION A(N)
+      END
+)");
+  EXPECT_NE(err.find("non-positive"), std::string::npos);
+}
+
+TEST(ParserErrorTest, DuplicateParameter) {
+  std::string err = ParseError(R"(
+      PROGRAM P
+      PARAMETER (N = 1, N = 2)
+      END
+)");
+  EXPECT_NE(err.find("duplicate PARAMETER"), std::string::npos);
+}
+
+TEST(ParserErrorTest, UnknownParameterInDimension) {
+  std::string err = ParseError(R"(
+      PROGRAM P
+      DIMENSION A(NOPE)
+      END
+)");
+  EXPECT_NE(err.find("unknown PARAMETER"), std::string::npos);
+}
+
+TEST(ParserErrorTest, ThreeSubscriptsRejected) {
+  std::string err = ParseError(R"(
+      PROGRAM P
+      DIMENSION A(4,4)
+      A(1,2,3) = 0.0
+      END
+)");
+  EXPECT_NE(err.find("subscripts"), std::string::npos);
+}
+
+TEST(ParserErrorTest, ErrorsCarryLocations) {
+  auto program = Parse("      PROGRAM P\n      A = #\n      END\n");
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.error().location.line, 2u);
+}
+
+// ---- round-trip property: print then re-parse gives the same structure ----
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsStable) {
+  Program p1 = ParseOk(GetParam());
+  std::string printed1 = ProgramToString(p1);
+  auto p2 = Parse(printed1);
+  ASSERT_TRUE(p2.ok()) << p2.error().ToString() << "\nlisting was:\n" << printed1;
+  std::string printed2 = ProgramToString(p2.value());
+  EXPECT_EQ(printed1, printed2);
+  EXPECT_EQ(p1.loop_count, p2.value().loop_count);
+  EXPECT_EQ(p1.arrays.size(), p2.value().arrays.size());
+}
+
+constexpr const char* kRoundTripSources[] = {
+    kMinimal,
+    R"(
+      PROGRAM SHARED
+      DIMENSION A(4,4)
+      DO 10 I = 1, 4
+      DO 10 J = 1, 4
+        A(J,I) = A(J,I) * 2.0
+   10 CONTINUE
+      END
+)",
+    R"(
+      PROGRAM TRI
+      PARAMETER (N = 6)
+      DIMENSION A(N,N), D(N)
+      DO 30 J = 1, N
+        D(J) = A(J,J)
+        DO 20 I = J, N
+          A(I,J) = A(I,J) - D(J)
+   20   CONTINUE
+   30 CONTINUE
+      END
+)",
+};
+
+INSTANTIATE_TEST_SUITE_P(Sources, RoundTripTest, ::testing::ValuesIn(kRoundTripSources));
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,107 @@
+#include "src/cdmm/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace cdmm {
+namespace {
+
+constexpr char kTiny[] = R"(
+      PROGRAM TINY
+      PARAMETER (N = 64)
+      DIMENSION A(N,2), V(N)
+      DO 20 J = 1, 2
+        V(J) = 0.0
+        DO 10 I = 1, N
+          A(I,J) = V(I) + 1.0
+   10   CONTINUE
+   20 CONTINUE
+      END
+)";
+
+TEST(PipelineTest, CompilesAllStages) {
+  auto cp = CompiledProgram::FromSource(kTiny);
+  ASSERT_TRUE(cp.ok()) << cp.error().ToString();
+  const CompiledProgram& c = cp.value();
+  EXPECT_EQ(c.program().name, "TINY");
+  EXPECT_EQ(c.tree().preorder().size(), 2u);
+  EXPECT_EQ(c.locality().all().size(), 2u);
+  EXPECT_EQ(c.plan().allocate_before_loop.size(), 2u);
+  EXPECT_GT(c.trace().reference_count(), 0u);
+  EXPECT_EQ(c.virtual_pages(), 3u);  // A: 2 pages, V: 1 page
+}
+
+TEST(PipelineTest, ParseErrorSurfaces) {
+  auto cp = CompiledProgram::FromSource("      PROGRAM BAD\n      DO 10 I = 1\n      END\n");
+  ASSERT_FALSE(cp.ok());
+  EXPECT_FALSE(cp.error().message.empty());
+}
+
+TEST(PipelineTest, SemanticErrorSurfaces) {
+  auto cp = CompiledProgram::FromSource(R"(
+      PROGRAM BAD
+      DIMENSION A(4)
+      A(1) = B(2)
+      END
+)");
+  ASSERT_FALSE(cp.ok());
+  EXPECT_NE(cp.error().message.find("undeclared"), std::string::npos);
+}
+
+TEST(PipelineTest, TraceIsCachedAcrossCalls) {
+  auto cp = CompiledProgram::FromSource(kTiny);
+  ASSERT_TRUE(cp.ok());
+  const Trace& t1 = cp.value().trace();
+  const Trace& t2 = cp.value().trace();
+  EXPECT_EQ(&t1, &t2);
+}
+
+TEST(PipelineTest, OptionsPropagateToGeometry) {
+  PipelineOptions options;
+  options.locality.geometry.page_size_bytes = 512;
+  auto cp = CompiledProgram::FromSource(kTiny, options);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_EQ(cp.value().virtual_pages(), 2u);  // A: 1 page, V: 1 page
+}
+
+TEST(PipelineTest, DirectiveSwitchesPropagate) {
+  PipelineOptions options;
+  options.directives.insert_allocate = false;
+  options.directives.insert_locks = false;
+  auto cp = CompiledProgram::FromSource(kTiny, options);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_TRUE(cp.value().trace().directives().empty());
+}
+
+TEST(PipelineTest, LoopMarkersPropagate) {
+  PipelineOptions options;
+  options.emit_loop_markers = true;
+  auto cp = CompiledProgram::FromSource(kTiny, options);
+  ASSERT_TRUE(cp.ok());
+  bool saw_marker = false;
+  for (const TraceEvent& e : cp.value().trace().events()) {
+    saw_marker = saw_marker || e.kind == TraceEvent::Kind::kLoopEnter;
+  }
+  EXPECT_TRUE(saw_marker);
+}
+
+TEST(PipelineTest, ListingContainsDirectives) {
+  auto cp = CompiledProgram::FromSource(kTiny);
+  ASSERT_TRUE(cp.ok());
+  std::string listing = cp.value().Listing();
+  EXPECT_NE(listing.find("ALLOCATE"), std::string::npos);
+  EXPECT_NE(listing.find("LOCK"), std::string::npos);
+  EXPECT_NE(listing.find("UNLOCK"), std::string::npos);
+}
+
+TEST(PipelineTest, MoveSemanticsKeepReferencesValid) {
+  auto cp = CompiledProgram::FromSource(kTiny);
+  ASSERT_TRUE(cp.ok());
+  CompiledProgram moved = std::move(cp).value();
+  // Internal pointers (tree -> program) must survive the move.
+  EXPECT_EQ(moved.tree().preorder().size(), 2u);
+  EXPECT_EQ(&moved.tree().program(), &moved.program());
+  EXPECT_GT(moved.trace().reference_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cdmm

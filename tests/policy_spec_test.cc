@@ -1,0 +1,98 @@
+#include "src/vm/policy_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cdmm/pipeline.h"
+#include "src/vm/cd_policy.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/vmin.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+class PolicySpecTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto cp = CompiledProgram::FromSource(FindWorkload("HWSCRT").source);
+    ASSERT_TRUE(cp.ok());
+    compiled_ = new CompiledProgram(std::move(cp).value());
+    refs_ = new Trace(compiled_->trace().ReferencesOnly());
+  }
+
+  static const Trace& Full() { return compiled_->trace(); }
+  static const Trace& Refs() { return *refs_; }
+
+  static CompiledProgram* compiled_;
+  static Trace* refs_;
+};
+
+CompiledProgram* PolicySpecTest::compiled_ = nullptr;
+Trace* PolicySpecTest::refs_ = nullptr;
+
+TEST_F(PolicySpecTest, EveryKnownSpecRuns) {
+  for (const std::string& spec : KnownPolicySpecs()) {
+    auto r = RunPolicySpec(spec, Full(), Refs());
+    ASSERT_TRUE(r.has_value()) << spec;
+    EXPECT_GT(r->references, 0u) << spec;
+    EXPECT_GT(r->faults, 0u) << spec;
+  }
+}
+
+TEST_F(PolicySpecTest, UnknownSpecsRejected) {
+  EXPECT_FALSE(RunPolicySpec("nope", Full(), Refs()).has_value());
+  EXPECT_FALSE(RunPolicySpec("cd-sideways", Full(), Refs()).has_value());
+  EXPECT_FALSE(RunPolicySpec("", Full(), Refs()).has_value());
+}
+
+TEST_F(PolicySpecTest, LruSpecMatchesDirectCall) {
+  auto spec = RunPolicySpec("lru:24", Full(), Refs());
+  ASSERT_TRUE(spec.has_value());
+  SimResult direct = SimulateFixed(Refs(), 24, Replacement::kLru);
+  EXPECT_EQ(spec->faults, direct.faults);
+  EXPECT_DOUBLE_EQ(spec->space_time, direct.space_time);
+}
+
+TEST_F(PolicySpecTest, WsSpecMatchesDirectCall) {
+  auto spec = RunPolicySpec("ws:777", Full(), Refs());
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->faults, SimulateWs(Refs(), 777).faults);
+}
+
+TEST_F(PolicySpecTest, CdCapSpecMatchesDirectCall) {
+  auto spec = RunPolicySpec("cd-cap:2", Full(), Refs());
+  ASSERT_TRUE(spec.has_value());
+  CdOptions options;
+  options.selection = DirectiveSelection::kLevelCap;
+  options.level_cap = 2;
+  EXPECT_EQ(spec->faults, SimulateCd(Full(), options).faults);
+}
+
+TEST_F(PolicySpecTest, CdNolockPrefixDisablesLocks) {
+  auto with = RunPolicySpec("cd-inner", Full(), Refs());
+  auto without = RunPolicySpec("cd-nolock-inner", Full(), Refs());
+  ASSERT_TRUE(with.has_value());
+  ASSERT_TRUE(without.has_value());
+  CdOptions options;
+  options.selection = DirectiveSelection::kInnermost;
+  options.honor_locks = false;
+  EXPECT_EQ(without->faults, SimulateCd(Full(), options).faults);
+}
+
+TEST_F(PolicySpecTest, DefaultParametersApply) {
+  auto r = RunPolicySpec("vmin", Full(), Refs());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->faults, SimulateVmin(Refs()).faults);
+}
+
+TEST_F(PolicySpecTest, SimOptionsPropagate) {
+  SimOptions fast;
+  fast.fault_service_time = 10;
+  auto r = RunPolicySpec("lru:24", Full(), Refs(), fast);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->elapsed, r->references + r->faults * 10u);
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,188 @@
+// Cross-module property tests, parameterised over all nine workloads: the
+// classical paging-theory invariants must hold on every generated trace.
+#include <gtest/gtest.h>
+
+#include "src/cdmm/pipeline.h"
+#include "src/trace/trace_io.h"
+#include "src/vm/cd_policy.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+class WorkloadPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const CompiledProgram& Compiled(const std::string& name) {
+    static auto* cache = new std::map<std::string, std::unique_ptr<CompiledProgram>>();
+    auto it = cache->find(name);
+    if (it == cache->end()) {
+      auto cp = CompiledProgram::FromSource(FindWorkload(name).source);
+      EXPECT_TRUE(cp.ok());
+      it = cache->emplace(name, std::make_unique<CompiledProgram>(std::move(cp).value())).first;
+    }
+    return *it->second;
+  }
+
+  static const Trace& Refs(const std::string& name) {
+    static auto* cache = new std::map<std::string, std::unique_ptr<Trace>>();
+    auto it = cache->find(name);
+    if (it == cache->end()) {
+      it = cache->emplace(name, std::make_unique<Trace>(Compiled(name).trace().ReferencesOnly()))
+               .first;
+    }
+    return *it->second;
+  }
+};
+
+TEST_P(WorkloadPropertyTest, OptIsALowerBoundForDemandPolicies) {
+  const Trace& t = Refs(GetParam());
+  uint32_t v = t.virtual_pages();
+  for (uint32_t m : {v / 8 + 1, v / 3 + 1, v}) {
+    uint64_t opt = SimulateFixed(t, m, Replacement::kOpt).faults;
+    EXPECT_LE(opt, SimulateFixed(t, m, Replacement::kLru).faults) << "m=" << m;
+    EXPECT_LE(opt, SimulateFixed(t, m, Replacement::kFifo).faults) << "m=" << m;
+  }
+}
+
+TEST_P(WorkloadPropertyTest, LruInclusionProperty) {
+  // Stack property: faults(m) computed by the sweep is non-increasing and
+  // matches direct simulation at spot-checked points.
+  const Trace& t = Refs(GetParam());
+  uint32_t v = t.virtual_pages();
+  auto sweep = LruSweep(t, v);
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    ASSERT_LE(sweep[i].faults, sweep[i - 1].faults);
+  }
+  for (uint32_t m : {1u, v / 2 + 1, v}) {
+    EXPECT_EQ(sweep[m - 1].faults, SimulateFixed(t, m, Replacement::kLru).faults) << "m=" << m;
+  }
+}
+
+TEST_P(WorkloadPropertyTest, FullResidencyFaultsEqualDistinctPages) {
+  const Trace& t = Refs(GetParam());
+  TraceStats stats = t.ComputeStats();
+  EXPECT_EQ(SimulateFixed(t, t.virtual_pages(), Replacement::kLru).faults, stats.distinct_pages);
+  EXPECT_EQ(SimulateFixed(t, t.virtual_pages(), Replacement::kOpt).faults, stats.distinct_pages);
+  EXPECT_EQ(SimulateWs(t, t.reference_count()).faults, stats.distinct_pages);
+}
+
+TEST_P(WorkloadPropertyTest, EveryPolicyFaultsAtLeastColdMisses) {
+  const Trace& t = Refs(GetParam());
+  TraceStats stats = t.ComputeStats();
+  uint32_t v = t.virtual_pages();
+  EXPECT_GE(SimulateFixed(t, v / 4 + 1, Replacement::kLru).faults, stats.distinct_pages);
+  EXPECT_GE(SimulateWs(t, 1000).faults, stats.distinct_pages);
+  CdOptions cd;
+  cd.selection = DirectiveSelection::kOutermost;
+  EXPECT_GE(SimulateCd(Compiled(GetParam()).trace(), cd).faults, stats.distinct_pages);
+}
+
+TEST_P(WorkloadPropertyTest, WsFaultsMonotoneInTau) {
+  const Trace& t = Refs(GetParam());
+  uint64_t prev = ~0ull;
+  for (uint64_t tau : {10u, 100u, 1000u, 10000u, 100000u}) {
+    uint64_t f = SimulateWs(t, tau).faults;
+    EXPECT_LE(f, prev) << "tau=" << tau;
+    prev = f;
+  }
+}
+
+TEST_P(WorkloadPropertyTest, CdResidencyNeverExceedsHolding) {
+  const Trace& t = Compiled(GetParam()).trace();
+  for (auto sel : {DirectiveSelection::kOutermost, DirectiveSelection::kInnermost}) {
+    CdOptions options;
+    options.selection = sel;
+    SimResult r = SimulateCd(t, options);
+    EXPECT_GT(r.faults, 0u);
+    EXPECT_LE(r.max_resident, t.virtual_pages());
+    EXPECT_GT(r.mean_memory, 0.0);
+  }
+}
+
+TEST_P(WorkloadPropertyTest, CdOuterFaultsNoMoreThanInner) {
+  // The outermost selection holds supersets of every inner selection's
+  // locality, so it cannot fault more.
+  const Trace& t = Compiled(GetParam()).trace();
+  CdOptions outer;
+  outer.selection = DirectiveSelection::kOutermost;
+  CdOptions inner;
+  inner.selection = DirectiveSelection::kInnermost;
+  EXPECT_LE(SimulateCd(t, outer).faults, SimulateCd(t, inner).faults);
+}
+
+TEST_P(WorkloadPropertyTest, CdAvailabilityRespectsPhysicalLimit) {
+  const Trace& t = Compiled(GetParam()).trace();
+  CdOptions options;
+  options.selection = DirectiveSelection::kAvailability;
+  options.available_frames = 24;
+  SimResult r = SimulateCd(t, options);
+  EXPECT_LE(r.max_resident, 24u);
+}
+
+TEST_P(WorkloadPropertyTest, StFormulaHoldsForAllPolicies) {
+  const Trace& t = Refs(GetParam());
+  SimOptions options;
+  SimResult lru = SimulateFixed(t, 16, Replacement::kLru, options);
+  EXPECT_DOUBLE_EQ(lru.space_time,
+                   lru.mean_memory * static_cast<double>(lru.references) +
+                       static_cast<double>(lru.faults) * 2000.0);
+  SimResult ws = SimulateWs(t, 500, options);
+  EXPECT_NEAR(ws.space_time,
+              ws.mean_memory * static_cast<double>(ws.references) +
+                  static_cast<double>(ws.faults) * 2000.0,
+              1.0);
+}
+
+TEST_P(WorkloadPropertyTest, TraceSerialisationRoundTrips) {
+  const Trace& t = Compiled(GetParam()).trace();
+  // Round-trip a prefix (full traces are large; the format is line-uniform).
+  Trace prefix(t.name());
+  prefix.set_virtual_pages(t.virtual_pages());
+  size_t count = 0;
+  for (const TraceEvent& e : t.events()) {
+    if (count++ > 20000) {
+      break;
+    }
+    switch (e.kind) {
+      case TraceEvent::Kind::kRef:
+        prefix.AddRef(e.value);
+        break;
+      case TraceEvent::Kind::kDirective:
+        prefix.AddDirective(t.directive(e.value));
+        break;
+      case TraceEvent::Kind::kLoopEnter:
+        prefix.AddLoopEnter(e.value);
+        break;
+      case TraceEvent::Kind::kLoopExit:
+        prefix.AddLoopExit(e.value);
+        break;
+    }
+  }
+  auto parsed = TraceFromString(TraceToString(prefix));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value(), prefix);
+}
+
+TEST_P(WorkloadPropertyTest, LocksNeverIncreaseFaults) {
+  const Trace& t = Compiled(GetParam()).trace();
+  for (auto sel : {DirectiveSelection::kInnermost, DirectiveSelection::kOutermost}) {
+    CdOptions with;
+    with.selection = sel;
+    with.honor_locks = true;
+    CdOptions without = with;
+    without.honor_locks = false;
+    // Pinned pages can only prevent evictions of soon-reused pages; with
+    // unbounded memory they never force extra faults.
+    EXPECT_LE(SimulateCd(t, with).faults, SimulateCd(t, without).faults + 5)
+        << DirectiveSelectionName(sel);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, WorkloadPropertyTest,
+                         ::testing::Values("MAIN", "FDJAC", "TQL", "FIELD", "INIT", "APPROX",
+                                           "HYBRJ", "CONDUCT", "HWSCRT"));
+
+}  // namespace
+}  // namespace cdmm

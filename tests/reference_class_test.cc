@@ -1,0 +1,164 @@
+#include "src/analysis/reference_class.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/loop_tree.h"
+#include "src/lang/sema.h"
+
+namespace cdmm {
+namespace {
+
+struct Fixture {
+  Program program;
+  std::unique_ptr<LoopTree> tree;
+  std::vector<RefSite> sites;
+
+  explicit Fixture(std::string_view source) {
+    auto parsed = ParseAndCheck(source);
+    EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().ToString());
+    program = std::move(parsed).value();
+    tree = std::make_unique<LoopTree>(program);
+    for (const LoopNode* root : tree->roots()) {
+      auto s = CollectRefSites(*root);
+      sites.insert(sites.end(), s.begin(), s.end());
+    }
+  }
+
+  const RefSite& SiteOf(const std::string& array, size_t occurrence = 0) {
+    size_t seen = 0;
+    for (const RefSite& site : sites) {
+      if (site.ref->name == array) {
+        if (seen == occurrence) {
+          return site;
+        }
+        ++seen;
+      }
+    }
+    ADD_FAILURE() << "no site for " << array;
+    static RefSite dummy;
+    return dummy;
+  }
+};
+
+// The paper's Figure 1: E and F referenced row-wise inside loop 20 (inner
+// index J drives the column subscript), G and H column-wise inside loop 30
+// (inner index K drives the row subscript).
+constexpr char kFigure1[] = R"(
+      PROGRAM FIG1
+      PARAMETER (M = 200, N = 10)
+      DIMENSION E(M,N), F(M,N), G(M,N), H(M,N)
+      DO 10 I = 1, N
+        DO 20 J = 1, N
+          E(I,J) = F(I,J)
+   20   CONTINUE
+        DO 30 K = 1, M
+          G(K,I) = H(K,I)
+   30   CONTINUE
+   10 CONTINUE
+      END
+)";
+
+TEST(ReferenceClassTest, Figure1RowWiseAndColumnWise) {
+  Fixture f(kFigure1);
+  EXPECT_EQ(ClassifyOrder(f.SiteOf("E")), RefOrder::kRowWise);
+  EXPECT_EQ(ClassifyOrder(f.SiteOf("F")), RefOrder::kRowWise);
+  EXPECT_EQ(ClassifyOrder(f.SiteOf("G")), RefOrder::kColumnWise);
+  EXPECT_EQ(ClassifyOrder(f.SiteOf("H")), RefOrder::kColumnWise);
+}
+
+TEST(ReferenceClassTest, Figure1SubscriptVariations) {
+  Fixture f(kFigure1);
+  const LoopNode& loop10 = *f.tree->roots()[0];       // I loop
+  const LoopNode& loop20 = *loop10.children[0];       // J loop
+  const LoopNode& loop30 = *loop10.children[1];       // K loop
+
+  const RefSite& e = f.SiteOf("E");
+  // E(I,J) relative to loop 20: row subscript I is outer, column J is self.
+  EXPECT_EQ(ClassifySubscript(e.ref->indices[0], e, loop20), Variation::kOuter);
+  EXPECT_EQ(ClassifySubscript(e.ref->indices[1], e, loop20), Variation::kSelf);
+  // Relative to loop 10: row is self, column varies inside.
+  EXPECT_EQ(ClassifySubscript(e.ref->indices[0], e, loop10), Variation::kSelf);
+  EXPECT_EQ(ClassifySubscript(e.ref->indices[1], e, loop10), Variation::kInner);
+
+  const RefSite& g = f.SiteOf("G");
+  // G(K,I) relative to loop 30: row K is self, column I is outer.
+  EXPECT_EQ(ClassifySubscript(g.ref->indices[0], g, loop30), Variation::kSelf);
+  EXPECT_EQ(ClassifySubscript(g.ref->indices[1], g, loop30), Variation::kOuter);
+  // Relative to loop 10: row varies inside, column is self.
+  EXPECT_EQ(ClassifySubscript(g.ref->indices[0], g, loop10), Variation::kInner);
+  EXPECT_EQ(ClassifySubscript(g.ref->indices[1], g, loop10), Variation::kSelf);
+}
+
+TEST(ReferenceClassTest, VectorAndConstantOrders) {
+  Fixture f(R"(
+      PROGRAM P
+      DIMENSION V(8), A(8,8)
+      DO 10 I = 1, 8
+        V(I) = A(3,5) + V(2)
+   10 CONTINUE
+      END
+)");
+  EXPECT_EQ(ClassifyOrder(f.SiteOf("V", 0)), RefOrder::kVector);
+  EXPECT_EQ(ClassifyOrder(f.SiteOf("A")), RefOrder::kInvariant);
+}
+
+TEST(ReferenceClassTest, DiagonalOrder) {
+  Fixture f(R"(
+      PROGRAM P
+      DIMENSION A(8,8)
+      DO 10 I = 1, 8
+        A(I,I) = 0.0
+   10 CONTINUE
+      END
+)");
+  EXPECT_EQ(ClassifyOrder(f.SiteOf("A")), RefOrder::kDiagonal);
+}
+
+TEST(ReferenceClassTest, ConstantSubscriptClassifiesConstant) {
+  Fixture f(R"(
+      PROGRAM P
+      DIMENSION A(8,8)
+      DO 10 I = 1, 8
+        A(3,I) = 0.0
+   10 CONTINUE
+      END
+)");
+  const RefSite& a = f.SiteOf("A");
+  const LoopNode& loop = *f.tree->roots()[0];
+  EXPECT_EQ(ClassifySubscript(a.ref->indices[0], a, loop), Variation::kConstant);
+  EXPECT_EQ(ClassifySubscript(a.ref->indices[1], a, loop), Variation::kSelf);
+  EXPECT_EQ(ClassifyOrder(a), RefOrder::kRowWise);
+}
+
+TEST(ReferenceClassTest, CollectRefSitesVisitsNestedLoops) {
+  Fixture f(kFigure1);
+  // E, F, G, H: one reference each, gathered across both inner loops.
+  EXPECT_EQ(f.sites.size(), 4u);
+}
+
+TEST(ReferenceClassTest, LhsListedBeforeRhsWithinStatement) {
+  Fixture f(kFigure1);
+  EXPECT_EQ(f.sites[0].ref->name, "E");
+  EXPECT_EQ(f.sites[1].ref->name, "F");
+  EXPECT_EQ(f.sites[2].ref->name, "G");
+  EXPECT_EQ(f.sites[3].ref->name, "H");
+}
+
+TEST(ReferenceClassTest, SubscriptBinderFindsLoop) {
+  Fixture f(kFigure1);
+  const RefSite& e = f.SiteOf("E");
+  const LoopNode* binder = SubscriptBinder(e.ref->indices[1], e);
+  ASSERT_NE(binder, nullptr);
+  EXPECT_EQ(binder->loop->label, 20);
+  EXPECT_EQ(SubscriptBinder(IndexExpr{"", 5, {}}, e), nullptr);
+}
+
+TEST(ReferenceClassTest, VariationNamesAreStable) {
+  EXPECT_STREQ(VariationName(Variation::kSelf), "self");
+  EXPECT_STREQ(VariationName(Variation::kInner), "inner");
+  EXPECT_STREQ(RefOrderName(RefOrder::kColumnWise), "column-wise");
+  EXPECT_STREQ(RefOrderName(RefOrder::kVector), "vector");
+}
+
+}  // namespace
+}  // namespace cdmm

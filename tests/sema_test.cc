@@ -1,0 +1,196 @@
+#include "src/lang/sema.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+
+namespace cdmm {
+namespace {
+
+std::string CheckError(std::string_view source) {
+  auto program = Parse(source);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().ToString());
+  auto err = CheckProgram(program.value());
+  EXPECT_TRUE(err.has_value()) << "expected a semantic error";
+  return err.has_value() ? err->ToString() : "";
+}
+
+void CheckOk(std::string_view source) {
+  auto program = ParseAndCheck(source);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().ToString());
+}
+
+TEST(SemaTest, AcceptsWellFormedProgram) {
+  CheckOk(R"(
+      PROGRAM P
+      PARAMETER (N = 4)
+      DIMENSION A(N,N), V(N)
+      DO 20 J = 1, N
+        V(J) = 0.0
+        DO 10 I = 1, N
+          A(I,J) = V(I) + V(J)
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+}
+
+TEST(SemaTest, UndeclaredArray) {
+  std::string err = CheckError(R"(
+      PROGRAM P
+      DIMENSION A(4)
+      A(1) = B(1)
+      END
+)");
+  EXPECT_NE(err.find("undeclared array B"), std::string::npos);
+}
+
+TEST(SemaTest, DuplicateArrayDeclaration) {
+  std::string err = CheckError(R"(
+      PROGRAM P
+      DIMENSION A(4), A(5)
+      END
+)");
+  EXPECT_NE(err.find("declared more than once"), std::string::npos);
+}
+
+TEST(SemaTest, ArrayNameCollidesWithParameter) {
+  std::string err = CheckError(R"(
+      PROGRAM P
+      PARAMETER (A = 4)
+      DIMENSION A(4)
+      END
+)");
+  EXPECT_NE(err.find("both an array and a PARAMETER"), std::string::npos);
+}
+
+TEST(SemaTest, VectorUsedWithTwoSubscripts) {
+  std::string err = CheckError(R"(
+      PROGRAM P
+      DIMENSION V(4)
+      V(1,2) = 0.0
+      END
+)");
+  EXPECT_NE(err.find("referenced with 2 subscript"), std::string::npos);
+}
+
+TEST(SemaTest, MatrixUsedWithOneSubscript) {
+  std::string err = CheckError(R"(
+      PROGRAM P
+      DIMENSION A(4,4)
+      A(1) = 0.0
+      END
+)");
+  EXPECT_NE(err.find("referenced with 1 subscript"), std::string::npos);
+}
+
+TEST(SemaTest, UnboundSubscriptVariable) {
+  std::string err = CheckError(R"(
+      PROGRAM P
+      DIMENSION V(4)
+      V(I) = 0.0
+      END
+)");
+  EXPECT_NE(err.find("not bound by an enclosing DO"), std::string::npos);
+}
+
+TEST(SemaTest, SubscriptVariableFromSiblingLoopIsUnbound) {
+  std::string err = CheckError(R"(
+      PROGRAM P
+      DIMENSION V(4)
+      DO 10 I = 1, 4
+        V(I) = 0.0
+   10 CONTINUE
+      DO 20 J = 1, 4
+        V(I) = 1.0
+   20 CONTINUE
+      END
+)");
+  EXPECT_NE(err.find("not bound"), std::string::npos);
+}
+
+TEST(SemaTest, LoopVariableReuseRejected) {
+  std::string err = CheckError(R"(
+      PROGRAM P
+      DIMENSION A(4,4)
+      DO 20 I = 1, 4
+        DO 10 I = 1, 4
+          A(I,I) = 0.0
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+  EXPECT_NE(err.find("reused by an enclosing DO"), std::string::npos);
+}
+
+TEST(SemaTest, LoopVariableCollidingWithArrayName) {
+  std::string err = CheckError(R"(
+      PROGRAM P
+      DIMENSION A(4)
+      DO 10 A = 1, 4
+        CONTINUE
+   10 CONTINUE
+      END
+)");
+  EXPECT_NE(err.find("collides with an array name"), std::string::npos);
+}
+
+TEST(SemaTest, ArrayAssignedWithoutSubscripts) {
+  std::string err = CheckError(R"(
+      PROGRAM P
+      DIMENSION A(4)
+      A = 0.0
+      END
+)");
+  EXPECT_NE(err.find("assigned without subscripts"), std::string::npos);
+}
+
+TEST(SemaTest, ArrayReadWithoutSubscripts) {
+  std::string err = CheckError(R"(
+      PROGRAM P
+      DIMENSION A(4)
+      X = A
+      END
+)");
+  EXPECT_NE(err.find("used without subscripts"), std::string::npos);
+}
+
+TEST(SemaTest, VariableLoopBoundMustBeEnclosing) {
+  std::string err = CheckError(R"(
+      PROGRAM P
+      DIMENSION A(4)
+      DO 10 I = 1, K
+        A(I) = 0.0
+   10 CONTINUE
+      END
+)");
+  EXPECT_NE(err.find("neither a PARAMETER nor an enclosing loop variable"), std::string::npos);
+}
+
+TEST(SemaTest, TriangularBoundFromEnclosingLoopAccepted) {
+  CheckOk(R"(
+      PROGRAM P
+      DIMENSION A(4,4)
+      DO 20 J = 1, 4
+        DO 10 I = J, 4
+          A(I,J) = 0.0
+   10   CONTINUE
+   20 CONTINUE
+      END
+)");
+}
+
+TEST(SemaTest, ScalarNamesDoNotCollideAcrossUses) {
+  CheckOk(R"(
+      PROGRAM P
+      DIMENSION V(4)
+      ACC = 0.0
+      DO 10 I = 1, 4
+        ACC = ACC + V(I)
+   10 CONTINUE
+      END
+)");
+}
+
+}  // namespace
+}  // namespace cdmm

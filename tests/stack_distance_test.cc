@@ -1,0 +1,71 @@
+#include "src/vm/stack_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+
+#include "src/support/rng.h"
+
+namespace cdmm {
+namespace {
+
+// Naive reference implementation: an explicit LRU stack walked per touch.
+class NaiveStack {
+ public:
+  uint32_t Touch(PageId page) {
+    uint32_t depth = 0;
+    for (auto it = stack_.begin(); it != stack_.end(); ++it) {
+      ++depth;
+      if (*it == page) {
+        stack_.erase(it);
+        stack_.push_front(page);
+        return depth;
+      }
+    }
+    stack_.push_front(page);
+    return 0;  // cold
+  }
+
+ private:
+  std::list<PageId> stack_;
+};
+
+TEST(StackDistanceTest, HandSequence) {
+  StackDistanceEngine engine(16);
+  EXPECT_EQ(engine.Next(1).depth, 0u);  // cold
+  EXPECT_EQ(engine.Next(2).depth, 0u);
+  EXPECT_EQ(engine.Next(1).depth, 2u);  // one distinct page (2) in between
+  EXPECT_EQ(engine.Next(1).depth, 1u);  // immediate re-use
+  EXPECT_EQ(engine.Next(3).depth, 0u);
+  EXPECT_EQ(engine.Next(2).depth, 3u);  // 1 and 3 in between
+}
+
+TEST(StackDistanceTest, PreviousPositionsReported) {
+  StackDistanceEngine engine(8);
+  engine.Next(5);                       // position 1
+  engine.Next(6);                       // position 2
+  auto touch = engine.Next(5);          // position 3
+  EXPECT_EQ(touch.previous, 1u);
+  EXPECT_EQ(engine.position(), 3u);
+}
+
+TEST(StackDistanceTest, MatchesNaiveOnRandomTrace) {
+  SplitMix64 rng(99);
+  StackDistanceEngine engine(20000);
+  NaiveStack naive;
+  for (int i = 0; i < 20000; ++i) {
+    PageId page = static_cast<PageId>(rng.NextDouble() < 0.7 ? rng.NextBelow(8)
+                                                             : rng.NextBelow(120));
+    EXPECT_EQ(engine.Next(page).depth, naive.Touch(page)) << "at reference " << i;
+  }
+}
+
+TEST(StackDistanceTest, ExceedingCapacityDies) {
+  StackDistanceEngine engine(2);
+  engine.Next(0);
+  engine.Next(1);
+  EXPECT_DEATH(engine.Next(2), "capacity");
+}
+
+}  // namespace
+}  // namespace cdmm

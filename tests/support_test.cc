@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/support/check.h"
+#include "src/support/result.h"
+#include "src/support/rng.h"
+#include "src/support/source_location.h"
+#include "src/support/stats.h"
+#include "src/support/str.h"
+#include "src/support/table.h"
+
+namespace cdmm {
+namespace {
+
+TEST(StrTest, StrCatConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StrTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StrTest, FormatFixed) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(2.0, 0), "2");
+  EXPECT_EQ(FormatFixed(-1.005, 1), "-1.0");
+}
+
+TEST(StrTest, FormatMillions) {
+  EXPECT_EQ(FormatMillions(3.39e6), "3.39");
+  EXPECT_EQ(FormatMillions(20.5e6, 1), "20.5");
+}
+
+TEST(StrTest, IsBlank) {
+  EXPECT_TRUE(IsBlank(""));
+  EXPECT_TRUE(IsBlank("  \t "));
+  EXPECT_FALSE(IsBlank(" x "));
+}
+
+TEST(StrTest, ToUpperAscii) {
+  EXPECT_EQ(ToUpperAscii("FoRtRaN 77"), "FORTRAN 77");
+}
+
+TEST(SourceLocationTest, ToString) {
+  EXPECT_EQ(ToString(SourceLocation{3, 14}), "3:14");
+  EXPECT_EQ(ToString(SourceLocation{}), "?");
+  EXPECT_FALSE(SourceLocation{}.IsValid());
+  EXPECT_TRUE((SourceLocation{1, 1}).IsValid());
+}
+
+TEST(ResultTest, HoldsValueOrError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  Result<int> err(Error{"boom", SourceLocation{2, 5}});
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().ToString(), "2:5: boom");
+}
+
+TEST(ResultTest, ErrorWithoutLocation) {
+  Error e{"plain", {}};
+  EXPECT_EQ(e.ToString(), "plain");
+}
+
+TEST(ResultTest, AccessingWrongSideDies) {
+  Result<int> err(Error{"boom", {}});
+  EXPECT_DEATH(err.value(), "boom");
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  CDMM_CHECK(1 + 1 == 2);
+  CDMM_CHECK_MSG(true, "never printed");
+}
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_DEATH(CDMM_CHECK(false), "CDMM_CHECK failed");
+  EXPECT_DEATH(CDMM_CHECK_MSG(false, "context " << 42), "context 42");
+}
+
+TEST(StatsTest, SummaryStats) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.Add(1.0);
+  s.Add(5.0);
+  s.Add(3.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 9.0);
+}
+
+TEST(StatsTest, TimeWeightedLevel) {
+  TimeWeightedLevel l;
+  l.SetLevel(2.0);
+  l.Advance(10);
+  l.SetLevel(4.0);
+  l.Advance(5);
+  EXPECT_DOUBLE_EQ(l.integral(), 2.0 * 10 + 4.0 * 5);
+  EXPECT_EQ(l.elapsed(), 15u);
+  EXPECT_DOUBLE_EQ(l.mean_level(), 40.0 / 15.0);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BoundedValues) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(TableTest, RendersAlignedCells) {
+  TextTable t({"Name", "Value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22.5"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| Name "), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Numeric cells right-align: "22.5" is padded on the left.
+  EXPECT_NE(out.find(" 22.5 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, RuleInsertsSeparator) {
+  TextTable t({"A"});
+  t.AddRow({"1"});
+  t.AddRule();
+  t.AddRow({"2"});
+  std::ostringstream os;
+  t.Print(os);
+  // header rule + top + bottom + the inserted one = 4 dashed lines.
+  int rules = 0;
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    rules += line.rfind("+-", 0) == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TableTest, MismatchedRowDies) {
+  TextTable t({"A", "B"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "cells");
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/cdmm/pipeline.h"
+#include "src/trace/trace_io.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+Trace SampleTrace() {
+  Trace t("BINSAMPLE");
+  t.set_virtual_pages(300);
+  DirectiveRecord alloc;
+  alloc.kind = DirectiveRecord::Kind::kAllocate;
+  alloc.loop_id = 7;
+  alloc.requests = {AllocateRequest{3, 250}, AllocateRequest{1, 2}};
+  t.AddDirective(alloc);
+  t.AddLoopEnter(7);
+  for (PageId p = 0; p < 200; ++p) {
+    t.AddRef(p);
+    t.AddRef(p);
+  }
+  DirectiveRecord lock;
+  lock.kind = DirectiveRecord::Kind::kLock;
+  lock.loop_id = 7;
+  lock.lock_priority = 2;
+  lock.pages = {0, 128, 299};
+  t.AddDirective(lock);
+  DirectiveRecord unlock;
+  unlock.kind = DirectiveRecord::Kind::kUnlock;
+  unlock.loop_id = 7;
+  unlock.pages = {0, 128, 299};
+  t.AddDirective(unlock);
+  t.AddLoopExit(7);
+  return t;
+}
+
+TEST(TraceBinaryTest, RoundTrip) {
+  Trace original = SampleTrace();
+  std::stringstream ss;
+  WriteTraceBinary(original, ss);
+  auto parsed = ReadTraceBinary(ss);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value(), original);
+}
+
+TEST(TraceBinaryTest, MuchSmallerThanText) {
+  Trace t = SampleTrace();
+  std::stringstream binary;
+  WriteTraceBinary(t, binary);
+  std::string text = TraceToString(t);
+  EXPECT_LT(binary.str().size() * 2, text.size());
+}
+
+TEST(TraceBinaryTest, ReadAnySniffsBothFormats) {
+  Trace t = SampleTrace();
+  {
+    std::stringstream ss;
+    WriteTraceBinary(t, ss);
+    auto parsed = ReadAnyTrace(ss);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), t);
+  }
+  {
+    std::stringstream ss;
+    WriteTrace(t, ss);
+    auto parsed = ReadAnyTrace(ss);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), t);
+  }
+}
+
+TEST(TraceBinaryTest, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "XXXX garbage";
+  auto parsed = ReadTraceBinary(ss);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("magic"), std::string::npos);
+}
+
+TEST(TraceBinaryTest, RejectsTruncatedStream) {
+  Trace t = SampleTrace();
+  std::stringstream ss;
+  WriteTraceBinary(t, ss);
+  std::string data = ss.str();
+  std::stringstream truncated(data.substr(0, data.size() / 2));
+  auto parsed = ReadTraceBinary(truncated);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(TraceBinaryTest, RejectsBadVersion) {
+  std::stringstream ss;
+  ss << "CDMB" << '\x07';
+  auto parsed = ReadTraceBinary(ss);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("version"), std::string::npos);
+}
+
+TEST(TraceBinaryTest, EmptyTraceRoundTrips) {
+  Trace t("EMPTY");
+  std::stringstream ss;
+  WriteTraceBinary(t, ss);
+  auto parsed = ReadTraceBinary(ss);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), t);
+}
+
+TEST(TraceBinaryTest, WorkloadTraceRoundTrips) {
+  auto cp = CompiledProgram::FromSource(FindWorkload("INIT").source);
+  ASSERT_TRUE(cp.ok());
+  const Trace& t = cp.value().trace();
+  std::stringstream ss;
+  WriteTraceBinary(t, ss);
+  auto parsed = ReadTraceBinary(ss);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value(), t);
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,161 @@
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/trace_io.h"
+
+namespace cdmm {
+namespace {
+
+TEST(TraceTest, RefsCountAndStats) {
+  Trace t("p");
+  t.set_virtual_pages(10);
+  t.AddRef(0);
+  t.AddRef(3);
+  t.AddRef(3);
+  t.AddRef(9);
+  EXPECT_EQ(t.reference_count(), 4u);
+  TraceStats stats = t.ComputeStats();
+  EXPECT_EQ(stats.references, 4u);
+  EXPECT_EQ(stats.distinct_pages, 3u);
+  EXPECT_EQ(stats.max_page, 9u);
+  EXPECT_EQ(stats.page_counts[3], 2u);
+}
+
+TEST(TraceTest, OutOfRangeRefDies) {
+  Trace t("p");
+  t.set_virtual_pages(4);
+  EXPECT_DEATH(t.AddRef(4), "out of range");
+}
+
+TEST(TraceTest, DirectiveOrderingInvariantsEnforced) {
+  Trace t("p");
+  t.set_virtual_pages(4);
+  DirectiveRecord bad_priority;
+  bad_priority.kind = DirectiveRecord::Kind::kAllocate;
+  bad_priority.requests = {AllocateRequest{1, 5}, AllocateRequest{2, 3}};
+  EXPECT_DEATH(t.AddDirective(bad_priority), "strictly decrease");
+
+  DirectiveRecord bad_sizes;
+  bad_sizes.kind = DirectiveRecord::Kind::kAllocate;
+  bad_sizes.requests = {AllocateRequest{2, 3}, AllocateRequest{1, 5}};
+  EXPECT_DEATH(t.AddDirective(bad_sizes), "non-increasing");
+}
+
+TEST(TraceTest, ReferencesOnlyStripsDirectivesAndMarkers) {
+  Trace t("p");
+  t.set_virtual_pages(4);
+  t.AddLoopEnter(1);
+  t.AddRef(0);
+  DirectiveRecord d;
+  d.kind = DirectiveRecord::Kind::kLock;
+  d.lock_priority = 2;
+  d.pages = {0};
+  t.AddDirective(d);
+  t.AddRef(1);
+  t.AddLoopExit(1);
+
+  Trace refs = t.ReferencesOnly();
+  EXPECT_EQ(refs.events().size(), 2u);
+  EXPECT_EQ(refs.reference_count(), 2u);
+  EXPECT_TRUE(refs.directives().empty());
+  EXPECT_EQ(refs.virtual_pages(), 4u);
+  EXPECT_EQ(refs.name(), "p");
+}
+
+Trace SampleTrace() {
+  Trace t("SAMPLE");
+  t.set_virtual_pages(16);
+  DirectiveRecord alloc;
+  alloc.kind = DirectiveRecord::Kind::kAllocate;
+  alloc.loop_id = 1;
+  alloc.requests = {AllocateRequest{3, 12}, AllocateRequest{1, 2}};
+  t.AddDirective(alloc);
+  t.AddLoopEnter(1);
+  t.AddRef(0);
+  t.AddRef(5);
+  DirectiveRecord lock;
+  lock.kind = DirectiveRecord::Kind::kLock;
+  lock.loop_id = 1;
+  lock.lock_priority = 3;
+  lock.pages = {0, 5};
+  t.AddDirective(lock);
+  t.AddRef(6);
+  DirectiveRecord unlock;
+  unlock.kind = DirectiveRecord::Kind::kUnlock;
+  unlock.loop_id = 1;
+  unlock.pages = {0, 5};
+  t.AddDirective(unlock);
+  t.AddLoopExit(1);
+  return t;
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  Trace original = SampleTrace();
+  std::string text = TraceToString(original);
+  auto parsed = TraceFromString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value(), original);
+}
+
+TEST(TraceIoTest, TextFormatIsLineOriented) {
+  std::string text = TraceToString(SampleTrace());
+  EXPECT_NE(text.find("CDMMTRACE 1"), std::string::npos);
+  EXPECT_NE(text.find("NAME SAMPLE"), std::string::npos);
+  EXPECT_NE(text.find("PAGES 16"), std::string::npos);
+  EXPECT_NE(text.find("D A 1 3:12 1:2"), std::string::npos);
+  EXPECT_NE(text.find("D L 1 3 0 5"), std::string::npos);
+  EXPECT_NE(text.find("D U 1 0 5"), std::string::npos);
+  EXPECT_NE(text.find("R 5"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsBadMagic) {
+  auto r = TraceFromString("NOTATRACE 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("bad magic"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsBadVersion) {
+  auto r = TraceFromString("CDMMTRACE 99\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("unsupported"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsMalformedRequest) {
+  auto r = TraceFromString("CDMMTRACE 1\nPAGES 4\nD A 1 nonsense\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("malformed ALLOCATE"), std::string::npos);
+  EXPECT_EQ(r.error().location.line, 3u);
+}
+
+TEST(TraceIoTest, RejectsOutOfRangePage) {
+  auto r = TraceFromString("CDMMTRACE 1\nPAGES 4\nR 7\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("out of range"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsUnknownTag) {
+  auto r = TraceFromString("CDMMTRACE 1\nZ 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("unknown event tag"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsEmptyStream) {
+  auto r = TraceFromString("");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(TraceIoTest, SkipsBlankLines) {
+  auto r = TraceFromString("CDMMTRACE 1\n\nPAGES 4\n\nR 1\n");
+  ASSERT_TRUE(r.ok()) << r.error().ToString();
+  EXPECT_EQ(r.value().reference_count(), 1u);
+}
+
+TEST(TraceIoTest, AllocateWithNoRequestsRejected) {
+  auto r = TraceFromString("CDMMTRACE 1\nPAGES 4\nD A 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("no requests"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdmm

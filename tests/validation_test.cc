@@ -1,0 +1,77 @@
+#include "src/cdmm/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/str.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+class ValidationTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ValidationTest, EstimatesCoverMeasuredLocalities) {
+  auto cp = CompiledProgram::FromSource(FindWorkload(GetParam()).source);
+  ASSERT_TRUE(cp.ok());
+  auto rows = ValidateLocalityEstimates(cp.value());
+  ASSERT_FALSE(rows.empty());
+  for (const LoopValidation& v : rows) {
+    // X must cover the measured minimal no-thrash allocation. The estimator
+    // is heuristic (the paper's own procedure was "being developed"); allow
+    // a two-page slack for multi-stream straddle coincidences.
+    EXPECT_GE(v.estimated_pages + 2, static_cast<int64_t>(v.max_rereferenced))
+        << GetParam() << " loop " << v.loop_label;
+    // And it must never exceed the distinct pages touched plus the margin —
+    // an estimate beyond the touched set would be pure waste.
+    EXPECT_LE(v.estimated_pages,
+              static_cast<int64_t>(v.max_distinct) + 2 + v.estimated_pages / 4)
+        << GetParam() << " loop " << v.loop_label;
+    EXPECT_GT(v.executions, 0u);
+    EXPECT_GE(v.max_distinct, v.max_rereferenced);
+  }
+}
+
+TEST_P(ValidationTest, ReportNamesEveryLoop) {
+  auto cp = CompiledProgram::FromSource(FindWorkload(GetParam()).source);
+  ASSERT_TRUE(cp.ok());
+  auto rows = ValidateLocalityEstimates(cp.value());
+  std::string report = ValidationReport(GetParam(), rows);
+  for (const LoopValidation& v : rows) {
+    EXPECT_NE(report.find(StrCat("loop ", v.loop_label)), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, ValidationTest,
+                         ::testing::Values("MAIN", "FDJAC", "TQL", "FIELD", "INIT", "APPROX",
+                                           "HYBRJ", "CONDUCT", "HWSCRT"));
+
+TEST(ValidationUnitTest, SingleLoopMeasuredNeed) {
+  // A loop cycling over exactly 3 pages needs 3 frames; a streaming loop
+  // needs 1.
+  auto cp = CompiledProgram::FromSource(R"(
+      PROGRAM P
+      PARAMETER (N = 192)
+      DIMENSION A(N), B(N)
+      DO 20 T = 1, 5
+        DO 10 I = 1, N
+          A(I) = A(I) * 0.5
+   10   CONTINUE
+   20 CONTINUE
+      B(1) = A(1)
+      END
+)");
+  ASSERT_TRUE(cp.ok());
+  auto rows = ValidateLocalityEstimates(cp.value());
+  ASSERT_EQ(rows.size(), 2u);
+  // Outer loop: A (3 pages) re-swept 5 times -> measured need 3.
+  EXPECT_EQ(rows[0].max_rereferenced, 3u);
+  EXPECT_EQ(rows[0].max_distinct, 3u);
+  EXPECT_EQ(rows[0].executions, 1u);
+  // Inner loop: pure stream; within one execution each page is touched in a
+  // run of consecutive references only (need 1).
+  EXPECT_EQ(rows[1].max_rereferenced, 1u);
+  EXPECT_EQ(rows[1].executions, 5u);
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,254 @@
+#include "src/vm/cd_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace cdmm {
+namespace {
+
+// Builder for hand-crafted directive-bearing traces.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(uint32_t virtual_pages) {
+    trace_.set_name("hand");
+    trace_.set_virtual_pages(virtual_pages);
+  }
+
+  TraceBuilder& Refs(std::initializer_list<PageId> pages) {
+    for (PageId p : pages) {
+      trace_.AddRef(p);
+    }
+    return *this;
+  }
+
+  TraceBuilder& RefLoop(std::initializer_list<PageId> pages, int times) {
+    for (int i = 0; i < times; ++i) {
+      Refs(pages);
+    }
+    return *this;
+  }
+
+  TraceBuilder& Allocate(std::initializer_list<AllocateRequest> chain) {
+    DirectiveRecord d;
+    d.kind = DirectiveRecord::Kind::kAllocate;
+    d.requests.assign(chain.begin(), chain.end());
+    trace_.AddDirective(std::move(d));
+    return *this;
+  }
+
+  TraceBuilder& Lock(uint16_t pj, std::initializer_list<PageId> pages) {
+    DirectiveRecord d;
+    d.kind = DirectiveRecord::Kind::kLock;
+    d.lock_priority = pj;
+    d.pages.assign(pages.begin(), pages.end());
+    trace_.AddDirective(std::move(d));
+    return *this;
+  }
+
+  TraceBuilder& Unlock(std::initializer_list<PageId> pages) {
+    DirectiveRecord d;
+    d.kind = DirectiveRecord::Kind::kUnlock;
+    d.pages.assign(pages.begin(), pages.end());
+    trace_.AddDirective(std::move(d));
+    return *this;
+  }
+
+  Trace Build() { return std::move(trace_); }
+
+ private:
+  Trace trace_;
+};
+
+AllocateRequest Req(uint16_t pi, uint32_t pages) { return AllocateRequest{pi, pages}; }
+
+TEST(SelectCdRequestTest, AllModes) {
+  std::vector<AllocateRequest> chain = {Req(3, 100), Req(2, 10), Req(1, 2)};
+  EXPECT_EQ(SelectCdRequest(chain, DirectiveSelection::kOutermost, 0, 0), 0);
+  EXPECT_EQ(SelectCdRequest(chain, DirectiveSelection::kInnermost, 0, 0), 2);
+  EXPECT_EQ(SelectCdRequest(chain, DirectiveSelection::kLevelCap, 2, 0), 1);
+  EXPECT_EQ(SelectCdRequest(chain, DirectiveSelection::kLevelCap, 1, 0), 2);
+  // A cap below every priority falls back to the innermost request.
+  EXPECT_EQ(SelectCdRequest(chain, DirectiveSelection::kLevelCap, 0, 0), 2);
+  EXPECT_EQ(SelectCdRequest(chain, DirectiveSelection::kAvailability, 0, 200), 0);
+  EXPECT_EQ(SelectCdRequest(chain, DirectiveSelection::kAvailability, 0, 50), 1);
+  EXPECT_EQ(SelectCdRequest(chain, DirectiveSelection::kAvailability, 0, 5), 2);
+  EXPECT_EQ(SelectCdRequest(chain, DirectiveSelection::kAvailability, 0, 1), -1);
+}
+
+TEST(CdPolicyTest, AllocateGrantBoundsResidency) {
+  // Grant 2 pages, then cycle over 3: every reference faults; with grant 3
+  // only the colds fault.
+  Trace small = TraceBuilder(8).Allocate({Req(1, 2)}).RefLoop({0, 1, 2}, 10).Build();
+  CdOptions options;
+  options.selection = DirectiveSelection::kInnermost;
+  options.initial_allocation = 1;
+  SimResult r_small = SimulateCd(small, options);
+  EXPECT_EQ(r_small.faults, 30u);
+
+  Trace big = TraceBuilder(8).Allocate({Req(1, 3)}).RefLoop({0, 1, 2}, 10).Build();
+  SimResult r_big = SimulateCd(big, options);
+  EXPECT_EQ(r_big.faults, 3u);
+}
+
+TEST(CdPolicyTest, SelectionPicksDifferentGrants) {
+  auto make = [] {
+    return TraceBuilder(16).Allocate({Req(2, 6), Req(1, 2)}).RefLoop({0, 1, 2, 3, 4, 5}, 8).Build();
+  };
+  CdOptions outer;
+  outer.selection = DirectiveSelection::kOutermost;
+  CdOptions inner;
+  inner.selection = DirectiveSelection::kInnermost;
+  Trace t1 = make();
+  Trace t2 = make();
+  EXPECT_EQ(SimulateCd(t1, outer).faults, 6u);        // grant 6 holds the cycle
+  EXPECT_EQ(SimulateCd(t2, inner).faults, 6u * 8u);   // grant 2 thrashes
+}
+
+TEST(CdPolicyTest, ShrinkOnSmallerGrantEvicts) {
+  Trace t = TraceBuilder(8)
+                .Allocate({Req(2, 4)})
+                .Refs({0, 1, 2, 3})
+                .Allocate({Req(2, 4), Req(1, 1)})
+                .Refs({3})  // still resident (most recent survivor)
+                .Refs({0})  // evicted by the shrink -> faults
+                .Build();
+  CdOptions options;
+  options.selection = DirectiveSelection::kInnermost;
+  SimResult r = SimulateCd(t, options);
+  EXPECT_EQ(r.faults, 5u);
+  EXPECT_EQ(r.allocation_shrinks, 1u);
+}
+
+TEST(CdPolicyTest, LocksPinPagesAcrossInnerPhases) {
+  // Page 0 is locked before a phase that cycles pages 1..3 in a 1-page
+  // grant; 0 must still be resident afterwards.
+  Trace with_locks = TraceBuilder(8)
+                         .Allocate({Req(2, 1)})
+                         .Refs({0})
+                         .Lock(2, {0})
+                         .RefLoop({1, 2, 3}, 5)
+                         .Refs({0})  // hit: pinned
+                         .Unlock({0})
+                         .Build();
+  CdOptions options;
+  options.selection = DirectiveSelection::kInnermost;
+  SimResult r = SimulateCd(with_locks, options);
+  EXPECT_EQ(r.faults, 1u + 15u);
+
+  Trace no_locks = TraceBuilder(8)
+                       .Allocate({Req(2, 1)})
+                       .Refs({0})
+                       .Lock(2, {0})
+                       .RefLoop({1, 2, 3}, 5)
+                       .Refs({0})
+                       .Unlock({0})
+                       .Build();
+  options.honor_locks = false;
+  SimResult r2 = SimulateCd(no_locks, options);
+  EXPECT_EQ(r2.faults, 1u + 15u + 1u);  // 0 refaults without the pin
+}
+
+TEST(CdPolicyTest, HeldMemoryIncludesLockedPages) {
+  Trace t = TraceBuilder(8)
+                .Allocate({Req(1, 2)})
+                .Refs({0})
+                .Lock(1, {0})
+                .RefLoop({1, 2}, 50)
+                .Build();
+  CdOptions options;
+  options.selection = DirectiveSelection::kInnermost;
+  SimResult r = SimulateCd(t, options);
+  // Held = grant 2 + 1 locked page for most of the run.
+  EXPECT_GT(r.mean_memory, 2.5);
+  EXPECT_LE(r.mean_memory, 3.0);
+}
+
+TEST(CdPolicyTest, AvailabilityModeFallsBackDownTheChain) {
+  Trace t = TraceBuilder(64)
+                .Allocate({Req(3, 50), Req(2, 10), Req(1, 4)})
+                .RefLoop({0, 1, 2, 3}, 10)
+                .Build();
+  CdOptions options;
+  options.selection = DirectiveSelection::kAvailability;
+  options.available_frames = 12;  // only the (2,10) request fits
+  SimResult r = SimulateCd(t, options);
+  EXPECT_EQ(r.faults, 4u);  // grant 10 >= working set 4
+  EXPECT_LE(r.max_resident, 12u);
+}
+
+TEST(CdPolicyTest, AvailabilityUngrantablePi1CountsSwapRequest) {
+  Trace t = TraceBuilder(64).Allocate({Req(1, 40)}).RefLoop({0, 1, 2}, 5).Build();
+  CdOptions options;
+  options.selection = DirectiveSelection::kAvailability;
+  options.available_frames = 8;
+  CdRunInfo info;
+  SimResult r = SimulateCd(t, options, &info);
+  EXPECT_EQ(info.swap_requests, 1u);
+  EXPECT_LE(r.max_resident, 8u);
+}
+
+TEST(CdPolicyTest, AvailabilityUngrantablePi2Continues) {
+  Trace t = TraceBuilder(64)
+                .Allocate({Req(1, 4)})
+                .Refs({0, 1, 2, 3})
+                .Allocate({Req(2, 40)})  // cannot be granted; PI 2 -> continue
+                .Refs({0, 1, 2, 3})      // old grant still in force: all hits
+                .Build();
+  CdOptions options;
+  options.selection = DirectiveSelection::kAvailability;
+  options.available_frames = 8;
+  CdRunInfo info;
+  SimResult r = SimulateCd(t, options, &info);
+  EXPECT_EQ(r.faults, 4u);
+  EXPECT_EQ(info.swap_requests, 0u);
+}
+
+TEST(CdPolicyTest, PhysicalCapForcesSoftLockRelease) {
+  // Pinning three resident pages under a two-frame physical cap forces the
+  // OS to soft-release a lock (the paper's "entitled to release the locked
+  // pages without having to wait for the UNLOCK directive").
+  Trace t = TraceBuilder(16)
+                .Allocate({Req(1, 3)})
+                .Refs({0, 1, 2})
+                .Lock(3, {0, 1, 2})
+                .Refs({0, 1})
+                .Build();
+  CdOptions options;
+  options.selection = DirectiveSelection::kInnermost;
+  options.available_frames = 2;
+  SimResult r = SimulateCd(t, options);
+  EXPECT_GE(r.lock_releases, 1u);
+}
+
+TEST(CdPolicyTest, MetricsFollowStFormula) {
+  Trace t = TraceBuilder(8).Allocate({Req(1, 2)}).RefLoop({0, 1}, 10).Build();
+  CdOptions options;
+  options.selection = DirectiveSelection::kInnermost;
+  options.sim.fault_service_time = 777;
+  SimResult r = SimulateCd(t, options);
+  EXPECT_EQ(r.references, 20u);
+  EXPECT_EQ(r.elapsed, 20u + r.faults * 777u);
+  EXPECT_DOUBLE_EQ(r.space_time, r.mean_memory * 20.0 + static_cast<double>(r.faults) * 777.0);
+}
+
+TEST(CdPolicyTest, DirectiveFreeTraceRunsAtInitialAllocation) {
+  Trace t = TraceBuilder(8).RefLoop({0, 1, 2}, 10).Build();
+  CdOptions options;
+  options.initial_allocation = 3;
+  SimResult r = SimulateCd(t, options);
+  EXPECT_EQ(r.faults, 3u);
+  EXPECT_EQ(r.directives_processed, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_memory, 3.0);
+}
+
+TEST(CdPolicyTest, UnlimitedAvailabilityDegeneratesToOutermost) {
+  Trace t = TraceBuilder(64).Allocate({Req(2, 20), Req(1, 2)}).RefLoop({0, 1, 2, 3, 4}, 6).Build();
+  CdOptions options;
+  options.selection = DirectiveSelection::kAvailability;
+  options.available_frames = 0;  // unlimited
+  SimResult r = SimulateCd(t, options);
+  EXPECT_EQ(r.faults, 5u);
+  EXPECT_DOUBLE_EQ(r.mean_memory, 20.0);
+}
+
+}  // namespace
+}  // namespace cdmm

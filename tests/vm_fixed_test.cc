@@ -1,0 +1,203 @@
+#include "src/vm/fixed_alloc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace cdmm {
+namespace {
+
+Trace MakeTrace(const std::vector<PageId>& pages, uint32_t virtual_pages = 0) {
+  Trace t("test");
+  uint32_t v = virtual_pages;
+  if (v == 0) {
+    for (PageId p : pages) {
+      v = std::max(v, p + 1);
+    }
+  }
+  t.set_virtual_pages(v);
+  for (PageId p : pages) {
+    t.AddRef(p);
+  }
+  return t;
+}
+
+TEST(LruTest, ColdFaultsOnly) {
+  Trace t = MakeTrace({0, 1, 2, 0, 1, 2, 0, 1, 2});
+  SimResult r = SimulateFixed(t, 3, Replacement::kLru);
+  EXPECT_EQ(r.faults, 3u);
+  EXPECT_EQ(r.references, 9u);
+  EXPECT_EQ(r.max_resident, 3u);
+}
+
+TEST(LruTest, CyclicThrashBelowSetSize) {
+  // The classic LRU worst case: cycling over m+1 pages faults on every
+  // reference.
+  Trace t = MakeTrace({0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3});
+  SimResult r = SimulateFixed(t, 3, Replacement::kLru);
+  EXPECT_EQ(r.faults, 12u);
+}
+
+TEST(LruTest, EvictsLeastRecentlyUsed) {
+  // 0,1,2 loaded; touching 0 makes 1 the LRU victim when 3 arrives.
+  Trace t = MakeTrace({0, 1, 2, 0, 3, 1});
+  SimResult r = SimulateFixed(t, 3, Replacement::kLru);
+  // faults: 0,1,2 cold; 3 evicts 1; 1 refaults. Total 5.
+  EXPECT_EQ(r.faults, 5u);
+}
+
+TEST(LruTest, MetricsFollowTheSharedConvention) {
+  Trace t = MakeTrace({0, 1, 0, 1});
+  SimOptions options;
+  options.fault_service_time = 1000;
+  SimResult r = SimulateFixed(t, 2, Replacement::kLru, options);
+  EXPECT_EQ(r.faults, 2u);
+  EXPECT_EQ(r.elapsed, 4u + 2u * 1000u);
+  EXPECT_DOUBLE_EQ(r.mean_memory, 2.0);
+  // ST = m*R + PF*D.
+  EXPECT_DOUBLE_EQ(r.space_time, 2.0 * 4 + 2.0 * 1000);
+}
+
+TEST(FifoTest, EvictsInArrivalOrder) {
+  // FIFO ignores the re-touch of 0: victim is still 0.
+  Trace t = MakeTrace({0, 1, 2, 0, 3, 0});
+  SimResult r = SimulateFixed(t, 3, Replacement::kFifo);
+  // 0,1,2 cold; 3 evicts 0; 0 refaults (evicting 1). Total 5.
+  EXPECT_EQ(r.faults, 5u);
+}
+
+TEST(FifoTest, BeladyAnomalyWitness) {
+  // The classic Belady sequence: FIFO with 4 frames faults MORE than with 3.
+  std::vector<PageId> seq = {1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5};
+  Trace t = MakeTrace(seq);
+  SimResult r3 = SimulateFixed(t, 3, Replacement::kFifo);
+  SimResult r4 = SimulateFixed(t, 4, Replacement::kFifo);
+  EXPECT_EQ(r3.faults, 9u);
+  EXPECT_EQ(r4.faults, 10u);
+}
+
+TEST(LruTest, NoBeladyAnomaly) {
+  // LRU is a stack algorithm: faults are non-increasing in m on the Belady
+  // sequence (and any other).
+  std::vector<PageId> seq = {1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5};
+  Trace t = MakeTrace(seq);
+  uint64_t prev = ~0ull;
+  for (uint32_t m = 1; m <= 5; ++m) {
+    uint64_t f = SimulateFixed(t, m, Replacement::kLru).faults;
+    EXPECT_LE(f, prev) << "m=" << m;
+    prev = f;
+  }
+}
+
+TEST(OptTest, HandComputedBeladyMin) {
+  // Classic OPT example: 7 faults for this string with 3 frames.
+  std::vector<PageId> seq = {7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1};
+  Trace t = MakeTrace(seq);
+  SimResult r = SimulateFixed(t, 3, Replacement::kOpt);
+  EXPECT_EQ(r.faults, 9u);  // the textbook count for this string is 9
+}
+
+TEST(OptTest, OptimalOnCyclicPattern) {
+  // On a cycle of 4 pages with 3 frames, OPT keeps faults near 1 per new
+  // page by evicting the farthest-future page; LRU faults every time.
+  std::vector<PageId> seq;
+  for (int i = 0; i < 10; ++i) {
+    for (PageId p = 0; p < 4; ++p) {
+      seq.push_back(p);
+    }
+  }
+  Trace t = MakeTrace(seq);
+  EXPECT_LT(SimulateFixed(t, 3, Replacement::kOpt).faults,
+            SimulateFixed(t, 3, Replacement::kLru).faults);
+}
+
+TEST(SweepTest, LruSweepMatchesDirectSimulation) {
+  // Property: the stack-distance sweep equals per-m simulation exactly.
+  SplitMix64 rng(42);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 3000; ++i) {
+    // Mixture of a hot set and a cold tail.
+    seq.push_back(rng.NextDouble() < 0.7 ? static_cast<PageId>(rng.NextBelow(6))
+                                         : static_cast<PageId>(rng.NextBelow(40)));
+  }
+  Trace t = MakeTrace(seq, 40);
+  auto sweep = LruSweep(t, 40);
+  ASSERT_EQ(sweep.size(), 40u);
+  for (uint32_t m : {1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 40u}) {
+    SimResult direct = SimulateFixed(t, m, Replacement::kLru);
+    EXPECT_EQ(sweep[m - 1].faults, direct.faults) << "m=" << m;
+    EXPECT_DOUBLE_EQ(sweep[m - 1].space_time, direct.space_time) << "m=" << m;
+    EXPECT_EQ(sweep[m - 1].elapsed, direct.elapsed) << "m=" << m;
+  }
+}
+
+TEST(SweepTest, FaultsMonotoneInFrames) {
+  SplitMix64 rng(7);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 2000; ++i) {
+    seq.push_back(static_cast<PageId>(rng.NextBelow(25)));
+  }
+  Trace t = MakeTrace(seq, 25);
+  auto sweep = LruSweep(t, 25);
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].faults, sweep[i - 1].faults);
+  }
+  // At m = V only cold faults remain.
+  EXPECT_EQ(sweep.back().faults, 25u);
+}
+
+class OptLowerBoundTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(OptLowerBoundTest, OptNeverWorseThanLruOrFifo) {
+  SplitMix64 rng(GetParam());
+  std::vector<PageId> seq;
+  for (int i = 0; i < 4000; ++i) {
+    seq.push_back(rng.NextDouble() < 0.5 ? static_cast<PageId>(rng.NextBelow(8))
+                                         : static_cast<PageId>(rng.NextBelow(64)));
+  }
+  Trace t = MakeTrace(seq, 64);
+  for (uint32_t m : {2u, 4u, 8u, 16u, 32u}) {
+    uint64_t opt = SimulateFixed(t, m, Replacement::kOpt).faults;
+    EXPECT_LE(opt, SimulateFixed(t, m, Replacement::kLru).faults) << "m=" << m;
+    EXPECT_LE(opt, SimulateFixed(t, m, Replacement::kFifo).faults) << "m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptLowerBoundTest, ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+TEST(FixedTest, DirectiveEventsAreIgnored) {
+  Trace t("d");
+  t.set_virtual_pages(4);
+  t.AddRef(0);
+  DirectiveRecord d;
+  d.kind = DirectiveRecord::Kind::kAllocate;
+  d.requests = {AllocateRequest{1, 1}};
+  t.AddDirective(d);
+  t.AddRef(1);
+  SimResult r = SimulateFixed(t, 2, Replacement::kLru);
+  EXPECT_EQ(r.references, 2u);
+  EXPECT_EQ(r.faults, 2u);
+}
+
+TEST(FixedTest, EmptyTrace) {
+  Trace t("empty");
+  SimResult r = SimulateFixed(t, 4, Replacement::kLru);
+  EXPECT_EQ(r.faults, 0u);
+  EXPECT_EQ(r.references, 0u);
+  EXPECT_DOUBLE_EQ(r.space_time, 0.0);
+}
+
+TEST(FixedTest, SingleFrame) {
+  Trace t = MakeTrace({0, 0, 0, 1, 1, 0});
+  SimResult r = SimulateFixed(t, 1, Replacement::kLru);
+  EXPECT_EQ(r.faults, 3u);
+  EXPECT_EQ(r.max_resident, 1u);
+}
+
+TEST(FixedTest, ZeroFramesDies) {
+  Trace t = MakeTrace({0});
+  EXPECT_DEATH(SimulateFixed(t, 0, Replacement::kLru), "at least one frame");
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,87 @@
+#include "src/vm/pff.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace cdmm {
+namespace {
+
+Trace MakeTrace(const std::vector<PageId>& pages) {
+  Trace t("test");
+  uint32_t v = 0;
+  for (PageId p : pages) {
+    v = std::max(v, p + 1);
+  }
+  t.set_virtual_pages(v);
+  for (PageId p : pages) {
+    t.AddRef(p);
+  }
+  return t;
+}
+
+TEST(PffTest, GrowsDuringFaultBursts) {
+  // Faults closer together than T only grow the resident set.
+  Trace t = MakeTrace({0, 1, 2, 3, 4});
+  SimResult r = SimulatePff(t, 100);
+  EXPECT_EQ(r.faults, 5u);
+  EXPECT_EQ(r.max_resident, 5u);
+}
+
+TEST(PffTest, ShrinksAfterLongFaultFreeInterval) {
+  // Pages 0..3 loaded, then a long run on page 0 only; the next fault (far
+  // beyond T) discards everything unreferenced since the previous fault.
+  std::vector<PageId> seq = {0, 1, 2, 3};
+  for (int i = 0; i < 50; ++i) {
+    seq.push_back(0);
+  }
+  seq.push_back(4);  // distant fault triggers the shrink
+  seq.push_back(1);  // 1 was discarded -> refaults
+  Trace t = MakeTrace(seq);
+  SimResult r = SimulatePff(t, 10);
+  // Faults: 0,1,2,3 cold, 4, then 1 again = 6.
+  EXPECT_EQ(r.faults, 6u);
+}
+
+TEST(PffTest, KeepsPagesReferencedSinceLastFault) {
+  std::vector<PageId> seq = {0, 1};
+  for (int i = 0; i < 50; ++i) {
+    seq.push_back(0);
+    seq.push_back(1);
+  }
+  seq.push_back(2);  // shrink happens, but 0 and 1 were just used
+  seq.push_back(0);
+  seq.push_back(1);
+  Trace t = MakeTrace(seq);
+  SimResult r = SimulatePff(t, 10);
+  EXPECT_EQ(r.faults, 3u);  // only the colds
+}
+
+TEST(PffTest, LargeThresholdNeverShrinks) {
+  SplitMix64 rng(5);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 1000; ++i) {
+    seq.push_back(static_cast<PageId>(rng.NextBelow(12)));
+  }
+  Trace t = MakeTrace(seq);
+  SimResult r = SimulatePff(t, 1u << 30);
+  EXPECT_EQ(r.faults, 12u);  // cold only
+  EXPECT_EQ(r.max_resident, 12u);
+}
+
+TEST(PffTest, MeanMemoryBetweenOneAndMax) {
+  SplitMix64 rng(9);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 2000; ++i) {
+    seq.push_back(static_cast<PageId>(rng.NextBelow(20)));
+  }
+  Trace t = MakeTrace(seq);
+  SimResult r = SimulatePff(t, 500);
+  EXPECT_GE(r.mean_memory, 1.0);
+  EXPECT_LE(r.mean_memory, 20.0);
+  EXPECT_DOUBLE_EQ(r.space_time, r.mean_memory * static_cast<double>(r.references) +
+                                     static_cast<double>(r.faults) * 2000.0);
+}
+
+}  // namespace
+}  // namespace cdmm

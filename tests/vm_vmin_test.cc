@@ -1,0 +1,126 @@
+#include "src/vm/vmin.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/pff.h"
+#include "src/vm/working_set.h"
+
+namespace cdmm {
+namespace {
+
+Trace MakeTrace(const std::vector<PageId>& pages) {
+  Trace t("test");
+  uint32_t v = 0;
+  for (PageId p : pages) {
+    v = std::max(v, p + 1);
+  }
+  t.set_virtual_pages(v);
+  for (PageId p : pages) {
+    t.AddRef(p);
+  }
+  return t;
+}
+
+TEST(VminTest, KeepsPageWhenGapWithinWindow) {
+  // Gap of 3 <= window 10: page 0 stays resident, no second fault.
+  Trace t = MakeTrace({0, 1, 2, 0});
+  SimOptions options;
+  options.fault_service_time = 10;
+  SimResult r = SimulateVmin(t, options);
+  EXPECT_EQ(r.faults, 3u);
+}
+
+TEST(VminTest, DropsPageWhenGapExceedsWindow) {
+  // Gap of 3 > window 2: page 0 is dropped and refaults; that is optimal
+  // because 3 time units of holding cost more than one 2-unit fault.
+  Trace t = MakeTrace({0, 1, 2, 0});
+  SimOptions options;
+  options.fault_service_time = 2;
+  SimResult r = SimulateVmin(t, options);
+  EXPECT_EQ(r.faults, 4u);
+  // Resident only at the use instants: mean memory 1 page.
+  EXPECT_LE(r.mean_memory, 1.0 + 1e-9);
+}
+
+TEST(VminTest, ExplicitRetentionOverride) {
+  Trace t = MakeTrace({0, 1, 2, 0});
+  SimOptions options;
+  options.fault_service_time = 2;
+  SimResult r = SimulateVmin(t, options, /*retention=*/100);
+  EXPECT_EQ(r.faults, 3u);  // retention window widened
+}
+
+TEST(VminTest, SingleHotPage) {
+  std::vector<PageId> seq(100, 0);
+  Trace t = MakeTrace(seq);
+  SimResult r = SimulateVmin(t);
+  EXPECT_EQ(r.faults, 1u);
+  EXPECT_DOUBLE_EQ(r.mean_memory, 1.0);
+}
+
+TEST(VminTest, EmptyTrace) {
+  Trace t("empty");
+  SimResult r = SimulateVmin(t);
+  EXPECT_EQ(r.faults, 0u);
+  EXPECT_DOUBLE_EQ(r.space_time, 0.0);
+}
+
+TEST(VminTest, StFormulaHolds) {
+  SplitMix64 rng(3);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 2000; ++i) {
+    seq.push_back(static_cast<PageId>(rng.NextBelow(16)));
+  }
+  Trace t = MakeTrace(seq);
+  SimResult r = SimulateVmin(t);
+  EXPECT_NEAR(r.space_time,
+              r.mean_memory * static_cast<double>(r.references) +
+                  static_cast<double>(r.faults) * 2000.0,
+              1e-6 * r.space_time);
+}
+
+class VminOptimalityTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(VminOptimalityTest, VminStIsALowerBound) {
+  // VMIN minimises ST over all demand policies; every implemented policy
+  // (whose MEM accounting never understates residency) must cost at least
+  // as much.
+  SplitMix64 rng(GetParam());
+  std::vector<PageId> seq;
+  for (int i = 0; i < 6000; ++i) {
+    seq.push_back(rng.NextDouble() < 0.6 ? static_cast<PageId>(rng.NextBelow(6))
+                                         : static_cast<PageId>(rng.NextBelow(48)));
+  }
+  Trace t = MakeTrace(seq);
+  double vmin = SimulateVmin(t).space_time;
+  for (uint32_t m : {2u, 6u, 12u, 24u, 48u}) {
+    EXPECT_LE(vmin, SimulateFixed(t, m, Replacement::kLru).space_time * (1 + 1e-9)) << "m=" << m;
+    EXPECT_LE(vmin, SimulateFixed(t, m, Replacement::kOpt).space_time * (1 + 1e-9)) << "m=" << m;
+  }
+  for (uint64_t tau : {10u, 100u, 1000u, 10000u}) {
+    EXPECT_LE(vmin, SimulateWs(t, tau).space_time * (1 + 1e-9)) << "tau=" << tau;
+  }
+  EXPECT_LE(vmin, SimulatePff(t, 2000).space_time * (1 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VminOptimalityTest, ::testing::Values(1u, 7u, 21u, 77u));
+
+TEST(VminTest, FaultsNonIncreasingInRetention) {
+  SplitMix64 rng(5);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 3000; ++i) {
+    seq.push_back(static_cast<PageId>(rng.NextBelow(20)));
+  }
+  Trace t = MakeTrace(seq);
+  uint64_t prev = ~0ull;
+  for (uint64_t u : {1u, 10u, 100u, 1000u, 10000u}) {
+    uint64_t f = SimulateVmin(t, {}, u).faults;
+    EXPECT_LE(f, prev);
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace cdmm

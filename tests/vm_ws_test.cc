@@ -1,0 +1,198 @@
+#include "src/vm/working_set.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace cdmm {
+namespace {
+
+Trace MakeTrace(const std::vector<PageId>& pages) {
+  Trace t("test");
+  uint32_t v = 0;
+  for (PageId p : pages) {
+    v = std::max(v, p + 1);
+  }
+  t.set_virtual_pages(v);
+  for (PageId p : pages) {
+    t.AddRef(p);
+  }
+  return t;
+}
+
+TEST(WsTest, WindowOneFaultsOnEveryPageChange) {
+  Trace t = MakeTrace({0, 0, 1, 1, 0, 0});
+  SimResult r = SimulateWs(t, 1);
+  // Faults at positions 1, 3, 5 (page changes) plus the first cold touch.
+  EXPECT_EQ(r.faults, 3u);
+}
+
+TEST(WsTest, LargeWindowOnlyColdFaults) {
+  Trace t = MakeTrace({0, 1, 2, 0, 1, 2, 3, 0, 1});
+  SimResult r = SimulateWs(t, 1000);
+  EXPECT_EQ(r.faults, 4u);
+  EXPECT_EQ(r.max_resident, 4u);
+}
+
+TEST(WsTest, PageExpiresAfterTau) {
+  // Page 0 referenced at t=1, re-referenced at t=5 with tau=3: expired
+  // (last_ref 1 < 5-3), so it faults again.
+  Trace t = MakeTrace({0, 1, 2, 3, 0});
+  SimResult r = SimulateWs(t, 3);
+  EXPECT_EQ(r.faults, 5u);
+}
+
+TEST(WsTest, PageSurvivesWithinTau) {
+  // Page 0 re-referenced at distance exactly tau: still in the window.
+  Trace t = MakeTrace({0, 1, 2, 0});
+  SimResult r = SimulateWs(t, 3);
+  EXPECT_EQ(r.faults, 3u);
+}
+
+TEST(WsTest, WorkingSetSizeTracksWindowContents) {
+  // After the window slides past a page's last use, MEM shrinks.
+  std::vector<PageId> seq(100, 0);
+  seq[0] = 1;  // touch page 1 once at the start
+  Trace t = MakeTrace(seq);
+  SimResult r = SimulateWs(t, 5);
+  // Mean is slightly above 1: page 1 leaves the set after 5 references.
+  EXPECT_GT(r.mean_memory, 1.0);
+  EXPECT_LT(r.mean_memory, 1.2);
+  EXPECT_EQ(r.max_resident, 2u);
+}
+
+TEST(WsTest, StMatchesFormula) {
+  Trace t = MakeTrace({0, 1, 0, 1, 2});
+  SimOptions options;
+  options.fault_service_time = 100;
+  SimResult r = SimulateWs(t, 10, options);
+  EXPECT_DOUBLE_EQ(r.space_time,
+                   r.mean_memory * static_cast<double>(r.references) +
+                       static_cast<double>(r.faults) * 100.0);
+}
+
+TEST(WsTest, FaultsNonIncreasingInTau) {
+  SplitMix64 rng(11);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 5000; ++i) {
+    seq.push_back(rng.NextDouble() < 0.8 ? static_cast<PageId>(rng.NextBelow(4))
+                                         : static_cast<PageId>(rng.NextBelow(50)));
+  }
+  Trace t = MakeTrace(seq);
+  uint64_t prev = ~0ull;
+  for (uint64_t tau : {1u, 2u, 4u, 8u, 16u, 64u, 256u, 1024u, 4096u}) {
+    uint64_t f = SimulateWs(t, tau).faults;
+    EXPECT_LE(f, prev) << "tau=" << tau;
+    prev = f;
+  }
+}
+
+TEST(WsTest, MeanMemoryNonDecreasingInTau) {
+  SplitMix64 rng(13);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 5000; ++i) {
+    seq.push_back(static_cast<PageId>(rng.NextBelow(30)));
+  }
+  Trace t = MakeTrace(seq);
+  double prev = 0.0;
+  for (uint64_t tau : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+    double mem = SimulateWs(t, tau).mean_memory;
+    EXPECT_GE(mem, prev) << "tau=" << tau;
+    prev = mem;
+  }
+}
+
+TEST(SampledWsTest, BehavesLikeWsAtItsSampleGranularity) {
+  SplitMix64 rng(17);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 3000; ++i) {
+    seq.push_back(static_cast<PageId>(rng.NextBelow(20)));
+  }
+  Trace t = MakeTrace(seq);
+  SimResult ws = SimulateWs(t, 500);
+  SimResult sws = SimulateSampledWs(t, {.sample_interval = 500, .window_samples = 1});
+  // The sampled policy only trims at sample instants, so it holds at least
+  // the pure WS's pages and faults no more than WS at the same window.
+  EXPECT_LE(sws.faults, ws.faults);
+  EXPECT_GE(sws.mean_memory, ws.mean_memory * 0.8);
+}
+
+TEST(SampledWsTest, TrimsUnusedPagesAtSamples) {
+  // Page 1 is touched once; after two sample intervals it must be gone.
+  std::vector<PageId> seq;
+  seq.push_back(1);
+  for (int i = 0; i < 50; ++i) {
+    seq.push_back(0);
+  }
+  Trace t = MakeTrace(seq);
+  SimResult r = SimulateSampledWs(t, {.sample_interval = 10, .window_samples = 1});
+  EXPECT_EQ(r.max_resident, 2u);
+  EXPECT_LT(r.mean_memory, 1.5);
+}
+
+TEST(SampledWsTest, LongerHistoryKeepsPagesLonger) {
+  std::vector<PageId> seq;
+  for (int round = 0; round < 20; ++round) {
+    seq.push_back(5);  // page 5 touched once per round
+    for (int i = 0; i < 30; ++i) {
+      seq.push_back(0);
+    }
+  }
+  Trace t = MakeTrace(seq);
+  SimResult short_hist = SimulateSampledWs(t, {.sample_interval = 10, .window_samples = 1});
+  SimResult long_hist = SimulateSampledWs(t, {.sample_interval = 10, .window_samples = 4});
+  EXPECT_LE(long_hist.faults, short_hist.faults);
+  EXPECT_GE(long_hist.mean_memory, short_hist.mean_memory);
+}
+
+TEST(VswsTest, SamplesEarlyUnderFaultPressure) {
+  // A fault burst should trigger an early sample (after min_interval), so
+  // VSWS trims sooner than a fixed max_interval sampler.
+  SplitMix64 rng(23);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 4000; ++i) {
+    seq.push_back(i % 800 < 100 ? static_cast<PageId>(rng.NextBelow(40))
+                                : static_cast<PageId>(rng.NextBelow(3)));
+  }
+  Trace t = MakeTrace(seq);
+  SimResult vsws = SimulateVsws(t, {.min_interval = 50, .max_interval = 2000,
+                                    .fault_threshold = 5});
+  SimResult sws = SimulateSampledWs(t, {.sample_interval = 2000, .window_samples = 1});
+  EXPECT_LT(vsws.mean_memory, sws.mean_memory);
+}
+
+TEST(WsSweepTest, SweepPointsMatchSingleRuns) {
+  SplitMix64 rng(29);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 2000; ++i) {
+    seq.push_back(static_cast<PageId>(rng.NextBelow(15)));
+  }
+  Trace t = MakeTrace(seq);
+  std::vector<uint64_t> taus = {1, 10, 100, 1000};
+  auto sweep = WsSweep(t, taus);
+  ASSERT_EQ(sweep.size(), taus.size());
+  for (size_t i = 0; i < taus.size(); ++i) {
+    SimResult direct = SimulateWs(t, taus[i]);
+    EXPECT_EQ(sweep[i].faults, direct.faults);
+    EXPECT_DOUBLE_EQ(sweep[i].mean_memory, direct.mean_memory);
+  }
+}
+
+TEST(TauGridTest, CoversRangeAndIsSorted) {
+  auto grid = DefaultTauGrid(100000, 8);
+  ASSERT_GE(grid.size(), 10u);
+  EXPECT_EQ(grid.front(), 1u);
+  EXPECT_EQ(grid.back(), 100000u);
+  for (size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_LT(grid[i - 1], grid[i]);
+  }
+}
+
+TEST(TauGridTest, TinyMax) {
+  auto grid = DefaultTauGrid(1);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid[0], 1u);
+}
+
+}  // namespace
+}  // namespace cdmm

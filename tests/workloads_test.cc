@@ -1,0 +1,151 @@
+#include "src/workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/cdmm/pipeline.h"
+
+namespace cdmm {
+namespace {
+
+TEST(WorkloadsTest, AllNinePresentInPaperOrder) {
+  const auto& all = AllWorkloads();
+  ASSERT_EQ(all.size(), 9u);
+  EXPECT_EQ(all[0].name, "MAIN");
+  EXPECT_EQ(all[1].name, "FDJAC");
+  EXPECT_EQ(all[2].name, "TQL");
+  EXPECT_EQ(all[3].name, "FIELD");
+  EXPECT_EQ(all[4].name, "INIT");
+  EXPECT_EQ(all[5].name, "APPROX");
+  EXPECT_EQ(all[6].name, "HYBRJ");
+  EXPECT_EQ(all[7].name, "CONDUCT");
+  EXPECT_EQ(all[8].name, "HWSCRT");
+}
+
+TEST(WorkloadsTest, ExtendedWorkloadsCompile) {
+  const auto& extra = ExtendedWorkloads();
+  ASSERT_EQ(extra.size(), 3u);
+  for (const Workload& w : extra) {
+    auto cp = CompiledProgram::FromSource(w.source);
+    ASSERT_TRUE(cp.ok()) << w.name << ": " << cp.error().ToString();
+    EXPECT_GT(cp.value().trace().reference_count(), 10000u) << w.name;
+    EXPECT_FALSE(cp.value().trace().directives().empty()) << w.name;
+  }
+}
+
+TEST(WorkloadsTest, FindWorkloadLocatesExtendedKernels) {
+  EXPECT_EQ(FindWorkload("TRED").name, "TRED");
+  EXPECT_EQ(FindWorkload("POISSN").name, "POISSN");
+  EXPECT_EQ(FindWorkload("GAUSSJ").name, "GAUSSJ");
+}
+
+TEST(WorkloadsTest, FindWorkloadDiesOnUnknown) {
+  EXPECT_DEATH(FindWorkload("NOPE"), "unknown workload");
+}
+
+TEST(WorkloadsTest, VariantTablesHavePaperRowCounts) {
+  EXPECT_EQ(Table1Variants().size(), 8u);   // Table 1 rows
+  EXPECT_EQ(Table2Variants().size(), 8u);   // Table 2 rows
+  EXPECT_EQ(Table3Variants().size(), 14u);  // Tables 3/4 rows
+}
+
+TEST(WorkloadsTest, FindVariantLocatesRows) {
+  EXPECT_EQ(FindVariant("MAIN3").workload, "MAIN");
+  EXPECT_EQ(FindVariant("HWSCRT").workload, "HWSCRT");
+  EXPECT_DEATH(FindVariant("NOPE"), "unknown variant");
+}
+
+// Parameterised over all nine programs: each must compile through the whole
+// pipeline and produce a structurally sane trace.
+class WorkloadPipelineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadPipelineTest, ParsesAndChecks) {
+  const Workload& w = FindWorkload(GetParam());
+  Program p = ParseWorkload(w);
+  EXPECT_EQ(p.name, w.name);
+  EXPECT_GT(p.loop_count, 0u);
+  EXPECT_FALSE(p.arrays.empty());
+}
+
+TEST_P(WorkloadPipelineTest, CompilesAndTraces) {
+  const Workload& w = FindWorkload(GetParam());
+  auto cp = CompiledProgram::FromSource(w.source);
+  ASSERT_TRUE(cp.ok()) << cp.error().ToString();
+  const Trace& t = cp.value().trace();
+  EXPECT_GT(t.reference_count(), 10000u) << "trace suspiciously short";
+  EXPECT_LT(t.reference_count(), 5'000'000u) << "trace suspiciously long";
+  EXPECT_GT(t.virtual_pages(), 0u);
+  EXPECT_FALSE(t.directives().empty());
+  // Every page referenced must be inside the virtual space.
+  TraceStats stats = t.ComputeStats();
+  EXPECT_LT(stats.max_page, t.virtual_pages());
+}
+
+TEST_P(WorkloadPipelineTest, EveryLoopEmitsItsAllocate) {
+  const Workload& w = FindWorkload(GetParam());
+  auto cp = CompiledProgram::FromSource(w.source);
+  ASSERT_TRUE(cp.ok());
+  const CompiledProgram& c = cp.value();
+  std::set<uint32_t> loops_with_allocate;
+  for (const DirectiveRecord& d : c.trace().directives()) {
+    if (d.kind == DirectiveRecord::Kind::kAllocate) {
+      loops_with_allocate.insert(d.loop_id);
+    }
+  }
+  EXPECT_EQ(loops_with_allocate.size(), c.program().loop_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, WorkloadPipelineTest,
+                         ::testing::Values("MAIN", "FDJAC", "TQL", "FIELD", "INIT", "APPROX",
+                                           "HYBRJ", "CONDUCT", "HWSCRT"));
+
+// The workloads/ directory ships each kernel as a standalone .f file (for
+// cdmmc and for reading); they must stay in sync with the embedded sources.
+class WorkloadFileTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadFileTest, OnDiskSourceMatchesEmbedded) {
+  std::string name = GetParam();
+  std::string lower = name;
+  for (char& c : lower) {
+    c = static_cast<char>(tolower(c));
+  }
+  std::ifstream file(std::string(CDMM_SOURCE_DIR) + "/workloads/" + lower + ".f");
+  ASSERT_TRUE(file.good()) << "missing workloads/" << lower << ".f";
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_EQ(buffer.str(), FindWorkload(name).source);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwelve, WorkloadFileTest,
+                         ::testing::Values("MAIN", "FDJAC", "TQL", "FIELD", "INIT", "APPROX",
+                                           "HYBRJ", "CONDUCT", "HWSCRT", "TRED", "POISSN",
+                                           "GAUSSJ"));
+
+TEST(WorkloadSizesTest, ConductMatchesPaperScale) {
+  // The paper: "program CONDUCT has a total of 270 pages in its virtual
+  // space". Our re-creation lands within a few pages of that.
+  auto cp = CompiledProgram::FromSource(FindWorkload("CONDUCT").source);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_NEAR(cp.value().virtual_pages(), 270.0, 10.0);
+}
+
+TEST(WorkloadSizesTest, HwscrtMatchesPaperScale) {
+  // The paper: "program HWSCRT has 69 pages in its virtual space".
+  auto cp = CompiledProgram::FromSource(FindWorkload("HWSCRT").source);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_NEAR(cp.value().virtual_pages(), 69.0, 3.0);
+}
+
+TEST(WorkloadSizesTest, AllProgramsFitSimulationScale) {
+  for (const Workload& w : AllWorkloads()) {
+    auto cp = CompiledProgram::FromSource(w.source);
+    ASSERT_TRUE(cp.ok()) << w.name;
+    EXPECT_GE(cp.value().virtual_pages(), 30u) << w.name;
+    EXPECT_LE(cp.value().virtual_pages(), 700u) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace cdmm

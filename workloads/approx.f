@@ -1,0 +1,16 @@
+
+      PROGRAM APPROX
+      PARAMETER (NS = 2048, NW = 8192, NC = 24)
+      DIMENSION X(NS), Y(NS), C(NC), WK(NW)
+      DO 40 K = 1, NC
+        DO 10 I = 1, NS
+          Y(I) = Y(I) + C(K) * X(I)
+   10   CONTINUE
+        DO 20 I = 1, NS
+          C(K) = C(K) + X(I) * Y(I)
+   20   CONTINUE
+        DO 30 I = 2, NW
+          WK(I) = WK(I) + WK(I-1) * 0.5
+   30   CONTINUE
+   40 CONTINUE
+      END

@@ -1,0 +1,18 @@
+
+      PROGRAM CONDUCT
+      PARAMETER (M = 128, NT = 4)
+      DIMENSION T(M,M), COND(M), FLUX(M), CAP(M)
+      DO 60 STEP = 1, NT
+        DO 20 J = 1, M
+          CAP(J) = CAP(J) + 1.0
+          DO 10 I = 2, 127
+            T(I,J) = T(I,J) + COND(I) * (T(I+1,J) - T(I-1,J))
+   10     CONTINUE
+   20   CONTINUE
+        DO 40 I = 2, 127
+          DO 30 J = 2, 127
+            T(I,J) = T(I,J) + FLUX(I) * (T(I,J+1) - T(I,J-1))
+   30     CONTINUE
+   40   CONTINUE
+   60 CONTINUE
+      END

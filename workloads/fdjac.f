@@ -1,0 +1,22 @@
+
+      PROGRAM FDJAC
+      PARAMETER (MR = 384, N = 96, NITER = 2)
+      DIMENSION FJAC(MR,N), X(N), FVEC(MR), WA(MR), DAT(MR), SIG(MR), QTF(N)
+      DO 60 ITER = 1, NITER
+        DO 30 J = 1, N
+          X(J) = X(J) + 0.001
+          DO 10 I = 1, MR
+            WA(I) = X(J) * DAT(I) + FVEC(I) * SIG(I)
+   10     CONTINUE
+          DO 20 I = 1, MR
+            FJAC(I,J) = WA(I) - FVEC(I)
+   20     CONTINUE
+          X(J) = X(J) - 0.001
+   30   CONTINUE
+        DO 50 J = 1, N
+          DO 40 I = 1, MR
+            QTF(J) = QTF(J) + FJAC(I,J) * FVEC(I)
+   40     CONTINUE
+   50   CONTINUE
+   60 CONTINUE
+      END

@@ -1,0 +1,24 @@
+
+      PROGRAM FIELD
+      PARAMETER (M = 128, N = 48, NT = 8)
+      DIMENSION A(M,N), B(M,N), CX(M), CY(M)
+      DO 50 T = 1, NT
+        DO 20 J = 3, 46
+          DO 10 I = 2, 127
+            B(I,J) = A(I,J) + A(I,J-2) + A(I,J+2) + CX(I) * A(I+1,J) + CY(I) * A(I-1,J)
+   10     CONTINUE
+   20   CONTINUE
+        DO 40 J = 1, N
+          DO 30 I = 1, M
+            A(I,J) = B(I,J) * 0.2
+   30     CONTINUE
+   40   CONTINUE
+        DO 65 S = 1, 2
+          DO 60 J = 1, 16
+            DO 55 I = 1, M
+              CX(I) = CX(I) + A(I,J) * 0.001
+   55       CONTINUE
+   60     CONTINUE
+   65   CONTINUE
+   50 CONTINUE
+      END

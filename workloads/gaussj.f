@@ -1,0 +1,16 @@
+
+      PROGRAM GAUSSJ
+      PARAMETER (N = 80)
+      REAL A(N,N), B(N), PIV(N)
+      DO 50 K = 1, N
+        DO 10 I = 1, N
+          PIV(I) = A(I,K)
+   10   CONTINUE
+        DO 40 J = K, N
+          DO 30 I = 1, N
+            A(I,J) = A(I,J) - PIV(I) * A(K,J)
+   30     CONTINUE
+   40   CONTINUE
+        B(K) = B(K) / (PIV(K) + 1.0)
+   50 CONTINUE
+      END

@@ -1,0 +1,22 @@
+
+      PROGRAM HWSCRT
+      PARAMETER (M = 64, NSTEP = 6)
+      DIMENSION F(M,M), BDA(M), BDB(M), W(192)
+      DO 70 STEP = 1, NSTEP
+        DO 20 J = 1, M
+          DO 10 I = 1, M
+            F(I,J) = F(I,J) * W(I)
+   10     CONTINUE
+   20   CONTINUE
+        DO 40 I = 1, M
+          DO 30 J = 2, 63
+            F(I,J) = F(I,J) + BDA(I) * (F(I,J+1) - F(I,J-1))
+   30     CONTINUE
+   40   CONTINUE
+        DO 60 J = 2, 63
+          DO 50 I = 1, M
+            F(I,J) = F(I,J) - BDB(I) * W(I+64)
+   50     CONTINUE
+   60   CONTINUE
+   70 CONTINUE
+      END

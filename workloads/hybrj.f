@@ -1,0 +1,21 @@
+
+      PROGRAM HYBRJ
+      PARAMETER (N = 64)
+      DIMENSION R(N,N), QTF(N), DIAG(N), WA(N)
+      DO 60 J = 1, N
+        DO 10 I = J, N
+          R(I,J) = R(I,J) + DIAG(I) * DIAG(J)
+          WA(I) = R(I,J) * QTF(I)
+   10   CONTINUE
+        DO 30 K = J, N
+          DO 20 I = 1, J
+            R(I,K) = R(I,K) - WA(I) * R(I,J)
+   20     CONTINUE
+   30   CONTINUE
+        DO 50 K = 1, N
+          DO 40 I = 1, N
+            R(I,K) = R(I,K) * 0.999
+   40     CONTINUE
+   50   CONTINUE
+   60 CONTINUE
+      END

@@ -1,0 +1,25 @@
+
+      PROGRAM INIT
+      PARAMETER (M = 128, N = 64, LS = 16384, NP = 10)
+      DIMENSION U(M,N), V(M,N), S(LS), TBL(2048)
+      DO 20 J = 1, N
+        DO 10 I = 1, M
+          U(I,J) = 1.0
+   10   CONTINUE
+   20 CONTINUE
+      DO 40 J = 1, N
+        DO 30 I = 1, M
+          V(I,J) = U(I,J) * 2.0
+   30   CONTINUE
+   40 CONTINUE
+      DO 45 I = 1, LS
+        S(I) = 0.5
+   45 CONTINUE
+      DO 70 K = 1, NP
+        DO 55 R = 1, 3
+          DO 50 I = 1, 2048
+            TBL(I) = TBL(I) + 1.0
+   50     CONTINUE
+   55   CONTINUE
+   70 CONTINUE
+      END

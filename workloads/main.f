@@ -1,0 +1,34 @@
+
+      PROGRAM MAIN
+      PARAMETER (M = 128, N = 20, NT = 10, L = 640)
+      DIMENSION P(M,N), Q(M,N), W(M), Z(L), R(L)
+      DO 20 J = 1, N
+        DO 10 I = 1, M
+          P(I,J) = 0.0
+          Q(I,J) = 1.0
+   10   CONTINUE
+   20 CONTINUE
+      DO 60 T = 1, NT
+        DO 50 J = 2, 19
+          P(1,J) = W(1) * 2.0
+          Q(1,J) = W(2) * 0.5
+          DO 30 I = 2, 127
+            Q(I,J) = P(I,J) + P(I,J-1) + P(I,J+1) + W(I)
+            P(I,J) = Q(I,J) + Q(I-1,J)
+   30     CONTINUE
+   50   CONTINUE
+        DO 57 S = 1, 2
+          DO 55 J = 1, N
+            DO 53 I = 1, M
+              W(I) = W(I) + P(I,J) * Q(I,J)
+   53       CONTINUE
+   55     CONTINUE
+   57   CONTINUE
+   60 CONTINUE
+      DO 90 K = 1, 30
+        DO 80 I = 2, 639
+          Z(I) = Z(I) + R(I) * 0.25
+          Z(I) = Z(I) - R(I-1) * 0.125
+   80   CONTINUE
+   90 CONTINUE
+      END

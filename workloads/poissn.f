@@ -1,0 +1,12 @@
+
+      PROGRAM POISSN
+      PARAMETER (M = 96, N = 48, NIT = 10)
+      REAL U(M,N), RHS(M,N)
+      DO 30 IT = 1, NIT
+        DO 20 J = 2, 47
+          DO 10 I = 2, 95
+            U(I,J) = (U(I+1,J) + U(I-1,J) + U(I,J+1) + U(I,J-1) - RHS(I,J)) * 0.25
+   10     CONTINUE
+   20   CONTINUE
+   30 CONTINUE
+      END

@@ -1,0 +1,20 @@
+
+      PROGRAM TQL
+      PARAMETER (N = 64, NQL = 2)
+      DIMENSION Z(N,N), D(N), E(N)
+      DO 100 L = 1, N
+        DO 90 ITER = 1, NQL
+          E(L) = E(L) * 0.99
+          D(L) = D(L) + E(L)
+          DO 20 I = L, N
+            D(I) = D(I) - E(I) * E(I) / (D(I) + 2.0)
+            E(I) = E(I) * 0.5
+   20     CONTINUE
+          DO 40 K = L, N
+            DO 30 I = 1, N
+              Z(I,K) = Z(I,K) * E(K) + Z(I,L) * D(K)
+   30       CONTINUE
+   40     CONTINUE
+   90   CONTINUE
+  100 CONTINUE
+      END

@@ -1,0 +1,16 @@
+
+      PROGRAM TRED
+      PARAMETER (N = 64)
+      DIMENSION A(N,N), D(N), E(N)
+      DO 60 K = 1, 63
+        DO 10 I = K, N
+          D(I) = A(I,K) * A(I,K) + D(I)
+   10   CONTINUE
+        E(K) = D(K) * 0.5
+        DO 40 J = K, N
+          DO 30 I = K, N
+            A(I,J) = A(I,J) - A(I,K) * E(K) * A(J,K)
+   30     CONTINUE
+   40   CONTINUE
+   60 CONTINUE
+      END
