@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_anomalies"
+  "../bench/bench_anomalies.pdb"
+  "CMakeFiles/bench_anomalies.dir/bench_anomalies.cc.o"
+  "CMakeFiles/bench_anomalies.dir/bench_anomalies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_policies"
+  "../bench/bench_policies.pdb"
+  "CMakeFiles/bench_policies.dir/bench_policies.cc.o"
+  "CMakeFiles/bench_policies.dir/bench_policies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimate_accuracy.dir/estimate_accuracy.cc.o"
+  "CMakeFiles/estimate_accuracy.dir/estimate_accuracy.cc.o.d"
+  "estimate_accuracy"
+  "estimate_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimate_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

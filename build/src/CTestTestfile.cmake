@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("trace")
+subdirs("lang")
+subdirs("analysis")
+subdirs("directives")
+subdirs("interp")
+subdirs("vm")
+subdirs("os")
+subdirs("workloads")
+subdirs("cdmm")

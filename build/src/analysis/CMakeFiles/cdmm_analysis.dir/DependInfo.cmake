@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/locality.cc" "src/analysis/CMakeFiles/cdmm_analysis.dir/locality.cc.o" "gcc" "src/analysis/CMakeFiles/cdmm_analysis.dir/locality.cc.o.d"
+  "/root/repo/src/analysis/loop_tree.cc" "src/analysis/CMakeFiles/cdmm_analysis.dir/loop_tree.cc.o" "gcc" "src/analysis/CMakeFiles/cdmm_analysis.dir/loop_tree.cc.o.d"
+  "/root/repo/src/analysis/reference_class.cc" "src/analysis/CMakeFiles/cdmm_analysis.dir/reference_class.cc.o" "gcc" "src/analysis/CMakeFiles/cdmm_analysis.dir/reference_class.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/cdmm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cdmm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

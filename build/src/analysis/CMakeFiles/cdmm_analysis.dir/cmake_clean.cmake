@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdmm_analysis.dir/locality.cc.o"
+  "CMakeFiles/cdmm_analysis.dir/locality.cc.o.d"
+  "CMakeFiles/cdmm_analysis.dir/loop_tree.cc.o"
+  "CMakeFiles/cdmm_analysis.dir/loop_tree.cc.o.d"
+  "CMakeFiles/cdmm_analysis.dir/reference_class.cc.o"
+  "CMakeFiles/cdmm_analysis.dir/reference_class.cc.o.d"
+  "libcdmm_analysis.a"
+  "libcdmm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdmm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

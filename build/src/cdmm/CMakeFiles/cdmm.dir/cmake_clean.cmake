@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdmm.dir/experiments.cc.o"
+  "CMakeFiles/cdmm.dir/experiments.cc.o.d"
+  "CMakeFiles/cdmm.dir/pipeline.cc.o"
+  "CMakeFiles/cdmm.dir/pipeline.cc.o.d"
+  "CMakeFiles/cdmm.dir/validation.cc.o"
+  "CMakeFiles/cdmm.dir/validation.cc.o.d"
+  "libcdmm.a"
+  "libcdmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

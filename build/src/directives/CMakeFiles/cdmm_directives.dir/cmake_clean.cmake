@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdmm_directives.dir/plan.cc.o"
+  "CMakeFiles/cdmm_directives.dir/plan.cc.o.d"
+  "libcdmm_directives.a"
+  "libcdmm_directives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdmm_directives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

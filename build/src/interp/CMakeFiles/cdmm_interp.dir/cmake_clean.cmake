@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdmm_interp.dir/address_map.cc.o"
+  "CMakeFiles/cdmm_interp.dir/address_map.cc.o.d"
+  "CMakeFiles/cdmm_interp.dir/interpreter.cc.o"
+  "CMakeFiles/cdmm_interp.dir/interpreter.cc.o.d"
+  "libcdmm_interp.a"
+  "libcdmm_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdmm_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

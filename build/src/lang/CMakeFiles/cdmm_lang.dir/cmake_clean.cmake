@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdmm_lang.dir/ast.cc.o"
+  "CMakeFiles/cdmm_lang.dir/ast.cc.o.d"
+  "CMakeFiles/cdmm_lang.dir/lexer.cc.o"
+  "CMakeFiles/cdmm_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/cdmm_lang.dir/parser.cc.o"
+  "CMakeFiles/cdmm_lang.dir/parser.cc.o.d"
+  "CMakeFiles/cdmm_lang.dir/sema.cc.o"
+  "CMakeFiles/cdmm_lang.dir/sema.cc.o.d"
+  "CMakeFiles/cdmm_lang.dir/token.cc.o"
+  "CMakeFiles/cdmm_lang.dir/token.cc.o.d"
+  "libcdmm_lang.a"
+  "libcdmm_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdmm_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdmm_lang.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdmm_os.dir/multiprog.cc.o"
+  "CMakeFiles/cdmm_os.dir/multiprog.cc.o.d"
+  "libcdmm_os.a"
+  "libcdmm_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdmm_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdmm_support.dir/ascii_plot.cc.o"
+  "CMakeFiles/cdmm_support.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/cdmm_support.dir/check.cc.o"
+  "CMakeFiles/cdmm_support.dir/check.cc.o.d"
+  "CMakeFiles/cdmm_support.dir/result.cc.o"
+  "CMakeFiles/cdmm_support.dir/result.cc.o.d"
+  "CMakeFiles/cdmm_support.dir/source_location.cc.o"
+  "CMakeFiles/cdmm_support.dir/source_location.cc.o.d"
+  "CMakeFiles/cdmm_support.dir/stats.cc.o"
+  "CMakeFiles/cdmm_support.dir/stats.cc.o.d"
+  "CMakeFiles/cdmm_support.dir/str.cc.o"
+  "CMakeFiles/cdmm_support.dir/str.cc.o.d"
+  "CMakeFiles/cdmm_support.dir/table.cc.o"
+  "CMakeFiles/cdmm_support.dir/table.cc.o.d"
+  "libcdmm_support.a"
+  "libcdmm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdmm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

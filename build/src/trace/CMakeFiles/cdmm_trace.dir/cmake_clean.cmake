@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdmm_trace.dir/trace.cc.o"
+  "CMakeFiles/cdmm_trace.dir/trace.cc.o.d"
+  "CMakeFiles/cdmm_trace.dir/trace_io.cc.o"
+  "CMakeFiles/cdmm_trace.dir/trace_io.cc.o.d"
+  "libcdmm_trace.a"
+  "libcdmm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdmm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

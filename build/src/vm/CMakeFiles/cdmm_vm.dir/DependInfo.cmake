@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/cd_core.cc" "src/vm/CMakeFiles/cdmm_vm.dir/cd_core.cc.o" "gcc" "src/vm/CMakeFiles/cdmm_vm.dir/cd_core.cc.o.d"
+  "/root/repo/src/vm/cd_policy.cc" "src/vm/CMakeFiles/cdmm_vm.dir/cd_policy.cc.o" "gcc" "src/vm/CMakeFiles/cdmm_vm.dir/cd_policy.cc.o.d"
+  "/root/repo/src/vm/curves.cc" "src/vm/CMakeFiles/cdmm_vm.dir/curves.cc.o" "gcc" "src/vm/CMakeFiles/cdmm_vm.dir/curves.cc.o.d"
+  "/root/repo/src/vm/damped_ws.cc" "src/vm/CMakeFiles/cdmm_vm.dir/damped_ws.cc.o" "gcc" "src/vm/CMakeFiles/cdmm_vm.dir/damped_ws.cc.o.d"
+  "/root/repo/src/vm/fixed_alloc.cc" "src/vm/CMakeFiles/cdmm_vm.dir/fixed_alloc.cc.o" "gcc" "src/vm/CMakeFiles/cdmm_vm.dir/fixed_alloc.cc.o.d"
+  "/root/repo/src/vm/pff.cc" "src/vm/CMakeFiles/cdmm_vm.dir/pff.cc.o" "gcc" "src/vm/CMakeFiles/cdmm_vm.dir/pff.cc.o.d"
+  "/root/repo/src/vm/policy_spec.cc" "src/vm/CMakeFiles/cdmm_vm.dir/policy_spec.cc.o" "gcc" "src/vm/CMakeFiles/cdmm_vm.dir/policy_spec.cc.o.d"
+  "/root/repo/src/vm/stack_distance.cc" "src/vm/CMakeFiles/cdmm_vm.dir/stack_distance.cc.o" "gcc" "src/vm/CMakeFiles/cdmm_vm.dir/stack_distance.cc.o.d"
+  "/root/repo/src/vm/vmin.cc" "src/vm/CMakeFiles/cdmm_vm.dir/vmin.cc.o" "gcc" "src/vm/CMakeFiles/cdmm_vm.dir/vmin.cc.o.d"
+  "/root/repo/src/vm/working_set.cc" "src/vm/CMakeFiles/cdmm_vm.dir/working_set.cc.o" "gcc" "src/vm/CMakeFiles/cdmm_vm.dir/working_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/cdmm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cdmm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

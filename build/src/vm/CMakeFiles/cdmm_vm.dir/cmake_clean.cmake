@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdmm_vm.dir/cd_core.cc.o"
+  "CMakeFiles/cdmm_vm.dir/cd_core.cc.o.d"
+  "CMakeFiles/cdmm_vm.dir/cd_policy.cc.o"
+  "CMakeFiles/cdmm_vm.dir/cd_policy.cc.o.d"
+  "CMakeFiles/cdmm_vm.dir/curves.cc.o"
+  "CMakeFiles/cdmm_vm.dir/curves.cc.o.d"
+  "CMakeFiles/cdmm_vm.dir/damped_ws.cc.o"
+  "CMakeFiles/cdmm_vm.dir/damped_ws.cc.o.d"
+  "CMakeFiles/cdmm_vm.dir/fixed_alloc.cc.o"
+  "CMakeFiles/cdmm_vm.dir/fixed_alloc.cc.o.d"
+  "CMakeFiles/cdmm_vm.dir/pff.cc.o"
+  "CMakeFiles/cdmm_vm.dir/pff.cc.o.d"
+  "CMakeFiles/cdmm_vm.dir/policy_spec.cc.o"
+  "CMakeFiles/cdmm_vm.dir/policy_spec.cc.o.d"
+  "CMakeFiles/cdmm_vm.dir/stack_distance.cc.o"
+  "CMakeFiles/cdmm_vm.dir/stack_distance.cc.o.d"
+  "CMakeFiles/cdmm_vm.dir/vmin.cc.o"
+  "CMakeFiles/cdmm_vm.dir/vmin.cc.o.d"
+  "CMakeFiles/cdmm_vm.dir/working_set.cc.o"
+  "CMakeFiles/cdmm_vm.dir/working_set.cc.o.d"
+  "libcdmm_vm.a"
+  "libcdmm_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdmm_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

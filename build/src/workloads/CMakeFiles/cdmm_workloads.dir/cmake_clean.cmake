@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdmm_workloads.dir/workloads.cc.o"
+  "CMakeFiles/cdmm_workloads.dir/workloads.cc.o.d"
+  "libcdmm_workloads.a"
+  "libcdmm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdmm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

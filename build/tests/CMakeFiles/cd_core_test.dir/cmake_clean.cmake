@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_core_test.dir/cd_core_test.cc.o"
+  "CMakeFiles/cd_core_test.dir/cd_core_test.cc.o.d"
+  "cd_core_test"
+  "cd_core_test.pdb"
+  "cd_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directives_test.dir/directives_test.cc.o"
+  "CMakeFiles/directives_test.dir/directives_test.cc.o.d"
+  "directives_test"
+  "directives_test.pdb"
+  "directives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

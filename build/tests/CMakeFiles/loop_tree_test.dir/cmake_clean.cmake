@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_tree_test.dir/loop_tree_test.cc.o"
+  "CMakeFiles/loop_tree_test.dir/loop_tree_test.cc.o.d"
+  "loop_tree_test"
+  "loop_tree_test.pdb"
+  "loop_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

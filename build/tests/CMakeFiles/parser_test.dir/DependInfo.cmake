@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/parser_test.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/parser_test.dir/parser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdmm/CMakeFiles/cdmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cdmm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/cdmm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/directives/CMakeFiles/cdmm_directives.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cdmm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cdmm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cdmm_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cdmm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cdmm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cdmm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_spec_test.dir/policy_spec_test.cc.o"
+  "CMakeFiles/policy_spec_test.dir/policy_spec_test.cc.o.d"
+  "policy_spec_test"
+  "policy_spec_test.pdb"
+  "policy_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_cd_test.dir/vm_cd_test.cc.o"
+  "CMakeFiles/vm_cd_test.dir/vm_cd_test.cc.o.d"
+  "vm_cd_test"
+  "vm_cd_test.pdb"
+  "vm_cd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_cd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

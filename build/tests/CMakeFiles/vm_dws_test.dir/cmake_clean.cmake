@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_dws_test.dir/vm_dws_test.cc.o"
+  "CMakeFiles/vm_dws_test.dir/vm_dws_test.cc.o.d"
+  "vm_dws_test"
+  "vm_dws_test.pdb"
+  "vm_dws_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_dws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

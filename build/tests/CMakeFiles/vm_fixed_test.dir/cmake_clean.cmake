@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_fixed_test.dir/vm_fixed_test.cc.o"
+  "CMakeFiles/vm_fixed_test.dir/vm_fixed_test.cc.o.d"
+  "vm_fixed_test"
+  "vm_fixed_test.pdb"
+  "vm_fixed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_fixed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

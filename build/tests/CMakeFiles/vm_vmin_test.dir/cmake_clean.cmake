@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_vmin_test.dir/vm_vmin_test.cc.o"
+  "CMakeFiles/vm_vmin_test.dir/vm_vmin_test.cc.o.d"
+  "vm_vmin_test"
+  "vm_vmin_test.pdb"
+  "vm_vmin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_vmin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

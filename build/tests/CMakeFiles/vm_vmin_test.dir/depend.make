@@ -1,0 +1,2 @@
+# Empty dependencies file for vm_vmin_test.
+# This may be replaced when dependencies are built.

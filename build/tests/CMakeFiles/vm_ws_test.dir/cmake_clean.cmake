@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_ws_test.dir/vm_ws_test.cc.o"
+  "CMakeFiles/vm_ws_test.dir/vm_ws_test.cc.o.d"
+  "vm_ws_test"
+  "vm_ws_test.pdb"
+  "vm_ws_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_ws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_binary_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sema_test[1]_include.cmake")
+include("/root/repo/build/tests/loop_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/reference_class_test[1]_include.cmake")
+include("/root/repo/build/tests/locality_test[1]_include.cmake")
+include("/root/repo/build/tests/directives_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_fixed_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_ws_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_pff_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_vmin_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_dws_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/curves_test[1]_include.cmake")
+include("/root/repo/build/tests/stack_distance_test[1]_include.cmake")
+include("/root/repo/build/tests/cd_core_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_cd_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/experiments_test[1]_include.cmake")
+include("/root/repo/build/tests/validation_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")

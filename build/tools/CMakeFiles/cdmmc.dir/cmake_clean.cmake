@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdmmc.dir/cdmmc.cc.o"
+  "CMakeFiles/cdmmc.dir/cdmmc.cc.o.d"
+  "cdmmc"
+  "cdmmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdmmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
