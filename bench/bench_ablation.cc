@@ -4,9 +4,15 @@
 //   3. the system-default minimum allocation;
 //   4. page size (the one system-dependent locality parameter P);
 //   5. fault service time (the paper's 2000-reference assumption).
+//
+// Each ablation fans its configurations out over the --jobs pool; rows are
+// collected by configuration index, so the tables read the same at any
+// thread count.
 #include <iostream>
 
 #include "src/cdmm/pipeline.h"
+#include "src/exec/flags.h"
+#include "src/exec/sweep_scheduler.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/vm/cd_policy.h"
@@ -30,74 +36,110 @@ void AddRow(cdmm::TextTable& table, const std::string& label, const cdmm::SimRes
                 cdmm::StrCat(r.allocation_shrinks)});
 }
 
-void SelectionAblation(const char* workload) {
+void SelectionAblation(const char* workload, const cdmm::SweepScheduler& sched) {
   auto cp = cdmm::CompiledProgram::FromSource(cdmm::FindWorkload(workload).source);
   const cdmm::CompiledProgram& c = cp.value();
   std::cout << "-- Directive-selection ablation on " << workload << " (V="
             << c.virtual_pages() << " pages)\n";
+  struct Cfg {
+    const char* label;
+    cdmm::DirectiveSelection sel;
+    int cap;
+  };
+  const std::vector<Cfg> cfgs = {
+      {"outermost", cdmm::DirectiveSelection::kOutermost, 0},
+      {"level-cap 3", cdmm::DirectiveSelection::kLevelCap, 3},
+      {"level-cap 2", cdmm::DirectiveSelection::kLevelCap, 2},
+      {"innermost", cdmm::DirectiveSelection::kInnermost, 0},
+  };
+  std::vector<cdmm::SimResult> results = sched.Map<cdmm::SimResult>(
+      cfgs.size(), [&](size_t i) { return RunCd(c, cfgs[i].sel, cfgs[i].cap, true); });
   cdmm::TextTable table({"Selection", "PF", "MEM", "ST x1e6", "directives", "shrinks"});
-  AddRow(table, "outermost", RunCd(c, cdmm::DirectiveSelection::kOutermost, 0, true));
-  AddRow(table, "level-cap 3", RunCd(c, cdmm::DirectiveSelection::kLevelCap, 3, true));
-  AddRow(table, "level-cap 2", RunCd(c, cdmm::DirectiveSelection::kLevelCap, 2, true));
-  AddRow(table, "innermost", RunCd(c, cdmm::DirectiveSelection::kInnermost, 0, true));
+  for (size_t i = 0; i < cfgs.size(); ++i) {
+    AddRow(table, cfgs[i].label, results[i]);
+  }
   table.Print(std::cout);
   std::cout << "\n";
 }
 
-void LockAblation() {
+void LockAblation(const cdmm::SweepScheduler& sched) {
   std::cout << "-- LOCK/UNLOCK ablation (innermost selection, where pinning matters most)\n";
   cdmm::TextTable table({"Program", "PF locks on", "PF locks off", "MEM on", "MEM off"});
-  for (const char* name : {"MAIN", "TQL", "FIELD", "CONDUCT"}) {
-    auto cp = cdmm::CompiledProgram::FromSource(cdmm::FindWorkload(name).source);
+  const std::vector<const char*> names = {"MAIN", "TQL", "FIELD", "CONDUCT"};
+  struct Row {
+    cdmm::SimResult on;
+    cdmm::SimResult off;
+  };
+  std::vector<Row> rows = sched.Map<Row>(names.size(), [&](size_t i) {
+    auto cp = cdmm::CompiledProgram::FromSource(cdmm::FindWorkload(names[i]).source);
     const cdmm::CompiledProgram& c = cp.value();
-    cdmm::SimResult on = RunCd(c, cdmm::DirectiveSelection::kInnermost, 0, true);
-    cdmm::SimResult off = RunCd(c, cdmm::DirectiveSelection::kInnermost, 0, false);
-    table.AddRow({name, cdmm::StrCat(on.faults), cdmm::StrCat(off.faults),
-                  cdmm::FormatFixed(on.mean_memory, 2), cdmm::FormatFixed(off.mean_memory, 2)});
+    return Row{RunCd(c, cdmm::DirectiveSelection::kInnermost, 0, true),
+               RunCd(c, cdmm::DirectiveSelection::kInnermost, 0, false)};
+  });
+  for (size_t i = 0; i < names.size(); ++i) {
+    table.AddRow({names[i], cdmm::StrCat(rows[i].on.faults), cdmm::StrCat(rows[i].off.faults),
+                  cdmm::FormatFixed(rows[i].on.mean_memory, 2),
+                  cdmm::FormatFixed(rows[i].off.mean_memory, 2)});
   }
   table.Print(std::cout);
   std::cout << "\n";
 }
 
-void PageSizeAblation() {
+void PageSizeAblation(const cdmm::SweepScheduler& sched) {
   std::cout << "-- Page-size ablation on CONDUCT (the system parameter P of §2)\n";
   cdmm::TextTable table({"Page size", "V pages", "PF", "MEM", "ST x1e6"});
-  for (uint32_t page : {128u, 256u, 512u, 1024u}) {
+  const std::vector<uint32_t> pages = {128, 256, 512, 1024};
+  struct Row {
+    uint32_t v;
+    cdmm::SimResult r;
+  };
+  std::vector<Row> rows = sched.Map<Row>(pages.size(), [&](size_t i) {
     cdmm::PipelineOptions popt;
-    popt.locality.geometry.page_size_bytes = page;
+    popt.locality.geometry.page_size_bytes = pages[i];
     auto cp = cdmm::CompiledProgram::FromSource(cdmm::FindWorkload("CONDUCT").source, popt);
     const cdmm::CompiledProgram& c = cp.value();
-    cdmm::SimResult r = RunCd(c, cdmm::DirectiveSelection::kLevelCap, 2, true);
-    table.AddRow({cdmm::StrCat(page, "B"), cdmm::StrCat(c.virtual_pages()),
-                  cdmm::StrCat(r.faults), cdmm::FormatFixed(r.mean_memory, 2),
-                  cdmm::FormatMillions(r.space_time)});
+    return Row{c.virtual_pages(), RunCd(c, cdmm::DirectiveSelection::kLevelCap, 2, true)};
+  });
+  for (size_t i = 0; i < pages.size(); ++i) {
+    table.AddRow({cdmm::StrCat(pages[i], "B"), cdmm::StrCat(rows[i].v),
+                  cdmm::StrCat(rows[i].r.faults), cdmm::FormatFixed(rows[i].r.mean_memory, 2),
+                  cdmm::FormatMillions(rows[i].r.space_time)});
   }
   table.Print(std::cout);
   std::cout << "\n";
 }
 
-void FaultServiceAblation() {
+void FaultServiceAblation(const cdmm::SweepScheduler& sched) {
   std::cout << "-- Fault-service-time ablation on HWSCRT (paper assumes 2000 references)\n";
   auto cp = cdmm::CompiledProgram::FromSource(cdmm::FindWorkload("HWSCRT").source);
   const cdmm::CompiledProgram& c = cp.value();
   cdmm::TextTable table({"Service time", "ST inner x1e6", "ST level-cap-2 x1e6",
                          "ST outer x1e6", "best"});
-  for (uint64_t d : {200u, 2000u, 20000u}) {
-    cdmm::SimResult inner = RunCd(c, cdmm::DirectiveSelection::kInnermost, 0, true, d);
-    cdmm::SimResult mid = RunCd(c, cdmm::DirectiveSelection::kLevelCap, 2, true, d);
-    cdmm::SimResult outer = RunCd(c, cdmm::DirectiveSelection::kOutermost, 0, true, d);
+  const std::vector<uint64_t> ds = {200, 2000, 20000};
+  struct Row {
+    cdmm::SimResult inner;
+    cdmm::SimResult mid;
+    cdmm::SimResult outer;
+  };
+  std::vector<Row> rows = sched.Map<Row>(ds.size(), [&](size_t i) {
+    return Row{RunCd(c, cdmm::DirectiveSelection::kInnermost, 0, true, ds[i]),
+               RunCd(c, cdmm::DirectiveSelection::kLevelCap, 2, true, ds[i]),
+               RunCd(c, cdmm::DirectiveSelection::kOutermost, 0, true, ds[i])};
+  });
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const Row& row = rows[i];
     const char* best = "inner";
-    double best_st = inner.space_time;
-    if (mid.space_time < best_st) {
+    double best_st = row.inner.space_time;
+    if (row.mid.space_time < best_st) {
       best = "level-cap 2";
-      best_st = mid.space_time;
+      best_st = row.mid.space_time;
     }
-    if (outer.space_time < best_st) {
+    if (row.outer.space_time < best_st) {
       best = "outer";
     }
-    table.AddRow({cdmm::StrCat(d), cdmm::FormatMillions(inner.space_time),
-                  cdmm::FormatMillions(mid.space_time), cdmm::FormatMillions(outer.space_time),
-                  best});
+    table.AddRow({cdmm::StrCat(ds[i]), cdmm::FormatMillions(row.inner.space_time),
+                  cdmm::FormatMillions(row.mid.space_time),
+                  cdmm::FormatMillions(row.outer.space_time), best});
   }
   table.Print(std::cout);
   std::cout << "\nSlower fault service shifts the optimal directive level outward: refetching\n"
@@ -107,12 +149,15 @@ void FaultServiceAblation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::ThreadPool pool(jobs);
+  cdmm::SweepScheduler sched(&pool);
   std::cout << "CD design-choice ablations\n==========================\n\n";
-  SelectionAblation("MAIN");
-  SelectionAblation("CONDUCT");
-  LockAblation();
-  PageSizeAblation();
-  FaultServiceAblation();
+  SelectionAblation("MAIN", sched);
+  SelectionAblation("CONDUCT", sched);
+  LockAblation(sched);
+  PageSizeAblation(sched);
+  FaultServiceAblation(sched);
   return 0;
 }

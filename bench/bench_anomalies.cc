@@ -3,11 +3,20 @@
 // parameter anomalies [FrGG78], and the WS anomalies observed specifically
 // on numerical programs [AbPa81], [ALMY82]. This bench scans the reproduced
 // workloads for the same phenomena.
+//
+// All nine workloads compile once, up front and in parallel; every scan then
+// reads the shared immutable reference traces, fanning the per-allocation /
+// per-window simulations over the --jobs pool. Witness selection stays a
+// serial pass over index-ordered fault counts, so the reported anomalies are
+// identical at any thread count.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "src/cdmm/pipeline.h"
+#include "src/exec/flags.h"
+#include "src/exec/sweep_scheduler.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/vm/fixed_alloc.h"
@@ -17,34 +26,56 @@
 
 namespace {
 
+struct WorkloadTrace {
+  std::string name;
+  std::shared_ptr<const cdmm::Trace> refs;
+};
+
+std::vector<WorkloadTrace> CompileAll(const cdmm::SweepScheduler& sched) {
+  const std::vector<cdmm::Workload>& all = cdmm::AllWorkloads();
+  return sched.Map<WorkloadTrace>(all.size(), [&](size_t i) {
+    auto cp = cdmm::CompiledProgram::FromSource(all[i].source);
+    return WorkloadTrace{all[i].name, cp.value().shared_references()};
+  });
+}
+
 // FIFO: faults must *increase* somewhere as frames grow (Belady).
-void FifoAnomalies() {
+void FifoAnomalies(const std::vector<WorkloadTrace>& workloads,
+                   const cdmm::SweepScheduler& sched) {
   std::cout << "-- FIFO (Belady) anomalies: m -> m+1 with MORE faults\n";
   cdmm::TextTable table({"Program", "m", "PF(m)", "PF(m+1)", "increase"});
+  struct Witness {
+    uint64_t gain = 0;
+    uint32_t m = 0;
+    uint64_t prev = 0;
+    uint64_t cur = 0;
+  };
+  std::vector<Witness> witnesses =
+      sched.Map<Witness>(workloads.size(), [&](size_t wi) {
+        const cdmm::Trace& refs = *workloads[wi].refs;
+        uint32_t v = std::min<uint32_t>(refs.virtual_pages(), 96);
+        std::vector<uint64_t> faults = sched.Map<uint64_t>(v, [&](size_t i) {
+          return cdmm::SimulateFixed(refs, static_cast<uint32_t>(i) + 1,
+                                     cdmm::Replacement::kFifo)
+              .faults;
+        });
+        Witness best;
+        for (uint32_t m = 2; m <= v; ++m) {
+          uint64_t prev = faults[m - 2];
+          uint64_t cur = faults[m - 1];
+          if (cur > prev && cur - prev > best.gain) {
+            best = Witness{cur - prev, m - 1, prev, cur};
+          }
+        }
+        return best;
+      });
   int found = 0;
-  for (const cdmm::Workload& w : cdmm::AllWorkloads()) {
-    auto cp = cdmm::CompiledProgram::FromSource(w.source);
-    cdmm::Trace refs = cp.value().trace().ReferencesOnly();
-    uint32_t v = std::min<uint32_t>(refs.virtual_pages(), 96);
-    uint64_t prev = cdmm::SimulateFixed(refs, 1, cdmm::Replacement::kFifo).faults;
-    uint64_t best_gain = 0;
-    uint32_t best_m = 0;
-    uint64_t best_prev = 0;
-    uint64_t best_cur = 0;
-    for (uint32_t m = 2; m <= v; ++m) {
-      uint64_t cur = cdmm::SimulateFixed(refs, m, cdmm::Replacement::kFifo).faults;
-      if (cur > prev && cur - prev > best_gain) {
-        best_gain = cur - prev;
-        best_m = m - 1;
-        best_prev = prev;
-        best_cur = cur;
-      }
-      prev = cur;
-    }
-    if (best_gain > 0) {
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const Witness& best = witnesses[wi];
+    if (best.gain > 0) {
       ++found;
-      table.AddRow({w.name, cdmm::StrCat(best_m), cdmm::StrCat(best_prev),
-                    cdmm::StrCat(best_cur), cdmm::StrCat("+", best_gain)});
+      table.AddRow({workloads[wi].name, cdmm::StrCat(best.m), cdmm::StrCat(best.prev),
+                    cdmm::StrCat(best.cur), cdmm::StrCat("+", best.gain)});
     }
   }
   if (found == 0) {
@@ -57,25 +88,38 @@ void FifoAnomalies() {
 }
 
 // PFF: a larger critical interval T can produce MORE faults [FrGG78].
-void PffAnomalies() {
+void PffAnomalies(const std::vector<WorkloadTrace>& workloads,
+                  const cdmm::SweepScheduler& sched) {
   std::cout << "-- PFF parameter anomalies: larger T with MORE faults [FrGG78]\n";
   cdmm::TextTable table({"Program", "T", "PF(T)", "T'", "PF(T')", "increase"});
-  std::vector<uint64_t> ts = {125, 250, 500, 1000, 2000, 4000, 8000, 16000};
+  const std::vector<uint64_t> ts = {125, 250, 500, 1000, 2000, 4000, 8000, 16000};
+  struct Witness {
+    bool found = false;
+    uint64_t t_prev = 0;
+    uint64_t pf_prev = 0;
+    uint64_t t_cur = 0;
+    uint64_t pf_cur = 0;
+  };
+  std::vector<Witness> witnesses =
+      sched.Map<Witness>(workloads.size(), [&](size_t wi) {
+        const cdmm::Trace& refs = *workloads[wi].refs;
+        std::vector<uint64_t> faults = sched.Map<uint64_t>(
+            ts.size(), [&](size_t i) { return cdmm::SimulatePff(refs, ts[i]).faults; });
+        for (size_t i = 1; i < ts.size(); ++i) {
+          if (faults[i] > faults[i - 1]) {  // one witness per program is enough
+            return Witness{true, ts[i - 1], faults[i - 1], ts[i], faults[i]};
+          }
+        }
+        return Witness{};
+      });
   int found = 0;
-  for (const cdmm::Workload& w : cdmm::AllWorkloads()) {
-    auto cp = cdmm::CompiledProgram::FromSource(w.source);
-    cdmm::Trace refs = cp.value().trace().ReferencesOnly();
-    uint64_t prev = cdmm::SimulatePff(refs, ts[0]).faults;
-    for (size_t i = 1; i < ts.size(); ++i) {
-      uint64_t cur = cdmm::SimulatePff(refs, ts[i]).faults;
-      if (cur > prev) {
-        ++found;
-        table.AddRow({w.name, cdmm::StrCat(ts[i - 1]), cdmm::StrCat(prev),
-                      cdmm::StrCat(ts[i]), cdmm::StrCat(cur),
-                      cdmm::StrCat("+", cur - prev)});
-        break;  // one witness per program is enough
-      }
-      prev = cur;
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const Witness& w = witnesses[wi];
+    if (w.found) {
+      ++found;
+      table.AddRow({workloads[wi].name, cdmm::StrCat(w.t_prev), cdmm::StrCat(w.pf_prev),
+                    cdmm::StrCat(w.t_cur), cdmm::StrCat(w.pf_cur),
+                    cdmm::StrCat("+", w.pf_cur - w.pf_prev)});
     }
   }
   if (found == 0) {
@@ -90,15 +134,18 @@ void PffAnomalies() {
 // can have interior local minima far from either extreme [AbPa81] — tuning
 // τ is genuinely hard, which is the paper's argument for compile-time
 // knowledge.
-void WsStructure() {
+void WsStructure(const std::vector<WorkloadTrace>& workloads,
+                 const cdmm::SweepScheduler& sched) {
   std::cout << "-- WS space-time vs window: interior minima on numerical programs\n";
   cdmm::TextTable table({"Program", "best tau", "ST at best x1e6", "ST at tau/8 x1e6",
                          "ST at 8*tau x1e6", "interior minimum"});
-  for (const cdmm::Workload& w : cdmm::AllWorkloads()) {
-    auto cp = cdmm::CompiledProgram::FromSource(w.source);
-    cdmm::Trace refs = cp.value().trace().ReferencesOnly();
-    auto taus = cdmm::DefaultTauGrid(refs.reference_count(), 8);
-    auto sweep = cdmm::WsSweep(refs, taus);
+  std::vector<std::vector<cdmm::SweepPoint>> sweeps =
+      sched.Map<std::vector<cdmm::SweepPoint>>(workloads.size(), [&](size_t wi) {
+        auto taus = cdmm::DefaultTauGrid(workloads[wi].refs->reference_count(), 8);
+        return sched.Ws(workloads[wi].refs, taus);
+      });
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const std::vector<cdmm::SweepPoint>& sweep = sweeps[wi];
     const cdmm::SweepPoint* best = &sweep.front();
     for (const cdmm::SweepPoint& p : sweep) {
       if (p.space_time < best->space_time) {
@@ -117,7 +164,8 @@ void WsStructure() {
       return nearest->space_time;
     };
     bool interior = best != &sweep.front() && best != &sweep.back();
-    table.AddRow({w.name, cdmm::StrCat(tau), cdmm::FormatMillions(best->space_time),
+    table.AddRow({workloads[wi].name, cdmm::StrCat(tau),
+                  cdmm::FormatMillions(best->space_time),
                   cdmm::FormatMillions(at(tau / 8 + 1)), cdmm::FormatMillions(at(tau * 8)),
                   interior ? "yes" : "no"});
   }
@@ -129,11 +177,15 @@ void WsStructure() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::ThreadPool pool(jobs);
+  cdmm::SweepScheduler sched(&pool);
   std::cout << "Run-time policy anomalies on the reproduced workloads (paper §1)\n"
             << "================================================================\n\n";
-  FifoAnomalies();
-  PffAnomalies();
-  WsStructure();
+  std::vector<WorkloadTrace> workloads = CompileAll(sched);
+  FifoAnomalies(workloads, sched);
+  PffAnomalies(workloads, sched);
+  WsStructure(workloads, sched);
   return 0;
 }

@@ -5,9 +5,16 @@
 // evaluation ("the performance of CD in a multiprogramming environment is
 // still to be evaluated"); this bench carries it out on the reproduced
 // workloads.
+//
+// The three mixes render concurrently over the --jobs pool, and within each
+// mix the CD / eq-LRU / WS managers simulate in parallel against the same
+// immutable traces; sections buffer and print in mix order.
 #include <iostream>
+#include <sstream>
 
 #include "src/cdmm/pipeline.h"
+#include "src/exec/flags.h"
+#include "src/exec/sweep_scheduler.h"
 #include "src/os/multiprog.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
@@ -15,7 +22,8 @@
 
 namespace {
 
-void RunMix(const std::vector<std::string>& names, uint32_t frames) {
+std::string RunMix(const std::vector<std::string>& names, uint32_t frames,
+                   const cdmm::SweepScheduler& sched) {
   std::vector<std::unique_ptr<cdmm::CompiledProgram>> programs;
   std::vector<cdmm::OsProcessSpec> specs;
   int priority = 0;
@@ -28,11 +36,24 @@ void RunMix(const std::vector<std::string>& names, uint32_t frames) {
   cdmm::OsOptions options;
   options.total_frames = frames;
 
-  cdmm::OsRunResult cd = cdmm::RunMultiprogrammedCd(specs, options);
-  cdmm::OsRunResult lru = cdmm::RunEqualPartitionLru(specs, options);
-  cdmm::OsRunResult ws = cdmm::RunMultiprogrammedWs(specs, options, /*tau=*/2000);
+  // The three managers only read the traces; run them as one task apiece.
+  std::vector<cdmm::OsRunResult> runs =
+      sched.Map<cdmm::OsRunResult>(3, [&](size_t i) {
+        switch (i) {
+          case 0:
+            return cdmm::RunMultiprogrammedCd(specs, options);
+          case 1:
+            return cdmm::RunEqualPartitionLru(specs, options);
+          default:
+            return cdmm::RunMultiprogrammedWs(specs, options, /*tau=*/2000);
+        }
+      });
+  const cdmm::OsRunResult& cd = runs[0];
+  const cdmm::OsRunResult& lru = runs[1];
+  const cdmm::OsRunResult& ws = runs[2];
 
-  std::cout << "-- Mix {" << cdmm::Join(names, ", ") << "} on " << frames << " frames\n";
+  std::ostringstream out;
+  out << "-- Mix {" << cdmm::Join(names, ", ") << "} on " << frames << " frames\n";
   cdmm::TextTable table({"Process", "PF (CD)", "PF (eq-LRU)", "PF (WS)", "frames (CD)",
                          "frames (eq-LRU)", "frames (WS)", "finish (CD)", "finish (eq-LRU)",
                          "finish (WS)"});
@@ -46,23 +67,38 @@ void RunMix(const std::vector<std::string>& names, uint32_t frames) {
                   cdmm::StrCat(a.finished_at), cdmm::StrCat(b.finished_at),
                   cdmm::StrCat(c.finished_at)});
   }
-  table.Print(std::cout);
-  std::cout << "totals: faults CD " << cd.total_faults << " / eq-LRU " << lru.total_faults
-            << " / WS " << ws.total_faults << "; makespan CD " << cd.total_time << " / eq-LRU "
-            << lru.total_time << " / WS " << ws.total_time << "; swaps CD " << cd.swaps
-            << " / WS " << ws.swaps << "; CPU util CD "
-            << cdmm::FormatFixed(cd.cpu_utilisation * 100, 1) << "% / eq-LRU "
-            << cdmm::FormatFixed(lru.cpu_utilisation * 100, 1) << "% / WS "
-            << cdmm::FormatFixed(ws.cpu_utilisation * 100, 1) << "%\n\n";
+  table.Print(out);
+  out << "totals: faults CD " << cd.total_faults << " / eq-LRU " << lru.total_faults
+      << " / WS " << ws.total_faults << "; makespan CD " << cd.total_time << " / eq-LRU "
+      << lru.total_time << " / WS " << ws.total_time << "; swaps CD " << cd.swaps
+      << " / WS " << ws.swaps << "; CPU util CD "
+      << cdmm::FormatFixed(cd.cpu_utilisation * 100, 1) << "% / eq-LRU "
+      << cdmm::FormatFixed(lru.cpu_utilisation * 100, 1) << "% / WS "
+      << cdmm::FormatFixed(ws.cpu_utilisation * 100, 1) << "%\n\n";
+  return out.str();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::ThreadPool pool(jobs);
+  cdmm::SweepScheduler sched(&pool);
   std::cout << "Multiprogrammed CD vs static equal-partition LRU vs WS load control\n"
             << "===================================================================\n\n";
-  RunMix({"INIT", "APPROX", "HYBRJ"}, 96);
-  RunMix({"HWSCRT", "TQL", "FDJAC"}, 128);
-  RunMix({"MAIN", "FIELD", "INIT", "APPROX"}, 160);
+  struct Mix {
+    std::vector<std::string> names;
+    uint32_t frames;
+  };
+  const std::vector<Mix> mixes = {
+      {{"INIT", "APPROX", "HYBRJ"}, 96},
+      {{"HWSCRT", "TQL", "FDJAC"}, 128},
+      {{"MAIN", "FIELD", "INIT", "APPROX"}, 160},
+  };
+  std::vector<std::string> sections = sched.Map<std::string>(
+      mixes.size(), [&](size_t i) { return RunMix(mixes[i].names, mixes[i].frames, sched); });
+  for (const std::string& s : sections) {
+    std::cout << s;
+  }
   return 0;
 }

@@ -7,9 +7,13 @@
 // bookkeeping.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <iostream>
+#include <memory>
 
 #include "src/cdmm/pipeline.h"
+#include "src/exec/flags.h"
+#include "src/exec/sweep_scheduler.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/vm/cd_policy.h"
@@ -31,29 +35,41 @@ const cdmm::CompiledProgram& Conduct() {
 }
 
 const cdmm::Trace& ConductRefs() {
-  static const auto* trace = new cdmm::Trace(Conduct().trace().ReferencesOnly());
+  static const auto* trace = new cdmm::Trace(*Conduct().shared_references());
   return *trace;
 }
 
-void PrintCrossSection() {
+void PrintCrossSection(const cdmm::SweepScheduler& sched) {
   const cdmm::Trace& refs = ConductRefs();
   const cdmm::Trace& full = Conduct().trace();
 
-  std::vector<cdmm::SimResult> results;
-  results.push_back(cdmm::SimulateFixed(refs, 32, cdmm::Replacement::kLru));
-  results.push_back(cdmm::SimulateFixed(refs, 32, cdmm::Replacement::kFifo));
-  results.push_back(cdmm::SimulateFixed(refs, 32, cdmm::Replacement::kOpt));
-  results.push_back(cdmm::SimulateWs(refs, 2000));
-  results.push_back(cdmm::SimulateSampledWs(refs, {.sample_interval = 2000, .window_samples = 1}));
-  results.push_back(cdmm::SimulateVsws(
-      refs, {.min_interval = 500, .max_interval = 4000, .fault_threshold = 8}));
-  results.push_back(cdmm::SimulatePff(refs, 2000));
-  results.push_back(cdmm::SimulateDampedWs(refs, {.tau = 2000, .release_interval = 64}));
-  results.push_back(cdmm::SimulateVmin(refs));
-  cdmm::CdOptions cd;
-  cd.selection = cdmm::DirectiveSelection::kLevelCap;
-  cd.level_cap = 2;
-  results.push_back(cdmm::SimulateCd(full, cd));
+  // Every policy simulation is an independent task over the shared traces;
+  // results land by row index, so the table order never depends on timing.
+  const std::vector<std::function<cdmm::SimResult()>> sims = {
+      [&] { return cdmm::SimulateFixed(refs, 32, cdmm::Replacement::kLru); },
+      [&] { return cdmm::SimulateFixed(refs, 32, cdmm::Replacement::kFifo); },
+      [&] { return cdmm::SimulateFixed(refs, 32, cdmm::Replacement::kOpt); },
+      [&] { return cdmm::SimulateWs(refs, 2000); },
+      [&] {
+        return cdmm::SimulateSampledWs(refs,
+                                       {.sample_interval = 2000, .window_samples = 1});
+      },
+      [&] {
+        return cdmm::SimulateVsws(
+            refs, {.min_interval = 500, .max_interval = 4000, .fault_threshold = 8});
+      },
+      [&] { return cdmm::SimulatePff(refs, 2000); },
+      [&] { return cdmm::SimulateDampedWs(refs, {.tau = 2000, .release_interval = 64}); },
+      [&] { return cdmm::SimulateVmin(refs); },
+      [&] {
+        cdmm::CdOptions cd;
+        cd.selection = cdmm::DirectiveSelection::kLevelCap;
+        cd.level_cap = 2;
+        return cdmm::SimulateCd(full, cd);
+      },
+  };
+  std::vector<cdmm::SimResult> results =
+      sched.Map<cdmm::SimResult>(sims.size(), [&](size_t i) { return sims[i](); });
 
   std::cout << "Policy cross-section on CONDUCT (V=" << full.virtual_pages() << " pages, R="
             << refs.reference_count() << " references)\n\n";
@@ -140,7 +156,12 @@ BENCHMARK(BM_GenerateTrace);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintCrossSection();
+  // Strip --jobs before google-benchmark parses argv (it rejects unknown flags).
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  {
+    cdmm::ThreadPool pool(jobs);
+    PrintCrossSection(cdmm::SweepScheduler(&pool));
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "src/cdmm/experiments.h"
+#include "src/exec/flags.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/workloads/workloads.h"
@@ -33,12 +34,15 @@ const std::map<std::string, PaperRow> kPaper = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::ThreadPool pool(jobs);
   std::cout << "Table 1: The Effect of Executing Different Sets of Directives Under CD Policy\n"
             << "(paper values in parentheses; shape comparison only — the 1985 traces are\n"
             << " not recoverable, see EXPERIMENTS.md)\n\n";
 
-  cdmm::ExperimentRunner runner;
+  cdmm::ExperimentRunner runner({}, {}, &pool);
+  runner.Prefetch(cdmm::Table1Variants());
   cdmm::TextTable table({"Program", "Directive set", "MEM (paper)", "PF (paper)",
                          "ST x1e6 (paper)"});
   for (const cdmm::WorkloadVariant& variant : cdmm::Table1Variants()) {

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "src/cdmm/experiments.h"
+#include "src/exec/flags.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/workloads/workloads.h"
@@ -26,11 +27,14 @@ const std::map<std::string, PaperRow> kPaper = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::ThreadPool pool(jobs);
   std::cout << "Table 2: Comparing Minimal Space Time Cost Values of LRU and WS versus CD\n"
             << "%ST = (ST_min(other) - ST(CD)) / ST(CD) * 100   (paper values in parentheses)\n\n";
 
-  cdmm::ExperimentRunner runner;
+  cdmm::ExperimentRunner runner({}, {}, &pool);
+  runner.Prefetch(cdmm::Table2Variants());
   cdmm::TextTable table({"Program", "ST CD x1e6", "ST LRU-min x1e6", "ST WS-min x1e6",
                          "%ST LRU (paper)", "%ST WS (paper)"});
   double sum_lru = 0.0;

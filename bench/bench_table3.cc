@@ -7,6 +7,7 @@
 #include <map>
 
 #include "src/cdmm/experiments.h"
+#include "src/exec/flags.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/workloads/workloads.h"
@@ -33,13 +34,16 @@ const std::map<std::string, PaperRow> kPaper = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::ThreadPool pool(jobs);
   std::cout
       << "Table 3: Comparing LRU and WS versus CD When Similar Average Memory is Allocated\n"
       << "ΔPF = PF(other) - PF(CD); %ST = (ST(other) - ST(CD)) / ST(CD) * 100\n"
       << "(paper values in parentheses)\n\n";
 
-  cdmm::ExperimentRunner runner;
+  cdmm::ExperimentRunner runner({}, {}, &pool);
+  runner.Prefetch(cdmm::Table3Variants());
   cdmm::TextTable table({"Program", "MEM CD", "PF CD", "LRU m", "dPF LRU (paper)",
                          "%ST LRU (paper)", "WS tau", "dPF WS (paper)", "%ST WS (paper)"});
   double mean_dpf_lru = 0.0;

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "src/cdmm/experiments.h"
+#include "src/exec/flags.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/workloads/workloads.h"
@@ -33,11 +34,14 @@ const std::map<std::string, PaperRow> kPaper = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::ThreadPool pool(jobs);
   std::cout << "Table 4: The Cost of Generating The Same Number of Page Faults as CD\n"
             << "%MEM = (MEM(other) - MEM(CD)) / MEM(CD) * 100  (paper values in parentheses)\n\n";
 
-  cdmm::ExperimentRunner runner;
+  cdmm::ExperimentRunner runner({}, {}, &pool);
+  runner.Prefetch(cdmm::Table3Variants());
   cdmm::TextTable table({"Program", "PF CD", "MEM CD", "LRU m", "%MEM LRU (paper)",
                          "%ST LRU (paper)", "WS tau", "%MEM WS (paper)", "%ST WS (paper)"});
   double mean_mem_lru = 0.0;

@@ -3,24 +3,39 @@
 // per-execution page sets from the generated traces — is X a valid upper
 // bound on the re-referenced locality, and how tight is it?
 //
-// Usage: estimate_accuracy [WORKLOAD]
+// Usage: estimate_accuracy [--jobs N] [WORKLOAD]
+//
+// In survey mode the workloads compile and validate concurrently over the
+// --jobs pool; each report is buffered and printed in workload order.
 #include <iostream>
+#include <sstream>
 
 #include "src/cdmm/pipeline.h"
 #include "src/cdmm/validation.h"
+#include "src/exec/flags.h"
+#include "src/exec/sweep_scheduler.h"
 #include "src/support/str.h"
 #include "src/workloads/workloads.h"
 
 namespace {
 
-int Survey(const cdmm::Workload& w) {
+struct SurveyResult {
+  int rc = 0;
+  std::string out;
+  std::string err;
+};
+
+SurveyResult Survey(const cdmm::Workload& w) {
+  SurveyResult result;
   auto cp = cdmm::CompiledProgram::FromSource(w.source);
   if (!cp.ok()) {
-    std::cerr << w.name << ": " << cp.error().ToString() << "\n";
-    return 1;
+    result.rc = 1;
+    result.err = cdmm::StrCat(w.name, ": ", cp.error().ToString(), "\n");
+    return result;
   }
   auto rows = cdmm::ValidateLocalityEstimates(cp.value());
-  std::cout << cdmm::ValidationReport(w.name, rows);
+  std::ostringstream out;
+  out << cdmm::ValidationReport(w.name, rows);
   int inadequate = 0;
   double overshoot_sum = 0.0;
   int overshoot_count = 0;
@@ -32,24 +47,37 @@ int Survey(const cdmm::Workload& w) {
       ++overshoot_count;
     }
   }
-  std::cout << "  summary: " << rows.size() - static_cast<size_t>(inadequate) << "/" << rows.size()
-            << " loops adequately covered";
+  out << "  summary: " << rows.size() - static_cast<size_t>(inadequate) << "/" << rows.size()
+      << " loops adequately covered";
   if (overshoot_count > 0) {
-    std::cout << ", mean X / measured-locality ratio "
-              << cdmm::FormatFixed(overshoot_sum / overshoot_count, 2);
+    out << ", mean X / measured-locality ratio "
+        << cdmm::FormatFixed(overshoot_sum / overshoot_count, 2);
   }
-  std::cout << "\n\n";
-  return 0;
+  out << "\n\n";
+  result.out = out.str();
+  return result;
+}
+
+int Emit(const SurveyResult& r) {
+  std::cout << r.out;
+  std::cerr << r.err;
+  return r.rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
   if (argc > 1) {
-    return Survey(cdmm::FindWorkload(argv[1]));
+    return Emit(Survey(cdmm::FindWorkload(argv[1])));
   }
-  for (const cdmm::Workload& w : cdmm::AllWorkloads()) {
-    if (int rc = Survey(w); rc != 0) {
+  cdmm::ThreadPool pool(jobs);
+  cdmm::SweepScheduler sched(&pool);
+  const std::vector<cdmm::Workload>& all = cdmm::AllWorkloads();
+  std::vector<SurveyResult> results = sched.Map<SurveyResult>(
+      all.size(), [&](size_t i) { return Survey(all[i]); });
+  for (const SurveyResult& r : results) {
+    if (int rc = Emit(r); rc != 0) {
       return rc;
     }
   }

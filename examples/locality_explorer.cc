@@ -7,26 +7,48 @@
 //   locality_explorer                 # explore every built-in workload
 //   locality_explorer CONDUCT         # one built-in workload
 //   locality_explorer path/to/f.f     # a mini-FORTRAN source file
+//   locality_explorer --jobs N        # explore-all compiles on N threads
+//
+// Explore-all mode compiles the workloads concurrently; sections buffer and
+// print in workload order.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "src/cdmm/pipeline.h"
+#include "src/exec/flags.h"
+#include "src/exec/sweep_scheduler.h"
 #include "src/workloads/workloads.h"
 
 namespace {
 
-int Explore(const std::string& label, const std::string& source) {
+struct Section {
+  int rc = 0;
+  std::string out;
+  std::string err;
+};
+
+Section Explore(const std::string& label, const std::string& source) {
+  Section section;
   auto compiled = cdmm::CompiledProgram::FromSource(source);
   if (!compiled.ok()) {
-    std::cerr << label << ": compile error: " << compiled.error().ToString() << "\n";
-    return 1;
+    section.rc = 1;
+    section.err = label + ": compile error: " + compiled.error().ToString() + "\n";
+    return section;
   }
   const cdmm::CompiledProgram& cp = compiled.value();
-  std::cout << "==================================================================\n"
-            << cp.locality().Report() << "\nInstrumented skeleton:\n"
-            << cp.Listing(/*compact=*/true) << "\n";
-  return 0;
+  std::ostringstream out;
+  out << "==================================================================\n"
+      << cp.locality().Report() << "\nInstrumented skeleton:\n"
+      << cp.Listing(/*compact=*/true) << "\n";
+  section.out = out.str();
+  return section;
+}
+
+int Emit(const Section& s) {
+  std::cout << s.out;
+  std::cerr << s.err;
+  return s.rc;
 }
 
 bool IsBuiltin(const std::string& name) {
@@ -41,10 +63,18 @@ bool IsBuiltin(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
   if (argc < 2) {
-    for (const cdmm::Workload& w : cdmm::AllWorkloads()) {
-      std::cout << "\n### " << w.name << " — " << w.description << "\n";
-      if (int rc = Explore(w.name, w.source); rc != 0) {
+    cdmm::ThreadPool pool(jobs);
+    cdmm::SweepScheduler sched(&pool);
+    const std::vector<cdmm::Workload>& all = cdmm::AllWorkloads();
+    std::vector<Section> sections = sched.Map<Section>(all.size(), [&](size_t i) {
+      Section s = Explore(all[i].name, all[i].source);
+      s.out = "\n### " + std::string(all[i].name) + " — " + all[i].description + "\n" + s.out;
+      return s;
+    });
+    for (const Section& s : sections) {
+      if (int rc = Emit(s); rc != 0) {
         return rc;
       }
     }
@@ -54,7 +84,7 @@ int main(int argc, char** argv) {
   if (IsBuiltin(arg)) {
     const cdmm::Workload& w = cdmm::FindWorkload(arg);
     std::cout << "### " << w.name << " — " << w.description << "\n";
-    return Explore(w.name, w.source);
+    return Emit(Explore(w.name, w.source));
   }
   std::ifstream file(arg);
   if (!file) {
@@ -63,5 +93,5 @@ int main(int argc, char** argv) {
   }
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return Explore(arg, buffer.str());
+  return Emit(Explore(arg, buffer.str()));
 }

@@ -3,19 +3,29 @@
 // live availability per the Figure 6 flowchart, with suspension/swapping on
 // ungrantable PI=1 requests — versus a static equal-partition LRU baseline.
 //
-// Usage: multiprogramming [TOTAL_FRAMES] [WORKLOAD...]
-//        (default: 128 frames, mix HWSCRT TQL INIT)
+// Usage: multiprogramming [--jobs N] [TOTAL_FRAMES] [WORKLOAD...]
+//        (default: 128 frames, mix HWSCRT TQL INIT, all cores)
+//
+// The job mix compiles concurrently and the two managers (CD, eq-LRU) run as
+// parallel tasks over the same immutable traces; sections print in the fixed
+// CD-then-LRU order.
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "src/cdmm/pipeline.h"
+#include "src/exec/flags.h"
+#include "src/exec/sweep_scheduler.h"
 #include "src/os/multiprog.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/workloads/workloads.h"
 
 int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::ThreadPool pool(jobs);
+  cdmm::SweepScheduler sched(&pool);
   uint32_t frames = 128;
   std::vector<std::string> names = {"HWSCRT", "TQL", "INIT"};
   if (argc > 1) {
@@ -29,29 +39,36 @@ int main(int argc, char** argv) {
     names.assign(argv + 2, argv + argc);
   }
 
-  std::vector<std::unique_ptr<cdmm::CompiledProgram>> programs;
+  std::vector<std::shared_ptr<const cdmm::Trace>> traces = sched.Map<
+      std::shared_ptr<const cdmm::Trace>>(names.size(), [&](size_t i) {
+    auto cp = cdmm::CompiledProgram::FromSource(cdmm::FindWorkload(names[i]).source);
+    if (!cp.ok()) {
+      std::cerr << names[i] << ": " << cp.error().ToString() << "\n";
+      return std::shared_ptr<const cdmm::Trace>();
+    }
+    return cp.value().shared_trace();
+  });
   std::vector<cdmm::OsProcessSpec> specs;
   int priority = 0;
-  for (const std::string& name : names) {
-    auto cp = cdmm::CompiledProgram::FromSource(cdmm::FindWorkload(name).source);
-    if (!cp.ok()) {
-      std::cerr << name << ": " << cp.error().ToString() << "\n";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (traces[i] == nullptr) {
       return 1;
     }
-    programs.push_back(std::make_unique<cdmm::CompiledProgram>(std::move(cp).value()));
     // Later jobs get higher priority so the swapper has victims to consider.
-    specs.push_back(cdmm::OsProcessSpec{name, &programs.back()->trace(), priority++});
+    specs.push_back(cdmm::OsProcessSpec{names[i], traces[i].get(), priority++});
   }
 
   cdmm::OsOptions options;
   options.total_frames = frames;
 
   std::cout << "Job mix {" << cdmm::Join(names, ", ") << "} on " << frames << " frames\n\n";
-  for (bool use_cd : {true, false}) {
+  std::vector<std::string> sections = sched.Map<std::string>(2, [&](size_t i) {
+    bool use_cd = i == 0;
     cdmm::OsRunResult r = use_cd ? cdmm::RunMultiprogrammedCd(specs, options)
                                  : cdmm::RunEqualPartitionLru(specs, options);
-    std::cout << (use_cd ? "--- CD memory manager (Figure 6)" : "--- static equal-partition LRU")
-              << " ---\n";
+    std::ostringstream out;
+    out << (use_cd ? "--- CD memory manager (Figure 6)" : "--- static equal-partition LRU")
+        << " ---\n";
     cdmm::TextTable table(
         {"Process", "refs", "PF", "mean frames", "finished at", "swapped", "suspended"});
     for (const cdmm::OsProcessStats& p : r.processes) {
@@ -59,12 +76,16 @@ int main(int argc, char** argv) {
                     cdmm::FormatFixed(p.mean_held, 1), cdmm::StrCat(p.finished_at),
                     cdmm::StrCat(p.swapped_out), cdmm::StrCat(p.suspensions)});
     }
-    table.Print(std::cout);
-    std::cout << "makespan " << r.total_time << ", total faults " << r.total_faults
-              << ", mean pool use " << cdmm::FormatFixed(r.mean_pool_used, 1) << "/" << frames
-              << " frames, CPU utilisation "
-              << cdmm::FormatFixed(r.cpu_utilisation * 100.0, 1) << "%, swaps " << r.swaps
-              << "\n\n";
+    table.Print(out);
+    out << "makespan " << r.total_time << ", total faults " << r.total_faults
+        << ", mean pool use " << cdmm::FormatFixed(r.mean_pool_used, 1) << "/" << frames
+        << " frames, CPU utilisation "
+        << cdmm::FormatFixed(r.cpu_utilisation * 100.0, 1) << "%, swaps " << r.swaps
+        << "\n\n";
+    return out.str();
+  });
+  for (const std::string& s : sections) {
+    std::cout << s;
   }
   return 0;
 }

@@ -3,10 +3,17 @@
 // directive-selection level) and prints the LRU and WS parameter sweeps as
 // fault/memory curves.
 //
-// Usage: policy_comparison [WORKLOAD]   (default: HWSCRT)
+// Usage: policy_comparison [--jobs N] [WORKLOAD]   (default: HWSCRT, all cores)
+//
+// The twelve policy runs are independent tasks over the shared immutable
+// trace, and the LRU/WS sweeps go through the parallel SweepScheduler; the
+// printed tables are identical at every thread count.
+#include <functional>
 #include <iostream>
 
 #include "src/cdmm/pipeline.h"
+#include "src/exec/flags.h"
+#include "src/exec/sweep_scheduler.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/vm/cd_policy.h"
@@ -18,6 +25,9 @@
 #include "src/workloads/workloads.h"
 
 int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::ThreadPool pool(jobs);
+  cdmm::SweepScheduler sched(&pool);
   std::string name = argc > 1 ? argv[1] : "HWSCRT";
   const cdmm::Workload& workload = cdmm::FindWorkload(name);
   auto compiled = cdmm::CompiledProgram::FromSource(workload.source);
@@ -27,39 +37,50 @@ int main(int argc, char** argv) {
   }
   const cdmm::CompiledProgram& cp = compiled.value();
   const cdmm::Trace& full = cp.trace();
-  cdmm::Trace refs = full.ReferencesOnly();
+  std::shared_ptr<const cdmm::Trace> refs = cp.shared_references();
   uint32_t v = full.virtual_pages();
 
-  std::cout << "Workload " << name << ": V=" << v << " pages, R=" << refs.reference_count()
+  std::cout << "Workload " << name << ": V=" << v << " pages, R=" << refs->reference_count()
             << " references\n\n";
 
   cdmm::TextTable table({"Policy", "PF", "MEM", "ST x1e6", "max resident"});
-  auto add = [&](const cdmm::SimResult& r) {
-    table.AddRow({r.policy, cdmm::StrCat(r.faults), cdmm::FormatFixed(r.mean_memory, 2),
-                  cdmm::FormatMillions(r.space_time), cdmm::StrCat(r.max_resident)});
-  };
   uint32_t mid = std::max<uint32_t>(v / 4, 4);
-  add(cdmm::SimulateFixed(refs, mid, cdmm::Replacement::kLru));
-  add(cdmm::SimulateFixed(refs, mid, cdmm::Replacement::kFifo));
-  add(cdmm::SimulateFixed(refs, mid, cdmm::Replacement::kOpt));
-  add(cdmm::SimulateWs(refs, 2000));
-  add(cdmm::SimulateSampledWs(refs, {.sample_interval = 2000, .window_samples = 1}));
-  add(cdmm::SimulateVsws(refs, {.min_interval = 500, .max_interval = 4000, .fault_threshold = 8}));
-  add(cdmm::SimulatePff(refs, 2000));
-  add(cdmm::SimulateDampedWs(refs, {.tau = 2000, .release_interval = 64}));
-  add(cdmm::SimulateVmin(refs));  // the variable-space optimum, for reference
+  std::vector<std::function<cdmm::SimResult()>> sims = {
+      [&] { return cdmm::SimulateFixed(*refs, mid, cdmm::Replacement::kLru); },
+      [&] { return cdmm::SimulateFixed(*refs, mid, cdmm::Replacement::kFifo); },
+      [&] { return cdmm::SimulateFixed(*refs, mid, cdmm::Replacement::kOpt); },
+      [&] { return cdmm::SimulateWs(*refs, 2000); },
+      [&] {
+        return cdmm::SimulateSampledWs(*refs,
+                                       {.sample_interval = 2000, .window_samples = 1});
+      },
+      [&] {
+        return cdmm::SimulateVsws(
+            *refs, {.min_interval = 500, .max_interval = 4000, .fault_threshold = 8});
+      },
+      [&] { return cdmm::SimulatePff(*refs, 2000); },
+      [&] { return cdmm::SimulateDampedWs(*refs, {.tau = 2000, .release_interval = 64}); },
+      [&] { return cdmm::SimulateVmin(*refs); },  // the variable-space optimum
+  };
   for (auto sel : {cdmm::DirectiveSelection::kOutermost, cdmm::DirectiveSelection::kLevelCap,
                    cdmm::DirectiveSelection::kInnermost}) {
-    cdmm::CdOptions options;
-    options.selection = sel;
-    options.level_cap = 2;
-    add(cdmm::SimulateCd(full, options));
+    sims.push_back([&full, sel] {
+      cdmm::CdOptions options;
+      options.selection = sel;
+      options.level_cap = 2;
+      return cdmm::SimulateCd(full, options);
+    });
+  }
+  for (const cdmm::SimResult& r :
+       sched.Map<cdmm::SimResult>(sims.size(), [&](size_t i) { return sims[i](); })) {
+    table.AddRow({r.policy, cdmm::StrCat(r.faults), cdmm::FormatFixed(r.mean_memory, 2),
+                  cdmm::FormatMillions(r.space_time), cdmm::StrCat(r.max_resident)});
   }
   table.Print(std::cout);
 
   std::cout << "\nLRU fault curve (faults vs partition size):\n";
   cdmm::TextTable lru_curve({"m", "PF", "ST x1e6"});
-  auto lru = cdmm::LruSweep(refs, v);
+  auto lru = sched.Lru(refs, v);
   for (uint32_t m = 1; m <= v; m = m < 8 ? m + 1 : m * 2) {
     const cdmm::SweepPoint& p = lru[m - 1];
     lru_curve.AddRow({cdmm::StrCat(m), cdmm::StrCat(p.faults), cdmm::FormatMillions(p.space_time)});
@@ -69,7 +90,7 @@ int main(int argc, char** argv) {
   std::cout << "\nWS fault curve (faults vs window):\n";
   cdmm::TextTable ws_curve({"tau", "PF", "mean WS", "ST x1e6"});
   for (const cdmm::SweepPoint& p :
-       cdmm::WsSweep(refs, cdmm::DefaultTauGrid(refs.reference_count(), 4))) {
+       sched.Ws(refs, cdmm::DefaultTauGrid(refs->reference_count(), 4))) {
     ws_curve.AddRow({cdmm::StrCat(static_cast<uint64_t>(p.parameter)), cdmm::StrCat(p.faults),
                      cdmm::FormatFixed(p.mean_memory, 2), cdmm::FormatMillions(p.space_time)});
   }

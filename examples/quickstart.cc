@@ -5,10 +5,15 @@
 //          (Algorithms 1 & 2) → reference trace → policy simulation.
 //
 // Prints the hierarchical locality report (Figure 1 style), the instrumented
-// listing (Figure 5c style), and a CD vs LRU vs WS comparison.
+// listing (Figure 5c style), and a CD vs LRU vs WS comparison. The five
+// policy simulations run as parallel tasks over the shared trace (--jobs N,
+// default all cores); rows print in the fixed policy order regardless.
+#include <functional>
 #include <iostream>
 
 #include "src/cdmm/pipeline.h"
+#include "src/exec/flags.h"
+#include "src/exec/sweep_scheduler.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/vm/cd_policy.h"
@@ -42,7 +47,10 @@ constexpr char kFigure5[] = R"(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::ThreadPool pool(jobs);
+  cdmm::SweepScheduler sched(&pool);
   auto compiled = cdmm::CompiledProgram::FromSource(kFigure5);
   if (!compiled.ok()) {
     std::cerr << "compile error: " << compiled.error().ToString() << "\n";
@@ -65,20 +73,27 @@ int main() {
 
   std::cout << "=== Policies (fault service = 2000 references) ===\n";
   cdmm::TextTable table({"Policy", "PF", "MEM", "ST x1e6"});
-  auto add = [&](const cdmm::SimResult& r) {
+  std::shared_ptr<const cdmm::Trace> refs = cp.shared_references();
+  const std::vector<std::function<cdmm::SimResult()>> sims = {
+      [&] {
+        cdmm::CdOptions outer;
+        outer.selection = cdmm::DirectiveSelection::kOutermost;
+        return cdmm::SimulateCd(trace, outer);
+      },
+      [&] {
+        cdmm::CdOptions inner;
+        inner.selection = cdmm::DirectiveSelection::kInnermost;
+        return cdmm::SimulateCd(trace, inner);
+      },
+      [&] { return cdmm::SimulateFixed(*refs, 8, cdmm::Replacement::kLru); },
+      [&] { return cdmm::SimulateFixed(*refs, 8, cdmm::Replacement::kOpt); },
+      [&] { return cdmm::SimulateWs(*refs, 1000); },
+  };
+  for (const cdmm::SimResult& r :
+       sched.Map<cdmm::SimResult>(sims.size(), [&](size_t i) { return sims[i](); })) {
     table.AddRow({r.policy, cdmm::StrCat(r.faults), cdmm::FormatFixed(r.mean_memory, 2),
                   cdmm::FormatMillions(r.space_time)});
-  };
-  cdmm::CdOptions outer;
-  outer.selection = cdmm::DirectiveSelection::kOutermost;
-  add(cdmm::SimulateCd(trace, outer));
-  cdmm::CdOptions inner;
-  inner.selection = cdmm::DirectiveSelection::kInnermost;
-  add(cdmm::SimulateCd(trace, inner));
-  cdmm::Trace refs = trace.ReferencesOnly();
-  add(cdmm::SimulateFixed(refs, 8, cdmm::Replacement::kLru));
-  add(cdmm::SimulateFixed(refs, 8, cdmm::Replacement::kOpt));
-  add(cdmm::SimulateWs(refs, 1000));
+  }
   table.Print(std::cout);
   return 0;
 }

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <set>
+#include <utility>
 
 #include "src/support/check.h"
 
@@ -16,19 +19,32 @@ double Pct(double other, double cd) {
 
 }  // namespace
 
-ExperimentRunner::ExperimentRunner(SimOptions sim, PipelineOptions pipeline)
-    : sim_(sim), pipeline_(pipeline) {}
+ExperimentRunner::ExperimentRunner(SimOptions sim, PipelineOptions pipeline, ThreadPool* pool)
+    : sim_(sim), pipeline_(pipeline), scheduler_(pool) {}
+
+void ExperimentRunner::Prefetch(const std::vector<WorkloadVariant>& variants) {
+  // One task per CD run and per curve; the LRU and WS tasks of a workload
+  // race to compile it, which the compute-once memo resolves to a single
+  // compilation the loser waits on.
+  std::vector<std::function<void()>> tasks;
+  std::set<std::string> seen;
+  for (const WorkloadVariant& variant : variants) {
+    if (seen.insert(variant.workload).second) {
+      const std::string workload = variant.workload;
+      tasks.push_back([this, workload] { LruCurve(workload); });
+      tasks.push_back([this, workload] { WsCurve(workload); });
+    }
+    tasks.push_back([this, variant] { RunCd(variant); });
+  }
+  ParallelFor(scheduler_.pool(), tasks.size(), [&](size_t i) { tasks[i](); });
+}
 
 const CompiledProgram& ExperimentRunner::compiled(const std::string& workload) {
-  auto it = compiled_.find(workload);
-  if (it == compiled_.end()) {
+  return compiled_.GetOrCompute(workload, [&] {
     auto cp = CompiledProgram::FromSource(FindWorkload(workload).source, pipeline_);
     CDMM_CHECK_MSG(cp.ok(), workload << ": " << cp.error().ToString());
-    it = compiled_
-             .emplace(workload, std::make_unique<CompiledProgram>(std::move(cp).value()))
-             .first;
-  }
-  return *it->second;
+    return std::move(cp).value();
+  });
 }
 
 CdOptions ExperimentRunner::MakeCdOptions(const WorkloadVariant& variant) const {
@@ -42,45 +58,28 @@ CdOptions ExperimentRunner::MakeCdOptions(const WorkloadVariant& variant) const 
 }
 
 const SimResult& ExperimentRunner::RunCd(const WorkloadVariant& variant) {
-  auto it = cd_results_.find(variant.variant_name);
-  if (it == cd_results_.end()) {
+  return cd_results_.GetOrCompute(variant.variant_name, [&] {
     const CompiledProgram& cp = compiled(variant.workload);
     SimResult r = SimulateCd(cp.trace(), MakeCdOptions(variant));
     r.policy = variant.variant_name + " " + r.policy;
-    it = cd_results_.emplace(variant.variant_name, std::move(r)).first;
-  }
-  return it->second;
+    return r;
+  });
 }
 
 const std::vector<SweepPoint>& ExperimentRunner::LruCurve(const std::string& workload) {
-  auto it = lru_curves_.find(workload);
-  if (it == lru_curves_.end()) {
+  return lru_curves_.GetOrCompute(workload, [&] {
     const CompiledProgram& cp = compiled(workload);
-    auto view = reference_views_.find(workload);
-    if (view == reference_views_.end()) {
-      view = reference_views_.emplace(workload, cp.trace().ReferencesOnly()).first;
-    }
-    it = lru_curves_
-             .emplace(workload, LruSweep(view->second, cp.virtual_pages(), sim_))
-             .first;
-  }
-  return it->second;
+    return scheduler_.Lru(cp.shared_references(), cp.virtual_pages(), sim_);
+  });
 }
 
 const std::vector<SweepPoint>& ExperimentRunner::WsCurve(const std::string& workload) {
-  auto it = ws_curves_.find(workload);
-  if (it == ws_curves_.end()) {
+  return ws_curves_.GetOrCompute(workload, [&] {
     const CompiledProgram& cp = compiled(workload);
-    auto view = reference_views_.find(workload);
-    if (view == reference_views_.end()) {
-      view = reference_views_.emplace(workload, cp.trace().ReferencesOnly()).first;
-    }
-    uint64_t max_tau = std::max<uint64_t>(view->second.reference_count(), 1);
-    it = ws_curves_
-             .emplace(workload, WsSweep(view->second, DefaultTauGrid(max_tau, 12), sim_))
-             .first;
-  }
-  return it->second;
+    std::shared_ptr<const Trace> refs = cp.shared_references();
+    uint64_t max_tau = std::max<uint64_t>(refs->reference_count(), 1);
+    return scheduler_.Ws(std::move(refs), DefaultTauGrid(max_tau, 12), sim_);
+  });
 }
 
 ExperimentRunner::MinStRow ExperimentRunner::MinStComparison(const WorkloadVariant& variant) {

@@ -4,15 +4,22 @@
 //   %MEM = (MEM_other - MEM_CD) / MEM_CD * 100
 //   %ST  = (ST_other  - ST_CD)  / ST_CD  * 100
 //   ΔPF  =  PF_other  - PF_CD
+//
+// With a ThreadPool the runner becomes a parallel sweep campaign: Prefetch
+// fans the (workload × policy × parameter) grid out over the pool, every
+// concurrent simulation reading one shared immutable trace per workload.
+// All caches are thread-safe compute-once memos, results are keyed (never
+// ordered by completion), and every accessor returns values bit-identical
+// to a serial run.
 #ifndef CDMM_SRC_CDMM_EXPERIMENTS_H_
 #define CDMM_SRC_CDMM_EXPERIMENTS_H_
 
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/cdmm/pipeline.h"
+#include "src/exec/memo.h"
+#include "src/exec/sweep_scheduler.h"
 #include "src/vm/cd_policy.h"
 #include "src/vm/fixed_alloc.h"
 #include "src/vm/working_set.h"
@@ -22,7 +29,16 @@ namespace cdmm {
 
 class ExperimentRunner {
  public:
-  explicit ExperimentRunner(SimOptions sim = {}, PipelineOptions pipeline = {});
+  // `pool` may be null (fully serial) or shared across runners; the runner
+  // does not own it.
+  explicit ExperimentRunner(SimOptions sim = {}, PipelineOptions pipeline = {},
+                            ThreadPool* pool = nullptr);
+
+  // Warms every cache the given variants will hit — CD runs, LRU curves, WS
+  // curves — as one parallel sweep over the pool. Calling the accessors
+  // afterwards (e.g. from a serial table-printing loop) only reads memoized
+  // results, so table output is byte-identical to a run without Prefetch.
+  void Prefetch(const std::vector<WorkloadVariant>& variants);
 
   // Compiled workload (cached by name).
   const CompiledProgram& compiled(const std::string& workload);
@@ -78,17 +94,18 @@ class ExperimentRunner {
   EqualPfRow EqualFaultComparison(const WorkloadVariant& variant);
 
   const SimOptions& sim_options() const { return sim_; }
+  const SweepScheduler& scheduler() const { return scheduler_; }
 
  private:
   CdOptions MakeCdOptions(const WorkloadVariant& variant) const;
 
   SimOptions sim_;
   PipelineOptions pipeline_;
-  std::map<std::string, std::unique_ptr<CompiledProgram>> compiled_;
-  std::map<std::string, Trace> reference_views_;  // directive-free traces
-  std::map<std::string, SimResult> cd_results_;
-  std::map<std::string, std::vector<SweepPoint>> lru_curves_;
-  std::map<std::string, std::vector<SweepPoint>> ws_curves_;
+  SweepScheduler scheduler_;
+  Memo<std::string, CompiledProgram> compiled_;
+  Memo<std::string, SimResult> cd_results_;
+  Memo<std::string, std::vector<SweepPoint>> lru_curves_;
+  Memo<std::string, std::vector<SweepPoint>> ws_curves_;
 };
 
 }  // namespace cdmm

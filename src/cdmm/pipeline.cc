@@ -19,14 +19,21 @@ Result<CompiledProgram> CompiledProgram::FromSource(std::string_view source,
   return cp;
 }
 
-const Trace& CompiledProgram::trace() const {
-  if (trace_ == nullptr) {
+std::shared_ptr<const Trace> CompiledProgram::shared_trace() const {
+  std::call_once(lazy_->full_once, [this] {
     InterpOptions iopt;
     iopt.geometry = options_.locality.geometry;
     iopt.emit_loop_markers = options_.emit_loop_markers;
-    trace_ = std::make_unique<Trace>(GenerateTrace(*program_, *tree_, &plan_, iopt));
-  }
-  return *trace_;
+    lazy_->full = std::make_shared<const Trace>(GenerateTrace(*program_, *tree_, &plan_, iopt));
+  });
+  return lazy_->full;
+}
+
+std::shared_ptr<const Trace> CompiledProgram::shared_references() const {
+  std::call_once(lazy_->refs_once, [this] {
+    lazy_->refs = std::make_shared<const Trace>(shared_trace()->ReferencesOnly());
+  });
+  return lazy_->refs;
 }
 
 std::string CompiledProgram::Listing(bool compact) const {

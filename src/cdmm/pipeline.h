@@ -6,6 +6,7 @@
 #define CDMM_SRC_CDMM_PIPELINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -39,8 +40,17 @@ class CompiledProgram {
   const DirectivePlan& plan() const { return plan_; }
   const PipelineOptions& options() const { return options_; }
 
-  // The directive-bearing trace (generated once, lazily, then cached).
-  const Trace& trace() const;
+  // The directive-bearing trace: generated once (lazily, thread-safe), then
+  // shared immutably. shared_trace() hands out the owning pointer so
+  // concurrent policy simulations — including tasks that outlive this call's
+  // scope — read the one memoized copy instead of re-deriving it.
+  const Trace& trace() const { return *shared_trace(); }
+  std::shared_ptr<const Trace> shared_trace() const;
+
+  // The directive-free view (what LRU/WS/OPT/... see), memoized the same
+  // way; replaces per-caller trace().ReferencesOnly() copies.
+  const Trace& references() const { return *shared_references(); }
+  std::shared_ptr<const Trace> shared_references() const;
 
   // Convenience: total virtual pages of the program.
   uint32_t virtual_pages() const { return trace().virtual_pages(); }
@@ -51,12 +61,22 @@ class CompiledProgram {
  private:
   CompiledProgram() = default;
 
+  // Lazily generated traces. Heap-held so a CompiledProgram stays movable
+  // (std::once_flag is not) and so shared_ptr copies handed out before a
+  // move remain valid.
+  struct LazyTraces {
+    std::once_flag full_once;
+    std::shared_ptr<const Trace> full;
+    std::once_flag refs_once;
+    std::shared_ptr<const Trace> refs;
+  };
+
   PipelineOptions options_;
   std::unique_ptr<Program> program_;
   std::unique_ptr<LoopTree> tree_;
   std::unique_ptr<LocalityAnalysis> locality_;
   DirectivePlan plan_;
-  mutable std::unique_ptr<Trace> trace_;  // lazy
+  std::shared_ptr<LazyTraces> lazy_ = std::make_shared<LazyTraces>();
 };
 
 }  // namespace cdmm

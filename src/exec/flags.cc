@@ -1,0 +1,51 @@
+#include "src/exec/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/exec/thread_pool.h"
+
+namespace cdmm {
+namespace {
+
+unsigned ResolveJobs(const std::string& value) {
+  if (value == "auto") {
+    return ThreadPool::DefaultConcurrency();
+  }
+  char* end = nullptr;
+  unsigned long n = std::strtoul(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || n > 1u << 20) {
+    std::fprintf(stderr, "bad --jobs value '%s' (want a count, 0, or 'auto')\n",
+                 value.c_str());
+    std::exit(2);
+  }
+  return n == 0 ? ThreadPool::DefaultConcurrency() : static_cast<unsigned>(n);
+}
+
+}  // namespace
+
+unsigned ParseJobsFlag(int* argc, char** argv, unsigned default_jobs) {
+  unsigned jobs =
+      default_jobs == 0 ? ThreadPool::DefaultConcurrency() : default_jobs;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= *argc) {
+        std::fprintf(stderr, "--jobs needs an argument\n");
+        std::exit(2);
+      }
+      jobs = ResolveJobs(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = ResolveJobs(argv[i] + 7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return jobs;
+}
+
+}  // namespace cdmm

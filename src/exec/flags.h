@@ -1,0 +1,18 @@
+// The shared --jobs flag of the benches, examples and cdmmc. Parsing strips
+// the flag from argv so binaries with their own argument handling (including
+// google-benchmark's Initialize) never see it.
+#ifndef CDMM_SRC_EXEC_FLAGS_H_
+#define CDMM_SRC_EXEC_FLAGS_H_
+
+namespace cdmm {
+
+// Extracts "--jobs N" or "--jobs=N" from argv (mutating argc/argv) and
+// returns the requested worker count: N >= 1 as given, N == 0 or "auto" for
+// the hardware concurrency. Without the flag, returns `default_jobs`
+// resolved the same way (so the default 0 means "all cores"). Exits with a
+// usage error on a malformed value.
+unsigned ParseJobsFlag(int* argc, char** argv, unsigned default_jobs = 0);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_EXEC_FLAGS_H_

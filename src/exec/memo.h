@@ -1,0 +1,52 @@
+// Thread-safe compute-once memoization keyed by value. Concurrent callers of
+// GetOrCompute for the same key run the computation exactly once (the losers
+// block until it finishes); different keys compute concurrently. Returned
+// references stay valid for the lifetime of the Memo — slots are
+// heap-allocated, so map growth never moves a cached value. A computation
+// that throws leaves the slot empty and retryable.
+#ifndef CDMM_SRC_EXEC_MEMO_H_
+#define CDMM_SRC_EXEC_MEMO_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+namespace cdmm {
+
+template <typename K, typename V>
+class Memo {
+ public:
+  const V& GetOrCompute(const K& key, const std::function<V()>& compute) {
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::shared_ptr<Slot>& entry = slots_[key];
+      if (entry == nullptr) {
+        entry = std::make_shared<Slot>();
+      }
+      slot = entry;
+    }
+    std::call_once(slot->once, [&] { slot->value.emplace(compute()); });
+    return *slot->value;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+  }
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    std::optional<V> value;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<K, std::shared_ptr<Slot>> slots_;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_EXEC_MEMO_H_

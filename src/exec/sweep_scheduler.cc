@@ -1,0 +1,37 @@
+#include "src/exec/sweep_scheduler.h"
+
+#include <utility>
+
+#include "src/support/check.h"
+#include "src/vm/working_set.h"
+
+namespace cdmm {
+
+std::vector<SweepPoint> SweepScheduler::Lru(std::shared_ptr<const Trace> refs,
+                                            uint32_t max_frames,
+                                            const SimOptions& options) const {
+  CDMM_CHECK(refs != nullptr);
+  return LruSweep(*refs, max_frames, options);
+}
+
+std::vector<SweepPoint> SweepScheduler::Ws(std::shared_ptr<const Trace> refs,
+                                           std::vector<uint64_t> taus,
+                                           const SimOptions& options) const {
+  CDMM_CHECK(refs != nullptr);
+  std::vector<SweepPoint> points(taus.size());
+  // One task per window; every task reads the same immutable trace. The
+  // point construction matches the serial WsSweep field-for-field.
+  ParallelFor(pool_, taus.size(), [&](size_t i) {
+    SimResult r = SimulateWs(*refs, taus[i], options);
+    SweepPoint p;
+    p.parameter = static_cast<double>(taus[i]);
+    p.faults = r.faults;
+    p.elapsed = r.elapsed;
+    p.mean_memory = r.mean_memory;
+    p.space_time = r.space_time;
+    points[i] = p;
+  });
+  return points;
+}
+
+}  // namespace cdmm

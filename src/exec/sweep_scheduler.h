@@ -1,0 +1,52 @@
+// The parallel sweep engine. A sweep is an ordered list of independent
+// simulation points over one shared immutable trace; the scheduler fans the
+// points out over a ThreadPool and returns results ordered by sweep index —
+// never by completion order — so parallel runs are bit-identical to serial
+// ones. Traces travel as std::shared_ptr<const Trace>: one memoized copy per
+// workload is read concurrently by every policy simulation, and the
+// shared_ptr keeps it alive for tasks that outlive the submitting scope.
+#ifndef CDMM_SRC_EXEC_SWEEP_SCHEDULER_H_
+#define CDMM_SRC_EXEC_SWEEP_SCHEDULER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/exec/thread_pool.h"
+#include "src/trace/trace.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+class SweepScheduler {
+ public:
+  // A null pool runs every sweep serially (useful as the --jobs 1 baseline).
+  explicit SweepScheduler(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  ThreadPool* pool() const { return pool_; }
+
+  // results[i] = fn(i), computed concurrently, returned in index order.
+  // R must be default-constructible; fn must be safe to call concurrently.
+  template <typename R>
+  std::vector<R> Map(size_t n, const std::function<R(size_t)>& fn) const {
+    std::vector<R> results(n);
+    ParallelFor(pool_, n, [&](size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+  // The paper's two parameter sweeps, bit-identical to the serial
+  // LruSweep/WsSweep. The LRU curve comes out of one stack-distance pass
+  // (already whole-curve-in-one-scan, so it stays a single task); the WS
+  // sweep simulates every window independently, one task per τ.
+  std::vector<SweepPoint> Lru(std::shared_ptr<const Trace> refs, uint32_t max_frames,
+                              const SimOptions& options = {}) const;
+  std::vector<SweepPoint> Ws(std::shared_ptr<const Trace> refs, std::vector<uint64_t> taus,
+                             const SimOptions& options = {}) const;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_EXEC_SWEEP_SCHEDULER_H_

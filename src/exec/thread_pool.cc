@@ -1,0 +1,207 @@
+#include "src/exec/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace cdmm {
+
+namespace {
+
+// Identifies the pool (and worker slot) the current thread belongs to, so
+// Post can route nested tasks to the worker's own deque.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local unsigned tls_worker = 0;
+
+}  // namespace
+
+unsigned ThreadPool::DefaultConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = DefaultConcurrency();
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_.store(true);
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+  CDMM_CHECK_MSG(queued_.load() == 0, "thread pool destroyed with tasks pending");
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  CDMM_CHECK(task != nullptr);
+  // queued_ goes up before the task becomes visible so that a worker
+  // deciding to sleep under queue_mutex_ either sees the count and rescans,
+  // or is already waiting and catches the notify below.
+  queued_.fetch_add(1);
+  if (tls_pool == this) {
+    {
+      Worker& own = *workers_[tls_worker];
+      std::lock_guard<std::mutex> lock(own.mutex);
+      own.deque.push_back(std::move(task));
+    }
+    // Empty critical section: a peer that read queued_ == 0 is either fully
+    // asleep (the notify below reaches it) or still holds queue_mutex_ (it
+    // will re-read queued_ != 0 before sleeping). Without this fence the
+    // notify could fall into the gap between its check and its sleep.
+    { std::lock_guard<std::mutex> lock(queue_mutex_); }
+  } else {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    injected_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(unsigned self) {
+  std::function<void()> task;
+  {
+    // Own deque, newest first.
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.deque.empty()) {
+      task = std::move(own.deque.back());
+      own.deque.pop_back();
+    }
+  }
+  if (task == nullptr) {
+    // Injection queue, oldest first.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!injected_.empty()) {
+      task = std::move(injected_.front());
+      injected_.pop_front();
+    }
+  }
+  if (task == nullptr) {
+    // Steal the oldest task of a peer, scanning from the next slot so the
+    // victim choice is spread over the ring rather than biased to worker 0.
+    for (size_t k = 1; k < workers_.size() && task == nullptr; ++k) {
+      Worker& victim = *workers_[(self + k) % workers_.size()];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.deque.empty()) {
+        task = std::move(victim.deque.front());
+        victim.deque.pop_front();
+      }
+    }
+  }
+  if (task == nullptr) {
+    return false;
+  }
+  queued_.fetch_sub(1);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(unsigned index) {
+  tls_pool = this;
+  tls_worker = index;
+  for (;;) {
+    if (RunOneTask(index)) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (queued_.load() != 0) {
+      continue;  // a task appeared between the scan and the lock — rescan
+    }
+    if (stopping_.load()) {
+      break;
+    }
+    wake_.wait(lock, [this] { return queued_.load() != 0 || stopping_.load(); });
+  }
+}
+
+namespace {
+
+// Shared state of one ParallelFor. Helpers hold it via shared_ptr: a helper
+// that only gets scheduled after the call returned finds every iteration
+// claimed and exits without touching `body` (which dies with the caller).
+struct ParallelForState {
+  explicit ParallelForState(size_t size, const std::function<void(size_t)>& fn)
+      : n(size), body(&fn) {}
+
+  const size_t n;
+  const std::function<void(size_t)>* body;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex mutex;
+  std::condition_variable idle;
+  int active = 0;                // participants currently inside Drain
+  std::exception_ptr error;      // first failure wins
+
+  // Claims and runs iterations until none remain (or a failure aborted).
+  void Drain() {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= n || abort.load()) {
+        return;
+      }
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (error == nullptr) {
+          error = std::current_exception();
+        }
+        abort.store(true);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  if (pool == nullptr || pool->size() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>(n, body);
+  size_t helpers = std::min<size_t>(pool->size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Post([state] {
+      {
+        // Register before claiming: the caller's completion wait below only
+        // returns once every participant that might run `body` has left.
+        std::lock_guard<std::mutex> lock(state->mutex);
+        ++state->active;
+      }
+      state->Drain();
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->active == 0) {
+        state->idle.notify_all();
+      }
+    });
+  }
+
+  state->Drain();  // the caller participates — progress needs no free worker
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->idle.wait(lock, [&] { return state->active == 0; });
+  if (state->error != nullptr) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace cdmm

@@ -1,0 +1,90 @@
+// A small work-stealing thread pool for the sweep engine. Each worker owns a
+// deque: tasks posted from a worker go to its own deque (LIFO for cache
+// locality), external posts go to a shared injection queue, and idle workers
+// steal from the opposite end (FIFO) of their peers' deques. Destruction
+// drains: every task posted before (or, transitively, from) the drain
+// completes before the destructor returns.
+//
+// ParallelFor is the deadlock-free fan-out primitive on top of the pool: the
+// caller claims iterations from a shared atomic counter alongside up to
+// pool-size helper tasks, so it makes progress even when every worker is
+// busy — which makes nested ParallelFor (a sweep task fanning out its own
+// sub-sweep) safe at any depth.
+#ifndef CDMM_SRC_EXEC_THREAD_POOL_H_
+#define CDMM_SRC_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cdmm {
+
+class ThreadPool {
+ public:
+  // `threads` == 0 picks DefaultConcurrency().
+  explicit ThreadPool(unsigned threads = 0);
+
+  // Drains every pending task (including tasks posted by running tasks),
+  // then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Fire-and-forget. Safe to call from inside a running task.
+  void Post(std::function<void()> task);
+
+  // Post with a future; exceptions thrown by `fn` surface on get().
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
+  std::future<R> Submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Post([task] { (*task)(); });
+    return future;
+  }
+
+  // std::thread::hardware_concurrency() with a floor of 1.
+  static unsigned DefaultConcurrency();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> deque;
+  };
+
+  void WorkerLoop(unsigned index);
+  // Pops one task (own deque, then the injection queue, then a steal) and
+  // runs it. Returns false when no task was found anywhere.
+  bool RunOneTask(unsigned self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex queue_mutex_;                       // injection queue + sleeping
+  std::deque<std::function<void()>> injected_;   // guarded by queue_mutex_
+  std::condition_variable wake_;
+  std::atomic<uint64_t> queued_{0};  // tasks sitting in any queue or deque
+  std::atomic<bool> stopping_{false};
+};
+
+// Runs body(i) for every i in [0, n), distributing iterations over the
+// pool's workers while the calling thread participates. Returns when every
+// iteration has completed. Iterations must be independent; the assignment of
+// iterations to threads is nondeterministic, so deterministic callers write
+// results by index. If any iteration throws, remaining unclaimed iterations
+// are skipped and the first exception is rethrown here. A null or
+// single-threaded pool degrades to a plain serial loop.
+void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& body);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_EXEC_THREAD_POOL_H_

@@ -41,6 +41,35 @@ TraceStats Trace::ComputeStats() const {
   return stats;
 }
 
+uint64_t Trace::Fingerprint() const {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  auto mix = [&h](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (value >> (byte * 8)) & 0xFF;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  mix(virtual_pages_);
+  mix(events_.size());
+  for (const TraceEvent& e : events_) {
+    mix((static_cast<uint64_t>(e.kind) << 32) | e.value);
+  }
+  mix(directives_.size());
+  for (const DirectiveRecord& d : directives_) {
+    mix((static_cast<uint64_t>(d.kind) << 32) | d.loop_id);
+    mix(d.requests.size());
+    for (const AllocateRequest& r : d.requests) {
+      mix((static_cast<uint64_t>(r.priority) << 32) | r.pages);
+    }
+    mix(d.lock_priority);
+    mix(d.pages.size());
+    for (PageId p : d.pages) {
+      mix(p);
+    }
+  }
+  return h;
+}
+
 Trace Trace::ReferencesOnly() const {
   Trace out(name_);
   out.set_virtual_pages(virtual_pages_);

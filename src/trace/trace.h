@@ -115,6 +115,12 @@ class Trace {
   // Full scan computing distinct pages and per-page frequencies.
   TraceStats ComputeStats() const;
 
+  // 64-bit FNV-1a over the virtual size, every event and every directive
+  // payload. Any change to the generated reference pattern or the inserted
+  // directives changes the fingerprint; the golden-trace regression tests
+  // pin one per workload.
+  uint64_t Fingerprint() const;
+
   // Returns a copy containing only kRef events (directive/marker-free view,
   // what LRU/WS/etc. see).
   Trace ReferencesOnly() const;

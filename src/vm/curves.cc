@@ -5,46 +5,69 @@
 
 namespace cdmm {
 
-std::vector<CurvePoint> LifetimeCurve(const Trace& trace, uint32_t max_frames,
-                                      const SimOptions& options) {
+std::vector<CurvePoint> LifetimeCurve(const std::vector<SweepPoint>& lru_sweep,
+                                      uint64_t references) {
   std::vector<CurvePoint> curve;
-  double refs = static_cast<double>(trace.reference_count());
-  for (const SweepPoint& p : LruSweep(trace, max_frames, options)) {
+  curve.reserve(lru_sweep.size());
+  double refs = static_cast<double>(references);
+  for (const SweepPoint& p : lru_sweep) {
     double g = p.faults == 0 ? refs : refs / static_cast<double>(p.faults);
     curve.push_back(CurvePoint{p.parameter, g});
   }
   return curve;
 }
 
-std::vector<CurvePoint> FaultRateCurve(const Trace& trace, uint32_t max_frames,
-                                       const SimOptions& options) {
+std::vector<CurvePoint> FaultRateCurve(const std::vector<SweepPoint>& lru_sweep,
+                                       uint64_t references) {
   std::vector<CurvePoint> curve;
-  double refs = static_cast<double>(trace.reference_count());
+  curve.reserve(lru_sweep.size());
+  double refs = static_cast<double>(references);
   CDMM_CHECK(refs > 0);
-  for (const SweepPoint& p : LruSweep(trace, max_frames, options)) {
+  for (const SweepPoint& p : lru_sweep) {
     curve.push_back(CurvePoint{p.parameter, static_cast<double>(p.faults) / refs});
   }
   return curve;
 }
 
-std::vector<CurvePoint> WsSizeCurve(const Trace& trace, const std::vector<uint64_t>& taus,
-                                    const SimOptions& options) {
+std::vector<CurvePoint> WsSizeCurve(const std::vector<SweepPoint>& ws_sweep) {
   std::vector<CurvePoint> curve;
-  for (const SweepPoint& p : WsSweep(trace, taus, options)) {
+  curve.reserve(ws_sweep.size());
+  for (const SweepPoint& p : ws_sweep) {
     curve.push_back(CurvePoint{p.parameter, p.mean_memory});
   }
   return curve;
 }
 
-std::vector<CurvePoint> WsFaultRateCurve(const Trace& trace, const std::vector<uint64_t>& taus,
-                                         const SimOptions& options) {
+std::vector<CurvePoint> WsFaultRateCurve(const std::vector<SweepPoint>& ws_sweep,
+                                         uint64_t references) {
   std::vector<CurvePoint> curve;
-  double refs = static_cast<double>(trace.reference_count());
+  curve.reserve(ws_sweep.size());
+  double refs = static_cast<double>(references);
   CDMM_CHECK(refs > 0);
-  for (const SweepPoint& p : WsSweep(trace, taus, options)) {
+  for (const SweepPoint& p : ws_sweep) {
     curve.push_back(CurvePoint{p.parameter, static_cast<double>(p.faults) / refs});
   }
   return curve;
+}
+
+std::vector<CurvePoint> LifetimeCurve(const Trace& trace, uint32_t max_frames,
+                                      const SimOptions& options) {
+  return LifetimeCurve(LruSweep(trace, max_frames, options), trace.reference_count());
+}
+
+std::vector<CurvePoint> FaultRateCurve(const Trace& trace, uint32_t max_frames,
+                                       const SimOptions& options) {
+  return FaultRateCurve(LruSweep(trace, max_frames, options), trace.reference_count());
+}
+
+std::vector<CurvePoint> WsSizeCurve(const Trace& trace, const std::vector<uint64_t>& taus,
+                                    const SimOptions& options) {
+  return WsSizeCurve(WsSweep(trace, taus, options));
+}
+
+std::vector<CurvePoint> WsFaultRateCurve(const Trace& trace, const std::vector<uint64_t>& taus,
+                                         const SimOptions& options) {
+  return WsFaultRateCurve(WsSweep(trace, taus, options), trace.reference_count());
 }
 
 uint32_t LifetimeKnee(const std::vector<CurvePoint>& lifetime) {

@@ -4,6 +4,11 @@
 // characteristic (mean working-set size and fault rate vs the window τ).
 // These are the standard instruments for locating a program's "knee", which
 // is exactly what the CD directives encode at compile time.
+//
+// Every curve is a pure transform of a parameter sweep. The sweep-taking
+// overloads let callers run the sweep once (serially or via the parallel
+// SweepScheduler) and derive any number of curves from it; the Trace-taking
+// forms are conveniences that run the sweep themselves.
 #ifndef CDMM_SRC_VM_CURVES_H_
 #define CDMM_SRC_VM_CURVES_H_
 
@@ -20,19 +25,25 @@ struct CurvePoint {
   double y = 0.0;
 };
 
-// g(m) = R / PF(m) under LRU for m = 1..max_frames.
+// g(m) = R / PF(m) from an LRU sweep; `references` is the trace length R.
+std::vector<CurvePoint> LifetimeCurve(const std::vector<SweepPoint>& lru_sweep,
+                                      uint64_t references);
+// f(m) = PF(m) / R from an LRU sweep.
+std::vector<CurvePoint> FaultRateCurve(const std::vector<SweepPoint>& lru_sweep,
+                                       uint64_t references);
+// (τ, mean WS size) from a WS sweep.
+std::vector<CurvePoint> WsSizeCurve(const std::vector<SweepPoint>& ws_sweep);
+// (τ, PF/R) from a WS sweep.
+std::vector<CurvePoint> WsFaultRateCurve(const std::vector<SweepPoint>& ws_sweep,
+                                         uint64_t references);
+
+// Convenience forms that run the underlying sweep on `trace` themselves.
 std::vector<CurvePoint> LifetimeCurve(const Trace& trace, uint32_t max_frames,
                                       const SimOptions& options = {});
-
-// f(m) = PF(m) / R under LRU.
 std::vector<CurvePoint> FaultRateCurve(const Trace& trace, uint32_t max_frames,
                                        const SimOptions& options = {});
-
-// (τ, mean WS size) over the given windows.
 std::vector<CurvePoint> WsSizeCurve(const Trace& trace, const std::vector<uint64_t>& taus,
                                     const SimOptions& options = {});
-
-// (τ, PF/R) over the given windows.
 std::vector<CurvePoint> WsFaultRateCurve(const Trace& trace, const std::vector<uint64_t>& taus,
                                          const SimOptions& options = {});
 

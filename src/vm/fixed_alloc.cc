@@ -195,15 +195,21 @@ std::vector<SweepPoint> LruSweep(const Trace& trace, uint32_t max_frames,
     ++distance_hist[std::min<uint64_t>(touch.depth, max_frames + 1)];
   }
 
-  // Suffix sums: faults(m) = cold + Σ_{d > m} hist[d].
+  // Suffix sums: faults(m) = cold + Σ_{d > m} hist[d], built in one backward
+  // pass (O(V) instead of the naive O(V²) inner loop per point).
+  std::vector<uint64_t> faults_at(max_frames + 1, 0);
+  {
+    uint64_t running = cold_faults;
+    for (uint32_t m = max_frames; m >= 1; --m) {
+      running += distance_hist[m + 1];
+      faults_at[m] = running;
+    }
+  }
   std::vector<SweepPoint> points;
   points.reserve(max_frames);
   uint64_t refs = trace.reference_count();
   for (uint32_t m = 1; m <= max_frames; ++m) {
-    uint64_t faults = cold_faults;
-    for (uint64_t d = m + 1; d < distance_hist.size(); ++d) {
-      faults += distance_hist[d];
-    }
+    uint64_t faults = faults_at[m];
     SweepPoint p;
     p.parameter = m;
     p.faults = faults;

@@ -22,12 +22,16 @@ SimResult SimulateFixed(const Trace& trace, uint32_t frames, Replacement replace
                         const SimOptions& options = {});
 
 // One point of a parameter sweep (shared by the LRU and WS sweeps).
+// Exact equality is meaningful: the determinism tests assert bit-identical
+// sweeps across thread counts.
 struct SweepPoint {
   double parameter = 0.0;   // frames for LRU, window τ for WS
   uint64_t faults = 0;
   uint64_t elapsed = 0;
   double mean_memory = 0.0;
   double space_time = 0.0;
+
+  friend bool operator==(const SweepPoint&, const SweepPoint&) = default;
 };
 
 // Computes the whole LRU curve faults(m) for m = 1..max_frames in one pass

@@ -1,0 +1,237 @@
+// Tests for the parallel sweep engine: ThreadPool semantics (exception
+// propagation, nested submission, drain-on-shutdown), compute-once memo
+// contention, --jobs flag parsing, and the core determinism property — a
+// full LRU+WS sweep produces bit-identical SweepPoint vectors serially and
+// at 1, 2, and 8 threads.
+#include "src/exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+#include "src/exec/flags.h"
+#include "src/exec/memo.h"
+#include "src/exec/sweep_scheduler.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::future<int> f = pool.Submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  std::future<int> f =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PostRunsEveryTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 1000; ++i) {
+      pool.Post([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor drains
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionDrainsOnShutdown) {
+  // Tasks that post more tasks from inside the pool; destruction must wait
+  // for the transitive closure.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.Post([&pool, &count] {
+        count.fetch_add(1, std::memory_order_relaxed);
+        pool.Post([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ShutdownUnderLoad) {
+  // Long-ish tasks still queued when the destructor runs; all must complete.
+  std::atomic<uint64_t> sum{0};
+  {
+    ThreadPool pool(8);
+    for (uint64_t i = 1; i <= 64; ++i) {
+      pool.Post([&sum, i] {
+        uint64_t local = 0;
+        for (uint64_t k = 0; k < 50000; ++k) {
+          local += (i * k) % 7;
+        }
+        sum.fetch_add(local + i, std::memory_order_relaxed);
+      });
+    }
+  }
+  uint64_t base = 0;
+  for (uint64_t i = 1; i <= 64; ++i) {
+    uint64_t local = 0;
+    for (uint64_t k = 0; k < 50000; ++k) {
+      local += (i * k) % 7;
+    }
+    base += local + i;
+  }
+  EXPECT_EQ(sum.load(), base);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  ParallelFor(&pool, hits.size(),
+              [&](size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NullPoolIsSerial) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, RethrowsException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(&pool, 100,
+                  [](size_t i) {
+                    if (i == 37) {
+                      throw std::runtime_error("bad index");
+                    }
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedFanOutDoesNotDeadlock) {
+  // Each outer iteration runs its own inner ParallelFor on the same pool —
+  // the shape Prefetch produces (WsCurve inside a prefetch task). The caller
+  // participates via the claim counter, so this completes even with every
+  // worker busy.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  ParallelFor(&pool, 8, [&](size_t) {
+    ParallelFor(&pool, 8,
+                [&](size_t) { count.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(MemoTest, ComputesOnceUnderContention) {
+  ThreadPool pool(8);
+  Memo<std::string, int> memo;
+  std::atomic<int> computes{0};
+  ParallelFor(&pool, 64, [&](size_t) {
+    const int& v = memo.GetOrCompute("key", [&] {
+      computes.fetch_add(1, std::memory_order_relaxed);
+      return 7;
+    });
+    EXPECT_EQ(v, 7);
+  });
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(memo.size(), 1u);
+}
+
+TEST(MemoTest, DistinctKeysComputeIndependently) {
+  Memo<int, int> memo;
+  EXPECT_EQ(memo.GetOrCompute(1, [] { return 10; }), 10);
+  EXPECT_EQ(memo.GetOrCompute(2, [] { return 20; }), 20);
+  EXPECT_EQ(memo.GetOrCompute(1, [] { return 99; }), 10);  // cached
+  EXPECT_EQ(memo.size(), 2u);
+}
+
+// ParseJobsFlag rewrites argv in place and null-terminates it, so the test
+// vectors carry one trailing slot for the terminator.
+std::vector<char*> MakeArgv(std::initializer_list<const char*> args) {
+  std::vector<char*> argv;
+  for (const char* a : args) {
+    argv.push_back(const_cast<char*>(a));
+  }
+  argv.push_back(nullptr);
+  return argv;
+}
+
+TEST(FlagsTest, ParseJobsStripsFlag) {
+  std::vector<char*> argv = MakeArgv({"prog", "--jobs", "3", "positional"});
+  int argc = 4;
+  unsigned jobs = ParseJobsFlag(&argc, argv.data());
+  EXPECT_EQ(jobs, 3u);
+  EXPECT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "positional");
+}
+
+TEST(FlagsTest, ParseJobsEqualsForm) {
+  std::vector<char*> argv = MakeArgv({"prog", "--jobs=5"});
+  int argc = 2;
+  EXPECT_EQ(ParseJobsFlag(&argc, argv.data()), 5u);
+  EXPECT_EQ(argc, 1);
+}
+
+TEST(FlagsTest, ParseJobsAutoAndDefault) {
+  {
+    std::vector<char*> argv = MakeArgv({"prog", "--jobs", "auto"});
+    int argc = 3;
+    EXPECT_EQ(ParseJobsFlag(&argc, argv.data()), ThreadPool::DefaultConcurrency());
+  }
+  {
+    std::vector<char*> argv = MakeArgv({"prog"});
+    int argc = 1;
+    // Absent flag with default_jobs = 0 also means all cores.
+    EXPECT_EQ(ParseJobsFlag(&argc, argv.data()), ThreadPool::DefaultConcurrency());
+  }
+}
+
+// ---- Determinism: serial sweep == scheduler sweep at 1, 2, and 8 threads.
+
+class SweepDeterminismTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SweepDeterminismTest, LruAndWsSweepsBitIdenticalAcrossThreadCounts) {
+  auto compiled = CompiledProgram::FromSource(FindWorkload(GetParam()).source);
+  ASSERT_TRUE(compiled.ok());
+  const CompiledProgram& cp = compiled.value();
+  std::shared_ptr<const Trace> refs = cp.shared_references();
+  uint32_t v = cp.virtual_pages();
+  std::vector<uint64_t> taus = DefaultTauGrid(refs->reference_count(), 8);
+
+  std::vector<SweepPoint> lru_serial = LruSweep(*refs, v);
+  std::vector<SweepPoint> ws_serial = WsSweep(*refs, taus);
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    SweepScheduler sched(&pool);
+    EXPECT_EQ(sched.Lru(refs, v), lru_serial) << threads << " threads";
+    EXPECT_EQ(sched.Ws(refs, taus), ws_serial) << threads << " threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SweepDeterminismTest,
+                         ::testing::Values("FDJAC", "HWSCRT"));
+
+TEST(SweepDeterminismTest, MapPreservesIndexOrder) {
+  ThreadPool pool(8);
+  SweepScheduler sched(&pool);
+  std::vector<int> out =
+      sched.Map<int>(100, [](size_t i) { return static_cast<int>(i) * 3; });
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(out[i], i * 3);
+  }
+}
+
+}  // namespace
+}  // namespace cdmm

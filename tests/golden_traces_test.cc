@@ -1,0 +1,135 @@
+// Golden-trace regression tests. The parallel sweep engine shares one
+// immutable reference trace per workload across every concurrent simulation,
+// so any silent change to trace generation would skew every result at once.
+// These goldens pin, for each of the paper's nine workloads: the reference
+// count R, the virtual page count V, and an FNV-1a fingerprint of the full
+// directive-bearing trace and of its references-only projection.
+//
+// If a deliberate pipeline change moves these values, regenerate them by
+// printing Trace::Fingerprint() for each workload (the failure message shows
+// the actual values in this table's format) and update EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+#include "src/trace/trace.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+struct Golden {
+  const char* name;
+  uint64_t references;       // R of the references-only trace
+  uint32_t virtual_pages;    // V
+  uint64_t full_fingerprint; // FNV-1a over the directive-bearing trace
+  uint64_t refs_fingerprint; // FNV-1a over the references-only projection
+};
+
+const Golden kGoldens[] = {
+    {"MAIN", 506920, 102, 0xa7cd5f59fe46416dull, 0x327689d2dd7bb490ull},
+    {"FDJAC", 885504, 604, 0xae9b0ad3899c3a57ull, 0x17d671262a34cb8bull},
+    {"TQL", 1360960, 66, 0x936767947e7f9de4ull, 0x5eaf4d4c98e8fe6full},
+    {"FIELD", 551424, 196, 0x37b06301acb167baull, 0xd3e97e496e98f03bull},
+    {"INIT", 163840, 544, 0xebc24f9c12622db9ull, 0x970094e9b2ca527dull},
+    {"APPROX", 982968, 193, 0x6b96578a4ff1ecc1ull, 0xb7e3aed02fa3aac7ull},
+    {"HYBRJ", 721888, 67, 0x18ebfcb98750d2c4ull, 0x15df5e6ebff400c8ull},
+    {"CONDUCT", 641104, 262, 0xc234836ece287f03ull, 0xc67e166ad6f52451ull},
+    {"HWSCRT", 288000, 69, 0xc67d307bc9661007ull, 0xa6b09ab81ff3fe83ull},
+};
+
+std::string Row(const char* name, uint64_t r, uint32_t v, uint64_t full_fp,
+                uint64_t refs_fp) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "{\"%s\", %llu, %u, 0x%016llxull, 0x%016llxull}",
+                name, static_cast<unsigned long long>(r), v,
+                static_cast<unsigned long long>(full_fp),
+                static_cast<unsigned long long>(refs_fp));
+  return buf;
+}
+
+class GoldenTraceTest : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenTraceTest, TraceMatchesGolden) {
+  const Golden& golden = GetParam();
+  auto compiled = CompiledProgram::FromSource(FindWorkload(golden.name).source);
+  ASSERT_TRUE(compiled.ok()) << compiled.error().ToString();
+  const CompiledProgram& cp = compiled.value();
+  std::shared_ptr<const Trace> full = cp.shared_trace();
+  std::shared_ptr<const Trace> refs = cp.shared_references();
+
+  std::string actual = Row(golden.name, refs->reference_count(), full->virtual_pages(),
+                           full->Fingerprint(), refs->Fingerprint());
+  std::string expected = Row(golden.name, golden.references, golden.virtual_pages,
+                             golden.full_fingerprint, golden.refs_fingerprint);
+  EXPECT_EQ(actual, expected)
+      << "trace for " << golden.name
+      << " changed; if intentional, replace the golden row with the actual";
+  // The projection drops directives but never references.
+  EXPECT_EQ(refs->reference_count(), full->reference_count());
+  EXPECT_TRUE(refs->directives().empty());
+  EXPECT_FALSE(full->directives().empty());
+}
+
+TEST_P(GoldenTraceTest, RegenerationIsDeterministic) {
+  // Two independent compilations of the same source produce fingerprint-
+  // identical traces — the property that makes the memoized shared trace
+  // equivalent to per-simulation regeneration.
+  const Golden& golden = GetParam();
+  auto a = CompiledProgram::FromSource(FindWorkload(golden.name).source);
+  auto b = CompiledProgram::FromSource(FindWorkload(golden.name).source);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().trace().Fingerprint(), b.value().trace().Fingerprint());
+}
+
+TEST(GoldenTraceCoverageTest, CoversAllNineWorkloads) {
+  const std::vector<Workload>& all = AllWorkloads();
+  ASSERT_EQ(all.size(), std::size(kGoldens));
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].name, kGoldens[i].name) << "golden table out of sync";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, GoldenTraceTest, ::testing::ValuesIn(kGoldens),
+                         [](const ::testing::TestParamInfo<Golden>& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(FingerprintTest, SensitiveToSmallChanges) {
+  Trace a("t");
+  a.set_virtual_pages(4);
+  a.AddRef(0);
+  a.AddRef(1);
+  a.AddRef(2);
+
+  Trace b("t");
+  b.set_virtual_pages(4);
+  b.AddRef(0);
+  b.AddRef(2);  // swapped order
+  b.AddRef(1);
+
+  Trace c("t");
+  c.set_virtual_pages(5);  // different V, same refs
+  c.AddRef(0);
+  c.AddRef(1);
+  c.AddRef(2);
+
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  EXPECT_EQ(a.Fingerprint(), [&] {
+    Trace d("t");
+    d.set_virtual_pages(4);
+    d.AddRef(0);
+    d.AddRef(1);
+    d.AddRef(2);
+    return d.Fingerprint();
+  }());
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,117 @@
+// Cross-policy invariants, checked on every one of the paper's nine
+// workloads. These are theorems of the underlying models, so they hold for
+// any correct simulator on any trace:
+//   - OPT (Belady's MIN) never faults more than LRU at the same allocation;
+//   - the LRU fault count is non-increasing in m (the inclusion property);
+//   - VMIN, the optimal variable-space demand policy [Prieve & Fabry 1976],
+//     has space-time cost no worse than WS at any window τ.
+// The scans fan out over a shared ThreadPool and read one shared immutable
+// reference trace per workload, which also exercises the parallel sweep
+// engine under real workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+#include "src/exec/memo.h"
+#include "src/exec/sweep_scheduler.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/vmin.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+ThreadPool& Pool() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+// One compiled reference trace per workload, shared read-only by every test
+// in this binary (and by every concurrent simulation inside a test).
+std::shared_ptr<const Trace> RefsFor(const std::string& name) {
+  static Memo<std::string, std::shared_ptr<const Trace>>* memo =
+      new Memo<std::string, std::shared_ptr<const Trace>>();
+  return memo->GetOrCompute(name, [&] {
+    auto cp = CompiledProgram::FromSource(FindWorkload(name).source);
+    return cp.value().shared_references();
+  });
+}
+
+// A small spread of allocations: extremes plus interior points.
+std::vector<uint32_t> SampleAllocations(uint32_t v) {
+  std::set<uint32_t> ms = {1, std::max(1u, v / 4), std::max(1u, v / 2),
+                           std::max(1u, 3 * v / 4), v};
+  return {ms.begin(), ms.end()};
+}
+
+class InvariantTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(InvariantTest, OptNeverFaultsMoreThanLruAtEqualAllocation) {
+  std::shared_ptr<const Trace> refs = RefsFor(GetParam());
+  uint32_t v = refs->virtual_pages();
+  SweepScheduler sched(&Pool());
+  std::vector<SweepPoint> lru = sched.Lru(refs, v);
+  std::vector<uint32_t> ms = SampleAllocations(v);
+  std::vector<uint64_t> opt_faults = sched.Map<uint64_t>(ms.size(), [&](size_t i) {
+    return SimulateFixed(*refs, ms[i], Replacement::kOpt).faults;
+  });
+  for (size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_LE(opt_faults[i], lru[ms[i] - 1].faults) << "m=" << ms[i];
+  }
+}
+
+TEST_P(InvariantTest, LruFaultsNonIncreasingInAllocation) {
+  std::shared_ptr<const Trace> refs = RefsFor(GetParam());
+  uint32_t v = refs->virtual_pages();
+  std::vector<SweepPoint> lru = SweepScheduler(&Pool()).Lru(refs, v);
+  ASSERT_EQ(lru.size(), v);
+  for (uint32_t m = 1; m < v; ++m) {
+    EXPECT_GE(lru[m - 1].faults, lru[m].faults)
+        << "inclusion property violated between m=" << m << " and m=" << m + 1;
+  }
+  // At full residency only cold faults remain: one per distinct page touched.
+  std::set<PageId> touched;
+  for (const auto& e : refs->events()) {
+    if (e.kind == TraceEvent::Kind::kRef) {
+      touched.insert(e.value);
+    }
+  }
+  EXPECT_EQ(lru.back().faults, touched.size());
+}
+
+TEST_P(InvariantTest, VminSpaceTimeDominatesWsAtEveryWindow) {
+  std::shared_ptr<const Trace> refs = RefsFor(GetParam());
+  SweepScheduler sched(&Pool());
+  SimResult vmin = SimulateVmin(*refs);
+  std::vector<uint64_t> taus = DefaultTauGrid(refs->reference_count(), 10);
+  std::vector<SweepPoint> ws = sched.Ws(refs, taus);
+  for (const SweepPoint& p : ws) {
+    // VMIN is exactly optimal; the epsilon only absorbs double rounding in
+    // the two independently accumulated space-time sums.
+    EXPECT_LE(vmin.space_time, p.space_time * (1.0 + 1e-9))
+        << "tau=" << static_cast<uint64_t>(p.parameter);
+  }
+}
+
+std::vector<const char*> WorkloadNames() {
+  std::vector<const char*> names;
+  for (const Workload& w : AllWorkloads()) {
+    names.push_back(w.name.c_str());
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, InvariantTest,
+                         ::testing::ValuesIn(WorkloadNames()),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cdmm

@@ -21,6 +21,8 @@
 //                            cd-outer | cd-inner | cd-cap:N | cd-avail:FRAMES
 //                            lru:M | fifo:M | opt:M | ws:TAU | sws:SIGMA
 //                            vsws | pff:T | dws:TAU | vmin
+//   --jobs N               simulate the --simulate specs on N threads
+//                          (default: all cores; results print in spec order)
 //   --page-size BYTES      page size (default 256)
 //   --element-size BYTES   array element size (default 4)
 //   --fault-service N      fault service time in references (default 2000)
@@ -35,6 +37,8 @@
 #include <vector>
 
 #include "src/cdmm/pipeline.h"
+#include "src/exec/flags.h"
+#include "src/exec/sweep_scheduler.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/trace/trace_io.h"
@@ -64,7 +68,7 @@ int Usage(const char* argv0) {
                "            [--trace-out FILE] [--trace-format text|binary]\n"
                "            [--trace-in FILE] [--simulate SPEC]...\n"
                "            [--page-size N] [--element-size N] [--fault-service N]\n"
-               "            [--min-pages N] [--no-locks] [--no-allocate]\n"
+               "            [--min-pages N] [--no-locks] [--no-allocate] [--jobs N]\n"
                "            <source.f | builtin:NAME>\n"
                "builtins: MAIN FDJAC TQL FIELD INIT APPROX HYBRJ CONDUCT HWSCRT\n"
                "policy specs: cd-outer cd-inner cd-cap:N cd-avail:FRAMES lru:M fifo:M\n"
@@ -72,23 +76,31 @@ int Usage(const char* argv0) {
   return 2;
 }
 
-bool RunPolicy(const std::string& spec, const CompiledProgram& cp, const Trace& refs,
-               const SimOptions& sim, TextTable* table) {
-  std::optional<SimResult> r = RunPolicySpec(spec, cp.trace(), refs, sim);
-  if (!r.has_value()) {
-    std::cerr << "unknown policy spec '" << spec << "'; known forms:\n";
-    for (const std::string& known : KnownPolicySpecs()) {
-      std::cerr << "  " << known << "\n";
+// Runs every --simulate spec as a task over the pool (all reading the shared
+// immutable traces) and appends the results to `table` in spec order. On an
+// unknown spec the table rows for the valid specs are still produced, but the
+// error wins: prints the known forms and returns false.
+bool RunPolicies(const std::vector<std::string>& specs, const Trace& full, const Trace& refs,
+                 const SimOptions& sim, const SweepScheduler& sched, TextTable* table) {
+  std::vector<std::optional<SimResult>> results = sched.Map<std::optional<SimResult>>(
+      specs.size(), [&](size_t i) { return RunPolicySpec(specs[i], full, refs, sim); });
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (!results[i].has_value()) {
+      std::cerr << "unknown policy spec '" << specs[i] << "'; known forms:\n";
+      for (const std::string& known : KnownPolicySpecs()) {
+        std::cerr << "  " << known << "\n";
+      }
+      return false;
     }
-    return false;
+    const SimResult& r = *results[i];
+    table->AddRow({r.policy, StrCat(r.faults), FormatFixed(r.mean_memory, 2),
+                   FormatMillions(r.space_time), StrCat(r.max_resident)});
   }
-  table->AddRow({r->policy, StrCat(r->faults), FormatFixed(r->mean_memory, 2),
-                 FormatMillions(r->space_time), StrCat(r->max_resident)});
   return true;
 }
 
 // Simulation over a stored trace, bypassing the compiler.
-int RunFromTrace(const CliOptions& cli) {
+int RunFromTrace(const CliOptions& cli, const SweepScheduler& sched) {
   std::ifstream in(cli.trace_in, std::ios::binary);
   if (!in) {
     std::cerr << "cannot open " << cli.trace_in << "\n";
@@ -104,14 +116,8 @@ int RunFromTrace(const CliOptions& cli) {
   std::cout << "trace " << full.name() << ": R=" << refs.reference_count() << " references, V="
             << full.virtual_pages() << " pages, " << full.directives().size() << " directives\n";
   TextTable table({"Policy", "PF", "MEM", "ST x1e6", "max resident"});
-  for (const std::string& spec : cli.simulate) {
-    std::optional<SimResult> r = RunPolicySpec(spec, full, refs, cli.sim);
-    if (!r.has_value()) {
-      std::cerr << "unknown policy spec '" << spec << "'\n";
-      return 2;
-    }
-    table.AddRow({r->policy, StrCat(r->faults), FormatFixed(r->mean_memory, 2),
-                  FormatMillions(r->space_time), StrCat(r->max_resident)});
+  if (!RunPolicies(cli.simulate, full, refs, cli.sim, sched, &table)) {
+    return 2;
   }
   if (!cli.simulate.empty()) {
     table.Print(std::cout);
@@ -119,7 +125,7 @@ int RunFromTrace(const CliOptions& cli) {
   return 0;
 }
 
-int Run(const CliOptions& cli) {
+int Run(const CliOptions& cli, const SweepScheduler& sched) {
   std::string text;
   if (cli.input.rfind("builtin:", 0) == 0) {
     text = FindWorkload(cli.input.substr(8)).source;
@@ -165,14 +171,13 @@ int Run(const CliOptions& cli) {
               << (cli.binary_format ? " (binary)" : " (text)") << "\n";
   }
   if (!cli.simulate.empty()) {
-    Trace refs = cp.trace().ReferencesOnly();
-    std::cout << "R=" << refs.reference_count() << " references, V=" << refs.virtual_pages()
+    std::shared_ptr<const Trace> full = cp.shared_trace();
+    std::shared_ptr<const Trace> refs = cp.shared_references();
+    std::cout << "R=" << refs->reference_count() << " references, V=" << refs->virtual_pages()
               << " pages, fault service " << cli.sim.fault_service_time << "\n";
     TextTable table({"Policy", "PF", "MEM", "ST x1e6", "max resident"});
-    for (const std::string& spec : cli.simulate) {
-      if (!RunPolicy(spec, cp, refs, cli.sim, &table)) {
-        return 2;
-      }
+    if (!RunPolicies(cli.simulate, *full, *refs, cli.sim, sched, &table)) {
+      return 2;
     }
     table.Print(std::cout);
   }
@@ -180,6 +185,9 @@ int Run(const CliOptions& cli) {
 }
 
 int Main(int argc, char** argv) {
+  unsigned jobs = ParseJobsFlag(&argc, argv);
+  ThreadPool pool(jobs);
+  SweepScheduler sched(&pool);
   CliOptions cli;
   cli.pipeline.locality.min_default_pages = 1;
   for (int i = 1; i < argc; ++i) {
@@ -236,12 +244,12 @@ int Main(int argc, char** argv) {
     }
   }
   if (!cli.trace_in.empty()) {
-    return RunFromTrace(cli);
+    return RunFromTrace(cli, sched);
   }
   if (cli.input.empty()) {
     return Usage(argv[0]);
   }
-  return Run(cli);
+  return Run(cli, sched);
 }
 
 }  // namespace
