@@ -39,13 +39,14 @@ std::string RunMix(const std::vector<std::string>& names, uint32_t frames,
   // The three managers only read the traces; run them as one task apiece.
   std::vector<cdmm::OsRunResult> runs =
       sched.Map<cdmm::OsRunResult>(3, [&](size_t i) {
+        // The built-in mixes always fit the pool, so the Result is ok.
         switch (i) {
           case 0:
-            return cdmm::RunMultiprogrammedCd(specs, options);
+            return cdmm::RunMultiprogrammedCd(specs, options).value();
           case 1:
-            return cdmm::RunEqualPartitionLru(specs, options);
+            return cdmm::RunEqualPartitionLru(specs, options).value();
           default:
-            return cdmm::RunMultiprogrammedWs(specs, options, /*tau=*/2000);
+            return cdmm::RunMultiprogrammedWs(specs, options, /*tau=*/2000).value();
         }
       });
   const cdmm::OsRunResult& cd = runs[0];

@@ -62,10 +62,17 @@ int main(int argc, char** argv) {
   options.total_frames = frames;
 
   std::cout << "Job mix {" << cdmm::Join(names, ", ") << "} on " << frames << " frames\n\n";
+  std::vector<std::string> errors(2);
   std::vector<std::string> sections = sched.Map<std::string>(2, [&](size_t i) {
     bool use_cd = i == 0;
-    cdmm::OsRunResult r = use_cd ? cdmm::RunMultiprogrammedCd(specs, options)
-                                 : cdmm::RunEqualPartitionLru(specs, options);
+    cdmm::Result<cdmm::OsRunResult> run =
+        use_cd ? cdmm::RunMultiprogrammedCd(specs, options)
+               : cdmm::RunEqualPartitionLru(specs, options);
+    if (!run.ok()) {
+      errors[i] = run.error().ToString();  // each task owns its own slot
+      return std::string();
+    }
+    const cdmm::OsRunResult& r = run.value();
     std::ostringstream out;
     out << (use_cd ? "--- CD memory manager (Figure 6)" : "--- static equal-partition LRU")
         << " ---\n";
@@ -84,6 +91,12 @@ int main(int argc, char** argv) {
         << "\n\n";
     return out.str();
   });
+  for (const std::string& e : errors) {
+    if (!e.empty()) {
+      std::cerr << "error: " << e << "\n";
+      return 1;
+    }
+  }
   for (const std::string& s : sections) {
     std::cout << s;
   }

@@ -1,0 +1,333 @@
+// cdmmc — the CDMM compiler/simulator driver.
+//
+// Compiles a mini-FORTRAN program (a file, or `builtin:NAME` for one of the
+// paper's nine workloads), optionally prints the locality report and the
+// instrumented listing, writes the directive-bearing reference trace, and
+// simulates any of the implemented policies on it.
+//
+// Usage:
+//   cdmmc [options] <source.f | builtin:NAME>
+//
+// Options:
+//   --report               print the §2 locality analysis report
+//   --listing              print the instrumented skeleton (Figure 5c style)
+//   --listing-full         ... with the statements included
+//   --source               print the round-tripped source
+//   --trace-out FILE       write the generated trace to FILE
+//   --trace-format FMT     text (default) or binary
+//   --trace-in FILE        skip compilation: simulate a stored trace (either
+//                          format; cd-* specs need a directive-bearing trace)
+//   --simulate SPEC        run a policy (repeatable). SPEC is one of:
+//                            cd-outer | cd-inner | cd-cap:N | cd-avail:FRAMES
+//                            lru:M | fifo:M | opt:M | ws:TAU | sws:SIGMA
+//                            vsws | pff:T | dws:TAU | vmin
+//   --jobs N               simulate the --simulate specs on N threads
+//                          (default: all cores; results print in spec order)
+//   --page-size BYTES      page size (default 256)
+//   --element-size BYTES   array element size (default 4)
+//   --fault-service N      fault service time in references (default 2000)
+//   --min-pages N          system-default minimum allocation (default 1)
+//   --no-locks             do not insert LOCK/UNLOCK directives
+//   --no-allocate          do not insert ALLOCATE directives
+//   --inject-seed N        enable deterministic fault injection (0 = off);
+//                          the same seed gives the same schedule at any --jobs
+//   --inject-rate X        injection intensity in [0,1] (default 0.5)
+//   --deadline MS          wall-clock budget for the --simulate sweep;
+//                          overrunning specs become partial-result failures
+#include "src/cli/cli.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+#include "src/exec/flags.h"
+#include "src/exec/sweep_scheduler.h"
+#include "src/robust/fault_injector.h"
+#include "src/support/str.h"
+#include "src/support/table.h"
+#include "src/trace/trace_io.h"
+#include "src/vm/policy_spec.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+struct CliOptions {
+  std::string input;
+  std::string trace_in;
+  bool binary_format = false;
+  bool report = false;
+  bool listing = false;
+  bool listing_full = false;
+  bool source = false;
+  std::string trace_out;
+  std::vector<std::string> simulate;
+  PipelineOptions pipeline;
+  SimOptions sim;
+
+  // Robustness knobs (all off by default: the nominal path is untouched).
+  uint64_t inject_seed = 0;
+  double inject_rate = 0.5;
+  uint64_t deadline_ms = 0;
+  const FaultInjector* injector = nullptr;  // non-null iff inject_seed != 0
+};
+
+int Usage(const char* argv0, std::ostream& err) {
+  err << "usage: " << argv0
+      << " [--report] [--listing|--listing-full] [--source]\n"
+         "            [--trace-out FILE] [--trace-format text|binary]\n"
+         "            [--trace-in FILE] [--simulate SPEC]...\n"
+         "            [--page-size N] [--element-size N] [--fault-service N]\n"
+         "            [--min-pages N] [--no-locks] [--no-allocate] [--jobs N]\n"
+         "            [--inject-seed N] [--inject-rate X] [--deadline MS]\n"
+         "            <source.f | builtin:NAME>\n"
+         "builtins: MAIN FDJAC TQL FIELD INIT APPROX HYBRJ CONDUCT HWSCRT\n"
+         "policy specs: cd-outer cd-inner cd-cap:N cd-avail:FRAMES lru:M fifo:M\n"
+         "              opt:M ws:TAU sws:SIGMA vsws pff:T dws:TAU vmin\n";
+  return 2;
+}
+
+void PrintUnknownSpec(const std::string& spec, std::ostream& err) {
+  err << "unknown policy spec '" << spec << "'; known forms:\n";
+  for (const std::string& known : KnownPolicySpecs()) {
+    err << "  " << known << "\n";
+  }
+}
+
+void AddResultRow(const SimResult& r, TextTable* table) {
+  table->AddRow({r.policy, StrCat(r.faults), FormatFixed(r.mean_memory, 2),
+                 FormatMillions(r.space_time), StrCat(r.max_resident)});
+}
+
+// Runs every --simulate spec as a task over the pool (all reading the shared
+// immutable traces) and appends the results to `table` in spec order.
+// Returns the exit code for the simulation stage: 0 all rows produced,
+// 2 unknown spec (the valid rows are still produced, but the error wins),
+// 3 partial results under --deadline / fault injection.
+int RunPolicies(const CliOptions& cli, const Trace& full, const Trace& refs,
+                const SweepScheduler& sched, TextTable* table, std::ostream& err) {
+  const std::vector<std::string>& specs = cli.simulate;
+  if (cli.injector == nullptr && cli.deadline_ms == 0) {
+    // Nominal strict path, bit-identical to the pre-robustness driver.
+    std::vector<std::optional<SimResult>> results = sched.Map<std::optional<SimResult>>(
+        specs.size(), [&](size_t i) { return RunPolicySpec(specs[i], full, refs, cli.sim); });
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (!results[i].has_value()) {
+        PrintUnknownSpec(specs[i], err);
+        return 2;
+      }
+      AddResultRow(*results[i], table);
+    }
+    return 0;
+  }
+  // Degraded mode: per-item deadlines and injected stalls/poison become
+  // structured failures; the completed rows are still reported in spec order.
+  PartialMapOptions pm;
+  pm.deadline_ms = cli.deadline_ms;
+  pm.injector = cli.injector;
+  PartialSweep<std::optional<SimResult>> partial =
+      sched.MapPartial<std::optional<SimResult>>(
+          specs.size(),
+          [&](size_t i, const CancelToken&) {
+            return RunPolicySpec(specs[i], full, refs, cli.sim);
+          },
+          pm);
+  for (size_t k = 0; k < partial.results.size(); ++k) {
+    if (!partial.results[k].has_value()) {
+      PrintUnknownSpec(specs[partial.indices[k]], err);
+      return 2;
+    }
+    AddResultRow(*partial.results[k], table);
+  }
+  for (const SweepItemFailure& f : partial.failures) {
+    err << "policy '" << specs[f.index] << "' "
+        << (f.kind == SweepItemFailure::Kind::kTimeout ? "timed out" : "failed") << ": "
+        << f.message << "\n";
+  }
+  return partial.complete() ? 0 : 3;
+}
+
+// Simulation over a stored trace, bypassing the compiler.
+int RunFromTrace(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
+                 std::ostream& err) {
+  std::ifstream in(cli.trace_in, std::ios::binary);
+  if (!in) {
+    err << "cannot open " << cli.trace_in << "\n";
+    return 1;
+  }
+  auto parsed = ReadAnyTrace(in);
+  if (!parsed.ok()) {
+    err << cli.trace_in << ": " << parsed.error().ToString() << "\n";
+    return 1;
+  }
+  const Trace& full = parsed.value();
+  Trace refs = full.ReferencesOnly();
+  out << "trace " << full.name() << ": R=" << refs.reference_count() << " references, V="
+      << full.virtual_pages() << " pages, " << full.directives().size() << " directives\n";
+  TextTable table({"Policy", "PF", "MEM", "ST x1e6", "max resident"});
+  int code = RunPolicies(cli, full, refs, sched, &table, err);
+  if (code == 2) {
+    return 2;
+  }
+  if (!cli.simulate.empty()) {
+    table.Print(out);
+  }
+  return code;
+}
+
+int Run(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
+        std::ostream& err) {
+  std::string text;
+  if (cli.input.rfind("builtin:", 0) == 0) {
+    text = FindWorkload(cli.input.substr(8)).source;
+  } else {
+    std::ifstream file(cli.input);
+    if (!file) {
+      err << "cannot open " << cli.input << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  auto compiled = CompiledProgram::FromSource(text, cli.pipeline);
+  if (!compiled.ok()) {
+    err << cli.input << ": " << compiled.error().ToString() << "\n";
+    return 1;
+  }
+  const CompiledProgram& cp = compiled.value();
+
+  if (cli.source) {
+    out << ProgramToString(cp.program());
+  }
+  if (cli.report) {
+    out << cp.locality().Report();
+  }
+  if (cli.listing || cli.listing_full) {
+    out << cp.Listing(/*compact=*/!cli.listing_full);
+  }
+  if (!cli.trace_out.empty()) {
+    std::ofstream fout(cli.trace_out, std::ios::binary);
+    if (!fout) {
+      err << "cannot write " << cli.trace_out << "\n";
+      return 1;
+    }
+    if (cli.binary_format) {
+      WriteTraceBinary(cp.trace(), fout);
+    } else {
+      WriteTrace(cp.trace(), fout);
+    }
+    out << "wrote " << cp.trace().reference_count() << " references to " << cli.trace_out
+        << (cli.binary_format ? " (binary)" : " (text)") << "\n";
+  }
+  if (!cli.simulate.empty()) {
+    std::shared_ptr<const Trace> full = cp.shared_trace();
+    std::shared_ptr<const Trace> refs = cp.shared_references();
+    out << "R=" << refs->reference_count() << " references, V=" << refs->virtual_pages()
+        << " pages, fault service " << cli.sim.fault_service_time << "\n";
+    TextTable table({"Policy", "PF", "MEM", "ST x1e6", "max resident"});
+    int code = RunPolicies(cli, *full, *refs, sched, &table, err);
+    if (code == 2) {
+      return 2;
+    }
+    table.Print(out);
+    return code;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
+  unsigned jobs = ParseJobsFlag(&argc, argv);
+  ThreadPool pool(jobs);
+  SweepScheduler sched(&pool);
+  CliOptions cli;
+  cli.pipeline.locality.min_default_pages = 1;
+  bool missing_argument = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        err << arg << " needs an argument\n";
+        missing_argument = true;
+        return "";
+      }
+      return argv[++i];
+    };
+    if (arg == "--report") {
+      cli.report = true;
+    } else if (arg == "--listing") {
+      cli.listing = true;
+    } else if (arg == "--listing-full") {
+      cli.listing_full = true;
+    } else if (arg == "--source") {
+      cli.source = true;
+    } else if (arg == "--trace-out") {
+      cli.trace_out = next();
+    } else if (arg == "--trace-in") {
+      cli.trace_in = next();
+    } else if (arg == "--trace-format") {
+      std::string fmt = next();
+      if (missing_argument) {
+        return 2;
+      }
+      if (fmt != "text" && fmt != "binary") {
+        err << "bad --trace-format '" << fmt << "'\n";
+        return Usage(argv[0], err);
+      }
+      cli.binary_format = fmt == "binary";
+    } else if (arg == "--simulate") {
+      cli.simulate.push_back(next());
+    } else if (arg == "--page-size") {
+      cli.pipeline.locality.geometry.page_size_bytes =
+          static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--element-size") {
+      cli.pipeline.locality.geometry.element_size_bytes =
+          static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--fault-service") {
+      cli.sim.fault_service_time = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--min-pages") {
+      cli.pipeline.locality.min_default_pages = std::atoi(next());
+    } else if (arg == "--no-locks") {
+      cli.pipeline.directives.insert_locks = false;
+    } else if (arg == "--no-allocate") {
+      cli.pipeline.directives.insert_allocate = false;
+    } else if (arg == "--inject-seed") {
+      cli.inject_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--inject-rate") {
+      cli.inject_rate = std::strtod(next(), nullptr);
+    } else if (arg == "--deadline") {
+      cli.deadline_ms = std::strtoull(next(), nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "unknown option " << arg << "\n";
+      return Usage(argv[0], err);
+    } else if (cli.input.empty()) {
+      cli.input = arg;
+    } else {
+      return Usage(argv[0], err);
+    }
+    if (missing_argument) {
+      return 2;
+    }
+  }
+  FaultInjector injector(FaultInjectionConfig::AtIntensity(cli.inject_seed, cli.inject_rate));
+  if (injector.enabled()) {
+    cli.injector = &injector;
+    cli.sim.injector = &injector;
+  }
+  if (!cli.trace_in.empty()) {
+    return RunFromTrace(cli, sched, out, err);
+  }
+  if (cli.input.empty()) {
+    return Usage(argv[0], err);
+  }
+  return Run(cli, sched, out, err);
+}
+
+}  // namespace cdmm

@@ -1,0 +1,24 @@
+// The cdmmc driver as a library, so the exit-code contract is testable
+// in-process: tools/cdmmc.cc is a thin main() around CdmmcMain.
+//
+// Exit codes:
+//   0  success
+//   1  input error (missing file, parse/trace failure) — the diagnostic is
+//      printed to `err` with the Error's source position when it has one
+//   2  usage error (unknown option/spec, missing argument)
+//   3  partial results: at least one --simulate spec timed out or failed
+//      under --deadline / --inject-*, but the completed rows were printed
+#ifndef CDMM_SRC_CLI_CLI_H_
+#define CDMM_SRC_CLI_CLI_H_
+
+#include <iosfwd>
+
+namespace cdmm {
+
+// Runs the cdmmc command line. `out` receives the normal output, `err` the
+// diagnostics. Never calls std::exit and never aborts on bad input.
+int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_CLI_CLI_H_

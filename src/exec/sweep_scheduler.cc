@@ -7,6 +7,32 @@
 
 namespace cdmm {
 
+CancelToken::CancelToken() : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+CancelToken CancelToken::AfterMs(uint64_t ms) {
+  CancelToken token;
+  token.has_deadline_ = true;
+  token.deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  return token;
+}
+
+CancelToken CancelToken::PreExpired() {
+  CancelToken token;
+  token.Cancel();
+  return token;
+}
+
+bool CancelToken::Expired() const {
+  if (cancelled_->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+void CancelToken::Cancel() const {
+  cancelled_->store(true, std::memory_order_relaxed);
+}
+
 std::vector<SweepPoint> SweepScheduler::Lru(std::shared_ptr<const Trace> refs,
                                             uint32_t max_frames,
                                             const SimOptions& options) const {

@@ -8,15 +8,78 @@
 #ifndef CDMM_SRC_EXEC_SWEEP_SCHEDULER_H_
 #define CDMM_SRC_EXEC_SWEEP_SCHEDULER_H_
 
+#include <atomic>
+#include <chrono>
+#include <exception>
 #include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/exec/thread_pool.h"
+#include "src/robust/fault_injector.h"
 #include "src/trace/trace.h"
 #include "src/vm/fixed_alloc.h"
 #include "src/vm/sim_result.h"
 
 namespace cdmm {
+
+// Cooperative cancellation handle for sweep items. Copies share the cancelled
+// flag; a default-constructed token never expires. Long-running item
+// functions should poll Expired() at convenient points and return early.
+class CancelToken {
+ public:
+  CancelToken();
+
+  // A token that expires `ms` milliseconds from now (0 = already expired).
+  static CancelToken AfterMs(uint64_t ms);
+  // A token that is expired from the start (used for injected stalls).
+  static CancelToken PreExpired();
+
+  bool Expired() const;
+  void Cancel() const;  // shared flag: const so workers can cancel peers
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+// Thrown by an item function that observes its CancelToken expired and bails
+// out early; MapPartial reports the item as a timeout rather than an error.
+struct SweepCancelled : std::exception {
+  const char* what() const noexcept override { return "cancelled"; }
+};
+
+// Why one sweep item produced no result.
+struct SweepItemFailure {
+  size_t index = 0;  // sweep index of the failed item
+  enum class Kind { kTimeout, kError } kind = Kind::kError;
+  std::string message;
+};
+
+// Outcome of a deadline-bounded sweep: the results that completed (ordered
+// by sweep index, with `indices[k]` the sweep index of `results[k]`) plus a
+// structured record of every item that did not.
+template <typename R>
+struct PartialSweep {
+  std::vector<R> results;
+  std::vector<size_t> indices;
+  std::vector<SweepItemFailure> failures;  // ascending by index
+
+  bool complete() const { return failures.empty(); }
+};
+
+// Knobs for SweepScheduler::MapPartial.
+struct PartialMapOptions {
+  // Wall-clock budget for the whole sweep; items that have not started when
+  // it expires are reported as timeouts. 0 = no deadline.
+  uint64_t deadline_ms = 0;
+  // Optional deterministic injection: stalled items become timeouts without
+  // running, poisoned items throw and become errors. Null = nominal.
+  const FaultInjector* injector = nullptr;
+};
 
 class SweepScheduler {
  public:
@@ -32,6 +95,61 @@ class SweepScheduler {
     std::vector<R> results(n);
     ParallelFor(pool_, n, [&](size_t i) { results[i] = fn(i); });
     return results;
+  }
+
+  // Graceful-degradation variant of Map: items that exceed the deadline, are
+  // deterministically stalled/poisoned by the injector, or throw, become
+  // structured SweepItemFailure entries instead of aborting the sweep.
+  // Completed results keep sweep-index order regardless of thread count, so
+  // a partial report is itself deterministic for a fixed failure set. Unlike
+  // Map, R need not be default-constructible.
+  template <typename R>
+  PartialSweep<R> MapPartial(size_t n,
+                             const std::function<R(size_t, const CancelToken&)>& fn,
+                             const PartialMapOptions& options = {}) const {
+    std::vector<std::optional<R>> slots(n);
+    std::vector<std::optional<SweepItemFailure>> fails(n);
+    CancelToken sweep_token = options.deadline_ms > 0
+                                  ? CancelToken::AfterMs(options.deadline_ms)
+                                  : CancelToken();
+    ParallelFor(pool_, n, [&](size_t i) {
+      if (options.injector != nullptr && options.injector->StallsSweepItem(i)) {
+        // A stalled worker never finishes inside any deadline; model it as a
+        // deterministic timeout without burning real wall-clock.
+        fails[i] = SweepItemFailure{i, SweepItemFailure::Kind::kTimeout,
+                                    "injected stall: item abandoned at deadline"};
+        return;
+      }
+      if (sweep_token.Expired()) {
+        fails[i] = SweepItemFailure{i, SweepItemFailure::Kind::kTimeout,
+                                    "sweep deadline expired before item started"};
+        return;
+      }
+      try {
+        if (options.injector != nullptr && options.injector->PoisonsSweepItem(i)) {
+          throw std::runtime_error("injected poison");
+        }
+        slots[i] = fn(i, sweep_token);
+      } catch (const SweepCancelled&) {
+        fails[i] = SweepItemFailure{i, SweepItemFailure::Kind::kTimeout,
+                                    "item cancelled mid-run at deadline"};
+      } catch (const std::exception& e) {
+        fails[i] = SweepItemFailure{i, SweepItemFailure::Kind::kError, e.what()};
+      } catch (...) {
+        fails[i] = SweepItemFailure{i, SweepItemFailure::Kind::kError,
+                                    "unknown exception"};
+      }
+    });
+    PartialSweep<R> out;
+    for (size_t i = 0; i < n; ++i) {
+      if (slots[i].has_value()) {
+        out.results.push_back(*std::move(slots[i]));
+        out.indices.push_back(i);
+      } else {
+        out.failures.push_back(std::move(fails[i]).value());
+      }
+    }
+    return out;
   }
 
   // The paper's two parameter sweeps, bit-identical to the serial

@@ -4,9 +4,11 @@
 #include <deque>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "src/support/check.h"
+#include "src/support/str.h"
 #include "src/vm/cd_core.h"
 #include "src/vm/cd_policy.h"
 
@@ -65,6 +67,7 @@ struct WsState {
 
 struct Proc {
   const OsProcessSpec* spec = nullptr;
+  size_t index = 0;               // spec order; injection stream id
   std::unique_ptr<CdCore> core;   // kCd / kEqualPartitionLru
   std::unique_ptr<WsState> ws;    // kWorkingSet
   size_t cursor = 0;  // next event in the trace
@@ -72,6 +75,7 @@ struct Proc {
   uint64_t wake_at = 0;         // kPageWait: global time to resume
   bool awaiting_memory = false; // kSuspended at an ALLOCATE (re-process on wake)
   bool force_grant = false;     // deadlock breaker: clamp the next ALLOCATE
+  bool lc_suspended = false;    // parked by the thrashing detector
   bool started = false;
   uint32_t resume_grant = 0;    // grant to re-reserve when woken after swap-out
   OsProcessStats stats;
@@ -87,14 +91,17 @@ class OsSimulator {
  public:
   OsSimulator(const std::vector<OsProcessSpec>& specs, const OsOptions& options,
               OsPolicyMode mode, uint64_t ws_tau = 0)
-      : options_(options), mode_(mode), pool_free_(options.total_frames) {
-    CDMM_CHECK(!specs.empty());
+      : options_(options), mode_(mode), injector_(options.injector),
+        pool_free_(options.total_frames) {
+    if (injector_ != nullptr && !injector_->enabled()) {
+      injector_ = nullptr;
+    }
     uint32_t partition =
         std::max<uint32_t>(1, options.total_frames / static_cast<uint32_t>(specs.size()));
     for (const OsProcessSpec& spec : specs) {
-      CDMM_CHECK(spec.trace != nullptr);
       auto p = std::make_unique<Proc>();
       p->spec = &spec;
+      p->index = procs_.size();
       p->stats.name = spec.name;
       if (mode == OsPolicyMode::kWorkingSet) {
         p->ws = std::make_unique<WsState>();
@@ -124,6 +131,10 @@ class OsSimulator {
     OsRunResult result;
     result.total_time = clock_;
     result.swaps = swaps_;
+    result.load_control_suspensions = lc_suspensions_;
+    result.swap_device_failures = swap_device_failures_;
+    result.swap_retries_exhausted = swap_retries_exhausted_;
+    result.phantom_peak_frames = phantom_peak_;
     IntegratePool();
     result.mean_pool_used =
         clock_ == 0 ? 0.0 : pool_integral_ / static_cast<double>(clock_);
@@ -134,6 +145,9 @@ class OsSimulator {
       p->stats.mean_held =
           lifetime == 0 ? 0.0 : p->held_integral / static_cast<double>(lifetime);
       result.total_faults += p->stats.faults;
+      if (!p->stats.completed) {
+        ++result.failed_processes;
+      }
       result.processes.push_back(p->stats);
     }
     return result;
@@ -179,14 +193,28 @@ class OsSimulator {
     }
     if (next != std::numeric_limits<uint64_t>::max()) {
       SetClock(std::max(next, clock_));
+      UpdatePhantom();
       WakeExpired();
       return;
     }
-    // Only suspended processes remain: wake the first, clamping its demand
-    // to whatever is free (the workload does not fit; progress beats hang).
+    // Only suspended processes remain. If an injected pressure spike is
+    // holding frames, evict the phantom first — real processes outrank
+    // injected adversity — and retry the memory-based wake-up.
+    if (phantom_reserved_ > 0) {
+      ReleasePhantom(/*suppress=*/true);
+      WakeSuspendedForMemory();
+      for (const auto& p : procs_) {
+        if (p->state == ProcState::kReady) {
+          return;
+        }
+      }
+    }
+    // Wake the first suspended process, clamping its demand to whatever is
+    // free (the workload does not fit; progress beats hang).
     for (auto& p : procs_) {
       if (p->state == ProcState::kSuspended) {
         p->state = ProcState::kReady;
+        p->lc_suspended = false;
         if (p->awaiting_memory) {
           p->force_grant = true;
         } else if (p->core != nullptr) {
@@ -236,6 +264,215 @@ class OsSimulator {
     p.reserved = target;
   }
 
+  // Per-fault service time, perturbed by the injector when one is attached.
+  uint64_t ServiceTime(const Proc& p) const {
+    uint64_t base = options_.fault_service_time;
+    if (injector_ == nullptr) {
+      return base;
+    }
+    // stats.faults was already incremented for the current fault.
+    return injector_->FaultServiceTime(p.index, p.stats.faults - 1, base);
+  }
+
+  // ---- Injected frame-pool pressure: a phantom process that reserves part
+  // of the pool for whole epochs. Piecewise-constant and derived purely from
+  // (seed, epoch), so the spike schedule is identical across runs.
+
+  void ReleasePhantom(bool suppress) {
+    if (phantom_reserved_ == 0) {
+      if (suppress && injector_ != nullptr) {
+        phantom_suppressed_until_ = injector_->NextPhantomChange(clock_);
+      }
+      return;
+    }
+    IntegratePool();
+    pool_free_ += phantom_reserved_;
+    phantom_reserved_ = 0;
+    if (suppress && injector_ != nullptr) {
+      phantom_suppressed_until_ = injector_->NextPhantomChange(clock_);
+    }
+  }
+
+  void UpdatePhantom() {
+    if (injector_ == nullptr) {
+      return;
+    }
+    if (clock_ < phantom_next_check_) {
+      return;
+    }
+    phantom_next_check_ = injector_->NextPhantomChange(clock_);
+    uint32_t desired = clock_ < phantom_suppressed_until_
+                           ? 0
+                           : injector_->PhantomFrames(clock_, options_.total_frames);
+    if (desired > phantom_reserved_) {
+      uint32_t take = std::min<uint32_t>(desired - phantom_reserved_, pool_free_);
+      if (take > 0) {
+        IntegratePool();
+        pool_free_ -= take;
+        phantom_reserved_ += take;
+        phantom_peak_ = std::max(phantom_peak_, phantom_reserved_);
+      }
+    } else if (desired < phantom_reserved_) {
+      IntegratePool();
+      pool_free_ += phantom_reserved_ - desired;
+      phantom_reserved_ = desired;
+      WakeSuspendedForMemory();
+    }
+  }
+
+  // ---- Thrashing detector: windowed CPU utilisation + fault rate with
+  // hysteresis, driving suspend (load shedding) and readmit.
+
+  void MaybeLoadControl() {
+    if (!options_.load_control || clock_ - lc_window_start_ < options_.thrash_window) {
+      return;
+    }
+    uint64_t span = clock_ - lc_window_start_;
+    uint64_t executed = executed_ticks_ - lc_executed_start_;
+    uint64_t faulted = faults_total_ - lc_faults_start_;
+    double util = static_cast<double>(executed) / static_cast<double>(span);
+    double fault_rate =
+        executed == 0 ? 1.0 : static_cast<double>(faulted) / static_cast<double>(executed);
+    lc_window_start_ = clock_;
+    lc_executed_start_ = executed_ticks_;
+    lc_faults_start_ = faults_total_;
+    if (util < options_.thrash_cpu_low && fault_rate > options_.thrash_fault_rate) {
+      SuspendForLoadControl();
+    } else if (util > options_.thrash_cpu_high) {
+      ReadmitForLoadControl();
+    }
+  }
+
+  void SuspendForLoadControl() {
+    // Shed the lowest-priority active process (largest reservation breaking
+    // ties), but never shrink the multiprogramming level below one.
+    Proc* victim = nullptr;
+    int active = 0;
+    for (auto& p : procs_) {
+      if (p->state != ProcState::kReady && p->state != ProcState::kPageWait) {
+        continue;
+      }
+      ++active;
+      if (victim == nullptr ||
+          p->spec->job_priority < victim->spec->job_priority ||
+          (p->spec->job_priority == victim->spec->job_priority &&
+           p->reserved > victim->reserved)) {
+        victim = p.get();
+      }
+    }
+    if (victim == nullptr || active < 2) {
+      return;
+    }
+    if (victim->core != nullptr) {
+      victim->core->DropAll();
+      victim->resume_grant = victim->core->grant();
+    } else {
+      victim->resume_grant = std::max<uint32_t>(victim->ws->size / 2, 1);
+      victim->ws->DropAll();
+    }
+    Reserve(*victim, 0);
+    victim->state = ProcState::kSuspended;
+    victim->awaiting_memory = false;
+    victim->lc_suspended = true;
+    ++victim->stats.suspensions;
+    ++lc_suspensions_;
+  }
+
+  void ReadmitForLoadControl() {
+    // Utilisation recovered: readmit the highest-priority parked process.
+    Proc* best = nullptr;
+    for (auto& p : procs_) {
+      if (p->state != ProcState::kSuspended || !p->lc_suspended) {
+        continue;
+      }
+      if (best == nullptr || p->spec->job_priority > best->spec->job_priority) {
+        best = p.get();
+      }
+    }
+    if (best == nullptr || pool_free_ == 0) {
+      return;
+    }
+    best->state = ProcState::kReady;
+    best->lc_suspended = false;
+    if (best->core != nullptr) {
+      Reserve(*best, std::max<uint32_t>(std::min(best->resume_grant, pool_free_), 1));
+    }
+  }
+
+  // Terminates `p` with a structured failure reason; its frames return to
+  // the pool and the rest of the mix keeps running.
+  void FailProcess(Proc& p, std::string reason) {
+    p.stats.failure = std::move(reason);
+    p.stats.completed = false;
+    if (p.core != nullptr) {
+      p.core->DropAll();
+    } else if (p.ws != nullptr) {
+      p.ws->DropAll();
+    }
+    Reserve(p, 0);
+    p.state = ProcState::kDone;
+    p.stats.finished_at = clock_;
+    WakeSuspendedForMemory();
+  }
+
+  // Swap out the best victim with strictly lower job priority than `asker`;
+  // returns false if none exists or the swap device stayed down through
+  // every backoff retry.
+  bool SwapOutVictim(const Proc& asker) {
+    Proc* victim = nullptr;
+    for (auto& p : procs_) {
+      if (p.get() == &asker || p->state == ProcState::kDone ||
+          p->state == ProcState::kSuspended) {
+        continue;
+      }
+      if (p->spec->job_priority >= asker.spec->job_priority) {
+        continue;
+      }
+      if (victim == nullptr || p->reserved > victim->reserved) {
+        victim = p.get();
+      }
+    }
+    if (victim == nullptr || victim->reserved == 0) {
+      return false;
+    }
+    // Injected transient swap-device failures: retry with exponential
+    // backoff (the asker waits out the delay on the global clock); abandon
+    // the swap once the retry budget is exhausted.
+    if (injector_ != nullptr) {
+      bool ok = false;
+      uint64_t delay = 0;
+      int attempts = std::max(injector_->config().max_swap_retries, 0) + 1;
+      for (int a = 0; a < attempts; ++a) {
+        if (!injector_->SwapAttemptFails(swap_attempt_seq_++)) {
+          ok = true;
+          break;
+        }
+        ++swap_device_failures_;
+        delay += injector_->config().swap_backoff_base << a;
+      }
+      if (delay > 0) {
+        SetClock(clock_ + delay);
+      }
+      if (!ok) {
+        ++swap_retries_exhausted_;
+        return false;
+      }
+    }
+    if (victim->core != nullptr) {
+      victim->core->DropAll();
+      victim->resume_grant = victim->core->grant();
+    } else {
+      victim->resume_grant = std::max<uint32_t>(victim->ws->size, 1);
+      victim->ws->DropAll();
+    }
+    Reserve(*victim, 0);
+    victim->state = ProcState::kSuspended;
+    victim->awaiting_memory = false;
+    ++victim->stats.swapped_out;
+    ++swaps_;
+    return true;
+  }
+
   // Reconciles the reservation with the core's actual held() after a core
   // mutation, clawing frames back from the process itself if the pool is
   // short (soft-release locks, then shrink the grant).
@@ -256,48 +493,22 @@ class OsSimulator {
     Reserve(p, want);
   }
 
-  // Swap out the best victim with strictly lower job priority than `asker`;
-  // returns false if none exists.
-  bool SwapOutVictim(const Proc& asker) {
-    Proc* victim = nullptr;
-    for (auto& p : procs_) {
-      if (p.get() == &asker || p->state == ProcState::kDone ||
-          p->state == ProcState::kSuspended) {
-        continue;
-      }
-      if (p->spec->job_priority >= asker.spec->job_priority) {
-        continue;
-      }
-      if (victim == nullptr || p->reserved > victim->reserved) {
-        victim = p.get();
-      }
-    }
-    if (victim == nullptr || victim->reserved == 0) {
-      return false;
-    }
-    if (victim->core != nullptr) {
-      victim->core->DropAll();
-      victim->resume_grant = victim->core->grant();
-    } else {
-      victim->resume_grant = std::max<uint32_t>(victim->ws->size, 1);
-      victim->ws->DropAll();
-    }
-    Reserve(*victim, 0);
-    victim->state = ProcState::kSuspended;
-    victim->awaiting_memory = false;
-    ++victim->stats.swapped_out;
-    ++swaps_;
-    return true;
-  }
-
   // Processes an ALLOCATE directive for `p`. Returns false if the process
-  // suspended (cursor must stay at the directive).
+  // stopped (suspended, or failed under fail_unfittable) — the cursor must
+  // stay at the directive for suspension.
   bool ProcessAllocate(Proc& p, const DirectiveRecord& d) {
     CDMM_CHECK(!d.requests.empty());
     // A minimal (PI=1) request larger than the whole machine can never be
-    // granted: run the process inside whatever fits rather than hang
-    // (equivalent to the deadlock-breaker path).
+    // granted. Graceful degradation decides between a structured per-process
+    // failure (fail_unfittable) and running the process inside whatever fits
+    // (the deadlock-breaker path, the default).
     if (d.requests.back().priority == 1 && d.requests.back().pages > options_.total_frames) {
+      if (options_.fail_unfittable) {
+        FailProcess(p, StrCat("PI=1 request of ", d.requests.back().pages,
+                              " pages can never fit the ", options_.total_frames,
+                              "-frame machine"));
+        return false;
+      }
       p.force_grant = true;
     }
     while (true) {
@@ -337,15 +548,15 @@ class OsSimulator {
     }
   }
 
-  void ProcessDirective(Proc& p, const DirectiveRecord& d, bool* suspended) {
-    *suspended = false;
+  void ProcessDirective(Proc& p, const DirectiveRecord& d, bool* stopped) {
+    *stopped = false;
     if (mode_ != OsPolicyMode::kCd) {
       return;  // the baselines ignore directives
     }
     switch (d.kind) {
       case DirectiveRecord::Kind::kAllocate:
         if (!ProcessAllocate(p, d)) {
-          *suspended = true;
+          *stopped = true;
         }
         break;
       case DirectiveRecord::Kind::kLock:
@@ -390,6 +601,7 @@ class OsSimulator {
           Reserve(*p, std::max<uint32_t>(p->resume_grant, 1));
         }
         p->state = ProcState::kReady;
+        p->lc_suspended = false;
       }
     }
   }
@@ -429,8 +641,9 @@ class OsSimulator {
     ++p.stats.references;
     if (fault) {
       ++p.stats.faults;
+      ++faults_total_;
       p.state = ProcState::kPageWait;
-      p.wake_at = clock_ + options_.fault_service_time;
+      p.wake_at = clock_ + ServiceTime(p);
       WakeExpired();
       return false;
     }
@@ -438,6 +651,11 @@ class OsSimulator {
   }
 
   void RunSlice(Proc& p) {
+    UpdatePhantom();
+    MaybeLoadControl();
+    if (p.state != ProcState::kReady) {
+      return;  // load control parked this process before its slice began
+    }
     if (!p.started) {
       p.started = true;
       p.stats.started_at = clock_;
@@ -453,10 +671,10 @@ class OsSimulator {
       const TraceEvent& e = events[p.cursor];
       switch (e.kind) {
         case TraceEvent::Kind::kDirective: {
-          bool suspended = false;
-          ProcessDirective(p, p.spec->trace->directive(e.value), &suspended);
-          if (suspended) {
-            return;  // cursor stays at the ALLOCATE
+          bool stopped = false;
+          ProcessDirective(p, p.spec->trace->directive(e.value), &stopped);
+          if (stopped) {
+            return;  // cursor stays at the ALLOCATE (or the process failed)
           }
           ++p.cursor;
           break;
@@ -483,9 +701,10 @@ class OsSimulator {
           ++p.stats.references;
           if (fault) {
             ++p.stats.faults;
+            ++faults_total_;
             SyncHeld(p);  // a pre-locked page may have faulted in
             p.state = ProcState::kPageWait;
-            p.wake_at = clock_ + options_.fault_service_time;
+            p.wake_at = clock_ + ServiceTime(p);
             WakeExpired();
             return;
           }
@@ -498,6 +717,7 @@ class OsSimulator {
 
   OsOptions options_;
   OsPolicyMode mode_;
+  const FaultInjector* injector_;
   std::vector<std::unique_ptr<Proc>> procs_;
   uint32_t pool_free_;
   uint64_t clock_ = 0;
@@ -506,22 +726,78 @@ class OsSimulator {
   uint64_t swaps_ = 0;
   double pool_integral_ = 0.0;
   uint64_t pool_since_ = 0;
+
+  // Degradation accounting.
+  uint64_t faults_total_ = 0;
+  uint64_t swap_attempt_seq_ = 0;
+  uint64_t swap_device_failures_ = 0;
+  uint64_t swap_retries_exhausted_ = 0;
+  uint64_t lc_suspensions_ = 0;
+  uint64_t lc_window_start_ = 0;
+  uint64_t lc_executed_start_ = 0;
+  uint64_t lc_faults_start_ = 0;
+  uint32_t phantom_reserved_ = 0;
+  uint32_t phantom_peak_ = 0;
+  uint64_t phantom_next_check_ = 0;
+  uint64_t phantom_suppressed_until_ = 0;
 };
+
+// Input validation shared by the three entry points: everything that used to
+// CHECK-fail for a workload that can never fit now surfaces as an Error.
+std::optional<Error> ValidateRun(const std::vector<OsProcessSpec>& specs,
+                                 const OsOptions& options, OsPolicyMode mode) {
+  if (specs.empty()) {
+    return Error{"no processes to run", {}};
+  }
+  if (options.total_frames == 0) {
+    return Error{"total_frames must be at least 1", {}};
+  }
+  for (const OsProcessSpec& spec : specs) {
+    if (spec.trace == nullptr) {
+      return Error{StrCat("process '", spec.name, "' has no trace"), {}};
+    }
+  }
+  uint64_t n = specs.size();
+  if (mode == OsPolicyMode::kCd) {
+    uint64_t grant = std::max<uint32_t>(options.initial_allocation, 1);
+    if (n * grant > options.total_frames) {
+      return Error{StrCat("workload can never fit: ", n, " processes x ", grant,
+                          " initial frames exceed the ", options.total_frames,
+                          "-frame pool"),
+                   {}};
+    }
+  } else if (mode == OsPolicyMode::kEqualPartitionLru && n > options.total_frames) {
+    return Error{StrCat("workload can never fit: ", n,
+                        " processes cannot share an equal partition of ",
+                        options.total_frames, " frames"),
+                 {}};
+  }
+  return std::nullopt;
+}
 
 }  // namespace
 
-OsRunResult RunMultiprogrammedCd(const std::vector<OsProcessSpec>& specs,
-                                 const OsOptions& options) {
+Result<OsRunResult> RunMultiprogrammedCd(const std::vector<OsProcessSpec>& specs,
+                                         const OsOptions& options) {
+  if (auto error = ValidateRun(specs, options, OsPolicyMode::kCd)) {
+    return *std::move(error);
+  }
   return OsSimulator(specs, options, OsPolicyMode::kCd).Run();
 }
 
-OsRunResult RunEqualPartitionLru(const std::vector<OsProcessSpec>& specs,
-                                 const OsOptions& options) {
+Result<OsRunResult> RunEqualPartitionLru(const std::vector<OsProcessSpec>& specs,
+                                         const OsOptions& options) {
+  if (auto error = ValidateRun(specs, options, OsPolicyMode::kEqualPartitionLru)) {
+    return *std::move(error);
+  }
   return OsSimulator(specs, options, OsPolicyMode::kEqualPartitionLru).Run();
 }
 
-OsRunResult RunMultiprogrammedWs(const std::vector<OsProcessSpec>& specs,
-                                 const OsOptions& options, uint64_t tau) {
+Result<OsRunResult> RunMultiprogrammedWs(const std::vector<OsProcessSpec>& specs,
+                                         const OsOptions& options, uint64_t tau) {
+  if (auto error = ValidateRun(specs, options, OsPolicyMode::kWorkingSet)) {
+    return *std::move(error);
+  }
   return OsSimulator(specs, options, OsPolicyMode::kWorkingSet, tau).Run();
 }
 

@@ -7,6 +7,15 @@
 // Time model: one global clock tick per executed reference; a faulting
 // process enters page-wait for `fault_service_time` ticks while others run;
 // the clock jumps forward when no process is ready.
+//
+// Robustness: the entry points return Result<OsRunResult> — a workload that
+// can never fit the machine surfaces as a structured Error, and per-process
+// failures (OsProcessStats::failure) degrade the run instead of aborting the
+// process. An optional deterministic FaultInjector perturbs fault-service
+// times, makes swap-device attempts fail transiently (the OS retries with
+// bounded exponential backoff), and steals frames through phantom pressure
+// spikes; an optional thrashing detector (CPU-utilisation + fault-rate
+// hysteresis) drives load control by suspending and readmitting processes.
 #ifndef CDMM_SRC_OS_MULTIPROG_H_
 #define CDMM_SRC_OS_MULTIPROG_H_
 
@@ -14,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "src/robust/fault_injector.h"
+#include "src/support/result.h"
 #include "src/trace/trace.h"
 
 namespace cdmm {
@@ -30,6 +41,27 @@ struct OsOptions {
   uint64_t quantum = 5000;  // references per scheduling slice
   uint32_t initial_allocation = 2;
   bool honor_locks = true;
+
+  // When true, a PI=1 ALLOCATE request larger than the whole machine marks
+  // the process failed (structured reason in OsProcessStats::failure) and the
+  // rest of the mix keeps running. When false (default, the paper's
+  // behaviour), the process runs clamped to whatever physically fits.
+  bool fail_unfittable = false;
+
+  // Optional deterministic fault injection (null = nominal behaviour).
+  const FaultInjector* injector = nullptr;
+
+  // Thrashing detector + load control. Evaluated on windows of
+  // `thrash_window` ticks: when CPU utilisation falls below `thrash_cpu_low`
+  // AND the per-executed-reference fault rate exceeds `thrash_fault_rate`,
+  // the lowest-priority active process is suspended; a suspended-for-load
+  // process is readmitted when utilisation recovers above `thrash_cpu_high`
+  // (hysteresis) or when memory frees up.
+  bool load_control = false;
+  uint64_t thrash_window = 4096;
+  double thrash_cpu_low = 0.40;
+  double thrash_cpu_high = 0.60;
+  double thrash_fault_rate = 0.002;  // faults per executed reference
 };
 
 struct OsProcessStats {
@@ -42,6 +74,13 @@ struct OsProcessStats {
   uint64_t swapped_out = 0;   // times this process was chosen as swap victim
   uint64_t suspensions = 0;   // times it blocked waiting for memory
   uint64_t lock_releases = 0; // soft lock releases forced on it
+
+  // Graceful degradation: empty when the process ran to completion,
+  // otherwise a structured reason ("PI=1 request of N pages can never fit
+  // the M-frame machine", ...). A failed process's counters cover the work
+  // it did before failing.
+  std::string failure;
+  bool completed = true;
 };
 
 struct OsRunResult {
@@ -51,18 +90,26 @@ struct OsRunResult {
   uint64_t swaps = 0;          // swapper invocations that found a victim
   double mean_pool_used = 0.0; // time-weighted frames reserved
   double cpu_utilisation = 0.0;  // fraction of ticks spent executing refs
+
+  // Degradation accounting (all zero in a nominal run).
+  uint64_t failed_processes = 0;
+  uint64_t load_control_suspensions = 0;
+  uint64_t swap_device_failures = 0;   // transient attempts that failed
+  uint64_t swap_retries_exhausted = 0; // swaps abandoned after max retries
+  uint32_t phantom_peak_frames = 0;    // largest injected pressure spike
 };
 
 // Runs the CD-managed multiprogramming simulation to completion of every
-// process. CHECK-fails if a process's minimal (PI=1) request can never fit
-// even in an empty pool — the workload does not fit the machine.
-OsRunResult RunMultiprogrammedCd(const std::vector<OsProcessSpec>& specs,
-                                 const OsOptions& options);
+// process. Returns a structured Error (instead of aborting) when the
+// workload can never fit the machine: no processes, a null trace, or initial
+// allocations exceeding the frame pool.
+Result<OsRunResult> RunMultiprogrammedCd(const std::vector<OsProcessSpec>& specs,
+                                         const OsOptions& options);
 
 // Baseline: the same processes under a static equal partition with local
 // LRU replacement (directives ignored), same CPU/time model.
-OsRunResult RunEqualPartitionLru(const std::vector<OsProcessSpec>& specs,
-                                 const OsOptions& options);
+Result<OsRunResult> RunEqualPartitionLru(const std::vector<OsProcessSpec>& specs,
+                                         const OsOptions& options);
 
 // Baseline: multiprogrammed Working Set with the classic load control the
 // paper's §4 contrasts CD against — each process holds W(t, τ); when a
@@ -71,8 +118,8 @@ OsRunResult RunEqualPartitionLru(const std::vector<OsProcessSpec>& specs,
 // size fits again. Denning's WS dispatcher provides no per-request
 // information, so the victim choice is size-based, exactly the gap the
 // paper's PI mechanism fills.
-OsRunResult RunMultiprogrammedWs(const std::vector<OsProcessSpec>& specs,
-                                 const OsOptions& options, uint64_t tau);
+Result<OsRunResult> RunMultiprogrammedWs(const std::vector<OsProcessSpec>& specs,
+                                         const OsOptions& options, uint64_t tau);
 
 }  // namespace cdmm
 

@@ -1,0 +1,125 @@
+#include "src/robust/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/support/rng.h"
+
+namespace cdmm {
+namespace {
+
+// Distinct site constants keep the decision streams independent: the n-th
+// swap attempt and the n-th sweep item see unrelated randomness.
+enum Site : uint64_t {
+  kSiteServiceJitter = 0x51,
+  kSiteServiceTailGate = 0x52,
+  kSiteServiceTailScale = 0x53,
+  kSiteSwapFailure = 0x54,
+  kSitePressureGate = 0x55,
+  kSitePressureSize = 0x56,
+  kSiteStall = 0x57,
+  kSitePoison = 0x58,
+};
+
+}  // namespace
+
+FaultInjectionConfig FaultInjectionConfig::AtIntensity(uint64_t seed, double intensity) {
+  intensity = std::clamp(intensity, 0.0, 1.0);
+  FaultInjectionConfig config;
+  config.seed = intensity == 0.0 ? 0 : seed;
+  config.service_jitter = 0.5 * intensity;
+  config.service_tail_rate = 0.2 * intensity;
+  config.service_tail_scale = 8.0 + 24.0 * intensity;
+  config.swap_failure_rate = 0.5 * intensity;
+  config.pressure_rate = 0.6 * intensity;
+  config.pressure_max_fraction = 0.3 * intensity;
+  config.stall_rate = 0.1 * intensity;
+  config.poison_rate = 0.1 * intensity;
+  return config;
+}
+
+double FaultInjector::UnitAt(uint64_t site, uint64_t a, uint64_t b) const {
+  // One SplitMix64 step per mixed-in word; the final Next() decorrelates
+  // neighbouring (a, b) pairs. All integer arithmetic + one exact division,
+  // so the stream is identical across platforms and thread counts.
+  SplitMix64 rng(config_.seed ^ (site * 0x9e3779b97f4a7c15ULL));
+  rng.Next();
+  SplitMix64 mixed(rng.Next() ^ (a * 0xbf58476d1ce4e5b9ULL) ^ (b * 0x94d049bb133111ebULL));
+  mixed.Next();
+  return mixed.NextDouble();
+}
+
+uint64_t FaultInjector::FaultServiceTime(uint64_t stream, uint64_t fault_index,
+                                         uint64_t base) const {
+  if (!enabled()) {
+    return base;
+  }
+  double factor = 1.0;
+  if (config_.service_jitter > 0.0) {
+    double u = UnitAt(kSiteServiceJitter, stream, fault_index);
+    factor *= 1.0 + config_.service_jitter * (2.0 * u - 1.0);
+  }
+  if (config_.service_tail_rate > 0.0 &&
+      UnitAt(kSiteServiceTailGate, stream, fault_index) < config_.service_tail_rate) {
+    double u = UnitAt(kSiteServiceTailScale, stream, fault_index);
+    factor *= 1.0 + u * (config_.service_tail_scale - 1.0);
+  }
+  double scaled = static_cast<double>(base) * factor;
+  if (scaled < 1.0) {
+    return 1;
+  }
+  return static_cast<uint64_t>(scaled);
+}
+
+uint64_t FaultInjector::TotalFaultServiceTime(uint64_t stream, uint64_t faults,
+                                              uint64_t base) const {
+  if (!enabled()) {
+    return faults * base;
+  }
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < faults; ++i) {
+    total += FaultServiceTime(stream, i, base);
+  }
+  return total;
+}
+
+bool FaultInjector::SwapAttemptFails(uint64_t attempt) const {
+  if (!enabled() || config_.swap_failure_rate <= 0.0) {
+    return false;
+  }
+  return UnitAt(kSiteSwapFailure, attempt, 0) < config_.swap_failure_rate;
+}
+
+uint32_t FaultInjector::PhantomFrames(uint64_t clock, uint32_t total_frames) const {
+  if (!enabled() || config_.pressure_rate <= 0.0 || config_.pressure_epoch == 0) {
+    return 0;
+  }
+  uint64_t epoch = clock / config_.pressure_epoch;
+  if (UnitAt(kSitePressureGate, epoch, 0) >= config_.pressure_rate) {
+    return 0;
+  }
+  double fraction = UnitAt(kSitePressureSize, epoch, 0) * config_.pressure_max_fraction;
+  return static_cast<uint32_t>(static_cast<double>(total_frames) * fraction);
+}
+
+uint64_t FaultInjector::NextPhantomChange(uint64_t clock) const {
+  if (!enabled() || config_.pressure_rate <= 0.0 || config_.pressure_epoch == 0) {
+    return UINT64_MAX;
+  }
+  return (clock / config_.pressure_epoch + 1) * config_.pressure_epoch;
+}
+
+bool FaultInjector::StallsSweepItem(uint64_t index) const {
+  if (!enabled() || config_.stall_rate <= 0.0) {
+    return false;
+  }
+  return UnitAt(kSiteStall, index, 0) < config_.stall_rate;
+}
+
+bool FaultInjector::PoisonsSweepItem(uint64_t index) const {
+  if (!enabled() || config_.poison_rate <= 0.0) {
+    return false;
+  }
+  return UnitAt(kSitePoison, index, 0) < config_.poison_rate;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,103 @@
+// Deterministic fault injection for the simulators, the multiprogrammed OS
+// and the sweep engine. Every decision is a pure function of
+// (seed, site, stream, index): there is no internal mutable state, so the
+// injected schedule is identical regardless of thread count, scheduling
+// order, or how many other consumers share the injector. Consumers hold a
+// `const FaultInjector*` (null or a disabled injector means "nominal
+// behaviour, bit-identical to a build without injection").
+//
+// Injected adversities (each gated by its own rate knob):
+//  - perturbed / heavy-tailed page-fault service times,
+//  - transient swap-device failures (the OS retries with exponential
+//    backoff, bounded by max_swap_retries),
+//  - frame-pool pressure spikes: a phantom process reserves part of the pool
+//    for whole epochs,
+//  - stalled or poisoned sweep items (the sweep scheduler turns these into
+//    per-item timeout/error entries of a partial-result report).
+#ifndef CDMM_SRC_ROBUST_FAULT_INJECTOR_H_
+#define CDMM_SRC_ROBUST_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+namespace cdmm {
+
+struct FaultInjectionConfig {
+  // 0 disables every injection point; any other value seeds the schedule.
+  uint64_t seed = 0;
+
+  // Page-fault service time: each fault's service is scaled by a factor in
+  // [1 - service_jitter, 1 + service_jitter]; with probability
+  // service_tail_rate the fault additionally lands in a heavy tail and is
+  // multiplied by up to service_tail_scale.
+  double service_jitter = 0.25;
+  double service_tail_rate = 0.05;
+  double service_tail_scale = 16.0;
+
+  // Probability that one swap-device attempt fails transiently. The OS
+  // retries up to max_swap_retries times, waiting swap_backoff_base ticks
+  // doubled per attempt; if every retry fails the swap is abandoned.
+  double swap_failure_rate = 0.0;
+  int max_swap_retries = 4;
+  uint64_t swap_backoff_base = 250;
+
+  // Frame-pool pressure: time is cut into epochs of pressure_epoch ticks;
+  // with probability pressure_rate an epoch carries a phantom reservation of
+  // up to pressure_max_fraction of the pool.
+  double pressure_rate = 0.0;
+  uint64_t pressure_epoch = 16384;
+  double pressure_max_fraction = 0.25;
+
+  // Sweep-item pathologies, keyed by sweep index.
+  double stall_rate = 0.0;
+  double poison_rate = 0.0;
+
+  bool enabled() const { return seed != 0; }
+
+  // A config whose rates all scale with `intensity` in [0, 1] — the knob
+  // bench_faults sweeps to draw degradation curves. intensity == 0 yields a
+  // disabled config.
+  static FaultInjectionConfig AtIntensity(uint64_t seed, double intensity);
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;  // disabled
+  explicit FaultInjector(const FaultInjectionConfig& config) : config_(config) {}
+
+  bool enabled() const { return config_.enabled(); }
+  const FaultInjectionConfig& config() const { return config_; }
+
+  // Perturbed service time for the `fault_index`-th fault of `stream`
+  // (stream = process index, or 0 for a uniprogrammed simulation). Returns
+  // `base` unchanged when disabled; never returns 0.
+  uint64_t FaultServiceTime(uint64_t stream, uint64_t fault_index, uint64_t base) const;
+
+  // Sum of FaultServiceTime(stream, i, base) for i in [0, faults) — for
+  // policies that derive elapsed/space-time from a fault count.
+  uint64_t TotalFaultServiceTime(uint64_t stream, uint64_t faults, uint64_t base) const;
+
+  // Whether the `attempt`-th swap-device attempt (a global per-run sequence
+  // number) fails transiently.
+  bool SwapAttemptFails(uint64_t attempt) const;
+
+  // Frames the phantom process holds at `clock` out of a pool of
+  // `total_frames`. Piecewise-constant per epoch; 0 when disabled.
+  uint32_t PhantomFrames(uint64_t clock, uint32_t total_frames) const;
+
+  // First tick strictly after `clock` at which PhantomFrames may change.
+  uint64_t NextPhantomChange(uint64_t clock) const;
+
+  // Sweep-item pathologies.
+  bool StallsSweepItem(uint64_t index) const;
+  bool PoisonsSweepItem(uint64_t index) const;
+
+ private:
+  // Uniform double in [0, 1), fully determined by (seed, site, a, b).
+  double UnitAt(uint64_t site, uint64_t a, uint64_t b) const;
+
+  FaultInjectionConfig config_;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_ROBUST_FAULT_INJECTOR_H_

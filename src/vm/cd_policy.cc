@@ -58,6 +58,7 @@ SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* in
   CdCore core(options.initial_allocation, options.honor_locks);
   uint64_t swap_requests = 0;
   double ref_integral = 0.0;
+  uint64_t service_total = 0;
 
   auto process = [&](const DirectiveRecord& d) {
     ++result.directives_processed;
@@ -114,7 +115,10 @@ SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* in
         }
         ++result.references;
         result.max_resident = std::max(result.max_resident, core.resident());
-        result.elapsed += 1 + (fault ? options.sim.fault_service_time : 0);
+        if (fault) {
+          service_total += FaultServiceCost(options.sim, result.faults - 1);
+        }
+        result.elapsed += 1;
         ref_integral += static_cast<double>(core.held());
         break;
       }
@@ -126,11 +130,10 @@ SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* in
         break;
     }
   }
+  result.elapsed += service_total;
   result.mean_memory =
       result.references == 0 ? 0.0 : ref_integral / static_cast<double>(result.references);
-  result.space_time =
-      ref_integral + static_cast<double>(result.faults) *
-                         static_cast<double>(options.sim.fault_service_time);
+  result.space_time = ref_integral + static_cast<double>(service_total);
   if (info != nullptr) {
     info->swap_requests = swap_requests;
   }

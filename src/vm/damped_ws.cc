@@ -25,6 +25,7 @@ SimResult SimulateDampedWs(const Trace& trace, const DampedWsParams& params,
   uint64_t t = 0;
   uint64_t next_release = params.release_interval;
   double ref_integral = 0.0;
+  uint64_t service_total = 0;
 
   for (const TraceEvent& e : trace.events()) {
     if (e.kind != TraceEvent::Kind::kRef) {
@@ -71,13 +72,16 @@ SimResult SimulateDampedWs(const Trace& trace, const DampedWsParams& params,
     window.emplace_back(t, page);
     result.max_resident = std::max<uint32_t>(result.max_resident,
                                              static_cast<uint32_t>(resident_count));
-    result.elapsed += 1 + (fault ? options.fault_service_time : 0);
+    if (fault) {
+      service_total += FaultServiceCost(options, result.faults - 1);
+    }
+    result.elapsed += 1;
     ref_integral += static_cast<double>(resident_count);
   }
+  result.elapsed += service_total;
   result.references = t;
   result.mean_memory = t == 0 ? 0.0 : ref_integral / static_cast<double>(t);
-  result.space_time = ref_integral + static_cast<double>(result.faults) *
-                                         static_cast<double>(options.fault_service_time);
+  result.space_time = ref_integral + static_cast<double>(service_total);
   return result;
 }
 

@@ -36,12 +36,13 @@ SimResult Finish(const Trace& trace, uint32_t frames, Replacement replacement, u
   result.policy = StrCat(ReplacementName(replacement), "(m=", frames, ")");
   result.references = trace.reference_count();
   result.faults = faults;
-  result.elapsed = result.references + faults * options.fault_service_time;
+  uint64_t service_total = TotalFaultServiceCost(options, faults);
+  result.elapsed = result.references + service_total;
   result.mean_memory = frames;
   // Space-time: memory held over the reference string plus one frame held
   // for the duration of each fault service (see sim_result.h).
   result.space_time = static_cast<double>(frames) * static_cast<double>(result.references) +
-                      static_cast<double>(faults) * static_cast<double>(options.fault_service_time);
+                      static_cast<double>(service_total);
   result.max_resident = max_resident;
   return result;
 }
@@ -210,13 +211,14 @@ std::vector<SweepPoint> LruSweep(const Trace& trace, uint32_t max_frames,
   uint64_t refs = trace.reference_count();
   for (uint32_t m = 1; m <= max_frames; ++m) {
     uint64_t faults = faults_at[m];
+    uint64_t service_total = TotalFaultServiceCost(options, faults);
     SweepPoint p;
     p.parameter = m;
     p.faults = faults;
-    p.elapsed = refs + faults * options.fault_service_time;
+    p.elapsed = refs + service_total;
     p.mean_memory = m;
     p.space_time = static_cast<double>(m) * static_cast<double>(refs) +
-                   static_cast<double>(faults) * static_cast<double>(options.fault_service_time);
+                   static_cast<double>(service_total);
     points.push_back(p);
   }
   return points;

@@ -23,6 +23,7 @@ SimResult SimulatePff(const Trace& trace, uint64_t critical_interval, const SimO
   uint64_t t = 0;
   uint64_t last_fault_time = 0;
   double ref_integral = 0.0;
+  uint64_t service_total = 0;
 
   for (const TraceEvent& e : trace.events()) {
     if (e.kind != TraceEvent::Kind::kRef) {
@@ -53,14 +54,16 @@ SimResult SimulatePff(const Trace& trace, uint64_t critical_interval, const SimO
     last_ref[page] = t;
     result.max_resident = std::max(result.max_resident, resident_count);
 
-    result.elapsed += 1 + (fault ? options.fault_service_time : 0);
+    if (fault) {
+      service_total += FaultServiceCost(options, result.faults - 1);
+    }
+    result.elapsed += 1;
     ref_integral += static_cast<double>(resident_count);
   }
+  result.elapsed += service_total;
   result.references = t;
   result.mean_memory = t == 0 ? 0.0 : ref_integral / static_cast<double>(t);
-  result.space_time =
-      ref_integral + static_cast<double>(result.faults) *
-                         static_cast<double>(options.fault_service_time);
+  result.space_time = ref_integral + static_cast<double>(service_total);
   return result;
 }
 

@@ -20,14 +20,38 @@
 #include <cstdint>
 #include <string>
 
+#include "src/robust/fault_injector.h"
+
 namespace cdmm {
 
 struct SimOptions {
   // Page-fault service time in reference units (paper: 2000).
   uint64_t fault_service_time = 2000;
 
+  // Optional deterministic fault injection (null = nominal service times).
+  // Compared by identity; two options structs with distinct live injectors
+  // describe distinct experiments.
+  const FaultInjector* injector = nullptr;
+
   friend bool operator==(const SimOptions&, const SimOptions&) = default;
 };
+
+// Service time of the `fault_index`-th fault under `options` — the single
+// injection point every policy simulator consults. Identical to
+// options.fault_service_time when no injector is set.
+inline uint64_t FaultServiceCost(const SimOptions& options, uint64_t fault_index) {
+  return options.injector == nullptr
+             ? options.fault_service_time
+             : options.injector->FaultServiceTime(0, fault_index, options.fault_service_time);
+}
+
+// Sum of FaultServiceCost over faults [0, faults) — for policies that derive
+// elapsed/space-time from a fault count instead of accumulating per fault.
+inline uint64_t TotalFaultServiceCost(const SimOptions& options, uint64_t faults) {
+  return options.injector == nullptr
+             ? faults * options.fault_service_time
+             : options.injector->TotalFaultServiceTime(0, faults, options.fault_service_time);
+}
 
 struct SimResult {
   std::string policy;       // e.g. "LRU(m=26)", "WS(tau=421)", "CD(outer)"

@@ -75,11 +75,11 @@ SimResult SimulateVmin(const Trace& trace, const SimOptions& options, uint64_t r
 
   result.references = refs.size();
   result.faults = faults;
-  result.elapsed = result.references + faults * options.fault_service_time;
+  uint64_t service_total = TotalFaultServiceCost(options, faults);
+  result.elapsed = result.references + service_total;
   result.mean_memory =
       refs.empty() ? 0.0 : ref_integral / static_cast<double>(result.references);
-  result.space_time =
-      ref_integral + static_cast<double>(faults) * static_cast<double>(options.fault_service_time);
+  result.space_time = ref_integral + static_cast<double>(service_total);
   result.max_resident = max_resident;
   return result;
 }

@@ -22,6 +22,7 @@ SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options
   result.policy = StrCat("WS(tau=", tau, ")");
   uint64_t t = 0;
   double ref_integral = 0.0;
+  uint64_t service_total = 0;
 
   for (const TraceEvent& e : trace.events()) {
     if (e.kind != TraceEvent::Kind::kRef) {
@@ -53,14 +54,16 @@ SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options
     window.emplace_back(t, page);
     result.max_resident = std::max<uint32_t>(result.max_resident, static_cast<uint32_t>(ws_size));
 
-    result.elapsed += 1 + (fault ? options.fault_service_time : 0);
+    if (fault) {
+      service_total += FaultServiceCost(options, result.faults - 1);
+    }
+    result.elapsed += 1;
     ref_integral += static_cast<double>(ws_size);
   }
+  result.elapsed += service_total;
   result.references = t;
   result.mean_memory = t == 0 ? 0.0 : ref_integral / static_cast<double>(t);
-  result.space_time =
-      ref_integral + static_cast<double>(result.faults) *
-                         static_cast<double>(options.fault_service_time);
+  result.space_time = ref_integral + static_cast<double>(service_total);
   return result;
 }
 
@@ -86,7 +89,10 @@ class SampledEngine {
       ++faults_since_sample_;
     }
     result->max_resident = std::max(result->max_resident, resident_count_);
-    result->elapsed += 1 + (fault ? options_.fault_service_time : 0);
+    if (fault) {
+      service_total_ += FaultServiceCost(options_, result->faults - 1);
+    }
+    result->elapsed += 1;
     ref_integral_ += static_cast<double>(resident_count_);
   }
 
@@ -105,6 +111,7 @@ class SampledEngine {
   uint64_t now() const { return t_; }
   uint32_t faults_since_sample() const { return faults_since_sample_; }
   double ref_integral() const { return ref_integral_; }
+  uint64_t service_total() const { return service_total_; }
 
  private:
   struct UseBits {
@@ -119,14 +126,15 @@ class SampledEngine {
   uint64_t t_ = 0;
   uint32_t faults_since_sample_ = 0;
   double ref_integral_ = 0.0;
+  uint64_t service_total_ = 0;
 };
 
-void FinishMean(SimResult* result, const SampledEngine& engine, uint64_t fault_service_time) {
+void FinishMean(SimResult* result, const SampledEngine& engine) {
   result->references = engine.now();
+  result->elapsed += engine.service_total();
   result->mean_memory =
       engine.now() == 0 ? 0.0 : engine.ref_integral() / static_cast<double>(engine.now());
-  result->space_time = engine.ref_integral() + static_cast<double>(result->faults) *
-                                                   static_cast<double>(fault_service_time);
+  result->space_time = engine.ref_integral() + static_cast<double>(engine.service_total());
 }
 
 }  // namespace
@@ -149,7 +157,7 @@ SimResult SimulateSampledWs(const Trace& trace, const SampledWsParams& params,
       next_sample += params.sample_interval;
     }
   }
-  FinishMean(&result, engine, options.fault_service_time);
+  FinishMean(&result, engine);
   return result;
 }
 
@@ -174,7 +182,7 @@ SimResult SimulateVsws(const Trace& trace, const VswsParams& params, const SimOp
       last_sample = engine.now();
     }
   }
-  FinishMean(&result, engine, options.fault_service_time);
+  FinishMean(&result, engine);
   return result;
 }
 

@@ -1,0 +1,196 @@
+// In-process tests for the cdmmc driver's exit-code contract:
+//   0 ok, 1 input error, 2 usage error, 3 partial results.
+// Every failure path must print a diagnostic to the error stream and return
+// instead of calling std::exit or aborting.
+#include "src/cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/robust/fault_injector.h"
+
+namespace cdmm {
+namespace {
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun RunCli(std::vector<std::string> args) {
+  args.insert(args.begin(), "cdmmc");
+  // Keep the per-invocation thread pool small.
+  args.push_back("--jobs");
+  args.push_back("2");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) {
+    argv.push_back(a.data());
+  }
+  std::ostringstream out;
+  std::ostringstream err;
+  CliRun run;
+  run.code = CdmmcMain(static_cast<int>(argv.size()), argv.data(), out, err);
+  run.out = out.str();
+  run.err = err.str();
+  return run;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliTest, NoInputIsUsageError) {
+  CliRun r = RunCli({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownOptionIsUsageError) {
+  CliRun r = RunCli({"--frobnicate", "builtin:INIT"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown option --frobnicate"), std::string::npos);
+}
+
+TEST(CliTest, MissingArgumentIsUsageErrorNotExit) {
+  // This used to std::exit(2) from inside argument parsing.
+  CliRun r = RunCli({"builtin:INIT", "--simulate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--simulate needs an argument"), std::string::npos);
+}
+
+TEST(CliTest, BadTraceFormatIsUsageError) {
+  CliRun r = RunCli({"--trace-format", "yaml", "builtin:INIT"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad --trace-format 'yaml'"), std::string::npos);
+}
+
+TEST(CliTest, UnknownPolicySpecIsUsageError) {
+  CliRun r = RunCli({"builtin:INIT", "--simulate", "quantum:3"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown policy spec 'quantum:3'"), std::string::npos);
+}
+
+TEST(CliTest, MissingSourceFileIsInputError) {
+  CliRun r = RunCli({"/nonexistent/prog.f"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open /nonexistent/prog.f"), std::string::npos);
+}
+
+TEST(CliTest, MissingTraceFileIsInputError) {
+  CliRun r = RunCli({"--trace-in", "/nonexistent/t.trace"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open /nonexistent/t.trace"), std::string::npos);
+}
+
+TEST(CliTest, CorruptTraceIsInputErrorWithDiagnostic) {
+  std::string path = TempPath("corrupt.trace");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "CDMMTRACE 1\nNAME t\nPAGES 4\nR 0\nZZZ bogus\n";
+  }
+  CliRun r = RunCli({"--trace-in", path, "--simulate", "lru:8"});
+  EXPECT_EQ(r.code, 1);
+  // The diagnostic is the structured Error::ToString with its line number.
+  EXPECT_NE(r.err.find(path + ": 5:"), std::string::npos) << r.err;
+}
+
+TEST(CliTest, ParseErrorInSourceIsInputError) {
+  std::string path = TempPath("bad.f");
+  {
+    std::ofstream f(path);
+    f << "      THIS IS NOT FORTRAN AT ALL (\n";
+  }
+  CliRun r = RunCli({path});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find(path + ": "), std::string::npos);
+}
+
+TEST(CliTest, SuccessfulSimulateIsZero) {
+  CliRun r = RunCli({"builtin:INIT", "--simulate", "lru:16", "--simulate", "ws:2000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Policy"), std::string::npos);
+  EXPECT_NE(r.out.find("LRU(m=16)"), std::string::npos);
+  EXPECT_TRUE(r.err.empty()) << r.err;
+}
+
+TEST(CliTest, DeadlineWithoutPressureStillCompletes) {
+  CliRun r = RunCli({"builtin:INIT", "--simulate", "lru:16", "--deadline", "600000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("LRU(m=16)"), std::string::npos);
+}
+
+TEST(CliTest, InjectedRunIsDeterministicAcrossInvocations) {
+  std::vector<std::string> args = {"builtin:INIT", "--simulate", "lru:16", "--simulate",
+                                   "ws:2000",      "--inject-seed", "42",  "--inject-rate",
+                                   "0.8"};
+  CliRun a = RunCli(args);
+  CliRun b = RunCli(args);
+  EXPECT_EQ(a.code, b.code);
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_EQ(a.err, b.err);
+}
+
+TEST(CliTest, InjectedStallYieldsPartialResultsExitCode) {
+  // Find a seed whose schedule stalls at least one of the first two sweep
+  // items, so the run must degrade to a partial report.
+  uint64_t seed = 0;
+  for (uint64_t s = 1; s < 200; ++s) {
+    FaultInjector probe(FaultInjectionConfig::AtIntensity(s, 1.0));
+    if (probe.StallsSweepItem(0) || probe.StallsSweepItem(1)) {
+      seed = s;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "no stalling seed below 200 — lower the bar";
+  CliRun r = RunCli({"builtin:INIT", "--simulate", "lru:16", "--simulate", "ws:2000",
+                     "--inject-seed", std::to_string(seed), "--inject-rate", "1.0"});
+  EXPECT_EQ(r.code, 3) << r.err;
+  EXPECT_NE(r.err.find("timed out"), std::string::npos) << r.err;
+  // The completed rows (if any) are still printed.
+  EXPECT_NE(r.out.find("Policy"), std::string::npos);
+}
+
+TEST(CliTest, InjectionPerturbsSimulationResults) {
+  CliRun nominal = RunCli({"builtin:INIT", "--simulate", "lru:16"});
+  // Pick a seed that does NOT stall/poison item 0 so the row completes, then
+  // check the injected service times changed the space-time column.
+  uint64_t seed = 0;
+  for (uint64_t s = 1; s < 200; ++s) {
+    FaultInjector probe(FaultInjectionConfig::AtIntensity(s, 1.0));
+    if (!probe.StallsSweepItem(0) && !probe.PoisonsSweepItem(0)) {
+      seed = s;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u);
+  CliRun injected = RunCli({"builtin:INIT", "--simulate", "lru:16", "--inject-seed",
+                            std::to_string(seed), "--inject-rate", "1.0"});
+  EXPECT_EQ(nominal.code, 0);
+  EXPECT_EQ(injected.code, 0) << injected.err;
+  EXPECT_NE(nominal.out, injected.out);
+}
+
+TEST(CliTest, InjectSeedZeroIsExactlyNominal) {
+  CliRun nominal = RunCli({"builtin:INIT", "--simulate", "lru:16"});
+  CliRun zeroed = RunCli({"builtin:INIT", "--simulate", "lru:16", "--inject-seed", "0"});
+  EXPECT_EQ(nominal.code, zeroed.code);
+  EXPECT_EQ(nominal.out, zeroed.out);
+}
+
+TEST(CliTest, TraceRoundTripThroughFileStillWorks) {
+  std::string path = TempPath("roundtrip.trace");
+  CliRun w = RunCli({"builtin:INIT", "--trace-out", path, "--trace-format", "binary"});
+  EXPECT_EQ(w.code, 0) << w.err;
+  CliRun r = RunCli({"--trace-in", path, "--simulate", "lru:16"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("LRU(m=16)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdmm

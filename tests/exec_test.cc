@@ -233,5 +233,138 @@ TEST(SweepDeterminismTest, MapPreservesIndexOrder) {
   }
 }
 
+// ---- MapPartial: deadlines, injected stalls/poison, partial results.
+
+TEST(MapPartialTest, NominalSweepIsCompleteAndOrdered) {
+  ThreadPool pool(8);
+  SweepScheduler sched(&pool);
+  PartialSweep<int> out = sched.MapPartial<int>(
+      50, [](size_t i, const CancelToken&) { return static_cast<int>(i) * 2; });
+  EXPECT_TRUE(out.complete());
+  ASSERT_EQ(out.results.size(), 50u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(out.indices[i], i);
+    EXPECT_EQ(out.results[i], static_cast<int>(i) * 2);
+  }
+}
+
+TEST(MapPartialTest, InjectedStallsBecomeTimeoutsOrderedByIndex) {
+  FaultInjectionConfig config;
+  config.seed = 5;
+  config.stall_rate = 0.3;
+  FaultInjector injector(config);
+  PartialMapOptions options;
+  options.injector = &injector;
+  ThreadPool pool(8);
+  SweepScheduler sched(&pool);
+  auto fn = [](size_t i, const CancelToken&) { return static_cast<int>(i); };
+  PartialSweep<int> out = sched.MapPartial<int>(64, fn, options);
+  EXPECT_FALSE(out.complete());
+  EXPECT_GT(out.failures.size(), 0u);
+  EXPECT_EQ(out.results.size() + out.failures.size(), 64u);
+  for (const SweepItemFailure& f : out.failures) {
+    EXPECT_EQ(f.kind, SweepItemFailure::Kind::kTimeout);
+  }
+  for (size_t k = 1; k < out.failures.size(); ++k) {
+    EXPECT_LT(out.failures[k - 1].index, out.failures[k].index);
+  }
+  for (size_t k = 1; k < out.indices.size(); ++k) {
+    EXPECT_LT(out.indices[k - 1], out.indices[k]);
+  }
+  // Same seed, different thread count: identical partial report.
+  SweepScheduler serial(nullptr);
+  PartialSweep<int> again = serial.MapPartial<int>(64, fn, options);
+  ASSERT_EQ(again.failures.size(), out.failures.size());
+  for (size_t k = 0; k < out.failures.size(); ++k) {
+    EXPECT_EQ(again.failures[k].index, out.failures[k].index);
+  }
+  EXPECT_EQ(again.results, out.results);
+}
+
+TEST(MapPartialTest, PoisonedItemsBecomeErrorsNotCrashes) {
+  FaultInjectionConfig config;
+  config.seed = 9;
+  config.poison_rate = 0.25;
+  FaultInjector injector(config);
+  PartialMapOptions options;
+  options.injector = &injector;
+  ThreadPool pool(4);
+  SweepScheduler sched(&pool);
+  PartialSweep<int> out = sched.MapPartial<int>(
+      40, [](size_t i, const CancelToken&) { return static_cast<int>(i); }, options);
+  EXPECT_FALSE(out.complete());
+  for (const SweepItemFailure& f : out.failures) {
+    EXPECT_EQ(f.kind, SweepItemFailure::Kind::kError);
+    EXPECT_EQ(f.message, "injected poison");
+  }
+  EXPECT_EQ(out.results.size() + out.failures.size(), 40u);
+}
+
+TEST(MapPartialTest, ItemExceptionsAreCapturedPerItem) {
+  ThreadPool pool(4);
+  SweepScheduler sched(&pool);
+  PartialSweep<int> out = sched.MapPartial<int>(10, [](size_t i, const CancelToken&) {
+    if (i == 3) {
+      throw std::runtime_error("boom");
+    }
+    return static_cast<int>(i);
+  });
+  ASSERT_EQ(out.failures.size(), 1u);
+  EXPECT_EQ(out.failures[0].index, 3u);
+  EXPECT_EQ(out.failures[0].kind, SweepItemFailure::Kind::kError);
+  EXPECT_EQ(out.failures[0].message, "boom");
+  EXPECT_EQ(out.results.size(), 9u);
+}
+
+TEST(MapPartialTest, ExpiredDeadlineYieldsTimeoutsForUnstartedItems) {
+  ThreadPool pool(2);
+  SweepScheduler sched(&pool);
+  PartialSweep<int> out = sched.MapPartial<int>(
+      8,
+      [](size_t, const CancelToken& token) -> int {
+        if (token.Expired()) {
+          throw SweepCancelled();
+        }
+        return 1;
+      },
+      PartialMapOptions{/*deadline_ms=*/1, nullptr});
+  // With a 1ms budget some items may still complete; every non-completed one
+  // must be a timeout, and the totals must add up.
+  EXPECT_EQ(out.results.size() + out.failures.size(), 8u);
+  for (const SweepItemFailure& f : out.failures) {
+    EXPECT_EQ(f.kind, SweepItemFailure::Kind::kTimeout);
+  }
+}
+
+TEST(MapPartialTest, CooperativeCancellationReportsTimeout) {
+  ThreadPool pool(2);
+  SweepScheduler sched(&pool);
+  CancelToken shared;  // captured below; cancelled by item 0
+  PartialSweep<int> out = sched.MapPartial<int>(1, [&](size_t, const CancelToken&) -> int {
+    shared.Cancel();
+    if (shared.Expired()) {
+      throw SweepCancelled();
+    }
+    return 1;
+  });
+  ASSERT_EQ(out.failures.size(), 1u);
+  EXPECT_EQ(out.failures[0].kind, SweepItemFailure::Kind::kTimeout);
+}
+
+TEST(MapPartialTest, MapStillPropagatesExceptions) {
+  // The strict Map contract is unchanged: a throwing task aborts the sweep
+  // with the first exception rethrown to the caller.
+  ThreadPool pool(4);
+  SweepScheduler sched(&pool);
+  EXPECT_THROW(sched.Map<int>(8,
+                              [](size_t i) -> int {
+                                if (i == 2) {
+                                  throw std::runtime_error("strict");
+                                }
+                                return 0;
+                              }),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace cdmm

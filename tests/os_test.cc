@@ -43,7 +43,7 @@ class OsTest : public ::testing::Test {
 TEST_F(OsTest, SingleProcessCompletes) {
   OsOptions options;
   options.total_frames = 32;
-  OsRunResult r = RunMultiprogrammedCd({Spec("P0", 0)}, options);
+  OsRunResult r = RunMultiprogrammedCd({Spec("P0", 0)}, options).value();
   ASSERT_EQ(r.processes.size(), 1u);
   EXPECT_EQ(r.processes[0].references, program_->trace().reference_count());
   EXPECT_GT(r.processes[0].faults, 0u);
@@ -53,7 +53,7 @@ TEST_F(OsTest, SingleProcessCompletes) {
 TEST_F(OsTest, AllProcessesComplete) {
   OsOptions options;
   options.total_frames = 48;
-  OsRunResult r = RunMultiprogrammedCd({Spec("P0", 0), Spec("P1", 1), Spec("P2", 2)}, options);
+  OsRunResult r = RunMultiprogrammedCd({Spec("P0", 0), Spec("P1", 1), Spec("P2", 2)}, options).value();
   ASSERT_EQ(r.processes.size(), 3u);
   for (const OsProcessStats& p : r.processes) {
     EXPECT_EQ(p.references, program_->trace().reference_count()) << p.name;
@@ -66,7 +66,7 @@ TEST_F(OsTest, PoolNeverOvercommitted) {
   // Reserve() CHECK keeps <= total at every instant; the average must too.
   OsOptions options;
   options.total_frames = 24;
-  OsRunResult r = RunMultiprogrammedCd({Spec("A", 0), Spec("B", 1)}, options);
+  OsRunResult r = RunMultiprogrammedCd({Spec("A", 0), Spec("B", 1)}, options).value();
   EXPECT_LE(r.mean_pool_used, 24.0 + 1e-9);
 }
 
@@ -75,8 +75,8 @@ TEST_F(OsTest, FaultServiceOverlapsExecution) {
   // makespan is less than the sum of the isolated elapsed times.
   OsOptions options;
   options.total_frames = 48;
-  OsRunResult solo = RunMultiprogrammedCd({Spec("S", 0)}, options);
-  OsRunResult duo = RunMultiprogrammedCd({Spec("A", 0), Spec("B", 1)}, options);
+  OsRunResult solo = RunMultiprogrammedCd({Spec("S", 0)}, options).value();
+  OsRunResult duo = RunMultiprogrammedCd({Spec("A", 0), Spec("B", 1)}, options).value();
   EXPECT_LT(duo.total_time, 2 * solo.total_time);
   EXPECT_GT(duo.cpu_utilisation, solo.cpu_utilisation);
 }
@@ -84,7 +84,7 @@ TEST_F(OsTest, FaultServiceOverlapsExecution) {
 TEST_F(OsTest, WorkingSetModeCompletesAndTracksWs) {
   OsOptions options;
   options.total_frames = 40;
-  OsRunResult r = RunMultiprogrammedWs({Spec("A", 0), Spec("B", 1)}, options, /*tau=*/1000);
+  OsRunResult r = RunMultiprogrammedWs({Spec("A", 0), Spec("B", 1)}, options, /*tau=*/1000).value();
   ASSERT_EQ(r.processes.size(), 2u);
   for (const OsProcessStats& p : r.processes) {
     EXPECT_EQ(p.references, program_->trace().reference_count()) << p.name;
@@ -99,7 +99,7 @@ TEST_F(OsTest, WorkingSetModeLoadControlUnderPressure) {
   // suspend or swap at least once, and both processes still finish.
   OsOptions options;
   options.total_frames = 10;
-  OsRunResult r = RunMultiprogrammedWs({Spec("A", 0), Spec("B", 1)}, options, /*tau=*/5000);
+  OsRunResult r = RunMultiprogrammedWs({Spec("A", 0), Spec("B", 1)}, options, /*tau=*/5000).value();
   uint64_t churn = r.swaps;
   for (const OsProcessStats& p : r.processes) {
     churn += p.suspensions;
@@ -112,8 +112,8 @@ TEST_F(OsTest, CdBeatsWsLoadControlOnDirectedMix) {
   OsOptions options;
   options.total_frames = 32;
   std::vector<OsProcessSpec> specs = {Spec("A", 0), Spec("B", 1)};
-  OsRunResult cd = RunMultiprogrammedCd(specs, options);
-  OsRunResult ws = RunMultiprogrammedWs(specs, options, /*tau=*/2000);
+  OsRunResult cd = RunMultiprogrammedCd(specs, options).value();
+  OsRunResult ws = RunMultiprogrammedWs(specs, options, /*tau=*/2000).value();
   // CD has per-request information; WS must infer. CD should not fault
   // meaningfully more.
   EXPECT_LE(cd.total_faults, ws.total_faults * 12 / 10);
@@ -122,7 +122,7 @@ TEST_F(OsTest, CdBeatsWsLoadControlOnDirectedMix) {
 TEST_F(OsTest, EqualPartitionBaselineUsesFixedShares) {
   OsOptions options;
   options.total_frames = 40;
-  OsRunResult r = RunEqualPartitionLru({Spec("A", 0), Spec("B", 1)}, options);
+  OsRunResult r = RunEqualPartitionLru({Spec("A", 0), Spec("B", 1)}, options).value();
   for (const OsProcessStats& p : r.processes) {
     EXPECT_NEAR(p.mean_held, 20.0, 0.5) << p.name;
   }
@@ -134,8 +134,8 @@ TEST_F(OsTest, CdBeatsEqualPartitionOnPhaseContrast) {
   OsOptions options;
   options.total_frames = 32;
   std::vector<OsProcessSpec> specs = {Spec("A", 0), Spec("B", 1)};
-  OsRunResult cd = RunMultiprogrammedCd(specs, options);
-  OsRunResult eq = RunEqualPartitionLru(specs, options);
+  OsRunResult cd = RunMultiprogrammedCd(specs, options).value();
+  OsRunResult eq = RunEqualPartitionLru(specs, options).value();
   EXPECT_LE(cd.total_faults, eq.total_faults * 11 / 10);
 }
 
@@ -145,8 +145,8 @@ TEST_F(OsTest, QuantumControlsInterleavingDeterministically) {
   a.quantum = 1000;
   OsOptions b = a;
   b.quantum = 50000;
-  OsRunResult ra = RunMultiprogrammedCd({Spec("A", 0), Spec("B", 1)}, a);
-  OsRunResult rb = RunMultiprogrammedCd({Spec("A", 0), Spec("B", 1)}, b);
+  OsRunResult ra = RunMultiprogrammedCd({Spec("A", 0), Spec("B", 1)}, a).value();
+  OsRunResult rb = RunMultiprogrammedCd({Spec("A", 0), Spec("B", 1)}, b).value();
   // Same work completes under both quanta.
   EXPECT_EQ(ra.processes[0].references, rb.processes[0].references);
   EXPECT_EQ(ra.total_faults + rb.total_faults, 2 * ra.total_faults);  // determinism
@@ -156,8 +156,8 @@ TEST_F(OsTest, RunsAreDeterministic) {
   OsOptions options;
   options.total_frames = 32;
   std::vector<OsProcessSpec> specs = {Spec("A", 0), Spec("B", 1)};
-  OsRunResult r1 = RunMultiprogrammedCd(specs, options);
-  OsRunResult r2 = RunMultiprogrammedCd(specs, options);
+  OsRunResult r1 = RunMultiprogrammedCd(specs, options).value();
+  OsRunResult r2 = RunMultiprogrammedCd(specs, options).value();
   EXPECT_EQ(r1.total_time, r2.total_time);
   EXPECT_EQ(r1.total_faults, r2.total_faults);
   EXPECT_EQ(r1.processes[0].faults, r2.processes[0].faults);
@@ -193,7 +193,7 @@ TEST(OsSwapTest, EqualPriorityRequesterSuspendsUntilMemoryFrees) {
       OsProcessSpec{"A", &a, 0},
       OsProcessSpec{"B", &b, 0},
   };
-  OsRunResult r = RunMultiprogrammedCd(specs, options);
+  OsRunResult r = RunMultiprogrammedCd(specs, options).value();
   EXPECT_EQ(r.swaps, 0u);
   EXPECT_GE(r.processes[1].suspensions, 1u);
   EXPECT_EQ(r.processes[1].references, b.reference_count());
@@ -211,12 +211,164 @@ TEST(OsSwapTest, HigherPriorityRequesterSwapsLowerJob) {
       OsProcessSpec{"A", &a, /*job_priority=*/0},
       OsProcessSpec{"B", &b, /*job_priority=*/9},
   };
-  OsRunResult r = RunMultiprogrammedCd(specs, options);
+  OsRunResult r = RunMultiprogrammedCd(specs, options).value();
   EXPECT_GE(r.swaps, 1u);
   EXPECT_GE(r.processes[0].swapped_out, 1u);
   // Both still complete.
   EXPECT_EQ(r.processes[0].references, a.reference_count());
   EXPECT_EQ(r.processes[1].references, b.reference_count());
+}
+
+// ---- Robustness: structured errors, fault injection, load control.
+
+TEST(OsRobustTest, UnfittableWorkloadReturnsErrorInsteadOfAborting) {
+  Trace t = GreedyTrace(4, 1);
+  OsOptions options;
+  options.total_frames = 4;
+  options.initial_allocation = 2;
+  // 3 processes x 2 initial frames > 4 total: can never fit.
+  std::vector<OsProcessSpec> specs = {
+      OsProcessSpec{"A", &t, 0}, OsProcessSpec{"B", &t, 0}, OsProcessSpec{"C", &t, 0}};
+  Result<OsRunResult> r = RunMultiprogrammedCd(specs, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("can never fit"), std::string::npos);
+}
+
+TEST(OsRobustTest, EmptyAndNullSpecsReturnErrors) {
+  OsOptions options;
+  EXPECT_FALSE(RunMultiprogrammedCd({}, options).ok());
+  std::vector<OsProcessSpec> null_trace = {OsProcessSpec{"A", nullptr, 0}};
+  EXPECT_FALSE(RunMultiprogrammedCd(null_trace, options).ok());
+  EXPECT_FALSE(RunMultiprogrammedWs(null_trace, options, 1000).ok());
+}
+
+TEST(OsRobustTest, EqualPartitionNeedsOneFramePerProcess) {
+  Trace t = GreedyTrace(2, 1);
+  OsOptions options;
+  options.total_frames = 2;
+  std::vector<OsProcessSpec> specs = {
+      OsProcessSpec{"A", &t, 0}, OsProcessSpec{"B", &t, 0}, OsProcessSpec{"C", &t, 0}};
+  Result<OsRunResult> r = RunEqualPartitionLru(specs, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("can never fit"), std::string::npos);
+}
+
+TEST(OsRobustTest, FailUnfittableMarksProcessFailedAndRestFinish) {
+  Trace big = GreedyTrace(100, 3);   // PI=1 demand of 100 pages
+  Trace small = GreedyTrace(10, 3);
+  OsOptions options;
+  options.total_frames = 48;
+  options.fail_unfittable = true;
+  std::vector<OsProcessSpec> specs = {
+      OsProcessSpec{"BIG", &big, 0}, OsProcessSpec{"SMALL", &small, 0}};
+  OsRunResult r = RunMultiprogrammedCd(specs, options).value();
+  EXPECT_EQ(r.failed_processes, 1u);
+  EXPECT_FALSE(r.processes[0].completed);
+  EXPECT_NE(r.processes[0].failure.find("can never fit"), std::string::npos);
+  EXPECT_TRUE(r.processes[1].completed);
+  EXPECT_EQ(r.processes[1].references, small.reference_count());
+}
+
+TEST(OsRobustTest, DefaultClampKeepsUnfittableProcessRunning) {
+  Trace big = GreedyTrace(100, 3);
+  OsOptions options;
+  options.total_frames = 48;
+  OsRunResult r =
+      RunMultiprogrammedCd({OsProcessSpec{"BIG", &big, 0}}, options).value();
+  EXPECT_EQ(r.failed_processes, 0u);
+  EXPECT_TRUE(r.processes[0].completed);
+  EXPECT_EQ(r.processes[0].references, big.reference_count());
+}
+
+class OsInjectionTest : public OsTest {};
+
+TEST_F(OsInjectionTest, SameSeedSameSchedule) {
+  FaultInjector injector(FaultInjectionConfig::AtIntensity(/*seed=*/42, 0.6));
+  OsOptions options;
+  options.total_frames = 32;
+  options.injector = &injector;
+  std::vector<OsProcessSpec> specs = {Spec("A", 0), Spec("B", 1)};
+  OsRunResult r1 = RunMultiprogrammedCd(specs, options).value();
+  OsRunResult r2 = RunMultiprogrammedCd(specs, options).value();
+  EXPECT_EQ(r1.total_time, r2.total_time);
+  EXPECT_EQ(r1.total_faults, r2.total_faults);
+  EXPECT_EQ(r1.swap_device_failures, r2.swap_device_failures);
+  EXPECT_EQ(r1.phantom_peak_frames, r2.phantom_peak_frames);
+  for (size_t i = 0; i < r1.processes.size(); ++i) {
+    EXPECT_EQ(r1.processes[i].faults, r2.processes[i].faults);
+    EXPECT_EQ(r1.processes[i].finished_at, r2.processes[i].finished_at);
+  }
+}
+
+TEST_F(OsInjectionTest, DisabledInjectorMatchesNullInjector) {
+  FaultInjector disabled;  // seed 0
+  OsOptions with;
+  with.total_frames = 32;
+  with.injector = &disabled;
+  OsOptions without;
+  without.total_frames = 32;
+  std::vector<OsProcessSpec> specs = {Spec("A", 0), Spec("B", 1)};
+  OsRunResult a = RunMultiprogrammedCd(specs, with).value();
+  OsRunResult b = RunMultiprogrammedCd(specs, without).value();
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.total_faults, b.total_faults);
+  EXPECT_EQ(a.mean_pool_used, b.mean_pool_used);
+}
+
+TEST_F(OsInjectionTest, InjectedRunStillCompletesEveryProcess) {
+  FaultInjector injector(FaultInjectionConfig::AtIntensity(/*seed=*/7, 1.0));
+  OsOptions options;
+  options.total_frames = 32;
+  options.injector = &injector;
+  options.load_control = true;
+  std::vector<OsProcessSpec> specs = {Spec("A", 0), Spec("B", 1), Spec("C", 2)};
+  OsRunResult r = RunMultiprogrammedCd(specs, options).value();
+  for (const OsProcessStats& p : r.processes) {
+    EXPECT_EQ(p.references, program_->trace().reference_count()) << p.name;
+    EXPECT_TRUE(p.completed) << p.name;
+  }
+  // Full intensity must actually perturb the run.
+  EXPECT_GT(r.phantom_peak_frames + r.swap_device_failures + r.total_faults, 0u);
+}
+
+TEST_F(OsInjectionTest, SwapDeviceFailuresAreCountedAndBounded) {
+  FaultInjectionConfig config;
+  config.seed = 11;
+  config.swap_failure_rate = 1.0;  // the device is down for good
+  config.max_swap_retries = 2;
+  FaultInjector injector(config);
+  Trace a = GreedyTrace(40, 30);
+  Trace b = GreedyTrace(30, 5);
+  OsOptions options;
+  options.total_frames = 48;
+  options.quantum = 500;
+  options.injector = &injector;
+  std::vector<OsProcessSpec> specs = {
+      OsProcessSpec{"A", &a, 0}, OsProcessSpec{"B", &b, 9}};
+  OsRunResult r = RunMultiprogrammedCd(specs, options).value();
+  // Every swap attempt fails: no swaps happen, retries are exhausted, and
+  // both processes still complete (B waits for A's frames instead).
+  EXPECT_EQ(r.swaps, 0u);
+  EXPECT_GT(r.swap_retries_exhausted, 0u);
+  EXPECT_EQ(r.swap_device_failures, r.swap_retries_exhausted * 3);
+  EXPECT_EQ(r.processes[0].references, a.reference_count());
+  EXPECT_EQ(r.processes[1].references, b.reference_count());
+}
+
+TEST_F(OsInjectionTest, LoadControlEngagesUnderThrashing) {
+  OsOptions options;
+  options.total_frames = 12;  // far below the mix's aggregate demand
+  options.fault_service_time = 20000;
+  options.load_control = true;
+  options.thrash_window = 512;
+  options.thrash_cpu_low = 0.95;  // aggressive: almost any waiting trips it
+  options.thrash_fault_rate = 0.0001;
+  std::vector<OsProcessSpec> specs = {Spec("A", 0), Spec("B", 1), Spec("C", 2)};
+  OsRunResult r = RunMultiprogrammedWs(specs, options, /*tau=*/4000).value();
+  EXPECT_GT(r.load_control_suspensions, 0u);
+  for (const OsProcessStats& p : r.processes) {
+    EXPECT_EQ(p.references, program_->trace().reference_count()) << p.name;
+  }
 }
 
 TEST(OsWorkloadTest, HigherPriorityJobCanSwapLowerOne) {
@@ -234,7 +386,7 @@ TEST(OsWorkloadTest, HigherPriorityJobCanSwapLowerOne) {
       OsProcessSpec{"HWSCRT", &pa.trace(), 5},
       OsProcessSpec{"APPROX", &pb.trace(), 0},
   };
-  OsRunResult r = RunMultiprogrammedCd(specs, options);
+  OsRunResult r = RunMultiprogrammedCd(specs, options).value();
   EXPECT_EQ(r.processes.size(), 2u);
   // Both still finish.
   EXPECT_GT(r.processes[0].references, 0u);

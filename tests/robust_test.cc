@@ -1,0 +1,185 @@
+// Tests for the deterministic fault injector: purity (same (seed, site,
+// stream, index) always gives the same decision), independence from call
+// order, disabled-equals-nominal, and the shape guarantees each injection
+// point promises its consumers.
+#include "src/robust/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+namespace {
+
+FaultInjectionConfig FullConfig(uint64_t seed) {
+  FaultInjectionConfig config;
+  config.seed = seed;
+  config.swap_failure_rate = 0.3;
+  config.pressure_rate = 0.5;
+  config.stall_rate = 0.2;
+  config.poison_rate = 0.2;
+  return config;
+}
+
+TEST(FaultInjectorTest, DisabledByDefault) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_EQ(injector.FaultServiceTime(0, 0, 2000), 2000u);
+  EXPECT_EQ(injector.TotalFaultServiceTime(0, 10, 2000), 20000u);
+  EXPECT_FALSE(injector.SwapAttemptFails(0));
+  EXPECT_EQ(injector.PhantomFrames(12345, 128), 0u);
+  EXPECT_FALSE(injector.StallsSweepItem(3));
+  EXPECT_FALSE(injector.PoisonsSweepItem(3));
+}
+
+TEST(FaultInjectorTest, DecisionsArePureFunctionsOfTheirArguments) {
+  FaultInjector a(FullConfig(77));
+  FaultInjector b(FullConfig(77));
+  // Interrogate `a` in a scrambled order relative to `b`: every answer must
+  // match, because no call mutates state.
+  std::vector<uint64_t> forward, backward;
+  for (uint64_t i = 0; i < 200; ++i) {
+    forward.push_back(a.FaultServiceTime(1, i, 2000));
+  }
+  for (uint64_t i = 200; i-- > 0;) {
+    backward.push_back(b.FaultServiceTime(1, i, 2000));
+  }
+  for (uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(forward[i], backward[199 - i]) << i;
+  }
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.SwapAttemptFails(i), b.SwapAttemptFails(i)) << i;
+    EXPECT_EQ(a.StallsSweepItem(i), b.StallsSweepItem(i)) << i;
+    EXPECT_EQ(a.PoisonsSweepItem(i), b.PoisonsSweepItem(i)) << i;
+    EXPECT_EQ(a.PhantomFrames(i * 1000, 128), b.PhantomFrames(i * 1000, 128)) << i;
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsGiveDifferentSchedules) {
+  FaultInjector a(FullConfig(1));
+  FaultInjector b(FullConfig(2));
+  int differing = 0;
+  for (uint64_t i = 0; i < 100; ++i) {
+    differing += a.FaultServiceTime(0, i, 2000) != b.FaultServiceTime(0, i, 2000);
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(FaultInjectorTest, StreamsAreIndependent) {
+  FaultInjector injector(FullConfig(9));
+  int differing = 0;
+  for (uint64_t i = 0; i < 100; ++i) {
+    differing += injector.FaultServiceTime(0, i, 2000) != injector.FaultServiceTime(1, i, 2000);
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(FaultInjectorTest, ServiceTimeNeverZeroAndBoundedBelowHeavyTail) {
+  FaultInjectionConfig config;
+  config.seed = 3;
+  config.service_jitter = 1.0;  // factor can reach 0 without the floor
+  config.service_tail_rate = 0.1;
+  config.service_tail_scale = 16.0;
+  FaultInjector injector(config);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    uint64_t t = injector.FaultServiceTime(0, i, 2000);
+    EXPECT_GE(t, 1u);
+    EXPECT_LE(t, 2000ull * 2 * 16);  // (1 + jitter) * tail scale
+  }
+  // Even a base of 1 stays positive.
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_GE(injector.FaultServiceTime(0, i, 1), 1u);
+  }
+}
+
+TEST(FaultInjectorTest, TotalIsSumOfPerFaultTimes) {
+  FaultInjector injector(FullConfig(21));
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < 50; ++i) {
+    sum += injector.FaultServiceTime(2, i, 2000);
+  }
+  EXPECT_EQ(injector.TotalFaultServiceTime(2, 50, 2000), sum);
+}
+
+TEST(FaultInjectorTest, PhantomFramesRespectTheConfiguredCap) {
+  FaultInjectionConfig config;
+  config.seed = 13;
+  config.pressure_rate = 1.0;
+  config.pressure_max_fraction = 0.25;
+  FaultInjector injector(config);
+  for (uint64_t clock = 0; clock < 40 * config.pressure_epoch;
+       clock += config.pressure_epoch / 2) {
+    uint32_t frames = injector.PhantomFrames(clock, 128);
+    EXPECT_LE(frames, 32u) << clock;  // 25% of 128
+  }
+}
+
+TEST(FaultInjectorTest, PhantomIsPiecewiseConstantPerEpoch) {
+  FaultInjectionConfig config;
+  config.seed = 13;
+  config.pressure_rate = 1.0;
+  FaultInjector injector(config);
+  uint64_t epoch = config.pressure_epoch;
+  for (uint64_t e = 0; e < 10; ++e) {
+    uint32_t at_start = injector.PhantomFrames(e * epoch, 128);
+    uint32_t mid = injector.PhantomFrames(e * epoch + epoch / 2, 128);
+    uint32_t at_end = injector.PhantomFrames(e * epoch + epoch - 1, 128);
+    EXPECT_EQ(at_start, mid);
+    EXPECT_EQ(mid, at_end);
+    EXPECT_EQ(injector.NextPhantomChange(e * epoch), (e + 1) * epoch);
+  }
+}
+
+TEST(FaultInjectorTest, AtIntensityZeroIsDisabled) {
+  FaultInjectionConfig config = FaultInjectionConfig::AtIntensity(99, 0.0);
+  EXPECT_FALSE(config.enabled());
+  FaultInjectionConfig live = FaultInjectionConfig::AtIntensity(99, 0.5);
+  EXPECT_TRUE(live.enabled());
+  EXPECT_EQ(live.seed, 99u);
+}
+
+TEST(FaultInjectorTest, AtIntensityClampsAndScalesMonotonically) {
+  FaultInjectionConfig low = FaultInjectionConfig::AtIntensity(5, 0.2);
+  FaultInjectionConfig high = FaultInjectionConfig::AtIntensity(5, 1.0);
+  FaultInjectionConfig over = FaultInjectionConfig::AtIntensity(5, 7.0);  // clamped to 1
+  EXPECT_LT(low.swap_failure_rate, high.swap_failure_rate);
+  EXPECT_LT(low.pressure_rate, high.pressure_rate);
+  EXPECT_LT(low.stall_rate, high.stall_rate);
+  EXPECT_EQ(over.swap_failure_rate, high.swap_failure_rate);
+  EXPECT_LE(high.swap_failure_rate, 1.0);
+  EXPECT_LE(high.pressure_max_fraction, 0.5);
+}
+
+TEST(FaultInjectorTest, SimOptionsHelpersMatchInjector) {
+  FaultInjector injector(FullConfig(31));
+  SimOptions with;
+  with.fault_service_time = 1500;
+  with.injector = &injector;
+  SimOptions without;
+  without.fault_service_time = 1500;
+  // Null injector: exact legacy arithmetic.
+  EXPECT_EQ(FaultServiceCost(without, 7), 1500u);
+  EXPECT_EQ(TotalFaultServiceCost(without, 11), 11u * 1500u);
+  // Injector attached: defer to its streams.
+  EXPECT_EQ(FaultServiceCost(with, 7), injector.FaultServiceTime(0, 7, 1500));
+  EXPECT_EQ(TotalFaultServiceCost(with, 11), injector.TotalFaultServiceTime(0, 11, 1500));
+}
+
+TEST(FaultInjectorTest, RatesProduceRoughlyProportionalEventCounts) {
+  FaultInjectionConfig config;
+  config.seed = 101;
+  config.stall_rate = 0.25;
+  FaultInjector injector(config);
+  int stalled = 0;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    stalled += injector.StallsSweepItem(i);
+  }
+  // 25% +- generous slack.
+  EXPECT_GT(stalled, 4000 / 8);
+  EXPECT_LT(stalled, 4000 / 2);
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,192 @@
+// Adversarial trace-input tests: hostile, truncated, and corrupted byte
+// streams fed to the trace readers must come back as structured Errors —
+// never a crash, a CHECK failure, or an attempt to allocate an
+// attacker-controlled amount of memory.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/trace/trace_io.h"
+
+namespace cdmm {
+namespace {
+
+// Little helper: parse `bytes` as a binary trace and expect a failure whose
+// message contains `needle`.
+void ExpectBinaryError(const std::string& bytes, const std::string& needle) {
+  std::istringstream in(bytes, std::ios::binary);
+  Result<Trace> r = ReadTraceBinary(in);
+  ASSERT_FALSE(r.ok()) << "bytes parsed unexpectedly";
+  EXPECT_NE(r.error().message.find(needle), std::string::npos)
+      << "got: " << r.error().message;
+}
+
+std::string Varint(uint64_t v) {
+  std::string out;
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+  return out;
+}
+
+// Valid binary prelude: magic, version 1, empty name, `pages` virtual pages.
+std::string Prelude(uint64_t pages = 8) {
+  std::string out = "CDMB";
+  out.push_back('\x01');
+  out += Varint(0);      // name length
+  out += Varint(pages);  // virtual pages
+  return out;
+}
+
+TEST(TraceAdversarialTest, EmptyStreamIsAnError) {
+  std::istringstream in("", std::ios::binary);
+  EXPECT_FALSE(ReadAnyTrace(in).ok());
+  std::istringstream in2("", std::ios::binary);
+  EXPECT_FALSE(ReadTraceBinary(in2).ok());
+  std::istringstream in3("", std::ios::binary);
+  EXPECT_FALSE(ReadTrace(in3).ok());
+}
+
+TEST(TraceAdversarialTest, CorruptTextMagic) {
+  std::istringstream in("NOTATRACE 1\nR 0\n");
+  Result<Trace> r = ReadTrace(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("bad magic"), std::string::npos);
+}
+
+TEST(TraceAdversarialTest, CorruptBinaryMagic) {
+  ExpectBinaryError("XXXX\x01", "bad binary trace magic");
+}
+
+TEST(TraceAdversarialTest, TruncatedMagic) {
+  ExpectBinaryError("CD", "bad binary trace magic");
+}
+
+TEST(TraceAdversarialTest, UnsupportedVersion) {
+  std::string bytes = "CDMB";
+  bytes.push_back('\x7e');
+  ExpectBinaryError(bytes, "unsupported binary trace version");
+}
+
+TEST(TraceAdversarialTest, NameLengthOverflowingPayloadIsRejectedNotAllocated) {
+  // Claims a ~1 EiB name; the reader must refuse before allocating it.
+  std::string bytes = "CDMB";
+  bytes.push_back('\x01');
+  bytes += Varint(1ull << 60);
+  ExpectBinaryError(bytes, "malformed trace name");
+}
+
+TEST(TraceAdversarialTest, NameLongerThanStream) {
+  std::string bytes = "CDMB";
+  bytes.push_back('\x01');
+  bytes += Varint(1000);  // within the 1MB cap, but the stream ends here
+  bytes += "short";
+  ExpectBinaryError(bytes, "truncated trace name");
+}
+
+TEST(TraceAdversarialTest, MissingPageCount) {
+  std::string bytes = "CDMB";
+  bytes.push_back('\x01');
+  bytes += Varint(0);
+  ExpectBinaryError(bytes, "missing virtual page count");
+}
+
+TEST(TraceAdversarialTest, MissingTerminatorIsTruncation) {
+  std::string bytes = Prelude();
+  bytes += Varint((2ull << 3) | 0);  // one valid REF of page 2, then EOF
+  ExpectBinaryError(bytes, "truncated binary trace");
+}
+
+TEST(TraceAdversarialTest, RefPageOutOfRange) {
+  std::string bytes = Prelude(/*pages=*/4);
+  bytes += Varint((9ull << 3) | 0);  // page 9 >= 4 declared pages
+  ExpectBinaryError(bytes, "out of range");
+}
+
+TEST(TraceAdversarialTest, AllocateCountOverflowingPayload) {
+  std::string bytes = Prelude();
+  bytes += Varint((1ull << 3) | 3);  // ALLOCATE, loop 1
+  bytes += Varint(1u << 30);         // absurd request count
+  ExpectBinaryError(bytes, "malformed ALLOCATE request count");
+}
+
+TEST(TraceAdversarialTest, AllocateZeroRequests) {
+  std::string bytes = Prelude();
+  bytes += Varint((1ull << 3) | 3);
+  bytes += Varint(0);
+  ExpectBinaryError(bytes, "malformed ALLOCATE request count");
+}
+
+TEST(TraceAdversarialTest, TruncatedAllocateRequests) {
+  std::string bytes = Prelude();
+  bytes += Varint((1ull << 3) | 3);
+  bytes += Varint(3);   // promises 3 requests
+  bytes += Varint(1);   // delivers half of one
+  ExpectBinaryError(bytes, "truncated ALLOCATE request");
+}
+
+TEST(TraceAdversarialTest, LockCountOverflowingPayloadIsBounded) {
+  // A LOCK claiming ~16M pages with an empty payload must fail fast on the
+  // first missing varint instead of reserving gigabytes.
+  std::string bytes = Prelude();
+  bytes += Varint((1ull << 3) | 4);  // LOCK, loop 1
+  bytes += Varint(2);                // PJ
+  bytes += Varint((1u << 24) + 1);   // over the page-count cap
+  ExpectBinaryError(bytes, "malformed lock page count");
+}
+
+TEST(TraceAdversarialTest, TruncatedLockPageList) {
+  std::string bytes = Prelude();
+  bytes += Varint((1ull << 3) | 4);
+  bytes += Varint(2);    // PJ
+  bytes += Varint(100);  // promises 100 pages, stream ends
+  ExpectBinaryError(bytes, "truncated lock page list");
+}
+
+TEST(TraceAdversarialTest, UnknownTag) {
+  std::string bytes = Prelude();
+  bytes += Varint((1ull << 3) | 7);  // tag 7 with a non-zero payload
+  ExpectBinaryError(bytes, "unknown binary event tag");
+}
+
+TEST(TraceAdversarialTest, UnterminatedVarintIsTruncation) {
+  std::string bytes = Prelude();
+  bytes += std::string(20, '\xff');  // continuation bits forever (shift > 63)
+  ExpectBinaryError(bytes, "truncated binary trace");
+}
+
+TEST(TraceAdversarialTest, TextTraceWithGarbageLines) {
+  std::istringstream in("CDMMTRACE 1\nNAME t\nPAGES 4\nR 0\nZZZ what\n");
+  Result<Trace> r = ReadTrace(in);
+  ASSERT_FALSE(r.ok());
+  // The error carries the 1-based line number of the offending line.
+  EXPECT_EQ(r.error().location.line, 5u);
+}
+
+TEST(TraceAdversarialTest, ReadAnyTraceSniffsAndStillFailsGracefully) {
+  // Starts with 'C' like both magics but is neither.
+  std::istringstream in("CDMMZZZ nope");
+  EXPECT_FALSE(ReadAnyTrace(in).ok());
+  std::string bin = "CDMB";  // binary magic, then nothing
+  std::istringstream in2(bin, std::ios::binary);
+  EXPECT_FALSE(ReadAnyTrace(in2).ok());
+}
+
+TEST(TraceAdversarialTest, RoundTripStillWorksAfterAllThat) {
+  Trace t("sanity");
+  t.set_virtual_pages(4);
+  t.AddRef(0);
+  t.AddRef(3);
+  std::ostringstream out(std::ios::binary);
+  WriteTraceBinary(t, out);
+  std::istringstream in(out.str(), std::ios::binary);
+  Result<Trace> r = ReadAnyTrace(in);
+  ASSERT_TRUE(r.ok()) << r.error().ToString();
+  EXPECT_EQ(r.value().reference_count(), 2u);
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,258 +1,10 @@
-// cdmmc — the CDMM compiler/simulator driver.
-//
-// Compiles a mini-FORTRAN program (a file, or `builtin:NAME` for one of the
-// paper's nine workloads), optionally prints the locality report and the
-// instrumented listing, writes the directive-bearing reference trace, and
-// simulates any of the implemented policies on it.
-//
-// Usage:
-//   cdmmc [options] <source.f | builtin:NAME>
-//
-// Options:
-//   --report               print the §2 locality analysis report
-//   --listing              print the instrumented skeleton (Figure 5c style)
-//   --listing-full         ... with the statements included
-//   --source               print the round-tripped source
-//   --trace-out FILE       write the generated trace to FILE
-//   --trace-format FMT     text (default) or binary
-//   --trace-in FILE        skip compilation: simulate a stored trace (either
-//                          format; cd-* specs need a directive-bearing trace)
-//   --simulate SPEC        run a policy (repeatable). SPEC is one of:
-//                            cd-outer | cd-inner | cd-cap:N | cd-avail:FRAMES
-//                            lru:M | fifo:M | opt:M | ws:TAU | sws:SIGMA
-//                            vsws | pff:T | dws:TAU | vmin
-//   --jobs N               simulate the --simulate specs on N threads
-//                          (default: all cores; results print in spec order)
-//   --page-size BYTES      page size (default 256)
-//   --element-size BYTES   array element size (default 4)
-//   --fault-service N      fault service time in references (default 2000)
-//   --min-pages N          system-default minimum allocation (default 1)
-//   --no-locks             do not insert LOCK/UNLOCK directives
-//   --no-allocate          do not insert ALLOCATE directives
-#include <cstdlib>
-#include <fstream>
+// cdmmc entry point. The full driver lives in src/cli so its exit-code
+// contract (0 ok, 1 input error, 2 usage error, 3 partial results) is
+// covered by in-process tests; see src/cli/cli.cc for the usage text.
 #include <iostream>
-#include <sstream>
-#include <string>
-#include <vector>
 
-#include "src/cdmm/pipeline.h"
-#include "src/exec/flags.h"
-#include "src/exec/sweep_scheduler.h"
-#include "src/support/str.h"
-#include "src/support/table.h"
-#include "src/trace/trace_io.h"
-#include "src/vm/policy_spec.h"
-#include "src/workloads/workloads.h"
+#include "src/cli/cli.h"
 
-namespace cdmm {
-namespace {
-
-struct CliOptions {
-  std::string input;
-  std::string trace_in;
-  bool binary_format = false;
-  bool report = false;
-  bool listing = false;
-  bool listing_full = false;
-  bool source = false;
-  std::string trace_out;
-  std::vector<std::string> simulate;
-  PipelineOptions pipeline;
-  SimOptions sim;
-};
-
-int Usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--report] [--listing|--listing-full] [--source]\n"
-               "            [--trace-out FILE] [--trace-format text|binary]\n"
-               "            [--trace-in FILE] [--simulate SPEC]...\n"
-               "            [--page-size N] [--element-size N] [--fault-service N]\n"
-               "            [--min-pages N] [--no-locks] [--no-allocate] [--jobs N]\n"
-               "            <source.f | builtin:NAME>\n"
-               "builtins: MAIN FDJAC TQL FIELD INIT APPROX HYBRJ CONDUCT HWSCRT\n"
-               "policy specs: cd-outer cd-inner cd-cap:N cd-avail:FRAMES lru:M fifo:M\n"
-               "              opt:M ws:TAU sws:SIGMA vsws pff:T dws:TAU vmin\n";
-  return 2;
+int main(int argc, char** argv) {
+  return cdmm::CdmmcMain(argc, argv, std::cout, std::cerr);
 }
-
-// Runs every --simulate spec as a task over the pool (all reading the shared
-// immutable traces) and appends the results to `table` in spec order. On an
-// unknown spec the table rows for the valid specs are still produced, but the
-// error wins: prints the known forms and returns false.
-bool RunPolicies(const std::vector<std::string>& specs, const Trace& full, const Trace& refs,
-                 const SimOptions& sim, const SweepScheduler& sched, TextTable* table) {
-  std::vector<std::optional<SimResult>> results = sched.Map<std::optional<SimResult>>(
-      specs.size(), [&](size_t i) { return RunPolicySpec(specs[i], full, refs, sim); });
-  for (size_t i = 0; i < specs.size(); ++i) {
-    if (!results[i].has_value()) {
-      std::cerr << "unknown policy spec '" << specs[i] << "'; known forms:\n";
-      for (const std::string& known : KnownPolicySpecs()) {
-        std::cerr << "  " << known << "\n";
-      }
-      return false;
-    }
-    const SimResult& r = *results[i];
-    table->AddRow({r.policy, StrCat(r.faults), FormatFixed(r.mean_memory, 2),
-                   FormatMillions(r.space_time), StrCat(r.max_resident)});
-  }
-  return true;
-}
-
-// Simulation over a stored trace, bypassing the compiler.
-int RunFromTrace(const CliOptions& cli, const SweepScheduler& sched) {
-  std::ifstream in(cli.trace_in, std::ios::binary);
-  if (!in) {
-    std::cerr << "cannot open " << cli.trace_in << "\n";
-    return 1;
-  }
-  auto parsed = ReadAnyTrace(in);
-  if (!parsed.ok()) {
-    std::cerr << cli.trace_in << ": " << parsed.error().ToString() << "\n";
-    return 1;
-  }
-  const Trace& full = parsed.value();
-  Trace refs = full.ReferencesOnly();
-  std::cout << "trace " << full.name() << ": R=" << refs.reference_count() << " references, V="
-            << full.virtual_pages() << " pages, " << full.directives().size() << " directives\n";
-  TextTable table({"Policy", "PF", "MEM", "ST x1e6", "max resident"});
-  if (!RunPolicies(cli.simulate, full, refs, cli.sim, sched, &table)) {
-    return 2;
-  }
-  if (!cli.simulate.empty()) {
-    table.Print(std::cout);
-  }
-  return 0;
-}
-
-int Run(const CliOptions& cli, const SweepScheduler& sched) {
-  std::string text;
-  if (cli.input.rfind("builtin:", 0) == 0) {
-    text = FindWorkload(cli.input.substr(8)).source;
-  } else {
-    std::ifstream file(cli.input);
-    if (!file) {
-      std::cerr << "cannot open " << cli.input << "\n";
-      return 1;
-    }
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    text = buffer.str();
-  }
-
-  auto compiled = CompiledProgram::FromSource(text, cli.pipeline);
-  if (!compiled.ok()) {
-    std::cerr << cli.input << ": " << compiled.error().ToString() << "\n";
-    return 1;
-  }
-  const CompiledProgram& cp = compiled.value();
-
-  if (cli.source) {
-    std::cout << ProgramToString(cp.program());
-  }
-  if (cli.report) {
-    std::cout << cp.locality().Report();
-  }
-  if (cli.listing || cli.listing_full) {
-    std::cout << cp.Listing(/*compact=*/!cli.listing_full);
-  }
-  if (!cli.trace_out.empty()) {
-    std::ofstream out(cli.trace_out, std::ios::binary);
-    if (!out) {
-      std::cerr << "cannot write " << cli.trace_out << "\n";
-      return 1;
-    }
-    if (cli.binary_format) {
-      WriteTraceBinary(cp.trace(), out);
-    } else {
-      WriteTrace(cp.trace(), out);
-    }
-    std::cout << "wrote " << cp.trace().reference_count() << " references to " << cli.trace_out
-              << (cli.binary_format ? " (binary)" : " (text)") << "\n";
-  }
-  if (!cli.simulate.empty()) {
-    std::shared_ptr<const Trace> full = cp.shared_trace();
-    std::shared_ptr<const Trace> refs = cp.shared_references();
-    std::cout << "R=" << refs->reference_count() << " references, V=" << refs->virtual_pages()
-              << " pages, fault service " << cli.sim.fault_service_time << "\n";
-    TextTable table({"Policy", "PF", "MEM", "ST x1e6", "max resident"});
-    if (!RunPolicies(cli.simulate, *full, *refs, cli.sim, sched, &table)) {
-      return 2;
-    }
-    table.Print(std::cout);
-  }
-  return 0;
-}
-
-int Main(int argc, char** argv) {
-  unsigned jobs = ParseJobsFlag(&argc, argv);
-  ThreadPool pool(jobs);
-  SweepScheduler sched(&pool);
-  CliOptions cli;
-  cli.pipeline.locality.min_default_pages = 1;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << arg << " needs an argument\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--report") {
-      cli.report = true;
-    } else if (arg == "--listing") {
-      cli.listing = true;
-    } else if (arg == "--listing-full") {
-      cli.listing_full = true;
-    } else if (arg == "--source") {
-      cli.source = true;
-    } else if (arg == "--trace-out") {
-      cli.trace_out = next();
-    } else if (arg == "--trace-in") {
-      cli.trace_in = next();
-    } else if (arg == "--trace-format") {
-      std::string fmt = next();
-      if (fmt != "text" && fmt != "binary") {
-        std::cerr << "bad --trace-format '" << fmt << "'\n";
-        return Usage(argv[0]);
-      }
-      cli.binary_format = fmt == "binary";
-    } else if (arg == "--simulate") {
-      cli.simulate.push_back(next());
-    } else if (arg == "--page-size") {
-      cli.pipeline.locality.geometry.page_size_bytes =
-          static_cast<uint32_t>(std::atoi(next()));
-    } else if (arg == "--element-size") {
-      cli.pipeline.locality.geometry.element_size_bytes =
-          static_cast<uint32_t>(std::atoi(next()));
-    } else if (arg == "--fault-service") {
-      cli.sim.fault_service_time = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--min-pages") {
-      cli.pipeline.locality.min_default_pages = std::atoi(next());
-    } else if (arg == "--no-locks") {
-      cli.pipeline.directives.insert_locks = false;
-    } else if (arg == "--no-allocate") {
-      cli.pipeline.directives.insert_allocate = false;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "unknown option " << arg << "\n";
-      return Usage(argv[0]);
-    } else if (cli.input.empty()) {
-      cli.input = arg;
-    } else {
-      return Usage(argv[0]);
-    }
-  }
-  if (!cli.trace_in.empty()) {
-    return RunFromTrace(cli, sched);
-  }
-  if (cli.input.empty()) {
-    return Usage(argv[0]);
-  }
-  return Run(cli, sched);
-}
-
-}  // namespace
-}  // namespace cdmm
-
-int main(int argc, char** argv) { return cdmm::Main(argc, argv); }
