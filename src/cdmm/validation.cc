@@ -91,6 +91,29 @@ std::vector<LoopValidation> ValidateLocalityEstimates(const CompiledProgram& cp)
   return out;
 }
 
+std::vector<Diagnostic> ValidationDiagnostics(const CompiledProgram& cp,
+                                              const std::vector<LoopValidation>& rows) {
+  std::vector<Diagnostic> out;
+  for (const LoopValidation& v : rows) {
+    if (v.adequate()) {
+      continue;
+    }
+    const LoopNode& node = cp.tree().node(v.loop_id);
+    Diagnostic d;
+    d.code = "V001";
+    d.severity = Severity::kWarning;
+    d.pass = "estimate-validation";
+    d.location = node.loop->location;
+    d.message = StrCat("ALLOCATE before loop ", v.loop_label, " grants X=", v.estimated_pages,
+                       " but the measured minimal no-thrash allocation is ", v.max_rereferenced,
+                       " page(s) over ", v.executions, " execution(s)");
+    d.fixit = StrCat("raise the §2 estimate for loop ", v.loop_label, " to at least ",
+                     v.max_rereferenced, " page(s)");
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
 std::string ValidationReport(const std::string& program_name,
                              const std::vector<LoopValidation>& rows) {
   std::ostringstream os;

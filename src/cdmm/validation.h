@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/cdmm/pipeline.h"
+#include "src/lint/diagnostics.h"
 
 namespace cdmm {
 
@@ -40,6 +41,13 @@ std::vector<LoopValidation> ValidateLocalityEstimates(const CompiledProgram& cp)
 // Formats the validation as a table-like report.
 std::string ValidationReport(const std::string& program_name,
                              const std::vector<LoopValidation>& rows);
+
+// The structured-diagnostic view of the validation: one V001 warning per
+// loop whose ALLOCATE argument X under-estimates the measured minimal
+// no-thrash allocation, anchored at the offending loop's DO statement (pass
+// "estimate-validation"). Empty when every estimate is adequate.
+std::vector<Diagnostic> ValidationDiagnostics(const CompiledProgram& cp,
+                                              const std::vector<LoopValidation>& rows);
 
 }  // namespace cdmm
 

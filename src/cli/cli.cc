@@ -13,6 +13,9 @@
 //   --listing              print the instrumented skeleton (Figure 5c style)
 //   --listing-full         ... with the statements included
 //   --source               print the round-tripped source
+//   --lint[=json]          run the cdmm-lint static checker instead of
+//                          compiling: prints diagnostics (text or JSON) and
+//                          exits 0 (clean), 4 (diagnostics), or 1 (parse)
 //   --trace-out FILE       write the generated trace to FILE
 //   --trace-format FMT     text (default) or binary
 //   --trace-in FILE        skip compilation: simulate a stored trace (either
@@ -45,6 +48,7 @@
 
 #include "src/cdmm/pipeline.h"
 #include "src/exec/flags.h"
+#include "src/lint/lint.h"
 #include "src/exec/sweep_scheduler.h"
 #include "src/robust/fault_injector.h"
 #include "src/support/str.h"
@@ -64,6 +68,8 @@ struct CliOptions {
   bool listing = false;
   bool listing_full = false;
   bool source = false;
+  bool lint = false;
+  bool lint_json = false;
   std::string trace_out;
   std::vector<std::string> simulate;
   PipelineOptions pipeline;
@@ -78,7 +84,7 @@ struct CliOptions {
 
 int Usage(const char* argv0, std::ostream& err) {
   err << "usage: " << argv0
-      << " [--report] [--listing|--listing-full] [--source]\n"
+      << " [--report] [--listing|--listing-full] [--source] [--lint[=json]]\n"
          "            [--trace-out FILE] [--trace-format text|binary]\n"
          "            [--trace-in FILE] [--simulate SPEC]...\n"
          "            [--page-size N] [--element-size N] [--fault-service N]\n"
@@ -179,6 +185,20 @@ int RunFromTrace(const CliOptions& cli, const SweepScheduler& sched, std::ostrea
   return code;
 }
 
+// cdmmc --lint[=json]: runs the static checker instead of compiling.
+// Exit: 0 clean, 1 the source did not parse, 4 diagnostics reported.
+int RunLint(const CliOptions& cli, const std::string& text, std::ostream& out) {
+  LintOptions options;
+  options.locality = cli.pipeline.locality;
+  options.directives = cli.pipeline.directives;
+  std::vector<Diagnostic> diags = LintSource(text, options);
+  out << (cli.lint_json ? RenderJson(diags, cli.input) : RenderText(diags, cli.input));
+  if (!diags.empty() && diags.front().pass == "parse") {
+    return 1;
+  }
+  return diags.empty() ? 0 : 4;
+}
+
 int Run(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
         std::ostream& err) {
   std::string text;
@@ -193,6 +213,10 @@ int Run(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
     std::ostringstream buffer;
     buffer << file.rdbuf();
     text = buffer.str();
+  }
+
+  if (cli.lint) {
+    return RunLint(cli, text, out);
   }
 
   auto compiled = CompiledProgram::FromSource(text, cli.pipeline);
@@ -268,6 +292,11 @@ int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
       cli.listing_full = true;
     } else if (arg == "--source") {
       cli.source = true;
+    } else if (arg == "--lint") {
+      cli.lint = true;
+    } else if (arg == "--lint=json") {
+      cli.lint = true;
+      cli.lint_json = true;
     } else if (arg == "--trace-out") {
       cli.trace_out = next();
     } else if (arg == "--trace-in") {

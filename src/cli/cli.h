@@ -8,6 +8,9 @@
 //   2  usage error (unknown option/spec, missing argument)
 //   3  partial results: at least one --simulate spec timed out or failed
 //      under --deadline / --inject-*, but the completed rows were printed
+//   4  lint diagnostics: --lint reported at least one warning or error
+//      (parse failures under --lint still exit 1; see src/cli/lint_cli.h
+//      for the standalone cdmm-lint tool sharing this contract)
 #ifndef CDMM_SRC_CLI_CLI_H_
 #define CDMM_SRC_CLI_CLI_H_
 

@@ -1,0 +1,165 @@
+// cdmm-lint — the standalone multi-pass static checker and directive
+// verifier for mini-FORTRAN programs.
+//
+// Usage:
+//   cdmm-lint [options] <source.f | builtin:NAME>...
+//
+// Options:
+//   --json                 render diagnostics as a JSON array
+//   --validate             also replay the trace and report V001 warnings
+//                          where the §2 estimate under-covers the measured
+//                          per-loop need (sema-clean programs only)
+//   --page-size BYTES      page size used by the analyses (default 256)
+//   --element-size BYTES   array element size (default 4)
+//   --min-pages N          system-default minimum allocation (default 1)
+//   --no-locks             lint a plan without LOCK/UNLOCK directives
+//   --no-allocate          lint a plan without ALLOCATE directives
+#include "src/cli/lint_cli.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+#include "src/cdmm/validation.h"
+#include "src/lint/lint.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+int Usage(const char* argv0, std::ostream& err) {
+  err << "usage: " << argv0
+      << " [--json] [--validate] [--page-size N] [--element-size N]\n"
+         "                 [--min-pages N] [--no-locks] [--no-allocate]\n"
+         "                 <source.f | builtin:NAME>...\n"
+         "exit: 0 clean, 1 input error, 2 usage error, 4 diagnostics reported\n";
+  return 2;
+}
+
+// Graceful builtin lookup (FindWorkload CHECK-fails on unknown names).
+const Workload* TryFindWorkload(const std::string& name) {
+  for (const auto* list : {&AllWorkloads(), &ExtendedWorkloads()}) {
+    for (const Workload& w : *list) {
+      if (w.name == name) {
+        return &w;
+      }
+    }
+  }
+  return nullptr;
+}
+
+struct LintCliOptions {
+  bool json = false;
+  bool validate = false;
+  LintOptions lint;
+};
+
+// Lints one input; returns 0 clean, 1 input error, 4 diagnostics.
+int LintOneInput(const std::string& input, const LintCliOptions& opt, std::ostream& out,
+                 std::ostream& err) {
+  std::string text;
+  if (input.rfind("builtin:", 0) == 0) {
+    const Workload* w = TryFindWorkload(input.substr(8));
+    if (w == nullptr) {
+      err << input << ": unknown builtin workload\n";
+      return 1;
+    }
+    text = w->source;
+  } else {
+    std::ifstream file(input);
+    if (!file) {
+      err << "cannot open " << input << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  std::vector<Diagnostic> diags = LintSource(text, opt.lint);
+  bool parse_failed = !diags.empty() && diags.front().pass == "parse";
+  bool sema_clean = true;
+  for (const Diagnostic& d : diags) {
+    sema_clean = sema_clean && d.pass != "sema" && d.pass != "parse";
+  }
+  if (opt.validate && sema_clean) {
+    PipelineOptions po;
+    po.locality = opt.lint.locality;
+    po.directives = opt.lint.directives;
+    auto compiled = CompiledProgram::FromSource(text, po);
+    if (compiled.ok()) {
+      std::vector<LoopValidation> rows = ValidateLocalityEstimates(compiled.value());
+      for (Diagnostic& d : ValidationDiagnostics(compiled.value(), rows)) {
+        diags.push_back(std::move(d));
+      }
+    }
+  }
+  out << (opt.json ? RenderJson(diags, input) : RenderText(diags, input));
+  if (parse_failed) {
+    return 1;
+  }
+  return diags.empty() ? 0 : 4;
+}
+
+}  // namespace
+
+int LintMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
+  LintCliOptions opt;
+  opt.lint.locality.min_default_pages = 1;  // match the cdmmc driver default
+  std::vector<std::string> inputs;
+  bool missing_argument = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        err << arg << " needs an argument\n";
+        missing_argument = true;
+        return "";
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--validate") {
+      opt.validate = true;
+    } else if (arg == "--page-size") {
+      opt.lint.locality.geometry.page_size_bytes = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--element-size") {
+      opt.lint.locality.geometry.element_size_bytes = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--min-pages") {
+      opt.lint.locality.min_default_pages = std::atoi(next());
+    } else if (arg == "--no-locks") {
+      opt.lint.directives.insert_locks = false;
+    } else if (arg == "--no-allocate") {
+      opt.lint.directives.insert_allocate = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "unknown option " << arg << "\n";
+      return Usage(argv[0], err);
+    } else {
+      inputs.push_back(arg);
+    }
+    if (missing_argument) {
+      return 2;
+    }
+  }
+  if (inputs.empty()) {
+    return Usage(argv[0], err);
+  }
+  bool any_input_error = false;
+  bool any_diagnostic = false;
+  for (const std::string& input : inputs) {
+    int code = LintOneInput(input, opt, out, err);
+    any_input_error = any_input_error || code == 1;
+    any_diagnostic = any_diagnostic || code == 4;
+  }
+  if (any_input_error) {
+    return 1;
+  }
+  return any_diagnostic ? 4 : 0;
+}
+
+}  // namespace cdmm

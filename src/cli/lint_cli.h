@@ -1,0 +1,26 @@
+// The cdmm-lint driver as a library (tools/cdmm_lint.cc is a thin main), so
+// the exit contract is testable in-process.
+//
+// Exit codes (extending the cdmmc scheme, see src/cli/cli.h):
+//   0  every input linted clean
+//   1  input error: a file could not be read, a builtin name is unknown, or
+//      a source failed to parse (P001)
+//   2  usage error (unknown option, missing operand)
+//   4  at least one diagnostic (warning or error) was reported
+// When both input errors and diagnostics occur across a multi-file run, the
+// input error wins (1): the run did not fully inspect its inputs.
+#ifndef CDMM_SRC_CLI_LINT_CLI_H_
+#define CDMM_SRC_CLI_LINT_CLI_H_
+
+#include <iosfwd>
+
+namespace cdmm {
+
+// Runs the cdmm-lint command line. `out` receives diagnostics and reports,
+// `err` usage/summary lines. Never calls std::exit and never aborts on bad
+// input.
+int LintMain(int argc, char** argv, std::ostream& out, std::ostream& err);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_CLI_LINT_CLI_H_

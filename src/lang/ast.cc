@@ -49,7 +49,7 @@ std::string Expr::ToString() const {
 }
 
 LoopBound LoopBound::Constant(int64_t v) {
-  return LoopBound{LoopBound::Kind::kConstant, v, StrCat(v)};
+  return LoopBound{LoopBound::Kind::kConstant, v, StrCat(v), SourceLocation{}};
 }
 
 namespace {

@@ -75,6 +75,7 @@ struct LoopBound {
   Kind kind = Kind::kConstant;
   int64_t value = 0;     // kConstant/kParameter: the resolved value
   std::string spelling;  // "100", "N", or the variable name
+  SourceLocation location;
 
   bool IsStatic() const { return kind != Kind::kVariable; }
 
@@ -101,6 +102,7 @@ struct Stmt {
   uint32_t loop_id = 0;  // unique, 1-based, preorder over the whole program
   int64_t label = 0;     // label of the terminating CONTINUE
   std::string loop_var;
+  SourceLocation loop_var_location;
   LoopBound lower;
   LoopBound upper;
   int64_t step = 1;
@@ -128,6 +130,9 @@ struct ArrayDecl {
 struct Program {
   std::string name;
   std::map<std::string, int64_t> parameters;  // PARAMETER (NAME = value)
+  // Declaration site of each PARAMETER (diagnostic spans; keyed like
+  // `parameters`).
+  std::map<std::string, SourceLocation> parameter_locations;
   std::vector<ArrayDecl> arrays;              // declaration order
   std::vector<StmtPtr> body;
   uint32_t loop_count = 0;  // loops are numbered 1..loop_count

@@ -217,6 +217,7 @@ class Parser {
       if (!program_.parameters.emplace(name, value).second) {
         return Error{StrCat("duplicate PARAMETER '", name, "'"), loc};
       }
+      program_.parameter_locations.emplace(name, loc);
       if (Peek().kind != TokenKind::kComma) {
         break;
       }
@@ -229,6 +230,7 @@ class Parser {
   }
 
   MaybeError ParseLoopBound(LoopBound* bound) {
+    bound->location = Peek().location;
     bool negative = false;
     if (Peek().kind == TokenKind::kMinus) {
       Take();
@@ -273,6 +275,7 @@ class Parser {
     stmt->location = loc;
     stmt->label = label;
     stmt->loop_id = ++program_.loop_count;
+    stmt->loop_var_location = Peek().location;
     stmt->loop_var = Take().text;
     if (auto err = Expect(TokenKind::kAssign)) {
       return err;

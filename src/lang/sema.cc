@@ -1,6 +1,7 @@
 #include "src/lang/sema.h"
 
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/lang/parser.h"
@@ -9,129 +10,128 @@
 namespace cdmm {
 namespace {
 
+constexpr char kPass[] = "sema";
+
+// Accumulating semantic checker. Traversal order matches the historical
+// short-circuit checker, so CheckProgram (first error) is unchanged while
+// CheckProgramAll surfaces everything in one run.
 class Checker {
  public:
   explicit Checker(const Program& program) : program_(program) {}
 
-  std::optional<Error> Run() {
+  std::vector<Diagnostic> Run() {
     std::set<std::string> names;
     for (const ArrayDecl& a : program_.arrays) {
       if (!names.insert(a.name).second) {
-        return Error{StrCat("array ", a.name, " declared more than once"), a.location};
+        Report("S001", a.location, StrCat("array ", a.name, " declared more than once"));
       }
       if (program_.parameters.count(a.name) != 0) {
-        return Error{StrCat("name ", a.name, " is both an array and a PARAMETER"), a.location};
+        Report("S002", a.location,
+               StrCat("name ", a.name, " is both an array and a PARAMETER"));
       }
     }
     for (const StmtPtr& s : program_.body) {
-      if (auto err = CheckStmt(*s)) {
-        return err;
-      }
+      CheckStmt(*s);
     }
-    return std::nullopt;
+    return diags_.Take();
   }
 
  private:
-  std::optional<Error> CheckStmt(const Stmt& stmt) {
-    switch (stmt.kind) {
-      case Stmt::Kind::kAssign:
-        return CheckAssign(stmt);
-      case Stmt::Kind::kDoLoop:
-        return CheckLoop(stmt);
-    }
-    return std::nullopt;
+  void Report(std::string code, SourceLocation location, std::string message) {
+    diags_.Report(Severity::kError, std::move(code), kPass, location, std::move(message));
   }
 
-  std::optional<Error> CheckLoopBound(const LoopBound& bound, const Stmt& loop) {
+  void CheckStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kAssign:
+        CheckAssign(stmt);
+        return;
+      case Stmt::Kind::kDoLoop:
+        CheckLoop(stmt);
+        return;
+    }
+  }
+
+  void CheckLoopBound(const LoopBound& bound, const Stmt& loop) {
     if (bound.kind != LoopBound::Kind::kVariable) {
-      return std::nullopt;
+      return;
     }
     for (const std::string& v : active_loop_vars_) {
       if (v == bound.spelling) {
-        return std::nullopt;
+        return;
       }
     }
-    return Error{StrCat("loop bound '", bound.spelling,
-                        "' is neither a PARAMETER nor an enclosing loop variable"),
-                 loop.location};
+    Report("S008", bound.location.IsValid() ? bound.location : loop.location,
+           StrCat("loop bound '", bound.spelling,
+                  "' is neither a PARAMETER nor an enclosing loop variable"));
   }
 
-  std::optional<Error> CheckLoop(const Stmt& loop) {
+  void CheckLoop(const Stmt& loop) {
     for (const std::string& v : active_loop_vars_) {
       if (v == loop.loop_var) {
-        return Error{StrCat("loop variable ", loop.loop_var, " reused by an enclosing DO"),
-                     loop.location};
+        Report("S006", loop.location,
+               StrCat("loop variable ", loop.loop_var, " reused by an enclosing DO"));
+        break;
       }
     }
-    if (auto err = CheckLoopBound(loop.lower, loop)) {
-      return err;
-    }
-    if (auto err = CheckLoopBound(loop.upper, loop)) {
-      return err;
-    }
+    CheckLoopBound(loop.lower, loop);
+    CheckLoopBound(loop.upper, loop);
     if (program_.FindArray(loop.loop_var) != nullptr) {
-      return Error{StrCat("loop variable ", loop.loop_var, " collides with an array name"),
-                   loop.location};
+      Report("S007", loop.location,
+             StrCat("loop variable ", loop.loop_var, " collides with an array name"));
     }
     active_loop_vars_.push_back(loop.loop_var);
     for (const StmtPtr& s : loop.body) {
-      if (auto err = CheckStmt(*s)) {
-        return err;
-      }
+      CheckStmt(*s);
     }
     active_loop_vars_.pop_back();
-    return std::nullopt;
   }
 
-  std::optional<Error> CheckAssign(const Stmt& stmt) {
+  void CheckAssign(const Stmt& stmt) {
     if (!stmt.lhs_scalar.empty() && program_.FindArray(stmt.lhs_scalar) != nullptr) {
-      return Error{StrCat("array ", stmt.lhs_scalar, " assigned without subscripts"),
-                   stmt.location};
+      Report("S009", stmt.location,
+             StrCat("array ", stmt.lhs_scalar, " assigned without subscripts"));
     }
     for (const ArrayRef* ref : stmt.DirectArrayRefs()) {
-      if (auto err = CheckArrayRef(*ref)) {
-        return err;
-      }
+      CheckArrayRef(*ref);
     }
     if (stmt.rhs != nullptr) {
-      if (auto err = CheckExprScalars(*stmt.rhs)) {
-        return err;
-      }
+      CheckExprScalars(*stmt.rhs);
     }
-    return std::nullopt;
   }
 
-  std::optional<Error> CheckExprScalars(const Expr& expr) {
+  void CheckExprScalars(const Expr& expr) {
     switch (expr.kind) {
       case Expr::Kind::kScalar:
         if (program_.FindArray(expr.scalar) != nullptr) {
-          return Error{StrCat("array ", expr.scalar, " used without subscripts"), expr.location};
+          Report("S009", expr.location,
+                 StrCat("array ", expr.scalar, " used without subscripts"));
         }
-        return std::nullopt;
+        return;
       case Expr::Kind::kNumber:
       case Expr::Kind::kArrayElement:
-        return std::nullopt;
+        return;
       case Expr::Kind::kNegate:
-        return CheckExprScalars(*expr.lhs);
+        CheckExprScalars(*expr.lhs);
+        return;
       case Expr::Kind::kBinary:
-        if (auto err = CheckExprScalars(*expr.lhs)) {
-          return err;
-        }
-        return CheckExprScalars(*expr.rhs);
+        CheckExprScalars(*expr.lhs);
+        CheckExprScalars(*expr.rhs);
+        return;
     }
-    return std::nullopt;
   }
 
-  std::optional<Error> CheckArrayRef(const ArrayRef& ref) {
+  void CheckArrayRef(const ArrayRef& ref) {
     const ArrayDecl* decl = program_.FindArray(ref.name);
     if (decl == nullptr) {
-      return Error{StrCat("reference to undeclared array ", ref.name), ref.location};
-    }
-    size_t want = decl->IsVector() ? 1 : 2;
-    if (ref.indices.size() != want) {
-      return Error{StrCat("array ", ref.name, " declared with ", want, " dimension(s) but ",
-                          "referenced with ", ref.indices.size(), " subscript(s)"),
-                   ref.location};
+      Report("S003", ref.location, StrCat("reference to undeclared array ", ref.name));
+    } else {
+      size_t want = decl->IsVector() ? 1 : 2;
+      if (ref.indices.size() != want) {
+        Report("S004", ref.location,
+               StrCat("array ", ref.name, " declared with ", want, " dimension(s) but ",
+                      "referenced with ", ref.indices.size(), " subscript(s)"));
+      }
     }
     for (const IndexExpr& ix : ref.indices) {
       if (ix.IsConstant()) {
@@ -145,21 +145,31 @@ class Checker {
         }
       }
       if (!bound) {
-        return Error{StrCat("subscript variable ", ix.var, " of ", ref.name,
-                            " is not bound by an enclosing DO loop"),
-                     ix.location};
+        Report("S005", ix.location,
+               StrCat("subscript variable ", ix.var, " of ", ref.name,
+                      " is not bound by an enclosing DO loop"));
       }
     }
-    return std::nullopt;
   }
 
   const Program& program_;
+  DiagnosticEngine diags_;
   std::vector<std::string> active_loop_vars_;
 };
 
 }  // namespace
 
-std::optional<Error> CheckProgram(const Program& program) { return Checker(program).Run(); }
+std::vector<Diagnostic> CheckProgramAll(const Program& program) {
+  return Checker(program).Run();
+}
+
+std::optional<Error> CheckProgram(const Program& program) {
+  std::vector<Diagnostic> diags = CheckProgramAll(program);
+  if (diags.empty()) {
+    return std::nullopt;
+  }
+  return diags.front().ToError();
+}
 
 Result<Program> ParseAndCheck(std::string_view source) {
   auto program = Parse(source);

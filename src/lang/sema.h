@@ -1,11 +1,18 @@
 // Structural/semantic validation of parsed programs. Run this before
 // analysis or interpretation; both CDMM_CHECK on invariants it establishes.
+//
+// The checker is built on the structured-diagnostics engine: it accumulates
+// every problem it can find (pass "sema", codes S001-S009, see
+// src/lint/lint.h) instead of stopping at the first. CheckProgram is the
+// legacy first-error view kept for callers that only need pass/fail.
 #ifndef CDMM_SRC_LANG_SEMA_H_
 #define CDMM_SRC_LANG_SEMA_H_
 
 #include <optional>
+#include <vector>
 
 #include "src/lang/ast.h"
+#include "src/lint/diagnostics.h"
 #include "src/support/result.h"
 
 namespace cdmm {
@@ -18,7 +25,10 @@ namespace cdmm {
 //  - DO-loop variables are not reused by an enclosing active loop and do not
 //    collide with array names;
 //  - scalar uses do not name declared arrays.
-// Returns nullopt on success, or the first error found.
+// Returns every violation found, in traversal (roughly source) order.
+std::vector<Diagnostic> CheckProgramAll(const Program& program);
+
+// First-error view of CheckProgramAll: nullopt on success.
 std::optional<Error> CheckProgram(const Program& program);
 
 // Convenience: parse + check in one step (used by the workload registry).

@@ -1,0 +1,83 @@
+// subscript-bounds: affine interval analysis of every array reference
+// against its DIMENSION bounds. Each subscript is `var + offset` or a
+// constant; the reachable values of `var` follow from the binding DO loop's
+// bounds (resolved through enclosing loops for triangular nests), so the
+// subscript's reachable interval is exact for static bounds and an
+// endpoint-tight over-approximation for triangular ones. Any interval
+// escaping [1, extent] is a reference the program will actually make out of
+// bounds for some iteration.
+#include <cstdint>
+
+#include "src/analysis/reference_class.h"
+#include "src/lint/lint.h"
+#include "src/lint/pass_util.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+using lint_internal::Interval;
+using lint_internal::LoopVarInterval;
+
+constexpr char kPass[] = "subscript-bounds";
+
+class BoundsPass final : public LintPass {
+ public:
+  const char* name() const override { return kPass; }
+
+  void Run(const LintContext& ctx) const override {
+    for (const RefSite& site : CollectRefSites(*ctx.tree)) {
+      const ArrayDecl* decl = ctx.program->FindArray(site.ref->name);
+      if (decl == nullptr) {
+        continue;  // sema would have rejected; be safe anyway
+      }
+      for (size_t d = 0; d < site.ref->indices.size(); ++d) {
+        CheckSubscript(ctx, site, *decl, d);
+      }
+    }
+  }
+
+ private:
+  static void CheckSubscript(const LintContext& ctx, const RefSite& site, const ArrayDecl& decl,
+                             size_t dim) {
+    const IndexExpr& ix = site.ref->indices[dim];
+    Interval values;
+    if (ix.IsConstant()) {
+      values = Interval::Exact(ix.offset);
+    } else {
+      const LoopNode* binder = SubscriptBinder(ix, site);
+      values = LoopVarInterval(*binder).Shifted(ix.offset);
+    }
+    if (!values.known || values.empty()) {
+      return;  // unresolvable or never executed: nothing provable
+    }
+    int64_t extent = dim == 0 ? decl.rows : decl.cols;
+    std::string spelling = ix.Canonical();
+    if (values.lo < 1) {
+      Diagnostic& diag = ctx.diags->Report(
+          Severity::kError, "B001", kPass, ix.location,
+          StrCat("subscript ", dim + 1, " of ", site.ref->ToString(), " reaches ", values.lo,
+                 ", below the lower bound 1 (", spelling, " ranges over [", values.lo, ", ",
+                 values.hi, "])"));
+      diag.fixit = StrCat("start the enclosing DO range so that ", spelling, " stays >= 1");
+    }
+    if (values.hi > extent) {
+      Diagnostic& diag = ctx.diags->Report(
+          Severity::kError, "B002", kPass, ix.location,
+          StrCat("subscript ", dim + 1, " of ", site.ref->ToString(), " reaches ", values.hi,
+                 " but ", decl.name, " has extent ", extent, " in dimension ", dim + 1, " (",
+                 spelling, " ranges over [", values.lo, ", ", values.hi, "])"));
+      diag.fixit =
+          StrCat("widen DIMENSION ", decl.name, " or shrink the enclosing DO range");
+    }
+  }
+};
+
+}  // namespace
+
+const LintPass& SubscriptBoundsPass() {
+  static const BoundsPass pass;
+  return pass;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,121 @@
+// dead-directive: directives that are well-formed but useless.
+//   X001 — an ALLOCATE before a loop whose subtree references no arrays
+//          (nothing to hold resident; the grant is dead weight).
+//   X002 — an UNLOCK releasing arrays no LOCK in its subtree ever pinned.
+//   X003 — a LOCK pinning an array the preceding body segment never touches
+//          (Algorithm 2 locks exactly the segment's arrays; anything else is
+//          a stale or hand-edited directive).
+#include <set>
+#include <string>
+
+#include "src/lint/lint.h"
+#include "src/lint/pass_util.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+using lint_internal::ArraysReferencedIn;
+using lint_internal::FindNode;
+
+constexpr char kPass[] = "dead-directive";
+
+class DeadDirectivePassImpl final : public LintPass {
+ public:
+  const char* name() const override { return kPass; }
+
+  void Run(const LintContext& ctx) const override {
+    for (const auto& [loop_id, ap] : ctx.plan->allocate_before_loop) {
+      (void)ap;
+      const LoopNode* node = FindNode(*ctx.tree, loop_id);
+      if (node == nullptr) {
+        continue;  // directive-verifier reports D005
+      }
+      if (ArraysReferencedIn(*node).empty()) {
+        Diagnostic& d = ctx.diags->Report(
+            Severity::kWarning, "X001", kPass, node->loop->location,
+            StrCat("ALLOCATE before loop ", node->loop->label,
+                   ", but the loop references no arrays and forms no locality"));
+        d.fixit = StrCat("remove the ALLOCATE before loop ", node->loop->label);
+      }
+    }
+
+    for (const auto& [loop_id, unlock] : ctx.plan->unlock_after_loop) {
+      const LoopNode* node = FindNode(*ctx.tree, loop_id);
+      if (node == nullptr) {
+        ctx.diags->Report(Severity::kError, "X002", kPass, SourceLocation{},
+                          StrCat("UNLOCK attached to unknown loop id ", loop_id));
+        continue;
+      }
+      std::set<std::string> locked = LockedInSubtree(ctx, *node);
+      for (const std::string& array : unlock.arrays) {
+        if (locked.count(array) == 0) {
+          Diagnostic& d = ctx.diags->Report(
+              Severity::kWarning, "X002", kPass, node->loop->location,
+              StrCat("UNLOCK after loop ", node->loop->label, " releases ", array,
+                     ", which no LOCK inside the loop ever pinned"));
+          d.fixit = StrCat("drop ", array, " from the UNLOCK after loop ", node->loop->label);
+        }
+      }
+    }
+
+    for (const LockPlan& lock : ctx.plan->locks) {
+      const LoopNode* host = FindNode(*ctx.tree, lock.host_loop_id);
+      const LoopNode* child = FindNode(*ctx.tree, lock.before_child_loop_id);
+      if (host == nullptr || child == nullptr) {
+        continue;  // directive-verifier reports D005
+      }
+      // The segment whose trailing nested loop is `child`: Algorithm 2 locks
+      // the arrays its assignments touch.
+      std::set<std::string> touched;
+      for (const LoopNode::BodySegment& segment : host->segments) {
+        if (segment.next_child == child) {
+          for (const Stmt* stmt : segment.assigns) {
+            for (const ArrayRef* ref : stmt->DirectArrayRefs()) {
+              touched.insert(ref->name);
+            }
+          }
+        }
+      }
+      for (const std::string& array : lock.arrays) {
+        if (touched.count(array) == 0) {
+          Diagnostic& d = ctx.diags->Report(
+              Severity::kWarning, "X003", kPass, child->loop->location,
+              StrCat("LOCK before loop ", child->loop->label, " pins ", array,
+                     " but the preceding statements of loop ", host->loop->label,
+                     " never reference it"));
+          d.fixit = StrCat("drop ", array, " from the LOCK before loop ", child->loop->label);
+        }
+      }
+    }
+  }
+
+ private:
+  static std::set<std::string> LockedInSubtree(const LintContext& ctx, const LoopNode& root) {
+    std::set<uint32_t> ids;
+    CollectIds(root, &ids);
+    std::set<std::string> locked;
+    for (const LockPlan& lock : ctx.plan->locks) {
+      if (ids.count(lock.host_loop_id) != 0) {
+        locked.insert(lock.arrays.begin(), lock.arrays.end());
+      }
+    }
+    return locked;
+  }
+
+  static void CollectIds(const LoopNode& node, std::set<uint32_t>* ids) {
+    ids->insert(node.loop_id);
+    for (const LoopNode* child : node.children) {
+      CollectIds(*child, ids);
+    }
+  }
+};
+
+}  // namespace
+
+const LintPass& DeadDirectivePass() {
+  static const DeadDirectivePassImpl pass;
+  return pass;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,147 @@
+#include "src/lint/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/support/str.h"
+
+namespace cdmm {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  if (location.IsValid()) {
+    os << location.line << ":" << location.column << ": ";
+  }
+  os << SeverityName(severity) << ": " << message << " [" << pass << "/" << code << "]";
+  if (!fixit.empty()) {
+    os << "\n  fix-it: " << fixit;
+  }
+  return os.str();
+}
+
+Diagnostic& DiagnosticEngine::Report(Severity severity, std::string code, std::string pass,
+                                     SourceLocation location, std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.code = std::move(code);
+  d.pass = std::move(pass);
+  d.location = location;
+  d.message = std::move(message);
+  diagnostics_.push_back(std::move(d));
+  return diagnostics_.back();
+}
+
+void DiagnosticEngine::Add(Diagnostic diagnostic) { diagnostics_.push_back(std::move(diagnostic)); }
+
+size_t DiagnosticEngine::count(Severity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void DiagnosticEngine::SortBySource() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.location.line != b.location.line) {
+                       return a.location.line < b.location.line;
+                     }
+                     return a.location.column < b.location.column;
+                   });
+}
+
+std::string RenderText(const std::vector<Diagnostic>& diagnostics, std::string_view source_name) {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics) {
+    if (!source_name.empty()) {
+      os << source_name << ":";
+    }
+    os << d.ToString() << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+// JSON string escaping for the few characters our messages can contain.
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics, std::string_view source_name) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "  {\"file\": \"" << JsonEscape(source_name) << "\", \"line\": " << d.location.line
+       << ", \"column\": " << d.location.column << ", \"severity\": \"" << SeverityName(d.severity)
+       << "\", \"pass\": \"" << JsonEscape(d.pass) << "\", \"code\": \"" << JsonEscape(d.code)
+       << "\", \"message\": \"" << JsonEscape(d.message) << "\"";
+    if (!d.fixit.empty()) {
+      os << ", \"fixit\": \"" << JsonEscape(d.fixit) << "\"";
+    }
+    os << "}";
+  }
+  os << (diagnostics.empty() ? "]\n" : "\n]\n");
+  return os.str();
+}
+
+std::string SummaryLine(const std::vector<Diagnostic>& diagnostics) {
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const Diagnostic& d : diagnostics) {
+    errors += d.severity == Severity::kError ? 1 : 0;
+    warnings += d.severity == Severity::kWarning ? 1 : 0;
+  }
+  if (errors == 0 && warnings == 0) {
+    return "";
+  }
+  return StrCat(errors, " error(s), ", warnings, " warning(s)");
+}
+
+}  // namespace cdmm

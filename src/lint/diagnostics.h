@@ -1,0 +1,79 @@
+// Structured diagnostics: the common currency of the front end (sema), the
+// lint pass framework, and the directive-plan verifiers. A Diagnostic carries
+// a stable code ("B002"), a severity, the pass that produced it, a source
+// span, and an optional fix-it; the engine accumulates, sorts, counts, and
+// renders them as text or JSON. Unlike Result<T>/Error (which short-circuits
+// on the first problem), a DiagnosticEngine keeps going so one run reports
+// everything it can find.
+#ifndef CDMM_SRC_LINT_DIAGNOSTICS_H_
+#define CDMM_SRC_LINT_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/result.h"
+#include "src/support/source_location.h"
+
+namespace cdmm {
+
+enum class Severity : uint8_t { kNote, kWarning, kError };
+
+const char* SeverityName(Severity severity);
+
+struct Diagnostic {
+  std::string code;      // stable short identifier, e.g. "S003", "B002"
+  Severity severity = Severity::kError;
+  std::string pass;      // producing pass, e.g. "sema", "subscript-bounds"
+  std::string message;
+  SourceLocation location;  // may be invalid for plan-level findings
+  std::string fixit;     // optional suggested remedy ("" = none)
+
+  // Renders "line:col: severity: message [pass/code]".
+  std::string ToString() const;
+
+  // The Result<T>/Error view of this diagnostic (drops code/pass/fixit).
+  Error ToError() const { return Error{message, location}; }
+};
+
+// Accumulates diagnostics across passes. Not thread-safe; each lint run owns
+// one engine.
+class DiagnosticEngine {
+ public:
+  // Appends a diagnostic and returns it for optional fix-it attachment.
+  Diagnostic& Report(Severity severity, std::string code, std::string pass,
+                     SourceLocation location, std::string message);
+  void Add(Diagnostic diagnostic);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t count(Severity severity) const;
+  size_t error_count() const { return count(Severity::kError); }
+  size_t warning_count() const { return count(Severity::kWarning); }
+
+  // Stable-sorts by (line, column, code): file order first, discovery order
+  // as the tie-break, so renderings are deterministic across pass order.
+  void SortBySource();
+
+  std::vector<Diagnostic> Take() { return std::move(diagnostics_); }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+// Renders one diagnostic per line, prefixed by `source_name` when non-empty:
+//   "prog.f:4:12: error: subscript 1 of A spans [1, 11] ... [subscript-bounds/B002]"
+std::string RenderText(const std::vector<Diagnostic>& diagnostics, std::string_view source_name);
+
+// Renders a JSON array of {file, line, column, severity, pass, code, message,
+// fixit} objects (fixit omitted when empty), followed by a newline.
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics, std::string_view source_name);
+
+// One-line "N error(s), M warning(s)" summary ("" when there is nothing to
+// summarise).
+std::string SummaryLine(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_LINT_DIAGNOSTICS_H_

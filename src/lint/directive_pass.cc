@@ -1,0 +1,229 @@
+// directive-verifier: checks the Algorithm 1-2 postconditions on a
+// DirectivePlan before it ever reaches the simulator.
+//   - Every ALLOCATE chain lists one (PI, X) pair per enclosing loop,
+//     outermost-first, with strictly decreasing priorities, non-increasing
+//     page grants, and values matching the locality analysis (D004/D005).
+//   - Every LOCK is hosted by the parent of the loop it precedes, carries the
+//     host's priority index, and is preceded by a covering ALLOCATE whose
+//     final entry grants pages at that priority (D001/D005).
+//   - LOCK/UNLOCK pairs balance on every loop-exit path: any array locked
+//     inside a top-level nest must be released by the UNLOCK that follows it
+//     (D002).
+//   - The pages a host's LOCKs pin in one iteration (at least one per
+//     distinct array) never exceed the host's allocation X (D003).
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lint/lint.h"
+#include "src/lint/pass_util.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+using lint_internal::FindNode;
+
+constexpr char kPass[] = "directive-verifier";
+
+class DirectiveVerifierPassImpl final : public LintPass {
+ public:
+  const char* name() const override { return kPass; }
+
+  void Run(const LintContext& ctx) const override {
+    CheckAllocates(ctx);
+    CheckLocks(ctx);
+    CheckBalance(ctx);
+    CheckLockedTotals(ctx);
+  }
+
+ private:
+  static void CheckAllocates(const LintContext& ctx) {
+    for (const auto& [loop_id, ap] : ctx.plan->allocate_before_loop) {
+      const LoopNode* node = FindNode(*ctx.tree, loop_id);
+      if (node == nullptr || ap.loop_id != loop_id) {
+        ctx.diags->Report(Severity::kError, "D005", kPass, SourceLocation{},
+                          StrCat("ALLOCATE attached to unknown loop id ", loop_id));
+        continue;
+      }
+      SourceLocation loc = node->loop->location;
+      int64_t label = node->loop->label;
+      if (ap.chain.size() != static_cast<size_t>(node->level)) {
+        ctx.diags->Report(Severity::kError, "D004", kPass, loc,
+                          StrCat("ALLOCATE before loop ", label, " has ", ap.chain.size(),
+                                 " chain entries; Algorithm 1 emits one per enclosing loop (",
+                                 node->level, ")"));
+      }
+      for (size_t i = 1; i < ap.chain.size(); ++i) {
+        if (ap.chain[i].priority >= ap.chain[i - 1].priority) {
+          ctx.diags->Report(
+              Severity::kError, "D004", kPass, loc,
+              StrCat("ALLOCATE before loop ", label, " has priorities ", ap.chain[i - 1].priority,
+                     " -> ", ap.chain[i].priority, "; the chain must strictly decrease inward"));
+        }
+        if (ap.chain[i].pages > ap.chain[i - 1].pages) {
+          ctx.diags->Report(
+              Severity::kError, "D004", kPass, loc,
+              StrCat("ALLOCATE before loop ", label, " grants X=", ap.chain[i - 1].pages,
+                     " then X=", ap.chain[i].pages,
+                     "; page grants must be non-increasing inward (X_1 >= X_2 >= ...)"));
+        }
+      }
+      if (!ap.chain.empty() && ap.chain.back().priority != node->priority_index) {
+        ctx.diags->Report(
+            Severity::kError, "D004", kPass, loc,
+            StrCat("ALLOCATE before loop ", label, " ends at priority ",
+                   ap.chain.back().priority, " but the loop's priority index is ",
+                   node->priority_index));
+      }
+      // Cross-check the chain values against Algorithm 1's inputs: the
+      // ancestor chain outermost-first, each with its own (PI, X).
+      std::vector<const LoopNode*> chain;
+      for (const LoopNode* l = node; l != nullptr; l = l->parent) {
+        chain.insert(chain.begin(), l);
+      }
+      if (ap.chain.size() == chain.size()) {
+        for (size_t i = 0; i < chain.size(); ++i) {
+          const LoopLocality& ll = ctx.locality->loop(chain[i]->loop_id);
+          if (ap.chain[i].priority != ll.priority_index ||
+              ap.chain[i].pages != static_cast<uint32_t>(ll.pages)) {
+            ctx.diags->Report(
+                Severity::kError, "D004", kPass, loc,
+                StrCat("ALLOCATE before loop ", label, " entry ", i + 1, " is (",
+                       ap.chain[i].priority, ",", ap.chain[i].pages,
+                       ") but the locality analysis computes (", ll.priority_index, ",",
+                       ll.pages, ") for loop ", chain[i]->loop->label));
+          }
+        }
+      }
+    }
+  }
+
+  static void CheckLocks(const LintContext& ctx) {
+    for (const LockPlan& lock : ctx.plan->locks) {
+      const LoopNode* host = FindNode(*ctx.tree, lock.host_loop_id);
+      const LoopNode* child = FindNode(*ctx.tree, lock.before_child_loop_id);
+      if (host == nullptr || child == nullptr) {
+        ctx.diags->Report(Severity::kError, "D005", kPass, SourceLocation{},
+                          StrCat("LOCK references unknown loop id ",
+                                 host == nullptr ? lock.host_loop_id : lock.before_child_loop_id));
+        continue;
+      }
+      SourceLocation loc = child->loop->location;
+      if (child->parent != host) {
+        ctx.diags->Report(Severity::kError, "D005", kPass, loc,
+                          StrCat("LOCK before loop ", child->loop->label,
+                                 " claims host loop ", host->loop->label,
+                                 ", which is not its parent"));
+      }
+      if (lock.pj != host->priority_index) {
+        ctx.diags->Report(Severity::kError, "D005", kPass, loc,
+                          StrCat("LOCK before loop ", child->loop->label, " carries priority ",
+                                 lock.pj, " but host loop ", host->loop->label,
+                                 " has priority index ", host->priority_index));
+      }
+      for (const std::string& array : lock.arrays) {
+        if (ctx.program->FindArray(array) == nullptr) {
+          ctx.diags->Report(Severity::kError, "D005", kPass, loc,
+                            StrCat("LOCK names undeclared array ", array));
+        }
+      }
+      // Covering ALLOCATE: the host's own ALLOCATE (executed at its head,
+      // hence before any LOCK it hosts) must grant pages at the LOCK's
+      // priority.
+      auto it = ctx.plan->allocate_before_loop.find(host->loop_id);
+      bool covered = it != ctx.plan->allocate_before_loop.end() && !it->second.chain.empty() &&
+                     it->second.chain.back().priority == lock.pj &&
+                     it->second.chain.back().pages > 0;
+      if (!covered) {
+        Diagnostic& d = ctx.diags->Report(
+            Severity::kError, "D001", kPass, loc,
+            StrCat("LOCK (", lock.pj, ",", Join(lock.arrays, ","), ") inside loop ",
+                   host->loop->label, " is not preceded by a covering ALLOCATE at priority ",
+                   lock.pj));
+        d.fixit = StrCat("run Algorithm 1 (ALLOCATE insertion) for loop ", host->loop->label,
+                         " or drop the LOCK");
+      }
+    }
+  }
+
+  static void CheckBalance(const LintContext& ctx) {
+    for (const LoopNode* root : ctx.tree->roots()) {
+      std::set<std::string> locked = LockedInSubtree(ctx, *root);
+      if (locked.empty()) {
+        continue;
+      }
+      auto it = ctx.plan->unlock_after_loop.find(root->loop_id);
+      for (const std::string& array : locked) {
+        bool released = it != ctx.plan->unlock_after_loop.end() &&
+                        std::find(it->second.arrays.begin(), it->second.arrays.end(), array) !=
+                            it->second.arrays.end();
+        if (!released) {
+          Diagnostic& d = ctx.diags->Report(
+              Severity::kError, "D002", kPass, root->loop->location,
+              StrCat("array ", array, " is locked inside loop ", root->loop->label,
+                     " but never unlocked on the loop's exit path"));
+          d.fixit = StrCat("add ", array, " to the UNLOCK after loop ", root->loop->label);
+        }
+      }
+    }
+  }
+
+  // Each distinct array a host's LOCKs pin holds at least one page for the
+  // rest of the enclosing nest; those pages draw from the host's allocation.
+  static void CheckLockedTotals(const LintContext& ctx) {
+    std::map<uint32_t, std::set<std::string>> per_host;
+    for (const LockPlan& lock : ctx.plan->locks) {
+      per_host[lock.host_loop_id].insert(lock.arrays.begin(), lock.arrays.end());
+    }
+    for (const auto& [host_id, arrays] : per_host) {
+      const LoopNode* host = FindNode(*ctx.tree, host_id);
+      if (host == nullptr) {
+        continue;  // D005 already reported
+      }
+      int64_t granted = ctx.locality->loop(host_id).pages;
+      auto it = ctx.plan->allocate_before_loop.find(host_id);
+      if (it != ctx.plan->allocate_before_loop.end() && !it->second.chain.empty()) {
+        granted = it->second.chain.back().pages;
+      }
+      if (static_cast<int64_t>(arrays.size()) > granted) {
+        ctx.diags->Report(
+            Severity::kError, "D003", kPass, host->loop->location,
+            StrCat("LOCKs hosted by loop ", host->loop->label, " pin at least ", arrays.size(),
+                   " page(s) per iteration (arrays ",
+                   Join(std::vector<std::string>(arrays.begin(), arrays.end()), ","),
+                   ") but its ALLOCATE grants only X=", granted));
+      }
+    }
+  }
+
+  static std::set<std::string> LockedInSubtree(const LintContext& ctx, const LoopNode& root) {
+    std::set<uint32_t> ids;
+    CollectIds(root, &ids);
+    std::set<std::string> locked;
+    for (const LockPlan& lock : ctx.plan->locks) {
+      if (ids.count(lock.host_loop_id) != 0) {
+        locked.insert(lock.arrays.begin(), lock.arrays.end());
+      }
+    }
+    return locked;
+  }
+
+  static void CollectIds(const LoopNode& node, std::set<uint32_t>* ids) {
+    ids->insert(node.loop_id);
+    for (const LoopNode* child : node.children) {
+      CollectIds(*child, ids);
+    }
+  }
+};
+
+}  // namespace
+
+const LintPass& DirectiveVerifierPass() {
+  static const DirectiveVerifierPassImpl pass;
+  return pass;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,74 @@
+// hygiene: program-text lints that need no analysis products.
+//   H001 — an array is declared but never referenced; it still inflates the
+//          address-space estimate (AVS) every policy pays for.
+//   H002 — a DO index shadows a PARAMETER of the same name; subscripts read
+//          the loop variable while bounds read the constant, a classic
+//          source of silently wrong ranges.
+// Runs even when sema reports errors (pure AST walk).
+#include <set>
+#include <string>
+
+#include "src/lint/lint.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+constexpr char kPass[] = "hygiene";
+
+class HygienePassImpl final : public LintPass {
+ public:
+  const char* name() const override { return kPass; }
+  bool needs_analysis() const override { return false; }
+
+  void Run(const LintContext& ctx) const override {
+    const Program& program = *ctx.program;
+
+    std::set<std::string> used;
+    program.ForEachStmt([&](const Stmt& stmt) {
+      for (const ArrayRef* ref : stmt.DirectArrayRefs()) {
+        used.insert(ref->name);
+      }
+    });
+    for (const ArrayDecl& decl : program.arrays) {
+      if (used.count(decl.name) == 0) {
+        Diagnostic& d = ctx.diags->Report(
+            Severity::kWarning, "H001", kPass, decl.location,
+            StrCat("array ", decl.name, " (", decl.element_count(),
+                   " elements) is declared but never referenced"));
+        d.fixit = StrCat("remove ", decl.name, " from its DIMENSION statement");
+      }
+    }
+
+    program.ForEachStmt([&](const Stmt& stmt) {
+      if (stmt.kind != Stmt::Kind::kDoLoop) {
+        return;
+      }
+      auto it = program.parameters.find(stmt.loop_var);
+      if (it == program.parameters.end()) {
+        return;
+      }
+      SourceLocation loc =
+          stmt.loop_var_location.IsValid() ? stmt.loop_var_location : stmt.location;
+      std::string declared;
+      auto decl_it = program.parameter_locations.find(stmt.loop_var);
+      if (decl_it != program.parameter_locations.end() && decl_it->second.IsValid()) {
+        declared = StrCat(", declared at ", decl_it->second.line, ":", decl_it->second.column);
+      }
+      Diagnostic& d = ctx.diags->Report(
+          Severity::kWarning, "H002", kPass, loc,
+          StrCat("DO index ", stmt.loop_var, " shadows PARAMETER ", stmt.loop_var, " (= ",
+                 it->second, declared, ")"));
+      d.fixit = StrCat("rename the loop index of DO ", stmt.label);
+    });
+  }
+};
+
+}  // namespace
+
+const LintPass& HygienePass() {
+  static const HygienePassImpl pass;
+  return pass;
+}
+
+}  // namespace cdmm

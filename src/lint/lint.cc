@@ -1,0 +1,66 @@
+#include "src/lint/lint.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/lang/parser.h"
+#include "src/lang/sema.h"
+
+namespace cdmm {
+
+const std::vector<const LintPass*>& AllLintPasses() {
+  static const std::vector<const LintPass*> passes = {
+      &SubscriptBoundsPass(), &DirectiveVerifierPass(), &DeadDirectivePass(),
+      &LocalityConsistencyPass(), &HygienePass()};
+  return passes;
+}
+
+std::vector<Diagnostic> LintProgram(const Program& program, const LintOptions& options) {
+  DiagnosticEngine engine;
+  std::vector<Diagnostic> sema = CheckProgramAll(program);
+  bool sema_clean = sema.empty();
+  for (Diagnostic& d : sema) {
+    engine.Add(std::move(d));
+  }
+
+  // The analyses CHECK on invariants sema establishes; build them only for
+  // sema-clean programs and restrict broken ones to AST-level passes.
+  std::unique_ptr<LoopTree> tree;
+  std::unique_ptr<LocalityAnalysis> locality;
+  DirectivePlan plan;
+  LintContext ctx;
+  ctx.program = &program;
+  ctx.diags = &engine;
+  if (sema_clean) {
+    tree = std::make_unique<LoopTree>(program);
+    locality = std::make_unique<LocalityAnalysis>(program, *tree, options.locality);
+    plan = BuildDirectivePlan(*tree, *locality, options.directives);
+    ctx.tree = tree.get();
+    ctx.locality = locality.get();
+    ctx.plan = &plan;
+  }
+  for (const LintPass* pass : AllLintPasses()) {
+    if (pass->needs_analysis() && !sema_clean) {
+      continue;
+    }
+    pass->Run(ctx);
+  }
+  engine.SortBySource();
+  return engine.Take();
+}
+
+std::vector<Diagnostic> LintSource(std::string_view source, const LintOptions& options) {
+  auto program = Parse(source);
+  if (!program.ok()) {
+    Diagnostic d;
+    d.code = "P001";
+    d.severity = Severity::kError;
+    d.pass = "parse";
+    d.message = program.error().message;
+    d.location = program.error().location;
+    return {std::move(d)};
+  }
+  return LintProgram(program.value(), options);
+}
+
+}  // namespace cdmm

@@ -1,0 +1,88 @@
+// cdmm-lint: a multi-pass static checker over the mini-FORTRAN front end and
+// the directive plans produced by Algorithms 1-2. Each pass walks the parsed
+// Program, the LoopTree, and (when analysis is possible) the LocalityAnalysis
+// and DirectivePlan, reporting structured diagnostics. The paper's premise is
+// that the compiler can see the reference pattern before the program runs;
+// this module turns that visibility into compile-time verification.
+//
+// Diagnostic codes (stable; asserted by tests and documented in DESIGN.md):
+//   parse:  P001 unparseable source
+//   sema:   S001 duplicate array, S002 array/PARAMETER collision,
+//           S003 undeclared array, S004 wrong subscript count,
+//           S005 unbound subscript variable, S006 loop variable reused,
+//           S007 loop variable collides with array, S008 unresolvable bound,
+//           S009 array used without subscripts
+//   subscript-bounds:     B001 below lower bound, B002 exceeds extent
+//   directive-verifier:   D001 LOCK without covering ALLOCATE,
+//                         D002 locked array not released on exit,
+//                         D003 locked pages exceed the allocation,
+//                         D004 malformed ALLOCATE chain,
+//                         D005 directive names unknown loop/array/structure
+//   dead-directive:       X001 ALLOCATE for a loop referencing no arrays,
+//                         X002 UNLOCK of arrays never locked,
+//                         X003 LOCK of an array the segment never touches
+//   locality-consistency: C001 RefOrder disagrees with subscript binders,
+//                         C002 Variation chain not Outer*-Self-Inner*,
+//                         C003 contribution for an unreferenced array
+//   hygiene:              H001 unused array, H002 DO index shadows PARAMETER
+#ifndef CDMM_SRC_LINT_LINT_H_
+#define CDMM_SRC_LINT_LINT_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/locality.h"
+#include "src/analysis/loop_tree.h"
+#include "src/directives/plan.h"
+#include "src/lang/ast.h"
+#include "src/lint/diagnostics.h"
+
+namespace cdmm {
+
+struct LintOptions {
+  LocalityOptions locality;         // geometry + system-default minimum
+  DirectivePlanOptions directives;  // which directives the plan carries
+};
+
+// Everything a pass may inspect. `tree`, `locality`, and `plan` are null when
+// sema found errors (the analyses CHECK on invariants sema establishes); a
+// pass that needs them must declare so via needs_analysis().
+struct LintContext {
+  const Program* program = nullptr;
+  const LoopTree* tree = nullptr;
+  const LocalityAnalysis* locality = nullptr;
+  const DirectivePlan* plan = nullptr;
+  DiagnosticEngine* diags = nullptr;
+};
+
+class LintPass {
+ public:
+  virtual ~LintPass() = default;
+  virtual const char* name() const = 0;
+  // Passes that inspect the loop tree / locality / plan only run on
+  // sema-clean programs.
+  virtual bool needs_analysis() const { return true; }
+  virtual void Run(const LintContext& ctx) const = 0;
+};
+
+// The five built-in passes, each a stateless singleton (lint_passes.cc).
+const LintPass& SubscriptBoundsPass();
+const LintPass& DirectiveVerifierPass();
+const LintPass& DeadDirectivePass();
+const LintPass& LocalityConsistencyPass();
+const LintPass& HygienePass();
+
+// All built-in passes in their canonical run order.
+const std::vector<const LintPass*>& AllLintPasses();
+
+// Runs sema (accumulating, S0xx) and then every pass over `program`,
+// returning the diagnostics sorted by source position. When sema reported
+// errors, only passes with !needs_analysis() run.
+std::vector<Diagnostic> LintProgram(const Program& program, const LintOptions& options = {});
+
+// Parse + LintProgram. A parse failure yields a single P001 error.
+std::vector<Diagnostic> LintSource(std::string_view source, const LintOptions& options = {});
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_LINT_LINT_H_

@@ -1,0 +1,120 @@
+// locality-consistency: cross-verifies the reference-classification layer
+// (Variation / RefOrder, §2's Θ and Λ parameters) against the raw subscript
+// structure, and the locality analysis against actual array usage. These
+// diagnostics never fire on a healthy toolchain — they exist to catch
+// regressions in the analysis stack before they silently skew every X
+// estimate downstream.
+//   C001 — ClassifyOrder's Θ disagrees with the subscript binders' nesting.
+//   C002 — a subscript's Variation along the enclosing chain is not the
+//          Outer* Self Inner* sequence its binder dictates.
+//   C003 — a loop's locality contribution names an array the loop's subtree
+//          never references.
+#include "src/analysis/reference_class.h"
+#include "src/lint/lint.h"
+#include "src/lint/pass_util.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+using lint_internal::ArraysReferencedIn;
+
+constexpr char kPass[] = "locality-consistency";
+
+class LocalityConsistencyPassImpl final : public LintPass {
+ public:
+  const char* name() const override { return kPass; }
+
+  void Run(const LintContext& ctx) const override {
+    for (const RefSite& site : CollectRefSites(*ctx.tree)) {
+      CheckOrder(ctx, site);
+      CheckVariationChain(ctx, site);
+    }
+    for (const LoopLocality& ll : ctx.locality->all()) {
+      const LoopNode& node = ctx.tree->node(ll.loop_id);
+      std::set<std::string> referenced = ArraysReferencedIn(node);
+      for (const ArrayContribution& c : ll.contributions) {
+        if (referenced.count(c.array) == 0) {
+          ctx.diags->Report(Severity::kError, "C003", kPass, node.loop->location,
+                            StrCat("loop ", node.loop->label, " carries a locality contribution",
+                                   " of ", c.pages, " page(s) for ", c.array,
+                                   ", which its body never references"));
+        }
+      }
+    }
+  }
+
+ private:
+  // Re-derives Θ from the binder nesting alone and compares it with
+  // ClassifyOrder's answer.
+  static void CheckOrder(const LintContext& ctx, const RefSite& site) {
+    RefOrder order = ClassifyOrder(site);
+    const std::vector<IndexExpr>& ix = site.ref->indices;
+    RefOrder expected;
+    if (ix.size() == 1) {
+      expected = RefOrder::kVector;
+    } else {
+      const LoopNode* row = SubscriptBinder(ix[0], site);
+      const LoopNode* col = SubscriptBinder(ix[1], site);
+      if (row == nullptr && col == nullptr) {
+        expected = RefOrder::kInvariant;
+      } else if (row == nullptr) {
+        expected = RefOrder::kRowWise;
+      } else if (col == nullptr) {
+        expected = RefOrder::kColumnWise;
+      } else if (row == col) {
+        expected = RefOrder::kDiagonal;
+      } else {
+        expected = row->level > col->level ? RefOrder::kColumnWise : RefOrder::kRowWise;
+      }
+    }
+    if (order != expected) {
+      ctx.diags->Report(Severity::kError, "C001", kPass, site.ref->location,
+                        StrCat("reference ", site.ref->ToString(), " classifies as ",
+                               RefOrderName(order), " but its subscript binders imply ",
+                               RefOrderName(expected)));
+    }
+  }
+
+  // Walking the enclosing chain from the reference site outward, a subscript
+  // must read kOuter while strictly inside its binder, kSelf at the binder,
+  // and kInner above it; a constant subscript must read kConstant throughout.
+  static void CheckVariationChain(const LintContext& ctx, const RefSite& site) {
+    if (site.site_loop == nullptr) {
+      return;  // no enclosing chain to classify against
+    }
+    for (size_t d = 0; d < site.ref->indices.size(); ++d) {
+      const IndexExpr& ix = site.ref->indices[d];
+      const LoopNode* binder = SubscriptBinder(ix, site);
+      bool above_binder = false;
+      for (const LoopNode* l = site.site_loop; l != nullptr; l = l->parent) {
+        Variation v = ClassifySubscript(ix, site, *l);
+        Variation expected;
+        if (binder == nullptr) {
+          expected = Variation::kConstant;
+        } else if (l == binder) {
+          expected = Variation::kSelf;
+          above_binder = true;
+        } else {
+          expected = above_binder ? Variation::kInner : Variation::kOuter;
+        }
+        if (v != expected) {
+          ctx.diags->Report(
+              Severity::kError, "C002", kPass, ix.location,
+              StrCat("subscript ", d + 1, " of ", site.ref->ToString(), " classifies as ",
+                     VariationName(v), " relative to loop ", l->loop->label, " but its binder",
+                     " dictates ", VariationName(expected)));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const LintPass& LocalityConsistencyPass() {
+  static const LocalityConsistencyPassImpl pass;
+  return pass;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,68 @@
+#include "src/lint/pass_util.h"
+
+#include "src/analysis/reference_class.h"
+
+namespace cdmm {
+namespace lint_internal {
+namespace {
+
+Interval BoundInterval(const LoopBound& bound, const LoopNode& node) {
+  if (bound.IsStatic()) {
+    return Interval::Exact(bound.value);
+  }
+  for (const LoopNode* a = node.parent; a != nullptr; a = a->parent) {
+    if (a->loop->loop_var == bound.spelling) {
+      return LoopVarInterval(*a);
+    }
+  }
+  return Interval::Unknown();
+}
+
+}  // namespace
+
+Interval LoopVarInterval(const LoopNode& node) {
+  Interval lower = BoundInterval(node.loop->lower, node);
+  Interval upper = BoundInterval(node.loop->upper, node);
+  if (!lower.known || !upper.known) {
+    return Interval::Unknown();
+  }
+  int64_t step = node.loop->step;
+  Interval out;
+  out.known = true;
+  bool tight = lower.lo == lower.hi && upper.lo == upper.hi;
+  if (step > 0) {
+    out.lo = lower.lo;
+    // With exact bounds the last reachable value is lo + floor((hi-lo)/step)
+    // * step (empty when the loop never trips); with triangular bounds the
+    // outer endpoint is still reachable for some outer iteration.
+    out.hi = tight ? (upper.hi >= lower.lo ? lower.lo + ((upper.hi - lower.lo) / step) * step
+                                           : lower.lo - 1)
+                   : upper.hi;
+  } else {
+    out.hi = lower.hi;
+    out.lo = tight ? (lower.hi >= upper.lo ? lower.hi - ((lower.hi - upper.lo) / -step) * -step
+                                           : lower.hi + 1)
+                   : upper.lo;
+  }
+  return out;
+}
+
+const LoopNode* FindNode(const LoopTree& tree, uint32_t loop_id) {
+  for (const LoopNode* node : tree.preorder()) {
+    if (node->loop_id == loop_id) {
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+std::set<std::string> ArraysReferencedIn(const LoopNode& node) {
+  std::set<std::string> names;
+  for (const RefSite& site : CollectRefSites(node)) {
+    names.insert(site.ref->name);
+  }
+  return names;
+}
+
+}  // namespace lint_internal
+}  // namespace cdmm

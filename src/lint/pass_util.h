@@ -1,0 +1,46 @@
+// Shared helpers for the lint passes: affine interval analysis of DO-loop
+// variables, safe (non-CHECKing) loop lookup, and per-subtree array-usage
+// summaries. Internal to src/lint.
+#ifndef CDMM_SRC_LINT_PASS_UTIL_H_
+#define CDMM_SRC_LINT_PASS_UTIL_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "src/analysis/loop_tree.h"
+
+namespace cdmm {
+namespace lint_internal {
+
+// A closed integer interval. Exact for loops with static bounds (the last
+// reachable value accounts for the step); an endpoint over-approximation for
+// triangular bounds, where each endpoint is still reachable for some outer
+// iteration.
+struct Interval {
+  int64_t lo = 0;
+  int64_t hi = -1;
+  bool known = false;  // false: a bound could not be resolved
+
+  bool empty() const { return hi < lo; }
+
+  Interval Shifted(int64_t offset) const { return Interval{lo + offset, hi + offset, known}; }
+
+  static Interval Exact(int64_t value) { return Interval{value, value, true}; }
+  static Interval Unknown() { return Interval{}; }
+};
+
+// Reachable values of `node`'s loop variable over all executions, resolving
+// triangular bounds through the enclosing loops' intervals.
+Interval LoopVarInterval(const LoopNode& node);
+
+// Lookup by id without CHECK-failing: nullptr for ids the tree does not hold.
+const LoopNode* FindNode(const LoopTree& tree, uint32_t loop_id);
+
+// Names of all arrays referenced anywhere in `node`'s subtree.
+std::set<std::string> ArraysReferencedIn(const LoopNode& node);
+
+}  // namespace lint_internal
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_LINT_PASS_UTIL_H_

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/cli/lint_cli.h"
+
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -190,6 +192,127 @@ TEST(CliTest, TraceRoundTripThroughFileStillWorks) {
   CliRun r = RunCli({"--trace-in", path, "--simulate", "lru:16"});
   EXPECT_EQ(r.code, 0) << r.err;
   EXPECT_NE(r.out.find("LRU(m=16)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// cdmmc --lint: exit code 4 on diagnostics, 0 on clean, 1 on parse failure.
+
+std::string WriteFixture(const std::string& name, const std::string& text) {
+  std::string path = TempPath(name);
+  std::ofstream f(path);
+  f << text;
+  return path;
+}
+
+constexpr char kOobSource[] =
+    "      PROGRAM OOB\n"
+    "      PARAMETER (N = 10)\n"
+    "      DIMENSION A(N)\n"
+    "      DO 10 I = 1, 20\n"
+    "        A(I) = 1.0\n"
+    "   10 CONTINUE\n"
+    "      END\n";
+
+TEST(CliLintTest, CleanBuiltinExitsZeroWithNoOutput) {
+  CliRun r = RunCli({"--lint", "builtin:MAIN"});
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_EQ(r.out, "");
+}
+
+TEST(CliLintTest, DiagnosticsExitFour) {
+  std::string path = WriteFixture("lint_oob.f", kOobSource);
+  CliRun r = RunCli({"--lint", path});
+  EXPECT_EQ(r.code, 4);
+  EXPECT_NE(r.out.find("[subscript-bounds/B002]"), std::string::npos);
+}
+
+TEST(CliLintTest, ParseFailureUnderLintExitsOne) {
+  std::string path = WriteFixture("lint_bad.f", "      PROGRAM BAD\n");
+  CliRun r = RunCli({"--lint", path});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("[parse/P001]"), std::string::npos);
+}
+
+TEST(CliLintTest, JsonModeEmitsAnArray) {
+  CliRun clean = RunCli({"--lint=json", "builtin:TQL"});
+  EXPECT_EQ(clean.code, 0);
+  EXPECT_EQ(clean.out, "[]\n");
+  std::string path = WriteFixture("lint_oob_json.f", kOobSource);
+  CliRun dirty = RunCli({"--lint=json", path});
+  EXPECT_EQ(dirty.code, 4);
+  EXPECT_EQ(dirty.out.front(), '[');
+  EXPECT_NE(dirty.out.find("\"code\": \"B002\""), std::string::npos);
+  EXPECT_NE(dirty.out.find("\"severity\": \"error\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The standalone cdmm-lint driver shares the contract (src/cli/lint_cli.h).
+
+CliRun RunLint(std::vector<std::string> args) {
+  args.insert(args.begin(), "cdmm-lint");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) {
+    argv.push_back(a.data());
+  }
+  std::ostringstream out;
+  std::ostringstream err;
+  CliRun run;
+  run.code = LintMain(static_cast<int>(argv.size()), argv.data(), out, err);
+  run.out = out.str();
+  run.err = err.str();
+  return run;
+}
+
+TEST(LintMainTest, NoInputIsUsageError) {
+  CliRun r = RunLint({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(LintMainTest, UnknownOptionIsUsageError) {
+  CliRun r = RunLint({"--frobnicate", "builtin:MAIN"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(LintMainTest, MissingOptionArgumentIsUsageError) {
+  CliRun r = RunLint({"builtin:MAIN", "--page-size"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--page-size needs an argument"), std::string::npos);
+}
+
+TEST(LintMainTest, AllBuiltinWorkloadsLintCleanInOneRun) {
+  CliRun r = RunLint({"builtin:MAIN", "builtin:FDJAC", "builtin:TQL", "builtin:FIELD",
+                      "builtin:INIT", "builtin:APPROX", "builtin:HYBRJ", "builtin:CONDUCT",
+                      "builtin:HWSCRT", "builtin:TRED", "builtin:POISSN", "builtin:GAUSSJ"});
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_EQ(r.out, "");
+}
+
+TEST(LintMainTest, UnknownBuiltinIsInputError) {
+  CliRun r = RunLint({"builtin:NOPE"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown builtin workload"), std::string::npos);
+}
+
+TEST(LintMainTest, DiagnosticsExitFour) {
+  std::string path = WriteFixture("lintmain_oob.f", kOobSource);
+  CliRun r = RunLint({path});
+  EXPECT_EQ(r.code, 4);
+  EXPECT_NE(r.out.find("B002"), std::string::npos);
+}
+
+TEST(LintMainTest, InputErrorWinsOverDiagnosticsAcrossFiles) {
+  std::string path = WriteFixture("lintmain_mixed.f", kOobSource);
+  CliRun r = RunLint({path, "/nonexistent/prog.f"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("B002"), std::string::npos);  // still reported
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(LintMainTest, ValidateModeStaysCleanOnBuiltins) {
+  CliRun r = RunLint({"--validate", "builtin:INIT", "builtin:TQL"});
+  EXPECT_EQ(r.code, 0) << r.out;
 }
 
 }  // namespace

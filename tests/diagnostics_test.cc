@@ -1,0 +1,147 @@
+// Unit tests for the structured-diagnostics engine: accumulation, severity
+// counts, deterministic source ordering, and the text/JSON renderers.
+#include "src/lint/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cdmm {
+namespace {
+
+SourceLocation Loc(int line, int column) {
+  SourceLocation loc;
+  loc.line = line;
+  loc.column = column;
+  return loc;
+}
+
+TEST(DiagnosticsTest, ReportAccumulatesAndCounts) {
+  DiagnosticEngine engine;
+  engine.Report(Severity::kError, "S001", "sema", Loc(3, 7), "duplicate array");
+  engine.Report(Severity::kWarning, "H001", "hygiene", Loc(2, 1), "unused array");
+  engine.Report(Severity::kWarning, "H002", "hygiene", Loc(5, 9), "shadowed index");
+  EXPECT_EQ(engine.diagnostics().size(), 3u);
+  EXPECT_EQ(engine.error_count(), 1u);
+  EXPECT_EQ(engine.warning_count(), 2u);
+  EXPECT_EQ(engine.count(Severity::kNote), 0u);
+  EXPECT_FALSE(engine.empty());
+}
+
+TEST(DiagnosticsTest, ReportReturnsReferenceForFixit) {
+  DiagnosticEngine engine;
+  engine.Report(Severity::kError, "B002", "subscript-bounds", Loc(4, 12), "out of bounds").fixit =
+      "widen DIMENSION A";
+  EXPECT_EQ(engine.diagnostics().front().fixit, "widen DIMENSION A");
+}
+
+TEST(DiagnosticsTest, SortBySourceOrdersByLineThenColumn) {
+  DiagnosticEngine engine;
+  engine.Report(Severity::kError, "Z", "p", Loc(9, 2), "third");
+  engine.Report(Severity::kError, "Z", "p", Loc(4, 20), "second");
+  engine.Report(Severity::kError, "Z", "p", Loc(4, 3), "first");
+  engine.SortBySource();
+  const auto& d = engine.diagnostics();
+  EXPECT_EQ(d[0].message, "first");
+  EXPECT_EQ(d[1].message, "second");
+  EXPECT_EQ(d[2].message, "third");
+}
+
+TEST(DiagnosticsTest, SortBySourceIsStableOnTies) {
+  // Two diagnostics at the same span keep their discovery order so renderings
+  // do not depend on pass scheduling.
+  DiagnosticEngine engine;
+  engine.Report(Severity::kError, "B001", "subscript-bounds", Loc(5, 18), "below lower bound");
+  engine.Report(Severity::kError, "B002", "subscript-bounds", Loc(5, 18), "exceeds extent");
+  engine.SortBySource();
+  EXPECT_EQ(engine.diagnostics()[0].code, "B001");
+  EXPECT_EQ(engine.diagnostics()[1].code, "B002");
+}
+
+TEST(DiagnosticsTest, ToStringIncludesSpanSeverityPassAndCode) {
+  Diagnostic d;
+  d.code = "S003";
+  d.severity = Severity::kError;
+  d.pass = "sema";
+  d.message = "reference to undeclared array C";
+  d.location = Loc(5, 16);
+  EXPECT_EQ(d.ToString(), "5:16: error: reference to undeclared array C [sema/S003]");
+}
+
+TEST(DiagnosticsTest, ToErrorKeepsMessageAndLocation) {
+  Diagnostic d;
+  d.message = "boom";
+  d.location = Loc(7, 3);
+  Error e = d.ToError();
+  EXPECT_EQ(e.message, "boom");
+  EXPECT_EQ(e.location.line, 7);
+  EXPECT_EQ(e.location.column, 3);
+}
+
+TEST(DiagnosticsTest, RenderTextPrefixesSourceNameAndAppendsFixit) {
+  Diagnostic d;
+  d.code = "H001";
+  d.severity = Severity::kWarning;
+  d.pass = "hygiene";
+  d.message = "array C is never referenced";
+  d.location = Loc(3, 29);
+  d.fixit = "remove C from its DIMENSION statement";
+  std::string text = RenderText({d}, "prog.f");
+  EXPECT_NE(text.find("prog.f:3:29: warning: array C is never referenced [hygiene/H001]"),
+            std::string::npos);
+  EXPECT_NE(text.find("fix-it: remove C from its DIMENSION statement"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, RenderJsonEmitsAllFieldsAndOmitsEmptyFixit) {
+  Diagnostic d;
+  d.code = "D001";
+  d.severity = Severity::kError;
+  d.pass = "directive-verifier";
+  d.message = "LOCK without covering ALLOCATE";
+  d.location = Loc(6, 9);
+  std::string json = RenderJson({d}, "prog.f");
+  EXPECT_NE(json.find("\"file\": \"prog.f\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"column\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"pass\": \"directive-verifier\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\": \"D001\""), std::string::npos);
+  EXPECT_EQ(json.find("fixit"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, RenderJsonEscapesSpecialCharacters) {
+  Diagnostic d;
+  d.code = "P001";
+  d.pass = "parse";
+  d.message = "bad token \"X\\Y\"\n\ttrailing";
+  std::string json = RenderJson({d}, "a\"b.f");
+  EXPECT_NE(json.find("\"file\": \"a\\\"b.f\""), std::string::npos);
+  EXPECT_NE(json.find("bad token \\\"X\\\\Y\\\"\\n\\ttrailing"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, RenderJsonEmptyListIsEmptyArray) {
+  EXPECT_EQ(RenderJson({}, "prog.f"), "[]\n");
+}
+
+TEST(DiagnosticsTest, SummaryLineCountsBySeverity) {
+  std::vector<Diagnostic> diags(3);
+  diags[0].severity = Severity::kError;
+  diags[1].severity = Severity::kWarning;
+  diags[2].severity = Severity::kWarning;
+  std::string summary = SummaryLine(diags);
+  EXPECT_NE(summary.find("1 error"), std::string::npos);
+  EXPECT_NE(summary.find("2 warning"), std::string::npos);
+  EXPECT_EQ(SummaryLine({}), "");
+}
+
+TEST(DiagnosticsTest, TakeMovesOutAndLeavesEngineEmpty) {
+  DiagnosticEngine engine;
+  engine.Report(Severity::kNote, "N", "p", Loc(1, 1), "note");
+  std::vector<Diagnostic> taken = engine.Take();
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_TRUE(engine.empty());
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,462 @@
+// Tests for the cdmm-lint pass framework: golden clean runs over every
+// builtin workload and on-disk source, adversarial fixtures asserting exact
+// diagnostic codes and source spans, the sema accumulation entry point, and
+// the corrupted-plan paths of the directive verifier.
+#include "src/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/locality.h"
+#include "src/analysis/loop_tree.h"
+#include "src/cdmm/pipeline.h"
+#include "src/cdmm/validation.h"
+#include "src/directives/plan.h"
+#include "src/lang/parser.h"
+#include "src/lang/sema.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+LintOptions DriverOptions() {
+  LintOptions opt;
+  opt.locality.min_default_pages = 1;  // the cdmmc default
+  return opt;
+}
+
+std::vector<std::string> Codes(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : diags) {
+    codes.push_back(d.code);
+  }
+  return codes;
+}
+
+bool HasCode(const std::vector<Diagnostic>& diags, const std::string& code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+const Diagnostic& FindCode(const std::vector<Diagnostic>& diags, const std::string& code) {
+  for (const Diagnostic& d : diags) {
+    if (d.code == code) {
+      return d;
+    }
+  }
+  ADD_FAILURE() << "no diagnostic with code " << code;
+  static const Diagnostic missing;
+  return missing;
+}
+
+// ---------------------------------------------------------------------------
+// Golden clean runs: the acceptance bar is zero diagnostics on every builtin
+// workload and every checked-in source file.
+
+TEST(LintGoldenTest, AllBuiltinWorkloadsLintClean) {
+  for (const auto* list : {&AllWorkloads(), &ExtendedWorkloads()}) {
+    for (const Workload& w : *list) {
+      std::vector<Diagnostic> diags = LintSource(w.source, DriverOptions());
+      EXPECT_TRUE(diags.empty()) << w.name << ": " << RenderText(diags, w.name);
+    }
+  }
+}
+
+TEST(LintGoldenTest, OnDiskWorkloadSourcesLintClean) {
+  const char* files[] = {"approx.f", "conduct.f", "fdjac.f",  "field.f", "gaussj.f", "hwscrt.f",
+                         "hybrj.f",  "init.f",    "main.f",   "poissn.f", "tql.f",   "tred.f"};
+  for (const char* file : files) {
+    std::string path = std::string(CDMM_SOURCE_DIR) + "/workloads/" + file;
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<Diagnostic> diags = LintSource(buffer.str(), DriverOptions());
+    EXPECT_TRUE(diags.empty()) << file << ": " << RenderText(diags, file);
+  }
+}
+
+TEST(LintGoldenTest, CleanRunIsStableAcrossDirectiveOptions) {
+  LintOptions opt = DriverOptions();
+  opt.directives.insert_locks = false;
+  for (const Workload& w : AllWorkloads()) {
+    EXPECT_TRUE(LintSource(w.source, opt).empty()) << w.name;
+  }
+  opt.directives.insert_locks = true;
+  opt.directives.insert_allocate = true;
+  EXPECT_TRUE(LintSource(AllWorkloads().front().source, opt).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial fixtures. Each asserts the exact code and the exact source
+// span so that renumbering a fixture line is a test failure, not a shrug.
+
+TEST(LintAdversarialTest, OutOfBoundsSubscriptReportsB001AndB002) {
+  const char* source =
+      "      PROGRAM OOB\n"
+      "      PARAMETER (N = 10)\n"
+      "      DIMENSION A(N), B(N)\n"
+      "      DO 10 I = 1, 20\n"
+      "        A(I) = B(I-1)\n"
+      "   10 CONTINUE\n"
+      "      END\n";
+  std::vector<Diagnostic> diags = LintSource(source, DriverOptions());
+  ASSERT_EQ(Codes(diags), (std::vector<std::string>{"B002", "B001", "B002"}));
+
+  // A(I) with I in [1,20] against extent 10: upper-bound overflow at the ref.
+  EXPECT_EQ(diags[0].location.line, 5);
+  EXPECT_EQ(diags[0].location.column, 11);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].pass, "subscript-bounds");
+  EXPECT_NE(diags[0].message.find("subscript 1 of A(I) reaches 20"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("extent 10"), std::string::npos);
+  EXPECT_FALSE(diags[0].fixit.empty());
+
+  // B(I-1) reaches 0 (B001) and 19 (B002), both anchored at the subscript.
+  EXPECT_EQ(diags[1].location.line, 5);
+  EXPECT_EQ(diags[1].location.column, 18);
+  EXPECT_NE(diags[1].message.find("reaches 0, below the lower bound 1"), std::string::npos);
+  EXPECT_EQ(diags[2].location.line, 5);
+  EXPECT_EQ(diags[2].location.column, 18);
+}
+
+TEST(LintAdversarialTest, TriangularBoundsAreResolvedThroughEnclosingLoops) {
+  // J runs to I <= 12 > extent 8: the bound pass must chase I's interval.
+  const char* source =
+      "      PROGRAM TRI\n"
+      "      PARAMETER (N = 8)\n"
+      "      DIMENSION A(N)\n"
+      "      DO 20 I = 1, 12\n"
+      "        DO 10 J = 1, I\n"
+      "          A(J) = 1.0\n"
+      "   10   CONTINUE\n"
+      "   20 CONTINUE\n"
+      "      END\n";
+  std::vector<Diagnostic> diags = LintSource(source, DriverOptions());
+  ASSERT_TRUE(HasCode(diags, "B002")) << RenderText(diags, "tri");
+  EXPECT_NE(FindCode(diags, "B002").message.find("reaches 12"), std::string::npos);
+}
+
+TEST(LintAdversarialTest, LockWithoutAllocateReportsD001) {
+  // Algorithm 2 inserts a LOCK for the host's body segment; suppressing
+  // Algorithm 1 leaves that LOCK uncovered.
+  const char* source =
+      "      PROGRAM NEST\n"
+      "      PARAMETER (M = 8, N = 8)\n"
+      "      DIMENSION A(M,N), B(M,N)\n"
+      "      DO 20 J = 1, N\n"
+      "        A(1,J) = 0.0\n"
+      "        DO 10 I = 1, M\n"
+      "          B(I,J) = A(I,J) + 1.0\n"
+      "   10   CONTINUE\n"
+      "   20 CONTINUE\n"
+      "      END\n";
+  LintOptions opt = DriverOptions();
+  opt.directives.insert_allocate = false;
+  std::vector<Diagnostic> diags = LintSource(source, opt);
+  ASSERT_EQ(diags.size(), 1u) << RenderText(diags, "nest");
+  EXPECT_EQ(diags[0].code, "D001");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].pass, "directive-verifier");
+  EXPECT_EQ(diags[0].location.line, 6);  // the child DO the LOCK precedes
+  EXPECT_EQ(diags[0].location.column, 9);
+  EXPECT_NE(diags[0].message.find("not preceded by a covering ALLOCATE"), std::string::npos);
+  EXPECT_NE(diags[0].fixit.find("Algorithm 1"), std::string::npos);
+}
+
+TEST(LintAdversarialTest, ArrayFreeLoopReportsDeadAllocateX001) {
+  const char* source =
+      "      PROGRAM DEAD\n"
+      "      PARAMETER (N = 8)\n"
+      "      DIMENSION A(N)\n"
+      "      DO 10 I = 1, N\n"
+      "        A(I) = 1.0\n"
+      "   10 CONTINUE\n"
+      "      DO 20 I = 1, N\n"
+      "        T = T + 1.0\n"
+      "   20 CONTINUE\n"
+      "      END\n";
+  std::vector<Diagnostic> diags = LintSource(source, DriverOptions());
+  ASSERT_EQ(diags.size(), 1u) << RenderText(diags, "dead");
+  EXPECT_EQ(diags[0].code, "X001");
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_EQ(diags[0].location.line, 7);  // the DO 20 statement
+  EXPECT_EQ(diags[0].location.column, 7);
+  EXPECT_NE(diags[0].message.find("references no arrays"), std::string::npos);
+}
+
+TEST(LintAdversarialTest, ShadowedDoIndexAndUnusedArrayReportH002AndH001) {
+  const char* source =
+      "      PROGRAM SHAD\n"
+      "      PARAMETER (N = 6, K = 3)\n"
+      "      DIMENSION A(N), B(N), C(N)\n"
+      "      DO 10 K = 1, N\n"
+      "        A(K) = B(K) + 1.0\n"
+      "   10 CONTINUE\n"
+      "      END\n";
+  std::vector<Diagnostic> diags = LintSource(source, DriverOptions());
+  ASSERT_EQ(Codes(diags), (std::vector<std::string>{"H001", "H002"}));
+
+  EXPECT_EQ(diags[0].location.line, 3);  // C in the DIMENSION statement
+  EXPECT_EQ(diags[0].location.column, 29);
+  EXPECT_NE(diags[0].message.find("array C"), std::string::npos);
+  EXPECT_NE(diags[0].fixit.find("remove C"), std::string::npos);
+
+  EXPECT_EQ(diags[1].location.line, 4);  // the DO index token
+  EXPECT_EQ(diags[1].location.column, 13);
+  EXPECT_EQ(diags[1].severity, Severity::kWarning);
+  EXPECT_NE(diags[1].message.find("DO index K shadows PARAMETER K"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("declared at 2:25"), std::string::npos);
+}
+
+TEST(LintAdversarialTest, ParseFailureYieldsSingleP001) {
+  std::vector<Diagnostic> diags = LintSource("      PROGRAM BAD\n", DriverOptions());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, "P001");
+  EXPECT_EQ(diags[0].pass, "parse");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+// ---------------------------------------------------------------------------
+// Sema accumulation: CheckProgramAll keeps going; CheckProgram stays the
+// first-error view used by the pipeline.
+
+TEST(LintSemaTest, SemaAccumulatesEveryErrorInSourceOrder) {
+  const char* source =
+      "      PROGRAM MULTI\n"
+      "      PARAMETER (N = 4)\n"
+      "      DIMENSION A(N), A(N)\n"
+      "      DO 10 I = 1, N\n"
+      "        A(I) = C(I)\n"
+      "        B = A\n"
+      "   10 CONTINUE\n"
+      "      END\n";
+  Result<Program> program = Parse(source);
+  ASSERT_TRUE(program.ok());
+  std::vector<Diagnostic> diags = CheckProgramAll(program.value());
+  ASSERT_EQ(Codes(diags), (std::vector<std::string>{"S001", "S003", "S009"}));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.pass, "sema");
+    EXPECT_EQ(d.severity, Severity::kError);
+  }
+  // The single-error adapter returns exactly the first accumulated one.
+  std::optional<Error> first = CheckProgram(program.value());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->message, diags.front().message);
+  EXPECT_EQ(first->location.line, diags.front().location.line);
+}
+
+TEST(LintSemaTest, AnalysisPassesAreGatedButHygieneStillRuns) {
+  // S003 makes the loop tree unusable; H001 must still fire for D.
+  const char* source =
+      "      PROGRAM GATE\n"
+      "      PARAMETER (N = 4)\n"
+      "      DIMENSION A(N), D(N)\n"
+      "      DO 10 I = 1, N\n"
+      "        A(I) = C(I)\n"
+      "   10 CONTINUE\n"
+      "      END\n";
+  std::vector<Diagnostic> diags = LintSource(source, DriverOptions());
+  EXPECT_TRUE(HasCode(diags, "S003"));
+  EXPECT_TRUE(HasCode(diags, "H001"));
+  for (const Diagnostic& d : diags) {
+    EXPECT_TRUE(d.pass == "sema" || d.pass == "hygiene") << d.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted-plan fixtures: hand-damage a real DirectivePlan and run the
+// directive passes directly, the way a stale or hand-edited plan would fail.
+
+struct PlanFixture {
+  Program program;
+  LoopTree tree;
+  LocalityAnalysis locality;
+  DirectivePlan plan;
+  DiagnosticEngine engine;
+
+  explicit PlanFixture(const char* source, LocalityOptions options = {})
+      : program(Parse(source).value()),
+        tree(program),
+        locality(program, tree, options),
+        plan(BuildDirectivePlan(tree, locality)) {}
+
+  std::vector<Diagnostic> RunDirectivePasses() {
+    LintContext ctx;
+    ctx.program = &program;
+    ctx.tree = &tree;
+    ctx.locality = &locality;
+    ctx.plan = &plan;
+    ctx.diags = &engine;
+    DirectiveVerifierPass().Run(ctx);
+    DeadDirectivePass().Run(ctx);
+    engine.SortBySource();
+    return engine.Take();
+  }
+};
+
+constexpr char kNestSource[] =
+    "      PROGRAM NEST\n"
+    "      PARAMETER (M = 8, N = 8)\n"
+    "      DIMENSION A(M,N), B(M,N)\n"
+    "      DO 20 J = 1, N\n"
+    "        A(1,J) = 0.0\n"
+    "        DO 10 I = 1, M\n"
+    "          B(I,J) = A(I,J) + 1.0\n"
+    "   10   CONTINUE\n"
+    "   20 CONTINUE\n"
+    "      END\n";
+
+TEST(LintPlanTest, GeneratedPlanVerifiesClean) {
+  PlanFixture fx(kNestSource);
+  EXPECT_TRUE(fx.RunDirectivePasses().empty());
+}
+
+TEST(LintPlanTest, MissingUnlockReportsD002) {
+  PlanFixture fx(kNestSource);
+  ASSERT_FALSE(fx.plan.unlock_after_loop.empty());
+  fx.plan.unlock_after_loop.clear();
+  std::vector<Diagnostic> diags = fx.RunDirectivePasses();
+  ASSERT_TRUE(HasCode(diags, "D002")) << RenderText(diags, "nest");
+  const Diagnostic& d = FindCode(diags, "D002");
+  EXPECT_NE(d.message.find("never unlocked on the loop's exit path"), std::string::npos);
+  EXPECT_NE(d.fixit.find("UNLOCK after loop 20"), std::string::npos);
+}
+
+TEST(LintPlanTest, UndersizedAllocationReportsD003) {
+  PlanFixture fx(kNestSource);
+  auto it = fx.plan.allocate_before_loop.begin();
+  ASSERT_NE(it, fx.plan.allocate_before_loop.end());
+  // Lock more distinct arrays than the (now zeroed-down) grant covers.
+  for (LockPlan& lock : fx.plan.locks) {
+    lock.arrays = {"A", "B"};
+  }
+  for (auto& [id, ap] : fx.plan.allocate_before_loop) {
+    for (AllocateRequest& req : ap.chain) {
+      req.pages = 1;
+    }
+  }
+  std::vector<Diagnostic> diags = fx.RunDirectivePasses();
+  ASSERT_TRUE(HasCode(diags, "D003")) << RenderText(diags, "nest");
+  EXPECT_NE(FindCode(diags, "D003").message.find("grants only X=1"), std::string::npos);
+}
+
+TEST(LintPlanTest, CorruptedChainReportsD004) {
+  PlanFixture fx(kNestSource);
+  bool corrupted = false;
+  for (auto& [id, ap] : fx.plan.allocate_before_loop) {
+    if (ap.chain.size() >= 2) {
+      std::swap(ap.chain.front().priority, ap.chain.back().priority);
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  std::vector<Diagnostic> diags = fx.RunDirectivePasses();
+  EXPECT_TRUE(HasCode(diags, "D004")) << RenderText(diags, "nest");
+}
+
+TEST(LintPlanTest, UnknownLoopIdReportsD005) {
+  PlanFixture fx(kNestSource);
+  AllocatePlan bogus;
+  bogus.loop_id = 999;
+  bogus.chain.push_back(AllocateRequest{1, 1});
+  fx.plan.allocate_before_loop[999] = bogus;
+  std::vector<Diagnostic> diags = fx.RunDirectivePasses();
+  ASSERT_TRUE(HasCode(diags, "D005")) << RenderText(diags, "nest");
+  EXPECT_NE(FindCode(diags, "D005").message.find("unknown loop id 999"), std::string::npos);
+}
+
+TEST(LintPlanTest, UnlockOfNeverLockedArrayReportsX002) {
+  PlanFixture fx(kNestSource);
+  ASSERT_FALSE(fx.plan.unlock_after_loop.empty());
+  fx.plan.unlock_after_loop.begin()->second.arrays.push_back("B");
+  std::vector<Diagnostic> diags = fx.RunDirectivePasses();
+  ASSERT_TRUE(HasCode(diags, "X002")) << RenderText(diags, "nest");
+  EXPECT_EQ(FindCode(diags, "X002").severity, Severity::kWarning);
+}
+
+TEST(LintPlanTest, LockOfUntouchedArrayReportsX003) {
+  PlanFixture fx(kNestSource);
+  ASSERT_FALSE(fx.plan.locks.empty());
+  // B is declared but the segment before loop 10 only touches A.
+  fx.plan.locks.front().arrays.push_back("B");
+  // Keep the UNLOCK balanced so only X003 fires for the addition.
+  for (auto& [id, unlock] : fx.plan.unlock_after_loop) {
+    unlock.arrays.push_back("B");
+  }
+  std::vector<Diagnostic> diags = fx.RunDirectivePasses();
+  ASSERT_TRUE(HasCode(diags, "X003")) << RenderText(diags, "nest");
+  EXPECT_NE(FindCode(diags, "X003").message.find("never reference it"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Validation diagnostics (V001): the structured view of the estimate
+// validator, driven by fabricated rows so the failure path is deterministic.
+
+TEST(LintValidationTest, InadequateEstimateYieldsV001AtTheLoop) {
+  Result<CompiledProgram> cp = CompiledProgram::FromSource(kNestSource);
+  ASSERT_TRUE(cp.ok());
+  std::vector<LoopValidation> rows = ValidateLocalityEstimates(cp.value());
+  ASSERT_FALSE(rows.empty());
+  // The real estimator is adequate by construction on this nest.
+  EXPECT_TRUE(ValidationDiagnostics(cp.value(), rows).empty());
+
+  rows.front().estimated_pages = 0;
+  rows.front().max_rereferenced = 3;
+  std::vector<Diagnostic> diags = ValidationDiagnostics(cp.value(), rows);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, "V001");
+  EXPECT_EQ(diags[0].pass, "estimate-validation");
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_TRUE(diags[0].location.IsValid());
+  EXPECT_NE(diags[0].message.find("grants X=0"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("3 page(s)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Framework plumbing.
+
+TEST(LintFrameworkTest, AllPassesAreRegisteredInCanonicalOrder) {
+  const std::vector<const LintPass*>& passes = AllLintPasses();
+  ASSERT_EQ(passes.size(), 5u);
+  EXPECT_STREQ(passes[0]->name(), "subscript-bounds");
+  EXPECT_STREQ(passes[1]->name(), "directive-verifier");
+  EXPECT_STREQ(passes[2]->name(), "dead-directive");
+  EXPECT_STREQ(passes[3]->name(), "locality-consistency");
+  EXPECT_STREQ(passes[4]->name(), "hygiene");
+  for (const LintPass* pass : passes) {
+    EXPECT_EQ(pass->needs_analysis(), std::string(pass->name()) != "hygiene") << pass->name();
+  }
+}
+
+TEST(LintFrameworkTest, DiagnosticsComeBackSortedBySourcePosition) {
+  // The shadow fixture produces hygiene findings on lines 3 and 4; bounds
+  // violations land later. Merge both and check global ordering.
+  const char* source =
+      "      PROGRAM MIX\n"
+      "      PARAMETER (N = 6, K = 3)\n"
+      "      DIMENSION A(N), C(N)\n"
+      "      DO 10 K = 1, 9\n"
+      "        A(K) = 2.0\n"
+      "   10 CONTINUE\n"
+      "      END\n";
+  std::vector<Diagnostic> diags = LintSource(source, DriverOptions());
+  ASSERT_GE(diags.size(), 3u) << RenderText(diags, "mix");
+  for (size_t i = 1; i < diags.size(); ++i) {
+    bool ordered = diags[i - 1].location.line < diags[i].location.line ||
+                   (diags[i - 1].location.line == diags[i].location.line &&
+                    diags[i - 1].location.column <= diags[i].location.column);
+    EXPECT_TRUE(ordered) << diags[i - 1].ToString() << " vs " << diags[i].ToString();
+  }
+  EXPECT_TRUE(HasCode(diags, "H001"));
+  EXPECT_TRUE(HasCode(diags, "H002"));
+  EXPECT_TRUE(HasCode(diags, "B002"));
+}
+
+}  // namespace
+}  // namespace cdmm

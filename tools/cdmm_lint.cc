@@ -1,0 +1,7 @@
+// cdmm-lint entry point; the driver lives in src/cli/lint_cli.cc so the exit
+// contract is testable in-process.
+#include <iostream>
+
+#include "src/cli/lint_cli.h"
+
+int main(int argc, char** argv) { return cdmm::LintMain(argc, argv, std::cout, std::cerr); }
