@@ -12,6 +12,7 @@
 
 #include "src/cdmm/pipeline.h"
 #include "src/exec/flags.h"
+#include "src/telemetry/flags.h"
 #include "src/exec/sweep_scheduler.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
@@ -151,6 +152,7 @@ void FaultServiceAblation(const cdmm::SweepScheduler& sched) {
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_ablation");
   cdmm::ThreadPool pool(jobs);
   cdmm::SweepScheduler sched(&pool);
   std::cout << "CD design-choice ablations\n==========================\n\n";

@@ -16,6 +16,7 @@
 
 #include "src/cdmm/pipeline.h"
 #include "src/exec/flags.h"
+#include "src/telemetry/flags.h"
 #include "src/exec/sweep_scheduler.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
@@ -179,6 +180,7 @@ void WsStructure(const std::vector<WorkloadTrace>& workloads,
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_anomalies");
   cdmm::ThreadPool pool(jobs);
   cdmm::SweepScheduler sched(&pool);
   std::cout << "Run-time policy anomalies on the reproduced workloads (paper §1)\n"

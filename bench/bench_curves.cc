@@ -15,6 +15,7 @@
 
 #include "src/cdmm/pipeline.h"
 #include "src/exec/flags.h"
+#include "src/telemetry/flags.h"
 #include "src/exec/sweep_scheduler.h"
 #include "src/support/ascii_plot.h"
 #include "src/support/str.h"
@@ -85,6 +86,7 @@ std::string CurvesFor(const std::string& name, const cdmm::SweepScheduler& sched
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_curves");
   cdmm::ThreadPool pool(jobs);
   cdmm::SweepScheduler sched(&pool);
 

@@ -17,6 +17,7 @@
 
 #include "src/cdmm/pipeline.h"
 #include "src/exec/flags.h"
+#include "src/telemetry/flags.h"
 #include "src/exec/sweep_scheduler.h"
 #include "src/os/multiprog.h"
 #include "src/robust/fault_injector.h"
@@ -38,6 +39,7 @@ std::string Pct(uint64_t value, uint64_t base) {
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_faults");
   uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

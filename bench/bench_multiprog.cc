@@ -14,6 +14,7 @@
 
 #include "src/cdmm/pipeline.h"
 #include "src/exec/flags.h"
+#include "src/telemetry/flags.h"
 #include "src/exec/sweep_scheduler.h"
 #include "src/os/multiprog.h"
 #include "src/support/str.h"
@@ -83,6 +84,7 @@ std::string RunMix(const std::vector<std::string>& names, uint32_t frames,
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_multiprog");
   cdmm::ThreadPool pool(jobs);
   cdmm::SweepScheduler sched(&pool);
   std::cout << "Multiprogrammed CD vs static equal-partition LRU vs WS load control\n"

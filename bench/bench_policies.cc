@@ -13,6 +13,7 @@
 
 #include "src/cdmm/pipeline.h"
 #include "src/exec/flags.h"
+#include "src/telemetry/flags.h"
 #include "src/exec/sweep_scheduler.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
@@ -158,6 +159,7 @@ BENCHMARK(BM_GenerateTrace);
 int main(int argc, char** argv) {
   // Strip --jobs before google-benchmark parses argv (it rejects unknown flags).
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_policies");
   {
     cdmm::ThreadPool pool(jobs);
     PrintCrossSection(cdmm::SweepScheduler(&pool));

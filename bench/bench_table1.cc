@@ -12,6 +12,7 @@
 
 #include "src/cdmm/experiments.h"
 #include "src/exec/flags.h"
+#include "src/telemetry/flags.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/workloads/workloads.h"
@@ -36,6 +37,7 @@ const std::map<std::string, PaperRow> kPaper = {
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_table1");
   cdmm::ThreadPool pool(jobs);
   std::cout << "Table 1: The Effect of Executing Different Sets of Directives Under CD Policy\n"
             << "(paper values in parentheses; shape comparison only — the 1985 traces are\n"

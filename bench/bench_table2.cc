@@ -8,6 +8,7 @@
 
 #include "src/cdmm/experiments.h"
 #include "src/exec/flags.h"
+#include "src/telemetry/flags.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/workloads/workloads.h"
@@ -29,6 +30,7 @@ const std::map<std::string, PaperRow> kPaper = {
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_table2");
   cdmm::ThreadPool pool(jobs);
   std::cout << "Table 2: Comparing Minimal Space Time Cost Values of LRU and WS versus CD\n"
             << "%ST = (ST_min(other) - ST(CD)) / ST(CD) * 100   (paper values in parentheses)\n\n";

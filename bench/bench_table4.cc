@@ -8,6 +8,7 @@
 
 #include "src/cdmm/experiments.h"
 #include "src/exec/flags.h"
+#include "src/telemetry/flags.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/workloads/workloads.h"
@@ -36,6 +37,7 @@ const std::map<std::string, PaperRow> kPaper = {
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_table4");
   cdmm::ThreadPool pool(jobs);
   std::cout << "Table 4: The Cost of Generating The Same Number of Page Faults as CD\n"
             << "%MEM = (MEM(other) - MEM(CD)) / MEM(CD) * 100  (paper values in parentheses)\n\n";

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/support/check.h"
+#include "src/telemetry/telemetry.h"
 
 namespace cdmm {
 namespace {
@@ -43,6 +44,7 @@ const CompiledProgram& ExperimentRunner::compiled(const std::string& workload) {
   return compiled_.GetOrCompute(workload, [&] {
     auto cp = CompiledProgram::FromSource(FindWorkload(workload).source, pipeline_);
     CDMM_CHECK_MSG(cp.ok(), workload << ": " << cp.error().ToString());
+    TELEM_COUNT("experiments.workload_compiled");
     return std::move(cp).value();
   });
 }
@@ -59,23 +61,32 @@ CdOptions ExperimentRunner::MakeCdOptions(const WorkloadVariant& variant) const 
 
 const SimResult& ExperimentRunner::RunCd(const WorkloadVariant& variant) {
   return cd_results_.GetOrCompute(variant.variant_name, [&] {
+    TELEM_SPAN_VAR(span, "simulate:cd", "experiments");
+    span.AddArg("variant", variant.variant_name);
     const CompiledProgram& cp = compiled(variant.workload);
     SimResult r = SimulateCd(cp.trace(), MakeCdOptions(variant));
     r.policy = variant.variant_name + " " + r.policy;
+    TELEM_COUNT("experiments.cd_run_completed");
     return r;
   });
 }
 
 const std::vector<SweepPoint>& ExperimentRunner::LruCurve(const std::string& workload) {
   return lru_curves_.GetOrCompute(workload, [&] {
+    TELEM_SPAN_VAR(span, "sweep:lru", "experiments");
+    span.AddArg("workload", workload);
     const CompiledProgram& cp = compiled(workload);
+    TELEM_COUNT("experiments.lru_curve_computed");
     return scheduler_.Lru(cp.shared_references(), cp.virtual_pages(), sim_);
   });
 }
 
 const std::vector<SweepPoint>& ExperimentRunner::WsCurve(const std::string& workload) {
   return ws_curves_.GetOrCompute(workload, [&] {
+    TELEM_SPAN_VAR(span, "sweep:ws", "experiments");
+    span.AddArg("workload", workload);
     const CompiledProgram& cp = compiled(workload);
+    TELEM_COUNT("experiments.ws_curve_computed");
     std::shared_ptr<const Trace> refs = cp.shared_references();
     uint64_t max_tau = std::max<uint64_t>(refs->reference_count(), 1);
     return scheduler_.Ws(std::move(refs), DefaultTauGrid(max_tau, 12), sim_);

@@ -1,11 +1,13 @@
 #include "src/cdmm/pipeline.h"
 
 #include "src/lang/sema.h"
+#include "src/telemetry/telemetry.h"
 
 namespace cdmm {
 
 Result<CompiledProgram> CompiledProgram::FromSource(std::string_view source,
                                                     const PipelineOptions& options) {
+  TELEM_SPAN("compile", "pipeline");
   auto parsed = ParseAndCheck(source);
   if (!parsed.ok()) {
     return parsed.error();
@@ -13,18 +15,31 @@ Result<CompiledProgram> CompiledProgram::FromSource(std::string_view source,
   CompiledProgram cp;
   cp.options_ = options;
   cp.program_ = std::make_unique<Program>(std::move(parsed).value());
-  cp.tree_ = std::make_unique<LoopTree>(*cp.program_);
-  cp.locality_ = std::make_unique<LocalityAnalysis>(*cp.program_, *cp.tree_, options.locality);
-  cp.plan_ = BuildDirectivePlan(*cp.tree_, *cp.locality_, options.directives);
+  {
+    TELEM_SPAN("analysis", "pipeline");
+    cp.tree_ = std::make_unique<LoopTree>(*cp.program_);
+    cp.locality_ = std::make_unique<LocalityAnalysis>(*cp.program_, *cp.tree_, options.locality);
+  }
+  {
+    TELEM_SPAN("directive-insertion", "pipeline");
+    cp.plan_ = BuildDirectivePlan(*cp.tree_, *cp.locality_, options.directives);
+  }
+  TELEM_COUNT("pipeline.program_compiled");
+  TELEM_COUNT_N("pipeline.directive_planned",
+                cp.plan_.allocate_before_loop.size() + cp.plan_.locks.size() +
+                    cp.plan_.unlock_after_loop.size());
   return cp;
 }
 
 std::shared_ptr<const Trace> CompiledProgram::shared_trace() const {
   std::call_once(lazy_->full_once, [this] {
+    TELEM_SPAN("trace-generation", "pipeline");
     InterpOptions iopt;
     iopt.geometry = options_.locality.geometry;
     iopt.emit_loop_markers = options_.emit_loop_markers;
     lazy_->full = std::make_shared<const Trace>(GenerateTrace(*program_, *tree_, &plan_, iopt));
+    TELEM_COUNT("pipeline.trace_generated");
+    TELEM_COUNT_N("pipeline.ref_emitted", lazy_->full->reference_count());
   });
   return lazy_->full;
 }

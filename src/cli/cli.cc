@@ -37,6 +37,13 @@
 //   --inject-rate X        injection intensity in [0,1] (default 0.5)
 //   --deadline MS          wall-clock budget for the --simulate sweep;
 //                          overrunning specs become partial-result failures
+//   --metrics[=text|json]  print the telemetry metrics report after the run
+//   --metrics-out FILE     write the JSON metrics sidecar to FILE
+//   --trace-spans FILE     write Chrome trace-event JSON (Perfetto) to FILE
+//   --version              print the one-line build identification and exit
+//   --build-info           print the full build provenance and exit
+//   --help                 print the full help (including the exit-code
+//                          contract, which lives in PrintHelp below) and exit
 #include "src/cli/cli.h"
 
 #include <cstdlib>
@@ -51,8 +58,10 @@
 #include "src/lint/lint.h"
 #include "src/exec/sweep_scheduler.h"
 #include "src/robust/fault_injector.h"
+#include "src/support/build_info.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
+#include "src/telemetry/flags.h"
 #include "src/trace/trace_io.h"
 #include "src/vm/policy_spec.h"
 #include "src/workloads/workloads.h"
@@ -82,19 +91,45 @@ struct CliOptions {
   const FaultInjector* injector = nullptr;  // non-null iff inject_seed != 0
 };
 
+void PrintUsageLines(const char* argv0, std::ostream& os) {
+  os << "usage: " << argv0
+     << " [--report] [--listing|--listing-full] [--source] [--lint[=json]]\n"
+        "            [--trace-out FILE] [--trace-format text|binary]\n"
+        "            [--trace-in FILE] [--simulate SPEC]...\n"
+        "            [--page-size N] [--element-size N] [--fault-service N]\n"
+        "            [--min-pages N] [--no-locks] [--no-allocate] [--jobs N]\n"
+        "            [--inject-seed N] [--inject-rate X] [--deadline MS]\n"
+        "            [--metrics[=text|json]] [--metrics-out FILE]\n"
+        "            [--trace-spans FILE] [--version] [--build-info] [--help]\n"
+        "            <source.f | builtin:NAME>\n"
+        "builtins: MAIN FDJAC TQL FIELD INIT APPROX HYBRJ CONDUCT HWSCRT\n"
+        "policy specs: cd-outer cd-inner cd-cap:N cd-avail:FRAMES lru:M fifo:M\n"
+        "              opt:M ws:TAU sws:SIGMA vsws pff:T dws:TAU vmin\n";
+}
+
 int Usage(const char* argv0, std::ostream& err) {
-  err << "usage: " << argv0
-      << " [--report] [--listing|--listing-full] [--source] [--lint[=json]]\n"
-         "            [--trace-out FILE] [--trace-format text|binary]\n"
-         "            [--trace-in FILE] [--simulate SPEC]...\n"
-         "            [--page-size N] [--element-size N] [--fault-service N]\n"
-         "            [--min-pages N] [--no-locks] [--no-allocate] [--jobs N]\n"
-         "            [--inject-seed N] [--inject-rate X] [--deadline MS]\n"
-         "            <source.f | builtin:NAME>\n"
-         "builtins: MAIN FDJAC TQL FIELD INIT APPROX HYBRJ CONDUCT HWSCRT\n"
-         "policy specs: cd-outer cd-inner cd-cap:N cd-avail:FRAMES lru:M fifo:M\n"
-         "              opt:M ws:TAU sws:SIGMA vsws pff:T dws:TAU vmin\n";
+  PrintUsageLines(argv0, err);
+  err << "run '" << argv0 << " --help' for the full option and exit-code reference\n";
   return 2;
+}
+
+// The single authoritative statement of the cdmmc exit-code contract
+// (asserted verbatim by cli_test); src/cli/cli.h points here.
+int PrintHelp(const char* argv0, std::ostream& out) {
+  PrintUsageLines(argv0, out);
+  out << "\n"
+         "telemetry:\n"
+         "  --metrics[=text|json]  print the metrics report to stdout after the run\n"
+         "  --metrics-out FILE     write the JSON metrics sidecar to FILE\n"
+         "  --trace-spans FILE     write Chrome trace-event JSON (load in Perfetto)\n"
+         "\n"
+         "exit codes:\n"
+         "  0  success (compilation, simulation, or a clean --lint run)\n"
+         "  1  input error: unreadable file, parse/semantic failure, bad trace\n"
+         "  2  usage error: unknown option, unknown policy spec, malformed value\n"
+         "  3  partial results: some --simulate items timed out or failed\n"
+         "  4  lint diagnostics reported (--lint on a source with findings)\n";
+  return 0;
 }
 
 void PrintUnknownSpec(const std::string& spec, std::ostream& err) {
@@ -269,6 +304,7 @@ int Run(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
 
 int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
   unsigned jobs = ParseJobsFlag(&argc, argv);
+  telem::TelemetryFlags tflags = telem::ParseTelemetryFlags(&argc, argv);
   ThreadPool pool(jobs);
   SweepScheduler sched(&pool);
   CliOptions cli;
@@ -284,7 +320,19 @@ int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
       }
       return argv[++i];
     };
-    if (arg == "--report") {
+    if (arg == "--help") {
+      return PrintHelp(argv[0], out);
+    } else if (arg == "--version") {
+      out << BuildInfoLine() << "\n";
+      return 0;
+    } else if (arg == "--build-info") {
+      const BuildInfo& info = GetBuildInfo();
+      out << "git: " << info.git_describe << "\n"
+          << "compiler: " << info.compiler_id << " " << info.compiler_version << "\n"
+          << "build type: " << info.build_type << "\n"
+          << "C++ standard: " << info.cxx_standard << "\n";
+      return 0;
+    } else if (arg == "--report") {
       cli.report = true;
     } else if (arg == "--listing") {
       cli.listing = true;
@@ -350,13 +398,18 @@ int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
     cli.injector = &injector;
     cli.sim.injector = &injector;
   }
-  if (!cli.trace_in.empty()) {
-    return RunFromTrace(cli, sched, out, err);
-  }
-  if (cli.input.empty()) {
+  if (cli.trace_in.empty() && cli.input.empty()) {
     return Usage(argv[0], err);
   }
-  return Run(cli, sched, out, err);
+  // Explicitly set both states every invocation so repeated in-process calls
+  // (tests, benches) never inherit a previous run's telemetry configuration.
+  telem::ConfigureTelemetry(tflags);
+  int code = cli.trace_in.empty() ? Run(cli, sched, out, err)
+                                  : RunFromTrace(cli, sched, out, err);
+  if (tflags.any() && !telem::EmitTelemetry(tflags, "cdmmc", out, err) && code == 0) {
+    code = 1;
+  }
+  return code;
 }
 
 }  // namespace cdmm

@@ -14,6 +14,10 @@
 //   --min-pages N          system-default minimum allocation (default 1)
 //   --no-locks             lint a plan without LOCK/UNLOCK directives
 //   --no-allocate          lint a plan without ALLOCATE directives
+//   --telemetry            exercise the pipeline/simulators with telemetry
+//                          enabled and lint every registered metric name
+//                          against subsystem.noun_verb (H003); takes no
+//                          source inputs
 #include "src/cli/lint_cli.h"
 
 #include <cstdlib>
@@ -25,7 +29,14 @@
 
 #include "src/cdmm/pipeline.h"
 #include "src/cdmm/validation.h"
+#include "src/exec/sweep_scheduler.h"
+#include "src/exec/thread_pool.h"
 #include "src/lint/lint.h"
+#include "src/lint/telemetry_names.h"
+#include "src/os/multiprog.h"
+#include "src/robust/fault_injector.h"
+#include "src/telemetry/telemetry.h"
+#include "src/vm/policy_spec.h"
 #include "src/workloads/workloads.h"
 
 namespace cdmm {
@@ -35,7 +46,7 @@ int Usage(const char* argv0, std::ostream& err) {
   err << "usage: " << argv0
       << " [--json] [--validate] [--page-size N] [--element-size N]\n"
          "                 [--min-pages N] [--no-locks] [--no-allocate]\n"
-         "                 <source.f | builtin:NAME>...\n"
+         "                 [--telemetry | <source.f | builtin:NAME>...]\n"
          "exit: 0 clean, 1 input error, 2 usage error, 4 diagnostics reported\n";
   return 2;
 }
@@ -105,12 +116,68 @@ int LintOneInput(const std::string& input, const LintCliOptions& opt, std::ostre
   return diags.empty() ? 0 : 4;
 }
 
+// --telemetry: populate the global metrics registry by exercising every
+// subsystem that registers metrics (pipeline, all policy simulators, the
+// sweep scheduler, the multiprogrammed OS with load control and fault
+// injection), then lint the registered names. Registration is lazy — a site
+// that never executes never registers — so the exercise aims for breadth,
+// not realistic workloads.
+int LintTelemetryRegistry(const LintCliOptions& opt, std::ostream& out, std::ostream& err) {
+  telem::SetTelemetryEnabled(true);
+  telem::GlobalMetrics().ResetValues();
+
+  PipelineOptions po;
+  po.locality = opt.lint.locality;
+  po.directives = opt.lint.directives;
+  auto cp = CompiledProgram::FromSource(FindWorkload("FDJAC").source, po);
+  if (!cp.ok()) {
+    err << "builtin:FDJAC failed to compile: " << cp.error().ToString() << "\n";
+    return 1;
+  }
+  std::shared_ptr<const Trace> full = cp.value().shared_trace();
+  std::shared_ptr<const Trace> refs = cp.value().shared_references();
+
+  SimOptions sim;
+  for (const std::string& spec : KnownPolicySpecs()) {
+    RunPolicySpec(spec, *full, *refs, sim);
+  }
+
+  ThreadPool pool(2);
+  SweepScheduler sched(&pool);
+  sched.Lru(refs, cp.value().virtual_pages(), sim);
+
+  FaultInjector injector(FaultInjectionConfig::AtIntensity(7, 1.0));
+  injector.TotalFaultServiceTime(0, 32, 100);
+  for (uint64_t i = 0; i < 64; ++i) {
+    injector.StallsSweepItem(i);
+    injector.PoisonsSweepItem(i);
+  }
+  OsOptions os;
+  os.total_frames = 32;
+  os.quantum = 512;
+  os.load_control = true;
+  os.injector = &injector;
+  std::vector<OsProcessSpec> specs = {{"A", full.get(), 1}, {"B", full.get(), 0}};
+  RunMultiprogrammedCd(specs, os);
+
+  std::vector<std::string> names = telem::GlobalMetrics().Names();
+  std::vector<Diagnostic> diags = LintTelemetryNames(names);
+  out << (opt.json ? RenderJson(diags, "telemetry") : RenderText(diags, "telemetry"));
+  if (!opt.json) {
+    out << names.size() << " telemetry metric name(s) checked, " << diags.size()
+        << " violation(s)\n";
+  }
+  telem::SetTelemetryEnabled(false);
+  return diags.empty() ? 0 : 4;
+}
+
 }  // namespace
 
 int LintMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
   LintCliOptions opt;
   opt.lint.locality.min_default_pages = 1;  // match the cdmmc driver default
   std::vector<std::string> inputs;
+  bool telemetry = false;
   bool missing_argument = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -136,6 +203,8 @@ int LintMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
       opt.lint.directives.insert_locks = false;
     } else if (arg == "--no-allocate") {
       opt.lint.directives.insert_allocate = false;
+    } else if (arg == "--telemetry") {
+      telemetry = true;
     } else if (!arg.empty() && arg[0] == '-') {
       err << "unknown option " << arg << "\n";
       return Usage(argv[0], err);
@@ -145,6 +214,13 @@ int LintMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
     if (missing_argument) {
       return 2;
     }
+  }
+  if (telemetry) {
+    if (!inputs.empty()) {
+      err << "--telemetry takes no source inputs\n";
+      return Usage(argv[0], err);
+    }
+    return LintTelemetryRegistry(opt, out, err);
   }
   if (inputs.empty()) {
     return Usage(argv[0], err);

@@ -19,11 +19,26 @@
 
 #include "src/exec/thread_pool.h"
 #include "src/robust/fault_injector.h"
+#include "src/telemetry/telemetry.h"
 #include "src/trace/trace.h"
 #include "src/vm/fixed_alloc.h"
 #include "src/vm/sim_result.h"
 
 namespace cdmm {
+
+namespace sweep_internal {
+
+// Wall-clock per-item latency: genuinely non-deterministic, so the histogram
+// is registered runtime and excluded from cross---jobs comparisons.
+inline void RecordItemLatency(std::chrono::steady_clock::time_point start) {
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  TELEM_HIST_RT("exec.sweep_item_latency_us", telem::BucketSpec::PowersOfTwo(24),
+                static_cast<uint64_t>(us));
+}
+
+}  // namespace sweep_internal
 
 // Cooperative cancellation handle for sweep items. Copies share the cancelled
 // flag; a default-constructed token never expires. Long-running item
@@ -93,7 +108,12 @@ class SweepScheduler {
   template <typename R>
   std::vector<R> Map(size_t n, const std::function<R(size_t)>& fn) const {
     std::vector<R> results(n);
-    ParallelFor(pool_, n, [&](size_t i) { results[i] = fn(i); });
+    ParallelFor(pool_, n, [&](size_t i) {
+      auto start = std::chrono::steady_clock::now();
+      results[i] = fn(i);
+      TELEM_COUNT("exec.sweep_item_completed");
+      sweep_internal::RecordItemLatency(start);
+    });
     return results;
   }
 
@@ -118,26 +138,34 @@ class SweepScheduler {
         // deterministic timeout without burning real wall-clock.
         fails[i] = SweepItemFailure{i, SweepItemFailure::Kind::kTimeout,
                                     "injected stall: item abandoned at deadline"};
+        TELEM_COUNT_RT("exec.sweep_item_timed_out");
         return;
       }
       if (sweep_token.Expired()) {
         fails[i] = SweepItemFailure{i, SweepItemFailure::Kind::kTimeout,
                                     "sweep deadline expired before item started"};
+        TELEM_COUNT_RT("exec.sweep_item_timed_out");
         return;
       }
+      auto start = std::chrono::steady_clock::now();
       try {
         if (options.injector != nullptr && options.injector->PoisonsSweepItem(i)) {
           throw std::runtime_error("injected poison");
         }
         slots[i] = fn(i, sweep_token);
+        TELEM_COUNT("exec.sweep_item_completed");
+        sweep_internal::RecordItemLatency(start);
       } catch (const SweepCancelled&) {
         fails[i] = SweepItemFailure{i, SweepItemFailure::Kind::kTimeout,
                                     "item cancelled mid-run at deadline"};
+        TELEM_COUNT_RT("exec.sweep_item_timed_out");
       } catch (const std::exception& e) {
         fails[i] = SweepItemFailure{i, SweepItemFailure::Kind::kError, e.what()};
+        TELEM_COUNT("exec.sweep_item_failed");
       } catch (...) {
         fails[i] = SweepItemFailure{i, SweepItemFailure::Kind::kError,
                                     "unknown exception"};
+        TELEM_COUNT("exec.sweep_item_failed");
       }
     });
     PartialSweep<R> out;

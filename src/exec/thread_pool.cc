@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/check.h"
+#include "src/telemetry/telemetry.h"
 
 namespace cdmm {
 
@@ -50,7 +51,9 @@ void ThreadPool::Post(std::function<void()> task) {
   // queued_ goes up before the task becomes visible so that a worker
   // deciding to sleep under queue_mutex_ either sees the count and rescans,
   // or is already waiting and catches the notify below.
-  queued_.fetch_add(1);
+  uint64_t depth = queued_.fetch_add(1) + 1;
+  TELEM_COUNT_RT("exec.task_posted");
+  TELEM_GAUGE_MAX_RT("exec.queue_depth_peak", depth);
   if (tls_pool == this) {
     {
       Worker& own = *workers_[tls_worker];
@@ -97,6 +100,7 @@ bool ThreadPool::RunOneTask(unsigned self) {
       if (!victim.deque.empty()) {
         task = std::move(victim.deque.front());
         victim.deque.pop_front();
+        TELEM_COUNT_RT("exec.task_stolen");
       }
     }
   }

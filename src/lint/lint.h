@@ -25,6 +25,10 @@
 //                         C002 Variation chain not Outer*-Self-Inner*,
 //                         C003 contribution for an unreferenced array
 //   hygiene:              H001 unused array, H002 DO index shadows PARAMETER
+//   telemetry-names:      H003 telemetry metric name violates the
+//                         subsystem.noun_verb convention (registry-level
+//                         check behind `cdmm-lint --telemetry`; see
+//                         src/lint/telemetry_names.h — not a LintPass)
 #ifndef CDMM_SRC_LINT_LINT_H_
 #define CDMM_SRC_LINT_LINT_H_
 

@@ -1,0 +1,79 @@
+#include "src/lint/telemetry_names.h"
+
+#include <utility>
+
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+constexpr char kPass[] = "telemetry-names";
+
+bool IsLowerWord(std::string_view word) {
+  if (word.empty() || word[0] < 'a' || word[0] > 'z') {
+    return false;
+  }
+  for (char c : word) {
+    bool lower = c >= 'a' && c <= 'z';
+    bool digit = c >= '0' && c <= '9';
+    if (!lower && !digit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TelemetryNameViolation(std::string_view name) {
+  size_t dot = name.find('.');
+  if (dot == std::string_view::npos) {
+    return "missing '.' between subsystem and metric";
+  }
+  if (name.find('.', dot + 1) != std::string_view::npos) {
+    return "more than one '.' separator";
+  }
+  std::string_view subsystem = name.substr(0, dot);
+  if (!IsLowerWord(subsystem)) {
+    return "subsystem must be lowercase [a-z][a-z0-9]*";
+  }
+  std::string_view rest = name.substr(dot + 1);
+  size_t components = 0;
+  while (true) {
+    size_t underscore = rest.find('_');
+    std::string_view component = rest.substr(0, underscore);
+    if (!IsLowerWord(component)) {
+      return "metric components must be lowercase [a-z][a-z0-9]* joined by '_'";
+    }
+    ++components;
+    if (underscore == std::string_view::npos) {
+      break;
+    }
+    rest = rest.substr(underscore + 1);
+  }
+  if (components < 2) {
+    return "metric needs at least two '_'-joined components (noun_verb)";
+  }
+  return "";
+}
+
+std::vector<Diagnostic> LintTelemetryNames(const std::vector<std::string>& names) {
+  std::vector<Diagnostic> diags;
+  for (const std::string& name : names) {
+    std::string reason = TelemetryNameViolation(name);
+    if (reason.empty()) {
+      continue;
+    }
+    Diagnostic d;
+    d.code = "H003";
+    d.severity = Severity::kWarning;
+    d.pass = kPass;
+    d.message = StrCat("telemetry metric '", name, "' does not follow subsystem.noun_verb: ",
+                       reason);
+    d.fixit = StrCat("rename to <subsystem>.<noun>_<verb>, e.g. vm.fault_serviced");
+    diags.push_back(std::move(d));
+  }
+  return diags;
+}
+
+}  // namespace cdmm

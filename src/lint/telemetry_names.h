@@ -1,0 +1,36 @@
+// telemetry-names: H003 — telemetry metric names must follow the
+// "subsystem.noun_verb" convention enforced across src/telemetry call sites:
+//
+//   <subsystem>.<component>_<component>[_<component>...]
+//
+// where the subsystem and every component are lowercase [a-z][a-z0-9]*,
+// exactly one '.' separates subsystem from the rest, and the part after the
+// dot has at least two '_'-joined components (a noun and a verb/qualifier,
+// e.g. "vm.fault_serviced", "os.swap_retries_exhausted").
+//
+// Unlike the program-text passes this lint runs over the metric names a live
+// MetricsRegistry registered, not over mini-FORTRAN source; cdmm-lint
+// --telemetry exercises the pipeline and simulators to populate the registry
+// first. Diagnostics carry an invalid SourceLocation (there is no source
+// span to point at) and pass name "telemetry-names".
+#ifndef CDMM_SRC_LINT_TELEMETRY_NAMES_H_
+#define CDMM_SRC_LINT_TELEMETRY_NAMES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lint/diagnostics.h"
+
+namespace cdmm {
+
+// Returns "" when `name` follows the convention, otherwise a short
+// human-readable reason ("missing '.' separator", ...).
+std::string TelemetryNameViolation(std::string_view name);
+
+// One H003 warning per malformed name, in input order.
+std::vector<Diagnostic> LintTelemetryNames(const std::vector<std::string>& names);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_LINT_TELEMETRY_NAMES_H_

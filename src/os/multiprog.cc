@@ -9,6 +9,7 @@
 
 #include "src/support/check.h"
 #include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
 #include "src/vm/cd_core.h"
 #include "src/vm/cd_policy.h"
 
@@ -311,6 +312,7 @@ class OsSimulator {
         pool_free_ -= take;
         phantom_reserved_ += take;
         phantom_peak_ = std::max(phantom_peak_, phantom_reserved_);
+        TELEM_GAUGE_MAX("os.phantom_frames_peak", phantom_peak_);
       }
     } else if (desired < phantom_reserved_) {
       IntegratePool();
@@ -327,6 +329,7 @@ class OsSimulator {
     if (!options_.load_control || clock_ - lc_window_start_ < options_.thrash_window) {
       return;
     }
+    TELEM_COUNT("os.thrash_window_evaluated");
     uint64_t span = clock_ - lc_window_start_;
     uint64_t executed = executed_ticks_ - lc_executed_start_;
     uint64_t faulted = faults_total_ - lc_faults_start_;
@@ -376,6 +379,7 @@ class OsSimulator {
     victim->lc_suspended = true;
     ++victim->stats.suspensions;
     ++lc_suspensions_;
+    TELEM_COUNT("os.load_control_suspended");
   }
 
   void ReadmitForLoadControl() {
@@ -394,6 +398,7 @@ class OsSimulator {
     }
     best->state = ProcState::kReady;
     best->lc_suspended = false;
+    TELEM_COUNT("os.load_control_readmitted");
     if (best->core != nullptr) {
       Reserve(*best, std::max<uint32_t>(std::min(best->resume_grant, pool_free_), 1));
     }
@@ -402,6 +407,7 @@ class OsSimulator {
   // Terminates `p` with a structured failure reason; its frames return to
   // the pool and the rest of the mix keeps running.
   void FailProcess(Proc& p, std::string reason) {
+    TELEM_COUNT("os.process_failed");
     p.stats.failure = std::move(reason);
     p.stats.completed = false;
     if (p.core != nullptr) {
@@ -448,13 +454,16 @@ class OsSimulator {
           break;
         }
         ++swap_device_failures_;
+        TELEM_COUNT("os.swap_attempt_failed");
         delay += injector_->config().swap_backoff_base << a;
       }
       if (delay > 0) {
         SetClock(clock_ + delay);
+        TELEM_COUNT_N("os.swap_backoff_waited_ticks", delay);
       }
       if (!ok) {
         ++swap_retries_exhausted_;
+        TELEM_COUNT("os.swap_retries_exhausted");
         return false;
       }
     }
@@ -470,6 +479,7 @@ class OsSimulator {
     victim->awaiting_memory = false;
     ++victim->stats.swapped_out;
     ++swaps_;
+    TELEM_COUNT("os.swap_completed");
     return true;
   }
 
@@ -544,6 +554,7 @@ class OsSimulator {
       p.state = ProcState::kSuspended;
       p.awaiting_memory = true;
       ++p.stats.suspensions;
+      TELEM_COUNT("os.process_suspended");
       return false;
     }
   }
@@ -579,6 +590,7 @@ class OsSimulator {
     Reserve(p, 0);
     p.state = ProcState::kDone;
     p.stats.finished_at = clock_;
+    TELEM_COUNT("os.process_finished");
     WakeSuspendedForMemory();
   }
 
@@ -627,6 +639,7 @@ class OsSimulator {
         p.state = ProcState::kSuspended;
         p.awaiting_memory = false;
         ++p.stats.suspensions;
+        TELEM_COUNT("os.process_suspended");
         return false;
       }
     }
@@ -663,6 +676,17 @@ class OsSimulator {
     }
     const std::vector<TraceEvent>& events = p.spec->trace->events();
     uint64_t executed = 0;
+    TELEM_SPAN_VAR(quantum_span, "os.quantum", "os");
+    quantum_span.AddArg("process", p.stats.name);
+    // Records however the slice exits (completion, fault, suspension).
+    struct QuantumTelem {
+      const uint64_t* executed;
+      ~QuantumTelem() {
+        TELEM_COUNT("os.quantum_executed");
+        TELEM_HIST("os.quantum_refs_executed", telem::BucketSpec::PowersOfTwo(12),
+                   *executed);
+      }
+    } quantum_telem{&executed};
     while (executed < options_.quantum) {
       if (p.cursor >= events.size()) {
         Finish(p);

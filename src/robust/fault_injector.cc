@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/rng.h"
+#include "src/telemetry/telemetry.h"
 
 namespace cdmm {
 namespace {
@@ -57,11 +58,13 @@ uint64_t FaultInjector::FaultServiceTime(uint64_t stream, uint64_t fault_index,
   if (config_.service_jitter > 0.0) {
     double u = UnitAt(kSiteServiceJitter, stream, fault_index);
     factor *= 1.0 + config_.service_jitter * (2.0 * u - 1.0);
+    TELEM_COUNT("robust.service_perturbed");
   }
   if (config_.service_tail_rate > 0.0 &&
       UnitAt(kSiteServiceTailGate, stream, fault_index) < config_.service_tail_rate) {
     double u = UnitAt(kSiteServiceTailScale, stream, fault_index);
     factor *= 1.0 + u * (config_.service_tail_scale - 1.0);
+    TELEM_COUNT("robust.service_tail_landed");
   }
   double scaled = static_cast<double>(base) * factor;
   if (scaled < 1.0) {
@@ -112,14 +115,18 @@ bool FaultInjector::StallsSweepItem(uint64_t index) const {
   if (!enabled() || config_.stall_rate <= 0.0) {
     return false;
   }
-  return UnitAt(kSiteStall, index, 0) < config_.stall_rate;
+  bool stalls = UnitAt(kSiteStall, index, 0) < config_.stall_rate;
+  if (stalls) TELEM_COUNT("robust.sweep_stall_injected");
+  return stalls;
 }
 
 bool FaultInjector::PoisonsSweepItem(uint64_t index) const {
   if (!enabled() || config_.poison_rate <= 0.0) {
     return false;
   }
-  return UnitAt(kSitePoison, index, 0) < config_.poison_rate;
+  bool poisons = UnitAt(kSitePoison, index, 0) < config_.poison_rate;
+  if (poisons) TELEM_COUNT("robust.sweep_poison_injected");
+  return poisons;
 }
 
 }  // namespace cdmm

@@ -1,0 +1,32 @@
+// Build provenance baked in at configure time via CMake configure_file (see
+// src/support/CMakeLists.txt and build_info.cc.in). Surfaced by
+// `cdmmc --version` / `--build-info` and stamped into every metrics sidecar
+// so results stay attributable to an exact build.
+#ifndef CDMM_SRC_SUPPORT_BUILD_INFO_H_
+#define CDMM_SRC_SUPPORT_BUILD_INFO_H_
+
+#include <string>
+
+namespace cdmm {
+
+struct BuildInfo {
+  // `git describe --always --dirty --tags` at configure time, or
+  // "unknown" outside a git checkout.
+  const char* git_describe;
+  const char* compiler_id;       // e.g. "GNU", "Clang"
+  const char* compiler_version;  // e.g. "13.2.0"
+  const char* build_type;        // CMAKE_BUILD_TYPE, or "unspecified"
+  const char* cxx_standard;      // e.g. "20"
+};
+
+const BuildInfo& GetBuildInfo();
+
+// One-line form: "cdmm <git> (<compiler> <version>, <type>, C++<std>)".
+std::string BuildInfoLine();
+
+// The `"build":{...}` JSON object shared by all metrics sidecars.
+std::string BuildInfoJson();
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SUPPORT_BUILD_INFO_H_

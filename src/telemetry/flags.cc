@@ -1,0 +1,129 @@
+#include "src/telemetry/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "src/support/build_info.h"
+#include "src/telemetry/telemetry.h"
+
+namespace cdmm {
+namespace telem {
+
+namespace {
+
+void ApplyMetricsMode(TelemetryFlags* flags, const char* value) {
+  flags->metrics_stdout = true;
+  if (value == nullptr || std::strcmp(value, "text") == 0) {
+    flags->metrics_json = false;
+  } else if (std::strcmp(value, "json") == 0) {
+    flags->metrics_json = true;
+  } else {
+    std::fprintf(stderr, "bad --metrics value '%s' (want 'text' or 'json')\n", value);
+    std::exit(2);
+  }
+}
+
+const char* TakeValue(const char* flag, int* argc, char** argv, int* i) {
+  if (*i + 1 >= *argc) {
+    std::fprintf(stderr, "%s needs an argument\n", flag);
+    std::exit(2);
+  }
+  return argv[++*i];
+}
+
+}  // namespace
+
+TelemetryFlags ParseTelemetryFlags(int* argc, char** argv) {
+  TelemetryFlags flags;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      ApplyMetricsMode(&flags, nullptr);
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      ApplyMetricsMode(&flags, argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      flags.metrics_out = TakeValue("--metrics-out", argc, argv, &i);
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      flags.metrics_out = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--trace-spans") == 0) {
+      flags.spans_out = TakeValue("--trace-spans", argc, argv, &i);
+    } else if (std::strncmp(argv[i], "--trace-spans=", 14) == 0) {
+      flags.spans_out = argv[i] + 14;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return flags;
+}
+
+void ConfigureTelemetry(const TelemetryFlags& flags) {
+  const bool metrics_on = flags.metrics_stdout || !flags.metrics_out.empty();
+  SetTelemetryEnabled(metrics_on);
+  if (metrics_on) GlobalMetrics().ResetValues();
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.SetEnabled(!flags.spans_out.empty());
+  if (!flags.spans_out.empty()) tracer.Clear();
+}
+
+std::string MetricsSidecarJson(const std::string& tool) {
+  std::ostringstream out;
+  out << "{\"schema_version\":1,\"tool\":\"" << tool
+      << "\",\"build\":" << BuildInfoJson() << ','
+      << RenderMetricsJson(GlobalMetrics().Snapshot()) << "}\n";
+  return out.str();
+}
+
+bool EmitTelemetry(const TelemetryFlags& flags, const std::string& tool,
+                   std::ostream& out, std::ostream& err) {
+  bool ok = true;
+  if (flags.metrics_stdout) {
+    if (flags.metrics_json) {
+      out << MetricsSidecarJson(tool);
+    } else {
+      out << "== metrics (" << tool << ") ==\n"
+          << RenderMetricsText(GlobalMetrics().Snapshot());
+    }
+  }
+  if (!flags.metrics_out.empty()) {
+    std::ofstream file(flags.metrics_out);
+    if (!file) {
+      err << "cannot write metrics sidecar: " << flags.metrics_out << "\n";
+      ok = false;
+    } else {
+      file << MetricsSidecarJson(tool);
+    }
+  }
+  if (!flags.spans_out.empty()) {
+    std::ofstream file(flags.spans_out);
+    if (!file) {
+      err << "cannot write span trace: " << flags.spans_out << "\n";
+      ok = false;
+    } else {
+      SpanTracer::Global().WriteChromeJson(file);
+    }
+  }
+  return ok;
+}
+
+ScopedTelemetry::ScopedTelemetry(int* argc, char** argv, std::string tool)
+    : tool_(std::move(tool)) {
+  flags_ = ParseTelemetryFlags(argc, argv);
+  ConfigureTelemetry(flags_);
+}
+
+ScopedTelemetry::~ScopedTelemetry() {
+  if (flags_.any()) {
+    EmitTelemetry(flags_, tool_, std::cout, std::cerr);
+  }
+}
+
+}  // namespace telem
+}  // namespace cdmm

@@ -1,0 +1,75 @@
+// Shared telemetry flags for cdmmc and the benches, in the style of
+// src/exec/flags.h: parsing strips the flags from argv so binaries with
+// their own argument handling (including google-benchmark's Initialize)
+// never see them.
+//
+// Flags:
+//   --metrics[=text|json]   print the metrics report to stdout after the run
+//   --metrics-out FILE      write the JSON metrics sidecar to FILE
+//   --trace-spans FILE      write Chrome trace-event JSON (Perfetto) to FILE
+//                           (cdmmc already uses --trace-out for reference
+//                           traces, hence the distinct name)
+#ifndef CDMM_SRC_TELEMETRY_FLAGS_H_
+#define CDMM_SRC_TELEMETRY_FLAGS_H_
+
+#include <iosfwd>
+#include <string>
+
+namespace cdmm {
+namespace telem {
+
+struct TelemetryFlags {
+  bool metrics_stdout = false;  // --metrics / --metrics=text|json given
+  bool metrics_json = false;    // --metrics=json
+  std::string metrics_out;      // --metrics-out FILE ("" = none)
+  std::string spans_out;        // --trace-spans FILE ("" = none)
+
+  bool any() const {
+    return metrics_stdout || !metrics_out.empty() || !spans_out.empty();
+  }
+};
+
+// Extracts the telemetry flags from argv (mutating argc/argv, exits 2 on a
+// malformed value) and returns them. Call before any other flag parsing.
+TelemetryFlags ParseTelemetryFlags(int* argc, char** argv);
+
+// Resets metric values and enables/disables collection to match `flags`.
+// Call once per run, before the instrumented work.
+void ConfigureTelemetry(const TelemetryFlags& flags);
+
+// Emits the requested reports: the stdout block (text or JSON envelope with
+// tool/build provenance) and/or the sidecar/span files. File-write failures
+// go to `err`; returns false on any failure. No-op when !flags.any().
+bool EmitTelemetry(const TelemetryFlags& flags, const std::string& tool,
+                   std::ostream& out, std::ostream& err);
+
+// The full JSON sidecar document (schema tools/metrics_schema.json):
+// {"schema_version":1,"tool":...,"build":{...},"counters":[...],...}.
+std::string MetricsSidecarJson(const std::string& tool);
+
+// One-line telemetry plumbing for the bench binaries: parses + configures in
+// the constructor, emits to std::cout/std::cerr in the destructor so every
+// return path (including early exits) still reports. Declare right after
+// ParseJobsFlag:
+//   telem::ScopedTelemetry telemetry(&argc, argv, "bench_table1");
+// Emission failures are reported to stderr but cannot change the exit code
+// (destructors have no return value); cdmmc, whose exit codes are
+// contractual, calls EmitTelemetry directly instead.
+class ScopedTelemetry {
+ public:
+  ScopedTelemetry(int* argc, char** argv, std::string tool);
+  ~ScopedTelemetry();
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+  const TelemetryFlags& flags() const { return flags_; }
+
+ private:
+  TelemetryFlags flags_;
+  std::string tool_;
+};
+
+}  // namespace telem
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_TELEMETRY_FLAGS_H_

@@ -1,0 +1,321 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/check.h"
+
+namespace cdmm {
+namespace telem {
+
+BucketSpec BucketSpec::PowersOfTwo(size_t count, uint64_t first) {
+  BucketSpec spec;
+  spec.lower = 0;
+  spec.bounds.reserve(count);
+  uint64_t bound = first;
+  for (size_t i = 0; i < count; ++i) {
+    spec.bounds.push_back(bound);
+    if (bound > UINT64_MAX / 2) break;  // saturate rather than overflow
+    bound *= 2;
+  }
+  return spec;
+}
+
+BucketSpec BucketSpec::Linear(uint64_t width, size_t count, uint64_t lower) {
+  CDMM_CHECK_MSG(width > 0, "linear bucket width must be positive");
+  BucketSpec spec;
+  spec.lower = lower;
+  spec.bounds.reserve(count);
+  for (size_t i = 1; i <= count; ++i) spec.bounds.push_back(lower + i * width);
+  return spec;
+}
+
+HistogramData::HistogramData(BucketSpec s)
+    : spec(std::move(s)), counts(spec.bounds.size(), 0) {}
+
+void HistogramData::MergeFrom(const HistogramData& other) {
+  CDMM_CHECK_MSG(spec == other.spec, "histogram merge across mismatched bucket specs");
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  underflow += other.underflow;
+  overflow += other.overflow;
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+Histogram::Histogram(BucketSpec spec)
+    : spec_(std::move(spec)), counts_(spec_.bounds.size()) {
+  CDMM_CHECK_MSG(std::is_sorted(spec_.bounds.begin(), spec_.bounds.end()),
+                 "histogram bucket bounds must be ascending");
+}
+
+void Histogram::Record(uint64_t v) {
+  if (v < spec_.lower) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    auto it = std::lower_bound(spec_.bounds.begin(), spec_.bounds.end(), v);
+    if (it == spec_.bounds.end()) {
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counts_[static_cast<size_t>(it - spec_.bounds.begin())].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData data(spec_);
+  for (size_t i = 0; i < counts_.size(); ++i)
+    data.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  data.underflow = underflow_.load(std::memory_order_relaxed);
+  data.overflow = overflow_.load(std::memory_order_relaxed);
+  data.count = count_.load(std::memory_order_relaxed);
+  data.sum = sum_.load(std::memory_order_relaxed);
+  data.min = min_.load(std::memory_order_relaxed);
+  data.max = max_.load(std::memory_order_relaxed);
+  return data;
+}
+
+void Histogram::MergeFrom(const HistogramData& other) {
+  CDMM_CHECK_MSG(spec_ == other.spec, "histogram merge across mismatched bucket specs");
+  for (size_t i = 0; i < counts_.size(); ++i)
+    counts_[i].fetch_add(other.counts[i], std::memory_order_relaxed);
+  underflow_.fetch_add(other.underflow, std::memory_order_relaxed);
+  overflow_.fetch_add(other.overflow, std::memory_order_relaxed);
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (other.min < cur &&
+         !min_.compare_exchange_weak(cur, other.min, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (other.max > cur &&
+         !max_.compare_exchange_weak(cur, other.max, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  underflow_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      Entry::Kind kind, Det det,
+                                                      const BucketSpec* spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    entry.det = det;
+    switch (kind) {
+      case Entry::Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Entry::Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Entry::Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>(*spec);
+        break;
+    }
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  } else {
+    CDMM_CHECK_MSG(it->second.kind == kind, "metric re-registered with a different kind");
+    if (kind == Entry::Kind::kHistogram) {
+      CDMM_CHECK_MSG(it->second.histogram->spec() == *spec,
+                     "histogram re-registered with a different bucket spec");
+    }
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name, Det det) {
+  return *FindOrCreate(name, Entry::Kind::kCounter, det, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, Det det) {
+  return *FindOrCreate(name, Entry::Kind::kGauge, det, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         const BucketSpec& spec, Det det) {
+  return *FindOrCreate(name, Entry::Kind::kHistogram, det, &spec).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, entry] : entries_) {  // std::map: already name-sorted
+    const bool runtime = entry.det == Det::kRuntime;
+    switch (entry.kind) {
+      case Entry::Kind::kCounter:
+        snapshot.counters.push_back({name, entry.counter->value(), runtime});
+        break;
+      case Entry::Kind::kGauge:
+        snapshot.gauges.push_back({name, entry.gauge->value(), runtime});
+        break;
+      case Entry::Kind::kHistogram:
+        snapshot.histograms.push_back({name, entry.histogram->Snapshot(), runtime});
+        break;
+    }
+  }
+  return snapshot;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Entry::Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Entry::Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Entry::Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  MetricsSnapshot snapshot = other.Snapshot();
+  std::map<std::string, Det> dets;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    for (const auto& [name, entry] : other.entries_) dets[name] = entry.det;
+  }
+  for (const auto& row : snapshot.counters)
+    GetCounter(row.name, dets[row.name]).Add(row.value);
+  for (const auto& row : snapshot.gauges)
+    GetGauge(row.name, dets[row.name]).UpdateMax(row.value);
+  for (const auto& row : snapshot.histograms)
+    GetHistogram(row.name, row.data.spec, dets[row.name]).MergeFrom(row.data);
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+void AppendUintArray(std::ostringstream& out, const std::vector<uint64_t>& values) {
+  out << '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ',';
+    out << values[i];
+  }
+  out << ']';
+}
+
+}  // namespace
+
+std::string RenderMetricsText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& row : snapshot.counters) {
+    out << row.name << " = " << row.value;
+    if (row.runtime) out << "  [runtime]";
+    out << '\n';
+  }
+  for (const auto& row : snapshot.gauges) {
+    out << row.name << " = " << row.value << "  (gauge)";
+    if (row.runtime) out << "  [runtime]";
+    out << '\n';
+  }
+  for (const auto& row : snapshot.histograms) {
+    out << row.name << " : count=" << row.data.count << " sum=" << row.data.sum;
+    if (row.data.count > 0) {
+      out << " min=" << row.data.min << " max=" << row.data.max;
+    }
+    out << " underflow=" << row.data.underflow << " overflow=" << row.data.overflow;
+    if (row.runtime) out << "  [runtime]";
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "\"counters\":[";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& row = snapshot.counters[i];
+    if (i > 0) out << ',';
+    out << "{\"name\":";
+    AppendJsonString(out, row.name);
+    out << ",\"value\":" << row.value << ",\"det\":" << (row.runtime ? "false" : "true")
+        << '}';
+  }
+  out << "],\"gauges\":[";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& row = snapshot.gauges[i];
+    if (i > 0) out << ',';
+    out << "{\"name\":";
+    AppendJsonString(out, row.name);
+    out << ",\"value\":" << row.value << ",\"det\":" << (row.runtime ? "false" : "true")
+        << '}';
+  }
+  out << "],\"histograms\":[";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& row = snapshot.histograms[i];
+    if (i > 0) out << ',';
+    out << "{\"name\":";
+    AppendJsonString(out, row.name);
+    out << ",\"det\":" << (row.runtime ? "false" : "true")
+        << ",\"lower\":" << row.data.spec.lower << ",\"bounds\":";
+    AppendUintArray(out, row.data.spec.bounds);
+    out << ",\"counts\":";
+    AppendUintArray(out, row.data.counts);
+    out << ",\"underflow\":" << row.data.underflow
+        << ",\"overflow\":" << row.data.overflow << ",\"count\":" << row.data.count
+        << ",\"sum\":" << row.data.sum;
+    if (row.data.count > 0) {
+      out << ",\"min\":" << row.data.min << ",\"max\":" << row.data.max;
+    }
+    out << '}';
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace telem
+}  // namespace cdmm

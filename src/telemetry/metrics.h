@@ -1,0 +1,212 @@
+// Deterministic metrics for the whole pipeline: lock-free-on-hot-path
+// Counter / Gauge / fixed-bucket Histogram types behind a named
+// MetricsRegistry.
+//
+// Determinism contract (what "identical at any --jobs" rests on):
+//  - Counter::Add and Histogram::Record are commutative and associative, so
+//    concurrent sweep items incrementing the same metric produce the same
+//    final value regardless of thread count or scheduling order.
+//  - Gauges carry last-write semantics, which is NOT order-independent; a
+//    gauge updated from concurrent code must use UpdateMax (max is
+//    commutative) or be registered as Det::kRuntime.
+//  - Metrics that measure the execution substrate itself (wall-clock
+//    latencies, steal counts, queue depths) are registered Det::kRuntime and
+//    exported with "det": false so downstream determinism diffs can exclude
+//    them. Everything else is keyed by virtual time / reference index and
+//    must match bit-for-bit across --jobs 1/4/8.
+//  - Snapshot() and MergeFrom() walk metrics in canonical (name-sorted)
+//    order, so rendered reports are byte-stable.
+//
+// Instrumentation sites use the TELEM_* macros from telemetry.h, which
+// compile to a single relaxed load + branch when telemetry is disabled.
+#ifndef CDMM_SRC_TELEMETRY_METRICS_H_
+#define CDMM_SRC_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdmm {
+namespace telem {
+
+// Whether a metric's value is reproducible across thread counts and runs.
+// kRuntime metrics (timings, steal counts, queue depths) are excluded from
+// cross---jobs determinism comparisons.
+enum class Det : uint8_t { kDeterministic, kRuntime };
+
+// Monotonic event count. Relaxed atomic adds: safe and deterministic-in-total
+// under any interleaving.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time level. Set() is last-write-wins (use only from serial
+// contexts or for Det::kRuntime metrics); UpdateMax() is order-independent.
+class Gauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void UpdateMax(uint64_t v) {
+    uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Fixed bucket layout shared by a histogram and everything it merges with.
+// Bucket i counts values v with bounds[i-1] < v <= bounds[i] (bounds[-1] is
+// `lower - 1`); v < lower lands in the underflow bucket, v > bounds.back()
+// in the overflow bucket.
+struct BucketSpec {
+  uint64_t lower = 0;            // smallest value the regular buckets cover
+  std::vector<uint64_t> bounds;  // ascending inclusive upper bounds
+
+  // first, 2*first, 4*first, ... (`count` bounds).
+  static BucketSpec PowersOfTwo(size_t count, uint64_t first = 1);
+  // lower + width, lower + 2*width, ... (`count` bounds).
+  static BucketSpec Linear(uint64_t width, size_t count, uint64_t lower = 0);
+
+  friend bool operator==(const BucketSpec&, const BucketSpec&) = default;
+};
+
+// Plain (non-atomic) histogram contents: the snapshot/merge currency.
+// Default-constructed data (with a matching spec) is the merge identity.
+struct HistogramData {
+  BucketSpec spec;
+  std::vector<uint64_t> counts;  // one per spec.bounds entry
+  uint64_t underflow = 0;
+  uint64_t overflow = 0;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = UINT64_MAX;  // merge identity for min
+  uint64_t max = 0;           // merge identity for max
+
+  explicit HistogramData(BucketSpec s = {});
+
+  // Element-wise merge; CHECK-fails on a spec mismatch. Associative and
+  // commutative, with the empty data as identity (tested).
+  void MergeFrom(const HistogramData& other);
+
+  friend bool operator==(const HistogramData&, const HistogramData&) = default;
+};
+
+// Concurrent fixed-bucket histogram. Record is lock-free (one binary search
+// plus relaxed atomic adds).
+class Histogram {
+ public:
+  explicit Histogram(BucketSpec spec);
+
+  void Record(uint64_t v);
+  HistogramData Snapshot() const;
+  const BucketSpec& spec() const { return spec_; }
+  void MergeFrom(const HistogramData& other);
+  void Reset();
+
+ private:
+  BucketSpec spec_;
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> underflow_{0};
+  std::atomic<uint64_t> overflow_{0};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Point-in-time view of a registry, in canonical (name-sorted) order.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    uint64_t value = 0;
+    bool runtime = false;  // Det::kRuntime
+  };
+  struct GaugeRow {
+    std::string name;
+    uint64_t value = 0;
+    bool runtime = false;
+  };
+  struct HistogramRow {
+    std::string name;
+    HistogramData data;
+    bool runtime = false;
+  };
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+
+  bool empty() const { return counters.empty() && gauges.empty() && histograms.empty(); }
+};
+
+// Named metric registry. Registration (Get*) takes a mutex; the returned
+// references are stable for the registry's lifetime, so hot paths register
+// once (a function-local static) and then touch only the atomic metric.
+// Metric names must follow the `subsystem.noun_verb` convention enforced by
+// cdmm-lint's H003 pass (see src/lint/lint.h).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates. The first registration fixes the metric's kind,
+  // determinism class and (for histograms) bucket spec; re-registering with
+  // a different kind or spec CHECK-fails.
+  Counter& GetCounter(std::string_view name, Det det = Det::kDeterministic);
+  Gauge& GetGauge(std::string_view name, Det det = Det::kDeterministic);
+  Histogram& GetHistogram(std::string_view name, const BucketSpec& spec,
+                          Det det = Det::kDeterministic);
+
+  MetricsSnapshot Snapshot() const;
+  // Every registered metric name, sorted (the cdmm-lint --telemetry input).
+  std::vector<std::string> Names() const;
+
+  // Zeroes every metric but keeps registrations (fresh run, stable refs).
+  void ResetValues();
+
+  // Adds `other`'s values into this registry, creating metrics as needed, in
+  // canonical order. Counters/histograms add; gauges merge by max (the only
+  // order-independent choice). CHECK-fails on kind/spec mismatches.
+  void MergeFrom(const MetricsRegistry& other);
+
+ private:
+  struct Entry {
+    enum class Kind : uint8_t { kCounter, kGauge, kHistogram } kind;
+    Det det = Det::kDeterministic;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& FindOrCreate(std::string_view name, Entry::Kind kind, Det det,
+                      const BucketSpec* spec);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+// Renderers (canonical order, byte-stable for a fixed snapshot).
+// Text: one metric per line, "[runtime]" marking Det::kRuntime entries.
+std::string RenderMetricsText(const MetricsSnapshot& snapshot);
+// JSON: the sidecar body WITHOUT the outer build/tool envelope (flags.cc
+// adds those). "det": false marks runtime entries.
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot);
+
+}  // namespace telem
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_TELEMETRY_METRICS_H_

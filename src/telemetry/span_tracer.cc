@@ -1,0 +1,156 @@
+#include "src/telemetry/span_tracer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cdmm {
+namespace telem {
+
+SpanTracer& SpanTracer::Global() {
+  static SpanTracer* tracer = new SpanTracer();  // leaked: alive for atexit paths
+  return *tracer;
+}
+
+SpanTracer::SpanTracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t SpanTracer::NowUs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+uint32_t SpanTracer::ThreadIndex() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = thread_indices_.emplace(
+      std::this_thread::get_id(), static_cast<uint32_t>(thread_indices_.size()));
+  return it->second;
+}
+
+void SpanTracer::Record(SpanEvent event) {
+  if (!enabled()) return;
+  event.tid = ThreadIndex();
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void SpanTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  thread_indices_.clear();
+}
+
+size_t SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+namespace {
+
+void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+bool IsJsonNumber(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void SpanTracer::WriteChromeJson(std::ostream& out) const {
+  std::vector<SpanEvent> events;
+  uint32_t thread_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+    thread_count = static_cast<uint32_t>(thread_indices_.size());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (uint32_t tid = 0; tid < thread_count; ++tid) {
+    if (!first) out << ',';
+    first = false;
+    const std::string thread_name = tid == 0 ? "main" : "worker-" + std::to_string(tid);
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << thread_name << "\"}}";
+  }
+  for (const SpanEvent& event : events) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":";
+    WriteJsonString(out, event.name);
+    out << ",\"cat\":";
+    WriteJsonString(out, event.category.empty() ? std::string("cdmm") : event.category);
+    out << ",\"ph\":\"X\",\"ts\":" << event.start_us
+        << ",\"dur\":" << (event.end_us - event.start_us) << ",\"pid\":1,\"tid\":"
+        << event.tid;
+    if (!event.args.empty()) {
+      out << ",\"args\":{";
+      for (size_t i = 0; i < event.args.size(); ++i) {
+        if (i > 0) out << ',';
+        WriteJsonString(out, event.args[i].first);
+        out << ':';
+        if (IsJsonNumber(event.args[i].second)) {
+          out << event.args[i].second;
+        } else {
+          WriteJsonString(out, event.args[i].second);
+        }
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "]}\n";
+}
+
+TelemScope::TelemScope(std::string name, std::string category) {
+  SpanTracer& tracer = SpanTracer::Global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  event_.name = std::move(name);
+  event_.category = std::move(category);
+  event_.start_us = tracer.NowUs();
+}
+
+TelemScope::~TelemScope() {
+  if (!active_) return;
+  SpanTracer& tracer = SpanTracer::Global();
+  event_.end_us = tracer.NowUs();
+  tracer.Record(std::move(event_));
+}
+
+void TelemScope::AddArg(std::string key, std::string value) {
+  if (!active_) return;
+  event_.args.emplace_back(std::move(key), std::move(value));
+}
+
+void TelemScope::AddArg(std::string key, uint64_t value) {
+  if (!active_) return;
+  event_.args.emplace_back(std::move(key), std::to_string(value));
+}
+
+}  // namespace telem
+}  // namespace cdmm

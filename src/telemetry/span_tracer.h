@@ -1,0 +1,97 @@
+// Nested phase/agent span recording with Chrome trace-event JSON export.
+//
+// Spans capture where wall-clock time goes across the pipeline: compile →
+// analysis → directive insertion → simulation → sweep items → OS quanta.
+// The output of WriteChromeJson loads directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Span timestamps are wall-clock and therefore NOT deterministic across runs
+// or --jobs settings; only the metrics registry carries the deterministic
+// signal. Span *names and nesting* are stable for a fixed serial workload.
+#ifndef CDMM_SRC_TELEMETRY_SPAN_TRACER_H_
+#define CDMM_SRC_TELEMETRY_SPAN_TRACER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cdmm {
+namespace telem {
+
+// One completed span ("ph":"X" complete event in the trace format).
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  uint64_t start_us = 0;
+  uint64_t end_us = 0;
+  uint32_t tid = 0;  // dense per-process thread index, not the OS tid
+  // Rendered as the event's "args" object; values are emitted as JSON
+  // numbers when numeric_value is set, strings otherwise.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// Process-wide span sink. Recording is cheap (one mutex-guarded vector push
+// per completed span — spans are per-phase/per-item, never per-reference) and
+// a no-op unless enabled.
+class SpanTracer {
+ public:
+  static SpanTracer& Global();
+
+  void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Microseconds since this tracer's epoch (steady clock).
+  uint64_t NowUs() const;
+
+  void Record(SpanEvent event);
+  void Clear();
+  size_t size() const;
+
+  // {"traceEvents":[...]} — one complete ("ph":"X") event per span plus
+  // thread_name metadata, sorted by start time for stable-ish output.
+  void WriteChromeJson(std::ostream& out) const;
+
+ private:
+  SpanTracer();
+
+  uint32_t ThreadIndex();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> events_;
+  std::unordered_map<std::thread::id, uint32_t> thread_indices_;
+
+  friend class TelemScope;
+};
+
+// RAII span: records [construction, destruction) into SpanTracer::Global()
+// when tracing is enabled. Constructing one when tracing is disabled costs a
+// relaxed load and a branch.
+class TelemScope {
+ public:
+  TelemScope(std::string name, std::string category);
+  TelemScope(const TelemScope&) = delete;
+  TelemScope& operator=(const TelemScope&) = delete;
+  ~TelemScope();
+
+  // Attaches a key/value pair to the span's trace "args".
+  void AddArg(std::string key, std::string value);
+  void AddArg(std::string key, uint64_t value);
+
+ private:
+  bool active_ = false;
+  SpanEvent event_;
+};
+
+}  // namespace telem
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_TELEMETRY_SPAN_TRACER_H_

@@ -1,0 +1,20 @@
+#include "src/telemetry/telemetry.h"
+
+namespace cdmm {
+namespace telem {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: alive for atexit paths
+  return *registry;
+}
+
+void SetTelemetryEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace telem
+}  // namespace cdmm

@@ -1,0 +1,125 @@
+// Instrumentation entry points used by the rest of the codebase.
+//
+// Everything here is gated on a single process-wide enabled flag, read with
+// one relaxed atomic load. When telemetry is off (the default), TELEM_COUNT
+// and friends compile to that load plus a never-taken branch — no
+// registration, no allocation, no formatting — which is what keeps nominal
+// cdmmc stdout byte-identical and total overhead under 2%.
+//
+// Usage:
+//   TELEM_COUNT("vm.fault_serviced");            // counter += 1
+//   TELEM_COUNT_N("cd.grant_pages_total", n);    // counter += n
+//   TELEM_GAUGE_MAX("os.phantom_frames_peak", v);
+//   TELEM_HIST("vm.fault_service_ticks", spec, ticks);
+//   TELEM_SPAN("simulate", "vm");                // RAII span to scope end
+//
+// Metric names are `subsystem.noun_verb` (enforced by cdmm-lint H003). The
+// metric reference is a function-local static, so each site pays the
+// registry lookup exactly once per process.
+#ifndef CDMM_SRC_TELEMETRY_TELEMETRY_H_
+#define CDMM_SRC_TELEMETRY_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/span_tracer.h"
+
+namespace cdmm {
+namespace telem {
+
+// The process-wide metrics registry. Values survive across runs in one
+// process; callers that need a fresh slate (tests, repeated in-process CLI
+// invocations) call GlobalMetrics().ResetValues().
+MetricsRegistry& GlobalMetrics();
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+// Process-wide enable flag for metrics collection (spans have their own via
+// SpanTracer::SetEnabled). Off by default.
+inline bool TelemetryEnabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetTelemetryEnabled(bool enabled);
+
+}  // namespace telem
+}  // namespace cdmm
+
+#define TELEM_COUNT(name) TELEM_COUNT_N(name, 1)
+
+#define TELEM_COUNT_N(name, n)                                        \
+  do {                                                                \
+    if (::cdmm::telem::TelemetryEnabled()) {                          \
+      static ::cdmm::telem::Counter& cdmm_telem_metric =              \
+          ::cdmm::telem::GlobalMetrics().GetCounter(name);            \
+      cdmm_telem_metric.Add(n);                                       \
+    }                                                                 \
+  } while (0)
+
+// Counter whose total depends on thread scheduling (steals, timeouts):
+// exported with "det": false and excluded from determinism diffs.
+#define TELEM_COUNT_RT(name)                                          \
+  do {                                                                \
+    if (::cdmm::telem::TelemetryEnabled()) {                          \
+      static ::cdmm::telem::Counter& cdmm_telem_metric =              \
+          ::cdmm::telem::GlobalMetrics().GetCounter(                  \
+              name, ::cdmm::telem::Det::kRuntime);                    \
+      cdmm_telem_metric.Add(1);                                       \
+    }                                                                 \
+  } while (0)
+
+// Order-independent high-water mark.
+#define TELEM_GAUGE_MAX(name, v)                                      \
+  do {                                                                \
+    if (::cdmm::telem::TelemetryEnabled()) {                          \
+      static ::cdmm::telem::Gauge& cdmm_telem_metric =                \
+          ::cdmm::telem::GlobalMetrics().GetGauge(name);              \
+      cdmm_telem_metric.UpdateMax(v);                                 \
+    }                                                                 \
+  } while (0)
+
+// Runtime (non-deterministic) high-water mark, e.g. queue depth.
+#define TELEM_GAUGE_MAX_RT(name, v)                                   \
+  do {                                                                \
+    if (::cdmm::telem::TelemetryEnabled()) {                          \
+      static ::cdmm::telem::Gauge& cdmm_telem_metric =                \
+          ::cdmm::telem::GlobalMetrics().GetGauge(                    \
+              name, ::cdmm::telem::Det::kRuntime);                    \
+      cdmm_telem_metric.UpdateMax(v);                                 \
+    }                                                                 \
+  } while (0)
+
+// Histogram of virtual-time / index-keyed values (deterministic).
+#define TELEM_HIST(name, spec, v)                                     \
+  do {                                                                \
+    if (::cdmm::telem::TelemetryEnabled()) {                          \
+      static ::cdmm::telem::Histogram& cdmm_telem_metric =            \
+          ::cdmm::telem::GlobalMetrics().GetHistogram(name, spec);    \
+      cdmm_telem_metric.Record(v);                                    \
+    }                                                                 \
+  } while (0)
+
+// Histogram of wall-clock values (runtime; excluded from determinism diffs).
+#define TELEM_HIST_RT(name, spec, v)                                  \
+  do {                                                                \
+    if (::cdmm::telem::TelemetryEnabled()) {                          \
+      static ::cdmm::telem::Histogram& cdmm_telem_metric =            \
+          ::cdmm::telem::GlobalMetrics().GetHistogram(                \
+              name, spec, ::cdmm::telem::Det::kRuntime);              \
+      cdmm_telem_metric.Record(v);                                    \
+    }                                                                 \
+  } while (0)
+
+#define CDMM_TELEM_CONCAT_INNER(a, b) a##b
+#define CDMM_TELEM_CONCAT(a, b) CDMM_TELEM_CONCAT_INNER(a, b)
+
+// RAII span covering the rest of the enclosing scope. `name` and `category`
+// land in the Chrome trace; use TELEM_SPAN_VAR when the span needs AddArg.
+#define TELEM_SPAN(name, category) \
+  ::cdmm::telem::TelemScope CDMM_TELEM_CONCAT(cdmm_telem_span_, __COUNTER__)(name, category)
+
+#define TELEM_SPAN_VAR(var, name, category) ::cdmm::telem::TelemScope var(name, category)
+
+#endif  // CDMM_SRC_TELEMETRY_TELEMETRY_H_

@@ -4,6 +4,7 @@
 
 #include "src/support/check.h"
 #include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
 #include "src/vm/cd_core.h"
 
 namespace cdmm {
@@ -62,6 +63,7 @@ SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* in
 
   auto process = [&](const DirectiveRecord& d) {
     ++result.directives_processed;
+    TELEM_COUNT("cd.directive_processed");
     switch (d.kind) {
       case DirectiveRecord::Kind::kAllocate: {
         uint32_t available = options.selection == DirectiveSelection::kAvailability &&
@@ -71,6 +73,9 @@ SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* in
         if (options.selection == DirectiveSelection::kAvailability && available == 0) {
           // Unlimited memory degenerates to the outermost selection.
           core.SetGrant(d.requests.front().pages);
+          TELEM_COUNT("cd.alloc_granted");
+          TELEM_HIST("cd.grant_pages", telem::BucketSpec::PowersOfTwo(16),
+                     d.requests.front().pages);
           break;
         }
         int idx = SelectCdRequest(d.requests, options.selection, options.level_cap, available);
@@ -81,24 +86,35 @@ SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* in
           if (d.requests.back().priority == 1) {
             ++swap_requests;
             core.SetGrant(available);
+            TELEM_COUNT("cd.alloc_swap_requested");
+          } else {
+            TELEM_COUNT("cd.alloc_continued");
           }
           break;
         }
         uint32_t g = d.requests[static_cast<size_t>(idx)].pages;
         if (g < core.grant() && core.unlocked_resident() > g) {
           ++result.allocation_shrinks;
+          TELEM_COUNT("cd.alloc_shrunk");
         }
         core.SetGrant(g);
+        TELEM_COUNT("cd.alloc_granted");
+        TELEM_HIST("cd.grant_pages", telem::BucketSpec::PowersOfTwo(16), g);
         break;
       }
-      case DirectiveRecord::Kind::kLock:
+      case DirectiveRecord::Kind::kLock: {
         core.Lock(d.pages, d.lock_priority);
+        TELEM_COUNT("cd.lock_applied");
         if (options.available_frames != 0) {
-          result.lock_releases += core.EnforceCap(options.available_frames);
+          uint32_t released = core.EnforceCap(options.available_frames);
+          result.lock_releases += released;
+          TELEM_COUNT_N("cd.lock_release_forced", released);
         }
         break;
+      }
       case DirectiveRecord::Kind::kUnlock:
         core.Unlock(d.pages);
+        TELEM_COUNT("cd.unlock_applied");
         break;
     }
   };
@@ -116,7 +132,10 @@ SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* in
         ++result.references;
         result.max_resident = std::max(result.max_resident, core.resident());
         if (fault) {
-          service_total += FaultServiceCost(options.sim, result.faults - 1);
+          uint64_t cost = FaultServiceCost(options.sim, result.faults - 1);
+          service_total += cost;
+          TELEM_COUNT("vm.fault_serviced");
+          TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
         }
         result.elapsed += 1;
         ref_integral += static_cast<double>(core.held());

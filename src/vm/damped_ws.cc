@@ -6,6 +6,7 @@
 
 #include "src/support/check.h"
 #include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
 
 namespace cdmm {
 
@@ -56,6 +57,7 @@ SimResult SimulateDampedWs(const Trace& trace, const DampedWsParams& params,
         if (resident[victim]) {
           resident[victim] = false;
           --resident_count;
+          TELEM_COUNT("vm.dws_page_released");
         }
         break;
       }
@@ -73,7 +75,10 @@ SimResult SimulateDampedWs(const Trace& trace, const DampedWsParams& params,
     result.max_resident = std::max<uint32_t>(result.max_resident,
                                              static_cast<uint32_t>(resident_count));
     if (fault) {
-      service_total += FaultServiceCost(options, result.faults - 1);
+      uint64_t cost = FaultServiceCost(options, result.faults - 1);
+      service_total += cost;
+      TELEM_COUNT("vm.fault_serviced");
+      TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
     }
     result.elapsed += 1;
     ref_integral += static_cast<double>(resident_count);

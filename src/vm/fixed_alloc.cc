@@ -11,6 +11,7 @@
 
 #include "src/support/check.h"
 #include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
 
 namespace cdmm {
 
@@ -64,10 +65,12 @@ SimResult SimulateLru(const Trace& trace, uint32_t frames, const SimOptions& opt
       stack.splice(stack.begin(), stack, it->second);
     } else {
       ++faults;
+      TELEM_COUNT("vm.fault_serviced");
       if (where.size() == frames) {
         PageId victim = stack.back();
         stack.pop_back();
         where.erase(victim);
+        TELEM_COUNT("vm.page_evicted");
       }
       stack.push_front(page);
       where[page] = stack.begin();
@@ -91,10 +94,12 @@ SimResult SimulateFifo(const Trace& trace, uint32_t frames, const SimOptions& op
       continue;
     }
     ++faults;
+    TELEM_COUNT("vm.fault_serviced");
     if (resident.size() == frames) {
       PageId victim = queue.front();
       queue.pop_front();
       resident.erase(victim);
+      TELEM_COUNT("vm.page_evicted");
     }
     queue.push_back(page);
     resident.insert(page);
@@ -144,10 +149,12 @@ SimResult SimulateOpt(const Trace& trace, uint32_t frames, const SimOptions& opt
       by_next_use.erase(key_of(it->second, page));
     } else {
       ++faults;
+      TELEM_COUNT("vm.fault_serviced");
       if (resident_next.size() == frames) {
         auto victim = std::prev(by_next_use.end());
         resident_next.erase(victim->second);
         by_next_use.erase(victim);
+        TELEM_COUNT("vm.page_evicted");
       }
     }
     resident_next[page] = next_use[i];

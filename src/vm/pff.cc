@@ -5,6 +5,7 @@
 
 #include "src/support/check.h"
 #include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
 
 namespace cdmm {
 
@@ -37,12 +38,14 @@ SimResult SimulatePff(const Trace& trace, uint64_t critical_interval, const SimO
       if (t - last_fault_time > critical_interval) {
         // Long inter-fault gap: shrink to the pages referenced since the
         // previous fault (plus the new page below).
+        TELEM_COUNT("vm.pff_window_reset");
         for (auto& [p, is_resident] : resident) {
           if (is_resident) {
             auto it = last_ref.find(p);
             if (it == last_ref.end() || it->second <= last_fault_time) {
               is_resident = false;
               --resident_count;
+              TELEM_COUNT("vm.pff_page_dropped");
             }
           }
         }
@@ -55,7 +58,10 @@ SimResult SimulatePff(const Trace& trace, uint64_t critical_interval, const SimO
     result.max_resident = std::max(result.max_resident, resident_count);
 
     if (fault) {
-      service_total += FaultServiceCost(options, result.faults - 1);
+      uint64_t cost = FaultServiceCost(options, result.faults - 1);
+      service_total += cost;
+      TELEM_COUNT("vm.fault_serviced");
+      TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
     }
     result.elapsed += 1;
     ref_integral += static_cast<double>(resident_count);

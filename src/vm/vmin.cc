@@ -6,6 +6,7 @@
 
 #include "src/support/check.h"
 #include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
 
 namespace cdmm {
 
@@ -54,17 +55,20 @@ SimResult SimulateVmin(const Trace& trace, const SimOptions& options, uint64_t r
     if (it == is_resident.end() || !it->second) {
       ++faults;
       is_resident[page] = true;
+      TELEM_COUNT("vm.fault_serviced");
     }
     // Keep the page until its next use if the gap is within the window.
     uint64_t gap = next_use[i] - i;
     if (gap <= window) {
       delta[i] += 1;
       delta[std::min<uint64_t>(next_use[i], refs.size())] -= 1;
+      TELEM_COUNT("vm.vmin_page_retained");
     } else {
       // Resident for this reference only.
       delta[i] += 1;
       delta[i + 1] -= 1;
       is_resident[page] = false;
+      TELEM_COUNT("vm.vmin_page_dropped");
     }
   }
   for (size_t t = 0; t < refs.size(); ++t) {

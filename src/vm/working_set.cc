@@ -8,6 +8,7 @@
 
 #include "src/support/check.h"
 #include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
 
 namespace cdmm {
 
@@ -36,6 +37,7 @@ SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options
       auto it = last_ref.find(page);
       if (it != last_ref.end() && it->second == when) {
         --ws_size;  // page expired from the working set
+        TELEM_COUNT("vm.ws_page_expired");
       }
     }
     PageId page = e.value;
@@ -45,6 +47,7 @@ SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options
     if (fault) {
       ++result.faults;
       ++ws_size;
+      TELEM_COUNT("vm.ws_page_admitted");
     }
     if (it == last_ref.end()) {
       last_ref.emplace(page, t);
@@ -55,7 +58,10 @@ SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options
     result.max_resident = std::max<uint32_t>(result.max_resident, static_cast<uint32_t>(ws_size));
 
     if (fault) {
-      service_total += FaultServiceCost(options, result.faults - 1);
+      uint64_t cost = FaultServiceCost(options, result.faults - 1);
+      service_total += cost;
+      TELEM_COUNT("vm.fault_serviced");
+      TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
     }
     result.elapsed += 1;
     ref_integral += static_cast<double>(ws_size);
@@ -90,7 +96,10 @@ class SampledEngine {
     }
     result->max_resident = std::max(result->max_resident, resident_count_);
     if (fault) {
-      service_total_ += FaultServiceCost(options_, result->faults - 1);
+      uint64_t cost = FaultServiceCost(options_, result->faults - 1);
+      service_total_ += cost;
+      TELEM_COUNT("vm.fault_serviced");
+      TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
     }
     result->elapsed += 1;
     ref_integral_ += static_cast<double>(resident_count_);
@@ -103,8 +112,10 @@ class SampledEngine {
       if (use.resident && (use.bits & mask) == 0) {
         use.resident = false;
         --resident_count_;
+        TELEM_COUNT("vm.sws_page_trimmed");
       }
     }
+    TELEM_COUNT("vm.sws_sample_taken");
     faults_since_sample_ = 0;
   }
 
@@ -174,10 +185,11 @@ SimResult SimulateVsws(const Trace& trace, const VswsParams& params, const SimOp
     }
     engine.Touch(e.value, &result);
     uint64_t since = engine.now() - last_sample;
-    bool sample = since >= params.max_interval ||
-                  (engine.faults_since_sample() >= params.fault_threshold &&
-                   since >= params.min_interval);
+    bool fault_triggered = engine.faults_since_sample() >= params.fault_threshold &&
+                           since >= params.min_interval;
+    bool sample = since >= params.max_interval || fault_triggered;
     if (sample) {
+      if (fault_triggered) TELEM_COUNT("vm.vsws_fault_triggered");
       engine.Sample();
       last_sample = engine.now();
     }

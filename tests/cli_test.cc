@@ -315,5 +315,126 @@ TEST(LintMainTest, ValidateModeStaysCleanOnBuiltins) {
   EXPECT_EQ(r.code, 0) << r.out;
 }
 
+// Like RunCli but without the helper's trailing "--jobs 2", so tests can pin
+// their own thread count.
+CliRun RunCliRawArgs(std::vector<std::string> args) {
+  args.insert(args.begin(), "cdmmc");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) {
+    argv.push_back(a.data());
+  }
+  std::ostringstream out;
+  std::ostringstream err;
+  CliRun run;
+  run.code = CdmmcMain(static_cast<int>(argv.size()), argv.data(), out, err);
+  run.out = out.str();
+  run.err = err.str();
+  return run;
+}
+
+// Drops the lines a cross---jobs determinism diff must ignore (wall-clock
+// latencies and other Det::kRuntime metrics are marked "[runtime]").
+std::string StripRuntimeLines(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::string kept;
+  while (std::getline(in, line)) {
+    if (line.find("[runtime]") == std::string::npos) {
+      kept += line;
+      kept += '\n';
+    }
+  }
+  return kept;
+}
+
+TEST(CliTelemetryTest, HelpDocumentsFullExitCodeContract) {
+  CliRun r = RunCli({"--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_EQ(r.err, "");
+  // The one authoritative statement of the contract (see PrintHelp).
+  EXPECT_NE(r.out.find("exit codes:"), std::string::npos);
+  EXPECT_NE(r.out.find("0  success"), std::string::npos);
+  EXPECT_NE(r.out.find("1  input error"), std::string::npos);
+  EXPECT_NE(r.out.find("2  usage error"), std::string::npos);
+  EXPECT_NE(r.out.find("3  partial results"), std::string::npos);
+  EXPECT_NE(r.out.find("4  lint diagnostics"), std::string::npos);
+}
+
+TEST(CliTelemetryTest, VersionAndBuildInfoPrintProvenance) {
+  CliRun v = RunCli({"--version"});
+  EXPECT_EQ(v.code, 0);
+  EXPECT_EQ(v.out.rfind("cdmm ", 0), 0u) << v.out;
+  CliRun b = RunCli({"--build-info"});
+  EXPECT_EQ(b.code, 0);
+  EXPECT_NE(b.out.find("git: "), std::string::npos);
+  EXPECT_NE(b.out.find("compiler: "), std::string::npos);
+  EXPECT_NE(b.out.find("build type: "), std::string::npos);
+}
+
+TEST(CliTelemetryTest, SidecarFlagsLeaveStdoutByteIdentical) {
+  CliRun nominal = RunCli({"builtin:INIT", "--simulate", "lru:16", "--simulate", "cd-outer"});
+  ASSERT_EQ(nominal.code, 0);
+  std::string metrics_path = TempPath("telemetry_sidecar.json");
+  std::string spans_path = TempPath("telemetry_spans.json");
+  CliRun traced = RunCli({"builtin:INIT", "--simulate", "lru:16", "--simulate", "cd-outer",
+                          "--metrics-out", metrics_path, "--trace-spans", spans_path});
+  ASSERT_EQ(traced.code, 0) << traced.err;
+  EXPECT_EQ(traced.out, nominal.out);
+
+  std::ifstream metrics(metrics_path);
+  std::ostringstream metrics_buf;
+  metrics_buf << metrics.rdbuf();
+  EXPECT_EQ(metrics_buf.str().rfind("{\"schema_version\":1,", 0), 0u);
+  EXPECT_NE(metrics_buf.str().find("\"counters\":["), std::string::npos);
+
+  std::ifstream spans(spans_path);
+  std::ostringstream spans_buf;
+  spans_buf << spans.rdbuf();
+  EXPECT_EQ(spans_buf.str().rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(spans_buf.str().find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(CliTelemetryTest, MetricsJsonCarriesEnvelope) {
+  CliRun r = RunCli({"builtin:INIT", "--simulate", "lru:16", "--metrics=json"});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(r.out.find("\"tool\":\"cdmmc\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"build\":{"), std::string::npos);
+  EXPECT_NE(r.out.find("vm.fault_serviced"), std::string::npos);
+}
+
+TEST(CliTelemetryTest, MetricsDeterministicAcrossJobsOnTwoWorkloads) {
+  for (const char* workload : {"builtin:INIT", "builtin:FDJAC"}) {
+    std::vector<std::string> base = {workload,     "--simulate", "lru:16",
+                                     "--simulate", "ws:2000",    "--simulate",
+                                     "cd-outer",   "--metrics"};
+    auto at_jobs = [&](const char* jobs) {
+      std::vector<std::string> args = base;
+      args.push_back("--jobs");
+      args.push_back(jobs);
+      CliRun r = RunCliRawArgs(args);
+      EXPECT_EQ(r.code, 0) << r.err;
+      return StripRuntimeLines(r.out);
+    };
+    std::string jobs1 = at_jobs("1");
+    EXPECT_NE(jobs1.find("== metrics (cdmmc) =="), std::string::npos);
+    EXPECT_EQ(at_jobs("4"), jobs1) << workload << ": --jobs 4 diverged";
+    EXPECT_EQ(at_jobs("8"), jobs1) << workload << ": --jobs 8 diverged";
+  }
+}
+
+TEST(LintMainTest, TelemetryModeChecksRegisteredNamesClean) {
+  CliRun r = RunLint({"--telemetry"});
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find(" 0 violation(s)"), std::string::npos) << r.out;
+}
+
+TEST(LintMainTest, TelemetryModeRejectsSourceInputs) {
+  CliRun r = RunLint({"--telemetry", "builtin:MAIN"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--telemetry takes no source inputs"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cdmm

@@ -1,0 +1,313 @@
+// Tests for src/telemetry: histogram edge cases (underflow/overflow, merge
+// associativity, empty-merge identity), macro gating, registry canonical
+// order and merge semantics, span-tracer JSON shape, the H003 name
+// convention, and — the load-bearing property — cross---jobs determinism of
+// every Det::kDeterministic metric on real workload sweeps.
+#include "src/telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+#include "src/exec/sweep_scheduler.h"
+#include "src/exec/thread_pool.h"
+#include "src/lint/telemetry_names.h"
+#include "src/telemetry/span_tracer.h"
+#include "src/telemetry/telemetry.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace telem {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(BucketSpecTest, PowersOfTwoShape) {
+  BucketSpec spec = BucketSpec::PowersOfTwo(4);
+  EXPECT_EQ(spec.lower, 0u);
+  EXPECT_EQ(spec.bounds, (std::vector<uint64_t>{1, 2, 4, 8}));
+}
+
+TEST(BucketSpecTest, LinearShape) {
+  BucketSpec spec = BucketSpec::Linear(10, 3, 5);
+  EXPECT_EQ(spec.lower, 5u);
+  EXPECT_EQ(spec.bounds, (std::vector<uint64_t>{15, 25, 35}));
+}
+
+TEST(HistogramTest, UnderflowAndOverflowBuckets) {
+  Histogram h(BucketSpec::Linear(10, 2, 5));  // regular range [5, 25]
+  h.Record(4);    // below lower -> underflow
+  h.Record(5);    // first bucket
+  h.Record(15);   // first bucket (inclusive upper bound)
+  h.Record(16);   // second bucket
+  h.Record(25);   // second bucket
+  h.Record(26);   // overflow
+  h.Record(1000); // overflow
+  HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.underflow, 1u);
+  EXPECT_EQ(d.counts, (std::vector<uint64_t>{2, 2}));
+  EXPECT_EQ(d.overflow, 2u);
+  EXPECT_EQ(d.count, 7u);
+  EXPECT_EQ(d.sum, 4u + 5 + 15 + 16 + 25 + 26 + 1000);
+  EXPECT_EQ(d.min, 4u);
+  EXPECT_EQ(d.max, 1000u);
+}
+
+HistogramData RecordAll(const BucketSpec& spec, const std::vector<uint64_t>& values) {
+  Histogram h(spec);
+  for (uint64_t v : values) {
+    h.Record(v);
+  }
+  return h.Snapshot();
+}
+
+TEST(HistogramTest, MergeIsAssociative) {
+  BucketSpec spec = BucketSpec::PowersOfTwo(6);
+  HistogramData a = RecordAll(spec, {1, 3, 3, 7});
+  HistogramData b = RecordAll(spec, {2, 64, 1000});
+  HistogramData c = RecordAll(spec, {5});
+
+  HistogramData ab = a;
+  ab.MergeFrom(b);
+  HistogramData ab_c = ab;
+  ab_c.MergeFrom(c);
+
+  HistogramData bc = b;
+  bc.MergeFrom(c);
+  HistogramData a_bc = a;
+  a_bc.MergeFrom(bc);
+
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab_c, RecordAll(spec, {1, 3, 3, 7, 2, 64, 1000, 5}));
+}
+
+TEST(HistogramTest, MergeIsCommutative) {
+  BucketSpec spec = BucketSpec::PowersOfTwo(6);
+  HistogramData a = RecordAll(spec, {1, 8, 9});
+  HistogramData b = RecordAll(spec, {4, 100});
+  HistogramData ab = a;
+  ab.MergeFrom(b);
+  HistogramData ba = b;
+  ba.MergeFrom(a);
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(HistogramTest, EmptyDataIsMergeIdentity) {
+  BucketSpec spec = BucketSpec::PowersOfTwo(6);
+  HistogramData a = RecordAll(spec, {1, 2, 3, 70});
+  HistogramData merged = a;
+  merged.MergeFrom(HistogramData(spec));
+  EXPECT_EQ(merged, a);
+
+  // Identity from the left too: empty.Merge(a) == a.
+  HistogramData left = HistogramData(spec);
+  left.MergeFrom(a);
+  EXPECT_EQ(left, a);
+
+  // min/max of a never-recorded histogram stay at their identities.
+  HistogramData empty = RecordAll(spec, {});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.min, UINT64_MAX);
+  EXPECT_EQ(empty.max, 0u);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, SnapshotIsNameSorted) {
+  MetricsRegistry reg;
+  reg.GetCounter("zeta.last_seen").Add(1);
+  reg.GetCounter("alpha.first_seen").Add(2);
+  reg.GetCounter("mid.value_set").Add(3);
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "alpha.first_seen");
+  EXPECT_EQ(snap.counters[1].name, "mid.value_set");
+  EXPECT_EQ(snap.counters[2].name, "zeta.last_seen");
+}
+
+TEST(MetricsRegistryTest, MergeAddsCountersAndMaxesGauges) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("t.events_seen").Add(10);
+  b.GetCounter("t.events_seen").Add(5);
+  b.GetCounter("t.only_in_b").Add(7);
+  a.GetGauge("t.peak_level").UpdateMax(3);
+  b.GetGauge("t.peak_level").UpdateMax(9);
+  BucketSpec spec = BucketSpec::PowersOfTwo(4);
+  a.GetHistogram("t.sizes_seen", spec).Record(2);
+  b.GetHistogram("t.sizes_seen", spec).Record(5);
+
+  a.MergeFrom(b);
+  MetricsSnapshot snap = a.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "t.events_seen");
+  EXPECT_EQ(snap.counters[0].value, 15u);
+  EXPECT_EQ(snap.counters[1].value, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 9u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].data.count, 2u);
+  EXPECT_EQ(snap.histograms[0].data.min, 2u);
+  EXPECT_EQ(snap.histograms[0].data.max, 5u);
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("t.reset_probe");
+  c.Add(5);
+  reg.ResetValues();
+  EXPECT_EQ(c.value(), 0u);
+  ASSERT_EQ(reg.Names().size(), 1u);
+  // The reference is still live (same object).
+  c.Add(2);
+  EXPECT_EQ(reg.Snapshot().counters[0].value, 2u);
+}
+
+// ------------------------------------------------------------ macro gating
+
+TEST(TelemetryGatingTest, DisabledMacrosRegisterNothing) {
+  SetTelemetryEnabled(false);
+  TELEM_COUNT("telemtest.gating_probe");
+  TELEM_GAUGE_MAX("telemtest.gating_gauge", 42);
+  TELEM_HIST("telemtest.gating_hist", BucketSpec::PowersOfTwo(4), 3);
+  std::vector<std::string> names = GlobalMetrics().Names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "telemtest.gating_probe"), 0);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "telemtest.gating_gauge"), 0);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "telemtest.gating_hist"), 0);
+}
+
+TEST(TelemetryGatingTest, EnabledMacrosRecord) {
+  SetTelemetryEnabled(true);
+  TELEM_COUNT("telemtest.enabled_probe");
+  TELEM_COUNT_N("telemtest.enabled_probe", 4);
+  SetTelemetryEnabled(false);
+  // Counting while disabled is a no-op even though the site is registered.
+  TELEM_COUNT_N("telemtest.enabled_probe", 100);
+  EXPECT_EQ(GlobalMetrics().GetCounter("telemtest.enabled_probe").value(), 5u);
+}
+
+// ------------------------------------------------------------- span tracer
+
+TEST(SpanTracerTest, WritesChromeTraceJson) {
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.SetEnabled(true);
+  tracer.Clear();
+  {
+    TelemScope outer("outer-phase", "test");
+    TelemScope inner("inner-phase", "test");
+    inner.AddArg("workload", "INIT");
+    inner.AddArg("items", uint64_t{3});
+  }
+  tracer.SetEnabled(false);
+  std::ostringstream os;
+  tracer.WriteChromeJson(os);
+  std::string json = os.str();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // thread_name metadata
+  EXPECT_NE(json.find("\"name\":\"outer-phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner-phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\":\"INIT\""), std::string::npos);
+  EXPECT_NE(json.find("\"items\":3"), std::string::npos);  // numeric args unquoted
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+  tracer.Clear();
+}
+
+TEST(SpanTracerTest, DisabledScopesRecordNothing) {
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.SetEnabled(false);
+  tracer.Clear();
+  { TelemScope scope("ignored", "test"); }
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+// ---------------------------------------------------------- H003 names
+
+TEST(TelemetryNamesTest, ConventionAcceptsAndRejects) {
+  EXPECT_EQ(TelemetryNameViolation("vm.fault_serviced"), "");
+  EXPECT_EQ(TelemetryNameViolation("os.swap_retries_exhausted"), "");
+  EXPECT_EQ(TelemetryNameViolation("exec.queue_depth_peak"), "");
+  EXPECT_NE(TelemetryNameViolation("faults"), "");               // no subsystem
+  EXPECT_NE(TelemetryNameViolation("vm.faults"), "");            // single component
+  EXPECT_NE(TelemetryNameViolation("vm.fault.serviced"), "");    // two dots
+  EXPECT_NE(TelemetryNameViolation("Vm.fault_serviced"), "");    // uppercase
+  EXPECT_NE(TelemetryNameViolation("vm.Fault_Serviced"), "");    // uppercase
+  EXPECT_NE(TelemetryNameViolation("vm.fault__serviced"), "");   // empty component
+  EXPECT_NE(TelemetryNameViolation("vm.fault_serviced_"), "");   // trailing '_'
+  EXPECT_NE(TelemetryNameViolation("2vm.fault_serviced"), "");   // digit first
+}
+
+TEST(TelemetryNamesTest, LintProducesH003Warnings) {
+  std::vector<Diagnostic> diags =
+      LintTelemetryNames({"vm.fault_serviced", "BadName", "os.swap_completed"});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, "H003");
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_NE(diags[0].message.find("BadName"), std::string::npos);
+}
+
+TEST(TelemetryNamesTest, EveryRegisteredNameFollowsTheConvention) {
+  // Whatever earlier tests (or instrumented code) registered must be clean;
+  // this is the in-process twin of `cdmm-lint --telemetry`, restricted to
+  // real subsystem names (telemtest.* probes above are convention-valid too).
+  for (const std::string& name : GlobalMetrics().Names()) {
+    EXPECT_EQ(TelemetryNameViolation(name), "") << name;
+  }
+}
+
+// ------------------------------------------- cross---jobs determinism
+
+MetricsSnapshot SweepSnapshotAtJobs(const char* workload, unsigned jobs) {
+  SetTelemetryEnabled(true);
+  GlobalMetrics().ResetValues();
+  auto cp = CompiledProgram::FromSource(FindWorkload(workload).source, {});
+  EXPECT_TRUE(cp.ok());
+  ThreadPool pool(jobs);
+  SweepScheduler sched(&pool);
+  SimOptions sim;
+  sched.Lru(cp.value().shared_references(), cp.value().virtual_pages(), sim);
+  sched.Ws(cp.value().shared_references(), {100, 1000, 10000}, sim);
+  MetricsSnapshot snap = GlobalMetrics().Snapshot();
+  SetTelemetryEnabled(false);
+  return snap;
+}
+
+// Strips the Det::kRuntime rows a determinism diff must ignore.
+MetricsSnapshot DeterministicOnly(MetricsSnapshot snap) {
+  auto drop = [](auto& rows) {
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [](const auto& r) { return r.runtime; }),
+               rows.end());
+  };
+  drop(snap.counters);
+  drop(snap.gauges);
+  drop(snap.histograms);
+  return snap;
+}
+
+void ExpectSameDeterministicMetrics(const char* workload) {
+  MetricsSnapshot base = DeterministicOnly(SweepSnapshotAtJobs(workload, 1));
+  ASSERT_FALSE(base.empty());
+  std::string base_text = RenderMetricsText(base);
+  for (unsigned jobs : {4u, 8u}) {
+    MetricsSnapshot snap = DeterministicOnly(SweepSnapshotAtJobs(workload, jobs));
+    EXPECT_EQ(RenderMetricsText(snap), base_text)
+        << workload << " deterministic metrics differ at --jobs " << jobs;
+  }
+}
+
+TEST(TelemetryDeterminismTest, SweepMetricsIdenticalAcrossJobsInit) {
+  ExpectSameDeterministicMetrics("INIT");
+}
+
+TEST(TelemetryDeterminismTest, SweepMetricsIdenticalAcrossJobsFdjac) {
+  ExpectSameDeterministicMetrics("FDJAC");
+}
+
+}  // namespace
+}  // namespace telem
+}  // namespace cdmm

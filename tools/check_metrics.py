@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validate and compare cdmm metrics sidecars (tools/metrics_schema.json).
+
+Usage:
+  check_metrics.py validate FILE...
+      Validate each sidecar against the schema. Exits 1 on the first
+      violation, printing a JSON-pointer-ish path to the offending value.
+
+  check_metrics.py compare-det FILE BASELINE
+      Compare the deterministic ("det": true) metrics of two sidecars,
+      ignoring the build envelope and every runtime metric. Exits 1 and
+      prints a diff when they disagree — the cross---jobs determinism gate.
+
+Self-contained: implements the subset of JSON Schema draft-07 the sidecar
+schema uses (no jsonschema dependency, so it runs on a bare CI image).
+"""
+
+import json
+import os
+import re
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "metrics_schema.json")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def check(instance, schema, path):
+    """Minimal draft-07 interpreter for the keywords metrics_schema.json uses."""
+    t = schema.get("type")
+    if t == "object":
+        if not isinstance(instance, dict):
+            raise SchemaError(f"{path}: expected object, got {type(instance).__name__}")
+        for key in schema.get("required", []):
+            if key not in instance:
+                raise SchemaError(f"{path}: missing required property '{key}'")
+        props = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            extra = set(instance) - set(props)
+            if extra:
+                raise SchemaError(f"{path}: unexpected properties {sorted(extra)}")
+        for key, sub in props.items():
+            if key in instance:
+                check(instance[key], sub, f"{path}/{key}")
+    elif t == "array":
+        if not isinstance(instance, list):
+            raise SchemaError(f"{path}: expected array, got {type(instance).__name__}")
+        items = schema.get("items")
+        if items:
+            for i, element in enumerate(instance):
+                check(element, items, f"{path}/{i}")
+    elif t == "integer":
+        if not isinstance(instance, int) or isinstance(instance, bool):
+            raise SchemaError(f"{path}: expected integer, got {instance!r}")
+        if "minimum" in schema and instance < schema["minimum"]:
+            raise SchemaError(f"{path}: {instance} < minimum {schema['minimum']}")
+        if "enum" in schema and instance not in schema["enum"]:
+            raise SchemaError(f"{path}: {instance} not in {schema['enum']}")
+    elif t == "string":
+        if not isinstance(instance, str):
+            raise SchemaError(f"{path}: expected string, got {type(instance).__name__}")
+        if "minLength" in schema and len(instance) < schema["minLength"]:
+            raise SchemaError(f"{path}: shorter than minLength {schema['minLength']}")
+        if "pattern" in schema and not re.search(schema["pattern"], instance):
+            raise SchemaError(f"{path}: '{instance}' does not match {schema['pattern']}")
+    elif t == "boolean":
+        if not isinstance(instance, bool):
+            raise SchemaError(f"{path}: expected boolean, got {instance!r}")
+    else:
+        raise SchemaError(f"{path}: schema type '{t}' not supported by this checker")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def validate(paths):
+    schema = load(SCHEMA_PATH)
+    for path in paths:
+        doc = load(path)
+        try:
+            check(doc, schema, "")
+        except SchemaError as e:
+            print(f"{path}: SCHEMA VIOLATION {e}", file=sys.stderr)
+            return 1
+        # Semantic checks the schema language cannot express.
+        for hist in doc["histograms"]:
+            name = hist["name"]
+            if len(hist["counts"]) != len(hist["bounds"]):
+                print(f"{path}: {name}: len(counts) != len(bounds)", file=sys.stderr)
+                return 1
+            if hist["bounds"] != sorted(hist["bounds"]):
+                print(f"{path}: {name}: bounds not ascending", file=sys.stderr)
+                return 1
+            in_buckets = sum(hist["counts"]) + hist["underflow"] + hist["overflow"]
+            if in_buckets != hist["count"]:
+                print(f"{path}: {name}: bucket totals {in_buckets} != count {hist['count']}",
+                      file=sys.stderr)
+                return 1
+            if hist["count"] == 0 and ("min" in hist or "max" in hist):
+                print(f"{path}: {name}: empty histogram must omit min/max", file=sys.stderr)
+                return 1
+            if hist["count"] > 0 and ("min" not in hist or "max" not in hist):
+                print(f"{path}: {name}: non-empty histogram must carry min/max", file=sys.stderr)
+                return 1
+        print(f"{path}: OK ({len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
+              f"{len(doc['histograms'])} histograms)")
+    return 0
+
+
+def deterministic_view(doc):
+    """The sidecar minus the build envelope and every runtime metric."""
+    return {
+        section: sorted(
+            (m for m in doc[section] if m["det"]), key=lambda m: m["name"]
+        )
+        for section in ("counters", "gauges", "histograms")
+    }
+
+
+def compare_det(path_a, path_b):
+    a = deterministic_view(load(path_a))
+    b = deterministic_view(load(path_b))
+    if a == b:
+        n = sum(len(v) for v in a.values())
+        print(f"deterministic metrics identical ({n} metrics)")
+        return 0
+    for section in ("counters", "gauges", "histograms"):
+        names_a = {m["name"]: m for m in a[section]}
+        names_b = {m["name"]: m for m in b[section]}
+        for name in sorted(set(names_a) | set(names_b)):
+            if name not in names_a:
+                print(f"DIFF {section}/{name}: only in {path_b}", file=sys.stderr)
+            elif name not in names_b:
+                print(f"DIFF {section}/{name}: only in {path_a}", file=sys.stderr)
+            elif names_a[name] != names_b[name]:
+                print(f"DIFF {section}/{name}:\n  {path_a}: {names_a[name]}\n"
+                      f"  {path_b}: {names_b[name]}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[1] == "validate":
+        return validate(argv[2:])
+    if len(argv) == 4 and argv[1] == "compare-det":
+        return compare_det(argv[2], argv[3])
+    print(__doc__, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
