@@ -152,9 +152,10 @@ void FaultServiceAblation(const cdmm::SweepScheduler& sched) {
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::SweepEngine engine = cdmm::ParseSweepEngineFlag(&argc, argv);
   cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_ablation");
   cdmm::ThreadPool pool(jobs);
-  cdmm::SweepScheduler sched(&pool);
+  cdmm::SweepScheduler sched(&pool, engine);
   std::cout << "CD design-choice ablations\n==========================\n\n";
   SelectionAblation("MAIN", sched);
   SelectionAblation("CONDUCT", sched);

@@ -180,9 +180,10 @@ void WsStructure(const std::vector<WorkloadTrace>& workloads,
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::SweepEngine engine = cdmm::ParseSweepEngineFlag(&argc, argv);
   cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_anomalies");
   cdmm::ThreadPool pool(jobs);
-  cdmm::SweepScheduler sched(&pool);
+  cdmm::SweepScheduler sched(&pool, engine);
   std::cout << "Run-time policy anomalies on the reproduced workloads (paper §1)\n"
             << "================================================================\n\n";
   std::vector<WorkloadTrace> workloads = CompileAll(sched);

@@ -47,6 +47,14 @@ std::string CurvesFor(const std::string& name, const cdmm::SweepScheduler& sched
     g.points.emplace_back(p.x, p.y);
   }
 
+  // The OPT yardstick: the same lifetime function under Belady's MIN — the
+  // unreachable upper bound the replacement policies are measured against.
+  cdmm::PlotSeries g_opt{"g(m) under OPT (yardstick)", '.', {}};
+  for (const cdmm::CurvePoint& p :
+       cdmm::LifetimeCurve(sched.Opt(refs, v), refs->reference_count())) {
+    g_opt.points.emplace_back(p.x, p.y);
+  }
+
   // Mark the CD operating points (mean memory, achieved lifetime); the three
   // selections are independent simulations over the shared directive trace.
   const std::vector<cdmm::DirectiveSelection> selections = {
@@ -66,7 +74,7 @@ std::string CurvesFor(const std::string& name, const cdmm::SweepScheduler& sched
                                 : static_cast<double>(r.references) / r.faults;
     cd.points.emplace_back(r.mean_memory, life);
   }
-  out << RenderAsciiPlot({g, cd}, popts) << "\n";
+  out << RenderAsciiPlot({g, g_opt, cd}, popts) << "\n";
 
   auto taus = cdmm::DefaultTauGrid(refs->reference_count(), 6);
   cdmm::PlotOptions wopts;
@@ -86,9 +94,10 @@ std::string CurvesFor(const std::string& name, const cdmm::SweepScheduler& sched
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::SweepEngine engine = cdmm::ParseSweepEngineFlag(&argc, argv);
   cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_curves");
   cdmm::ThreadPool pool(jobs);
-  cdmm::SweepScheduler sched(&pool);
+  cdmm::SweepScheduler sched(&pool, engine);
 
   auto start = std::chrono::steady_clock::now();
   std::cout << "Characteristic curves (lifetime / WS) with CD operating points\n"

@@ -39,6 +39,7 @@ std::string Pct(uint64_t value, uint64_t base) {
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::SweepEngine engine = cdmm::ParseSweepEngineFlag(&argc, argv);
   cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_faults");
   uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
     }
   }
   cdmm::ThreadPool pool(jobs);
-  cdmm::SweepScheduler sched(&pool);
+  cdmm::SweepScheduler sched(&pool, engine);
 
   const std::vector<std::string> names = {"INIT", "APPROX", "HYBRJ"};
   const uint32_t frames = 96;

@@ -84,9 +84,10 @@ std::string RunMix(const std::vector<std::string>& names, uint32_t frames,
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::SweepEngine engine = cdmm::ParseSweepEngineFlag(&argc, argv);
   cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_multiprog");
   cdmm::ThreadPool pool(jobs);
-  cdmm::SweepScheduler sched(&pool);
+  cdmm::SweepScheduler sched(&pool, engine);
   std::cout << "Multiprogrammed CD vs static equal-partition LRU vs WS load control\n"
             << "===================================================================\n\n";
   struct Mix {

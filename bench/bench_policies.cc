@@ -19,6 +19,7 @@
 #include "src/support/table.h"
 #include "src/vm/cd_policy.h"
 #include "src/vm/fixed_alloc.h"
+#include "src/vm/sweep_engines.h"
 #include "src/vm/damped_ws.h"
 #include "src/vm/pff.h"
 #include "src/vm/vmin.h"
@@ -135,6 +136,39 @@ void BM_LruSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_LruSweep);
 
+void BM_PrepareTrace(benchmark::State& state) {
+  const cdmm::Trace& refs = ConductRefs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdmm::PreparedTrace::Build(refs).size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(refs.reference_count()));
+}
+BENCHMARK(BM_PrepareTrace);
+
+void BM_OnePassWsSweep(benchmark::State& state) {
+  const cdmm::Trace& refs = ConductRefs();
+  const cdmm::PreparedTrace prepared = cdmm::PreparedTrace::Build(refs);
+  const std::vector<uint64_t> taus = cdmm::DefaultTauGrid(refs.reference_count(), 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdmm::OnePassWsSweep(prepared, taus));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(refs.reference_count()));
+}
+BENCHMARK(BM_OnePassWsSweep);
+
+void BM_OnePassOptSweep(benchmark::State& state) {
+  const cdmm::Trace& refs = ConductRefs();
+  const cdmm::PreparedTrace prepared = cdmm::PreparedTrace::Build(refs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdmm::OnePassOptSweep(prepared, refs.virtual_pages()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(refs.reference_count()));
+}
+BENCHMARK(BM_OnePassOptSweep);
+
 void BM_CompilePipeline(benchmark::State& state) {
   const char* source = cdmm::FindWorkload("CONDUCT").source;
   for (auto _ : state) {
@@ -157,12 +191,14 @@ BENCHMARK(BM_GenerateTrace);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --jobs before google-benchmark parses argv (it rejects unknown flags).
+  // Strip --jobs and --sweep-engine before google-benchmark parses argv (it
+  // rejects unknown flags).
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::SweepEngine engine = cdmm::ParseSweepEngineFlag(&argc, argv);
   cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_policies");
   {
     cdmm::ThreadPool pool(jobs);
-    PrintCrossSection(cdmm::SweepScheduler(&pool));
+    PrintCrossSection(cdmm::SweepScheduler(&pool, engine));
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

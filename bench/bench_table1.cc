@@ -6,6 +6,8 @@
 // The paper's absolute numbers (from 1985 traces that no longer exist) are
 // printed alongside for shape comparison: outer-level sets must use more
 // memory and fault less; inner-level sets the reverse.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -37,16 +39,18 @@ const std::map<std::string, PaperRow> kPaper = {
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::SweepEngine engine = cdmm::ParseSweepEngineFlag(&argc, argv);
   cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_table1");
   cdmm::ThreadPool pool(jobs);
   std::cout << "Table 1: The Effect of Executing Different Sets of Directives Under CD Policy\n"
             << "(paper values in parentheses; shape comparison only — the 1985 traces are\n"
-            << " not recoverable, see EXPERIMENTS.md)\n\n";
+            << " not recoverable, see EXPERIMENTS.md. PF OPT@MEM is the yardstick: Belady's\n"
+            << " MIN given a fixed partition of round(MEM) frames)\n\n";
 
-  cdmm::ExperimentRunner runner({}, {}, &pool);
+  cdmm::ExperimentRunner runner({}, {}, &pool, engine);
   runner.Prefetch(cdmm::Table1Variants());
   cdmm::TextTable table({"Program", "Directive set", "MEM (paper)", "PF (paper)",
-                         "ST x1e6 (paper)"});
+                         "ST x1e6 (paper)", "PF OPT@MEM"});
   for (const cdmm::WorkloadVariant& variant : cdmm::Table1Variants()) {
     const cdmm::SimResult& r = runner.RunCd(variant);
     const PaperRow& p = kPaper.at(variant.variant_name);
@@ -56,12 +60,18 @@ int main(int argc, char** argv) {
             ? cdmm::StrCat("(", variant.level_cap, ")")
             : "",
         variant.honor_locks ? "" : ", no locks");
+    // OPT at CD's average memory, read off the one-pass OPT curve.
+    uint32_t v = runner.compiled(variant.workload).virtual_pages();
+    uint32_t opt_frames = static_cast<uint32_t>(
+        std::clamp<int64_t>(std::llround(r.mean_memory), 1, static_cast<int64_t>(v)));
+    const cdmm::SweepPoint& opt = runner.OptCurve(variant.workload)[opt_frames - 1];
     table.AddRow({variant.variant_name, set_name,
                   cdmm::StrCat(cdmm::FormatFixed(r.mean_memory, 2), " (",
                                cdmm::FormatFixed(p.mem, 2), ")"),
                   cdmm::StrCat(r.faults, " (", p.pf, ")"),
                   cdmm::StrCat(cdmm::FormatMillions(r.space_time), " (",
-                               cdmm::FormatFixed(p.st_millions, 2), ")")});
+                               cdmm::FormatFixed(p.st_millions, 2), ")"),
+                  cdmm::StrCat(opt.faults, " @m=", opt_frames)});
   }
   table.Print(std::cout);
 

@@ -30,15 +30,17 @@ const std::map<std::string, PaperRow> kPaper = {
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::SweepEngine engine = cdmm::ParseSweepEngineFlag(&argc, argv);
   cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_table2");
   cdmm::ThreadPool pool(jobs);
   std::cout << "Table 2: Comparing Minimal Space Time Cost Values of LRU and WS versus CD\n"
-            << "%ST = (ST_min(other) - ST(CD)) / ST(CD) * 100   (paper values in parentheses)\n\n";
+            << "%ST = (ST_min(other) - ST(CD)) / ST(CD) * 100   (paper values in parentheses;\n"
+            << " the OPT-min column is the fixed-space optimum — Belady's MIN yardstick)\n\n";
 
-  cdmm::ExperimentRunner runner({}, {}, &pool);
+  cdmm::ExperimentRunner runner({}, {}, &pool, engine);
   runner.Prefetch(cdmm::Table2Variants());
   cdmm::TextTable table({"Program", "ST CD x1e6", "ST LRU-min x1e6", "ST WS-min x1e6",
-                         "%ST LRU (paper)", "%ST WS (paper)"});
+                         "ST OPT-min x1e6", "%ST LRU (paper)", "%ST WS (paper)"});
   double sum_lru = 0.0;
   double sum_ws = 0.0;
   for (const cdmm::WorkloadVariant& variant : cdmm::Table2Variants()) {
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
     const PaperRow& p = kPaper.at(variant.variant_name);
     table.AddRow({row.variant, cdmm::FormatMillions(row.st_cd),
                   cdmm::FormatMillions(row.st_lru), cdmm::FormatMillions(row.st_ws),
+                  cdmm::FormatMillions(row.st_opt),
                   cdmm::StrCat(cdmm::FormatFixed(row.pct_st_lru, 1), " (", p.pct_lru, ")"),
                   cdmm::StrCat(cdmm::FormatFixed(row.pct_st_ws, 1), " (", p.pct_ws, ")")});
     sum_lru += row.pct_st_lru;

@@ -37,6 +37,7 @@ const std::map<std::string, PaperRow> kPaper = {
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::SweepEngine engine = cdmm::ParseSweepEngineFlag(&argc, argv);
   cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_table3");
   cdmm::ThreadPool pool(jobs);
   std::cout
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
       << "ΔPF = PF(other) - PF(CD); %ST = (ST(other) - ST(CD)) / ST(CD) * 100\n"
       << "(paper values in parentheses)\n\n";
 
-  cdmm::ExperimentRunner runner({}, {}, &pool);
+  cdmm::ExperimentRunner runner({}, {}, &pool, engine);
   runner.Prefetch(cdmm::Table3Variants());
   cdmm::TextTable table({"Program", "MEM CD", "PF CD", "LRU m", "dPF LRU (paper)",
                          "%ST LRU (paper)", "WS tau", "dPF WS (paper)", "%ST WS (paper)"});

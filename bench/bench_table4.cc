@@ -37,12 +37,13 @@ const std::map<std::string, PaperRow> kPaper = {
 
 int main(int argc, char** argv) {
   unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::SweepEngine engine = cdmm::ParseSweepEngineFlag(&argc, argv);
   cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_table4");
   cdmm::ThreadPool pool(jobs);
   std::cout << "Table 4: The Cost of Generating The Same Number of Page Faults as CD\n"
             << "%MEM = (MEM(other) - MEM(CD)) / MEM(CD) * 100  (paper values in parentheses)\n\n";
 
-  cdmm::ExperimentRunner runner({}, {}, &pool);
+  cdmm::ExperimentRunner runner({}, {}, &pool, engine);
   runner.Prefetch(cdmm::Table3Variants());
   cdmm::TextTable table({"Program", "PF CD", "MEM CD", "LRU m", "%MEM LRU (paper)",
                          "%ST LRU (paper)", "WS tau", "%MEM WS (paper)", "%ST WS (paper)"});

@@ -20,13 +20,14 @@ double Pct(double other, double cd) {
 
 }  // namespace
 
-ExperimentRunner::ExperimentRunner(SimOptions sim, PipelineOptions pipeline, ThreadPool* pool)
-    : sim_(sim), pipeline_(pipeline), scheduler_(pool) {}
+ExperimentRunner::ExperimentRunner(SimOptions sim, PipelineOptions pipeline, ThreadPool* pool,
+                                   SweepEngine engine)
+    : sim_(sim), pipeline_(pipeline), scheduler_(pool, engine) {}
 
 void ExperimentRunner::Prefetch(const std::vector<WorkloadVariant>& variants) {
-  // One task per CD run and per curve; the LRU and WS tasks of a workload
-  // race to compile it, which the compute-once memo resolves to a single
-  // compilation the loser waits on.
+  // One task per CD run and per curve; the curve tasks of a workload race to
+  // compile it (and to prepare its trace), which the compute-once memos
+  // resolve to a single computation the losers wait on.
   std::vector<std::function<void()>> tasks;
   std::set<std::string> seen;
   for (const WorkloadVariant& variant : variants) {
@@ -34,6 +35,7 @@ void ExperimentRunner::Prefetch(const std::vector<WorkloadVariant>& variants) {
       const std::string workload = variant.workload;
       tasks.push_back([this, workload] { LruCurve(workload); });
       tasks.push_back([this, workload] { WsCurve(workload); });
+      tasks.push_back([this, workload] { OptCurve(workload); });
     }
     tasks.push_back([this, variant] { RunCd(variant); });
   }
@@ -89,7 +91,26 @@ const std::vector<SweepPoint>& ExperimentRunner::WsCurve(const std::string& work
     TELEM_COUNT("experiments.ws_curve_computed");
     std::shared_ptr<const Trace> refs = cp.shared_references();
     uint64_t max_tau = std::max<uint64_t>(refs->reference_count(), 1);
-    return scheduler_.Ws(std::move(refs), DefaultTauGrid(max_tau, 12), sim_);
+    return scheduler_.Ws(std::move(refs), DefaultTauGrid(max_tau, 12), sim_,
+                         Prepared(workload));
+  });
+}
+
+const std::vector<SweepPoint>& ExperimentRunner::OptCurve(const std::string& workload) {
+  return opt_curves_.GetOrCompute(workload, [&] {
+    TELEM_SPAN_VAR(span, "sweep:opt", "experiments");
+    span.AddArg("workload", workload);
+    const CompiledProgram& cp = compiled(workload);
+    TELEM_COUNT("experiments.opt_curve_computed");
+    return scheduler_.Opt(cp.shared_references(), cp.virtual_pages(), sim_,
+                          Prepared(workload));
+  });
+}
+
+std::shared_ptr<const PreparedTrace> ExperimentRunner::Prepared(const std::string& workload) {
+  return prepared_.GetOrCompute(workload, [&] {
+    const CompiledProgram& cp = compiled(workload);
+    return PreparedTrace::BuildShared(*cp.shared_references());
   });
 }
 
@@ -106,8 +127,13 @@ ExperimentRunner::MinStRow ExperimentRunner::MinStComparison(const WorkloadVaria
   for (const SweepPoint& p : WsCurve(variant.workload)) {
     row.st_ws = std::min(row.st_ws, p.space_time);
   }
+  row.st_opt = std::numeric_limits<double>::infinity();
+  for (const SweepPoint& p : OptCurve(variant.workload)) {
+    row.st_opt = std::min(row.st_opt, p.space_time);
+  }
   row.pct_st_lru = Pct(row.st_lru, row.st_cd);
   row.pct_st_ws = Pct(row.st_ws, row.st_cd);
+  row.pct_st_opt = Pct(row.st_opt, row.st_cd);
   return row;
 }
 

@@ -30,9 +30,11 @@ namespace cdmm {
 class ExperimentRunner {
  public:
   // `pool` may be null (fully serial) or shared across runners; the runner
-  // does not own it.
+  // does not own it. `engine` selects the sweep implementation (see
+  // SweepScheduler); results are bit-identical under either.
   explicit ExperimentRunner(SimOptions sim = {}, PipelineOptions pipeline = {},
-                            ThreadPool* pool = nullptr);
+                            ThreadPool* pool = nullptr,
+                            SweepEngine engine = SweepEngine::kOnePass);
 
   // Warms every cache the given variants will hit — CD runs, LRU curves, WS
   // curves — as one parallel sweep over the pool. Calling the accessors
@@ -46,9 +48,16 @@ class ExperimentRunner {
   // CD run for a Table-1-style variant (cached by variant name).
   const SimResult& RunCd(const WorkloadVariant& variant);
 
-  // LRU curve for m = 1..V and WS curve over the default τ grid (cached).
+  // LRU/OPT curves for m = 1..V and WS curve over the default τ grid
+  // (cached). OPT is the optimality yardstick column of Tables 1 and 2.
   const std::vector<SweepPoint>& LruCurve(const std::string& workload);
   const std::vector<SweepPoint>& WsCurve(const std::string& workload);
+  const std::vector<SweepPoint>& OptCurve(const std::string& workload);
+
+  // The workload's PreparedTrace (cached), shared by the OPT/WS one-pass
+  // sweeps exactly as the memoized shared_ptr<const Trace> is shared by the
+  // naive simulations.
+  std::shared_ptr<const PreparedTrace> Prepared(const std::string& workload);
 
   // ---- Table 2: minimal space-time cost of each policy ----
   struct MinStRow {
@@ -56,8 +65,10 @@ class ExperimentRunner {
     double st_cd = 0.0;
     double st_lru = 0.0;   // min over m
     double st_ws = 0.0;    // min over τ
+    double st_opt = 0.0;   // min over m under OPT (the yardstick)
     double pct_st_lru = 0.0;
     double pct_st_ws = 0.0;
+    double pct_st_opt = 0.0;
   };
   MinStRow MinStComparison(const WorkloadVariant& variant);
 
@@ -104,8 +115,10 @@ class ExperimentRunner {
   SweepScheduler scheduler_;
   Memo<std::string, CompiledProgram> compiled_;
   Memo<std::string, SimResult> cd_results_;
+  Memo<std::string, std::shared_ptr<const PreparedTrace>> prepared_;
   Memo<std::string, std::vector<SweepPoint>> lru_curves_;
   Memo<std::string, std::vector<SweepPoint>> ws_curves_;
+  Memo<std::string, std::vector<SweepPoint>> opt_curves_;
 };
 
 }  // namespace cdmm

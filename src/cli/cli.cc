@@ -24,6 +24,12 @@
 //                            cd-outer | cd-inner | cd-cap:N | cd-avail:FRAMES
 //                            lru:M | fifo:M | opt:M | ws:TAU | sws:SIGMA
 //                            vsws | pff:T | dws:TAU | vmin
+//   --sweep KIND           run the full WS(τ)/OPT(m) parameter sweep(s):
+//                          KIND = ws | opt | both. Prints a deterministic
+//                          digest (point count + FNV fingerprint) to stdout
+//                          and "[sweep] ... wall_ms=..." timing to stderr
+//   --sweep-engine E       naive (re-simulate per point) or onepass (whole
+//                          curve in one scan; default). Same stdout either way
 //   --jobs N               simulate the --simulate specs on N threads
 //                          (default: all cores; results print in spec order)
 //   --page-size BYTES      page size (default 256)
@@ -46,6 +52,8 @@
 //                          contract, which lives in PrintHelp below) and exit
 #include "src/cli/cli.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -64,6 +72,8 @@
 #include "src/telemetry/flags.h"
 #include "src/trace/trace_io.h"
 #include "src/vm/policy_spec.h"
+#include "src/vm/sweep_engines.h"
+#include "src/vm/working_set.h"
 #include "src/workloads/workloads.h"
 
 namespace cdmm {
@@ -81,6 +91,7 @@ struct CliOptions {
   bool lint_json = false;
   std::string trace_out;
   std::vector<std::string> simulate;
+  std::string sweep;  // "", "ws", "opt", or "both"
   PipelineOptions pipeline;
   SimOptions sim;
 
@@ -96,6 +107,7 @@ void PrintUsageLines(const char* argv0, std::ostream& os) {
      << " [--report] [--listing|--listing-full] [--source] [--lint[=json]]\n"
         "            [--trace-out FILE] [--trace-format text|binary]\n"
         "            [--trace-in FILE] [--simulate SPEC]...\n"
+        "            [--sweep ws|opt|both] [--sweep-engine naive|onepass]\n"
         "            [--page-size N] [--element-size N] [--fault-service N]\n"
         "            [--min-pages N] [--no-locks] [--no-allocate] [--jobs N]\n"
         "            [--inject-seed N] [--inject-rate X] [--deadline MS]\n"
@@ -118,6 +130,15 @@ int Usage(const char* argv0, std::ostream& err) {
 int PrintHelp(const char* argv0, std::ostream& out) {
   PrintUsageLines(argv0, out);
   out << "\n"
+         "sweeps:\n"
+         "  --sweep ws|opt|both    run the full WS(t)/OPT(m) parameter sweep(s) and\n"
+         "                         print a deterministic digest (points + fingerprint)\n"
+         "                         to stdout; per-sweep wall_ms timing goes to stderr\n"
+         "  --sweep-engine ENGINE  naive = re-simulate per parameter point (the\n"
+         "                         cross-validation oracle), onepass = whole curve\n"
+         "                         from one scan (default). stdout is byte-identical\n"
+         "                         under either engine at any --jobs\n"
+         "\n"
          "telemetry:\n"
          "  --metrics[=text|json]  print the metrics report to stdout after the run\n"
          "  --metrics-out FILE     write the JSON metrics sidecar to FILE\n"
@@ -192,6 +213,47 @@ int RunPolicies(const CliOptions& cli, const Trace& full, const Trace& refs,
   return partial.complete() ? 0 : 3;
 }
 
+// cdmmc --sweep: runs the requested parameter sweeps over the reference
+// string and prints one deterministic digest line per sweep. The digest
+// (point count, fault extremes, FNV fingerprint over every SweepPoint field)
+// is engine- and jobs-independent by the determinism contract; the wall_ms
+// line on stderr is the timing probe tools/bench_sweep.py parses.
+int RunSweeps(const CliOptions& cli, const SweepScheduler& sched,
+              std::shared_ptr<const Trace> refs, std::ostream& out, std::ostream& err) {
+  const bool want_ws = cli.sweep == "ws" || cli.sweep == "both";
+  const bool want_opt = cli.sweep == "opt" || cli.sweep == "both";
+  struct Kind {
+    const char* name;
+    bool wanted;
+  };
+  uint64_t max_tau = std::max<uint64_t>(refs->reference_count(), 1);
+  for (const Kind& kind : {Kind{"ws", want_ws}, Kind{"opt", want_opt}}) {
+    if (!kind.wanted) {
+      continue;
+    }
+    auto start = std::chrono::steady_clock::now();
+    std::vector<SweepPoint> points =
+        kind.name[0] == 'w'
+            ? sched.Ws(refs, DefaultTauGrid(max_tau, 12), cli.sim)
+            : sched.Opt(refs, std::max<uint32_t>(refs->virtual_pages(), 1), cli.sim);
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    uint64_t min_faults = points.empty() ? 0 : points.back().faults;
+    uint64_t max_faults = points.empty() ? 0 : points.front().faults;
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(FingerprintSweep(points)));
+    out << "sweep " << kind.name << ": points=" << points.size() << " faults=" << max_faults
+        << ".." << min_faults << " fingerprint=" << digest << "\n";
+    err << "[sweep] input=" << (cli.input.empty() ? cli.trace_in : cli.input)
+        << " kind=" << kind.name
+        << " engine=" << SweepEngineName(sched.engine()) << " points=" << points.size()
+        << " wall_ms=" << FormatFixed(wall_ms, 3) << "\n";
+  }
+  return 0;
+}
+
 // Simulation over a stored trace, bypassing the compiler.
 int RunFromTrace(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
                  std::ostream& err) {
@@ -209,6 +271,12 @@ int RunFromTrace(const CliOptions& cli, const SweepScheduler& sched, std::ostrea
   Trace refs = full.ReferencesOnly();
   out << "trace " << full.name() << ": R=" << refs.reference_count() << " references, V="
       << full.virtual_pages() << " pages, " << full.directives().size() << " directives\n";
+  if (!cli.sweep.empty()) {
+    int code = RunSweeps(cli, sched, std::make_shared<const Trace>(refs), out, err);
+    if (code != 0 || cli.simulate.empty()) {
+      return code;
+    }
+  }
   TextTable table({"Policy", "PF", "MEM", "ST x1e6", "max resident"});
   int code = RunPolicies(cli, full, refs, sched, &table, err);
   if (code == 2) {
@@ -284,6 +352,12 @@ int Run(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
     out << "wrote " << cp.trace().reference_count() << " references to " << cli.trace_out
         << (cli.binary_format ? " (binary)" : " (text)") << "\n";
   }
+  if (!cli.sweep.empty()) {
+    int code = RunSweeps(cli, sched, cp.shared_references(), out, err);
+    if (code != 0) {
+      return code;
+    }
+  }
   if (!cli.simulate.empty()) {
     std::shared_ptr<const Trace> full = cp.shared_trace();
     std::shared_ptr<const Trace> refs = cp.shared_references();
@@ -304,9 +378,10 @@ int Run(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
 
 int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
   unsigned jobs = ParseJobsFlag(&argc, argv);
+  SweepEngine engine = ParseSweepEngineFlag(&argc, argv);
   telem::TelemetryFlags tflags = telem::ParseTelemetryFlags(&argc, argv);
   ThreadPool pool(jobs);
-  SweepScheduler sched(&pool);
+  SweepScheduler sched(&pool, engine);
   CliOptions cli;
   cli.pipeline.locality.min_default_pages = 1;
   bool missing_argument = false;
@@ -361,6 +436,16 @@ int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
       cli.binary_format = fmt == "binary";
     } else if (arg == "--simulate") {
       cli.simulate.push_back(next());
+    } else if (arg == "--sweep") {
+      std::string kind = next();
+      if (missing_argument) {
+        return 2;
+      }
+      if (kind != "ws" && kind != "opt" && kind != "both") {
+        err << "bad --sweep '" << kind << "' (want ws, opt, or both)\n";
+        return Usage(argv[0], err);
+      }
+      cli.sweep = kind;
     } else if (arg == "--page-size") {
       cli.pipeline.locality.geometry.page_size_bytes =
           static_cast<uint32_t>(std::atoi(next()));

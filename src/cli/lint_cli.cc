@@ -20,6 +20,7 @@
 //                          source inputs
 #include "src/cli/lint_cli.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -145,6 +146,15 @@ int LintTelemetryRegistry(const LintCliOptions& opt, std::ostream& out, std::ost
   ThreadPool pool(2);
   SweepScheduler sched(&pool);
   sched.Lru(refs, cp.value().virtual_pages(), sim);
+  // Both sweep engines, so the sweep.* names the one-pass engines register
+  // (and the naive per-point paths) all reach the H003 check.
+  std::shared_ptr<const PreparedTrace> prepared = PreparedTrace::BuildShared(*refs);
+  std::vector<uint64_t> taus = {1, 64, 4096};
+  sched.Ws(refs, taus, sim, prepared);
+  sched.Opt(refs, cp.value().virtual_pages(), sim, prepared);
+  SweepScheduler naive(&pool, SweepEngine::kNaive);
+  naive.Ws(refs, taus, sim);
+  naive.Opt(refs, std::min(cp.value().virtual_pages(), 8u), sim);
 
   FaultInjector injector(FaultInjectionConfig::AtIntensity(7, 1.0));
   injector.TotalFaultServiceTime(0, 32, 100);

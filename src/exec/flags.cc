@@ -24,6 +24,18 @@ unsigned ResolveJobs(const std::string& value) {
   return n == 0 ? ThreadPool::DefaultConcurrency() : static_cast<unsigned>(n);
 }
 
+SweepEngine ResolveSweepEngine(const std::string& value) {
+  if (value == "naive") {
+    return SweepEngine::kNaive;
+  }
+  if (value == "onepass") {
+    return SweepEngine::kOnePass;
+  }
+  std::fprintf(stderr, "bad --sweep-engine value '%s' (want 'naive' or 'onepass')\n",
+               value.c_str());
+  std::exit(2);
+}
+
 }  // namespace
 
 unsigned ParseJobsFlag(int* argc, char** argv, unsigned default_jobs) {
@@ -46,6 +58,27 @@ unsigned ParseJobsFlag(int* argc, char** argv, unsigned default_jobs) {
   *argc = out;
   argv[out] = nullptr;
   return jobs;
+}
+
+SweepEngine ParseSweepEngineFlag(int* argc, char** argv) {
+  SweepEngine engine = SweepEngine::kOnePass;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep-engine") == 0) {
+      if (i + 1 >= *argc) {
+        std::fprintf(stderr, "--sweep-engine needs an argument\n");
+        std::exit(2);
+      }
+      engine = ResolveSweepEngine(argv[++i]);
+    } else if (std::strncmp(argv[i], "--sweep-engine=", 15) == 0) {
+      engine = ResolveSweepEngine(argv[i] + 15);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return engine;
 }
 
 }  // namespace cdmm

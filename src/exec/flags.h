@@ -1,8 +1,11 @@
-// The shared --jobs flag of the benches, examples and cdmmc. Parsing strips
-// the flag from argv so binaries with their own argument handling (including
-// google-benchmark's Initialize) never see it.
+// The shared --jobs / --sweep-engine flags of the benches, examples and
+// cdmmc. Parsing strips the flags from argv so binaries with their own
+// argument handling (including google-benchmark's Initialize) never see
+// them.
 #ifndef CDMM_SRC_EXEC_FLAGS_H_
 #define CDMM_SRC_EXEC_FLAGS_H_
+
+#include "src/vm/sweep_engines.h"
 
 namespace cdmm {
 
@@ -12,6 +15,11 @@ namespace cdmm {
 // resolved the same way (so the default 0 means "all cores"). Exits with a
 // usage error on a malformed value.
 unsigned ParseJobsFlag(int* argc, char** argv, unsigned default_jobs = 0);
+
+// Extracts "--sweep-engine E" or "--sweep-engine=E" (E = naive | onepass)
+// from argv the same way. Without the flag, returns kOnePass; exits with a
+// usage error on anything else.
+SweepEngine ParseSweepEngineFlag(int* argc, char** argv);
 
 }  // namespace cdmm
 

@@ -42,8 +42,16 @@ std::vector<SweepPoint> SweepScheduler::Lru(std::shared_ptr<const Trace> refs,
 
 std::vector<SweepPoint> SweepScheduler::Ws(std::shared_ptr<const Trace> refs,
                                            std::vector<uint64_t> taus,
-                                           const SimOptions& options) const {
+                                           const SimOptions& options,
+                                           std::shared_ptr<const PreparedTrace> prepared) const {
   CDMM_CHECK(refs != nullptr);
+  if (engine_ == SweepEngine::kOnePass) {
+    // The whole characteristic from one scan; parallelism adds nothing.
+    if (prepared != nullptr) {
+      return OnePassWsSweep(*prepared, taus, options);
+    }
+    return OnePassWsSweep(*refs, taus, options);
+  }
   std::vector<SweepPoint> points(taus.size());
   // One task per window; every task reads the same immutable trace. The
   // point construction matches the serial WsSweep field-for-field.
@@ -51,6 +59,34 @@ std::vector<SweepPoint> SweepScheduler::Ws(std::shared_ptr<const Trace> refs,
     SimResult r = SimulateWs(*refs, taus[i], options);
     SweepPoint p;
     p.parameter = static_cast<double>(taus[i]);
+    p.faults = r.faults;
+    p.elapsed = r.elapsed;
+    p.mean_memory = r.mean_memory;
+    p.space_time = r.space_time;
+    points[i] = p;
+  });
+  return points;
+}
+
+std::vector<SweepPoint> SweepScheduler::Opt(std::shared_ptr<const Trace> refs,
+                                            uint32_t max_frames, const SimOptions& options,
+                                            std::shared_ptr<const PreparedTrace> prepared) const {
+  CDMM_CHECK(refs != nullptr);
+  CDMM_CHECK(max_frames >= 1);
+  if (engine_ == SweepEngine::kOnePass) {
+    if (prepared != nullptr) {
+      return OnePassOptSweep(*prepared, max_frames, options);
+    }
+    return OnePassOptSweep(*refs, max_frames, options);
+  }
+  // One full OPT simulation per allocation, fanned over the pool; the point
+  // construction matches NaiveOptSweep field-for-field.
+  std::vector<SweepPoint> points(max_frames);
+  ParallelFor(pool_, max_frames, [&](size_t i) {
+    uint32_t m = static_cast<uint32_t>(i) + 1;
+    SimResult r = SimulateFixed(*refs, m, Replacement::kOpt, options);
+    SweepPoint p;
+    p.parameter = static_cast<double>(m);
     p.faults = r.faults;
     p.elapsed = r.elapsed;
     p.mean_memory = r.mean_memory;

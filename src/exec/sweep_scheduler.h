@@ -20,9 +20,11 @@
 #include "src/exec/thread_pool.h"
 #include "src/robust/fault_injector.h"
 #include "src/telemetry/telemetry.h"
+#include "src/trace/prepared_trace.h"
 #include "src/trace/trace.h"
 #include "src/vm/fixed_alloc.h"
 #include "src/vm/sim_result.h"
+#include "src/vm/sweep_engines.h"
 
 namespace cdmm {
 
@@ -99,9 +101,16 @@ struct PartialMapOptions {
 class SweepScheduler {
  public:
   // A null pool runs every sweep serially (useful as the --jobs 1 baseline).
-  explicit SweepScheduler(ThreadPool* pool = nullptr) : pool_(pool) {}
+  // `engine` picks the implementation behind the Ws/Opt parameter sweeps:
+  // kOnePass (default) computes the whole curve in one scan, kNaive
+  // re-simulates per point (fanned over the pool). Both produce bit-identical
+  // SweepPoints at any --jobs.
+  explicit SweepScheduler(ThreadPool* pool = nullptr,
+                          SweepEngine engine = SweepEngine::kOnePass)
+      : pool_(pool), engine_(engine) {}
 
   ThreadPool* pool() const { return pool_; }
+  SweepEngine engine() const { return engine_; }
 
   // results[i] = fn(i), computed concurrently, returned in index order.
   // R must be default-constructible; fn must be safe to call concurrently.
@@ -180,17 +189,25 @@ class SweepScheduler {
     return out;
   }
 
-  // The paper's two parameter sweeps, bit-identical to the serial
-  // LruSweep/WsSweep. The LRU curve comes out of one stack-distance pass
-  // (already whole-curve-in-one-scan, so it stays a single task); the WS
-  // sweep simulates every window independently, one task per τ.
+  // The paper's parameter sweeps, bit-identical to the serial
+  // LruSweep/WsSweep/per-m SimulateFixed under either engine. The LRU curve
+  // comes out of one stack-distance pass (already whole-curve-in-one-scan,
+  // so it stays a single task). The WS and OPT sweeps dispatch on engine():
+  // kNaive re-simulates every window / allocation independently, one task
+  // per point; kOnePass derives the whole curve from one scan of the
+  // (optionally caller-provided, else freshly built) PreparedTrace.
   std::vector<SweepPoint> Lru(std::shared_ptr<const Trace> refs, uint32_t max_frames,
                               const SimOptions& options = {}) const;
   std::vector<SweepPoint> Ws(std::shared_ptr<const Trace> refs, std::vector<uint64_t> taus,
-                             const SimOptions& options = {}) const;
+                             const SimOptions& options = {},
+                             std::shared_ptr<const PreparedTrace> prepared = nullptr) const;
+  std::vector<SweepPoint> Opt(std::shared_ptr<const Trace> refs, uint32_t max_frames,
+                              const SimOptions& options = {},
+                              std::shared_ptr<const PreparedTrace> prepared = nullptr) const;
 
  private:
   ThreadPool* pool_;
+  SweepEngine engine_;
 };
 
 }  // namespace cdmm

@@ -1,0 +1,49 @@
+#include "src/trace/prepared_trace.h"
+
+#include <utility>
+
+#include "src/support/check.h"
+#include "src/telemetry/telemetry.h"
+
+namespace cdmm {
+
+PreparedTrace PreparedTrace::Build(const Trace& trace) {
+  TELEM_SPAN("prepare:trace", "sweep");
+  CDMM_CHECK_MSG(trace.reference_count() < UINT32_MAX,
+                 "trace too long for 32-bit next-use indices");
+  PreparedTrace prepared;
+  prepared.name_ = trace.name();
+  prepared.virtual_pages_ = trace.virtual_pages();
+  prepared.pages_.reserve(trace.reference_count());
+  PageId max_page = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceEvent::Kind::kRef) {
+      continue;
+    }
+    prepared.pages_.push_back(e.value);
+    max_page = e.value > max_page ? e.value : max_page;
+  }
+  const uint32_t r = prepared.size();
+  const uint32_t none = r;  // sentinel: "no later/earlier use"
+  prepared.next_use_.assign(r, none);
+  prepared.first_use_.assign(r == 0 ? 0 : static_cast<size_t>(max_page) + 1, none);
+  // Backward scan: seen[p] is the earliest use of p at or after position i.
+  std::vector<uint32_t>& seen = prepared.first_use_;  // doubles as the scratch
+  for (uint32_t i = r; i-- > 0;) {
+    PageId page = prepared.pages_[i];
+    prepared.next_use_[i] = seen[page];
+    seen[page] = i;
+  }
+  for (uint32_t root : prepared.first_use_) {
+    prepared.distinct_pages_ += root != none ? 1 : 0;
+  }
+  TELEM_COUNT("sweep.prepared_trace_built");
+  TELEM_COUNT_N("sweep.prepared_refs_indexed", r);
+  return prepared;
+}
+
+std::shared_ptr<const PreparedTrace> PreparedTrace::BuildShared(const Trace& trace) {
+  return std::make_shared<const PreparedTrace>(Build(trace));
+}
+
+}  // namespace cdmm

@@ -1,0 +1,72 @@
+// PreparedTrace: an immutable, columnar side-structure over a Trace's
+// reference events, built once per workload and shared (like the memoized
+// shared_ptr<const Trace>) by every simulation that needs forward distances.
+// It holds the reference string as a flat PageId column plus, per reference,
+// the index of the next use of the same page — the quantity OPT, VMIN and
+// the one-pass sweep engines otherwise each recompute with their own
+// backward scan and hash map. A per-page first-use index roots the next-use
+// chain, so per-page walks (first_use -> next_use -> ...) need no map at
+// all. Cost: 4 bytes/ref for the next-use column plus 4 bytes/ref for the
+// columnar page copy.
+#ifndef CDMM_SRC_TRACE_PREPARED_TRACE_H_
+#define CDMM_SRC_TRACE_PREPARED_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace cdmm {
+
+class PreparedTrace {
+ public:
+  // Builds the columns in one backward scan over the reference events
+  // (directive and loop-marker events are skipped, so a PreparedTrace built
+  // from a directive-bearing trace equals one built from ReferencesOnly()).
+  // The trace must hold fewer than 2^32 - 1 references (indices and the
+  // kNoNext sentinel are 32-bit).
+  static PreparedTrace Build(const Trace& trace);
+
+  // Shared-ownership convenience for memo caches.
+  static std::shared_ptr<const PreparedTrace> BuildShared(const Trace& trace);
+
+  // Number of references R (positions are 0-based, in [0, size())).
+  uint32_t size() const { return static_cast<uint32_t>(pages_.size()); }
+  bool empty() const { return pages_.empty(); }
+
+  const std::string& name() const { return name_; }
+  uint32_t virtual_pages() const { return virtual_pages_; }
+  uint32_t distinct_pages() const { return distinct_pages_; }
+
+  // The flat reference string.
+  PageId page(uint32_t i) const { return pages_[i]; }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  // Index of the next reference to the same page, or size() when reference
+  // `i` is the last use of its page.
+  uint32_t next_use(uint32_t i) const { return next_use_[i]; }
+  bool has_next_use(uint32_t i) const { return next_use_[i] != size(); }
+  const std::vector<uint32_t>& next_uses() const { return next_use_; }
+
+  // Index of the first reference to `page`, or size() when the page is
+  // never referenced. Chains via next_use() enumerate all uses of a page.
+  uint32_t first_use(PageId page) const {
+    return page < first_use_.size() ? first_use_[page] : size();
+  }
+
+ private:
+  PreparedTrace() = default;
+
+  std::string name_;
+  uint32_t virtual_pages_ = 0;
+  uint32_t distinct_pages_ = 0;
+  std::vector<PageId> pages_;       // reference string, directive-free
+  std::vector<uint32_t> next_use_;  // per-reference forward link
+  std::vector<uint32_t> first_use_; // per-page chain root, size = max page + 1
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_TRACE_PREPARED_TRACE_H_

@@ -1,6 +1,7 @@
 #include "src/vm/curves.h"
 
 #include "src/support/check.h"
+#include "src/vm/sweep_engines.h"
 #include "src/vm/working_set.h"
 
 namespace cdmm {
@@ -62,12 +63,13 @@ std::vector<CurvePoint> FaultRateCurve(const Trace& trace, uint32_t max_frames,
 
 std::vector<CurvePoint> WsSizeCurve(const Trace& trace, const std::vector<uint64_t>& taus,
                                     const SimOptions& options) {
-  return WsSizeCurve(WsSweep(trace, taus, options));
+  // One-pass engine: bit-identical to WsSweep, one scan instead of |taus|.
+  return WsSizeCurve(OnePassWsSweep(trace, taus, options));
 }
 
 std::vector<CurvePoint> WsFaultRateCurve(const Trace& trace, const std::vector<uint64_t>& taus,
                                          const SimOptions& options) {
-  return WsFaultRateCurve(WsSweep(trace, taus, options), trace.reference_count());
+  return WsFaultRateCurve(OnePassWsSweep(trace, taus, options), trace.reference_count());
 }
 
 uint32_t LifetimeKnee(const std::vector<CurvePoint>& lifetime) {

@@ -31,11 +31,11 @@ namespace {
 
 // Shared accounting: every reference costs 1 unit, every fault adds the
 // service time; held memory is the constant partition size.
-SimResult Finish(const Trace& trace, uint32_t frames, Replacement replacement, uint64_t faults,
+SimResult Finish(uint64_t references, uint32_t frames, Replacement replacement, uint64_t faults,
                  uint32_t max_resident, const SimOptions& options) {
   SimResult result;
   result.policy = StrCat(ReplacementName(replacement), "(m=", frames, ")");
-  result.references = trace.reference_count();
+  result.references = references;
   result.faults = faults;
   uint64_t service_total = TotalFaultServiceCost(options, faults);
   result.elapsed = result.references + service_total;
@@ -48,18 +48,17 @@ SimResult Finish(const Trace& trace, uint32_t frames, Replacement replacement, u
   return result;
 }
 
-SimResult SimulateLru(const Trace& trace, uint32_t frames, const SimOptions& options) {
+// Both fixed-partition recency policies run off a flat reference string;
+// the Trace overloads filter their event streams into one first.
+SimResult SimulateLru(const std::vector<PageId>& refs, uint32_t virtual_pages, uint32_t frames,
+                      const SimOptions& options) {
   // Recency list: front = most recent. map page -> list iterator.
   std::list<PageId> stack;
   std::unordered_map<PageId, std::list<PageId>::iterator> where;
-  where.reserve(trace.virtual_pages());
+  where.reserve(virtual_pages);
   uint64_t faults = 0;
   uint32_t max_resident = 0;
-  for (const TraceEvent& e : trace.events()) {
-    if (e.kind != TraceEvent::Kind::kRef) {
-      continue;
-    }
-    PageId page = e.value;
+  for (PageId page : refs) {
     auto it = where.find(page);
     if (it != where.end()) {
       stack.splice(stack.begin(), stack, it->second);
@@ -77,19 +76,16 @@ SimResult SimulateLru(const Trace& trace, uint32_t frames, const SimOptions& opt
       max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(where.size()));
     }
   }
-  return Finish(trace, frames, Replacement::kLru, faults, max_resident, options);
+  return Finish(refs.size(), frames, Replacement::kLru, faults, max_resident, options);
 }
 
-SimResult SimulateFifo(const Trace& trace, uint32_t frames, const SimOptions& options) {
+SimResult SimulateFifo(const std::vector<PageId>& refs, uint32_t frames,
+                       const SimOptions& options) {
   std::deque<PageId> queue;
   std::set<PageId> resident;
   uint64_t faults = 0;
   uint32_t max_resident = 0;
-  for (const TraceEvent& e : trace.events()) {
-    if (e.kind != TraceEvent::Kind::kRef) {
-      continue;
-    }
-    PageId page = e.value;
+  for (PageId page : refs) {
     if (resident.count(page) != 0) {
       continue;
     }
@@ -105,42 +101,26 @@ SimResult SimulateFifo(const Trace& trace, uint32_t frames, const SimOptions& op
     resident.insert(page);
     max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(resident.size()));
   }
-  return Finish(trace, frames, Replacement::kFifo, faults, max_resident, options);
+  return Finish(refs.size(), frames, Replacement::kFifo, faults, max_resident, options);
 }
 
-SimResult SimulateOpt(const Trace& trace, uint32_t frames, const SimOptions& options) {
-  // Precompute, for each reference position, the next position at which the
-  // same page is referenced (or "infinity").
-  std::vector<PageId> refs;
-  refs.reserve(trace.reference_count());
-  for (const TraceEvent& e : trace.events()) {
-    if (e.kind == TraceEvent::Kind::kRef) {
-      refs.push_back(e.value);
-    }
-  }
-  const uint64_t kNever = refs.size() + 1;
-  std::vector<uint64_t> next_use(refs.size());
-  {
-    std::unordered_map<PageId, uint64_t> last_seen;
-    last_seen.reserve(trace.virtual_pages());
-    for (size_t i = refs.size(); i-- > 0;) {
-      auto it = last_seen.find(refs[i]);
-      next_use[i] = it == last_seen.end() ? kNever : it->second;
-      last_seen[refs[i]] = i;
-    }
-  }
-
+SimResult SimulateOpt(const PreparedTrace& prepared, uint32_t frames, const SimOptions& options) {
+  // The forward distances come straight from the prepared next-use column;
+  // pages never referenced again carry the shared sentinel prepared.size(),
+  // which outranks every real index just as the old kNever did.
   // Resident set ordered by next use (largest = best victim). Ties cannot
-  // happen: next uses are distinct positions (kNever broken by page id).
+  // happen: next uses are distinct positions (the sentinel is broken by
+  // page id).
   std::set<std::pair<uint64_t, PageId>> by_next_use;
   std::unordered_map<PageId, uint64_t> resident_next;  // page -> its key
   resident_next.reserve(frames + 1);
   uint64_t faults = 0;
   uint32_t max_resident = 0;
 
-  for (size_t i = 0; i < refs.size(); ++i) {
-    PageId page = refs[i];
-    // kNever entries collide across pages; disambiguate the set key by page.
+  for (uint32_t i = 0; i < prepared.size(); ++i) {
+    PageId page = prepared.page(i);
+    uint64_t next = prepared.next_use(i);
+    // Sentinel entries collide across pages; disambiguate the set key by page.
     auto key_of = [&](uint64_t nu, PageId p) {
       return std::pair<uint64_t, PageId>{nu, p};
     };
@@ -157,25 +137,30 @@ SimResult SimulateOpt(const Trace& trace, uint32_t frames, const SimOptions& opt
         TELEM_COUNT("vm.page_evicted");
       }
     }
-    resident_next[page] = next_use[i];
-    by_next_use.insert(key_of(next_use[i], page));
+    resident_next[page] = next;
+    by_next_use.insert(key_of(next, page));
     max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(resident_next.size()));
   }
-  return Finish(trace, frames, Replacement::kOpt, faults, max_resident, options);
+  return Finish(prepared.size(), frames, Replacement::kOpt, faults, max_resident, options);
 }
 
 }  // namespace
 
 SimResult SimulateFixed(const Trace& trace, uint32_t frames, Replacement replacement,
                         const SimOptions& options) {
+  return SimulateFixed(PreparedTrace::Build(trace), frames, replacement, options);
+}
+
+SimResult SimulateFixed(const PreparedTrace& prepared, uint32_t frames, Replacement replacement,
+                        const SimOptions& options) {
   CDMM_CHECK_MSG(frames >= 1, "fixed partition needs at least one frame");
   switch (replacement) {
     case Replacement::kLru:
-      return SimulateLru(trace, frames, options);
+      return SimulateLru(prepared.pages(), prepared.virtual_pages(), frames, options);
     case Replacement::kFifo:
-      return SimulateFifo(trace, frames, options);
+      return SimulateFifo(prepared.pages(), frames, options);
     case Replacement::kOpt:
-      return SimulateOpt(trace, frames, options);
+      return SimulateOpt(prepared, frames, options);
   }
   CDMM_UNREACHABLE("bad Replacement");
 }

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "src/trace/prepared_trace.h"
 #include "src/trace/trace.h"
 #include "src/vm/sim_result.h"
 
@@ -19,6 +20,13 @@ const char* ReplacementName(Replacement r);
 // Simulates one fixed-size partition. Directive events in the trace are
 // ignored (these policies cannot use them). `frames` must be >= 1.
 SimResult SimulateFixed(const Trace& trace, uint32_t frames, Replacement replacement,
+                        const SimOptions& options = {});
+
+// Same simulation over a PreparedTrace. OPT reads its forward distances
+// straight from the prepared next-use column instead of re-deriving them
+// with a backward scan + hash map; the Trace overload above delegates here.
+// Results are bit-identical either way.
+SimResult SimulateFixed(const PreparedTrace& prepared, uint32_t frames, Replacement replacement,
                         const SimOptions& options = {});
 
 // One point of a parameter sweep (shared by the LRU and WS sweeps).

@@ -7,18 +7,32 @@
 namespace cdmm {
 
 StackDistanceEngine::StackDistanceEngine(size_t expected_refs, uint32_t expected_pages) {
-  // Fenwick trees cannot grow in place (a fresh node would have to cover
-  // already-counted positions), so the capacity is fixed up front.
   tree_.assign(expected_refs + 1, 0);
   if (expected_pages != 0) {
     last_use_.reserve(expected_pages);
   }
 }
 
-void StackDistanceEngine::EnsureCapacity(size_t i) {
-  CDMM_CHECK_MSG(i < tree_.size(),
-                 "StackDistanceEngine fed more references than its declared capacity ("
-                     << tree_.size() - 1 << ")");
+void StackDistanceEngine::EnsureCapacity(size_t pos) {
+  if (pos < tree_.size()) {
+    return;
+  }
+  // A Fenwick tree cannot grow in place (a fresh node would have to cover
+  // already-counted positions), so double the capacity and rebuild. The
+  // tree's live +1 entries are exactly each page's most recent use position
+  // — the contents of last_use_ — so the rebuild is O(P log R); doubling
+  // makes the total regrowth cost amortized O(log R) per reference.
+  size_t capacity = tree_.size() - 1;
+  while (capacity < pos) {
+    capacity = capacity == 0 ? 1 : capacity * 2;
+  }
+  tree_.assign(capacity + 1, 0);
+  for (const auto& [page, at] : last_use_) {
+    (void)page;
+    for (size_t i = at; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += 1;
+    }
+  }
 }
 
 void StackDistanceEngine::Add(size_t pos, int delta) {

@@ -18,9 +18,10 @@ namespace cdmm {
 // position of its previous use (0 if none).
 class StackDistanceEngine {
  public:
-  // `expected_refs` is the maximum number of Next() calls (CHECK-enforced;
-  // a Fenwick tree cannot grow in place); `expected_pages` pre-sizes the
-  // page table.
+  // `expected_refs` is a sizing hint, not a limit: feeding more references
+  // triggers an amortized doubling rebuild of the Fenwick tree (the live
+  // entries are exactly the per-page last-use positions, so a rebuild is
+  // O(P log R)). `expected_pages` pre-sizes the page table.
   explicit StackDistanceEngine(size_t expected_refs, uint32_t expected_pages = 0);
 
   struct Touch {

@@ -1,0 +1,236 @@
+#include "src/vm/sweep_engines.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "src/support/check.h"
+#include "src/telemetry/telemetry.h"
+
+namespace cdmm {
+namespace {
+
+// Packed OPT retention key: (next use index, page), lexicographic order as a
+// single 64-bit compare. The eviction victim is the largest key — exactly
+// SimulateOpt's std::pair<uint64_t, PageId> ordering, including the
+// page-id tie-break among pages never referenced again (whose next-use
+// component is the shared sentinel).
+uint64_t PackKey(uint32_t next_use, PageId page) {
+  return (static_cast<uint64_t>(next_use) << 32) | page;
+}
+PageId KeyPage(uint64_t key) { return static_cast<PageId>(key); }
+
+SweepPoint MakeFixedPoint(uint32_t m, uint64_t refs, uint64_t faults,
+                          const SimOptions& options) {
+  // Field-for-field the arithmetic of fixed_alloc.cc's Finish()/LruSweep().
+  uint64_t service_total = TotalFaultServiceCost(options, faults);
+  SweepPoint p;
+  p.parameter = m;
+  p.faults = faults;
+  p.elapsed = refs + service_total;
+  p.mean_memory = m;
+  p.space_time = static_cast<double>(m) * static_cast<double>(refs) +
+                 static_cast<double>(service_total);
+  return p;
+}
+
+}  // namespace
+
+const char* SweepEngineName(SweepEngine engine) {
+  switch (engine) {
+    case SweepEngine::kNaive:
+      return "naive";
+    case SweepEngine::kOnePass:
+      return "onepass";
+  }
+  return "?";
+}
+
+std::vector<SweepPoint> OnePassWsSweep(const PreparedTrace& prepared,
+                                       const std::vector<uint64_t>& taus,
+                                       const SimOptions& options) {
+  TELEM_SPAN("sweep:ws_onepass", "sweep");
+  const uint64_t r = prepared.size();
+  std::vector<SweepPoint> points(taus.size());
+
+  // One scan of the forward links builds the two Denning–Slutz histograms:
+  //  - gaps[g]  = #consecutive-use pairs at distance g (faults: gap > τ);
+  //  - caps[k]  = #residency intervals whose WS occupancy saturates at
+  //               min(k, τ) + 1 instants — k = g - 1 for a pair, k = R - u
+  //               for the tail after a page's final use at time u.
+  std::vector<uint32_t> gaps(r + 1, 0);
+  std::vector<uint32_t> caps(r + 1, 0);
+  uint64_t total_pairs = 0;
+  for (uint32_t i = 0; i < prepared.size(); ++i) {
+    uint32_t next = prepared.next_use(i);
+    if (next != prepared.size()) {
+      uint32_t g = next - i;
+      ++gaps[g];
+      ++caps[g - 1];
+      ++total_pairs;
+    } else {
+      ++caps[prepared.size() - 1 - i];  // tail distance R - u with u = i + 1
+    }
+  }
+  const uint64_t cold = prepared.distinct_pages();
+  const uint64_t total_caps = r;  // every reference opens exactly one interval
+  TELEM_COUNT("sweep.gap_histogram_built");
+
+  // Evaluate every τ in ascending order with one merged traversal of the
+  // histograms; running prefix sums make each point O(1).
+  std::vector<size_t> order(taus.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return taus[a] < taus[b]; });
+  uint64_t g_cursor = 1;        // gaps[1..g_cursor-1] consumed
+  uint64_t pairs_le = 0;        // Σ gaps[g], g <= τ
+  uint64_t k_cursor = 0;        // caps[0..k_cursor-1] consumed
+  uint64_t caps_le = 0;         // Σ caps[k], k <= τ
+  uint64_t weighted_caps_le = 0;  // Σ caps[k]·k, k <= τ
+  for (size_t idx : order) {
+    uint64_t tau = taus[idx];
+    CDMM_CHECK(tau >= 1);
+    for (; g_cursor <= tau && g_cursor <= r; ++g_cursor) {
+      pairs_le += gaps[g_cursor];
+    }
+    for (; k_cursor <= tau && k_cursor <= r; ++k_cursor) {
+      weighted_caps_le += caps[k_cursor] * k_cursor;
+      caps_le += caps[k_cursor];
+    }
+    uint64_t faults = cold + (total_pairs - pairs_le);
+    // Σ over references of the resident-set size after that reference:
+    // every interval contributes min(k, τ) + 1 instants of occupancy.
+    uint64_t occupancy = r + weighted_caps_le + tau * (total_caps - caps_le);
+    uint64_t service_total = TotalFaultServiceCost(options, faults);
+    SweepPoint p;
+    p.parameter = static_cast<double>(tau);
+    p.faults = faults;
+    p.elapsed = r + service_total;
+    p.mean_memory = r == 0 ? 0.0 : static_cast<double>(occupancy) / static_cast<double>(r);
+    p.space_time = static_cast<double>(occupancy) + static_cast<double>(service_total);
+    points[idx] = p;
+  }
+  TELEM_COUNT("sweep.ws_curve_computed");
+  TELEM_COUNT_N("sweep.ws_points_computed", points.size());
+  return points;
+}
+
+std::vector<SweepPoint> OnePassWsSweep(const Trace& trace, const std::vector<uint64_t>& taus,
+                                       const SimOptions& options) {
+  return OnePassWsSweep(PreparedTrace::Build(trace), taus, options);
+}
+
+std::vector<SweepPoint> OnePassOptSweep(const PreparedTrace& prepared, uint32_t max_frames,
+                                        const SimOptions& options) {
+  TELEM_SPAN("sweep:opt_onepass", "sweep");
+  CDMM_CHECK_MSG(max_frames >= 1, "fixed partition needs at least one frame");
+  const uint64_t r = prepared.size();
+
+  // OPT stack distances via Mattson's priority-list update: the list holds
+  // each resident page's packed (next use, page) key, top (index 0) first;
+  // for every capacity m the top m entries are exactly OPT's resident set.
+  // On a reference the new key takes the top and the displaced keys
+  // percolate down, each level retaining the sooner-referenced (smaller)
+  // key — the cascade of per-capacity evictions. A page's stored key stays
+  // current between its uses (its next use does not change), so no
+  // re-prioritisation pass is ever needed.
+  std::vector<uint64_t> depth_hist(static_cast<size_t>(max_frames) + 2, 0);
+  uint64_t cold = 0;
+  std::vector<uint64_t> stack;
+  for (uint32_t i = 0; i < prepared.size(); ++i) {
+    PageId page = prepared.page(i);
+    uint64_t fresh = PackKey(prepared.next_use(i), page);
+    if (stack.empty()) {
+      stack.push_back(fresh);
+      ++cold;
+      continue;
+    }
+    if (KeyPage(stack[0]) == page) {
+      stack[0] = fresh;
+      ++depth_hist[1];
+      continue;
+    }
+    uint64_t carry = stack[0];
+    stack[0] = fresh;
+    size_t j = 1;
+    for (; j < stack.size(); ++j) {
+      if (KeyPage(stack[j]) == page) {
+        stack[j] = carry;
+        ++depth_hist[std::min<uint64_t>(j + 1, max_frames + 1)];
+        break;
+      }
+      if (carry < stack[j]) {
+        std::swap(carry, stack[j]);
+      }
+    }
+    if (j == stack.size()) {
+      stack.push_back(carry);
+      ++cold;
+    }
+  }
+
+  // faults(m) = cold + Σ_{d > m} depth_hist[d], one backward pass — the
+  // same suffix-sum finish as LruSweep.
+  std::vector<SweepPoint> points;
+  points.reserve(max_frames);
+  std::vector<uint64_t> faults_at(max_frames + 1, 0);
+  uint64_t running = cold;
+  for (uint32_t m = max_frames; m >= 1; --m) {
+    running += depth_hist[m + 1];
+    faults_at[m] = running;
+  }
+  for (uint32_t m = 1; m <= max_frames; ++m) {
+    points.push_back(MakeFixedPoint(m, r, faults_at[m], options));
+  }
+  TELEM_COUNT("sweep.opt_curve_computed");
+  TELEM_COUNT_N("sweep.opt_points_computed", points.size());
+  return points;
+}
+
+std::vector<SweepPoint> OnePassOptSweep(const Trace& trace, uint32_t max_frames,
+                                        const SimOptions& options) {
+  return OnePassOptSweep(PreparedTrace::Build(trace), max_frames, options);
+}
+
+std::vector<SweepPoint> NaiveOptSweep(const Trace& trace, uint32_t max_frames,
+                                      const SimOptions& options) {
+  CDMM_CHECK(max_frames >= 1);
+  std::vector<SweepPoint> points;
+  points.reserve(max_frames);
+  for (uint32_t m = 1; m <= max_frames; ++m) {
+    SimResult r = SimulateFixed(trace, m, Replacement::kOpt, options);
+    SweepPoint p;
+    p.parameter = static_cast<double>(m);
+    p.faults = r.faults;
+    p.elapsed = r.elapsed;
+    p.mean_memory = r.mean_memory;
+    p.space_time = r.space_time;
+    points.push_back(p);
+  }
+  return points;
+}
+
+uint64_t FingerprintSweep(const std::vector<SweepPoint>& points) {
+  uint64_t hash = 14695981039346656037ULL;
+  auto mix = [&hash](uint64_t bits) {
+    for (int b = 0; b < 64; b += 8) {
+      hash ^= (bits >> b) & 0xFF;
+      hash *= 1099511628211ULL;
+    }
+  };
+  auto mix_double = [&](double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  for (const SweepPoint& p : points) {
+    mix_double(p.parameter);
+    mix(p.faults);
+    mix(p.elapsed);
+    mix_double(p.mean_memory);
+    mix_double(p.space_time);
+  }
+  return hash;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,72 @@
+// Single-pass sweep engines for the paper's two brute-force parameter
+// sweeps, plus the engine-selection knob the benches and cdmmc expose as
+// --sweep-engine.
+//
+//  - OnePassWsSweep: the whole WS characteristic — exact faults(τ), mean WS
+//    size s(τ), elapsed and space-time for EVERY window τ — from one O(R)
+//    scan, via the Denning–Slutz inter-reference-interval histogram. A
+//    reference at time t to a page last used at time u faults under WS(τ)
+//    iff the gap g = t - u exceeds τ, and the page occupies the working set
+//    for min(g - 1, τ) + 1 of the instants between the two uses (its tail
+//    after the final use for min(R - u, τ) + 1); histogramming gaps and
+//    tails therefore yields every fault count and every resident-set
+//    integral at once. Bit-identical to per-τ SimulateWs (see the exactness
+//    argument in DESIGN.md §11).
+//  - OnePassOptSweep: faults(m) for all m = 1..max_frames from one pass of
+//    OPT stack distances (Mattson's priority-list update, priorities =
+//    packed (next use, page) keys from a PreparedTrace). Bit-identical to
+//    per-m SimulateFixed(Replacement::kOpt).
+//
+// The naive counterparts (per-τ SimulateWs, per-m SimulateFixed) remain the
+// cross-validation oracle behind --sweep-engine=naive; SweepScheduler
+// dispatches between the two so nominal stdout is byte-identical under
+// either engine at any --jobs.
+#ifndef CDMM_SRC_VM_SWEEP_ENGINES_H_
+#define CDMM_SRC_VM_SWEEP_ENGINES_H_
+
+#include <vector>
+
+#include "src/trace/prepared_trace.h"
+#include "src/trace/trace.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+// Which implementation a sweep-running component uses. kOnePass is the
+// default everywhere; kNaive re-simulates per parameter point and serves as
+// the oracle the cross-validation tests and CI compare against.
+enum class SweepEngine : uint8_t { kNaive, kOnePass };
+
+const char* SweepEngineName(SweepEngine engine);
+
+// The full WS characteristic over `taus` (each >= 1, any order, duplicates
+// allowed) in one scan. points[i] corresponds to taus[i] and equals the
+// SweepPoint a per-τ SimulateWs run would produce, bit for bit.
+std::vector<SweepPoint> OnePassWsSweep(const PreparedTrace& prepared,
+                                       const std::vector<uint64_t>& taus,
+                                       const SimOptions& options = {});
+// Convenience: builds the PreparedTrace itself.
+std::vector<SweepPoint> OnePassWsSweep(const Trace& trace, const std::vector<uint64_t>& taus,
+                                       const SimOptions& options = {});
+
+// The full OPT curve faults(m), m = 1..max_frames, in one pass; points
+// equal per-m SimulateFixed(trace, m, Replacement::kOpt) bit for bit.
+std::vector<SweepPoint> OnePassOptSweep(const PreparedTrace& prepared, uint32_t max_frames,
+                                        const SimOptions& options = {});
+std::vector<SweepPoint> OnePassOptSweep(const Trace& trace, uint32_t max_frames,
+                                        const SimOptions& options = {});
+
+// The naive OPT sweep — one full SimulateFixed(kOpt) per allocation — kept
+// as the serial oracle (SweepScheduler::Opt parallelises it per point).
+std::vector<SweepPoint> NaiveOptSweep(const Trace& trace, uint32_t max_frames,
+                                      const SimOptions& options = {});
+
+// Order-sensitive FNV-1a over every field of every point (doubles hashed by
+// bit pattern). The benches and cdmmc --sweep print this digest, making
+// "bit-identical sweeps" a one-line diff between engines and job counts.
+uint64_t FingerprintSweep(const std::vector<SweepPoint>& points);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_SWEEP_ENGINES_H_

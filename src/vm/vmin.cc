@@ -10,47 +10,32 @@
 
 namespace cdmm {
 
-SimResult SimulateVmin(const Trace& trace, const SimOptions& options, uint64_t retention) {
+SimResult SimulateVmin(const PreparedTrace& prepared, const SimOptions& options,
+                       uint64_t retention) {
   uint64_t window = retention != 0 ? retention : options.fault_service_time;
   SimResult result;
   result.policy = StrCat("VMIN(U=", window, ")");
-
-  // Forward pass needs next-use distances; collect the reference string.
-  std::vector<PageId> refs;
-  refs.reserve(trace.reference_count());
-  for (const TraceEvent& e : trace.events()) {
-    if (e.kind == TraceEvent::Kind::kRef) {
-      refs.push_back(e.value);
-    }
-  }
-  const uint64_t kNever = refs.size() + window + 1;
-  std::vector<uint64_t> next_use(refs.size());
-  {
-    std::unordered_map<PageId, uint64_t> seen;
-    seen.reserve(trace.virtual_pages());
-    for (size_t i = refs.size(); i-- > 0;) {
-      auto it = seen.find(refs[i]);
-      next_use[i] = it == seen.end() ? kNever : it->second;
-      seen[refs[i]] = i;
-    }
-  }
+  const uint32_t r = prepared.size();
 
   // A page is resident during [use, use + window] when the next use falls in
   // that interval; otherwise it is dropped immediately after the use and the
-  // next use faults. Residency between uses i and j (j = next_use[i]) is
+  // next use faults. Residency between uses i and j (j = next_use(i)) is
   // j - i time units when kept. Each use itself occupies one unit (the page
-  // must be resident to be referenced), counted exactly once.
+  // must be resident to be referenced), counted exactly once. The forward
+  // gaps come straight from the prepared next-use column; a final use (no
+  // next use) never satisfies the window, matching the old "infinite gap"
+  // sentinel.
   uint64_t faults = 0;
   double ref_integral = 0.0;
   uint32_t resident = 0;
   uint32_t max_resident = 0;
   // Track residency level via a difference array over time.
-  std::vector<int32_t> delta(refs.size() + 1, 0);
+  std::vector<int32_t> delta(static_cast<size_t>(r) + 1, 0);
   std::unordered_map<PageId, bool> is_resident;
-  is_resident.reserve(trace.virtual_pages());
+  is_resident.reserve(prepared.virtual_pages());
 
-  for (size_t i = 0; i < refs.size(); ++i) {
-    PageId page = refs[i];
+  for (uint32_t i = 0; i < r; ++i) {
+    PageId page = prepared.page(i);
     auto it = is_resident.find(page);
     if (it == is_resident.end() || !it->second) {
       ++faults;
@@ -58,10 +43,9 @@ SimResult SimulateVmin(const Trace& trace, const SimOptions& options, uint64_t r
       TELEM_COUNT("vm.fault_serviced");
     }
     // Keep the page until its next use if the gap is within the window.
-    uint64_t gap = next_use[i] - i;
-    if (gap <= window) {
+    if (prepared.has_next_use(i) && prepared.next_use(i) - i <= window) {
       delta[i] += 1;
-      delta[std::min<uint64_t>(next_use[i], refs.size())] -= 1;
+      delta[prepared.next_use(i)] -= 1;
       TELEM_COUNT("vm.vmin_page_retained");
     } else {
       // Resident for this reference only.
@@ -71,21 +55,25 @@ SimResult SimulateVmin(const Trace& trace, const SimOptions& options, uint64_t r
       TELEM_COUNT("vm.vmin_page_dropped");
     }
   }
-  for (size_t t = 0; t < refs.size(); ++t) {
+  for (uint32_t t = 0; t < r; ++t) {
     resident = static_cast<uint32_t>(static_cast<int64_t>(resident) + delta[t]);
     max_resident = std::max(max_resident, resident);
     ref_integral += static_cast<double>(resident);
   }
 
-  result.references = refs.size();
+  result.references = r;
   result.faults = faults;
   uint64_t service_total = TotalFaultServiceCost(options, faults);
   result.elapsed = result.references + service_total;
   result.mean_memory =
-      refs.empty() ? 0.0 : ref_integral / static_cast<double>(result.references);
+      r == 0 ? 0.0 : ref_integral / static_cast<double>(result.references);
   result.space_time = ref_integral + static_cast<double>(service_total);
   result.max_resident = max_resident;
   return result;
+}
+
+SimResult SimulateVmin(const Trace& trace, const SimOptions& options, uint64_t retention) {
+  return SimulateVmin(PreparedTrace::Build(trace), options, retention);
 }
 
 }  // namespace cdmm

@@ -9,6 +9,7 @@
 #ifndef CDMM_SRC_VM_VMIN_H_
 #define CDMM_SRC_VM_VMIN_H_
 
+#include "src/trace/prepared_trace.h"
 #include "src/trace/trace.h"
 #include "src/vm/sim_result.h"
 
@@ -18,6 +19,11 @@ namespace cdmm {
 // cost-optimal choice); `retention` overrides it when non-zero (e.g. to
 // sweep the memory/fault trade-off).
 SimResult SimulateVmin(const Trace& trace, const SimOptions& options = {},
+                       uint64_t retention = 0);
+
+// Same simulation off a PreparedTrace's next-use column (no backward scan);
+// the Trace overload delegates here. Results are bit-identical either way.
+SimResult SimulateVmin(const PreparedTrace& prepared, const SimOptions& options = {},
                        uint64_t retention = 0);
 
 }  // namespace cdmm

@@ -195,6 +195,42 @@ TEST(CliTest, TraceRoundTripThroughFileStillWorks) {
 }
 
 // ---------------------------------------------------------------------------
+// cdmmc --sweep / --sweep-engine: the parameter-sweep digests and the engine
+// knob. Stdout must be byte-identical between engines (only stderr names the
+// engine and the wall time).
+
+TEST(CliSweepTest, HelpDocumentsSweepFlags) {
+  CliRun r = RunCli({"--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("--sweep ws|opt|both"), std::string::npos);
+  EXPECT_NE(r.out.find("--sweep-engine naive|onepass"), std::string::npos);
+}
+
+TEST(CliSweepTest, SweepStdoutIsByteIdenticalAcrossEngines) {
+  CliRun onepass = RunCli({"builtin:INIT", "--sweep", "both", "--sweep-engine", "onepass"});
+  CliRun naive = RunCli({"builtin:INIT", "--sweep", "both", "--sweep-engine", "naive"});
+  EXPECT_EQ(onepass.code, 0) << onepass.err;
+  EXPECT_EQ(naive.code, 0) << naive.err;
+  EXPECT_EQ(onepass.out, naive.out);
+  EXPECT_NE(onepass.out.find("sweep ws:"), std::string::npos);
+  EXPECT_NE(onepass.out.find("sweep opt:"), std::string::npos);
+  EXPECT_NE(onepass.out.find("fingerprint="), std::string::npos);
+  EXPECT_NE(onepass.err.find("engine=onepass"), std::string::npos);
+  EXPECT_NE(naive.err.find("engine=naive"), std::string::npos);
+}
+
+TEST(CliSweepTest, BadSweepKindIsUsageError) {
+  CliRun r = RunCli({"builtin:INIT", "--sweep", "bogus"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--sweep"), std::string::npos);
+}
+
+TEST(CliSweepTest, BadSweepEngineExitsTwo) {
+  EXPECT_EXIT(RunCli({"builtin:INIT", "--sweep", "ws", "--sweep-engine", "bogus"}),
+              ::testing::ExitedWithCode(2), "bad --sweep-engine value");
+}
+
+// ---------------------------------------------------------------------------
 // cdmmc --lint: exit code 4 on diagnostics, 0 on clean, 1 on parse failure.
 
 std::string WriteFixture(const std::string& name, const std::string& text) {

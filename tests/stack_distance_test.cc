@@ -60,11 +60,33 @@ TEST(StackDistanceTest, MatchesNaiveOnRandomTrace) {
   }
 }
 
-TEST(StackDistanceTest, ExceedingCapacityDies) {
+// Regression: feeding more references than the declared capacity used to
+// CHECK-fail; now the Fenwick tree regrows with a doubling rebuild. This
+// exact sequence tripped the old CHECK on the third Next().
+TEST(StackDistanceTest, GrowsPastDeclaredCapacity) {
   StackDistanceEngine engine(2);
-  engine.Next(0);
-  engine.Next(1);
-  EXPECT_DEATH(engine.Next(2), "capacity");
+  EXPECT_EQ(engine.Next(0).depth, 0u);
+  EXPECT_EQ(engine.Next(1).depth, 0u);
+  EXPECT_EQ(engine.Next(2).depth, 0u);  // previously: CHECK failure here
+  EXPECT_EQ(engine.Next(0).depth, 3u);
+  EXPECT_EQ(engine.Next(2).depth, 2u);
+}
+
+TEST(StackDistanceTest, GrowthMatchesNaiveAndExactlySizedEngine) {
+  SplitMix64 rng(7);
+  StackDistanceEngine tiny(1);       // forced through many regrowth rebuilds
+  StackDistanceEngine sized(30000);  // never regrows
+  NaiveStack naive;
+  for (int i = 0; i < 30000; ++i) {
+    PageId page = static_cast<PageId>(rng.NextDouble() < 0.6 ? rng.NextBelow(16)
+                                                             : rng.NextBelow(400));
+    uint32_t expected = naive.Touch(page);
+    StackDistanceEngine::Touch a = tiny.Next(page);
+    StackDistanceEngine::Touch b = sized.Next(page);
+    ASSERT_EQ(a.depth, expected) << "at reference " << i;
+    ASSERT_EQ(a.depth, b.depth) << "at reference " << i;
+    ASSERT_EQ(a.previous, b.previous) << "at reference " << i;
+  }
 }
 
 }  // namespace

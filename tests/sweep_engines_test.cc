@@ -1,0 +1,255 @@
+#include "src/vm/sweep_engines.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+#include "src/exec/sweep_scheduler.h"
+#include "src/robust/fault_injector.h"
+#include "src/support/rng.h"
+#include "src/trace/prepared_trace.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/vmin.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+Trace MakeTrace(const std::vector<PageId>& pages, uint32_t virtual_pages = 0) {
+  Trace t("test");
+  uint32_t max_page = 0;
+  for (PageId p : pages) {
+    t.AddRef(p);
+    max_page = std::max(max_page, p);
+  }
+  t.set_virtual_pages(virtual_pages != 0 ? virtual_pages
+                                         : (pages.empty() ? 0 : max_page + 1));
+  return t;
+}
+
+// A mixture of hot-set and scattered references with occasional phase
+// shifts — enough structure to exercise gaps of every size class.
+Trace RandomTrace(uint64_t seed, size_t refs, uint32_t pages) {
+  SplitMix64 rng(seed);
+  std::vector<PageId> out;
+  out.reserve(refs);
+  uint32_t phase_base = 0;
+  for (size_t i = 0; i < refs; ++i) {
+    if (rng.NextDouble() < 0.002) {
+      phase_base = static_cast<uint32_t>(rng.NextBelow(pages));
+    }
+    PageId p = rng.NextDouble() < 0.7
+                   ? static_cast<PageId>((phase_base + rng.NextBelow(8)) % pages)
+                   : static_cast<PageId>(rng.NextBelow(pages));
+    out.push_back(p);
+  }
+  return MakeTrace(out, pages);
+}
+
+// Tau grid covering the degenerate ends (1, R, > R) plus a spread between.
+std::vector<uint64_t> TestTaus(uint64_t r) {
+  std::vector<uint64_t> taus = {1, 2, 3, 5, 8, 13, 50, 200, 1000};
+  taus.push_back(std::max<uint64_t>(r / 2, 1));
+  taus.push_back(std::max<uint64_t>(r, 1));
+  taus.push_back(r + 10);  // larger than the whole trace: only cold faults
+  return taus;
+}
+
+std::vector<SweepPoint> NaiveWsSweep(const Trace& trace, const std::vector<uint64_t>& taus,
+                                     const SimOptions& options = {}) {
+  return WsSweep(trace, taus, options);
+}
+
+TEST(PreparedTraceTest, NextUseChains) {
+  Trace t = MakeTrace({3, 1, 3, 2, 1});
+  PreparedTrace p = PreparedTrace::Build(t);
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.distinct_pages(), 3u);
+  EXPECT_EQ(p.next_use(0), 2u);  // 3 -> index 2
+  EXPECT_EQ(p.next_use(1), 4u);  // 1 -> index 4
+  EXPECT_EQ(p.next_use(2), 5u);  // last use of 3
+  EXPECT_FALSE(p.has_next_use(2));
+  EXPECT_EQ(p.next_use(3), 5u);
+  EXPECT_EQ(p.next_use(4), 5u);
+  EXPECT_EQ(p.first_use(3), 0u);
+  EXPECT_EQ(p.first_use(1), 1u);
+  EXPECT_EQ(p.first_use(2), 3u);
+  EXPECT_EQ(p.first_use(99), p.size());  // never referenced
+}
+
+TEST(PreparedTraceTest, SkipsNonReferenceEvents) {
+  Trace with_markers("markers");
+  with_markers.set_virtual_pages(4);
+  with_markers.AddLoopEnter(1);
+  with_markers.AddRef(0);
+  with_markers.AddRef(2);
+  with_markers.AddLoopExit(1);
+  with_markers.AddRef(0);
+
+  PreparedTrace a = PreparedTrace::Build(with_markers);
+  PreparedTrace b = PreparedTrace::Build(with_markers.ReferencesOnly());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.pages(), b.pages());
+  EXPECT_EQ(a.next_uses(), b.next_uses());
+  EXPECT_EQ(a.distinct_pages(), b.distinct_pages());
+}
+
+TEST(SweepEnginesTest, WsMatchesNaiveOnHandTrace) {
+  Trace t = MakeTrace({0, 1, 0, 2, 1, 0, 3, 3, 2, 0});
+  std::vector<uint64_t> taus = {1, 2, 3, 4, 7, 10, 11};
+  EXPECT_EQ(OnePassWsSweep(t, taus), NaiveWsSweep(t, taus));
+}
+
+TEST(SweepEnginesTest, WsMatchesNaiveOnRandomTraces) {
+  for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+    Trace t = RandomTrace(seed, 4000, 60);
+    std::vector<uint64_t> taus = TestTaus(t.reference_count());
+    ASSERT_EQ(OnePassWsSweep(t, taus), NaiveWsSweep(t, taus)) << "seed " << seed;
+  }
+}
+
+TEST(SweepEnginesTest, WsHandlesUnsortedAndDuplicateTaus) {
+  Trace t = RandomTrace(5, 2000, 40);
+  std::vector<uint64_t> taus = {500, 1, 500, 90, 2, 1, 3000};
+  std::vector<SweepPoint> one = OnePassWsSweep(t, taus);
+  std::vector<SweepPoint> naive = NaiveWsSweep(t, taus);
+  ASSERT_EQ(one, naive);
+  // points[i] must correspond to taus[i] even though evaluation is sorted.
+  for (size_t i = 0; i < taus.size(); ++i) {
+    EXPECT_EQ(one[i].parameter, static_cast<double>(taus[i]));
+  }
+}
+
+TEST(SweepEnginesTest, WsEmptyTauListYieldsNoPoints) {
+  Trace t = RandomTrace(6, 100, 10);
+  EXPECT_TRUE(OnePassWsSweep(t, {}).empty());
+}
+
+TEST(SweepEnginesTest, WsOnEmptyTrace) {
+  Trace t = MakeTrace({});
+  std::vector<uint64_t> taus = {1, 5};
+  EXPECT_EQ(OnePassWsSweep(t, taus), NaiveWsSweep(t, taus));
+}
+
+TEST(SweepEnginesTest, WsMatchesNaiveUnderFaultInjection) {
+  FaultInjector injector(FaultInjectionConfig::AtIntensity(17, 0.5));
+  SimOptions options;
+  options.injector = &injector;
+  Trace t = RandomTrace(9, 3000, 50);
+  std::vector<uint64_t> taus = TestTaus(t.reference_count());
+  EXPECT_EQ(OnePassWsSweep(t, taus, options), NaiveWsSweep(t, taus, options));
+}
+
+TEST(SweepEnginesTest, OptMatchesNaiveOnHandTrace) {
+  Trace t = MakeTrace({0, 1, 2, 0, 1, 3, 0, 2, 1, 3});
+  EXPECT_EQ(OnePassOptSweep(t, 4), NaiveOptSweep(t, 4));
+}
+
+TEST(SweepEnginesTest, OptMatchesNaiveOnRandomTraces) {
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    Trace t = RandomTrace(seed, 3000, 48);
+    uint32_t max_frames = t.virtual_pages() + 2;  // past full residency
+    ASSERT_EQ(OnePassOptSweep(t, max_frames), NaiveOptSweep(t, max_frames))
+        << "seed " << seed;
+  }
+}
+
+TEST(SweepEnginesTest, OptMatchesPerAllocationSimulateFixed) {
+  Trace t = RandomTrace(7, 1500, 24);
+  std::vector<SweepPoint> curve = OnePassOptSweep(t, 24);
+  ASSERT_EQ(curve.size(), 24u);
+  for (uint32_t m : {1u, 2u, 5u, 12u, 24u}) {
+    SimResult r = SimulateFixed(t, m, Replacement::kOpt);
+    EXPECT_EQ(curve[m - 1].faults, r.faults) << "m=" << m;
+    EXPECT_EQ(curve[m - 1].elapsed, r.elapsed) << "m=" << m;
+    EXPECT_EQ(curve[m - 1].space_time, r.space_time) << "m=" << m;
+  }
+}
+
+TEST(SweepEnginesTest, OptMatchesNaiveUnderFaultInjection) {
+  FaultInjector injector(FaultInjectionConfig::AtIntensity(23, 0.7));
+  SimOptions options;
+  options.injector = &injector;
+  Trace t = RandomTrace(13, 2000, 32);
+  EXPECT_EQ(OnePassOptSweep(t, 32, options), NaiveOptSweep(t, 32, options));
+}
+
+TEST(SweepEnginesTest, AllWorkloadsCrossValidate) {
+  for (const Workload& w : AllWorkloads()) {
+    auto cp = CompiledProgram::FromSource(w.source);
+    ASSERT_TRUE(cp.ok()) << w.name;
+    std::shared_ptr<const Trace> refs = cp.value().shared_references();
+    uint64_t r = refs->reference_count();
+    std::shared_ptr<const PreparedTrace> prepared = PreparedTrace::BuildShared(*refs);
+
+    // Reduced grids keep the naive oracle affordable in a unit test.
+    std::vector<uint64_t> taus = DefaultTauGrid(std::max<uint64_t>(r, 1), 3);
+    ASSERT_EQ(OnePassWsSweep(*prepared, taus), NaiveWsSweep(*refs, taus)) << w.name;
+
+    uint32_t max_frames = std::min(refs->virtual_pages(), 24u);
+    ASSERT_EQ(OnePassOptSweep(*prepared, max_frames), NaiveOptSweep(*refs, max_frames))
+        << w.name;
+  }
+}
+
+TEST(SweepEnginesTest, VminOnPreparedTraceMatchesTraceOverload) {
+  for (uint64_t seed : {31u, 62u}) {
+    Trace t = RandomTrace(seed, 3000, 40);
+    PreparedTrace prepared = PreparedTrace::Build(t);
+    for (uint64_t retention : {uint64_t{0}, uint64_t{1}, uint64_t{100}}) {
+      SimResult a = SimulateVmin(t, {}, retention);
+      SimResult b = SimulateVmin(prepared, {}, retention);
+      ASSERT_EQ(a.policy, b.policy);
+      ASSERT_EQ(a.faults, b.faults);
+      ASSERT_EQ(a.elapsed, b.elapsed);
+      ASSERT_EQ(a.mean_memory, b.mean_memory);
+      ASSERT_EQ(a.space_time, b.space_time);
+      ASSERT_EQ(a.max_resident, b.max_resident);
+    }
+  }
+}
+
+TEST(SweepEnginesTest, SchedulerDispatchesBothEnginesIdentically) {
+  auto refs = std::make_shared<const Trace>(RandomTrace(77, 2500, 36));
+  std::vector<uint64_t> taus = TestTaus(refs->reference_count());
+  uint32_t max_frames = refs->virtual_pages();
+
+  std::vector<SweepPoint> ws_serial_naive = SweepScheduler(nullptr, SweepEngine::kNaive)
+                                                .Ws(refs, taus);
+  std::vector<SweepPoint> opt_serial_naive =
+      SweepScheduler(nullptr, SweepEngine::kNaive).Opt(refs, max_frames);
+  for (unsigned jobs : {1u, 4u}) {
+    ThreadPool pool(jobs);
+    for (SweepEngine engine : {SweepEngine::kNaive, SweepEngine::kOnePass}) {
+      SweepScheduler sched(&pool, engine);
+      ASSERT_EQ(sched.Ws(refs, taus), ws_serial_naive)
+          << SweepEngineName(engine) << " jobs=" << jobs;
+      ASSERT_EQ(sched.Opt(refs, max_frames), opt_serial_naive)
+          << SweepEngineName(engine) << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(SweepEnginesTest, FingerprintIsStableAndSensitive) {
+  Trace t = RandomTrace(3, 800, 16);
+  std::vector<uint64_t> taus = {1, 10, 100};
+  std::vector<SweepPoint> points = OnePassWsSweep(t, taus);
+  uint64_t fp = FingerprintSweep(points);
+  EXPECT_EQ(fp, FingerprintSweep(OnePassWsSweep(t, taus)));  // deterministic
+  std::vector<SweepPoint> tweaked = points;
+  tweaked[1].faults += 1;
+  EXPECT_NE(fp, FingerprintSweep(tweaked));
+  EXPECT_NE(fp, FingerprintSweep({}));
+}
+
+TEST(SweepEnginesTest, EngineNames) {
+  EXPECT_STREQ(SweepEngineName(SweepEngine::kNaive), "naive");
+  EXPECT_STREQ(SweepEngineName(SweepEngine::kOnePass), "onepass");
+}
+
+}  // namespace
+}  // namespace cdmm

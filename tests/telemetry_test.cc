@@ -231,6 +231,9 @@ TEST(TelemetryNamesTest, ConventionAcceptsAndRejects) {
   EXPECT_EQ(TelemetryNameViolation("vm.fault_serviced"), "");
   EXPECT_EQ(TelemetryNameViolation("os.swap_retries_exhausted"), "");
   EXPECT_EQ(TelemetryNameViolation("exec.queue_depth_peak"), "");
+  EXPECT_EQ(TelemetryNameViolation("sweep.prepared_trace_built"), "");
+  EXPECT_EQ(TelemetryNameViolation("sweep.gap_histogram_built"), "");
+  EXPECT_EQ(TelemetryNameViolation("sweep.opt_points_computed"), "");
   EXPECT_NE(TelemetryNameViolation("faults"), "");               // no subsystem
   EXPECT_NE(TelemetryNameViolation("vm.faults"), "");            // single component
   EXPECT_NE(TelemetryNameViolation("vm.fault.serviced"), "");    // two dots

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Benchmark the one-pass sweep engines against the naive oracle.
+
+Runs `cdmmc builtin:<W> --sweep both` under both --sweep-engine values and
+--jobs 1 and 8, parses the per-sweep wall times cdmmc reports on stderr
+([sweep] input=... kind=... engine=... points=... wall_ms=...), checks that
+stdout (points + fingerprints) is byte-identical between engines, and writes
+BENCH_sweep.json.
+
+Acceptance gate: the one-pass WS engine must be at least --min-speedup
+(default 5x) faster than the naive per-tau sweep on CONDUCT at --jobs 1.
+
+Usage:
+  bench_sweep.py --cdmmc build/tools/cdmmc [--workloads CONDUCT,FDJAC,...]
+                 [--min-speedup 5.0] [--out BENCH_sweep.json]
+
+Exit: 0 when the gate passes (and all stdouts agree), 1 otherwise.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+
+ALL_WORKLOADS = ["MAIN", "FDJAC", "TQL", "FIELD", "INIT", "APPROX",
+                 "HYBRJ", "CONDUCT", "HWSCRT"]
+
+SWEEP_LINE = re.compile(
+    r"\[sweep\] input=(?P<input>\S+) kind=(?P<kind>\w+) engine=(?P<engine>\w+) "
+    r"points=(?P<points>\d+) wall_ms=(?P<wall_ms>[0-9.]+)")
+
+
+def run_sweep(cdmmc, workload, engine, jobs):
+    cmd = [cdmmc, f"builtin:{workload}", "--sweep", "both",
+           "--sweep-engine", engine, "--jobs", str(jobs)]
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    if result.returncode != 0:
+        print(f"FAILED ({result.returncode}): {' '.join(cmd)}\n{result.stderr}",
+              file=sys.stderr)
+        sys.exit(1)
+    wall = {}
+    for line in result.stderr.splitlines():
+        m = SWEEP_LINE.match(line)
+        if m:
+            wall[m.group("kind")] = float(m.group("wall_ms"))
+    if set(wall) != {"ws", "opt"}:
+        print(f"missing [sweep] stderr lines from: {' '.join(cmd)}", file=sys.stderr)
+        sys.exit(1)
+    return {"stdout": result.stdout, "wall_ms": wall}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cdmmc", default="build/tools/cdmmc")
+    parser.add_argument("--workloads", default=",".join(ALL_WORKLOADS))
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required onepass-vs-naive WS speedup on CONDUCT at --jobs 1")
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    args = parser.parse_args()
+    workloads = [w for w in args.workloads.split(",") if w]
+
+    rows = []
+    mismatches = []
+    for workload in workloads:
+        for jobs in (1, 8):
+            naive = run_sweep(args.cdmmc, workload, "naive", jobs)
+            onepass = run_sweep(args.cdmmc, workload, "onepass", jobs)
+            if naive["stdout"] != onepass["stdout"]:
+                mismatches.append(f"{workload} --jobs {jobs}")
+            row = {"workload": workload, "jobs": jobs}
+            for kind in ("ws", "opt"):
+                n, o = naive["wall_ms"][kind], onepass["wall_ms"][kind]
+                row[f"{kind}_naive_ms"] = n
+                row[f"{kind}_onepass_ms"] = o
+                row[f"{kind}_speedup"] = round(n / o, 2) if o > 0 else float("inf")
+            rows.append(row)
+            print(f"{workload:>8} --jobs {jobs}: "
+                  f"WS {row['ws_naive_ms']:.1f} -> {row['ws_onepass_ms']:.1f} ms "
+                  f"({row['ws_speedup']}x), "
+                  f"OPT {row['opt_naive_ms']:.1f} -> {row['opt_onepass_ms']:.1f} ms "
+                  f"({row['opt_speedup']}x)")
+
+    gate_row = next((r for r in rows if r["workload"] == "CONDUCT" and r["jobs"] == 1),
+                    None)
+    gate_speedup = gate_row["ws_speedup"] if gate_row else None
+    gate_ok = (not mismatches and gate_row is not None
+               and gate_speedup >= args.min_speedup)
+
+    report = {
+        "rows": rows,
+        "stdout_mismatches": mismatches,
+        "gate": {
+            "workload": "CONDUCT",
+            "kind": "ws",
+            "jobs": 1,
+            "min_speedup": args.min_speedup,
+            "speedup": gate_speedup,
+            "ok": gate_ok,
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    if mismatches:
+        print(f"FAIL: stdout differs between engines: {mismatches}", file=sys.stderr)
+        return 1
+    if gate_row is None:
+        print("FAIL: CONDUCT --jobs 1 not in the run set; gate not evaluated",
+              file=sys.stderr)
+        return 1
+    if gate_speedup < args.min_speedup:
+        print(f"FAIL: one-pass WS speedup on CONDUCT is {gate_speedup}x, "
+              f"below the {args.min_speedup}x gate", file=sys.stderr)
+        return 1
+    print(f"PASS: one-pass WS speedup on CONDUCT {gate_speedup}x "
+          f">= {args.min_speedup}x; stdout byte-identical on "
+          f"{len(rows)} engine pairs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
