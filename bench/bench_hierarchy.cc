@@ -1,0 +1,139 @@
+// Hierarchy bench: reproduces the CD-vs-LRU/WS comparison across N-level
+// hierarchy shapes and down the fault-penalty ladder (backing store at 2000,
+// 200 and 20 references). The question it answers for EXPERIMENTS.md: does
+// the compiler-directed advantage grow or shrink as faults get cheap?
+//
+// Usage: bench_hierarchy [--jobs N] [--json FILE]
+//
+// Every (workload, shape, policy, penalty) cell is one SweepScheduler task;
+// each cell owns its HierarchySpec and the engines are deterministic, so the
+// stdout is byte-identical at any --jobs (the CI golden diff relies on it).
+// --json FILE additionally writes the machine-readable BENCH_hierarchy.json.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+#include "src/exec/flags.h"
+#include "src/exec/sweep_scheduler.h"
+#include "src/support/str.h"
+#include "src/support/table.h"
+#include "src/telemetry/flags.h"
+#include "src/vm/hierarchy.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+// elapsed(baseline) / elapsed(cd): > 1 means CD finishes sooner.
+std::string Advantage(uint64_t baseline_elapsed, uint64_t cd_elapsed) {
+  if (cd_elapsed == 0) {
+    return "-";
+  }
+  double ratio = static_cast<double>(baseline_elapsed) / static_cast<double>(cd_elapsed);
+  return cdmm::StrCat(cdmm::FormatFixed(ratio, 3), "x");
+}
+
+void JsonLevels(std::ostream& os, const std::vector<cdmm::HierarchyLevelTraffic>& levels) {
+  os << "[";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const cdmm::HierarchyLevelTraffic& t = levels[i];
+    os << (i == 0 ? "" : ", ") << "{\"level\": \"" << t.level << "\", \"hits\": " << t.hits
+       << ", \"demotions_in\": " << t.demotions_in << ", \"evictions\": " << t.evictions
+       << ", \"service_ticks\": " << t.service_ticks << "}";
+  }
+  os << "]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_hierarchy");
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_hierarchy [--jobs N] [--json FILE]\n";
+      return 2;
+    }
+  }
+  cdmm::ThreadPool pool(jobs);
+  cdmm::SweepScheduler sched(&pool);
+
+  // sws/pff are excluded on purpose: their eviction order depends on
+  // unordered_map iteration, which would break the cross-stdlib golden diff.
+  const std::vector<std::string> workloads = {"FDJAC", "TQL", "CONDUCT"};
+  const std::vector<std::string> policies = {"cd-outer", "lru:16", "ws:2000"};
+  const std::vector<uint64_t> penalties = {2000, 200, 20};
+  const std::vector<std::string> shapes = {"dram-disk", "dram-nvm-disk", "dram-nvm-ssd-disk"};
+
+  std::cout << "CD vs LRU/WS across hierarchy shapes and the fault-penalty ladder\n"
+            << "shapes {" << cdmm::Join(shapes, ", ") << "}, backing store at {2000, 200, 20}\n"
+            << "=================================================================\n";
+
+  std::ostringstream json;
+  json << "{\n  \"penalties\": [2000, 200, 20],\n  \"rows\": [\n";
+  bool first_row = true;
+
+  for (const std::string& name : workloads) {
+    auto cp = cdmm::CompiledProgram::FromSource(cdmm::FindWorkload(name).source);
+    auto program = std::make_unique<cdmm::CompiledProgram>(std::move(cp).value());
+    std::shared_ptr<const cdmm::Trace> full = program->shared_trace();
+    std::shared_ptr<const cdmm::Trace> refs = program->shared_references();
+
+    for (const std::string& shape_name : shapes) {
+      cdmm::HierarchySpec shape = cdmm::HierarchySpec::Parse(shape_name).value();
+      std::vector<cdmm::HierarchyLadderCell> cells =
+          sched.HierarchyLadder(full, refs, shape, policies, penalties);
+      // Cells are policy-major: cells[p * penalties.size() + k].
+      auto cell = [&](size_t policy, size_t penalty) -> const cdmm::HierarchyLadderCell& {
+        return cells[policy * penalties.size() + penalty];
+      };
+
+      std::cout << "\n" << name << " on " << shape.ToString() << "\n";
+      cdmm::TextTable table({"penalty", "PF (CD)", "PF (LRU)", "PF (WS)", "elapsed (CD)",
+                             "elapsed (LRU)", "elapsed (WS)", "LRU/CD", "WS/CD"});
+      for (size_t k = 0; k < penalties.size(); ++k) {
+        const cdmm::SimResult& cd = cell(0, k).result;
+        const cdmm::SimResult& lru = cell(1, k).result;
+        const cdmm::SimResult& ws = cell(2, k).result;
+        table.AddRow({cdmm::StrCat(penalties[k]), cdmm::StrCat(cd.faults),
+                      cdmm::StrCat(lru.faults), cdmm::StrCat(ws.faults),
+                      cdmm::StrCat(cd.elapsed), cdmm::StrCat(lru.elapsed),
+                      cdmm::StrCat(ws.elapsed), Advantage(lru.elapsed, cd.elapsed),
+                      Advantage(ws.elapsed, cd.elapsed)});
+      }
+      table.Print(std::cout);
+
+      for (const cdmm::HierarchyLadderCell& c : cells) {
+        json << (first_row ? "" : ",\n") << "    {\"workload\": \"" << name
+             << "\", \"shape\": \"" << shape_name << "\", \"policy\": \"" << c.policy
+             << "\", \"penalty\": " << c.penalty << ", \"faults\": " << c.result.faults
+             << ", \"elapsed\": " << c.result.elapsed
+             << ", \"max_resident\": " << c.result.max_resident << ", \"levels\": ";
+        JsonLevels(json, c.result.hierarchy_levels);
+        json << "}";
+        first_row = false;
+      }
+    }
+  }
+  json << "\n  ]\n}\n";
+
+  std::cout << "\nadvantage columns are baseline elapsed over CD elapsed "
+               "(greater than 1 favours CD)\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << json.str();
+  }
+  return 0;
+}

@@ -35,6 +35,12 @@
 //   --page-size BYTES      page size (default 256)
 //   --element-size BYTES   array element size (default 4)
 //   --fault-service N      fault service time in references (default 2000)
+//   --hierarchy SPEC       simulate against an N-level hierarchy below RAM:
+//                          a preset (legacy | dram-disk | dram-nvm-disk |
+//                          dram-nvm-ssd-disk) or comma-separated levels of
+//                          name:capacity:latency[:policy], last capacity '*'
+//                          (unbounded backing store). Overrides
+//                          --fault-service; incompatible with --sweep
 //   --min-pages N          system-default minimum allocation (default 1)
 //   --no-locks             do not insert LOCK/UNLOCK directives
 //   --no-allocate          do not insert ALLOCATE directives
@@ -71,6 +77,7 @@
 #include "src/support/table.h"
 #include "src/telemetry/flags.h"
 #include "src/trace/trace_io.h"
+#include "src/vm/hierarchy.h"
 #include "src/vm/policy_spec.h"
 #include "src/vm/sweep_engines.h"
 #include "src/vm/working_set.h"
@@ -92,6 +99,7 @@ struct CliOptions {
   std::string trace_out;
   std::vector<std::string> simulate;
   std::string sweep;  // "", "ws", "opt", or "both"
+  std::string hierarchy_spec;
   PipelineOptions pipeline;
   SimOptions sim;
 
@@ -109,6 +117,7 @@ void PrintUsageLines(const char* argv0, std::ostream& os) {
         "            [--trace-in FILE] [--simulate SPEC]...\n"
         "            [--sweep ws|opt|both] [--sweep-engine naive|onepass]\n"
         "            [--page-size N] [--element-size N] [--fault-service N]\n"
+        "            [--hierarchy SPEC]\n"
         "            [--min-pages N] [--no-locks] [--no-allocate] [--jobs N]\n"
         "            [--inject-seed N] [--inject-rate X] [--deadline MS]\n"
         "            [--metrics[=text|json]] [--metrics-out FILE]\n"
@@ -138,6 +147,16 @@ int PrintHelp(const char* argv0, std::ostream& out) {
          "                         cross-validation oracle), onepass = whole curve\n"
          "                         from one scan (default). stdout is byte-identical\n"
          "                         under either engine at any --jobs\n"
+         "\n"
+         "hierarchy:\n"
+         "  --hierarchy SPEC       run --simulate policies against an N-level memory\n"
+         "                         hierarchy below the policy-managed frames. SPEC is a\n"
+         "                         preset (legacy, dram-disk, dram-nvm-disk,\n"
+         "                         dram-nvm-ssd-disk) or comma-separated levels of\n"
+         "                         name:capacity:latency[:lru|fifo]; the last level's\n"
+         "                         capacity must be '*' (unbounded backing store).\n"
+         "                         Level latencies replace --fault-service. Cannot be\n"
+         "                         combined with --sweep\n"
          "\n"
          "telemetry:\n"
          "  --metrics[=text|json]  print the metrics report to stdout after the run\n"
@@ -271,6 +290,9 @@ int RunFromTrace(const CliOptions& cli, const SweepScheduler& sched, std::ostrea
   Trace refs = full.ReferencesOnly();
   out << "trace " << full.name() << ": R=" << refs.reference_count() << " references, V="
       << full.virtual_pages() << " pages, " << full.directives().size() << " directives\n";
+  if (cli.sim.hierarchy != nullptr) {
+    out << "hierarchy: " << cli.sim.hierarchy->ToString() << "\n";
+  }
   if (!cli.sweep.empty()) {
     int code = RunSweeps(cli, sched, std::make_shared<const Trace>(refs), out, err);
     if (code != 0 || cli.simulate.empty()) {
@@ -363,6 +385,9 @@ int Run(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
     std::shared_ptr<const Trace> refs = cp.shared_references();
     out << "R=" << refs->reference_count() << " references, V=" << refs->virtual_pages()
         << " pages, fault service " << cli.sim.fault_service_time << "\n";
+    if (cli.sim.hierarchy != nullptr) {
+      out << "hierarchy: " << cli.sim.hierarchy->ToString() << "\n";
+    }
     TextTable table({"Policy", "PF", "MEM", "ST x1e6", "max resident"});
     int code = RunPolicies(cli, *full, *refs, sched, &table, err);
     if (code == 2) {
@@ -454,6 +479,8 @@ int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
           static_cast<uint32_t>(std::atoi(next()));
     } else if (arg == "--fault-service") {
       cli.sim.fault_service_time = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--hierarchy") {
+      cli.hierarchy_spec = next();
     } else if (arg == "--min-pages") {
       cli.pipeline.locality.min_default_pages = std::atoi(next());
     } else if (arg == "--no-locks") {
@@ -482,6 +509,23 @@ int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
   if (injector.enabled()) {
     cli.injector = &injector;
     cli.sim.injector = &injector;
+  }
+  // The parsed hierarchy spec lives here (same ownership pattern as the
+  // injector above); cli.sim carries only a pointer.
+  HierarchySpec hierarchy;
+  if (!cli.hierarchy_spec.empty()) {
+    if (!cli.sweep.empty()) {
+      err << "--hierarchy cannot be combined with --sweep\n";
+      return Usage(argv[0], err);
+    }
+    auto parsed = HierarchySpec::Parse(cli.hierarchy_spec);
+    if (!parsed.ok()) {
+      err << "bad --hierarchy '" << cli.hierarchy_spec
+          << "': " << parsed.error().message << "\n";
+      return Usage(argv[0], err);
+    }
+    hierarchy = std::move(parsed).value();
+    cli.sim.hierarchy = &hierarchy;
   }
   if (cli.trace_in.empty() && cli.input.empty()) {
     return Usage(argv[0], err);

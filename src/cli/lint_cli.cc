@@ -143,6 +143,20 @@ int LintTelemetryRegistry(const LintCliOptions& opt, std::ostream& out, std::ost
     RunPolicySpec(spec, *full, *refs, sim);
   }
 
+  // A multi-level run with migration injection, so every hierarchy.* name
+  // (fault routing, promotion/demotion, retries and drops) reaches the H003
+  // check below.
+  HierarchySpec hierarchy = HierarchySpec::Parse("nvm:16:60,ssd:32:400,disk:*:2000").value();
+  FaultInjectionConfig migration_config;
+  migration_config.seed = 7;
+  migration_config.migration_failure_rate = 0.5;
+  FaultInjector migration_injector(migration_config);
+  SimOptions hier_sim;
+  hier_sim.hierarchy = &hierarchy;
+  hier_sim.injector = &migration_injector;
+  RunPolicySpec("lru:16", *full, *refs, hier_sim);
+  RunPolicySpec("cd-outer", *full, *refs, hier_sim);
+
   ThreadPool pool(2);
   SweepScheduler sched(&pool);
   sched.Lru(refs, cp.value().virtual_pages(), sim);

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/support/check.h"
+#include "src/vm/policy_spec.h"
 #include "src/vm/working_set.h"
 
 namespace cdmm {
@@ -94,6 +95,39 @@ std::vector<SweepPoint> SweepScheduler::Opt(std::shared_ptr<const Trace> refs,
     points[i] = p;
   });
   return points;
+}
+
+std::vector<HierarchyLadderCell> SweepScheduler::HierarchyLadder(
+    std::shared_ptr<const Trace> full, std::shared_ptr<const Trace> refs,
+    const HierarchySpec& shape, const std::vector<std::string>& policies,
+    const std::vector<uint64_t>& penalties, const SimOptions& base) const {
+  CDMM_CHECK(full != nullptr && refs != nullptr);
+  // Materialise every cell (and its spec) before fanning out so the workers
+  // can point SimOptions::hierarchy at stable storage.
+  std::vector<HierarchyLadderCell> cells;
+  cells.reserve(policies.size() * penalties.size());
+  for (const std::string& policy : policies) {
+    for (uint64_t penalty : penalties) {
+      HierarchyLadderCell cell;
+      cell.policy = policy;
+      cell.penalty = penalty;
+      cell.spec = shape.WithBottomLatency(penalty);
+      cells.push_back(std::move(cell));
+    }
+  }
+  ParallelFor(pool_, cells.size(), [&](size_t i) {
+    HierarchyLadderCell& cell = cells[i];
+    SimOptions options = base;
+    // Keep the flat service time on the same rung so any policy parameter
+    // derived from it (e.g. vmin's default window) tracks the ladder.
+    options.fault_service_time = cell.penalty;
+    options.hierarchy = &cell.spec;
+    std::optional<SimResult> r = RunPolicySpec(cell.policy, *full, *refs, options);
+    CDMM_CHECK_MSG(r.has_value(), "unknown policy spec in HierarchyLadder");
+    cell.result = *std::move(r);
+    TELEM_COUNT("exec.hierarchy_cell_completed");
+  });
+  return cells;
 }
 
 }  // namespace cdmm

@@ -23,6 +23,7 @@
 #include "src/trace/prepared_trace.h"
 #include "src/trace/trace.h"
 #include "src/vm/fixed_alloc.h"
+#include "src/vm/hierarchy.h"
 #include "src/vm/sim_result.h"
 #include "src/vm/sweep_engines.h"
 
@@ -86,6 +87,15 @@ struct PartialSweep {
   std::vector<SweepItemFailure> failures;  // ascending by index
 
   bool complete() const { return failures.empty(); }
+};
+
+// One cell of SweepScheduler::HierarchyLadder: a policy spec simulated
+// against a hierarchy shape whose backing-store latency is `penalty`.
+struct HierarchyLadderCell {
+  std::string policy;    // the --simulate spec that ran
+  uint64_t penalty = 0;  // backing-store latency for this rung
+  HierarchySpec spec;    // the shape actually simulated
+  SimResult result;
 };
 
 // Knobs for SweepScheduler::MapPartial.
@@ -204,6 +214,17 @@ class SweepScheduler {
   std::vector<SweepPoint> Opt(std::shared_ptr<const Trace> refs, uint32_t max_frames,
                               const SimOptions& options = {},
                               std::shared_ptr<const PreparedTrace> prepared = nullptr) const;
+
+  // The fault-penalty ladder (ISSUE 6): every (policy spec, penalty) cell
+  // re-simulated against `shape` with the backing store's latency set to the
+  // rung's penalty, fanned over the pool in cell order. The result answers
+  // "does the CD advantage survive as the fault penalty drops 2000 -> 20?".
+  // `full` must carry directives when `policies` contains cd-* specs;
+  // policies must all be valid RunPolicySpec specs (checked).
+  std::vector<HierarchyLadderCell> HierarchyLadder(
+      std::shared_ptr<const Trace> full, std::shared_ptr<const Trace> refs,
+      const HierarchySpec& shape, const std::vector<std::string>& policies,
+      const std::vector<uint64_t>& penalties, const SimOptions& base = {}) const;
 
  private:
   ThreadPool* pool_;

@@ -12,6 +12,7 @@
 #include "src/telemetry/telemetry.h"
 #include "src/vm/cd_core.h"
 #include "src/vm/cd_policy.h"
+#include "src/vm/hierarchy.h"
 
 namespace cdmm {
 namespace {
@@ -29,8 +30,9 @@ struct WsState {
   std::deque<std::pair<uint64_t, PageId>> window;
   uint32_t size = 0;
 
-  // Expires pages that left the window; returns how many frames freed.
-  uint32_t Expire() {
+  // Expires pages that left the window; returns how many frames freed. When
+  // `victims` is non-null, the expired pages are appended (hierarchy demotion).
+  uint32_t Expire(std::vector<PageId>* victims = nullptr) {
     uint32_t freed = 0;
     while (!window.empty() && window.front().first + tau < vtime + 1) {
       auto [when, page] = window.front();
@@ -40,6 +42,9 @@ struct WsState {
         last_ref.erase(it);
         --size;
         ++freed;
+        if (victims != nullptr) {
+          victims->push_back(page);
+        }
       }
     }
     return freed;
@@ -81,6 +86,10 @@ struct Proc {
   uint32_t resume_grant = 0;    // grant to re-reserve when woken after swap-out
   OsProcessStats stats;
 
+  // Pages the core/ws evicted since the last drain, awaiting demotion into
+  // the shared hierarchy (unused when no hierarchy is configured).
+  std::vector<PageId> evictions;
+
   // Pool-accounting shadow of core->held(): frames currently reserved.
   uint32_t reserved = 0;
   // Lazy time-weighted integral of `reserved`.
@@ -97,6 +106,9 @@ class OsSimulator {
     if (injector_ != nullptr && !injector_->enabled()) {
       injector_ = nullptr;
     }
+    if (options.hierarchy != nullptr) {
+      hier_ = std::make_unique<HierarchyEngine>(*options.hierarchy, injector_);
+    }
     uint32_t partition =
         std::max<uint32_t>(1, options.total_frames / static_cast<uint32_t>(specs.size()));
     for (const OsProcessSpec& spec : specs) {
@@ -112,6 +124,9 @@ class OsSimulator {
         bool cd = mode == OsPolicyMode::kCd;
         uint32_t grant = cd ? std::max<uint32_t>(options.initial_allocation, 1) : partition;
         p->core = std::make_unique<CdCore>(grant, cd && options.honor_locks);
+        if (hier_ != nullptr) {
+          p->core->set_eviction_sink(&p->evictions);
+        }
         CDMM_CHECK_MSG(grant <= pool_free_, "initial allocations exceed the frame pool");
         p->reserved = p->core->held();
         pool_free_ -= p->reserved;
@@ -150,6 +165,9 @@ class OsSimulator {
         ++result.failed_processes;
       }
       result.processes.push_back(p->stats);
+    }
+    if (hier_ != nullptr) {
+      result.hierarchy_levels = hier_->Traffic();
     }
     return result;
   }
@@ -265,14 +283,38 @@ class OsSimulator {
     p.reserved = target;
   }
 
+  // Hierarchy key for a process's page: processes never share virtual pages,
+  // so pack the spec-order index above the 32-bit page id.
+  static uint64_t HierKey(const Proc& p, PageId page) {
+    return (static_cast<uint64_t>(p.index) << 32) | static_cast<uint64_t>(page);
+  }
+
   // Per-fault service time, perturbed by the injector when one is attached.
-  uint64_t ServiceTime(const Proc& p) const {
+  // With a hierarchy configured, the engine resolves the fault (promoting the
+  // page out of whatever level holds it) and its level latencies replace the
+  // flat `fault_service_time`.
+  uint64_t ServiceTime(const Proc& p, PageId page) {
+    // stats.faults was already incremented for the current fault.
+    if (hier_ != nullptr) {
+      return hier_->OnFault(HierKey(p, page), p.index, p.stats.faults - 1);
+    }
     uint64_t base = options_.fault_service_time;
     if (injector_ == nullptr) {
       return base;
     }
-    // stats.faults was already incremented for the current fault.
     return injector_->FaultServiceTime(p.index, p.stats.faults - 1, base);
+  }
+
+  // Demotes pages the process's core/ws released since the last drain into
+  // the shared hierarchy. No-op (and `evictions` stays empty) without one.
+  void DrainEvictions(Proc& p) {
+    if (hier_ == nullptr || p.evictions.empty()) {
+      return;
+    }
+    for (PageId page : p.evictions) {
+      hier_->OnEvict(HierKey(p, page));
+    }
+    p.evictions.clear();
   }
 
   // ---- Injected frame-pool pressure: a phantom process that reserves part
@@ -501,6 +543,7 @@ class OsSimulator {
       break;
     }
     Reserve(p, want);
+    DrainEvictions(p);
   }
 
   // Processes an ALLOCATE directive for `p`. Returns false if the process
@@ -622,10 +665,11 @@ class OsSimulator {
   // process stopped (suspended waiting for a frame, or page-waiting after a
   // fault); the cursor is only advanced when the reference executed.
   bool ExecuteWsRef(Proc& p, PageId page, uint64_t* executed) {
-    uint32_t freed = p.ws->Expire();
+    uint32_t freed = p.ws->Expire(hier_ != nullptr ? &p.evictions : nullptr);
     if (freed > 0) {
       Reserve(p, p.reserved - std::min(freed, p.reserved));
     }
+    DrainEvictions(p);
     bool fault = !p.ws->InSet(page);
     if (fault && pool_free_ == 0) {
       // Load control: free a frame by swapping a lower-priority process;
@@ -656,7 +700,7 @@ class OsSimulator {
       ++p.stats.faults;
       ++faults_total_;
       p.state = ProcState::kPageWait;
-      p.wake_at = clock_ + ServiceTime(p);
+      p.wake_at = clock_ + ServiceTime(p, page);
       WakeExpired();
       return false;
     }
@@ -728,7 +772,7 @@ class OsSimulator {
             ++faults_total_;
             SyncHeld(p);  // a pre-locked page may have faulted in
             p.state = ProcState::kPageWait;
-            p.wake_at = clock_ + ServiceTime(p);
+            p.wake_at = clock_ + ServiceTime(p, e.value);
             WakeExpired();
             return;
           }
@@ -742,6 +786,7 @@ class OsSimulator {
   OsOptions options_;
   OsPolicyMode mode_;
   const FaultInjector* injector_;
+  std::unique_ptr<HierarchyEngine> hier_;  // shared by all processes
   std::vector<std::unique_ptr<Proc>> procs_;
   uint32_t pool_free_;
   uint64_t clock_ = 0;

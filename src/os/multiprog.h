@@ -26,8 +26,11 @@
 #include "src/robust/fault_injector.h"
 #include "src/support/result.h"
 #include "src/trace/trace.h"
+#include "src/vm/sim_result.h"
 
 namespace cdmm {
+
+class HierarchySpec;
 
 struct OsProcessSpec {
   std::string name;
@@ -50,6 +53,13 @@ struct OsOptions {
 
   // Optional deterministic fault injection (null = nominal behaviour).
   const FaultInjector* injector = nullptr;
+
+  // Optional N-level hierarchy below the frame pool (null = the classic flat
+  // `fault_service_time` backing store). When set, the spec's level latencies
+  // are authoritative for fault service and `fault_service_time` is ignored;
+  // all processes share one hierarchy, keyed by (process, page), with each
+  // process's spec-order index as its injection stream. Must outlive the run.
+  const HierarchySpec* hierarchy = nullptr;
 
   // Thrashing detector + load control. Evaluated on windows of
   // `thrash_window` ticks: when CPU utilisation falls below `thrash_cpu_low`
@@ -97,6 +107,10 @@ struct OsRunResult {
   uint64_t swap_device_failures = 0;   // transient attempts that failed
   uint64_t swap_retries_exhausted = 0; // swaps abandoned after max retries
   uint32_t phantom_peak_frames = 0;    // largest injected pressure spike
+
+  // Per-level traffic for the shared hierarchy; empty when OsOptions::hierarchy
+  // is null.
+  std::vector<HierarchyLevelTraffic> hierarchy_levels;
 };
 
 // Runs the CD-managed multiprogramming simulation to completion of every

@@ -19,6 +19,7 @@ enum Site : uint64_t {
   kSitePressureSize = 0x56,
   kSiteStall = 0x57,
   kSitePoison = 0x58,
+  kSiteMigration = 0x59,
 };
 
 }  // namespace
@@ -35,6 +36,7 @@ FaultInjectionConfig FaultInjectionConfig::AtIntensity(uint64_t seed, double int
   config.pressure_max_fraction = 0.3 * intensity;
   config.stall_rate = 0.1 * intensity;
   config.poison_rate = 0.1 * intensity;
+  config.migration_failure_rate = 0.25 * intensity;
   return config;
 }
 
@@ -127,6 +129,15 @@ bool FaultInjector::PoisonsSweepItem(uint64_t index) const {
   bool poisons = UnitAt(kSitePoison, index, 0) < config_.poison_rate;
   if (poisons) TELEM_COUNT("robust.sweep_poison_injected");
   return poisons;
+}
+
+bool FaultInjector::MigrationAttemptFails(uint64_t attempt) const {
+  if (!enabled() || config_.migration_failure_rate <= 0.0) {
+    return false;
+  }
+  bool fails = UnitAt(kSiteMigration, attempt, 0) < config_.migration_failure_rate;
+  if (fails) TELEM_COUNT("robust.migration_attempt_failed");
+  return fails;
 }
 
 }  // namespace cdmm

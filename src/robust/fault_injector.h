@@ -51,6 +51,16 @@ struct FaultInjectionConfig {
   double stall_rate = 0.0;
   double poison_rate = 0.0;
 
+  // Probability that one hierarchy migration attempt (a promotion retry gate
+  // or a demotion into an intermediate level) fails transiently. A failed
+  // promotion re-pays the servicing level's latency, up to
+  // max_migration_retries extra rounds; a failed demotion drops the page one
+  // level further toward the backing store (which never fails). Only
+  // consulted when a HierarchySpec with intermediate levels is active, so
+  // legacy runs are untouched by these knobs.
+  double migration_failure_rate = 0.0;
+  int max_migration_retries = 3;
+
   bool enabled() const { return seed != 0; }
 
   // A config whose rates all scale with `intensity` in [0, 1] — the knob
@@ -90,6 +100,10 @@ class FaultInjector {
   // Sweep-item pathologies.
   bool StallsSweepItem(uint64_t index) const;
   bool PoisonsSweepItem(uint64_t index) const;
+
+  // Whether the `attempt`-th hierarchy migration attempt (a per-engine
+  // sequence number) fails transiently.
+  bool MigrationAttemptFails(uint64_t attempt) const;
 
  private:
   // Uniform double in [0, 1), fully determined by (seed, site, a, b).

@@ -125,6 +125,9 @@ void CdCore::Remove(PageId page) {
   CDMM_CHECK(it != where_.end());
   lru_.erase(it->second);
   where_.erase(it);
+  if (eviction_sink_ != nullptr) {
+    eviction_sink_->push_back(page);
+  }
 }
 
 }  // namespace cdmm

@@ -48,6 +48,12 @@ class CdCore {
   // multiprogrammed OS under direct pool pressure.
   bool SoftReleaseLock() { return ReleaseOneLock(); }
 
+  // Optional eviction sink for the hierarchy engine: every true eviction
+  // (an unlocked-LRU victim or a soft-released lock) appends its page here,
+  // in eviction order. DropAll (swap-out) bypasses the sink on purpose — a
+  // swapped-out set returns to the backing store, not the next level down.
+  void set_eviction_sink(std::vector<PageId>* sink) { eviction_sink_ = sink; }
+
   uint32_t grant() const { return grant_; }
   uint32_t resident() const { return static_cast<uint32_t>(where_.size()); }
   uint32_t locked_resident() const { return locked_resident_; }
@@ -68,6 +74,7 @@ class CdCore {
   std::unordered_map<PageId, std::list<PageId>::iterator> where_;
   std::map<PageId, uint16_t> locked_;  // page -> PJ
   uint32_t locked_resident_ = 0;
+  std::vector<PageId>* eviction_sink_ = nullptr;
 };
 
 }  // namespace cdmm

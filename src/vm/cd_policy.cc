@@ -6,6 +6,7 @@
 #include "src/support/str.h"
 #include "src/telemetry/telemetry.h"
 #include "src/vm/cd_core.h"
+#include "src/vm/hierarchy.h"
 
 namespace cdmm {
 
@@ -60,6 +61,22 @@ SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* in
   uint64_t swap_requests = 0;
   double ref_integral = 0.0;
   uint64_t service_total = 0;
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options.sim);
+  std::vector<PageId> evicted;
+  if (hier != nullptr) {
+    core.set_eviction_sink(&evicted);
+  }
+  // Demote the core's evictions after each event, once the faulting page (if
+  // any) has been promoted out of the levels below.
+  auto drain_evictions = [&]() {
+    if (hier == nullptr) {
+      return;
+    }
+    for (PageId p : evicted) {
+      hier->OnEvict(p);
+    }
+    evicted.clear();
+  };
 
   auto process = [&](const DirectiveRecord& d) {
     ++result.directives_processed;
@@ -132,17 +149,21 @@ SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* in
         ++result.references;
         result.max_resident = std::max(result.max_resident, core.resident());
         if (fault) {
-          uint64_t cost = FaultServiceCost(options.sim, result.faults - 1);
+          uint64_t cost = hier != nullptr
+                              ? hier->OnFault(e.value, 0, result.faults - 1)
+                              : FaultServiceCost(options.sim, result.faults - 1);
           service_total += cost;
           TELEM_COUNT("vm.fault_serviced");
           TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
         }
+        drain_evictions();
         result.elapsed += 1;
         ref_integral += static_cast<double>(core.held());
         break;
       }
       case TraceEvent::Kind::kDirective:
         process(trace.directive(e.value));
+        drain_evictions();
         break;
       case TraceEvent::Kind::kLoopEnter:
       case TraceEvent::Kind::kLoopExit:
@@ -153,6 +174,9 @@ SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* in
   result.mean_memory =
       result.references == 0 ? 0.0 : ref_integral / static_cast<double>(result.references);
   result.space_time = ref_integral + static_cast<double>(service_total);
+  if (hier != nullptr) {
+    result.hierarchy_levels = hier->Traffic();
+  }
   if (info != nullptr) {
     info->swap_requests = swap_requests;
   }

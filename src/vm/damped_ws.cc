@@ -7,6 +7,7 @@
 #include "src/support/check.h"
 #include "src/support/str.h"
 #include "src/telemetry/telemetry.h"
+#include "src/vm/hierarchy.h"
 
 namespace cdmm {
 
@@ -27,6 +28,7 @@ SimResult SimulateDampedWs(const Trace& trace, const DampedWsParams& params,
   uint64_t next_release = params.release_interval;
   double ref_integral = 0.0;
   uint64_t service_total = 0;
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
 
   for (const TraceEvent& e : trace.events()) {
     if (e.kind != TraceEvent::Kind::kRef) {
@@ -58,6 +60,9 @@ SimResult SimulateDampedWs(const Trace& trace, const DampedWsParams& params,
           resident[victim] = false;
           --resident_count;
           TELEM_COUNT("vm.dws_page_released");
+          if (hier != nullptr) {
+            hier->OnEvict(victim);
+          }
         }
         break;
       }
@@ -75,7 +80,8 @@ SimResult SimulateDampedWs(const Trace& trace, const DampedWsParams& params,
     result.max_resident = std::max<uint32_t>(result.max_resident,
                                              static_cast<uint32_t>(resident_count));
     if (fault) {
-      uint64_t cost = FaultServiceCost(options, result.faults - 1);
+      uint64_t cost = hier != nullptr ? hier->OnFault(page, 0, result.faults - 1)
+                                      : FaultServiceCost(options, result.faults - 1);
       service_total += cost;
       TELEM_COUNT("vm.fault_serviced");
       TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
@@ -87,6 +93,9 @@ SimResult SimulateDampedWs(const Trace& trace, const DampedWsParams& params,
   result.references = t;
   result.mean_memory = t == 0 ? 0.0 : ref_integral / static_cast<double>(t);
   result.space_time = ref_integral + static_cast<double>(service_total);
+  if (hier != nullptr) {
+    result.hierarchy_levels = hier->Traffic();
+  }
   return result;
 }
 

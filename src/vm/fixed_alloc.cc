@@ -12,6 +12,7 @@
 #include "src/support/check.h"
 #include "src/support/str.h"
 #include "src/telemetry/telemetry.h"
+#include "src/vm/hierarchy.h"
 
 namespace cdmm {
 
@@ -30,14 +31,15 @@ const char* ReplacementName(Replacement r) {
 namespace {
 
 // Shared accounting: every reference costs 1 unit, every fault adds the
-// service time; held memory is the constant partition size.
+// service time; held memory is the constant partition size. Without a
+// hierarchy engine `service_total` is the closed-form TotalFaultServiceCost;
+// with one it is the per-fault accumulation over the engine's level hits.
 SimResult Finish(uint64_t references, uint32_t frames, Replacement replacement, uint64_t faults,
-                 uint32_t max_resident, const SimOptions& options) {
+                 uint32_t max_resident, uint64_t service_total, const HierarchyEngine* hier) {
   SimResult result;
   result.policy = StrCat(ReplacementName(replacement), "(m=", frames, ")");
   result.references = references;
   result.faults = faults;
-  uint64_t service_total = TotalFaultServiceCost(options, faults);
   result.elapsed = result.references + service_total;
   result.mean_memory = frames;
   // Space-time: memory held over the reference string plus one frame held
@@ -45,6 +47,9 @@ SimResult Finish(uint64_t references, uint32_t frames, Replacement replacement, 
   result.space_time = static_cast<double>(frames) * static_cast<double>(result.references) +
                       static_cast<double>(service_total);
   result.max_resident = max_resident;
+  if (hier != nullptr) {
+    result.hierarchy_levels = hier->Traffic();
+  }
   return result;
 }
 
@@ -56,6 +61,8 @@ SimResult SimulateLru(const std::vector<PageId>& refs, uint32_t virtual_pages, u
   std::list<PageId> stack;
   std::unordered_map<PageId, std::list<PageId>::iterator> where;
   where.reserve(virtual_pages);
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
+  uint64_t service_total = 0;
   uint64_t faults = 0;
   uint32_t max_resident = 0;
   for (PageId page : refs) {
@@ -65,24 +72,36 @@ SimResult SimulateLru(const std::vector<PageId>& refs, uint32_t virtual_pages, u
     } else {
       ++faults;
       TELEM_COUNT("vm.fault_serviced");
+      if (hier != nullptr) {
+        service_total += hier->OnFault(page, 0, faults - 1);
+      }
       if (where.size() == frames) {
         PageId victim = stack.back();
         stack.pop_back();
         where.erase(victim);
         TELEM_COUNT("vm.page_evicted");
+        if (hier != nullptr) {
+          hier->OnEvict(victim);
+        }
       }
       stack.push_front(page);
       where[page] = stack.begin();
       max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(where.size()));
     }
   }
-  return Finish(refs.size(), frames, Replacement::kLru, faults, max_resident, options);
+  if (hier == nullptr) {
+    service_total = TotalFaultServiceCost(options, faults);
+  }
+  return Finish(refs.size(), frames, Replacement::kLru, faults, max_resident, service_total,
+                hier.get());
 }
 
 SimResult SimulateFifo(const std::vector<PageId>& refs, uint32_t frames,
                        const SimOptions& options) {
   std::deque<PageId> queue;
   std::set<PageId> resident;
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
+  uint64_t service_total = 0;
   uint64_t faults = 0;
   uint32_t max_resident = 0;
   for (PageId page : refs) {
@@ -91,17 +110,27 @@ SimResult SimulateFifo(const std::vector<PageId>& refs, uint32_t frames,
     }
     ++faults;
     TELEM_COUNT("vm.fault_serviced");
+    if (hier != nullptr) {
+      service_total += hier->OnFault(page, 0, faults - 1);
+    }
     if (resident.size() == frames) {
       PageId victim = queue.front();
       queue.pop_front();
       resident.erase(victim);
       TELEM_COUNT("vm.page_evicted");
+      if (hier != nullptr) {
+        hier->OnEvict(victim);
+      }
     }
     queue.push_back(page);
     resident.insert(page);
     max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(resident.size()));
   }
-  return Finish(refs.size(), frames, Replacement::kFifo, faults, max_resident, options);
+  if (hier == nullptr) {
+    service_total = TotalFaultServiceCost(options, faults);
+  }
+  return Finish(refs.size(), frames, Replacement::kFifo, faults, max_resident, service_total,
+                hier.get());
 }
 
 SimResult SimulateOpt(const PreparedTrace& prepared, uint32_t frames, const SimOptions& options) {
@@ -114,6 +143,8 @@ SimResult SimulateOpt(const PreparedTrace& prepared, uint32_t frames, const SimO
   std::set<std::pair<uint64_t, PageId>> by_next_use;
   std::unordered_map<PageId, uint64_t> resident_next;  // page -> its key
   resident_next.reserve(frames + 1);
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
+  uint64_t service_total = 0;
   uint64_t faults = 0;
   uint32_t max_resident = 0;
 
@@ -130,18 +161,29 @@ SimResult SimulateOpt(const PreparedTrace& prepared, uint32_t frames, const SimO
     } else {
       ++faults;
       TELEM_COUNT("vm.fault_serviced");
+      if (hier != nullptr) {
+        service_total += hier->OnFault(page, 0, faults - 1);
+      }
       if (resident_next.size() == frames) {
         auto victim = std::prev(by_next_use.end());
-        resident_next.erase(victim->second);
+        PageId victim_page = victim->second;
+        resident_next.erase(victim_page);
         by_next_use.erase(victim);
         TELEM_COUNT("vm.page_evicted");
+        if (hier != nullptr) {
+          hier->OnEvict(victim_page);
+        }
       }
     }
     resident_next[page] = next;
     by_next_use.insert(key_of(next, page));
     max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(resident_next.size()));
   }
-  return Finish(prepared.size(), frames, Replacement::kOpt, faults, max_resident, options);
+  if (hier == nullptr) {
+    service_total = TotalFaultServiceCost(options, faults);
+  }
+  return Finish(prepared.size(), frames, Replacement::kOpt, faults, max_resident, service_total,
+                hier.get());
 }
 
 }  // namespace

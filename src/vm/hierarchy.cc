@@ -1,0 +1,281 @@
+#include "src/vm/hierarchy.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
+
+namespace cdmm {
+namespace {
+
+bool IsLowerWord(const std::string& s) {
+  if (s.empty() || std::islower(static_cast<unsigned char>(s[0])) == 0) {
+    return false;
+  }
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::islower(u) == 0 && std::isdigit(u) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+// Parses a non-negative decimal integer; returns false on junk.
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+Error SpecError(const std::string& text, const std::string& why) {
+  return Error{StrCat("bad hierarchy spec '", text, "': ", why), {}};
+}
+
+}  // namespace
+
+const char* LevelPolicyName(LevelPolicy p) {
+  switch (p) {
+    case LevelPolicy::kLru:
+      return "lru";
+    case LevelPolicy::kFifo:
+      return "fifo";
+  }
+  return "?";
+}
+
+HierarchySpec HierarchySpec::Legacy(uint64_t service) {
+  HierarchySpec spec;
+  spec.levels.push_back(HierarchyLevel{"disk", 0, std::max<uint64_t>(service, 1),
+                                       LevelPolicy::kLru});
+  return spec;
+}
+
+const std::vector<std::pair<std::string, std::string>>& HierarchySpec::Presets() {
+  static const auto* presets = new std::vector<std::pair<std::string, std::string>>{
+      {"legacy", "disk:*:2000"},
+      {"dram-disk", "disk:*:2000"},
+      {"dram-nvm-disk", "nvm:512:60,disk:*:2000"},
+      {"dram-nvm-ssd-disk", "nvm:512:60,ssd:4096:400,disk:*:2000"},
+  };
+  return *presets;
+}
+
+Result<HierarchySpec> HierarchySpec::Parse(const std::string& text) {
+  for (const auto& [name, spec] : Presets()) {
+    if (text == name) {
+      return Parse(spec);
+    }
+  }
+  HierarchySpec spec;
+  for (const std::string& segment : SplitOn(text, ',')) {
+    std::vector<std::string> fields = SplitOn(segment, ':');
+    if (fields.size() < 3 || fields.size() > 4) {
+      return SpecError(text, StrCat("level '", segment,
+                                    "' wants name:capacity:latency[:lru|fifo]"));
+    }
+    HierarchyLevel level;
+    level.name = fields[0];
+    if (!IsLowerWord(level.name)) {
+      return SpecError(text, StrCat("level name '", fields[0],
+                                    "' must be lowercase alphanumeric"));
+    }
+    if (fields[1] == "*") {
+      level.capacity = 0;
+    } else {
+      uint64_t capacity = 0;
+      if (!ParseU64(fields[1], &capacity) || capacity == 0 || capacity > UINT32_MAX) {
+        return SpecError(text, StrCat("capacity '", fields[1],
+                                      "' must be a positive frame count or '*'"));
+      }
+      level.capacity = static_cast<uint32_t>(capacity);
+    }
+    if (!ParseU64(fields[2], &level.latency) || level.latency == 0) {
+      return SpecError(text, StrCat("latency '", fields[2],
+                                    "' must be a positive reference count"));
+    }
+    if (fields.size() == 4) {
+      if (fields[3] == "lru") {
+        level.policy = LevelPolicy::kLru;
+      } else if (fields[3] == "fifo") {
+        level.policy = LevelPolicy::kFifo;
+      } else {
+        return SpecError(text, StrCat("policy '", fields[3], "' must be lru or fifo"));
+      }
+    }
+    spec.levels.push_back(std::move(level));
+  }
+  for (size_t i = 0; i + 1 < spec.levels.size(); ++i) {
+    if (spec.levels[i].capacity == 0) {
+      return SpecError(text, StrCat("only the last level may be unbounded, not '",
+                                    spec.levels[i].name, "'"));
+    }
+  }
+  if (spec.levels.back().capacity != 0) {
+    return SpecError(text, "the last level (the backing store) must have capacity '*'");
+  }
+  return spec;
+}
+
+HierarchySpec HierarchySpec::WithBottomLatency(uint64_t latency) const {
+  CDMM_CHECK(latency >= 1);
+  HierarchySpec copy = *this;
+  copy.levels.back().latency = latency;
+  return copy;
+}
+
+std::string HierarchySpec::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(levels.size());
+  for (const HierarchyLevel& level : levels) {
+    std::string capacity = level.capacity == 0 ? "*" : StrCat(level.capacity);
+    std::string segment = StrCat(level.name, ":", capacity, ":", level.latency);
+    if (level.policy != LevelPolicy::kLru) {
+      segment = StrCat(segment, ":", LevelPolicyName(level.policy));
+    }
+    parts.push_back(std::move(segment));
+  }
+  return Join(parts, ",");
+}
+
+HierarchyEngine::HierarchyEngine(const HierarchySpec& spec, const FaultInjector* injector)
+    : injector_(injector) {
+  CDMM_CHECK_MSG(!spec.levels.empty(), "hierarchy needs at least a backing store");
+  CDMM_CHECK_MSG(spec.levels.back().capacity == 0, "the backing store must be unbounded");
+  inter_.reserve(spec.levels.size() - 1);
+  for (size_t i = 0; i + 1 < spec.levels.size(); ++i) {
+    Level level;
+    level.spec = spec.levels[i];
+    level.traffic.level = spec.levels[i].name;
+    inter_.push_back(std::move(level));
+  }
+  bottom_.level = spec.levels.back().name;
+  bottom_latency_ = std::max<uint64_t>(spec.levels.back().latency, 1);
+}
+
+uint64_t HierarchyEngine::OnFault(uint64_t key, uint64_t stream, uint64_t fault_index) {
+  size_t hit = inter_.size();  // default: the backing store
+  for (size_t i = 0; i < inter_.size(); ++i) {
+    auto it = inter_[i].where.find(key);
+    if (it != inter_[i].where.end()) {
+      inter_[i].order.erase(it->second);
+      inter_[i].where.erase(it);
+      hit = i;
+      break;
+    }
+  }
+  uint64_t base = hit < inter_.size() ? inter_[hit].spec.latency : bottom_latency_;
+  uint64_t cost = base;
+  HierarchyLevelTraffic& traffic = hit < inter_.size() ? inter_[hit].traffic : bottom_;
+  if (hit < inter_.size()) {
+    TELEM_COUNT("hierarchy.page_promoted");
+    if (injector_ != nullptr) {
+      // Transient promotion failures: each failed attempt re-pays the level's
+      // service latency, bounded by the retry budget (the backing copy always
+      // succeeds eventually, so the fault never fails outright).
+      int budget = std::max(injector_->config().max_migration_retries, 0);
+      for (int attempt = 0; attempt < budget; ++attempt) {
+        if (!injector_->MigrationAttemptFails(migration_seq_++)) {
+          break;
+        }
+        cost += base;
+        ++traffic.migration_retries;
+        TELEM_COUNT("hierarchy.migration_retried");
+      }
+    }
+  }
+  // The same perturbation the legacy path applies to its flat service time;
+  // with a degenerate spec (no intermediate levels) `cost == bottom latency`
+  // and this is exactly FaultServiceCost.
+  uint64_t service = injector_ != nullptr
+                         ? injector_->FaultServiceTime(stream, fault_index, cost)
+                         : cost;
+  ++traffic.hits;
+  traffic.service_ticks += service;
+  TELEM_COUNT("hierarchy.fault_routed");
+  TELEM_HIST("hierarchy.hit_depth", telem::BucketSpec::Linear(1, 8), hit + 1);
+  TELEM_HIST("hierarchy.service_ticks", telem::BucketSpec::PowersOfTwo(24), service);
+  return service;
+}
+
+void HierarchyEngine::OnEvict(uint64_t key) {
+  uint64_t moving = key;
+  for (Level& level : inter_) {
+    if (injector_ != nullptr && injector_->MigrationAttemptFails(migration_seq_++)) {
+      // Demotion failed transiently: the page falls past this level. The
+      // backing store still holds every page, so no data is lost — this
+      // level just misses a cache copy it would otherwise have had.
+      ++level.traffic.demotion_drops;
+      TELEM_COUNT("hierarchy.demotion_dropped");
+      continue;
+    }
+    auto it = level.where.find(moving);
+    if (it != level.where.end()) {
+      // Defensive: exclusivity means a demoted page is never already cached
+      // here, but a duplicate must not inflate the level's size.
+      level.order.erase(it->second);
+      level.where.erase(it);
+    }
+    level.order.push_front(moving);
+    level.where[moving] = level.order.begin();
+    ++level.traffic.demotions_in;
+    TELEM_COUNT("hierarchy.page_demoted");
+    if (level.where.size() <= level.spec.capacity) {
+      return;
+    }
+    // Overflow: push the stalest entry down. Entries are never re-referenced
+    // in place (a hit removes them), so insertion order is recency order and
+    // LRU/FIFO victim selection coincide.
+    moving = level.order.back();
+    level.order.pop_back();
+    level.where.erase(moving);
+    ++level.traffic.evictions;
+  }
+  // Fell past the last intermediate level: the page now lives only in the
+  // backing store, which needs no per-page state.
+}
+
+std::vector<HierarchyLevelTraffic> HierarchyEngine::Traffic() const {
+  std::vector<HierarchyLevelTraffic> traffic;
+  traffic.reserve(inter_.size() + 1);
+  for (const Level& level : inter_) {
+    traffic.push_back(level.traffic);
+  }
+  traffic.push_back(bottom_);
+  return traffic;
+}
+
+std::unique_ptr<HierarchyEngine> MakeHierarchyEngine(const SimOptions& options) {
+  if (options.hierarchy == nullptr) {
+    return nullptr;
+  }
+  return std::make_unique<HierarchyEngine>(*options.hierarchy, options.injector);
+}
+
+}  // namespace cdmm

@@ -1,0 +1,136 @@
+// N-level memory hierarchy for every policy simulator (ROADMAP item 3).
+//
+// A HierarchySpec describes the storage levels *below* the policy-managed
+// RAM, ordered fast-to-slow; the last level is the unbounded backing store
+// (the classic swap disk). The RAM level itself — its capacity and its
+// management policy (LRU/FIFO/OPT/WS/CD/...) — stays exactly where it always
+// was: in the policy simulator driven by `--simulate`, so any existing policy
+// composes with any hierarchy shape.
+//
+// Semantics (exclusive victim caches):
+//  - A page evicted from RAM is demoted into the first level below; a level
+//    over capacity pushes its stalest entry one level further down, and a
+//    page falling off the last intermediate level simply lives in the
+//    backing store (which needs no state).
+//  - A fault is serviced by the highest level currently holding the page;
+//    the page is promoted out of that level (exclusivity) and the fault
+//    costs that level's service latency.
+//  - Levels hold only demoted pages, and a hit removes the page, so the
+//    insertion order is the recency order: LRU and FIFO victim selection
+//    coincide for intermediate levels. The per-level `policy` field is kept
+//    (and surfaced by ToString) for the spec grammar; the distinction is
+//    meaningful only for the RAM level, which `--simulate` controls.
+//
+// Degenerate case (a single level, i.e. the legacy RAM/disk machine):
+// OnFault returns exactly FaultServiceCost's value — same injector call,
+// same stream, same fault index, same base — and OnEvict is a no-op, which
+// is what makes the differential-oracle suite (tests/hierarchy_test.cc)
+// bit-for-bit rather than approximately equal.
+#ifndef CDMM_SRC_VM_HIERARCHY_H_
+#define CDMM_SRC_VM_HIERARCHY_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/robust/fault_injector.h"
+#include "src/support/result.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+// Victim order of an intermediate level (see the header comment: the two
+// coincide below RAM; the field exists so specs read naturally).
+enum class LevelPolicy : uint8_t { kLru, kFifo };
+
+const char* LevelPolicyName(LevelPolicy p);
+
+struct HierarchyLevel {
+  std::string name;       // "nvm", "ssd", "disk", ...
+  uint32_t capacity = 0;  // frames; 0 = unbounded (only legal for the last level)
+  uint64_t latency = 1;   // service time in references when a fault lands here
+  LevelPolicy policy = LevelPolicy::kLru;
+
+  friend bool operator==(const HierarchyLevel&, const HierarchyLevel&) = default;
+};
+
+class HierarchySpec {
+ public:
+  // The levels below RAM, fast to slow; back() is the backing store.
+  std::vector<HierarchyLevel> levels;
+
+  // The legacy two-level machine: one unbounded "disk" at `service` refs.
+  static HierarchySpec Legacy(uint64_t service = 2000);
+
+  // Parses "name:capacity:latency[:lru|fifo],..." (capacity '*' = unbounded,
+  // last level only) or one of the preset names from Presets().
+  static Result<HierarchySpec> Parse(const std::string& text);
+
+  // Named shapes for --hierarchy and bench_hierarchy: "legacy"/"dram-disk",
+  // "dram-nvm-disk", "dram-nvm-ssd-disk". Each pair is (name, spec string).
+  static const std::vector<std::pair<std::string, std::string>>& Presets();
+
+  // Same shape with the backing store's latency replaced — the fault-penalty
+  // ladder knob (2000 -> 200 -> 20).
+  HierarchySpec WithBottomLatency(uint64_t latency) const;
+
+  // Single boundary: behaves exactly like the legacy RAM/disk simulators.
+  bool degenerate() const { return levels.size() == 1; }
+
+  uint64_t bottom_latency() const { return levels.back().latency; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const HierarchySpec&, const HierarchySpec&) = default;
+};
+
+// Per-run migration/service state for one hierarchy. Keys are opaque 64-bit
+// page identities (the uniprogrammed simulators pass the PageId; the
+// multiprogrammed OS packs (process index, page) so one shared hierarchy
+// serves the whole mix).
+class HierarchyEngine {
+ public:
+  HierarchyEngine(const HierarchySpec& spec, const FaultInjector* injector);
+
+  // Services the `fault_index`-th fault of `stream`: finds `key` in the
+  // highest level holding it, promotes it out, and returns the fault's
+  // service time — the servicing level's latency, plus one extra round per
+  // injected transient promotion failure, perturbed by the injector exactly
+  // as FaultServiceCost perturbs the legacy service time.
+  uint64_t OnFault(uint64_t key, uint64_t stream, uint64_t fault_index);
+
+  // RAM evicted `key`: demote it into the first level below, cascading
+  // overflow victims downward. Injected transient demotion failures drop the
+  // page one level further (toward the backing store) instead of retrying —
+  // losing a cache copy is safe, losing the backing copy never happens.
+  void OnEvict(uint64_t key);
+
+  // Per-level counters in spec order (the backing store is the last entry).
+  std::vector<HierarchyLevelTraffic> Traffic() const;
+
+ private:
+  struct Level {
+    HierarchyLevel spec;
+    std::list<uint64_t> order;  // front = most recently inserted
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> where;
+    HierarchyLevelTraffic traffic;
+  };
+
+  const FaultInjector* injector_;
+  std::vector<Level> inter_;           // spec.levels minus the backing store
+  HierarchyLevelTraffic bottom_;       // backing-store counters
+  uint64_t bottom_latency_;
+  uint64_t migration_seq_ = 0;         // injector key for migration attempts
+};
+
+// Engine factory the simulators share: null unless `options` carry a
+// hierarchy, so the legacy code path stays literally untouched when the
+// feature is off.
+std::unique_ptr<HierarchyEngine> MakeHierarchyEngine(const SimOptions& options);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_HIERARCHY_H_

@@ -6,6 +6,7 @@
 #include "src/support/check.h"
 #include "src/support/str.h"
 #include "src/telemetry/telemetry.h"
+#include "src/vm/hierarchy.h"
 
 namespace cdmm {
 
@@ -25,6 +26,7 @@ SimResult SimulatePff(const Trace& trace, uint64_t critical_interval, const SimO
   uint64_t last_fault_time = 0;
   double ref_integral = 0.0;
   uint64_t service_total = 0;
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
 
   for (const TraceEvent& e : trace.events()) {
     if (e.kind != TraceEvent::Kind::kRef) {
@@ -46,6 +48,9 @@ SimResult SimulatePff(const Trace& trace, uint64_t critical_interval, const SimO
               is_resident = false;
               --resident_count;
               TELEM_COUNT("vm.pff_page_dropped");
+              if (hier != nullptr) {
+                hier->OnEvict(p);
+              }
             }
           }
         }
@@ -58,7 +63,8 @@ SimResult SimulatePff(const Trace& trace, uint64_t critical_interval, const SimO
     result.max_resident = std::max(result.max_resident, resident_count);
 
     if (fault) {
-      uint64_t cost = FaultServiceCost(options, result.faults - 1);
+      uint64_t cost = hier != nullptr ? hier->OnFault(page, 0, result.faults - 1)
+                                      : FaultServiceCost(options, result.faults - 1);
       service_total += cost;
       TELEM_COUNT("vm.fault_serviced");
       TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
@@ -70,6 +76,9 @@ SimResult SimulatePff(const Trace& trace, uint64_t critical_interval, const SimO
   result.references = t;
   result.mean_memory = t == 0 ? 0.0 : ref_integral / static_cast<double>(t);
   result.space_time = ref_integral + static_cast<double>(service_total);
+  if (hier != nullptr) {
+    result.hierarchy_levels = hier->Traffic();
+  }
   return result;
 }
 

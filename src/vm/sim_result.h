@@ -19,10 +19,13 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/robust/fault_injector.h"
 
 namespace cdmm {
+
+class HierarchySpec;  // src/vm/hierarchy.h
 
 struct SimOptions {
   // Page-fault service time in reference units (paper: 2000).
@@ -32,6 +35,12 @@ struct SimOptions {
   // Compared by identity; two options structs with distinct live injectors
   // describe distinct experiments.
   const FaultInjector* injector = nullptr;
+
+  // Optional N-level hierarchy below RAM (null = the legacy RAM/disk
+  // machine; see src/vm/hierarchy.h). When set, the levels' latencies are
+  // authoritative and fault_service_time is ignored. Compared by identity,
+  // like the injector.
+  const HierarchySpec* hierarchy = nullptr;
 
   friend bool operator==(const SimOptions&, const SimOptions&) = default;
 };
@@ -53,6 +62,20 @@ inline uint64_t TotalFaultServiceCost(const SimOptions& options, uint64_t faults
              : options.injector->TotalFaultServiceTime(0, faults, options.fault_service_time);
 }
 
+// Per-level traffic of one hierarchy level over a run (spec order, the
+// backing store last). Populated only when SimOptions::hierarchy is set.
+struct HierarchyLevelTraffic {
+  std::string level;             // level name from the spec
+  uint64_t hits = 0;             // faults serviced by this level
+  uint64_t demotions_in = 0;     // pages demoted into this level from above
+  uint64_t evictions = 0;        // overflow pushed one level further down
+  uint64_t migration_retries = 0;  // injected transient promotion failures
+  uint64_t demotion_drops = 0;   // injected demotion failures (page fell past)
+  uint64_t service_ticks = 0;    // total service time charged to this level
+
+  friend bool operator==(const HierarchyLevelTraffic&, const HierarchyLevelTraffic&) = default;
+};
+
 struct SimResult {
   std::string policy;       // e.g. "LRU(m=26)", "WS(tau=421)", "CD(outer)"
   uint64_t references = 0;  // reference-string length R
@@ -66,6 +89,9 @@ struct SimResult {
   uint64_t directives_processed = 0;
   uint64_t lock_releases = 0;   // soft releases forced by memory pressure
   uint64_t allocation_shrinks = 0;
+
+  // Per-level hierarchy traffic; empty when SimOptions::hierarchy is null.
+  std::vector<HierarchyLevelTraffic> hierarchy_levels;
 };
 
 }  // namespace cdmm

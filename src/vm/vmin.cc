@@ -7,6 +7,7 @@
 #include "src/support/check.h"
 #include "src/support/str.h"
 #include "src/telemetry/telemetry.h"
+#include "src/vm/hierarchy.h"
 
 namespace cdmm {
 
@@ -33,6 +34,8 @@ SimResult SimulateVmin(const PreparedTrace& prepared, const SimOptions& options,
   std::vector<int32_t> delta(static_cast<size_t>(r) + 1, 0);
   std::unordered_map<PageId, bool> is_resident;
   is_resident.reserve(prepared.virtual_pages());
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
+  uint64_t service_total = 0;
 
   for (uint32_t i = 0; i < r; ++i) {
     PageId page = prepared.page(i);
@@ -41,6 +44,9 @@ SimResult SimulateVmin(const PreparedTrace& prepared, const SimOptions& options,
       ++faults;
       is_resident[page] = true;
       TELEM_COUNT("vm.fault_serviced");
+      if (hier != nullptr) {
+        service_total += hier->OnFault(page, 0, faults - 1);
+      }
     }
     // Keep the page until its next use if the gap is within the window.
     if (prepared.has_next_use(i) && prepared.next_use(i) - i <= window) {
@@ -53,6 +59,9 @@ SimResult SimulateVmin(const PreparedTrace& prepared, const SimOptions& options,
       delta[i + 1] -= 1;
       is_resident[page] = false;
       TELEM_COUNT("vm.vmin_page_dropped");
+      if (hier != nullptr) {
+        hier->OnEvict(page);
+      }
     }
   }
   for (uint32_t t = 0; t < r; ++t) {
@@ -63,12 +72,17 @@ SimResult SimulateVmin(const PreparedTrace& prepared, const SimOptions& options,
 
   result.references = r;
   result.faults = faults;
-  uint64_t service_total = TotalFaultServiceCost(options, faults);
+  if (hier == nullptr) {
+    service_total = TotalFaultServiceCost(options, faults);
+  }
   result.elapsed = result.references + service_total;
   result.mean_memory =
       r == 0 ? 0.0 : ref_integral / static_cast<double>(result.references);
   result.space_time = ref_integral + static_cast<double>(service_total);
   result.max_resident = max_resident;
+  if (hier != nullptr) {
+    result.hierarchy_levels = hier->Traffic();
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "src/support/check.h"
 #include "src/support/str.h"
 #include "src/telemetry/telemetry.h"
+#include "src/vm/hierarchy.h"
 
 namespace cdmm {
 
@@ -17,6 +18,7 @@ SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options
   std::unordered_map<PageId, uint64_t> last_ref;
   last_ref.reserve(trace.virtual_pages());
   std::deque<std::pair<uint64_t, PageId>> window;  // (ref time, page)
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
   uint64_t ws_size = 0;
 
   SimResult result;
@@ -38,6 +40,9 @@ SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options
       if (it != last_ref.end() && it->second == when) {
         --ws_size;  // page expired from the working set
         TELEM_COUNT("vm.ws_page_expired");
+        if (hier != nullptr) {
+          hier->OnEvict(page);
+        }
       }
     }
     PageId page = e.value;
@@ -58,7 +63,8 @@ SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options
     result.max_resident = std::max<uint32_t>(result.max_resident, static_cast<uint32_t>(ws_size));
 
     if (fault) {
-      uint64_t cost = FaultServiceCost(options, result.faults - 1);
+      uint64_t cost = hier != nullptr ? hier->OnFault(page, 0, result.faults - 1)
+                                      : FaultServiceCost(options, result.faults - 1);
       service_total += cost;
       TELEM_COUNT("vm.fault_serviced");
       TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
@@ -70,6 +76,9 @@ SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options
   result.references = t;
   result.mean_memory = t == 0 ? 0.0 : ref_integral / static_cast<double>(t);
   result.space_time = ref_integral + static_cast<double>(service_total);
+  if (hier != nullptr) {
+    result.hierarchy_levels = hier->Traffic();
+  }
   return result;
 }
 
@@ -81,7 +90,8 @@ namespace {
 class SampledEngine {
  public:
   SampledEngine(uint32_t window_samples, const SimOptions& options)
-      : window_samples_(std::max<uint32_t>(window_samples, 1)), options_(options) {}
+      : window_samples_(std::max<uint32_t>(window_samples, 1)), options_(options),
+        hier_(MakeHierarchyEngine(options)) {}
 
   void Touch(PageId page, SimResult* result) {
     ++t_;
@@ -96,7 +106,8 @@ class SampledEngine {
     }
     result->max_resident = std::max(result->max_resident, resident_count_);
     if (fault) {
-      uint64_t cost = FaultServiceCost(options_, result->faults - 1);
+      uint64_t cost = hier_ != nullptr ? hier_->OnFault(page, 0, result->faults - 1)
+                                       : FaultServiceCost(options_, result->faults - 1);
       service_total_ += cost;
       TELEM_COUNT("vm.fault_serviced");
       TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
@@ -113,6 +124,9 @@ class SampledEngine {
         use.resident = false;
         --resident_count_;
         TELEM_COUNT("vm.sws_page_trimmed");
+        if (hier_ != nullptr) {
+          hier_->OnEvict(page);
+        }
       }
     }
     TELEM_COUNT("vm.sws_sample_taken");
@@ -123,6 +137,7 @@ class SampledEngine {
   uint32_t faults_since_sample() const { return faults_since_sample_; }
   double ref_integral() const { return ref_integral_; }
   uint64_t service_total() const { return service_total_; }
+  const HierarchyEngine* hier() const { return hier_.get(); }
 
  private:
   struct UseBits {
@@ -132,6 +147,7 @@ class SampledEngine {
 
   uint32_t window_samples_;
   SimOptions options_;
+  std::unique_ptr<HierarchyEngine> hier_;
   std::unordered_map<PageId, UseBits> pages_;
   uint32_t resident_count_ = 0;
   uint64_t t_ = 0;
@@ -146,6 +162,9 @@ void FinishMean(SimResult* result, const SampledEngine& engine) {
   result->mean_memory =
       engine.now() == 0 ? 0.0 : engine.ref_integral() / static_cast<double>(engine.now());
   result->space_time = engine.ref_integral() + static_cast<double>(engine.service_total());
+  if (engine.hier() != nullptr) {
+    result->hierarchy_levels = engine.hier()->Traffic();
+  }
 }
 
 }  // namespace

@@ -1,0 +1,579 @@
+// The differential-oracle suite for the N-level hierarchy (ISSUE 6 headline
+// artifact): a 1-boundary HierarchySpec with the legacy 2000-reference
+// service must be BIT-IDENTICAL — every SimResult field, exact doubles
+// included — to the pre-hierarchy simulators, on all nine workloads, on
+// seeded random traces, and under deterministic fault injection; the
+// multiprogrammed OS entry points get the same treatment. Plus: spec
+// grammar tests, hand-trace engine semantics, and --jobs determinism for
+// the fault-penalty ladder.
+#include "src/vm/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+#include "src/exec/sweep_scheduler.h"
+#include "src/exec/thread_pool.h"
+#include "src/os/multiprog.h"
+#include "src/robust/fault_injector.h"
+#include "src/support/rng.h"
+#include "src/vm/cd_policy.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/policy_spec.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+Trace MakeTrace(const std::vector<PageId>& pages, uint32_t virtual_pages = 0) {
+  Trace t("test");
+  uint32_t max_page = 0;
+  for (PageId p : pages) {
+    t.AddRef(p);
+    max_page = std::max(max_page, p);
+  }
+  t.set_virtual_pages(virtual_pages != 0 ? virtual_pages
+                                         : (pages.empty() ? 0 : max_page + 1));
+  return t;
+}
+
+// Same generator as sweep_engines_test: hot set + scatter + phase shifts.
+Trace RandomTrace(uint64_t seed, size_t refs, uint32_t pages) {
+  SplitMix64 rng(seed);
+  std::vector<PageId> out;
+  out.reserve(refs);
+  uint32_t phase_base = 0;
+  for (size_t i = 0; i < refs; ++i) {
+    if (rng.NextDouble() < 0.002) {
+      phase_base = static_cast<uint32_t>(rng.NextBelow(pages));
+    }
+    PageId p = rng.NextDouble() < 0.7
+                   ? static_cast<PageId>((phase_base + rng.NextBelow(8)) % pages)
+                   : static_cast<PageId>(rng.NextBelow(pages));
+    out.push_back(p);
+  }
+  return MakeTrace(out, pages);
+}
+
+// Bit-identity: every field exact, doubles compared with == (EXPECT_EQ), not
+// with a tolerance. The hierarchy run is additionally allowed (required) to
+// carry its per-level traffic, which the legacy run by definition lacks.
+void ExpectBitIdentical(const SimResult& legacy, const SimResult& hier,
+                        const std::string& label) {
+  EXPECT_EQ(legacy.policy, hier.policy) << label;
+  EXPECT_EQ(legacy.references, hier.references) << label;
+  EXPECT_EQ(legacy.faults, hier.faults) << label;
+  EXPECT_EQ(legacy.elapsed, hier.elapsed) << label;
+  EXPECT_EQ(legacy.space_time, hier.space_time) << label;
+  EXPECT_EQ(legacy.mean_memory, hier.mean_memory) << label;
+  EXPECT_EQ(legacy.max_resident, hier.max_resident) << label;
+  EXPECT_EQ(legacy.directives_processed, hier.directives_processed) << label;
+  EXPECT_EQ(legacy.lock_releases, hier.lock_releases) << label;
+  EXPECT_EQ(legacy.allocation_shrinks, hier.allocation_shrinks) << label;
+  EXPECT_TRUE(legacy.hierarchy_levels.empty()) << label;
+  ASSERT_EQ(hier.hierarchy_levels.size(), 1u) << label;
+  // The degenerate backing store services every fault.
+  EXPECT_EQ(hier.hierarchy_levels[0].hits, hier.faults) << label;
+}
+
+void ExpectOsBitIdentical(const OsRunResult& legacy, const OsRunResult& hier,
+                          const std::string& label) {
+  EXPECT_EQ(legacy.total_time, hier.total_time) << label;
+  EXPECT_EQ(legacy.total_faults, hier.total_faults) << label;
+  EXPECT_EQ(legacy.swaps, hier.swaps) << label;
+  EXPECT_EQ(legacy.mean_pool_used, hier.mean_pool_used) << label;
+  EXPECT_EQ(legacy.cpu_utilisation, hier.cpu_utilisation) << label;
+  EXPECT_EQ(legacy.failed_processes, hier.failed_processes) << label;
+  EXPECT_EQ(legacy.load_control_suspensions, hier.load_control_suspensions) << label;
+  EXPECT_EQ(legacy.swap_device_failures, hier.swap_device_failures) << label;
+  EXPECT_EQ(legacy.swap_retries_exhausted, hier.swap_retries_exhausted) << label;
+  EXPECT_EQ(legacy.phantom_peak_frames, hier.phantom_peak_frames) << label;
+  ASSERT_EQ(legacy.processes.size(), hier.processes.size()) << label;
+  for (size_t i = 0; i < legacy.processes.size(); ++i) {
+    const OsProcessStats& a = legacy.processes[i];
+    const OsProcessStats& b = hier.processes[i];
+    EXPECT_EQ(a.name, b.name) << label;
+    EXPECT_EQ(a.references, b.references) << label << " " << a.name;
+    EXPECT_EQ(a.faults, b.faults) << label << " " << a.name;
+    EXPECT_EQ(a.started_at, b.started_at) << label << " " << a.name;
+    EXPECT_EQ(a.finished_at, b.finished_at) << label << " " << a.name;
+    EXPECT_EQ(a.mean_held, b.mean_held) << label << " " << a.name;
+    EXPECT_EQ(a.swapped_out, b.swapped_out) << label << " " << a.name;
+    EXPECT_EQ(a.suspensions, b.suspensions) << label << " " << a.name;
+    EXPECT_EQ(a.lock_releases, b.lock_releases) << label << " " << a.name;
+    EXPECT_EQ(a.failure, b.failure) << label << " " << a.name;
+    EXPECT_EQ(a.completed, b.completed) << label << " " << a.name;
+  }
+  EXPECT_TRUE(legacy.hierarchy_levels.empty()) << label;
+  ASSERT_EQ(hier.hierarchy_levels.size(), 1u) << label;
+  EXPECT_EQ(hier.hierarchy_levels[0].hits, hier.total_faults) << label;
+}
+
+// ---- Spec grammar ----------------------------------------------------------
+
+TEST(HierarchySpecTest, LegacyIsDegenerate) {
+  HierarchySpec spec = HierarchySpec::Legacy(2000);
+  EXPECT_TRUE(spec.degenerate());
+  EXPECT_EQ(spec.bottom_latency(), 2000u);
+  EXPECT_EQ(spec.ToString(), "disk:*:2000");
+}
+
+TEST(HierarchySpecTest, ParsesPresets) {
+  for (const auto& [name, text] : HierarchySpec::Presets()) {
+    auto by_name = HierarchySpec::Parse(name);
+    auto by_text = HierarchySpec::Parse(text);
+    ASSERT_TRUE(by_name.ok()) << name;
+    ASSERT_TRUE(by_text.ok()) << text;
+    EXPECT_EQ(by_name.value(), by_text.value()) << name;
+  }
+  auto three = HierarchySpec::Parse("dram-nvm-disk");
+  ASSERT_TRUE(three.ok());
+  ASSERT_EQ(three.value().levels.size(), 2u);
+  EXPECT_EQ(three.value().levels[0].name, "nvm");
+  EXPECT_EQ(three.value().levels[0].capacity, 512u);
+  EXPECT_EQ(three.value().levels[0].latency, 60u);
+  EXPECT_EQ(three.value().levels[1].capacity, 0u);
+  EXPECT_FALSE(three.value().degenerate());
+}
+
+TEST(HierarchySpecTest, ParseToStringRoundTrips) {
+  for (const std::string& text :
+       {std::string("disk:*:2000"), std::string("nvm:512:60,disk:*:2000"),
+        std::string("l2:8:4:fifo,nvm:512:60,disk:*:20")}) {
+    auto spec = HierarchySpec::Parse(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    EXPECT_EQ(spec.value().ToString(), text);
+    auto again = HierarchySpec::Parse(spec.value().ToString());
+    ASSERT_TRUE(again.ok()) << text;
+    EXPECT_EQ(again.value(), spec.value());
+  }
+}
+
+TEST(HierarchySpecTest, RejectsMalformedSpecs) {
+  for (const std::string& bad : {
+           std::string(""),                        // empty
+           std::string("disk"),                    // too few fields
+           std::string("disk:*:2000:lru:extra"),   // too many fields
+           std::string("DISK:*:2000"),             // uppercase name
+           std::string("disk:0:2000"),             // zero capacity
+           std::string("disk:*:0"),                // zero latency
+           std::string("disk:*:fast"),             // non-numeric latency
+           std::string("disk:*:2000:mru"),         // unknown policy
+           std::string("nvm:*:60,disk:*:2000"),    // '*' before the last level
+           std::string("nvm:512:60,disk:64:2000"), // bounded backing store
+           std::string("no-such-preset"),          // not a preset, not a level
+       }) {
+    auto spec = HierarchySpec::Parse(bad);
+    EXPECT_FALSE(spec.ok()) << "'" << bad << "' should not parse";
+  }
+}
+
+TEST(HierarchySpecTest, WithBottomLatencyReplacesOnlyTheBackingStore) {
+  auto spec = HierarchySpec::Parse("nvm:512:60,disk:*:2000").value();
+  HierarchySpec rung = spec.WithBottomLatency(20);
+  EXPECT_EQ(rung.levels[0].latency, 60u);
+  EXPECT_EQ(rung.bottom_latency(), 20u);
+  EXPECT_EQ(spec.bottom_latency(), 2000u);  // the original is untouched
+}
+
+// ---- Engine semantics on hand traces ---------------------------------------
+
+TEST(HierarchyEngineTest, FaultFromBackingStoreCostsBottomLatency) {
+  HierarchySpec spec = HierarchySpec::Parse("nvm:2:60,disk:*:2000").value();
+  HierarchyEngine engine(spec, nullptr);
+  // Never-evicted pages are only in the backing store.
+  EXPECT_EQ(engine.OnFault(7, 0, 0), 2000u);
+  EXPECT_EQ(engine.OnFault(8, 0, 1), 2000u);
+  std::vector<HierarchyLevelTraffic> traffic = engine.Traffic();
+  ASSERT_EQ(traffic.size(), 2u);
+  EXPECT_EQ(traffic[0].hits, 0u);
+  EXPECT_EQ(traffic[1].hits, 2u);
+  EXPECT_EQ(traffic[1].service_ticks, 4000u);
+}
+
+TEST(HierarchyEngineTest, DemotedPageIsAFastHitExactlyOnce) {
+  HierarchySpec spec = HierarchySpec::Parse("nvm:2:60,disk:*:2000").value();
+  HierarchyEngine engine(spec, nullptr);
+  engine.OnEvict(7);
+  // The victim cache holds the page: the re-fault costs the NVM latency and
+  // promotes the page out (exclusivity) ...
+  EXPECT_EQ(engine.OnFault(7, 0, 0), 60u);
+  // ... so a second fault without an intervening eviction goes to disk.
+  EXPECT_EQ(engine.OnFault(7, 0, 1), 2000u);
+  std::vector<HierarchyLevelTraffic> traffic = engine.Traffic();
+  EXPECT_EQ(traffic[0].hits, 1u);
+  EXPECT_EQ(traffic[0].demotions_in, 1u);
+  EXPECT_EQ(traffic[1].hits, 1u);
+}
+
+TEST(HierarchyEngineTest, OverflowCascadesTheStalestEntryDownward) {
+  HierarchySpec spec = HierarchySpec::Parse("nvm:2:60,ssd:1:400,disk:*:2000").value();
+  HierarchyEngine engine(spec, nullptr);
+  engine.OnEvict(1);  // nvm: [1]
+  engine.OnEvict(2);  // nvm: [2 1]
+  engine.OnEvict(3);  // nvm: [3 2], 1 -> ssd: [1]
+  engine.OnEvict(4);  // nvm: [4 3], 2 -> ssd: [2], 1 -> disk
+  std::vector<HierarchyLevelTraffic> traffic = engine.Traffic();
+  EXPECT_EQ(traffic[0].demotions_in, 4u);
+  EXPECT_EQ(traffic[0].evictions, 2u);
+  EXPECT_EQ(traffic[1].demotions_in, 2u);
+  EXPECT_EQ(traffic[1].evictions, 1u);
+  EXPECT_EQ(engine.OnFault(4, 0, 0), 60u);    // newest, still in nvm
+  EXPECT_EQ(engine.OnFault(2, 0, 1), 400u);   // pushed to ssd
+  EXPECT_EQ(engine.OnFault(1, 0, 2), 2000u);  // fell to the backing store
+}
+
+TEST(HierarchyEngineTest, DegenerateEngineChargesFlatServiceAndIgnoresEvicts) {
+  HierarchySpec spec = HierarchySpec::Legacy(1234);
+  HierarchyEngine engine(spec, nullptr);
+  engine.OnEvict(1);
+  engine.OnEvict(2);
+  EXPECT_EQ(engine.OnFault(1, 0, 0), 1234u);
+  EXPECT_EQ(engine.OnFault(2, 0, 1), 1234u);
+  std::vector<HierarchyLevelTraffic> traffic = engine.Traffic();
+  ASSERT_EQ(traffic.size(), 1u);
+  EXPECT_EQ(traffic[0].hits, 2u);
+  EXPECT_EQ(traffic[0].demotions_in, 0u);  // no intermediate level to fill
+}
+
+TEST(HierarchyEngineTest, DegenerateOnFaultMatchesFaultServiceCostUnderInjection) {
+  FaultInjector injector(FaultInjectionConfig::AtIntensity(99, 0.9));
+  SimOptions legacy;
+  legacy.fault_service_time = 2000;
+  legacy.injector = &injector;
+  HierarchyEngine engine(HierarchySpec::Legacy(2000), &injector);
+  for (uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(engine.OnFault(/*key=*/i % 7, /*stream=*/0, i), FaultServiceCost(legacy, i))
+        << "fault " << i;
+  }
+}
+
+// ---- Differential oracle: uniprogrammed policies ---------------------------
+
+class HierarchyOracleTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const CompiledProgram& Compiled(const std::string& name) {
+    static auto* cache = new std::map<std::string, std::unique_ptr<CompiledProgram>>();
+    auto it = cache->find(name);
+    if (it == cache->end()) {
+      auto cp = CompiledProgram::FromSource(FindWorkload(name).source);
+      EXPECT_TRUE(cp.ok());
+      it = cache->emplace(name, std::make_unique<CompiledProgram>(std::move(cp).value())).first;
+    }
+    return *it->second;
+  }
+};
+
+TEST_P(HierarchyOracleTest, DegenerateSpecIsBitIdenticalForEveryPolicySpec) {
+  const CompiledProgram& cp = Compiled(GetParam());
+  const Trace& full = cp.trace();
+  Trace refs = full.ReferencesOnly();
+  HierarchySpec degenerate = HierarchySpec::Legacy(2000);
+  SimOptions legacy;
+  SimOptions with_hier;
+  with_hier.hierarchy = &degenerate;
+  for (const std::string& spec : KnownPolicySpecs()) {
+    std::optional<SimResult> a = RunPolicySpec(spec, full, refs, legacy);
+    std::optional<SimResult> b = RunPolicySpec(spec, full, refs, with_hier);
+    ASSERT_TRUE(a.has_value()) << spec;
+    ASSERT_TRUE(b.has_value()) << spec;
+    ExpectBitIdentical(*a, *b, GetParam() + "/" + spec);
+  }
+}
+
+TEST_P(HierarchyOracleTest, DegenerateSpecIsBitIdenticalUnderFaultInjection) {
+  const CompiledProgram& cp = Compiled(GetParam());
+  const Trace& full = cp.trace();
+  Trace refs = full.ReferencesOnly();
+  FaultInjector injector(FaultInjectionConfig::AtIntensity(42, 0.8));
+  HierarchySpec degenerate = HierarchySpec::Legacy(2000);
+  SimOptions legacy;
+  legacy.injector = &injector;
+  SimOptions with_hier = legacy;
+  with_hier.hierarchy = &degenerate;
+  for (const std::string& spec :
+       {std::string("lru:16"), std::string("ws:2000"), std::string("cd-outer"),
+        std::string("pff:2000"), std::string("dws:2000"), std::string("vmin")}) {
+    std::optional<SimResult> a = RunPolicySpec(spec, full, refs, legacy);
+    std::optional<SimResult> b = RunPolicySpec(spec, full, refs, with_hier);
+    ASSERT_TRUE(a.has_value() && b.has_value()) << spec;
+    ExpectBitIdentical(*a, *b, GetParam() + "/injected/" + spec);
+  }
+}
+
+TEST_P(HierarchyOracleTest, NonDefaultServiceTimeStaysBitIdentical) {
+  const CompiledProgram& cp = Compiled(GetParam());
+  const Trace& full = cp.trace();
+  Trace refs = full.ReferencesOnly();
+  for (uint64_t service : {20ull, 200ull}) {
+    HierarchySpec degenerate = HierarchySpec::Legacy(service);
+    SimOptions legacy;
+    legacy.fault_service_time = service;
+    SimOptions with_hier = legacy;
+    with_hier.hierarchy = &degenerate;
+    for (const std::string& spec :
+         {std::string("lru:16"), std::string("ws:2000"), std::string("cd-outer")}) {
+      std::optional<SimResult> a = RunPolicySpec(spec, full, refs, legacy);
+      std::optional<SimResult> b = RunPolicySpec(spec, full, refs, with_hier);
+      ASSERT_TRUE(a.has_value() && b.has_value()) << spec;
+      ExpectBitIdentical(*a, *b, GetParam() + "/service=" + std::to_string(service) +
+                                     "/" + spec);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, HierarchyOracleTest,
+                         ::testing::Values("MAIN", "FDJAC", "TQL", "FIELD", "INIT", "APPROX",
+                                           "HYBRJ", "CONDUCT", "HWSCRT"));
+
+TEST(HierarchyOracleRandomTest, DegenerateSpecIsBitIdenticalOnRandomTraces) {
+  for (uint64_t seed : {1ull, 7ull, 1985ull}) {
+    Trace t = RandomTrace(seed, 20000, 64);
+    HierarchySpec degenerate = HierarchySpec::Legacy(2000);
+    SimOptions legacy;
+    SimOptions with_hier;
+    with_hier.hierarchy = &degenerate;
+    for (const std::string& spec :
+         {std::string("lru:12"), std::string("fifo:12"), std::string("opt:12"),
+          std::string("ws:500"), std::string("sws:500"), std::string("vsws"),
+          std::string("pff:500"), std::string("dws:500"), std::string("vmin")}) {
+      std::optional<SimResult> a = RunPolicySpec(spec, t, t, legacy);
+      std::optional<SimResult> b = RunPolicySpec(spec, t, t, with_hier);
+      ASSERT_TRUE(a.has_value() && b.has_value()) << spec;
+      ExpectBitIdentical(*a, *b, "seed=" + std::to_string(seed) + "/" + spec);
+    }
+  }
+}
+
+// ---- Differential oracle: the multiprogrammed OS ---------------------------
+
+class HierarchyOsOracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto a = CompiledProgram::FromSource(FindWorkload("FDJAC").source);
+    auto b = CompiledProgram::FromSource(FindWorkload("TQL").source);
+    ASSERT_TRUE(a.ok() && b.ok());
+    a_ = std::make_unique<CompiledProgram>(std::move(a).value());
+    b_ = std::make_unique<CompiledProgram>(std::move(b).value());
+  }
+
+  std::vector<OsProcessSpec> Mix() const {
+    return {OsProcessSpec{"A", &a_->trace(), 1}, OsProcessSpec{"B", &b_->trace(), 0}};
+  }
+
+  std::unique_ptr<CompiledProgram> a_;
+  std::unique_ptr<CompiledProgram> b_;
+};
+
+TEST_F(HierarchyOsOracleTest, DegenerateSpecIsBitIdenticalForAllThreeSchedulers) {
+  OsOptions legacy;
+  legacy.total_frames = 64;
+  HierarchySpec degenerate = HierarchySpec::Legacy(legacy.fault_service_time);
+  OsOptions with_hier = legacy;
+  with_hier.hierarchy = &degenerate;
+  ExpectOsBitIdentical(RunMultiprogrammedCd(Mix(), legacy).value(),
+                       RunMultiprogrammedCd(Mix(), with_hier).value(), "cd");
+  ExpectOsBitIdentical(RunEqualPartitionLru(Mix(), legacy).value(),
+                       RunEqualPartitionLru(Mix(), with_hier).value(), "equal-lru");
+  ExpectOsBitIdentical(RunMultiprogrammedWs(Mix(), legacy, 2000).value(),
+                       RunMultiprogrammedWs(Mix(), with_hier, 2000).value(), "ws");
+}
+
+TEST_F(HierarchyOsOracleTest, DegenerateSpecIsBitIdenticalUnderFaultInjection) {
+  FaultInjector injector(FaultInjectionConfig::AtIntensity(7, 0.6));
+  OsOptions legacy;
+  legacy.total_frames = 64;
+  legacy.injector = &injector;
+  HierarchySpec degenerate = HierarchySpec::Legacy(legacy.fault_service_time);
+  OsOptions with_hier = legacy;
+  with_hier.hierarchy = &degenerate;
+  ExpectOsBitIdentical(RunMultiprogrammedCd(Mix(), legacy).value(),
+                       RunMultiprogrammedCd(Mix(), with_hier).value(), "cd/injected");
+  ExpectOsBitIdentical(RunMultiprogrammedWs(Mix(), legacy, 2000).value(),
+                       RunMultiprogrammedWs(Mix(), with_hier, 2000).value(), "ws/injected");
+}
+
+TEST_F(HierarchyOsOracleTest, MultiLevelRunIsDeterministicAndAccountsEveryFault) {
+  HierarchySpec spec = HierarchySpec::Parse("nvm:32:60,disk:*:2000").value();
+  OsOptions options;
+  options.total_frames = 64;
+  options.hierarchy = &spec;
+  OsRunResult r1 = RunMultiprogrammedCd(Mix(), options).value();
+  OsRunResult r2 = RunMultiprogrammedCd(Mix(), options).value();
+  EXPECT_EQ(r1.total_time, r2.total_time);
+  EXPECT_EQ(r1.total_faults, r2.total_faults);
+  ASSERT_EQ(r1.hierarchy_levels.size(), 2u);
+  EXPECT_EQ(r1.hierarchy_levels[0].hits + r1.hierarchy_levels[1].hits, r1.total_faults);
+  EXPECT_EQ(r1.hierarchy_levels[0].level, "nvm");
+  // Processes re-fault pages they evicted, so the victim cache must see use.
+  EXPECT_GT(r1.hierarchy_levels[0].demotions_in, 0u);
+}
+
+// ---- Multi-level behaviour + accounting ------------------------------------
+
+TEST(HierarchyTrafficTest, EveryFaultIsAccountedToExactlyOneLevel) {
+  Trace t = RandomTrace(3, 20000, 64);
+  HierarchySpec spec = HierarchySpec::Parse("nvm:16:60,ssd:32:400,disk:*:2000").value();
+  SimOptions options;
+  options.hierarchy = &spec;
+  SimResult r = SimulateFixed(t, 12, Replacement::kLru, options);
+  ASSERT_EQ(r.hierarchy_levels.size(), 3u);
+  uint64_t hits = 0;
+  uint64_t service = 0;
+  for (const HierarchyLevelTraffic& level : r.hierarchy_levels) {
+    hits += level.hits;
+    service += level.service_ticks;
+  }
+  EXPECT_EQ(hits, r.faults);
+  // elapsed = R + total service; the traffic must reconcile exactly.
+  EXPECT_EQ(r.elapsed, r.references + service);
+}
+
+TEST(HierarchyTrafficTest, VictimCacheTurnsCapacityMissesIntoFastFaults) {
+  // A cyclic trace over 32 pages with 12 frames: pure capacity misses, all
+  // of which the 64-frame NVM level can absorb after warm-up.
+  std::vector<PageId> pages;
+  for (int round = 0; round < 50; ++round) {
+    for (PageId p = 0; p < 32; ++p) {
+      pages.push_back(p);
+    }
+  }
+  Trace t = MakeTrace(pages);
+  HierarchySpec slow = HierarchySpec::Legacy(2000);
+  HierarchySpec fast = HierarchySpec::Parse("nvm:64:60,disk:*:2000").value();
+  SimOptions with_slow;
+  with_slow.hierarchy = &slow;
+  SimOptions with_fast;
+  with_fast.hierarchy = &fast;
+  SimResult base = SimulateFixed(t, 12, Replacement::kLru, with_slow);
+  SimResult nvm = SimulateFixed(t, 12, Replacement::kLru, with_fast);
+  EXPECT_EQ(base.faults, nvm.faults);  // the RAM policy is unchanged
+  EXPECT_LT(nvm.elapsed, base.elapsed);
+  ASSERT_EQ(nvm.hierarchy_levels.size(), 2u);
+  // Only the 32 cold misses go to disk; every re-fault hits the victim cache.
+  EXPECT_EQ(nvm.hierarchy_levels[1].hits, 32u);
+  EXPECT_EQ(nvm.hierarchy_levels[0].hits, nvm.faults - 32u);
+}
+
+// ---- Migration-failure injection -------------------------------------------
+
+TEST(HierarchyMigrationTest, InjectedFailuresAreDeterministicAndCounted) {
+  Trace t = RandomTrace(11, 20000, 64);
+  FaultInjectionConfig config;
+  config.seed = 5;
+  config.migration_failure_rate = 0.3;
+  FaultInjector injector(config);
+  HierarchySpec spec = HierarchySpec::Parse("nvm:16:60,disk:*:2000").value();
+  SimOptions options;
+  options.hierarchy = &spec;
+  options.injector = &injector;
+  SimResult r1 = SimulateFixed(t, 12, Replacement::kLru, options);
+  SimResult r2 = SimulateFixed(t, 12, Replacement::kLru, options);
+  EXPECT_EQ(r1.elapsed, r2.elapsed);
+  ASSERT_EQ(r1.hierarchy_levels.size(), 2u);
+  EXPECT_EQ(r1.hierarchy_levels[0].demotion_drops, r2.hierarchy_levels[0].demotion_drops);
+  EXPECT_EQ(r1.hierarchy_levels[0].migration_retries,
+            r2.hierarchy_levels[0].migration_retries);
+  // At a 30% failure rate over thousands of demotions, both kinds of
+  // migration adversity must actually fire.
+  EXPECT_GT(r1.hierarchy_levels[0].demotion_drops, 0u);
+  EXPECT_GT(r1.hierarchy_levels[0].migration_retries, 0u);
+}
+
+TEST(HierarchyMigrationTest, DisabledInjectorNeverFails) {
+  FaultInjector off(FaultInjectionConfig{});
+  EXPECT_FALSE(off.enabled());
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(off.MigrationAttemptFails(i));
+  }
+  FaultInjectionConfig no_rate;
+  no_rate.seed = 3;  // enabled, but the migration knob is left at 0
+  FaultInjector zero(no_rate);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(zero.MigrationAttemptFails(i));
+  }
+}
+
+TEST(HierarchyMigrationTest, RetriesLengthenFaultsButNeverLosePages) {
+  Trace t = RandomTrace(13, 20000, 64);
+  HierarchySpec spec = HierarchySpec::Parse("nvm:16:60,disk:*:2000").value();
+  SimOptions nominal;
+  nominal.hierarchy = &spec;
+  FaultInjectionConfig config;
+  config.seed = 5;
+  config.migration_failure_rate = 0.3;
+  FaultInjector injector(config);
+  SimOptions injected = nominal;
+  injected.injector = &injector;
+  SimResult clean = SimulateFixed(t, 12, Replacement::kLru, nominal);
+  SimResult hurt = SimulateFixed(t, 12, Replacement::kLru, injected);
+  // RAM-level behaviour (the fault count) is untouched by migration failures;
+  // only service times and level placement change.
+  EXPECT_EQ(clean.faults, hurt.faults);
+  EXPECT_GE(hurt.elapsed, clean.elapsed);
+}
+
+// ---- The fault-penalty ladder at --jobs 1/4/8 ------------------------------
+
+TEST(HierarchyLadderTest, SameScheduleAtAnyJobCount) {
+  auto cp = CompiledProgram::FromSource(FindWorkload("FDJAC").source);
+  ASSERT_TRUE(cp.ok());
+  auto full = cp.value().shared_trace();
+  auto refs = cp.value().shared_references();
+  HierarchySpec shape = HierarchySpec::Parse("nvm:64:60,disk:*:2000").value();
+  std::vector<std::string> policies = {"cd-outer", "lru:16", "ws:2000"};
+  std::vector<uint64_t> penalties = {2000, 200, 20};
+  FaultInjectionConfig config;
+  config.seed = 17;
+  config.migration_failure_rate = 0.2;
+  FaultInjector injector(config);
+  SimOptions base;
+  base.injector = &injector;
+
+  std::vector<std::vector<HierarchyLadderCell>> runs;
+  for (unsigned jobs : {1u, 4u, 8u}) {
+    ThreadPool pool(jobs);
+    SweepScheduler sched(&pool);
+    runs.push_back(sched.HierarchyLadder(full, refs, shape, policies, penalties, base));
+  }
+  ASSERT_EQ(runs[0].size(), policies.size() * penalties.size());
+  for (size_t j = 1; j < runs.size(); ++j) {
+    ASSERT_EQ(runs[j].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      const HierarchyLadderCell& a = runs[0][i];
+      const HierarchyLadderCell& b = runs[j][i];
+      EXPECT_EQ(a.policy, b.policy);
+      EXPECT_EQ(a.penalty, b.penalty);
+      EXPECT_EQ(a.spec, b.spec);
+      EXPECT_EQ(a.result.faults, b.result.faults) << a.policy << "@" << a.penalty;
+      EXPECT_EQ(a.result.elapsed, b.result.elapsed) << a.policy << "@" << a.penalty;
+      EXPECT_EQ(a.result.space_time, b.result.space_time) << a.policy << "@" << a.penalty;
+      EXPECT_EQ(a.result.hierarchy_levels, b.result.hierarchy_levels)
+          << a.policy << "@" << a.penalty;
+    }
+  }
+}
+
+TEST(HierarchyLadderTest, ElapsedIsMonotoneInTheBottomPenalty) {
+  auto cp = CompiledProgram::FromSource(FindWorkload("TQL").source);
+  ASSERT_TRUE(cp.ok());
+  auto full = cp.value().shared_trace();
+  auto refs = cp.value().shared_references();
+  SweepScheduler sched;  // serial
+  std::vector<HierarchyLadderCell> cells = sched.HierarchyLadder(
+      full, refs, HierarchySpec::Legacy(2000), {"lru:16"}, {2000, 200, 20});
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_GT(cells[0].result.elapsed, cells[1].result.elapsed);
+  EXPECT_GT(cells[1].result.elapsed, cells[2].result.elapsed);
+  // Fault counts are a RAM-policy property: penalty-independent.
+  EXPECT_EQ(cells[0].result.faults, cells[1].result.faults);
+  EXPECT_EQ(cells[1].result.faults, cells[2].result.faults);
+}
+
+}  // namespace
+}  // namespace cdmm

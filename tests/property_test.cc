@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "src/cdmm/pipeline.h"
+#include "src/support/str.h"
 #include "src/trace/trace_io.h"
 #include "src/vm/cd_policy.h"
 #include "src/vm/fixed_alloc.h"
+#include "src/vm/hierarchy.h"
 #include "src/vm/working_set.h"
 #include "src/workloads/workloads.h"
 
@@ -178,6 +180,91 @@ TEST_P(WorkloadPropertyTest, LocksNeverIncreaseFaults) {
     EXPECT_LE(SimulateCd(t, with).faults, SimulateCd(t, without).faults + 5)
         << DirectiveSelectionName(sel);
   }
+}
+
+TEST_P(WorkloadPropertyTest, HierarchyNeverChangesRamLevelBehaviour) {
+  // The hierarchy lives below RAM: the RAM policy's fault count, mean memory
+  // and max residency are invariant under any shape; only service times move.
+  const Trace& t = Refs(GetParam());
+  SimResult flat = SimulateFixed(t, 16, Replacement::kLru);
+  for (const std::string& text :
+       {std::string("nvm:64:60,disk:*:2000"),
+        std::string("nvm:16:60,ssd:64:400,disk:*:2000")}) {
+    HierarchySpec spec = HierarchySpec::Parse(text).value();
+    SimOptions options;
+    options.hierarchy = &spec;
+    SimResult layered = SimulateFixed(t, 16, Replacement::kLru, options);
+    EXPECT_EQ(layered.faults, flat.faults) << text;
+    EXPECT_EQ(layered.mean_memory, flat.mean_memory) << text;
+    EXPECT_EQ(layered.max_resident, flat.max_resident) << text;
+    EXPECT_LE(layered.elapsed, flat.elapsed) << text;  // fast levels only help
+  }
+}
+
+TEST_P(WorkloadPropertyTest, VictimCacheHitsMonotoneInItsCapacity) {
+  // A bigger victim cache holds a superset of demoted pages (LRU-style stack
+  // property transplanted below RAM), so its hit count never drops and the
+  // total elapsed time never rises.
+  const Trace& t = Refs(GetParam());
+  uint64_t prev_hits = 0;
+  uint64_t prev_elapsed = ~0ull;
+  for (uint32_t capacity : {8u, 32u, 128u, 512u}) {
+    HierarchySpec spec =
+        HierarchySpec::Parse(StrCat("nvm:", capacity, ":60,disk:*:2000")).value();
+    SimOptions options;
+    options.hierarchy = &spec;
+    SimResult r = SimulateFixed(t, 16, Replacement::kLru, options);
+    ASSERT_EQ(r.hierarchy_levels.size(), 2u);
+    EXPECT_GE(r.hierarchy_levels[0].hits, prev_hits) << "capacity=" << capacity;
+    EXPECT_LE(r.elapsed, prev_elapsed) << "capacity=" << capacity;
+    prev_hits = r.hierarchy_levels[0].hits;
+    prev_elapsed = r.elapsed;
+  }
+}
+
+TEST_P(WorkloadPropertyTest, ElapsedMonotoneInLevelLatency) {
+  const Trace& t = Refs(GetParam());
+  uint64_t prev = 0;
+  for (uint64_t latency : {20ull, 200ull, 2000ull}) {
+    HierarchySpec spec = HierarchySpec::Legacy(latency);
+    SimOptions options;
+    options.fault_service_time = latency;
+    options.hierarchy = &spec;
+    uint64_t elapsed = SimulateWs(t, 2000, options).elapsed;
+    EXPECT_GE(elapsed, prev) << "latency=" << latency;
+    prev = elapsed;
+  }
+}
+
+TEST(FifoBeladyTest, ClassicAnomalyTraceFaultsMoreWithMoreFrames) {
+  // Belady's canonical FIFO anomaly: 9 faults at 3 frames, 10 at 4. The
+  // fixture pins the simulator's FIFO semantics (and documents why the
+  // monotonicity property above is stated for stack policies only).
+  Trace t("belady");
+  for (PageId p : {0u, 1u, 2u, 3u, 0u, 1u, 4u, 0u, 1u, 2u, 3u, 4u}) {
+    t.AddRef(p);
+  }
+  t.set_virtual_pages(5);
+  EXPECT_EQ(SimulateFixed(t, 3, Replacement::kFifo).faults, 9u);
+  EXPECT_EQ(SimulateFixed(t, 4, Replacement::kFifo).faults, 10u);
+  // LRU, a stack policy, is immune on the same string.
+  EXPECT_LE(SimulateFixed(t, 4, Replacement::kLru).faults,
+            SimulateFixed(t, 3, Replacement::kLru).faults);
+}
+
+TEST(FifoBeladyTest, AnomalySurvivesBelowAVictimCache) {
+  // The hierarchy must not mask RAM-level anomalies: the same fault counts
+  // appear under a fast NVM level, only service times change.
+  Trace t("belady");
+  for (PageId p : {0u, 1u, 2u, 3u, 0u, 1u, 4u, 0u, 1u, 2u, 3u, 4u}) {
+    t.AddRef(p);
+  }
+  t.set_virtual_pages(5);
+  HierarchySpec spec = HierarchySpec::Parse("nvm:8:60,disk:*:2000").value();
+  SimOptions options;
+  options.hierarchy = &spec;
+  EXPECT_EQ(SimulateFixed(t, 3, Replacement::kFifo, options).faults, 9u);
+  EXPECT_EQ(SimulateFixed(t, 4, Replacement::kFifo, options).faults, 10u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllNine, WorkloadPropertyTest,

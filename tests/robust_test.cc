@@ -20,6 +20,7 @@ FaultInjectionConfig FullConfig(uint64_t seed) {
   config.pressure_rate = 0.5;
   config.stall_rate = 0.2;
   config.poison_rate = 0.2;
+  config.migration_failure_rate = 0.3;
   return config;
 }
 
@@ -179,6 +180,63 @@ TEST(FaultInjectorTest, RatesProduceRoughlyProportionalEventCounts) {
   // 25% +- generous slack.
   EXPECT_GT(stalled, 4000 / 8);
   EXPECT_LT(stalled, 4000 / 2);
+}
+
+TEST(FaultInjectorTest, MigrationDecisionsArePureAndOrderIndependent) {
+  FaultInjector a(FullConfig(77));
+  FaultInjector b(FullConfig(77));
+  // Interrogate `b` backwards first so any hidden state would skew it, then
+  // compare pointwise: every decision is a pure function of its arguments.
+  std::vector<bool> backward(4000);
+  for (uint64_t i = 4000; i-- > 0;) {
+    backward[i] = b.MigrationAttemptFails(i);
+  }
+  for (uint64_t i = 0; i < 4000; ++i) {
+    EXPECT_EQ(a.MigrationAttemptFails(i), backward[i]) << i;
+  }
+}
+
+TEST(FaultInjectorTest, MigrationRateZeroNeverFails) {
+  FaultInjectionConfig config;
+  config.seed = 9;  // enabled, but migration knob untouched (defaults to 0)
+  FaultInjector injector(config);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(injector.MigrationAttemptFails(i));
+  }
+  FaultInjector off;  // disabled entirely
+  EXPECT_FALSE(off.MigrationAttemptFails(0));
+}
+
+TEST(FaultInjectorTest, MigrationRateProducesProportionalFailures) {
+  FaultInjectionConfig config;
+  config.seed = 101;
+  config.migration_failure_rate = 0.25;
+  FaultInjector injector(config);
+  int failed = 0;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    failed += injector.MigrationAttemptFails(i);
+  }
+  EXPECT_GT(failed, 4000 / 8);
+  EXPECT_LT(failed, 4000 / 2);
+}
+
+TEST(FaultInjectorTest, AtIntensityScalesTheMigrationRate) {
+  FaultInjectionConfig low = FaultInjectionConfig::AtIntensity(5, 0.2);
+  FaultInjectionConfig high = FaultInjectionConfig::AtIntensity(5, 1.0);
+  EXPECT_GT(low.migration_failure_rate, 0.0);
+  EXPECT_LT(low.migration_failure_rate, high.migration_failure_rate);
+  // The migration site is distinct from every pre-existing site, so adding
+  // the knob must not perturb the other schedules (bench_faults stability).
+  FaultInjector with(high);
+  FaultInjectionConfig no_migration = high;
+  no_migration.migration_failure_rate = 0.0;
+  FaultInjector without(no_migration);
+  for (uint64_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(with.FaultServiceTime(0, i, 2000), without.FaultServiceTime(0, i, 2000));
+    EXPECT_EQ(with.SwapAttemptFails(i), without.SwapAttemptFails(i));
+    EXPECT_EQ(with.StallsSweepItem(i), without.StallsSweepItem(i));
+    EXPECT_EQ(with.PoisonsSweepItem(i), without.PoisonsSweepItem(i));
+  }
 }
 
 }  // namespace

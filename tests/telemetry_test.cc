@@ -311,6 +311,65 @@ TEST(TelemetryDeterminismTest, SweepMetricsIdenticalAcrossJobsFdjac) {
   ExpectSameDeterministicMetrics("FDJAC");
 }
 
+// ----------------------------------------------- hierarchy.* instrumentation
+
+MetricsSnapshot HierarchySnapshotAtJobs(unsigned jobs) {
+  SetTelemetryEnabled(true);
+  GlobalMetrics().ResetValues();
+  auto cp = CompiledProgram::FromSource(FindWorkload("FDJAC").source, {});
+  EXPECT_TRUE(cp.ok());
+  ThreadPool pool(jobs);
+  SweepScheduler sched(&pool);
+  HierarchySpec shape = HierarchySpec::Parse("nvm:64:60,disk:*:2000").value();
+  FaultInjectionConfig config;
+  config.seed = 17;
+  config.migration_failure_rate = 0.2;
+  FaultInjector injector(config);
+  SimOptions sim;
+  sim.injector = &injector;
+  sched.HierarchyLadder(cp.value().shared_trace(), cp.value().shared_references(), shape,
+                        {"cd-outer", "lru:16", "ws:2000"}, {2000, 200, 20}, sim);
+  MetricsSnapshot snap = GlobalMetrics().Snapshot();
+  SetTelemetryEnabled(false);
+  return snap;
+}
+
+TEST(TelemetryDeterminismTest, HierarchyMetricsIdenticalAcrossJobs) {
+  MetricsSnapshot base = DeterministicOnly(HierarchySnapshotAtJobs(1));
+  ASSERT_FALSE(base.empty());
+  std::string base_text = RenderMetricsText(base);
+  for (unsigned jobs : {4u, 8u}) {
+    MetricsSnapshot snap = DeterministicOnly(HierarchySnapshotAtJobs(jobs));
+    EXPECT_EQ(RenderMetricsText(snap), base_text)
+        << "hierarchy metrics differ at --jobs " << jobs;
+  }
+}
+
+TEST(TelemetryNamesTest, HierarchyFamilyIsRegisteredAndH003Clean) {
+  MetricsSnapshot snap = HierarchySnapshotAtJobs(1);
+  std::vector<std::string> hierarchy_names;
+  auto collect = [&](const auto& rows) {
+    for (const auto& row : rows) {
+      if (row.name.rfind("hierarchy.", 0) == 0) {
+        hierarchy_names.push_back(row.name);
+        EXPECT_EQ(TelemetryNameViolation(row.name), "") << row.name;
+      }
+    }
+  };
+  collect(snap.counters);
+  collect(snap.histograms);
+  // The family's load-bearing members must all have fired in a mixed
+  // LRU/WS/CD ladder with migration injection enabled.
+  for (const char* expected :
+       {"hierarchy.fault_routed", "hierarchy.page_promoted", "hierarchy.page_demoted",
+        "hierarchy.hit_depth", "hierarchy.service_ticks", "hierarchy.demotion_dropped",
+        "hierarchy.migration_retried"}) {
+    EXPECT_NE(std::find(hierarchy_names.begin(), hierarchy_names.end(), expected),
+              hierarchy_names.end())
+        << expected << " never registered";
+  }
+}
+
 }  // namespace
 }  // namespace telem
 }  // namespace cdmm

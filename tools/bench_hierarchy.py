@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Determinism gate + artifact refresh for bench_hierarchy.
+
+Runs `bench_hierarchy` at --jobs 1, 4 and 8, checks the three stdouts are
+byte-identical (the ladder cells are fanned over the thread pool, so any
+divergence means a scheduling-order leak), and writes BENCH_hierarchy.json
+from the --jobs 1 run. When --golden FILE is given, the --jobs 1 stdout must
+also match that committed golden byte-for-byte.
+
+Usage:
+  bench_hierarchy.py --bench build/bench/bench_hierarchy
+                     [--out BENCH_hierarchy.json] [--golden FILE]
+
+Exit: 0 when every comparison agrees, 1 otherwise.
+"""
+
+import argparse
+import subprocess
+import sys
+import tempfile
+import os
+
+
+def run(bench, jobs, json_out=None):
+    cmd = [bench, "--jobs", str(jobs)]
+    if json_out:
+        cmd += ["--json", json_out]
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    if result.returncode != 0:
+        print(f"FAILED ({result.returncode}): {' '.join(cmd)}\n{result.stderr}",
+              file=sys.stderr)
+        sys.exit(1)
+    return result.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--bench", default="build/bench/bench_hierarchy")
+    parser.add_argument("--out", default="BENCH_hierarchy.json")
+    parser.add_argument("--golden", default=None,
+                        help="committed golden stdout the --jobs 1 run must match")
+    args = parser.parse_args()
+
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json", delete=False) as tmp:
+        tmp_json = tmp.name
+    try:
+        baseline = run(args.bench, 1, json_out=tmp_json)
+        mismatched = [jobs for jobs in (4, 8) if run(args.bench, jobs) != baseline]
+        if mismatched:
+            print(f"FAIL: stdout at --jobs {mismatched} differs from --jobs 1",
+                  file=sys.stderr)
+            return 1
+
+        if args.golden:
+            with open(args.golden, encoding="utf-8") as f:
+                golden = f.read()
+            if baseline != golden:
+                print(f"FAIL: stdout differs from the committed golden {args.golden}; "
+                      f"regenerate it with: {args.bench} --jobs 1 > {args.golden}",
+                      file=sys.stderr)
+                return 1
+
+        with open(tmp_json, encoding="utf-8") as f:
+            report = f.read()
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(report)
+    finally:
+        os.unlink(tmp_json)
+
+    golden_note = f", matches {args.golden}" if args.golden else ""
+    print(f"PASS: bench_hierarchy stdout byte-identical at --jobs 1/4/8"
+          f"{golden_note}; wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
