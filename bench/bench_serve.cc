@@ -1,0 +1,300 @@
+// Chaos-soak bench for the cdmm-serve engine (ServerCore). Drives a fixed,
+// seed-derived request schedule through four phases:
+//
+//   warm      one request per shape: compiles the workloads, fills the cache
+//   nominal   mixed traffic dominated by cache hits
+//   overload  bursts whose admission cost exceeds the budget: load shedding
+//   faults    fresh shapes while the deterministic injector poisons/stalls
+//             attempts: retries, poisoned verdicts, circuit breakers
+//   recovery  nominal traffic again; measures how many requests it takes to
+//             stop shedding and how many batches until a shed-free batch
+//
+// Everything the phases count (statuses, retries, breaker transitions, and
+// an FNV-1a fingerprint over every response envelope) is a pure function of
+// (--seed, the schedule) — byte-identical at any --jobs — and prints as the
+// "deterministic" JSON document. Wall-clock results (cached-path requests/s,
+// p50/p99 latency) go into the "runtime" document; tools/bench_serve.py
+// gates on both and writes BENCH_serve.json.
+//
+// Usage: bench_serve [--jobs N] [--seed N] [--deterministic-only] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/flags.h"
+#include "src/exec/thread_pool.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+#include "src/support/str.h"
+#include "src/telemetry/flags.h"
+
+namespace {
+
+using cdmm::ServeRequest;
+using cdmm::ServeResponse;
+using cdmm::ServerCore;
+using cdmm::ServeStats;
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvString(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string HexU64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+ServeRequest Simulate(const std::string& workload, const std::string& policy) {
+  ServeRequest r;
+  r.op = cdmm::ServeOp::kSimulate;
+  r.workload = workload;
+  r.policy = policy;
+  return r;
+}
+
+ServeRequest Ladder(const std::string& workload, const std::string& policy,
+                    uint64_t penalty) {
+  ServeRequest r;
+  r.op = cdmm::ServeOp::kLadderCell;
+  r.workload = workload;
+  r.policy = policy;
+  r.penalty = penalty;
+  return r;
+}
+
+ServeRequest Sweep(const std::string& workload, bool ws) {
+  ServeRequest r;
+  r.op = ws ? cdmm::ServeOp::kSweepWs : cdmm::ServeOp::kSweepOpt;
+  r.workload = workload;
+  return r;
+}
+
+struct PhaseDelta {
+  std::string name;
+  ServeStats before;
+  ServeStats after;
+
+  uint64_t d(uint64_t ServeStats::*field) const { return after.*field - before.*field; }
+
+  std::string Json() const {
+    return cdmm::StrCat(
+        "{\"phase\":\"", name, "\",\"received\":", d(&ServeStats::received),
+        ",\"completed\":", d(&ServeStats::completed),
+        ",\"cache_hits\":", d(&ServeStats::cache_hits),
+        ",\"shed\":", d(&ServeStats::shed),
+        ",\"quarantined\":", d(&ServeStats::quarantined),
+        ",\"timeouts\":", d(&ServeStats::timeouts),
+        ",\"poisoned\":", d(&ServeStats::poisoned),
+        ",\"errors\":", d(&ServeStats::errors),
+        ",\"retries\":", d(&ServeStats::retries),
+        ",\"breaker_opens\":", d(&ServeStats::breaker_opens),
+        ",\"breaker_closes\":", d(&ServeStats::breaker_closes), "}");
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+  cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_serve");
+  uint64_t seed = 7;
+  bool deterministic_only = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--deterministic-only") {
+      deterministic_only = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_serve [--jobs N] [--seed N] [--deterministic-only] "
+                   "[--out FILE]\n";
+      return 2;
+    }
+  }
+
+  std::unique_ptr<cdmm::ThreadPool> pool;
+  if (jobs > 1) {
+    pool = std::make_unique<cdmm::ThreadPool>(jobs);
+  }
+
+  cdmm::ServeLimits limits;
+  limits.admit_budget = 32;
+  limits.breaker_threshold = 3;
+  limits.breaker_cooldown = 6;
+  limits.max_attempts = 3;
+  limits.injection = cdmm::FaultInjectionConfig::AtIntensity(seed, 1.0);
+  // The soak exercises the serve-layer fates only: request stalls, poisoned
+  // attempts and the backoff schedule. The simulated machines stay nominal.
+  limits.injection.stall_rate = 0.05;
+  limits.injection.poison_rate = 0.30;
+  ServerCore core(pool.get(), limits);
+
+  uint64_t response_fp = kFnvOffset;
+  auto run_batch = [&](const std::vector<ServeRequest>& batch) {
+    for (const ServeResponse& response : core.HandleBatch(batch)) {
+      response_fp = FnvString(response_fp, response.ToJson());
+    }
+  };
+
+  const std::vector<std::string> workloads = {"FDJAC", "TQL", "INIT"};
+  const std::vector<std::string> policies = {"lru:16", "ws:500", "fifo:24"};
+
+  // ---- warm: one request per shape; fills the compile and result caches.
+  PhaseDelta warm{"warm", core.stats(), {}};
+  {
+    std::vector<ServeRequest> batch;
+    for (const std::string& w : workloads) {
+      for (const std::string& p : policies) {
+        batch.push_back(Simulate(w, p));
+      }
+      batch.push_back(Sweep(w, /*ws=*/true));
+      batch.push_back(Sweep(w, /*ws=*/false));
+      run_batch(batch);
+      batch.clear();
+    }
+  }
+  warm.after = core.stats();
+
+  // ---- nominal: small batches, mostly repeats (cache hits).
+  PhaseDelta nominal{"nominal", core.stats(), {}};
+  for (int round = 0; round < 12; ++round) {
+    std::vector<ServeRequest> batch;
+    for (int k = 0; k < 8; ++k) {
+      const std::string& w = workloads[(round + k) % workloads.size()];
+      const std::string& p = policies[k % policies.size()];
+      batch.push_back(Simulate(w, p));
+    }
+    batch.push_back(Sweep(workloads[round % workloads.size()], round % 2 == 0));
+    run_batch(batch);
+  }
+  nominal.after = core.stats();
+
+  // ---- overload: bursts of fresh ladder cells whose summed admission cost
+  // blows through the budget; the controller must shed, not crash.
+  PhaseDelta overload{"overload", core.stats(), {}};
+  for (int burst = 0; burst < 2; ++burst) {
+    std::vector<ServeRequest> batch;
+    for (int k = 0; k < 40; ++k) {
+      batch.push_back(
+          Ladder("FDJAC", "lru:16", 100 + static_cast<uint64_t>(burst * 40 + k)));
+    }
+    run_batch(batch);
+  }
+  overload.after = core.stats();
+
+  // ---- faults: fresh shapes under injected stalls/poisons — retries, the
+  // poisoned verdict, breaker opens for persistently failing shapes.
+  PhaseDelta faults{"faults", core.stats(), {}};
+  for (int round = 0; round < 6; ++round) {
+    std::vector<ServeRequest> batch;
+    for (int k = 0; k < 6; ++k) {
+      batch.push_back(Simulate(workloads[k % workloads.size()],
+                               cdmm::StrCat("opt:", 8 + round * 6 + k)));
+    }
+    // A deliberately failing shape in every round feeds the breaker.
+    batch.push_back(Simulate("FDJAC", "no-such-policy"));
+    run_batch(batch);
+  }
+  faults.after = core.stats();
+
+  // ---- recovery: nominal traffic again; count how long shedding persists.
+  PhaseDelta recovery{"recovery", core.stats(), {}};
+  uint64_t recovery_requests = 0;
+  bool recovered = !core.shedding();
+  int recovery_batches = -1;
+  for (int round = 0; round < 12; ++round) {
+    std::vector<ServeRequest> batch;
+    for (int k = 0; k < 8; ++k) {
+      batch.push_back(
+          Simulate(workloads[k % workloads.size()], policies[(round + k) % policies.size()]));
+    }
+    ServeStats before = core.stats();
+    run_batch(batch);
+    if (!recovered) {
+      uint64_t shed_now = core.stats().shed - before.shed;
+      recovery_requests += batch.size();
+      if (shed_now == 0 && !core.shedding()) {
+        recovered = true;
+        recovery_batches = round + 1;
+      }
+    }
+  }
+  recovery.after = core.stats();
+
+  std::string deterministic = cdmm::StrCat(
+      "{\"seed\":", seed, ",\"phases\":[", warm.Json(), ",", nominal.Json(), ",",
+      overload.Json(), ",", faults.Json(), ",", recovery.Json(),
+      "],\"recovery_requests\":", recovery_requests,
+      ",\"recovery_batches\":", recovery_batches,
+      ",\"response_fingerprint\":\"0x", HexU64(response_fp), "\"}");
+
+  if (deterministic_only) {
+    std::cout << deterministic << "\n";
+    return 0;
+  }
+
+  // ---- runtime: cached-path throughput and per-request latency. All
+  // requests below are cache hits; the >=10k req/s gate lives here.
+  const int kCachedRequests = 20000;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(kCachedRequests);
+  ServeRequest hot = Simulate("FDJAC", "lru:16");
+  auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kCachedRequests; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    ServeResponse r = core.Handle(hot);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!r.cached) {
+      std::cerr << "cached-path request was not served from cache\n";
+      return 1;
+    }
+    latencies_us.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() / 1000.0);
+  }
+  double wall_s = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count() /
+                  1e9;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  double rps = wall_s > 0 ? kCachedRequests / wall_s : 0;
+  double p50 = latencies_us[latencies_us.size() / 2];
+  double p99 = latencies_us[latencies_us.size() * 99 / 100];
+
+  std::string runtime = cdmm::StrCat(
+      "{\"jobs\":", jobs == 0 ? cdmm::ThreadPool::DefaultConcurrency() : jobs,
+      ",\"cached_requests\":", kCachedRequests,
+      ",\"cached_rps\":", cdmm::FormatFixed(rps, 0),
+      ",\"p50_us\":", cdmm::FormatFixed(p50, 2),
+      ",\"p99_us\":", cdmm::FormatFixed(p99, 2),
+      ",\"wall_ms\":", cdmm::FormatFixed(wall_s * 1000.0, 1), "}");
+
+  std::string doc = cdmm::StrCat("{\"bench\":\"serve\",\"deterministic\":", deterministic,
+                                 ",\"runtime\":", runtime, "}");
+  std::cout << doc << "\n";
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << doc << "\n";
+    if (!out) {
+      std::cerr << "failed to write " << out_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -73,6 +73,7 @@
 #include "src/exec/sweep_scheduler.h"
 #include "src/robust/fault_injector.h"
 #include "src/support/build_info.h"
+#include "src/support/interrupt.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 #include "src/telemetry/flags.h"
@@ -168,7 +169,10 @@ int PrintHelp(const char* argv0, std::ostream& out) {
          "  1  input error: unreadable file, parse/semantic failure, bad trace\n"
          "  2  usage error: unknown option, unknown policy spec, malformed value\n"
          "  3  partial results: some --simulate items timed out or failed\n"
-         "  4  lint diagnostics reported (--lint on a source with findings)\n";
+         "  4  lint diagnostics reported (--lint on a source with findings)\n"
+         "  130/143  interrupted (128 + SIGINT/SIGTERM): remaining stages are\n"
+         "           skipped, completed rows stay printed, and --metrics-out /\n"
+         "           --trace-spans sidecars are flushed before exiting\n";
   return 0;
 }
 
@@ -192,6 +196,10 @@ void AddResultRow(const SimResult& r, TextTable* table) {
 int RunPolicies(const CliOptions& cli, const Trace& full, const Trace& refs,
                 const SweepScheduler& sched, TextTable* table, std::ostream& err) {
   const std::vector<std::string>& specs = cli.simulate;
+  if (InterruptRequested()) {
+    err << "interrupted: skipping " << specs.size() << " --simulate spec(s)\n";
+    return 3;
+  }
   if (cli.injector == nullptr && cli.deadline_ms == 0) {
     // Nominal strict path, bit-identical to the pre-robustness driver.
     std::vector<std::optional<SimResult>> results = sched.Map<std::optional<SimResult>>(
@@ -249,6 +257,10 @@ int RunSweeps(const CliOptions& cli, const SweepScheduler& sched,
   for (const Kind& kind : {Kind{"ws", want_ws}, Kind{"opt", want_opt}}) {
     if (!kind.wanted) {
       continue;
+    }
+    if (InterruptRequested()) {
+      err << "interrupted: skipping sweep " << kind.name << "\n";
+      return 3;
     }
     auto start = std::chrono::steady_clock::now();
     std::vector<SweepPoint> points =
@@ -402,6 +414,7 @@ int Run(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
 }  // namespace
 
 int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
+  InstallInterruptHandlers();
   unsigned jobs = ParseJobsFlag(&argc, argv);
   SweepEngine engine = ParseSweepEngineFlag(&argc, argv);
   telem::TelemetryFlags tflags = telem::ParseTelemetryFlags(&argc, argv);
@@ -535,8 +548,14 @@ int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
   telem::ConfigureTelemetry(tflags);
   int code = cli.trace_in.empty() ? Run(cli, sched, out, err)
                                   : RunFromTrace(cli, sched, out, err);
+  // The sidecars flush before the signal translates into the exit code, so a
+  // SIGTERM'd run still leaves schema-valid metrics behind.
   if (tflags.any() && !telem::EmitTelemetry(tflags, "cdmmc", out, err) && code == 0) {
     code = 1;
+  }
+  if (int signo = InterruptSignal(); signo != 0) {
+    err << "interrupted by signal " << signo << "; telemetry flushed\n";
+    code = 128 + signo;
   }
   return code;
 }

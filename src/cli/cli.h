@@ -11,6 +11,9 @@
 //   4  lint diagnostics: --lint reported at least one warning or error
 //      (parse failures under --lint still exit 1; see src/cli/lint_cli.h
 //      for the standalone cdmm-lint tool sharing this contract)
+//   128+signo  interrupted: a SIGINT (130) or SIGTERM (143) arrived mid-run;
+//      remaining stages are skipped, completed output stays printed, and the
+//      --metrics-out/--trace-spans sidecars are flushed before exiting
 #ifndef CDMM_SRC_CLI_CLI_H_
 #define CDMM_SRC_CLI_CLI_H_
 

@@ -36,6 +36,7 @@
 #include "src/lint/telemetry_names.h"
 #include "src/os/multiprog.h"
 #include "src/robust/fault_injector.h"
+#include "src/serve/server.h"
 #include "src/telemetry/telemetry.h"
 #include "src/vm/policy_spec.h"
 #include "src/workloads/workloads.h"
@@ -183,6 +184,76 @@ int LintTelemetryRegistry(const LintCliOptions& opt, std::ostream& out, std::ost
   os.injector = &injector;
   std::vector<OsProcessSpec> specs = {{"A", full.get(), 1}, {"B", full.get(), 0}};
   RunMultiprogrammedCd(specs, os);
+
+  // The serve engine: drive the cache, admission, breaker and drain paths so
+  // the serve.* names reach the H003 check.
+  {
+    ServeLimits limits;
+    limits.admit_budget = 4;
+    limits.drain_per_request = 0;
+    limits.breaker_threshold = 1;
+    limits.breaker_cooldown = 1;
+    ServerCore serve(&pool, limits);
+    auto simulate = [](const char* policy) {
+      ServeRequest r;
+      r.op = ServeOp::kSimulate;
+      r.workload = "FDJAC";
+      r.policy = policy;
+      return r;
+    };
+    serve.Handle(simulate("lru:16"));          // compile, cache miss, completed
+    serve.Handle(simulate("lru:16"));          // cache hit
+    serve.Handle(simulate("no-such-policy"));  // failure opens the breaker
+    serve.Handle(simulate("no-such-policy"));  // quarantined
+    serve.Handle(simulate("no-such-policy"));  // half-open probe, fails again
+    serve.HandleBatch({simulate("lru:8"), simulate("lru:9"),
+                       simulate("lru:10")});   // backlog over budget: shed
+    serve.HandleBatchRaw({"not json"});        // rejected
+    serve.BeginDrain();
+    serve.Handle(simulate("lru:16"));          // drained
+  }
+  {
+    // Injected fates: a stalling core (timeout path) and a poisoned-then-
+    // clean core whose recovered probe closes its breaker.
+    ServeRequest request;
+    request.op = ServeOp::kSimulate;
+    request.workload = "FDJAC";
+    request.policy = "lru:16";
+
+    ServeLimits stall;
+    stall.injection.seed = 7;
+    stall.injection.stall_rate = 1.0;
+    ServerCore stalled(&pool, stall);
+    stalled.Handle(request);
+
+    ServeLimits always;
+    always.max_attempts = 2;
+    always.injection.seed = 7;
+    always.injection.poison_rate = 1.0;
+    ServerCore poisoned(&pool, always);
+    poisoned.Handle(request);  // retry scheduled, then kPoisoned
+
+    FaultInjectionConfig transient;
+    transient.poison_rate = 0.5;
+    uint64_t seed = 0;
+    for (uint64_t s = 1; s < 10000 && seed == 0; ++s) {
+      transient.seed = s;
+      FaultInjector probe(transient);
+      if (probe.PoisonsSweepItem(0) && !probe.PoisonsSweepItem(16)) seed = s;
+    }
+    if (seed != 0) {
+      ServeLimits recover;
+      recover.breaker_threshold = 1;
+      recover.breaker_cooldown = 1;
+      recover.max_attempts = 1;
+      recover.injection = transient;
+      recover.injection.seed = seed;
+      ServerCore recovering(&pool, recover);
+      recovering.Handle(request);  // poisoned: breaker opens
+      recovering.Handle(request);  // quarantined
+      recovering.Handle(request);  // clean probe: breaker closes
+    }
+  }
 
   std::vector<std::string> names = telem::GlobalMetrics().Names();
   std::vector<Diagnostic> diags = LintTelemetryNames(names);

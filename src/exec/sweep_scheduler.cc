@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/support/check.h"
+#include "src/support/interrupt.h"
 #include "src/vm/policy_spec.h"
 #include "src/vm/working_set.h"
 
@@ -25,6 +26,11 @@ CancelToken CancelToken::PreExpired() {
 
 bool CancelToken::Expired() const {
   if (cancelled_->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  // A latched SIGINT/SIGTERM expires every token: in-flight deadline-aware
+  // work unwinds into ordered partial results instead of being killed.
+  if (InterruptRequested()) {
     return true;
   }
   return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;

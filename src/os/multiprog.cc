@@ -7,6 +7,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "src/robust/load_controller.h"
 #include "src/support/check.h"
 #include "src/support/str.h"
 #include "src/telemetry/telemetry.h"
@@ -102,7 +103,11 @@ class OsSimulator {
   OsSimulator(const std::vector<OsProcessSpec>& specs, const OsOptions& options,
               OsPolicyMode mode, uint64_t ws_tau = 0)
       : options_(options), mode_(mode), injector_(options.injector),
-        pool_free_(options.total_frames) {
+        pool_free_(options.total_frames),
+        load_controller_(LoadControllerConfig{options.thrash_window,
+                                              options.thrash_cpu_low,
+                                              options.thrash_cpu_high,
+                                              options.thrash_fault_rate}) {
     if (injector_ != nullptr && !injector_->enabled()) {
       injector_ = nullptr;
     }
@@ -365,25 +370,23 @@ class OsSimulator {
   }
 
   // ---- Thrashing detector: windowed CPU utilisation + fault rate with
-  // hysteresis, driving suspend (load shedding) and readmit.
+  // hysteresis, driving suspend (load shedding) and readmit. The window
+  // arithmetic and watermark comparison live in the shared LoadController
+  // (src/robust/load_controller.h), which the serve admission path reuses.
 
   void MaybeLoadControl() {
-    if (!options_.load_control || clock_ - lc_window_start_ < options_.thrash_window) {
+    if (!options_.load_control) {
+      return;
+    }
+    LoadController::WindowDecision decision =
+        load_controller_.EvaluateTotals(clock_, executed_ticks_, faults_total_);
+    if (!decision.evaluated) {
       return;
     }
     TELEM_COUNT("os.thrash_window_evaluated");
-    uint64_t span = clock_ - lc_window_start_;
-    uint64_t executed = executed_ticks_ - lc_executed_start_;
-    uint64_t faulted = faults_total_ - lc_faults_start_;
-    double util = static_cast<double>(executed) / static_cast<double>(span);
-    double fault_rate =
-        executed == 0 ? 1.0 : static_cast<double>(faulted) / static_cast<double>(executed);
-    lc_window_start_ = clock_;
-    lc_executed_start_ = executed_ticks_;
-    lc_faults_start_ = faults_total_;
-    if (util < options_.thrash_cpu_low && fault_rate > options_.thrash_fault_rate) {
+    if (decision.action == LoadAction::kShed) {
       SuspendForLoadControl();
-    } else if (util > options_.thrash_cpu_high) {
+    } else if (decision.action == LoadAction::kReadmit) {
       ReadmitForLoadControl();
     }
   }
@@ -802,9 +805,7 @@ class OsSimulator {
   uint64_t swap_device_failures_ = 0;
   uint64_t swap_retries_exhausted_ = 0;
   uint64_t lc_suspensions_ = 0;
-  uint64_t lc_window_start_ = 0;
-  uint64_t lc_executed_start_ = 0;
-  uint64_t lc_faults_start_ = 0;
+  LoadController load_controller_;
   uint32_t phantom_reserved_ = 0;
   uint32_t phantom_peak_ = 0;
   uint64_t phantom_next_check_ = 0;

@@ -1,0 +1,67 @@
+#include "src/robust/backoff.h"
+
+#include <algorithm>
+
+#include "src/support/rng.h"
+
+namespace cdmm {
+namespace {
+
+// Distinct from every FaultInjector site constant (0x51..0x59) so a serve
+// retry schedule never correlates with injected fault decisions.
+constexpr uint64_t kSiteBackoffJitter = 0x5a;
+
+// Same construction as FaultInjector::UnitAt: one SplitMix64 step per mixed
+// word, integer arithmetic only, identical across platforms and threads.
+double UnitAt(uint64_t seed, uint64_t site, uint64_t a, uint64_t b) {
+  SplitMix64 rng(seed ^ (site * 0x9e3779b97f4a7c15ULL));
+  rng.Next();
+  SplitMix64 mixed(rng.Next() ^ (a * 0xbf58476d1ce4e5b9ULL) ^ (b * 0x94d049bb133111ebULL));
+  mixed.Next();
+  return mixed.NextDouble();
+}
+
+}  // namespace
+
+BackoffPolicy BackoffPolicy::FromInjectorConfig(const FaultInjectionConfig& config) {
+  BackoffPolicy policy;
+  policy.base = std::max<uint64_t>(config.swap_backoff_base, 1);
+  policy.max_retries = std::max(config.max_swap_retries, 0);
+  int last = policy.max_retries > 0 ? policy.max_retries - 1 : 0;
+  // Avoid the shift overflowing for absurd retry budgets.
+  policy.cap = last >= 63 ? UINT64_MAX : policy.base << last;
+  policy.seed = config.seed;
+  return policy;
+}
+
+uint64_t BackoffPolicy::Delay(uint64_t stream, int attempt) const {
+  if (attempt < 0 || attempt >= max_retries || base == 0) {
+    return 0;
+  }
+  // Unjittered doubling, clamped: min(base << attempt, cap).
+  uint64_t step = attempt >= 63 ? cap : std::min<uint64_t>(base << attempt, cap);
+  if (seed == 0) {
+    return step;
+  }
+  // Jitter widens the step by up to one whole step, then re-clamps to the
+  // cap. Monotonicity survives: below the cap the jittered value stays under
+  // the next doubling (step * (1 + u) < 2 * step <= next step), and once any
+  // value reaches the cap every later one is exactly the cap.
+  double u = UnitAt(seed, kSiteBackoffJitter, stream, static_cast<uint64_t>(attempt));
+  uint64_t widened = step + static_cast<uint64_t>(u * static_cast<double>(step));
+  return std::min(widened, cap);
+}
+
+uint64_t BackoffPolicy::TotalDelay(uint64_t stream) const {
+  uint64_t total = 0;
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    total += Delay(stream, attempt);
+  }
+  return total;
+}
+
+uint64_t BackoffPolicy::WorstCase() const {
+  return static_cast<uint64_t>(std::max(max_retries, 0)) * cap;
+}
+
+}  // namespace cdmm

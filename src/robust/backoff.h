@@ -1,0 +1,51 @@
+// Bounded-exponential retry backoff with deterministic jitter — the
+// FaultInjector backoff discipline (swap_backoff_base doubled per attempt,
+// bounded by max_swap_retries) packaged as a pure schedule that cdmm-serve
+// uses for transiently failed request attempts.
+//
+// Guarantees, proven by the property tests in tests/robust_test.cc and
+// tests/property_test.cc:
+//  - purity: Delay(stream, attempt) is a pure function of
+//    (seed, stream, attempt) — bit-identical for equal seeds at any --jobs,
+//    in any call order;
+//  - bounded: every delay <= cap, so a full retry budget waits at most
+//    max_retries * cap;
+//  - monotone: for a fixed stream, delays never decrease with the attempt
+//    number, jitter included (jitter widens a step but never past the next
+//    doubling or the cap).
+#ifndef CDMM_SRC_ROBUST_BACKOFF_H_
+#define CDMM_SRC_ROBUST_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/robust/fault_injector.h"
+
+namespace cdmm {
+
+struct BackoffPolicy {
+  uint64_t base = 250;  // delay before the first retry (ticks)
+  uint64_t cap = 4000;  // per-attempt clamp; also the monotone ceiling
+  int max_retries = 4;  // attempts after the first try
+  uint64_t seed = 0;    // 0 = deterministic unjittered doubling
+
+  // The same knobs the OS swap-retry path reads from the injector config:
+  // base = swap_backoff_base, retry budget = max_swap_retries, cap = the
+  // budget's final unjittered doubling (so jitter never exceeds the
+  // schedule the OS would have waited out).
+  static BackoffPolicy FromInjectorConfig(const FaultInjectionConfig& config);
+
+  // Delay in ticks before retry `attempt` (0-based) of `stream`. Attempts
+  // at or beyond max_retries return 0: the retry budget is exhausted and no
+  // further wait is scheduled.
+  uint64_t Delay(uint64_t stream, int attempt) const;
+
+  // Sum of every delay a fully failing stream waits out; <= WorstCase().
+  uint64_t TotalDelay(uint64_t stream) const;
+
+  // The bound the property tests assert: max_retries * cap.
+  uint64_t WorstCase() const;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_ROBUST_BACKOFF_H_

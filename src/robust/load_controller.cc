@@ -1,0 +1,36 @@
+#include "src/robust/load_controller.h"
+
+namespace cdmm {
+
+LoadAction LoadController::Evaluate(double health, double pressure) {
+  if (health < config_.health_low && pressure > config_.pressure_high) {
+    shedding_ = true;
+    return LoadAction::kShed;
+  }
+  if (health > config_.health_high) {
+    shedding_ = false;
+    return LoadAction::kReadmit;
+  }
+  return LoadAction::kNone;
+}
+
+LoadController::WindowDecision LoadController::EvaluateTotals(uint64_t clock,
+                                                              uint64_t executed_total,
+                                                              uint64_t pressure_total) {
+  uint64_t span = clock - window_start_;
+  if (span < config_.window || span == 0) {
+    return {};
+  }
+  uint64_t executed = executed_total - executed_start_;
+  uint64_t pressured = pressure_total - pressure_start_;
+  double health = static_cast<double>(executed) / static_cast<double>(span);
+  double pressure = executed == 0
+                        ? 1.0
+                        : static_cast<double>(pressured) / static_cast<double>(executed);
+  window_start_ = clock;
+  executed_start_ = executed_total;
+  pressure_start_ = pressure_total;
+  return {true, Evaluate(health, pressure)};
+}
+
+}  // namespace cdmm

@@ -1,0 +1,79 @@
+// The thrashing/load-control hysteresis extracted from the multiprogrammed
+// OS (src/os/multiprog.cc) into a standalone, unit-testable decision engine,
+// reused verbatim by the cdmm-serve admission controller.
+//
+// The controller watches a scalar "health" signal (OS: windowed CPU
+// utilisation; serve: free admission-budget fraction) plus a "pressure"
+// signal (OS: faults per executed reference; serve: backlog/budget) and
+// answers one question per evaluation: shed load, readmit, or do nothing.
+// Hysteresis lives in the gap between the two health watermarks — shedding
+// starts only below `health_low` (with pressure above `pressure_high`),
+// readmission only above `health_high` — so a signal oscillating inside the
+// band never flaps.
+//
+// Decisions are pure functions of the fed totals: same feed, same decisions,
+// regardless of thread count or wall-clock, which is what keeps the OS
+// simulation and the serve chaos soak deterministic.
+#ifndef CDMM_SRC_ROBUST_LOAD_CONTROLLER_H_
+#define CDMM_SRC_ROBUST_LOAD_CONTROLLER_H_
+
+#include <cstdint>
+
+namespace cdmm {
+
+enum class LoadAction : uint8_t { kNone, kShed, kReadmit };
+
+struct LoadControllerConfig {
+  // Minimum ticks between windowed evaluations (EvaluateTotals). 0 means
+  // every sample is evaluated (the serve admission path).
+  uint64_t window = 4096;
+  // Shed when health < health_low AND pressure > pressure_high.
+  double health_low = 0.40;
+  // Readmit when health > health_high. The (health_low, health_high] band is
+  // the hysteresis: inside it the controller holds its last state.
+  double health_high = 0.60;
+  double pressure_high = 0.002;
+};
+
+class LoadController {
+ public:
+  LoadController() = default;
+  explicit LoadController(const LoadControllerConfig& config) : config_(config) {}
+
+  const LoadControllerConfig& config() const { return config_; }
+
+  // Direct form: evaluates one (health, pressure) sample immediately.
+  LoadAction Evaluate(double health, double pressure);
+
+  // Outcome of a windowed evaluation: `evaluated` distinguishes "between
+  // window boundaries" from "evaluated, nothing to do" (the OS counts
+  // evaluated windows in telemetry).
+  struct WindowDecision {
+    bool evaluated = false;
+    LoadAction action = LoadAction::kNone;
+  };
+
+  // Windowed cumulative-counter form — the OS thrashing detector. `clock`,
+  // `executed_total` and `pressure_total` are monotone run totals; between
+  // window boundaries nothing is evaluated. At a boundary the deltas since
+  // the previous evaluation become health = executed/span and pressure =
+  // faulted/executed (1.0 when nothing executed: a fully stalled window is
+  // maximal pressure), and the snapshot advances.
+  WindowDecision EvaluateTotals(uint64_t clock, uint64_t executed_total,
+                                uint64_t pressure_total);
+
+  // Sticky view of the last state change: true from the last kShed until the
+  // next kReadmit. The serve admission controller gates on this.
+  bool shedding() const { return shedding_; }
+
+ private:
+  LoadControllerConfig config_;
+  bool shedding_ = false;
+  uint64_t window_start_ = 0;
+  uint64_t executed_start_ = 0;
+  uint64_t pressure_start_ = 0;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_ROBUST_LOAD_CONTROLLER_H_

@@ -1,0 +1,224 @@
+#include "src/serve/daemon.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <ostream>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "src/support/interrupt.h"
+#include "src/telemetry/telemetry.h"
+
+namespace cdmm {
+namespace {
+
+struct Client {
+  int fd = -1;
+  std::string buffer;  // bytes read, frames not yet consumed
+  size_t pos = 0;      // DecodeFrame cursor into buffer
+};
+
+// Writes all of `data`, riding out EINTR and short writes. False = peer gone.
+bool WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(ServerCore* core, DaemonOptions options)
+    : core_(core), options_(std::move(options)) {}
+
+int ServeDaemon::Run(std::ostream& err) {
+  // A dead peer must surface as a write() error, not a process-killing
+  // SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    err << "socket path too long: " << options_.socket_path << "\n";
+    return 1;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    err << "socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  ::unlink(options_.socket_path.c_str());  // replace a stale socket file
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 16) < 0) {
+    err << "bind/listen " << options_.socket_path << ": " << std::strerror(errno)
+        << "\n";
+    ::close(listener);
+    return 1;
+  }
+  err << "cdmm-serve listening on " << options_.socket_path << "\n";
+
+  std::vector<Client> clients;
+  uint64_t served_connections = 0;
+  bool listening = true;
+  int exit_code = 0;
+
+  auto close_client = [&](size_t index) {
+    ::close(clients[index].fd);
+    clients.erase(clients.begin() + static_cast<long>(index));
+    ++served_connections;
+    TELEM_COUNT_RT("serve.connection_closed");
+  };
+
+  while (true) {
+    if (int signo = InterruptSignal(); signo != 0) {
+      // Graceful drain: stop accepting, answer every frame already buffered
+      // (status "draining" once the core is in drain), close the
+      // connections, and return the cdmmc-style interrupt code so the
+      // caller can flush telemetry before exiting.
+      core_->BeginDrain();
+      err << "interrupted by signal " << signo << "; draining\n";
+      exit_code = 128 + signo;
+      if (listening) {
+        ::close(listener);
+        listening = false;
+      }
+      for (size_t i = clients.size(); i-- > 0;) {
+        Client& client = clients[i];
+        std::vector<std::string> payloads;
+        while (true) {
+          Result<std::optional<std::string>> frame =
+              DecodeFrame(client.buffer, &client.pos);
+          if (!frame.ok() || !frame.value().has_value()) {
+            break;
+          }
+          payloads.push_back(std::move(*frame.value()));
+        }
+        if (!payloads.empty()) {
+          for (const ServeResponse& response : core_->HandleBatchRaw(payloads)) {
+            if (!WriteAll(client.fd, EncodeFrame(response.ToJson()))) {
+              break;
+            }
+          }
+        }
+        close_client(i);
+      }
+      break;
+    }
+    if (options_.max_connections > 0 && served_connections >= options_.max_connections &&
+        clients.empty()) {
+      break;
+    }
+
+    std::vector<pollfd> fds;
+    if (listening) {
+      fds.push_back(pollfd{listener, POLLIN, 0});
+    }
+    for (const Client& client : clients) {
+      fds.push_back(pollfd{client.fd, POLLIN, 0});
+    }
+    if (fds.empty()) {
+      break;
+    }
+    // A finite timeout keeps the latch polled even on an idle socket
+    // (sigaction installs without SA_RESTART, but a signal can land just
+    // before poll blocks).
+    int ready = ::poll(fds.data(), fds.size(), 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      err << "poll: " << std::strerror(errno) << "\n";
+      exit_code = exit_code != 0 ? exit_code : 1;
+      break;
+    }
+
+    size_t base = 0;
+    if (listening) {
+      if ((fds[0].revents & POLLIN) != 0) {
+        int fd = ::accept(listener, nullptr, nullptr);
+        if (fd >= 0) {
+          clients.push_back(Client{fd, std::string(), 0});
+          TELEM_COUNT_RT("serve.connection_accepted");
+        }
+      }
+      base = 1;
+    }
+
+    for (size_t i = clients.size(); i-- > 0;) {
+      short revents = fds[base + i].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      Client& client = clients[i];
+      char chunk[4096];
+      ssize_t n = ::read(client.fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n <= 0) {
+        close_client(i);
+        continue;
+      }
+      client.buffer.append(chunk, static_cast<size_t>(n));
+
+      // Consume every complete frame; answer them as one batch so the pool
+      // sees the whole burst at once.
+      std::vector<std::string> payloads;
+      bool framing_ok = true;
+      while (true) {
+        Result<std::optional<std::string>> frame =
+            DecodeFrame(client.buffer, &client.pos);
+        if (!frame.ok()) {
+          err << "client framing error: " << frame.error().ToString() << "\n";
+          framing_ok = false;
+          break;
+        }
+        if (!frame.value().has_value()) {
+          break;
+        }
+        payloads.push_back(std::move(*frame.value()));
+      }
+      if (client.pos > 0) {
+        client.buffer.erase(0, client.pos);
+        client.pos = 0;
+      }
+
+      bool write_ok = true;
+      if (!payloads.empty()) {
+        std::vector<ServeResponse> responses = core_->HandleBatchRaw(payloads);
+        for (const ServeResponse& response : responses) {
+          if (!WriteAll(client.fd, EncodeFrame(response.ToJson()))) {
+            write_ok = false;
+            break;
+          }
+        }
+      }
+      if (!framing_ok || !write_ok) {
+        close_client(i);
+      }
+    }
+  }
+
+  for (const Client& client : clients) {
+    ::close(client.fd);
+  }
+  if (listening) {
+    ::close(listener);
+  }
+  ::unlink(options_.socket_path.c_str());
+  return exit_code;
+}
+
+}  // namespace cdmm

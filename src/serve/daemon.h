@@ -1,0 +1,52 @@
+// ServeDaemon: the AF_UNIX transport in front of ServerCore. A poll-driven
+// accept loop reads length-prefixed JSON frames (src/serve/protocol.h) from
+// any number of concurrent clients, hands each client's complete frames to
+// ServerCore::HandleBatchRaw (which fans them out over the thread pool), and
+// writes the response frames back in request order.
+//
+// Robustness contract:
+//  - malformed frames (oversized length prefix, bad JSON, unknown ops) are
+//    answered with structured "error" envelopes or, for unparseable framing,
+//    by closing that one connection — never by exiting;
+//  - SIGINT/SIGTERM (the src/support/interrupt latch) triggers a graceful
+//    drain: the listener closes, frames already read are answered, new
+//    frames get status "draining", and Run returns 128+signo so the caller
+//    can flush telemetry sidecars before exiting with the cdmmc-style
+//    interrupt code;
+//  - a client disconnecting mid-batch only drops that client's responses.
+#ifndef CDMM_SRC_SERVE_DAEMON_H_
+#define CDMM_SRC_SERVE_DAEMON_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/serve/server.h"
+#include "src/support/result.h"
+
+namespace cdmm {
+
+struct DaemonOptions {
+  std::string socket_path;
+  // Exit after serving this many connections (0 = run until interrupted).
+  // The smoke tests use --once (= 1) to get a clean natural exit.
+  uint64_t max_connections = 0;
+};
+
+class ServeDaemon {
+ public:
+  ServeDaemon(ServerCore* core, DaemonOptions options);
+
+  // Binds, listens and serves until interrupted (or until max_connections
+  // have disconnected). Returns the process exit code: 0 for a natural
+  // finish, 1 for setup failures (bind/listen), 128+signo after a drain.
+  // Progress and errors go to `err`.
+  int Run(std::ostream& err);
+
+ private:
+  ServerCore* core_;
+  DaemonOptions options_;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SERVE_DAEMON_H_

@@ -1,0 +1,418 @@
+#include "src/serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/support/str.h"
+
+namespace cdmm {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Number(uint64_t u) { return Number(static_cast<double>(u)); }
+JsonValue JsonValue::Number(int64_t i) { return Number(static_cast<double>(i)); }
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+uint64_t JsonValue::AsU64() const {
+  if (number_ <= 0.0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(number_);
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(const std::string& key, const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : fallback;
+}
+
+uint64_t JsonValue::GetU64(const std::string& key, uint64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsU64() : fallback;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->AsBool() : fallback;
+}
+
+void JsonValue::Append(JsonValue v) {
+  CDMM_CHECK(kind_ == Kind::kArray);
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  CDMM_CHECK(kind_ == Kind::kObject);
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberInto(double d, std::string* out) {
+  // Integral values (the overwhelming majority of protocol numbers) print
+  // exactly; everything else gets round-trippable %.17g.
+  if (d >= 0 && d <= 9.007199254740992e15 && d == std::floor(d)) {
+    *out += StrCat(static_cast<uint64_t>(d));
+    return;
+  }
+  if (d < 0 && d >= -9.007199254740992e15 && d == std::floor(d)) {
+    *out += StrCat(static_cast<int64_t>(d));
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+void DumpInto(const JsonValue& v, std::string* out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: *out += "null"; break;
+    case JsonValue::Kind::kBool: *out += v.AsBool() ? "true" : "false"; break;
+    case JsonValue::Kind::kNumber: NumberInto(v.AsDouble(), out); break;
+    case JsonValue::Kind::kString: EscapeInto(v.AsString(), out); break;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.Items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpInto(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.Members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        EscapeInto(key, out);
+        out->push_back(':');
+        DumpInto(value, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipSpace();
+    JsonValue v;
+    if (auto err = ParseValue(&v, 0)) {
+      return *err;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing bytes after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Error Fail(const std::string& message) const {
+    return Error{StrCat("json: ", message, " at byte ", pos_), {}};
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  // Returns an error, or nullopt on success (value in *out).
+  std::optional<Error> ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out, depth);
+    }
+    if (c == '[') {
+      return ParseArray(out, depth);
+    }
+    if (c == '"') {
+      std::string s;
+      if (auto err = ParseString(&s)) {
+        return err;
+      }
+      *out = JsonValue::Str(std::move(s));
+      return std::nullopt;
+    }
+    if (ConsumeWord("null")) {
+      *out = JsonValue::Null();
+      return std::nullopt;
+    }
+    if (ConsumeWord("true")) {
+      *out = JsonValue::Bool(true);
+      return std::nullopt;
+    }
+    if (ConsumeWord("false")) {
+      *out = JsonValue::Bool(false);
+      return std::nullopt;
+    }
+    return ParseNumber(out);
+  }
+
+  std::optional<Error> ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    *out = JsonValue::Object();
+    SkipSpace();
+    if (Consume('}')) {
+      return std::nullopt;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (auto err = ParseString(&key)) {
+        return err;
+      }
+      SkipSpace();
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      JsonValue value;
+      if (auto err = ParseValue(&value, depth + 1)) {
+        return err;
+      }
+      out->Set(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return std::nullopt;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::optional<Error> ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    *out = JsonValue::Array();
+    SkipSpace();
+    if (Consume(']')) {
+      return std::nullopt;
+    }
+    while (true) {
+      JsonValue value;
+      if (auto err = ParseValue(&value, depth + 1)) {
+        return err;
+      }
+      out->Append(std::move(value));
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return std::nullopt;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<Error> ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) {
+          return Fail("unescaped control character in string");
+        }
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad hex digit in \\u escape");
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are beyond
+          // the protocol's needs; a lone surrogate passes through as-is).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  std::optional<Error> ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    Consume('-');
+    // JSON numbers start with a digit after the optional minus; strtod is
+    // laxer (leading '+', "inf", "nan"), so gate on the grammar here.
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("expected a value");
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number");
+    }
+    *out = JsonValue::Number(d);
+    return std::nullopt;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpInto(*this, &out);
+  return out;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) { return Parser(text).Parse(); }
+
+}  // namespace cdmm

@@ -1,0 +1,86 @@
+// A minimal JSON value, parser and writer for the cdmm-serve request
+// protocol. The rest of the codebase only ever *emits* JSON (telemetry
+// sidecars, lint diagnostics) with hand-rolled printers; the serve daemon is
+// the first consumer that must *parse* untrusted bytes, so parsing returns
+// Result<> and never throws or aborts on malformed input.
+//
+// Scope is deliberately small: UTF-8 pass-through strings with the standard
+// escapes, 64-bit unsigned/signed integers and doubles, objects as ordered
+// key/value vectors (preserving insertion order keeps serialized output
+// deterministic). Good enough for the request protocol; not a general
+// library.
+#ifndef CDMM_SRC_SERVE_JSON_H_
+#define CDMM_SRC_SERVE_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace cdmm {
+
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Number(uint64_t u);
+  static JsonValue Number(int64_t i);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  uint64_t AsU64() const;  // clamped at 0 for negatives
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& Items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const { return members_; }
+
+  // Object lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Typed convenience getters with defaults, for protocol parsing.
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  uint64_t GetU64(const std::string& key, uint64_t fallback = 0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  // Mutators (builder style).
+  void Append(JsonValue v);                      // arrays
+  void Set(std::string key, JsonValue v);        // objects (append; no dedup)
+
+  // Compact serialization (no whitespace). Deterministic: members print in
+  // insertion order, doubles via %.17g trimmed of a trailing ".0" ambiguity.
+  std::string Dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses one JSON document (surrounding whitespace allowed, trailing bytes
+// rejected). Depth-limited to keep adversarial inputs from overflowing the
+// stack.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SERVE_JSON_H_

@@ -1,0 +1,195 @@
+#include "src/serve/protocol.h"
+
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void FnvMix(uint64_t* h, const void* data, size_t n) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= bytes[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void FnvMixString(uint64_t* h, const std::string& s) {
+  uint64_t n = s.size();
+  FnvMix(h, &n, sizeof(n));  // length-prefixed: "ab","c" != "a","bc"
+  FnvMix(h, s.data(), s.size());
+}
+
+void FnvMixU64(uint64_t* h, uint64_t v) { FnvMix(h, &v, sizeof(v)); }
+
+}  // namespace
+
+const char* ServeOpName(ServeOp op) {
+  switch (op) {
+    case ServeOp::kPing: return "ping";
+    case ServeOp::kStats: return "stats";
+    case ServeOp::kSimulate: return "simulate";
+    case ServeOp::kSweepWs: return "sweep-ws";
+    case ServeOp::kSweepOpt: return "sweep-opt";
+    case ServeOp::kLadderCell: return "ladder";
+  }
+  return "?";
+}
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kShed: return "shed";
+    case ServeStatus::kQuarantined: return "quarantined";
+    case ServeStatus::kTimeout: return "timeout";
+    case ServeStatus::kPoisoned: return "poisoned";
+    case ServeStatus::kError: return "error";
+    case ServeStatus::kDraining: return "draining";
+  }
+  return "?";
+}
+
+Result<ServeRequest> ParseServeRequest(const std::string& payload) {
+  Result<JsonValue> parsed = ParseJson(payload);
+  if (!parsed.ok()) {
+    return parsed.error();
+  }
+  const JsonValue& doc = parsed.value();
+  if (!doc.is_object()) {
+    return Error{"request must be a JSON object", {}};
+  }
+  ServeRequest request;
+  std::string op = doc.GetString("op");
+  if (op == "ping") {
+    request.op = ServeOp::kPing;
+  } else if (op == "stats") {
+    request.op = ServeOp::kStats;
+  } else if (op == "simulate") {
+    request.op = ServeOp::kSimulate;
+  } else if (op == "sweep") {
+    std::string kind = doc.GetString("kind", "ws");
+    if (kind == "ws") {
+      request.op = ServeOp::kSweepWs;
+    } else if (kind == "opt") {
+      request.op = ServeOp::kSweepOpt;
+    } else {
+      return Error{StrCat("unknown sweep kind \"", kind, "\" (want ws|opt)"), {}};
+    }
+  } else if (op == "ladder") {
+    request.op = ServeOp::kLadderCell;
+  } else if (op.empty()) {
+    return Error{"request is missing \"op\"", {}};
+  } else {
+    return Error{StrCat("unknown op \"", op, "\""), {}};
+  }
+
+  request.workload = doc.GetString("workload");
+  request.policy = doc.GetString("policy");
+  request.hierarchy = doc.GetString("hierarchy", request.hierarchy);
+  request.penalty = doc.GetU64("penalty", request.penalty);
+  request.deadline_ms = doc.GetU64("deadline_ms", 0);
+
+  switch (request.op) {
+    case ServeOp::kPing:
+    case ServeOp::kStats:
+      break;
+    case ServeOp::kSimulate:
+    case ServeOp::kLadderCell:
+      if (request.workload.empty()) {
+        return Error{StrCat(ServeOpName(request.op), " needs \"workload\""), {}};
+      }
+      if (request.policy.empty()) {
+        return Error{StrCat(ServeOpName(request.op), " needs \"policy\""), {}};
+      }
+      break;
+    case ServeOp::kSweepWs:
+    case ServeOp::kSweepOpt:
+      if (request.workload.empty()) {
+        return Error{"sweep needs \"workload\"", {}};
+      }
+      break;
+  }
+  return request;
+}
+
+uint64_t FingerprintRequest(const ServeRequest& request) {
+  uint64_t h = kFnvOffset;
+  FnvMixU64(&h, static_cast<uint64_t>(request.op));
+  FnvMixString(&h, request.workload);
+  FnvMixString(&h, request.policy);
+  FnvMixString(&h, request.hierarchy);
+  FnvMixU64(&h, request.penalty);
+  return h;
+}
+
+std::string RequestShapeKey(const ServeRequest& request) {
+  return StrCat(ServeOpName(request.op), "/", request.workload, "/", request.policy);
+}
+
+uint64_t EstimatedCost(const ServeRequest& request) {
+  switch (request.op) {
+    case ServeOp::kPing:
+    case ServeOp::kStats:
+      return 0;
+    case ServeOp::kSimulate:
+      return 2;
+    case ServeOp::kLadderCell:
+      return 3;
+    case ServeOp::kSweepWs:
+    case ServeOp::kSweepOpt:
+      return 4;
+  }
+  return 1;
+}
+
+std::string ServeResponse::ToJson() const {
+  std::string out = StrCat("{\"status\":\"", ServeStatusName(status), "\"");
+  if (!error.empty()) {
+    JsonValue escaped = JsonValue::Str(error);
+    out += StrCat(",\"error\":", escaped.Dump());
+  }
+  out += StrCat(",\"cached\":", cached ? "true" : "false", ",\"retries\":", retries,
+                ",\"retry_delay\":", retry_delay);
+  if (!payload.empty()) {
+    out += StrCat(",\"payload\":", payload);
+  }
+  out += "}";
+  return out;
+}
+
+std::string EncodeFrame(const std::string& payload) {
+  CDMM_CHECK(payload.size() <= kMaxFramePayload);
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>(n & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out += payload;
+  return out;
+}
+
+Result<std::optional<std::string>> DecodeFrame(const std::string& buffer, size_t* pos) {
+  if (buffer.size() - *pos < 4) {
+    return std::optional<std::string>(std::nullopt);
+  }
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(buffer.data() + *pos);
+  uint32_t n = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  if (n > kMaxFramePayload) {
+    return Error{StrCat("frame payload of ", n, " bytes exceeds the ", kMaxFramePayload,
+                        "-byte limit"),
+                 {}};
+  }
+  if (buffer.size() - *pos - 4 < n) {
+    return std::optional<std::string>(std::nullopt);
+  }
+  std::string payload = buffer.substr(*pos + 4, n);
+  *pos += 4 + static_cast<size_t>(n);
+  return std::optional<std::string>(std::move(payload));
+}
+
+}  // namespace cdmm

@@ -1,0 +1,114 @@
+// The cdmm-serve wire protocol: length-prefixed JSON frames carrying
+// simulation requests and structured responses.
+//
+// A frame is a 4-byte little-endian payload length followed by that many
+// bytes of UTF-8 JSON. Requests are objects with an "op" discriminator:
+//
+//   {"op":"ping"}
+//   {"op":"stats"}
+//   {"op":"simulate","workload":"MAIN","policy":"lru:32"}
+//   {"op":"sweep","workload":"FDJAC","kind":"ws"}            (kind: ws|opt)
+//   {"op":"ladder","workload":"TQL","policy":"cd-outer",
+//    "hierarchy":"dram-nvm-disk","penalty":200}
+//
+// plus an optional "deadline_ms" on any op. Responses are envelopes
+//
+//   {"status":"ok","cached":false,"retries":0,"retry_delay":0,"payload":{...}}
+//   {"status":"shed","error":"admission: ..."}
+//
+// with status one of ok | shed | quarantined | timeout | poisoned | error |
+// draining (see DESIGN.md §13 for which failures map to which status and
+// which are retried). Every malformed or unserviceable request produces a
+// structured non-ok envelope — the daemon never aborts on client input.
+#ifndef CDMM_SRC_SERVE_PROTOCOL_H_
+#define CDMM_SRC_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/serve/json.h"
+#include "src/support/result.h"
+
+namespace cdmm {
+
+enum class ServeOp : uint8_t { kPing, kStats, kSimulate, kSweepWs, kSweepOpt, kLadderCell };
+
+const char* ServeOpName(ServeOp op);
+
+struct ServeRequest {
+  ServeOp op = ServeOp::kPing;
+  std::string workload;             // builtin workload name (simulate/sweep/ladder)
+  std::string policy;               // RunPolicySpec spec (simulate/ladder)
+  std::string hierarchy = "dram-nvm-disk";  // ladder shape (preset or level spec)
+  uint64_t penalty = 2000;          // ladder backing-store latency
+  uint64_t deadline_ms = 0;         // 0 = no per-request deadline
+
+  friend bool operator==(const ServeRequest&, const ServeRequest&) = default;
+};
+
+// Parses one request payload. Unknown ops, missing required fields and
+// malformed JSON come back as Errors (the server turns them into status
+// "error" envelopes, they are never fatal).
+Result<ServeRequest> ParseServeRequest(const std::string& payload);
+
+// Content-addressed cache key: order-sensitive FNV-1a over every semantic
+// field (op, workload, policy, hierarchy, penalty). The deadline is
+// excluded — a result is the same result however long the caller was
+// prepared to wait for it.
+uint64_t FingerprintRequest(const ServeRequest& request);
+
+// The circuit-breaker grouping: requests of the same shape (op + workload +
+// policy) share one breaker, so a poisoning shape is quarantined without
+// penalising the rest of the mix.
+std::string RequestShapeKey(const ServeRequest& request);
+
+// Virtual admission cost in abstract service units — a pure function of the
+// request shape, so admission decisions replay identically at any --jobs.
+// Pings and stats cost 0 (they are answered inline, never queued).
+uint64_t EstimatedCost(const ServeRequest& request);
+
+enum class ServeStatus : uint8_t {
+  kOk,
+  kShed,         // admission control refused: server over budget
+  kQuarantined,  // circuit breaker open for this request shape
+  kTimeout,      // deadline expired (or injected stall) mid-flight
+  kPoisoned,     // every retry of a transiently failing request failed
+  kError,        // structured failure (bad request, unknown policy, ...)
+  kDraining,     // server is shutting down; request not accepted
+};
+
+const char* ServeStatusName(ServeStatus status);
+
+struct ServeResponse {
+  ServeStatus status = ServeStatus::kOk;
+  std::string payload;     // JSON object text; empty unless status == kOk
+  std::string error;       // human-readable cause; empty when kOk
+  bool cached = false;     // served from the content-addressed result cache
+  int retries = 0;         // transient-failure retries spent
+  uint64_t retry_delay = 0;  // total backoff ticks scheduled (virtual time)
+
+  bool ok() const { return status == ServeStatus::kOk; }
+
+  // The response envelope, compact JSON. Deterministic: fixed member order,
+  // payload spliced in verbatim.
+  std::string ToJson() const;
+};
+
+// ---- Framing ----
+
+// Frames larger than this are refused at both ends: a corrupt or adversarial
+// length prefix must not make the daemon allocate gigabytes.
+inline constexpr size_t kMaxFramePayload = 1 << 20;
+
+// payload -> 4-byte little-endian length + payload.
+std::string EncodeFrame(const std::string& payload);
+
+// Takes one complete frame off `buffer` starting at *pos, advancing *pos
+// past it. Returns nullopt when the buffer holds only a partial frame (read
+// more and retry), an Error when the length prefix exceeds kMaxFramePayload.
+Result<std::optional<std::string>> DecodeFrame(const std::string& buffer, size_t* pos);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SERVE_PROTOCOL_H_

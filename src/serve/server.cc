@@ -1,0 +1,518 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/cdmm/pipeline.h"
+#include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
+#include "src/vm/hierarchy.h"
+#include "src/vm/policy_spec.h"
+#include "src/vm/sweep_engines.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+// Injection fates are keyed by (admission sequence, attempt): one stride of
+// attempt slots per request, so the schedule is a pure function of the
+// request stream and never of thread interleaving.
+constexpr uint64_t kAttemptStride = 16;
+
+std::string HexU64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string SimResultJson(const SimResult& r) {
+  JsonValue o = JsonValue::Object();
+  o.Set("policy", JsonValue::Str(r.policy));
+  o.Set("references", JsonValue::Number(r.references));
+  o.Set("faults", JsonValue::Number(r.faults));
+  o.Set("elapsed", JsonValue::Number(r.elapsed));
+  o.Set("mean_memory", JsonValue::Number(r.mean_memory));
+  o.Set("space_time", JsonValue::Number(r.space_time));
+  o.Set("max_resident", JsonValue::Number(static_cast<uint64_t>(r.max_resident)));
+  return o.Dump();
+}
+
+std::string SweepJson(const char* kind, const std::vector<SweepPoint>& points) {
+  JsonValue o = JsonValue::Object();
+  o.Set("kind", JsonValue::Str(kind));
+  o.Set("points", JsonValue::Number(static_cast<uint64_t>(points.size())));
+  o.Set("fingerprint", JsonValue::Str(HexU64(FingerprintSweep(points))));
+  if (!points.empty()) {
+    o.Set("faults_first", JsonValue::Number(points.front().faults));
+    o.Set("faults_last", JsonValue::Number(points.back().faults));
+  }
+  return o.Dump();
+}
+
+}  // namespace
+
+struct ServerCore::WorkloadContext {
+  std::string error;  // non-empty = unusable (unknown name or compile failure)
+  std::shared_ptr<const Trace> full;
+  std::shared_ptr<const Trace> refs;
+  std::shared_ptr<const PreparedTrace> prepared;
+  uint32_t virtual_pages = 0;
+};
+
+ServerCore::ServerCore(ThreadPool* pool, ServeLimits limits)
+    : scheduler_(pool),
+      limits_(limits),
+      injector_(limits.injection),
+      admission_(LoadControllerConfig{/*window=*/0, /*health_low=*/0.0,
+                                      /*health_high=*/0.5, /*pressure_high=*/0.0}) {
+  limits_.admit_budget = std::max<uint64_t>(limits_.admit_budget, 1);
+  limits_.max_attempts =
+      std::clamp(limits_.max_attempts, 1, static_cast<int>(kAttemptStride));
+  if (limits_.backoff.seed == 0 && limits_.injection.seed != 0) {
+    limits_.backoff = BackoffPolicy::FromInjectorConfig(limits_.injection);
+  }
+}
+
+ServerCore::~ServerCore() = default;
+
+void ServerCore::BeginDrain() {
+  if (!draining_) {
+    draining_ = true;
+    TELEM_COUNT("serve.drain_started");
+  }
+}
+
+std::shared_ptr<const ServerCore::WorkloadContext> ServerCore::GetWorkload(
+    const std::string& name) {
+  return workloads_.GetOrCompute(name, [&]() -> std::shared_ptr<const WorkloadContext> {
+    auto ctx = std::make_shared<WorkloadContext>();
+    const Workload* found = nullptr;
+    for (const Workload& w : AllWorkloads()) {
+      if (w.name == name) found = &w;
+    }
+    for (const Workload& w : ExtendedWorkloads()) {
+      if (w.name == name) found = &w;
+    }
+    if (found == nullptr) {
+      ctx->error = StrCat("unknown workload \"", name,
+                          "\" (want a builtin name like MAIN or FDJAC)");
+      return ctx;
+    }
+    auto compiled = CompiledProgram::FromSource(found->source);
+    if (!compiled.ok()) {
+      ctx->error = StrCat("workload ", name, " failed to compile: ",
+                          compiled.error().ToString());
+      return ctx;
+    }
+    ctx->full = compiled.value().shared_trace();
+    ctx->refs = compiled.value().shared_references();
+    ctx->prepared = PreparedTrace::BuildShared(*ctx->refs);
+    ctx->virtual_pages = ctx->refs->virtual_pages();
+    TELEM_COUNT("serve.workload_compiled");
+    return ctx;
+  });
+}
+
+ServerCore::ExecOutcome ServerCore::Execute(const ServeRequest& request,
+                                            const CancelToken& token) {
+  ExecOutcome out;
+  try {
+    switch (request.op) {
+      case ServeOp::kPing:
+      case ServeOp::kStats:
+        // Answered inline during admission; reaching here means a caller
+        // bypassed HandleBatch. Serve them anyway (ping only: stats would
+        // race against the serial-phase counters).
+        out.status = ServeStatus::kOk;
+        out.payload = "{\"pong\":true}";
+        return out;
+      case ServeOp::kSimulate: {
+        std::shared_ptr<const WorkloadContext> ctx = GetWorkload(request.workload);
+        if (!ctx->error.empty()) {
+          out.error = ctx->error;
+          return out;
+        }
+        if (token.Expired()) throw SweepCancelled();
+        std::optional<SimResult> result =
+            RunPolicySpec(request.policy, *ctx->full, *ctx->refs, SimOptions{});
+        if (!result.has_value()) {
+          out.error = StrCat("unknown policy spec \"", request.policy, "\"");
+          return out;
+        }
+        out.status = ServeStatus::kOk;
+        out.payload = SimResultJson(*result);
+        return out;
+      }
+      case ServeOp::kSweepWs: {
+        std::shared_ptr<const WorkloadContext> ctx = GetWorkload(request.workload);
+        if (!ctx->error.empty()) {
+          out.error = ctx->error;
+          return out;
+        }
+        if (token.Expired()) throw SweepCancelled();
+        uint64_t max_tau = std::max<uint64_t>(ctx->refs->reference_count(), 1);
+        std::vector<SweepPoint> points =
+            OnePassWsSweep(*ctx->prepared, DefaultTauGrid(max_tau, 12));
+        out.status = ServeStatus::kOk;
+        out.payload = SweepJson("ws", points);
+        return out;
+      }
+      case ServeOp::kSweepOpt: {
+        std::shared_ptr<const WorkloadContext> ctx = GetWorkload(request.workload);
+        if (!ctx->error.empty()) {
+          out.error = ctx->error;
+          return out;
+        }
+        if (token.Expired()) throw SweepCancelled();
+        std::vector<SweepPoint> points =
+            OnePassOptSweep(*ctx->prepared, std::max(ctx->virtual_pages, 1u));
+        out.status = ServeStatus::kOk;
+        out.payload = SweepJson("opt", points);
+        return out;
+      }
+      case ServeOp::kLadderCell: {
+        std::shared_ptr<const WorkloadContext> ctx = GetWorkload(request.workload);
+        if (!ctx->error.empty()) {
+          out.error = ctx->error;
+          return out;
+        }
+        Result<HierarchySpec> spec = HierarchySpec::Parse(request.hierarchy);
+        if (!spec.ok()) {
+          out.error = StrCat("bad hierarchy spec: ", spec.error().ToString());
+          return out;
+        }
+        if (token.Expired()) throw SweepCancelled();
+        HierarchySpec shape =
+            spec.value().WithBottomLatency(std::max<uint64_t>(request.penalty, 1));
+        SimOptions options;
+        options.hierarchy = &shape;
+        std::optional<SimResult> result =
+            RunPolicySpec(request.policy, *ctx->full, *ctx->refs, options);
+        if (!result.has_value()) {
+          out.error = StrCat("unknown policy spec \"", request.policy, "\"");
+          return out;
+        }
+        JsonValue o = JsonValue::Object();
+        o.Set("policy", JsonValue::Str(result->policy));
+        o.Set("penalty", JsonValue::Number(shape.bottom_latency()));
+        o.Set("hierarchy", JsonValue::Str(shape.ToString()));
+        o.Set("faults", JsonValue::Number(result->faults));
+        o.Set("elapsed", JsonValue::Number(result->elapsed));
+        o.Set("mean_memory", JsonValue::Number(result->mean_memory));
+        o.Set("space_time", JsonValue::Number(result->space_time));
+        out.status = ServeStatus::kOk;
+        out.payload = o.Dump();
+        return out;
+      }
+    }
+  } catch (const SweepCancelled&) {
+    throw;  // MapPartial turns this into a timeout failure
+  } catch (const std::exception& e) {
+    out.status = ServeStatus::kError;
+    out.error = e.what();
+    return out;
+  }
+  out.error = "unhandled op";
+  return out;
+}
+
+ServerCore::ExecOutcome ServerCore::RunWithRetries(const ServeRequest& request,
+                                                   uint64_t seq,
+                                                   const CancelToken& token) {
+  if (injector_.enabled() && injector_.StallsSweepItem(seq)) {
+    // A stalled backend never answers inside any deadline; model it as a
+    // deterministic timeout without burning wall-clock, and never retry — a
+    // stall is not transient (MapPartial's discipline).
+    ExecOutcome out;
+    out.status = ServeStatus::kTimeout;
+    out.error = "injected stall: request abandoned at deadline";
+    TELEM_COUNT("serve.request_stalled");
+    return out;
+  }
+  uint64_t deadline_ms =
+      request.deadline_ms != 0 ? request.deadline_ms : limits_.default_deadline_ms;
+  CancelToken own =
+      deadline_ms > 0 ? CancelToken::AfterMs(deadline_ms) : CancelToken();
+  int attempt = 0;
+  uint64_t delay = 0;
+  while (true) {
+    if (token.Expired() || own.Expired()) {
+      ExecOutcome out;
+      out.status = ServeStatus::kTimeout;
+      out.error = "deadline expired before attempt started";
+      out.retries = attempt;
+      out.retry_delay = delay;
+      return out;
+    }
+    bool poisoned = injector_.enabled() &&
+                    injector_.PoisonsSweepItem(seq * kAttemptStride +
+                                               static_cast<uint64_t>(attempt));
+    if (!poisoned) {
+      ExecOutcome out = Execute(request, own);
+      out.retries = attempt;
+      out.retry_delay = delay;
+      return out;
+    }
+    TELEM_COUNT("serve.attempt_poisoned");
+    if (attempt + 1 >= limits_.max_attempts) {
+      ExecOutcome out;
+      out.status = ServeStatus::kPoisoned;
+      out.error = StrCat("transient failure persisted through ", attempt + 1,
+                         " attempt(s)");
+      out.retries = attempt;
+      out.retry_delay = delay;
+      return out;
+    }
+    // Virtual-time backoff: the schedule is charged to the response, not
+    // slept, so a soak over thousands of poisoned requests stays fast and
+    // the recorded delays are bit-identical at any --jobs.
+    delay += limits_.backoff.Delay(seq, attempt);
+    TELEM_COUNT("serve.retry_scheduled");
+    ++attempt;
+  }
+}
+
+ServeResponse ServerCore::FromOutcome(const ExecOutcome& outcome) {
+  ServeResponse response;
+  response.status = outcome.status;
+  response.payload = outcome.payload;
+  response.error = outcome.error;
+  response.retries = outcome.retries;
+  response.retry_delay = outcome.retry_delay;
+  return response;
+}
+
+std::vector<ServeResponse> ServerCore::HandleBatch(
+    const std::vector<ServeRequest>& requests) {
+  const size_t n = requests.size();
+  std::vector<ServeResponse> responses(n);
+  struct Pending {
+    size_t index = 0;
+    uint64_t seq = 0;
+    uint64_t fingerprint = 0;
+    uint64_t cost = 0;
+    std::string shape;
+  };
+  std::vector<Pending> pending;
+
+  // Phase 1 — serial admission, strictly in request order. Every decision
+  // here (cache, breaker, shed) depends only on prior requests, never on
+  // this batch's completion order.
+  for (size_t i = 0; i < n; ++i) {
+    const ServeRequest& request = requests[i];
+    ++stats_.received;
+    TELEM_COUNT("serve.request_received");
+    ServeResponse& response = responses[i];
+
+    if (draining_) {
+      response.status = ServeStatus::kDraining;
+      response.error = "server is draining; resubmit elsewhere";
+      ++stats_.drained;
+      TELEM_COUNT("serve.request_drained");
+      continue;
+    }
+    if (request.op == ServeOp::kPing) {
+      response.payload = "{\"pong\":true}";
+      ++stats_.completed;
+      TELEM_COUNT("serve.request_completed");
+      continue;
+    }
+    if (request.op == ServeOp::kStats) {
+      response.payload = StatsJson();
+      ++stats_.completed;
+      TELEM_COUNT("serve.request_completed");
+      continue;
+    }
+
+    // Content-addressed cache: a hit bypasses admission, the breaker and
+    // injection — a cached result cannot fail again.
+    uint64_t fingerprint = FingerprintRequest(request);
+    auto hit = result_cache_.find(fingerprint);
+    if (hit != result_cache_.end()) {
+      response.payload = hit->second;
+      response.cached = true;
+      ++stats_.cache_hits;
+      ++stats_.completed;
+      TELEM_COUNT("serve.cache_hit");
+      continue;
+    }
+    ++stats_.cache_misses;
+    TELEM_COUNT("serve.cache_miss");
+
+    std::string shape = RequestShapeKey(request);
+    BreakerState& breaker = breakers_[shape];
+    if (breaker.consecutive_failures >= limits_.breaker_threshold) {
+      if (breaker.open_remaining > 0) {
+        --breaker.open_remaining;
+        response.status = ServeStatus::kQuarantined;
+        response.error =
+            StrCat("circuit open for shape ", shape, " after ",
+                   breaker.consecutive_failures, " consecutive failure(s); ",
+                   breaker.open_remaining, " request(s) until half-open probe");
+        ++stats_.quarantined;
+        TELEM_COUNT("serve.request_quarantined");
+        continue;
+      }
+      // Cooldown exhausted: this request is the half-open probe — admit it
+      // and let its outcome close or re-open the breaker.
+      TELEM_COUNT("serve.breaker_probed");
+    }
+
+    // Virtual admission: the backlog drains at a fixed rate per received
+    // request and the load controller (shared with the OS thrashing
+    // detector) applies its hysteresis to the projected load.
+    backlog_ -= std::min(limits_.drain_per_request, backlog_);
+    uint64_t cost = EstimatedCost(request);
+    double budget = static_cast<double>(limits_.admit_budget);
+    double projected = static_cast<double>(backlog_ + cost) / budget;
+    admission_.Evaluate(1.0 - projected, projected);
+    if (admission_.shedding()) {
+      response.status = ServeStatus::kShed;
+      response.error = StrCat("admission: backlog ", backlog_, " + cost ", cost,
+                              " against budget ", limits_.admit_budget,
+                              " (readmission below ", limits_.admit_budget / 2, ")");
+      ++stats_.shed;
+      TELEM_COUNT("serve.request_shed");
+      continue;
+    }
+    backlog_ += cost;
+    TELEM_GAUGE_MAX("serve.backlog_peak", backlog_);
+    ++stats_.admitted;
+    TELEM_COUNT("serve.request_admitted");
+    pending.push_back(Pending{i, next_seq_++, fingerprint, cost, std::move(shape)});
+  }
+
+  // Phase 2 — parallel execution on the pool. Outcomes are pure functions
+  // of (request, seq, seed); nothing here touches server state.
+  PartialSweep<ExecOutcome> ran = scheduler_.MapPartial<ExecOutcome>(
+      pending.size(),
+      [&](size_t k, const CancelToken& sweep_token) {
+        return RunWithRetries(requests[pending[k].index], pending[k].seq, sweep_token);
+      });
+
+  // Phase 3 — serial post-processing, again in request order: breaker and
+  // cache updates, backlog credit for completed work, counters.
+  std::vector<const ExecOutcome*> outcome_at(pending.size(), nullptr);
+  for (size_t k = 0; k < ran.indices.size(); ++k) {
+    outcome_at[ran.indices[k]] = &ran.results[k];
+  }
+  size_t next_failure = 0;
+  for (size_t k = 0; k < pending.size(); ++k) {
+    const Pending& p = pending[k];
+    ExecOutcome outcome;
+    if (outcome_at[k] != nullptr) {
+      outcome = *outcome_at[k];
+    } else {
+      const SweepItemFailure& failure = ran.failures[next_failure++];
+      outcome.status = failure.kind == SweepItemFailure::Kind::kTimeout
+                           ? ServeStatus::kTimeout
+                           : ServeStatus::kError;
+      outcome.error = failure.message;
+    }
+    responses[p.index] = FromOutcome(outcome);
+    backlog_ -= std::min(p.cost, backlog_);
+    stats_.retries += static_cast<uint64_t>(outcome.retries);
+
+    BreakerState& breaker = breakers_[p.shape];
+    bool was_open = breaker.consecutive_failures >= limits_.breaker_threshold;
+    switch (outcome.status) {
+      case ServeStatus::kOk:
+        result_cache_.emplace(p.fingerprint, outcome.payload);
+        ++stats_.completed;
+        TELEM_COUNT("serve.request_completed");
+        breaker.consecutive_failures = 0;
+        breaker.open_remaining = 0;
+        if (was_open) {
+          ++stats_.breaker_closes;
+          TELEM_COUNT("serve.breaker_closed");
+        }
+        break;
+      case ServeStatus::kTimeout:
+      case ServeStatus::kPoisoned:
+      case ServeStatus::kError: {
+        if (outcome.status == ServeStatus::kTimeout) {
+          ++stats_.timeouts;
+          TELEM_COUNT("serve.request_timed_out");
+        } else if (outcome.status == ServeStatus::kPoisoned) {
+          ++stats_.poisoned;
+          TELEM_COUNT("serve.request_poisoned");
+        } else {
+          ++stats_.errors;
+          TELEM_COUNT("serve.request_failed");
+        }
+        ++breaker.consecutive_failures;
+        if (breaker.consecutive_failures >= limits_.breaker_threshold) {
+          breaker.open_remaining = limits_.breaker_cooldown;
+          if (!was_open) {
+            ++stats_.breaker_opens;
+            TELEM_COUNT("serve.breaker_opened");
+          }
+        }
+        break;
+      }
+      case ServeStatus::kShed:
+      case ServeStatus::kQuarantined:
+      case ServeStatus::kDraining:
+        break;  // never produced by execution
+    }
+  }
+  TELEM_COUNT("serve.batch_handled");
+  return responses;
+}
+
+std::vector<ServeResponse> ServerCore::HandleBatchRaw(
+    const std::vector<std::string>& payloads) {
+  // Parse failures become structured error responses in place; the valid
+  // remainder rides one HandleBatch so admission order matches arrival order.
+  std::vector<ServeResponse> responses(payloads.size());
+  std::vector<ServeRequest> valid;
+  std::vector<size_t> valid_index;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    Result<ServeRequest> parsed = ParseServeRequest(payloads[i]);
+    if (!parsed.ok()) {
+      responses[i].status = ServeStatus::kError;
+      responses[i].error = StrCat("bad request: ", parsed.error().ToString());
+      ++stats_.received;
+      ++stats_.errors;
+      TELEM_COUNT("serve.request_received");
+      TELEM_COUNT("serve.request_rejected");
+      continue;
+    }
+    valid.push_back(std::move(parsed).value());
+    valid_index.push_back(i);
+  }
+  std::vector<ServeResponse> handled = HandleBatch(valid);
+  for (size_t k = 0; k < handled.size(); ++k) {
+    responses[valid_index[k]] = std::move(handled[k]);
+  }
+  return responses;
+}
+
+ServeResponse ServerCore::Handle(const ServeRequest& request) {
+  return HandleBatch({request}).front();
+}
+
+std::string ServerCore::StatsJson() const {
+  JsonValue o = JsonValue::Object();
+  o.Set("received", JsonValue::Number(stats_.received));
+  o.Set("admitted", JsonValue::Number(stats_.admitted));
+  o.Set("completed", JsonValue::Number(stats_.completed));
+  o.Set("cache_hits", JsonValue::Number(stats_.cache_hits));
+  o.Set("cache_misses", JsonValue::Number(stats_.cache_misses));
+  o.Set("shed", JsonValue::Number(stats_.shed));
+  o.Set("quarantined", JsonValue::Number(stats_.quarantined));
+  o.Set("timeouts", JsonValue::Number(stats_.timeouts));
+  o.Set("poisoned", JsonValue::Number(stats_.poisoned));
+  o.Set("errors", JsonValue::Number(stats_.errors));
+  o.Set("drained", JsonValue::Number(stats_.drained));
+  o.Set("retries", JsonValue::Number(stats_.retries));
+  o.Set("breaker_opens", JsonValue::Number(stats_.breaker_opens));
+  o.Set("breaker_closes", JsonValue::Number(stats_.breaker_closes));
+  o.Set("backlog", JsonValue::Number(backlog_));
+  o.Set("shedding", JsonValue::Bool(admission_.shedding()));
+  o.Set("draining", JsonValue::Bool(draining_));
+  return o.Dump();
+}
+
+}  // namespace cdmm

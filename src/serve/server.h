@@ -1,0 +1,170 @@
+// ServerCore: the hardened request-execution engine behind cdmm-serve (the
+// daemon) and bench_serve (the chaos-soak harness). It multiplexes simulate /
+// sweep / hierarchy-ladder requests onto the work-stealing ThreadPool via
+// SweepScheduler::MapPartial, in front of:
+//
+//  - a content-addressed result cache keyed by FNV-1a request fingerprints
+//    (FingerprintRequest): repeated requests are answered without admission,
+//    execution or injection — the >=10k req/s path bench_serve gates on;
+//  - admission control with hysteresis (LoadController, the same decision
+//    engine as the OS thrashing detector): every admitted request deposits
+//    its EstimatedCost into a virtual backlog that drains at a fixed
+//    virtual service rate; when backlog exceeds the budget the controller
+//    sheds (status "shed", structured error) until the backlog falls below
+//    half the budget;
+//  - a per-shape circuit breaker: `breaker_threshold` consecutive failures
+//    of one request shape open the breaker, the next `breaker_cooldown`
+//    requests of that shape are quarantined without running, then one
+//    half-open probe decides between closing and re-opening;
+//  - bounded-exponential retry with deterministic jitter (BackoffPolicy) for
+//    transiently failing (injected-poison) attempts; injected stalls become
+//    deterministic timeouts without retry, exactly like MapPartial's
+//    stall-to-timeout discipline. Retry delays are charged in virtual ticks
+//    (recorded in the response), never slept, so the chaos soak is fast and
+//    bit-identical at any --jobs.
+//
+// Determinism contract: for a fixed request sequence, fixed ServeLimits and
+// fixed injection seed, every response (status, payload, retries,
+// retry_delay, cached) is byte-identical at any thread count. The engine
+// runs in three phases per batch — serial admission in request order,
+// parallel execution, serial post-processing (breaker + cache updates) in
+// request order — so no decision ever depends on completion order.
+// Wall-clock deadlines (deadline_ms) are the one escape hatch: a real
+// timeout is inherently racy, which is why the chaos harness drives
+// timeouts through injected stalls instead.
+//
+// Thread-safety: one HandleBatch call at a time (the daemon's accept loop
+// and the bench are single callers); concurrency happens inside the batch.
+#ifndef CDMM_SRC_SERVE_SERVER_H_
+#define CDMM_SRC_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/memo.h"
+#include "src/exec/sweep_scheduler.h"
+#include "src/robust/backoff.h"
+#include "src/robust/fault_injector.h"
+#include "src/robust/load_controller.h"
+#include "src/serve/protocol.h"
+#include "src/trace/prepared_trace.h"
+#include "src/trace/trace.h"
+
+namespace cdmm {
+
+struct ServeLimits {
+  // Admission: virtual backlog capacity and the per-request virtual drain
+  // (abstract service units; see EstimatedCost).
+  uint64_t admit_budget = 32;
+  uint64_t drain_per_request = 1;
+
+  // Circuit breaker: consecutive failures that open one shape's breaker,
+  // and how many subsequent requests of that shape are quarantined before a
+  // half-open probe is admitted.
+  int breaker_threshold = 3;
+  uint64_t breaker_cooldown = 8;
+
+  // Retry budget per request: total attempts = 1 + retries. Transient
+  // (poisoned) attempts retry with `backoff` delays; stalls never retry.
+  int max_attempts = 3;
+  BackoffPolicy backoff;
+
+  // Deterministic chaos: seed 0 = nominal. stall_rate/poison_rate drive the
+  // per-request fates (keyed by the request's admission sequence number).
+  FaultInjectionConfig injection;
+
+  // Deadline applied to requests that do not carry their own (0 = none).
+  uint64_t default_deadline_ms = 0;
+};
+
+// Deterministic counters, all mutated in the serial phases. Snapshot via
+// ServerCore::stats(); serialized by StatsJson().
+struct ServeStats {
+  uint64_t received = 0;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t shed = 0;
+  uint64_t quarantined = 0;
+  uint64_t timeouts = 0;
+  uint64_t poisoned = 0;
+  uint64_t errors = 0;
+  uint64_t drained = 0;       // requests refused because of BeginDrain
+  uint64_t retries = 0;       // transient retries spent across requests
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_closes = 0;
+
+  friend bool operator==(const ServeStats&, const ServeStats&) = default;
+};
+
+class ServerCore {
+ public:
+  // `pool` may be null: everything runs on the calling thread (--jobs 1).
+  explicit ServerCore(ThreadPool* pool, ServeLimits limits = {});
+  ~ServerCore();
+
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  // Serves one batch: responses[i] answers requests[i]. Raw payloads that
+  // fail ParseServeRequest become status "error" responses via
+  // HandleBatchRaw; pre-parsed requests skip that step.
+  std::vector<ServeResponse> HandleBatch(const std::vector<ServeRequest>& requests);
+  std::vector<ServeResponse> HandleBatchRaw(const std::vector<std::string>& payloads);
+  ServeResponse Handle(const ServeRequest& request);
+
+  // After this, every new request is answered with status "draining".
+  // In-flight batches are unaffected — the daemon finishes writing them.
+  void BeginDrain();
+  bool draining() const { return draining_; }
+
+  const ServeStats& stats() const { return stats_; }
+  const ServeLimits& limits() const { return limits_; }
+  uint64_t backlog() const { return backlog_; }
+  bool shedding() const { return admission_.shedding(); }
+
+  // The stats counters as a JSON object (deterministic member order).
+  std::string StatsJson() const;
+
+ private:
+  struct WorkloadContext;  // compiled workload + shared traces (memoized)
+  struct BreakerState {
+    int consecutive_failures = 0;
+    uint64_t open_remaining = 0;  // quarantined requests left before probe
+  };
+  struct ExecOutcome {
+    ServeStatus status = ServeStatus::kError;
+    std::string payload;
+    std::string error;
+    int retries = 0;
+    uint64_t retry_delay = 0;
+  };
+
+  std::shared_ptr<const WorkloadContext> GetWorkload(const std::string& name);
+  ExecOutcome Execute(const ServeRequest& request, const CancelToken& token);
+  ExecOutcome RunWithRetries(const ServeRequest& request, uint64_t seq,
+                             const CancelToken& token);
+  static ServeResponse FromOutcome(const ExecOutcome& outcome);
+
+  SweepScheduler scheduler_;
+  ServeLimits limits_;
+  FaultInjector injector_;
+  LoadController admission_;
+
+  bool draining_ = false;
+  uint64_t backlog_ = 0;
+  uint64_t next_seq_ = 0;
+  ServeStats stats_;
+
+  std::map<uint64_t, std::string> result_cache_;  // fingerprint -> payload
+  std::map<std::string, BreakerState> breakers_;
+  Memo<std::string, std::shared_ptr<const WorkloadContext>> workloads_;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SERVE_SERVER_H_

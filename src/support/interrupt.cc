@@ -1,0 +1,44 @@
+#include "src/support/interrupt.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace cdmm {
+namespace {
+
+// Lock-free atomic int: stores are async-signal-safe, loads are cheap enough
+// to sit on CancelToken::Expired's polling path.
+std::atomic<int> g_interrupt_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free latch");
+
+extern "C" void CdmmInterruptHandler(int signo) {
+  g_interrupt_signal.store(signo, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallInterruptHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = CdmmInterruptHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking accept/read calls wake up
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool InterruptRequested() {
+  return g_interrupt_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int InterruptSignal() { return g_interrupt_signal.load(std::memory_order_relaxed); }
+
+void SimulateInterruptForTesting(int signo) {
+  g_interrupt_signal.store(signo, std::memory_order_relaxed);
+}
+
+void ClearInterruptForTesting() {
+  g_interrupt_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cdmm

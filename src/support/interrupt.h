@@ -1,0 +1,33 @@
+// Process-wide interrupt latch shared by the CLI tools, the sweep engine and
+// the cdmm-serve daemon. SIGINT/SIGTERM handlers only set a lock-free atomic,
+// so installation never changes behaviour until a signal actually arrives:
+// nominal runs are bit-identical with or without the handlers installed.
+//
+// Consumers poll the latch at phase boundaries (cdmmc between output stages,
+// CancelToken::Expired inside a sweep, the daemon's accept loop) and convert
+// it into their own graceful-exit path: partial results + flushed telemetry
+// for cdmmc (exit 128+signo), stop-accepting + drain for cdmm-serve.
+#ifndef CDMM_SRC_SUPPORT_INTERRUPT_H_
+#define CDMM_SRC_SUPPORT_INTERRUPT_H_
+
+namespace cdmm {
+
+// Installs SIGINT and SIGTERM handlers that latch the signal number.
+// Idempotent; safe to call from any tool main. Never alters handlers other
+// than SIGINT/SIGTERM.
+void InstallInterruptHandlers();
+
+// True once a SIGINT/SIGTERM has been observed (or injected for testing).
+bool InterruptRequested();
+
+// The latched signal number, or 0 when no interrupt has been observed.
+int InterruptSignal();
+
+// Test hooks: latch/clear without delivering a real signal. The simulate
+// form performs exactly the store the real handler performs.
+void SimulateInterruptForTesting(int signo);
+void ClearInterruptForTesting();
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SUPPORT_INTERRUPT_H_

@@ -8,12 +8,14 @@
 
 #include "src/cli/lint_cli.h"
 
+#include <csignal>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/robust/fault_injector.h"
+#include "src/support/interrupt.h"
 
 namespace cdmm {
 namespace {
@@ -470,6 +472,48 @@ TEST(LintMainTest, TelemetryModeRejectsSourceInputs) {
   CliRun r = RunLint({"--telemetry", "builtin:MAIN"});
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("--telemetry takes no source inputs"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful interruption: the documented 130/143 contract and the latched-
+// signal behaviour (stages skipped, sidecars still flushed).
+
+TEST(CliInterruptTest, HelpDocumentsTheInterruptExitCodes) {
+  CliRun r = RunCli({"--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("130/143  interrupted (128 + SIGINT/SIGTERM)"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("sidecars are flushed before exiting"), std::string::npos);
+}
+
+TEST(CliInterruptTest, LatchedSigintSkipsStagesAndExits130) {
+  SimulateInterruptForTesting(SIGINT);
+  CliRun r = RunCli({"builtin:INIT", "--simulate", "lru:16"});
+  ClearInterruptForTesting();
+  EXPECT_EQ(r.code, 130);
+  EXPECT_NE(r.err.find("interrupted"), std::string::npos);
+  // The interrupted stage produced no result rows.
+  EXPECT_EQ(r.out.find("LRU(m=16)"), std::string::npos) << r.out;
+}
+
+TEST(CliInterruptTest, LatchedSigtermStillFlushesTheMetricsSidecar) {
+  std::string metrics_path = TempPath("interrupt_sidecar.json");
+  SimulateInterruptForTesting(SIGTERM);
+  CliRun r = RunCli({"builtin:INIT", "--simulate", "lru:16", "--metrics-out",
+                     metrics_path});
+  ClearInterruptForTesting();
+  EXPECT_EQ(r.code, 143);
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good()) << "sidecar missing after interrupted run";
+  std::ostringstream buf;
+  buf << metrics.rdbuf();
+  EXPECT_EQ(buf.str().rfind("{\"schema_version\":1,", 0), 0u);
+}
+
+TEST(CliInterruptTest, ClearedLatchRestoresNominalRuns) {
+  CliRun r = RunCli({"builtin:INIT", "--simulate", "lru:16"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("LRU(m=16)"), std::string::npos);
 }
 
 }  // namespace

@@ -559,6 +559,80 @@ TEST(HierarchyLadderTest, SameScheduleAtAnyJobCount) {
   }
 }
 
+// ---- Differential oracle: the Result<> failure paths -----------------------
+
+namespace {
+
+// A trace whose first directive demands `demand` frames at PI=1 — the
+// unfittable-workload probe the OS robustness tests use.
+Trace GreedyDemandTrace(uint32_t demand, int work) {
+  Trace t("greedy");
+  t.set_virtual_pages(demand + 1);
+  DirectiveRecord d;
+  d.kind = DirectiveRecord::Kind::kAllocate;
+  d.requests = {AllocateRequest{1, demand}};
+  t.AddDirective(d);
+  for (int i = 0; i < work; ++i) {
+    for (PageId p = 0; p < demand; ++p) {
+      t.AddRef(p);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+TEST(HierarchyOsErrorTest, UnfittableMixErrorsIdenticallyWithAndWithoutHierarchy) {
+  Trace t = GreedyDemandTrace(4, 1);
+  std::vector<OsProcessSpec> specs = {
+      OsProcessSpec{"A", &t, 0}, OsProcessSpec{"B", &t, 0}, OsProcessSpec{"C", &t, 0}};
+  OsOptions legacy;
+  legacy.total_frames = 4;
+  legacy.initial_allocation = 2;
+  Result<OsRunResult> flat = RunMultiprogrammedCd(specs, legacy);
+
+  HierarchySpec spec = HierarchySpec::Parse("nvm:2:60,disk:*:2000").value();
+  OsOptions with = legacy;
+  with.hierarchy = &spec;
+  Result<OsRunResult> layered = RunMultiprogrammedCd(specs, with);
+
+  ASSERT_FALSE(flat.ok());
+  ASSERT_FALSE(layered.ok());
+  EXPECT_EQ(flat.error().message, layered.error().message);
+}
+
+TEST(HierarchyOsErrorTest, FailUnfittablePathIsBitIdenticalUnderADegenerateSpec) {
+  // The graceful-degradation path (one process fails, the mix keeps going)
+  // must obey the same oracle as the nominal path: a 1-boundary spec with
+  // the legacy service time reproduces the flat run exactly, failure
+  // bookkeeping included.
+  Trace big = GreedyDemandTrace(100, 3);
+  Trace small = GreedyDemandTrace(10, 3);
+  std::vector<OsProcessSpec> specs = {
+      OsProcessSpec{"BIG", &big, 0}, OsProcessSpec{"SMALL", &small, 0}};
+  OsOptions legacy;
+  legacy.total_frames = 48;
+  legacy.fail_unfittable = true;
+  OsRunResult flat = RunMultiprogrammedCd(specs, legacy).value();
+
+  HierarchySpec degenerate = HierarchySpec::Legacy(2000);
+  OsOptions with = legacy;
+  with.hierarchy = &degenerate;
+  OsRunResult layered = RunMultiprogrammedCd(specs, with).value();
+
+  EXPECT_EQ(flat.failed_processes, 1u);
+  EXPECT_EQ(layered.failed_processes, flat.failed_processes);
+  EXPECT_EQ(layered.total_time, flat.total_time);
+  EXPECT_EQ(layered.total_faults, flat.total_faults);
+  ASSERT_EQ(layered.processes.size(), flat.processes.size());
+  for (size_t i = 0; i < flat.processes.size(); ++i) {
+    EXPECT_EQ(layered.processes[i].completed, flat.processes[i].completed) << i;
+    EXPECT_EQ(layered.processes[i].failure, flat.processes[i].failure) << i;
+    EXPECT_EQ(layered.processes[i].references, flat.processes[i].references) << i;
+    EXPECT_EQ(layered.processes[i].faults, flat.processes[i].faults) << i;
+  }
+}
+
 TEST(HierarchyLadderTest, ElapsedIsMonotoneInTheBottomPenalty) {
   auto cp = CompiledProgram::FromSource(FindWorkload("TQL").source);
   ASSERT_TRUE(cp.ok());

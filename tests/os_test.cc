@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/cdmm/pipeline.h"
+#include "src/vm/hierarchy.h"
 #include "src/workloads/workloads.h"
 
 namespace cdmm {
@@ -278,6 +279,55 @@ TEST(OsRobustTest, DefaultClampKeepsUnfittableProcessRunning) {
   EXPECT_EQ(r.failed_processes, 0u);
   EXPECT_TRUE(r.processes[0].completed);
   EXPECT_EQ(r.processes[0].references, big.reference_count());
+}
+
+TEST(OsRobustTest, UnfittableWorkloadStillErrorsUnderAHierarchy) {
+  // The structured-error path must not regress when the run goes through the
+  // N-level engine instead of the flat backing store.
+  Trace t = GreedyTrace(4, 1);
+  HierarchySpec spec = HierarchySpec::Parse("nvm:16:60,disk:*:2000").value();
+  OsOptions options;
+  options.total_frames = 4;
+  options.initial_allocation = 2;
+  options.hierarchy = &spec;
+  std::vector<OsProcessSpec> specs = {
+      OsProcessSpec{"A", &t, 0}, OsProcessSpec{"B", &t, 0}, OsProcessSpec{"C", &t, 0}};
+  Result<OsRunResult> r = RunMultiprogrammedCd(specs, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("can never fit"), std::string::npos);
+
+  // Null traces and empty mixes error identically with a hierarchy attached.
+  EXPECT_FALSE(RunMultiprogrammedCd({}, options).ok());
+  std::vector<OsProcessSpec> null_trace = {OsProcessSpec{"A", nullptr, 0}};
+  EXPECT_FALSE(RunMultiprogrammedCd(null_trace, options).ok());
+  EXPECT_FALSE(RunMultiprogrammedWs(null_trace, options, 1000).ok());
+}
+
+TEST(OsRobustTest, FailUnfittableDegradesGracefullyUnderAHierarchy) {
+  Trace big = GreedyTrace(100, 3);  // PI=1 demand of 100 pages: never fits 48
+  Trace small = GreedyTrace(10, 3);
+  HierarchySpec spec =
+      HierarchySpec::Parse("nvm:24:60,ssd:32:400,disk:*:2000").value();
+  OsOptions options;
+  options.total_frames = 48;
+  options.fail_unfittable = true;
+  options.hierarchy = &spec;
+  std::vector<OsProcessSpec> specs = {
+      OsProcessSpec{"BIG", &big, 0}, OsProcessSpec{"SMALL", &small, 0}};
+  OsRunResult r = RunMultiprogrammedCd(specs, options).value();
+  EXPECT_EQ(r.failed_processes, 1u);
+  EXPECT_FALSE(r.processes[0].completed);
+  EXPECT_NE(r.processes[0].failure.find("can never fit"), std::string::npos);
+  EXPECT_TRUE(r.processes[1].completed);
+  EXPECT_EQ(r.processes[1].references, small.reference_count());
+  // The shared hierarchy still reports per-level traffic for the survivor,
+  // and every serviced fault is accounted to exactly one level.
+  ASSERT_EQ(r.hierarchy_levels.size(), 3u);
+  uint64_t serviced = 0;
+  for (const HierarchyLevelTraffic& level : r.hierarchy_levels) {
+    serviced += level.hits;
+  }
+  EXPECT_EQ(serviced, r.total_faults);
 }
 
 class OsInjectionTest : public OsTest {};

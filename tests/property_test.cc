@@ -2,7 +2,11 @@
 // classical paging-theory invariants must hold on every generated trace.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "src/cdmm/pipeline.h"
+#include "src/robust/backoff.h"
 #include "src/support/str.h"
 #include "src/trace/trace_io.h"
 #include "src/vm/cd_policy.h"
@@ -270,6 +274,84 @@ TEST(FifoBeladyTest, AnomalySurvivesBelowAVictimCache) {
 INSTANTIATE_TEST_SUITE_P(AllNine, WorkloadPropertyTest,
                          ::testing::Values("MAIN", "FDJAC", "TQL", "FIELD", "INIT", "APPROX",
                                            "HYBRJ", "CONDUCT", "HWSCRT"));
+
+// ---- BackoffPolicy schedule properties over a seed grid, evaluated from
+// many threads at once: the cdmm-serve retry schedule must be a pure
+// function of (seed, stream, attempt), so every thread count and call order
+// reproduces the identical table, with every entry bounded by the cap and
+// monotone per stream.
+
+TEST(BackoffPropertyTest, ScheduleIsPureBoundedAndMonotoneAtAnyThreadCount) {
+  constexpr uint64_t kSeeds = 12;
+  constexpr uint64_t kStreams = 32;
+  constexpr int kRetries = 6;
+
+  auto table_for = [&](uint64_t seed) {
+    BackoffPolicy policy;
+    policy.seed = seed;
+    policy.max_retries = kRetries;
+    std::vector<uint64_t> table;
+    table.reserve(kStreams * kRetries);
+    for (uint64_t stream = 0; stream < kStreams; ++stream) {
+      for (int attempt = 0; attempt < kRetries; ++attempt) {
+        table.push_back(policy.Delay(stream, attempt));
+      }
+    }
+    return table;
+  };
+
+  // Reference tables, computed serially.
+  std::vector<std::vector<uint64_t>> reference;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    reference.push_back(table_for(seed));
+  }
+
+  // Each seed's full schedule obeys the bound and the per-stream monotone
+  // guarantee (WorstCase is the sum bound the serve retry loop charges).
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    BackoffPolicy policy;
+    policy.seed = seed;
+    policy.max_retries = kRetries;
+    const std::vector<uint64_t>& table = reference[seed - 1];
+    for (uint64_t stream = 0; stream < kStreams; ++stream) {
+      uint64_t prev = 0;
+      uint64_t total = 0;
+      for (int attempt = 0; attempt < kRetries; ++attempt) {
+        uint64_t delay = table[stream * kRetries + static_cast<uint64_t>(attempt)];
+        EXPECT_LE(delay, policy.cap);
+        EXPECT_GE(delay, prev);
+        prev = delay;
+        total += delay;
+      }
+      EXPECT_LE(total, policy.WorstCase());
+    }
+  }
+
+  // Recompute every table from competing threads (each thread walks the
+  // seeds in a different rotation) and require bit-identical results.
+  for (unsigned threads : {2u, 8u}) {
+    std::vector<std::vector<std::vector<uint64_t>>> recomputed(
+        threads, std::vector<std::vector<uint64_t>>(kSeeds));
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t]() {
+        for (uint64_t k = 0; k < kSeeds; ++k) {
+          uint64_t seed = 1 + (k + t) % kSeeds;
+          recomputed[t][seed - 1] = table_for(seed);
+        }
+      });
+    }
+    for (std::thread& w : workers) {
+      w.join();
+    }
+    for (unsigned t = 0; t < threads; ++t) {
+      for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        EXPECT_EQ(recomputed[t][seed - 1], reference[seed - 1])
+            << "threads=" << threads << " t=" << t << " seed=" << seed;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace cdmm

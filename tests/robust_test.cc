@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "src/robust/backoff.h"
 #include "src/vm/sim_result.h"
 
 namespace cdmm {
@@ -237,6 +238,114 @@ TEST(FaultInjectorTest, AtIntensityScalesTheMigrationRate) {
     EXPECT_EQ(with.StallsSweepItem(i), without.StallsSweepItem(i));
     EXPECT_EQ(with.PoisonsSweepItem(i), without.PoisonsSweepItem(i));
   }
+}
+
+// ---- BackoffPolicy: the retry-schedule guarantees cdmm-serve leans on.
+
+TEST(BackoffPolicyTest, UnjitteredScheduleDoublesAndClamps) {
+  BackoffPolicy policy;  // base 250, cap 4000, 4 retries, seed 0
+  EXPECT_EQ(policy.Delay(0, 0), 250u);
+  EXPECT_EQ(policy.Delay(0, 1), 500u);
+  EXPECT_EQ(policy.Delay(0, 2), 1000u);
+  EXPECT_EQ(policy.Delay(0, 3), 2000u);
+  // Budget exhausted: no further wait is ever scheduled.
+  EXPECT_EQ(policy.Delay(0, 4), 0u);
+  EXPECT_EQ(policy.Delay(0, 100), 0u);
+  EXPECT_EQ(policy.Delay(0, -1), 0u);
+
+  policy.cap = 600;
+  EXPECT_EQ(policy.Delay(7, 2), 600u);  // clamped, any stream
+  EXPECT_EQ(policy.Delay(7, 3), 600u);
+}
+
+TEST(BackoffPolicyTest, EveryJitteredDelayIsBoundedByTheCap) {
+  for (uint64_t seed : {1ull, 17ull, 0xdeadbeefull}) {
+    BackoffPolicy policy;
+    policy.seed = seed;
+    policy.max_retries = 8;
+    policy.cap = 3000;
+    for (uint64_t stream = 0; stream < 64; ++stream) {
+      uint64_t total = 0;
+      for (int attempt = 0; attempt < policy.max_retries; ++attempt) {
+        uint64_t delay = policy.Delay(stream, attempt);
+        EXPECT_LE(delay, policy.cap) << "seed=" << seed << " stream=" << stream
+                                     << " attempt=" << attempt;
+        total += delay;
+      }
+      EXPECT_EQ(policy.TotalDelay(stream), total);
+      EXPECT_LE(total, policy.WorstCase());
+    }
+  }
+}
+
+TEST(BackoffPolicyTest, DelaysAreMonotonePerStreamJitterIncluded) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    BackoffPolicy policy;
+    policy.seed = seed;
+    policy.max_retries = 10;
+    policy.cap = 100000;
+    for (uint64_t stream = 0; stream < 16; ++stream) {
+      uint64_t prev = 0;
+      for (int attempt = 0; attempt < policy.max_retries; ++attempt) {
+        uint64_t delay = policy.Delay(stream, attempt);
+        EXPECT_GE(delay, prev) << "seed=" << seed << " stream=" << stream
+                               << " attempt=" << attempt;
+        prev = delay;
+      }
+    }
+  }
+}
+
+TEST(BackoffPolicyTest, DelaysArePureFunctionsInAnyCallOrder) {
+  BackoffPolicy forward;
+  forward.seed = 99;
+  BackoffPolicy backward = forward;
+  std::vector<uint64_t> a;
+  std::vector<uint64_t> b(64 * 4);
+  for (uint64_t stream = 0; stream < 64; ++stream) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      a.push_back(forward.Delay(stream, attempt));
+    }
+  }
+  for (uint64_t stream = 64; stream-- > 0;) {
+    for (int attempt = 4; attempt-- > 0;) {
+      b[stream * 4 + static_cast<uint64_t>(attempt)] = backward.Delay(stream, attempt);
+    }
+  }
+  EXPECT_EQ(a, b);
+  // And distinct seeds genuinely produce distinct schedules.
+  BackoffPolicy other = forward;
+  other.seed = 100;
+  bool any_difference = false;
+  for (uint64_t stream = 0; stream < 64 && !any_difference; ++stream) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      any_difference |= other.Delay(stream, attempt) != a[stream * 4 + attempt];
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BackoffPolicyTest, FromInjectorConfigMirrorsTheSwapRetryKnobs) {
+  FaultInjectionConfig config;
+  config.seed = 31;
+  config.swap_backoff_base = 125;
+  config.max_swap_retries = 5;
+  BackoffPolicy policy = BackoffPolicy::FromInjectorConfig(config);
+  EXPECT_EQ(policy.base, 125u);
+  EXPECT_EQ(policy.max_retries, 5);
+  EXPECT_EQ(policy.seed, 31u);
+  // Cap = the budget's final unjittered doubling, so jitter never waits
+  // longer than the OS swap path would have.
+  EXPECT_EQ(policy.cap, 125u << 4);
+  EXPECT_EQ(policy.WorstCase(), 5u * (125u << 4));
+
+  // Degenerate knobs stay safe: zero base is bumped, zero budget waits never.
+  config.swap_backoff_base = 0;
+  config.max_swap_retries = 0;
+  BackoffPolicy zero = BackoffPolicy::FromInjectorConfig(config);
+  EXPECT_EQ(zero.base, 1u);
+  EXPECT_EQ(zero.Delay(0, 0), 0u);
+  EXPECT_EQ(zero.WorstCase(), 0u);
 }
 
 }  // namespace

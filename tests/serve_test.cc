@@ -1,0 +1,440 @@
+// Tests for the cdmm-serve stack: the JSON value/parser, the wire protocol
+// (framing, request parsing, fingerprints), and ServerCore's robustness
+// machinery — result cache, admission hysteresis, circuit breaker, retry
+// schedule, drain — including the determinism contract at several thread
+// counts.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/exec/thread_pool.h"
+#include "src/robust/load_controller.h"
+#include "src/serve/json.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+
+namespace cdmm {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(ServeJsonTest, ParsesScalarsArraysObjects) {
+  Result<JsonValue> v = ParseJson(R"({"a":1,"b":"x","c":[true,null,2.5],"d":{"e":-3}})");
+  ASSERT_TRUE(v.ok());
+  const JsonValue& doc = v.value();
+  EXPECT_EQ(doc.GetU64("a"), 1u);
+  EXPECT_EQ(doc.GetString("b"), "x");
+  const JsonValue* c = doc.Find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->Items().size(), 3u);
+  EXPECT_TRUE(c->Items()[0].AsBool());
+  EXPECT_TRUE(c->Items()[1].is_null());
+  EXPECT_DOUBLE_EQ(c->Items()[2].AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(doc.Find("d")->Find("e")->AsDouble(), -3.0);
+}
+
+TEST(ServeJsonTest, RoundTripsThroughDump) {
+  const std::string text = R"({"op":"simulate","n":42,"ok":true,"list":[1,2],"s":"a\"b"})";
+  Result<JsonValue> v = ParseJson(text);
+  ASSERT_TRUE(v.ok());
+  Result<JsonValue> again = ParseJson(v.value().Dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(v.value().Dump(), again.value().Dump());
+}
+
+TEST(ServeJsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1,2,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("+5").ok());
+}
+
+TEST(ServeJsonTest, DepthLimitStopsAdversarialNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(ServeJsonTest, StringEscapes) {
+  Result<JsonValue> v = ParseJson(R"({"s":"a\n\t\"\\A"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().GetString("s"), "a\n\t\"\\A");
+  // Control characters must be escaped on the way out.
+  JsonValue o = JsonValue::Object();
+  o.Set("s", JsonValue::Str(std::string("a\nb")));
+  EXPECT_EQ(o.Dump(), "{\"s\":\"a\\nb\"}");
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ServeProtocolTest, FramingRoundTrip) {
+  std::string buffer = EncodeFrame("hello") + EncodeFrame("") + EncodeFrame("world");
+  size_t pos = 0;
+  Result<std::optional<std::string>> a = DecodeFrame(buffer, &pos);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a.value(), "hello");
+  Result<std::optional<std::string>> b = DecodeFrame(buffer, &pos);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b.value(), "");
+  Result<std::optional<std::string>> c = DecodeFrame(buffer, &pos);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c.value(), "world");
+  Result<std::optional<std::string>> d = DecodeFrame(buffer, &pos);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d.value().has_value());
+  EXPECT_EQ(pos, buffer.size());
+}
+
+TEST(ServeProtocolTest, PartialFrameWaitsForMoreBytes) {
+  std::string full = EncodeFrame("payload");
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::string partial = full.substr(0, cut);
+    size_t pos = 0;
+    Result<std::optional<std::string>> r = DecodeFrame(partial, &pos);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value().has_value()) << "cut=" << cut;
+    EXPECT_EQ(pos, 0u);
+  }
+}
+
+TEST(ServeProtocolTest, OversizedLengthPrefixIsAnError) {
+  std::string evil = "\xff\xff\xff\x7f";  // ~2 GiB declared payload
+  size_t pos = 0;
+  EXPECT_FALSE(DecodeFrame(evil, &pos).ok());
+}
+
+TEST(ServeProtocolTest, ParsesEveryOp) {
+  EXPECT_EQ(ParseServeRequest(R"({"op":"ping"})").value().op, ServeOp::kPing);
+  EXPECT_EQ(ParseServeRequest(R"({"op":"stats"})").value().op, ServeOp::kStats);
+  Result<ServeRequest> sim =
+      ParseServeRequest(R"({"op":"simulate","workload":"MAIN","policy":"lru:8"})");
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(sim.value().op, ServeOp::kSimulate);
+  EXPECT_EQ(sim.value().workload, "MAIN");
+  EXPECT_EQ(sim.value().policy, "lru:8");
+  EXPECT_EQ(ParseServeRequest(R"({"op":"sweep","workload":"TQL","kind":"opt"})")
+                .value()
+                .op,
+            ServeOp::kSweepOpt);
+  Result<ServeRequest> ladder = ParseServeRequest(
+      R"({"op":"ladder","workload":"TQL","policy":"cd-outer","penalty":20})");
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_EQ(ladder.value().penalty, 20u);
+}
+
+TEST(ServeProtocolTest, RejectsBadRequests) {
+  EXPECT_FALSE(ParseServeRequest("not json").ok());
+  EXPECT_FALSE(ParseServeRequest("[1,2]").ok());
+  EXPECT_FALSE(ParseServeRequest(R"({"op":"frobnicate"})").ok());
+  EXPECT_FALSE(ParseServeRequest(R"({"op":"simulate","policy":"lru:8"})").ok());
+  EXPECT_FALSE(ParseServeRequest(R"({"op":"simulate","workload":"MAIN"})").ok());
+  EXPECT_FALSE(ParseServeRequest(R"({"op":"sweep","workload":"X","kind":"zig"})").ok());
+  EXPECT_FALSE(ParseServeRequest(R"({"nop":"ping"})").ok());
+}
+
+TEST(ServeProtocolTest, FingerprintSeparatesSemanticFields) {
+  ServeRequest a = ParseServeRequest(
+                       R"({"op":"simulate","workload":"MAIN","policy":"lru:8"})")
+                       .value();
+  ServeRequest b = a;
+  EXPECT_EQ(FingerprintRequest(a), FingerprintRequest(b));
+  b.policy = "lru:9";
+  EXPECT_NE(FingerprintRequest(a), FingerprintRequest(b));
+  b = a;
+  b.workload = "TQL";
+  EXPECT_NE(FingerprintRequest(a), FingerprintRequest(b));
+  b = a;
+  b.penalty = 19;
+  EXPECT_NE(FingerprintRequest(a), FingerprintRequest(b));
+  // The deadline is NOT part of the identity: same result, different patience.
+  b = a;
+  b.deadline_ms = 5000;
+  EXPECT_EQ(FingerprintRequest(a), FingerprintRequest(b));
+}
+
+// ---------------------------------------------------------------- server
+
+ServeRequest SimReq(const std::string& workload, const std::string& policy) {
+  ServeRequest r;
+  r.op = ServeOp::kSimulate;
+  r.workload = workload;
+  r.policy = policy;
+  return r;
+}
+
+TEST(ServerCoreTest, SimulateSweepLadderAndCache) {
+  ServerCore core(nullptr);
+  ServeResponse first = core.Handle(SimReq("FDJAC", "lru:16"));
+  ASSERT_EQ(first.status, ServeStatus::kOk) << first.error;
+  EXPECT_FALSE(first.cached);
+  EXPECT_NE(first.payload.find("\"faults\""), std::string::npos);
+
+  ServeResponse repeat = core.Handle(SimReq("FDJAC", "lru:16"));
+  EXPECT_EQ(repeat.status, ServeStatus::kOk);
+  EXPECT_TRUE(repeat.cached);
+  EXPECT_EQ(repeat.payload, first.payload);
+  EXPECT_EQ(core.stats().cache_hits, 1u);
+
+  ServeRequest sweep;
+  sweep.op = ServeOp::kSweepWs;
+  sweep.workload = "FDJAC";
+  ServeResponse curve = core.Handle(sweep);
+  ASSERT_EQ(curve.status, ServeStatus::kOk) << curve.error;
+  EXPECT_NE(curve.payload.find("\"fingerprint\""), std::string::npos);
+
+  ServeRequest ladder;
+  ladder.op = ServeOp::kLadderCell;
+  ladder.workload = "FDJAC";
+  ladder.policy = "cd-outer";
+  ladder.penalty = 200;
+  ServeResponse cell = core.Handle(ladder);
+  ASSERT_EQ(cell.status, ServeStatus::kOk) << cell.error;
+  EXPECT_NE(cell.payload.find("\"penalty\":200"), std::string::npos);
+}
+
+TEST(ServerCoreTest, StructuredErrorsNeverThrow) {
+  ServerCore core(nullptr);
+  EXPECT_EQ(core.Handle(SimReq("NOSUCH", "lru:16")).status, ServeStatus::kError);
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "zap:9")).status, ServeStatus::kError);
+  ServeRequest ladder;
+  ladder.op = ServeOp::kLadderCell;
+  ladder.workload = "FDJAC";
+  ladder.policy = "lru:8";
+  ladder.hierarchy = "not:a:valid:spec:at:all";
+  EXPECT_EQ(core.Handle(ladder).status, ServeStatus::kError);
+  // The server still works afterwards.
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "lru:16")).status, ServeStatus::kOk);
+}
+
+TEST(ServerCoreTest, HandleBatchRawAnswersEveryPayload) {
+  ServerCore core(nullptr);
+  std::vector<ServeResponse> responses = core.HandleBatchRaw({
+      R"({"op":"ping"})",
+      "garbage",
+      R"({"op":"simulate","workload":"FDJAC","policy":"lru:16"})",
+  });
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].status, ServeStatus::kOk);
+  EXPECT_EQ(responses[1].status, ServeStatus::kError);
+  EXPECT_EQ(responses[2].status, ServeStatus::kOk);
+}
+
+TEST(ServerCoreTest, AdmissionShedsOverBudgetAndRecoversWithHysteresis) {
+  ServeLimits limits;
+  limits.admit_budget = 8;       // sheds once projected backlog exceeds 8
+  limits.drain_per_request = 0;  // no drain: observe pure hysteresis
+  ServerCore core(nullptr, limits);
+
+  // Distinct fingerprints, cost 2 each: 4 admitted fills the budget; the
+  // 5th projects 10/8 > 1 and shedding starts, sticky until load < 1/2.
+  std::vector<ServeRequest> burst;
+  for (int i = 0; i < 8; ++i) {
+    burst.push_back(SimReq("FDJAC", "lru:" + std::to_string(i + 2)));
+  }
+  std::vector<ServeResponse> responses = core.HandleBatch(burst);
+  int shed = 0;
+  for (const ServeResponse& r : responses) {
+    shed += r.status == ServeStatus::kShed ? 1 : 0;
+  }
+  EXPECT_EQ(shed, 4);
+  EXPECT_EQ(core.stats().admitted, 4u);
+  // All admitted work completed, so the backlog drained at batch end...
+  EXPECT_EQ(core.backlog(), 0u);
+  // ...and the next request is readmitted (health back above the high mark).
+  EXPECT_NE(core.Handle(SimReq("FDJAC", "lru:16")).status, ServeStatus::kShed);
+}
+
+TEST(ServerCoreTest, CacheHitsBypassAdmission) {
+  ServeLimits limits;
+  limits.admit_budget = 4;
+  limits.drain_per_request = 0;
+  ServerCore core(nullptr, limits);
+  ASSERT_EQ(core.Handle(SimReq("FDJAC", "lru:16")).status, ServeStatus::kOk);
+
+  // A batch of 64 repeats costs nothing: all cached, none shed.
+  std::vector<ServeRequest> repeats(64, SimReq("FDJAC", "lru:16"));
+  for (const ServeResponse& r : core.HandleBatch(repeats)) {
+    EXPECT_EQ(r.status, ServeStatus::kOk);
+    EXPECT_TRUE(r.cached);
+  }
+  EXPECT_EQ(core.stats().shed, 0u);
+}
+
+TEST(ServerCoreTest, BreakerOpensQuarantinesAndHalfOpens) {
+  ServeLimits limits;
+  limits.breaker_threshold = 3;
+  limits.breaker_cooldown = 4;
+  ServerCore core(nullptr, limits);
+
+  // Same failing shape (unknown policy => kError) three times: opens.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(core.Handle(SimReq("FDJAC", "bogus")).status, ServeStatus::kError);
+  }
+  EXPECT_EQ(core.stats().breaker_opens, 1u);
+
+  // The next `cooldown` requests of that shape are quarantined unrun.
+  for (int i = 0; i < 4; ++i) {
+    ServeResponse r = core.Handle(SimReq("FDJAC", "bogus"));
+    EXPECT_EQ(r.status, ServeStatus::kQuarantined) << i;
+  }
+  EXPECT_EQ(core.stats().quarantined, 4u);
+
+  // Cooldown over: the half-open probe runs (and fails again -> re-open).
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "bogus")).status, ServeStatus::kError);
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "bogus")).status, ServeStatus::kQuarantined);
+
+  // A different shape is unaffected throughout.
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "lru:16")).status, ServeStatus::kOk);
+}
+
+TEST(ServerCoreTest, BreakerReopensAfterFailedProbe) {
+  ServeLimits limits;
+  limits.breaker_threshold = 2;
+  limits.breaker_cooldown = 1;
+  ServerCore core(nullptr, limits);
+
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "bogus")).status, ServeStatus::kError);
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "bogus")).status, ServeStatus::kError);
+  EXPECT_EQ(core.stats().breaker_opens, 1u);
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "bogus")).status, ServeStatus::kQuarantined);
+  // Cooldown over: the probe runs, fails again, and the breaker re-opens
+  // (no second "open" counted, never a close).
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "bogus")).status, ServeStatus::kError);
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "bogus")).status, ServeStatus::kQuarantined);
+  EXPECT_EQ(core.stats().breaker_opens, 1u);
+  EXPECT_EQ(core.stats().breaker_closes, 0u);
+}
+
+TEST(ServerCoreTest, BreakerClosesWhenTransientPoisonClears) {
+  // A shape that fails transiently and then recovers: the injector poisons
+  // the first request's only attempt (admission seq 0 -> fate index 0) but
+  // not the half-open probe's (seq 1 -> fate index 16). Search the seed
+  // space for that fate pattern — injection is a pure function of the seed,
+  // so the test stays deterministic.
+  FaultInjectionConfig config;
+  config.poison_rate = 0.5;
+  uint64_t seed = 0;
+  for (uint64_t s = 1; s < 10000 && seed == 0; ++s) {
+    config.seed = s;
+    FaultInjector probe(config);
+    if (probe.PoisonsSweepItem(0) && !probe.PoisonsSweepItem(16)) seed = s;
+  }
+  ASSERT_NE(seed, 0u) << "no seed poisons fate 0 but not fate 16";
+
+  ServeLimits limits;
+  limits.breaker_threshold = 1;
+  limits.breaker_cooldown = 1;
+  limits.max_attempts = 1;  // one poisoned attempt fails the whole request
+  limits.injection = config;
+  limits.injection.seed = seed;
+  ServerCore core(nullptr, limits);
+
+  // seq 0: poisoned -> request fails, breaker opens.
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "lru:16")).status, ServeStatus::kPoisoned);
+  EXPECT_EQ(core.stats().breaker_opens, 1u);
+  // Cooldown: quarantined without running (consumes no admission seq).
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "lru:16")).status, ServeStatus::kQuarantined);
+  // Half-open probe (seq 1): clean attempt, succeeds, breaker closes.
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "lru:16")).status, ServeStatus::kOk);
+  EXPECT_EQ(core.stats().breaker_closes, 1u);
+  // And the recovered result is now cached like any other success.
+  EXPECT_TRUE(core.Handle(SimReq("FDJAC", "lru:16")).cached);
+}
+
+TEST(ServerCoreTest, DrainRefusesNewRequests) {
+  ServerCore core(nullptr);
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "lru:16")).status, ServeStatus::kOk);
+  core.BeginDrain();
+  ServeResponse r = core.Handle(SimReq("FDJAC", "lru:16"));
+  EXPECT_EQ(r.status, ServeStatus::kDraining);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(core.stats().drained, 1u);
+}
+
+TEST(ServerCoreTest, InjectedChaosIsDeterministicAcrossThreadCounts) {
+  auto soak = [](unsigned jobs) {
+    std::unique_ptr<ThreadPool> pool;
+    if (jobs > 1) {
+      pool = std::make_unique<ThreadPool>(jobs);
+    }
+    ServeLimits limits;
+    limits.injection = FaultInjectionConfig::AtIntensity(11, 1.0);
+    limits.injection.stall_rate = 0.1;
+    limits.injection.poison_rate = 0.4;
+    ServerCore core(pool.get(), limits);
+    std::string transcript;
+    for (int round = 0; round < 4; ++round) {
+      std::vector<ServeRequest> batch;
+      for (int k = 0; k < 10; ++k) {
+        batch.push_back(
+            SimReq(round % 2 == 0 ? "FDJAC" : "TQL",
+                   "lru:" + std::to_string(4 + round * 10 + k)));
+      }
+      for (const ServeResponse& r : core.HandleBatch(batch)) {
+        transcript += r.ToJson();
+        transcript += "\n";
+      }
+    }
+    return transcript;
+  };
+  std::string serial = soak(1);
+  EXPECT_EQ(serial, soak(4));
+  EXPECT_EQ(serial, soak(8));
+  // The chaos actually bit: some request was stalled or poisoned.
+  EXPECT_TRUE(serial.find("\"timeout\"") != std::string::npos ||
+              serial.find("\"poisoned\"") != std::string::npos);
+}
+
+TEST(ServerCoreTest, PoisonedRequestsReportBoundedMonotoneBackoff) {
+  ServeLimits limits;
+  limits.injection.seed = 3;
+  limits.injection.poison_rate = 1.0;  // every attempt fails transiently
+  limits.max_attempts = 4;
+  ServerCore core(nullptr, limits);
+  ServeResponse r = core.Handle(SimReq("FDJAC", "lru:16"));
+  EXPECT_EQ(r.status, ServeStatus::kPoisoned);
+  EXPECT_EQ(r.retries, 3);
+  BackoffPolicy backoff = BackoffPolicy::FromInjectorConfig(limits.injection);
+  EXPECT_GT(r.retry_delay, 0u);
+  EXPECT_LE(r.retry_delay, backoff.WorstCase());
+}
+
+TEST(ServerCoreTest, StatsJsonIsWellFormed) {
+  ServerCore core(nullptr);
+  core.Handle(SimReq("FDJAC", "lru:16"));
+  core.Handle(SimReq("FDJAC", "lru:16"));
+  Result<JsonValue> stats = ParseJson(core.StatsJson());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().GetU64("received"), 2u);
+  EXPECT_EQ(stats.value().GetU64("cache_hits"), 1u);
+  EXPECT_FALSE(stats.value().GetBool("draining"));
+}
+
+// ------------------------------------------------- LoadController (serve map)
+
+TEST(LoadControllerServeTest, DirectEvaluateHysteresis) {
+  // The serve admission mapping: health = 1 - load, pressure = load,
+  // watermarks (0, 0.5]: shed strictly above load 1, readmit below 0.5.
+  LoadController controller(LoadControllerConfig{0, 0.0, 0.5, 0.0});
+  EXPECT_FALSE(controller.shedding());
+  EXPECT_EQ(controller.Evaluate(1.0 - 0.9, 0.9), LoadAction::kNone);
+  EXPECT_EQ(controller.Evaluate(1.0 - 1.25, 1.25), LoadAction::kShed);
+  EXPECT_TRUE(controller.shedding());
+  // Inside the hysteresis band nothing changes.
+  EXPECT_EQ(controller.Evaluate(1.0 - 0.75, 0.75), LoadAction::kNone);
+  EXPECT_TRUE(controller.shedding());
+  EXPECT_EQ(controller.Evaluate(1.0 - 0.4, 0.4), LoadAction::kReadmit);
+  EXPECT_FALSE(controller.shedding());
+  // Readmit-side samples keep the controller out of shedding.
+  controller.Evaluate(1.0 - 0.3, 0.3);
+  EXPECT_FALSE(controller.shedding());
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Chaos-soak gate for the cdmm-serve engine.
+
+Runs bench_serve three ways and enforces the PR's robustness acceptance
+criteria:
+
+  1. determinism: `--deterministic-only` output is byte-identical at
+     --jobs 1, 4 and 8 (statuses, retries, breaker transitions and the
+     response fingerprint are pure functions of the seed);
+  2. resilience: the soak sheds under overload instead of crashing
+     (shed > 0), survives injected faults with retries (retries > 0),
+     opens at least one circuit breaker, and the recovery phase is clean
+     (no sheds, no failures);
+  3. throughput: the cached path sustains at least --min-rps requests/s
+     (default 10000) with its p99 recorded.
+
+Writes the full document (deterministic + runtime sections) to --out.
+When --baseline is given, the deterministic section must equal the
+baseline's — the cross-machine replay gate CI applies to the committed
+BENCH_serve.json.
+
+Usage:
+  bench_serve.py --bench build/bench/bench_serve [--seed 7]
+                 [--min-rps 10000] [--out BENCH_serve.json]
+                 [--baseline BENCH_serve.json]
+
+Exit: 0 when every gate passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def run(cmd):
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    if result.returncode != 0:
+        print(f"FAILED ({result.returncode}): {' '.join(cmd)}\n{result.stderr}",
+              file=sys.stderr)
+        sys.exit(1)
+    return result.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--bench", required=True)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--min-rps", type=float, default=10000.0)
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--baseline", default=None)
+    args = parser.parse_args()
+
+    failures = []
+
+    def gate(cond, what):
+        print(f"[gate] {'ok' if cond else 'FAIL'}: {what}")
+        if not cond:
+            failures.append(what)
+
+    # 1. Determinism across thread counts.
+    outputs = {}
+    for jobs in (1, 4, 8):
+        outputs[jobs] = run([args.bench, "--jobs", str(jobs), "--seed",
+                             str(args.seed), "--deterministic-only"])
+    gate(outputs[1] == outputs[4] == outputs[8],
+         "deterministic soak is byte-identical at --jobs 1/4/8")
+
+    # 2. Full soak with the runtime section.
+    doc = json.loads(run([args.bench, "--jobs", "4", "--seed", str(args.seed)]))
+    det = doc["deterministic"]
+    phases = {p["phase"]: p for p in det["phases"]}
+
+    gate(json.dumps(det, sort_keys=True) ==
+         json.dumps(json.loads(outputs[4]), sort_keys=True),
+         "full run's deterministic section matches the replay")
+    gate(phases["overload"]["shed"] > 0, "overload phase sheds load")
+    gate(phases["overload"]["received"] ==
+         phases["overload"]["completed"] + phases["overload"]["shed"]
+         + phases["overload"]["quarantined"] + phases["overload"]["timeouts"]
+         + phases["overload"]["poisoned"] + phases["overload"]["errors"],
+         "every overload request got a structured answer")
+    soak = {k: sum(p[k] for p in det["phases"]) for k in
+            ("retries", "breaker_opens", "timeouts", "poisoned")}
+    gate(soak["retries"] > 0, "injected transient faults were retried")
+    gate(soak["breaker_opens"] > 0, "a poisoning shape opened its breaker")
+    recovery = phases["recovery"]
+    gate(recovery["shed"] == 0 and recovery["errors"] == 0
+         and recovery["timeouts"] == 0 and recovery["poisoned"] == 0,
+         "recovery phase is back to nominal inside the soak window")
+
+    runtime = doc["runtime"]
+    rps = float(runtime["cached_rps"])
+    gate(rps >= args.min_rps,
+         f"cached path sustains {rps:.0f} req/s (gate {args.min_rps:.0f}), "
+         f"p99 {runtime['p99_us']}us")
+
+    # 3. Optional replay diff against the committed baseline.
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        gate(json.dumps(det, sort_keys=True) ==
+             json.dumps(baseline["deterministic"], sort_keys=True),
+             f"deterministic section matches {args.baseline}")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"[gate] wrote {args.out}")
+
+    if failures:
+        print(f"[gate] {len(failures)} gate(s) failed")
+        return 1
+    print("[gate] all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+// cdmm-serve — the long-running simulation service.
+//
+// Accepts length-prefixed JSON frames (see src/serve/protocol.h and
+// DESIGN.md §13) over a local AF_UNIX socket and multiplexes simulate /
+// sweep / hierarchy-ladder requests onto the work-stealing thread pool,
+// behind a content-addressed result cache, admission control with
+// hysteresis, per-shape circuit breakers and bounded-exponential retry.
+//
+// Usage:
+//   cdmm-serve --socket PATH [options]
+//
+// Options:
+//   --socket PATH          AF_UNIX socket path to listen on (required)
+//   --jobs N               thread-pool size (default: all cores; 1 = serial)
+//   --budget N             virtual admission budget (default 32)
+//   --breaker-threshold N  consecutive failures that open a shape's circuit
+//                          breaker (default 3)
+//   --breaker-cooldown N   quarantined requests before a half-open probe
+//                          (default 8)
+//   --max-attempts N       tries per request incl. retries (default 3)
+//   --deadline-ms N        default per-request deadline (0 = none)
+//   --inject-seed N        deterministic chaos injection seed (0 = off)
+//   --inject-rate X        chaos intensity in [0,1] (default 0.5)
+//   --once                 exit cleanly after one connection (smoke tests)
+//   --max-connections N    exit cleanly after N connections (0 = forever)
+//   --metrics[=text|json]  print the telemetry report on exit
+//   --metrics-out FILE     write the JSON metrics sidecar on exit
+//   --trace-spans FILE     write Chrome trace-event JSON on exit
+//   --help                 this text
+//
+// Exit codes: 0 natural finish, 1 setup error, 2 usage, 130/143 after a
+// graceful SIGINT/SIGTERM drain (telemetry sidecars are flushed first).
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/exec/flags.h"
+#include "src/exec/thread_pool.h"
+#include "src/serve/daemon.h"
+#include "src/serve/server.h"
+#include "src/support/interrupt.h"
+#include "src/support/str.h"
+#include "src/telemetry/flags.h"
+
+namespace {
+
+void PrintHelp(std::ostream& out) {
+  out << "usage: cdmm-serve --socket PATH [--jobs N] [--budget N]\n"
+         "                  [--breaker-threshold N] [--breaker-cooldown N]\n"
+         "                  [--max-attempts N] [--deadline-ms N]\n"
+         "                  [--inject-seed N] [--inject-rate X]\n"
+         "                  [--once | --max-connections N]\n"
+         "                  [--metrics[=text|json]] [--metrics-out FILE]\n"
+         "                  [--trace-spans FILE]\n"
+         "\n"
+         "Serves length-prefixed JSON simulation requests (protocol and\n"
+         "failure semantics: DESIGN.md section 13) on an AF_UNIX socket.\n"
+         "\n"
+         "exit codes:\n"
+         "  0        natural finish (--once / --max-connections reached)\n"
+         "  1        setup error (socket bind/listen)\n"
+         "  2        usage error\n"
+         "  130/143  interrupted (128 + SIGINT/SIGTERM): graceful drain —\n"
+         "           buffered requests are answered, new ones get status\n"
+         "           \"draining\", telemetry sidecars are flushed\n";
+}
+
+uint64_t ParseU64(const char* flag, const std::string& value) {
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    std::cerr << "bad " << flag << " value '" << value << "'\n";
+    std::exit(2);
+  }
+  return n;
+}
+
+double ParseF64(const char* flag, const std::string& value) {
+  char* end = nullptr;
+  double d = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || d < 0.0 || d > 1.0) {
+    std::cerr << "bad " << flag << " value '" << value << "' (want [0,1])\n";
+    std::exit(2);
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cdmm::InstallInterruptHandlers();
+  cdmm::telem::TelemetryFlags telemetry = cdmm::telem::ParseTelemetryFlags(&argc, argv);
+  unsigned jobs = cdmm::ParseJobsFlag(&argc, argv);
+
+  cdmm::DaemonOptions daemon_options;
+  cdmm::ServeLimits limits;
+  uint64_t inject_seed = 0;
+  double inject_rate = 0.5;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp(std::cout);
+      return 0;
+    } else if (arg == "--socket") {
+      daemon_options.socket_path = value("--socket");
+    } else if (arg == "--budget") {
+      limits.admit_budget = ParseU64("--budget", value("--budget"));
+    } else if (arg == "--breaker-threshold") {
+      limits.breaker_threshold =
+          static_cast<int>(ParseU64("--breaker-threshold", value("--breaker-threshold")));
+    } else if (arg == "--breaker-cooldown") {
+      limits.breaker_cooldown =
+          ParseU64("--breaker-cooldown", value("--breaker-cooldown"));
+    } else if (arg == "--max-attempts") {
+      limits.max_attempts =
+          static_cast<int>(ParseU64("--max-attempts", value("--max-attempts")));
+    } else if (arg == "--deadline-ms") {
+      limits.default_deadline_ms = ParseU64("--deadline-ms", value("--deadline-ms"));
+    } else if (arg == "--inject-seed") {
+      inject_seed = ParseU64("--inject-seed", value("--inject-seed"));
+    } else if (arg == "--inject-rate") {
+      inject_rate = ParseF64("--inject-rate", value("--inject-rate"));
+    } else if (arg == "--once") {
+      daemon_options.max_connections = 1;
+    } else if (arg == "--max-connections") {
+      daemon_options.max_connections =
+          ParseU64("--max-connections", value("--max-connections"));
+    } else {
+      std::cerr << "unknown option '" << arg << "' (see --help)\n";
+      return 2;
+    }
+  }
+  if (daemon_options.socket_path.empty()) {
+    std::cerr << "--socket PATH is required (see --help)\n";
+    return 2;
+  }
+  if (inject_seed != 0) {
+    limits.injection = cdmm::FaultInjectionConfig::AtIntensity(inject_seed, inject_rate);
+  }
+
+  cdmm::telem::ConfigureTelemetry(telemetry);
+
+  std::unique_ptr<cdmm::ThreadPool> pool;
+  if (jobs > 1) {
+    pool = std::make_unique<cdmm::ThreadPool>(jobs);
+  }
+  cdmm::ServerCore core(pool.get(), limits);
+  cdmm::ServeDaemon daemon(&core, daemon_options);
+  int code = daemon.Run(std::cerr);
+
+  if (!cdmm::telem::EmitTelemetry(telemetry, "cdmm-serve", std::cout, std::cerr) &&
+      code == 0) {
+    code = 1;
+  }
+  return code;
+}

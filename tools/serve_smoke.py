@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Protocol smoke test for cdmm-serve.
+
+Usage: serve_smoke.py /path/to/cdmm-serve
+
+Exercises the daemon end to end over its AF_UNIX socket:
+  1. ping / simulate / sweep round-trips with status "ok";
+  2. the content-addressed cache (a repeated request answers cached=true);
+  3. structured errors for malformed JSON, unknown ops, unknown workloads
+     and unknown policy specs (the daemon must keep serving afterwards);
+  4. oversized-frame rejection (connection closed, daemon survives);
+  5. graceful SIGTERM drain: exit code 143, a schema-valid --metrics-out
+     sidecar flushed on the way down.
+
+Self-contained (stdlib only) so it runs on a bare CI image.
+"""
+
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+
+CHECK = os.path.join(os.path.dirname(os.path.abspath(__file__)), "check_metrics.py")
+
+failures = []
+
+
+def expect(cond, what):
+    tag = "ok" if cond else "FAIL"
+    print(f"[smoke] {tag}: {what}")
+    if not cond:
+        failures.append(what)
+
+
+def frame(payload: bytes) -> bytes:
+    return struct.pack("<I", len(payload)) + payload
+
+
+def send_request(sock, obj) -> dict:
+    sock.sendall(frame(json.dumps(obj).encode()))
+    return read_response(sock)
+
+
+def read_response(sock) -> dict:
+    header = recv_exact(sock, 4)
+    (n,) = struct.unpack("<I", header)
+    return json.loads(recv_exact(sock, n).decode())
+
+
+def recv_exact(sock, n: int) -> bytes:
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("daemon closed the connection")
+        buf += chunk
+    return buf
+
+
+def connect(path: str, attempts: int = 100) -> socket.socket:
+    for _ in range(attempts):
+        try:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(path)
+            return sock
+        except (FileNotFoundError, ConnectionRefusedError):
+            time.sleep(0.05)
+    raise TimeoutError(f"daemon never listened on {path}")
+
+
+def start(binary: str, sock_path: str, *extra: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [binary, "--socket", sock_path, "--jobs", "2", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+
+
+def phase_protocol(binary: str, tmp: str) -> None:
+    sock_path = os.path.join(tmp, "serve.sock")
+    daemon = start(binary, sock_path, "--once")
+    try:
+        sock = connect(sock_path)
+
+        r = send_request(sock, {"op": "ping"})
+        expect(r["status"] == "ok" and r["payload"]["pong"] is True, "ping answers pong")
+
+        r = send_request(sock, {"op": "simulate", "workload": "FDJAC", "policy": "lru:16"})
+        expect(r["status"] == "ok" and r["payload"]["faults"] > 0, "simulate runs lru:16")
+        expect(r["cached"] is False, "first simulate is uncached")
+        first_payload = r["payload"]
+
+        r = send_request(sock, {"op": "simulate", "workload": "FDJAC", "policy": "lru:16"})
+        expect(r["status"] == "ok" and r["cached"] is True, "repeat simulate is cached")
+        expect(r["payload"] == first_payload, "cached payload is identical")
+
+        r = send_request(sock, {"op": "sweep", "workload": "FDJAC", "kind": "ws"})
+        expect(
+            r["status"] == "ok" and r["payload"]["points"] > 0,
+            "ws sweep returns a fingerprinted curve",
+        )
+
+        r = send_request(
+            sock,
+            {"op": "ladder", "workload": "FDJAC", "policy": "cd-outer", "penalty": 200},
+        )
+        expect(r["status"] == "ok" and r["payload"]["penalty"] == 200, "ladder cell runs")
+
+        sock.sendall(frame(b"this is not json"))
+        r = read_response(sock)
+        expect(r["status"] == "error", "malformed JSON gets a structured error")
+
+        r = send_request(sock, {"op": "frobnicate"})
+        expect(r["status"] == "error", "unknown op gets a structured error")
+
+        r = send_request(sock, {"op": "simulate", "workload": "NOSUCH", "policy": "lru:4"})
+        expect(r["status"] == "error", "unknown workload gets a structured error")
+
+        r = send_request(sock, {"op": "simulate", "workload": "FDJAC", "policy": "zap:9"})
+        expect(r["status"] == "error", "unknown policy gets a structured error")
+
+        r = send_request(sock, {"op": "stats"})
+        expect(
+            r["status"] == "ok" and r["payload"]["cache_hits"] >= 1,
+            "stats reports the cache hit",
+        )
+
+        sock.close()
+        code = daemon.wait(timeout=30)
+        expect(code == 0, f"--once daemon exits 0 (got {code})")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+def phase_oversized_frame(binary: str, tmp: str) -> None:
+    sock_path = os.path.join(tmp, "serve2.sock")
+    daemon = start(binary, sock_path, "--max-connections", "2")
+    try:
+        sock = connect(sock_path)
+        sock.sendall(struct.pack("<I", 1 << 28))  # absurd length prefix
+        closed = False
+        try:
+            if sock.recv(1) == b"":
+                closed = True
+        except ConnectionError:
+            closed = True
+        expect(closed, "oversized frame closes the connection")
+        sock.close()
+
+        sock = connect(sock_path)
+        r = send_request(sock, {"op": "ping"})
+        expect(r["status"] == "ok", "daemon keeps serving after an oversized frame")
+        sock.close()
+        code = daemon.wait(timeout=30)
+        expect(code == 0, f"daemon exits 0 after max connections (got {code})")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+def phase_sigterm_drain(binary: str, tmp: str) -> None:
+    sock_path = os.path.join(tmp, "serve3.sock")
+    metrics = os.path.join(tmp, "serve_metrics.json")
+    daemon = start(binary, sock_path, "--metrics-out", metrics)
+    try:
+        sock = connect(sock_path)
+        r = send_request(sock, {"op": "simulate", "workload": "TQL", "policy": "ws:500"})
+        expect(r["status"] == "ok", "request served before SIGTERM")
+
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(timeout=30)
+        expect(code == 143, f"SIGTERM drain exits 143 (got {code})")
+        expect(os.path.exists(metrics), "metrics sidecar flushed during drain")
+
+        with open(metrics) as f:
+            doc = json.load(f)
+        names = [c["name"] for c in doc.get("counters", [])]
+        expect(
+            any(n.startswith("serve.") for n in names),
+            "sidecar carries serve.* metrics",
+        )
+        rc = subprocess.run(
+            [sys.executable, CHECK, "validate", metrics], capture_output=True, text=True
+        )
+        expect(rc.returncode == 0, f"sidecar is schema-valid ({rc.stdout.strip()})")
+        sock.close()
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: serve_smoke.py /path/to/cdmm-serve", file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    with tempfile.TemporaryDirectory() as tmp:
+        phase_protocol(binary, tmp)
+        phase_oversized_frame(binary, tmp)
+        phase_sigterm_drain(binary, tmp)
+    if failures:
+        print(f"[smoke] {len(failures)} failure(s)")
+        return 1
+    print("[smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
