@@ -28,8 +28,11 @@ BackoffPolicy BackoffPolicy::FromInjectorConfig(const FaultInjectionConfig& conf
   policy.base = std::max<uint64_t>(config.swap_backoff_base, 1);
   policy.max_retries = std::max(config.max_swap_retries, 0);
   int last = policy.max_retries > 0 ? policy.max_retries - 1 : 0;
-  // Avoid the shift overflowing for absurd retry budgets.
-  policy.cap = last >= 63 ? UINT64_MAX : policy.base << last;
+  // Saturate instead of letting the shift wrap, for absurd retry budgets
+  // (last >= 64) as well as absurd bases (base << last would overflow).
+  policy.cap = (last >= 63 || policy.base > (UINT64_MAX >> last))
+                   ? UINT64_MAX
+                   : policy.base << last;
   policy.seed = config.seed;
   return policy;
 }
@@ -38,30 +41,39 @@ uint64_t BackoffPolicy::Delay(uint64_t stream, int attempt) const {
   if (attempt < 0 || attempt >= max_retries || base == 0) {
     return 0;
   }
-  // Unjittered doubling, clamped: min(base << attempt, cap).
-  uint64_t step = attempt >= 63 ? cap : std::min<uint64_t>(base << attempt, cap);
+  // Unjittered doubling, clamped: min(base << attempt, cap) — with the shift
+  // saturating to cap whenever base << attempt would wrap (base <= cap >>
+  // attempt guarantees base << attempt <= cap and cannot overflow).
+  uint64_t step =
+      (attempt >= 63 || base > (cap >> attempt)) ? cap : base << attempt;
   if (seed == 0) {
     return step;
   }
   // Jitter widens the step by up to one whole step, then re-clamps to the
   // cap. Monotonicity survives: below the cap the jittered value stays under
   // the next doubling (step * (1 + u) < 2 * step <= next step), and once any
-  // value reaches the cap every later one is exactly the cap.
+  // value reaches the cap every later one is exactly the cap. The add
+  // saturates too: step near UINT64_MAX must clamp, not wrap to a tiny delay.
   double u = UnitAt(seed, kSiteBackoffJitter, stream, static_cast<uint64_t>(attempt));
-  uint64_t widened = step + static_cast<uint64_t>(u * static_cast<double>(step));
-  return std::min(widened, cap);
+  uint64_t extra = static_cast<uint64_t>(u * static_cast<double>(step));
+  return extra > cap - step ? cap : step + extra;
 }
 
 uint64_t BackoffPolicy::TotalDelay(uint64_t stream) const {
   uint64_t total = 0;
   for (int attempt = 0; attempt < max_retries; ++attempt) {
-    total += Delay(stream, attempt);
+    uint64_t delay = Delay(stream, attempt);
+    total = delay > UINT64_MAX - total ? UINT64_MAX : total + delay;
   }
   return total;
 }
 
 uint64_t BackoffPolicy::WorstCase() const {
-  return static_cast<uint64_t>(std::max(max_retries, 0)) * cap;
+  uint64_t retries = static_cast<uint64_t>(std::max(max_retries, 0));
+  if (cap != 0 && retries > UINT64_MAX / cap) {
+    return UINT64_MAX;
+  }
+  return retries * cap;
 }
 
 }  // namespace cdmm

@@ -144,6 +144,9 @@ int ServeDaemon::Run(std::ostream& err) {
       break;
     }
 
+    // Only the clients polled this round have pollfd entries; a client
+    // accepted below joins the poll set next iteration.
+    const size_t polled = clients.size();
     size_t base = 0;
     if (listening) {
       if ((fds[0].revents & POLLIN) != 0) {
@@ -156,7 +159,7 @@ int ServeDaemon::Run(std::ostream& err) {
       base = 1;
     }
 
-    for (size_t i = clients.size(); i-- > 0;) {
+    for (size_t i = polled; i-- > 0;) {
       short revents = fds[base + i].revents;
       if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
         continue;

@@ -46,8 +46,13 @@ JsonValue JsonValue::Object() {
 }
 
 uint64_t JsonValue::AsU64() const {
-  if (number_ <= 0.0) {
+  if (!(number_ > 0.0)) {  // negatives, zero, and NaN
     return 0;
+  }
+  // 2^64 is the smallest double no uint64_t can represent; casting a value
+  // at or above it (client-supplied 1e300, say) is undefined behavior.
+  if (number_ >= 18446744073709551616.0) {
+    return UINT64_MAX;
   }
   return static_cast<uint64_t>(number_);
 }
@@ -396,6 +401,11 @@ class Parser {
     double d = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') {
       return Fail("malformed number");
+    }
+    // strtod overflow (1e999 ...) yields +/-inf; a JsonValue must never hold
+    // a non-finite number, matching the grammar's inf/nan rejection above.
+    if (!std::isfinite(d)) {
+      return Fail("number out of range");
     }
     *out = JsonValue::Number(d);
     return std::nullopt;

@@ -46,7 +46,7 @@ class JsonValue {
 
   bool AsBool() const { return bool_; }
   double AsDouble() const { return number_; }
-  uint64_t AsU64() const;  // clamped at 0 for negatives
+  uint64_t AsU64() const;  // clamped to [0, UINT64_MAX]; NaN -> 0
   const std::string& AsString() const { return string_; }
   const std::vector<JsonValue>& Items() const { return items_; }
   const std::vector<std::pair<std::string, JsonValue>>& Members() const { return members_; }

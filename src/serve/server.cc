@@ -67,6 +67,7 @@ ServerCore::ServerCore(ThreadPool* pool, ServeLimits limits)
       admission_(LoadControllerConfig{/*window=*/0, /*health_low=*/0.0,
                                       /*health_high=*/0.5, /*pressure_high=*/0.0}) {
   limits_.admit_budget = std::max<uint64_t>(limits_.admit_budget, 1);
+  limits_.cache_capacity = std::max<uint64_t>(limits_.cache_capacity, 1);
   limits_.max_attempts =
       std::clamp(limits_.max_attempts, 1, static_cast<int>(kAttemptStride));
   if (limits_.backoff.seed == 0 && limits_.injection.seed != 0) {
@@ -330,8 +331,9 @@ std::vector<ServeResponse> ServerCore::HandleBatch(
     uint64_t fingerprint = FingerprintRequest(request);
     auto hit = result_cache_.find(fingerprint);
     if (hit != result_cache_.end()) {
-      response.payload = hit->second;
+      response.payload = hit->second.first;
       response.cached = true;
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, hit->second.second);
       ++stats_.cache_hits;
       ++stats_.completed;
       TELEM_COUNT("serve.cache_hit");
@@ -340,9 +342,14 @@ std::vector<ServeResponse> ServerCore::HandleBatch(
     ++stats_.cache_misses;
     TELEM_COUNT("serve.cache_miss");
 
+    // Breakers only exist for shapes with recorded failures (Phase 3
+    // materializes them); a lookup here must not insert, or unique shapes
+    // from one client would grow the map without bound.
     std::string shape = RequestShapeKey(request);
-    BreakerState& breaker = breakers_[shape];
-    if (breaker.consecutive_failures >= limits_.breaker_threshold) {
+    auto tracked = breakers_.find(shape);
+    if (tracked != breakers_.end() &&
+        tracked->second.consecutive_failures >= limits_.breaker_threshold) {
+      BreakerState& breaker = tracked->second;
       if (breaker.open_remaining > 0) {
         --breaker.open_remaining;
         response.status = ServeStatus::kQuarantined;
@@ -414,20 +421,34 @@ std::vector<ServeResponse> ServerCore::HandleBatch(
     backlog_ -= std::min(p.cost, backlog_);
     stats_.retries += static_cast<uint64_t>(outcome.retries);
 
-    BreakerState& breaker = breakers_[p.shape];
-    bool was_open = breaker.consecutive_failures >= limits_.breaker_threshold;
+    auto tracked = breakers_.find(p.shape);
+    bool was_open = tracked != breakers_.end() &&
+                    tracked->second.consecutive_failures >= limits_.breaker_threshold;
     switch (outcome.status) {
-      case ServeStatus::kOk:
-        result_cache_.emplace(p.fingerprint, outcome.payload);
+      case ServeStatus::kOk: {
+        if (result_cache_.find(p.fingerprint) == result_cache_.end()) {
+          cache_lru_.push_front(p.fingerprint);
+          result_cache_.emplace(
+              p.fingerprint, std::make_pair(outcome.payload, cache_lru_.begin()));
+          while (result_cache_.size() > limits_.cache_capacity) {
+            result_cache_.erase(cache_lru_.back());
+            cache_lru_.pop_back();
+            TELEM_COUNT("serve.cache_evicted");
+          }
+        }
         ++stats_.completed;
         TELEM_COUNT("serve.request_completed");
-        breaker.consecutive_failures = 0;
-        breaker.open_remaining = 0;
+        // A success clears the shape's failure history entirely — erasing
+        // (rather than zeroing) keeps breakers_ bounded by failing shapes.
+        if (tracked != breakers_.end()) {
+          breakers_.erase(tracked);
+        }
         if (was_open) {
           ++stats_.breaker_closes;
           TELEM_COUNT("serve.breaker_closed");
         }
         break;
+      }
       case ServeStatus::kTimeout:
       case ServeStatus::kPoisoned:
       case ServeStatus::kError: {
@@ -441,6 +462,16 @@ std::vector<ServeResponse> ServerCore::HandleBatch(
           ++stats_.errors;
           TELEM_COUNT("serve.request_failed");
         }
+        if (tracked == breakers_.end()) {
+          if (breakers_.size() >= limits_.breaker_max_shapes) {
+            // At capacity: the failure is still answered structurally, the
+            // shape just isn't quarantine-tracked.
+            TELEM_COUNT("serve.breaker_untracked");
+            break;
+          }
+          tracked = breakers_.emplace(p.shape, BreakerState{}).first;
+        }
+        BreakerState& breaker = tracked->second;
         ++breaker.consecutive_failures;
         if (breaker.consecutive_failures >= limits_.breaker_threshold) {
           breaker.open_remaining = limits_.breaker_cooldown;

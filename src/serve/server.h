@@ -6,6 +6,8 @@
 //  - a content-addressed result cache keyed by FNV-1a request fingerprints
 //    (FingerprintRequest): repeated requests are answered without admission,
 //    execution or injection — the >=10k req/s path bench_serve gates on;
+//    bounded at cache_capacity entries with LRU eviction so a long-running
+//    daemon cannot be grown without bound by unique request shapes;
 //  - admission control with hysteresis (LoadController, the same decision
 //    engine as the OS thrashing detector): every admitted request deposits
 //    its EstimatedCost into a virtual backlog that drains at a fixed
@@ -39,9 +41,11 @@
 #define CDMM_SRC_SERVE_SERVER_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/exec/memo.h"
@@ -78,6 +82,14 @@ struct ServeLimits {
 
   // Deadline applied to requests that do not carry their own (0 = none).
   uint64_t default_deadline_ms = 0;
+
+  // Bounds on long-daemon state (request shapes are client-controlled, so
+  // both maps must stay finite under adversarial unique-shape streams): the
+  // result cache LRU-evicts beyond cache_capacity entries, and at most
+  // breaker_max_shapes failing shapes are tracked at once — failures of
+  // shapes beyond the cap still get structured errors, just no quarantine.
+  uint64_t cache_capacity = 4096;
+  uint64_t breaker_max_shapes = 1024;
 };
 
 // Deterministic counters, all mutated in the serial phases. Snapshot via
@@ -160,7 +172,14 @@ class ServerCore {
   uint64_t next_seq_ = 0;
   ServeStats stats_;
 
-  std::map<uint64_t, std::string> result_cache_;  // fingerprint -> payload
+  // Bounded LRU result cache: cache_lru_ orders fingerprints most-recently
+  // used first; result_cache_ maps fingerprint -> (payload, lru position).
+  // Eviction depends only on the request stream, so it is deterministic.
+  std::list<uint64_t> cache_lru_;
+  std::map<uint64_t, std::pair<std::string, std::list<uint64_t>::iterator>>
+      result_cache_;
+  // Only shapes with a recorded failure have an entry (success erases it),
+  // capped at breaker_max_shapes.
   std::map<std::string, BreakerState> breakers_;
   Memo<std::string, std::shared_ptr<const WorkloadContext>> workloads_;
 };

@@ -348,5 +348,44 @@ TEST(BackoffPolicyTest, FromInjectorConfigMirrorsTheSwapRetryKnobs) {
   EXPECT_EQ(zero.WorstCase(), 0u);
 }
 
+TEST(BackoffPolicyTest, HugeBaseSaturatesInsteadOfWrapping) {
+  // base << attempt would wrap uint64_t from attempt 4 on; the schedule must
+  // saturate at the cap, not collapse to a tiny step.
+  for (uint64_t seed : {0ull, 9ull}) {
+    BackoffPolicy policy;
+    policy.base = 1ull << 60;
+    policy.cap = 1ull << 62;
+    policy.max_retries = 8;
+    policy.seed = seed;
+    for (uint64_t stream = 0; stream < 4; ++stream) {
+      uint64_t prev = 0;
+      for (int attempt = 0; attempt < policy.max_retries; ++attempt) {
+        uint64_t delay = policy.Delay(stream, attempt);
+        EXPECT_LE(delay, policy.cap) << "seed=" << seed << " attempt=" << attempt;
+        EXPECT_GE(delay, prev) << "seed=" << seed << " attempt=" << attempt;
+        prev = delay;
+      }
+      EXPECT_EQ(policy.Delay(stream, policy.max_retries - 1), policy.cap);
+    }
+  }
+
+  // FromInjectorConfig's final-doubling cap saturates the same way, and the
+  // jittered add at a saturated cap clamps rather than wrapping past zero.
+  FaultInjectionConfig config;
+  config.seed = 31;
+  config.swap_backoff_base = 1ull << 60;
+  config.max_swap_retries = 6;
+  BackoffPolicy policy = BackoffPolicy::FromInjectorConfig(config);
+  EXPECT_EQ(policy.cap, UINT64_MAX);
+  EXPECT_EQ(policy.WorstCase(), UINT64_MAX);
+  uint64_t prev = 0;
+  for (int attempt = 0; attempt < policy.max_retries; ++attempt) {
+    uint64_t delay = policy.Delay(0, attempt);
+    EXPECT_GE(delay, prev) << "attempt=" << attempt;
+    prev = delay;
+  }
+  EXPECT_EQ(policy.Delay(0, policy.max_retries - 1), UINT64_MAX);
+}
+
 }  // namespace
 }  // namespace cdmm

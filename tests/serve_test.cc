@@ -55,6 +55,21 @@ TEST(ServeJsonTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseJson("+5").ok());
 }
 
+TEST(ServeJsonTest, HugeNumbersAreRejectedOrClamped) {
+  // Literals that overflow double (strtod -> inf) are parse errors, matching
+  // the grammar's inf/nan rejection...
+  EXPECT_FALSE(ParseJson(R"({"n":1e999})").ok());
+  EXPECT_FALSE(ParseJson("[-1e999]").ok());
+  // ...and finite doubles beyond uint64_t range clamp instead of hitting the
+  // undefined float-to-integer cast (reachable from untrusted "penalty").
+  Result<JsonValue> big = ParseJson(R"({"n":1e300})");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big.value().GetU64("n"), UINT64_MAX);
+  Result<JsonValue> negative = ParseJson(R"({"n":-1e300})");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative.value().GetU64("n"), 0u);
+}
+
 TEST(ServeJsonTest, DepthLimitStopsAdversarialNesting) {
   std::string deep(1000, '[');
   deep += std::string(1000, ']');
@@ -264,6 +279,43 @@ TEST(ServerCoreTest, CacheHitsBypassAdmission) {
     EXPECT_TRUE(r.cached);
   }
   EXPECT_EQ(core.stats().shed, 0u);
+}
+
+TEST(ServerCoreTest, ResultCacheIsBoundedWithLruEviction) {
+  ServeLimits limits;
+  limits.cache_capacity = 2;
+  ServerCore core(nullptr, limits);
+  ASSERT_EQ(core.Handle(SimReq("FDJAC", "lru:8")).status, ServeStatus::kOk);
+  ASSERT_EQ(core.Handle(SimReq("FDJAC", "lru:9")).status, ServeStatus::kOk);
+  // Touch lru:8 so lru:9 is now the least recently used entry...
+  EXPECT_TRUE(core.Handle(SimReq("FDJAC", "lru:8")).cached);
+  // ...and a third distinct result evicts lru:9, not lru:8.
+  ASSERT_EQ(core.Handle(SimReq("FDJAC", "lru:10")).status, ServeStatus::kOk);
+  EXPECT_TRUE(core.Handle(SimReq("FDJAC", "lru:8")).cached);
+  ServeResponse evicted = core.Handle(SimReq("FDJAC", "lru:9"));
+  EXPECT_EQ(evicted.status, ServeStatus::kOk);
+  EXPECT_FALSE(evicted.cached);  // recomputed: it had been evicted
+}
+
+TEST(ServerCoreTest, BreakerTrackingIsBoundedByMaxShapes) {
+  ServeLimits limits;
+  limits.breaker_threshold = 1;
+  limits.breaker_cooldown = 2;
+  limits.breaker_max_shapes = 1;
+  ServerCore core(nullptr, limits);
+  // The first failing shape claims the only tracked slot and opens.
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "bogus:a")).status, ServeStatus::kError);
+  EXPECT_EQ(core.Handle(SimReq("FDJAC", "bogus:a")).status,
+            ServeStatus::kQuarantined);
+  // Further unique failing shapes still get structured errors but are never
+  // quarantine-tracked: at the cap the breaker map stops growing.
+  for (int i = 0; i < 8; ++i) {
+    std::string policy = "bogus:" + std::to_string(i);
+    EXPECT_EQ(core.Handle(SimReq("FDJAC", policy)).status, ServeStatus::kError);
+    EXPECT_EQ(core.Handle(SimReq("FDJAC", policy)).status, ServeStatus::kError)
+        << "shape " << i << " must not be tracked past the cap";
+  }
+  EXPECT_EQ(core.stats().breaker_opens, 1u);
 }
 
 TEST(ServerCoreTest, BreakerOpensQuarantinesAndHalfOpens) {
