@@ -1,0 +1,1140 @@
+#include "src/analysis/dependence.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
+
+namespace cdmm {
+
+namespace {
+
+// Brute-force cost ceiling: when the full iteration-pair space is at most
+// this many points the solver verifies its analytic answer exhaustively,
+// upgrading "assumed" to an exact answer (or to independence).
+constexpr int64_t kBruteForceCap = 50000;
+
+// Trip count of a DO loop: lo, lo+step, ... while headed toward hi.
+int64_t TripCount(int64_t lo, int64_t hi, int64_t step) {
+  CDMM_CHECK(step != 0);
+  int64_t span = step > 0 ? hi - lo : lo - hi;
+  if (span < 0) {
+    return 0;
+  }
+  return span / (step > 0 ? step : -step) + 1;
+}
+
+int64_t Gcd(int64_t a, int64_t b) {
+  a = a < 0 ? -a : a;
+  b = b < 0 ? -b : b;
+  while (b != 0) {
+    int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+struct Ival {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  bool empty() const { return lo > hi; }
+};
+
+// One term list of a dependence equation in normalized iteration space:
+// sum(coef_i * inst_i) = rhs, at most two instances after merging.
+struct Eq {
+  // (instance id, coefficient) with distinct ids.
+  std::vector<std::pair<int, int64_t>> terms;
+  int64_t rhs = 0;
+};
+
+// min/max of a*x + b*y over the box [x.lo,x.hi] x [y.lo,y.hi], optionally
+// intersected with the half-plane x <= y - 1 (coupled='<') or y <= x - 1
+// (coupled='>'). All vertices of the clipped polygon have integer
+// coordinates, so scanning candidate corner points is exact. Returns false
+// when the region is empty.
+bool MinMaxLinear(int64_t a, int64_t b, Ival x, Ival y, char coupled, int64_t* out_min,
+                  int64_t* out_max) {
+  if (x.empty() || y.empty()) {
+    return false;
+  }
+  if (coupled == '>') {
+    // Mirror to the '<' case.
+    return MinMaxLinear(b, a, y, x, '<', out_min, out_max);
+  }
+  auto inside = [&](int64_t px, int64_t py) {
+    if (px < x.lo || px > x.hi || py < y.lo || py > y.hi) {
+      return false;
+    }
+    return coupled != '<' || px <= py - 1;
+  };
+  const int64_t cand[][2] = {
+      {x.lo, y.lo},       {x.lo, y.hi},       {x.hi, y.lo},       {x.hi, y.hi},
+      {x.lo, x.lo + 1},   {x.hi, x.hi + 1},   {y.lo - 1, y.lo},   {y.hi - 1, y.hi},
+  };
+  bool any = false;
+  int64_t mn = 0;
+  int64_t mx = 0;
+  for (const auto& p : cand) {
+    if (!inside(p[0], p[1])) {
+      continue;
+    }
+    int64_t v = a * p[0] + b * p[1];
+    if (!any || v < mn) {
+      mn = v;
+    }
+    if (!any || v > mx) {
+      mx = v;
+    }
+    any = true;
+  }
+  if (!any) {
+    return false;
+  }
+  *out_min = mn;
+  *out_max = mx;
+  return true;
+}
+
+// Feasibility of one equation over instance intervals. `coupling[i]` pairs
+// an instance with its partner under a strict direction ('<' or '>');
+// 0 means uncoupled.
+bool EqFeasible(const Eq& eq, const std::vector<Ival>& ivals,
+                const std::vector<std::pair<int, char>>& coupling) {
+  if (eq.terms.empty()) {
+    return eq.rhs == 0;
+  }
+  if (eq.terms.size() == 1) {
+    auto [xi, a] = eq.terms[0];
+    if (a == 0) {
+      return eq.rhs == 0;
+    }
+    if (eq.rhs % a != 0) {
+      return false;
+    }
+    int64_t v = eq.rhs / a;
+    return v >= ivals[xi].lo && v <= ivals[xi].hi;
+  }
+  CDMM_CHECK(eq.terms.size() == 2);
+  auto [xi, a] = eq.terms[0];
+  auto [yi, b] = eq.terms[1];
+  int64_t g = Gcd(a, b);
+  if (g != 0 && eq.rhs % g != 0) {
+    return false;
+  }
+  char coupled = 0;
+  if (coupling[xi].first == yi) {
+    coupled = coupling[xi].second;
+  }
+  int64_t mn = 0;
+  int64_t mx = 0;
+  if (!MinMaxLinear(a, b, ivals[xi], ivals[yi], coupled, &mn, &mx)) {
+    return false;
+  }
+  return eq.rhs >= mn && eq.rhs <= mx;
+}
+
+// Exhaustive inner oracle shared by BruteForceDirections and the solver's
+// small-space refinement. Iterates every (src, dst) iteration pair, records
+// the direction mask per common loop over pairs whose subscripts all match.
+// `skip_all_equal` drops the identical-iteration pair (self dependence).
+std::optional<std::vector<uint8_t>> BruteForce(const DepProblem& p, bool skip_all_equal) {
+  size_t k = p.common.size();
+  // Instance order: common src, common dst, src_only, dst_only.
+  std::vector<const DepLoop*> loops;
+  for (const DepLoop& l : p.common) {
+    loops.push_back(&l);
+  }
+  for (const DepLoop& l : p.common) {
+    loops.push_back(&l);
+  }
+  for (const DepLoop& l : p.src_only) {
+    loops.push_back(&l);
+  }
+  for (const DepLoop& l : p.dst_only) {
+    loops.push_back(&l);
+  }
+  for (const DepLoop* l : loops) {
+    CDMM_CHECK(l->known);
+  }
+  std::vector<int64_t> iter(loops.size(), 0);  // iteration numbers
+  std::vector<uint8_t> masks(k, 0);
+  bool any = false;
+
+  // Subscript evaluation: maps a variable to its instance's value.
+  auto value_of = [&](const std::string& var, bool src_side) -> int64_t {
+    for (size_t i = 0; i < k; ++i) {
+      if (p.common[i].var == var) {
+        const DepLoop& l = p.common[i];
+        size_t inst = src_side ? i : k + i;
+        return l.lo + iter[inst] * l.step;
+      }
+    }
+    const std::vector<DepLoop>& side = src_side ? p.src_only : p.dst_only;
+    size_t base = 2 * k + (src_side ? 0 : p.src_only.size());
+    for (size_t i = 0; i < side.size(); ++i) {
+      if (side[i].var == var) {
+        return side[i].lo + iter[base + i] * side[i].step;
+      }
+    }
+    CDMM_UNREACHABLE("unbound variable in dependence problem");
+  };
+  auto eval = [&](const LinExpr& e, bool src_side) {
+    int64_t v = e.c;
+    for (const LinTerm& t : e.terms) {
+      v += t.coef * value_of(t.var, src_side);
+    }
+    return v;
+  };
+
+  auto visit = [&](auto&& self, size_t at) -> void {
+    if (at == loops.size()) {
+      bool all_eq_iter = true;
+      for (size_t i = 0; i < k; ++i) {
+        if (iter[i] != iter[k + i]) {
+          all_eq_iter = false;
+        }
+      }
+      if (skip_all_equal && all_eq_iter && p.src_only.empty() && p.dst_only.empty()) {
+        return;
+      }
+      for (size_t d = 0; d < p.src_subs.size(); ++d) {
+        if (eval(p.src_subs[d], true) != eval(p.dst_subs[d], false)) {
+          return;
+        }
+      }
+      any = true;
+      for (size_t i = 0; i < k; ++i) {
+        if (iter[i] < iter[k + i]) {
+          masks[i] |= kDirLt;
+        } else if (iter[i] == iter[k + i]) {
+          masks[i] |= kDirEq;
+        } else {
+          masks[i] |= kDirGt;
+        }
+      }
+      return;
+    }
+    int64_t n = TripCount(loops[at]->lo, loops[at]->hi, loops[at]->step);
+    for (int64_t i = 0; i < n; ++i) {
+      iter[at] = i;
+      self(self, at + 1);
+    }
+  };
+  visit(visit, 0);
+  if (!any) {
+    return std::nullopt;
+  }
+  return masks;
+}
+
+// Total number of iteration pairs the brute-force oracle would visit, or -1
+// on overflow / unknown bounds.
+int64_t PairSpaceSize(const DepProblem& p) {
+  int64_t total = 1;
+  auto mul = [&](int64_t n) {
+    if (total < 0 || n < 0) {
+      total = -1;
+      return;
+    }
+    if (n == 0) {
+      total = 0;
+      return;
+    }
+    if (total > kBruteForceCap / n + 1) {
+      total = -1;
+      return;
+    }
+    total *= n;
+  };
+  for (const DepLoop& l : p.common) {
+    if (!l.known) {
+      return -1;
+    }
+    int64_t n = TripCount(l.lo, l.hi, l.step);
+    mul(n);
+    mul(n);
+  }
+  for (const DepLoop& l : p.src_only) {
+    if (!l.known) {
+      return -1;
+    }
+    mul(TripCount(l.lo, l.hi, l.step));
+  }
+  for (const DepLoop& l : p.dst_only) {
+    if (!l.known) {
+      return -1;
+    }
+    mul(TripCount(l.lo, l.hi, l.step));
+  }
+  return total;
+}
+
+DepSolution AssumedAll(size_t k) {
+  DepSolution s;
+  s.result = DepResult::kAssumed;
+  s.dir_masks.assign(k, kDirAll);
+  s.carried.assign(k, true);
+  s.test = "assumed";
+  return s;
+}
+
+DepSolution IndependentSolution(const char* test) {
+  DepSolution s;
+  s.result = DepResult::kIndependent;
+  s.test = test;
+  return s;
+}
+
+// Derives carried levels from per-loop direction sets that are known to be
+// a product set (each loop's directions independent): level p carries iff
+// all outer levels admit '=' and level p admits a non-'=' direction.
+std::vector<bool> CarriesFromProductMasks(const std::vector<uint8_t>& masks) {
+  std::vector<bool> carried(masks.size(), false);
+  bool outer_all_eq = true;
+  for (size_t p = 0; p < masks.size(); ++p) {
+    carried[p] = outer_all_eq && (masks[p] & (kDirLt | kDirGt)) != 0;
+    outer_all_eq = outer_all_eq && (masks[p] & kDirEq) != 0;
+  }
+  return carried;
+}
+
+// The solver core; `self_pair` excludes the identical-iteration pair (a
+// reference paired with itself).
+DepSolution Solve(const DepProblem& p, bool self_pair) {
+  const size_t k = p.common.size();
+  const size_t dims = p.src_subs.size();
+  CDMM_CHECK(dims == p.dst_subs.size());
+
+  // Non-affine subscripts: the conservative edge.
+  for (size_t d = 0; d < dims; ++d) {
+    if (!p.src_subs[d].affine || !p.dst_subs[d].affine) {
+      return AssumedAll(k);
+    }
+  }
+
+  // A loop proven empty can never execute either reference.
+  for (const DepLoop& l : p.common) {
+    if (l.known && TripCount(l.lo, l.hi, l.step) == 0) {
+      return IndependentSolution("ziv");
+    }
+  }
+  for (const DepLoop& l : p.src_only) {
+    if (l.known && TripCount(l.lo, l.hi, l.step) == 0) {
+      return IndependentSolution("ziv");
+    }
+  }
+  for (const DepLoop& l : p.dst_only) {
+    if (l.known && TripCount(l.lo, l.hi, l.step) == 0) {
+      return IndependentSolution("ziv");
+    }
+  }
+
+  auto find_common = [&](const std::string& var) -> int {
+    for (size_t i = 0; i < k; ++i) {
+      if (p.common[i].var == var) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  // ---- ZIV / strong-SIV pre-pass (value space; works for unknown bounds).
+  // distance[i] = dst iteration - src iteration required by the subscripts,
+  // when every dimension is ZIV or strong SIV on a common loop.
+  bool pre_applies = true;
+  bool any_siv = false;
+  std::vector<bool> constrained(k, false);
+  std::vector<int64_t> distance(k, 0);
+  for (size_t d = 0; d < dims && pre_applies; ++d) {
+    const LinExpr& s = p.src_subs[d];
+    const LinExpr& t = p.dst_subs[d];
+    if (s.terms.empty() && t.terms.empty()) {
+      if (s.c != t.c) {
+        return IndependentSolution("ziv");
+      }
+      continue;
+    }
+    if (s.terms.size() == 1 && t.terms.size() == 1 && s.terms[0].var == t.terms[0].var &&
+        s.terms[0].coef == t.terms[0].coef && s.terms[0].coef != 0) {
+      int ci = find_common(s.terms[0].var);
+      if (ci < 0) {
+        pre_applies = false;
+        break;
+      }
+      // coef*(v - v') = t.c - s.c ; v - v' = step*(ksrc - kdst).
+      int64_t num = t.c - s.c;
+      int64_t coef = s.terms[0].coef;
+      if (num % coef != 0) {
+        return IndependentSolution("siv");
+      }
+      int64_t dv = num / coef;  // v_src - v_dst
+      int64_t step = p.common[static_cast<size_t>(ci)].step;
+      if (dv % step != 0) {
+        return IndependentSolution("siv");
+      }
+      int64_t dist = -(dv / step);  // kdst - ksrc
+      if (constrained[static_cast<size_t>(ci)] && distance[static_cast<size_t>(ci)] != dist) {
+        return IndependentSolution("siv");
+      }
+      constrained[static_cast<size_t>(ci)] = true;
+      distance[static_cast<size_t>(ci)] = dist;
+      any_siv = true;
+      continue;
+    }
+    pre_applies = false;
+  }
+
+  if (pre_applies) {
+    DepSolution sol;
+    sol.test = any_siv ? "siv" : "ziv";
+    sol.dir_masks.assign(k, 0);
+    bool exact = true;
+    for (size_t i = 0; i < k; ++i) {
+      const DepLoop& l = p.common[i];
+      int64_t n = l.known ? TripCount(l.lo, l.hi, l.step) : -1;
+      if (!l.known || !l.exact) {
+        exact = false;
+      }
+      if (constrained[i]) {
+        int64_t d = distance[i];
+        if (n >= 0 && (d > n - 1 || d < -(n - 1))) {
+          return IndependentSolution(sol.test);
+        }
+        sol.dir_masks[i] = d > 0 ? kDirLt : d < 0 ? kDirGt : kDirEq;
+      } else {
+        sol.dir_masks[i] = kDirAll;
+        if (n == 1) {
+          sol.dir_masks[i] = kDirEq;
+        }
+      }
+    }
+    // A self pair needs some non-identical iteration pair to conflict.
+    if (self_pair) {
+      bool can_differ = false;
+      for (size_t i = 0; i < k; ++i) {
+        if ((sol.dir_masks[i] & (kDirLt | kDirGt)) != 0) {
+          can_differ = true;
+        }
+      }
+      if (!can_differ && p.src_only.empty() && p.dst_only.empty()) {
+        return IndependentSolution(sol.test);
+      }
+    }
+    sol.carried = CarriesFromProductMasks(sol.dir_masks);
+    sol.has_distance = k > 0 && std::all_of(constrained.begin(), constrained.end(),
+                                            [](bool b) { return b; });
+    if (sol.has_distance) {
+      sol.distances = distance;
+    }
+    sol.result = exact ? DepResult::kExact : DepResult::kAssumed;
+    return sol;
+  }
+
+  // ---- General path: per-direction-vector GCD + Banerjee bounds over the
+  // normalized iteration space. Requires known bounds on every loop.
+  bool all_known = true;
+  for (const DepLoop& l : p.common) {
+    all_known = all_known && l.known;
+  }
+  for (const DepLoop& l : p.src_only) {
+    all_known = all_known && l.known;
+  }
+  for (const DepLoop& l : p.dst_only) {
+    all_known = all_known && l.known;
+  }
+  if (!all_known || k > 6) {
+    return AssumedAll(k);
+  }
+
+  // Instance ids: common src = i, common dst = k+i, then src_only, dst_only.
+  const size_t n_inst = 2 * k + p.src_only.size() + p.dst_only.size();
+  std::vector<int64_t> trips(n_inst, 0);
+  for (size_t i = 0; i < k; ++i) {
+    trips[i] = trips[k + i] = TripCount(p.common[i].lo, p.common[i].hi, p.common[i].step);
+  }
+  for (size_t i = 0; i < p.src_only.size(); ++i) {
+    trips[2 * k + i] = TripCount(p.src_only[i].lo, p.src_only[i].hi, p.src_only[i].step);
+  }
+  for (size_t i = 0; i < p.dst_only.size(); ++i) {
+    trips[2 * k + p.src_only.size() + i] =
+        TripCount(p.dst_only[i].lo, p.dst_only[i].hi, p.dst_only[i].step);
+  }
+
+  // Build per-dimension base equations over instance iteration numbers:
+  // sum(coef * inst) = rhs, where a subscript term coef*var becomes
+  // (coef*step)*inst and contributes coef*lo to the constant side.
+  auto inst_of = [&](const std::string& var, bool src_side, int64_t* step,
+                     int64_t* lo) -> int {
+    int ci = find_common(var);
+    if (ci >= 0) {
+      *step = p.common[static_cast<size_t>(ci)].step;
+      *lo = p.common[static_cast<size_t>(ci)].lo;
+      return src_side ? ci : static_cast<int>(k) + ci;
+    }
+    const std::vector<DepLoop>& side = src_side ? p.src_only : p.dst_only;
+    size_t base = 2 * k + (src_side ? 0 : p.src_only.size());
+    for (size_t i = 0; i < side.size(); ++i) {
+      if (side[i].var == var) {
+        *step = side[i].step;
+        *lo = side[i].lo;
+        return static_cast<int>(base + i);
+      }
+    }
+    return -1;
+  };
+
+  std::vector<Eq> base_eqs(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    Eq& eq = base_eqs[d];
+    eq.rhs = p.dst_subs[d].c - p.src_subs[d].c;
+    bool ok = true;
+    auto add_side = [&](const LinExpr& e, bool src_side, int64_t sign) {
+      for (const LinTerm& t : e.terms) {
+        int64_t step = 1;
+        int64_t lo = 0;
+        int inst = inst_of(t.var, src_side, &step, &lo);
+        if (inst < 0) {
+          ok = false;
+          return;
+        }
+        eq.terms.emplace_back(inst, sign * t.coef * step);
+        eq.rhs -= sign * t.coef * lo;
+      }
+    };
+    add_side(p.src_subs[d], true, 1);
+    add_side(p.dst_subs[d], false, -1);
+    if (!ok) {
+      return AssumedAll(k);  // a subscript var not bound by a listed loop
+    }
+  }
+
+  // Enumerate direction vectors.
+  std::vector<uint8_t> masks(k, 0);
+  std::vector<bool> carried(k, false);
+  bool any_feasible = false;
+  std::vector<char> dirs(k, '<');
+  const char kDirs[3] = {'<', '=', '>'};
+  size_t combos = 1;
+  for (size_t i = 0; i < k; ++i) {
+    combos *= 3;
+  }
+  for (size_t c = 0; c < combos; ++c) {
+    size_t rem = c;
+    for (size_t i = 0; i < k; ++i) {
+      dirs[i] = kDirs[rem % 3];
+      rem /= 3;
+    }
+    if (self_pair && p.src_only.empty() && p.dst_only.empty() &&
+        std::all_of(dirs.begin(), dirs.end(), [](char d) { return d == '='; })) {
+      continue;
+    }
+
+    // Instance intervals (iteration numbers), tightened by the directions;
+    // '=' merges the dst instance into the src instance.
+    std::vector<Ival> ivals(n_inst);
+    std::vector<int> remap(n_inst);
+    std::vector<std::pair<int, char>> coupling(n_inst, {-1, 0});
+    for (size_t i = 0; i < n_inst; ++i) {
+      ivals[i] = Ival{0, trips[i] - 1};
+      remap[i] = static_cast<int>(i);
+    }
+    bool region_empty = false;
+    for (size_t i = 0; i < k; ++i) {
+      int s = static_cast<int>(i);
+      int t = static_cast<int>(k + i);
+      if (dirs[i] == '=') {
+        remap[static_cast<size_t>(t)] = s;
+      } else if (dirs[i] == '<') {
+        ivals[static_cast<size_t>(s)].hi = std::min(ivals[static_cast<size_t>(s)].hi,
+                                                    ivals[static_cast<size_t>(t)].hi - 1);
+        ivals[static_cast<size_t>(t)].lo = std::max(ivals[static_cast<size_t>(t)].lo,
+                                                    ivals[static_cast<size_t>(s)].lo + 1);
+        coupling[static_cast<size_t>(s)] = {t, '<'};
+        coupling[static_cast<size_t>(t)] = {s, '>'};
+      } else {
+        ivals[static_cast<size_t>(s)].lo = std::max(ivals[static_cast<size_t>(s)].lo,
+                                                    ivals[static_cast<size_t>(t)].lo + 1);
+        ivals[static_cast<size_t>(t)].hi = std::min(ivals[static_cast<size_t>(t)].hi,
+                                                    ivals[static_cast<size_t>(s)].hi - 1);
+        coupling[static_cast<size_t>(s)] = {t, '>'};
+        coupling[static_cast<size_t>(t)] = {s, '<'};
+      }
+      if (ivals[static_cast<size_t>(s)].empty() || ivals[static_cast<size_t>(t)].empty()) {
+        region_empty = true;
+      }
+    }
+    if (region_empty) {
+      continue;
+    }
+
+    bool feasible = true;
+    for (size_t d = 0; d < dims && feasible; ++d) {
+      // Merge terms through the remap.
+      Eq eq;
+      eq.rhs = base_eqs[d].rhs;
+      for (const auto& [inst, coef] : base_eqs[d].terms) {
+        int m = remap[static_cast<size_t>(inst)];
+        bool merged = false;
+        for (auto& [mi, mc] : eq.terms) {
+          if (mi == m) {
+            mc += coef;
+            merged = true;
+          }
+        }
+        if (!merged) {
+          eq.terms.emplace_back(m, coef);
+        }
+      }
+      eq.terms.erase(std::remove_if(eq.terms.begin(), eq.terms.end(),
+                                    [](const std::pair<int, int64_t>& t) {
+                                      return t.second == 0;
+                                    }),
+                     eq.terms.end());
+      feasible = EqFeasible(eq, ivals, coupling);
+    }
+    if (!feasible) {
+      continue;
+    }
+    any_feasible = true;
+    size_t first_neq = k;
+    for (size_t i = 0; i < k; ++i) {
+      masks[i] |= dirs[i] == '<' ? kDirLt : dirs[i] == '=' ? kDirEq : kDirGt;
+      if (first_neq == k && dirs[i] != '=') {
+        first_neq = i;
+      }
+    }
+    if (first_neq < k) {
+      carried[first_neq] = true;
+    }
+  }
+
+  if (!any_feasible) {
+    return IndependentSolution("banerjee");
+  }
+
+  DepSolution sol;
+  sol.dir_masks = masks;
+  sol.carried = carried;
+  sol.test = "banerjee";
+  sol.result = DepResult::kAssumed;
+
+  // Small-space refinement: settle the answer exhaustively when cheap, which
+  // also makes the analytic result bit-identical to the oracle.
+  bool space_exact = true;
+  for (const DepLoop& l : p.common) {
+    space_exact = space_exact && l.exact;
+  }
+  for (const DepLoop& l : p.src_only) {
+    space_exact = space_exact && l.exact;
+  }
+  for (const DepLoop& l : p.dst_only) {
+    space_exact = space_exact && l.exact;
+  }
+  int64_t space = PairSpaceSize(p);
+  if (space_exact && space >= 0 && space <= kBruteForceCap) {
+    auto oracle = BruteForce(p, self_pair);
+    if (!oracle.has_value()) {
+      return IndependentSolution("banerjee");
+    }
+    sol.dir_masks = *oracle;
+    sol.carried = CarriesFromProductMasks(sol.dir_masks);
+    sol.result = DepResult::kExact;
+  }
+  return sol;
+}
+
+}  // namespace
+
+int64_t LinExpr::CoefOf(const std::string& var) const {
+  for (const LinTerm& t : terms) {
+    if (t.var == var) {
+      return t.coef;
+    }
+  }
+  return 0;
+}
+
+std::string DirMaskToString(uint8_t mask) {
+  if (mask == kDirAll) {
+    return "*";
+  }
+  std::string out;
+  if ((mask & kDirLt) != 0) {
+    out += '<';
+  }
+  if ((mask & kDirEq) != 0) {
+    out += '=';
+  }
+  if ((mask & kDirGt) != 0) {
+    out += '>';
+  }
+  return out.empty() ? "none" : out;
+}
+
+DepSolution SolveDependence(const DepProblem& problem) {
+  return Solve(problem, /*self_pair=*/false);
+}
+
+std::optional<std::vector<uint8_t>> BruteForceDirections(const DepProblem& problem) {
+  return BruteForce(problem, /*skip_all_equal=*/false);
+}
+
+namespace {
+
+// Value range of one loop's variable across a full execution, with
+// triangular bounds resolved through ancestors (widened, exact=false).
+struct VarRange {
+  int64_t min = 0;
+  int64_t max = 0;
+  bool known = false;
+  bool exact = false;
+};
+
+struct LoopInfo {
+  VarRange values;   // the loop variable's value range
+  int64_t lo = 0;    // (possibly widened) DO start value
+  int64_t hi = 0;    // (possibly widened) DO limit value
+  bool known = false;
+  bool exact = false;
+};
+
+void ComputeLoopInfo(const LoopNode* node, std::map<uint32_t, LoopInfo>* out) {
+  const Stmt& loop = *node->loop;
+  auto resolve = [&](const LoopBound& b, bool pick_min, int64_t* v) -> bool {
+    if (b.IsStatic()) {
+      *v = b.value;
+      return true;
+    }
+    for (const LoopNode* a = node->parent; a != nullptr; a = a->parent) {
+      if (a->loop->loop_var == b.spelling) {
+        const LoopInfo& ai = out->at(a->loop_id);
+        if (!ai.values.known) {
+          return false;
+        }
+        *v = pick_min ? ai.values.min : ai.values.max;
+        return true;
+      }
+    }
+    return false;
+  };
+  LoopInfo info;
+  info.exact = loop.lower.IsStatic() && loop.upper.IsStatic();
+  // Widen toward the larger iteration space: for a positive step take the
+  // smallest possible start and largest possible limit (mirrored for
+  // negative steps), so the range is a superset of the true one.
+  bool fwd = loop.step > 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  bool lo_ok = resolve(loop.lower, /*pick_min=*/fwd, &lo);
+  bool hi_ok = resolve(loop.upper, /*pick_min=*/!fwd, &hi);
+  info.known = lo_ok && hi_ok;
+  if (info.known) {
+    info.lo = lo;
+    info.hi = hi;
+    int64_t n = TripCount(lo, hi, loop.step);
+    if (n > 0) {
+      int64_t last = lo + (n - 1) * loop.step;
+      info.values = VarRange{std::min(lo, last), std::max(lo, last), true, info.exact};
+    } else {
+      info.values = VarRange{lo, lo - 1, true, info.exact};  // empty
+    }
+  }
+  (*out)[node->loop_id] = info;
+  for (const LoopNode* c : node->children) {
+    ComputeLoopInfo(c, out);
+  }
+}
+
+// Finds the loop in `stack` (ids, outermost first) binding `var`.
+const LoopNode* BindingLoop(const LoopTree& tree, const std::vector<uint32_t>& stack,
+                            const std::string& var) {
+  for (uint32_t id : stack) {
+    if (tree.node(id).loop->loop_var == var) {
+      return &tree.node(id);
+    }
+  }
+  return nullptr;
+}
+
+DepLoop MakeDepLoop(const LoopNode& node, const std::map<uint32_t, LoopInfo>& infos) {
+  const LoopInfo& info = infos.at(node.loop_id);
+  DepLoop l;
+  l.var = node.loop->loop_var;
+  l.step = node.loop->step;
+  l.loop_id = node.loop_id;
+  l.known = info.known;
+  l.exact = info.exact;
+  if (info.known) {
+    l.lo = info.lo;
+    l.hi = info.hi;
+  }
+  return l;
+}
+
+LinExpr MakeSubscript(const IndexExpr& ix, const std::vector<uint32_t>& stack,
+                      const LoopTree& tree) {
+  LinExpr e;
+  if (ix.IsIndirect()) {
+    e.affine = false;
+    return e;
+  }
+  e.c = ix.offset;
+  if (!ix.var.empty()) {
+    if (BindingLoop(tree, stack, ix.var) == nullptr) {
+      e.affine = false;  // unbound variable; be conservative
+      return e;
+    }
+    e.terms.push_back(LinTerm{ix.var, 1});
+  }
+  return e;
+}
+
+const char* DepResultName(DepResult r) {
+  switch (r) {
+    case DepResult::kIndependent:
+      return "independent";
+    case DepResult::kExact:
+      return "exact";
+    case DepResult::kAssumed:
+      return "assumed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+DependenceGraph DependenceGraph::Build(const Program& program, const LoopTree& tree) {
+  TELEM_SPAN("graph_build", "dep");
+  DependenceGraph g;
+  g.program_ = &program;
+
+  std::map<uint32_t, LoopInfo> infos;
+  for (const LoopNode* root : tree.roots()) {
+    ComputeLoopInfo(root, &infos);
+  }
+
+  // Collect reference sites in program order, with their loop stacks.
+  std::vector<uint32_t> stack;
+  auto walk = [&](const Stmt& stmt, auto&& self) -> void {
+    if (stmt.kind == Stmt::Kind::kDoLoop) {
+      stack.push_back(stmt.loop_id);
+      for (const StmtPtr& c : stmt.body) {
+        self(*c, self);
+      }
+      stack.pop_back();
+      return;
+    }
+    if (stmt.kind != Stmt::Kind::kAssign && stmt.kind != Stmt::Kind::kIf) {
+      return;
+    }
+    const Stmt& assign = stmt.kind == Stmt::Kind::kIf ? *stmt.if_then : stmt;
+    const ArrayRef* write_ref =
+        assign.lhs_array.has_value() ? &*assign.lhs_array : nullptr;
+    for (const ArrayRef* ref : stmt.DirectArrayRefs()) {
+      DepSite site;
+      site.ref = ref;
+      site.access = ref == write_ref ? DepAccess::kWrite : DepAccess::kRead;
+      site.loop_stack = stack;
+      site.location = ref->location;
+      site.array = ref->name;
+      g.sites_.push_back(std::move(site));
+    }
+  };
+  for (const StmtPtr& s : program.body) {
+    walk(*s, walk);
+  }
+
+  // Test every same-array pair with at least one write and a shared loop.
+  for (size_t i = 0; i < g.sites_.size(); ++i) {
+    for (size_t j = i; j < g.sites_.size(); ++j) {
+      const DepSite& a = g.sites_[i];
+      const DepSite& b = g.sites_[j];
+      if (a.array != b.array) {
+        continue;
+      }
+      bool has_write = a.access == DepAccess::kWrite || b.access == DepAccess::kWrite;
+      if (!has_write) {
+        continue;
+      }
+      bool self_pair = i == j;
+      if (self_pair && a.access != DepAccess::kWrite) {
+        continue;
+      }
+      size_t prefix = 0;
+      while (prefix < a.loop_stack.size() && prefix < b.loop_stack.size() &&
+             a.loop_stack[prefix] == b.loop_stack[prefix]) {
+        ++prefix;
+      }
+      if (prefix == 0) {
+        continue;  // cross-nest ordering is the scheduler's concern
+      }
+
+      DepProblem problem;
+      for (size_t l = 0; l < prefix; ++l) {
+        problem.common.push_back(MakeDepLoop(tree.node(a.loop_stack[l]), infos));
+      }
+      for (size_t l = prefix; l < a.loop_stack.size(); ++l) {
+        problem.src_only.push_back(MakeDepLoop(tree.node(a.loop_stack[l]), infos));
+      }
+      if (!self_pair) {
+        for (size_t l = prefix; l < b.loop_stack.size(); ++l) {
+          problem.dst_only.push_back(MakeDepLoop(tree.node(b.loop_stack[l]), infos));
+        }
+      }
+      size_t dims = std::min(a.ref->indices.size(), b.ref->indices.size());
+      for (size_t d = 0; d < dims; ++d) {
+        problem.src_subs.push_back(MakeSubscript(a.ref->indices[d], a.loop_stack, tree));
+        problem.dst_subs.push_back(MakeSubscript(b.ref->indices[d], b.loop_stack, tree));
+      }
+
+      DepSolution sol = Solve(problem, self_pair);
+      g.problems_.emplace_back(i, j, problem);
+      ++g.stats_.tests_run;
+      switch (sol.result) {
+        case DepResult::kIndependent:
+          ++g.stats_.tests_independent;
+          continue;
+        case DepResult::kExact:
+          ++g.stats_.tests_exact;
+          break;
+        case DepResult::kAssumed:
+          ++g.stats_.tests_assumed;
+          break;
+      }
+      DepEdge edge;
+      edge.array = a.array;
+      edge.src_site = i;
+      edge.dst_site = j;
+      edge.result = sol.result;
+      edge.dir_masks = sol.dir_masks;
+      edge.carried = sol.carried;
+      for (size_t l = 0; l < prefix; ++l) {
+        edge.common_loops.push_back(a.loop_stack[l]);
+      }
+      edge.has_distance = sol.has_distance;
+      edge.distances = sol.distances;
+      edge.test = sol.test;
+      g.edges_.push_back(std::move(edge));
+    }
+  }
+  TELEM_COUNT_N("dep.tests_run", g.stats_.tests_run);
+  TELEM_COUNT_N("dep.tests_exact", g.stats_.tests_exact);
+  TELEM_COUNT_N("dep.tests_assumed", g.stats_.tests_assumed);
+  TELEM_COUNT_N("dep.tests_independent", g.stats_.tests_independent);
+  TELEM_COUNT_N("dep.edges_added", g.edges_.size());
+
+  // Per-(loop, array) access-range summaries.
+  for (const DepSite& site : g.sites_) {
+    const ArrayDecl* decl = program.FindArray(site.array);
+    if (decl == nullptr) {
+      continue;
+    }
+    size_t dims = site.ref->indices.size();
+    for (uint32_t loop_id : site.loop_stack) {
+      AccessRange& r = g.ranges_[loop_id][site.array];
+      r.array = site.array;
+      if (r.dims.size() < dims) {
+        r.dims.resize(dims);
+      }
+      r.any_write = r.any_write || site.access == DepAccess::kWrite;
+      for (size_t d = 0; d < dims; ++d) {
+        const IndexExpr& ix = site.ref->indices[d];
+        int64_t extent = d == 0 ? decl->rows : decl->cols;
+        int64_t mn = 1;
+        int64_t mx = extent;
+        bool known = false;
+        if (ix.IsConstant()) {
+          mn = mx = ix.offset;
+          known = true;
+        } else if (!ix.IsIndirect()) {
+          const LoopNode* bind = BindingLoop(tree, site.loop_stack, ix.var);
+          if (bind != nullptr) {
+            const LoopInfo& info = infos.at(bind->loop_id);
+            if (info.values.known && info.values.min <= info.values.max) {
+              mn = info.values.min + ix.offset;
+              mx = info.values.max + ix.offset;
+              known = true;
+            }
+          }
+        }
+        AccessRange::Dim& dim = r.dims[d];
+        if (dim.known && known) {
+          dim.min = std::min(dim.min, mn);
+          dim.max = std::max(dim.max, mx);
+        } else if (known && dim.min == 0 && dim.max == 0 && !dim.known) {
+          // First touch of this dimension.
+          dim.min = mn;
+          dim.max = mx;
+          dim.known = true;
+        } else if (!known) {
+          dim.min = 1;
+          dim.max = extent;
+          dim.known = false;
+        } else if (!dim.known) {
+          // Already widened to the whole extent; keep it.
+          dim.min = std::min(dim.min, mn);
+          dim.max = std::max(dim.max, mx);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+bool DependenceGraph::CanParallelize(uint32_t loop_id) const {
+  return BlockingEdge(loop_id) == nullptr;
+}
+
+const DepEdge* DependenceGraph::BlockingEdge(uint32_t loop_id) const {
+  for (const DepEdge& e : edges_) {
+    for (size_t p = 0; p < e.common_loops.size(); ++p) {
+      if (e.common_loops[p] == loop_id && p < e.carried.size() && e.carried[p]) {
+        return &e;
+      }
+    }
+  }
+  return nullptr;
+}
+
+const std::map<std::string, AccessRange>* DependenceGraph::RangesFor(uint32_t loop_id) const {
+  auto it = ranges_.find(loop_id);
+  return it == ranges_.end() ? nullptr : &it->second;
+}
+
+std::string DependenceGraph::ToText() const {
+  std::ostringstream os;
+  os << "dependence graph: " << sites_.size() << " site(s), " << edges_.size() << " edge(s)\n";
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    const DepSite& s = sites_[i];
+    os << "site " << i << ": " << (s.access == DepAccess::kWrite ? "write " : "read  ")
+       << s.ref->ToString() << " loops [";
+    for (size_t l = 0; l < s.loop_stack.size(); ++l) {
+      os << (l > 0 ? " " : "") << s.loop_stack[l];
+    }
+    os << "] at " << s.location.line << ":" << s.location.column << "\n";
+  }
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const DepEdge& d = edges_[e];
+    os << "edge " << e << ": " << d.array << " site " << d.src_site << " -> site " << d.dst_site
+       << " " << DepResultName(d.result) << " test=" << d.test << " dirs (";
+    for (size_t p = 0; p < d.dir_masks.size(); ++p) {
+      os << (p > 0 ? "," : "") << DirMaskToString(d.dir_masks[p]);
+    }
+    os << ") carried (";
+    for (size_t p = 0; p < d.carried.size(); ++p) {
+      os << (p > 0 ? "," : "") << (d.carried[p] ? "yes" : "no");
+    }
+    os << ")";
+    if (d.has_distance) {
+      os << " dist (";
+      for (size_t p = 0; p < d.distances.size(); ++p) {
+        os << (p > 0 ? "," : "") << d.distances[p];
+      }
+      os << ")";
+    }
+    os << "\n";
+  }
+  if (program_ != nullptr) {
+    for (uint32_t id = 1; id <= program_->loop_count; ++id) {
+      const DepEdge* blocker = BlockingEdge(id);
+      os << "loop " << id << ": parallelizable=" << (blocker == nullptr ? "yes" : "no");
+      if (blocker != nullptr) {
+        os << " (blocked by " << blocker->array << " site " << blocker->src_site << " -> site "
+           << blocker->dst_site << ", " << DepResultName(blocker->result) << ")";
+      }
+      os << "\n";
+    }
+  }
+  for (const auto& [loop_id, by_array] : ranges_) {
+    for (const auto& [array, r] : by_array) {
+      os << "range loop " << loop_id << " " << array << ":";
+      for (size_t d = 0; d < r.dims.size(); ++d) {
+        os << " dim" << d + 1 << "=";
+        if (r.dims[d].known) {
+          os << "[" << r.dims[d].min << "," << r.dims[d].max << "]";
+        } else {
+          os << "[?]";
+        }
+      }
+      os << (r.any_write ? " write" : " read") << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string DependenceGraph::ToJson() const {
+  std::ostringstream os;
+  os << "{\n  \"sites\": [";
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    const DepSite& s = sites_[i];
+    os << (i > 0 ? "," : "") << "\n    {\"id\": " << i << ", \"array\": \"" << s.array
+       << "\", \"access\": \"" << (s.access == DepAccess::kWrite ? "write" : "read")
+       << "\", \"ref\": \"" << s.ref->ToString() << "\", \"line\": " << s.location.line
+       << ", \"column\": " << s.location.column << ", \"loops\": [";
+    for (size_t l = 0; l < s.loop_stack.size(); ++l) {
+      os << (l > 0 ? ", " : "") << s.loop_stack[l];
+    }
+    os << "]}";
+  }
+  os << "\n  ],\n  \"edges\": [";
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const DepEdge& d = edges_[e];
+    os << (e > 0 ? "," : "") << "\n    {\"array\": \"" << d.array << "\", \"src\": " << d.src_site
+       << ", \"dst\": " << d.dst_site << ", \"result\": \"" << DepResultName(d.result)
+       << "\", \"test\": \"" << d.test << "\", \"dirs\": [";
+    for (size_t p = 0; p < d.dir_masks.size(); ++p) {
+      os << (p > 0 ? ", " : "") << "\"" << DirMaskToString(d.dir_masks[p]) << "\"";
+    }
+    os << "], \"carried\": [";
+    for (size_t p = 0; p < d.carried.size(); ++p) {
+      os << (p > 0 ? ", " : "") << (d.carried[p] ? "true" : "false");
+    }
+    os << "], \"loops\": [";
+    for (size_t p = 0; p < d.common_loops.size(); ++p) {
+      os << (p > 0 ? ", " : "") << d.common_loops[p];
+    }
+    os << "]";
+    if (d.has_distance) {
+      os << ", \"distances\": [";
+      for (size_t p = 0; p < d.distances.size(); ++p) {
+        os << (p > 0 ? ", " : "") << d.distances[p];
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "\n  ],\n  \"loops\": [";
+  if (program_ != nullptr) {
+    for (uint32_t id = 1; id <= program_->loop_count; ++id) {
+      os << (id > 1 ? "," : "") << "\n    {\"id\": " << id << ", \"parallelizable\": "
+         << (CanParallelize(id) ? "true" : "false") << "}";
+    }
+  }
+  os << "\n  ],\n  \"ranges\": [";
+  bool first = true;
+  for (const auto& [loop_id, by_array] : ranges_) {
+    for (const auto& [array, r] : by_array) {
+      os << (first ? "" : ",") << "\n    {\"loop\": " << loop_id << ", \"array\": \"" << array
+         << "\", \"write\": " << (r.any_write ? "true" : "false") << ", \"dims\": [";
+      for (size_t d = 0; d < r.dims.size(); ++d) {
+        os << (d > 0 ? ", " : "");
+        if (r.dims[d].known) {
+          os << "[" << r.dims[d].min << ", " << r.dims[d].max << "]";
+        } else {
+          os << "null";
+        }
+      }
+      os << "]}";
+      first = false;
+    }
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace cdmm

@@ -1,0 +1,219 @@
+// Data-dependence analysis over affine subscripts.
+//
+// For every pair of array references in a loop nest that touch the same
+// array (with at least one write), the analyzer decides whether two distinct
+// iterations can touch the same element, and in which direction:
+//
+//   ZIV   — both subscripts loop-invariant: exact equality test.
+//   SIV   — one index variable: exact strong/weak single-variable test.
+//   MIV   — several variables: GCD test, then Banerjee-style bounds
+//           evaluated per direction vector with exact integer vertex
+//           enumeration of the constrained iteration polyhedron.
+//
+// Subscripts the framework cannot model (indirect IDX(I) accesses) produce
+// conservative "assumed" edges: the dependence is presumed to exist in every
+// direction. Soundness contract: an edge is only *omitted* when the tests
+// prove no two iterations conflict, and a `kExact` result is only reported
+// when a witness iteration pair exists; "assumed" edges may be false
+// positives but never false negatives.
+#ifndef CDMM_SRC_ANALYSIS_DEPENDENCE_H_
+#define CDMM_SRC_ANALYSIS_DEPENDENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/analysis/loop_tree.h"
+#include "src/lang/ast.h"
+
+namespace cdmm {
+
+// Direction of a dependence with respect to one common loop, encoded as a
+// bitmask so a single edge can carry several feasible directions.
+enum DepDirection : uint8_t {
+  kDirLt = 1 << 0,  // source iteration earlier  ('<')
+  kDirEq = 1 << 1,  // same iteration            ('=')
+  kDirGt = 1 << 2,  // source iteration later    ('>')
+  kDirAll = kDirLt | kDirEq | kDirGt,
+};
+
+// "<", "=", ">", or "*" composites, e.g. "<=" for kDirLt|kDirEq.
+std::string DirMaskToString(uint8_t mask);
+
+// One loop of the common nest surrounding a reference pair, normalized for
+// the tests. When `known` is false the bounds are symbolic (runtime values)
+// and the tests fall back to conservative, unbounded reasoning. `exact`
+// means [lo, hi] is the loop's true rectangular range; a triangular loop
+// widened to its enclosing interval has known = true but exact = false, so
+// independence proofs remain sound while witness claims are suppressed.
+struct DepLoop {
+  std::string var;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  int64_t step = 1;
+  bool known = false;
+  bool exact = false;
+  uint32_t loop_id = 0;
+};
+
+// Canonical linear form of one subscript: sum(coef_i * var_i) + c.
+// Our dialect's subscripts are `var + offset`, so each dimension has at most
+// one variable with coefficient derived from the loop step normalization.
+struct LinTerm {
+  std::string var;
+  int64_t coef = 0;
+};
+
+struct LinExpr {
+  std::vector<LinTerm> terms;
+  int64_t c = 0;
+  bool affine = true;  // false => indirect/unanalyzable subscript
+
+  // Coefficient of `var` (0 when absent).
+  int64_t CoefOf(const std::string& var) const;
+};
+
+// A dependence-test problem: the common loops (shared by source and sink),
+// loops enclosing only one side, and per-dimension subscript pairs.
+struct DepProblem {
+  std::vector<DepLoop> common;
+  std::vector<DepLoop> src_only;
+  std::vector<DepLoop> dst_only;
+  std::vector<LinExpr> src_subs;
+  std::vector<LinExpr> dst_subs;
+};
+
+enum class DepResult : uint8_t {
+  kIndependent,  // proven: no two iterations conflict
+  kExact,        // proven: a conflicting iteration pair exists
+  kAssumed,      // cannot decide; dependence assumed (sound over-approximation)
+};
+
+struct DepSolution {
+  DepResult result = DepResult::kAssumed;
+  // Per-common-loop bitmask of feasible directions; meaningful unless
+  // kIndependent. For kAssumed every direction is feasible.
+  std::vector<uint8_t> dir_masks;
+  // carried[p]: a feasible direction vector exists with '=' at every level
+  // outer than p and a non-'=' direction at p — the dependence is carried by
+  // the loop at position p of the common nest.
+  std::vector<bool> carried;
+  // Constant dependence distance (dst iteration - src iteration) per common
+  // loop when one is proven (strong-SIV); empty otherwise.
+  std::vector<int64_t> distances;
+  bool has_distance = false;
+  const char* test = "";  // "ziv", "siv", "banerjee", "assumed"
+};
+
+// Decides dependence between two subscripted references. Public so the
+// brute-force oracle in tests can compare against it directly.
+DepSolution SolveDependence(const DepProblem& problem);
+
+// Exhaustively enumerates iteration pairs of `problem` (all loop bounds must
+// be known) and returns the observed direction mask per common loop, or
+// std::nullopt when no conflicting pair exists. Test oracle; exponential.
+std::optional<std::vector<uint8_t>> BruteForceDirections(const DepProblem& problem);
+
+// Kinds of access for an edge endpoint.
+enum class DepAccess : uint8_t { kRead, kWrite };
+
+// One dependence edge between two reference sites on the same array.
+struct DepEdge {
+  std::string array;
+  // Positions index into DependenceGraph::sites().
+  size_t src_site = 0;
+  size_t dst_site = 0;
+  DepResult result = DepResult::kAssumed;
+  std::vector<uint8_t> dir_masks;      // per common loop, outermost first
+  std::vector<bool> carried;           // per common loop (see DepSolution)
+  std::vector<uint32_t> common_loops;  // loop ids, outermost first
+  bool has_distance = false;
+  std::vector<int64_t> distances;
+  const char* test = "";
+};
+
+// A reference site: one static array reference with its access kind and the
+// stack of enclosing loops.
+struct DepSite {
+  const ArrayRef* ref = nullptr;
+  DepAccess access = DepAccess::kRead;
+  std::vector<uint32_t> loop_stack;  // loop ids, outermost first
+  SourceLocation location;
+  std::string array;
+};
+
+// Per-(loop, array) symbolic access-range summary: the min/max element index
+// touched per dimension across one full execution of the loop
+// (PtrRangeAnalysis-style). `known` is false when a bound could not be
+// derived (symbolic/indirect), in which case the whole dimension extent must
+// be assumed.
+struct AccessRange {
+  struct Dim {
+    int64_t min = 0;
+    int64_t max = 0;
+    bool known = false;
+  };
+  std::string array;
+  std::vector<Dim> dims;  // size 1 or 2
+  bool any_write = false;
+};
+
+// Dependence graph for one program: all edges between same-array reference
+// pairs with at least one write, plus parallelization queries and per-loop
+// access-range summaries.
+class DependenceGraph {
+ public:
+  // `tree` must outlive the graph (sites point into the program's AST).
+  static DependenceGraph Build(const Program& program, const LoopTree& tree);
+
+  const std::vector<DepSite>& sites() const { return sites_; }
+  const std::vector<DepEdge>& edges() const { return edges_; }
+
+  // True when no edge with a write endpoint is carried by `loop_id`: every
+  // iteration of the loop may run concurrently. Assumed edges block
+  // parallelization (soundness).
+  bool CanParallelize(uint32_t loop_id) const;
+
+  // For a blocked loop, one blocking edge (for diagnostics); nullptr when
+  // CanParallelize(loop_id) is true.
+  const DepEdge* BlockingEdge(uint32_t loop_id) const;
+
+  // Access-range summaries for one loop, keyed by array name. Arrays
+  // referenced under the loop always have an entry.
+  const std::map<std::string, AccessRange>* RangesFor(uint32_t loop_id) const;
+
+  // Human-readable and JSON dumps (stable field order).
+  std::string ToText() const;
+  std::string ToJson() const;
+
+  // Statistics collected while building (telemetry mirrors these).
+  struct Stats {
+    uint64_t tests_run = 0;
+    uint64_t tests_exact = 0;
+    uint64_t tests_assumed = 0;
+    uint64_t tests_independent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Every dependence problem the builder solved, as (src site, dst site,
+  // problem). Lets the oracle tests re-run BruteForceDirections against the
+  // exact problems a real workload produced.
+  const std::vector<std::tuple<size_t, size_t, DepProblem>>& tested_problems() const {
+    return problems_;
+  }
+
+ private:
+  std::vector<DepSite> sites_;
+  std::vector<DepEdge> edges_;
+  std::map<uint32_t, std::map<std::string, AccessRange>> ranges_;
+  std::vector<std::tuple<size_t, size_t, DepProblem>> problems_;
+  Stats stats_;
+  const Program* program_ = nullptr;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_ANALYSIS_DEPENDENCE_H_

@@ -250,6 +250,11 @@ LoopLocality LocalityAnalysis::Analyze(const LoopNode& node) const {
     // Refine the touched-extent bounds from the binder loops' static trip
     // counts (paper parameters: loop bounds are visible in the source).
     auto widen = [&](const IndexExpr& ix, int64_t* span, int64_t* spread) {
+      if (ix.IsIndirect()) {
+        // Indirect values can land anywhere in the dimension: unbounded span.
+        WidenSpan(span, -1, 0);
+        return;
+      }
       if (ix.IsConstant()) {
         WidenSpan(span, 1, 0);
         return;

@@ -32,7 +32,7 @@ LoopTree::LoopTree(const Program& program) : program_(&program) {
 }
 
 void LoopTree::Build(const Stmt& stmt, LoopNode* parent) {
-  if (stmt.kind == Stmt::Kind::kAssign) {
+  if (stmt.kind == Stmt::Kind::kAssign || stmt.kind == Stmt::Kind::kIf) {
     if (parent != nullptr) {
       parent->direct_assigns.push_back(&stmt);
       if (parent->segments.empty() || parent->segments.back().next_child != nullptr) {

@@ -49,6 +49,15 @@ void CollectFromNode(const LoopNode& node, std::vector<RefSite>* out) {
   }
 }
 
+// The subscript whose variable drives an index's variation: an indirect
+// A(IDX(I)) varies exactly when the inner subscript I varies, so
+// classification delegates to it (the *values* are unpredictable; only the
+// variation pattern carries over).
+const IndexExpr& Effective(const IndexExpr& index) {
+  return index.IsIndirect() && index.indirect->indices.size() == 1 ? index.indirect->indices[0]
+                                                                   : index;
+}
+
 // Finds the loop on the site's enclosing chain that binds `var`; nullptr if
 // no enclosing loop binds it (CheckProgram rules this out for valid input).
 const LoopNode* BindingLoop(const std::string& var, const LoopNode* site_loop) {
@@ -71,7 +80,7 @@ std::vector<RefSite> CollectRefSites(const LoopNode& root) {
 std::vector<RefSite> CollectRefSites(const LoopTree& tree) {
   std::vector<RefSite> sites;
   tree.program().ForEachStmt([&](const Stmt& stmt) {
-    if (stmt.kind != Stmt::Kind::kAssign) {
+    if (stmt.kind != Stmt::Kind::kAssign && stmt.kind != Stmt::Kind::kIf) {
       return;
     }
     // Determine the directly-enclosing loop by scanning the tree: the
@@ -95,7 +104,8 @@ std::vector<RefSite> CollectRefSites(const LoopTree& tree) {
   return sites;
 }
 
-const LoopNode* SubscriptBinder(const IndexExpr& index, const RefSite& site) {
+const LoopNode* SubscriptBinder(const IndexExpr& raw_index, const RefSite& site) {
+  const IndexExpr& index = Effective(raw_index);
   if (index.IsConstant()) {
     return nullptr;
   }
@@ -104,14 +114,21 @@ const LoopNode* SubscriptBinder(const IndexExpr& index, const RefSite& site) {
   return binder;
 }
 
-Variation ClassifySubscript(const IndexExpr& index, const RefSite& site,
+Variation ClassifySubscript(const IndexExpr& raw_index, const RefSite& site,
                             const LoopNode& relative_to) {
+  const IndexExpr& index = Effective(raw_index);
   if (index.IsConstant()) {
     return Variation::kConstant;
   }
   const LoopNode* binder = BindingLoop(index.var, site.site_loop);
   CDMM_CHECK_MSG(binder != nullptr,
                  "subscript variable " << index.var << " unbound at its site");
+  // An indirect subscript whose driver is the loop itself hops unpredictably
+  // through the array rather than sliding: classify as kInner so locality
+  // sizing charges the conservative full-extent contribution.
+  if (raw_index.IsIndirect() && binder == &relative_to) {
+    return Variation::kInner;
+  }
   if (binder == &relative_to) {
     return Variation::kSelf;
   }
@@ -136,10 +153,8 @@ RefOrder ClassifyOrder(const RefSite& site) {
     return RefOrder::kVector;
   }
   CDMM_CHECK(ref.indices.size() == 2);
-  const LoopNode* row_binder =
-      ref.indices[0].IsConstant() ? nullptr : BindingLoop(ref.indices[0].var, site.site_loop);
-  const LoopNode* col_binder =
-      ref.indices[1].IsConstant() ? nullptr : BindingLoop(ref.indices[1].var, site.site_loop);
+  const LoopNode* row_binder = SubscriptBinder(ref.indices[0], site);
+  const LoopNode* col_binder = SubscriptBinder(ref.indices[1], site);
   if (row_binder == nullptr && col_binder == nullptr) {
     return RefOrder::kInvariant;
   }

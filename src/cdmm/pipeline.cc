@@ -51,6 +51,22 @@ std::shared_ptr<const Trace> CompiledProgram::shared_references() const {
   return lazy_->refs;
 }
 
+std::shared_ptr<const DependenceGraph> CompiledProgram::shared_deps() const {
+  std::call_once(lazy_->deps_once, [this] {
+    lazy_->deps =
+        std::make_shared<const DependenceGraph>(DependenceGraph::Build(*program_, *tree_));
+  });
+  return lazy_->deps;
+}
+
+const DirectivePlan& CompiledProgram::dep_plan() const {
+  std::call_once(lazy_->dep_plan_once, [this] {
+    lazy_->dep_plan = std::make_shared<const DirectivePlan>(
+        BuildDirectivePlan(*tree_, *locality_, *shared_deps(), options_.directives));
+  });
+  return *lazy_->dep_plan;
+}
+
 std::string CompiledProgram::Listing(bool compact) const {
   return InstrumentedListing(*tree_, plan_, compact);
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/analysis/dependence.h"
 #include "src/analysis/locality.h"
 #include "src/analysis/loop_tree.h"
 #include "src/directives/plan.h"
@@ -52,6 +53,17 @@ class CompiledProgram {
   const Trace& references() const { return *shared_references(); }
   std::shared_ptr<const Trace> shared_references() const;
 
+  // The dependence graph, built lazily on first use (nominal runs that never
+  // consult it pay nothing and emit no dep.* telemetry) and then shared.
+  const DependenceGraph& deps() const { return *shared_deps(); }
+  std::shared_ptr<const DependenceGraph> shared_deps() const;
+
+  // The dependence-aware directive plan (Algorithms 1 & 2 consulting the
+  // graph: independent loops recorded, provably-unnecessary locks pruned).
+  // Lazy like the graph; the nominal plan() stays untouched, so callers that
+  // never opt in see byte-identical traces.
+  const DirectivePlan& dep_plan() const;
+
   // Convenience: total virtual pages of the program.
   uint32_t virtual_pages() const { return trace().virtual_pages(); }
 
@@ -69,6 +81,10 @@ class CompiledProgram {
     std::shared_ptr<const Trace> full;
     std::once_flag refs_once;
     std::shared_ptr<const Trace> refs;
+    std::once_flag deps_once;
+    std::shared_ptr<const DependenceGraph> deps;
+    std::once_flag dep_plan_once;
+    std::shared_ptr<const DirectivePlan> dep_plan;
   };
 
   PipelineOptions options_;

@@ -16,6 +16,11 @@
 //   --lint[=json]          run the cdmm-lint static checker instead of
 //                          compiling: prints diagnostics (text or JSON) and
 //                          exits 0 (clean), 4 (diagnostics), or 1 (parse)
+//   --deps[=json]          print the dependence graph (sites, edges,
+//                          per-loop parallelizability, access ranges)
+//   --parallel-nests       generate the trace with provably independent
+//                          top-level nests run concurrently (merged output
+//                          is byte-identical to sequential at any --jobs)
 //   --trace-out FILE       write the generated trace to FILE
 //   --trace-format FMT     text (default) or binary
 //   --trace-in FILE        skip compilation: simulate a stored trace (either
@@ -69,6 +74,7 @@
 
 #include "src/cdmm/pipeline.h"
 #include "src/exec/flags.h"
+#include "src/exec/nest_parallel.h"
 #include "src/lint/lint.h"
 #include "src/exec/sweep_scheduler.h"
 #include "src/robust/fault_injector.h"
@@ -97,6 +103,9 @@ struct CliOptions {
   bool source = false;
   bool lint = false;
   bool lint_json = false;
+  bool deps = false;
+  bool deps_json = false;
+  bool parallel_nests = false;
   std::string trace_out;
   std::vector<std::string> simulate;
   std::string sweep;  // "", "ws", "opt", or "both"
@@ -114,6 +123,7 @@ struct CliOptions {
 void PrintUsageLines(const char* argv0, std::ostream& os) {
   os << "usage: " << argv0
      << " [--report] [--listing|--listing-full] [--source] [--lint[=json]]\n"
+        "            [--deps[=json]] [--parallel-nests]\n"
         "            [--trace-out FILE] [--trace-format text|binary]\n"
         "            [--trace-in FILE] [--simulate SPEC]...\n"
         "            [--sweep ws|opt|both] [--sweep-engine naive|onepass]\n"
@@ -158,6 +168,15 @@ int PrintHelp(const char* argv0, std::ostream& out) {
          "                         capacity must be '*' (unbounded backing store).\n"
          "                         Level latencies replace --fault-service. Cannot be\n"
          "                         combined with --sweep\n"
+         "\n"
+         "dependence analysis:\n"
+         "  --deps[=json]          print the dependence graph: reference sites, edges\n"
+         "                         with direction vectors, per-loop parallelizability,\n"
+         "                         and per-(loop, array) access-range summaries\n"
+         "  --parallel-nests       run provably independent top-level loop nests\n"
+         "                         concurrently during trace generation; the merged\n"
+         "                         trace is byte-identical to the sequential one at\n"
+         "                         any --jobs\n"
          "\n"
          "telemetry:\n"
          "  --metrics[=text|json]  print the metrics report to stdout after the run\n"
@@ -372,6 +391,31 @@ int Run(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
   if (cli.listing || cli.listing_full) {
     out << cp.Listing(/*compact=*/!cli.listing_full);
   }
+  if (cli.deps) {
+    out << (cli.deps_json ? cp.deps().ToJson() : cp.deps().ToText());
+  }
+
+  // Under --parallel-nests the trace comes from the concurrent generator;
+  // every downstream consumer (--trace-out, --sweep, --simulate) sees the
+  // merged trace, which is byte-identical to the sequential one.
+  std::shared_ptr<const Trace> full_override;
+  std::shared_ptr<const Trace> refs_override;
+  if (cli.parallel_nests) {
+    InterpOptions iopt;
+    iopt.geometry = cli.pipeline.locality.geometry;
+    iopt.emit_loop_markers = cli.pipeline.emit_loop_markers;
+    NestParallelResult np = GenerateTraceParallelNests(cp.program(), cp.tree(), cp.deps(),
+                                                       &cp.dep_plan(), iopt, sched);
+    out << "parallel-nests: units=" << np.total_units << " groups=" << np.groups.size()
+        << " concurrent=" << np.concurrent_units << "\n";
+    full_override = std::make_shared<const Trace>(std::move(np.trace));
+    refs_override = std::make_shared<const Trace>(full_override->ReferencesOnly());
+  }
+  auto full_trace = [&] { return full_override != nullptr ? full_override : cp.shared_trace(); };
+  auto ref_trace = [&] {
+    return refs_override != nullptr ? refs_override : cp.shared_references();
+  };
+
   if (!cli.trace_out.empty()) {
     std::ofstream fout(cli.trace_out, std::ios::binary);
     if (!fout) {
@@ -379,22 +423,22 @@ int Run(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
       return 1;
     }
     if (cli.binary_format) {
-      WriteTraceBinary(cp.trace(), fout);
+      WriteTraceBinary(*full_trace(), fout);
     } else {
-      WriteTrace(cp.trace(), fout);
+      WriteTrace(*full_trace(), fout);
     }
-    out << "wrote " << cp.trace().reference_count() << " references to " << cli.trace_out
+    out << "wrote " << full_trace()->reference_count() << " references to " << cli.trace_out
         << (cli.binary_format ? " (binary)" : " (text)") << "\n";
   }
   if (!cli.sweep.empty()) {
-    int code = RunSweeps(cli, sched, cp.shared_references(), out, err);
+    int code = RunSweeps(cli, sched, ref_trace(), out, err);
     if (code != 0) {
       return code;
     }
   }
   if (!cli.simulate.empty()) {
-    std::shared_ptr<const Trace> full = cp.shared_trace();
-    std::shared_ptr<const Trace> refs = cp.shared_references();
+    std::shared_ptr<const Trace> full = full_trace();
+    std::shared_ptr<const Trace> refs = ref_trace();
     out << "R=" << refs->reference_count() << " references, V=" << refs->virtual_pages()
         << " pages, fault service " << cli.sim.fault_service_time << "\n";
     if (cli.sim.hierarchy != nullptr) {
@@ -458,6 +502,13 @@ int CdmmcMain(int argc, char** argv, std::ostream& out, std::ostream& err) {
     } else if (arg == "--lint=json") {
       cli.lint = true;
       cli.lint_json = true;
+    } else if (arg == "--deps") {
+      cli.deps = true;
+    } else if (arg == "--deps=json") {
+      cli.deps = true;
+      cli.deps_json = true;
+    } else if (arg == "--parallel-nests") {
+      cli.parallel_nests = true;
     } else if (arg == "--trace-out") {
       cli.trace_out = next();
     } else if (arg == "--trace-in") {

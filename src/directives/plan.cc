@@ -1,5 +1,6 @@
 #include "src/directives/plan.h"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 
@@ -95,6 +96,71 @@ DirectivePlan BuildDirectivePlan(const LoopTree& tree, const LocalityAnalysis& l
         plan.unlock_after_loop.emplace(root->loop_id, unlock);
       }
     }
+  }
+  return plan;
+}
+
+DirectivePlan BuildDirectivePlan(const LoopTree& tree, const LocalityAnalysis& locality,
+                                 const DependenceGraph& deps,
+                                 const DirectivePlanOptions& options) {
+  DirectivePlan plan = BuildDirectivePlan(tree, locality, options);
+  for (const LoopNode* node : tree.preorder()) {
+    if (deps.CanParallelize(node->loop_id)) {
+      plan.independent_loops.insert(node->loop_id);
+    }
+  }
+
+  auto in_stack = [](const DepSite& site, uint32_t loop_id) {
+    return std::find(site.loop_stack.begin(), site.loop_stack.end(), loop_id) !=
+           site.loop_stack.end();
+  };
+  // A lock on `array` earns its keep only when some dependence edge connects
+  // a reference outside the child nest (the segment side) with one inside it:
+  // otherwise the nest cannot disturb — or need — the segment's pages.
+  for (LockPlan& lock : plan.locks) {
+    std::vector<std::string> kept;
+    for (const std::string& array : lock.arrays) {
+      bool needed = false;
+      for (const DepEdge& edge : deps.edges()) {
+        if (edge.array != array) {
+          continue;
+        }
+        const DepSite& a = deps.sites()[edge.src_site];
+        const DepSite& b = deps.sites()[edge.dst_site];
+        bool a_inside = in_stack(a, lock.before_child_loop_id);
+        bool b_inside = in_stack(b, lock.before_child_loop_id);
+        bool a_host = in_stack(a, lock.host_loop_id);
+        bool b_host = in_stack(b, lock.host_loop_id);
+        if ((a_host && !a_inside && b_inside) || (b_host && !b_inside && a_inside)) {
+          needed = true;
+          break;
+        }
+      }
+      if (needed) {
+        kept.push_back(array);
+      }
+    }
+    lock.arrays = std::move(kept);
+  }
+  plan.locks.erase(std::remove_if(plan.locks.begin(), plan.locks.end(),
+                                  [](const LockPlan& lock) { return lock.arrays.empty(); }),
+                   plan.locks.end());
+
+  // Recompute the trailing UNLOCK sets from what survived.
+  plan.unlock_after_loop.clear();
+  std::map<uint32_t, std::set<std::string>> root_arrays;
+  for (const LockPlan& lock : plan.locks) {
+    const LoopNode* root = &tree.node(lock.host_loop_id);
+    while (root->parent != nullptr) {
+      root = root->parent;
+    }
+    root_arrays[root->loop_id].insert(lock.arrays.begin(), lock.arrays.end());
+  }
+  for (const auto& [root_id, arrays] : root_arrays) {
+    UnlockPlan unlock;
+    unlock.after_loop_id = root_id;
+    unlock.arrays.assign(arrays.begin(), arrays.end());
+    plan.unlock_after_loop.emplace(root_id, unlock);
   }
   return plan;
 }

@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "src/analysis/dependence.h"
 #include "src/analysis/locality.h"
 #include "src/analysis/loop_tree.h"
 #include "src/trace/trace.h"
@@ -51,6 +53,10 @@ struct DirectivePlan {
   std::map<uint32_t, AllocatePlan> allocate_before_loop;
   std::vector<LockPlan> locks;
   std::map<uint32_t, UnlockPlan> unlock_after_loop;
+  // Loops the dependence graph proved free of carried dependences (only
+  // filled by the dependence-aware overload below; empty for the structural
+  // plan, whose output predates the analysis).
+  std::set<uint32_t> independent_loops;
 
   // Lock plans hosted by `host` that fire immediately before `child`.
   std::vector<const LockPlan*> LocksBefore(uint32_t host, uint32_t child) const;
@@ -59,6 +65,18 @@ struct DirectivePlan {
 // Runs Algorithm 1 (ALLOCATE insertion, using the locality analysis for the
 // X arguments) and Algorithm 2 (LOCK insertion) plus UNLOCK placement.
 DirectivePlan BuildDirectivePlan(const LoopTree& tree, const LocalityAnalysis& locality,
+                                 const DirectivePlanOptions& options = {});
+
+// Dependence-aware variant: starts from the structural plan, then (a) records
+// every loop the graph proves parallelizable in `independent_loops`, and
+// (b) drops LOCK arrays whose segment references provably never flow into the
+// guarded child nest (no dependence edge between a host-level site and a site
+// inside the nest) — Algorithm 2's structural "lock everything the segment
+// touched" sharpened by the analysis. UNLOCK sets are recomputed from the
+// surviving locks. The structural overload stays byte-identical to earlier
+// releases; this one is opt-in for callers that already built the graph.
+DirectivePlan BuildDirectivePlan(const LoopTree& tree, const LocalityAnalysis& locality,
+                                 const DependenceGraph& deps,
                                  const DirectivePlanOptions& options = {});
 
 // Figure-5c-style listing: the program's loop skeleton with the directives

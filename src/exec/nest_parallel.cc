@@ -1,0 +1,184 @@
+#include "src/exec/nest_parallel.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "src/support/check.h"
+
+namespace cdmm {
+namespace {
+
+// Static array footprint of one top-level statement (unit): which arrays it
+// may read and write, plus the root loop id when the unit is a loop (for
+// access-range refinement).
+struct UnitFootprint {
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+  uint32_t root_loop = 0;
+};
+
+void CollectStmtFootprint(const Stmt& stmt, UnitFootprint* fp) {
+  if (stmt.kind == Stmt::Kind::kDoLoop) {
+    for (const StmtPtr& s : stmt.body) {
+      CollectStmtFootprint(*s, fp);
+    }
+    return;
+  }
+  const Stmt& assign = stmt.kind == Stmt::Kind::kIf ? *stmt.if_then : stmt;
+  const ArrayRef* write_ref =
+      assign.lhs_array.has_value() ? &*assign.lhs_array : nullptr;
+  for (const ArrayRef* ref : stmt.DirectArrayRefs()) {
+    if (ref == write_ref) {
+      fp->writes.insert(ref->name);
+      // Indirect subscripts of the written element are still reads.
+      for (const IndexExpr& ix : ref->indices) {
+        if (ix.IsIndirect()) {
+          fp->reads.insert(ix.indirect->name);
+        }
+      }
+    } else {
+      fp->reads.insert(ref->name);
+    }
+  }
+}
+
+std::vector<UnitFootprint> CollectFootprints(const Program& program) {
+  std::vector<UnitFootprint> fps;
+  fps.reserve(program.body.size());
+  for (const StmtPtr& s : program.body) {
+    UnitFootprint fp;
+    if (s->kind == Stmt::Kind::kDoLoop) {
+      fp.root_loop = s->loop_id;
+    }
+    CollectStmtFootprint(*s, &fp);
+    fps.push_back(std::move(fp));
+  }
+  return fps;
+}
+
+// True when the whole-run access ranges of `array` under the two root loops
+// are provably disjoint in some dimension (both sides fully known).
+bool RangesDisjoint(const DependenceGraph& deps, const std::string& array, uint32_t root_a,
+                    uint32_t root_b) {
+  if (root_a == 0 || root_b == 0) {
+    return false;
+  }
+  const std::map<std::string, AccessRange>* ra = deps.RangesFor(root_a);
+  const std::map<std::string, AccessRange>* rb = deps.RangesFor(root_b);
+  if (ra == nullptr || rb == nullptr) {
+    return false;
+  }
+  auto ia = ra->find(array);
+  auto ib = rb->find(array);
+  if (ia == ra->end() || ib == rb->end()) {
+    return false;
+  }
+  const AccessRange& a = ia->second;
+  const AccessRange& b = ib->second;
+  size_t dims = std::min(a.dims.size(), b.dims.size());
+  for (size_t d = 0; d < dims; ++d) {
+    if (!a.dims[d].known || !b.dims[d].known) {
+      continue;
+    }
+    if (a.dims[d].max < b.dims[d].min || b.dims[d].max < a.dims[d].min) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Two units conflict when they share an array with at least one write and
+// the dependence graph cannot prove their footprints disjoint.
+bool UnitsConflict(const DependenceGraph& deps, const UnitFootprint& a, const UnitFootprint& b) {
+  auto conflicting = [&](const std::set<std::string>& xs, const std::set<std::string>& ys,
+                         uint32_t root_x, uint32_t root_y) {
+    for (const std::string& array : xs) {
+      if (ys.count(array) != 0 && !RangesDisjoint(deps, array, root_x, root_y)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  return conflicting(a.writes, b.writes, a.root_loop, b.root_loop) ||
+         conflicting(a.writes, b.reads, a.root_loop, b.root_loop) ||
+         conflicting(a.reads, b.writes, a.root_loop, b.root_loop);
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> PlanNestGroups(const Program& program,
+                                                const DependenceGraph& deps) {
+  std::vector<UnitFootprint> fps = CollectFootprints(program);
+  std::vector<std::vector<size_t>> groups;
+  for (size_t u = 0; u < fps.size(); ++u) {
+    bool fits = !groups.empty();
+    if (fits) {
+      for (size_t member : groups.back()) {
+        if (UnitsConflict(deps, fps[member], fps[u])) {
+          fits = false;
+          break;
+        }
+      }
+    }
+    if (fits) {
+      groups.back().push_back(u);
+    } else {
+      groups.push_back({u});
+    }
+  }
+  return groups;
+}
+
+NestParallelResult GenerateTraceParallelNests(const Program& program, const LoopTree& tree,
+                                              const DependenceGraph& deps,
+                                              const DirectivePlan* plan,
+                                              const InterpOptions& options,
+                                              const SweepScheduler& scheduler) {
+  NestParallelResult out;
+  out.trace.set_name(program.name);
+  out.groups = PlanNestGroups(program, deps);
+  out.total_units = program.body.size();
+
+  std::vector<UnitFootprint> fps = CollectFootprints(program);
+  InterpState master;
+  for (const std::vector<size_t>& group : out.groups) {
+    if (group.size() == 1) {
+      size_t u = group[0];
+      out.trace.Append(GenerateTraceSlice(program, tree, plan, options, u, u + 1, &master));
+      continue;
+    }
+    out.concurrent_units += group.size();
+    // Each unit of the group runs against a private copy of the state; the
+    // group is pairwise non-conflicting, so the copies diverge only in the
+    // arrays each unit itself writes, and those are disjoint across units.
+    struct Slice {
+      Trace trace;
+      InterpState state;
+    };
+    std::vector<Slice> slices =
+        scheduler.Map<Slice>(group.size(), [&](size_t k) {
+          Slice slice;
+          slice.state = master;
+          size_t u = group[k];
+          slice.trace =
+              GenerateTraceSlice(program, tree, plan, options, u, u + 1, &slice.state);
+          return slice;
+        });
+    for (size_t k = 0; k < group.size(); ++k) {
+      out.trace.Append(slices[k].trace);
+      // Fold the unit's INTEGER-array writes back into the master state.
+      for (const std::string& array : fps[group[k]].writes) {
+        auto it = slices[k].state.int_arrays.find(array);
+        if (it != slices[k].state.int_arrays.end()) {
+          master.int_arrays[array] = it->second;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,50 @@
+// Intra-workload parallel trace generation. The dependence graph proves
+// which top-level loop nests of one program cannot conflict (no shared array
+// with a write, or provably disjoint access ranges); non-conflicting
+// consecutive nests are executed concurrently, each against a private copy
+// of the interpreter state, and the per-nest traces are merged in source
+// order. The merged trace is byte-identical to a sequential generation at
+// any job count — concurrency changes wall-clock only, never output.
+#ifndef CDMM_SRC_EXEC_NEST_PARALLEL_H_
+#define CDMM_SRC_EXEC_NEST_PARALLEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/analysis/dependence.h"
+#include "src/analysis/loop_tree.h"
+#include "src/directives/plan.h"
+#include "src/exec/sweep_scheduler.h"
+#include "src/interp/interpreter.h"
+#include "src/trace/trace.h"
+
+namespace cdmm {
+
+struct NestParallelResult {
+  Trace trace;
+  // Execution groups, in source order; each group's units (top-level
+  // statement indices) ran concurrently when the group has more than one.
+  std::vector<std::vector<size_t>> groups;
+  size_t total_units = 0;
+  // Units that ran inside a multi-unit (actually concurrent) group.
+  size_t concurrent_units = 0;
+};
+
+// Partitions the program's top-level statements into maximal runs of
+// pairwise non-conflicting units (pure scheduling decision, deterministic,
+// independent of the pool). Exposed for tests.
+std::vector<std::vector<size_t>> PlanNestGroups(const Program& program,
+                                                const DependenceGraph& deps);
+
+// Generates the program's trace with non-conflicting top-level nests run
+// concurrently on `scheduler`'s pool (a null pool degenerates to the serial
+// order). The result's trace equals GenerateTrace(...) byte for byte.
+NestParallelResult GenerateTraceParallelNests(const Program& program, const LoopTree& tree,
+                                              const DependenceGraph& deps,
+                                              const DirectivePlan* plan,
+                                              const InterpOptions& options,
+                                              const SweepScheduler& scheduler);
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_EXEC_NEST_PARALLEL_H_

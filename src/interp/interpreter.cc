@@ -14,19 +14,21 @@ namespace {
 class Interpreter {
  public:
   Interpreter(const Program& program, const LoopTree& tree, const DirectivePlan* plan,
-              const InterpOptions& options)
+              const InterpOptions& options, InterpState* state)
       : program_(program),
         tree_(tree),
         plan_(plan),
         options_(options),
+        state_(state),
         address_map_(program, options.geometry),
         trace_(program.name) {
     trace_.set_virtual_pages(address_map_.total_pages());
   }
 
-  Trace Run() {
-    for (const StmtPtr& s : program_.body) {
-      Execute(*s);
+  Trace Run(size_t stmt_begin, size_t stmt_end) {
+    stmt_end = std::min(stmt_end, program_.body.size());
+    for (size_t s = stmt_begin; s < stmt_end; ++s) {
+      Execute(*program_.body[s]);
     }
     return std::move(trace_);
   }
@@ -41,7 +43,13 @@ class Interpreter {
     return it->second;
   }
 
-  int64_t EvalIndex(const IndexExpr& ix) const {
+  // Evaluates a subscript. An indirect subscript IDX(I)+c references the
+  // INTEGER array's page (emitted inner-first, before the outer array's own
+  // reference) and resolves to the stored element value plus the offset.
+  int64_t EvalIndex(const IndexExpr& ix) {
+    if (ix.IsIndirect()) {
+      return ReadIntElement(*ix.indirect) + ix.offset;
+    }
     return ix.IsConstant() ? ix.offset : EnvLookup(ix.var) + ix.offset;
   }
 
@@ -49,9 +57,7 @@ class Interpreter {
     return bound.kind == LoopBound::Kind::kVariable ? EnvLookup(bound.spelling) : bound.value;
   }
 
-  PageId EmitRef(const ArrayRef& ref) {
-    int64_t i = EvalIndex(ref.indices[0]);
-    int64_t j = ref.indices.size() == 2 ? EvalIndex(ref.indices[1]) : 1;
+  PageId EmitRefAt(const ArrayRef& ref, int64_t i, int64_t j) {
     PageId page = address_map_.PageOf(ref.name, i, j);
     CDMM_CHECK_MSG(trace_.reference_count() < options_.max_references,
                    "reference cap exceeded; runaway workload?");
@@ -60,6 +66,111 @@ class Interpreter {
       segment_touches_.back().emplace(ref.name, page);
     }
     return page;
+  }
+
+  PageId EmitRef(const ArrayRef& ref) {
+    int64_t i = EvalIndex(ref.indices[0]);
+    int64_t j = ref.indices.size() == 2 ? EvalIndex(ref.indices[1]) : 1;
+    return EmitRefAt(ref, i, j);
+  }
+
+  bool IsIntegerArray(const std::string& name) const {
+    const ArrayDecl* decl = program_.FindArray(name);
+    return decl != nullptr && decl->is_integer;
+  }
+
+  // Flat storage slot of an INTEGER array element (column-major, like the
+  // address map). Lazily zero-initializes the backing vector, mirroring the
+  // trace model's "declared arrays exist from program start" assumption.
+  int64_t& IntStorage(const std::string& name, int64_t i, int64_t j) {
+    const ArrayDecl* decl = program_.FindArray(name);
+    CDMM_CHECK_MSG(decl != nullptr && decl->is_integer,
+                   name << " is not a declared INTEGER array");
+    std::vector<int64_t>& cells = state_->int_arrays[name];
+    if (cells.empty()) {
+      cells.assign(static_cast<size_t>(decl->rows * std::max<int64_t>(decl->cols, 1)), 0);
+    }
+    CDMM_CHECK_MSG(i >= 1 && i <= decl->rows && j >= 1 && j <= std::max<int64_t>(decl->cols, 1),
+                   name << "(" << i << "," << j << ") outside declared bounds");
+    return cells[static_cast<size_t>((i - 1) + (j - 1) * decl->rows)];
+  }
+
+  // Reads one INTEGER array element: emits its page reference, returns the
+  // stored value.
+  int64_t ReadIntElement(const ArrayRef& ref) {
+    int64_t i = EvalIndex(ref.indices[0]);
+    int64_t j = ref.indices.size() == 2 ? EvalIndex(ref.indices[1]) : 1;
+    EmitRefAt(ref, i, j);
+    return IntStorage(ref.name, i, j);
+  }
+
+  // Integer evaluation for INTEGER-array assignment right-hand sides and
+  // logical-IF conditions. Emits a page reference for every INTEGER array
+  // element read (a single traversal — the caller must NOT also run
+  // EvalExprRefs over the same expression). Comparisons and logical
+  // connectives yield 1/0.
+  int64_t EvalInt(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kNumber: {
+        int64_t v = static_cast<int64_t>(expr.number);
+        CDMM_CHECK_MSG(static_cast<double>(v) == expr.number,
+                       "non-integral literal " << expr.number << " in integer context");
+        return v;
+      }
+      case Expr::Kind::kScalar: {
+        auto it = program_.parameters.find(expr.scalar);
+        return it != program_.parameters.end() ? it->second : EnvLookup(expr.scalar);
+      }
+      case Expr::Kind::kArrayElement:
+        return ReadIntElement(expr.array);
+      case Expr::Kind::kNegate:
+        return -EvalInt(*expr.lhs);
+      case Expr::Kind::kBinary: {
+        int64_t a = EvalInt(*expr.lhs);
+        int64_t b = EvalInt(*expr.rhs);
+        switch (expr.op) {
+          case '+':
+            return a + b;
+          case '-':
+            return a - b;
+          case '*':
+            return a * b;
+          case '/':
+            CDMM_CHECK_MSG(b != 0, "integer division by zero");
+            return a / b;
+          case '%':
+            CDMM_CHECK_MSG(b != 0, "MOD by zero");
+            return a % b;
+        }
+        CDMM_UNREACHABLE("unknown binary operator");
+      }
+      case Expr::Kind::kCompare: {
+        int64_t a = EvalInt(*expr.lhs);
+        int64_t b = EvalInt(*expr.rhs);
+        switch (expr.rel) {
+          case RelOp::kGt:
+            return a > b;
+          case RelOp::kGe:
+            return a >= b;
+          case RelOp::kLt:
+            return a < b;
+          case RelOp::kLe:
+            return a <= b;
+          case RelOp::kEq:
+            return a == b;
+          case RelOp::kNe:
+            return a != b;
+        }
+        CDMM_UNREACHABLE("unknown relational operator");
+      }
+      case Expr::Kind::kAnd:
+        // No short-circuit: conditions are array-free (sema S010), so both
+        // operands are side-effect-free and evaluation order is moot.
+        return (EvalInt(*expr.lhs) != 0 && EvalInt(*expr.rhs) != 0) ? 1 : 0;
+      case Expr::Kind::kOr:
+        return (EvalInt(*expr.lhs) != 0 || EvalInt(*expr.rhs) != 0) ? 1 : 0;
+    }
+    CDMM_UNREACHABLE("unknown expression kind");
   }
 
   void EvalExprRefs(const Expr& expr) {
@@ -74,6 +185,9 @@ class Interpreter {
         EvalExprRefs(*expr.lhs);
         return;
       case Expr::Kind::kBinary:
+      case Expr::Kind::kCompare:
+      case Expr::Kind::kAnd:
+      case Expr::Kind::kOr:
         EvalExprRefs(*expr.lhs);
         EvalExprRefs(*expr.rhs);
         return;
@@ -81,7 +195,26 @@ class Interpreter {
   }
 
   void Execute(const Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::kIf) {
+      // S010 guarantees the condition references no arrays, so evaluating it
+      // emits nothing; only the taken branch contributes trace events.
+      if (EvalInt(*stmt.if_cond) != 0) {
+        Execute(*stmt.if_then);
+      }
+      return;
+    }
     if (stmt.kind == Stmt::Kind::kAssign) {
+      if (stmt.lhs_array.has_value() && IsIntegerArray(stmt.lhs_array->name)) {
+        // INTEGER-array store: one EvalInt traversal both emits the RHS
+        // reads and computes the value, then the write is emitted and the
+        // element updated (reads before write, as for real assignments).
+        int64_t v = EvalInt(*stmt.rhs);
+        int64_t i = EvalIndex(stmt.lhs_array->indices[0]);
+        int64_t j = stmt.lhs_array->indices.size() == 2 ? EvalIndex(stmt.lhs_array->indices[1]) : 1;
+        EmitRefAt(*stmt.lhs_array, i, j);
+        IntStorage(stmt.lhs_array->name, i, j) = v;
+        return;
+      }
       // Reads first (right-hand side, left to right), then the write.
       EvalExprRefs(*stmt.rhs);
       if (stmt.lhs_array.has_value()) {
@@ -221,6 +354,7 @@ class Interpreter {
   const LoopTree& tree_;
   const DirectivePlan* plan_;
   InterpOptions options_;
+  InterpState* state_;
   AddressMap address_map_;
   Trace trace_;
 
@@ -236,7 +370,15 @@ class Interpreter {
 
 Trace GenerateTrace(const Program& program, const LoopTree& tree, const DirectivePlan* plan,
                     const InterpOptions& options) {
-  return Interpreter(program, tree, plan, options).Run();
+  InterpState state;
+  return Interpreter(program, tree, plan, options, &state).Run(0, program.body.size());
+}
+
+Trace GenerateTraceSlice(const Program& program, const LoopTree& tree, const DirectivePlan* plan,
+                         const InterpOptions& options, size_t stmt_begin, size_t stmt_end,
+                         InterpState* state) {
+  CDMM_CHECK(state != nullptr);
+  return Interpreter(program, tree, plan, options, state).Run(stmt_begin, stmt_end);
 }
 
 }  // namespace cdmm

@@ -6,7 +6,11 @@
 #ifndef CDMM_SRC_INTERP_INTERPRETER_H_
 #define CDMM_SRC_INTERP_INTERPRETER_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "src/analysis/loop_tree.h"
 #include "src/directives/plan.h"
@@ -36,6 +40,26 @@ struct InterpOptions {
 // permanently resident).
 Trace GenerateTrace(const Program& program, const LoopTree& tree, const DirectivePlan* plan,
                     const InterpOptions& options = {});
+
+// Cross-statement interpreter state: the simulated element values of INTEGER
+// arrays (indirect-subscript bases). Real arrays carry no runtime values —
+// the trace generator only needs page numbers — but resolving an indirect
+// subscript A(IDX(I)) requires IDX's actual contents, so INTEGER-array
+// assignments are executed for value as well as for their page references.
+struct InterpState {
+  // Keyed by array name; column-major flat element storage, zero-initialized.
+  std::map<std::string, std::vector<int64_t>> int_arrays;
+};
+
+// Executes only the top-level statements in [stmt_begin, stmt_end) of the
+// program body, reading and updating `state` (which carries INTEGER-array
+// contents across slices). Generating consecutive slices over the whole body
+// with one shared state and concatenating them with Trace::Append reproduces
+// GenerateTrace byte-for-byte — the contract the parallel-nests driver
+// relies on.
+Trace GenerateTraceSlice(const Program& program, const LoopTree& tree, const DirectivePlan* plan,
+                         const InterpOptions& options, size_t stmt_begin, size_t stmt_end,
+                         InterpState* state);
 
 }  // namespace cdmm
 

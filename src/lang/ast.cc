@@ -11,13 +11,36 @@ std::string IndexExpr::Canonical() const {
   if (IsConstant()) {
     return StrCat(offset);
   }
+  std::string base = indirect != nullptr ? indirect->ToString() : var;
   if (offset == 0) {
-    return var;
+    return base;
   }
   if (offset > 0) {
-    return StrCat(var, "+", offset);
+    return StrCat(base, "+", offset);
   }
-  return StrCat(var, "-", -offset);
+  return StrCat(base, "-", -offset);
+}
+
+bool operator==(const IndexExpr& a, const IndexExpr& b) {
+  if (a.offset != b.offset) {
+    return false;
+  }
+  if ((a.indirect != nullptr) != (b.indirect != nullptr)) {
+    return false;
+  }
+  if (a.indirect != nullptr) {
+    return a.Canonical() == b.Canonical();
+  }
+  return a.var == b.var;
+}
+
+bool ArrayRef::HasIndirect() const {
+  for (const IndexExpr& ix : indices) {
+    if (ix.IsIndirect()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string ArrayRef::ToString() const {
@@ -27,6 +50,24 @@ std::string ArrayRef::ToString() const {
     parts.push_back(ix.Canonical());
   }
   return StrCat(name, "(", Join(parts, ","), ")");
+}
+
+const char* RelOpSpelling(RelOp op) {
+  switch (op) {
+    case RelOp::kGt:
+      return ".GT.";
+    case RelOp::kGe:
+      return ".GE.";
+    case RelOp::kLt:
+      return ".LT.";
+    case RelOp::kLe:
+      return ".LE.";
+    case RelOp::kEq:
+      return ".EQ.";
+    case RelOp::kNe:
+      return ".NE.";
+  }
+  CDMM_UNREACHABLE("bad RelOp");
 }
 
 std::string Expr::ToString() const {
@@ -43,7 +84,16 @@ std::string Expr::ToString() const {
     case Kind::kNegate:
       return StrCat("-", lhs->ToString());
     case Kind::kBinary:
+      if (op == '%') {
+        return StrCat("MOD(", lhs->ToString(), ", ", rhs->ToString(), ")");
+      }
       return StrCat("(", lhs->ToString(), " ", std::string(1, op), " ", rhs->ToString(), ")");
+    case Kind::kCompare:
+      return StrCat(lhs->ToString(), " ", RelOpSpelling(rel), " ", rhs->ToString());
+    case Kind::kAnd:
+      return StrCat(lhs->ToString(), " .AND. ", rhs->ToString());
+    case Kind::kOr:
+      return StrCat(lhs->ToString(), " .OR. ", rhs->ToString());
   }
   CDMM_UNREACHABLE("bad Expr::Kind");
 }
@@ -54,18 +104,33 @@ LoopBound LoopBound::Constant(int64_t v) {
 
 namespace {
 
+// Pushes `ref` followed by the arrays its indirect subscripts read (the
+// inner IDX(...) reference is a real memory access and must be visible to
+// every consumer that enumerates refs).
+void PushRef(const ArrayRef& ref, std::vector<const ArrayRef*>* out) {
+  out->push_back(&ref);
+  for (const IndexExpr& ix : ref.indices) {
+    if (ix.IsIndirect()) {
+      PushRef(*ix.indirect, out);
+    }
+  }
+}
+
 void CollectRefs(const Expr& expr, std::vector<const ArrayRef*>* out) {
   switch (expr.kind) {
     case Expr::Kind::kNumber:
     case Expr::Kind::kScalar:
       return;
     case Expr::Kind::kArrayElement:
-      out->push_back(&expr.array);
+      PushRef(expr.array, out);
       return;
     case Expr::Kind::kNegate:
       CollectRefs(*expr.lhs, out);
       return;
     case Expr::Kind::kBinary:
+    case Expr::Kind::kCompare:
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
       CollectRefs(*expr.lhs, out);
       CollectRefs(*expr.rhs, out);
       return;
@@ -76,11 +141,14 @@ void CollectRefs(const Expr& expr, std::vector<const ArrayRef*>* out) {
 
 std::vector<const ArrayRef*> Stmt::DirectArrayRefs() const {
   std::vector<const ArrayRef*> refs;
+  if (kind == Kind::kIf) {
+    return if_then->DirectArrayRefs();
+  }
   if (kind != Kind::kAssign) {
     return refs;
   }
   if (lhs_array.has_value()) {
-    refs.push_back(&*lhs_array);
+    PushRef(*lhs_array, &refs);
   }
   if (rhs != nullptr) {
     CollectRefs(*rhs, &refs);
@@ -125,7 +193,30 @@ void PrintStmt(const Stmt& stmt, int indent, bool suppress_continue, std::ostrin
       os << " = " << stmt.rhs->ToString() << "\n";
       return;
     }
+    case Stmt::Kind::kIf: {
+      os << pad << "IF (" << stmt.if_cond->ToString() << ") ";
+      const Stmt& then = *stmt.if_then;
+      if (then.lhs_array.has_value()) {
+        os << then.lhs_array->ToString();
+      } else {
+        os << then.lhs_scalar;
+      }
+      os << " = " << then.rhs->ToString() << "\n";
+      return;
+    }
+    case Stmt::Kind::kCall: {
+      std::vector<std::string> parts;
+      parts.reserve(stmt.call_args.size());
+      for (const CallArg& arg : stmt.call_args) {
+        parts.push_back(arg.is_literal ? StrCat(arg.value) : arg.spelling);
+      }
+      os << pad << "CALL " << stmt.call_name << "(" << Join(parts, ", ") << ")\n";
+      return;
+    }
     case Stmt::Kind::kDoLoop: {
+      if (stmt.marked_independent) {
+        os << "!$CDMM INDEPENDENT\n";
+      }
       os << pad << "DO " << stmt.label << " " << stmt.loop_var << " = " << stmt.lower.spelling
          << ", " << stmt.upper.spelling;
       if (stmt.step != 1) {
@@ -158,18 +249,19 @@ std::string ProgramToString(const Program& program) {
   for (const auto& [name, value] : program.parameters) {
     os << "      PARAMETER (" << name << " = " << value << ")\n";
   }
-  if (!program.arrays.empty()) {
-    os << "      DIMENSION ";
-    std::vector<std::string> decls;
-    decls.reserve(program.arrays.size());
-    for (const ArrayDecl& a : program.arrays) {
-      if (a.IsVector()) {
-        decls.push_back(StrCat(a.name, "(", a.rows_spelling, ")"));
-      } else {
-        decls.push_back(StrCat(a.name, "(", a.rows_spelling, ",", a.cols_spelling, ")"));
-      }
-    }
-    os << Join(decls, ", ") << "\n";
+  std::vector<std::string> real_decls;
+  std::vector<std::string> int_decls;
+  for (const ArrayDecl& a : program.arrays) {
+    std::string spelling =
+        a.IsVector() ? StrCat(a.name, "(", a.rows_spelling, ")")
+                     : StrCat(a.name, "(", a.rows_spelling, ",", a.cols_spelling, ")");
+    (a.is_integer ? int_decls : real_decls).push_back(std::move(spelling));
+  }
+  if (!real_decls.empty()) {
+    os << "      DIMENSION " << Join(real_decls, ", ") << "\n";
+  }
+  if (!int_decls.empty()) {
+    os << "      INTEGER " << Join(int_decls, ", ") << "\n";
   }
   for (const StmtPtr& s : program.body) {
     PrintStmt(*s, 0, /*suppress_continue=*/false, os);

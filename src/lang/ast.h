@@ -17,31 +17,40 @@
 
 namespace cdmm {
 
-// One subscript of an array reference: either `var + offset` (offset may be
-// negative or zero) or a plain integer constant. The canonical spelling is
-// what §2's parameter X counts: "the number of distinct indexed variables
-// used to reference array elements".
+struct ArrayRef;
+
+// One subscript of an array reference: `var + offset` (offset may be
+// negative or zero), a plain integer constant, or an *indirect* subscript
+// `IDX(...) + offset` whose value is an element of an INTEGER array (sparse
+// gather/scatter). The canonical spelling is what §2's parameter X counts:
+// "the number of distinct indexed variables used to reference array
+// elements".
 struct IndexExpr {
-  std::string var;     // empty => constant subscript
+  std::string var;     // empty => constant or indirect subscript
   int64_t offset = 0;  // added to the variable's value, or the constant value
+  // Non-null => the subscript is the referenced element's value + offset.
+  // shared_ptr keeps IndexExpr copyable (ArrayRef is incomplete here).
+  std::shared_ptr<ArrayRef> indirect;
   SourceLocation location;
 
-  bool IsConstant() const { return var.empty(); }
+  bool IsConstant() const { return var.empty() && indirect == nullptr; }
+  bool IsIndirect() const { return indirect != nullptr; }
 
-  // "I", "I+1", "I-2", or "5"; two IndexExprs denote the same index variable
-  // usage iff their canonical spellings are equal.
+  // "I", "I+1", "I-2", "5", or "IDX(I)+1"; two IndexExprs denote the same
+  // index usage iff their canonical spellings are equal.
   std::string Canonical() const;
 
-  friend bool operator==(const IndexExpr& a, const IndexExpr& b) {
-    return a.var == b.var && a.offset == b.offset;
-  }
+  friend bool operator==(const IndexExpr& a, const IndexExpr& b);
 };
 
-// A reference to an array element, e.g. A(I,J+1) or V(K).
+// A reference to an array element, e.g. A(I,J+1), V(K), or Y(IDX(I)).
 struct ArrayRef {
   std::string name;
   std::vector<IndexExpr> indices;  // size 1 (vector) or 2 (matrix)
   SourceLocation location;
+
+  // True when any subscript is indirect (non-affine for dependence tests).
+  bool HasIndirect() const;
 
   std::string ToString() const;
 };
@@ -51,8 +60,23 @@ struct ArrayRef {
 struct Expr;
 using ExprPtr = std::unique_ptr<Expr>;
 
+// Relational operator of a logical-IF condition (.GT. etc.).
+enum class RelOp : uint8_t { kGt, kGe, kLt, kLe, kEq, kNe };
+
+// ".GT." etc. (with the dots), for printing and diagnostics.
+const char* RelOpSpelling(RelOp op);
+
 struct Expr {
-  enum class Kind : uint8_t { kNumber, kScalar, kArrayElement, kBinary, kNegate };
+  enum class Kind : uint8_t {
+    kNumber,
+    kScalar,
+    kArrayElement,
+    kBinary,
+    kNegate,
+    kCompare,  // lhs RELOP rhs (logical IF conditions only)
+    kAnd,      // lhs .AND. rhs
+    kOr,       // lhs .OR. rhs
+  };
 
   Kind kind = Kind::kNumber;
   SourceLocation location;
@@ -60,9 +84,10 @@ struct Expr {
   double number = 0.0;     // kNumber
   std::string scalar;      // kScalar
   ArrayRef array;          // kArrayElement
-  char op = '+';           // kBinary: one of + - * /
-  ExprPtr lhs;             // kBinary / kNegate
-  ExprPtr rhs;             // kBinary
+  char op = '+';           // kBinary: one of + - * / and '%' for MOD(a, b)
+  RelOp rel = RelOp::kEq;  // kCompare
+  ExprPtr lhs;             // kBinary / kNegate / kCompare / kAnd / kOr
+  ExprPtr rhs;             // kBinary / kCompare / kAnd / kOr
 
   std::string ToString() const;
 };
@@ -85,10 +110,21 @@ struct LoopBound {
 struct Stmt;
 using StmtPtr = std::unique_ptr<Stmt>;
 
-// A statement: assignment or DO loop. (A tagged struct rather than a class
-// hierarchy: the dialect is closed and consumers switch on `kind`.)
+// One actual argument of a CALL statement: an integer literal or an
+// identifier (array name, PARAMETER, or scalar).
+struct CallArg {
+  std::string spelling;  // identifier name, or literal spelling
+  bool is_literal = false;
+  int64_t value = 0;  // valid when is_literal
+  SourceLocation location;
+};
+
+// A statement: assignment, DO loop, logical IF, or CALL. (A tagged struct
+// rather than a class hierarchy: the dialect is closed and consumers switch
+// on `kind`.) kCall only exists transiently during parsing — calls are
+// inlined before the Program is returned.
 struct Stmt {
-  enum class Kind : uint8_t { kAssign, kDoLoop };
+  enum class Kind : uint8_t { kAssign, kDoLoop, kIf, kCall };
 
   Kind kind = Kind::kAssign;
   SourceLocation location;
@@ -107,9 +143,22 @@ struct Stmt {
   LoopBound upper;
   int64_t step = 1;
   std::vector<StmtPtr> body;
+  // True when a `!$CDMM INDEPENDENT` directive comment precedes the DO:
+  // the author asserts the loop carries no dependence (checked by lint).
+  bool marked_independent = false;
 
-  // Collects every ArrayRef in this statement (LHS first), without recursing
-  // into nested loops for kDoLoop (returns empty for loops).
+  // kIf: `IF (if_cond) <assignment>`; if_then is always a kAssign.
+  ExprPtr if_cond;
+  StmtPtr if_then;
+
+  // kCall (pre-inline only).
+  std::string call_name;
+  std::vector<CallArg> call_args;
+
+  // Collects every ArrayRef in this statement (LHS first) including arrays
+  // named by indirect subscripts, without recursing into nested loops for
+  // kDoLoop (returns empty for loops). kIf delegates to the guarded
+  // assignment (the condition itself is array-free by construction).
   std::vector<const ArrayRef*> DirectArrayRefs() const;
 };
 
@@ -120,6 +169,9 @@ struct ArrayDecl {
   int64_t cols = 1;
   std::string rows_spelling;  // symbolic form for printing
   std::string cols_spelling;
+  // Declared via INTEGER: elements may be stored/read as integer values and
+  // the array may appear in indirect subscripts.
+  bool is_integer = false;
   SourceLocation location;
 
   bool IsVector() const { return cols == 1 && cols_spelling.empty(); }

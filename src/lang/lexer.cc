@@ -38,7 +38,21 @@ TokenKind KeywordKind(const std::string& upper) {
   if (upper == "END") {
     return TokenKind::kKwEnd;
   }
+  if (upper == "IF") {
+    return TokenKind::kKwIf;
+  }
+  if (upper == "CALL") {
+    return TokenKind::kKwCall;
+  }
+  if (upper == "SUBROUTINE") {
+    return TokenKind::kKwSubroutine;
+  }
   return TokenKind::kIdentifier;
+}
+
+bool IsDotOpName(const std::string& upper) {
+  return upper == "GT" || upper == "GE" || upper == "LT" || upper == "LE" || upper == "EQ" ||
+         upper == "NE" || upper == "AND" || upper == "OR" || upper == "NOT";
 }
 
 class Lexer {
@@ -65,11 +79,44 @@ class Lexer {
         continue;
       }
       // Comments: '!' anywhere, or 'C'/'c'/'*' in column 1 followed by
-      // whitespace/EOL (classic FORTRAN comment card).
-      if (c == '!' ||
-          (column_ == 1 && (c == '*' || c == 'C' || c == 'c') && IsCommentCard())) {
+      // whitespace/EOL (classic FORTRAN comment card). A `!$CDMM <word>`
+      // comment is a compiler directive and lexes as a token instead.
+      if (c == '!') {
+        if (source_.substr(pos_).rfind("!$CDMM", 0) == 0) {
+          for (int i = 0; i < 6; ++i) {
+            Advance();
+          }
+          while (pos_ < source_.size() && (source_[pos_] == ' ' || source_[pos_] == '\t')) {
+            Advance();
+          }
+          std::string word;
+          while (pos_ < source_.size() && IsIdentBody(source_[pos_])) {
+            word.push_back(source_[pos_]);
+            Advance();
+          }
+          SkipToEol();  // anything after the word is commentary
+          if (word.empty()) {
+            return Error{"empty !$CDMM directive", loc};
+          }
+          tokens.push_back(Token{TokenKind::kDirective, ToUpperAscii(word), 0, loc});
+          line_has_tokens = true;
+          continue;
+        }
         SkipToEol();
         continue;
+      }
+      if (column_ == 1 && (c == '*' || c == 'C' || c == 'c') && IsCommentCard()) {
+        SkipToEol();
+        continue;
+      }
+      if (c == '.') {
+        Token tok;
+        if (LexDotOp(loc, &tok)) {
+          tokens.push_back(std::move(tok));
+          line_has_tokens = true;
+          continue;
+        }
+        return Error{"stray '.' (expected a .GT./.EQ./... operator)", loc};
       }
 
       if (IsDigit(c)) {
@@ -163,6 +210,44 @@ class Lexer {
     return n == ' ' || n == '\t' || n == '\n' || n == '\r';
   }
 
+  // At a '.', true when the characters ahead spell a dot operator like
+  // ".GT."; used both to lex the operator and to stop number lexing so that
+  // "2.EQ.3" is INTEGER DOTOP INTEGER rather than a real literal.
+  bool PeekDotOp(size_t at, std::string* name) const {
+    if (at >= source_.size() || source_[at] != '.') {
+      return false;
+    }
+    std::string word;
+    size_t i = at + 1;
+    while (i < source_.size() && IsIdentStart(source_[i])) {
+      word.push_back(source_[i]);
+      ++i;
+    }
+    if (word.empty() || i >= source_.size() || source_[i] != '.') {
+      return false;
+    }
+    std::string upper = ToUpperAscii(word);
+    if (!IsDotOpName(upper)) {
+      return false;
+    }
+    if (name != nullptr) {
+      *name = upper;
+    }
+    return true;
+  }
+
+  bool LexDotOp(SourceLocation loc, Token* out) {
+    std::string name;
+    if (!PeekDotOp(pos_, &name)) {
+      return false;
+    }
+    for (size_t i = 0; i < name.size() + 2; ++i) {
+      Advance();
+    }
+    *out = Token{TokenKind::kDotOp, name, 0, loc};
+    return true;
+  }
+
   Token LexNumber(SourceLocation loc) {
     std::string text;
     bool is_real = false;
@@ -170,7 +255,7 @@ class Lexer {
       text.push_back(source_[pos_]);
       Advance();
     }
-    if (pos_ < source_.size() && source_[pos_] == '.') {
+    if (pos_ < source_.size() && source_[pos_] == '.' && !PeekDotOp(pos_, nullptr)) {
       // Accept a real literal; its value is irrelevant for tracing.
       is_real = true;
       text.push_back('.');

@@ -1,5 +1,8 @@
 #include "src/lang/parser.h"
 
+#include <algorithm>
+#include <map>
+#include <set>
 #include <utility>
 
 #include "src/lang/lexer.h"
@@ -7,6 +10,25 @@
 
 namespace cdmm {
 namespace {
+
+// A parsed SUBROUTINE unit, kept only until its CALL sites are inlined.
+// Arrays in a subroutine must all be formal parameters; scalars may be
+// formals (value parameters, substituted with constants at inline time) or
+// locals (renamed to fresh caller-unique names).
+struct SubUnit {
+  std::string name;
+  SourceLocation location;
+  std::vector<std::string> formals;
+  std::map<std::string, int64_t> parameters;  // local PARAMETERs
+  std::vector<ArrayDecl> arrays;              // formal arrays only
+  std::vector<StmtPtr> body;
+};
+
+// Per-CALL-site substitution built while cloning a subroutine body.
+struct InlineCtx {
+  std::map<std::string, int64_t> const_subst;     // formal/local PARAMETER -> value
+  std::map<std::string, std::string> name_subst;  // formal array / renamed local -> new name
+};
 
 class Parser {
  public:
@@ -25,27 +47,32 @@ class Parser {
       return *err;
     }
 
+    if (auto err = ParseUnitBody()) {
+      return *err;
+    }
+
+    // Trailing SUBROUTINE units.
     while (true) {
-      // Skip blank separators.
       while (Peek().kind == TokenKind::kNewline) {
         Take();
       }
       if (Peek().kind == TokenKind::kEof) {
-        return ErrorHere("missing END statement");
+        break;
       }
-      if (Peek().kind == TokenKind::kKwEnd) {
-        Take();
-        if (!open_loops_.empty()) {
-          return Error{StrCat("END reached with unterminated DO loop (label ",
-                              open_loops_.back()->label, ")"),
-                       Peek().location};
-        }
-        return std::move(program_);
+      if (Peek().kind != TokenKind::kKwSubroutine) {
+        return ErrorHere(
+            StrCat("expected SUBROUTINE after main program END, found ", Peek().ToString()));
       }
-      if (auto err = ParseStatement()) {
+      if (auto err = ParseSubroutine()) {
         return *err;
       }
     }
+
+    if (auto err = InlineAllCalls()) {
+      return *err;
+    }
+    RenumberLoops();
+    return std::move(program_);
   }
 
  private:
@@ -74,12 +101,41 @@ class Parser {
     return Expect(TokenKind::kNewline);
   }
 
-  // Appends a finished statement to the innermost open loop, or the program.
+  // Appends a finished statement to the innermost open loop, or the unit.
   void Emit(StmtPtr stmt) {
     if (open_loops_.empty()) {
-      program_.body.push_back(std::move(stmt));
+      body_->push_back(std::move(stmt));
     } else {
       open_loops_.back()->body.push_back(std::move(stmt));
+    }
+  }
+
+  // Statements of one unit (main program or subroutine), up to and including
+  // its END card.
+  MaybeError ParseUnitBody() {
+    while (true) {
+      while (Peek().kind == TokenKind::kNewline) {
+        Take();
+      }
+      if (Peek().kind == TokenKind::kEof) {
+        return ErrorHere("missing END statement");
+      }
+      if (Peek().kind == TokenKind::kKwEnd) {
+        if (!open_loops_.empty()) {
+          return Error{StrCat("END reached with unterminated DO loop (label ",
+                              open_loops_.back()->label, ")"),
+                       Peek().location};
+        }
+        if (pending_independent_) {
+          return Error{"!$CDMM INDEPENDENT must immediately precede a DO statement",
+                       pending_independent_loc_};
+        }
+        Take();
+        return std::nullopt;
+      }
+      if (auto err = ParseStatement()) {
+        return *err;
+      }
     }
   }
 
@@ -90,21 +146,29 @@ class Parser {
       label = Take().int_value;
     }
 
+    if (pending_independent_ && Peek().kind != TokenKind::kKwDo &&
+        Peek().kind != TokenKind::kDirective) {
+      return Error{"!$CDMM INDEPENDENT must immediately precede a DO statement",
+                   pending_independent_loc_};
+    }
+
     switch (Peek().kind) {
       case TokenKind::kKwDimension:
         if (label != -1) {
           return ErrorHere("DIMENSION statement cannot carry a label");
         }
-        return ParseDimension(/*allow_scalars=*/false);
+        return ParseDimension(/*allow_scalars=*/false, /*is_integer=*/false);
       case TokenKind::kKwReal:
       case TokenKind::kKwInteger:
         // Type declarations act as DIMENSION for dimensioned items; bare
         // scalar names are accepted and ignored (scalars are permanently
-        // resident, §2).
+        // resident, §2). INTEGER arrays are integer-valued and may be used in
+        // indirect subscripts.
         if (label != -1) {
           return ErrorHere("type declaration cannot carry a label");
         }
-        return ParseDimension(/*allow_scalars=*/true);
+        return ParseDimension(/*allow_scalars=*/true,
+                              /*is_integer=*/Peek().kind == TokenKind::kKwInteger);
       case TokenKind::kKwParameter:
         if (label != -1) {
           return ErrorHere("PARAMETER statement cannot carry a label");
@@ -114,6 +178,17 @@ class Parser {
         return ParseDo();
       case TokenKind::kKwContinue:
         return ParseContinue(label);
+      case TokenKind::kKwIf:
+        return ParseIf();
+      case TokenKind::kKwCall:
+        return ParseCall();
+      case TokenKind::kDirective:
+        if (label != -1) {
+          return ErrorHere("!$CDMM directive cannot carry a label");
+        }
+        return ParseDirective();
+      case TokenKind::kKwSubroutine:
+        return ErrorHere("SUBROUTINE must appear after the main program's END");
       case TokenKind::kIdentifier:
         return ParseAssign();
       default:
@@ -121,7 +196,21 @@ class Parser {
     }
   }
 
-  MaybeError ParseDimension(bool allow_scalars) {
+  MaybeError ParseDirective() {
+    SourceLocation loc = Peek().location;
+    std::string word = Take().text;
+    if (word != "INDEPENDENT") {
+      return Error{StrCat("unknown !$CDMM directive '", word, "'"), loc};
+    }
+    if (pending_independent_) {
+      return Error{"duplicate !$CDMM INDEPENDENT", loc};
+    }
+    pending_independent_ = true;
+    pending_independent_loc_ = loc;
+    return ExpectNewline();
+  }
+
+  MaybeError ParseDimension(bool allow_scalars, bool is_integer) {
     Take();  // DIMENSION / REAL / INTEGER
     while (true) {
       if (Peek().kind != TokenKind::kIdentifier) {
@@ -130,6 +219,7 @@ class Parser {
       ArrayDecl decl;
       decl.location = Peek().location;
       decl.name = Take().text;
+      decl.is_integer = is_integer;
       if (allow_scalars && Peek().kind != TokenKind::kLParen) {
         // A scalar item in a type declaration: record nothing.
         if (Peek().kind != TokenKind::kComma) {
@@ -156,10 +246,18 @@ class Parser {
       if (auto err = Expect(TokenKind::kRParen)) {
         return err;
       }
-      if (decl.rows <= 0 || decl.cols <= 0) {
+      if (in_subroutine_ &&
+          std::find(formals_->begin(), formals_->end(), decl.name) == formals_->end()) {
+        return Error{StrCat("subroutine array ", decl.name, " must be a formal parameter"),
+                     decl.location};
+      }
+      // Extents resolved to the kFormalExtent sentinel are checked after
+      // substitution at each inline site.
+      if ((decl.rows <= 0 && decl.rows != kFormalExtent) ||
+          (decl.cols <= 0 && decl.cols != kFormalExtent)) {
         return Error{StrCat("array ", decl.name, " has non-positive extent"), decl.location};
       }
-      program_.arrays.push_back(std::move(decl));
+      arrays_->push_back(std::move(decl));
       if (Peek().kind != TokenKind::kComma) {
         break;
       }
@@ -176,14 +274,22 @@ class Parser {
       return std::nullopt;
     }
     if (Peek().kind == TokenKind::kIdentifier) {
-      auto it = program_.parameters.find(Peek().text);
-      if (it == program_.parameters.end()) {
-        return ErrorHere(StrCat("unknown PARAMETER '", Peek().text, "' in DIMENSION"));
+      auto it = params_->find(Peek().text);
+      if (it != params_->end()) {
+        *value = it->second;
+        *spelling = Peek().text;
+        Take();
+        return std::nullopt;
       }
-      *value = it->second;
-      *spelling = Peek().text;
-      Take();
-      return std::nullopt;
+      if (in_subroutine_ &&
+          std::find(formals_->begin(), formals_->end(), Peek().text) != formals_->end()) {
+        // A formal scalar used as an extent; resolved at inline time.
+        *value = kFormalExtent;
+        *spelling = Peek().text;
+        Take();
+        return std::nullopt;
+      }
+      return ErrorHere(StrCat("unknown PARAMETER '", Peek().text, "' in DIMENSION"));
     }
     return ErrorHere("expected integer or PARAMETER name as array extent");
   }
@@ -199,6 +305,10 @@ class Parser {
       }
       SourceLocation loc = Peek().location;
       std::string name = Take().text;
+      if (in_subroutine_ &&
+          std::find(formals_->begin(), formals_->end(), name) != formals_->end()) {
+        return Error{StrCat("PARAMETER '", name, "' shadows a formal parameter"), loc};
+      }
       if (auto err = Expect(TokenKind::kAssign)) {
         return err;
       }
@@ -214,10 +324,12 @@ class Parser {
       if (negative) {
         value = -value;
       }
-      if (!program_.parameters.emplace(name, value).second) {
+      if (!params_->emplace(name, value).second) {
         return Error{StrCat("duplicate PARAMETER '", name, "'"), loc};
       }
-      program_.parameter_locations.emplace(name, loc);
+      if (!in_subroutine_) {
+        program_.parameter_locations.emplace(name, loc);
+      }
       if (Peek().kind != TokenKind::kComma) {
         break;
       }
@@ -244,12 +356,13 @@ class Parser {
       return std::nullopt;
     }
     if (!negative && Peek().kind == TokenKind::kIdentifier) {
-      auto it = program_.parameters.find(Peek().text);
-      if (it != program_.parameters.end()) {
+      auto it = params_->find(Peek().text);
+      if (it != params_->end()) {
         bound->kind = LoopBound::Kind::kParameter;
         bound->value = it->second;
       } else {
-        // An enclosing loop's variable (triangular loop); validated by sema.
+        // An enclosing loop's variable (triangular loop) or, in a
+        // subroutine, a formal scalar; validated by sema / inline.
         bound->kind = LoopBound::Kind::kVariable;
         bound->value = 0;
       }
@@ -275,6 +388,8 @@ class Parser {
     stmt->location = loc;
     stmt->label = label;
     stmt->loop_id = ++program_.loop_count;
+    stmt->marked_independent = pending_independent_;
+    pending_independent_ = false;
     stmt->loop_var_location = Peek().location;
     stmt->loop_var = Take().text;
     if (auto err = Expect(TokenKind::kAssign)) {
@@ -332,7 +447,8 @@ class Parser {
     return ExpectNewline();
   }
 
-  MaybeError ParseAssign() {
+  // `IDENT[(subscripts)] = expr`, shared by plain assignments and logical IF.
+  Result<StmtPtr> ParseAssignCore() {
     auto stmt = std::make_unique<Stmt>();
     stmt->kind = Stmt::Kind::kAssign;
     stmt->location = Peek().location;
@@ -342,20 +458,192 @@ class Parser {
       ref.name = name;
       ref.location = stmt->location;
       if (auto err = ParseSubscripts(&ref)) {
-        return err;
+        return *err;
       }
       stmt->lhs_array = std::move(ref);
     } else {
       stmt->lhs_scalar = name;
     }
     if (auto err = Expect(TokenKind::kAssign)) {
-      return err;
+      return *err;
     }
     auto rhs = ParseExpr();
     if (!rhs.ok()) {
       return rhs.error();
     }
     stmt->rhs = std::move(rhs).value();
+    return stmt;
+  }
+
+  MaybeError ParseAssign() {
+    auto stmt = ParseAssignCore();
+    if (!stmt.ok()) {
+      return stmt.error();
+    }
+    if (auto err = ExpectNewline()) {
+      return err;
+    }
+    Emit(std::move(stmt).value());
+    return std::nullopt;
+  }
+
+  // `IF (cond) assignment` — the one-armed logical IF.
+  MaybeError ParseIf() {
+    SourceLocation loc = Peek().location;
+    Take();  // IF
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kIf;
+    stmt->location = loc;
+    if (auto err = Expect(TokenKind::kLParen)) {
+      return err;
+    }
+    auto cond = ParseCond();
+    if (!cond.ok()) {
+      return cond.error();
+    }
+    stmt->if_cond = std::move(cond).value();
+    if (auto err = Expect(TokenKind::kRParen)) {
+      return err;
+    }
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected assignment after IF condition");
+    }
+    auto then = ParseAssignCore();
+    if (!then.ok()) {
+      return then.error();
+    }
+    stmt->if_then = std::move(then).value();
+    if (auto err = ExpectNewline()) {
+      return err;
+    }
+    Emit(std::move(stmt));
+    return std::nullopt;
+  }
+
+  // cond := conj (.OR. conj)* ; conj := rel (.AND. rel)* ;
+  // rel := expr RELOP expr. No parenthesised conditions: the grammar prints
+  // and re-parses without them because .OR. binds loosest.
+  Result<ExprPtr> ParseCond() {
+    auto lhs = ParseCondConj();
+    if (!lhs.ok()) {
+      return lhs.error();
+    }
+    ExprPtr node = std::move(lhs).value();
+    while (Peek().kind == TokenKind::kDotOp && Peek().text == "OR") {
+      SourceLocation loc = Take().location;
+      auto rhs = ParseCondConj();
+      if (!rhs.ok()) {
+        return rhs.error();
+      }
+      auto bin = std::make_unique<Expr>();
+      bin->kind = Expr::Kind::kOr;
+      bin->location = loc;
+      bin->lhs = std::move(node);
+      bin->rhs = std::move(rhs).value();
+      node = std::move(bin);
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseCondConj() {
+    auto lhs = ParseRel();
+    if (!lhs.ok()) {
+      return lhs.error();
+    }
+    ExprPtr node = std::move(lhs).value();
+    while (Peek().kind == TokenKind::kDotOp && Peek().text == "AND") {
+      SourceLocation loc = Take().location;
+      auto rhs = ParseRel();
+      if (!rhs.ok()) {
+        return rhs.error();
+      }
+      auto bin = std::make_unique<Expr>();
+      bin->kind = Expr::Kind::kAnd;
+      bin->location = loc;
+      bin->lhs = std::move(node);
+      bin->rhs = std::move(rhs).value();
+      node = std::move(bin);
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseRel() {
+    auto lhs = ParseExpr();
+    if (!lhs.ok()) {
+      return lhs.error();
+    }
+    if (Peek().kind != TokenKind::kDotOp) {
+      return ErrorHere("expected relational operator (.GT./.GE./.LT./.LE./.EQ./.NE.)");
+    }
+    const std::string& name = Peek().text;
+    RelOp rel;
+    if (name == "GT") {
+      rel = RelOp::kGt;
+    } else if (name == "GE") {
+      rel = RelOp::kGe;
+    } else if (name == "LT") {
+      rel = RelOp::kLt;
+    } else if (name == "LE") {
+      rel = RelOp::kLe;
+    } else if (name == "EQ") {
+      rel = RelOp::kEq;
+    } else if (name == "NE") {
+      rel = RelOp::kNe;
+    } else {
+      return ErrorHere(StrCat("unsupported operator .", name, ". in IF condition"));
+    }
+    SourceLocation loc = Take().location;
+    auto rhs = ParseExpr();
+    if (!rhs.ok()) {
+      return rhs.error();
+    }
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kCompare;
+    node->rel = rel;
+    node->location = loc;
+    node->lhs = std::move(lhs).value();
+    node->rhs = std::move(rhs).value();
+    return node;
+  }
+
+  // `CALL name(arg, ...)` — args are integer literals or identifiers
+  // (arrays / PARAMETERs); resolved and inlined after all units parse.
+  MaybeError ParseCall() {
+    SourceLocation loc = Peek().location;
+    Take();  // CALL
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected subroutine name after CALL");
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kCall;
+    stmt->location = loc;
+    stmt->call_name = Take().text;
+    if (auto err = Expect(TokenKind::kLParen)) {
+      return err;
+    }
+    if (Peek().kind != TokenKind::kRParen) {
+      while (true) {
+        CallArg arg;
+        arg.location = Peek().location;
+        if (Peek().kind == TokenKind::kInteger) {
+          arg.is_literal = true;
+          arg.value = Peek().int_value;
+          arg.spelling = Take().text;
+        } else if (Peek().kind == TokenKind::kIdentifier) {
+          arg.spelling = Take().text;
+        } else {
+          return ErrorHere("expected integer literal or identifier as CALL argument");
+        }
+        stmt->call_args.push_back(std::move(arg));
+        if (Peek().kind != TokenKind::kComma) {
+          break;
+        }
+        Take();
+      }
+    }
+    if (auto err = Expect(TokenKind::kRParen)) {
+      return err;
+    }
     if (auto err = ExpectNewline()) {
       return err;
     }
@@ -386,7 +674,7 @@ class Parser {
     return Expect(TokenKind::kRParen);
   }
 
-  // index := IDENT [ (+|-) INT ] | INT
+  // index := IDENT [ (+|-) INT ] | IDENT '(' subscripts ')' [ (+|-) INT ] | INT
   Result<IndexExpr> ParseIndexExpr() {
     IndexExpr ix;
     ix.location = Peek().location;
@@ -397,7 +685,18 @@ class Parser {
     if (Peek().kind != TokenKind::kIdentifier) {
       return ErrorHere("expected index variable or constant subscript");
     }
-    ix.var = Take().text;
+    if (Peek(1).kind == TokenKind::kLParen) {
+      // Indirect subscript: the value of an INTEGER array element.
+      ArrayRef inner;
+      inner.location = Peek().location;
+      inner.name = Take().text;
+      if (auto err = ParseSubscripts(&inner)) {
+        return *err;
+      }
+      ix.indirect = std::make_shared<ArrayRef>(std::move(inner));
+    } else {
+      ix.var = Take().text;
+    }
     if (Peek().kind == TokenKind::kPlus || Peek().kind == TokenKind::kMinus) {
       bool negative = Take().kind == TokenKind::kMinus;
       if (Peek().kind != TokenKind::kInteger) {
@@ -457,7 +756,8 @@ class Parser {
     return node;
   }
 
-  // factor := NUMBER | IDENT | IDENT '(' subscripts ')' | '(' expr ')' | '-' factor
+  // factor := NUMBER | IDENT | IDENT '(' subscripts ')' | MOD '(' e ',' e ')'
+  //         | '(' expr ')' | '-' factor
   Result<ExprPtr> ParseFactor() {
     SourceLocation loc = Peek().location;
     if (Peek().kind == TokenKind::kMinus) {
@@ -494,6 +794,31 @@ class Parser {
     }
     if (Peek().kind == TokenKind::kIdentifier) {
       std::string name = Take().text;
+      if (name == "MOD" && Peek().kind == TokenKind::kLParen) {
+        // MOD intrinsic, stored as a kBinary with op '%'.
+        Take();
+        auto a = ParseExpr();
+        if (!a.ok()) {
+          return a.error();
+        }
+        if (auto err = Expect(TokenKind::kComma)) {
+          return *err;
+        }
+        auto b = ParseExpr();
+        if (!b.ok()) {
+          return b.error();
+        }
+        if (auto err = Expect(TokenKind::kRParen)) {
+          return *err;
+        }
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::kBinary;
+        node->op = '%';
+        node->location = loc;
+        node->lhs = std::move(a).value();
+        node->rhs = std::move(b).value();
+        return node;
+      }
       auto node = std::make_unique<Expr>();
       node->location = loc;
       if (Peek().kind == TokenKind::kLParen) {
@@ -512,10 +837,545 @@ class Parser {
     return ErrorHere(StrCat("expected expression, found ", Peek().ToString()));
   }
 
+  // ---- SUBROUTINE units and CALL inlining -------------------------------
+
+  MaybeError ParseSubroutine() {
+    SourceLocation loc = Peek().location;
+    Take();  // SUBROUTINE
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected subroutine name after SUBROUTINE");
+    }
+    SubUnit sub;
+    sub.location = loc;
+    sub.name = Take().text;
+    if (subs_.count(sub.name) != 0 || sub.name == program_.name) {
+      return Error{StrCat("duplicate program unit name '", sub.name, "'"), loc};
+    }
+    if (auto err = Expect(TokenKind::kLParen)) {
+      return err;
+    }
+    if (Peek().kind != TokenKind::kRParen) {
+      while (true) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return ErrorHere("expected formal parameter name");
+        }
+        std::string formal = Take().text;
+        if (std::find(sub.formals.begin(), sub.formals.end(), formal) != sub.formals.end()) {
+          return ErrorHere(StrCat("duplicate formal parameter '", formal, "'"));
+        }
+        sub.formals.push_back(std::move(formal));
+        if (Peek().kind != TokenKind::kComma) {
+          break;
+        }
+        Take();
+      }
+    }
+    if (auto err = Expect(TokenKind::kRParen)) {
+      return err;
+    }
+    if (auto err = ExpectNewline()) {
+      return err;
+    }
+
+    // Retarget the statement parsers at this unit.
+    in_subroutine_ = true;
+    params_ = &sub.parameters;
+    arrays_ = &sub.arrays;
+    body_ = &sub.body;
+    formals_ = &sub.formals;
+    auto err = ParseUnitBody();
+    in_subroutine_ = false;
+    params_ = &program_.parameters;
+    arrays_ = &program_.arrays;
+    body_ = &program_.body;
+    formals_ = nullptr;
+    if (err) {
+      return err;
+    }
+    std::string name = sub.name;
+    subs_.emplace(std::move(name), std::move(sub));
+    return std::nullopt;
+  }
+
+  // Registers every name visible in the main program so inline-generated
+  // names never capture or collide; also finds the highest statement label.
+  void CollectNamesAndLabels() {
+    used_names_.insert(program_.name);
+    for (const auto& [n, v] : program_.parameters) {
+      (void)v;
+      used_names_.insert(n);
+    }
+    for (const ArrayDecl& a : program_.arrays) {
+      used_names_.insert(a.name);
+    }
+    int64_t max_label = 0;
+    auto note_expr = [&](const Expr& e, auto&& self) -> void {
+      if (e.kind == Expr::Kind::kScalar) {
+        used_names_.insert(e.scalar);
+      }
+      if (e.lhs != nullptr) {
+        self(*e.lhs, self);
+      }
+      if (e.rhs != nullptr) {
+        self(*e.rhs, self);
+      }
+    };
+    auto note_stmt = [&](const Stmt& s, auto&& self) -> void {
+      if (s.kind == Stmt::Kind::kDoLoop) {
+        used_names_.insert(s.loop_var);
+        max_label = std::max(max_label, s.label);
+        for (const StmtPtr& c : s.body) {
+          self(*c, self);
+        }
+        return;
+      }
+      if (s.kind == Stmt::Kind::kIf) {
+        note_expr(*s.if_cond, note_expr);
+        self(*s.if_then, self);
+        return;
+      }
+      if (s.kind == Stmt::Kind::kCall) {
+        for (const CallArg& a : s.call_args) {
+          if (!a.is_literal) {
+            used_names_.insert(a.spelling);
+          }
+        }
+        return;
+      }
+      if (!s.lhs_scalar.empty()) {
+        used_names_.insert(s.lhs_scalar);
+      }
+      for (const ArrayRef* r : s.DirectArrayRefs()) {
+        for (const IndexExpr& ix : r->indices) {
+          if (!ix.var.empty()) {
+            used_names_.insert(ix.var);
+          }
+        }
+      }
+      if (s.rhs != nullptr) {
+        note_expr(*s.rhs, note_expr);
+      }
+    };
+    for (const StmtPtr& s : program_.body) {
+      note_stmt(*s, note_stmt);
+    }
+    for (const auto& [n, sub] : subs_) {
+      used_names_.insert(n);
+      auto labels = [&](const Stmt& s, auto&& self) -> void {
+        if (s.kind == Stmt::Kind::kDoLoop) {
+          max_label = std::max(max_label, s.label);
+          for (const StmtPtr& c : s.body) {
+            self(*c, self);
+          }
+        }
+      };
+      for (const StmtPtr& s : sub.body) {
+        labels(*s, labels);
+      }
+    }
+    next_label_ = (max_label / 10 + 1) * 10;
+  }
+
+  std::string FreshName(const std::string& base) {
+    if (used_names_.insert(base).second) {
+      return base;
+    }
+    for (int k = 2;; ++k) {
+      std::string cand = StrCat(base, k);
+      if (used_names_.insert(cand).second) {
+        return cand;
+      }
+    }
+  }
+
+  MaybeError InlineAllCalls() {
+    CollectNamesAndLabels();
+    return ExpandBody(&program_.body);
+  }
+
+  MaybeError ExpandBody(std::vector<StmtPtr>* body) {
+    for (size_t i = 0; i < body->size();) {
+      Stmt& s = *(*body)[i];
+      if (s.kind == Stmt::Kind::kDoLoop) {
+        if (auto err = ExpandBody(&s.body)) {
+          return err;
+        }
+        ++i;
+        continue;
+      }
+      if (s.kind != Stmt::Kind::kCall) {
+        ++i;
+        continue;
+      }
+      auto expanded = ExpandCall(s);
+      if (!expanded.ok()) {
+        return expanded.error();
+      }
+      std::vector<StmtPtr> stmts = std::move(expanded).value();
+      body->erase(body->begin() + static_cast<ptrdiff_t>(i));
+      for (size_t k = 0; k < stmts.size(); ++k) {
+        body->insert(body->begin() + static_cast<ptrdiff_t>(i + k), std::move(stmts[k]));
+      }
+      i += stmts.size();
+    }
+    return std::nullopt;
+  }
+
+  Result<std::vector<StmtPtr>> ExpandCall(const Stmt& call) {
+    auto it = subs_.find(call.call_name);
+    if (it == subs_.end()) {
+      return Error{StrCat("CALL to unknown subroutine '", call.call_name, "'"), call.location};
+    }
+    const SubUnit& sub = it->second;
+    if (std::find(inline_stack_.begin(), inline_stack_.end(), sub.name) != inline_stack_.end()) {
+      return Error{StrCat("recursive CALL chain through '", sub.name, "'"), call.location};
+    }
+    if (inline_stack_.size() >= 8) {
+      return Error{"CALL nesting exceeds the inline depth limit (8)", call.location};
+    }
+    if (call.call_args.size() != sub.formals.size()) {
+      return Error{StrCat("subroutine '", sub.name, "' expects ", sub.formals.size(),
+                          " argument(s), got ", call.call_args.size()),
+                   call.location};
+    }
+
+    InlineCtx ctx;
+    for (size_t i = 0; i < sub.formals.size(); ++i) {
+      const std::string& formal = sub.formals[i];
+      const CallArg& arg = call.call_args[i];
+      bool formal_is_array = false;
+      for (const ArrayDecl& d : sub.arrays) {
+        if (d.name == formal) {
+          formal_is_array = true;
+        }
+      }
+      if (arg.is_literal) {
+        if (formal_is_array) {
+          return Error{StrCat("integer literal passed to array formal '", formal, "' of ",
+                              sub.name),
+                       arg.location};
+        }
+        ctx.const_subst[formal] = arg.value;
+        continue;
+      }
+      auto pit = program_.parameters.find(arg.spelling);
+      if (pit != program_.parameters.end()) {
+        if (formal_is_array) {
+          return Error{StrCat("PARAMETER '", arg.spelling, "' passed to array formal '", formal,
+                              "' of ", sub.name),
+                       arg.location};
+        }
+        ctx.const_subst[formal] = pit->second;
+        continue;
+      }
+      if (program_.FindArray(arg.spelling) != nullptr) {
+        if (!formal_is_array) {
+          return Error{StrCat("array '", arg.spelling, "' passed to scalar formal '", formal,
+                              "' of ", sub.name),
+                       arg.location};
+        }
+        ctx.name_subst[formal] = arg.spelling;
+        continue;
+      }
+      return Error{StrCat("CALL argument '", arg.spelling,
+                          "' must be an integer literal, PARAMETER, or array"),
+                   arg.location};
+    }
+    for (const auto& [n, v] : sub.parameters) {
+      ctx.const_subst[n] = v;
+    }
+
+    // Rename the subroutine's local scalars (loop variables and assigned
+    // scalars) to caller-unique names, in deterministic preorder.
+    auto collect_locals = [&](const Stmt& s, auto&& self) -> void {
+      const Stmt* target = &s;
+      if (s.kind == Stmt::Kind::kIf) {
+        target = s.if_then.get();
+      }
+      if (target->kind == Stmt::Kind::kDoLoop) {
+        if (ctx.const_subst.count(target->loop_var) == 0 &&
+            ctx.name_subst.count(target->loop_var) == 0) {
+          ctx.name_subst[target->loop_var] = FreshName(target->loop_var);
+        }
+        for (const StmtPtr& c : target->body) {
+          self(*c, self);
+        }
+        return;
+      }
+      if (target->kind == Stmt::Kind::kAssign && !target->lhs_scalar.empty() &&
+          ctx.const_subst.count(target->lhs_scalar) == 0 &&
+          ctx.name_subst.count(target->lhs_scalar) == 0) {
+        ctx.name_subst[target->lhs_scalar] = FreshName(target->lhs_scalar);
+      }
+    };
+    for (const StmtPtr& s : sub.body) {
+      collect_locals(*s, collect_locals);
+    }
+
+    inline_stack_.push_back(sub.name);
+    std::map<int64_t, int64_t> label_map;
+    std::vector<StmtPtr> out;
+    for (const StmtPtr& s : sub.body) {
+      auto cloned = CloneStmt(*s, sub, ctx, &label_map);
+      if (!cloned.ok()) {
+        inline_stack_.pop_back();
+        return cloned.error();
+      }
+      out.push_back(std::move(cloned).value());
+    }
+    // Nested CALLs inside the clone expand with this subroutine still on the
+    // stack, which is what makes recursion detection work.
+    if (auto err = ExpandBody(&out)) {
+      inline_stack_.pop_back();
+      return *err;
+    }
+    inline_stack_.pop_back();
+    return out;
+  }
+
+  Result<ArrayRef> CloneRef(const ArrayRef& ref, const SubUnit& sub, const InlineCtx& ctx) {
+    ArrayRef out;
+    out.location = ref.location;
+    auto nit = ctx.name_subst.find(ref.name);
+    if (nit != ctx.name_subst.end()) {
+      out.name = nit->second;
+    } else if (ctx.const_subst.count(ref.name) != 0) {
+      return Error{StrCat("value formal '", ref.name, "' of ", sub.name, " used as an array"),
+                   ref.location};
+    } else {
+      return Error{StrCat("subroutine ", sub.name, " references undeclared array '", ref.name,
+                          "' (subroutine arrays must be formal parameters)"),
+                   ref.location};
+    }
+    for (const IndexExpr& ix : ref.indices) {
+      IndexExpr nix;
+      nix.location = ix.location;
+      nix.offset = ix.offset;
+      if (ix.IsIndirect()) {
+        auto inner = CloneRef(*ix.indirect, sub, ctx);
+        if (!inner.ok()) {
+          return inner.error();
+        }
+        nix.indirect = std::make_shared<ArrayRef>(std::move(inner).value());
+      } else if (!ix.var.empty()) {
+        auto cit = ctx.const_subst.find(ix.var);
+        if (cit != ctx.const_subst.end()) {
+          nix.offset += cit->second;  // folds to a constant subscript
+        } else {
+          auto vit = ctx.name_subst.find(ix.var);
+          nix.var = vit != ctx.name_subst.end() ? vit->second : ix.var;
+        }
+      }
+      out.indices.push_back(std::move(nix));
+    }
+    return out;
+  }
+
+  Result<ExprPtr> CloneExpr(const Expr& e, const SubUnit& sub, const InlineCtx& ctx) {
+    auto node = std::make_unique<Expr>();
+    node->kind = e.kind;
+    node->location = e.location;
+    node->number = e.number;
+    node->op = e.op;
+    node->rel = e.rel;
+    if (e.kind == Expr::Kind::kScalar) {
+      auto cit = ctx.const_subst.find(e.scalar);
+      if (cit != ctx.const_subst.end()) {
+        node->kind = Expr::Kind::kNumber;
+        node->number = static_cast<double>(cit->second);
+        return node;
+      }
+      auto vit = ctx.name_subst.find(e.scalar);
+      node->scalar = vit != ctx.name_subst.end() ? vit->second : e.scalar;
+      return node;
+    }
+    if (e.kind == Expr::Kind::kArrayElement) {
+      auto ref = CloneRef(e.array, sub, ctx);
+      if (!ref.ok()) {
+        return ref.error();
+      }
+      node->array = std::move(ref).value();
+      return node;
+    }
+    if (e.lhs != nullptr) {
+      auto lhs = CloneExpr(*e.lhs, sub, ctx);
+      if (!lhs.ok()) {
+        return lhs.error();
+      }
+      node->lhs = std::move(lhs).value();
+    }
+    if (e.rhs != nullptr) {
+      auto rhs = CloneExpr(*e.rhs, sub, ctx);
+      if (!rhs.ok()) {
+        return rhs.error();
+      }
+      node->rhs = std::move(rhs).value();
+    }
+    return node;
+  }
+
+  Result<LoopBound> CloneBound(const LoopBound& b, const SubUnit& sub, const InlineCtx& ctx) {
+    if (b.kind == LoopBound::Kind::kConstant) {
+      return b;
+    }
+    if (b.kind == LoopBound::Kind::kParameter) {
+      // A subroutine-local PARAMETER; its name does not survive inlining.
+      LoopBound out = LoopBound::Constant(b.value);
+      out.location = b.location;
+      return out;
+    }
+    auto cit = ctx.const_subst.find(b.spelling);
+    if (cit != ctx.const_subst.end()) {
+      LoopBound out = LoopBound::Constant(cit->second);
+      out.location = b.location;
+      return out;
+    }
+    LoopBound out = b;
+    auto vit = ctx.name_subst.find(b.spelling);
+    if (vit != ctx.name_subst.end()) {
+      out.spelling = vit->second;
+    }
+    (void)sub;
+    return out;
+  }
+
+  Result<StmtPtr> CloneStmt(const Stmt& s, const SubUnit& sub, InlineCtx& ctx,
+                            std::map<int64_t, int64_t>* label_map) {
+    auto out = std::make_unique<Stmt>();
+    out->kind = s.kind;
+    out->location = s.location;
+    switch (s.kind) {
+      case Stmt::Kind::kAssign: {
+        if (s.lhs_array.has_value()) {
+          auto ref = CloneRef(*s.lhs_array, sub, ctx);
+          if (!ref.ok()) {
+            return ref.error();
+          }
+          out->lhs_array = std::move(ref).value();
+        } else {
+          if (ctx.const_subst.count(s.lhs_scalar) != 0) {
+            return Error{StrCat("cannot assign to value formal '", s.lhs_scalar, "' of ",
+                                sub.name),
+                         s.location};
+          }
+          auto vit = ctx.name_subst.find(s.lhs_scalar);
+          out->lhs_scalar = vit != ctx.name_subst.end() ? vit->second : s.lhs_scalar;
+        }
+        auto rhs = CloneExpr(*s.rhs, sub, ctx);
+        if (!rhs.ok()) {
+          return rhs.error();
+        }
+        out->rhs = std::move(rhs).value();
+        return out;
+      }
+      case Stmt::Kind::kIf: {
+        auto cond = CloneExpr(*s.if_cond, sub, ctx);
+        if (!cond.ok()) {
+          return cond.error();
+        }
+        out->if_cond = std::move(cond).value();
+        auto then = CloneStmt(*s.if_then, sub, ctx, label_map);
+        if (!then.ok()) {
+          return then.error();
+        }
+        out->if_then = std::move(then).value();
+        return out;
+      }
+      case Stmt::Kind::kCall: {
+        out->call_name = s.call_name;
+        for (const CallArg& a : s.call_args) {
+          CallArg na = a;
+          if (!a.is_literal) {
+            auto cit = ctx.const_subst.find(a.spelling);
+            if (cit != ctx.const_subst.end()) {
+              na.is_literal = true;
+              na.value = cit->second;
+              na.spelling = StrCat(cit->second);
+            } else {
+              auto vit = ctx.name_subst.find(a.spelling);
+              if (vit != ctx.name_subst.end()) {
+                na.spelling = vit->second;
+              }
+            }
+          }
+          out->call_args.push_back(std::move(na));
+        }
+        return out;
+      }
+      case Stmt::Kind::kDoLoop: {
+        auto lit = label_map->find(s.label);
+        if (lit == label_map->end()) {
+          lit = label_map->emplace(s.label, next_label_).first;
+          next_label_ += 10;
+        }
+        out->label = lit->second;
+        out->loop_id = ++program_.loop_count;  // renumbered afterwards
+        out->marked_independent = s.marked_independent;
+        out->loop_var = ctx.name_subst.at(s.loop_var);
+        out->loop_var_location = s.loop_var_location;
+        auto lower = CloneBound(s.lower, sub, ctx);
+        if (!lower.ok()) {
+          return lower.error();
+        }
+        out->lower = std::move(lower).value();
+        auto upper = CloneBound(s.upper, sub, ctx);
+        if (!upper.ok()) {
+          return upper.error();
+        }
+        out->upper = std::move(upper).value();
+        out->step = s.step;
+        for (const StmtPtr& c : s.body) {
+          auto cloned = CloneStmt(*c, sub, ctx, label_map);
+          if (!cloned.ok()) {
+            return cloned.error();
+          }
+          out->body.push_back(std::move(cloned).value());
+        }
+        return out;
+      }
+    }
+    return Error{"internal: bad statement kind in CloneStmt", s.location};
+  }
+
+  // Loop ids are assigned per-unit during parsing and shuffled by inlining;
+  // renumber to a clean 1..n preorder over the final program.
+  void RenumberLoops() {
+    uint32_t next = 0;
+    auto walk = [&](Stmt& s, auto&& self) -> void {
+      if (s.kind == Stmt::Kind::kDoLoop) {
+        s.loop_id = ++next;
+        for (StmtPtr& c : s.body) {
+          self(*c, self);
+        }
+      }
+    };
+    for (StmtPtr& s : program_.body) {
+      walk(*s, walk);
+    }
+    program_.loop_count = next;
+  }
+
+  // Sentinel extent for a formal scalar used in a subroutine DIMENSION.
+  static constexpr int64_t kFormalExtent = -1;
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
   Program program_;
   std::vector<Stmt*> open_loops_;
+  bool pending_independent_ = false;
+  SourceLocation pending_independent_loc_;
+
+  // Current-unit targets; point at program_ except inside a SUBROUTINE.
+  bool in_subroutine_ = false;
+  std::map<std::string, int64_t>* params_ = &program_.parameters;
+  std::vector<ArrayDecl>* arrays_ = &program_.arrays;
+  std::vector<StmtPtr>* body_ = &program_.body;
+  const std::vector<std::string>* formals_ = nullptr;
+
+  std::map<std::string, SubUnit> subs_;
+  std::set<std::string> used_names_;
+  std::vector<std::string> inline_stack_;
+  int64_t next_label_ = 0;
 };
 
 }  // namespace

@@ -49,6 +49,53 @@ class Checker {
       case Stmt::Kind::kDoLoop:
         CheckLoop(stmt);
         return;
+      case Stmt::Kind::kIf:
+        CheckCond(*stmt.if_cond);
+        CheckAssign(*stmt.if_then);
+        return;
+      case Stmt::Kind::kCall:
+        // CALLs are inlined by the parser; one surviving here is a bug.
+        Report("S012", stmt.location,
+               StrCat("internal: CALL to ", stmt.call_name, " survived inlining"));
+        return;
+    }
+  }
+
+  // S010: a logical-IF condition must be array-free, and every scalar in it
+  // must be an enclosing loop variable or a PARAMETER (so the interpreter
+  // can evaluate it with integer arithmetic).
+  void CheckCond(const Expr& cond) {
+    switch (cond.kind) {
+      case Expr::Kind::kNumber:
+        return;
+      case Expr::Kind::kScalar: {
+        if (program_.parameters.count(cond.scalar) != 0) {
+          return;
+        }
+        for (const std::string& v : active_loop_vars_) {
+          if (v == cond.scalar) {
+            return;
+          }
+        }
+        Report("S010", cond.location,
+               StrCat("IF condition uses '", cond.scalar,
+                      "', which is neither a loop variable nor a PARAMETER"));
+        return;
+      }
+      case Expr::Kind::kArrayElement:
+        Report("S010", cond.location,
+               StrCat("IF condition may not reference array ", cond.array.name));
+        return;
+      case Expr::Kind::kNegate:
+        CheckCond(*cond.lhs);
+        return;
+      case Expr::Kind::kBinary:
+      case Expr::Kind::kCompare:
+      case Expr::Kind::kAnd:
+      case Expr::Kind::kOr:
+        CheckCond(*cond.lhs);
+        CheckCond(*cond.rhs);
+        return;
     }
   }
 
@@ -115,6 +162,9 @@ class Checker {
         CheckExprScalars(*expr.lhs);
         return;
       case Expr::Kind::kBinary:
+      case Expr::Kind::kCompare:
+      case Expr::Kind::kAnd:
+      case Expr::Kind::kOr:
         CheckExprScalars(*expr.lhs);
         CheckExprScalars(*expr.rhs);
         return;
@@ -135,6 +185,27 @@ class Checker {
     }
     for (const IndexExpr& ix : ref.indices) {
       if (ix.IsConstant()) {
+        continue;
+      }
+      if (ix.IsIndirect()) {
+        // S011: an indirect subscript must read a declared one-dimensional
+        // INTEGER array with a direct (non-indirect) subscript; the inner
+        // reference's own S003/S004/S005 checks run when it is visited as a
+        // ref site in its own right.
+        const ArrayRef& inner = *ix.indirect;
+        const ArrayDecl* base = program_.FindArray(inner.name);
+        if (base == nullptr || !base->is_integer || !base->IsVector()) {
+          Report("S011", ix.location,
+                 StrCat("indirect subscript base ", inner.name,
+                        " must be a declared one-dimensional INTEGER array"));
+        }
+        for (const IndexExpr& inner_ix : inner.indices) {
+          if (inner_ix.IsIndirect()) {
+            Report("S011", inner_ix.location,
+                   StrCat("indirect subscript of ", inner.name,
+                          " may not itself be indirect (depth limit 1)"));
+          }
+        }
         continue;
       }
       bool bound = false;

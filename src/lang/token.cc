@@ -32,6 +32,12 @@ const char* TokenKindName(TokenKind kind) {
       return "CONTINUE";
     case TokenKind::kKwEnd:
       return "END";
+    case TokenKind::kKwIf:
+      return "IF";
+    case TokenKind::kKwCall:
+      return "CALL";
+    case TokenKind::kKwSubroutine:
+      return "SUBROUTINE";
     case TokenKind::kLParen:
       return "'('";
     case TokenKind::kRParen:
@@ -48,12 +54,17 @@ const char* TokenKindName(TokenKind kind) {
       return "'*'";
     case TokenKind::kSlash:
       return "'/'";
+    case TokenKind::kDotOp:
+      return "dot operator";
+    case TokenKind::kDirective:
+      return "!$CDMM directive";
   }
   return "unknown";
 }
 
 std::string Token::ToString() const {
-  if (kind == TokenKind::kIdentifier || kind == TokenKind::kInteger || kind == TokenKind::kReal) {
+  if (kind == TokenKind::kIdentifier || kind == TokenKind::kInteger || kind == TokenKind::kReal ||
+      kind == TokenKind::kDotOp || kind == TokenKind::kDirective) {
     return StrCat(TokenKindName(kind), " '", text, "'");
   }
   return TokenKindName(kind);

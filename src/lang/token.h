@@ -24,6 +24,9 @@ enum class TokenKind : uint8_t {
   kKwDo,
   kKwContinue,
   kKwEnd,
+  kKwIf,          // logical IF around an assignment
+  kKwCall,        // CALL statement
+  kKwSubroutine,  // SUBROUTINE unit header
   // Punctuation / operators.
   kLParen,
   kRParen,
@@ -33,6 +36,12 @@ enum class TokenKind : uint8_t {
   kMinus,
   kStar,
   kSlash,
+  // Dot-delimited operator (.GT. .GE. .LT. .LE. .EQ. .NE. .AND. .OR.);
+  // `text` holds the bare name ("GT", "AND", ...).
+  kDotOp,
+  // A `!$CDMM <word>` compiler-directive comment; `text` holds the word
+  // (currently only "INDEPENDENT").
+  kDirective,
 };
 
 const char* TokenKindName(TokenKind kind);

@@ -3,10 +3,16 @@
 // constant; the reachable values of `var` follow from the binding DO loop's
 // bounds (resolved through enclosing loops for triangular nests), so the
 // subscript's reachable interval is exact for static bounds and an
-// endpoint-tight over-approximation for triangular ones. Any interval
-// escaping [1, extent] is a reference the program will actually make out of
-// bounds for some iteration.
+// endpoint-tight over-approximation for triangular ones. References inside a
+// logical IF are first narrowed by the conjuncts of the guard that compare
+// the subscript variable against a constant, so a guarded stencil like
+// `IF (I .GT. 1 .AND. I .LT. N) A(I) = B(I-1) + B(I+1)` checks the interval
+// the guard actually admits. Any interval escaping [1, extent] is a
+// reference the program will actually make out of bounds for some iteration.
+#include <algorithm>
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "src/analysis/reference_class.h"
 #include "src/lint/lint.h"
@@ -38,15 +44,105 @@ class BoundsPass final : public LintPass {
   }
 
  private:
+  // Evaluates a guard operand to a compile-time integer: a literal or a
+  // PARAMETER name (possibly negated). Anything else is not a constant.
+  static std::optional<int64_t> ConstOperand(const LintContext& ctx, const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kNumber: {
+        int64_t v = static_cast<int64_t>(e.number);
+        if (static_cast<double>(v) != e.number) {
+          return std::nullopt;
+        }
+        return v;
+      }
+      case Expr::Kind::kScalar: {
+        auto it = ctx.program->parameters.find(e.scalar);
+        if (it == ctx.program->parameters.end()) {
+          return std::nullopt;
+        }
+        return it->second;
+      }
+      case Expr::Kind::kNegate: {
+        std::optional<int64_t> v = ConstOperand(ctx, *e.lhs);
+        if (!v.has_value()) {
+          return std::nullopt;
+        }
+        return -*v;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // Tightens `values` with one comparison `var RELOP c`.
+  static void ApplyBound(RelOp rel, int64_t c, Interval* values) {
+    switch (rel) {
+      case RelOp::kGt: values->lo = std::max(values->lo, c + 1); break;
+      case RelOp::kGe: values->lo = std::max(values->lo, c); break;
+      case RelOp::kLt: values->hi = std::min(values->hi, c - 1); break;
+      case RelOp::kLe: values->hi = std::min(values->hi, c); break;
+      case RelOp::kEq:
+        values->lo = std::max(values->lo, c);
+        values->hi = std::min(values->hi, c);
+        break;
+      case RelOp::kNe: break;  // punctures the interval; no sound narrowing
+    }
+  }
+
+  // Narrows `values` (the reachable interval of `var`) by the constraints a
+  // guarding IF condition imposes. Only conjuncts comparing `var` itself
+  // against a compile-time constant narrow; everything else (disjunctions,
+  // other variables, array operands) is skipped, so the result stays an
+  // over-approximation of the iterations the guard admits.
+  static void NarrowByGuard(const LintContext& ctx, const Expr& cond, const std::string& var,
+                            Interval* values) {
+    if (cond.kind == Expr::Kind::kAnd) {
+      NarrowByGuard(ctx, *cond.lhs, var, values);
+      NarrowByGuard(ctx, *cond.rhs, var, values);
+      return;
+    }
+    if (cond.kind != Expr::Kind::kCompare) {
+      return;
+    }
+    if (cond.lhs->kind == Expr::Kind::kScalar && cond.lhs->scalar == var) {
+      std::optional<int64_t> c = ConstOperand(ctx, *cond.rhs);
+      if (c.has_value()) {
+        ApplyBound(cond.rel, *c, values);
+      }
+    } else if (cond.rhs->kind == Expr::Kind::kScalar && cond.rhs->scalar == var) {
+      std::optional<int64_t> c = ConstOperand(ctx, *cond.lhs);
+      if (c.has_value()) {
+        // `c RELOP var` mirrors to `var RELOP' c`.
+        RelOp flipped;
+        switch (cond.rel) {
+          case RelOp::kGt: flipped = RelOp::kLt; break;
+          case RelOp::kGe: flipped = RelOp::kLe; break;
+          case RelOp::kLt: flipped = RelOp::kGt; break;
+          case RelOp::kLe: flipped = RelOp::kGe; break;
+          default: flipped = cond.rel; break;  // kEq / kNe are symmetric
+        }
+        ApplyBound(flipped, *c, values);
+      }
+    }
+  }
+
   static void CheckSubscript(const LintContext& ctx, const RefSite& site, const ArrayDecl& decl,
                              size_t dim) {
     const IndexExpr& ix = site.ref->indices[dim];
+    if (ix.IsIndirect()) {
+      return;  // values are data-dependent; nothing provable statically
+    }
     Interval values;
     if (ix.IsConstant()) {
       values = Interval::Exact(ix.offset);
     } else {
       const LoopNode* binder = SubscriptBinder(ix, site);
-      values = LoopVarInterval(*binder).Shifted(ix.offset);
+      Interval var_values = LoopVarInterval(*binder);
+      if (site.stmt != nullptr && site.stmt->kind == Stmt::Kind::kIf &&
+          site.stmt->if_cond != nullptr) {
+        NarrowByGuard(ctx, *site.stmt->if_cond, ix.var, &var_values);
+      }
+      values = var_values.Shifted(ix.offset);
     }
     if (!values.known || values.empty()) {
       return;  // unresolvable or never executed: nothing provable

@@ -62,7 +62,10 @@ void DiagnosticEngine::SortBySource() {
                      if (a.location.line != b.location.line) {
                        return a.location.line < b.location.line;
                      }
-                     return a.location.column < b.location.column;
+                     if (a.location.column != b.location.column) {
+                       return a.location.column < b.location.column;
+                     }
+                     return a.code < b.code;
                    });
 }
 

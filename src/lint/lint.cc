@@ -10,8 +10,9 @@ namespace cdmm {
 
 const std::vector<const LintPass*>& AllLintPasses() {
   static const std::vector<const LintPass*> passes = {
-      &SubscriptBoundsPass(), &DirectiveVerifierPass(), &DeadDirectivePass(),
-      &LocalityConsistencyPass(), &HygienePass()};
+      &SubscriptBoundsPass(),      &DirectiveVerifierPass(),     &DeadDirectivePass(),
+      &LocalityConsistencyPass(),  &HygienePass(),               &ParallelIndependencePass(),
+      &AccessRangePass()};
   return passes;
 }
 
@@ -27,6 +28,7 @@ std::vector<Diagnostic> LintProgram(const Program& program, const LintOptions& o
   // sema-clean programs and restrict broken ones to AST-level passes.
   std::unique_ptr<LoopTree> tree;
   std::unique_ptr<LocalityAnalysis> locality;
+  std::unique_ptr<DependenceGraph> deps;
   DirectivePlan plan;
   LintContext ctx;
   ctx.program = &program;
@@ -35,9 +37,11 @@ std::vector<Diagnostic> LintProgram(const Program& program, const LintOptions& o
     tree = std::make_unique<LoopTree>(program);
     locality = std::make_unique<LocalityAnalysis>(program, *tree, options.locality);
     plan = BuildDirectivePlan(*tree, *locality, options.directives);
+    deps = std::make_unique<DependenceGraph>(DependenceGraph::Build(program, *tree));
     ctx.tree = tree.get();
     ctx.locality = locality.get();
     ctx.plan = &plan;
+    ctx.deps = deps.get();
   }
   for (const LintPass* pass : AllLintPasses()) {
     if (pass->needs_analysis() && !sema_clean) {
@@ -53,7 +57,7 @@ std::vector<Diagnostic> LintSource(std::string_view source, const LintOptions& o
   auto program = Parse(source);
   if (!program.ok()) {
     Diagnostic d;
-    d.code = "P001";
+    d.code = "F001";
     d.severity = Severity::kError;
     d.pass = "parse";
     d.message = program.error().message;

@@ -6,7 +6,7 @@
 // this module turns that visibility into compile-time verification.
 //
 // Diagnostic codes (stable; asserted by tests and documented in DESIGN.md):
-//   parse:  P001 unparseable source
+//   parse:  F001 unparseable source
 //   sema:   S001 duplicate array, S002 array/PARAMETER collision,
 //           S003 undeclared array, S004 wrong subscript count,
 //           S005 unbound subscript variable, S006 loop variable reused,
@@ -25,6 +25,14 @@
 //                         C002 Variation chain not Outer*-Self-Inner*,
 //                         C003 contribution for an unreferenced array
 //   hygiene:              H001 unused array, H002 DO index shadows PARAMETER
+//   parallel-independence: P001 loop marked INDEPENDENT but a loop-carried
+//                          dependence is proven, P002 provably independent
+//                          loop not marked (note; only when the program uses
+//                          marks at all), P003 mark downgraded because an
+//                          assumed (unprovable) dependence blocks it
+//   access-range:         R001 ALLOCATE claims fewer pages than arrays the
+//                         loop references, R002 ALLOCATE claims more pages
+//                         than the loop's whole access-range footprint
 //   telemetry-names:      H003 telemetry metric name violates the
 //                         subsystem.noun_verb convention (registry-level
 //                         check behind `cdmm-lint --telemetry`; see
@@ -35,6 +43,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/analysis/dependence.h"
 #include "src/analysis/locality.h"
 #include "src/analysis/loop_tree.h"
 #include "src/directives/plan.h"
@@ -56,6 +65,7 @@ struct LintContext {
   const LoopTree* tree = nullptr;
   const LocalityAnalysis* locality = nullptr;
   const DirectivePlan* plan = nullptr;
+  const DependenceGraph* deps = nullptr;
   DiagnosticEngine* diags = nullptr;
 };
 
@@ -69,12 +79,14 @@ class LintPass {
   virtual void Run(const LintContext& ctx) const = 0;
 };
 
-// The five built-in passes, each a stateless singleton (lint_passes.cc).
+// The built-in passes, each a stateless singleton.
 const LintPass& SubscriptBoundsPass();
 const LintPass& DirectiveVerifierPass();
 const LintPass& DeadDirectivePass();
 const LintPass& LocalityConsistencyPass();
 const LintPass& HygienePass();
+const LintPass& ParallelIndependencePass();
+const LintPass& AccessRangePass();
 
 // All built-in passes in their canonical run order.
 const std::vector<const LintPass*>& AllLintPasses();
@@ -84,7 +96,7 @@ const std::vector<const LintPass*>& AllLintPasses();
 // errors, only passes with !needs_analysis() run.
 std::vector<Diagnostic> LintProgram(const Program& program, const LintOptions& options = {});
 
-// Parse + LintProgram. A parse failure yields a single P001 error.
+// Parse + LintProgram. A parse failure yields a single F001 error.
 std::vector<Diagnostic> LintSource(std::string_view source, const LintOptions& options = {});
 
 }  // namespace cdmm

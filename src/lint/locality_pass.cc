@@ -77,8 +77,9 @@ class LocalityConsistencyPassImpl final : public LintPass {
   }
 
   // Walking the enclosing chain from the reference site outward, a subscript
-  // must read kOuter while strictly inside its binder, kSelf at the binder,
-  // and kInner above it; a constant subscript must read kConstant throughout.
+  // must read kOuter while strictly inside its binder, kSelf at the binder
+  // (kInner there when the subscript is indirect), and kInner above it; a
+  // constant subscript must read kConstant throughout.
   static void CheckVariationChain(const LintContext& ctx, const RefSite& site) {
     if (site.site_loop == nullptr) {
       return;  // no enclosing chain to classify against
@@ -93,7 +94,10 @@ class LocalityConsistencyPassImpl final : public LintPass {
         if (binder == nullptr) {
           expected = Variation::kConstant;
         } else if (l == binder) {
-          expected = Variation::kSelf;
+          // An indirect subscript hops unpredictably within the driving
+          // loop, so the classifier conservatively reports kInner (full
+          // extent) even at the binder itself.
+          expected = ix.IsIndirect() ? Variation::kInner : Variation::kSelf;
           above_binder = true;
         } else {
           expected = above_binder ? Variation::kInner : Variation::kOuter;

@@ -1,0 +1,81 @@
+// parallel-independence: checks `!$CDMM INDEPENDENT` marks against the
+// dependence graph.
+//   P001 — a marked loop provably carries a dependence (the mark is wrong;
+//          parallel execution would be unsound).
+//   P002 — a program that uses marks leaves a provably independent top-level
+//          loop unmarked (missed parallelism; note only).
+//   P003 — a mark cannot be honoured because an *assumed* dependence (an
+//          indirect or otherwise unanalyzable subscript pair) blocks the
+//          loop; the mark is downgraded, with the blocking reference pair in
+//          the fix-it so the author can refute or restructure it.
+#include "src/lint/lint.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+constexpr char kPass[] = "parallel-independence";
+
+std::string DescribeSite(const DepSite& site) {
+  return StrCat(site.array, " at ", site.location.line, ":", site.location.column);
+}
+
+class ParallelIndependencePassImpl final : public LintPass {
+ public:
+  const char* name() const override { return kPass; }
+
+  void Run(const LintContext& ctx) const override {
+    bool any_marked = false;
+    ctx.program->ForEachStmt([&](const Stmt& stmt) {
+      any_marked = any_marked ||
+                   (stmt.kind == Stmt::Kind::kDoLoop && stmt.marked_independent);
+    });
+
+    ctx.program->ForEachStmt([&](const Stmt& stmt) {
+      if (stmt.kind != Stmt::Kind::kDoLoop) {
+        return;
+      }
+      const DepEdge* blocker = ctx.deps->BlockingEdge(stmt.loop_id);
+      if (stmt.marked_independent && blocker != nullptr) {
+        const DepSite& src = ctx.deps->sites()[blocker->src_site];
+        const DepSite& dst = ctx.deps->sites()[blocker->dst_site];
+        if (blocker->result == DepResult::kExact) {
+          Diagnostic& d = ctx.diags->Report(
+              Severity::kError, "P001", kPass, stmt.location,
+              StrCat("loop ", stmt.label, " is marked INDEPENDENT but carries a proven ",
+                     "dependence on ", blocker->array, " (", blocker->test, " test)"));
+          d.fixit = StrCat("remove the mark; blocking pair: ", DescribeSite(src), " -> ",
+                           DescribeSite(dst));
+        } else {
+          Diagnostic& d = ctx.diags->Report(
+              Severity::kWarning, "P003", kPass, stmt.location,
+              StrCat("INDEPENDENT mark on loop ", stmt.label, " is downgraded: a dependence ",
+                     "on ", blocker->array, " is assumed because the subscript pair cannot ",
+                     "be analyzed"));
+          d.fixit = StrCat("blocking pair: ", DescribeSite(src), " -> ", DescribeSite(dst));
+        }
+      }
+      // Missed-parallelism note: only for programs that opted into marks, and
+      // only at the top level (inner loops are run sequentially per outer
+      // iteration anyway; marking them buys nothing today).
+      if (any_marked && !stmt.marked_independent &&
+          ctx.tree->node(stmt.loop_id).parent == nullptr &&
+          ctx.deps->CanParallelize(stmt.loop_id)) {
+        Diagnostic& d = ctx.diags->Report(
+            Severity::kNote, "P002", kPass, stmt.location,
+            StrCat("loop ", stmt.label,
+                   " is provably free of carried dependences but not marked INDEPENDENT"));
+        d.fixit = StrCat("add `!$CDMM INDEPENDENT` before loop ", stmt.label);
+      }
+    });
+  }
+};
+
+}  // namespace
+
+const LintPass& ParallelIndependencePass() {
+  static const ParallelIndependencePassImpl pass;
+  return pass;
+}
+
+}  // namespace cdmm

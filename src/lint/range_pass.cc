@@ -1,0 +1,121 @@
+// access-range: cross-checks every placed ALLOCATE's claimed footprint X
+// against the dependence analysis' per-loop access-range summaries.
+//   R001 — X is smaller than the number of arrays the loop references: the
+//          grant cannot even keep one page per array resident, so the loop
+//          would fault on every array transition (error).
+//   R002 — X exceeds a generous upper bound on what the loop can ever touch
+//          (the whole-run range footprint plus one alignment and one
+//          transition page per array): the allocation over-claims memory
+//          other processes could use (warning).
+// Both are consistency checks between two independent derivations — the
+// locality analysis' X and the range analysis' footprint — and fire only on
+// stale or hand-edited plans, never on a freshly computed one.
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "src/lint/lint.h"
+#include "src/lint/pass_util.h"
+#include "src/support/str.h"
+
+namespace cdmm {
+namespace {
+
+using lint_internal::ArraysReferencedIn;
+using lint_internal::FindNode;
+
+constexpr char kPass[] = "access-range";
+
+class AccessRangePassImpl final : public LintPass {
+ public:
+  const char* name() const override { return kPass; }
+
+  void Run(const LintContext& ctx) const override {
+    const PageGeometry& geometry = ctx.locality->options().geometry;
+    int64_t epp = geometry.ElementsPerPage();
+    for (const auto& [loop_id, ap] : ctx.plan->allocate_before_loop) {
+      const LoopNode* node = FindNode(*ctx.tree, loop_id);
+      if (node == nullptr || ap.chain.empty()) {
+        continue;  // directive-verifier reports D004/D005
+      }
+      std::set<std::string> arrays = ArraysReferencedIn(*node);
+      if (arrays.empty()) {
+        continue;  // dead-directive reports X001
+      }
+      int64_t claimed = ap.chain.back().pages;
+      int64_t n_arrays = static_cast<int64_t>(arrays.size());
+
+      if (claimed < n_arrays) {
+        Diagnostic& d = ctx.diags->Report(
+            Severity::kError, "R001", kPass, node->loop->location,
+            StrCat("ALLOCATE before loop ", node->loop->label, " claims ", claimed,
+                   " page(s) for ", n_arrays,
+                   " referenced array(s); the loop cannot hold one resident page per array"));
+        d.fixit = StrCat("raise X to at least ", n_arrays, " pages");
+        continue;
+      }
+
+      int64_t bound = FootprintUpperBound(ctx, loop_id, arrays, epp);
+      bound = std::max(bound, ctx.locality->options().min_default_pages);
+      if (claimed > bound) {
+        Diagnostic& d = ctx.diags->Report(
+            Severity::kWarning, "R002", kPass, node->loop->location,
+            StrCat("ALLOCATE before loop ", node->loop->label, " claims ", claimed,
+                   " page(s) but the loop's whole access-range footprint is at most ", bound,
+                   " page(s)"));
+        d.fixit = StrCat("lower X to ", bound, " pages or less");
+      }
+    }
+  }
+
+ private:
+  // Sum over the loop's arrays of an upper bound on the pages one full
+  // execution can touch: the flat column-major span of the access range
+  // (whole array when a bound is unknown), plus one page of alignment slack
+  // and one transition page per array.
+  static int64_t FootprintUpperBound(const LintContext& ctx, uint32_t loop_id,
+                                     const std::set<std::string>& arrays, int64_t epp) {
+    const auto* ranges = ctx.deps->RangesFor(loop_id);
+    int64_t total = 0;
+    for (const std::string& array : arrays) {
+      const ArrayDecl* decl = ctx.program->FindArray(array);
+      if (decl == nullptr) {
+        continue;  // sema reports S003
+      }
+      int64_t span = decl->element_count();
+      const AccessRange* range = nullptr;
+      if (ranges != nullptr) {
+        auto it = ranges->find(array);
+        if (it != ranges->end()) {
+          range = &it->second;
+        }
+      }
+      if (range != nullptr && !range->dims.empty()) {
+        bool all_known = true;
+        for (const AccessRange::Dim& dim : range->dims) {
+          all_known = all_known && dim.known;
+        }
+        if (all_known) {
+          const AccessRange::Dim& rows = range->dims[0];
+          if (range->dims.size() == 1) {
+            span = rows.max - rows.min + 1;
+          } else {
+            const AccessRange::Dim& cols = range->dims[1];
+            span = (cols.max - cols.min) * decl->rows + (rows.max - rows.min) + 1;
+          }
+        }
+      }
+      total += (span + epp - 1) / epp + 2;
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+const LintPass& AccessRangePass() {
+  static const AccessRangePassImpl pass;
+  return pass;
+}
+
+}  // namespace cdmm

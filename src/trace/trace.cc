@@ -20,6 +20,26 @@ uint32_t Trace::AddDirective(DirectiveRecord record) {
   return index;
 }
 
+void Trace::Append(const Trace& other) {
+  CDMM_CHECK_MSG(virtual_pages_ == 0 || other.virtual_pages_ == 0 ||
+                     virtual_pages_ == other.virtual_pages_,
+                 "appending traces with different virtual sizes: " << virtual_pages_ << " vs "
+                                                                   << other.virtual_pages_);
+  if (virtual_pages_ == 0) {
+    virtual_pages_ = other.virtual_pages_;
+  }
+  uint32_t base = static_cast<uint32_t>(directives_.size());
+  events_.reserve(events_.size() + other.events_.size());
+  for (TraceEvent e : other.events_) {
+    if (e.kind == TraceEvent::Kind::kDirective) {
+      e.value += base;  // remap into this trace's directive table
+    }
+    events_.push_back(e);
+  }
+  directives_.insert(directives_.end(), other.directives_.begin(), other.directives_.end());
+  reference_count_ += other.reference_count_;
+}
+
 TraceStats Trace::ComputeStats() const {
   TraceStats stats;
   for (const TraceEvent& e : events_) {

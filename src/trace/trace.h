@@ -93,6 +93,11 @@ class Trace {
   // Appends a directive; returns its index in the directive table.
   uint32_t AddDirective(DirectiveRecord record);
 
+  // Appends all events of `other`, remapping its directive-table indices.
+  // Used by the parallel-nests driver to merge per-nest slices in source
+  // order; the merged trace is byte-identical to a sequential generation.
+  void Append(const Trace& other);
+
   void AddLoopEnter(uint32_t loop_id) {
     events_.push_back(TraceEvent{TraceEvent::Kind::kLoopEnter, loop_id});
   }

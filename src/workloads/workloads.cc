@@ -316,12 +316,119 @@ constexpr char kGaussjSource[] = R"(
       END
 )";
 
+// MATMULB: 2x2 register-blocked matrix multiply. The step-2 I/J loops are
+// provably independent (strong-SIV divisibility: column J and J+1 writes
+// never collide across iterations two apart) while K carries the C
+// accumulation; the operand initialisation runs through an analyzed
+// SUBROUTINE inlined at both CALL sites, and the two inlined init nests
+// touch disjoint arrays, so --parallel-nests runs them concurrently.
+constexpr char kMatmulbSource[] = R"(
+      PROGRAM MATMULB
+      PARAMETER (N = 8)
+      DIMENSION A(N,N), B(N,N), C(N,N)
+      CALL INIT2(A, 8)
+      CALL INIT2(B, 8)
+!$CDMM INDEPENDENT
+      DO 40 J = 1, N, 2
+        DO 30 I = 1, N, 2
+          DO 20 K = 1, N
+            C(I,J) = C(I,J) + A(I,K) * B(K,J)
+            C(I+1,J) = C(I+1,J) + A(I+1,K) * B(K,J)
+            C(I,J+1) = C(I,J+1) + A(I,K) * B(K,J+1)
+            C(I+1,J+1) = C(I+1,J+1) + A(I+1,K) * B(K,J+1)
+   20     CONTINUE
+   30   CONTINUE
+   40 CONTINUE
+      END
+      SUBROUTINE INIT2(X, M)
+      DIMENSION X(M,M)
+!$CDMM INDEPENDENT
+      DO 10 J = 1, M
+        DO 5 I = 1, M
+          X(I,J) = I + J * 2
+    5   CONTINUE
+   10 CONTINUE
+      END
+)";
+
+// SORRB: one-dimensional red-black successive over-relaxation. Each
+// half-sweep updates every other point from its two neighbours; the stride-2
+// loops are provably independent (a carried dependence would need an odd
+// iteration difference, impossible at step 2 — the GCD test settles it).
+constexpr char kSorrbSource[] = R"(
+      PROGRAM SORRB
+      PARAMETER (N = 64)
+      DIMENSION A(N), B(N)
+!$CDMM INDEPENDENT
+      DO 10 I = 1, N
+        A(I) = B(I) + 1.0
+   10 CONTINUE
+!$CDMM INDEPENDENT
+      DO 20 I = 2, 63, 2
+        A(I) = (A(I-1) + A(I+1)) * 0.5
+   20 CONTINUE
+!$CDMM INDEPENDENT
+      DO 30 I = 3, 63, 2
+        A(I) = (A(I-1) + A(I+1)) * 0.5
+   30 CONTINUE
+      END
+)";
+
+// GATHER: sparse scatter-add through an INTEGER index array. The write
+// B(IDX(I)) cannot be analyzed (the subscript is data-dependent), so the
+// dependence framework reports an *assumed* self-dependence and refuses to
+// parallelize the scatter loop — the soundness contract in action. No loop
+// carries an INDEPENDENT mark.
+constexpr char kGatherSource[] = R"(
+      PROGRAM GATHER
+      PARAMETER (N = 32)
+      INTEGER IDX(N)
+      DIMENSION A(N), B(N)
+      DO 10 I = 1, N
+        IDX(I) = MOD(I * 7, N) + 1
+   10 CONTINUE
+      DO 20 I = 1, N
+        B(IDX(I)) = B(IDX(I)) + A(I)
+   20 CONTINUE
+      END
+)";
+
+// STENCILG: a boundary-guarded stencil. The logical IF keeps the update off
+// the edges; the guarded loop is still provably independent (C writes only
+// its own point, B is read-only), and the two init nests touch disjoint
+// arrays so --parallel-nests overlaps them.
+constexpr char kStencilgSource[] = R"(
+      PROGRAM STENCILG
+      PARAMETER (N = 48)
+      DIMENSION A(N), B(N), C(N)
+!$CDMM INDEPENDENT
+      DO 5 I = 1, N
+        A(I) = I
+    5 CONTINUE
+!$CDMM INDEPENDENT
+      DO 10 I = 1, N
+        B(I) = I * 2
+   10 CONTINUE
+!$CDMM INDEPENDENT
+      DO 20 I = 1, N
+        IF (I .GT. 1 .AND. I .LT. 48) C(I) = B(I-1) + B(I+1) + A(I)
+   20 CONTINUE
+      END
+)";
+
 std::vector<Workload> MakeExtendedWorkloads() {
   return {
       {"TRED", "EISPACK TRED2: Householder reduction, triangular column ops", kTredSource},
       {"POISSN", "FISHPACK-style Poisson SOR: repeated 5-point column sweeps", kPoissnSource},
       {"GAUSSJ", "Gauss-Jordan elimination: pivot column reuse + column updates",
        kGaussjSource},
+      {"MATMULB", "2x2 register-blocked matmul: step-2 independent loops + CALL init",
+       kMatmulbSource},
+      {"SORRB", "1-D red-black SOR: stride-2 half-sweeps, GCD-provable independence",
+       kSorrbSource},
+      {"GATHER", "sparse scatter-add through INTEGER IDX: assumed dependence", kGatherSource},
+      {"STENCILG", "boundary-guarded stencil: logical IF inside independent loop",
+       kStencilgSource},
   };
 }
 

@@ -1,0 +1,483 @@
+// Tests for the dependence analysis: exact unit cases for the ZIV/SIV and
+// GCD/Banerjee tiers, graph-level queries (CanParallelize, BlockingEdge,
+// access ranges) over small programs, and the brute-force iteration-pair
+// oracle run against both randomized affine problems and every dependence
+// problem the builder produced for the builtin workloads.
+//
+// Soundness contract under test (dependence.h): a pair proven kIndependent
+// must have no conflicting iteration pair; a kExact verdict must have a
+// witness; and every direction the oracle observes must be contained in the
+// analytic direction masks (kAssumed = all directions).
+#include "src/analysis/dependence.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+DepLoop L(const std::string& var, int64_t lo, int64_t hi, int64_t step = 1, uint32_t id = 0) {
+  DepLoop l;
+  l.var = var;
+  l.lo = lo;
+  l.hi = hi;
+  l.step = step;
+  l.known = true;
+  l.exact = true;
+  l.loop_id = id;
+  return l;
+}
+
+LinExpr Const(int64_t c) {
+  LinExpr e;
+  e.c = c;
+  return e;
+}
+
+LinExpr Var(const std::string& var, int64_t coef, int64_t c) {
+  LinExpr e;
+  e.terms.push_back(LinTerm{var, coef});
+  e.c = c;
+  return e;
+}
+
+// Analytic direction mask at `level`: everything for kAssumed, the computed
+// mask otherwise.
+uint8_t MaskAt(const DepSolution& sol, size_t level) {
+  if (sol.result == DepResult::kAssumed) {
+    return kDirAll;
+  }
+  return level < sol.dir_masks.size() ? sol.dir_masks[level] : kDirAll;
+}
+
+// Asserts the soundness contract between one analytic solution and the
+// oracle's answer for the same problem.
+void ExpectSound(const DepProblem& p, const DepSolution& sol,
+                 const std::optional<std::vector<uint8_t>>& oracle, const std::string& what) {
+  if (sol.result == DepResult::kIndependent) {
+    EXPECT_FALSE(oracle.has_value()) << what << ": proven independent but oracle found a pair";
+  }
+  if (!oracle.has_value()) {
+    EXPECT_NE(sol.result, DepResult::kExact)
+        << what << ": kExact verdict without a conflicting iteration pair";
+    return;
+  }
+  ASSERT_EQ(oracle->size(), p.common.size()) << what;
+  for (size_t l = 0; l < oracle->size(); ++l) {
+    EXPECT_EQ((*oracle)[l] & ~MaskAt(sol, l), 0)
+        << what << ": oracle direction " << DirMaskToString((*oracle)[l]) << " at level " << l
+        << " escapes analytic mask " << DirMaskToString(MaskAt(sol, l));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ZIV: loop-invariant subscript pairs.
+
+TEST(DependenceSolveTest, ZivEqualConstantsIsExactEveryDirection) {
+  DepProblem p;
+  p.common.push_back(L("I", 1, 10));
+  p.src_subs.push_back(Const(5));
+  p.dst_subs.push_back(Const(5));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_EQ(sol.result, DepResult::kExact);
+  EXPECT_STREQ(sol.test, "ziv");
+  ASSERT_EQ(sol.dir_masks.size(), 1u);
+  EXPECT_EQ(sol.dir_masks[0], kDirAll);
+  ExpectSound(p, sol, BruteForceDirections(p), "ziv-equal");
+}
+
+TEST(DependenceSolveTest, ZivDifferentConstantsIsIndependent) {
+  DepProblem p;
+  p.common.push_back(L("I", 1, 10));
+  p.src_subs.push_back(Const(5));
+  p.dst_subs.push_back(Const(6));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_EQ(sol.result, DepResult::kIndependent);
+  EXPECT_FALSE(BruteForceDirections(p).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// SIV: one index variable.
+
+TEST(DependenceSolveTest, StrongSivUnitDistanceIsCarriedForward) {
+  // src A(I) vs dst A(I-1): the value written at iteration i is read one
+  // iteration later, a distance-(+1) flow dependence carried by the loop.
+  DepProblem p;
+  p.common.push_back(L("I", 1, 10));
+  p.src_subs.push_back(Var("I", 1, 0));
+  p.dst_subs.push_back(Var("I", 1, -1));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_EQ(sol.result, DepResult::kExact);
+  ASSERT_EQ(sol.dir_masks.size(), 1u);
+  EXPECT_EQ(sol.dir_masks[0], kDirLt);
+  ASSERT_TRUE(sol.has_distance);
+  ASSERT_EQ(sol.distances.size(), 1u);
+  EXPECT_EQ(sol.distances[0], 1);
+  ASSERT_EQ(sol.carried.size(), 1u);
+  EXPECT_TRUE(sol.carried[0]);
+  ExpectSound(p, sol, BruteForceDirections(p), "strong-siv");
+}
+
+TEST(DependenceSolveTest, SivDistanceBeyondTripCountIsIndependent) {
+  DepProblem p;
+  p.common.push_back(L("I", 1, 10));
+  p.src_subs.push_back(Var("I", 1, 0));
+  p.dst_subs.push_back(Var("I", 1, 20));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_EQ(sol.result, DepResult::kIndependent);
+  EXPECT_FALSE(BruteForceDirections(p).has_value());
+}
+
+TEST(DependenceSolveTest, SivParityMismatchIsIndependent) {
+  // 2i = 2i' + 1 has no integer solution (GCD reasoning inside the SIV
+  // tier): the even and odd element sets never meet.
+  DepProblem p;
+  p.common.push_back(L("I", 1, 10));
+  p.src_subs.push_back(Var("I", 2, 0));
+  p.dst_subs.push_back(Var("I", 2, 1));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_EQ(sol.result, DepResult::kIndependent);
+  EXPECT_FALSE(BruteForceDirections(p).has_value());
+}
+
+TEST(DependenceSolveTest, NegativeStepLoopAgreesWithOracle) {
+  DepProblem p;
+  p.common.push_back(L("I", 10, 1, -1));
+  p.src_subs.push_back(Var("I", 1, 0));
+  p.dst_subs.push_back(Var("I", 1, -1));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_NE(sol.result, DepResult::kIndependent);
+  ExpectSound(p, sol, BruteForceDirections(p), "negative-step");
+}
+
+// ---------------------------------------------------------------------------
+// MIV: distinct variables per side (GCD + Banerjee tier).
+
+TEST(DependenceSolveTest, GcdParityAcrossLoopsIsIndependent) {
+  // src A(2I), dst A(2J+1) with J enclosing only the sink.
+  DepProblem p;
+  p.common.push_back(L("I", 1, 6));
+  p.dst_only.push_back(L("J", 1, 6));
+  p.src_subs.push_back(Var("I", 2, 0));
+  p.dst_subs.push_back(Var("J", 2, 1));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_EQ(sol.result, DepResult::kIndependent);
+  EXPECT_FALSE(BruteForceDirections(p).has_value());
+}
+
+TEST(DependenceSolveTest, BanerjeeDisjointValueRangesIsIndependent) {
+  // src touches [1,5], dst touches [11,15]: the bounds test separates them
+  // even though the GCD test alone (gcd 1) cannot.
+  DepProblem p;
+  p.common.push_back(L("I", 1, 5));
+  p.dst_only.push_back(L("J", 1, 5));
+  p.src_subs.push_back(Var("I", 1, 0));
+  p.dst_subs.push_back(Var("J", 1, 10));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_EQ(sol.result, DepResult::kIndependent);
+  EXPECT_FALSE(BruteForceDirections(p).has_value());
+}
+
+TEST(DependenceSolveTest, CoupledSubscriptsStaySound) {
+  // A(I,J) vs A(J,I): both dimensions couple the two common loops; whatever
+  // the verdict, it must cover every direction the oracle observes.
+  DepProblem p;
+  p.common.push_back(L("I", 1, 4));
+  p.common.push_back(L("J", 1, 4));
+  p.src_subs.push_back(Var("I", 1, 0));
+  p.src_subs.push_back(Var("J", 1, 0));
+  p.dst_subs.push_back(Var("J", 1, 0));
+  p.dst_subs.push_back(Var("I", 1, 0));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_NE(sol.result, DepResult::kIndependent);
+  ExpectSound(p, sol, BruteForceDirections(p), "coupled");
+}
+
+TEST(DependenceSolveTest, NonAffineSubscriptIsAssumedEverywhere) {
+  DepProblem p;
+  p.common.push_back(L("I", 1, 8));
+  LinExpr indirect;
+  indirect.affine = false;
+  p.src_subs.push_back(indirect);
+  p.dst_subs.push_back(Var("I", 1, 0));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_EQ(sol.result, DepResult::kAssumed);
+  EXPECT_STREQ(sol.test, "assumed");
+  ASSERT_EQ(sol.dir_masks.size(), 1u);
+  EXPECT_EQ(sol.dir_masks[0], kDirAll);
+}
+
+TEST(DependenceSolveTest, WidenedTriangularBoundsNeverClaimAWitness) {
+  // exact=false marks a widened (triangular) range: independence proofs over
+  // the superset stay sound, but a kExact witness claim would not.
+  DepProblem p;
+  DepLoop tri = L("I", 1, 8);
+  tri.exact = false;
+  p.common.push_back(tri);
+  p.src_subs.push_back(Var("I", 1, 0));
+  p.dst_subs.push_back(Var("I", 1, -1));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_NE(sol.result, DepResult::kIndependent);
+  EXPECT_NE(sol.result, DepResult::kExact);
+}
+
+TEST(DependenceSolveTest, SymbolicBoundsAreConservative) {
+  DepProblem p;
+  DepLoop sym;
+  sym.var = "I";
+  sym.known = false;
+  p.common.push_back(sym);
+  p.src_subs.push_back(Var("I", 1, 0));
+  p.dst_subs.push_back(Var("I", 1, -3));
+  DepSolution sol = SolveDependence(p);
+  // With unbounded iteration count the distance-3 pair is always feasible;
+  // either an exact or an assumed edge is acceptable, independence is not.
+  EXPECT_NE(sol.result, DepResult::kIndependent);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property tests against the oracle.
+
+// Upper bound on the oracle's pair count for one problem.
+int64_t PairSpace(const DepProblem& p) {
+  auto trips = [](const DepLoop& l) {
+    if (l.step > 0) {
+      return l.hi < l.lo ? int64_t{0} : (l.hi - l.lo) / l.step + 1;
+    }
+    return l.lo < l.hi ? int64_t{0} : (l.lo - l.hi) / (-l.step) + 1;
+  };
+  int64_t n = 1;
+  for (const DepLoop& l : p.common) {
+    n *= trips(l) * trips(l);
+  }
+  for (const DepLoop& l : p.src_only) {
+    n *= trips(l);
+  }
+  for (const DepLoop& l : p.dst_only) {
+    n *= trips(l);
+  }
+  return n;
+}
+
+TEST(DependencePropertyTest, RandomAffineProblemsAgreeWithOracle) {
+  std::mt19937 rng(20260809);
+  auto pick = [&](int lo, int hi) { return lo + static_cast<int>(rng() % (hi - lo + 1)); };
+  for (int trial = 0; trial < 400; ++trial) {
+    DepProblem p;
+    int k = pick(1, 2);
+    std::vector<std::string> vars;
+    for (int i = 0; i < k; ++i) {
+      std::string v(1, static_cast<char>('I' + i));
+      int64_t lo = pick(-3, 3);
+      int64_t hi = lo + pick(0, 5);
+      int64_t step = pick(1, 2);
+      if (pick(0, 3) == 0) {  // occasionally a descending loop
+        p.common.push_back(L(v, hi, lo, -step));
+      } else {
+        p.common.push_back(L(v, lo, hi, step));
+      }
+      vars.push_back(v);
+    }
+    std::vector<std::string> src_vars = vars;
+    std::vector<std::string> dst_vars = vars;
+    if (pick(0, 2) == 0) {
+      p.src_only.push_back(L("S", 1, pick(1, 4)));
+      src_vars.push_back("S");
+    }
+    if (pick(0, 2) == 0) {
+      p.dst_only.push_back(L("T", 1, pick(1, 4)));
+      dst_vars.push_back("T");
+    }
+    int dims = pick(1, 2);
+    auto make_sub = [&](const std::vector<std::string>& pool) {
+      int64_t coef = pick(-3, 3);
+      int64_t c = pick(-8, 8);
+      if (coef == 0) {
+        return Const(c);
+      }
+      return Var(pool[static_cast<size_t>(pick(0, static_cast<int>(pool.size()) - 1))], coef, c);
+    };
+    for (int d = 0; d < dims; ++d) {
+      p.src_subs.push_back(make_sub(src_vars));
+      p.dst_subs.push_back(make_sub(dst_vars));
+    }
+    ASSERT_LE(PairSpace(p), int64_t{200000});
+    DepSolution sol = SolveDependence(p);
+    std::optional<std::vector<uint8_t>> oracle = BruteForceDirections(p);
+    ExpectSound(p, sol, oracle, "trial " + std::to_string(trial));
+    // With every bound exact, a witness claim must also be backed by the
+    // oracle in the other direction: kExact <=> a pair exists whenever the
+    // verdict is not assumed.
+    if (sol.result == DepResult::kExact) {
+      EXPECT_TRUE(oracle.has_value()) << "trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workload agreement: every problem the builder solved for the builtin
+// workloads is re-run under the oracle (where its bounds are enumerable).
+
+TEST(DependenceOracleTest, BuiltinWorkloadProblemsAgreeWithOracle) {
+  int checked = 0;
+  for (const auto* list : {&AllWorkloads(), &ExtendedWorkloads()}) {
+    for (const Workload& w : *list) {
+      Result<CompiledProgram> cp = CompiledProgram::FromSource(w.source);
+      ASSERT_TRUE(cp.ok()) << w.name;
+      const DependenceGraph& graph = cp.value().deps();
+      for (const auto& [src, dst, problem] : graph.tested_problems()) {
+        bool enumerable = true;
+        for (const auto* loops : {&problem.common, &problem.src_only, &problem.dst_only}) {
+          for (const DepLoop& l : *loops) {
+            enumerable = enumerable && l.known;
+          }
+        }
+        if (!enumerable || PairSpace(problem) > 2000000) {
+          continue;
+        }
+        DepSolution sol = SolveDependence(problem);
+        ExpectSound(problem, sol, BruteForceDirections(problem),
+                    w.name + " sites " + std::to_string(src) + "->" + std::to_string(dst));
+        ++checked;
+      }
+    }
+  }
+  // The suite is only meaningful if a healthy share of real problems ran.
+  EXPECT_GE(checked, 50);
+}
+
+// ---------------------------------------------------------------------------
+// Graph-level queries over small programs.
+
+const DependenceGraph& GraphFor(Result<CompiledProgram>& cp) {
+  EXPECT_TRUE(cp.ok());
+  return cp.value().deps();
+}
+
+const Stmt* LoopByLabel(const Program& program, int64_t label) {
+  const Stmt* found = nullptr;
+  program.ForEachStmt([&](const Stmt& s) {
+    if (s.kind == Stmt::Kind::kDoLoop && s.label == label) {
+      found = &s;
+    }
+  });
+  return found;
+}
+
+TEST(DependenceGraphTest, RecurrenceBlocksParallelizationPointwiseDoesNot) {
+  Result<CompiledProgram> cp = CompiledProgram::FromSource(
+      "      PROGRAM REC\n"
+      "      DIMENSION A(16), B(16), C(16)\n"
+      "      DO 10 I = 2, 16\n"
+      "        A(I) = A(I-1) + B(I)\n"
+      "   10 CONTINUE\n"
+      "      DO 20 I = 1, 16\n"
+      "        C(I) = B(I) + 1.0\n"
+      "   20 CONTINUE\n"
+      "      END\n");
+  const DependenceGraph& g = GraphFor(cp);
+  const Stmt* rec = LoopByLabel(cp.value().program(), 10);
+  const Stmt* pt = LoopByLabel(cp.value().program(), 20);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_NE(pt, nullptr);
+  EXPECT_FALSE(g.CanParallelize(rec->loop_id));
+  EXPECT_TRUE(g.CanParallelize(pt->loop_id));
+
+  const DepEdge* blocker = g.BlockingEdge(rec->loop_id);
+  ASSERT_NE(blocker, nullptr);
+  EXPECT_EQ(blocker->array, "A");
+  EXPECT_EQ(blocker->result, DepResult::kExact);
+  EXPECT_EQ(g.BlockingEdge(pt->loop_id), nullptr);
+}
+
+TEST(DependenceGraphTest, IndirectSubscriptYieldsAssumedBlockingEdge) {
+  Result<CompiledProgram> cp = CompiledProgram::FromSource(
+      "      PROGRAM IND\n"
+      "      INTEGER IDX(8)\n"
+      "      DIMENSION A(8), B(8)\n"
+      "      DO 10 I = 1, 8\n"
+      "        IDX(I) = I\n"
+      "   10 CONTINUE\n"
+      "      DO 20 I = 1, 8\n"
+      "        B(IDX(I)) = A(I)\n"
+      "   20 CONTINUE\n"
+      "      END\n");
+  const DependenceGraph& g = GraphFor(cp);
+  const Stmt* gather = LoopByLabel(cp.value().program(), 20);
+  ASSERT_NE(gather, nullptr);
+  EXPECT_FALSE(g.CanParallelize(gather->loop_id));
+  const DepEdge* blocker = g.BlockingEdge(gather->loop_id);
+  ASSERT_NE(blocker, nullptr);
+  EXPECT_EQ(blocker->result, DepResult::kAssumed);
+  EXPECT_GT(g.stats().tests_assumed, 0u);
+}
+
+TEST(DependenceGraphTest, AccessRangesTrackShiftedSubscripts) {
+  Result<CompiledProgram> cp = CompiledProgram::FromSource(
+      "      PROGRAM RNG\n"
+      "      DIMENSION A(16), B(16)\n"
+      "      DO 10 I = 2, 9\n"
+      "        A(I) = B(I+1)\n"
+      "   10 CONTINUE\n"
+      "      END\n");
+  const DependenceGraph& g = GraphFor(cp);
+  const Stmt* loop = LoopByLabel(cp.value().program(), 10);
+  ASSERT_NE(loop, nullptr);
+  const auto* ranges = g.RangesFor(loop->loop_id);
+  ASSERT_NE(ranges, nullptr);
+
+  auto a = ranges->find("A");
+  ASSERT_NE(a, ranges->end());
+  ASSERT_EQ(a->second.dims.size(), 1u);
+  EXPECT_TRUE(a->second.dims[0].known);
+  EXPECT_EQ(a->second.dims[0].min, 2);
+  EXPECT_EQ(a->second.dims[0].max, 9);
+  EXPECT_TRUE(a->second.any_write);
+
+  auto b = ranges->find("B");
+  ASSERT_NE(b, ranges->end());
+  ASSERT_EQ(b->second.dims.size(), 1u);
+  EXPECT_TRUE(b->second.dims[0].known);
+  EXPECT_EQ(b->second.dims[0].min, 3);
+  EXPECT_EQ(b->second.dims[0].max, 10);
+  EXPECT_FALSE(b->second.any_write);
+}
+
+TEST(DependenceGraphTest, StatsPartitionTestsRun) {
+  for (const Workload& w : ExtendedWorkloads()) {
+    Result<CompiledProgram> cp = CompiledProgram::FromSource(w.source);
+    ASSERT_TRUE(cp.ok()) << w.name;
+    const DependenceGraph::Stats& s = cp.value().deps().stats();
+    EXPECT_EQ(s.tests_run, s.tests_exact + s.tests_assumed + s.tests_independent) << w.name;
+    EXPECT_EQ(s.tests_run, cp.value().deps().tested_problems().size()) << w.name;
+  }
+}
+
+TEST(DependenceGraphTest, DumpsMentionEverySiteAndEdge) {
+  Result<CompiledProgram> cp = CompiledProgram::FromSource(
+      "      PROGRAM DMP\n"
+      "      DIMENSION A(8)\n"
+      "      DO 10 I = 2, 8\n"
+      "        A(I) = A(I-1)\n"
+      "   10 CONTINUE\n"
+      "      END\n");
+  const DependenceGraph& g = GraphFor(cp);
+  std::string text = g.ToText();
+  EXPECT_NE(text.find("site 0"), std::string::npos);
+  EXPECT_NE(text.find("parallelizable=no"), std::string::npos);
+  std::string json = g.ToJson();
+  EXPECT_NE(json.find("\"edges\""), std::string::npos);
+  EXPECT_NE(json.find("\"sites\""), std::string::npos);
+  EXPECT_NE(json.find("\"ranges\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -59,6 +59,45 @@ TEST(DiagnosticsTest, SortBySourceIsStableOnTies) {
   EXPECT_EQ(engine.diagnostics()[1].code, "B002");
 }
 
+TEST(DiagnosticsTest, SortIsDeterministicForDependencePassCodes) {
+  // The dependence-powered passes (P001-P003, R001-R002) report from a
+  // different engine phase than the structural passes; their diagnostics must
+  // land in one canonical order regardless of the order the passes ran in.
+  struct Entry {
+    const char* code;
+    const char* pass;
+    int line;
+    int column;
+  };
+  const Entry entries[] = {
+      {"B001", "subscript-bounds", 5, 9},   {"P001", "parallel-independence", 4, 7},
+      {"R002", "access-range", 4, 7},       {"C002", "locality-consistency", 5, 9},
+      {"P003", "parallel-independence", 8, 7}, {"R001", "access-range", 8, 7},
+      {"H001", "hygiene", 3, 17},           {"D001", "directive-verifier", 4, 7},
+      {"X001", "dead-directive", 8, 7},     {"P002", "parallel-independence", 4, 7},
+  };
+  auto run = [&](bool reversed) {
+    DiagnosticEngine engine;
+    size_t n = sizeof(entries) / sizeof(entries[0]);
+    for (size_t i = 0; i < n; ++i) {
+      const Entry& e = entries[reversed ? n - 1 - i : i];
+      engine.Report(Severity::kWarning, e.code, e.pass, Loc(e.line, e.column), "m");
+    }
+    engine.SortBySource();
+    std::vector<std::string> codes;
+    for (const Diagnostic& d : engine.diagnostics()) {
+      codes.push_back(d.code);
+    }
+    return codes;
+  };
+  std::vector<std::string> forward = run(false);
+  EXPECT_EQ(forward, run(true));
+  // Same span sorts by code, so P/R codes interleave deterministically with
+  // the existing families: at 4:7 D001 < P001 < P002 < R002.
+  EXPECT_EQ(forward, (std::vector<std::string>{"H001", "D001", "P001", "P002", "R002", "B001",
+                                               "C002", "P003", "R001", "X001"}));
+}
+
 TEST(DiagnosticsTest, ToStringIncludesSpanSeverityPassAndCode) {
   Diagnostic d;
   d.code = "S003";
@@ -112,7 +151,7 @@ TEST(DiagnosticsTest, RenderJsonEmitsAllFieldsAndOmitsEmptyFixit) {
 
 TEST(DiagnosticsTest, RenderJsonEscapesSpecialCharacters) {
   Diagnostic d;
-  d.code = "P001";
+  d.code = "F001";
   d.pass = "parse";
   d.message = "bad token \"X\\Y\"\n\ttrailing";
   std::string json = RenderJson({d}, "a\"b.f");

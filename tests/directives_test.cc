@@ -203,6 +203,55 @@ TEST(ListingTest, CompactListingMatchesFigure5cShape) {
   EXPECT_LT(listing.find("ALLOCATE"), listing.find("Loop 40;"));
 }
 
+// ---------------------------------------------------------------------------
+// The dependence-aware overload: Algorithm 2's "lock everything the segment
+// touched" sharpened by the graph, plus the independent-loop record.
+
+TEST(DependenceAwarePlanTest, PrunesLocksWithNoFlowIntoChildNest) {
+  Fixture f(kFigure5);
+  DependenceGraph deps = DependenceGraph::Build(f.program, *f.tree);
+  DirectivePlan dp = BuildDirectivePlan(*f.tree, *f.locality, deps);
+
+  // Algorithm 1's allocations are untouched by the sharpening.
+  EXPECT_EQ(dp.allocate_before_loop.size(), f.plan.allocate_before_loop.size());
+
+  std::string listing = InstrumentedListing(*f.tree, dp, /*compact=*/true);
+  // A and B are only touched in the segment before loop 20, never inside it:
+  // no dependence flows into the nest, so the lock is provably unnecessary.
+  EXPECT_EQ(listing.find("LOCK (3,A,B)"), std::string::npos) << listing;
+  // E and F flow from each segment into its child nest; those locks stay.
+  EXPECT_NE(listing.find("LOCK (3,E,F)"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("LOCK (2,E,F)"), std::string::npos) << listing;
+  // The exit UNLOCK is recomputed from the surviving locks.
+  EXPECT_NE(listing.find("UNLOCK (E,F)"), std::string::npos) << listing;
+  EXPECT_EQ(listing.find("UNLOCK (A,B,E,F)"), std::string::npos) << listing;
+}
+
+TEST(DependenceAwarePlanTest, RecordsProvablyIndependentLoops) {
+  Fixture f(kFigure5);
+  DependenceGraph deps = DependenceGraph::Build(f.program, *f.tree);
+  DirectivePlan dp = BuildDirectivePlan(*f.tree, *f.locality, deps);
+
+  auto loop_id = [&](int64_t label) {
+    uint32_t id = 0;
+    f.program.ForEachStmt([&](const Stmt& s) {
+      if (s.kind == Stmt::Kind::kDoLoop && s.label == label) {
+        id = s.loop_id;
+      }
+    });
+    EXPECT_NE(id, 0u) << "label " << label;
+    return id;
+  };
+  // Loops 20 and 10 carry no dependence; 30 and 40 carry the E/F recurrence.
+  EXPECT_TRUE(dp.independent_loops.count(loop_id(20)));
+  EXPECT_TRUE(dp.independent_loops.count(loop_id(10)));
+  EXPECT_FALSE(dp.independent_loops.count(loop_id(30)));
+  EXPECT_FALSE(dp.independent_loops.count(loop_id(40)));
+
+  // The structural plan stays oblivious (and byte-identical to before).
+  EXPECT_TRUE(f.plan.independent_loops.empty());
+}
+
 TEST(ListingTest, FullListingIncludesStatements) {
   Fixture f(kFigure5);
   std::string listing = InstrumentedListing(*f.tree, f.plan, /*compact=*/false);

@@ -214,10 +214,10 @@ TEST(LintAdversarialTest, ShadowedDoIndexAndUnusedArrayReportH002AndH001) {
   EXPECT_NE(diags[1].message.find("declared at 2:25"), std::string::npos);
 }
 
-TEST(LintAdversarialTest, ParseFailureYieldsSingleP001) {
+TEST(LintAdversarialTest, ParseFailureYieldsSingleF001) {
   std::vector<Diagnostic> diags = LintSource("      PROGRAM BAD\n", DriverOptions());
   ASSERT_EQ(diags.size(), 1u);
-  EXPECT_EQ(diags[0].code, "P001");
+  EXPECT_EQ(diags[0].code, "F001");
   EXPECT_EQ(diags[0].pass, "parse");
   EXPECT_EQ(diags[0].severity, Severity::kError);
 }
@@ -395,6 +395,180 @@ TEST(LintPlanTest, LockOfUntouchedArrayReportsX003) {
 }
 
 // ---------------------------------------------------------------------------
+// Dependence-powered passes. P001/P003 run through the full LintSource
+// pipeline on wrongly-marked programs; R001/R002 need a tampered plan, so
+// they run the access-range pass directly over a hand-damaged fixture.
+
+TEST(LintDependenceTest, WronglyMarkedRecurrenceReportsP001) {
+  const char* source =
+      "      PROGRAM PMARK\n"
+      "      DIMENSION A(16), B(16)\n"
+      "!$CDMM INDEPENDENT\n"
+      "      DO 10 I = 2, 16\n"
+      "        A(I) = A(I-1) + B(I)\n"
+      "   10 CONTINUE\n"
+      "      END\n";
+  std::vector<Diagnostic> diags = LintSource(source, DriverOptions());
+  ASSERT_EQ(Codes(diags), (std::vector<std::string>{"P001"})) << RenderText(diags, "pmark");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].pass, "parallel-independence");
+  EXPECT_EQ(diags[0].location.line, 4);
+  EXPECT_EQ(diags[0].location.column, 7);
+  EXPECT_NE(diags[0].message.find("marked INDEPENDENT but carries a proven"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("dependence on A"), std::string::npos);
+  EXPECT_NE(diags[0].fixit.find("blocking pair: A at 5:9 -> A at 5:16"), std::string::npos)
+      << diags[0].fixit;
+}
+
+TEST(LintDependenceTest, MarkedIndirectGatherReportsP003AndMissedMarkP002) {
+  const char* source =
+      "      PROGRAM PASUME\n"
+      "      PARAMETER (N = 8)\n"
+      "      INTEGER IDX(N)\n"
+      "      DIMENSION A(N), B(N)\n"
+      "      DO 10 I = 1, N\n"
+      "        IDX(I) = I\n"
+      "   10 CONTINUE\n"
+      "!$CDMM INDEPENDENT\n"
+      "      DO 20 I = 1, N\n"
+      "        B(IDX(I)) = A(I)\n"
+      "   20 CONTINUE\n"
+      "      END\n";
+  std::vector<Diagnostic> diags = LintSource(source, DriverOptions());
+  ASSERT_EQ(Codes(diags), (std::vector<std::string>{"P002", "P003"})) << RenderText(diags, "p");
+
+  // The provably independent init loop is unmarked in a program using marks.
+  EXPECT_EQ(diags[0].severity, Severity::kNote);
+  EXPECT_EQ(diags[0].location.line, 5);
+  EXPECT_NE(diags[0].fixit.find("add `!$CDMM INDEPENDENT` before loop 10"), std::string::npos);
+
+  // The marked gather is downgraded: the indirect write cannot be analyzed.
+  EXPECT_EQ(diags[1].severity, Severity::kWarning);
+  EXPECT_EQ(diags[1].pass, "parallel-independence");
+  EXPECT_EQ(diags[1].location.line, 9);
+  EXPECT_EQ(diags[1].location.column, 7);
+  EXPECT_NE(diags[1].message.find("downgraded"), std::string::npos);
+  EXPECT_NE(diags[1].fixit.find("blocking pair: B at 10:9"), std::string::npos) << diags[1].fixit;
+}
+
+struct DepPlanFixture {
+  Program program;
+  LoopTree tree;
+  LocalityAnalysis locality;
+  DirectivePlan plan;
+  DependenceGraph deps;
+  DiagnosticEngine engine;
+
+  explicit DepPlanFixture(const char* source, LocalityOptions options = {})
+      : program(Parse(source).value()),
+        tree(program),
+        locality(program, tree, options),
+        plan(BuildDirectivePlan(tree, locality)),
+        deps(DependenceGraph::Build(program, tree)) {}
+
+  std::vector<Diagnostic> RunRangePass() {
+    LintContext ctx;
+    ctx.program = &program;
+    ctx.tree = &tree;
+    ctx.locality = &locality;
+    ctx.plan = &plan;
+    ctx.deps = &deps;
+    ctx.diags = &engine;
+    AccessRangePass().Run(ctx);
+    engine.SortBySource();
+    return engine.Take();
+  }
+};
+
+TEST(LintDependenceTest, FreshPlanIsRangeClean) {
+  DepPlanFixture fx(kNestSource);
+  EXPECT_TRUE(fx.RunRangePass().empty());
+}
+
+TEST(LintDependenceTest, StarvedAllocationReportsR001) {
+  DepPlanFixture fx(kNestSource);
+  ASSERT_FALSE(fx.plan.allocate_before_loop.empty());
+  // Loop 20's subtree references A and B; one page cannot cover both.
+  for (auto& [id, ap] : fx.plan.allocate_before_loop) {
+    for (AllocateRequest& req : ap.chain) {
+      req.pages = 1;
+    }
+  }
+  std::vector<Diagnostic> diags = fx.RunRangePass();
+  ASSERT_TRUE(HasCode(diags, "R001")) << RenderText(diags, "nest");
+  const Diagnostic& d = FindCode(diags, "R001");
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.pass, "access-range");
+  EXPECT_EQ(d.location.line, 4);
+  EXPECT_EQ(d.location.column, 7);
+  EXPECT_NE(d.message.find("claims 1 page(s) for 2 referenced array(s)"), std::string::npos);
+  EXPECT_EQ(d.fixit, "raise X to at least 2 pages");
+}
+
+TEST(LintDependenceTest, OverclaimedAllocationReportsR002) {
+  DepPlanFixture fx(kNestSource);
+  ASSERT_FALSE(fx.plan.allocate_before_loop.empty());
+  for (auto& [id, ap] : fx.plan.allocate_before_loop) {
+    for (AllocateRequest& req : ap.chain) {
+      req.pages = 10000;
+    }
+  }
+  std::vector<Diagnostic> diags = fx.RunRangePass();
+  ASSERT_TRUE(HasCode(diags, "R002")) << RenderText(diags, "nest");
+  const Diagnostic& d = FindCode(diags, "R002");
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_NE(d.message.find("claims 10000 page(s)"), std::string::npos);
+  EXPECT_NE(d.message.find("whole access-range footprint"), std::string::npos);
+  EXPECT_NE(d.fixit.find("lower X to"), std::string::npos);
+}
+
+// Guard-aware bounds narrowing: the stencil pattern that motivated it, plus
+// the no-guard control that must keep firing.
+
+TEST(LintDependenceTest, GuardedStencilIsBoundsClean) {
+  const char* source =
+      "      PROGRAM GRD\n"
+      "      PARAMETER (N = 16)\n"
+      "      DIMENSION A(N), B(N)\n"
+      "      DO 10 I = 1, N\n"
+      "        IF (I .GT. 1 .AND. I .LT. 16) A(I) = B(I-1) + B(I+1)\n"
+      "   10 CONTINUE\n"
+      "      END\n";
+  std::vector<Diagnostic> diags = LintSource(source, DriverOptions());
+  EXPECT_TRUE(diags.empty()) << RenderText(diags, "grd");
+}
+
+TEST(LintDependenceTest, UnguardedStencilStillReportsBounds) {
+  const char* source =
+      "      PROGRAM UNG\n"
+      "      PARAMETER (N = 16)\n"
+      "      DIMENSION A(N), B(N)\n"
+      "      DO 10 I = 1, N\n"
+      "        A(I) = B(I-1) + B(I+1)\n"
+      "   10 CONTINUE\n"
+      "      END\n";
+  std::vector<Diagnostic> diags = LintSource(source, DriverOptions());
+  EXPECT_TRUE(HasCode(diags, "B001")) << RenderText(diags, "ung");
+  EXPECT_TRUE(HasCode(diags, "B002")) << RenderText(diags, "ung");
+}
+
+TEST(LintDependenceTest, GuardOnAnotherVariableDoesNotNarrow) {
+  // The guard constrains J, not the subscript variable I: B001 must survive.
+  const char* source =
+      "      PROGRAM GOV\n"
+      "      PARAMETER (N = 16)\n"
+      "      DIMENSION A(N), B(N)\n"
+      "      DO 20 J = 1, N\n"
+      "      DO 10 I = 1, N\n"
+      "        IF (J .GT. 1 .AND. J .LT. 16) A(I) = B(I-1)\n"
+      "   10 CONTINUE\n"
+      "   20 CONTINUE\n"
+      "      END\n";
+  std::vector<Diagnostic> diags = LintSource(source, DriverOptions());
+  EXPECT_TRUE(HasCode(diags, "B001")) << RenderText(diags, "gov");
+}
+
+// ---------------------------------------------------------------------------
 // Validation diagnostics (V001): the structured view of the estimate
 // validator, driven by fabricated rows so the failure path is deterministic.
 
@@ -423,12 +597,14 @@ TEST(LintValidationTest, InadequateEstimateYieldsV001AtTheLoop) {
 
 TEST(LintFrameworkTest, AllPassesAreRegisteredInCanonicalOrder) {
   const std::vector<const LintPass*>& passes = AllLintPasses();
-  ASSERT_EQ(passes.size(), 5u);
+  ASSERT_EQ(passes.size(), 7u);
   EXPECT_STREQ(passes[0]->name(), "subscript-bounds");
   EXPECT_STREQ(passes[1]->name(), "directive-verifier");
   EXPECT_STREQ(passes[2]->name(), "dead-directive");
   EXPECT_STREQ(passes[3]->name(), "locality-consistency");
   EXPECT_STREQ(passes[4]->name(), "hygiene");
+  EXPECT_STREQ(passes[5]->name(), "parallel-independence");
+  EXPECT_STREQ(passes[6]->name(), "access-range");
   for (const LintPass* pass : passes) {
     EXPECT_EQ(pass->needs_analysis(), std::string(pass->name()) != "hygiene") << pass->name();
   }
