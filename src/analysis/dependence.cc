@@ -142,7 +142,12 @@ bool EqFeasible(const Eq& eq, const std::vector<Ival>& ivals,
 // small-space refinement. Iterates every (src, dst) iteration pair, records
 // the direction mask per common loop over pairs whose subscripts all match.
 // `skip_all_equal` drops the identical-iteration pair (self dependence).
-std::optional<std::vector<uint8_t>> BruteForce(const DepProblem& p, bool skip_all_equal) {
+// When `carried_out` is non-null it receives, per common loop, whether some
+// conflicting pair has its first non-'=' level there — the aggregated masks
+// alone are not a product set, so carried levels cannot be re-derived from
+// them afterwards.
+std::optional<std::vector<uint8_t>> BruteForce(const DepProblem& p, bool skip_all_equal,
+                                               std::vector<bool>* carried_out = nullptr) {
   size_t k = p.common.size();
   // Instance order: common src, common dst, src_only, dst_only.
   std::vector<const DepLoop*> loops;
@@ -163,6 +168,9 @@ std::optional<std::vector<uint8_t>> BruteForce(const DepProblem& p, bool skip_al
   }
   std::vector<int64_t> iter(loops.size(), 0);  // iteration numbers
   std::vector<uint8_t> masks(k, 0);
+  if (carried_out != nullptr) {
+    carried_out->assign(k, false);
+  }
   bool any = false;
 
   // Subscript evaluation: maps a variable to its instance's value.
@@ -215,6 +223,14 @@ std::optional<std::vector<uint8_t>> BruteForce(const DepProblem& p, bool skip_al
           masks[i] |= kDirEq;
         } else {
           masks[i] |= kDirGt;
+        }
+      }
+      if (carried_out != nullptr) {
+        for (size_t i = 0; i < k; ++i) {
+          if (iter[i] != iter[k + i]) {
+            (*carried_out)[i] = true;
+            break;
+          }
         }
       }
       return;
@@ -394,6 +410,20 @@ DepSolution Solve(const DepProblem& p, bool self_pair) {
     sol.test = any_siv ? "siv" : "ziv";
     sol.dir_masks.assign(k, 0);
     bool exact = true;
+    // A widened (exact=false) or symbolic side loop may execute zero
+    // iterations, so the claimed witness pair need not exist; mirror the
+    // space_exact check of the Banerjee refinement. (Known exact side loops
+    // already passed the empty-trip check above, so they run at least once.)
+    for (const DepLoop& l : p.src_only) {
+      if (!l.known || !l.exact) {
+        exact = false;
+      }
+    }
+    for (const DepLoop& l : p.dst_only) {
+      if (!l.known || !l.exact) {
+        exact = false;
+      }
+    }
     for (size_t i = 0; i < k; ++i) {
       const DepLoop& l = p.common[i];
       int64_t n = l.known ? TripCount(l.lo, l.hi, l.step) : -1;
@@ -637,12 +667,16 @@ DepSolution Solve(const DepProblem& p, bool self_pair) {
   }
   int64_t space = PairSpaceSize(p);
   if (space_exact && space >= 0 && space <= kBruteForceCap) {
-    auto oracle = BruteForce(p, self_pair);
+    std::vector<bool> oracle_carried;
+    auto oracle = BruteForce(p, self_pair, &oracle_carried);
     if (!oracle.has_value()) {
       return IndependentSolution("banerjee");
     }
     sol.dir_masks = *oracle;
-    sol.carried = CarriesFromProductMasks(sol.dir_masks);
+    // Use the per-pair carried levels the oracle recorded: the aggregated
+    // masks may combine several direction vectors (e.g. (<,>) and (=,=)),
+    // so CarriesFromProductMasks would spuriously mark inner levels.
+    sol.carried = oracle_carried;
     sol.result = DepResult::kExact;
   }
   return sol;

@@ -91,8 +91,12 @@ bool RangesDisjoint(const DependenceGraph& deps, const std::string& array, uint3
 }
 
 // Two units conflict when they share an array with at least one write and
-// the dependence graph cannot prove their footprints disjoint.
-bool UnitsConflict(const DependenceGraph& deps, const UnitFootprint& a, const UnitFootprint& b) {
+// the dependence graph cannot prove their footprints disjoint. Two writers
+// of the same INTEGER array conflict even with provably disjoint ranges:
+// the fold-back merges whole INTEGER arrays, so the later unit's copy would
+// clobber the elements the earlier unit wrote.
+bool UnitsConflict(const DependenceGraph& deps, const std::set<std::string>& integer_arrays,
+                   const UnitFootprint& a, const UnitFootprint& b) {
   auto conflicting = [&](const std::set<std::string>& xs, const std::set<std::string>& ys,
                          uint32_t root_x, uint32_t root_y) {
     for (const std::string& array : xs) {
@@ -102,9 +106,24 @@ bool UnitsConflict(const DependenceGraph& deps, const UnitFootprint& a, const Un
     }
     return false;
   };
+  for (const std::string& array : a.writes) {
+    if (b.writes.count(array) != 0 && integer_arrays.count(array) != 0) {
+      return true;
+    }
+  }
   return conflicting(a.writes, b.writes, a.root_loop, b.root_loop) ||
          conflicting(a.writes, b.reads, a.root_loop, b.root_loop) ||
          conflicting(a.reads, b.writes, a.root_loop, b.root_loop);
+}
+
+std::set<std::string> IntegerArrayNames(const Program& program) {
+  std::set<std::string> names;
+  for (const ArrayDecl& d : program.arrays) {
+    if (d.is_integer) {
+      names.insert(d.name);
+    }
+  }
+  return names;
 }
 
 }  // namespace
@@ -112,12 +131,13 @@ bool UnitsConflict(const DependenceGraph& deps, const UnitFootprint& a, const Un
 std::vector<std::vector<size_t>> PlanNestGroups(const Program& program,
                                                 const DependenceGraph& deps) {
   std::vector<UnitFootprint> fps = CollectFootprints(program);
+  std::set<std::string> integer_arrays = IntegerArrayNames(program);
   std::vector<std::vector<size_t>> groups;
   for (size_t u = 0; u < fps.size(); ++u) {
     bool fits = !groups.empty();
     if (fits) {
       for (size_t member : groups.back()) {
-        if (UnitsConflict(deps, fps[member], fps[u])) {
+        if (UnitsConflict(deps, integer_arrays, fps[member], fps[u])) {
           fits = false;
           break;
         }
@@ -170,6 +190,10 @@ NestParallelResult GenerateTraceParallelNests(const Program& program, const Loop
     for (size_t k = 0; k < group.size(); ++k) {
       out.trace.Append(slices[k].trace);
       // Fold the unit's INTEGER-array writes back into the master state.
+      // Whole-array assignment is safe because the planner serializes any
+      // two writers of the same INTEGER array: within a group each such
+      // array has at most one writer, and that slice's unwritten elements
+      // still hold the master values it started from.
       for (const std::string& array : fps[group[k]].writes) {
         auto it = slices[k].state.int_arrays.find(array);
         if (it != slices[k].state.int_arrays.end()) {

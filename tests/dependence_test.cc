@@ -229,6 +229,44 @@ TEST(DependenceSolveTest, WidenedTriangularBoundsNeverClaimAWitness) {
   EXPECT_NE(sol.result, DepResult::kExact);
 }
 
+TEST(DependenceSolveTest, WidenedSideLoopSuppressesWitnessClaim) {
+  // Strong SIV on the common loop, but the sink is also enclosed by a
+  // widened triangular loop (exact=false) that may execute zero iterations:
+  // the claimed witness pair need not exist, so kExact must be withheld.
+  DepProblem p;
+  p.common.push_back(L("I", 1, 8));
+  DepLoop tri = L("T", 1, 8);
+  tri.exact = false;
+  p.dst_only.push_back(tri);
+  p.src_subs.push_back(Var("I", 1, 0));
+  p.dst_subs.push_back(Var("I", 1, -1));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_NE(sol.result, DepResult::kIndependent);
+  EXPECT_NE(sol.result, DepResult::kExact);
+}
+
+TEST(DependenceSolveTest, RefinedCarriedLevelsAreNotProductDerived) {
+  // A(I,J) vs A(J,I): the feasible direction vectors are exactly
+  // {(<,>), (>,<), (=,=)}, so each level's aggregated mask admits every
+  // direction — yet no vector has '=' outer and non-'=' inner, so only the
+  // outer level carries the dependence. Deriving carried levels from the
+  // aggregated masks (a non-product set) would spuriously block the inner
+  // loop.
+  DepProblem p;
+  p.common.push_back(L("I", 1, 4));
+  p.common.push_back(L("J", 1, 4));
+  p.src_subs.push_back(Var("I", 1, 0));
+  p.src_subs.push_back(Var("J", 1, 0));
+  p.dst_subs.push_back(Var("J", 1, 0));
+  p.dst_subs.push_back(Var("I", 1, 0));
+  DepSolution sol = SolveDependence(p);
+  EXPECT_EQ(sol.result, DepResult::kExact);
+  ASSERT_EQ(sol.carried.size(), 2u);
+  EXPECT_TRUE(sol.carried[0]);
+  EXPECT_FALSE(sol.carried[1]);
+  ExpectSound(p, sol, BruteForceDirections(p), "transpose-carried");
+}
+
 TEST(DependenceSolveTest, SymbolicBoundsAreConservative) {
   DepProblem p;
   DepLoop sym;
@@ -396,6 +434,27 @@ TEST(DependenceGraphTest, RecurrenceBlocksParallelizationPointwiseDoesNot) {
   EXPECT_EQ(blocker->array, "A");
   EXPECT_EQ(blocker->result, DepResult::kExact);
   EXPECT_EQ(g.BlockingEdge(pt->loop_id), nullptr);
+}
+
+TEST(DependenceGraphTest, TransposeBlocksOuterLoopOnly) {
+  // B(I,J) = B(J,I): every conflicting iteration pair differs in the outer
+  // index, so the inner loop carries nothing and stays parallelizable.
+  Result<CompiledProgram> cp = CompiledProgram::FromSource(
+      "      PROGRAM TRN\n"
+      "      DIMENSION B(6,6)\n"
+      "      DO 10 I = 1, 6\n"
+      "        DO 20 J = 1, 6\n"
+      "          B(I,J) = B(J,I) + 1.0\n"
+      "   20   CONTINUE\n"
+      "   10 CONTINUE\n"
+      "      END\n");
+  const DependenceGraph& g = GraphFor(cp);
+  const Stmt* outer = LoopByLabel(cp.value().program(), 10);
+  const Stmt* inner = LoopByLabel(cp.value().program(), 20);
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_FALSE(g.CanParallelize(outer->loop_id));
+  EXPECT_TRUE(g.CanParallelize(inner->loop_id));
 }
 
 TEST(DependenceGraphTest, IndirectSubscriptYieldsAssumedBlockingEdge) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <stdexcept>
@@ -16,7 +17,9 @@
 #include "src/cdmm/pipeline.h"
 #include "src/exec/flags.h"
 #include "src/exec/memo.h"
+#include "src/exec/nest_parallel.h"
 #include "src/exec/sweep_scheduler.h"
+#include "src/interp/interpreter.h"
 #include "src/vm/fixed_alloc.h"
 #include "src/vm/working_set.h"
 #include "src/workloads/workloads.h"
@@ -349,6 +352,49 @@ TEST(MapPartialTest, CooperativeCancellationReportsTimeout) {
   });
   ASSERT_EQ(out.failures.size(), 1u);
   EXPECT_EQ(out.failures[0].kind, SweepItemFailure::Kind::kTimeout);
+}
+
+TEST(NestParallelTest, DisjointRangeIntegerWritersAreSerialized) {
+  // Two nests fill disjoint halves of the same INTEGER array; their access
+  // ranges are provably disjoint, but the fold-back merges whole INTEGER
+  // arrays, so running them concurrently would let the second unit's copy
+  // clobber the first unit's elements (the gather below would then read
+  // zeros). The planner must keep the two writers in separate groups, and
+  // the merged trace must stay byte-identical to sequential generation.
+  Result<CompiledProgram> cp = CompiledProgram::FromSource(
+      "      PROGRAM SPLIT\n"
+      "      INTEGER IDX(8)\n"
+      "      DIMENSION A(8), B(8)\n"
+      "      DO 10 I = 1, 4\n"
+      "        IDX(I) = I\n"
+      "   10 CONTINUE\n"
+      "      DO 20 I = 5, 8\n"
+      "        IDX(I) = I\n"
+      "   20 CONTINUE\n"
+      "      DO 30 I = 1, 8\n"
+      "        A(I) = B(IDX(I))\n"
+      "   30 CONTINUE\n"
+      "      END\n");
+  ASSERT_TRUE(cp.ok());
+  const CompiledProgram& c = cp.value();
+
+  std::vector<std::vector<size_t>> groups = PlanNestGroups(c.program(), c.deps());
+  for (const std::vector<size_t>& group : groups) {
+    bool has_first = std::find(group.begin(), group.end(), size_t{0}) != group.end();
+    bool has_second = std::find(group.begin(), group.end(), size_t{1}) != group.end();
+    EXPECT_FALSE(has_first && has_second)
+        << "two writers of one INTEGER array must not share a group";
+  }
+
+  InterpOptions iopt;
+  Trace sequential = GenerateTrace(c.program(), c.tree(), &c.dep_plan(), iopt);
+  for (size_t jobs : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(jobs);
+    SweepScheduler sched(&pool);
+    NestParallelResult np =
+        GenerateTraceParallelNests(c.program(), c.tree(), c.deps(), &c.dep_plan(), iopt, sched);
+    EXPECT_EQ(np.trace, sequential) << "jobs=" << jobs;
+  }
 }
 
 TEST(MapPartialTest, MapStillPropagatesExceptions) {
