@@ -1,0 +1,162 @@
+// Scaling-ladder bench for the analytic locality engine. Runs the same
+// time-loop kernel at geometrically growing trip counts — the top rung
+// expands to 5.76e9 references, past what a flat Trace can even index — and
+// measures model build + WS + OPT sweep wall time per rung. Because the
+// folded representation is O(program size) for this affine kernel, the
+// wall times must stay flat as the reference count grows five orders of
+// magnitude: that flatness is the trace-length-independence gate
+// tools/bench_analytic.py enforces and BENCH_analytic.json records.
+//
+// The deterministic section (reference counts, stored sizes, curve
+// fingerprints, the oracle comparison on the smallest rung) is a pure
+// function of the kernel and is replay-gated against the committed
+// baseline; only the wall times are machine-dependent.
+//
+// Usage: bench_analytic [--out FILE] [--deterministic-only]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analytic_locality.h"
+#include "src/interp/interpreter.h"
+#include "src/interp/rle_generator.h"
+#include "src/support/str.h"
+#include "src/telemetry/flags.h"
+#include "src/vm/sweep_engines.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+std::string HexU64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string RungSource(uint64_t trips) {
+  return cdmm::StrCat(
+      "      PROGRAM LADDER\n"
+      "      DIMENSION A(64,4)\n"
+      "      DO 20 T = 1, ", trips, "\n"
+      "        DO 10 I = 1, 64\n"
+      "          A(I,1) = A(I,2) + A(I,3)\n"
+      "   10   CONTINUE\n"
+      "   20 CONTINUE\n"
+      "      END\n");
+}
+
+struct Rung {
+  uint64_t trips = 0;
+  uint64_t refs = 0;
+  uint64_t stored_pages = 0;
+  uint64_t nodes = 0;
+  uint64_t ws_fp = 0;
+  uint64_t opt_fp = 0;
+  double wall_ms = 0;  // model build + WS sweep + OPT sweep
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cdmm::telem::ScopedTelemetry telemetry(&argc, argv, "bench_analytic");
+  bool deterministic_only = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--deterministic-only") {
+      deterministic_only = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_analytic [--out FILE] [--deterministic-only]\n";
+      return 2;
+    }
+  }
+
+  // 1e2 .. 3e7 trips: 1.92e4 .. 5.76e9 expanded references. The top rung's
+  // reference string cannot exist as a flat Trace (32-bit event index); the
+  // analytic engine answers it from a few hundred stored pages.
+  const std::vector<uint64_t> kTrips = {100, 10'000, 1'000'000, 30'000'000};
+  std::vector<Rung> rungs;
+  for (uint64_t trips : kTrips) {
+    std::string source = RungSource(trips);
+    cdmm::Workload w{"LADDER", "scaling rung", source.c_str()};
+    cdmm::Program program = cdmm::ParseWorkload(w);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const cdmm::AnalyticLocality> model =
+        cdmm::AnalyticLocality::Build(cdmm::GenerateLoopRle(program));
+    std::vector<cdmm::SweepPoint> ws =
+        model->WsSweep(cdmm::DefaultTauGrid(std::max<uint64_t>(model->total_refs(), 1), 12));
+    std::vector<cdmm::SweepPoint> opt =
+        model->OptSweep(std::max(model->virtual_pages(), 1u));
+    auto t1 = std::chrono::steady_clock::now();
+
+    Rung r;
+    r.trips = trips;
+    r.refs = model->total_refs();
+    r.stored_pages = model->rle().stored_pages();
+    r.nodes = model->rle().node_count();
+    r.ws_fp = cdmm::FingerprintSweep(ws);
+    r.opt_fp = cdmm::FingerprintSweep(opt);
+    r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    rungs.push_back(r);
+  }
+
+  // Oracle: on the smallest rung the trace is small enough to expand; the
+  // analytic fingerprints must equal the one-pass ones bit for bit.
+  bool oracle_match = false;
+  {
+    std::string source = RungSource(kTrips.front());
+    cdmm::Workload w{"LADDER", "oracle rung", source.c_str()};
+    cdmm::Program program = cdmm::ParseWorkload(w);
+    cdmm::LoopRleTrace rle = cdmm::GenerateLoopRle(program);
+    cdmm::Trace flat = rle.Expand();
+    uint64_t ws_fp = cdmm::FingerprintSweep(cdmm::OnePassWsSweep(
+        flat, cdmm::DefaultTauGrid(std::max<uint64_t>(flat.reference_count(), 1), 12)));
+    uint64_t opt_fp = cdmm::FingerprintSweep(
+        cdmm::OnePassOptSweep(flat, std::max(flat.virtual_pages(), 1u)));
+    oracle_match = ws_fp == rungs.front().ws_fp && opt_fp == rungs.front().opt_fp;
+  }
+
+  std::string det = "{\"oracle_match\":";
+  det += oracle_match ? "true" : "false";
+  det += ",\"rungs\":[";
+  for (size_t i = 0; i < rungs.size(); ++i) {
+    const Rung& r = rungs[i];
+    det += cdmm::StrCat(i == 0 ? "" : ",", "{\"trips\":", r.trips, ",\"refs\":", r.refs,
+                        ",\"stored_pages\":", r.stored_pages, ",\"nodes\":", r.nodes,
+                        ",\"ws_fingerprint\":\"", HexU64(r.ws_fp),
+                        "\",\"opt_fingerprint\":\"", HexU64(r.opt_fp), "\"}");
+  }
+  det += "]}";
+
+  if (deterministic_only) {
+    std::cout << det << "\n";
+    return 0;
+  }
+
+  std::string runtime = "{\"rung_wall_ms\":[";
+  for (size_t i = 0; i < rungs.size(); ++i) {
+    runtime += cdmm::StrCat(i == 0 ? "" : ",", cdmm::FormatFixed(rungs[i].wall_ms, 3));
+  }
+  runtime += "]}";
+
+  std::string doc = cdmm::StrCat("{\"bench\":\"analytic\",\"deterministic\":", det,
+                                 ",\"runtime\":", runtime, "}");
+  std::cout << doc << "\n";
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << doc << "\n";
+    if (!out) {
+      std::cerr << "failed to write " << out_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

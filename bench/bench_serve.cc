@@ -276,6 +276,25 @@ int main(int argc, char** argv) {
   double rps = wall_s > 0 ? kCachedRequests / wall_s : 0;
   double p50 = latencies_us[latencies_us.size() / 2];
   double p99 = latencies_us[latencies_us.size() * 99 / 100];
+  double p999 = latencies_us[std::min(latencies_us.size() - 1, latencies_us.size() * 999 / 1000)];
+
+  // Power-of-two microsecond buckets [1,2), [2,4), ...; the last bucket
+  // absorbs the tail. Together with p99/p999 this makes tail-latency
+  // regressions visible in the committed BENCH document, not just the mean.
+  constexpr int kLatencyBuckets = 12;
+  uint64_t histogram[kLatencyBuckets] = {};
+  for (double us : latencies_us) {
+    int b = 0;
+    while (b < kLatencyBuckets - 1 && us >= static_cast<double>(2ull << b)) {
+      ++b;
+    }
+    ++histogram[b];
+  }
+  std::string histogram_json = "[";
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    histogram_json += cdmm::StrCat(b == 0 ? "" : ",", histogram[b]);
+  }
+  histogram_json += "]";
 
   std::string runtime = cdmm::StrCat(
       "{\"jobs\":", jobs == 0 ? cdmm::ThreadPool::DefaultConcurrency() : jobs,
@@ -283,6 +302,8 @@ int main(int argc, char** argv) {
       ",\"cached_rps\":", cdmm::FormatFixed(rps, 0),
       ",\"p50_us\":", cdmm::FormatFixed(p50, 2),
       ",\"p99_us\":", cdmm::FormatFixed(p99, 2),
+      ",\"p999_us\":", cdmm::FormatFixed(p999, 2),
+      ",\"latency_histogram_us\":", histogram_json,
       ",\"wall_ms\":", cdmm::FormatFixed(wall_s * 1000.0, 1), "}");
 
   std::string doc = cdmm::StrCat("{\"bench\":\"serve\",\"deterministic\":", deterministic,

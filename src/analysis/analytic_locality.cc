@@ -1,0 +1,465 @@
+#include "src/analysis/analytic_locality.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/support/check.h"
+#include "src/telemetry/telemetry.h"
+
+namespace cdmm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WS: symbolic Denning–Slutz histograms by streaming the node tree.
+//
+// A reference at expanded time t to a page last used at u contributes
+// gaps[t-u] and caps[t-u-1] (the one-pass engine attributes the pair at the
+// earlier endpoint, this walk at the later one — same multiset). Inside a
+// folded block the increments of iteration 2 are collected in a delta
+// histogram and merged back scaled by repeat-1: every iteration k >= 2 sees
+// its previous uses exactly one iteration back at the same offsets, so all
+// of them contribute the same delta. Skipped iterations advance the clock
+// and the touched pages' last-use times by (repeat-2) * iteration length.
+// ---------------------------------------------------------------------------
+class WsModelBuilder {
+ public:
+  explicit WsModelBuilder(const LoopRleTrace& rle) : rle_(rle) {}
+
+  WsHistogram Build() {
+    sinks_.emplace_back();
+    for (uint32_t root : rle_.roots()) {
+      ProcessNode(root);
+    }
+    CDMM_CHECK(sinks_.size() == 1);
+    CDMM_CHECK_MSG(clock_ == rle_.total_refs(), "RLE ref accounting out of sync");
+
+    WsHistogram hist;
+    hist.gaps = std::move(sinks_.back().gaps);
+    hist.caps = std::move(sinks_.back().caps);
+    hist.refs = rle_.total_refs();
+    hist.cold = last_use_.size();
+    // Tail interval of each page's final use at time u: caps key R - 1 - u.
+    for (const auto& [page, u] : last_use_) {
+      (void)page;
+      hist.caps.Add(rle_.total_refs() - 1 - u);
+    }
+    CDMM_CHECK(hist.caps.total() == hist.refs);
+    return hist;
+  }
+
+ private:
+  struct Sink {
+    SymbolicHistogram gaps;
+    SymbolicHistogram caps;
+  };
+
+  void Ref(PageId page) {
+    uint64_t t = clock_++;
+    auto [it, inserted] = last_use_.try_emplace(page, t);
+    if (!inserted) {
+      uint64_t gap = t - it->second;
+      sinks_.back().gaps.Add(gap);
+      sinks_.back().caps.Add(gap - 1);
+      it->second = t;
+    } else {
+      // Iterations 2..N of a fold revisit iteration 1's pages, so a cold
+      // touch can only happen outside any delta sink.
+      CDMM_CHECK_MSG(sinks_.size() == 1, "cold reference inside a folded iteration");
+    }
+    if (!touched_.empty()) {
+      touched_.back().insert(page);
+    }
+  }
+
+  void EmitOnce(const LoopRleTrace::Node& node) {
+    if (node.leaf) {
+      for (uint32_t k = 0; k < node.count; ++k) {
+        Ref(rle_.pages()[node.begin + k]);
+      }
+    } else {
+      for (uint32_t k = 0; k < node.count; ++k) {
+        ProcessNode(rle_.children()[node.begin + k]);
+      }
+    }
+  }
+
+  void ProcessNode(uint32_t id) {
+    const LoopRleTrace::Node& node = rle_.nodes()[id];
+    if (node.repeat == 1) {
+      EmitOnce(node);
+      return;
+    }
+    const uint64_t iter_len = node.refs / node.repeat;
+    EmitOnce(node);  // iteration 1, into the enclosing sink
+    sinks_.emplace_back();
+    touched_.emplace_back();
+    EmitOnce(node);  // iteration 2, into the delta sink
+    Sink delta = std::move(sinks_.back());
+    sinks_.pop_back();
+    std::unordered_set<PageId> touched = std::move(touched_.back());
+    touched_.pop_back();
+    sinks_.back().gaps.MergeScaled(delta.gaps, node.repeat - 1);
+    sinks_.back().caps.MergeScaled(delta.caps, node.repeat - 1);
+    const uint64_t skip = (node.repeat - 2) * iter_len;
+    clock_ += skip;
+    for (PageId page : touched) {
+      last_use_[page] += skip;
+    }
+  }
+
+  const LoopRleTrace& rle_;
+  uint64_t clock_ = 0;
+  std::unordered_map<PageId, uint64_t> last_use_;
+  std::vector<Sink> sinks_;
+  // Pages referenced inside the innermost active fold's iteration 2 (outer
+  // folds already saw the same pages during this fold's iteration 1).
+  std::vector<std::unordered_set<PageId>> touched_;
+};
+
+// ---------------------------------------------------------------------------
+// OPT: compressed Mattson stack simulation over a schedule of explicit
+// iterations 1, 2 and N per fold, with snapshot/marker steps that fold
+// iterations 3..N-1 once the iteration-2 stack transition is verified to be
+// a pure one-iteration shift of in-loop next-use keys.
+// ---------------------------------------------------------------------------
+struct OptStep {
+  enum class Kind : uint8_t { kRef, kSnapshot, kMarker };
+  Kind kind = Kind::kRef;
+  PageId page = 0;
+  uint64_t pos = 0;       // kRef: expanded position; kMarker: loop base
+  uint64_t next_use = 0;  // kRef: filled by the backward pass
+  uint64_t iter_len = 0;  // kMarker
+  uint64_t repeat = 0;    // kMarker
+  uint32_t iter2_begin = 0;  // kMarker: schedule range of iteration 2
+  uint32_t iter2_end = 0;
+};
+
+struct OptModel {
+  std::vector<uint64_t> depth_hist;
+  uint64_t cold = 0;
+  uint64_t folds_verified = 0;
+  uint64_t folds_replayed = 0;
+};
+
+class OptModelBuilder {
+ public:
+  explicit OptModelBuilder(const LoopRleTrace& rle) : rle_(rle), sentinel_(rle.total_refs()) {}
+
+  OptModel Build() {
+    uint64_t pos = 0;
+    for (uint32_t root : rle_.roots()) {
+      EmitNode(rle_.nodes()[root], pos);
+    }
+    CDMM_CHECK_MSG(pos == rle_.total_refs(), "RLE ref accounting out of sync");
+    FillNextUses();
+    Run(0, schedule_.size(), 0);
+    CDMM_CHECK(snaps_.empty());
+
+    OptModel model;
+    model.depth_hist = std::move(hist_);
+    model.cold = cold_;
+    model.folds_verified = folds_verified_;
+    model.folds_replayed = folds_replayed_;
+    return model;
+  }
+
+ private:
+  // A resident page's retention key: lexicographic (next use, page), the
+  // same order as the one-pass engine's packed 64-bit key, but with a full
+  // 64-bit next-use component so expanded positions beyond 2^32 still sort.
+  struct Entry {
+    uint64_t next_use = 0;
+    PageId page = 0;
+  };
+  static bool EntryLess(const Entry& a, const Entry& b) {
+    return a.next_use != b.next_use ? a.next_use < b.next_use : a.page < b.page;
+  }
+
+  struct Snap {
+    std::vector<Entry> stack;
+    std::vector<uint64_t> hist;
+    uint64_t cold = 0;
+  };
+
+  void EmitOnce(const LoopRleTrace::Node& node, uint64_t& pos) {
+    if (node.leaf) {
+      for (uint32_t k = 0; k < node.count; ++k) {
+        OptStep step;
+        step.kind = OptStep::Kind::kRef;
+        step.page = rle_.pages()[node.begin + k];
+        step.pos = pos++;
+        schedule_.push_back(step);
+      }
+    } else {
+      for (uint32_t k = 0; k < node.count; ++k) {
+        EmitNode(rle_.nodes()[rle_.children()[node.begin + k]], pos);
+      }
+    }
+  }
+
+  void EmitNode(const LoopRleTrace::Node& node, uint64_t& pos) {
+    const uint64_t iter_len = node.refs / node.repeat;
+    // Folding pays off only when at least one middle iteration is skipped;
+    // repeats up to 3 are emitted in full (iterations 1, 2, N cover them).
+    if (node.repeat <= 3 || iter_len == 0) {
+      for (uint64_t rep = 0; rep < node.repeat; ++rep) {
+        EmitOnce(node, pos);
+      }
+      return;
+    }
+    const uint64_t base = pos;
+    EmitOnce(node, pos);  // iteration 1
+    schedule_.push_back(OptStep{OptStep::Kind::kSnapshot, 0, 0, 0, 0, 0, 0, 0});
+    uint32_t iter2_begin = static_cast<uint32_t>(schedule_.size());
+    EmitOnce(node, pos);  // iteration 2
+    OptStep marker;
+    marker.kind = OptStep::Kind::kMarker;
+    marker.pos = base;
+    marker.iter_len = iter_len;
+    marker.repeat = node.repeat;
+    marker.iter2_begin = iter2_begin;
+    marker.iter2_end = static_cast<uint32_t>(schedule_.size());
+    schedule_.push_back(marker);
+    pos = base + (node.repeat - 1) * iter_len;
+    EmitOnce(node, pos);  // iteration N (its next uses leave the loop)
+  }
+
+  // Backward scan computing each reference's expanded next-use position.
+  // `earliest` maps a page to its earliest known occurrence after the scan
+  // point. Crossing a marker backward means the scan point moves from just
+  // before iteration N to just after iteration 2, so occurrences inside
+  // iteration N (only block pages can be there, and iteration N holds every
+  // block page's earliest occurrence at that moment) translate back to
+  // their iteration-3 positions.
+  void FillNextUses() {
+    std::unordered_map<PageId, uint64_t> earliest;
+    for (size_t i = schedule_.size(); i-- > 0;) {
+      OptStep& step = schedule_[i];
+      if (step.kind == OptStep::Kind::kRef) {
+        auto it = earliest.find(step.page);
+        step.next_use = it == earliest.end() ? sentinel_ : it->second;
+        earliest[step.page] = step.pos;
+      } else if (step.kind == OptStep::Kind::kMarker) {
+        const uint64_t last_lo = step.pos + (step.repeat - 1) * step.iter_len;
+        const uint64_t last_hi = step.pos + step.repeat * step.iter_len;
+        const uint64_t shift = (step.repeat - 3) * step.iter_len;
+        for (auto& [page, at] : earliest) {
+          (void)page;
+          if (at >= last_lo && at < last_hi) {
+            at -= shift;
+          }
+        }
+      }
+    }
+  }
+
+  void Bump(size_t depth) {
+    if (hist_.size() <= depth) {
+      hist_.resize(depth + 1, 0);
+    }
+    ++hist_[depth];
+  }
+
+  void ProcessRef(PageId page, uint64_t next_use) {
+    Entry fresh{next_use, page};
+    if (stack_.empty()) {
+      stack_.push_back(fresh);
+      ++cold_;
+      return;
+    }
+    if (stack_[0].page == page) {
+      stack_[0] = fresh;
+      Bump(1);
+      return;
+    }
+    Entry carry = stack_[0];
+    stack_[0] = fresh;
+    size_t j = 1;
+    for (; j < stack_.size(); ++j) {
+      if (stack_[j].page == page) {
+        stack_[j] = carry;
+        Bump(j + 1);
+        break;
+      }
+      if (EntryLess(carry, stack_[j])) {
+        std::swap(carry, stack_[j]);
+      }
+    }
+    if (j == stack_.size()) {
+      stack_.push_back(carry);
+      ++cold_;
+    }
+  }
+
+  // Executes schedule steps [begin, end) with every expanded coordinate
+  // displaced by `offset` — 0 for the main pass, the iteration displacement
+  // k * iter_len during marker replays.
+  void Run(size_t begin, size_t end, uint64_t offset) {
+    for (size_t i = begin; i < end; ++i) {
+      const OptStep& step = schedule_[i];
+      switch (step.kind) {
+        case OptStep::Kind::kRef: {
+          uint64_t next_use = step.next_use;
+          if (next_use != sentinel_) {
+            next_use += offset;
+          }
+          ProcessRef(step.page, next_use);
+          break;
+        }
+        case OptStep::Kind::kSnapshot:
+          snaps_.push_back(Snap{stack_, hist_, cold_});
+          break;
+        case OptStep::Kind::kMarker:
+          RunMarker(step, offset);
+          break;
+      }
+    }
+  }
+
+  void RunMarker(const OptStep& marker, uint64_t offset) {
+    CDMM_CHECK(!snaps_.empty());
+    Snap snap = std::move(snaps_.back());
+    snaps_.pop_back();
+
+    const uint64_t base = marker.pos + offset;
+    const uint64_t iter_len = marker.iter_len;
+    const uint64_t repeat = marker.repeat;
+    const uint64_t loop_end = base + repeat * iter_len;
+    auto in_loop = [&](uint64_t at) { return at >= base && at < loop_end; };
+
+    // Iteration 2 must have transformed the stack into iteration 1's stack
+    // with every in-loop retention key advanced exactly one iteration (and
+    // no cold misses). Then, by induction, each of iterations 3..N-1 repeats
+    // iteration 2's depth increments: comparisons among shifted in-loop
+    // keys are translation-invariant, and in-loop keys stay below every
+    // out-of-loop key before and after the shift.
+    bool shiftable = stack_.size() == snap.stack.size() && cold_ == snap.cold;
+    if (shiftable) {
+      for (size_t d = 0; d < stack_.size(); ++d) {
+        const Entry& now = stack_[d];
+        const Entry& before = snap.stack[d];
+        uint64_t expect =
+            in_loop(before.next_use) ? before.next_use + iter_len : before.next_use;
+        if (now.page != before.page || now.next_use != expect) {
+          shiftable = false;
+          break;
+        }
+      }
+    }
+
+    if (shiftable) {
+      ++folds_verified_;
+      if (snap.hist.size() < hist_.size()) {
+        snap.hist.resize(hist_.size(), 0);
+      }
+      const uint64_t scale = repeat - 3;  // iterations 3..N-1
+      for (size_t d = 0; d < hist_.size(); ++d) {
+        hist_[d] += (hist_[d] - snap.hist[d]) * scale;
+      }
+      const uint64_t shift = scale * iter_len;
+      for (Entry& entry : stack_) {
+        if (in_loop(entry.next_use)) {
+          entry.next_use += shift;
+        }
+      }
+      return;
+    }
+
+    // Exact fallback: replay iteration 2's steps once per middle iteration,
+    // displaced into place. All recorded next uses in the range point at
+    // iterations 2/3, so the blanket displacement stays inside the loop.
+    ++folds_replayed_;
+    for (uint64_t k = 3; k + 1 <= repeat; ++k) {
+      Run(marker.iter2_begin, marker.iter2_end, offset + (k - 2) * iter_len);
+    }
+  }
+
+  const LoopRleTrace& rle_;
+  const uint64_t sentinel_;
+  std::vector<OptStep> schedule_;
+  std::vector<Entry> stack_;
+  std::vector<uint64_t> hist_;
+  uint64_t cold_ = 0;
+  std::vector<Snap> snaps_;
+  uint64_t folds_verified_ = 0;
+  uint64_t folds_replayed_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<const AnalyticLocality> AnalyticLocality::Build(LoopRleTrace rle) {
+  auto model = std::shared_ptr<AnalyticLocality>(new AnalyticLocality());
+  model->rle_ = std::move(rle);
+  {
+    TELEM_SPAN("analytic:histogram_build", "analytic");
+    model->ws_ = WsModelBuilder(model->rle_).Build();
+    OptModel opt = OptModelBuilder(model->rle_).Build();
+    model->opt_depth_hist_ = std::move(opt.depth_hist);
+    model->opt_cold_ = opt.cold;
+    TELEM_COUNT_N("analytic.refs_modeled", model->rle_.total_refs());
+    TELEM_COUNT_N("analytic.exact_classes", model->ws_.gaps.classes());
+    TELEM_COUNT_N("analytic.fallback_classes", model->rle_.stats().unfoldable_loops);
+    TELEM_COUNT_N("analytic.folds_applied", model->rle_.stats().folds_applied);
+    TELEM_COUNT_N("analytic.opt_fold_verified", opt.folds_verified);
+    TELEM_COUNT_N("analytic.opt_fold_replayed", opt.folds_replayed);
+  }
+  return model;
+}
+
+std::vector<SweepPoint> AnalyticLocality::WsSweep(const std::vector<uint64_t>& taus,
+                                                  const SimOptions& options) const {
+  return EvaluateWsCurve(ws_, taus, options);
+}
+
+std::vector<SweepPoint> AnalyticLocality::OptSweep(uint32_t max_frames,
+                                                   const SimOptions& options) const {
+  return EvaluateOptCurve(opt_depth_hist_, opt_cold_, rle_.total_refs(), max_frames, options);
+}
+
+AnalyticLocality::OptBounds AnalyticLocality::OptBoundsSweep(uint32_t max_frames,
+                                                             const SimOptions& options) const {
+  CDMM_CHECK(max_frames >= 1);
+  // Streaming LRU stack distances over the (possibly chunk-streamed)
+  // reference string: O(distinct pages) memory, never the flat trace.
+  std::vector<PageId> lru;
+  std::vector<uint64_t> hist;
+  uint64_t cold = 0;
+  rle_.ForEachRef([&](PageId page) {
+    auto it = std::find(lru.begin(), lru.end(), page);
+    if (it == lru.end()) {
+      ++cold;
+    } else {
+      size_t depth = static_cast<size_t>(it - lru.begin()) + 1;
+      if (hist.size() <= depth) {
+        hist.resize(depth + 1, 0);
+      }
+      ++hist[depth];
+      lru.erase(it);
+    }
+    lru.insert(lru.begin(), page);
+  });
+
+  OptBounds bounds;
+  bounds.upper = EvaluateOptCurve(hist, cold, rle_.total_refs(), max_frames, options);
+  bounds.lower_faults = cold;
+  for (const SweepPoint& p : bounds.upper) {
+    bounds.max_error = std::max(bounds.max_error, p.faults - cold);
+  }
+  TELEM_GAUGE_MAX("analytic.error_bound", bounds.max_error);
+  return bounds;
+}
+
+std::vector<SweepPoint> AnalyticWsSweep(const AnalyticLocality& model,
+                                        const std::vector<uint64_t>& taus,
+                                        const SimOptions& options) {
+  return model.WsSweep(taus, options);
+}
+
+std::vector<SweepPoint> AnalyticOptSweep(const AnalyticLocality& model, uint32_t max_frames,
+                                         const SimOptions& options) {
+  return model.OptSweep(max_frames, options);
+}
+
+}  // namespace cdmm

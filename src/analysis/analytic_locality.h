@@ -1,0 +1,101 @@
+// Analytic locality engine: WS(τ) and OPT(m) sweep curves computed from a
+// loop-RLE reference string without ever expanding it. For a folded block
+// (repeat N) the engine processes two iterations explicitly, proves the
+// per-iteration histogram delta is iteration-invariant, and multiplies —
+// so a loop contributing a billion references costs the same as one
+// contributing a hundred. The histograms are value-identical to what
+// OnePassWsSweep / OnePassOptSweep build by scanning the flat trace, and
+// both finishes share MakeWsSweepPoint/MakeOptSweepPoint, so the curves are
+// bit-identical (the cross-validation suite in tests/analytic_test.cc pins
+// this on every builtin workload and on randomized affine nests).
+//
+//  - WS: one streaming walk of the node tree maintaining last-use times.
+//    Inside a fold, iteration 2's gap/cap increments land in a delta
+//    histogram merged back ×(N-1): every reference in iterations 2..N finds
+//    its previous use exactly one iteration back at the same offset, so the
+//    deltas repeat (the fold verification in LoopRleBuilder is precisely
+//    the guarantee that iterations emit identical sequences).
+//  - OPT: a compressed Mattson stack simulation. Folds of repeat >= 4 emit
+//    iterations 1, 2 and N plus snapshot/marker pseudo-steps; at the marker
+//    the engine checks that the stack after iteration 2 equals the stack
+//    after iteration 1 with in-loop next-use keys advanced one iteration.
+//    If so, iterations 3..N-1 provably repeat iteration 2's stack-depth
+//    increments (comparisons between shifted in-loop keys and unshifted
+//    out-of-loop keys are order-invariant) and are folded in O(1); if not,
+//    the marker replays iteration 2's steps per remaining iteration with
+//    shifted positions — still exact, just not length-independent.
+//
+// Non-affine programs (indirect subscripts) still get exact curves — their
+// loops simply don't fold, so cost degrades to O(R) like the one-pass
+// engines — plus a cheap bounded-error OPT envelope (OptBoundsSweep) whose
+// reported error bound the adversarial tests verify: OPT lies between the
+// compulsory-miss floor and the streaming-LRU ceiling for every m.
+#ifndef CDMM_SRC_ANALYSIS_ANALYTIC_LOCALITY_H_
+#define CDMM_SRC_ANALYSIS_ANALYTIC_LOCALITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/analysis/symbolic_histogram.h"
+#include "src/trace/loop_rle.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+class AnalyticLocality {
+ public:
+  // Builds both curve models (WS histograms and the OPT stack-depth
+  // histogram) from a folded reference string, in time proportional to the
+  // stored — not expanded — size for affine programs. shared_ptr so cdmmc,
+  // the serve cache and the scheduler can share one immutable model.
+  static std::shared_ptr<const AnalyticLocality> Build(LoopRleTrace rle);
+
+  const LoopRleTrace& rle() const { return rle_; }
+  const RleBuildStats& stats() const { return rle_.stats(); }
+  bool affine() const { return rle_.stats().affine; }
+  uint64_t total_refs() const { return rle_.total_refs(); }
+  uint32_t virtual_pages() const { return rle_.virtual_pages(); }
+  uint32_t distinct_pages() const { return rle_.distinct_pages(); }
+  const WsHistogram& ws_histogram() const { return ws_; }
+
+  // Bit-identical to OnePassWsSweep(expanded trace, taus, options).
+  std::vector<SweepPoint> WsSweep(const std::vector<uint64_t>& taus,
+                                  const SimOptions& options = {}) const;
+
+  // Bit-identical to OnePassOptSweep(expanded trace, max_frames, options).
+  std::vector<SweepPoint> OptSweep(uint32_t max_frames, const SimOptions& options = {}) const;
+
+  // Bounded-error OPT envelope for consumers that prefer a cheap streaming
+  // answer over the exact stack simulation: for every m, true OPT faults lie
+  // in [lower_faults, upper[m].faults] (Belady optimality bounds OPT by LRU
+  // from above and by compulsory misses from below). max_error is the worst
+  // half-width actually reported, and what analytic.error_bound records.
+  struct OptBounds {
+    std::vector<SweepPoint> upper;  // streaming-LRU curve, m = 1..max_frames
+    uint64_t lower_faults = 0;      // compulsory (cold) misses
+    uint64_t max_error = 0;         // max over m of upper faults - lower
+  };
+  OptBounds OptBoundsSweep(uint32_t max_frames, const SimOptions& options = {}) const;
+
+ private:
+  AnalyticLocality() = default;
+
+  LoopRleTrace rle_;
+  WsHistogram ws_;
+  std::vector<uint64_t> opt_depth_hist_;  // unclamped stack-depth histogram
+  uint64_t opt_cold_ = 0;
+};
+
+// Free-function spellings for SweepScheduler symmetry with the other
+// engines' entry points.
+std::vector<SweepPoint> AnalyticWsSweep(const AnalyticLocality& model,
+                                        const std::vector<uint64_t>& taus,
+                                        const SimOptions& options = {});
+std::vector<SweepPoint> AnalyticOptSweep(const AnalyticLocality& model, uint32_t max_frames,
+                                         const SimOptions& options = {});
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_ANALYSIS_ANALYTIC_LOCALITY_H_

@@ -1,0 +1,86 @@
+#include "src/analysis/symbolic_histogram.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/support/check.h"
+#include "src/vm/sweep_engines.h"
+
+namespace cdmm {
+
+std::vector<std::pair<uint64_t, uint64_t>> SymbolicHistogram::Sorted() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out(counts_.begin(), counts_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SweepPoint> EvaluateWsCurve(const WsHistogram& hist,
+                                        const std::vector<uint64_t>& taus,
+                                        const SimOptions& options) {
+  const uint64_t r = hist.refs;
+  const uint64_t cold = hist.cold;
+  const uint64_t total_pairs = hist.gaps.total();
+  const uint64_t total_caps = hist.caps.total();
+  CDMM_CHECK_MSG(total_caps == r, "cap histogram must hold one interval per reference");
+
+  std::vector<std::pair<uint64_t, uint64_t>> gaps = hist.gaps.Sorted();
+  std::vector<std::pair<uint64_t, uint64_t>> caps = hist.caps.Sorted();
+
+  std::vector<SweepPoint> points(taus.size());
+  std::vector<size_t> order(taus.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return taus[a] < taus[b]; });
+
+  // Sparse twin of OnePassWsSweep's merged cursor traversal: the dense
+  // arrays are indexed 0..r, every sparse key is <= r, so "advance while
+  // key <= τ" consumes exactly the entries the dense cursors would.
+  size_t g_cursor = 0;
+  uint64_t pairs_le = 0;
+  size_t k_cursor = 0;
+  uint64_t caps_le = 0;
+  uint64_t weighted_caps_le = 0;
+  for (size_t idx : order) {
+    uint64_t tau = taus[idx];
+    CDMM_CHECK(tau >= 1);
+    for (; g_cursor < gaps.size() && gaps[g_cursor].first <= tau; ++g_cursor) {
+      pairs_le += gaps[g_cursor].second;
+    }
+    for (; k_cursor < caps.size() && caps[k_cursor].first <= tau; ++k_cursor) {
+      weighted_caps_le += caps[k_cursor].second * caps[k_cursor].first;
+      caps_le += caps[k_cursor].second;
+    }
+    uint64_t faults = cold + (total_pairs - pairs_le);
+    uint64_t occupancy = r + weighted_caps_le + tau * (total_caps - caps_le);
+    points[idx] = MakeWsSweepPoint(tau, r, faults, occupancy, options);
+  }
+  return points;
+}
+
+std::vector<SweepPoint> EvaluateOptCurve(const std::vector<uint64_t>& depth_hist, uint64_t cold,
+                                         uint64_t refs, uint32_t max_frames,
+                                         const SimOptions& options) {
+  CDMM_CHECK_MSG(max_frames >= 1, "fixed partition needs at least one frame");
+  // faults(m) = cold + Σ_{d > m} depth_hist[d]; start the running suffix
+  // with every depth beyond max_frames (the one-pass engine folds those
+  // into its clamped max_frames + 1 bucket).
+  uint64_t running = cold;
+  for (size_t d = static_cast<size_t>(max_frames) + 1; d < depth_hist.size(); ++d) {
+    running += depth_hist[d];
+  }
+  std::vector<uint64_t> faults_at(static_cast<size_t>(max_frames) + 1, 0);
+  for (uint32_t m = max_frames; m >= 1; --m) {
+    faults_at[m] = running;
+    if (m < depth_hist.size()) {
+      running += depth_hist[m];
+    }
+  }
+  std::vector<SweepPoint> points;
+  points.reserve(max_frames);
+  for (uint32_t m = 1; m <= max_frames; ++m) {
+    points.push_back(MakeOptSweepPoint(m, refs, faults_at[m], options));
+  }
+  return points;
+}
+
+}  // namespace cdmm

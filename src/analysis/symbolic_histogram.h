@@ -1,0 +1,80 @@
+// Sparse histograms over 64-bit keys plus the curve evaluators that turn
+// them into sweep points. The analytic locality engine builds the same two
+// Denning–Slutz histograms OnePassWsSweep scans a flat trace for — gaps
+// (inter-reference intervals) and caps (occupancy saturation distances) —
+// but keyed sparsely, since a folded loop contributes one (key, count) class
+// per distinct reuse distance instead of one increment per reference. The
+// evaluators mirror the one-pass finish arithmetic through the shared
+// MakeWsSweepPoint/MakeOptSweepPoint makers, so identical histograms yield
+// bit-identical SweepPoints by construction.
+#ifndef CDMM_SRC_ANALYSIS_SYMBOLIC_HISTOGRAM_H_
+#define CDMM_SRC_ANALYSIS_SYMBOLIC_HISTOGRAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+
+class SymbolicHistogram {
+ public:
+  void Add(uint64_t key, uint64_t count = 1) {
+    counts_[key] += count;
+    total_ += count;
+  }
+
+  // this += other * scale; how a folded loop's per-iteration delta histogram
+  // accounts for all remaining iterations at once.
+  void MergeScaled(const SymbolicHistogram& other, uint64_t scale) {
+    if (scale == 0) {
+      return;
+    }
+    for (const auto& [key, count] : other.counts_) {
+      counts_[key] += count * scale;
+    }
+    total_ += other.total_ * scale;
+  }
+
+  uint64_t total() const { return total_; }
+  size_t classes() const { return counts_.size(); }
+
+  // (key, count) pairs sorted by key, for cursor-style curve evaluation.
+  std::vector<std::pair<uint64_t, uint64_t>> Sorted() const;
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// The full WS input: gap and cap histograms plus the two scalars the curve
+// needs. Matches OnePassWsSweep's dense arrays value for value:
+// gaps[g] = #consecutive-use pairs at distance g, caps[k] = #residency
+// intervals saturating at min(k, τ) + 1 instants, cold = distinct pages.
+struct WsHistogram {
+  SymbolicHistogram gaps;
+  SymbolicHistogram caps;
+  uint64_t refs = 0;
+  uint64_t cold = 0;
+};
+
+// Evaluates the WS characteristic at every τ in `taus` (each >= 1, any
+// order, duplicates allowed); points[i] corresponds to taus[i] and is bit
+// for bit what OnePassWsSweep produces from the same histograms.
+std::vector<SweepPoint> EvaluateWsCurve(const WsHistogram& hist,
+                                        const std::vector<uint64_t>& taus,
+                                        const SimOptions& options = {});
+
+// Evaluates faults(m) for m = 1..max_frames from an (unclamped) OPT stack
+// depth histogram: depth_hist[d] = #references hitting at stack depth d,
+// cold = compulsory misses. Bit for bit OnePassOptSweep's suffix-sum finish.
+std::vector<SweepPoint> EvaluateOptCurve(const std::vector<uint64_t>& depth_hist, uint64_t cold,
+                                         uint64_t refs, uint32_t max_frames,
+                                         const SimOptions& options = {});
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_ANALYSIS_SYMBOLIC_HISTOGRAM_H_

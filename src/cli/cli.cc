@@ -67,13 +67,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/analysis/analytic_locality.h"
 #include "src/cdmm/pipeline.h"
 #include "src/exec/flags.h"
+#include "src/interp/rle_generator.h"
 #include "src/exec/nest_parallel.h"
 #include "src/lint/lint.h"
 #include "src/exec/sweep_scheduler.h"
@@ -126,7 +129,7 @@ void PrintUsageLines(const char* argv0, std::ostream& os) {
         "            [--deps[=json]] [--parallel-nests]\n"
         "            [--trace-out FILE] [--trace-format text|binary]\n"
         "            [--trace-in FILE] [--simulate SPEC]...\n"
-        "            [--sweep ws|opt|both] [--sweep-engine naive|onepass]\n"
+        "            [--sweep ws|opt|both] [--sweep-engine naive|onepass|analytic]\n"
         "            [--page-size N] [--element-size N] [--fault-service N]\n"
         "            [--hierarchy SPEC]\n"
         "            [--min-pages N] [--no-locks] [--no-allocate] [--jobs N]\n"
@@ -156,8 +159,11 @@ int PrintHelp(const char* argv0, std::ostream& out) {
          "                         to stdout; per-sweep wall_ms timing goes to stderr\n"
          "  --sweep-engine ENGINE  naive = re-simulate per parameter point (the\n"
          "                         cross-validation oracle), onepass = whole curve\n"
-         "                         from one scan (default). stdout is byte-identical\n"
-         "                         under either engine at any --jobs\n"
+         "                         from one scan (default), analytic = symbolic\n"
+         "                         curves from the loop structure without\n"
+         "                         materializing the trace (needs program source,\n"
+         "                         not --trace-in). stdout is byte-identical under\n"
+         "                         every engine at any --jobs\n"
          "\n"
          "hierarchy:\n"
          "  --hierarchy SPEC       run --simulate policies against an N-level memory\n"
@@ -265,14 +271,38 @@ int RunPolicies(const CliOptions& cli, const Trace& full, const Trace& refs,
 // is engine- and jobs-independent by the determinism contract; the wall_ms
 // line on stderr is the timing probe tools/bench_sweep.py parses.
 int RunSweeps(const CliOptions& cli, const SweepScheduler& sched,
-              std::shared_ptr<const Trace> refs, std::ostream& out, std::ostream& err) {
+              const std::function<std::shared_ptr<const Trace>()>& ref_trace,
+              const Program* program, std::ostream& out, std::ostream& err) {
   const bool want_ws = cli.sweep == "ws" || cli.sweep == "both";
   const bool want_opt = cli.sweep == "opt" || cli.sweep == "both";
   struct Kind {
     const char* name;
     bool wanted;
   };
-  uint64_t max_tau = std::max<uint64_t>(refs->reference_count(), 1);
+  // Under --sweep-engine=analytic the curves come out of the symbolic model
+  // and the flat trace is never materialized; the digest lines are
+  // byte-identical to the other engines' by the bit-identity contract.
+  std::shared_ptr<const AnalyticLocality> model;
+  std::shared_ptr<const Trace> refs;
+  uint64_t ref_count = 0;
+  uint32_t virtual_pages = 0;
+  if (sched.engine() == SweepEngine::kAnalytic) {
+    if (program == nullptr) {
+      err << "--sweep-engine analytic derives curves from loop structure and needs "
+             "program source; it cannot run from --trace-in\n";
+      return 2;
+    }
+    InterpOptions iopt;
+    iopt.geometry = cli.pipeline.locality.geometry;
+    model = AnalyticLocality::Build(GenerateLoopRle(*program, iopt));
+    ref_count = model->total_refs();
+    virtual_pages = model->virtual_pages();
+  } else {
+    refs = ref_trace();
+    ref_count = refs->reference_count();
+    virtual_pages = refs->virtual_pages();
+  }
+  uint64_t max_tau = std::max<uint64_t>(ref_count, 1);
   for (const Kind& kind : {Kind{"ws", want_ws}, Kind{"opt", want_opt}}) {
     if (!kind.wanted) {
       continue;
@@ -282,10 +312,16 @@ int RunSweeps(const CliOptions& cli, const SweepScheduler& sched,
       return 3;
     }
     auto start = std::chrono::steady_clock::now();
-    std::vector<SweepPoint> points =
-        kind.name[0] == 'w'
-            ? sched.Ws(refs, DefaultTauGrid(max_tau, 12), cli.sim)
-            : sched.Opt(refs, std::max<uint32_t>(refs->virtual_pages(), 1), cli.sim);
+    std::vector<SweepPoint> points;
+    if (model != nullptr) {
+      points = kind.name[0] == 'w'
+                   ? sched.AnalyticWs(*model, DefaultTauGrid(max_tau, 12), cli.sim)
+                   : sched.AnalyticOpt(*model, std::max<uint32_t>(virtual_pages, 1), cli.sim);
+    } else {
+      points = kind.name[0] == 'w'
+                   ? sched.Ws(refs, DefaultTauGrid(max_tau, 12), cli.sim)
+                   : sched.Opt(refs, std::max<uint32_t>(virtual_pages, 1), cli.sim);
+    }
     double wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - start)
                          .count();
@@ -325,7 +361,9 @@ int RunFromTrace(const CliOptions& cli, const SweepScheduler& sched, std::ostrea
     out << "hierarchy: " << cli.sim.hierarchy->ToString() << "\n";
   }
   if (!cli.sweep.empty()) {
-    int code = RunSweeps(cli, sched, std::make_shared<const Trace>(refs), out, err);
+    auto shared_refs = std::make_shared<const Trace>(refs);
+    int code = RunSweeps(
+        cli, sched, [&] { return shared_refs; }, /*program=*/nullptr, out, err);
     if (code != 0 || cli.simulate.empty()) {
       return code;
     }
@@ -431,7 +469,7 @@ int Run(const CliOptions& cli, const SweepScheduler& sched, std::ostream& out,
         << (cli.binary_format ? " (binary)" : " (text)") << "\n";
   }
   if (!cli.sweep.empty()) {
-    int code = RunSweeps(cli, sched, ref_trace(), out, err);
+    int code = RunSweeps(cli, sched, ref_trace, &cp.program(), out, err);
     if (code != 0) {
       return code;
     }

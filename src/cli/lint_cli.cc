@@ -28,8 +28,10 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/analytic_locality.h"
 #include "src/cdmm/pipeline.h"
 #include "src/cdmm/validation.h"
+#include "src/interp/rle_generator.h"
 #include "src/exec/sweep_scheduler.h"
 #include "src/exec/thread_pool.h"
 #include "src/lint/lint.h"
@@ -170,6 +172,20 @@ int LintTelemetryRegistry(const LintCliOptions& opt, std::ostream& out, std::ost
   SweepScheduler naive(&pool, SweepEngine::kNaive);
   naive.Ws(refs, taus, sim);
   naive.Opt(refs, std::min(cp.value().virtual_pages(), 8u), sim);
+
+  // The analytic engine: model build (histogram-build span, fold and class
+  // counters), both symbolic sweeps, and the bounded-error OPT envelope so
+  // every analytic.* name reaches the H003 check.
+  {
+    SweepScheduler analytic_sched(&pool, SweepEngine::kAnalytic);
+    std::shared_ptr<const AnalyticLocality> model =
+        AnalyticLocality::Build(GenerateLoopRle(cp.value().program()));
+    analytic_sched.AnalyticWs(*model, taus, sim);
+    analytic_sched.AnalyticOpt(*model, std::min(cp.value().virtual_pages(), 8u), sim);
+    model->OptBoundsSweep(std::min(cp.value().virtual_pages(), 8u), sim);
+    // A non-affine model exercises the fallback-class counter.
+    AnalyticLocality::Build(GenerateLoopRle(ParseWorkload(FindWorkload("GATHER"))));
+  }
 
   FaultInjector injector(FaultInjectionConfig::AtIntensity(7, 1.0));
   injector.TotalFaultServiceTime(0, 32, 100);

@@ -31,7 +31,10 @@ SweepEngine ResolveSweepEngine(const std::string& value) {
   if (value == "onepass") {
     return SweepEngine::kOnePass;
   }
-  std::fprintf(stderr, "bad --sweep-engine value '%s' (want 'naive' or 'onepass')\n",
+  if (value == "analytic") {
+    return SweepEngine::kAnalytic;
+  }
+  std::fprintf(stderr, "bad --sweep-engine value '%s' (want 'naive', 'onepass' or 'analytic')\n",
                value.c_str());
   std::exit(2);
 }

@@ -52,8 +52,10 @@ std::vector<SweepPoint> SweepScheduler::Ws(std::shared_ptr<const Trace> refs,
                                            const SimOptions& options,
                                            std::shared_ptr<const PreparedTrace> prepared) const {
   CDMM_CHECK(refs != nullptr);
-  if (engine_ == SweepEngine::kOnePass) {
+  if (engine_ != SweepEngine::kNaive) {
     // The whole characteristic from one scan; parallelism adds nothing.
+    // A scheduler configured for kAnalytic but handed a flat trace (no
+    // model) answers through the one-pass scan: same points, bit for bit.
     if (prepared != nullptr) {
       return OnePassWsSweep(*prepared, taus, options);
     }
@@ -80,7 +82,7 @@ std::vector<SweepPoint> SweepScheduler::Opt(std::shared_ptr<const Trace> refs,
                                             std::shared_ptr<const PreparedTrace> prepared) const {
   CDMM_CHECK(refs != nullptr);
   CDMM_CHECK(max_frames >= 1);
-  if (engine_ == SweepEngine::kOnePass) {
+  if (engine_ != SweepEngine::kNaive) {
     if (prepared != nullptr) {
       return OnePassOptSweep(*prepared, max_frames, options);
     }
@@ -101,6 +103,19 @@ std::vector<SweepPoint> SweepScheduler::Opt(std::shared_ptr<const Trace> refs,
     points[i] = p;
   });
   return points;
+}
+
+std::vector<SweepPoint> SweepScheduler::AnalyticWs(const AnalyticLocality& model,
+                                                   const std::vector<uint64_t>& taus,
+                                                   const SimOptions& options) const {
+  return AnalyticWsSweep(model, taus, options);
+}
+
+std::vector<SweepPoint> SweepScheduler::AnalyticOpt(const AnalyticLocality& model,
+                                                    uint32_t max_frames,
+                                                    const SimOptions& options) const {
+  CDMM_CHECK(max_frames >= 1);
+  return AnalyticOptSweep(model, max_frames, options);
 }
 
 std::vector<HierarchyLadderCell> SweepScheduler::HierarchyLadder(

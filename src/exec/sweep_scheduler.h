@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/analytic_locality.h"
 #include "src/exec/thread_pool.h"
 #include "src/robust/fault_injector.h"
 #include "src/telemetry/telemetry.h"
@@ -214,6 +215,16 @@ class SweepScheduler {
   std::vector<SweepPoint> Opt(std::shared_ptr<const Trace> refs, uint32_t max_frames,
                               const SimOptions& options = {},
                               std::shared_ptr<const PreparedTrace> prepared = nullptr) const;
+
+  // The analytic entry points (engine = kAnalytic with a built model): the
+  // curves come out of the symbolic histograms in time independent of trace
+  // length for affine programs, bit-identical to Ws/Opt on the expanded
+  // trace. Single closed-form evaluations — nothing to fan over the pool.
+  std::vector<SweepPoint> AnalyticWs(const AnalyticLocality& model,
+                                     const std::vector<uint64_t>& taus,
+                                     const SimOptions& options = {}) const;
+  std::vector<SweepPoint> AnalyticOpt(const AnalyticLocality& model, uint32_t max_frames,
+                                      const SimOptions& options = {}) const;
 
   // The fault-penalty ladder (ISSUE 6): every (policy spec, penalty) cell
   // re-simulated against `shape` with the backing store's latency set to the

@@ -1,0 +1,378 @@
+#include "src/interp/rle_generator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/interp/address_map.h"
+#include "src/support/check.h"
+
+namespace cdmm {
+namespace {
+
+// Accumulated over one loop's subtree to decide fold eligibility.
+struct SubtreeUsage {
+  bool has_indirect = false;
+  bool has_integer_store = false;
+  std::set<std::string> index_vars;  // variables used in subscripts
+  std::set<std::string> bound_vars;  // variables used in nested DO bounds
+  std::set<std::string> cond_vars;   // scalars read by IF conditions
+};
+
+void CollectExprScalars(const Expr& expr, std::set<std::string>& out) {
+  switch (expr.kind) {
+    case Expr::Kind::kNumber:
+      return;
+    case Expr::Kind::kScalar:
+      out.insert(expr.scalar);
+      return;
+    case Expr::Kind::kArrayElement:
+      return;  // S010: IF conditions are array-free
+    case Expr::Kind::kNegate:
+      CollectExprScalars(*expr.lhs, out);
+      return;
+    case Expr::Kind::kBinary:
+    case Expr::Kind::kCompare:
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      CollectExprScalars(*expr.lhs, out);
+      CollectExprScalars(*expr.rhs, out);
+      return;
+  }
+}
+
+void CollectStmt(const Program& program, const Stmt& stmt, SubtreeUsage& usage) {
+  for (const ArrayRef* ref : stmt.DirectArrayRefs()) {
+    for (const IndexExpr& ix : ref->indices) {
+      if (ix.IsIndirect()) {
+        usage.has_indirect = true;
+      } else if (!ix.var.empty()) {
+        usage.index_vars.insert(ix.var);
+      }
+    }
+  }
+  switch (stmt.kind) {
+    case Stmt::Kind::kAssign:
+      if (stmt.lhs_array.has_value()) {
+        const ArrayDecl* decl = program.FindArray(stmt.lhs_array->name);
+        if (decl != nullptr && decl->is_integer) {
+          usage.has_integer_store = true;
+        }
+      }
+      return;
+    case Stmt::Kind::kIf:
+      CollectExprScalars(*stmt.if_cond, usage.cond_vars);
+      CollectStmt(program, *stmt.if_then, usage);
+      return;
+    case Stmt::Kind::kDoLoop:
+      if (stmt.lower.kind == LoopBound::Kind::kVariable) {
+        usage.bound_vars.insert(stmt.lower.spelling);
+      }
+      if (stmt.upper.kind == LoopBound::Kind::kVariable) {
+        usage.bound_vars.insert(stmt.upper.spelling);
+      }
+      for (const StmtPtr& s : stmt.body) {
+        CollectStmt(program, *s, usage);
+      }
+      return;
+    case Stmt::Kind::kCall:
+      return;  // inlined before execution; never reached
+  }
+}
+
+// Statically decides, for every loop, whether its iterations are guaranteed
+// to emit identical reference sequences (so the loop may fold).
+std::set<uint32_t> FoldableLoops(const Program& program, RleBuildStats& stats) {
+  std::set<uint32_t> foldable;
+  program.ForEachStmt([&](const Stmt& stmt) {
+    if (stmt.kind != Stmt::Kind::kDoLoop) {
+      return;
+    }
+    SubtreeUsage usage;
+    for (const StmtPtr& s : stmt.body) {
+      CollectStmt(program, *s, usage);
+    }
+    bool ok = !usage.has_indirect && !usage.has_integer_store &&
+              usage.index_vars.count(stmt.loop_var) == 0 &&
+              usage.bound_vars.count(stmt.loop_var) == 0 &&
+              usage.cond_vars.count(stmt.loop_var) == 0;
+    if (ok) {
+      foldable.insert(stmt.loop_id);
+      ++stats.foldable_loops;
+    } else {
+      ++stats.unfoldable_loops;
+    }
+  });
+  return foldable;
+}
+
+// Mirrors interp/interpreter.cc statement for statement (minus directives,
+// loop markers and lock bookkeeping, none of which emit references), so the
+// built RLE trace expands to exactly GenerateTrace's reference string.
+class RleInterpreter {
+ public:
+  RleInterpreter(const Program& program, const InterpOptions& options)
+      : program_(program),
+        options_(options),
+        address_map_(program, options.geometry),
+        builder_(program.name, address_map_.total_pages()) {
+    foldable_ = FoldableLoops(program, stats_);
+    stats_.affine = IsAffineProgram(program);
+  }
+
+  LoopRleTrace Run() {
+    for (const StmtPtr& s : program_.body) {
+      Execute(*s);
+    }
+    return builder_.Finish(stats_);
+  }
+
+ private:
+  int64_t EnvLookup(const std::string& var) const {
+    auto it = env_.find(var);
+    CDMM_CHECK_MSG(it != env_.end(), "unbound loop variable " << var);
+    return it->second;
+  }
+
+  int64_t EvalIndex(const IndexExpr& ix) {
+    if (ix.IsIndirect()) {
+      return ReadIntElement(*ix.indirect) + ix.offset;
+    }
+    return ix.IsConstant() ? ix.offset : EnvLookup(ix.var) + ix.offset;
+  }
+
+  int64_t EvalBound(const LoopBound& bound) const {
+    return bound.kind == LoopBound::Kind::kVariable ? EnvLookup(bound.spelling) : bound.value;
+  }
+
+  void EmitRefAt(const ArrayRef& ref, int64_t i, int64_t j) {
+    PageId page = address_map_.PageOf(ref.name, i, j);
+    CDMM_CHECK_MSG(builder_.stored_pages() < options_.max_references,
+                   "compressed-trace cap exceeded; runaway workload?");
+    builder_.Ref(page);
+  }
+
+  void EmitRef(const ArrayRef& ref) {
+    int64_t i = EvalIndex(ref.indices[0]);
+    int64_t j = ref.indices.size() == 2 ? EvalIndex(ref.indices[1]) : 1;
+    EmitRefAt(ref, i, j);
+  }
+
+  bool IsIntegerArray(const std::string& name) const {
+    const ArrayDecl* decl = program_.FindArray(name);
+    return decl != nullptr && decl->is_integer;
+  }
+
+  int64_t& IntStorage(const std::string& name, int64_t i, int64_t j) {
+    const ArrayDecl* decl = program_.FindArray(name);
+    CDMM_CHECK_MSG(decl != nullptr && decl->is_integer,
+                   name << " is not a declared INTEGER array");
+    std::vector<int64_t>& cells = state_.int_arrays[name];
+    if (cells.empty()) {
+      cells.assign(static_cast<size_t>(decl->rows * std::max<int64_t>(decl->cols, 1)), 0);
+    }
+    CDMM_CHECK_MSG(i >= 1 && i <= decl->rows && j >= 1 && j <= std::max<int64_t>(decl->cols, 1),
+                   name << "(" << i << "," << j << ") outside declared bounds");
+    return cells[static_cast<size_t>((i - 1) + (j - 1) * decl->rows)];
+  }
+
+  int64_t ReadIntElement(const ArrayRef& ref) {
+    int64_t i = EvalIndex(ref.indices[0]);
+    int64_t j = ref.indices.size() == 2 ? EvalIndex(ref.indices[1]) : 1;
+    EmitRefAt(ref, i, j);
+    return IntStorage(ref.name, i, j);
+  }
+
+  int64_t EvalInt(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kNumber: {
+        int64_t v = static_cast<int64_t>(expr.number);
+        CDMM_CHECK_MSG(static_cast<double>(v) == expr.number,
+                       "non-integral literal " << expr.number << " in integer context");
+        return v;
+      }
+      case Expr::Kind::kScalar: {
+        auto it = program_.parameters.find(expr.scalar);
+        return it != program_.parameters.end() ? it->second : EnvLookup(expr.scalar);
+      }
+      case Expr::Kind::kArrayElement:
+        return ReadIntElement(expr.array);
+      case Expr::Kind::kNegate:
+        return -EvalInt(*expr.lhs);
+      case Expr::Kind::kBinary: {
+        int64_t a = EvalInt(*expr.lhs);
+        int64_t b = EvalInt(*expr.rhs);
+        switch (expr.op) {
+          case '+':
+            return a + b;
+          case '-':
+            return a - b;
+          case '*':
+            return a * b;
+          case '/':
+            CDMM_CHECK_MSG(b != 0, "integer division by zero");
+            return a / b;
+          case '%':
+            CDMM_CHECK_MSG(b != 0, "MOD by zero");
+            return a % b;
+        }
+        CDMM_UNREACHABLE("unknown binary operator");
+      }
+      case Expr::Kind::kCompare: {
+        int64_t a = EvalInt(*expr.lhs);
+        int64_t b = EvalInt(*expr.rhs);
+        switch (expr.rel) {
+          case RelOp::kGt:
+            return a > b;
+          case RelOp::kGe:
+            return a >= b;
+          case RelOp::kLt:
+            return a < b;
+          case RelOp::kLe:
+            return a <= b;
+          case RelOp::kEq:
+            return a == b;
+          case RelOp::kNe:
+            return a != b;
+        }
+        CDMM_UNREACHABLE("unknown relational operator");
+      }
+      case Expr::Kind::kAnd:
+        return (EvalInt(*expr.lhs) != 0 && EvalInt(*expr.rhs) != 0) ? 1 : 0;
+      case Expr::Kind::kOr:
+        return (EvalInt(*expr.lhs) != 0 || EvalInt(*expr.rhs) != 0) ? 1 : 0;
+    }
+    CDMM_UNREACHABLE("unknown expression kind");
+  }
+
+  void EvalExprRefs(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kNumber:
+      case Expr::Kind::kScalar:
+        return;
+      case Expr::Kind::kArrayElement:
+        EmitRef(expr.array);
+        return;
+      case Expr::Kind::kNegate:
+        EvalExprRefs(*expr.lhs);
+        return;
+      case Expr::Kind::kBinary:
+      case Expr::Kind::kCompare:
+      case Expr::Kind::kAnd:
+      case Expr::Kind::kOr:
+        EvalExprRefs(*expr.lhs);
+        EvalExprRefs(*expr.rhs);
+        return;
+    }
+  }
+
+  void Execute(const Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::kIf) {
+      if (EvalInt(*stmt.if_cond) != 0) {
+        Execute(*stmt.if_then);
+      }
+      return;
+    }
+    if (stmt.kind == Stmt::Kind::kAssign) {
+      if (stmt.lhs_array.has_value() && IsIntegerArray(stmt.lhs_array->name)) {
+        int64_t v = EvalInt(*stmt.rhs);
+        int64_t i = EvalIndex(stmt.lhs_array->indices[0]);
+        int64_t j = stmt.lhs_array->indices.size() == 2 ? EvalIndex(stmt.lhs_array->indices[1]) : 1;
+        EmitRefAt(*stmt.lhs_array, i, j);
+        IntStorage(stmt.lhs_array->name, i, j) = v;
+        return;
+      }
+      EvalExprRefs(*stmt.rhs);
+      if (stmt.lhs_array.has_value()) {
+        EmitRef(*stmt.lhs_array);
+      }
+      return;
+    }
+    ExecuteLoop(stmt);
+  }
+
+  void ExecuteBody(const Stmt& loop) {
+    for (const StmtPtr& s : loop.body) {
+      Execute(*s);
+    }
+  }
+
+  void ExecuteLoop(const Stmt& loop) {
+    int64_t lo = EvalBound(loop.lower);
+    int64_t hi = EvalBound(loop.upper);
+    int64_t step = loop.step;
+    auto continues = [&](int64_t v) { return step > 0 ? v <= hi : v >= hi; };
+
+    uint64_t trip = 0;
+    if (step > 0 && lo <= hi) {
+      trip = static_cast<uint64_t>((hi - lo) / step) + 1;
+    } else if (step < 0 && lo >= hi) {
+      trip = static_cast<uint64_t>((lo - hi) / (-step)) + 1;
+    }
+
+    if (foldable_.count(loop.loop_id) != 0 && trip >= 2) {
+      builder_.OpenScope();
+      env_[loop.loop_var] = lo;
+      ExecuteBody(loop);
+      builder_.OpenScope();
+      env_[loop.loop_var] = lo + step;
+      ExecuteBody(loop);
+      builder_.SealTop();
+      if (builder_.TopTwoScopesEqual()) {
+        builder_.DiscardScope();
+        builder_.CloseScopeRepeat(trip);
+        ++stats_.folds_applied;
+        env_.erase(loop.loop_var);
+        return;
+      }
+      // The static analysis promised identical iterations but the emitted
+      // sequences differ (defensive path; not reachable for any construct
+      // the checker accepts). Keep both iterations and run out the rest.
+      builder_.CloseScopeRepeat(1);  // iteration 2 splices into iteration 1's scope
+      for (int64_t v = lo + 2 * step; continues(v); v += step) {
+        env_[loop.loop_var] = v;
+        ExecuteBody(loop);
+      }
+      builder_.CloseScopeRepeat(1);
+      env_.erase(loop.loop_var);
+      return;
+    }
+
+    for (int64_t v = lo; continues(v); v += step) {
+      env_[loop.loop_var] = v;
+      ExecuteBody(loop);
+    }
+    env_.erase(loop.loop_var);
+  }
+
+  const Program& program_;
+  InterpOptions options_;
+  AddressMap address_map_;
+  LoopRleBuilder builder_;
+  RleBuildStats stats_;
+  std::set<uint32_t> foldable_;
+  InterpState state_;
+  std::map<std::string, int64_t> env_;
+};
+
+}  // namespace
+
+bool IsAffineProgram(const Program& program) {
+  bool affine = true;
+  program.ForEachStmt([&](const Stmt& stmt) {
+    for (const ArrayRef* ref : stmt.DirectArrayRefs()) {
+      if (ref->HasIndirect()) {
+        affine = false;
+      }
+    }
+  });
+  return affine;
+}
+
+LoopRleTrace GenerateLoopRle(const Program& program, const InterpOptions& options) {
+  return RleInterpreter(program, options).Run();
+}
+
+}  // namespace cdmm

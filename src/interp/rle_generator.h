@@ -1,0 +1,40 @@
+// Loop-RLE trace generation: executes a checked program exactly like
+// GenerateTrace but emits into a LoopRleBuilder, folding every DO loop whose
+// iterations provably produce the same reference sequence into a single
+// repeat-counted block. The result expands byte-for-byte to
+// GenerateTrace(program, tree, /*plan=*/nullptr) while typically storing
+// O(program size) pages instead of O(R) events — the representation the
+// analytic sweep engines consume and the chunked fallback streams from.
+//
+// Fold eligibility is decided statically per loop: the loop body must be
+// free of indirect subscripts and INTEGER-array stores, and the loop
+// variable must not appear in any subscript, nested loop bound, or IF
+// condition of the body. (Scalar assignments are harmless — the interpreter
+// discards their values.) Eligible loops are folded at run time whenever
+// the trip count is at least 2, after a structural equality check of the
+// first two iterations; a check failure demotes the loop to plain
+// iteration, so generation is always exact.
+#ifndef CDMM_SRC_INTERP_RLE_GENERATOR_H_
+#define CDMM_SRC_INTERP_RLE_GENERATOR_H_
+
+#include "src/interp/interpreter.h"
+#include "src/lang/ast.h"
+#include "src/trace/loop_rle.h"
+
+namespace cdmm {
+
+// True when no array reference in the program uses an indirect subscript:
+// the reference string is then a pure function of the loop structure, and
+// the analytic engines answer sweeps in time independent of trace length.
+bool IsAffineProgram(const Program& program);
+
+// Generates the folded reference string of `program`. Directives and loop
+// markers are never emitted (sweeps consume reference-only traces); the
+// options' max_references cap bounds the *stored* (compressed) page count,
+// so folded programs may legally expand to far more references than a flat
+// Trace could hold.
+LoopRleTrace GenerateLoopRle(const Program& program, const InterpOptions& options = {});
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_INTERP_RLE_GENERATOR_H_

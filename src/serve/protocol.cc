@@ -115,12 +115,22 @@ Result<ServeRequest> ParseServeRequest(const std::string& payload) {
 }
 
 uint64_t FingerprintRequest(const ServeRequest& request) {
+  return FingerprintRequest(request, std::string());
+}
+
+uint64_t FingerprintRequest(const ServeRequest& request, const std::string& engine_tag) {
   uint64_t h = kFnvOffset;
   FnvMixU64(&h, static_cast<uint64_t>(request.op));
   FnvMixString(&h, request.workload);
   FnvMixString(&h, request.policy);
   FnvMixString(&h, request.hierarchy);
   FnvMixU64(&h, request.penalty);
+  if (!engine_tag.empty()) {
+    // Length prefix keeps the tagged key space disjoint from the untagged
+    // one ("" vs "x" cannot collide by concatenation).
+    FnvMixU64(&h, engine_tag.size());
+    FnvMixString(&h, engine_tag);
+  }
   return h;
 }
 

@@ -58,6 +58,13 @@ Result<ServeRequest> ParseServeRequest(const std::string& payload);
 // prepared to wait for it.
 uint64_t FingerprintRequest(const ServeRequest& request);
 
+// Engine-tagged variant used for sweep results: the tag (e.g. "analytic",
+// "onepass") is mixed length-prefixed when non-empty, so cache entries
+// record which engine produced them and a server restarted under a
+// different sweep engine never aliases the old entries — even though the
+// payloads are bit-identical by the engines' determinism contract.
+uint64_t FingerprintRequest(const ServeRequest& request, const std::string& engine_tag);
+
 // The circuit-breaker grouping: requests of the same shape (op + workload +
 // policy) share one breaker, so a poisoning shape is quarantined without
 // penalising the rest of the mix.

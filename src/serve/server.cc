@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/analysis/analytic_locality.h"
 #include "src/cdmm/pipeline.h"
+#include "src/interp/rle_generator.h"
 #include "src/support/str.h"
 #include "src/telemetry/telemetry.h"
 #include "src/vm/hierarchy.h"
@@ -57,7 +59,13 @@ struct ServerCore::WorkloadContext {
   std::shared_ptr<const Trace> full;
   std::shared_ptr<const Trace> refs;
   std::shared_ptr<const PreparedTrace> prepared;
+  // Present for affine workloads: sweep requests answer through the
+  // symbolic model (bit-identical payloads, trace-length-independent cost).
+  std::shared_ptr<const AnalyticLocality> analytic;
   uint32_t virtual_pages = 0;
+
+  // The engine tag mixed into sweep cache fingerprints.
+  const char* sweep_engine_tag() const { return analytic != nullptr ? "analytic" : "onepass"; }
 };
 
 ServerCore::ServerCore(ThreadPool* pool, ServeLimits limits)
@@ -110,6 +118,10 @@ std::shared_ptr<const ServerCore::WorkloadContext> ServerCore::GetWorkload(
     ctx->refs = compiled.value().shared_references();
     ctx->prepared = PreparedTrace::BuildShared(*ctx->refs);
     ctx->virtual_pages = ctx->refs->virtual_pages();
+    if (IsAffineProgram(compiled.value().program())) {
+      ctx->analytic = AnalyticLocality::Build(GenerateLoopRle(compiled.value().program()));
+      TELEM_COUNT("serve.workload_analytic_modeled");
+    }
     TELEM_COUNT("serve.workload_compiled");
     return ctx;
   });
@@ -154,7 +166,9 @@ ServerCore::ExecOutcome ServerCore::Execute(const ServeRequest& request,
         if (token.Expired()) throw SweepCancelled();
         uint64_t max_tau = std::max<uint64_t>(ctx->refs->reference_count(), 1);
         std::vector<SweepPoint> points =
-            OnePassWsSweep(*ctx->prepared, DefaultTauGrid(max_tau, 12));
+            ctx->analytic != nullptr
+                ? AnalyticWsSweep(*ctx->analytic, DefaultTauGrid(max_tau, 12))
+                : OnePassWsSweep(*ctx->prepared, DefaultTauGrid(max_tau, 12));
         out.status = ServeStatus::kOk;
         out.payload = SweepJson("ws", points);
         return out;
@@ -167,7 +181,9 @@ ServerCore::ExecOutcome ServerCore::Execute(const ServeRequest& request,
         }
         if (token.Expired()) throw SweepCancelled();
         std::vector<SweepPoint> points =
-            OnePassOptSweep(*ctx->prepared, std::max(ctx->virtual_pages, 1u));
+            ctx->analytic != nullptr
+                ? AnalyticOptSweep(*ctx->analytic, std::max(ctx->virtual_pages, 1u))
+                : OnePassOptSweep(*ctx->prepared, std::max(ctx->virtual_pages, 1u));
         out.status = ServeStatus::kOk;
         out.payload = SweepJson("opt", points);
         return out;
@@ -327,8 +343,17 @@ std::vector<ServeResponse> ServerCore::HandleBatch(
     }
 
     // Content-addressed cache: a hit bypasses admission, the breaker and
-    // injection — a cached result cannot fail again.
-    uint64_t fingerprint = FingerprintRequest(request);
+    // injection — a cached result cannot fail again. Sweep keys carry the
+    // engine tag of the workload's resolved sweep path (the memoized
+    // workload context is computed here if this is its first sight).
+    uint64_t fingerprint;
+    if (request.op == ServeOp::kSweepWs || request.op == ServeOp::kSweepOpt) {
+      std::shared_ptr<const WorkloadContext> ctx = GetWorkload(request.workload);
+      fingerprint = FingerprintRequest(
+          request, ctx->error.empty() ? ctx->sweep_engine_tag() : "");
+    } else {
+      fingerprint = FingerprintRequest(request);
+    }
     auto hit = result_cache_.find(fingerprint);
     if (hit != result_cache_.end()) {
       response.payload = hit->second.first;

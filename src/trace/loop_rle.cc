@@ -1,0 +1,167 @@
+#include "src/trace/loop_rle.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace cdmm {
+
+Trace LoopRleTrace::Expand() const {
+  CDMM_CHECK_MSG(total_refs_ < (1ULL << 32),
+                 "expanded length " << total_refs_ << " too large to materialize");
+  Trace trace(name_);
+  trace.set_virtual_pages(virtual_pages_);
+  ForEachRef([&](PageId page) { trace.AddRef(page); });
+  return trace;
+}
+
+LoopRleBuilder::LoopRleBuilder(std::string name, uint32_t virtual_pages)
+    : name_(std::move(name)), virtual_pages_(virtual_pages) {
+  scopes_.emplace_back();
+}
+
+void LoopRleBuilder::Ref(PageId page) {
+  CDMM_CHECK_MSG(virtual_pages_ == 0 || page < virtual_pages_,
+                 "page " << page << " out of range, V=" << virtual_pages_);
+  scopes_.back().pending.push_back(page);
+}
+
+void LoopRleBuilder::FlushPending(Scope& scope) {
+  if (scope.pending.empty()) {
+    return;
+  }
+  LoopRleTrace::Node leaf;
+  leaf.repeat = 1;
+  leaf.leaf = true;
+  leaf.begin = static_cast<uint32_t>(pages_.size());
+  leaf.count = static_cast<uint32_t>(scope.pending.size());
+  leaf.refs = scope.pending.size();
+  pages_.insert(pages_.end(), scope.pending.begin(), scope.pending.end());
+  scope.pending.clear();
+  scope.child_nodes.push_back(static_cast<uint32_t>(nodes_.size()));
+  nodes_.push_back(leaf);
+}
+
+void LoopRleBuilder::OpenScope() {
+  FlushPending(scopes_.back());
+  Scope scope;
+  scope.nodes_mark = nodes_.size();
+  scope.pages_mark = pages_.size();
+  scope.children_mark = children_.size();
+  scopes_.push_back(std::move(scope));
+}
+
+void LoopRleBuilder::SealTop() { FlushPending(scopes_.back()); }
+
+bool LoopRleBuilder::NodesEqual(uint32_t a, uint32_t b) const {
+  const LoopRleTrace::Node& na = nodes_[a];
+  const LoopRleTrace::Node& nb = nodes_[b];
+  if (na.repeat != nb.repeat || na.leaf != nb.leaf || na.count != nb.count) {
+    return false;
+  }
+  if (na.leaf) {
+    return std::equal(pages_.begin() + na.begin, pages_.begin() + na.begin + na.count,
+                      pages_.begin() + nb.begin);
+  }
+  for (uint32_t k = 0; k < na.count; ++k) {
+    if (!NodesEqual(children_[na.begin + k], children_[nb.begin + k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoopRleBuilder::TopTwoScopesEqual() const {
+  CDMM_CHECK(scopes_.size() >= 3);  // root + the two iteration scopes
+  const Scope& first = scopes_[scopes_.size() - 2];
+  const Scope& second = scopes_.back();
+  if (!second.pending.empty() || !first.pending.empty()) {
+    return false;  // callers seal both scopes before comparing
+  }
+  if (first.child_nodes.size() != second.child_nodes.size()) {
+    return false;
+  }
+  for (size_t k = 0; k < first.child_nodes.size(); ++k) {
+    if (!NodesEqual(first.child_nodes[k], second.child_nodes[k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LoopRleBuilder::DiscardScope() {
+  CDMM_CHECK(scopes_.size() >= 2);
+  Scope scope = std::move(scopes_.back());
+  scopes_.pop_back();
+  // Everything the scope created sits above its watermarks (scopes only
+  // append to the pools), so truncation frees exactly its allocations.
+  nodes_.resize(scope.nodes_mark);
+  pages_.resize(scope.pages_mark);
+  children_.resize(scope.children_mark);
+}
+
+void LoopRleBuilder::CloseScopeRepeat(uint64_t repeat) {
+  CDMM_CHECK(scopes_.size() >= 2);
+  CDMM_CHECK(repeat >= 1);
+  FlushPending(scopes_.back());
+  Scope scope = std::move(scopes_.back());
+  scopes_.pop_back();
+  Scope& parent = scopes_.back();
+  if (scope.child_nodes.empty()) {
+    return;  // body emitted nothing; the repeat is a no-op
+  }
+  if (repeat == 1) {
+    parent.child_nodes.insert(parent.child_nodes.end(), scope.child_nodes.begin(),
+                              scope.child_nodes.end());
+    return;
+  }
+  LoopRleTrace::Node node;
+  node.repeat = repeat;
+  node.leaf = false;
+  node.begin = static_cast<uint32_t>(children_.size());
+  node.count = static_cast<uint32_t>(scope.child_nodes.size());
+  uint64_t once = 0;
+  for (uint32_t id : scope.child_nodes) {
+    once += NodeRefs(id);
+  }
+  node.refs = once * repeat;
+  children_.insert(children_.end(), scope.child_nodes.begin(), scope.child_nodes.end());
+  parent.child_nodes.push_back(static_cast<uint32_t>(nodes_.size()));
+  nodes_.push_back(node);
+}
+
+LoopRleTrace LoopRleBuilder::Finish(const RleBuildStats& stats) {
+  CDMM_CHECK_MSG(scopes_.size() == 1, "unbalanced RLE scopes at Finish");
+  FlushPending(scopes_.back());
+
+  LoopRleTrace trace;
+  trace.name_ = std::move(name_);
+  trace.virtual_pages_ = virtual_pages_;
+  trace.stats_ = stats;
+  trace.nodes_ = std::move(nodes_);
+  trace.pages_ = std::move(pages_);
+  trace.children_ = std::move(children_);
+  trace.roots_ = std::move(scopes_.back().child_nodes);
+
+  uint64_t total = 0;
+  for (uint32_t root : trace.roots_) {
+    total += trace.nodes_[root].refs;
+  }
+  trace.total_refs_ = total;
+
+  std::vector<bool> seen(trace.virtual_pages_ > 0 ? trace.virtual_pages_ : 0, false);
+  uint32_t distinct = 0;
+  for (PageId page : trace.pages_) {
+    if (page >= seen.size()) {
+      seen.resize(static_cast<size_t>(page) + 1, false);
+    }
+    if (!seen[page]) {
+      seen[page] = true;
+      ++distinct;
+    }
+  }
+  trace.distinct_pages_ = distinct;
+  return trace;
+}
+
+}  // namespace cdmm

@@ -1,0 +1,193 @@
+// Loop-RLE trace: a reference string stored as a straight-line program of
+// repeated blocks instead of a flat event vector. A node is either a leaf
+// (a literal run of page ids) or an interior block (a sequence of child
+// nodes); every node carries a repeat count, so a DO loop whose iterations
+// all emit the same page sequence is stored once with repeat = trip count.
+// Expanded length is the sum over roots of `refs`, which may far exceed
+// what a flat Trace could hold (billions of references in a few kilobytes).
+//
+// The format is exact, not approximate: LoopRleBuilder only folds a scope
+// after structurally verifying that two consecutive iterations emitted the
+// same references, so Expand() reproduces the interpreter's trace byte for
+// byte. The analytic sweep engines (src/analysis/analytic_locality.h) walk
+// the node tree directly and never expand; the streaming visitors below are
+// the fallback for consumers that do need the flat string but must not hold
+// O(R) events in memory at once.
+#ifndef CDMM_SRC_TRACE_LOOP_RLE_H_
+#define CDMM_SRC_TRACE_LOOP_RLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/check.h"
+#include "src/trace/trace.h"
+
+namespace cdmm {
+
+// Statistics from one GenerateLoopRle run, carried on the trace so sweep
+// engines can report how much of the reference string was modeled exactly.
+struct RleBuildStats {
+  uint64_t folds_applied = 0;     // scopes folded into repeat > 1 nodes
+  uint64_t foldable_loops = 0;    // loops statically eligible for folding
+  uint64_t unfoldable_loops = 0;  // loops that had to be executed in full
+  // No indirect subscripts anywhere in the program: the reference string is
+  // a pure function of the loop structure and the analytic engines are both
+  // exact and trace-length-independent. Indirect/guarded programs are still
+  // modeled exactly, but compression (and so the O(program) bound) is lost
+  // for the loops involved.
+  bool affine = true;
+
+  friend bool operator==(const RleBuildStats&, const RleBuildStats&) = default;
+};
+
+class LoopRleTrace {
+ public:
+  struct Node {
+    uint64_t repeat = 1;  // how many times this node's content repeats
+    uint64_t refs = 0;    // expanded references of the node, repeat included
+    uint32_t begin = 0;   // leaf: index into pages(); interior: into children()
+    uint32_t count = 0;   // leaf: run length; interior: child node count
+    bool leaf = true;
+
+    friend bool operator==(const Node&, const Node&) = default;
+  };
+
+  const std::string& name() const { return name_; }
+  uint32_t virtual_pages() const { return virtual_pages_; }
+  uint64_t total_refs() const { return total_refs_; }
+  const RleBuildStats& stats() const { return stats_; }
+
+  // Distinct pages actually referenced (computed once at Finish).
+  uint32_t distinct_pages() const { return distinct_pages_; }
+
+  // Stored (compressed) footprint, for compression-ratio assertions.
+  size_t stored_pages() const { return pages_.size(); }
+  size_t node_count() const { return nodes_.size(); }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<uint32_t>& roots() const { return roots_; }
+  const std::vector<uint32_t>& children() const { return children_; }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  // Streams every reference in order without materializing the string.
+  // Cost is O(expanded length); use the analytic engines to avoid that.
+  template <typename Fn>
+  void ForEachRef(Fn&& fn) const {
+    for (uint32_t root : roots_) {
+      VisitNode(root, fn);
+    }
+  }
+
+  // Chunked variant: `fn(data, n)` receives consecutive slices of at most
+  // `chunk` references, so a simulating consumer needs O(chunk) memory.
+  template <typename Fn>
+  void ForEachChunk(size_t chunk, Fn&& fn) const {
+    CDMM_CHECK(chunk >= 1);
+    std::vector<PageId> buffer;
+    buffer.reserve(chunk);
+    ForEachRef([&](PageId page) {
+      buffer.push_back(page);
+      if (buffer.size() == chunk) {
+        fn(buffer.data(), buffer.size());
+        buffer.clear();
+      }
+    });
+    if (!buffer.empty()) {
+      fn(buffer.data(), buffer.size());
+    }
+  }
+
+  // Expands to a flat refs-only Trace, equal to what GenerateTrace(program,
+  // tree, nullptr) emits. CHECK-fails if the expanded length would not fit.
+  Trace Expand() const;
+
+ private:
+  friend class LoopRleBuilder;
+
+  template <typename Fn>
+  void VisitNode(uint32_t id, Fn&& fn) const {
+    const Node& node = nodes_[id];
+    for (uint64_t rep = 0; rep < node.repeat; ++rep) {
+      if (node.leaf) {
+        for (uint32_t k = 0; k < node.count; ++k) {
+          fn(pages_[node.begin + k]);
+        }
+      } else {
+        for (uint32_t k = 0; k < node.count; ++k) {
+          VisitNode(children_[node.begin + k], fn);
+        }
+      }
+    }
+  }
+
+  std::string name_;
+  uint32_t virtual_pages_ = 0;
+  uint32_t distinct_pages_ = 0;
+  uint64_t total_refs_ = 0;
+  RleBuildStats stats_;
+  std::vector<Node> nodes_;
+  std::vector<PageId> pages_;      // leaf runs, concatenated
+  std::vector<uint32_t> children_; // interior child lists, concatenated
+  std::vector<uint32_t> roots_;
+};
+
+// Incremental builder used by the RLE trace generator. Usage per foldable
+// loop: OpenScope(), emit iteration 1, OpenScope(), emit iteration 2,
+// CHECK(TopTwoScopesEqual()), DiscardScope(), CloseScopeRepeat(trip). Loops
+// that cannot fold just emit their references with no scopes at all.
+class LoopRleBuilder {
+ public:
+  LoopRleBuilder(std::string name, uint32_t virtual_pages);
+
+  void Ref(PageId page);
+
+  // Opens a nested scope; the enclosing scope's pending run is sealed first.
+  void OpenScope();
+
+  // Seals the top scope's trailing pending run so its content is complete.
+  void SealTop();
+
+  // Structural equality of the two topmost (sealed) scopes — the builder's
+  // proof obligation before folding: iff true, the two scopes expand to the
+  // same reference sequence.
+  bool TopTwoScopesEqual() const;
+
+  // Drops the top scope and everything allocated inside it.
+  void DiscardScope();
+
+  // Closes the top scope into an interior node repeated `repeat` times and
+  // appends it to the parent scope. repeat == 1 splices the children into
+  // the parent instead (no node overhead for unfolded single passes).
+  void CloseScopeRepeat(uint64_t repeat);
+
+  // Stored footprint so the generator can enforce its compressed-size cap.
+  size_t stored_pages() const { return pages_.size(); }
+
+  LoopRleTrace Finish(const RleBuildStats& stats);
+
+ private:
+  struct Scope {
+    std::vector<uint32_t> child_nodes;  // completed node ids, in order
+    std::vector<PageId> pending;        // trailing literal run, not yet a leaf
+    // Pool watermarks at open, for DiscardScope truncation.
+    size_t nodes_mark = 0;
+    size_t pages_mark = 0;
+    size_t children_mark = 0;
+  };
+
+  void FlushPending(Scope& scope);
+  uint64_t NodeRefs(uint32_t id) const { return nodes_[id].refs; }
+  bool NodesEqual(uint32_t a, uint32_t b) const;
+
+  std::string name_;
+  uint32_t virtual_pages_ = 0;
+  std::vector<LoopRleTrace::Node> nodes_;
+  std::vector<PageId> pages_;
+  std::vector<uint32_t> children_;
+  std::vector<Scope> scopes_;  // scopes_[0] is the root scope
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_TRACE_LOOP_RLE_H_

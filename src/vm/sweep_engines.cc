@@ -20,8 +20,35 @@ uint64_t PackKey(uint32_t next_use, PageId page) {
 }
 PageId KeyPage(uint64_t key) { return static_cast<PageId>(key); }
 
-SweepPoint MakeFixedPoint(uint32_t m, uint64_t refs, uint64_t faults,
-                          const SimOptions& options) {
+}  // namespace
+
+const char* SweepEngineName(SweepEngine engine) {
+  switch (engine) {
+    case SweepEngine::kNaive:
+      return "naive";
+    case SweepEngine::kOnePass:
+      return "onepass";
+    case SweepEngine::kAnalytic:
+      return "analytic";
+  }
+  return "?";
+}
+
+SweepPoint MakeWsSweepPoint(uint64_t tau, uint64_t refs, uint64_t faults, uint64_t occupancy,
+                            const SimOptions& options) {
+  uint64_t service_total = TotalFaultServiceCost(options, faults);
+  SweepPoint p;
+  p.parameter = static_cast<double>(tau);
+  p.faults = faults;
+  p.elapsed = refs + service_total;
+  p.mean_memory =
+      refs == 0 ? 0.0 : static_cast<double>(occupancy) / static_cast<double>(refs);
+  p.space_time = static_cast<double>(occupancy) + static_cast<double>(service_total);
+  return p;
+}
+
+SweepPoint MakeOptSweepPoint(uint32_t m, uint64_t refs, uint64_t faults,
+                             const SimOptions& options) {
   // Field-for-field the arithmetic of fixed_alloc.cc's Finish()/LruSweep().
   uint64_t service_total = TotalFaultServiceCost(options, faults);
   SweepPoint p;
@@ -32,18 +59,6 @@ SweepPoint MakeFixedPoint(uint32_t m, uint64_t refs, uint64_t faults,
   p.space_time = static_cast<double>(m) * static_cast<double>(refs) +
                  static_cast<double>(service_total);
   return p;
-}
-
-}  // namespace
-
-const char* SweepEngineName(SweepEngine engine) {
-  switch (engine) {
-    case SweepEngine::kNaive:
-      return "naive";
-    case SweepEngine::kOnePass:
-      return "onepass";
-  }
-  return "?";
 }
 
 std::vector<SweepPoint> OnePassWsSweep(const PreparedTrace& prepared,
@@ -101,14 +116,7 @@ std::vector<SweepPoint> OnePassWsSweep(const PreparedTrace& prepared,
     // Σ over references of the resident-set size after that reference:
     // every interval contributes min(k, τ) + 1 instants of occupancy.
     uint64_t occupancy = r + weighted_caps_le + tau * (total_caps - caps_le);
-    uint64_t service_total = TotalFaultServiceCost(options, faults);
-    SweepPoint p;
-    p.parameter = static_cast<double>(tau);
-    p.faults = faults;
-    p.elapsed = r + service_total;
-    p.mean_memory = r == 0 ? 0.0 : static_cast<double>(occupancy) / static_cast<double>(r);
-    p.space_time = static_cast<double>(occupancy) + static_cast<double>(service_total);
-    points[idx] = p;
+    points[idx] = MakeWsSweepPoint(tau, r, faults, occupancy, options);
   }
   TELEM_COUNT("sweep.ws_curve_computed");
   TELEM_COUNT_N("sweep.ws_points_computed", points.size());
@@ -180,7 +188,7 @@ std::vector<SweepPoint> OnePassOptSweep(const PreparedTrace& prepared, uint32_t 
     faults_at[m] = running;
   }
   for (uint32_t m = 1; m <= max_frames; ++m) {
-    points.push_back(MakeFixedPoint(m, r, faults_at[m], options));
+    points.push_back(MakeOptSweepPoint(m, r, faults_at[m], options));
   }
   TELEM_COUNT("sweep.opt_curve_computed");
   TELEM_COUNT_N("sweep.opt_points_computed", points.size());

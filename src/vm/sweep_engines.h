@@ -35,10 +35,22 @@ namespace cdmm {
 
 // Which implementation a sweep-running component uses. kOnePass is the
 // default everywhere; kNaive re-simulates per parameter point and serves as
-// the oracle the cross-validation tests and CI compare against.
-enum class SweepEngine : uint8_t { kNaive, kOnePass };
+// the oracle the cross-validation tests and CI compare against. kAnalytic
+// (src/analysis/analytic_locality.h) derives the same histograms symbolically
+// from the loop structure without materializing the trace; it produces the
+// same SweepPoints bit for bit via the shared point makers below.
+enum class SweepEngine : uint8_t { kNaive, kOnePass, kAnalytic };
 
 const char* SweepEngineName(SweepEngine engine);
+
+// Shared finish arithmetic, used by both the one-pass scans here and the
+// analytic curve evaluators so that identical (faults, occupancy) integers
+// yield identical doubles — the engines differ only in how they obtain the
+// histograms, never in how a histogram becomes a SweepPoint.
+SweepPoint MakeWsSweepPoint(uint64_t tau, uint64_t refs, uint64_t faults, uint64_t occupancy,
+                            const SimOptions& options);
+SweepPoint MakeOptSweepPoint(uint32_t m, uint64_t refs, uint64_t faults,
+                             const SimOptions& options);
 
 // The full WS characteristic over `taus` (each >= 1, any order, duplicates
 // allowed) in one scan. points[i] corresponds to taus[i] and equals the

@@ -1,0 +1,431 @@
+// Cross-validation suite for the analytic locality engine: every curve it
+// produces must be bit-identical to the one-pass engines run on the fully
+// expanded trace — on all builtin workloads, on randomized affine nests, on
+// the checked-in workloads/*.f sources, and under fault injection. The
+// non-affine fixtures additionally pin the bounded-error OPT envelope:
+// true OPT always lies inside [lower_faults, upper(m)] and max_error is the
+// worst half-width actually observed.
+#include "src/analysis/analytic_locality.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/loop_tree.h"
+#include "src/exec/sweep_scheduler.h"
+#include "src/interp/interpreter.h"
+#include "src/interp/rle_generator.h"
+#include "src/lang/ast.h"
+#include "src/robust/fault_injector.h"
+#include "src/support/rng.h"
+#include "src/vm/sweep_engines.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+std::vector<Workload> AllSixteen() {
+  std::vector<Workload> all = AllWorkloads();
+  for (const Workload& w : ExtendedWorkloads()) {
+    all.push_back(w);
+  }
+  return all;
+}
+
+// Tau grid with the edges the sparse evaluators care about (tiny windows,
+// r/2, exactly r, past the end), on top of the log-spaced default grid.
+std::vector<uint64_t> TestTaus(uint64_t r) {
+  std::vector<uint64_t> taus = DefaultTauGrid(std::max<uint64_t>(r, 1), 3);
+  for (uint64_t tau : {uint64_t{1}, uint64_t{2}, uint64_t{3}, r / 2 + 1, std::max<uint64_t>(r, 1),
+                       r + 10}) {
+    taus.push_back(tau);
+  }
+  return taus;
+}
+
+uint32_t TestFrames(const Trace& flat) {
+  return std::max(1u, std::min(flat.virtual_pages(), 48u));
+}
+
+// Expands the program both ways and asserts the analytic curves are
+// bit-identical to the one-pass engines on the flat trace.
+void CrossValidate(const Program& program, const std::string& label,
+                   const SimOptions& options = {}) {
+  LoopTree tree(program);
+  Trace flat = GenerateTrace(program, tree, /*plan=*/nullptr);
+  std::shared_ptr<const AnalyticLocality> model = AnalyticLocality::Build(GenerateLoopRle(program));
+
+  ASSERT_EQ(model->total_refs(), flat.reference_count()) << label;
+  ASSERT_EQ(model->virtual_pages(), flat.virtual_pages()) << label;
+
+  std::vector<uint64_t> taus = TestTaus(flat.reference_count());
+  std::vector<SweepPoint> analytic_ws = model->WsSweep(taus, options);
+  std::vector<SweepPoint> onepass_ws = OnePassWsSweep(flat, taus, options);
+  ASSERT_EQ(analytic_ws, onepass_ws) << label;
+  ASSERT_EQ(FingerprintSweep(analytic_ws), FingerprintSweep(onepass_ws)) << label;
+
+  uint32_t max_frames = TestFrames(flat);
+  std::vector<SweepPoint> analytic_opt = model->OptSweep(max_frames, options);
+  std::vector<SweepPoint> onepass_opt = OnePassOptSweep(flat, max_frames, options);
+  ASSERT_EQ(analytic_opt, onepass_opt) << label;
+  ASSERT_EQ(FingerprintSweep(analytic_opt), FingerprintSweep(onepass_opt)) << label;
+}
+
+TEST(AnalyticTest, ExpandMatchesInterpreterOnAllBuiltins) {
+  for (const Workload& w : AllSixteen()) {
+    Program program = ParseWorkload(w);
+    LoopTree tree(program);
+    Trace flat = GenerateTrace(program, tree, /*plan=*/nullptr);
+    LoopRleTrace rle = GenerateLoopRle(program);
+    Trace expanded = rle.Expand();
+    ASSERT_EQ(expanded.virtual_pages(), flat.virtual_pages()) << w.name;
+    ASSERT_EQ(expanded.events(), flat.events()) << w.name;
+    ASSERT_EQ(rle.total_refs(), flat.reference_count()) << w.name;
+  }
+}
+
+TEST(AnalyticTest, CurvesBitIdenticalOnAllBuiltins) {
+  for (const Workload& w : AllSixteen()) {
+    CrossValidate(ParseWorkload(w), w.name);
+  }
+}
+
+TEST(AnalyticTest, CurvesBitIdenticalUnderFaultInjection) {
+  FaultInjector injector(FaultInjectionConfig::AtIntensity(17, 0.5));
+  SimOptions options;
+  options.injector = &injector;
+  for (const char* name : {"MAIN", "TQL", "GATHER"}) {
+    CrossValidate(ParseWorkload(FindWorkload(name)), name, options);
+  }
+}
+
+TEST(AnalyticTest, CurvesBitIdenticalOnWorkloadFiles) {
+  for (const char* name : {"approx", "conduct", "fdjac", "field", "gaussj", "hwscrt", "hybrj",
+                           "init", "main", "poissn", "tql", "tred"}) {
+    std::ifstream file(std::string(CDMM_SOURCE_DIR) + "/workloads/" + name + ".f");
+    ASSERT_TRUE(file.is_open()) << name;
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    std::string src = buffer.str();
+    Workload w{name, "file", src.c_str()};
+    CrossValidate(ParseWorkload(w), name);
+  }
+}
+
+// --- Randomized affine nest generator -------------------------------------
+//
+// Emits fixed-form sources exercising the fold machinery's interesting
+// shapes: nest depths 1-3, forward/backward/stride-2 bounds, subscript
+// offsets, constant column picks, scalar statements (fold-harmless), loop
+// vars tested in IF conditions (statically unfoldable but still affine and
+// exact), and an optional foldable outer time loop.
+class AffineNestGen {
+ public:
+  explicit AffineNestGen(uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    src_.clear();
+    label_ = 10;
+    Line("      PROGRAM RAND");
+    Line("      DIMENSION A(40,40), B(40,40), V(400), W(400)");
+    int depth = 1 + static_cast<int>(rng_.NextBelow(3));
+    bool time_loop = rng_.NextBelow(2) == 0;
+    std::vector<std::string> vars;
+    std::vector<int> close_labels;
+    if (time_loop) {
+      close_labels.push_back(OpenLoop("T", 1, 1 + static_cast<int>(rng_.NextBelow(6)), 1));
+    }
+    static const char* kVars[] = {"I", "J", "K"};
+    for (int d = 0; d < depth; ++d) {
+      int lo = 3, hi = 3 + static_cast<int>(rng_.NextBelow(14)), step = 1;
+      switch (rng_.NextBelow(4)) {
+        case 0:
+          step = 2;  // stride-2 forward
+          break;
+        case 1:
+          std::swap(lo, hi);  // backward
+          step = -1;
+          break;
+        default:
+          break;  // unit stride forward
+      }
+      close_labels.push_back(OpenLoop(kVars[d], lo, hi, step));
+      vars.push_back(kVars[d]);
+    }
+    int stmts = 1 + static_cast<int>(rng_.NextBelow(3));
+    for (int s = 0; s < stmts; ++s) {
+      EmitStatement(vars);
+    }
+    while (!close_labels.empty()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%5d CONTINUE", close_labels.back());
+      Line(buf);
+      close_labels.pop_back();
+    }
+    Line("      END");
+    return src_;
+  }
+
+ private:
+  void Line(const std::string& text) { src_ += text + "\n"; }
+
+  int OpenLoop(const std::string& var, int lo, int hi, int step) {
+    int label = label_;
+    label_ += 10;
+    std::ostringstream os;
+    os << "      DO " << label << " " << var << " = " << lo << ", " << hi;
+    if (step != 1) {
+      os << ", " << step;
+    }
+    Line(os.str());
+    return label;
+  }
+
+  // var + offset, kept inside [1, 40] for loop ranges within [3, 17].
+  std::string Sub(const std::vector<std::string>& vars) {
+    if (vars.empty()) {
+      return std::to_string(1 + rng_.NextBelow(38));
+    }
+    const std::string& v = vars[rng_.NextBelow(vars.size())];
+    int offset = static_cast<int>(rng_.NextBelow(5)) - 2;
+    if (offset == 0) {
+      return v;
+    }
+    std::ostringstream os;
+    os << v << (offset > 0 ? "+" : "-") << std::abs(offset);
+    return os.str();
+  }
+
+  void EmitStatement(const std::vector<std::string>& vars) {
+    std::ostringstream os;
+    os << "      ";
+    switch (rng_.NextBelow(5)) {
+      case 0:
+        os << "A(" << Sub(vars) << "," << Sub(vars) << ") = B(" << Sub(vars) << "," << Sub(vars)
+           << ") + A(" << Sub(vars) << "," << Sub(vars) << ") * 0.5";
+        break;
+      case 1:
+        os << "V(" << Sub(vars) << ") = V(" << Sub(vars) << ") + W(" << Sub(vars) << ") * 2.0";
+        break;
+      case 2:
+        os << "S = S + 1.0";  // scalar: no refs, must not block folding
+        break;
+      case 3:
+        // Loop variable inside the condition: statically unfoldable, and the
+        // guard truly varies per iteration — exactness must survive both.
+        if (!vars.empty()) {
+          os << "IF (" << vars.back() << " .GT. 9) W(" << Sub(vars) << ") = V(" << Sub(vars)
+             << ") + 1.0";
+        } else {
+          os << "W(3) = V(5) + 1.0";
+        }
+        break;
+      default:
+        os << "B(" << Sub(vars) << "," << Sub(vars) << ") = V(" << Sub(vars) << ") * 0.25";
+        break;
+    }
+    Line(os.str());
+  }
+
+  SplitMix64 rng_;
+  std::string src_;
+  int label_ = 10;
+};
+
+TEST(AnalyticTest, RandomizedAffineNestsCrossValidate) {
+  for (uint64_t seed = 1; seed <= 14; ++seed) {
+    AffineNestGen gen(seed);
+    std::string source = gen.Generate();
+    Workload w{"RAND", "randomized affine nest", source.c_str()};
+    Program program = ParseWorkload(w);
+    ASSERT_TRUE(IsAffineProgram(program)) << "seed " << seed << "\n" << source;
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" + source);
+    CrossValidate(program, "RAND");
+  }
+}
+
+// Trip counts 1..7 hit every boundary of the fold machinery: 1 (no fold),
+// 2-3 (OPT expands fully), 4 (first snapshot/marker use), and beyond.
+TEST(AnalyticTest, TripCountEdgeCasesCrossValidate) {
+  for (int trip : {1, 2, 3, 4, 5, 7}) {
+    std::ostringstream os;
+    os << "      PROGRAM EDGE\n"
+       << "      DIMENSION A(40,2), V(90)\n"
+       << "      DO 20 T = 1, " << trip << "\n"
+       << "        DO 10 I = 2, 39\n"
+       << "          A(I,1) = A(I-1,2) + V(I+3)\n"
+       << "   10   CONTINUE\n"
+       << "   20 CONTINUE\n"
+       << "      END\n";
+    std::string src = os.str();
+    Workload w{"EDGE", "trip edge", src.c_str()};
+    CrossValidate(ParseWorkload(w), "trip " + std::to_string(trip));
+  }
+}
+
+// --- Non-affine fixtures ---------------------------------------------------
+
+constexpr char kScatterSource[] = R"(
+      PROGRAM SCATTR
+      PARAMETER (N = 40)
+      INTEGER IDX(N)
+      DIMENSION A(N), B(N,2)
+      DO 10 I = 1, N
+        IDX(I) = MOD(I * 13, N) + 1
+   10 CONTINUE
+      DO 30 T = 1, 6
+        DO 20 I = 1, N
+          B(IDX(I),1) = B(IDX(I),2) + A(I)
+          IDX(I) = MOD(IDX(I) * 5 + T, N) + 1
+   20   CONTINUE
+   30 CONTINUE
+      END
+)";
+
+TEST(AnalyticTest, NonAffineStillExact) {
+  for (const auto& [name, source] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"GATHER", FindWorkload("GATHER").source}, {"SCATTR", kScatterSource}}) {
+    Workload w{name, "non-affine", source.c_str()};
+    Program program = ParseWorkload(w);
+    EXPECT_FALSE(IsAffineProgram(program)) << name;
+    LoopRleTrace rle = GenerateLoopRle(program);
+    EXPECT_FALSE(rle.stats().affine) << name;
+    CrossValidate(program, name);
+  }
+}
+
+TEST(AnalyticTest, OptBoundsEnvelopeHoldsOnNonAffine) {
+  for (const auto& [name, source] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"GATHER", FindWorkload("GATHER").source}, {"SCATTR", kScatterSource}}) {
+    Workload w{name, "non-affine", source.c_str()};
+    Program program = ParseWorkload(w);
+    std::shared_ptr<const AnalyticLocality> model =
+        AnalyticLocality::Build(GenerateLoopRle(program));
+    uint32_t max_frames = std::max(1u, std::min(model->virtual_pages(), 48u));
+    std::vector<SweepPoint> exact = model->OptSweep(max_frames);
+    AnalyticLocality::OptBounds bounds = model->OptBoundsSweep(max_frames);
+    ASSERT_EQ(bounds.upper.size(), exact.size()) << name;
+    uint64_t worst = 0;
+    for (size_t i = 0; i < exact.size(); ++i) {
+      // True OPT lies inside the reported envelope for every m.
+      EXPECT_GE(exact[i].faults, bounds.lower_faults) << name << " m=" << i + 1;
+      EXPECT_LE(exact[i].faults, bounds.upper[i].faults) << name << " m=" << i + 1;
+      worst = std::max(worst, bounds.upper[i].faults - bounds.lower_faults);
+    }
+    EXPECT_EQ(bounds.max_error, worst) << name;
+    // The envelope is tight at full residency: LRU and OPT both fault only
+    // on compulsory misses once every page fits.
+    EXPECT_EQ(bounds.upper.back().faults, bounds.lower_faults) << name;
+    EXPECT_EQ(exact.back().faults, bounds.lower_faults) << name;
+  }
+}
+
+// --- Fold effectiveness & trace-length independence ------------------------
+
+TEST(AnalyticTest, FoldsApplyOnBuiltins) {
+  LoopRleTrace rle = GenerateLoopRle(ParseWorkload(FindWorkload("INIT")));
+  EXPECT_TRUE(rle.stats().affine);
+  EXPECT_GT(rle.stats().folds_applied, 0u);
+  EXPECT_GT(rle.stats().foldable_loops, 0u);
+}
+
+// A 5.76e9-reference time loop: far past what a flat Trace can hold (its
+// event count is 32-bit), yet the analytic model stores a few hundred pages
+// and answers both sweeps instantly with sane curves.
+TEST(AnalyticTest, BillionReferenceTimeLoop) {
+  constexpr char kSource[] = R"(
+      PROGRAM BIGT
+      DIMENSION A(64,4)
+      DO 20 T = 1, 30000000
+        DO 10 I = 1, 64
+          A(I,1) = A(I,2) + A(I,3)
+   10   CONTINUE
+   20 CONTINUE
+      END
+)";
+  Workload w{"BIGT", "billion-reference time loop", kSource};
+  std::shared_ptr<const AnalyticLocality> model =
+      AnalyticLocality::Build(GenerateLoopRle(ParseWorkload(w)));
+  EXPECT_EQ(model->total_refs(), 30'000'000ull * 64 * 3);
+  EXPECT_GT(model->total_refs(), uint64_t{UINT32_MAX});
+  EXPECT_TRUE(model->affine());
+  // Only the time loop folds (the inner loop's subscripts use its own
+  // variable, so its iterations differ) — and that single fold is what
+  // buys the 30-million-fold compression.
+  EXPECT_EQ(model->stats().folds_applied, 1u);
+  EXPECT_LT(model->rle().stored_pages(), size_t{1000});
+
+  uint64_t r = model->total_refs();
+  std::vector<uint64_t> taus = {1, 1000, r};
+  std::vector<SweepPoint> ws = model->WsSweep(taus);
+  ASSERT_EQ(ws.size(), taus.size());
+  // Distinct pages = 3 columns of A (64 reals fill one 256-byte page).
+  uint64_t cold = model->distinct_pages();
+  EXPECT_EQ(cold, 3u);
+  EXPECT_EQ(ws[2].faults, cold);       // window covers the whole trace
+  EXPECT_GE(ws[0].faults, ws[1].faults);
+  EXPECT_LE(ws[0].faults, r);
+  for (const SweepPoint& p : ws) {
+    EXPECT_GE(p.faults, cold);
+    EXPECT_GT(p.mean_memory, 0.0);
+    EXPECT_LE(p.mean_memory, 4.0);
+  }
+
+  std::vector<SweepPoint> opt = model->OptSweep(4);
+  ASSERT_EQ(opt.size(), 4u);
+  for (size_t i = 1; i < opt.size(); ++i) {
+    EXPECT_LE(opt[i].faults, opt[i - 1].faults);
+  }
+  EXPECT_EQ(opt.back().faults, cold);  // full residency: compulsory only
+}
+
+// The chunked streaming fallback visits the same reference string the flat
+// trace holds, in bounded memory.
+TEST(AnalyticTest, ChunkedStreamingMatchesExpansion) {
+  LoopRleTrace rle = GenerateLoopRle(ParseWorkload(FindWorkload("FIELD")));
+  Trace flat = rle.Expand();
+  std::vector<PageId> streamed;
+  size_t max_chunk = 0;
+  rle.ForEachChunk(64, [&](const PageId* data, size_t n) {
+    max_chunk = std::max(max_chunk, n);
+    streamed.insert(streamed.end(), data, data + n);
+  });
+  EXPECT_LE(max_chunk, size_t{64});
+  ASSERT_EQ(streamed.size(), flat.reference_count());
+  size_t i = 0;
+  for (const TraceEvent& e : flat.events()) {
+    ASSERT_EQ(streamed[i++], e.value);
+  }
+}
+
+// The scheduler's analytic entry points return the same points as its
+// trace-based Ws/Opt — at any engine setting, since both paths bottom out
+// in the shared point makers.
+TEST(AnalyticTest, SchedulerAnalyticEntryPointsMatch) {
+  Program program = ParseWorkload(FindWorkload("FIELD"));
+  LoopTree tree(program);
+  auto refs = std::make_shared<const Trace>(GenerateTrace(program, tree, /*plan=*/nullptr));
+  std::shared_ptr<const AnalyticLocality> model = AnalyticLocality::Build(GenerateLoopRle(program));
+
+  SweepScheduler sched(nullptr, SweepEngine::kAnalytic);
+  std::vector<uint64_t> taus = TestTaus(refs->reference_count());
+  EXPECT_EQ(sched.AnalyticWs(*model, taus), sched.Ws(refs, taus));
+  uint32_t max_frames = TestFrames(*refs);
+  EXPECT_EQ(sched.AnalyticOpt(*model, max_frames), sched.Opt(refs, max_frames));
+
+  SweepScheduler naive(nullptr, SweepEngine::kNaive);
+  EXPECT_EQ(sched.AnalyticOpt(*model, max_frames), naive.Opt(refs, max_frames));
+}
+
+}  // namespace
+}  // namespace cdmm

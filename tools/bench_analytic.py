@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Scaling and exactness gate for the analytic locality engine.
+
+Runs bench_analytic and cdmmc and enforces the analytic engine's acceptance
+criteria:
+
+  1. exactness: the smallest ladder rung's analytic curve fingerprints equal
+     the one-pass oracle's (oracle_match), and `cdmmc --sweep both` stdout is
+     byte-identical between --sweep-engine onepass and analytic on every
+     oracle workload at --jobs 1, 4 and 8;
+  2. scale: the top ladder rung expands to at least 1e9 references while the
+     stored (compressed) representation stays under --max-stored pages;
+  3. trace-length independence: sweep wall time on the top rung is at most
+     --max-flatness times the bottom rung's (both floored at 0.5 ms so
+     sub-millisecond noise cannot fail the gate), even though the top rung
+     has 300000x the references.
+
+Writes the full document to --out. When --baseline is given, the
+deterministic section (reference counts, stored sizes, fingerprints) must
+equal the baseline's — the replay gate CI applies to the committed
+BENCH_analytic.json.
+
+Usage:
+  bench_analytic.py --bench build/bench/bench_analytic
+                    [--cdmmc build/tools/cdmmc]
+                    [--max-flatness 10.0] [--max-stored 100000]
+                    [--out BENCH_analytic.json] [--baseline BENCH_analytic.json]
+
+Exit: 0 when every gate passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+ORACLE_WORKLOADS = ["MAIN", "FDJAC", "TQL", "FIELD", "INIT", "APPROX",
+                    "HYBRJ", "CONDUCT", "HWSCRT", "GATHER", "STENCILG"]
+
+
+def run(cmd):
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    if result.returncode != 0:
+        print(f"FAILED ({result.returncode}): {' '.join(cmd)}\n{result.stderr}",
+              file=sys.stderr)
+        sys.exit(1)
+    return result.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--bench", required=True)
+    parser.add_argument("--cdmmc", default="build/tools/cdmmc")
+    parser.add_argument("--max-flatness", type=float, default=10.0,
+                        help="max top-rung/bottom-rung wall-time ratio")
+    parser.add_argument("--max-stored", type=int, default=100000,
+                        help="max stored (compressed) pages on the top rung")
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--baseline", default=None)
+    args = parser.parse_args()
+
+    failures = []
+
+    def gate(cond, what):
+        print(f"[gate] {'ok' if cond else 'FAIL'}: {what}")
+        if not cond:
+            failures.append(what)
+
+    doc = json.loads(run([args.bench]))
+    det = doc["deterministic"]
+    rungs = det["rungs"]
+    wall = doc["runtime"]["rung_wall_ms"]
+
+    # 1. Exactness against the one-pass oracle.
+    gate(det["oracle_match"],
+         "smallest-rung analytic fingerprints equal the one-pass oracle's")
+    for workload in ORACLE_WORKLOADS:
+        outs = set()
+        for engine in ("onepass", "analytic"):
+            for jobs in (1, 4, 8):
+                outs.add(run([args.cdmmc, f"builtin:{workload}", "--sweep", "both",
+                              "--sweep-engine", engine, "--jobs", str(jobs)]))
+        gate(len(outs) == 1,
+             f"{workload}: sweep stdout byte-identical across engines x jobs 1/4/8")
+
+    # 2. Scale: the ladder reaches a billion references in bounded storage.
+    top, bottom = rungs[-1], rungs[0]
+    gate(top["refs"] >= 10**9,
+         f"top rung expands to {top['refs']:.2e} references (>= 1e9)")
+    gate(top["stored_pages"] <= args.max_stored,
+         f"top rung stores {top['stored_pages']} pages (<= {args.max_stored})")
+
+    # 3. Trace-length independence: wall time must not follow the reference
+    # count. Floor both rungs at 0.5 ms so scheduler noise on sub-millisecond
+    # runs cannot produce a spurious ratio.
+    w_top, w_bottom = max(wall[-1], 0.5), max(wall[0], 0.5)
+    ratio = w_top / w_bottom
+    refs_ratio = top["refs"] / bottom["refs"]
+    gate(ratio <= args.max_flatness,
+         f"wall time flat across the ladder: {ratio:.2f}x over a "
+         f"{refs_ratio:.0f}x reference-count range (gate {args.max_flatness}x)")
+
+    # 4. Optional replay diff against the committed baseline.
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        gate(json.dumps(det, sort_keys=True) ==
+             json.dumps(baseline["deterministic"], sort_keys=True),
+             f"deterministic section matches {args.baseline}")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"[gate] wrote {args.out}")
+
+    if failures:
+        print(f"[gate] {len(failures)} gate(s) failed")
+        return 1
+    print("[gate] all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

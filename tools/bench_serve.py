@@ -94,6 +94,15 @@ def main():
     gate(rps >= args.min_rps,
          f"cached path sustains {rps:.0f} req/s (gate {args.min_rps:.0f}), "
          f"p99 {runtime['p99_us']}us")
+    p50 = float(runtime["p50_us"])
+    p99 = float(runtime["p99_us"])
+    p999 = float(runtime["p999_us"])
+    gate(0 < p50 <= p99 <= p999,
+         f"latency percentiles are ordered: p50 {p50}us <= p99 {p99}us "
+         f"<= p999 {p999}us")
+    hist = runtime["latency_histogram_us"]
+    gate(len(hist) == 12 and sum(hist) == runtime["cached_requests"],
+         "latency histogram covers every cached request")
 
     # 3. Optional replay diff against the committed baseline.
     if args.baseline:
