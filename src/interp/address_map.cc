@@ -3,7 +3,7 @@
 namespace cdmm {
 
 AddressMap::AddressMap(const Program& program, const PageGeometry& geometry)
-    : geometry_(geometry) {
+    : geometry_(geometry), elements_per_page_(geometry.ElementsPerPage()) {
   PageId next_page = 0;
   for (const ArrayDecl& decl : program.arrays) {
     ArrayInfo info;
@@ -17,8 +17,12 @@ AddressMap::AddressMap(const Program& program, const PageGeometry& geometry)
 }
 
 const AddressMap::ArrayInfo& AddressMap::info(const std::string& array) const {
+  if (last_info_ != nullptr && last_info_->decl->name == array) {
+    return *last_info_;
+  }
   auto it = arrays_.find(array);
   CDMM_CHECK_MSG(it != arrays_.end(), "unknown array " << array);
+  last_info_ = &it->second;
   return it->second;
 }
 
@@ -29,7 +33,7 @@ PageId AddressMap::PageOf(const std::string& array, int64_t i, int64_t j) const 
   CDMM_CHECK_MSG(j >= 1 && j <= a.decl->cols,
                  array << " column subscript " << j << " out of 1.." << a.decl->cols);
   int64_t linear = (j - 1) * a.decl->rows + (i - 1);  // column-major
-  int64_t page = linear / geometry_.ElementsPerPage();
+  int64_t page = linear / elements_per_page_;
   return a.first_page + static_cast<PageId>(page);
 }
 

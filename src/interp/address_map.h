@@ -36,8 +36,14 @@ class AddressMap {
 
  private:
   PageGeometry geometry_;
+  int64_t elements_per_page_ = 1;
   std::map<std::string, ArrayInfo> arrays_;
   uint32_t total_pages_ = 0;
+  // One-entry lookup cache: subscript evaluation resolves the same array
+  // name millions of times in a row, so a single string compare replaces a
+  // map descent on the fast path. Content-compared (not address-compared) so
+  // caller-local strings can never alias a stale entry.
+  mutable const ArrayInfo* last_info_ = nullptr;
 };
 
 }  // namespace cdmm

@@ -37,10 +37,16 @@ class Interpreter {
   // Key identifying a LOCK site: (host loop, child loop it precedes).
   using LockSiteKey = std::pair<uint32_t, uint32_t>;
 
+  // Innermost binding wins: the scan runs newest-to-oldest over the flat
+  // binding stack (nests are shallow, so this beats a map descent).
   int64_t EnvLookup(const std::string& var) const {
-    auto it = env_.find(var);
-    CDMM_CHECK_MSG(it != env_.end(), "unbound loop variable " << var);
-    return it->second;
+    for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+      if (*it->first == var) {
+        return it->second;
+      }
+    }
+    CDMM_CHECK_MSG(false, "unbound loop variable " << var);
+    return 0;
   }
 
   // Evaluates a subscript. An indirect subscript IDX(I)+c references the
@@ -62,8 +68,11 @@ class Interpreter {
     CDMM_CHECK_MSG(trace_.reference_count() < options_.max_references,
                    "reference cap exceeded; runaway workload?");
     trace_.AddRef(page);
-    if (!segment_touches_.empty()) {
-      segment_touches_.back().emplace(ref.name, page);
+    // Touch recording only runs under a directive plan (touch_depth_ stays 0
+    // otherwise): LOCK emission is the sole consumer, so nominal trace
+    // generation pays nothing. Duplicates are fine — EmitLock dedupes.
+    if (touch_depth_ > 0) {
+      touch_pool_[touch_depth_ - 1].emplace_back(&ref.name, page);
     }
     return page;
   }
@@ -74,19 +83,40 @@ class Interpreter {
     return EmitRefAt(ref, i, j);
   }
 
-  bool IsIntegerArray(const std::string& name) const {
+  // One-entry declaration cache (content-compared): per-element execution
+  // hits the same array over and over, so the repeat lookup is one string
+  // compare instead of a scan of the declaration list. Misses (including
+  // non-array names) fall through to the program lookup.
+  const ArrayDecl* FindArrayCached(const std::string& name) const {
+    if (last_decl_ != nullptr && last_decl_->name == name) {
+      return last_decl_;
+    }
     const ArrayDecl* decl = program_.FindArray(name);
+    if (decl != nullptr) {
+      last_decl_ = decl;
+    }
+    return decl;
+  }
+
+  bool IsIntegerArray(const std::string& name) const {
+    const ArrayDecl* decl = FindArrayCached(name);
     return decl != nullptr && decl->is_integer;
   }
 
   // Flat storage slot of an INTEGER array element (column-major, like the
   // address map). Lazily zero-initializes the backing vector, mirroring the
   // trace model's "declared arrays exist from program start" assumption.
+  // The cells vector is cached per declaration (int_arrays is node-based, so
+  // the address is stable across inserts and across interpreter slices).
   int64_t& IntStorage(const std::string& name, int64_t i, int64_t j) {
-    const ArrayDecl* decl = program_.FindArray(name);
+    const ArrayDecl* decl = FindArrayCached(name);
     CDMM_CHECK_MSG(decl != nullptr && decl->is_integer,
                    name << " is not a declared INTEGER array");
-    std::vector<int64_t>& cells = state_->int_arrays[name];
+    if (decl != last_cells_decl_) {
+      last_cells_decl_ = decl;
+      last_cells_ = &state_->int_arrays[name];
+    }
+    std::vector<int64_t>& cells = *last_cells_;
     if (cells.empty()) {
       cells.assign(static_cast<size_t>(decl->rows * std::max<int64_t>(decl->cols, 1)), 0);
     }
@@ -241,13 +271,15 @@ class Interpreter {
   }
 
   // Emits the LOCK for one site. `touched` holds the (array, page) pairs the
-  // current iteration's segment produced. Pages locked by this site in a
-  // previous iteration that are not re-locked now are released first.
-  void EmitLock(const LockPlan& lock, const std::set<std::pair<std::string, PageId>>& touched) {
+  // current iteration's segment produced, in emission order and possibly
+  // with duplicates (the pages set below dedupes). Pages locked by this site
+  // in a previous iteration that are not re-locked now are released first.
+  void EmitLock(const LockPlan& lock,
+                const std::vector<std::pair<const std::string*, PageId>>& touched) {
     std::set<PageId> pages;
     for (const std::string& array : lock.arrays) {
       for (const auto& [name, page] : touched) {
-        if (name == array) {
+        if (*name == array) {
           pages.insert(page);
         }
       }
@@ -322,27 +354,41 @@ class Interpreter {
     int64_t step = loop.step;
     auto continues = [&](int64_t v) { return step > 0 ? v <= hi : v >= hi; };
 
+    // One binding slot for the whole loop; each iteration writes it in place.
+    env_.emplace_back(&loop.loop_var, 0);
+    const size_t env_slot = env_.size() - 1;
     for (int64_t v = lo; continues(v); v += step) {
-      env_[loop.loop_var] = v;
+      env_[env_slot].second = v;
       for (const LoopNode::BodySegment& segment : node.segments) {
-        segment_touches_.emplace_back();
+        // Touch sets are only kept under a plan; the pool reuses one vector
+        // per nesting depth so steady-state iterations allocate nothing.
+        if (plan_ != nullptr) {
+          if (touch_depth_ == touch_pool_.size()) {
+            touch_pool_.emplace_back();
+          }
+          touch_pool_[touch_depth_].clear();
+          ++touch_depth_;
+        }
         for (const Stmt* stmt : segment.assigns) {
           Execute(*stmt);
         }
-        std::set<std::pair<std::string, PageId>> touched = std::move(segment_touches_.back());
-        segment_touches_.pop_back();
-        if (segment.next_child != nullptr) {
-          if (plan_ != nullptr) {
+        if (plan_ != nullptr) {
+          // Locks consume the segment's touches before the child runs (and
+          // before the depth slot is recycled by the child's own segments).
+          if (segment.next_child != nullptr) {
             for (const LockPlan* lock :
                  plan_->LocksBefore(loop.loop_id, segment.next_child->loop_id)) {
-              EmitLock(*lock, touched);
+              EmitLock(*lock, touch_pool_[touch_depth_ - 1]);
             }
           }
+          --touch_depth_;
+        }
+        if (segment.next_child != nullptr) {
           ExecuteLoop(*segment.next_child->loop);
         }
       }
     }
-    env_.erase(loop.loop_var);
+    env_.resize(env_slot);
 
     if (options_.emit_loop_markers) {
       trace_.AddLoopExit(loop.loop_id);
@@ -358,12 +404,20 @@ class Interpreter {
   AddressMap address_map_;
   Trace trace_;
 
-  std::map<std::string, int64_t> env_;
-  // Stack of per-segment (array, page) touch sets; top = current segment.
-  std::vector<std::set<std::pair<std::string, PageId>>> segment_touches_;
+  // Loop-variable bindings, innermost last. Keys point at the loop
+  // statements' own spellings (stable for the interpreter's lifetime).
+  std::vector<std::pair<const std::string*, int64_t>> env_;
+  // Per-depth pools of (array-name, page) touches; entries [0, touch_depth_)
+  // are live. Depth stays 0 without a plan, so recording is fully gated.
+  std::vector<std::vector<std::pair<const std::string*, PageId>>> touch_pool_;
+  size_t touch_depth_ = 0;
   // Pages currently locked, per lock site and for the whole nest.
   std::map<LockSiteKey, std::set<PageId>> site_locked_;
   std::set<PageId> nest_locked_;
+  // One-entry lookup caches (see FindArrayCached / IntStorage).
+  mutable const ArrayDecl* last_decl_ = nullptr;
+  const ArrayDecl* last_cells_decl_ = nullptr;
+  std::vector<int64_t>* last_cells_ = nullptr;
 };
 
 }  // namespace

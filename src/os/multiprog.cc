@@ -1,11 +1,9 @@
 #include "src/os/multiprog.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
 #include "src/robust/load_controller.h"
 #include "src/support/check.h"
@@ -24,53 +22,85 @@ enum class OsPolicyMode : uint8_t { kCd, kEqualPartitionLru, kWorkingSet };
 
 // Per-process working-set state for the kWorkingSet mode: membership is
 // W(t, τ) over the process's own virtual time.
+//
+// Flat storage, mirroring the uniprogrammed WS kernel (src/vm/working_set.cc):
+// the last-reference map is a per-page column where 0 = not in the set (vtime
+// is 1-based and the column entry is cleared the moment the expiry cursor
+// passes the page's last reference, exactly when the map version erased it,
+// so membership stays pure presence). The dense window deque is a ring of
+// min(tau, refs) + 2 page slots indexed by vtime % capacity — position t only
+// ever overwrites position t - capacity, which the cursor has already walked
+// (or which DropAll skipped past). Expire() is idempotent across repeated
+// calls at the same vtime: the cursor just has nothing new to walk.
 struct WsState {
   uint64_t tau = 2000;
   uint64_t vtime = 0;
-  std::unordered_map<PageId, uint64_t> last_ref;
-  std::deque<std::pair<uint64_t, PageId>> window;
   uint32_t size = 0;
+  std::vector<uint64_t> last_when;  // per page; 0 = not in the working set
+  std::vector<PageId> ring;         // window entry for vtime t at t % ring.size()
+  uint64_t expire_next = 1;         // oldest window position not yet expired
+
+  // Sizes the flat tables once, from the process's own page space and trace
+  // length (vtime never exceeds the trace's reference count).
+  void Init(uint64_t tau_in, uint32_t page_bound, uint64_t max_refs) {
+    tau = std::max<uint64_t>(tau_in, 1);
+    last_when.assign(std::max<uint32_t>(page_bound, 1), 0);
+    ring.resize(std::min<uint64_t>(tau, max_refs) + 2);
+  }
 
   // Expires pages that left the window; returns how many frames freed. When
   // `victims` is non-null, the expired pages are appended (hierarchy demotion).
   uint32_t Expire(std::vector<PageId>* victims = nullptr) {
     uint32_t freed = 0;
-    while (!window.empty() && window.front().first + tau < vtime + 1) {
-      auto [when, page] = window.front();
-      window.pop_front();
-      auto it = last_ref.find(page);
-      if (it != last_ref.end() && it->second == when) {
-        last_ref.erase(it);
+    while (expire_next + tau < vtime + 1) {
+      const PageId page = ring[expire_next % ring.size()];
+      if (last_when[page] == expire_next) {
+        last_when[page] = 0;
         --size;
         ++freed;
         if (victims != nullptr) {
           victims->push_back(page);
         }
       }
+      ++expire_next;
     }
     return freed;
   }
 
-  bool InSet(PageId page) const { return last_ref.find(page) != last_ref.end(); }
+  bool InSet(PageId page) const { return last_when[page] != 0; }
 
   // Records the reference (the page must already be admitted).
   void Record(PageId page) {
     ++vtime;
-    auto [it, inserted] = last_ref.try_emplace(page, vtime);
-    if (inserted) {
+    if (last_when[page] == 0) {
       ++size;
-    } else {
-      it->second = vtime;
     }
-    window.emplace_back(vtime, page);
+    last_when[page] = vtime;
+    ring[vtime % ring.size()] = page;
   }
 
   void DropAll() {
-    last_ref.clear();
-    window.clear();
+    std::fill(last_when.begin(), last_when.end(), 0);
     size = 0;
+    // Skip the cursor past everything pushed so far; the skipped ring
+    // entries point at cleared column slots, so they can never mis-expire.
+    expire_next = vtime + 1;
   }
 };
+
+// Page-index bound for a process's flat tables: the declared virtual-page
+// count when known, else one prescan for the max referenced page.
+uint32_t TracePageBound(const Trace& trace) {
+  uint32_t bound = trace.virtual_pages();
+  if (bound == 0) {
+    for (const TraceEvent& e : trace.events()) {
+      if (e.kind == TraceEvent::Kind::kRef) {
+        bound = std::max<uint32_t>(bound, static_cast<uint32_t>(e.value) + 1);
+      }
+    }
+  }
+  return std::max<uint32_t>(bound, 1);
+}
 
 struct Proc {
   const OsProcessSpec* spec = nullptr;
@@ -123,12 +153,13 @@ class OsSimulator {
       p->stats.name = spec.name;
       if (mode == OsPolicyMode::kWorkingSet) {
         p->ws = std::make_unique<WsState>();
-        p->ws->tau = std::max<uint64_t>(ws_tau, 1);
+        p->ws->Init(ws_tau, TracePageBound(*spec.trace), spec.trace->reference_count());
         p->reserved = 0;
       } else {
         bool cd = mode == OsPolicyMode::kCd;
         uint32_t grant = cd ? std::max<uint32_t>(options.initial_allocation, 1) : partition;
-        p->core = std::make_unique<CdCore>(grant, cd && options.honor_locks);
+        p->core = std::make_unique<CdCore>(grant, cd && options.honor_locks,
+                                           spec.trace->virtual_pages());
         if (hier_ != nullptr) {
           p->core->set_eviction_sink(&p->evictions);
         }

@@ -1,0 +1,62 @@
+#include "src/support/arena.h"
+
+#include <algorithm>
+
+namespace cdmm {
+
+void* Arena::AllocateSlow(size_t bytes, size_t align) {
+  // Oversized request: give it a dedicated block and keep bumping in the
+  // current one; the dedicated block is released on Reset.
+  size_t worst = bytes + align - 1;
+  if (worst > block_bytes_) {
+    Block block;
+    block.data = std::make_unique<char[]>(worst);
+    block.size = worst;
+    block.dedicated = true;
+    ++stats_.blocks;
+    ++stats_.large_blocks;
+    stats_.bytes_reserved += worst;
+    stats_.bytes_allocated += bytes;
+    char* base = block.data.get();
+    uintptr_t p = (reinterpret_cast<uintptr_t>(base) + (align - 1)) & ~(align - 1);
+    blocks_.push_back(std::move(block));
+    return reinterpret_cast<char*>(p);
+  }
+  // Advance through retained blocks (refilled after Reset) before growing.
+  while (true) {
+    size_t next = ptr_ == nullptr && !blocks_.empty() ? current_ : current_ + 1;
+    // Skip dedicated blocks: their tail space is never bumped into.
+    while (next < blocks_.size() && blocks_[next].dedicated) {
+      ++next;
+    }
+    if (next >= blocks_.size()) {
+      // Double the block size (capped) so arenas that outgrow the default
+      // settle into a handful of blocks instead of hundreds.
+      size_t size = blocks_.empty()
+                        ? block_bytes_
+                        : std::min(blocks_.back().size * 2, kMaxBlockBytes);
+      size = std::max(size, worst);
+      Block block;
+      block.data = std::make_unique<char[]>(size);
+      block.size = size;
+      ++stats_.blocks;
+      stats_.bytes_reserved += size;
+      blocks_.push_back(std::move(block));
+      next = blocks_.size() - 1;
+    }
+    current_ = next;
+    ptr_ = blocks_[current_].data.get();
+    end_ = ptr_ + blocks_[current_].size;
+    uintptr_t p = (reinterpret_cast<uintptr_t>(ptr_) + (align - 1)) & ~(align - 1);
+    if (p + bytes <= reinterpret_cast<uintptr_t>(end_)) {
+      char* out = reinterpret_cast<char*>(p);
+      ptr_ = out + bytes;
+      stats_.bytes_allocated += bytes;
+      Unpoison(out, bytes);
+      return out;
+    }
+    // A retained block smaller than the request; keep scanning forward.
+  }
+}
+
+}  // namespace cdmm

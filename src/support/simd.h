@@ -1,0 +1,125 @@
+// Portable, #ifdef-guarded SIMD helpers for the columnar policy kernels.
+// Every function has a scalar fallback with identical results; the vector
+// paths only change how fast the answer arrives, never the answer. The OPT
+// kernel's victim scan (argmax over packed next-use keys) and the prepared
+// page-bound prescan are the profiled consumers.
+#ifndef CDMM_SRC_SUPPORT_SIMD_H_
+#define CDMM_SRC_SUPPORT_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#define CDMM_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__)
+#define CDMM_SIMD_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace cdmm {
+namespace simd {
+
+// Index of the maximum element of keys[0..n); among equal maxima the lowest
+// index wins (the OPT kernel's keys are pairwise distinct, so ties never
+// decide a victim there). n must be >= 1.
+inline size_t ArgMaxU64(const uint64_t* keys, size_t n) {
+#if defined(CDMM_SIMD_AVX2)
+  if (n >= 8) {
+    // Pass 1: the maximum value. Unsigned max via the sign-flip trick
+    // (cmpgt is signed), fully vectorized.
+    const __m256i sign = _mm256_set1_epi64x(static_cast<int64_t>(0x8000000000000000ULL));
+    __m256i best = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys)), sign);
+    size_t i = 4;
+    for (; i + 4 <= n; i += 4) {
+      __m256i v = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i)), sign);
+      __m256i gt = _mm256_cmpgt_epi64(v, best);
+      best = _mm256_blendv_epi8(best, v, gt);
+    }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best);
+    uint64_t max_flipped = lanes[0];
+    for (int k = 1; k < 4; ++k) {
+      if (lanes[k] > max_flipped) {
+        max_flipped = lanes[k];
+      }
+    }
+    uint64_t max_value = max_flipped ^ 0x8000000000000000ULL;
+    for (; i < n; ++i) {
+      if (keys[i] > max_value) {
+        max_value = keys[i];
+      }
+    }
+    // Pass 2: first index holding the maximum.
+    const __m256i needle = _mm256_set1_epi64x(static_cast<int64_t>(max_value));
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + j));
+      int mask = _mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, needle)));
+      if (mask != 0) {
+        for (int k = 0; k < 4; ++k) {
+          if ((mask >> k) & 1) {
+            return j + static_cast<size_t>(k);
+          }
+        }
+      }
+    }
+    for (; j < n; ++j) {
+      if (keys[j] == max_value) {
+        return j;
+      }
+    }
+  }
+#endif
+  size_t best = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (keys[i] > keys[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+// Maximum of v[0..n); 0 for an empty range. Used to bound the flat page
+// tables when a trace carries no virtual-page declaration.
+inline uint32_t MaxU32(const uint32_t* v, size_t n) {
+#if defined(CDMM_SIMD_AVX2)
+  if (n >= 16) {
+    __m256i best = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+    size_t i = 8;
+    for (; i + 8 <= n; i += 8) {
+      best = _mm256_max_epu32(
+          best, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+    }
+    alignas(32) uint32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best);
+    uint32_t max_value = lanes[0];
+    for (int k = 1; k < 8; ++k) {
+      if (lanes[k] > max_value) {
+        max_value = lanes[k];
+      }
+    }
+    for (; i < n; ++i) {
+      if (v[i] > max_value) {
+        max_value = v[i];
+      }
+    }
+    return max_value;
+  }
+#endif
+  uint32_t max_value = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i] > max_value) {
+      max_value = v[i];
+    }
+  }
+  return max_value;
+}
+
+}  // namespace simd
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_SUPPORT_SIMD_H_

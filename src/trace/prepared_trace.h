@@ -56,6 +56,14 @@ class PreparedTrace {
     return page < first_use_.size() ? first_use_[page] : size();
   }
 
+  // Exclusive upper bound on every PageId in the reference string (max page
+  // + 1; at least 1 so flat tables are never zero-sized). This is what the
+  // SoA kernels size their per-page frame tables with — first_use_ already
+  // spans exactly [0, max page].
+  uint32_t page_bound() const {
+    return first_use_.empty() ? 1 : static_cast<uint32_t>(first_use_.size());
+  }
+
  private:
   PreparedTrace() = default;
 

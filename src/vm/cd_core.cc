@@ -6,21 +6,70 @@
 
 namespace cdmm {
 
-CdCore::CdCore(uint32_t initial_grant, bool honor_locks)
-    : grant_(std::max<uint32_t>(initial_grant, 1)), honor_locks_(honor_locks) {}
+CdCore::CdCore(uint32_t initial_grant, bool honor_locks, uint32_t page_hint)
+    : grant_(std::max<uint32_t>(initial_grant, 1)), honor_locks_(honor_locks) {
+  if (page_hint != 0) {
+    next_.resize(page_hint);
+    prev_.resize(page_hint);
+    resident_.resize(page_hint, 0);
+    locked_pj_.resize(page_hint, -1);
+  }
+}
+
+void CdCore::EnsurePage(PageId page) {
+  if (page < next_.size()) {
+    return;
+  }
+  size_t capacity = std::max<size_t>(next_.size(), 64);
+  while (capacity <= page) {
+    capacity *= 2;
+  }
+  next_.resize(capacity);
+  prev_.resize(capacity);
+  resident_.resize(capacity, 0);
+  locked_pj_.resize(capacity, -1);
+}
+
+void CdCore::Unlink(PageId page) {
+  const uint32_t n = next_[page];
+  const uint32_t p = prev_[page];
+  if (p != kNone) {
+    next_[p] = n;
+  } else {
+    head_ = n;
+  }
+  if (n != kNone) {
+    prev_[n] = p;
+  } else {
+    tail_ = p;
+  }
+}
+
+void CdCore::PushFront(PageId page) {
+  prev_[page] = kNone;
+  next_[page] = head_;
+  if (head_ != kNone) {
+    prev_[head_] = page;
+  } else {
+    tail_ = page;
+  }
+  head_ = page;
+}
 
 bool CdCore::Touch(PageId page) {
-  auto it = where_.find(page);
-  if (it != where_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  EnsurePage(page);
+  if (resident_[page] != 0) {
+    Unlink(page);
+    PushFront(page);
     return false;
   }
-  bool incoming_locked = IsLocked(page);
+  bool incoming_locked = locked_pj_[page] >= 0;
   if (!incoming_locked && unlocked_resident() >= grant_) {
     CDMM_CHECK_MSG(EvictUnlockedLru(), "grant underflow");
   }
-  lru_.push_front(page);
-  where_[page] = lru_.begin();
+  PushFront(page);
+  resident_[page] = 1;
+  ++resident_count_;
   if (incoming_locked) {
     ++locked_resident_;
   }
@@ -39,10 +88,10 @@ void CdCore::Lock(const std::vector<PageId>& pages, uint16_t pj) {
     return;
   }
   for (PageId p : pages) {
-    auto [it, inserted] = locked_.try_emplace(p, pj);
-    if (!inserted) {
-      it->second = pj;
-    } else if (where_.count(p) != 0) {
+    EnsurePage(p);
+    bool inserted = locked_pj_[p] < 0;
+    locked_pj_[p] = pj;
+    if (inserted && resident_[p] != 0) {
       ++locked_resident_;
     }
   }
@@ -53,12 +102,11 @@ void CdCore::Unlock(const std::vector<PageId>& pages) {
     return;
   }
   for (PageId p : pages) {
-    auto it = locked_.find(p);
-    if (it == locked_.end()) {
+    if (p >= locked_pj_.size() || locked_pj_[p] < 0) {
       continue;
     }
-    locked_.erase(it);
-    if (where_.count(p) != 0) {
+    locked_pj_[p] = -1;
+    if (resident_[p] != 0) {
       CDMM_CHECK(locked_resident_ > 0);
       --locked_resident_;
     }
@@ -85,15 +133,17 @@ uint32_t CdCore::EnforceCap(uint32_t cap) {
 }
 
 void CdCore::DropAll() {
-  lru_.clear();
-  where_.clear();
+  head_ = kNone;
+  tail_ = kNone;
+  std::fill(resident_.begin(), resident_.end(), 0);
+  resident_count_ = 0;
   locked_resident_ = 0;
 }
 
 bool CdCore::EvictUnlockedLru() {
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    if (!IsLocked(*it)) {
-      Remove(*it);
+  for (uint32_t v = tail_; v != kNone; v = prev_[v]) {
+    if (locked_pj_[v] < 0) {
+      Remove(v);
       return true;
     }
   }
@@ -101,19 +151,22 @@ bool CdCore::EvictUnlockedLru() {
 }
 
 bool CdCore::ReleaseOneLock() {
+  // Walk the whole list from the LRU end taking the strictly-greatest PJ, so
+  // among equal-PJ locks the one nearest the LRU end wins — the same victim
+  // the legacy reverse-list scan picked.
   PageId victim = 0;
   int best_pj = -1;
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    auto lk = locked_.find(*it);
-    if (lk != locked_.end() && static_cast<int>(lk->second) > best_pj) {
-      best_pj = lk->second;
-      victim = *it;
+  for (uint32_t v = tail_; v != kNone; v = prev_[v]) {
+    const int32_t pj = locked_pj_[v];
+    if (pj > best_pj) {
+      best_pj = pj;
+      victim = v;
     }
   }
   if (best_pj < 0) {
     return false;
   }
-  locked_.erase(victim);
+  locked_pj_[victim] = -1;
   CDMM_CHECK(locked_resident_ > 0);
   --locked_resident_;
   Remove(victim);
@@ -121,10 +174,10 @@ bool CdCore::ReleaseOneLock() {
 }
 
 void CdCore::Remove(PageId page) {
-  auto it = where_.find(page);
-  CDMM_CHECK(it != where_.end());
-  lru_.erase(it->second);
-  where_.erase(it);
+  CDMM_CHECK(resident_[page] != 0);
+  Unlink(page);
+  resident_[page] = 0;
+  --resident_count_;
   if (eviction_sink_ != nullptr) {
     eviction_sink_->push_back(page);
   }

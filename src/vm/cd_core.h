@@ -7,13 +7,18 @@
 //  - locked pages sit on top of the grant and are only evicted by
 //    EnforceCap's soft-release path (highest PJ first);
 //  - replacement among unlocked pages is LRU.
+//
+// Storage is flat struct-of-arrays indexed by page: the recency list is an
+// intrusive doubly-linked list over next_/prev_ index columns, residency is a
+// byte column, and locks are an int32 PJ column (-1 = unlocked). Page tables
+// grow geometrically on first touch of an out-of-range page, so callers may
+// pass a sizing hint but never have to. Behaviour (victim order, lock
+// release order, CHECK conditions) is bit-identical to the container-based
+// original preserved as LegacyCdCore in src/vm/legacy_sim.cc.
 #ifndef CDMM_SRC_VM_CD_CORE_H_
 #define CDMM_SRC_VM_CD_CORE_H_
 
 #include <cstdint>
-#include <list>
-#include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "src/trace/trace.h"
@@ -22,7 +27,9 @@ namespace cdmm {
 
 class CdCore {
  public:
-  CdCore(uint32_t initial_grant, bool honor_locks);
+  // `page_hint` pre-sizes the per-page columns (e.g. the trace's virtual-page
+  // count); it is an optimization only — out-of-range pages grow the tables.
+  CdCore(uint32_t initial_grant, bool honor_locks, uint32_t page_hint = 0);
 
   // Processes one page reference; returns true if it faulted.
   bool Touch(PageId page);
@@ -55,24 +62,43 @@ class CdCore {
   void set_eviction_sink(std::vector<PageId>* sink) { eviction_sink_ = sink; }
 
   uint32_t grant() const { return grant_; }
-  uint32_t resident() const { return static_cast<uint32_t>(where_.size()); }
+  uint32_t resident() const { return resident_count_; }
   uint32_t locked_resident() const { return locked_resident_; }
-  uint32_t unlocked_resident() const { return resident() - locked_resident_; }
+  uint32_t unlocked_resident() const { return resident_count_ - locked_resident_; }
   // Frames this process holds against a shared pool.
   uint32_t held() const { return grant_ + locked_resident_; }
-  bool IsResident(PageId page) const { return where_.find(page) != where_.end(); }
-  bool IsLocked(PageId page) const { return locked_.find(page) != locked_.end(); }
+  bool IsResident(PageId page) const {
+    return page < resident_.size() && resident_[page] != 0;
+  }
+  bool IsLocked(PageId page) const {
+    return page < locked_pj_.size() && locked_pj_[page] >= 0;
+  }
 
  private:
+  static constexpr uint32_t kNone = 0xFFFFFFFFu;
+
+  // Grows the per-page columns to cover `page` (geometric doubling).
+  void EnsurePage(PageId page);
+  // Splices `page` out of the recency list (does not touch residency).
+  void Unlink(PageId page);
+  // Pushes `page` at the MRU end of the recency list.
+  void PushFront(PageId page);
+
   bool EvictUnlockedLru();
   bool ReleaseOneLock();
   void Remove(PageId page);
 
   uint32_t grant_;
   bool honor_locks_;
-  std::list<PageId> lru_;  // front = most recently used
-  std::unordered_map<PageId, std::list<PageId>::iterator> where_;
-  std::map<PageId, uint16_t> locked_;  // page -> PJ
+  // Intrusive recency list: head_ = MRU, tail_ = LRU victim end. next_ points
+  // toward the tail (older), prev_ toward the head (newer).
+  uint32_t head_ = kNone;
+  uint32_t tail_ = kNone;
+  std::vector<uint32_t> next_;
+  std::vector<uint32_t> prev_;
+  std::vector<uint8_t> resident_;
+  std::vector<int32_t> locked_pj_;  // PJ per page; -1 = unlocked
+  uint32_t resident_count_ = 0;
   uint32_t locked_resident_ = 0;
   std::vector<PageId>* eviction_sink_ = nullptr;
 };

@@ -50,32 +50,39 @@ int SelectCdRequest(const std::vector<AllocateRequest>& chain, DirectiveSelectio
   CDMM_UNREACHABLE("bad DirectiveSelection");
 }
 
-SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* info) {
+namespace {
+
+// The CD event loop, monomorphic per hierarchy mode: without a hierarchy the
+// per-reference path is core.Touch (flat SoA inside) plus plain accounting —
+// no null checks, no eviction-sink drain.
+template <bool kHier>
+SimResult RunCd(const Trace& trace, const CdOptions& options, CdRunInfo* info) {
   SimResult result;
   result.policy = StrCat("CD(", DirectiveSelectionName(options.selection),
                          options.selection == DirectiveSelection::kLevelCap
                              ? StrCat(" ", options.level_cap)
                              : "",
                          ")");
-  CdCore core(options.initial_allocation, options.honor_locks);
+  TELEM_COUNT("hotpath.kernel_dispatched");
+  CdCore core(options.initial_allocation, options.honor_locks, trace.virtual_pages());
   uint64_t swap_requests = 0;
   double ref_integral = 0.0;
   uint64_t service_total = 0;
-  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options.sim);
+  std::unique_ptr<HierarchyEngine> hier;
   std::vector<PageId> evicted;
-  if (hier != nullptr) {
+  if constexpr (kHier) {
+    hier = MakeHierarchyEngine(options.sim);
     core.set_eviction_sink(&evicted);
   }
   // Demote the core's evictions after each event, once the faulting page (if
   // any) has been promoted out of the levels below.
   auto drain_evictions = [&]() {
-    if (hier == nullptr) {
-      return;
+    if constexpr (kHier) {
+      for (PageId p : evicted) {
+        hier->OnEvict(p);
+      }
+      evicted.clear();
     }
-    for (PageId p : evicted) {
-      hier->OnEvict(p);
-    }
-    evicted.clear();
   };
 
   auto process = [&](const DirectiveRecord& d) {
@@ -149,9 +156,12 @@ SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* in
         ++result.references;
         result.max_resident = std::max(result.max_resident, core.resident());
         if (fault) {
-          uint64_t cost = hier != nullptr
-                              ? hier->OnFault(e.value, 0, result.faults - 1)
-                              : FaultServiceCost(options.sim, result.faults - 1);
+          uint64_t cost;
+          if constexpr (kHier) {
+            cost = hier->OnFault(e.value, 0, result.faults - 1);
+          } else {
+            cost = FaultServiceCost(options.sim, result.faults - 1);
+          }
           service_total += cost;
           TELEM_COUNT("vm.fault_serviced");
           TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
@@ -174,13 +184,20 @@ SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* in
   result.mean_memory =
       result.references == 0 ? 0.0 : ref_integral / static_cast<double>(result.references);
   result.space_time = ref_integral + static_cast<double>(service_total);
-  if (hier != nullptr) {
+  if constexpr (kHier) {
     result.hierarchy_levels = hier->Traffic();
   }
   if (info != nullptr) {
     info->swap_requests = swap_requests;
   }
   return result;
+}
+
+}  // namespace
+
+SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* info) {
+  return options.sim.hierarchy != nullptr ? RunCd<true>(trace, options, info)
+                                          : RunCd<false>(trace, options, info);
 }
 
 }  // namespace cdmm

@@ -1,18 +1,29 @@
+// Fixed-partition policies over the columnar PreparedTrace, as flat
+// struct-of-arrays kernels: an intrusive index-linked LRU list, a FIFO ring
+// with a residency bitmap, and an OPT slot table whose victim scan is a SIMD
+// argmax over packed (next_use, page) keys. Each (policy, hierarchy) pair is
+// a separate template instantiation, so the per-event loop is monomorphic —
+// no per-event branching on the policy or on `hier != nullptr`.
+//
+// Results are bit-identical to the container-based originals preserved in
+// src/vm/legacy_sim.cc (tests/hotpath_test.cc is the differential oracle):
+// the flat LRU keeps the same recency order, the ring is the same queue, and
+// the OPT argmax picks the same victim because packed keys order exactly
+// like the legacy std::set's (next_use, page) pairs and keys are pairwise
+// distinct.
 #include "src/vm/fixed_alloc.h"
 
 #include "src/vm/stack_distance.h"
 
 #include <algorithm>
-#include <deque>
-#include <list>
-#include <map>
-#include <set>
-#include <unordered_map>
 
+#include "src/support/arena.h"
 #include "src/support/check.h"
+#include "src/support/simd.h"
 #include "src/support/str.h"
 #include "src/telemetry/telemetry.h"
 #include "src/vm/hierarchy.h"
+#include "src/vm/scratch.h"
 
 namespace cdmm {
 
@@ -29,6 +40,8 @@ const char* ReplacementName(Replacement r) {
 }
 
 namespace {
+
+constexpr uint32_t kNone = 0xFFFFFFFFu;
 
 // Shared accounting: every reference costs 1 unit, every fault adds the
 // service time; held memory is the constant partition size. Without a
@@ -53,137 +66,147 @@ SimResult Finish(uint64_t references, uint32_t frames, Replacement replacement, 
   return result;
 }
 
-// Both fixed-partition recency policies run off a flat reference string;
-// the Trace overloads filter their event streams into one first.
-SimResult SimulateLru(const std::vector<PageId>& refs, uint32_t virtual_pages, uint32_t frames,
-                      const SimOptions& options) {
-  // Recency list: front = most recent. map page -> list iterator.
-  std::list<PageId> stack;
-  std::unordered_map<PageId, std::list<PageId>::iterator> where;
-  where.reserve(virtual_pages);
-  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
+// One monomorphic per-event loop per (policy, hierarchy?) pair.
+template <Replacement R, bool kHier>
+SimResult RunFixed(const PreparedTrace& prepared, uint32_t frames, const SimOptions& options) {
+  const uint32_t n = prepared.size();
+  const PageId* pages = prepared.pages().data();
+  const uint32_t bound = prepared.page_bound();
+  Arena& arena = SimScratchArena();
+  ScratchScope scope(arena);
+  TELEM_COUNT("hotpath.kernel_dispatched");
+
+  std::unique_ptr<HierarchyEngine> hier_owner;
+  HierarchyEngine* hier = nullptr;
+  if constexpr (kHier) {
+    hier_owner = MakeHierarchyEngine(options);
+    hier = hier_owner.get();
+  }
   uint64_t service_total = 0;
   uint64_t faults = 0;
   uint32_t max_resident = 0;
-  for (PageId page : refs) {
-    auto it = where.find(page);
-    if (it != where.end()) {
-      stack.splice(stack.begin(), stack, it->second);
-    } else {
+
+  if constexpr (R == Replacement::kLru) {
+    // Intrusive doubly-linked recency list over page indices; slot `bound`
+    // is the sentinel (next = MRU front, prev = LRU victim). prev == kNone
+    // marks a non-resident page.
+    uint32_t* next = arena.NewArray<uint32_t>(bound + 1);
+    uint32_t* prev = arena.NewArray<uint32_t>(bound + 1);
+    std::fill(prev, prev + bound, kNone);
+    next[bound] = bound;
+    prev[bound] = bound;
+    uint32_t resident = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      const PageId page = pages[i];
+      if (prev[page] != kNone) {
+        // Hit: unlink; reinserted at the front below.
+        const uint32_t pn = next[page];
+        const uint32_t pp = prev[page];
+        next[pp] = pn;
+        prev[pn] = pp;
+      } else {
+        ++faults;
+        TELEM_COUNT("vm.fault_serviced");
+        if constexpr (kHier) {
+          service_total += hier->OnFault(page, 0, faults - 1);
+        }
+        if (resident == frames) {
+          const uint32_t victim = prev[bound];
+          const uint32_t vp = prev[victim];
+          next[vp] = bound;
+          prev[bound] = vp;
+          prev[victim] = kNone;
+          TELEM_COUNT("vm.page_evicted");
+          if constexpr (kHier) {
+            hier->OnEvict(victim);
+          }
+        } else {
+          ++resident;
+          max_resident = std::max(max_resident, resident);
+        }
+      }
+      const uint32_t front = next[bound];
+      next[bound] = page;
+      prev[page] = bound;
+      next[page] = front;
+      prev[front] = page;
+    }
+  } else if constexpr (R == Replacement::kFifo) {
+    uint8_t* resident = arena.NewArray<uint8_t>(bound);  // zero-filled
+    uint32_t* ring = arena.NewArray<uint32_t>(frames);
+    uint32_t head = 0;
+    uint32_t count = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      const PageId page = pages[i];
+      if (resident[page] != 0) {
+        continue;
+      }
       ++faults;
       TELEM_COUNT("vm.fault_serviced");
-      if (hier != nullptr) {
+      if constexpr (kHier) {
         service_total += hier->OnFault(page, 0, faults - 1);
       }
-      if (where.size() == frames) {
-        PageId victim = stack.back();
-        stack.pop_back();
-        where.erase(victim);
+      if (count == frames) {
+        const PageId victim = ring[head];
+        head = head + 1 == frames ? 0 : head + 1;
+        --count;
+        resident[victim] = 0;
         TELEM_COUNT("vm.page_evicted");
-        if (hier != nullptr) {
+        if constexpr (kHier) {
           hier->OnEvict(victim);
         }
       }
-      stack.push_front(page);
-      where[page] = stack.begin();
-      max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(where.size()));
-    }
-  }
-  if (hier == nullptr) {
-    service_total = TotalFaultServiceCost(options, faults);
-  }
-  return Finish(refs.size(), frames, Replacement::kLru, faults, max_resident, service_total,
-                hier.get());
-}
-
-SimResult SimulateFifo(const std::vector<PageId>& refs, uint32_t frames,
-                       const SimOptions& options) {
-  std::deque<PageId> queue;
-  std::set<PageId> resident;
-  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
-  uint64_t service_total = 0;
-  uint64_t faults = 0;
-  uint32_t max_resident = 0;
-  for (PageId page : refs) {
-    if (resident.count(page) != 0) {
-      continue;
-    }
-    ++faults;
-    TELEM_COUNT("vm.fault_serviced");
-    if (hier != nullptr) {
-      service_total += hier->OnFault(page, 0, faults - 1);
-    }
-    if (resident.size() == frames) {
-      PageId victim = queue.front();
-      queue.pop_front();
-      resident.erase(victim);
-      TELEM_COUNT("vm.page_evicted");
-      if (hier != nullptr) {
-        hier->OnEvict(victim);
+      uint32_t slot = head + count;
+      if (slot >= frames) {
+        slot -= frames;
       }
+      ring[slot] = page;
+      ++count;
+      resident[page] = 1;
+      max_resident = std::max(max_resident, count);
     }
-    queue.push_back(page);
-    resident.insert(page);
-    max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(resident.size()));
-  }
-  if (hier == nullptr) {
-    service_total = TotalFaultServiceCost(options, faults);
-  }
-  return Finish(refs.size(), frames, Replacement::kFifo, faults, max_resident, service_total,
-                hier.get());
-}
-
-SimResult SimulateOpt(const PreparedTrace& prepared, uint32_t frames, const SimOptions& options) {
-  // The forward distances come straight from the prepared next-use column;
-  // pages never referenced again carry the shared sentinel prepared.size(),
-  // which outranks every real index just as the old kNever did.
-  // Resident set ordered by next use (largest = best victim). Ties cannot
-  // happen: next uses are distinct positions (the sentinel is broken by
-  // page id).
-  std::set<std::pair<uint64_t, PageId>> by_next_use;
-  std::unordered_map<PageId, uint64_t> resident_next;  // page -> its key
-  resident_next.reserve(frames + 1);
-  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
-  uint64_t service_total = 0;
-  uint64_t faults = 0;
-  uint32_t max_resident = 0;
-
-  for (uint32_t i = 0; i < prepared.size(); ++i) {
-    PageId page = prepared.page(i);
-    uint64_t next = prepared.next_use(i);
-    // Sentinel entries collide across pages; disambiguate the set key by page.
-    auto key_of = [&](uint64_t nu, PageId p) {
-      return std::pair<uint64_t, PageId>{nu, p};
-    };
-    auto it = resident_next.find(page);
-    if (it != resident_next.end()) {
-      by_next_use.erase(key_of(it->second, page));
-    } else {
-      ++faults;
-      TELEM_COUNT("vm.fault_serviced");
-      if (hier != nullptr) {
-        service_total += hier->OnFault(page, 0, faults - 1);
-      }
-      if (resident_next.size() == frames) {
-        auto victim = std::prev(by_next_use.end());
-        PageId victim_page = victim->second;
-        resident_next.erase(victim_page);
-        by_next_use.erase(victim);
-        TELEM_COUNT("vm.page_evicted");
-        if (hier != nullptr) {
-          hier->OnEvict(victim_page);
+  } else {
+    // OPT: per-frame packed keys (next_use << 32 | page); the victim is the
+    // maximum key, exactly the legacy std::set's std::prev(end()). Keys are
+    // pairwise distinct (real next-uses are distinct positions, sentinels
+    // are broken by page), so the argmax is unambiguous.
+    const uint32_t* next_use = prepared.next_uses().data();
+    uint64_t* keys = arena.NewArray<uint64_t>(frames);
+    uint32_t* slot_of = arena.NewArray<uint32_t>(bound);
+    std::fill(slot_of, slot_of + bound, kNone);
+    uint32_t count = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      const PageId page = pages[i];
+      uint32_t s = slot_of[page];
+      if (s == kNone) {
+        ++faults;
+        TELEM_COUNT("vm.fault_serviced");
+        if constexpr (kHier) {
+          service_total += hier->OnFault(page, 0, faults - 1);
         }
+        if (count == frames) {
+          const size_t v = simd::ArgMaxU64(keys, frames);
+          const PageId victim = static_cast<PageId>(keys[v] & 0xFFFFFFFFu);
+          slot_of[victim] = kNone;
+          s = static_cast<uint32_t>(v);
+          TELEM_COUNT("vm.page_evicted");
+          if constexpr (kHier) {
+            hier->OnEvict(victim);
+          }
+        } else {
+          s = count++;
+        }
+        slot_of[page] = s;
       }
+      keys[s] = (static_cast<uint64_t>(next_use[i]) << 32) | page;
+      max_resident = std::max(max_resident, count);
     }
-    resident_next[page] = next;
-    by_next_use.insert(key_of(next, page));
-    max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(resident_next.size()));
   }
-  if (hier == nullptr) {
+
+  if constexpr (!kHier) {
     service_total = TotalFaultServiceCost(options, faults);
   }
-  return Finish(prepared.size(), frames, Replacement::kOpt, faults, max_resident, service_total,
-                hier.get());
+  return Finish(n, frames, R, faults, max_resident, service_total, hier);
 }
 
 }  // namespace
@@ -196,16 +219,55 @@ SimResult SimulateFixed(const Trace& trace, uint32_t frames, Replacement replace
 SimResult SimulateFixed(const PreparedTrace& prepared, uint32_t frames, Replacement replacement,
                         const SimOptions& options) {
   CDMM_CHECK_MSG(frames >= 1, "fixed partition needs at least one frame");
+  const bool hier = options.hierarchy != nullptr;
   switch (replacement) {
     case Replacement::kLru:
-      return SimulateLru(prepared.pages(), prepared.virtual_pages(), frames, options);
+      return hier ? RunFixed<Replacement::kLru, true>(prepared, frames, options)
+                  : RunFixed<Replacement::kLru, false>(prepared, frames, options);
     case Replacement::kFifo:
-      return SimulateFifo(prepared.pages(), frames, options);
+      return hier ? RunFixed<Replacement::kFifo, true>(prepared, frames, options)
+                  : RunFixed<Replacement::kFifo, false>(prepared, frames, options);
     case Replacement::kOpt:
-      return SimulateOpt(prepared, frames, options);
+      return hier ? RunFixed<Replacement::kOpt, true>(prepared, frames, options)
+                  : RunFixed<Replacement::kOpt, false>(prepared, frames, options);
   }
   CDMM_UNREACHABLE("bad Replacement");
 }
+
+namespace {
+
+// Shared by both LruSweep overloads once the distance histogram is filled.
+std::vector<SweepPoint> FinishLruSweep(std::vector<uint64_t>& distance_hist,
+                                       uint64_t cold_faults, uint64_t refs, uint32_t max_frames,
+                                       const SimOptions& options) {
+  // Suffix sums: faults(m) = cold + Σ_{d > m} hist[d], built in one backward
+  // pass (O(V) instead of the naive O(V²) inner loop per point).
+  std::vector<uint64_t> faults_at(max_frames + 1, 0);
+  {
+    uint64_t running = cold_faults;
+    for (uint32_t m = max_frames; m >= 1; --m) {
+      running += distance_hist[m + 1];
+      faults_at[m] = running;
+    }
+  }
+  std::vector<SweepPoint> points;
+  points.reserve(max_frames);
+  for (uint32_t m = 1; m <= max_frames; ++m) {
+    uint64_t faults = faults_at[m];
+    uint64_t service_total = TotalFaultServiceCost(options, faults);
+    SweepPoint p;
+    p.parameter = m;
+    p.faults = faults;
+    p.elapsed = refs + service_total;
+    p.mean_memory = m;
+    p.space_time = static_cast<double>(m) * static_cast<double>(refs) +
+                   static_cast<double>(service_total);
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace
 
 std::vector<SweepPoint> LruSweep(const Trace& trace, uint32_t max_frames,
                                  const SimOptions& options) {
@@ -229,33 +291,27 @@ std::vector<SweepPoint> LruSweep(const Trace& trace, uint32_t max_frames,
     }
     ++distance_hist[std::min<uint64_t>(touch.depth, max_frames + 1)];
   }
+  return FinishLruSweep(distance_hist, cold_faults, trace.reference_count(), max_frames, options);
+}
 
-  // Suffix sums: faults(m) = cold + Σ_{d > m} hist[d], built in one backward
-  // pass (O(V) instead of the naive O(V²) inner loop per point).
-  std::vector<uint64_t> faults_at(max_frames + 1, 0);
-  {
-    uint64_t running = cold_faults;
-    for (uint32_t m = max_frames; m >= 1; --m) {
-      running += distance_hist[m + 1];
-      faults_at[m] = running;
+std::vector<SweepPoint> LruSweep(const PreparedTrace& prepared, uint32_t max_frames,
+                                 const SimOptions& options) {
+  CDMM_CHECK(max_frames >= 1);
+  // Same sweep off the columnar page string; the engine is sized exactly
+  // (reference count and page bound both known), so the Fenwick never
+  // regrows and the last-use table is a flat column.
+  std::vector<uint64_t> distance_hist(max_frames + 2, 0);
+  uint64_t cold_faults = 0;
+  StackDistanceEngine engine(prepared);
+  for (PageId page : prepared.pages()) {
+    StackDistanceEngine::Touch touch = engine.Next(page);
+    if (touch.depth == 0) {
+      ++cold_faults;
+      continue;
     }
+    ++distance_hist[std::min<uint64_t>(touch.depth, max_frames + 1)];
   }
-  std::vector<SweepPoint> points;
-  points.reserve(max_frames);
-  uint64_t refs = trace.reference_count();
-  for (uint32_t m = 1; m <= max_frames; ++m) {
-    uint64_t faults = faults_at[m];
-    uint64_t service_total = TotalFaultServiceCost(options, faults);
-    SweepPoint p;
-    p.parameter = m;
-    p.faults = faults;
-    p.elapsed = refs + service_total;
-    p.mean_memory = m;
-    p.space_time = static_cast<double>(m) * static_cast<double>(refs) +
-                   static_cast<double>(service_total);
-    points.push_back(p);
-  }
-  return points;
+  return FinishLruSweep(distance_hist, cold_faults, prepared.size(), max_frames, options);
 }
 
 }  // namespace cdmm

@@ -49,6 +49,12 @@ struct SweepPoint {
 std::vector<SweepPoint> LruSweep(const Trace& trace, uint32_t max_frames,
                                  const SimOptions& options = {});
 
+// Same curve off an already-prepared trace: the stack-distance engine is
+// sized exactly (references and page bound both known up front), so its
+// Fenwick tree never regrows and the per-page last-use table is flat.
+std::vector<SweepPoint> LruSweep(const PreparedTrace& prepared, uint32_t max_frames,
+                                 const SimOptions& options = {});
+
 }  // namespace cdmm
 
 #endif  // CDMM_SRC_VM_FIXED_ALLOC_H_

@@ -173,19 +173,75 @@ HierarchyEngine::HierarchyEngine(const HierarchySpec& spec, const FaultInjector*
     Level level;
     level.spec = spec.levels[i];
     level.traffic.level = spec.levels[i].name;
+    // Reserve the node pool up front (bounded for pathological capacities —
+    // the pool grows on demand and never exceeds capacity+1 nodes).
+    const size_t reserve = std::min<size_t>(static_cast<size_t>(level.spec.capacity) + 1,
+                                            size_t{1} << 16);
+    level.pool.reserve(reserve);
+    level.where.reserve(reserve);
     inter_.push_back(std::move(level));
   }
   bottom_.level = spec.levels.back().name;
   bottom_latency_ = std::max<uint64_t>(spec.levels.back().latency, 1);
 }
 
+void HierarchyEngine::Level::Unlink(uint32_t idx) {
+  const uint32_t n = pool[idx].next;
+  const uint32_t p = pool[idx].prev;
+  if (p != kNone) {
+    pool[p].next = n;
+  } else {
+    head = n;
+  }
+  if (n != kNone) {
+    pool[n].prev = p;
+  } else {
+    tail = p;
+  }
+}
+
+void HierarchyEngine::Level::PushFront(uint64_t key) {
+  uint32_t idx = free_head;
+  if (idx == kNone) {
+    idx = static_cast<uint32_t>(pool.size());
+    pool.emplace_back();
+  } else {
+    free_head = pool[idx].next;
+  }
+  pool[idx] = Node{key, head, kNone};
+  if (head != kNone) {
+    pool[head].prev = idx;
+  } else {
+    tail = idx;
+  }
+  head = idx;
+  where.emplace(key, idx);
+}
+
+bool HierarchyEngine::Level::RemoveIfPresent(uint64_t key) {
+  auto it = where.find(key);
+  if (it == where.end()) {
+    return false;
+  }
+  Unlink(it->second);
+  Free(it->second);
+  where.erase(it);
+  return true;
+}
+
+uint64_t HierarchyEngine::Level::PopBack() {
+  const uint32_t idx = tail;
+  const uint64_t key = pool[idx].key;
+  Unlink(idx);
+  Free(idx);
+  where.erase(key);
+  return key;
+}
+
 uint64_t HierarchyEngine::OnFault(uint64_t key, uint64_t stream, uint64_t fault_index) {
   size_t hit = inter_.size();  // default: the backing store
   for (size_t i = 0; i < inter_.size(); ++i) {
-    auto it = inter_[i].where.find(key);
-    if (it != inter_[i].where.end()) {
-      inter_[i].order.erase(it->second);
-      inter_[i].where.erase(it);
+    if (inter_[i].RemoveIfPresent(key)) {
       hit = i;
       break;
     }
@@ -235,15 +291,10 @@ void HierarchyEngine::OnEvict(uint64_t key) {
       TELEM_COUNT("hierarchy.demotion_dropped");
       continue;
     }
-    auto it = level.where.find(moving);
-    if (it != level.where.end()) {
-      // Defensive: exclusivity means a demoted page is never already cached
-      // here, but a duplicate must not inflate the level's size.
-      level.order.erase(it->second);
-      level.where.erase(it);
-    }
-    level.order.push_front(moving);
-    level.where[moving] = level.order.begin();
+    // Defensive: exclusivity means a demoted page is never already cached
+    // here, but a duplicate must not inflate the level's size.
+    level.RemoveIfPresent(moving);
+    level.PushFront(moving);
     ++level.traffic.demotions_in;
     TELEM_COUNT("hierarchy.page_demoted");
     if (level.where.size() <= level.spec.capacity) {
@@ -252,9 +303,7 @@ void HierarchyEngine::OnEvict(uint64_t key) {
     // Overflow: push the stalest entry down. Entries are never re-referenced
     // in place (a hit removes them), so insertion order is recency order and
     // LRU/FIFO victim selection coincide.
-    moving = level.order.back();
-    level.order.pop_back();
-    level.where.erase(moving);
+    moving = level.PopBack();
     ++level.traffic.evictions;
   }
   // Fell past the last intermediate level: the page now lives only in the

@@ -30,7 +30,6 @@
 #define CDMM_SRC_VM_HIERARCHY_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -112,11 +111,40 @@ class HierarchyEngine {
   std::vector<HierarchyLevelTraffic> Traffic() const;
 
  private:
+  // One intermediate level: an intrusive recency list over an index-linked
+  // node pool (grown once up to capacity+1 nodes, then recycled through a
+  // free list — no per-demotion heap traffic), plus a key→slot map. Keys are
+  // sparse 64-bit identities, so the map stays; only the list nodes are
+  // pooled. Same victim order as the std::list original.
   struct Level {
+    static constexpr uint32_t kNone = 0xFFFFFFFFu;
+    struct Node {
+      uint64_t key = 0;
+      uint32_t next = kNone;  // toward the tail (stalest entry)
+      uint32_t prev = kNone;
+    };
+
     HierarchyLevel spec;
-    std::list<uint64_t> order;  // front = most recently inserted
-    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> where;
+    std::vector<Node> pool;
+    uint32_t head = kNone;       // most recently inserted
+    uint32_t tail = kNone;       // stalest (the overflow victim)
+    uint32_t free_head = kNone;  // singly linked through Node::next
+    std::unordered_map<uint64_t, uint32_t> where;  // key -> pool slot
     HierarchyLevelTraffic traffic;
+
+    void Unlink(uint32_t idx);
+    void Free(uint32_t idx) {
+      pool[idx].next = free_head;
+      free_head = idx;
+    }
+    // Inserts `key` at the recency head, recycling a free node or growing
+    // the pool (bounded by capacity+1: the transient extra entry between an
+    // insert and its overflow eviction).
+    void PushFront(uint64_t key);
+    // Removes `key` if this level holds it; returns whether it did.
+    bool RemoveIfPresent(uint64_t key);
+    // Removes and returns the stalest entry.
+    uint64_t PopBack();
   };
 
   const FaultInjector* injector_;

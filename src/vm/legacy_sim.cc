@@ -1,0 +1,519 @@
+// Pre-overhaul simulator implementations, kept as the differential oracle
+// and the bench_hotpath baseline. This is deliberately the old code, moved
+// here unchanged (telemetry included, so a legacy run is observable the
+// same way); see legacy_sim.h for why it must stay un-optimized.
+#include "src/vm/legacy_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
+#include "src/vm/hierarchy.h"
+
+namespace cdmm {
+namespace legacy {
+namespace {
+
+SimResult Finish(uint64_t references, uint32_t frames, Replacement replacement, uint64_t faults,
+                 uint32_t max_resident, uint64_t service_total, const HierarchyEngine* hier) {
+  SimResult result;
+  result.policy = StrCat(ReplacementName(replacement), "(m=", frames, ")");
+  result.references = references;
+  result.faults = faults;
+  result.elapsed = result.references + service_total;
+  result.mean_memory = frames;
+  result.space_time = static_cast<double>(frames) * static_cast<double>(result.references) +
+                      static_cast<double>(service_total);
+  result.max_resident = max_resident;
+  if (hier != nullptr) {
+    result.hierarchy_levels = hier->Traffic();
+  }
+  return result;
+}
+
+SimResult SimulateLru(const std::vector<PageId>& refs, uint32_t virtual_pages, uint32_t frames,
+                      const SimOptions& options) {
+  // Recency list: front = most recent. map page -> list iterator.
+  std::list<PageId> stack;
+  std::unordered_map<PageId, std::list<PageId>::iterator> where;
+  where.reserve(virtual_pages);
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
+  uint64_t service_total = 0;
+  uint64_t faults = 0;
+  uint32_t max_resident = 0;
+  for (PageId page : refs) {
+    auto it = where.find(page);
+    if (it != where.end()) {
+      stack.splice(stack.begin(), stack, it->second);
+    } else {
+      ++faults;
+      TELEM_COUNT("vm.fault_serviced");
+      if (hier != nullptr) {
+        service_total += hier->OnFault(page, 0, faults - 1);
+      }
+      if (where.size() == frames) {
+        PageId victim = stack.back();
+        stack.pop_back();
+        where.erase(victim);
+        TELEM_COUNT("vm.page_evicted");
+        if (hier != nullptr) {
+          hier->OnEvict(victim);
+        }
+      }
+      stack.push_front(page);
+      where[page] = stack.begin();
+      max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(where.size()));
+    }
+  }
+  if (hier == nullptr) {
+    service_total = TotalFaultServiceCost(options, faults);
+  }
+  return Finish(refs.size(), frames, Replacement::kLru, faults, max_resident, service_total,
+                hier.get());
+}
+
+SimResult SimulateFifo(const std::vector<PageId>& refs, uint32_t frames,
+                       const SimOptions& options) {
+  std::deque<PageId> queue;
+  std::set<PageId> resident;
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
+  uint64_t service_total = 0;
+  uint64_t faults = 0;
+  uint32_t max_resident = 0;
+  for (PageId page : refs) {
+    if (resident.count(page) != 0) {
+      continue;
+    }
+    ++faults;
+    TELEM_COUNT("vm.fault_serviced");
+    if (hier != nullptr) {
+      service_total += hier->OnFault(page, 0, faults - 1);
+    }
+    if (resident.size() == frames) {
+      PageId victim = queue.front();
+      queue.pop_front();
+      resident.erase(victim);
+      TELEM_COUNT("vm.page_evicted");
+      if (hier != nullptr) {
+        hier->OnEvict(victim);
+      }
+    }
+    queue.push_back(page);
+    resident.insert(page);
+    max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(resident.size()));
+  }
+  if (hier == nullptr) {
+    service_total = TotalFaultServiceCost(options, faults);
+  }
+  return Finish(refs.size(), frames, Replacement::kFifo, faults, max_resident, service_total,
+                hier.get());
+}
+
+SimResult SimulateOpt(const PreparedTrace& prepared, uint32_t frames, const SimOptions& options) {
+  // Resident set ordered by next use (largest = best victim); the set key is
+  // disambiguated by page because sentinel next-uses collide across pages.
+  std::set<std::pair<uint64_t, PageId>> by_next_use;
+  std::unordered_map<PageId, uint64_t> resident_next;  // page -> its key
+  resident_next.reserve(frames + 1);
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
+  uint64_t service_total = 0;
+  uint64_t faults = 0;
+  uint32_t max_resident = 0;
+
+  for (uint32_t i = 0; i < prepared.size(); ++i) {
+    PageId page = prepared.page(i);
+    uint64_t next = prepared.next_use(i);
+    auto key_of = [&](uint64_t nu, PageId p) {
+      return std::pair<uint64_t, PageId>{nu, p};
+    };
+    auto it = resident_next.find(page);
+    if (it != resident_next.end()) {
+      by_next_use.erase(key_of(it->second, page));
+    } else {
+      ++faults;
+      TELEM_COUNT("vm.fault_serviced");
+      if (hier != nullptr) {
+        service_total += hier->OnFault(page, 0, faults - 1);
+      }
+      if (resident_next.size() == frames) {
+        auto victim = std::prev(by_next_use.end());
+        PageId victim_page = victim->second;
+        resident_next.erase(victim_page);
+        by_next_use.erase(victim);
+        TELEM_COUNT("vm.page_evicted");
+        if (hier != nullptr) {
+          hier->OnEvict(victim_page);
+        }
+      }
+    }
+    resident_next[page] = next;
+    by_next_use.insert(key_of(next, page));
+    max_resident = std::max<uint32_t>(max_resident, static_cast<uint32_t>(resident_next.size()));
+  }
+  if (hier == nullptr) {
+    service_total = TotalFaultServiceCost(options, faults);
+  }
+  return Finish(prepared.size(), frames, Replacement::kOpt, faults, max_resident, service_total,
+                hier.get());
+}
+
+// The std::list/std::map-backed CdCore, exactly as cd_core.cc had it.
+class LegacyCdCore {
+ public:
+  LegacyCdCore(uint32_t initial_grant, bool honor_locks)
+      : grant_(std::max<uint32_t>(initial_grant, 1)), honor_locks_(honor_locks) {}
+
+  bool Touch(PageId page) {
+    auto it = where_.find(page);
+    if (it != where_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return false;
+    }
+    bool incoming_locked = IsLocked(page);
+    if (!incoming_locked && unlocked_resident() >= grant_) {
+      CDMM_CHECK_MSG(EvictUnlockedLru(), "grant underflow");
+    }
+    lru_.push_front(page);
+    where_[page] = lru_.begin();
+    if (incoming_locked) {
+      ++locked_resident_;
+    }
+    return true;
+  }
+
+  void SetGrant(uint32_t grant) {
+    grant_ = std::max<uint32_t>(grant, 1);
+    while (unlocked_resident() > grant_) {
+      CDMM_CHECK_MSG(EvictUnlockedLru(), "shrink with no unlocked page");
+    }
+  }
+
+  void Lock(const std::vector<PageId>& pages, uint16_t pj) {
+    if (!honor_locks_) {
+      return;
+    }
+    for (PageId p : pages) {
+      auto [it, inserted] = locked_.try_emplace(p, pj);
+      if (!inserted) {
+        it->second = pj;
+      } else if (where_.count(p) != 0) {
+        ++locked_resident_;
+      }
+    }
+  }
+
+  void Unlock(const std::vector<PageId>& pages) {
+    if (!honor_locks_) {
+      return;
+    }
+    for (PageId p : pages) {
+      auto it = locked_.find(p);
+      if (it == locked_.end()) {
+        continue;
+      }
+      locked_.erase(it);
+      if (where_.count(p) != 0) {
+        CDMM_CHECK(locked_resident_ > 0);
+        --locked_resident_;
+      }
+    }
+    while (unlocked_resident() > grant_) {
+      CDMM_CHECK(EvictUnlockedLru());
+    }
+  }
+
+  uint32_t EnforceCap(uint32_t cap) {
+    uint32_t released = 0;
+    while (resident() > cap) {
+      if (EvictUnlockedLru()) {
+        continue;
+      }
+      if (!ReleaseOneLock()) {
+        break;
+      }
+      ++released;
+    }
+    return released;
+  }
+
+  void set_eviction_sink(std::vector<PageId>* sink) { eviction_sink_ = sink; }
+
+  uint32_t grant() const { return grant_; }
+  uint32_t resident() const { return static_cast<uint32_t>(where_.size()); }
+  uint32_t locked_resident() const { return locked_resident_; }
+  uint32_t unlocked_resident() const { return resident() - locked_resident_; }
+  uint32_t held() const { return grant_ + locked_resident_; }
+  bool IsLocked(PageId page) const { return locked_.find(page) != locked_.end(); }
+
+ private:
+  bool EvictUnlockedLru() {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (!IsLocked(*it)) {
+        Remove(*it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool ReleaseOneLock() {
+    PageId victim = 0;
+    int best_pj = -1;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto lk = locked_.find(*it);
+      if (lk != locked_.end() && static_cast<int>(lk->second) > best_pj) {
+        best_pj = lk->second;
+        victim = *it;
+      }
+    }
+    if (best_pj < 0) {
+      return false;
+    }
+    locked_.erase(victim);
+    CDMM_CHECK(locked_resident_ > 0);
+    --locked_resident_;
+    Remove(victim);
+    return true;
+  }
+
+  void Remove(PageId page) {
+    auto it = where_.find(page);
+    CDMM_CHECK(it != where_.end());
+    lru_.erase(it->second);
+    where_.erase(it);
+    if (eviction_sink_ != nullptr) {
+      eviction_sink_->push_back(page);
+    }
+  }
+
+  uint32_t grant_;
+  bool honor_locks_;
+  std::list<PageId> lru_;  // front = most recently used
+  std::unordered_map<PageId, std::list<PageId>::iterator> where_;
+  std::map<PageId, uint16_t> locked_;  // page -> PJ
+  uint32_t locked_resident_ = 0;
+  std::vector<PageId>* eviction_sink_ = nullptr;
+};
+
+}  // namespace
+
+SimResult SimulateFixed(const PreparedTrace& prepared, uint32_t frames,
+                        Replacement replacement, const SimOptions& options) {
+  CDMM_CHECK_MSG(frames >= 1, "fixed partition needs at least one frame");
+  switch (replacement) {
+    case Replacement::kLru:
+      return SimulateLru(prepared.pages(), prepared.virtual_pages(), frames, options);
+    case Replacement::kFifo:
+      return SimulateFifo(prepared.pages(), frames, options);
+    case Replacement::kOpt:
+      return SimulateOpt(prepared, frames, options);
+  }
+  CDMM_UNREACHABLE("bad Replacement");
+}
+
+SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options) {
+  CDMM_CHECK(tau >= 1);
+  std::unordered_map<PageId, uint64_t> last_ref;
+  last_ref.reserve(trace.virtual_pages());
+  std::deque<std::pair<uint64_t, PageId>> window;  // (ref time, page)
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
+  uint64_t ws_size = 0;
+
+  SimResult result;
+  result.policy = StrCat("WS(tau=", tau, ")");
+  uint64_t t = 0;
+  double ref_integral = 0.0;
+  uint64_t service_total = 0;
+
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceEvent::Kind::kRef) {
+      continue;
+    }
+    ++t;
+    while (!window.empty() && window.front().first + tau < t) {
+      auto [when, page] = window.front();
+      window.pop_front();
+      auto it = last_ref.find(page);
+      if (it != last_ref.end() && it->second == when) {
+        --ws_size;  // page expired from the working set
+        TELEM_COUNT("vm.ws_page_expired");
+        if (hier != nullptr) {
+          hier->OnEvict(page);
+        }
+      }
+    }
+    PageId page = e.value;
+    auto it = last_ref.find(page);
+    bool in_ws = it != last_ref.end() && it->second + tau >= t;
+    bool fault = !in_ws;
+    if (fault) {
+      ++result.faults;
+      ++ws_size;
+      TELEM_COUNT("vm.ws_page_admitted");
+    }
+    if (it == last_ref.end()) {
+      last_ref.emplace(page, t);
+    } else {
+      it->second = t;
+    }
+    window.emplace_back(t, page);
+    result.max_resident = std::max<uint32_t>(result.max_resident, static_cast<uint32_t>(ws_size));
+
+    if (fault) {
+      uint64_t cost = hier != nullptr ? hier->OnFault(page, 0, result.faults - 1)
+                                      : FaultServiceCost(options, result.faults - 1);
+      service_total += cost;
+      TELEM_COUNT("vm.fault_serviced");
+      TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
+    }
+    result.elapsed += 1;
+    ref_integral += static_cast<double>(ws_size);
+  }
+  result.elapsed += service_total;
+  result.references = t;
+  result.mean_memory = t == 0 ? 0.0 : ref_integral / static_cast<double>(t);
+  result.space_time = ref_integral + static_cast<double>(service_total);
+  if (hier != nullptr) {
+    result.hierarchy_levels = hier->Traffic();
+  }
+  return result;
+}
+
+SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* info) {
+  SimResult result;
+  result.policy = StrCat("CD(", DirectiveSelectionName(options.selection),
+                         options.selection == DirectiveSelection::kLevelCap
+                             ? StrCat(" ", options.level_cap)
+                             : "",
+                         ")");
+  LegacyCdCore core(options.initial_allocation, options.honor_locks);
+  uint64_t swap_requests = 0;
+  double ref_integral = 0.0;
+  uint64_t service_total = 0;
+  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options.sim);
+  std::vector<PageId> evicted;
+  if (hier != nullptr) {
+    core.set_eviction_sink(&evicted);
+  }
+  auto drain_evictions = [&]() {
+    if (hier == nullptr) {
+      return;
+    }
+    for (PageId p : evicted) {
+      hier->OnEvict(p);
+    }
+    evicted.clear();
+  };
+
+  auto process = [&](const DirectiveRecord& d) {
+    ++result.directives_processed;
+    TELEM_COUNT("cd.directive_processed");
+    switch (d.kind) {
+      case DirectiveRecord::Kind::kAllocate: {
+        uint32_t available = options.selection == DirectiveSelection::kAvailability &&
+                                     options.available_frames != 0
+                                 ? options.available_frames
+                                 : 0;
+        if (options.selection == DirectiveSelection::kAvailability && available == 0) {
+          core.SetGrant(d.requests.front().pages);
+          TELEM_COUNT("cd.alloc_granted");
+          TELEM_HIST("cd.grant_pages", telem::BucketSpec::PowersOfTwo(16),
+                     d.requests.front().pages);
+          break;
+        }
+        int idx = SelectCdRequest(d.requests, options.selection, options.level_cap, available);
+        if (idx < 0) {
+          if (d.requests.back().priority == 1) {
+            ++swap_requests;
+            core.SetGrant(available);
+            TELEM_COUNT("cd.alloc_swap_requested");
+          } else {
+            TELEM_COUNT("cd.alloc_continued");
+          }
+          break;
+        }
+        uint32_t g = d.requests[static_cast<size_t>(idx)].pages;
+        if (g < core.grant() && core.unlocked_resident() > g) {
+          ++result.allocation_shrinks;
+          TELEM_COUNT("cd.alloc_shrunk");
+        }
+        core.SetGrant(g);
+        TELEM_COUNT("cd.alloc_granted");
+        TELEM_HIST("cd.grant_pages", telem::BucketSpec::PowersOfTwo(16), g);
+        break;
+      }
+      case DirectiveRecord::Kind::kLock: {
+        core.Lock(d.pages, d.lock_priority);
+        TELEM_COUNT("cd.lock_applied");
+        if (options.available_frames != 0) {
+          uint32_t released = core.EnforceCap(options.available_frames);
+          result.lock_releases += released;
+          TELEM_COUNT_N("cd.lock_release_forced", released);
+        }
+        break;
+      }
+      case DirectiveRecord::Kind::kUnlock:
+        core.Unlock(d.pages);
+        TELEM_COUNT("cd.unlock_applied");
+        break;
+    }
+  };
+
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kRef: {
+        bool fault = core.Touch(e.value);
+        if (fault) {
+          ++result.faults;
+          if (options.available_frames != 0) {
+            result.lock_releases += core.EnforceCap(options.available_frames);
+          }
+        }
+        ++result.references;
+        result.max_resident = std::max(result.max_resident, core.resident());
+        if (fault) {
+          uint64_t cost = hier != nullptr
+                              ? hier->OnFault(e.value, 0, result.faults - 1)
+                              : FaultServiceCost(options.sim, result.faults - 1);
+          service_total += cost;
+          TELEM_COUNT("vm.fault_serviced");
+          TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
+        }
+        drain_evictions();
+        result.elapsed += 1;
+        ref_integral += static_cast<double>(core.held());
+        break;
+      }
+      case TraceEvent::Kind::kDirective:
+        process(trace.directive(e.value));
+        drain_evictions();
+        break;
+      case TraceEvent::Kind::kLoopEnter:
+      case TraceEvent::Kind::kLoopExit:
+        break;
+    }
+  }
+  result.elapsed += service_total;
+  result.mean_memory =
+      result.references == 0 ? 0.0 : ref_integral / static_cast<double>(result.references);
+  result.space_time = ref_integral + static_cast<double>(service_total);
+  if (hier != nullptr) {
+    result.hierarchy_levels = hier->Traffic();
+  }
+  if (info != nullptr) {
+    info->swap_requests = swap_requests;
+  }
+  return result;
+}
+
+}  // namespace legacy
+}  // namespace cdmm

@@ -1,0 +1,38 @@
+// Reference (pre-overhaul) implementations of the per-event simulators,
+// preserved verbatim from the container-based code the SoA/flat kernels in
+// fixed_alloc.cc, working_set.cc and cd_core.cc replaced. They serve two
+// jobs:
+//  - the bit-identity oracle: tests/hotpath_test.cc proves every SimResult
+//    field (including eviction-order-dependent hierarchy traffic) equal
+//    between these and the flat kernels on all builtins and under fault
+//    injection;
+//  - the in-process baseline for bench_hotpath's ns/ref ratchet, which makes
+//    the >= 1.5x speedup gate machine-independent (both sides run on the
+//    same hardware in the same process).
+// Do not optimize these: their value is being the old code.
+#ifndef CDMM_SRC_VM_LEGACY_SIM_H_
+#define CDMM_SRC_VM_LEGACY_SIM_H_
+
+#include "src/trace/prepared_trace.h"
+#include "src/trace/trace.h"
+#include "src/vm/cd_policy.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/sim_result.h"
+
+namespace cdmm {
+namespace legacy {
+
+// std::list/std::set/std::unordered_map-based LRU, FIFO and OPT.
+SimResult SimulateFixed(const PreparedTrace& prepared, uint32_t frames,
+                        Replacement replacement, const SimOptions& options = {});
+
+// Deque-window + hash-map WS(tau).
+SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options = {});
+
+// SimulateCd over the std::list-backed CdCore.
+SimResult SimulateCd(const Trace& trace, const CdOptions& options, CdRunInfo* info = nullptr);
+
+}  // namespace legacy
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_LEGACY_SIM_H_

@@ -1,0 +1,51 @@
+// Per-thread simulation scratch shared by the flat policy kernels: one
+// arena per thread, Reset() at the start of every simulation, so repeated
+// runs (sweep points, bench iterations, OS slices) cost pointer bumps
+// instead of fresh heap allocations. The scope publishes each run's
+// allocation telemetry into the alloc.* family on exit.
+#ifndef CDMM_SRC_VM_SCRATCH_H_
+#define CDMM_SRC_VM_SCRATCH_H_
+
+#include <cstdint>
+
+#include "src/support/arena.h"
+#include "src/telemetry/telemetry.h"
+
+namespace cdmm {
+
+// The calling thread's simulation scratch arena. Kernels must not nest two
+// live scopes on the same thread (no policy simulator calls another).
+inline Arena& SimScratchArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+// Resets the scratch arena for one simulation and publishes the run's
+// allocation telemetry on exit.
+// Only warmth-independent stats are published: bytes_allocated counts bump
+// allocations whether or not they reused a retained block, so the delta is
+// identical no matter which thread (with whatever arena history) ran the
+// simulation. Block counts are NOT published — they depend on per-thread
+// arena warmth and would break cross-`--jobs` metric determinism.
+class ScratchScope {
+ public:
+  explicit ScratchScope(Arena& arena)
+      : arena_(arena), bytes0_(arena.stats().bytes_allocated) {
+    arena_.Reset();
+  }
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+  ~ScratchScope() {
+    TELEM_COUNT("alloc.arena_scratch_reset");
+    TELEM_COUNT_N("alloc.arena_bytes_allocated",
+                  arena_.stats().bytes_allocated - bytes0_);
+  }
+
+ private:
+  Arena& arena_;
+  uint64_t bytes0_;
+};
+
+}  // namespace cdmm
+
+#endif  // CDMM_SRC_VM_SCRATCH_H_

@@ -9,7 +9,7 @@ namespace cdmm {
 StackDistanceEngine::StackDistanceEngine(size_t expected_refs, uint32_t expected_pages) {
   tree_.assign(expected_refs + 1, 0);
   if (expected_pages != 0) {
-    last_use_.reserve(expected_pages);
+    flat_last_use_.assign(expected_pages, 0);
   }
 }
 
@@ -20,18 +20,27 @@ void StackDistanceEngine::EnsureCapacity(size_t pos) {
   // A Fenwick tree cannot grow in place (a fresh node would have to cover
   // already-counted positions), so double the capacity and rebuild. The
   // tree's live +1 entries are exactly each page's most recent use position
-  // — the contents of last_use_ — so the rebuild is O(P log R); doubling
-  // makes the total regrowth cost amortized O(log R) per reference.
+  // — the contents of the last-use table — so the rebuild is O(P log R);
+  // doubling makes the total regrowth cost amortized O(log R) per reference.
+  ++regrows_;
   size_t capacity = tree_.size() - 1;
   while (capacity < pos) {
     capacity = capacity == 0 ? 1 : capacity * 2;
   }
   tree_.assign(capacity + 1, 0);
-  for (const auto& [page, at] : last_use_) {
-    (void)page;
+  auto reinsert = [&](uint64_t at) {
     for (size_t i = at; i < tree_.size(); i += i & (~i + 1)) {
       tree_[i] += 1;
     }
+  };
+  for (uint64_t at : flat_last_use_) {
+    if (at != 0) {
+      reinsert(at);
+    }
+  }
+  for (const auto& [page, at] : overflow_last_use_) {
+    (void)page;
+    reinsert(at);
   }
 }
 
@@ -54,19 +63,16 @@ StackDistanceEngine::Touch StackDistanceEngine::Next(PageId page) {
   ++now_;
   EnsureCapacity(now_);
   Touch result;
-  auto it = last_use_.find(page);
-  if (it != last_use_.end()) {
-    uint64_t prev = it->second;
+  uint64_t prev = LastUse(page);
+  if (prev != 0) {
     // Distinct pages whose most recent use lies strictly after `prev`, plus
     // the page itself.
     int64_t between = Prefix(now_ - 1) - Prefix(prev);
     result.depth = static_cast<uint32_t>(between + 1);
     result.previous = prev;
     Add(prev, -1);
-    it->second = now_;
-  } else {
-    last_use_.emplace(page, now_);
   }
+  SetLastUse(page, now_);
   Add(now_, +1);
   return result;
 }

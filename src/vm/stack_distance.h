@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/trace/prepared_trace.h"
 #include "src/trace/trace.h"
 
 namespace cdmm {
@@ -21,8 +22,17 @@ class StackDistanceEngine {
   // `expected_refs` is a sizing hint, not a limit: feeding more references
   // triggers an amortized doubling rebuild of the Fenwick tree (the live
   // entries are exactly the per-page last-use positions, so a rebuild is
-  // O(P log R)). `expected_pages` pre-sizes the page table.
+  // O(P log R)). `expected_pages` pre-sizes the page table; when non-zero it
+  // also switches the per-page last-use map to a flat column for pages below
+  // the bound (out-of-range pages fall back to the map, so the hint is never
+  // a correctness constraint).
   explicit StackDistanceEngine(size_t expected_refs, uint32_t expected_pages = 0);
+
+  // Exact sizing from a prepared trace: the Fenwick is reserved for the full
+  // reference count and the last-use table for the page bound, so neither
+  // ever regrows (regrows() stays 0 over the whole string).
+  explicit StackDistanceEngine(const PreparedTrace& prepared)
+      : StackDistanceEngine(prepared.size(), prepared.page_bound()) {}
 
   struct Touch {
     uint32_t depth = 0;     // LRU stack depth, 1-based; 0 = cold (first touch)
@@ -35,14 +45,38 @@ class StackDistanceEngine {
   // 1-based position of the reference Next() will process next, minus one.
   uint64_t position() const { return now_; }
 
+  // Number of doubling rebuilds the Fenwick tree has paid. An engine sized
+  // from the trace it consumes keeps this at 0; the regression test pins it.
+  uint64_t regrows() const { return regrows_; }
+
  private:
   void Add(size_t i, int delta);
   int64_t Prefix(size_t i) const;
   void EnsureCapacity(size_t i);
 
+  // Last use position of `page`, 0 when never seen.
+  uint64_t LastUse(PageId page) const {
+    if (page < flat_last_use_.size()) {
+      return flat_last_use_[page];
+    }
+    auto it = overflow_last_use_.find(page);
+    return it == overflow_last_use_.end() ? 0 : it->second;
+  }
+  void SetLastUse(PageId page, uint64_t at) {
+    if (page < flat_last_use_.size()) {
+      flat_last_use_[page] = at;
+    } else {
+      overflow_last_use_[page] = at;
+    }
+  }
+
   std::vector<int64_t> tree_;  // Fenwick over positions (1-based storage)
-  std::unordered_map<PageId, uint64_t> last_use_;
+  // Flat last-use column for pages below the construction-time bound, plus
+  // an overflow map for anything above it (sizing hints are not limits).
+  std::vector<uint64_t> flat_last_use_;
+  std::unordered_map<PageId, uint64_t> overflow_last_use_;
   uint64_t now_ = 0;
+  uint64_t regrows_ = 0;
 };
 
 }  // namespace cdmm

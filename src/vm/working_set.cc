@@ -2,28 +2,64 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <set>
 #include <unordered_map>
 
+#include "src/support/arena.h"
 #include "src/support/check.h"
 #include "src/support/str.h"
 #include "src/telemetry/telemetry.h"
 #include "src/vm/hierarchy.h"
+#include "src/vm/scratch.h"
 
 namespace cdmm {
 
-SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options) {
-  CDMM_CHECK(tau >= 1);
-  std::unordered_map<PageId, uint64_t> last_ref;
-  last_ref.reserve(trace.virtual_pages());
-  std::deque<std::pair<uint64_t, PageId>> window;  // (ref time, page)
-  std::unique_ptr<HierarchyEngine> hier = MakeHierarchyEngine(options);
+namespace {
+
+// Flat WS kernel. The sliding window is dense — every reference pushes
+// exactly one entry, stamped with its virtual time — so the deque of the
+// original implementation (kept in src/vm/legacy_sim.cc) collapses to a ring
+// of min(tau, R) + 2 page slots indexed by vtime % cap: by the time position
+// t wraps onto a slot, the entry it overwrites (position t - cap < t - tau)
+// has already been walked by the expiry cursor. The per-page last-reference
+// map becomes a flat column with 0 = never referenced (virtual time is
+// 1-based). Bit-identical to the legacy walker: same expiry order, same
+// fault predicate, same accumulation order for the ref_integral double.
+template <bool kHier>
+SimResult RunWs(const Trace& trace, uint64_t tau, const SimOptions& options) {
+  // Page-index bound for the flat tables: the declared virtual-page count
+  // when known, else one prescan for the max referenced page.
+  uint32_t bound = trace.virtual_pages();
+  if (bound == 0) {
+    for (const TraceEvent& e : trace.events()) {
+      if (e.kind == TraceEvent::Kind::kRef) {
+        bound = std::max<uint32_t>(bound, static_cast<uint32_t>(e.value) + 1);
+      }
+    }
+  }
+  if (bound == 0) {
+    bound = 1;
+  }
+  const uint64_t cap = std::min<uint64_t>(tau, trace.reference_count()) + 2;
+
+  Arena& arena = SimScratchArena();
+  ScratchScope scope(arena);
+  TELEM_COUNT("hotpath.kernel_dispatched");
+  uint64_t* last_when = arena.NewArray<uint64_t>(bound);  // 0 = never referenced
+  PageId* ring = arena.NewArray<PageId>(cap);
+
+  std::unique_ptr<HierarchyEngine> hier_owner;
+  HierarchyEngine* hier = nullptr;
+  if constexpr (kHier) {
+    hier_owner = MakeHierarchyEngine(options);
+    hier = hier_owner.get();
+  }
   uint64_t ws_size = 0;
 
   SimResult result;
   result.policy = StrCat("WS(tau=", tau, ")");
   uint64_t t = 0;
+  uint64_t expire_next = 1;  // oldest window position the cursor has not expired
   double ref_integral = 0.0;
   uint64_t service_total = 0;
 
@@ -33,38 +69,36 @@ SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options
     }
     ++t;
     // Keep window entries with time >= t - tau: W(t-1, τ) covers [t-τ, t-1].
-    while (!window.empty() && window.front().first + tau < t) {
-      auto [when, page] = window.front();
-      window.pop_front();
-      auto it = last_ref.find(page);
-      if (it != last_ref.end() && it->second == when) {
+    while (expire_next + tau < t) {
+      const PageId old = ring[expire_next % cap];
+      if (last_when[old] == expire_next) {
         --ws_size;  // page expired from the working set
         TELEM_COUNT("vm.ws_page_expired");
-        if (hier != nullptr) {
-          hier->OnEvict(page);
+        if constexpr (kHier) {
+          hier->OnEvict(old);
         }
       }
+      ++expire_next;
     }
-    PageId page = e.value;
-    auto it = last_ref.find(page);
-    bool in_ws = it != last_ref.end() && it->second + tau >= t;
-    bool fault = !in_ws;
+    const PageId page = e.value;
+    const uint64_t prev = last_when[page];
+    const bool fault = prev == 0 || prev + tau < t;
     if (fault) {
       ++result.faults;
       ++ws_size;
       TELEM_COUNT("vm.ws_page_admitted");
     }
-    if (it == last_ref.end()) {
-      last_ref.emplace(page, t);
-    } else {
-      it->second = t;
-    }
-    window.emplace_back(t, page);
+    last_when[page] = t;
+    ring[t % cap] = page;
     result.max_resident = std::max<uint32_t>(result.max_resident, static_cast<uint32_t>(ws_size));
 
     if (fault) {
-      uint64_t cost = hier != nullptr ? hier->OnFault(page, 0, result.faults - 1)
-                                      : FaultServiceCost(options, result.faults - 1);
+      uint64_t cost;
+      if constexpr (kHier) {
+        cost = hier->OnFault(page, 0, result.faults - 1);
+      } else {
+        cost = FaultServiceCost(options, result.faults - 1);
+      }
       service_total += cost;
       TELEM_COUNT("vm.fault_serviced");
       TELEM_HIST("vm.fault_service_ticks", telem::BucketSpec::PowersOfTwo(20), cost);
@@ -76,10 +110,18 @@ SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options
   result.references = t;
   result.mean_memory = t == 0 ? 0.0 : ref_integral / static_cast<double>(t);
   result.space_time = ref_integral + static_cast<double>(service_total);
-  if (hier != nullptr) {
+  if constexpr (kHier) {
     result.hierarchy_levels = hier->Traffic();
   }
   return result;
+}
+
+}  // namespace
+
+SimResult SimulateWs(const Trace& trace, uint64_t tau, const SimOptions& options) {
+  CDMM_CHECK(tau >= 1);
+  return options.hierarchy != nullptr ? RunWs<true>(trace, tau, options)
+                                      : RunWs<false>(trace, tau, options);
 }
 
 namespace {

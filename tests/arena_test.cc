@@ -1,0 +1,192 @@
+// Unit tests for the per-simulation scratch arena (src/support/arena.h) and
+// the portable SIMD helpers (src/support/simd.h) the hot-path kernels build
+// on: alignment, reset-reuse, large-block fallback, stats accounting, ASan
+// poisoning of reset regions, and vector-vs-scalar result identity
+// (including tie-breaking) for the argmax/max scans.
+#include "src/support/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/support/simd.h"
+
+namespace cdmm {
+namespace {
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena;
+  for (size_t align : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    for (size_t bytes : {1u, 3u, 7u, 100u}) {
+      void* p = arena.Allocate(bytes, align);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+          << "bytes=" << bytes << " align=" << align;
+    }
+  }
+}
+
+TEST(ArenaTest, ZeroByteRequestsGetDistinctPointers) {
+  Arena arena;
+  void* a = arena.Allocate(0, 1);
+  void* b = arena.Allocate(0, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(ArenaTest, NewArrayValueInitializes) {
+  Arena arena;
+  // Dirty the block first so zeroing is observable.
+  uint8_t* dirt = arena.NewArray<uint8_t>(256);
+  for (size_t i = 0; i < 256; ++i) {
+    dirt[i] = 0xAB;
+  }
+  arena.Reset();
+  uint64_t* v = arena.NewArray<uint64_t>(32);
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(v[i], 0u) << i;
+  }
+}
+
+TEST(ArenaTest, ResetReusesBlocks) {
+  Arena arena;
+  void* first = arena.Allocate(1024, 8);
+  const uint64_t reserved = arena.stats().bytes_reserved;
+  const uint64_t blocks = arena.stats().blocks;
+  for (int round = 0; round < 10; ++round) {
+    arena.Reset();
+    void* again = arena.Allocate(1024, 8);
+    EXPECT_EQ(again, first) << "round " << round;
+  }
+  // Same block, re-bumped: no new capacity, no new blocks.
+  EXPECT_EQ(arena.stats().bytes_reserved, reserved);
+  EXPECT_EQ(arena.stats().blocks, blocks);
+  EXPECT_EQ(arena.stats().resets, 10u);
+}
+
+TEST(ArenaTest, GrowsWhenABlockFills) {
+  Arena arena(/*block_bytes=*/256);
+  for (int i = 0; i < 32; ++i) {
+    arena.Allocate(64, 8);
+  }
+  EXPECT_GE(arena.stats().blocks, 2u);
+  EXPECT_EQ(arena.stats().bytes_allocated, 32u * 64u);
+  EXPECT_GE(arena.stats().bytes_reserved, arena.stats().bytes_allocated);
+}
+
+TEST(ArenaTest, LargeBlockFallbackAndRelease) {
+  Arena arena(/*block_bytes=*/256);
+  void* big = arena.Allocate(1 << 20, 64);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(arena.stats().large_blocks, 1u);
+  const uint64_t reserved_with_big = arena.stats().bytes_reserved;
+  EXPECT_GE(reserved_with_big, static_cast<uint64_t>(1 << 20));
+  // The dedicated block's capacity is request-specific; Reset releases it.
+  arena.Reset();
+  EXPECT_LT(arena.stats().bytes_reserved, static_cast<uint64_t>(1 << 20));
+  // And a fresh oversized request gets a fresh dedicated block.
+  void* big2 = arena.Allocate(1 << 20, 64);
+  ASSERT_NE(big2, nullptr);
+  EXPECT_EQ(arena.stats().large_blocks, 2u);
+}
+
+TEST(ArenaTest, SmallAllocationsStillFitAfterLargeFallback) {
+  Arena arena(/*block_bytes=*/256);
+  arena.Allocate(100, 8);
+  arena.Allocate(4096, 8);  // dedicated
+  int32_t* small = arena.New<int32_t>(42);
+  EXPECT_EQ(*small, 42);
+}
+
+TEST(ArenaTest, StatsAccumulateAcrossResets) {
+  Arena arena;
+  arena.Allocate(100, 8);
+  arena.Reset();
+  arena.Allocate(100, 8);
+  EXPECT_EQ(arena.stats().bytes_allocated, 200u);
+  EXPECT_EQ(arena.stats().resets, 1u);
+}
+
+#ifdef CDMM_ARENA_ASAN
+TEST(ArenaTest, ResetPoisonsRetainedMemory) {
+  Arena arena;
+  char* p = static_cast<char*>(arena.Allocate(64, 8));
+  EXPECT_EQ(__asan_address_is_poisoned(p), 0);
+  arena.Reset();
+  // The retained block is red-zoned until re-handed out: a stale pointer
+  // into reset scratch faults instead of silently reading old data.
+  EXPECT_EQ(__asan_address_is_poisoned(p), 1);
+  char* q = static_cast<char*>(arena.Allocate(64, 8));
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(__asan_address_is_poisoned(q), 0);
+}
+#endif
+
+// ---- SIMD helpers ----------------------------------------------------------
+
+size_t ScalarArgMax(const std::vector<uint64_t>& v) {
+  size_t best = 0;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(SimdTest, ArgMaxMatchesScalarOnRandomVectors) {
+  SplitMix64 rng(20260809);
+  for (size_t n = 1; n <= 64; ++n) {
+    for (int round = 0; round < 8; ++round) {
+      std::vector<uint64_t> v(n);
+      for (uint64_t& x : v) {
+        // Mix small and huge values so the unsigned sign-flip path matters.
+        x = rng.NextDouble() < 0.5 ? rng.NextBelow(16)
+                                   : ~uint64_t{0} - rng.NextBelow(1 << 20);
+      }
+      EXPECT_EQ(simd::ArgMaxU64(v.data(), n), ScalarArgMax(v))
+          << "n=" << n << " round=" << round;
+    }
+  }
+}
+
+TEST(SimdTest, ArgMaxTiesPickTheLowestIndex) {
+  // All-equal: index 0 must win at every length, including ones that cross
+  // the vector-width thresholds.
+  for (size_t n : {1u, 3u, 4u, 7u, 8u, 9u, 15u, 16u, 17u, 33u}) {
+    std::vector<uint64_t> v(n, 7);
+    EXPECT_EQ(simd::ArgMaxU64(v.data(), n), 0u) << n;
+  }
+  // Duplicate maxima at interior positions.
+  std::vector<uint64_t> v(24, 1);
+  v[5] = 100;
+  v[17] = 100;
+  EXPECT_EQ(simd::ArgMaxU64(v.data(), v.size()), 5u);
+}
+
+TEST(SimdTest, ArgMaxExtremes) {
+  std::vector<uint64_t> v(20, 0);
+  EXPECT_EQ(simd::ArgMaxU64(v.data(), v.size()), 0u);
+  v[13] = ~uint64_t{0};
+  EXPECT_EQ(simd::ArgMaxU64(v.data(), v.size()), 13u);
+  uint64_t one = 42;
+  EXPECT_EQ(simd::ArgMaxU64(&one, 1), 0u);
+}
+
+TEST(SimdTest, MaxU32MatchesScalar) {
+  SplitMix64 rng(99);
+  for (size_t n = 0; n <= 80; ++n) {
+    std::vector<uint32_t> v(n);
+    uint32_t expect = 0;
+    for (uint32_t& x : v) {
+      x = static_cast<uint32_t>(rng.NextBelow(~uint32_t{0}));
+      expect = std::max(expect, x);
+    }
+    EXPECT_EQ(simd::MaxU32(v.data(), n), expect) << n;
+  }
+  EXPECT_EQ(simd::MaxU32(nullptr, 0), 0u);
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -1,0 +1,225 @@
+// Differential oracle for the hot-path overhaul: the flat SoA kernels
+// (SimulateFixed / SimulateWs / SimulateCd and the flat CdCore) must be
+// BIT-IDENTICAL — every SimResult field, exact doubles included — to the
+// preserved container-based originals in src/vm/legacy_sim.cc, on all 16
+// builtin workloads, on seeded random traces, under deterministic fault
+// injection, and through a multi-level hierarchy. Plus the stack-distance
+// sizing regression: an engine sized from its PreparedTrace never regrows.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/cdmm/pipeline.h"
+#include "src/robust/fault_injector.h"
+#include "src/support/rng.h"
+#include "src/trace/prepared_trace.h"
+#include "src/vm/cd_policy.h"
+#include "src/vm/fixed_alloc.h"
+#include "src/vm/hierarchy.h"
+#include "src/vm/legacy_sim.h"
+#include "src/vm/stack_distance.h"
+#include "src/vm/working_set.h"
+#include "src/workloads/workloads.h"
+
+namespace cdmm {
+namespace {
+
+void ExpectBitIdentical(const SimResult& want, const SimResult& got,
+                        const std::string& label) {
+  EXPECT_EQ(want.policy, got.policy) << label;
+  EXPECT_EQ(want.references, got.references) << label;
+  EXPECT_EQ(want.faults, got.faults) << label;
+  EXPECT_EQ(want.elapsed, got.elapsed) << label;
+  EXPECT_EQ(want.space_time, got.space_time) << label;
+  EXPECT_EQ(want.mean_memory, got.mean_memory) << label;
+  EXPECT_EQ(want.max_resident, got.max_resident) << label;
+  EXPECT_EQ(want.directives_processed, got.directives_processed) << label;
+  EXPECT_EQ(want.lock_releases, got.lock_releases) << label;
+  EXPECT_EQ(want.allocation_shrinks, got.allocation_shrinks) << label;
+  ASSERT_EQ(want.hierarchy_levels.size(), got.hierarchy_levels.size()) << label;
+  for (size_t i = 0; i < want.hierarchy_levels.size(); ++i) {
+    EXPECT_EQ(want.hierarchy_levels[i], got.hierarchy_levels[i])
+        << label << " level " << i;
+  }
+}
+
+Trace MakeTrace(const std::vector<PageId>& pages) {
+  Trace t("test");
+  uint32_t max_page = 0;
+  for (PageId p : pages) {
+    t.AddRef(p);
+    max_page = std::max(max_page, p);
+  }
+  t.set_virtual_pages(pages.empty() ? 0 : max_page + 1);
+  return t;
+}
+
+// Same generator as the hierarchy/sweep differential suites: hot set +
+// scatter + phase shifts.
+Trace RandomTrace(uint64_t seed, size_t refs, uint32_t pages) {
+  SplitMix64 rng(seed);
+  std::vector<PageId> out;
+  out.reserve(refs);
+  uint32_t phase_base = 0;
+  for (size_t i = 0; i < refs; ++i) {
+    if (rng.NextDouble() < 0.002) {
+      phase_base = static_cast<uint32_t>(rng.NextBelow(pages));
+    }
+    PageId p = rng.NextDouble() < 0.7
+                   ? static_cast<PageId>((phase_base + rng.NextBelow(8)) % pages)
+                   : static_cast<PageId>(rng.NextBelow(pages));
+    out.push_back(p);
+  }
+  return MakeTrace(out);
+}
+
+// Every SimOptions variant a kernel can run under: nominal, fault-injected,
+// and through a 3-level hierarchy (exercising the kHier template arm and
+// the eviction-order dependence of per-level traffic).
+struct OptionsMatrix {
+  OptionsMatrix() {
+    injector = FaultInjector(FaultInjectionConfig{.seed = 1234});
+    spec = HierarchySpec::Parse("dram-nvm-disk").value();
+    injected.injector = &injector;
+    hier.hierarchy = &spec;
+    hier_injected.injector = &injector;
+    hier_injected.hierarchy = &spec;
+  }
+  FaultInjector injector;
+  HierarchySpec spec;
+  SimOptions nominal;
+  SimOptions injected;
+  SimOptions hier;
+  SimOptions hier_injected;
+
+  std::vector<std::pair<std::string, const SimOptions*>> all() const {
+    return {{"nominal", &nominal},
+            {"injected", &injected},
+            {"hier", &hier},
+            {"hier+injected", &hier_injected}};
+  }
+};
+
+void CheckFixedAndWs(const Trace& refs, const std::string& label) {
+  const PreparedTrace prepared = PreparedTrace::Build(refs);
+  const OptionsMatrix matrix;
+  for (const auto& [opt_name, options] : matrix.all()) {
+    for (uint32_t frames : {2u, 16u, 64u}) {
+      for (Replacement repl :
+           {Replacement::kLru, Replacement::kFifo, Replacement::kOpt}) {
+        const std::string cell = label + "/" + opt_name + "/m=" +
+                                 std::to_string(frames) + "/repl=" +
+                                 std::to_string(static_cast<int>(repl));
+        ExpectBitIdentical(legacy::SimulateFixed(prepared, frames, repl, *options),
+                           SimulateFixed(prepared, frames, repl, *options), cell);
+      }
+    }
+    for (uint64_t tau : {1u, 150u, 2000u}) {
+      const std::string cell =
+          label + "/" + opt_name + "/ws tau=" + std::to_string(tau);
+      ExpectBitIdentical(legacy::SimulateWs(refs, tau, *options),
+                         SimulateWs(refs, tau, *options), cell);
+    }
+  }
+}
+
+void CheckCd(const Trace& full, const std::string& label) {
+  const OptionsMatrix matrix;
+  for (const auto& [opt_name, options] : matrix.all()) {
+    for (bool honor_locks : {true, false}) {
+      CdOptions cd;
+      cd.honor_locks = honor_locks;
+      cd.sim = *options;
+      CdRunInfo want_info;
+      CdRunInfo got_info;
+      const std::string cell = label + "/" + opt_name +
+                               (honor_locks ? "/locks" : "/nolocks");
+      ExpectBitIdentical(legacy::SimulateCd(full, cd, &want_info),
+                         SimulateCd(full, cd, &got_info), cell);
+      EXPECT_EQ(want_info.swap_requests, got_info.swap_requests) << cell;
+    }
+  }
+}
+
+TEST(HotpathBitIdentityTest, AllBuiltinWorkloads) {
+  for (const auto* list : {&AllWorkloads(), &ExtendedWorkloads()}) {
+    for (const Workload& w : *list) {
+      auto cp = CompiledProgram::FromSource(w.source);
+      ASSERT_TRUE(cp.ok()) << w.name;
+      CheckFixedAndWs(*cp.value().shared_references(), w.name);
+      CheckCd(*cp.value().shared_trace(), w.name);
+    }
+  }
+}
+
+TEST(HotpathBitIdentityTest, SeededRandomTraces) {
+  for (uint64_t seed : {7u, 21u, 1985u}) {
+    Trace t = RandomTrace(seed, /*refs=*/20000, /*pages=*/96);
+    CheckFixedAndWs(t, "random seed=" + std::to_string(seed));
+    CheckCd(t, "random-cd seed=" + std::to_string(seed));
+  }
+}
+
+TEST(HotpathBitIdentityTest, AdversarialShapes) {
+  // Single page, strided cold sweep, and page ids far above the touched
+  // count (exercises the prescan bound paths).
+  CheckFixedAndWs(MakeTrace(std::vector<PageId>(500, 3)), "monopage");
+  std::vector<PageId> stride;
+  for (uint32_t r = 0; r < 4; ++r) {
+    for (PageId p = 0; p < 300; p += 3) {
+      stride.push_back(p);
+    }
+  }
+  CheckFixedAndWs(MakeTrace(stride), "stride");
+  CheckFixedAndWs(MakeTrace({1000000, 5, 1000000, 7, 999999, 5}), "sparse-ids");
+}
+
+TEST(HotpathBitIdentityTest, LruSweepMatchesPointwiseSimulation) {
+  Trace t = RandomTrace(11, 8000, 64);
+  const PreparedTrace prepared = PreparedTrace::Build(t);
+  const uint32_t max_frames = 32;
+  auto sweep = LruSweep(prepared, max_frames);
+  ASSERT_EQ(sweep.size(), static_cast<size_t>(max_frames));
+  for (uint32_t m = 1; m <= max_frames; ++m) {
+    SimResult one = legacy::SimulateFixed(prepared, m, Replacement::kLru);
+    EXPECT_EQ(sweep[m - 1].faults, one.faults) << m;
+    EXPECT_EQ(sweep[m - 1].elapsed, one.elapsed) << m;
+  }
+}
+
+// ---- Stack-distance sizing regression --------------------------------------
+
+TEST(StackDistanceSizingTest, PreparedSizedEngineNeverRegrows) {
+  for (const Workload& w : AllWorkloads()) {
+    auto cp = CompiledProgram::FromSource(w.source);
+    ASSERT_TRUE(cp.ok()) << w.name;
+    const PreparedTrace prepared =
+        PreparedTrace::Build(*cp.value().shared_references());
+    StackDistanceEngine engine(prepared);
+    for (uint32_t i = 0; i < prepared.size(); ++i) {
+      engine.Next(prepared.page(i));
+    }
+    EXPECT_EQ(engine.regrows(), 0u) << w.name;
+  }
+}
+
+TEST(StackDistanceSizingTest, UndersizedHintRegrowsButAgrees) {
+  Trace t = RandomTrace(3, 6000, 48);
+  const PreparedTrace prepared = PreparedTrace::Build(t);
+  StackDistanceEngine sized(prepared);
+  StackDistanceEngine tiny(/*expected_refs=*/4, /*expected_pages=*/2);
+  uint64_t mismatches = 0;
+  for (uint32_t i = 0; i < prepared.size(); ++i) {
+    StackDistanceEngine::Touch a = sized.Next(prepared.page(i));
+    StackDistanceEngine::Touch b = tiny.Next(prepared.page(i));
+    mismatches += (a.depth != b.depth) + (a.previous != b.previous);
+  }
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_EQ(sized.regrows(), 0u);
+  EXPECT_GT(tiny.regrows(), 0u);
+}
+
+}  // namespace
+}  // namespace cdmm

@@ -31,20 +31,14 @@ Exit: 0 when every gate passes, 1 otherwise.
 
 import argparse
 import json
-import subprocess
 import sys
+
+import bench_gate
+
+run = bench_gate.run_checked
 
 ORACLE_WORKLOADS = ["MAIN", "FDJAC", "TQL", "FIELD", "INIT", "APPROX",
                     "HYBRJ", "CONDUCT", "HWSCRT", "GATHER", "STENCILG"]
-
-
-def run(cmd):
-    result = subprocess.run(cmd, capture_output=True, text=True)
-    if result.returncode != 0:
-        print(f"FAILED ({result.returncode}): {' '.join(cmd)}\n{result.stderr}",
-              file=sys.stderr)
-        sys.exit(1)
-    return result.stdout
 
 
 def main():
@@ -59,12 +53,8 @@ def main():
     parser.add_argument("--baseline", default=None)
     args = parser.parse_args()
 
-    failures = []
-
-    def gate(cond, what):
-        print(f"[gate] {'ok' if cond else 'FAIL'}: {what}")
-        if not cond:
-            failures.append(what)
+    gates = bench_gate.Gate()
+    gate = gates.check
 
     doc = json.loads(run([args.bench]))
     det = doc["deterministic"]
@@ -101,24 +91,10 @@ def main():
          f"{refs_ratio:.0f}x reference-count range (gate {args.max_flatness}x)")
 
     # 4. Optional replay diff against the committed baseline.
-    if args.baseline:
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-        gate(json.dumps(det, sort_keys=True) ==
-             json.dumps(baseline["deterministic"], sort_keys=True),
-             f"deterministic section matches {args.baseline}")
+    bench_gate.check_baseline(gates, det, args.baseline)
 
-    if args.out:
-        with open(args.out, "w") as f:
-            json.dump(doc, f, indent=2)
-            f.write("\n")
-        print(f"[gate] wrote {args.out}")
-
-    if failures:
-        print(f"[gate] {len(failures)} gate(s) failed")
-        return 1
-    print("[gate] all gates passed")
-    return 0
+    bench_gate.write_report(args.out, doc)
+    return gates.finish()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Shared plumbing for the tools/bench_*.py acceptance gates.
+
+Every gate script follows the same shape: run a bench binary (failing loudly
+if it does), accumulate named pass/fail gates, optionally diff the run's
+deterministic section against a committed baseline JSON, and write the fresh
+report. This module is that shape; the per-bench scripts keep only their own
+gate conditions.
+
+Not a script — import it:
+
+    import bench_gate
+    gates = bench_gate.Gate()
+    doc = json.loads(bench_gate.run_checked([bench, "--jobs", "4"]))
+    gates.check(doc["x"] > 0, "x is positive")
+    bench_gate.check_baseline(gates, det, args.baseline)
+    bench_gate.write_report(args.out, doc)
+    return gates.finish()
+"""
+
+import json
+import subprocess
+import sys
+
+
+def run_checked(cmd):
+    """Run `cmd`, return its stdout; print stderr and exit(1) on failure."""
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    if result.returncode != 0:
+        print(f"FAILED ({result.returncode}): {' '.join(cmd)}\n{result.stderr}",
+              file=sys.stderr)
+        sys.exit(1)
+    return result.stdout
+
+
+class Gate:
+    """Accumulates named pass/fail conditions and reports them uniformly."""
+
+    def __init__(self):
+        self.failures = []
+
+    def check(self, cond, what):
+        print(f"[gate] {'ok' if cond else 'FAIL'}: {what}")
+        if not cond:
+            self.failures.append(what)
+        return cond
+
+    def finish(self):
+        """Final exit code: prints the verdict, 0 when every gate passed."""
+        if self.failures:
+            print(f"[gate] {len(self.failures)} gate(s) failed")
+            return 1
+        print("[gate] all gates passed")
+        return 0
+
+
+def same_json(a, b):
+    """Structural equality, insensitive to key order and float formatting."""
+    return json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def check_baseline(gates, section, baseline_path, key="deterministic"):
+    """Gate `section` against baseline_path[key] (no-op without a baseline).
+
+    This is the cross-machine replay gate: the deterministic section of a
+    bench run (counts, fingerprints — never wall times) must reproduce the
+    committed baseline exactly on any hardware.
+    """
+    if not baseline_path:
+        return
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    gates.check(same_json(section, baseline[key]),
+                f"{key} section matches {baseline_path}")
+
+
+def write_report(path, doc):
+    """Write `doc` as indented JSON with a trailing newline (no-op on None)."""
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"[gate] wrote {path}")

@@ -15,22 +15,18 @@ Exit: 0 when every comparison agrees, 1 otherwise.
 """
 
 import argparse
-import subprocess
 import sys
 import tempfile
 import os
+
+import bench_gate
 
 
 def run(bench, jobs, json_out=None):
     cmd = [bench, "--jobs", str(jobs)]
     if json_out:
         cmd += ["--json", json_out]
-    result = subprocess.run(cmd, capture_output=True, text=True)
-    if result.returncode != 0:
-        print(f"FAILED ({result.returncode}): {' '.join(cmd)}\n{result.stderr}",
-              file=sys.stderr)
-        sys.exit(1)
-    return result.stdout
+    return bench_gate.run_checked(cmd)
 
 
 def main():
@@ -41,36 +37,33 @@ def main():
                         help="committed golden stdout the --jobs 1 run must match")
     args = parser.parse_args()
 
+    gates = bench_gate.Gate()
     with tempfile.NamedTemporaryFile(mode="r", suffix=".json", delete=False) as tmp:
         tmp_json = tmp.name
     try:
         baseline = run(args.bench, 1, json_out=tmp_json)
         mismatched = [jobs for jobs in (4, 8) if run(args.bench, jobs) != baseline]
-        if mismatched:
-            print(f"FAIL: stdout at --jobs {mismatched} differs from --jobs 1",
-                  file=sys.stderr)
-            return 1
+        gates.check(not mismatched,
+                    "stdout byte-identical at --jobs 1/4/8"
+                    + (f" (differs at --jobs {mismatched})" if mismatched else ""))
 
         if args.golden:
             with open(args.golden, encoding="utf-8") as f:
                 golden = f.read()
-            if baseline != golden:
-                print(f"FAIL: stdout differs from the committed golden {args.golden}; "
-                      f"regenerate it with: {args.bench} --jobs 1 > {args.golden}",
-                      file=sys.stderr)
-                return 1
+            gates.check(baseline == golden,
+                        f"stdout matches the committed golden {args.golden} "
+                        f"(regenerate: {args.bench} --jobs 1 > {args.golden})")
 
-        with open(tmp_json, encoding="utf-8") as f:
-            report = f.read()
-        with open(args.out, "w", encoding="utf-8") as f:
-            f.write(report)
+        if not gates.failures:
+            with open(tmp_json, encoding="utf-8") as f:
+                report = f.read()
+            with open(args.out, "w", encoding="utf-8") as f:
+                f.write(report)
+            print(f"[gate] wrote {args.out}")
     finally:
         os.unlink(tmp_json)
 
-    golden_note = f", matches {args.golden}" if args.golden else ""
-    print(f"PASS: bench_hierarchy stdout byte-identical at --jobs 1/4/8"
-          f"{golden_note}; wrote {args.out}")
-    return 0
+    return gates.finish()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Perf-ratchet gate for the hot-path policy kernels.
+
+Runs bench_hotpath, which simulates every (policy x workload) cell through
+both the preserved container-based legacy simulators and the flat SoA
+kernels in one process, proves them bit-identical, and reports ns/ref for
+each side. This script enforces:
+
+  1. ratchet: the geometric-mean speedup over all cells is at least
+     --min-speedup (default 1.5x). The ratio of two in-process timings is
+     machine-independent, so the gate holds on any CI hardware;
+  2. replay: when --baseline is given, every cell's deterministic fields
+     (references, faults, elapsed, max_resident) must equal the committed
+     BENCH_hotpath.json — the simulators may get faster but never different.
+
+Writes the fresh report (timings included) to --out.
+
+Usage:
+  bench_hotpath.py --bench build/bench/bench_hotpath [--min-speedup 1.5]
+                   [--reps 5] [--out BENCH_hotpath.json]
+                   [--baseline BENCH_hotpath.json]
+
+Exit: 0 when every gate passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+import bench_gate
+
+DETERMINISTIC_FIELDS = ("workload", "policy", "references", "faults",
+                        "elapsed", "max_resident")
+
+
+def deterministic_cells(doc):
+    return [{k: cell[k] for k in DETERMINISTIC_FIELDS} for cell in doc["cells"]]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--bench", default="build/bench/bench_hotpath")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required geometric-mean legacy/hot ns-per-ref ratio")
+    parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--baseline", default=None)
+    args = parser.parse_args()
+
+    gates = bench_gate.Gate()
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_json = tmp.name
+    try:
+        stdout = bench_gate.run_checked(
+            [args.bench, "--json", tmp_json, "--reps", str(args.reps)])
+        sys.stdout.write(stdout)
+        with open(tmp_json, encoding="utf-8") as f:
+            doc = json.load(f)
+    finally:
+        os.unlink(tmp_json)
+
+    # 1. The ratchet. The bench itself hard-fails on any legacy/hot result
+    # divergence before timing, so reaching here means all cells verified.
+    aggregate = float(doc["aggregate_speedup"])
+    gates.check(aggregate >= args.min_speedup,
+                f"aggregate hot-path speedup {aggregate:.2f}x "
+                f">= {args.min_speedup}x over {len(doc['cells'])} cells")
+    slowest = min(doc["cells"], key=lambda c: c["speedup"])
+    print(f"[gate] note: slowest cell {slowest['workload']}/{slowest['policy']} "
+          f"at {slowest['speedup']:.2f}x")
+
+    # 2. Cross-machine replay of the deterministic section.
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+        gates.check(
+            bench_gate.same_json(deterministic_cells(doc),
+                                 deterministic_cells(baseline)),
+            f"simulation results match {args.baseline}")
+
+    bench_gate.write_report(args.out, doc)
+    return gates.finish()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

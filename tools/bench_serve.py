@@ -29,17 +29,11 @@ Exit: 0 when every gate passes, 1 otherwise.
 
 import argparse
 import json
-import subprocess
 import sys
 
+import bench_gate
 
-def run(cmd):
-    result = subprocess.run(cmd, capture_output=True, text=True)
-    if result.returncode != 0:
-        print(f"FAILED ({result.returncode}): {' '.join(cmd)}\n{result.stderr}",
-              file=sys.stderr)
-        sys.exit(1)
-    return result.stdout
+run = bench_gate.run_checked
 
 
 def main():
@@ -51,12 +45,8 @@ def main():
     parser.add_argument("--baseline", default=None)
     args = parser.parse_args()
 
-    failures = []
-
-    def gate(cond, what):
-        print(f"[gate] {'ok' if cond else 'FAIL'}: {what}")
-        if not cond:
-            failures.append(what)
+    gates = bench_gate.Gate()
+    gate = gates.check
 
     # 1. Determinism across thread counts.
     outputs = {}
@@ -105,24 +95,10 @@ def main():
          "latency histogram covers every cached request")
 
     # 3. Optional replay diff against the committed baseline.
-    if args.baseline:
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-        gate(json.dumps(det, sort_keys=True) ==
-             json.dumps(baseline["deterministic"], sort_keys=True),
-             f"deterministic section matches {args.baseline}")
+    bench_gate.check_baseline(gates, det, args.baseline)
 
-    if args.out:
-        with open(args.out, "w") as f:
-            json.dump(doc, f, indent=2)
-            f.write("\n")
-        print(f"[gate] wrote {args.out}")
-
-    if failures:
-        print(f"[gate] {len(failures)} gate(s) failed")
-        return 1
-    print("[gate] all gates passed")
-    return 0
+    bench_gate.write_report(args.out, doc)
+    return gates.finish()
 
 
 if __name__ == "__main__":

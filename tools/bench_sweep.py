@@ -23,6 +23,8 @@ import re
 import subprocess
 import sys
 
+import bench_gate
+
 ALL_WORKLOADS = ["MAIN", "FDJAC", "TQL", "FIELD", "INIT", "APPROX",
                  "HYBRJ", "CONDUCT", "HWSCRT"]
 
@@ -99,25 +101,19 @@ def main():
             "ok": gate_ok,
         },
     }
-    with open(args.out, "w", encoding="utf-8") as f:
-        json.dump(report, f, indent=2)
-        f.write("\n")
+    bench_gate.write_report(args.out, report)
 
-    if mismatches:
-        print(f"FAIL: stdout differs between engines: {mismatches}", file=sys.stderr)
-        return 1
-    if gate_row is None:
-        print("FAIL: CONDUCT --jobs 1 not in the run set; gate not evaluated",
-              file=sys.stderr)
-        return 1
-    if gate_speedup < args.min_speedup:
-        print(f"FAIL: one-pass WS speedup on CONDUCT is {gate_speedup}x, "
-              f"below the {args.min_speedup}x gate", file=sys.stderr)
-        return 1
-    print(f"PASS: one-pass WS speedup on CONDUCT {gate_speedup}x "
-          f">= {args.min_speedup}x; stdout byte-identical on "
-          f"{len(rows)} engine pairs")
-    return 0
+    gates = bench_gate.Gate()
+    gates.check(not mismatches,
+                f"stdout byte-identical between engines on {len(rows)} pairs"
+                + (f" (differs: {mismatches})" if mismatches else ""))
+    gates.check(gate_row is not None,
+                "CONDUCT --jobs 1 is in the run set so the gate can be evaluated")
+    if gate_row is not None:
+        gates.check(gate_speedup >= args.min_speedup,
+                    f"one-pass WS speedup on CONDUCT {gate_speedup}x "
+                    f">= {args.min_speedup}x")
+    return gates.finish()
 
 
 if __name__ == "__main__":
